@@ -1,0 +1,123 @@
+// Experiment E12 (paper §2.1): "The details of how error detection is
+// done can be confined to this sublayer, and the sublayer can be changed
+// (to go from say CRC-32 to CRC-64) without changing other sublayers."
+//
+// Quantifies what the swap buys: undetected-error probability for the
+// detector family under random and burst corruption, plus throughput.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "datalink/errordetect/detector.hpp"
+
+using namespace sublayer;
+using namespace sublayer::datalink;
+
+namespace {
+
+using DetFactory = std::unique_ptr<ErrorDetector> (*)();
+
+struct DetRow {
+  const char* name;
+  DetFactory make;
+};
+
+constexpr DetRow kDetectors[] = {
+    {"crc8", make_crc8},       {"crc16", make_crc16},
+    {"crc32", make_crc32},     {"crc64", make_crc64},
+    {"inet16", make_internet_checksum},
+    {"fletcher16", make_fletcher16},
+    {"adler32", make_adler32},
+};
+
+/// Flips `flips` random bits in `frame`.
+void corrupt_random(Bytes& frame, int flips, Rng& rng) {
+  for (int i = 0; i < flips; ++i) {
+    const std::size_t bit = rng.next_below(frame.size() * 8);
+    frame[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+}
+
+/// Applies a burst: flips first and last bit of a window, random interior.
+void corrupt_burst(Bytes& frame, int burst_bits, Rng& rng) {
+  const std::size_t total = frame.size() * 8;
+  const std::size_t start =
+      rng.next_below(total - static_cast<std::size_t>(burst_bits));
+  const auto flip = [&](std::size_t b) {
+    frame[b / 8] ^= static_cast<std::uint8_t>(1u << (b % 8));
+  };
+  flip(start);
+  flip(start + static_cast<std::size_t>(burst_bits) - 1);
+  for (int b = 1; b + 1 < burst_bits; ++b) {
+    if (rng.chance(0.5)) flip(start + static_cast<std::size_t>(b));
+  }
+}
+
+void undetected_table() {
+  std::puts("E12.1: undetected-error rate, 10^5 corrupted 256 B frames each");
+  std::printf("%-12s | %12s %12s %12s %12s\n", "detector", "2 rand flips",
+              "8 rand flips", "24b burst", "48b burst");
+  Rng data_rng(1);
+  const Bytes payload = data_rng.next_bytes(256);
+  const int kTrials = 100000;
+
+  for (const auto& det_row : kDetectors) {
+    const auto det = det_row.make();
+    const Bytes framed = det->protect(payload);
+    double rates[4] = {};
+    int col = 0;
+    for (const int mode : {0, 1, 2, 3}) {
+      Rng rng(42 + mode);
+      int undetected = 0;
+      for (int t = 0; t < kTrials; ++t) {
+        Bytes corrupted = framed;
+        switch (mode) {
+          case 0: corrupt_random(corrupted, 2, rng); break;
+          case 1: corrupt_random(corrupted, 8, rng); break;
+          case 2: corrupt_burst(corrupted, 24, rng); break;
+          case 3: corrupt_burst(corrupted, 48, rng); break;
+        }
+        if (corrupted != framed && det->check_strip(corrupted).has_value()) {
+          ++undetected;
+        }
+      }
+      rates[col++] = static_cast<double>(undetected) / kTrials;
+    }
+    std::printf("%-12s | %12.2e %12.2e %12.2e %12.2e\n", det_row.name,
+                rates[0], rates[1], rates[2], rates[3]);
+  }
+  std::puts(
+      "\nshape vs paper: the detector is swappable behind one interface; "
+      "wider\nCRCs drive the undetected rate towards 2^-width while the "
+      "additive\nchecksums (inet16/fletcher) leak multi-bit patterns — the "
+      "reason one\nwould make exactly the CRC-32 -> CRC-64 swap the paper "
+      "mentions, without\ntouching framing or ARQ.");
+}
+
+void bench_detector(benchmark::State& state, DetFactory make) {
+  const auto det = make();
+  Rng rng(3);
+  const Bytes payload = rng.next_bytes(1500);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(det->compute(payload));
+  }
+  state.SetBytesProcessed(state.iterations() * 1500);
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(bench_detector, crc16, make_crc16);
+BENCHMARK_CAPTURE(bench_detector, crc32, make_crc32);
+BENCHMARK_CAPTURE(bench_detector, crc64, make_crc64);
+BENCHMARK_CAPTURE(bench_detector, inet16, make_internet_checksum);
+BENCHMARK_CAPTURE(bench_detector, fletcher16, make_fletcher16);
+BENCHMARK_CAPTURE(bench_detector, adler32, make_adler32);
+
+int main(int argc, char** argv) {
+  undetected_table();
+  std::puts("");
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Experiment E2 (paper §4.1, lesson 2): "The flag 00000010 and the
+// stuffing rule that stuffs a 1 after seeing the string 0000001 has an
+// overhead (using a random model) of 1 in 128 compared to 1 in 32 for the
+// HDLC rule."
+//
+// Regenerates the overhead comparison on the random-data model, on both
+// measures (the paper's window probability 2^-|T|, and the true stationary
+// insertion rate, which differs for self-overlapping triggers like
+// HDLC's), plus google-benchmark throughput of the stuffing engine.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "stuffverify/verifier.hpp"
+
+using namespace sublayer;
+using namespace sublayer::stuffverify;
+using datalink::StuffingRule;
+
+namespace {
+
+void print_table() {
+  std::puts("E2: stuffing overhead on random data");
+  std::printf("%-46s %12s %14s %14s\n", "rule", "naive 2^-|T|",
+              "analytic rate", "empirical rate");
+  struct Row {
+    const char* label;
+    StuffingRule rule;
+  };
+  const Row rows[] = {
+      {"HDLC (paper: 1 in 32)", StuffingRule::hdlc()},
+      {"paper's 00000010 rule (1 in 128)", StuffingRule::low_overhead()},
+      {"4-bit trigger example",
+       StuffingRule{BitString::parse("00010010"), BitString::parse("0001"),
+                    true}},
+  };
+  for (const auto& row : rows) {
+    const auto est = estimate_overhead(row.rule, 1 << 22);
+    std::printf("%-46s 1/%-10.0f 1/%-12.1f 1/%-12.1f\n", row.label,
+                1.0 / est.naive, 1.0 / est.analytic, 1.0 / est.empirical);
+  }
+  std::puts(
+      "\npaper-vs-measured: the paper's numbers are the window probability "
+      "2^-|T|\n(1/32, 1/128) -- reproduced exactly by the naive column. "
+      "The true insertion\nrate for HDLC is 1/62 because its trigger is "
+      "fully self-overlapping (a\nstuffed 0 resets the run); for the "
+      "non-overlapping 0000001 trigger the two\nmeasures coincide, so the "
+      "paper's rule is 2.1x cheaper in practice, 4x on\nthe naive measure.");
+}
+
+void bench_stuff(benchmark::State& state, const StuffingRule& rule) {
+  Rng rng(5);
+  const BitString data = rng.next_bits(1 << 14);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(datalink::stuff(rule, data));
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 14));
+}
+
+void bench_roundtrip(benchmark::State& state, const StuffingRule& rule) {
+  Rng rng(5);
+  const BitString data = rng.next_bits(1 << 12);
+  for (auto _ : state) {
+    const auto framed = datalink::frame(rule, data);
+    benchmark::DoNotOptimize(datalink::deframe(rule, framed));
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 12));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(bench_stuff, hdlc, StuffingRule::hdlc());
+BENCHMARK_CAPTURE(bench_stuff, low_overhead, StuffingRule::low_overhead());
+BENCHMARK_CAPTURE(bench_roundtrip, hdlc, StuffingRule::hdlc());
+BENCHMARK_CAPTURE(bench_roundtrip, low_overhead, StuffingRule::low_overhead());
+
+int main(int argc, char** argv) {
+  print_table();
+  std::puts("");
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Experiment E3 (paper §4.1): the verified sublayered bit-stuffing
+// implementation.  "Our proof had 57 lemmas and 1800 lines of code...
+// The proof uses separate independent correctness lemmas for each
+// sublayer which allows us to modularly reason about the distributed
+// protocol."
+//
+// Regenerates the per-sublayer lemma ledger with our decision procedures:
+// per-sublayer lemmas for the stuffing and flag sublayers, composed
+// end-to-end theorem, counts of automaton states and exhaustive cases,
+// and the verifier's verdicts on the subtly broken rules the paper warns
+// about.
+#include <cstdio>
+#include <ctime>
+
+#include "stuffverify/verifier.hpp"
+
+using namespace sublayer;
+using namespace sublayer::stuffverify;
+using datalink::StuffingRule;
+
+namespace {
+
+void verify_and_report(const char* label, const StuffingRule& rule) {
+  const auto t0 = std::clock();
+  VerifyConfig config;
+  config.exhaustive_max_bits = 16;  // deeper than the unit tests
+  const auto result = verify_rule(rule, config);
+  const double secs = static_cast<double>(std::clock() - t0) / CLOCKS_PER_SEC;
+
+  std::printf("\n%s\n  rule: %s\n  verdict: %s  [%.2fs]\n", label,
+              rule.name().c_str(), result.valid ? "VALID" : "INVALID", secs);
+  std::printf("  lemma ledger (%zu lemmas, %llu automaton states, %llu cases):\n",
+              result.lemmas.size(),
+              (unsigned long long)result.automaton_states,
+              (unsigned long long)result.cases_checked);
+  for (const auto& lemma : result.lemmas) {
+    std::printf("    [%-8s] %-36s %s%s%s\n", lemma.sublayer.c_str(),
+                lemma.name.c_str(), lemma.passed ? "proved" : "FAILED",
+                lemma.detail.empty() ? "" : "  -- ",
+                lemma.detail.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::puts("E3: verified bit stuffing — per-sublayer lemma structure");
+  std::puts(
+      "paper: 57 Coq lemmas / 1800 LoC with independent per-sublayer "
+      "lemmas;\nours : a lemma ledger over two decision procedures (exact "
+      "automaton\n       argument + bounded-exhaustive checking), same "
+      "modular structure");
+
+  verify_and_report("HDLC", StuffingRule::hdlc());
+  verify_and_report("paper's low-overhead rule", StuffingRule::low_overhead());
+
+  // The paper's failure subtleties:
+  verify_and_report(
+      "BROKEN: stuffed bit completes the flag "
+      "(\"stuffed bit forms a flag with subsequent data bits\")",
+      StuffingRule{BitString::parse("01111110"), BitString::parse("111111"),
+                   false});
+  verify_and_report(
+      "BROKEN: trigger never fires on flag-shaped data "
+      "(flag can appear verbatim in the body)",
+      StuffingRule{BitString::parse("01111110"), BitString::parse("000"),
+                   true});
+  verify_and_report(
+      "BROKEN: runaway self-triggering stuffing",
+      StuffingRule{BitString::parse("11111111"), BitString::parse("111"),
+                   true});
+
+  std::puts(
+      "\nshape vs paper: sublayering the proof works — the flag-sublayer "
+      "lemma\n(F2) is independent of the stuffing round-trip lemmas (S3/S4) "
+      "and is\nexactly the lemma that kills both broken rules; the paper's "
+      "observation\nthat \"the correctness of stuffing depends on the flag\" "
+      "shows up as F2\nbeing the only lemma that reads both sublayers' "
+      "parameters.");
+  return 0;
+}

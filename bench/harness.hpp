@@ -1,0 +1,147 @@
+// Shared harness for the experiment benchmarks: canned end-to-end
+// transfers over the simulated network for each transport variant, with
+// goodput measured from connect to last-byte-delivered (virtual time).
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "netlayer/router.hpp"
+#include "transport/monolithic/mono_tcp.hpp"
+#include "transport/sublayered/host.hpp"
+
+namespace sublayer::bench {
+
+struct TransferOutcome {
+  bool complete = false;
+  double goodput_mbps = 0;      // virtual-time goodput
+  double virtual_seconds = 0;   // connect -> last byte
+  double cpu_seconds = 0;       // host wall-clock for the whole sim run
+  std::uint64_t retransmissions = 0;
+  std::uint64_t segments_sent = 0;
+  std::uint64_t events = 0;
+};
+
+struct NetSetup {
+  NetSetup(const sim::LinkConfig& link, std::uint64_t seed = 1)
+      : net(sim, router_config(), seed) {
+    r0 = net.add_router();
+    r1 = net.add_router();
+    net.connect(r0, r1, link);
+    net.start();
+    sim.run_until(TimePoint::from_ns(Duration::millis(500).ns()));
+  }
+
+  static netlayer::RouterConfig router_config() {
+    netlayer::RouterConfig config;
+    config.routing = netlayer::RoutingKind::kLinkState;
+    // Data-plane impairments must not flap the control plane mid-run.
+    config.neighbor.dead_interval = Duration::seconds(3600.0);
+    return config;
+  }
+
+  sim::Simulator sim;
+  netlayer::Network net;
+  netlayer::RouterId r0 = 0;
+  netlayer::RouterId r1 = 0;
+};
+
+enum class Variant { kSublayered, kSublayeredShim, kMonolithic };
+
+inline const char* variant_name(Variant v) {
+  switch (v) {
+    case Variant::kSublayered: return "sublayered";
+    case Variant::kSublayeredShim: return "sublayered+shim";
+    case Variant::kMonolithic: return "monolithic";
+  }
+  return "?";
+}
+
+/// One bulk transfer of `bytes` from r0's host to r1's host.
+inline TransferOutcome run_transfer(Variant variant,
+                                    const sim::LinkConfig& link,
+                                    std::size_t bytes,
+                                    const std::string& cc = "reno",
+                                    std::uint64_t seed = 1,
+                                    std::size_t event_budget = 30'000'000) {
+  NetSetup net(link, seed);
+  TransferOutcome out;
+
+  std::size_t received = 0;
+  const TimePoint start = net.sim.now();
+  TimePoint finished = start;
+  const auto on_bytes = [&](std::size_t n) {
+    received += n;
+    if (received == bytes) finished = net.sim.now();
+  };
+
+  Rng rng(seed + 7);
+  const Bytes payload = rng.next_bytes(bytes);
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  // Runs the simulation until the transfer completes (or the budget is
+  // spent): idle periodic timers after completion must not pollute the
+  // CPU-per-segment measurements.
+  const auto drive = [&] {
+    std::size_t processed = 0;
+    while (processed < event_budget && received < bytes) {
+      const std::size_t n = net.sim.run(
+          std::min<std::size_t>(100'000, event_budget - processed));
+      processed += n;
+      if (n == 0) break;
+    }
+    return processed;
+  };
+
+  if (variant == Variant::kMonolithic) {
+    transport::MonoConfig mc;
+    transport::MonoHost client(net.sim, net.net.router(net.r0), 1, mc);
+    transport::MonoHost server(net.sim, net.net.router(net.r1), 1, mc);
+    server.listen(80, [&](transport::MonoConnection& conn) {
+      transport::MonoConnection::AppCallbacks cb;
+      cb.on_data = [&](Bytes data) { on_bytes(data.size()); };
+      conn.set_app_callbacks(cb);
+    });
+    auto& conn = client.connect(server.addr(), 80);
+    conn.send(payload);
+    out.events = drive();
+    out.retransmissions = conn.stats().retransmissions;
+    out.segments_sent = conn.stats().segments_sent;
+  } else {
+    transport::HostConfig hc;
+    hc.connection.osr.cc = cc;
+    hc.wire_rfc793 = variant == Variant::kSublayeredShim;
+    transport::TcpHost client(net.sim, net.net.router(net.r0), 1, hc);
+    transport::TcpHost server(net.sim, net.net.router(net.r1), 1, hc);
+    server.listen(80, [&](transport::Connection& conn) {
+      transport::Connection::AppCallbacks cb;
+      cb.on_data = [&](Bytes data) { on_bytes(data.size()); };
+      conn.set_app_callbacks(cb);
+    });
+    auto& conn = client.connect(server.addr(), 80);
+    conn.send(payload);
+    out.events = drive();
+    out.retransmissions = conn.rd().stats().fast_retransmits +
+                          conn.rd().stats().timeout_retransmits;
+    out.segments_sent = conn.rd().stats().segments_sent;
+  }
+
+  out.cpu_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  out.complete = received == bytes;
+  out.virtual_seconds = (finished - start).to_seconds();
+  if (out.complete && out.virtual_seconds > 0) {
+    out.goodput_mbps =
+        static_cast<double>(bytes) * 8.0 / out.virtual_seconds / 1e6;
+  }
+  return out;
+}
+
+inline void print_header(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+}  // namespace sublayer::bench

@@ -1,0 +1,89 @@
+// The data-link sublayer stack of Fig. 2 in action: line coding, bit
+// stuffing, CRC, and ARQ composed over a noisy simulated wire — plus the
+// verified-bit-stuffing story from §4.1 (lemma ledger and rule search).
+#include <cstdio>
+
+#include "datalink/stack.hpp"
+#include "stuffverify/verifier.hpp"
+
+using namespace sublayer;
+
+int main() {
+  std::puts("== composed data-link stack over a noisy wire ==");
+  sim::Simulator sim;
+  Rng rng(42);
+  sim::LinkConfig wire;
+  wire.corrupt_rate = 0.10;  // every 10th frame gets 3 bit flips
+  wire.corrupt_bit_flips = 3;
+  wire.loss_rate = 0.05;
+  wire.propagation_delay = Duration::millis(1);
+
+  datalink::StackConfig config;
+  config.arq_engine = "selective-repeat";
+  config.arq.rto = Duration::millis(25);
+
+  datalink::DatalinkPair pair(sim, wire, rng, config, phy::make_manchester(),
+                              datalink::make_crc32(), phy::make_manchester(),
+                              datalink::make_crc32());
+
+  int delivered = 0;
+  Bytes last;
+  pair.b().set_deliver([&](Bytes payload) {
+    ++delivered;
+    last = std::move(payload);
+  });
+
+  Rng data(1);
+  const int kFrames = 100;
+  for (int i = 0; i < kFrames; ++i) pair.a().send(data.next_bytes(200));
+  sim.run(4'000'000);
+
+  const auto& rx = pair.b().stats();
+  const auto& arq = pair.a().arq_stats();
+  std::printf("delivered %d/%d payloads reliably and in order\n", delivered,
+              kFrames);
+  std::printf(
+      "receiver dropped: %llu checksum failures, %llu phy decode failures, "
+      "%llu deframe failures\n",
+      (unsigned long long)rx.checksum_failures,
+      (unsigned long long)rx.phy_decode_failures,
+      (unsigned long long)rx.deframe_failures);
+  std::printf("ARQ covered for all of it: %llu retransmissions\n",
+              (unsigned long long)arq.retransmissions);
+
+  std::puts("\n== verified bit stuffing (the Coq experiment, in C++) ==");
+  const auto rule = datalink::StuffingRule::hdlc();
+  const auto result = stuffverify::verify_rule(rule);
+  std::printf("rule %s\n  -> %s\n", rule.name().c_str(),
+              result.summary().c_str());
+  for (const auto& lemma : result.lemmas) {
+    std::printf("  [%-8s] %-35s %s\n", lemma.sublayer.c_str(),
+                lemma.name.c_str(), lemma.passed ? "proved" : "FAILED");
+  }
+
+  std::puts("\n== the subtle failure the paper warns about ==");
+  // Flag 01111110 with trigger 111111/stuff 0: the stuffed bit itself can
+  // complete a flag ("the stuffed bit forms a flag with subsequent data").
+  const datalink::StuffingRule bad{BitString::parse("01111110"),
+                                   BitString::parse("111111"), false};
+  const auto bad_result = stuffverify::verify_rule(bad);
+  std::printf("rule %s\n  -> %s\n", bad.name().c_str(),
+              bad_result.summary().c_str());
+
+  std::puts("\n== searching the rule space (paper found 66 alternates) ==");
+  const auto outcome = stuffverify::search_rules({});
+  std::printf(
+      "candidates=%llu valid=%zu cheaper-than-HDLC=%llu "
+      "(rejected: %llu false-flag, %llu degenerate)\n",
+      (unsigned long long)outcome.candidates, outcome.valid_rules.size(),
+      (unsigned long long)outcome.cheaper_than_hdlc,
+      (unsigned long long)outcome.rejected_false_flag,
+      (unsigned long long)outcome.rejected_degenerate);
+  std::puts("cheapest five:");
+  for (std::size_t i = 0; i < 5 && i < outcome.valid_rules.size(); ++i) {
+    const auto& s = outcome.valid_rules[i];
+    std::printf("  %-45s overhead 1/%.0f\n", s.rule.name().c_str(),
+                s.overhead.one_in_n());
+  }
+  return delivered == kFrames ? 0 : 1;
+}

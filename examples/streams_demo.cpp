@@ -1,0 +1,95 @@
+// Recursive sublayering (paper §5, the QUIC direction): a stream sublayer
+// stacked on top of the sublayered TCP, multiplexing three independent
+// transfers over one connection — each stream finishes on its own,
+// interleaved at record granularity.
+#include <cstdio>
+
+#include "netlayer/router.hpp"
+#include "transport/streams/mux.hpp"
+#include "transport/sublayered/host.hpp"
+
+using namespace sublayer;
+using namespace sublayer::transport;
+
+int main() {
+  sim::Simulator sim;
+  netlayer::RouterConfig rc;
+  netlayer::Network net(sim, rc);
+  const auto a = net.add_router();
+  const auto b = net.add_router();
+  sim::LinkConfig link;
+  link.bandwidth_bps = 20e6;
+  link.propagation_delay = Duration::millis(5);
+  link.loss_rate = 0.01;
+  net.connect(a, b, link);
+  net.start();
+  sim.run_until(TimePoint::from_ns(Duration::millis(500).ns()));
+
+  TcpHost client_host(sim, net.router(a), 1);
+  TcpHost server_host(sim, net.router(b), 1);
+
+  struct Receiver {
+    std::map<std::uint32_t, std::size_t> bytes;
+    std::map<std::uint32_t, bool> done;
+  } rx;
+
+  std::unique_ptr<StreamMux> server;
+  server_host.listen(443, [&](Connection& conn) {
+    server = std::make_unique<StreamMux>(conn, /*initiator=*/false);
+    server->set_on_stream([&](Stream& s) {
+      std::printf("server: peer opened stream %u\n", s.id());
+      s.set_on_data([&rx, &s](Bytes data) { rx.bytes[s.id()] += data.size(); });
+      s.set_on_end([&rx, &s] {
+        rx.done[s.id()] = true;
+        std::printf("server: stream %u complete\n", s.id());
+      });
+    });
+  });
+
+  Connection& conn = client_host.connect(server_host.addr(), 443);
+  StreamMux client(conn, /*initiator=*/true);
+
+  // Three "files" of different sizes over ONE connection, interleaved.
+  Rng rng(1);
+  const std::size_t sizes[] = {120000, 60000, 180000};
+  std::vector<Stream*> streams;
+  std::vector<Bytes> files;
+  for (const std::size_t size : sizes) {
+    streams.push_back(&client.open());
+    files.push_back(rng.next_bytes(size));
+  }
+  // Round-robin the sends so the wire genuinely interleaves records.
+  std::size_t at = 0;
+  bool more = true;
+  while (more) {
+    more = false;
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+      if (at < files[i].size()) {
+        const std::size_t chunk = std::min<std::size_t>(8000, files[i].size() - at);
+        streams[i]->send(Bytes(files[i].begin() + static_cast<std::ptrdiff_t>(at),
+                               files[i].begin() +
+                                   static_cast<std::ptrdiff_t>(at + chunk)));
+        if (at + chunk < files[i].size()) more = true;
+      }
+    }
+    at += 8000;
+  }
+  for (auto* s : streams) s->finish();
+
+  sim.run(10'000'000);
+
+  bool all_ok = true;
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    const std::uint32_t id = streams[i]->id();
+    const bool ok = rx.bytes[id] == files[i].size() && rx.done[id];
+    all_ok &= ok;
+    std::printf("stream %u: %zu/%zu bytes %s\n", id, rx.bytes[id],
+                files[i].size(), ok ? "OK" : "INCOMPLETE");
+  }
+  std::printf(
+      "one connection carried %llu records (%llu B of stream payload); the\n"
+      "transport sublayers below saw only an opaque byte stream.\n",
+      (unsigned long long)client.stats().records_sent,
+      (unsigned long long)client.stats().bytes_sent);
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,107 @@
+// Challenge 5 ("Replace"): swap the mechanism inside a sublayer without
+// touching any other sublayer.
+//
+// Runs the same 1 MB transfer over the same bottleneck network four times,
+// once per congestion-control algorithm plugged into OSR, then swaps the
+// ISN provider inside CM, and finally swaps the stuffing rule inside the
+// data-link framing sublayer — three different layers of the stack, all
+// replaced through their narrow interfaces with zero changes elsewhere.
+#include <cstdio>
+
+#include "datalink/stack.hpp"
+#include "netlayer/router.hpp"
+#include "stuffverify/verifier.hpp"
+#include "transport/sublayered/host.hpp"
+
+using namespace sublayer;
+
+namespace {
+
+struct TransferResult {
+  double goodput_mbps = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t cwnd_final = 0;
+};
+
+TransferResult run_transfer(const std::string& cc, transport::IsnKind isn) {
+  sim::Simulator sim;
+  netlayer::RouterConfig rc;
+  netlayer::Network net(sim, rc);
+  const auto a = net.add_router();
+  const auto b = net.add_router();
+  sim::LinkConfig link;
+  link.bandwidth_bps = 20e6;
+  link.propagation_delay = Duration::millis(10);
+  link.loss_rate = 0.005;
+  link.queue_limit = 64;
+  net.connect(a, b, link);
+  net.start();
+  sim.run_until(TimePoint::from_ns(Duration::millis(500).ns()));
+
+  transport::HostConfig hc;
+  hc.connection.osr.cc = cc;
+  hc.isn = isn;
+  transport::TcpHost client(sim, net.router(a), 1, hc);
+  transport::TcpHost server(sim, net.router(b), 1, hc);
+
+  const std::size_t total = 1 << 20;
+  std::size_t received = 0;
+  const TimePoint start = sim.now();
+  TimePoint finished = start;
+  server.listen(80, [&](transport::Connection& conn) {
+    transport::Connection::AppCallbacks cb;
+    cb.on_data = [&](Bytes data) {
+      received += data.size();
+      if (received == total) finished = sim.now();
+    };
+    conn.set_app_callbacks(cb);
+  });
+
+  transport::Connection& conn = client.connect(server.addr(), 80);
+  Rng rng(3);
+  conn.send(rng.next_bytes(total));
+  sim.run(8'000'000);
+
+  TransferResult r;
+  const double secs = (finished - start).to_seconds();
+  if (received == total && secs > 0) {
+    r.goodput_mbps = static_cast<double>(total) * 8.0 / secs / 1e6;
+  }
+  r.retransmissions = conn.rd().stats().fast_retransmits +
+                      conn.rd().stats().timeout_retransmits;
+  r.cwnd_final = conn.osr().cwnd();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("== swapping OSR's congestion control (nothing else changes) ==");
+  std::printf("%-8s %12s %8s %12s\n", "cc", "goodput", "retx", "final cwnd");
+  for (const char* cc : {"reno", "cubic", "aimd", "rate"}) {
+    const auto r = run_transfer(cc, transport::IsnKind::kRfc1948);
+    std::printf("%-8s %9.2f Mbps %8llu %10llu B\n", cc, r.goodput_mbps,
+                (unsigned long long)r.retransmissions,
+                (unsigned long long)r.cwnd_final);
+  }
+
+  std::puts("\n== swapping CM's ISN provider (nothing else changes) ==");
+  for (const auto& [kind, name] :
+       {std::pair{transport::IsnKind::kRfc793, "rfc793-clock"},
+        std::pair{transport::IsnKind::kRfc1948, "rfc1948-hash"},
+        std::pair{transport::IsnKind::kWatson, "watson-timer"}}) {
+    const auto r = run_transfer("reno", kind);
+    std::printf("%-14s goodput %.2f Mbps (transfer unaffected by ISN policy)\n",
+                name, r.goodput_mbps);
+  }
+
+  std::puts("\n== swapping the framing sublayer's stuffing rule ==");
+  for (const auto& rule : {datalink::StuffingRule::hdlc(),
+                           datalink::StuffingRule::low_overhead()}) {
+    const auto overhead = stuffverify::estimate_overhead(rule, 1 << 18);
+    const auto verdict = stuffverify::quick_check(rule);
+    std::printf("%-45s valid=%s overhead=1/%.0f\n", rule.name().c_str(),
+                verdict ? "yes" : "NO", overhead.one_in_n());
+  }
+  return 0;
+}

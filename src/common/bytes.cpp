@@ -1,0 +1,174 @@
+#include "common/bytes.hpp"
+
+#include <stdexcept>
+
+namespace sublayer {
+
+void ByteReader::require(std::size_t n) const {
+  if (pos_ + n > in_.size()) {
+    throw std::out_of_range("ByteReader: truncated input");
+  }
+}
+
+std::uint8_t ByteReader::u8() {
+  require(1);
+  return in_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  require(2);
+  const std::uint16_t v =
+      static_cast<std::uint16_t>(static_cast<std::uint16_t>(in_[pos_]) << 8 |
+                                 in_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::u32() {
+  const std::uint32_t hi = u16();
+  const std::uint32_t lo = u16();
+  return hi << 16 | lo;
+}
+
+std::uint64_t ByteReader::u64() {
+  const std::uint64_t hi = u32();
+  const std::uint64_t lo = u32();
+  return hi << 32 | lo;
+}
+
+Bytes ByteReader::bytes(std::size_t n) {
+  require(n);
+  Bytes out(in_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            in_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+Bytes ByteReader::rest() { return bytes(remaining()); }
+
+Bytes bytes_from_string(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string string_from_bytes(ByteView b) {
+  return std::string(b.begin(), b.end());
+}
+
+std::string hex_dump(ByteView b) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(b.size() * 3);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    if (i != 0) out.push_back(i % 16 == 0 ? '\n' : ' ');
+    out.push_back(kHex[b[i] >> 4]);
+    out.push_back(kHex[b[i] & 0xf]);
+  }
+  return out;
+}
+
+BitString::BitString(std::initializer_list<int> bits) {
+  bits_.reserve(bits.size());
+  for (int b : bits) {
+    if (b != 0 && b != 1) throw std::invalid_argument("BitString: bit must be 0/1");
+    bits_.push_back(static_cast<std::uint8_t>(b));
+  }
+}
+
+BitString BitString::parse(std::string_view s) {
+  BitString out;
+  for (char c : s) {
+    if (c == ' ' || c == '_') continue;
+    if (c == '0') {
+      out.push_back(false);
+    } else if (c == '1') {
+      out.push_back(true);
+    } else {
+      throw std::invalid_argument("BitString::parse: expected 0/1/space");
+    }
+  }
+  return out;
+}
+
+BitString BitString::from_bytes(ByteView b) {
+  BitString out;
+  out.bits_.reserve(b.size() * 8);
+  for (std::uint8_t byte : b) {
+    for (int i = 7; i >= 0; --i) {
+      out.push_back((byte >> i & 1) != 0);
+    }
+  }
+  return out;
+}
+
+BitString BitString::from_uint(std::uint64_t value, int width) {
+  if (width < 0 || width > 64) throw std::invalid_argument("BitString width");
+  BitString out;
+  for (int i = width - 1; i >= 0; --i) {
+    out.push_back((value >> i & 1) != 0);
+  }
+  return out;
+}
+
+void BitString::append(const BitString& other) {
+  bits_.insert(bits_.end(), other.bits_.begin(), other.bits_.end());
+}
+
+BitString BitString::slice(std::size_t pos, std::size_t len) const {
+  if (pos + len > bits_.size()) throw std::out_of_range("BitString::slice");
+  BitString out;
+  out.bits_.assign(bits_.begin() + static_cast<std::ptrdiff_t>(pos),
+                   bits_.begin() + static_cast<std::ptrdiff_t>(pos + len));
+  return out;
+}
+
+bool BitString::matches_at(std::size_t pos, const BitString& pattern) const {
+  if (pos + pattern.size() > bits_.size()) return false;
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    if (bits_[pos + i] != pattern.bits_[i]) return false;
+  }
+  return true;
+}
+
+std::size_t BitString::find(const BitString& pattern, std::size_t from) const {
+  if (pattern.empty() || pattern.size() > bits_.size()) return npos;
+  for (std::size_t i = from; i + pattern.size() <= bits_.size(); ++i) {
+    if (matches_at(i, pattern)) return i;
+  }
+  return npos;
+}
+
+std::size_t BitString::count_overlapping(const BitString& pattern) const {
+  if (pattern.empty()) return 0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i + pattern.size() <= bits_.size(); ++i) {
+    if (matches_at(i, pattern)) ++n;
+  }
+  return n;
+}
+
+Bytes BitString::to_bytes() const {
+  if (bits_.size() % 8 != 0) {
+    throw std::logic_error("BitString::to_bytes: size not a multiple of 8");
+  }
+  Bytes out(bits_.size() / 8, 0);
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    if (bits_[i]) out[i / 8] |= static_cast<std::uint8_t>(1u << (7 - i % 8));
+  }
+  return out;
+}
+
+std::uint64_t BitString::to_uint() const {
+  if (bits_.size() > 64) throw std::logic_error("BitString::to_uint: too long");
+  std::uint64_t v = 0;
+  for (std::uint8_t b : bits_) v = v << 1 | b;
+  return v;
+}
+
+std::string BitString::to_string() const {
+  std::string s;
+  s.reserve(bits_.size());
+  for (std::uint8_t b : bits_) s.push_back(b ? '1' : '0');
+  return s;
+}
+
+}  // namespace sublayer

@@ -1,0 +1,115 @@
+// Byte- and bit-level buffers shared by every layer of the stack.
+//
+// Bytes is a thin alias over std::vector<std::uint8_t> with serialization
+// helpers (big-endian, as on the wire).  BitString is a growable sequence
+// of bits used by the physical-coding and framing sublayers, where frames
+// are genuinely bit-granular (HDLC stuffing operates on bits, not bytes).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sublayer {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+/// Appends big-endian encodings to a byte vector (network byte order).
+class ByteWriter {
+ public:
+  explicit ByteWriter(Bytes& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  }
+  void bytes(ByteView v) { out_.insert(out_.end(), v.begin(), v.end()); }
+
+ private:
+  Bytes& out_;
+};
+
+/// Reads big-endian encodings from a byte view; throws std::out_of_range on
+/// underrun so malformed packets surface as parse failures, not UB.
+class ByteReader {
+ public:
+  explicit ByteReader(ByteView in) : in_(in) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  Bytes bytes(std::size_t n);
+  /// All bytes not yet consumed.
+  Bytes rest();
+  std::size_t remaining() const { return in_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+
+ private:
+  void require(std::size_t n) const;
+  ByteView in_;
+  std::size_t pos_ = 0;
+};
+
+Bytes bytes_from_string(std::string_view s);
+std::string string_from_bytes(ByteView b);
+std::string hex_dump(ByteView b);
+
+/// A growable bit sequence.  Bit 0 is transmitted first.
+class BitString {
+ public:
+  BitString() = default;
+  BitString(std::initializer_list<int> bits);
+
+  /// Parses a string like "0111 1110" (spaces ignored). Throws on other chars.
+  static BitString parse(std::string_view s);
+  /// All bits of `b`, MSB-first per byte (the usual HDLC convention here).
+  static BitString from_bytes(ByteView b);
+  /// All 2^n bit strings of length n enumerate as integers; this builds the
+  /// length-n string whose bits are the binary digits of `value`, MSB first.
+  static BitString from_uint(std::uint64_t value, int width);
+
+  void push_back(bool bit) { bits_.push_back(bit ? 1 : 0); }
+  void append(const BitString& other);
+
+  bool operator[](std::size_t i) const { return bits_[i] != 0; }
+  std::size_t size() const { return bits_.size(); }
+  bool empty() const { return bits_.empty(); }
+  void clear() { bits_.clear(); }
+
+  /// Substring [pos, pos+len).
+  BitString slice(std::size_t pos, std::size_t len) const;
+  /// True if `pattern` occurs starting at position `pos`.
+  bool matches_at(std::size_t pos, const BitString& pattern) const;
+  /// First index >= from where `pattern` occurs, or npos.
+  std::size_t find(const BitString& pattern, std::size_t from = 0) const;
+  /// Number of (possibly overlapping) occurrences of `pattern`.
+  std::size_t count_overlapping(const BitString& pattern) const;
+
+  /// Packs bits into bytes MSB-first; size() must be a multiple of 8.
+  Bytes to_bytes() const;
+  std::uint64_t to_uint() const;
+  std::string to_string() const;
+
+  friend bool operator==(const BitString&, const BitString&) = default;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+ private:
+  std::vector<std::uint8_t> bits_;  // one bit per element; 0 or 1
+};
+
+}  // namespace sublayer

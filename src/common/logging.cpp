@@ -1,0 +1,30 @@
+#include "common/logging.hpp"
+
+namespace sublayer {
+namespace {
+LogLevel g_level = LogLevel::kOff;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+namespace detail {
+void log_line(LogLevel level, const char* component, const std::string& msg) {
+  std::fprintf(stderr, "[%s] %-10s %s\n", level_name(level), component,
+               msg.c_str());
+}
+}  // namespace detail
+
+}  // namespace sublayer

@@ -1,0 +1,69 @@
+// Minimal leveled logging.
+//
+// Silent by default so tests and benchmarks stay quiet; examples turn on
+// Info to narrate what the stack is doing.  Not thread-safe by design —
+// the simulator is single-threaded.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace sublayer {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, const char* component, const std::string& msg);
+
+template <typename... Args>
+std::string format_str(const char* fmt, Args&&... args) {
+  const int n = std::snprintf(nullptr, 0, fmt, std::forward<Args>(args)...);
+  if (n <= 0) return {};
+  std::string s(static_cast<std::size_t>(n), '\0');
+  std::snprintf(s.data(), s.size() + 1, fmt, std::forward<Args>(args)...);
+  return s;
+}
+inline std::string format_str(const char* fmt) { return fmt; }
+}  // namespace detail
+
+/// Component-tagged logger; each protocol module owns one.
+class Logger {
+ public:
+  explicit Logger(const char* component) : component_(component) {}
+
+  template <typename... Args>
+  void trace(const char* fmt, Args&&... args) const {
+    log(LogLevel::kTrace, fmt, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void debug(const char* fmt, Args&&... args) const {
+    log(LogLevel::kDebug, fmt, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void info(const char* fmt, Args&&... args) const {
+    log(LogLevel::kInfo, fmt, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void warn(const char* fmt, Args&&... args) const {
+    log(LogLevel::kWarn, fmt, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void error(const char* fmt, Args&&... args) const {
+    log(LogLevel::kError, fmt, std::forward<Args>(args)...);
+  }
+
+ private:
+  template <typename... Args>
+  void log(LogLevel level, const char* fmt, Args&&... args) const {
+    if (level < log_level()) return;
+    detail::log_line(level, component_,
+                     detail::format_str(fmt, std::forward<Args>(args)...));
+  }
+  const char* component_;
+};
+
+}  // namespace sublayer

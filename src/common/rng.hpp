@@ -1,0 +1,58 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in the repository (link loss, workload
+// generation, randomized tests) draws from Rng so that every run is
+// reproducible from a single seed.  The core is xoshiro256**, which is
+// fast, has a 256-bit state, and is well distributed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/bytes.hpp"
+
+namespace sublayer {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Uniform over all 64-bit values.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform in [0, 1).
+  double next_double();
+
+  /// True with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Uniformly random bit string of the given length.
+  BitString next_bits(std::size_t n);
+
+  /// Uniformly random byte vector of the given length.
+  Bytes next_bytes(std::size_t n);
+
+  /// Split off an independent generator (for per-component streams).
+  Rng fork();
+
+  // UniformRandomBitGenerator interface so <algorithm> shuffles work.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() { return next_u64(); }
+
+ private:
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace sublayer

@@ -1,0 +1,67 @@
+#include "common/siphash.hpp"
+
+#include <bit>
+
+namespace sublayer {
+namespace {
+
+void sipround(std::uint64_t& v0, std::uint64_t& v1, std::uint64_t& v2,
+              std::uint64_t& v3) {
+  v0 += v1;
+  v1 = std::rotl(v1, 13);
+  v1 ^= v0;
+  v0 = std::rotl(v0, 32);
+  v2 += v3;
+  v3 = std::rotl(v3, 16);
+  v3 ^= v2;
+  v0 += v3;
+  v3 = std::rotl(v3, 21);
+  v3 ^= v0;
+  v2 += v1;
+  v1 = std::rotl(v1, 17);
+  v1 ^= v2;
+  v2 = std::rotl(v2, 32);
+}
+
+std::uint64_t load_le64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = v << 8 | p[i];
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t siphash24(const SipHashKey& key, ByteView data) {
+  std::uint64_t v0 = 0x736f6d6570736575ull ^ key[0];
+  std::uint64_t v1 = 0x646f72616e646f6dull ^ key[1];
+  std::uint64_t v2 = 0x6c7967656e657261ull ^ key[0];
+  std::uint64_t v3 = 0x7465646279746573ull ^ key[1];
+
+  const std::size_t n = data.size();
+  const std::size_t full = n / 8 * 8;
+  for (std::size_t i = 0; i < full; i += 8) {
+    const std::uint64_t m = load_le64(&data[i]);
+    v3 ^= m;
+    sipround(v0, v1, v2, v3);
+    sipround(v0, v1, v2, v3);
+    v0 ^= m;
+  }
+
+  std::uint64_t last = static_cast<std::uint64_t>(n & 0xff) << 56;
+  for (std::size_t i = full; i < n; ++i) {
+    last |= static_cast<std::uint64_t>(data[i]) << (8 * (i - full));
+  }
+  v3 ^= last;
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  v0 ^= last;
+
+  v2 ^= 0xff;
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  return v0 ^ v1 ^ v2 ^ v3;
+}
+
+}  // namespace sublayer

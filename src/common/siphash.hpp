@@ -1,0 +1,20 @@
+// SipHash-2-4: a keyed pseudo-random function.
+//
+// Used by the RFC 1948-style initial-sequence-number provider in the
+// connection-management sublayer: ISN = PRF(key, 4-tuple) + clock, which
+// makes ISNs hard for an off-path attacker to predict.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace sublayer {
+
+using SipHashKey = std::array<std::uint64_t, 2>;
+
+/// SipHash-2-4 of `data` under a 128-bit key.
+std::uint64_t siphash24(const SipHashKey& key, ByteView data);
+
+}  // namespace sublayer

@@ -1,0 +1,26 @@
+#include "common/time.hpp"
+
+#include <cstdio>
+
+namespace sublayer {
+
+std::string to_string(Duration d) {
+  char buf[64];
+  const double ms = d.to_millis();
+  if (ms >= 1000.0) {
+    std::snprintf(buf, sizeof buf, "%.3fs", ms / 1000.0);
+  } else if (ms >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.3fms", ms);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(d.ns()));
+  }
+  return buf;
+}
+
+std::string to_string(TimePoint t) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "t=%.6fs", t.to_seconds());
+  return buf;
+}
+
+}  // namespace sublayer

@@ -1,0 +1,79 @@
+// Simulated-time types used throughout the stack.
+//
+// The simulator advances a virtual clock; protocols never read wall-clock
+// time.  Strong types prevent accidentally mixing durations, absolute
+// times, and raw integers.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace sublayer {
+
+/// A span of simulated time with nanosecond resolution.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  static constexpr Duration nanos(std::int64_t n) { return Duration{n}; }
+  static constexpr Duration micros(std::int64_t u) { return Duration{u * 1000}; }
+  static constexpr Duration millis(std::int64_t m) { return Duration{m * 1000000}; }
+  static constexpr Duration seconds(double s) {
+    return Duration{static_cast<std::int64_t>(s * 1e9)};
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double to_millis() const { return static_cast<double>(ns_) * 1e-6; }
+
+  constexpr bool is_zero() const { return ns_ == 0; }
+
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration{a.ns_ + b.ns_};
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration{a.ns_ - b.ns_};
+  }
+  friend constexpr Duration operator*(Duration a, double k) {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(a.ns_) * k)};
+  }
+  friend constexpr Duration operator/(Duration a, std::int64_t k) {
+    return Duration{a.ns_ / k};
+  }
+  constexpr Duration& operator+=(Duration o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+ private:
+  constexpr explicit Duration(std::int64_t n) : ns_(n) {}
+  std::int64_t ns_ = 0;
+};
+
+/// An absolute point on the simulated clock.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  static constexpr TimePoint from_ns(std::int64_t n) { return TimePoint{n}; }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) {
+    return TimePoint{t.ns_ + d.ns()};
+  }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) {
+    return Duration::nanos(a.ns_ - b.ns_);
+  }
+  friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+
+ private:
+  constexpr explicit TimePoint(std::int64_t n) : ns_(n) {}
+  std::int64_t ns_ = 0;
+};
+
+std::string to_string(Duration d);
+std::string to_string(TimePoint t);
+
+}  // namespace sublayer

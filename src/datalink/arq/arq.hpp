@@ -1,0 +1,88 @@
+// Error-recovery sublayer (Fig. 2): reliable in-order frame delivery over
+// an unreliable (lossy, duplicating) frame channel, HDLC/Fibre-Channel
+// style.
+//
+// The sublayer contract: every payload passed to send() is delivered to
+// the peer's deliver callback exactly once, in order, assuming the channel
+// eventually delivers some retransmission.  Three engines implement the
+// same interface — stop-and-wait, go-back-N, selective repeat — so the
+// recovery mechanism is swappable (test T3) without touching framing below
+// or anything above.
+//
+// The ARQ sublayer assumes corrupted frames were already discarded by the
+// error-detection sublayer below it; it only copes with loss, duplication,
+// and reordering.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/time.hpp"
+#include "sim/simulator.hpp"
+
+namespace sublayer::datalink {
+
+struct ArqConfig {
+  /// Sender window in frames (forced to 1 for stop-and-wait).
+  std::uint16_t window = 8;
+  /// Retransmission timeout.
+  Duration rto = Duration::millis(50);
+  /// Cap on payloads queued awaiting a window slot.
+  std::size_t max_send_queue = 4096;
+};
+
+struct ArqStats {
+  std::uint64_t payloads_accepted = 0;
+  std::uint64_t data_frames_sent = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t out_of_order_buffered = 0;
+  std::uint64_t send_queue_rejects = 0;
+};
+
+/// One end of a bidirectional reliable link.  Wire both ends' frame_sink to
+/// the opposite end's on_frame through any unreliable channel.
+class ArqEndpoint {
+ public:
+  using FrameSink = std::function<void(Bytes)>;  // towards the channel
+  using Deliver = std::function<void(Bytes)>;    // towards the upper layer
+
+  virtual ~ArqEndpoint() = default;
+
+  virtual std::string name() const = 0;
+
+  virtual void set_frame_sink(FrameSink sink) = 0;
+  virtual void set_deliver(Deliver deliver) = 0;
+
+  /// Queues a payload for reliable delivery.  Returns false if the send
+  /// queue is full (backpressure).
+  virtual bool send(Bytes payload) = 0;
+
+  /// Feeds a frame received from the channel.
+  virtual void on_frame(Bytes frame) = 0;
+
+  /// True when all accepted payloads have been acknowledged.
+  virtual bool idle() const = 0;
+
+  virtual const ArqStats& stats() const = 0;
+};
+
+std::unique_ptr<ArqEndpoint> make_stop_and_wait(sim::Simulator& sim,
+                                                ArqConfig config = {});
+std::unique_ptr<ArqEndpoint> make_go_back_n(sim::Simulator& sim,
+                                            ArqConfig config = {});
+std::unique_ptr<ArqEndpoint> make_selective_repeat(sim::Simulator& sim,
+                                                   ArqConfig config = {});
+
+/// All three engine factories, keyed by name — used by parameterized tests
+/// and the swap benchmarks.
+using ArqFactory =
+    std::function<std::unique_ptr<ArqEndpoint>(sim::Simulator&, ArqConfig)>;
+ArqFactory arq_factory(const std::string& engine_name);
+
+}  // namespace sublayer::datalink

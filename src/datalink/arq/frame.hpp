@@ -1,0 +1,48 @@
+// Internal wire format shared by the ARQ engines.
+//
+// Sequence numbers are 32-bit and monotonic (no wraparound): at data-link
+// frame rates this gives 4 billion frames per connection, and it keeps the
+// ARQ engines focused on the recovery logic.  (The transport layer's RD
+// sublayer implements full modular sequence arithmetic, where it matters.)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+
+namespace sublayer::datalink::detail {
+
+enum class ArqKind : std::uint8_t { kData = 1, kAck = 2 };
+
+struct ArqFrame {
+  ArqKind kind = ArqKind::kData;
+  std::uint32_t seq = 0;  // DATA: frame seq; ACK: engine-defined ack number
+  Bytes payload;
+
+  Bytes encode() const {
+    Bytes out;
+    ByteWriter w(out);
+    w.u8(static_cast<std::uint8_t>(kind));
+    w.u32(seq);
+    w.bytes(payload);
+    return out;
+  }
+
+  static std::optional<ArqFrame> decode(ByteView raw) {
+    if (raw.size() < 5) return std::nullopt;
+    ByteReader r(raw);
+    ArqFrame f;
+    const std::uint8_t k = r.u8();
+    if (k != static_cast<std::uint8_t>(ArqKind::kData) &&
+        k != static_cast<std::uint8_t>(ArqKind::kAck)) {
+      return std::nullopt;
+    }
+    f.kind = static_cast<ArqKind>(k);
+    f.seq = r.u32();
+    f.payload = r.rest();
+    return f;
+  }
+};
+
+}  // namespace sublayer::datalink::detail

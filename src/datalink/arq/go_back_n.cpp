@@ -1,0 +1,122 @@
+// Go-back-N ARQ: sliding sender window, cumulative ACKs, receiver accepts
+// only the next in-order frame; a timeout resends the whole window.
+#include <deque>
+
+#include "datalink/arq/arq.hpp"
+#include "datalink/arq/frame.hpp"
+
+namespace sublayer::datalink {
+namespace {
+
+using detail::ArqFrame;
+using detail::ArqKind;
+
+class GoBackN final : public ArqEndpoint {
+ public:
+  GoBackN(sim::Simulator& sim, ArqConfig config)
+      : config_(config), timer_(sim, [this] { on_timeout(); }) {}
+
+  std::string name() const override { return "go-back-n"; }
+  void set_frame_sink(FrameSink sink) override { sink_ = std::move(sink); }
+  void set_deliver(Deliver deliver) override { deliver_ = std::move(deliver); }
+
+  bool send(Bytes payload) override {
+    if (queue_.size() >= config_.max_send_queue) {
+      ++stats_.send_queue_rejects;
+      return false;
+    }
+    ++stats_.payloads_accepted;
+    queue_.push_back(std::move(payload));
+    pump();
+    return true;
+  }
+
+  void on_frame(Bytes raw) override {
+    const auto frame = ArqFrame::decode(raw);
+    if (!frame) return;
+    if (frame->kind == ArqKind::kData) {
+      handle_data(*frame);
+    } else {
+      handle_ack(*frame);
+    }
+  }
+
+  bool idle() const override { return outstanding_.empty() && queue_.empty(); }
+  const ArqStats& stats() const override { return stats_; }
+
+ private:
+  void pump() {
+    while (outstanding_.size() < config_.window && !queue_.empty()) {
+      outstanding_.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      transmit(next_seq_, outstanding_.back(), /*retransmission=*/false);
+      ++next_seq_;
+    }
+  }
+
+  void transmit(std::uint32_t seq, const Bytes& payload, bool retransmission) {
+    ++stats_.data_frames_sent;
+    if (retransmission) ++stats_.retransmissions;
+    if (!timer_.armed() || !retransmission) timer_.restart(config_.rto);
+    if (sink_) sink_(ArqFrame{ArqKind::kData, seq, payload}.encode());
+  }
+
+  void on_timeout() {
+    if (outstanding_.empty()) return;
+    timer_.restart(config_.rto);
+    for (std::size_t i = 0; i < outstanding_.size(); ++i) {
+      transmit(base_ + static_cast<std::uint32_t>(i), outstanding_[i],
+               /*retransmission=*/true);
+    }
+  }
+
+  void handle_ack(const ArqFrame& f) {
+    // f.seq is cumulative: "next expected" at the receiver.
+    const std::uint32_t acked = f.seq;
+    if (acked <= base_ || acked > next_seq_) return;  // stale or bogus
+    while (base_ < acked) {
+      outstanding_.pop_front();
+      ++base_;
+    }
+    if (outstanding_.empty()) {
+      timer_.stop();
+    } else {
+      timer_.restart(config_.rto);
+    }
+    pump();
+  }
+
+  void handle_data(const ArqFrame& f) {
+    if (f.seq == recv_expected_) {
+      ++recv_expected_;
+      ++stats_.delivered;
+      if (deliver_) deliver_(f.payload);
+    } else {
+      ++stats_.duplicates_dropped;
+    }
+    // Cumulative ack (also repairs lost acks on duplicates).
+    ++stats_.acks_sent;
+    if (sink_) sink_(ArqFrame{ArqKind::kAck, recv_expected_, {}}.encode());
+  }
+
+  ArqConfig config_;
+  FrameSink sink_;
+  Deliver deliver_;
+  ArqStats stats_;
+  sim::Timer timer_;
+
+  std::deque<Bytes> queue_;        // accepted, not yet in window
+  std::deque<Bytes> outstanding_;  // [base_, next_seq_)
+  std::uint32_t base_ = 0;
+  std::uint32_t next_seq_ = 0;
+  std::uint32_t recv_expected_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<ArqEndpoint> make_go_back_n(sim::Simulator& sim,
+                                            ArqConfig config) {
+  return std::make_unique<GoBackN>(sim, config);
+}
+
+}  // namespace sublayer::datalink

@@ -1,0 +1,176 @@
+// Selective-repeat ARQ: per-frame ACKs, receiver buffers out-of-order
+// frames inside the window, sender retransmits only expired frames.
+#include <deque>
+#include <map>
+
+#include "datalink/arq/arq.hpp"
+#include "datalink/arq/frame.hpp"
+
+namespace sublayer::datalink {
+namespace {
+
+using detail::ArqFrame;
+using detail::ArqKind;
+
+class SelectiveRepeat final : public ArqEndpoint {
+ public:
+  SelectiveRepeat(sim::Simulator& sim, ArqConfig config)
+      : sim_(sim), config_(config), timer_(sim, [this] { on_timeout(); }) {}
+
+  std::string name() const override { return "selective-repeat"; }
+  void set_frame_sink(FrameSink sink) override { sink_ = std::move(sink); }
+  void set_deliver(Deliver deliver) override { deliver_ = std::move(deliver); }
+
+  bool send(Bytes payload) override {
+    if (queue_.size() >= config_.max_send_queue) {
+      ++stats_.send_queue_rejects;
+      return false;
+    }
+    ++stats_.payloads_accepted;
+    queue_.push_back(std::move(payload));
+    pump();
+    return true;
+  }
+
+  void on_frame(Bytes raw) override {
+    const auto frame = ArqFrame::decode(raw);
+    if (!frame) return;
+    if (frame->kind == ArqKind::kData) {
+      handle_data(*frame);
+    } else {
+      handle_ack(*frame);
+    }
+  }
+
+  bool idle() const override { return outstanding_.empty() && queue_.empty(); }
+  const ArqStats& stats() const override { return stats_; }
+
+ private:
+  struct Pending {
+    Bytes payload;
+    TimePoint deadline;
+  };
+
+  void pump() {
+    while (outstanding_.size() < config_.window && !queue_.empty()) {
+      const std::uint32_t seq = next_seq_++;
+      outstanding_.emplace(
+          seq, Pending{std::move(queue_.front()), sim_.now() + config_.rto});
+      queue_.pop_front();
+      transmit(seq, outstanding_.at(seq).payload, /*retransmission=*/false);
+    }
+    rearm();
+  }
+
+  void transmit(std::uint32_t seq, const Bytes& payload, bool retransmission) {
+    ++stats_.data_frames_sent;
+    if (retransmission) ++stats_.retransmissions;
+    if (sink_) sink_(ArqFrame{ArqKind::kData, seq, payload}.encode());
+  }
+
+  void rearm() {
+    if (outstanding_.empty()) {
+      timer_.stop();
+      return;
+    }
+    TimePoint earliest = outstanding_.begin()->second.deadline;
+    for (const auto& [seq, p] : outstanding_) {
+      earliest = std::min(earliest, p.deadline);
+    }
+    const Duration wait = earliest > sim_.now() ? earliest - sim_.now()
+                                                : Duration::nanos(0);
+    timer_.restart(wait);
+  }
+
+  void on_timeout() {
+    const TimePoint now = sim_.now();
+    for (auto& [seq, p] : outstanding_) {
+      if (p.deadline <= now) {
+        transmit(seq, p.payload, /*retransmission=*/true);
+        p.deadline = now + config_.rto;
+      }
+    }
+    rearm();
+  }
+
+  void handle_ack(const ArqFrame& f) {
+    if (outstanding_.erase(f.seq) > 0) {
+      pump();
+    }
+  }
+
+  void handle_data(const ArqFrame& f) {
+    // Beyond-window frames are dropped *unacknowledged*: acking a frame we
+    // refuse to buffer would make the sender forget it forever.
+    if (f.seq >= recv_expected_ + config_.window) return;
+
+    // Individual ack for everything we hold — including already-delivered
+    // duplicates, whose original ack may have been lost.
+    ++stats_.acks_sent;
+    if (sink_) sink_(ArqFrame{ArqKind::kAck, f.seq, {}}.encode());
+
+    if (f.seq < recv_expected_) {
+      ++stats_.duplicates_dropped;
+      return;
+    }
+
+    if (f.seq == recv_expected_) {
+      deliver_in_order(f.payload);
+      // Drain any buffered successors that are now in order.
+      for (auto it = recv_buffer_.find(recv_expected_);
+           it != recv_buffer_.end();
+           it = recv_buffer_.find(recv_expected_)) {
+        deliver_in_order(it->second);
+        recv_buffer_.erase(it);
+      }
+    } else if (recv_buffer_.emplace(f.seq, f.payload).second) {
+      ++stats_.out_of_order_buffered;
+    } else {
+      ++stats_.duplicates_dropped;
+    }
+  }
+
+  void deliver_in_order(const Bytes& payload) {
+    ++recv_expected_;
+    ++stats_.delivered;
+    if (deliver_) deliver_(payload);
+  }
+
+  sim::Simulator& sim_;
+  ArqConfig config_;
+  FrameSink sink_;
+  Deliver deliver_;
+  ArqStats stats_;
+  sim::Timer timer_;
+
+  std::deque<Bytes> queue_;
+  std::map<std::uint32_t, Pending> outstanding_;
+  std::uint32_t next_seq_ = 0;
+
+  std::uint32_t recv_expected_ = 0;
+  std::map<std::uint32_t, Bytes> recv_buffer_;
+};
+
+}  // namespace
+
+std::unique_ptr<ArqEndpoint> make_selective_repeat(sim::Simulator& sim,
+                                                   ArqConfig config) {
+  return std::make_unique<SelectiveRepeat>(sim, config);
+}
+
+ArqFactory arq_factory(const std::string& engine_name) {
+  if (engine_name == "stop-and-wait") {
+    return [](sim::Simulator& s, ArqConfig c) { return make_stop_and_wait(s, c); };
+  }
+  if (engine_name == "go-back-n") {
+    return [](sim::Simulator& s, ArqConfig c) { return make_go_back_n(s, c); };
+  }
+  if (engine_name == "selective-repeat") {
+    return [](sim::Simulator& s, ArqConfig c) {
+      return make_selective_repeat(s, c);
+    };
+  }
+  throw std::invalid_argument("unknown ARQ engine: " + engine_name);
+}
+
+}  // namespace sublayer::datalink

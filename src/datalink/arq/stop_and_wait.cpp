@@ -1,0 +1,107 @@
+// Stop-and-wait ARQ: one frame outstanding, retransmit on timeout.
+#include <deque>
+
+#include "datalink/arq/arq.hpp"
+#include "datalink/arq/frame.hpp"
+
+namespace sublayer::datalink {
+namespace {
+
+using detail::ArqFrame;
+using detail::ArqKind;
+
+class StopAndWait final : public ArqEndpoint {
+ public:
+  StopAndWait(sim::Simulator& sim, ArqConfig config)
+      : config_(config), timer_(sim, [this] { on_timeout(); }) {}
+
+  std::string name() const override { return "stop-and-wait"; }
+  void set_frame_sink(FrameSink sink) override { sink_ = std::move(sink); }
+  void set_deliver(Deliver deliver) override { deliver_ = std::move(deliver); }
+
+  bool send(Bytes payload) override {
+    if (queue_.size() >= config_.max_send_queue) {
+      ++stats_.send_queue_rejects;
+      return false;
+    }
+    ++stats_.payloads_accepted;
+    queue_.push_back(std::move(payload));
+    pump();
+    return true;
+  }
+
+  void on_frame(Bytes raw) override {
+    const auto frame = ArqFrame::decode(raw);
+    if (!frame) return;
+    if (frame->kind == ArqKind::kData) {
+      handle_data(*frame);
+    } else {
+      handle_ack(*frame);
+    }
+  }
+
+  bool idle() const override { return !outstanding_ && queue_.empty(); }
+  const ArqStats& stats() const override { return stats_; }
+
+ private:
+  void pump() {
+    if (outstanding_ || queue_.empty()) return;
+    outstanding_ = true;
+    transmit_current(/*retransmission=*/false);
+  }
+
+  void transmit_current(bool retransmission) {
+    ArqFrame f{ArqKind::kData, send_seq_, queue_.front()};
+    ++stats_.data_frames_sent;
+    if (retransmission) ++stats_.retransmissions;
+    timer_.restart(config_.rto);
+    if (sink_) sink_(f.encode());
+  }
+
+  void on_timeout() {
+    if (outstanding_) transmit_current(/*retransmission=*/true);
+  }
+
+  void handle_ack(const ArqFrame& f) {
+    if (!outstanding_ || f.seq != send_seq_) return;  // stale ack
+    outstanding_ = false;
+    timer_.stop();
+    queue_.pop_front();
+    ++send_seq_;
+    pump();
+  }
+
+  void handle_data(const ArqFrame& f) {
+    // Always (re)ack so a lost ack gets repaired by the duplicate data.
+    ++stats_.acks_sent;
+    if (sink_) sink_(ArqFrame{ArqKind::kAck, f.seq, {}}.encode());
+    if (f.seq == recv_expected_) {
+      ++recv_expected_;
+      ++stats_.delivered;
+      if (deliver_) deliver_(f.payload);
+    } else {
+      ++stats_.duplicates_dropped;
+    }
+  }
+
+  ArqConfig config_;
+  FrameSink sink_;
+  Deliver deliver_;
+  ArqStats stats_;
+  sim::Timer timer_;
+
+  std::deque<Bytes> queue_;
+  bool outstanding_ = false;
+  std::uint32_t send_seq_ = 0;
+  std::uint32_t recv_expected_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<ArqEndpoint> make_stop_and_wait(sim::Simulator& sim,
+                                                ArqConfig config) {
+  config.window = 1;
+  return std::make_unique<StopAndWait>(sim, config);
+}
+
+}  // namespace sublayer::datalink

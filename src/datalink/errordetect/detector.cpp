@@ -1,0 +1,192 @@
+#include "datalink/errordetect/detector.hpp"
+
+#include <stdexcept>
+
+namespace sublayer::datalink {
+namespace {
+
+std::uint8_t reflect8(std::uint8_t b) {
+  b = static_cast<std::uint8_t>((b & 0xf0) >> 4 | (b & 0x0f) << 4);
+  b = static_cast<std::uint8_t>((b & 0xcc) >> 2 | (b & 0x33) << 2);
+  b = static_cast<std::uint8_t>((b & 0xaa) >> 1 | (b & 0x55) << 1);
+  return b;
+}
+
+std::uint64_t reflect_bits(std::uint64_t v, int width) {
+  std::uint64_t r = 0;
+  for (int i = 0; i < width; ++i) {
+    r = r << 1 | (v & 1);
+    v >>= 1;
+  }
+  return r;
+}
+
+std::uint64_t width_mask(int width) {
+  return width == 64 ? ~0ull : (1ull << width) - 1;
+}
+
+}  // namespace
+
+Bytes ErrorDetector::protect(ByteView data) const {
+  Bytes out(data.begin(), data.end());
+  const Bytes tag = compute(data);
+  out.insert(out.end(), tag.begin(), tag.end());
+  return out;
+}
+
+std::optional<Bytes> ErrorDetector::check_strip(ByteView protected_frame) const {
+  const std::size_t t = tag_bytes();
+  if (protected_frame.size() < t) return std::nullopt;
+  const ByteView body = protected_frame.first(protected_frame.size() - t);
+  const ByteView tag = protected_frame.last(t);
+  const Bytes expect = compute(body);
+  for (std::size_t i = 0; i < t; ++i) {
+    if (expect[i] != tag[i]) return std::nullopt;
+  }
+  return Bytes(body.begin(), body.end());
+}
+
+CrcSpec CrcSpec::crc8() {
+  return CrcSpec{"CRC-8", 8, 0x07, 0, false, false, 0};
+}
+CrcSpec CrcSpec::crc16_ccitt() {
+  return CrcSpec{"CRC-16/CCITT", 16, 0x1021, 0xffff, false, false, 0};
+}
+CrcSpec CrcSpec::crc32() {
+  return CrcSpec{"CRC-32",      32,   0x04c11db7, 0xffffffff,
+                 true,          true, 0xffffffff};
+}
+CrcSpec CrcSpec::crc64() {
+  return CrcSpec{"CRC-64/XZ",
+                 64,
+                 0x42f0e1eba9ea3693ull,
+                 0xffffffffffffffffull,
+                 true,
+                 true,
+                 0xffffffffffffffffull};
+}
+
+CrcDetector::CrcDetector(CrcSpec spec) : spec_(std::move(spec)) {
+  if (spec_.width < 8 || spec_.width > 64 || spec_.width % 8 != 0) {
+    throw std::invalid_argument("CRC width must be 8..64 and byte-aligned");
+  }
+  const std::uint64_t mask = width_mask(spec_.width);
+  const std::uint64_t top = 1ull << (spec_.width - 1);
+  for (int b = 0; b < 256; ++b) {
+    std::uint64_t r = static_cast<std::uint64_t>(b)
+                      << (spec_.width - 8);
+    for (int i = 0; i < 8; ++i) {
+      r = (r & top) != 0 ? (r << 1 ^ spec_.polynomial) : r << 1;
+    }
+    table_[b] = r & mask;
+  }
+}
+
+std::uint64_t CrcDetector::value(ByteView data) const {
+  const std::uint64_t mask = width_mask(spec_.width);
+  std::uint64_t crc = spec_.init & mask;
+  for (std::uint8_t byte : data) {
+    if (spec_.reflect_in) byte = reflect8(byte);
+    const auto idx =
+        static_cast<std::uint8_t>((crc >> (spec_.width - 8)) ^ byte);
+    crc = (crc << 8 ^ table_[idx]) & mask;
+  }
+  if (spec_.reflect_out) crc = reflect_bits(crc, spec_.width);
+  return (crc ^ spec_.xor_out) & mask;
+}
+
+Bytes CrcDetector::compute(ByteView data) const {
+  const std::uint64_t v = value(data);
+  Bytes out;
+  ByteWriter w(out);
+  for (int shift = spec_.width - 8; shift >= 0; shift -= 8) {
+    w.u8(static_cast<std::uint8_t>(v >> shift));
+  }
+  return out;
+}
+
+namespace {
+
+class InternetChecksum final : public ErrorDetector {
+ public:
+  std::string name() const override { return "inet-16"; }
+  std::size_t tag_bytes() const override { return 2; }
+
+  Bytes compute(ByteView data) const override {
+    std::uint32_t sum = 0;
+    for (std::size_t i = 0; i + 1 < data.size(); i += 2) {
+      sum += static_cast<std::uint32_t>(data[i]) << 8 | data[i + 1];
+    }
+    if (data.size() % 2 != 0) {
+      sum += static_cast<std::uint32_t>(data.back()) << 8;
+    }
+    while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+    const auto tag = static_cast<std::uint16_t>(~sum);
+    Bytes out;
+    ByteWriter(out).u16(tag);
+    return out;
+  }
+};
+
+class Fletcher16 final : public ErrorDetector {
+ public:
+  std::string name() const override { return "fletcher-16"; }
+  std::size_t tag_bytes() const override { return 2; }
+
+  Bytes compute(ByteView data) const override {
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+    for (std::uint8_t byte : data) {
+      a = (a + byte) % 255;
+      b = (b + a) % 255;
+    }
+    Bytes out;
+    ByteWriter(out).u16(static_cast<std::uint16_t>(b << 8 | a));
+    return out;
+  }
+};
+
+class Adler32 final : public ErrorDetector {
+ public:
+  std::string name() const override { return "adler-32"; }
+  std::size_t tag_bytes() const override { return 4; }
+
+  Bytes compute(ByteView data) const override {
+    constexpr std::uint32_t kMod = 65521;
+    std::uint32_t a = 1;
+    std::uint32_t b = 0;
+    for (std::uint8_t byte : data) {
+      a = (a + byte) % kMod;
+      b = (b + a) % kMod;
+    }
+    Bytes out;
+    ByteWriter(out).u32(b << 16 | a);
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ErrorDetector> make_internet_checksum() {
+  return std::make_unique<InternetChecksum>();
+}
+std::unique_ptr<ErrorDetector> make_fletcher16() {
+  return std::make_unique<Fletcher16>();
+}
+std::unique_ptr<ErrorDetector> make_adler32() {
+  return std::make_unique<Adler32>();
+}
+std::unique_ptr<ErrorDetector> make_crc8() {
+  return std::make_unique<CrcDetector>(CrcSpec::crc8());
+}
+std::unique_ptr<ErrorDetector> make_crc16() {
+  return std::make_unique<CrcDetector>(CrcSpec::crc16_ccitt());
+}
+std::unique_ptr<ErrorDetector> make_crc32() {
+  return std::make_unique<CrcDetector>(CrcSpec::crc32());
+}
+std::unique_ptr<ErrorDetector> make_crc64() {
+  return std::make_unique<CrcDetector>(CrcSpec::crc64());
+}
+
+}  // namespace sublayer::datalink

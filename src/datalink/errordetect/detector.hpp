@@ -1,0 +1,82 @@
+// Error-detection sublayer (Fig. 2): appends a tag to a frame so the
+// receiver detects corruption with high probability.
+//
+// The sublayer contract: check_strip(protect(p)) == p, and for a corrupted
+// frame check_strip returns nullopt with probability ~ 1 - 2^-tag_bits.
+// The detector is swappable (CRC-32 -> CRC-64, §2.1) without any change to
+// framing below or error recovery above.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace sublayer::datalink {
+
+class ErrorDetector {
+ public:
+  virtual ~ErrorDetector() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::size_t tag_bytes() const = 0;
+
+  /// Computes the tag over `data` (big-endian, tag_bytes() long).
+  virtual Bytes compute(ByteView data) const = 0;
+
+  /// data · tag.
+  Bytes protect(ByteView data) const;
+
+  /// Verifies and strips the trailing tag; nullopt on mismatch/underflow.
+  std::optional<Bytes> check_strip(ByteView protected_frame) const;
+};
+
+/// Generic table-driven CRC, parameterized in the Rocksoft model.
+struct CrcSpec {
+  std::string name;
+  int width = 32;               // bits, <= 64
+  std::uint64_t polynomial = 0; // normal (MSB-first) representation
+  std::uint64_t init = 0;
+  bool reflect_in = false;
+  bool reflect_out = false;
+  std::uint64_t xor_out = 0;
+
+  static CrcSpec crc8();        // CRC-8/ATM (HEC)
+  static CrcSpec crc16_ccitt(); // CRC-16/IBM-3740 (X.25/HDLC family)
+  static CrcSpec crc32();       // CRC-32/ISO-HDLC (IEEE 802.3)
+  static CrcSpec crc64();       // CRC-64/XZ (ECMA-182 reflected)
+};
+
+class CrcDetector final : public ErrorDetector {
+ public:
+  explicit CrcDetector(CrcSpec spec);
+
+  std::string name() const override { return spec_.name; }
+  std::size_t tag_bytes() const override {
+    return static_cast<std::size_t>(spec_.width) / 8;
+  }
+  Bytes compute(ByteView data) const override;
+
+  /// Raw CRC value (useful for tests against published check values).
+  std::uint64_t value(ByteView data) const;
+
+ private:
+  CrcSpec spec_;
+  std::uint64_t table_[256];
+};
+
+/// The ones-complement 16-bit Internet checksum (RFC 1071).
+std::unique_ptr<ErrorDetector> make_internet_checksum();
+/// Fletcher-16.
+std::unique_ptr<ErrorDetector> make_fletcher16();
+/// Adler-32.
+std::unique_ptr<ErrorDetector> make_adler32();
+/// CRC factory helpers.
+std::unique_ptr<ErrorDetector> make_crc8();
+std::unique_ptr<ErrorDetector> make_crc16();
+std::unique_ptr<ErrorDetector> make_crc32();
+std::unique_ptr<ErrorDetector> make_crc64();
+
+}  // namespace sublayer::datalink

@@ -1,0 +1,117 @@
+#include "datalink/framing/byteframing.hpp"
+
+namespace sublayer::datalink {
+namespace {
+
+constexpr std::uint8_t kPppFlag = 0x7e;
+constexpr std::uint8_t kPppEscape = 0x7d;
+constexpr std::uint8_t kPppXor = 0x20;
+
+class PppFramer final : public ByteFramer {
+ public:
+  std::string name() const override { return "ppp-escape"; }
+
+  Bytes frame(ByteView payload) const override {
+    Bytes out;
+    out.reserve(payload.size() + 2);
+    out.push_back(kPppFlag);
+    for (std::uint8_t b : payload) {
+      if (b == kPppFlag || b == kPppEscape) {
+        out.push_back(kPppEscape);
+        out.push_back(b ^ kPppXor);
+      } else {
+        out.push_back(b);
+      }
+    }
+    out.push_back(kPppFlag);
+    return out;
+  }
+
+  std::optional<Bytes> deframe(ByteView framed) const override {
+    if (framed.size() < 2 || framed.front() != kPppFlag ||
+        framed.back() != kPppFlag) {
+      return std::nullopt;
+    }
+    Bytes out;
+    for (std::size_t i = 1; i + 1 < framed.size(); ++i) {
+      const std::uint8_t b = framed[i];
+      if (b == kPppFlag) return std::nullopt;  // flag inside body
+      if (b == kPppEscape) {
+        if (i + 2 >= framed.size()) return std::nullopt;  // dangling escape
+        out.push_back(framed[++i] ^ kPppXor);
+      } else {
+        out.push_back(b);
+      }
+    }
+    return out;
+  }
+
+  std::size_t max_framed_size(std::size_t n) const override {
+    return 2 * n + 2;
+  }
+};
+
+class CobsFramer final : public ByteFramer {
+ public:
+  std::string name() const override { return "cobs"; }
+
+  Bytes frame(ByteView payload) const override {
+    Bytes out;
+    out.reserve(payload.size() + payload.size() / 254 + 2);
+    std::size_t code_pos = out.size();
+    out.push_back(0);  // placeholder for the first code byte
+    std::uint8_t code = 1;
+    for (std::uint8_t b : payload) {
+      if (b == 0) {
+        out[code_pos] = code;
+        code_pos = out.size();
+        out.push_back(0);
+        code = 1;
+      } else {
+        out.push_back(b);
+        if (++code == 0xff) {
+          out[code_pos] = code;
+          code_pos = out.size();
+          out.push_back(0);
+          code = 1;
+        }
+      }
+    }
+    out[code_pos] = code;
+    out.push_back(0);  // frame delimiter
+    return out;
+  }
+
+  std::optional<Bytes> deframe(ByteView framed) const override {
+    if (framed.empty() || framed.back() != 0) return std::nullopt;
+    Bytes out;
+    std::size_t i = 0;
+    const std::size_t end = framed.size() - 1;  // exclude delimiter
+    while (i < end) {
+      const std::uint8_t code = framed[i++];
+      if (code == 0) return std::nullopt;  // zero inside body
+      for (std::uint8_t k = 1; k < code; ++k) {
+        if (i >= end) return std::nullopt;  // truncated block
+        if (framed[i] == 0) return std::nullopt;
+        out.push_back(framed[i++]);
+      }
+      if (code != 0xff && i < end) out.push_back(0);
+    }
+    return out;
+  }
+
+  std::size_t max_framed_size(std::size_t n) const override {
+    return n + n / 254 + 2;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ByteFramer> make_ppp_framer() {
+  return std::make_unique<PppFramer>();
+}
+std::unique_ptr<ByteFramer> make_cobs_framer() {
+  return std::make_unique<CobsFramer>();
+}
+
+}  // namespace sublayer::datalink

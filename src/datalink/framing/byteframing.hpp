@@ -1,0 +1,40 @@
+// Byte-oriented framing engines — drop-in alternatives to bit stuffing.
+//
+// These exist to demonstrate test T3 / Challenge 5 ("Replace"): the framing
+// sublayer can swap its internal mechanism (bit stuffing, PPP-style byte
+// escaping, COBS) without anything above or below noticing, because all of
+// them implement the same ByteFramer interface.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace sublayer::datalink {
+
+class ByteFramer {
+ public:
+  virtual ~ByteFramer() = default;
+  virtual std::string name() const = 0;
+
+  /// Wraps a payload into a self-delimiting frame.
+  virtual Bytes frame(ByteView payload) const = 0;
+
+  /// Inverse of frame(); nullopt if the frame is malformed.
+  virtual std::optional<Bytes> deframe(ByteView framed) const = 0;
+
+  /// Worst-case framed size for a payload of n bytes.
+  virtual std::size_t max_framed_size(std::size_t n) const = 0;
+};
+
+/// PPP-in-HDLC-like byte stuffing: 0x7E delimits, 0x7D escapes (escaped
+/// byte is XORed with 0x20).
+std::unique_ptr<ByteFramer> make_ppp_framer();
+
+/// Consistent Overhead Byte Stuffing: eliminates 0x00 from the body with
+/// bounded (1 + n/254) overhead; 0x00 delimits.
+std::unique_ptr<ByteFramer> make_cobs_framer();
+
+}  // namespace sublayer::datalink

@@ -1,0 +1,161 @@
+#include "datalink/framing/stuffing.hpp"
+
+#include <stdexcept>
+
+namespace sublayer::datalink {
+namespace {
+
+/// Shift register that answers "do the last |pattern| bits equal pattern?".
+class PatternWindow {
+ public:
+  explicit PatternWindow(const BitString& pattern)
+      : len_(pattern.size()), pattern_(pattern.to_uint()),
+        mask_(len_ >= 64 ? ~0ull : (1ull << len_) - 1) {
+    if (len_ == 0 || len_ > 63) {
+      throw std::invalid_argument("trigger length must be 1..63");
+    }
+  }
+
+  /// Feeds one bit; returns true if the window now matches the pattern.
+  bool push(bool bit) {
+    reg_ = (reg_ << 1 | (bit ? 1u : 0u)) & mask_;
+    ++seen_;
+    return seen_ >= len_ && reg_ == pattern_;
+  }
+
+ private:
+  std::size_t len_;
+  std::uint64_t pattern_;
+  std::uint64_t mask_;
+  std::uint64_t reg_ = 0;
+  std::size_t seen_ = 0;
+};
+
+}  // namespace
+
+StuffingRule StuffingRule::hdlc() {
+  return StuffingRule{BitString::parse("01111110"), BitString::parse("11111"),
+                      false};
+}
+
+StuffingRule StuffingRule::low_overhead() {
+  return StuffingRule{BitString::parse("00000010"), BitString::parse("0000001"),
+                      true};
+}
+
+std::string StuffingRule::name() const {
+  return "flag=" + flag.to_string() + " trigger=" + trigger.to_string() +
+         " stuff=" + (stuff_bit ? "1" : "0");
+}
+
+BitString stuff(const StuffingRule& rule, const BitString& data) {
+  PatternWindow window(rule.trigger);
+  BitString out;
+  int consecutive_stuffs = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    bool matched = window.push(data[i]);
+    out.push_back(data[i]);
+    consecutive_stuffs = 0;
+    while (matched) {
+      if (++consecutive_stuffs > 64) {
+        // e.g. trigger = bbb...b with stuff bit b: stuffing retriggers itself
+        // forever.  Such rules are degenerate and rejected by the verifier.
+        throw std::invalid_argument("stuff: runaway self-triggering rule");
+      }
+      matched = window.push(rule.stuff_bit);
+      out.push_back(rule.stuff_bit);
+    }
+  }
+  return out;
+}
+
+std::optional<BitString> unstuff(const StuffingRule& rule,
+                                 const BitString& stuffed) {
+  PatternWindow window(rule.trigger);
+  BitString out;
+  std::size_t i = 0;
+  while (i < stuffed.size()) {
+    bool matched = window.push(stuffed[i]);
+    out.push_back(stuffed[i]);
+    ++i;
+    while (matched && i < stuffed.size()) {
+      // The bit after a trigger must be the stuffed bit; drop it.
+      if (stuffed[i] != rule.stuff_bit) return std::nullopt;
+      matched = window.push(rule.stuff_bit);
+      ++i;
+    }
+  }
+  return out;
+}
+
+BitString add_flags(const BitString& flag, const BitString& body) {
+  BitString out = flag;
+  out.append(body);
+  out.append(flag);
+  return out;
+}
+
+std::optional<BitString> remove_flags(const BitString& flag,
+                                      const BitString& framed) {
+  if (framed.size() < 2 * flag.size()) return std::nullopt;
+  if (!framed.matches_at(0, flag)) return std::nullopt;
+  if (!framed.matches_at(framed.size() - flag.size(), flag)) return std::nullopt;
+  return framed.slice(flag.size(), framed.size() - 2 * flag.size());
+}
+
+BitString frame(const StuffingRule& rule, const BitString& data) {
+  return add_flags(rule.flag, stuff(rule, data));
+}
+
+std::optional<BitString> deframe(const StuffingRule& rule,
+                                 const BitString& framed) {
+  const auto body = remove_flags(rule.flag, framed);
+  if (!body) return std::nullopt;
+  return unstuff(rule, *body);
+}
+
+StreamDeframer::StreamDeframer(StuffingRule rule) : rule_(std::move(rule)) {}
+
+std::optional<BitString> StreamDeframer::push(bool bit) {
+  // Maintain the last |flag| bits for delimiter detection.
+  window_.push_back(bit);
+  if (window_.size() > rule_.flag.size()) {
+    window_ = window_.slice(1, window_.size() - 1);
+  }
+  const bool at_flag =
+      window_.size() == rule_.flag.size() && window_ == rule_.flag;
+
+  if (!in_frame_) {
+    if (at_flag) {
+      in_frame_ = true;
+      body_.clear();
+    }
+    return std::nullopt;
+  }
+
+  body_.push_back(bit);
+  if (at_flag && body_.size() >= rule_.flag.size()) {
+    const BitString stuffed =
+        body_.slice(0, body_.size() - rule_.flag.size());
+    // Shared-flag convention: the closing flag opens the next frame.
+    body_.clear();
+    if (stuffed.empty()) return std::nullopt;  // inter-frame idle flags
+    auto data = unstuff(rule_, stuffed);
+    if (!data) {
+      ++malformed_;
+      return std::nullopt;
+    }
+    return data;
+  }
+  return std::nullopt;
+}
+
+std::vector<BitString> StreamDeframer::push_all(const BitString& bits) {
+  std::vector<BitString> frames;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (auto f = push(bits[i])) frames.push_back(std::move(*f));
+  }
+  return frames;
+}
+
+}  // namespace sublayer::datalink

@@ -1,0 +1,97 @@
+// The framing sublayer, recursively sublayered per §4.1 of the paper:
+//
+//   upper nested sublayer: STUFFING  — Stuff / Unstuff
+//   lower nested sublayer: FLAGS     — AddFlags / RemoveFlags
+//
+// The composition satisfies the paper's main specification
+//
+//   Unstuff(RemoveFlags(AddFlags(Stuff(D)))) = D        for all data D,
+//
+// provided the StuffingRule is *valid* for its flag (the stuffverify
+// module is the bounded-exhaustive verifier for that side condition).
+//
+// Semantics of a rule (F, T, b): the sender runs a pattern automaton over
+// the *emitted* stream; whenever the last |T| emitted bits equal T it emits
+// the stuff bit b (which is itself fed to the automaton).  The receiver
+// mirrors the automaton over the received stream and deletes the bit that
+// follows each completed T.  HDLC is (01111110, 11111, 0).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace sublayer::datalink {
+
+struct StuffingRule {
+  BitString flag;
+  BitString trigger;
+  bool stuff_bit = false;
+
+  /// HDLC: flag 01111110, stuff a 0 after five consecutive 1s.
+  static StuffingRule hdlc();
+
+  /// The paper's low-overhead rule: flag 00000010, stuff a 1 after 0000001.
+  /// Expected overhead on random data is 1/128 vs HDLC's 1/32 (§4.1).
+  static StuffingRule low_overhead();
+
+  std::string name() const;
+  friend bool operator==(const StuffingRule&, const StuffingRule&) = default;
+};
+
+// ---- Stuffing sublayer -----------------------------------------------------
+
+/// Inserts `rule.stuff_bit` after every occurrence of `rule.trigger` in the
+/// emitted stream (stuffed bits included in the pattern scan).
+BitString stuff(const StuffingRule& rule, const BitString& data);
+
+/// Inverse of stuff().  Returns nullopt if the stream is inconsistent with
+/// the rule (a trigger followed by the wrong bit), which indicates either
+/// corruption or an invalid rule.
+std::optional<BitString> unstuff(const StuffingRule& rule,
+                                 const BitString& stuffed);
+
+// ---- Flag sublayer ---------------------------------------------------------
+
+/// Brackets the body with the flag: flag · body · flag.
+BitString add_flags(const BitString& flag, const BitString& body);
+
+/// Strips one leading and one trailing flag.  Returns nullopt if the input
+/// does not start and end with the flag, or is too short.
+std::optional<BitString> remove_flags(const BitString& flag,
+                                      const BitString& framed);
+
+// ---- Composed framing sublayer ---------------------------------------------
+
+/// frame = AddFlags(Stuff(D));  deframe = Unstuff(RemoveFlags(x)).
+BitString frame(const StuffingRule& rule, const BitString& data);
+std::optional<BitString> deframe(const StuffingRule& rule,
+                                 const BitString& framed);
+
+/// Incremental deframer for a continuous bit stream carrying back-to-back
+/// frames (idle fill between frames is permitted only as repeated flags).
+/// Push bits as they arrive; completed frame bodies (unstuffed) come out.
+class StreamDeframer {
+ public:
+  explicit StreamDeframer(StuffingRule rule);
+
+  /// Feeds one received bit; returns a completed frame when the closing
+  /// flag is recognized.
+  std::optional<BitString> push(bool bit);
+
+  /// Feeds a run of bits, collecting any completed frames.
+  std::vector<BitString> push_all(const BitString& bits);
+
+  /// Frames whose body failed to unstuff (corruption indicator).
+  std::uint64_t malformed_frames() const { return malformed_; }
+
+ private:
+  StuffingRule rule_;
+  BitString window_;   // last |flag| bits seen, for flag detection
+  BitString body_;     // accumulated candidate body bits (still stuffed)
+  bool in_frame_ = false;
+  std::uint64_t malformed_ = 0;
+};
+
+}  // namespace sublayer::datalink

@@ -1,0 +1,77 @@
+#include "datalink/mac/mac.hpp"
+
+#include <algorithm>
+
+namespace sublayer::datalink {
+
+MacStation::MacStation(sim::Simulator& sim, sim::BroadcastMedium& medium,
+                       Rng rng, MacConfig config, std::string name)
+    : sim_(sim),
+      medium_(medium),
+      rng_(rng),
+      config_(config),
+      name_(std::move(name)),
+      station_id_(medium.attach(
+          [this](Bytes f) {
+            if (deliver_) deliver_(std::move(f));
+          },
+          [this](bool collided) { on_tx_done(collided); })) {}
+
+void MacStation::send(Bytes frame) {
+  ++stats_.frames_queued;
+  queue_.push_back(std::move(frame));
+  if (!transmitting_ && !attempt_scheduled_) {
+    attempts_ = 0;
+    schedule_attempt(0);
+  }
+}
+
+void MacStation::schedule_attempt(int backoff_slots) {
+  attempt_scheduled_ = true;
+  // Both engines are slotted: attempts land on slot boundaries so that
+  // ALOHA contention behaves classically and CSMA re-senses periodically.
+  sim_.schedule(config_.slot * static_cast<std::int64_t>(backoff_slots + 1),
+                [this] {
+                  attempt_scheduled_ = false;
+                  try_transmit();
+                });
+}
+
+void MacStation::try_transmit() {
+  if (transmitting_ || queue_.empty()) return;
+
+  if (config_.engine == MacEngine::kCsma && medium_.carrier_busy()) {
+    ++stats_.deferrals;
+    schedule_attempt(0);  // 1-persistent: re-sense next slot
+    return;
+  }
+
+  ++stats_.attempts;
+  transmitting_ = true;
+  medium_.transmit(station_id_, queue_.front());
+}
+
+void MacStation::on_tx_done(bool collided) {
+  transmitting_ = false;
+  if (!collided) {
+    ++stats_.delivered_tx;
+    queue_.pop_front();
+    attempts_ = 0;
+    if (!queue_.empty()) schedule_attempt(0);
+    return;
+  }
+
+  ++stats_.collisions;
+  if (++attempts_ >= config_.max_attempts) {
+    ++stats_.dropped;
+    queue_.pop_front();
+    attempts_ = 0;
+    if (!queue_.empty()) schedule_attempt(0);
+    return;
+  }
+  const int exponent = std::min(attempts_, config_.max_backoff_exponent);
+  const auto slots = static_cast<int>(rng_.next_below(1ull << exponent));
+  schedule_attempt(slots);
+}
+
+}  // namespace sublayer::datalink

@@ -1,0 +1,78 @@
+// Media Access Control — the broadcast-link alternative to error recovery
+// (§2.1: "broadcast links like 802.11 dispense with error recovery and do
+// MAC to guarantee that one sender at a time, eventually and fairly, gets
+// access to the shared physical channel").
+//
+// Two engines over sim::BroadcastMedium, swappable behind MacStation:
+// slotted ALOHA and 1-persistent CSMA, both with binary exponential
+// backoff after a collision.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "sim/medium.hpp"
+#include "sim/simulator.hpp"
+
+namespace sublayer::datalink {
+
+enum class MacEngine { kSlottedAloha, kCsma };
+
+struct MacConfig {
+  MacEngine engine = MacEngine::kCsma;
+  Duration slot = Duration::micros(50);
+  int max_backoff_exponent = 10;  // backoff in [0, 2^min(attempts,max)) slots
+  int max_attempts = 16;          // frame dropped after this many collisions
+};
+
+struct MacStats {
+  std::uint64_t frames_queued = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t collisions = 0;
+  std::uint64_t delivered_tx = 0;  // own frames that made it onto the wire
+  std::uint64_t dropped = 0;       // gave up after max_attempts
+  std::uint64_t deferrals = 0;     // CSMA carrier-busy waits
+};
+
+class MacStation {
+ public:
+  using Deliver = std::function<void(Bytes)>;
+
+  MacStation(sim::Simulator& sim, sim::BroadcastMedium& medium, Rng rng,
+             MacConfig config, std::string name = "mac");
+
+  void set_deliver(Deliver d) { deliver_ = std::move(d); }
+
+  /// Queues a frame for transmission on the shared channel.
+  void send(Bytes frame);
+
+  bool idle() const { return queue_.empty() && !transmitting_; }
+  const MacStats& stats() const { return stats_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  void try_transmit();
+  void schedule_attempt(int backoff_slots);
+  void on_tx_done(bool collided);
+
+  sim::Simulator& sim_;
+  sim::BroadcastMedium& medium_;
+  Rng rng_;
+  MacConfig config_;
+  std::string name_;
+  Deliver deliver_;
+  MacStats stats_;
+
+  int station_id_;
+  std::deque<Bytes> queue_;
+  int attempts_ = 0;
+  bool transmitting_ = false;
+  bool attempt_scheduled_ = false;
+};
+
+}  // namespace sublayer::datalink

@@ -1,0 +1,117 @@
+#include "datalink/stack.hpp"
+
+namespace sublayer::datalink {
+
+Bytes pack_bits(const BitString& bits) {
+  BitString padded = bits;
+  while (padded.size() % 8 != 0) padded.push_back(false);
+  Bytes out;
+  ByteWriter w(out);
+  w.u32(static_cast<std::uint32_t>(bits.size()));
+  w.bytes(padded.to_bytes());
+  return out;
+}
+
+std::optional<BitString> unpack_bits(ByteView raw) {
+  if (raw.size() < 4) return std::nullopt;
+  ByteReader r(raw);
+  const std::uint32_t nbits = r.u32();
+  const std::size_t need = (nbits + 7) / 8;
+  if (r.remaining() != need) return std::nullopt;
+  const BitString all = BitString::from_bytes(r.rest());
+  if (nbits > all.size()) return std::nullopt;
+  return all.slice(0, nbits);
+}
+
+DatalinkEndpoint::DatalinkEndpoint(sim::Simulator& sim,
+                                   std::unique_ptr<phy::LineCode> code,
+                                   std::unique_ptr<ErrorDetector> detector,
+                                   const StackConfig& config)
+    : code_(std::move(code)),
+      detector_(std::move(detector)),
+      stuffing_(config.stuffing),
+      arq_(arq_factory(config.arq_engine)(sim, config.arq)) {
+  arq_->set_frame_sink([this](Bytes f) {
+    if (wire_sink_) wire_sink_(down(f));
+  });
+}
+
+void DatalinkEndpoint::set_wire_sink(std::function<void(Bytes)> sink) {
+  wire_sink_ = std::move(sink);
+}
+
+void DatalinkEndpoint::set_deliver(Deliver d) {
+  arq_->set_deliver(std::move(d));
+}
+
+bool DatalinkEndpoint::send(Bytes payload) {
+  return arq_->send(std::move(payload));
+}
+
+Bytes DatalinkEndpoint::down(ByteView arq_frame) const {
+  // Error-detection sublayer: append tag.
+  const Bytes tagged = detector_->protect(arq_frame);
+  // Framing sublayer: stuff and add flags (bit-granular).
+  const BitString framed = frame(stuffing_, BitString::from_bytes(tagged));
+  // Encoding sublayer: line-code the packed channel bits.
+  const Bytes packed = pack_bits(framed);
+  const BitString symbols = code_->encode(BitString::from_bytes(packed));
+  return pack_bits(symbols);
+}
+
+std::optional<Bytes> DatalinkEndpoint::up(ByteView raw) {
+  // Encoding sublayer: recover channel bits.
+  const auto symbols = unpack_bits(raw);
+  if (!symbols) {
+    ++stats_.phy_decode_failures;
+    return std::nullopt;
+  }
+  const auto channel_bits = code_->decode(*symbols);
+  if (!channel_bits || channel_bits->size() % 8 != 0) {
+    ++stats_.phy_decode_failures;
+    return std::nullopt;
+  }
+  const auto framed = unpack_bits(channel_bits->to_bytes());
+  if (!framed) {
+    ++stats_.phy_decode_failures;
+    return std::nullopt;
+  }
+  // Framing sublayer: strip flags, unstuff.
+  const auto body = deframe(stuffing_, *framed);
+  if (!body || body->size() % 8 != 0) {
+    ++stats_.deframe_failures;
+    return std::nullopt;
+  }
+  // Error-detection sublayer: verify and strip the tag.
+  auto checked = detector_->check_strip(body->to_bytes());
+  if (!checked) {
+    ++stats_.checksum_failures;
+    return std::nullopt;
+  }
+  return checked;
+}
+
+void DatalinkEndpoint::on_wire_frame(Bytes raw) {
+  auto arq_frame = up(raw);
+  if (!arq_frame) return;
+  ++stats_.frames_up;
+  arq_->on_frame(std::move(*arq_frame));
+}
+
+DatalinkPair::DatalinkPair(sim::Simulator& sim,
+                           const sim::LinkConfig& link_config, Rng& rng,
+                           const StackConfig& config,
+                           std::unique_ptr<phy::LineCode> code_a,
+                           std::unique_ptr<ErrorDetector> det_a,
+                           std::unique_ptr<phy::LineCode> code_b,
+                           std::unique_ptr<ErrorDetector> det_b)
+    : link_(sim, link_config, rng, "datalink"),
+      a_(sim, std::move(code_a), std::move(det_a), config),
+      b_(sim, std::move(code_b), std::move(det_b), config) {
+  a_.set_wire_sink([this](Bytes f) { link_.a_to_b().send(std::move(f)); });
+  b_.set_wire_sink([this](Bytes f) { link_.b_to_a().send(std::move(f)); });
+  link_.a_to_b().set_receiver([this](Bytes f) { b_.on_wire_frame(std::move(f)); });
+  link_.b_to_a().set_receiver([this](Bytes f) { a_.on_wire_frame(std::move(f)); });
+}
+
+}  // namespace sublayer::datalink

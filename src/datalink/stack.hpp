@@ -1,0 +1,103 @@
+// The composed data-link stack of Fig. 2:
+//
+//   upper service:  reliable in-order frame delivery
+//   ┌──────────────────────────────┐
+//   │ error recovery   (ARQ)       │  swappable: S&W / GBN / SR
+//   │ error detection  (tag)       │  swappable: CRC-8/16/32/64, inet, ...
+//   │ framing          (stuffing)  │  swappable: stuffing rule
+//   │ encoding         (line code) │  swappable: NRZ / NRZI / Manchester /
+//   └──────────────────────────────┘             4B5B
+//   lower substrate: an unreliable simulated bit pipe (sim::Link)
+//
+// Each sublayer talks only to its neighbours through the narrow interfaces
+// above (T2) and owns its own bits of the frame (T3): ARQ's header is
+// inside the CRC-protected region, the CRC tag is inside the framed
+// region, and the line code sees only opaque channel bits.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "datalink/arq/arq.hpp"
+#include "datalink/errordetect/detector.hpp"
+#include "datalink/framing/stuffing.hpp"
+#include "phy/linecode.hpp"
+#include "sim/link.hpp"
+
+namespace sublayer::datalink {
+
+/// Packs a bit string into bytes with a 32-bit bit-count prefix, so a byte
+/// channel can carry arbitrary-length bit streams.
+Bytes pack_bits(const BitString& bits);
+std::optional<BitString> unpack_bits(ByteView raw);
+
+struct StackConfig {
+  StuffingRule stuffing = StuffingRule::hdlc();
+  ArqConfig arq;
+  /// Engine names: "stop-and-wait", "go-back-n", "selective-repeat".
+  std::string arq_engine = "selective-repeat";
+};
+
+struct StackStats {
+  std::uint64_t phy_decode_failures = 0;
+  std::uint64_t deframe_failures = 0;
+  std::uint64_t checksum_failures = 0;
+  std::uint64_t frames_up = 0;  // frames that survived to the ARQ sublayer
+};
+
+/// One endpoint of a data-link connection over a raw sim::Link pair.
+class DatalinkEndpoint {
+ public:
+  using Deliver = std::function<void(Bytes)>;
+
+  DatalinkEndpoint(sim::Simulator& sim, std::unique_ptr<phy::LineCode> code,
+                   std::unique_ptr<ErrorDetector> detector,
+                   const StackConfig& config);
+
+  /// Wires the raw transmit path (towards the peer's on_wire_frame).
+  void set_wire_sink(std::function<void(Bytes)> sink);
+  /// Feeds a raw frame received from the wire (attach as Link receiver).
+  void on_wire_frame(Bytes raw);
+
+  void set_deliver(Deliver d);
+  /// Sends a payload with the full reliable-delivery service.
+  bool send(Bytes payload);
+  bool idle() const { return arq_->idle(); }
+
+  const StackStats& stats() const { return stats_; }
+  const ArqStats& arq_stats() const { return arq_->stats(); }
+
+ private:
+  Bytes down(ByteView arq_frame) const;       // detect → frame → encode
+  std::optional<Bytes> up(ByteView raw);      // decode → deframe → check
+
+  std::unique_ptr<phy::LineCode> code_;
+  std::unique_ptr<ErrorDetector> detector_;
+  StuffingRule stuffing_;
+  std::unique_ptr<ArqEndpoint> arq_;
+  std::function<void(Bytes)> wire_sink_;
+  StackStats stats_;
+};
+
+/// Convenience: two endpoints wired across a DuplexLink.
+class DatalinkPair {
+ public:
+  DatalinkPair(sim::Simulator& sim, const sim::LinkConfig& link_config,
+               Rng& rng, const StackConfig& config,
+               std::unique_ptr<phy::LineCode> code_a,
+               std::unique_ptr<ErrorDetector> det_a,
+               std::unique_ptr<phy::LineCode> code_b,
+               std::unique_ptr<ErrorDetector> det_b);
+
+  DatalinkEndpoint& a() { return a_; }
+  DatalinkEndpoint& b() { return b_; }
+  sim::DuplexLink& link() { return link_; }
+
+ private:
+  sim::DuplexLink link_;
+  DatalinkEndpoint a_;
+  DatalinkEndpoint b_;
+};
+
+}  // namespace sublayer::datalink

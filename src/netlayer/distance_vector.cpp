@@ -1,0 +1,210 @@
+// Distance-vector route computation (RIP-style): periodic full-table
+// advertisements to neighbors, split horizon with poison reverse,
+// triggered updates, route hold timeouts, and a finite "infinity".
+#include <algorithm>
+#include <stdexcept>
+
+#include "netlayer/routing.hpp"
+
+namespace sublayer::netlayer {
+namespace {
+
+std::uint16_t encode_metric(double m, double infinity) {
+  const double clamped = std::min(m, infinity);
+  return static_cast<std::uint16_t>(clamped * 100.0 + 0.5);
+}
+double decode_metric(std::uint16_t m) { return m / 100.0; }
+
+class DistanceVector final : public RouteComputation {
+ public:
+  DistanceVector(sim::Simulator& sim, RouterId self,
+                 const NeighborTable& neighbors, RoutingConfig config)
+      : sim_(sim),
+        self_(self),
+        neighbors_(neighbors),
+        config_(config),
+        advert_timer_(sim, [this] { periodic(); }) {}
+
+  std::string name() const override { return "distance-vector"; }
+  void set_message_sink(MessageSink sink) override { sink_ = std::move(sink); }
+  void set_table_callback(TableCallback cb) override {
+    on_table_ = std::move(cb);
+  }
+
+  void start() override { periodic(); }
+
+  void on_message(int interface, ByteView message) override {
+    ++stats_.messages_received;
+    const auto from = neighbors_.neighbor_on(interface);
+    if (!from) return;  // advertisement from a not-yet-discovered peer
+
+    ByteReader r(message);
+    bool changed = false;
+    try {
+      const std::uint16_t count = r.u16();
+      for (int i = 0; i < count; ++i) {
+        const RouterId dest = r.u32();
+        const double advertised = decode_metric(r.u16());
+        changed |= consider(dest, advertised + from->cost, *from);
+      }
+    } catch (const std::out_of_range&) {
+      return;  // malformed advertisement
+    }
+    if (changed) publish(/*triggered=*/true);
+  }
+
+  void on_neighbors_changed() override {
+    if (refresh_direct_routes()) publish(/*triggered=*/true);
+  }
+
+  const RouteTable& table() const override { return table_; }
+  const RoutingStats& stats() const override { return stats_; }
+
+ private:
+  struct Held {
+    Route route;
+    TimePoint refreshed;
+  };
+
+  /// Bellman-Ford relaxation for one advertised destination.
+  bool consider(RouterId dest, double metric, const Neighbor& via) {
+    if (dest == self_) return false;
+    metric = std::min(metric, config_.infinity);
+    auto it = held_.find(dest);
+    const bool have = it != held_.end();
+    const bool via_same_hop =
+        have && it->second.route.next_hop == via.id &&
+        it->second.route.interface == via.interface;
+
+    if (metric >= config_.infinity) {
+      // Poisoned/unreachable: only meaningful if our route used this hop.
+      if (via_same_hop) {
+        held_.erase(it);
+        return true;
+      }
+      return false;
+    }
+
+    if (via_same_hop) {
+      it->second.refreshed = sim_.now();
+      if (it->second.route.metric != metric) {
+        it->second.route.metric = metric;  // follow our next hop, even if worse
+        return true;
+      }
+      return false;
+    }
+    if (!have || metric < it->second.route.metric) {
+      held_[dest] = Held{Route{via.interface, via.id, metric}, sim_.now()};
+      return true;
+    }
+    return false;
+  }
+
+  /// Keeps one-hop routes consistent with the live neighbor list.
+  bool refresh_direct_routes() {
+    bool changed = false;
+    const auto live = neighbors_.neighbors();
+    // Drop routes that leave via an interface with no live neighbor.
+    for (auto it = held_.begin(); it != held_.end();) {
+      const bool alive = std::any_of(
+          live.begin(), live.end(), [&](const Neighbor& n) {
+            return n.interface == it->second.route.interface &&
+                   n.id == it->second.route.next_hop;
+          });
+      if (!alive) {
+        it = held_.erase(it);
+        changed = true;
+      } else {
+        ++it;
+      }
+    }
+    for (const auto& n : live) {
+      auto it = held_.find(n.id);
+      if (it == held_.end() || n.cost < it->second.route.metric) {
+        held_[n.id] = Held{Route{n.interface, n.id, n.cost}, sim_.now()};
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  void expire_stale_routes() {
+    bool changed = false;
+    for (auto it = held_.begin(); it != held_.end();) {
+      if (sim_.now() - it->second.refreshed > config_.route_timeout) {
+        it = held_.erase(it);
+        changed = true;
+      } else {
+        ++it;
+      }
+    }
+    if (changed) publish(/*triggered=*/true);
+  }
+
+  void periodic() {
+    refresh_direct_routes();
+    expire_stale_routes();
+    publish(/*triggered=*/false);
+    advert_timer_.restart(config_.advert_interval);
+  }
+
+  /// Rebuilds the public table, notifies forwarding, and advertises.
+  void publish(bool triggered) {
+    RouteTable fresh;
+    for (const auto& [dest, held] : held_) fresh[dest] = held.route;
+    const bool table_changed = fresh != table_;
+    if (table_changed) {
+      table_ = std::move(fresh);
+      ++stats_.recomputations;
+      if (on_table_) on_table_(table_);
+    }
+    // Periodic adverts always go out; triggered adverts only on change.
+    if (!triggered || table_changed) advertise();
+  }
+
+  void advertise() {
+    if (!sink_) return;
+    for (const auto& n : neighbors_.neighbors()) {
+      Bytes msg;
+      ByteWriter w(msg);
+      w.u16(static_cast<std::uint16_t>(table_.size() + 1));
+      w.u32(self_);
+      w.u16(encode_metric(0, config_.infinity));
+      for (const auto& [dest, route] : table_) {
+        w.u32(dest);
+        // Split horizon with poison reverse: routes learned via this
+        // neighbor are advertised back as unreachable.
+        const double metric = (route.next_hop == n.id &&
+                               route.interface == n.interface)
+                                  ? config_.infinity
+                                  : route.metric;
+        w.u16(encode_metric(metric, config_.infinity));
+      }
+      ++stats_.messages_sent;
+      stats_.bytes_sent += msg.size();
+      sink_(n.interface, std::move(msg));
+    }
+  }
+
+  sim::Simulator& sim_;
+  RouterId self_;
+  const NeighborTable& neighbors_;
+  RoutingConfig config_;
+  MessageSink sink_;
+  TableCallback on_table_;
+  RoutingStats stats_;
+  sim::Timer advert_timer_;
+
+  std::map<RouterId, Held> held_;
+  RouteTable table_;
+};
+
+}  // namespace
+
+std::unique_ptr<RouteComputation> make_distance_vector(
+    sim::Simulator& sim, RouterId self, const NeighborTable& neighbors,
+    RoutingConfig config) {
+  return std::make_unique<DistanceVector>(sim, self, neighbors, config);
+}
+
+}  // namespace sublayer::netlayer

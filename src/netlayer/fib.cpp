@@ -1,0 +1,96 @@
+#include "netlayer/fib.hpp"
+
+namespace sublayer::netlayer {
+
+struct Fib::Node {
+  std::unique_ptr<Node> child[2];
+  std::optional<RouteEntry> entry;
+  std::optional<Prefix> prefix;  // set iff entry is set
+};
+
+Fib::Fib() : root_(std::make_unique<Node>()) {}
+Fib::~Fib() = default;
+
+namespace {
+int bit_at(IpAddr addr, int depth) { return addr >> (31 - depth) & 1; }
+}  // namespace
+
+void Fib::insert(const Prefix& prefix, const RouteEntry& entry) {
+  Node* n = root_.get();
+  for (int depth = 0; depth < prefix.len; ++depth) {
+    const int b = bit_at(prefix.addr, depth);
+    if (!n->child[b]) n->child[b] = std::make_unique<Node>();
+    n = n->child[b].get();
+  }
+  if (!n->entry) ++size_;
+  n->entry = entry;
+  n->prefix = prefix;
+}
+
+bool Fib::remove(const Prefix& prefix) {
+  Node* n = root_.get();
+  for (int depth = 0; depth < prefix.len; ++depth) {
+    const int b = bit_at(prefix.addr, depth);
+    if (!n->child[b]) return false;
+    n = n->child[b].get();
+  }
+  if (!n->entry) return false;
+  n->entry.reset();
+  n->prefix.reset();
+  --size_;
+  return true;
+}
+
+void Fib::clear() {
+  root_ = std::make_unique<Node>();
+  size_ = 0;
+}
+
+std::optional<RouteEntry> Fib::lookup(IpAddr addr) const {
+  const Node* n = root_.get();
+  std::optional<RouteEntry> best = n->entry;
+  for (int depth = 0; depth < 32; ++depth) {
+    const int b = bit_at(addr, depth);
+    if (!n->child[b]) break;
+    n = n->child[b].get();
+    if (n->entry) best = n->entry;
+  }
+  return best;
+}
+
+std::optional<RouteEntry> Fib::exact(const Prefix& prefix) const {
+  const Node* n = root_.get();
+  for (int depth = 0; depth < prefix.len; ++depth) {
+    const int b = bit_at(prefix.addr, depth);
+    if (!n->child[b]) return std::nullopt;
+    n = n->child[b].get();
+  }
+  return n->entry;
+}
+
+std::vector<std::pair<Prefix, RouteEntry>> Fib::entries() const {
+  std::vector<std::pair<Prefix, RouteEntry>> out;
+  // Iterative DFS.
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    if (n->entry) out.emplace_back(*n->prefix, *n->entry);
+    for (int b = 1; b >= 0; --b) {
+      if (n->child[b]) stack.push_back(n->child[b].get());
+    }
+  }
+  return out;
+}
+
+std::string Fib::to_string() const {
+  std::string s;
+  for (const auto& [prefix, entry] : entries()) {
+    s += prefix.to_string() + " -> if" + std::to_string(entry.interface) +
+         " via r" + std::to_string(entry.next_hop) + " metric " +
+         std::to_string(entry.metric) + "\n";
+  }
+  return s;
+}
+
+}  // namespace sublayer::netlayer

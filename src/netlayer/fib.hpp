@@ -1,0 +1,53 @@
+// Forwarding Information Base: the data-plane table owned by the
+// forwarding sublayer (Fig. 3).  Longest-prefix-match over a binary trie.
+//
+// Forwarding depends only on this table's interface; *how* the table is
+// filled (distance vector, link state, static) is invisible to it — that
+// is precisely the route-computation/forwarding sublayer boundary.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netlayer/ip.hpp"
+
+namespace sublayer::netlayer {
+
+struct RouteEntry {
+  int interface = -1;       // outgoing interface index
+  RouterId next_hop = 0;    // neighbour router (diagnostic)
+  double metric = 0;        // path cost (diagnostic)
+  friend bool operator==(const RouteEntry&, const RouteEntry&) = default;
+};
+
+class Fib {
+ public:
+  Fib();
+  ~Fib();
+  Fib(const Fib&) = delete;
+  Fib& operator=(const Fib&) = delete;
+
+  void insert(const Prefix& prefix, const RouteEntry& entry);
+  /// Returns true if the prefix was present.
+  bool remove(const Prefix& prefix);
+  void clear();
+
+  /// Longest-prefix-match lookup.
+  std::optional<RouteEntry> lookup(IpAddr addr) const;
+  /// Exact-prefix fetch (management plane).
+  std::optional<RouteEntry> exact(const Prefix& prefix) const;
+
+  std::size_t size() const { return size_; }
+  std::vector<std::pair<Prefix, RouteEntry>> entries() const;
+  std::string to_string() const;
+
+ private:
+  struct Node;
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace sublayer::netlayer

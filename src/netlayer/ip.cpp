@@ -1,0 +1,53 @@
+#include "netlayer/ip.hpp"
+
+#include <cstdio>
+
+namespace sublayer::netlayer {
+
+namespace {
+constexpr std::uint8_t kVersion = 4;
+}
+
+std::string addr_to_string(IpAddr a) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", a >> 24 & 0xff, a >> 16 & 0xff,
+                a >> 8 & 0xff, a & 0xff);
+  return buf;
+}
+
+std::string Prefix::to_string() const {
+  return addr_to_string(addr) + "/" + std::to_string(len);
+}
+
+Bytes IpHeader::encode(ByteView payload) const {
+  Bytes out;
+  out.reserve(kSize + payload.size());
+  ByteWriter w(out);
+  w.u8(kVersion);
+  w.u8(ecn_ce ? 1 : 0);  // flags: bit 0 = congestion experienced
+  w.u8(ttl);
+  w.u8(static_cast<std::uint8_t>(protocol));
+  w.u32(src);
+  w.u32(dst);
+  w.u16(static_cast<std::uint16_t>(payload.size()));
+  w.bytes(payload);
+  return out;
+}
+
+std::optional<ParsedDatagram> decode_datagram(ByteView datagram) {
+  if (datagram.size() < IpHeader::kSize) return std::nullopt;
+  ByteReader r(datagram);
+  if (r.u8() != kVersion) return std::nullopt;
+  ParsedDatagram p;
+  p.header.ecn_ce = (r.u8() & 1) != 0;
+  p.header.ttl = r.u8();
+  p.header.protocol = static_cast<IpProto>(r.u8());
+  p.header.src = r.u32();
+  p.header.dst = r.u32();
+  const std::uint16_t len = r.u16();
+  if (r.remaining() != len) return std::nullopt;
+  p.payload = r.rest();
+  return p;
+}
+
+}  // namespace sublayer::netlayer

@@ -1,0 +1,73 @@
+// Minimal IP: addressing, prefixes, and the datagram header.
+//
+// This is the "layer" the network-layer sublayers (neighbor determination,
+// route computation, forwarding) jointly implement, and the substrate the
+// transport layer runs over.  Addresses are 32-bit; each router owns the
+// /24 prefix (router_id << 8) for its attached hosts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace sublayer::netlayer {
+
+using IpAddr = std::uint32_t;
+using RouterId = std::uint32_t;
+
+std::string addr_to_string(IpAddr a);
+
+/// The router that owns an address, under the id<<8 /24 convention.
+constexpr RouterId router_of(IpAddr a) { return a >> 8; }
+/// Host `h` attached to router `r`.
+constexpr IpAddr host_addr(RouterId r, std::uint8_t h) {
+  return r << 8 | h;
+}
+
+struct Prefix {
+  IpAddr addr = 0;
+  int len = 32;  // prefix length in bits, 0..32
+
+  bool contains(IpAddr a) const {
+    if (len == 0) return true;
+    const IpAddr mask = len == 32 ? ~0u : ~((1u << (32 - len)) - 1);
+    return (a & mask) == (addr & mask);
+  }
+  static Prefix router_lan(RouterId r) { return Prefix{r << 8, 24}; }
+  std::string to_string() const;
+  friend bool operator==(const Prefix&, const Prefix&) = default;
+};
+
+/// IP protocol numbers used by the stack (values are ours, not IANA's).
+enum class IpProto : std::uint8_t {
+  kRaw = 0,
+  kTcp = 6,         // RFC 793 wire format (monolithic TCP, or shim output)
+  kSublayered = 7,  // native sublayered wire format (Fig. 6)
+  kPing = 42,       // network-layer reachability probes
+};
+
+struct IpHeader {
+  std::uint8_t ttl = 64;
+  IpProto protocol = IpProto::kRaw;
+  IpAddr src = 0;
+  IpAddr dst = 0;
+  /// Congestion-experienced mark, set by a router whose outgoing queue is
+  /// deep (AQM).  Receivers echo it to their sender via the OSR subheader.
+  bool ecn_ce = false;
+
+  static constexpr std::size_t kSize =
+      1 + 1 + 1 + 1 + 4 + 4 + 2;  // +version +flags +len
+
+  /// header · payload.
+  Bytes encode(ByteView payload) const;
+};
+
+struct ParsedDatagram {
+  IpHeader header;
+  Bytes payload;
+};
+std::optional<ParsedDatagram> decode_datagram(ByteView datagram);
+
+}  // namespace sublayer::netlayer

@@ -1,0 +1,210 @@
+// Link-state route computation (OSPF/IS-IS style): each router originates
+// a sequence-numbered Link State Packet describing its neighbors, floods
+// it, and runs Dijkstra over the resulting link-state database.
+#include <limits>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+#include "netlayer/routing.hpp"
+
+namespace sublayer::netlayer {
+namespace {
+
+struct Lsp {
+  RouterId origin = 0;
+  std::uint32_t seq = 0;
+  std::vector<std::pair<RouterId, double>> links;
+
+  Bytes encode() const {
+    Bytes out;
+    ByteWriter w(out);
+    w.u32(origin);
+    w.u32(seq);
+    w.u16(static_cast<std::uint16_t>(links.size()));
+    for (const auto& [peer, cost] : links) {
+      w.u32(peer);
+      w.u16(static_cast<std::uint16_t>(cost * 100.0 + 0.5));
+    }
+    return out;
+  }
+
+  static std::optional<Lsp> decode(ByteView raw) {
+    try {
+      ByteReader r(raw);
+      Lsp lsp;
+      lsp.origin = r.u32();
+      lsp.seq = r.u32();
+      const std::uint16_t count = r.u16();
+      for (int i = 0; i < count; ++i) {
+        const RouterId peer = r.u32();
+        const double cost = r.u16() / 100.0;
+        lsp.links.emplace_back(peer, cost);
+      }
+      if (r.remaining() != 0) return std::nullopt;
+      return lsp;
+    } catch (const std::out_of_range&) {
+      return std::nullopt;
+    }
+  }
+};
+
+class LinkState final : public RouteComputation {
+ public:
+  LinkState(sim::Simulator& sim, RouterId self, const NeighborTable& neighbors,
+            RoutingConfig config)
+      : self_(self),
+        neighbors_(neighbors),
+        config_(config),
+        refresh_timer_(sim, [this] { refresh(); }) {}
+
+  std::string name() const override { return "link-state"; }
+  void set_message_sink(MessageSink sink) override { sink_ = std::move(sink); }
+  void set_table_callback(TableCallback cb) override {
+    on_table_ = std::move(cb);
+  }
+
+  void start() override { refresh(); }
+
+  void on_message(int interface, ByteView message) override {
+    ++stats_.messages_received;
+    const auto lsp = Lsp::decode(message);
+    if (!lsp) return;
+    auto it = lsdb_.find(lsp->origin);
+    if (it != lsdb_.end() && lsp->seq <= it->second.seq) return;  // stale
+    lsdb_[lsp->origin] = *lsp;
+    flood(*lsp, interface);
+    recompute();
+  }
+
+  void on_neighbors_changed() override { originate(); }
+
+  const RouteTable& table() const override { return table_; }
+  const RoutingStats& stats() const override { return stats_; }
+
+ private:
+  void refresh() {
+    originate();
+    refresh_timer_.restart(config_.lsp_refresh);
+  }
+
+  void originate() {
+    Lsp lsp;
+    lsp.origin = self_;
+    lsp.seq = ++own_seq_;
+    for (const auto& n : neighbors_.neighbors()) {
+      lsp.links.emplace_back(n.id, n.cost);
+    }
+    lsdb_[self_] = lsp;
+    flood(lsp, /*except_interface=*/-1);
+    recompute();
+  }
+
+  void flood(const Lsp& lsp, int except_interface) {
+    if (!sink_) return;
+    const Bytes encoded = lsp.encode();
+    for (const auto& n : neighbors_.neighbors()) {
+      if (n.interface == except_interface) continue;
+      ++stats_.messages_sent;
+      stats_.bytes_sent += encoded.size();
+      sink_(n.interface, encoded);
+    }
+  }
+
+  /// Dijkstra over the LSDB.  An edge u->v is usable only if v's LSP also
+  /// reports u (two-way connectivity check), which keeps half-dead links
+  /// out of the shortest-path tree.
+  void recompute() {
+    ++stats_.recomputations;
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    std::map<RouterId, double> dist;
+    std::map<RouterId, RouterId> first_hop;  // dest -> neighbor of self
+    dist[self_] = 0;
+
+    using Item = std::pair<double, RouterId>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+    heap.emplace(0.0, self_);
+    std::set<RouterId> done;
+
+    const auto edge_ok = [&](RouterId u, RouterId v) {
+      const auto it = lsdb_.find(v);
+      if (it == lsdb_.end()) return false;
+      for (const auto& [peer, cost] : it->second.links) {
+        if (peer == u) return true;
+      }
+      return false;
+    };
+
+    while (!heap.empty()) {
+      const auto [d, u] = heap.top();
+      heap.pop();
+      if (done.contains(u)) continue;
+      done.insert(u);
+      const auto it = lsdb_.find(u);
+      if (it == lsdb_.end()) continue;
+      for (const auto& [v, cost] : it->second.links) {
+        if (!edge_ok(u, v)) continue;
+        const double nd = d + cost;
+        const auto existing = dist.find(v);
+        if (existing == dist.end() || nd < existing->second) {
+          dist[v] = nd;
+          first_hop[v] = (u == self_) ? v : first_hop[u];
+          heap.emplace(nd, v);
+        }
+      }
+    }
+
+    RouteTable fresh;
+    for (const auto& [dest, d] : dist) {
+      if (dest == self_ || d == kInf) continue;
+      const RouterId hop = first_hop[dest];
+      // Map the first-hop router to its interface.
+      for (const auto& n : neighbors_.neighbors()) {
+        if (n.id == hop) {
+          fresh[dest] = Route{n.interface, hop, d};
+          break;
+        }
+      }
+    }
+    if (fresh != table_) {
+      table_ = std::move(fresh);
+      if (on_table_) on_table_(table_);
+    }
+  }
+
+  RouterId self_;
+  const NeighborTable& neighbors_;
+  RoutingConfig config_;
+  MessageSink sink_;
+  TableCallback on_table_;
+  RoutingStats stats_;
+  sim::Timer refresh_timer_;
+
+  std::map<RouterId, Lsp> lsdb_;
+  std::uint32_t own_seq_ = 0;
+  RouteTable table_;
+};
+
+}  // namespace
+
+std::unique_ptr<RouteComputation> make_link_state(
+    sim::Simulator& sim, RouterId self, const NeighborTable& neighbors,
+    RoutingConfig config) {
+  return std::make_unique<LinkState>(sim, self, neighbors, config);
+}
+
+std::unique_ptr<RouteComputation> make_routing(RoutingKind kind,
+                                               sim::Simulator& sim,
+                                               RouterId self,
+                                               const NeighborTable& neighbors,
+                                               RoutingConfig config) {
+  switch (kind) {
+    case RoutingKind::kDistanceVector:
+      return make_distance_vector(sim, self, neighbors, config);
+    case RoutingKind::kLinkState:
+      return make_link_state(sim, self, neighbors, config);
+  }
+  throw std::invalid_argument("unknown routing kind");
+}
+
+}  // namespace sublayer::netlayer

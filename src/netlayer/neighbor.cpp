@@ -1,0 +1,80 @@
+#include "netlayer/neighbor.hpp"
+
+namespace sublayer::netlayer {
+
+NeighborTable::NeighborTable(sim::Simulator& sim, RouterId self,
+                             NeighborConfig config)
+    : sim_(sim),
+      self_(self),
+      config_(config),
+      hello_timer_(sim, [this] { send_hellos(); }),
+      liveness_timer_(sim, [this] { check_liveness(); }) {}
+
+void NeighborTable::add_interface(int index, double cost) {
+  ifaces_.push_back(Iface{index, cost, std::nullopt, TimePoint{}});
+}
+
+void NeighborTable::start() {
+  send_hellos();
+  check_liveness();
+}
+
+void NeighborTable::send_hellos() {
+  for (const auto& iface : ifaces_) {
+    Bytes hello;
+    ByteWriter(hello).u32(self_);
+    ++stats_.hellos_sent;
+    if (sink_) sink_(iface.index, std::move(hello));
+  }
+  hello_timer_.restart(config_.hello_interval);
+}
+
+void NeighborTable::check_liveness() {
+  bool changed = false;
+  for (auto& iface : ifaces_) {
+    if (iface.peer &&
+        sim_.now() - iface.last_hello > config_.dead_interval) {
+      iface.peer.reset();
+      ++stats_.neighbors_down;
+      changed = true;
+    }
+  }
+  liveness_timer_.restart(config_.hello_interval);
+  if (changed) notify();
+}
+
+void NeighborTable::on_hello(int interface, ByteView payload) {
+  if (payload.size() != 4) return;  // malformed
+  ByteReader r(payload);
+  const RouterId peer = r.u32();
+  ++stats_.hellos_received;
+  for (auto& iface : ifaces_) {
+    if (iface.index != interface) continue;
+    iface.last_hello = sim_.now();
+    if (!iface.peer || *iface.peer != peer) {
+      iface.peer = peer;
+      ++stats_.neighbors_up;
+      notify();
+    }
+    return;
+  }
+}
+
+std::vector<Neighbor> NeighborTable::neighbors() const {
+  std::vector<Neighbor> out;
+  for (const auto& iface : ifaces_) {
+    if (iface.peer) out.push_back(Neighbor{*iface.peer, iface.index, iface.cost});
+  }
+  return out;
+}
+
+std::optional<Neighbor> NeighborTable::neighbor_on(int interface) const {
+  for (const auto& iface : ifaces_) {
+    if (iface.index == interface && iface.peer) {
+      return Neighbor{*iface.peer, iface.index, iface.cost};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace sublayer::netlayer

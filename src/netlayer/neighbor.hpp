@@ -1,0 +1,91 @@
+// Neighbor-determination sublayer (Fig. 4, the lowest network sublayer):
+// discovers which router is at the far end of each interface via HELLO
+// handshakes sent directly on the data link, and detects failures by
+// hello timeout.
+//
+// Narrow interface upward (T2): the current neighbor list plus a change
+// notification.  Route computation never sees HELLO packets (T3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "netlayer/ip.hpp"
+#include "sim/simulator.hpp"
+
+namespace sublayer::netlayer {
+
+struct Neighbor {
+  RouterId id = 0;
+  int interface = -1;
+  double cost = 1.0;
+  friend bool operator==(const Neighbor&, const Neighbor&) = default;
+};
+
+struct NeighborConfig {
+  Duration hello_interval = Duration::millis(100);
+  /// A neighbor is declared dead after this long without a HELLO.
+  Duration dead_interval = Duration::millis(350);
+};
+
+struct NeighborStats {
+  std::uint64_t hellos_sent = 0;
+  std::uint64_t hellos_received = 0;
+  std::uint64_t neighbors_up = 0;
+  std::uint64_t neighbors_down = 0;
+};
+
+class NeighborTable {
+ public:
+  /// Sends a HELLO payload on the given interface.
+  using HelloSink = std::function<void(int interface, Bytes hello)>;
+  using ChangeCallback = std::function<void()>;
+
+  NeighborTable(sim::Simulator& sim, RouterId self, NeighborConfig config);
+
+  /// Registers interface `index` with the given link cost; HELLOs start
+  /// flowing once start() is called.
+  void add_interface(int index, double cost);
+  void set_hello_sink(HelloSink sink) { sink_ = std::move(sink); }
+  void set_change_callback(ChangeCallback cb) { on_change_ = std::move(cb); }
+
+  void start();
+
+  /// Feeds a HELLO received on `interface`.
+  void on_hello(int interface, ByteView payload);
+
+  /// Live neighbors, one per interface at most.
+  std::vector<Neighbor> neighbors() const;
+  std::optional<Neighbor> neighbor_on(int interface) const;
+
+  const NeighborStats& stats() const { return stats_; }
+
+ private:
+  struct Iface {
+    int index;
+    double cost;
+    std::optional<RouterId> peer;
+    TimePoint last_hello;
+  };
+
+  void send_hellos();
+  void check_liveness();
+  void notify() {
+    if (on_change_) on_change_();
+  }
+
+  sim::Simulator& sim_;
+  RouterId self_;
+  NeighborConfig config_;
+  HelloSink sink_;
+  ChangeCallback on_change_;
+  std::vector<Iface> ifaces_;
+  NeighborStats stats_;
+  sim::Timer hello_timer_;
+  sim::Timer liveness_timer_;
+};
+
+}  // namespace sublayer::netlayer

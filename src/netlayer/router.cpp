@@ -1,0 +1,211 @@
+#include "netlayer/router.hpp"
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "sim/link.hpp"
+
+namespace sublayer::netlayer {
+namespace {
+const Logger kLog("netlayer");
+}
+
+Router::Router(sim::Simulator& sim, RouterId id, const RouterConfig& config)
+    : sim_(sim),
+      id_(id),
+      config_(config),
+      neighbors_(sim, id, config.neighbor),
+      routing_(make_routing(config.routing, sim, id, neighbors_,
+                            config.routing_config)) {
+  neighbors_.set_hello_sink([this](int iface, Bytes hello) {
+    emit(iface, FrameType::kHello, hello);
+  });
+  neighbors_.set_change_callback([this] { routing_->on_neighbors_changed(); });
+  routing_->set_message_sink([this](int iface, Bytes msg) {
+    emit(iface, FrameType::kRouting, msg);
+  });
+  routing_->set_table_callback(
+      [this](const RouteTable& table) { install_table(table); });
+}
+
+int Router::add_interface(LinkSink sink, double cost) {
+  const int index = static_cast<int>(interfaces_.size());
+  interfaces_.push_back(std::move(sink));
+  probes_.emplace_back();
+  neighbors_.add_interface(index, cost);
+  return index;
+}
+
+void Router::set_congestion_probe(int interface, CongestionProbe probe) {
+  probes_.at(static_cast<std::size_t>(interface)) = std::move(probe);
+}
+
+void Router::start() {
+  neighbors_.start();
+  routing_->start();
+}
+
+void Router::emit(int interface, FrameType type, ByteView payload) {
+  Bytes frame;
+  frame.reserve(payload.size() + 1);
+  ByteWriter w(frame);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.bytes(payload);
+  interfaces_.at(static_cast<std::size_t>(interface))(std::move(frame));
+}
+
+void Router::on_link_frame(int index, Bytes frame) {
+  if (frame.empty()) {
+    ++stats_.malformed;
+    return;
+  }
+  const auto type = static_cast<FrameType>(frame[0]);
+  const ByteView payload = ByteView(frame).subspan(1);
+  switch (type) {
+    case FrameType::kHello:
+      neighbors_.on_hello(index, payload);
+      break;
+    case FrameType::kRouting:
+      routing_->on_message(index, payload);
+      break;
+    case FrameType::kData:
+      forward(Bytes(payload.begin(), payload.end()));
+      break;
+    default:
+      ++stats_.malformed;
+  }
+}
+
+void Router::install_table(const RouteTable& table) {
+  // The forwarding sublayer's view: one LAN prefix per reachable router.
+  fib_.clear();
+  for (const auto& [dest, route] : table) {
+    fib_.insert(Prefix::router_lan(dest),
+                RouteEntry{route.interface, route.next_hop, route.metric});
+  }
+}
+
+void Router::send_datagram(IpHeader header, ByteView payload) {
+  forward(header.encode(payload));
+}
+
+void Router::set_protocol_handler(IpProto proto, ProtocolHandler handler) {
+  handlers_[proto] = std::move(handler);
+}
+
+void Router::forward(Bytes datagram) {
+  auto parsed = decode_datagram(datagram);
+  if (!parsed) {
+    ++stats_.malformed;
+    return;
+  }
+  IpHeader& header = parsed->header;
+
+  if (router_of(header.dst) == id_) {
+    ++stats_.delivered_local;
+    const auto it = handlers_.find(header.protocol);
+    if (it != handlers_.end()) {
+      it->second(header, std::move(parsed->payload));
+    }
+    return;
+  }
+
+  const auto route = fib_.lookup(header.dst);
+  if (!route) {
+    ++stats_.no_route;
+    return;
+  }
+  if (header.ttl <= 1) {
+    ++stats_.ttl_expired;
+    return;
+  }
+  --header.ttl;
+
+  // AQM: mark congestion-experienced if the outgoing link's queue is deep.
+  if (!config_.ecn_backlog_threshold.is_zero()) {
+    const auto& probe = probes_.at(static_cast<std::size_t>(route->interface));
+    if (probe && probe() > config_.ecn_backlog_threshold) {
+      header.ecn_ce = true;
+      ++stats_.ecn_marked;
+    }
+  }
+
+  ++stats_.datagrams_forwarded;
+  emit(route->interface, FrameType::kData, header.encode(parsed->payload));
+}
+
+Network::Network(sim::Simulator& sim, RouterConfig config, std::uint64_t seed)
+    : sim_(sim), config_(config), rng_(seed) {}
+
+RouterId Network::add_router() {
+  const auto id = static_cast<RouterId>(routers_.size());
+  routers_.push_back(std::make_unique<Router>(sim_, id, config_));
+  return id;
+}
+
+std::size_t Network::connect(RouterId a, RouterId b,
+                             const sim::LinkConfig& link_config, double cost) {
+  links_.push_back(std::make_unique<sim::DuplexLink>(
+      sim_, link_config, rng_,
+      "r" + std::to_string(a) + "-r" + std::to_string(b)));
+  sim::DuplexLink& link = *links_.back();
+  Router& ra = *routers_.at(a);
+  Router& rb = *routers_.at(b);
+  const int ia = ra.add_interface(
+      [&link](Bytes f) { link.a_to_b().send(std::move(f)); }, cost);
+  const int ib = rb.add_interface(
+      [&link](Bytes f) { link.b_to_a().send(std::move(f)); }, cost);
+  ra.set_congestion_probe(ia, [&link] { return link.a_to_b().backlog(); });
+  rb.set_congestion_probe(ib, [&link] { return link.b_to_a().backlog(); });
+  link.a_to_b().set_receiver(
+      [&rb, ib](Bytes f) { rb.on_link_frame(ib, std::move(f)); });
+  link.b_to_a().set_receiver(
+      [&ra, ia](Bytes f) { ra.on_link_frame(ia, std::move(f)); });
+  return links_.size() - 1;
+}
+
+void Network::start() {
+  for (auto& r : routers_) r->start();
+}
+
+void Network::fail_link(std::size_t link_index) {
+  links_.at(link_index)->set_down(true);
+}
+
+void Network::restore_link(std::size_t link_index) {
+  links_.at(link_index)->set_down(false);
+}
+
+std::uint64_t Network::total_routing_messages() const {
+  std::uint64_t n = 0;
+  for (const auto& r : routers_) n += r->routing_stats().messages_sent;
+  return n;
+}
+
+std::uint64_t Network::total_routing_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& r : routers_) n += r->routing_stats().bytes_sent;
+  return n;
+}
+
+bool Network::fully_converged() const {
+  for (const auto& r : routers_) {
+    for (const auto& other : routers_) {
+      if (r->id() == other->id()) continue;
+      if (!r->routes().contains(other->id())) return false;
+    }
+  }
+  return true;
+}
+
+bool Network::converged_excluding(RouterId excluded) const {
+  for (const auto& r : routers_) {
+    if (r->id() == excluded) continue;
+    for (const auto& other : routers_) {
+      if (other->id() == excluded || r->id() == other->id()) continue;
+      if (!r->routes().contains(other->id())) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sublayer::netlayer

@@ -1,0 +1,140 @@
+// Router: the composed network layer of Figs. 3–4.
+//
+//   control plane:  neighbor determination  →  route computation
+//                        (HELLO packets)        (adverts / LSPs)
+//   data plane:     forwarding over the FIB, TTL handling, local delivery
+//
+// The three sublayers communicate only through their narrow interfaces:
+// neighbor changes flow up as a callback, computed route tables flow up to
+// forwarding as a table-install callback, and each sublayer's packets are
+// distinct frame types on the link (T3) — the router merely demultiplexes
+// them by a one-byte frame type.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "netlayer/fib.hpp"
+#include "netlayer/ip.hpp"
+#include "netlayer/routing.hpp"
+#include "sim/link.hpp"
+#include "sim/simulator.hpp"
+
+namespace sublayer::netlayer {
+
+struct RouterConfig {
+  RoutingKind routing = RoutingKind::kLinkState;
+  NeighborConfig neighbor;
+  RoutingConfig routing_config;
+  /// AQM/ECN: datagrams forwarded onto a link whose serialization backlog
+  /// exceeds this get the congestion-experienced mark.  Zero disables.
+  Duration ecn_backlog_threshold = Duration::nanos(0);
+};
+
+struct RouterStats {
+  std::uint64_t datagrams_forwarded = 0;
+  std::uint64_t delivered_local = 0;
+  std::uint64_t ttl_expired = 0;
+  std::uint64_t no_route = 0;
+  std::uint64_t malformed = 0;
+  std::uint64_t ecn_marked = 0;
+};
+
+class Router {
+ public:
+  /// Sends a raw link frame out of interface `index`.
+  using LinkSink = std::function<void(Bytes)>;
+  /// Local delivery of a datagram addressed to this router's prefix.
+  using ProtocolHandler = std::function<void(const IpHeader&, Bytes payload)>;
+
+  Router(sim::Simulator& sim, RouterId id, const RouterConfig& config);
+
+  RouterId id() const { return id_; }
+
+  /// Registers a new interface; frames for it are emitted through `sink`.
+  /// Returns the interface index.  Wire the peer's frames to
+  /// on_link_frame(index, ...).
+  int add_interface(LinkSink sink, double cost = 1.0);
+
+  /// AQM hook: reports the outgoing link's serialization backlog for ECN
+  /// marking decisions.  Installed by Network::connect.
+  using CongestionProbe = std::function<Duration()>;
+  void set_congestion_probe(int interface, CongestionProbe probe);
+
+  /// Starts hello and routing protocol timers.
+  void start();
+
+  /// Feeds a raw frame that arrived on interface `index`.
+  void on_link_frame(int index, Bytes frame);
+
+  /// Sends a datagram originating at this router's local host.
+  void send_datagram(IpHeader header, ByteView payload);
+
+  void set_protocol_handler(IpProto proto, ProtocolHandler handler);
+
+  const RouteTable& routes() const { return routing_->table(); }
+  const Fib& fib() const { return fib_; }
+  const RouterStats& stats() const { return stats_; }
+  const RoutingStats& routing_stats() const { return routing_->stats(); }
+  const NeighborStats& neighbor_stats() const { return neighbors_.stats(); }
+  const std::string routing_name() const { return routing_->name(); }
+
+ private:
+  enum class FrameType : std::uint8_t { kHello = 1, kRouting = 2, kData = 3 };
+
+  void emit(int interface, FrameType type, ByteView payload);
+  void install_table(const RouteTable& table);
+  void forward(Bytes datagram);
+
+  sim::Simulator& sim_;
+  RouterId id_;
+  RouterConfig config_;
+  std::vector<LinkSink> interfaces_;
+  std::vector<CongestionProbe> probes_;
+  NeighborTable neighbors_;
+  std::unique_ptr<RouteComputation> routing_;
+  Fib fib_;
+  RouterStats stats_;
+  std::map<IpProto, ProtocolHandler> handlers_;
+};
+
+/// Topology harness: routers plus duplex links, with failure injection.
+class Network {
+ public:
+  Network(sim::Simulator& sim, RouterConfig config, std::uint64_t seed = 1);
+
+  RouterId add_router();
+  /// Connects two routers with a fresh duplex link; returns the link index.
+  std::size_t connect(RouterId a, RouterId b,
+                      const sim::LinkConfig& link_config = {},
+                      double cost = 1.0);
+
+  void start();
+
+  Router& router(RouterId id) { return *routers_.at(id); }
+  std::size_t router_count() const { return routers_.size(); }
+
+  void fail_link(std::size_t link_index);
+  void restore_link(std::size_t link_index);
+
+  /// Sum of routing-protocol messages across all routers.
+  std::uint64_t total_routing_messages() const;
+  std::uint64_t total_routing_bytes() const;
+
+  /// True when every router has a route to every other router.
+  bool fully_converged() const;
+  /// True when every router except `excluded` can reach all others.
+  bool converged_excluding(RouterId excluded) const;
+
+ private:
+  sim::Simulator& sim_;
+  RouterConfig config_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<std::unique_ptr<sim::DuplexLink>> links_;
+};
+
+}  // namespace sublayer::netlayer

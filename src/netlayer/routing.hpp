@@ -1,0 +1,94 @@
+// Route-computation sublayer interface (Fig. 4).
+//
+// Sits between neighbor determination (below: provides the live neighbor
+// list) and forwarding (above: consumes the computed route table).  Two
+// engines implement it — distance vector and link state — and are
+// swappable without touching either neighbor discovery or forwarding,
+// which is the paper's §2.2 replaceability claim.  Engines exchange their
+// own control packets (advertisements / LSPs), which are distinct packets
+// from IP data (T3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "netlayer/neighbor.hpp"
+#include "sim/simulator.hpp"
+
+namespace sublayer::netlayer {
+
+struct Route {
+  int interface = -1;
+  RouterId next_hop = 0;
+  double metric = 0;
+  friend bool operator==(const Route&, const Route&) = default;
+};
+
+/// Destination router -> route.  (Forwarding maps this onto prefixes.)
+using RouteTable = std::map<RouterId, Route>;
+
+struct RoutingConfig {
+  /// Distance vector: periodic advertisement interval.
+  Duration advert_interval = Duration::millis(200);
+  /// Distance vector: a route not refreshed for this long is withdrawn.
+  Duration route_timeout = Duration::millis(700);
+  /// Metric treated as unreachable (RIP-style counting-to-infinity bound).
+  double infinity = 16.0;
+  /// Link state: periodic LSP refresh interval.
+  Duration lsp_refresh = Duration::millis(500);
+};
+
+struct RoutingStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t recomputations = 0;
+};
+
+class RouteComputation {
+ public:
+  /// Sends a routing control message out of an interface.
+  using MessageSink = std::function<void(int interface, Bytes message)>;
+  /// Fired whenever the route table changes.
+  using TableCallback = std::function<void(const RouteTable&)>;
+
+  virtual ~RouteComputation() = default;
+
+  virtual std::string name() const = 0;
+  virtual void set_message_sink(MessageSink sink) = 0;
+  virtual void set_table_callback(TableCallback cb) = 0;
+
+  virtual void start() = 0;
+
+  /// Feeds a routing control message received on `interface`.
+  virtual void on_message(int interface, ByteView message) = 0;
+
+  /// Neighbor-determination sublayer reports a change (T2 interface).
+  virtual void on_neighbors_changed() = 0;
+
+  virtual const RouteTable& table() const = 0;
+  virtual const RoutingStats& stats() const = 0;
+};
+
+/// `neighbors` must outlive the engine.
+std::unique_ptr<RouteComputation> make_distance_vector(
+    sim::Simulator& sim, RouterId self, const NeighborTable& neighbors,
+    RoutingConfig config = {});
+
+std::unique_ptr<RouteComputation> make_link_state(
+    sim::Simulator& sim, RouterId self, const NeighborTable& neighbors,
+    RoutingConfig config = {});
+
+enum class RoutingKind { kDistanceVector, kLinkState };
+
+std::unique_ptr<RouteComputation> make_routing(RoutingKind kind,
+                                               sim::Simulator& sim,
+                                               RouterId self,
+                                               const NeighborTable& neighbors,
+                                               RoutingConfig config = {});
+
+}  // namespace sublayer::netlayer

@@ -1,0 +1,81 @@
+#include "offload/offload.hpp"
+
+namespace sublayer::offload {
+
+Placement Placement::all_host() {
+  return Placement{"all-host",
+                   {Domain::kHost, Domain::kHost, Domain::kHost, Domain::kHost}};
+}
+Placement Placement::nic_dm_cm_rd() {
+  return Placement{"nic-dm-cm-rd",
+                   {Domain::kNic, Domain::kNic, Domain::kNic, Domain::kHost}};
+}
+Placement Placement::nic_rd_only() {
+  return Placement{"nic-rd-only",
+                   {Domain::kHost, Domain::kHost, Domain::kNic, Domain::kHost}};
+}
+Placement Placement::all_nic() {
+  return Placement{"all-nic",
+                   {Domain::kNic, Domain::kNic, Domain::kNic, Domain::kNic}};
+}
+
+int crossings_per_segment(const Placement& p) {
+  // Path: wire (NIC) -> DM -> CM -> RD -> OSR -> app (host).
+  int crossings = 0;
+  Domain prev = Domain::kNic;  // the wire
+  for (int s = 0; s < kStageCount; ++s) {
+    const Domain d = p.domain[static_cast<std::size_t>(s)];
+    if (d != prev) ++crossings;
+    prev = d;
+  }
+  if (prev != Domain::kHost) ++crossings;  // hand-off to the application
+  return crossings;
+}
+
+OffloadReport evaluate(const Placement& p, const Workload& w,
+                       const CostModel& costs) {
+  OffloadReport report;
+  report.placement = p.name;
+  report.crossings_per_segment = crossings_per_segment(p);
+
+  double host_ns = 0;
+  double nic_ns = 0;
+  for (int s = 0; s < kStageCount; ++s) {
+    const auto idx = static_cast<std::size_t>(s);
+    if (p.domain[idx] == Domain::kHost) {
+      host_ns += costs.host_ns[idx];
+    } else {
+      nic_ns += costs.nic_ns[idx];
+    }
+  }
+  host_ns += costs.crossing_ns * report.crossings_per_segment;
+  report.host_ns_per_segment = host_ns;
+  report.nic_ns_per_segment = nic_ns;
+
+  const double total_segments =
+      static_cast<double>(w.data_segments + w.ack_segments);
+  report.host_cpu_seconds = host_ns * total_segments * 1e-9;
+  if (host_ns > 0 && w.data_segments > 0) {
+    const double seg_rate = 1e9 / host_ns;  // segments/s on one host core
+    const double bytes_per_data_segment =
+        static_cast<double>(w.payload_bytes) /
+        static_cast<double>(w.data_segments);
+    const double data_fraction =
+        static_cast<double>(w.data_segments) / total_segments;
+    report.host_bound_bps =
+        seg_rate * data_fraction * bytes_per_data_segment * 8.0;
+  } else {
+    report.host_bound_bps = 0;  // not host-bound at all
+  }
+
+  // Baseline comparison.
+  double all_host_ns = costs.crossing_ns * 1;  // the unavoidable wire DMA
+  for (int s = 0; s < kStageCount; ++s) {
+    all_host_ns += costs.host_ns[static_cast<std::size_t>(s)];
+  }
+  report.host_cpu_fraction_of_all_host =
+      all_host_ns > 0 ? host_ns / all_host_ns : 1.0;
+  return report;
+}
+
+}  // namespace sublayer::offload

@@ -1,0 +1,92 @@
+// Hardware-offload simulator (paper §3.1 "Sublayering does not help
+// hardware offload: on the contrary..." and Challenge 6).
+//
+// The paper's claim is structural: sublayer boundaries are principled CUT
+// POINTS for host/NIC placement, because each boundary is a narrow
+// interface (T2) and each sublayer owns its own state (T3).  What we can
+// measure in simulation is exactly that structure:
+//
+//   * how many domain crossings a segment suffers under a placement
+//     (every adjacent pair of processing stages in different domains
+//     costs one crossing, i.e. one DMA/PCIe-like transaction), and
+//   * the resulting per-segment host CPU time and achievable goodput
+//     under a simple cost model (per-stage costs measured by the
+//     microbenchmarks + a configurable crossing tax).
+//
+// The three placements the paper discusses:
+//   all-host            — classical software stack (1 crossing: the wire).
+//   NIC {DM, CM, RD}    — "a simple decomposition places RD, CM, and DM in
+//                         hardware" (1 crossing: RD<->OSR).
+//   NIC {RD} only       — "with more finagling ... only RD in hardware"
+//                         (3 crossings: wire<->DM path re-enters the NIC).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace sublayer::offload {
+
+enum class Domain : std::uint8_t { kHost, kNic };
+
+/// Processing stages along a segment's path, wire to application.
+enum class Stage : std::uint8_t { kDm = 0, kCm = 1, kRd = 2, kOsr = 3 };
+constexpr int kStageCount = 4;
+
+struct Placement {
+  std::string name;
+  std::array<Domain, kStageCount> domain{};
+
+  Domain of(Stage s) const { return domain[static_cast<int>(s)]; }
+
+  static Placement all_host();
+  static Placement nic_dm_cm_rd();
+  static Placement nic_rd_only();
+  static Placement all_nic();  // extreme point, for the sweep
+};
+
+/// Per-stage processing costs (ns per segment) and the crossing tax.
+struct CostModel {
+  /// Host CPU time per segment per stage; indexable by Stage.
+  std::array<double, kStageCount> host_ns{120, 80, 400, 350};
+  /// NIC processing is assumed pipelined/parallel; it does not consume
+  /// host CPU but bounds the segment rate.
+  std::array<double, kStageCount> nic_ns{60, 40, 200, 175};
+  /// One domain crossing (DMA descriptor + doorbell-ish) in ns, charged
+  /// to the host side.
+  double crossing_ns = 600;
+};
+
+/// Workload summary: how many segments of each kind a transfer generated
+/// (obtainable from the live stack's RD stats).
+struct Workload {
+  std::uint64_t data_segments = 0;
+  std::uint64_t ack_segments = 0;
+  std::uint64_t payload_bytes = 0;
+};
+
+struct OffloadReport {
+  std::string placement;
+  /// Crossings along one segment's full path (wire..app), data path.
+  int crossings_per_segment = 0;
+  double host_ns_per_segment = 0;
+  double nic_ns_per_segment = 0;
+  /// Host CPU time for the whole workload (seconds).
+  double host_cpu_seconds = 0;
+  /// Throughput bound from the serial host path (bits/s), assuming the
+  /// host CPU is the bottleneck resource.
+  double host_bound_bps = 0;
+  /// Fraction of all-host CPU cost that this placement retains.
+  double host_cpu_fraction_of_all_host = 1.0;
+};
+
+/// Counts domain crossings for a data segment's wire-to-app path.  The
+/// wire side is always the NIC domain and the application is always the
+/// host domain.
+int crossings_per_segment(const Placement& p);
+
+/// Evaluates a placement against a workload under a cost model.
+OffloadReport evaluate(const Placement& p, const Workload& w,
+                       const CostModel& costs = {});
+
+}  // namespace sublayer::offload

@@ -1,0 +1,133 @@
+#include "phy/linecode.hpp"
+
+#include <array>
+
+namespace sublayer::phy {
+namespace {
+
+class Nrz final : public LineCode {
+ public:
+  std::string name() const override { return "NRZ"; }
+  double symbols_per_bit() const override { return 1.0; }
+  BitString encode(const BitString& data) const override { return data; }
+  std::optional<BitString> decode(const BitString& symbols) const override {
+    return symbols;
+  }
+};
+
+class Nrzi final : public LineCode {
+ public:
+  std::string name() const override { return "NRZI"; }
+  double symbols_per_bit() const override { return 1.0; }
+
+  BitString encode(const BitString& data) const override {
+    BitString out;
+    bool level = false;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if (data[i]) level = !level;
+      out.push_back(level);
+    }
+    return out;
+  }
+
+  std::optional<BitString> decode(const BitString& symbols) const override {
+    BitString out;
+    bool prev = false;
+    for (std::size_t i = 0; i < symbols.size(); ++i) {
+      out.push_back(symbols[i] != prev);
+      prev = symbols[i];
+    }
+    return out;
+  }
+};
+
+class Manchester final : public LineCode {
+ public:
+  std::string name() const override { return "Manchester"; }
+  double symbols_per_bit() const override { return 2.0; }
+
+  BitString encode(const BitString& data) const override {
+    BitString out;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if (data[i]) {
+        out.push_back(true);
+        out.push_back(false);
+      } else {
+        out.push_back(false);
+        out.push_back(true);
+      }
+    }
+    return out;
+  }
+
+  std::optional<BitString> decode(const BitString& symbols) const override {
+    if (symbols.size() % 2 != 0) return std::nullopt;
+    BitString out;
+    for (std::size_t i = 0; i < symbols.size(); i += 2) {
+      const bool a = symbols[i];
+      const bool b = symbols[i + 1];
+      if (a == b) return std::nullopt;  // 00/11 are invalid mid-bit patterns
+      out.push_back(a);
+    }
+    return out;
+  }
+};
+
+// FDDI 4B/5B data symbols.
+constexpr std::array<std::uint8_t, 16> k4b5b = {
+    0b11110, 0b01001, 0b10100, 0b10101, 0b01010, 0b01011, 0b01110, 0b01111,
+    0b10010, 0b10011, 0b10110, 0b10111, 0b11010, 0b11011, 0b11100, 0b11101,
+};
+
+class FourBFiveB final : public LineCode {
+ public:
+  FourBFiveB() {
+    reverse_.fill(-1);
+    for (std::size_t i = 0; i < k4b5b.size(); ++i) {
+      reverse_[k4b5b[i]] = static_cast<int>(i);
+    }
+  }
+
+  std::string name() const override { return "4B5B"; }
+  double symbols_per_bit() const override { return 1.25; }
+  std::size_t input_alignment_bits() const override { return 4; }
+
+  BitString encode(const BitString& data) const override {
+    if (data.size() % 4 != 0) {
+      throw std::invalid_argument("4B5B: input must be 4-bit aligned");
+    }
+    BitString out;
+    for (std::size_t i = 0; i < data.size(); i += 4) {
+      const auto nibble = static_cast<std::size_t>(data.slice(i, 4).to_uint());
+      const std::uint8_t sym = k4b5b[nibble];
+      for (int b = 4; b >= 0; --b) out.push_back((sym >> b & 1) != 0);
+    }
+    return out;
+  }
+
+  std::optional<BitString> decode(const BitString& symbols) const override {
+    if (symbols.size() % 5 != 0) return std::nullopt;
+    BitString out;
+    for (std::size_t i = 0; i < symbols.size(); i += 5) {
+      const auto sym = static_cast<std::size_t>(symbols.slice(i, 5).to_uint());
+      const int nibble = reverse_[sym];
+      if (nibble < 0) return std::nullopt;  // not a data symbol
+      for (int b = 3; b >= 0; --b) out.push_back((nibble >> b & 1) != 0);
+    }
+    return out;
+  }
+
+ private:
+  std::array<int, 32> reverse_{};
+};
+
+}  // namespace
+
+std::unique_ptr<LineCode> make_nrz() { return std::make_unique<Nrz>(); }
+std::unique_ptr<LineCode> make_nrzi() { return std::make_unique<Nrzi>(); }
+std::unique_ptr<LineCode> make_manchester() {
+  return std::make_unique<Manchester>();
+}
+std::unique_ptr<LineCode> make_4b5b() { return std::make_unique<FourBFiveB>(); }
+
+}  // namespace sublayer::phy

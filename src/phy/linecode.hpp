@@ -1,0 +1,50 @@
+// Encoding/decoding sublayer (the bottom sublayer of the data link,
+// Fig. 2 of the paper): line codes that map data bits to channel symbols.
+//
+// The sublayer contract (test T1/T2/T3): decode(encode(d)) == d for all d
+// meeting the code's alignment requirement, and the code is swappable —
+// nothing above this interface knows which line code is in use.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace sublayer::phy {
+
+class LineCode {
+ public:
+  virtual ~LineCode() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Channel symbols per data bit (e.g. 2.0 for Manchester, 1.25 for 4B/5B).
+  virtual double symbols_per_bit() const = 0;
+
+  /// Data bits per codeword; inputs to encode() must be a multiple of this.
+  virtual std::size_t input_alignment_bits() const { return 1; }
+
+  virtual BitString encode(const BitString& data) const = 0;
+
+  /// Returns nullopt if the symbol stream is not a valid codeword sequence
+  /// (possible after channel corruption; the error-detection sublayer above
+  /// still catches corruptions that decode to *some* valid word).
+  virtual std::optional<BitString> decode(const BitString& symbols) const = 0;
+};
+
+/// Non-return-to-zero: symbols are the bits themselves.
+std::unique_ptr<LineCode> make_nrz();
+
+/// NRZI: a 1 toggles the line level, a 0 holds it.  Initial level is 0.
+std::unique_ptr<LineCode> make_nrzi();
+
+/// Manchester (IEEE 802.3 convention): 0 -> 01, 1 -> 10.
+std::unique_ptr<LineCode> make_manchester();
+
+/// 4B/5B block code (FDDI table): each data nibble maps to a 5-bit symbol
+/// with bounded run length.  Requires 4-bit alignment.
+std::unique_ptr<LineCode> make_4b5b();
+
+}  // namespace sublayer::phy

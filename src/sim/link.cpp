@@ -1,0 +1,85 @@
+#include "sim/link.hpp"
+
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace sublayer::sim {
+namespace {
+const Logger kLog("sim.link");
+}
+
+Link::Link(Simulator& sim, LinkConfig config, Rng rng, std::string name)
+    : sim_(sim),
+      config_(config),
+      rng_(rng),
+      name_(std::move(name)),
+      tx_free_at_(sim.now()) {}
+
+Duration Link::serialization_delay(std::size_t bytes) const {
+  if (config_.bandwidth_bps <= 0) return Duration::nanos(0);
+  const double seconds =
+      static_cast<double>(bytes) * 8.0 / config_.bandwidth_bps;
+  return Duration::seconds(seconds);
+}
+
+void Link::send(Bytes frame) {
+  ++stats_.frames_offered;
+  if (down_) {
+    ++stats_.frames_lost;
+    return;
+  }
+  if (queued_ >= config_.queue_limit) {
+    ++stats_.frames_queue_dropped;
+    return;
+  }
+
+  // Serialization: the transmitter is busy until tx_free_at_; this frame
+  // occupies it for its own serialization time after that.
+  const TimePoint start = std::max(sim_.now(), tx_free_at_);
+  const Duration ser = serialization_delay(frame.size());
+  tx_free_at_ = start + ser;
+  const Duration until_wire_done = tx_free_at_ - sim_.now();
+
+  if (rng_.chance(config_.loss_rate)) {
+    ++stats_.frames_lost;
+    return;
+  }
+
+  Bytes delivered = std::move(frame);
+  if (!delivered.empty() && rng_.chance(config_.corrupt_rate)) {
+    ++stats_.frames_corrupted;
+    for (int i = 0; i < config_.corrupt_bit_flips; ++i) {
+      const std::size_t bit = rng_.next_below(delivered.size() * 8);
+      delivered[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+  }
+
+  const bool dup = rng_.chance(config_.duplicate_rate);
+  if (dup) ++stats_.frames_duplicated;
+
+  deliver(delivered, until_wire_done);
+  if (dup) deliver(delivered, until_wire_done);
+}
+
+void Link::deliver(Bytes frame, Duration extra_delay) {
+  Duration jitter = Duration::nanos(0);
+  if (!config_.jitter.is_zero()) {
+    jitter = Duration::nanos(static_cast<std::int64_t>(
+        rng_.next_below(static_cast<std::uint64_t>(config_.jitter.ns()) + 1)));
+  }
+  const Duration total = extra_delay + config_.propagation_delay + jitter;
+  ++queued_;
+  sim_.schedule(total, [this, f = std::move(frame)]() mutable {
+    --queued_;
+    ++stats_.frames_delivered;
+    stats_.bytes_delivered += f.size();
+    if (receiver_) {
+      receiver_(std::move(f));
+    } else {
+      kLog.warn("%s: frame delivered with no receiver attached", name_.c_str());
+    }
+  });
+}
+
+}  // namespace sublayer::sim

@@ -1,0 +1,117 @@
+// Simulated links: the substrate every protocol in this repo runs over.
+//
+// A Link is a unidirectional point-to-point channel with bandwidth,
+// propagation delay, and an impairment model (loss, corruption, reorder,
+// duplication, tail-drop queueing).  DuplexLink pairs two of them.
+// All randomness is drawn from a per-link forked Rng, so topologies are
+// reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "sim/simulator.hpp"
+
+namespace sublayer::sim {
+
+struct LinkConfig {
+  /// Bits per second; 0 means infinite (no serialization delay).
+  double bandwidth_bps = 0;
+  Duration propagation_delay = Duration::micros(10);
+  /// Probability an entire frame is silently dropped.
+  double loss_rate = 0;
+  /// Probability a frame is delivered with bit corruption.
+  double corrupt_rate = 0;
+  /// Number of bit flips applied to a corrupted frame (at random offsets).
+  int corrupt_bit_flips = 1;
+  /// Probability a frame is delivered twice.
+  double duplicate_rate = 0;
+  /// Extra random delay in [0, jitter] added per frame.  A nonzero jitter
+  /// can reorder frames.
+  Duration jitter = Duration::nanos(0);
+  /// Transmit queue capacity in frames; arrivals beyond this are tail-dropped.
+  std::size_t queue_limit = std::numeric_limits<std::size_t>::max();
+};
+
+struct LinkStats {
+  std::uint64_t frames_offered = 0;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t frames_lost = 0;
+  std::uint64_t frames_corrupted = 0;
+  std::uint64_t frames_duplicated = 0;
+  std::uint64_t frames_queue_dropped = 0;
+  std::uint64_t bytes_delivered = 0;
+};
+
+class Link {
+ public:
+  using Receiver = std::function<void(Bytes)>;
+
+  Link(Simulator& sim, LinkConfig config, Rng rng, std::string name = "link");
+
+  void set_receiver(Receiver r) { receiver_ = std::move(r); }
+
+  /// Offers a frame to the link; impairments and delays are applied and the
+  /// receiver callback fires at the delivery time (if the frame survives).
+  void send(Bytes frame);
+
+  const LinkStats& stats() const { return stats_; }
+  const LinkConfig& config() const { return config_; }
+  const std::string& name() const { return name_; }
+
+  /// Live-reconfiguration (e.g. a failure injection flips loss_rate to 1).
+  void set_loss_rate(double p) { config_.loss_rate = p; }
+  void set_down(bool down) { down_ = down; }
+  bool is_down() const { return down_; }
+
+  /// Serialization backlog: how long a frame offered right now would wait
+  /// for the transmitter (zero on an idle or infinite-bandwidth link).
+  /// This is the queue-depth signal AQM/ECN marking keys off.
+  Duration backlog() const {
+    return tx_free_at_ > sim_.now() ? tx_free_at_ - sim_.now()
+                                    : Duration::nanos(0);
+  }
+
+ private:
+  Duration serialization_delay(std::size_t bytes) const;
+  void deliver(Bytes frame, Duration extra_delay);
+
+  Simulator& sim_;
+  LinkConfig config_;
+  Rng rng_;
+  std::string name_;
+  Receiver receiver_;
+  LinkStats stats_;
+  /// Time the transmitter becomes free (bandwidth modelling).
+  TimePoint tx_free_at_;
+  std::size_t queued_ = 0;
+  bool down_ = false;
+};
+
+/// Two independent unidirectional links between endpoints A and B.
+class DuplexLink {
+ public:
+  DuplexLink(Simulator& sim, const LinkConfig& config, Rng& parent_rng,
+             std::string name = "duplex")
+      : a_to_b_(sim, config, parent_rng.fork(), name + ".a2b"),
+        b_to_a_(sim, config, parent_rng.fork(), name + ".b2a") {}
+
+  Link& a_to_b() { return a_to_b_; }
+  Link& b_to_a() { return b_to_a_; }
+
+  void set_down(bool down) {
+    a_to_b_.set_down(down);
+    b_to_a_.set_down(down);
+  }
+
+ private:
+  Link a_to_b_;
+  Link b_to_a_;
+};
+
+}  // namespace sublayer::sim

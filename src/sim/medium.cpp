@@ -1,0 +1,52 @@
+#include "sim/medium.hpp"
+
+#include <algorithm>
+
+namespace sublayer::sim {
+
+int BroadcastMedium::attach(FrameHandler on_frame, TxDoneHandler on_tx_done) {
+  stations_.push_back(Station{std::move(on_frame), std::move(on_tx_done)});
+  return static_cast<int>(stations_.size()) - 1;
+}
+
+void BroadcastMedium::transmit(int station, Bytes frame) {
+  ++stats_.transmissions;
+  const std::uint64_t tx_id = next_tx_id_++;
+
+  // Any overlap collides everyone currently on the wire, including us.
+  const bool overlap = !ongoing_.empty();
+  for (auto& o : ongoing_) o.collided = true;
+  ongoing_.push_back(Ongoing{tx_id, station, overlap});
+
+  const double seconds =
+      static_cast<double>(frame.size()) * 8.0 / bandwidth_bps_;
+  sim_.schedule(Duration::seconds(seconds),
+                [this, tx_id, f = std::move(frame)]() mutable {
+                  finish(tx_id, std::move(f));
+                });
+}
+
+void BroadcastMedium::finish(std::uint64_t tx_id, Bytes frame) {
+  const auto it = std::find_if(ongoing_.begin(), ongoing_.end(),
+                               [&](const Ongoing& o) { return o.tx_id == tx_id; });
+  if (it == ongoing_.end()) return;  // defensive; should not happen
+  const Ongoing done = *it;
+  ongoing_.erase(it);
+
+  if (done.collided) ++stats_.collisions;
+
+  auto& sender = stations_[static_cast<std::size_t>(done.station)];
+  if (sender.on_tx_done) sender.on_tx_done(done.collided);
+
+  if (!done.collided) {
+    for (std::size_t i = 0; i < stations_.size(); ++i) {
+      if (static_cast<int>(i) == done.station) continue;
+      if (stations_[i].on_frame) {
+        ++stats_.deliveries;
+        stations_[i].on_frame(frame);
+      }
+    }
+  }
+}
+
+}  // namespace sublayer::sim

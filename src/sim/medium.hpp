@@ -1,0 +1,72 @@
+// Shared broadcast medium — the substrate for the MAC sublayer.
+//
+// Models a single-segment shared channel (classic Ethernet / 802.11-like):
+// any station's transmission is heard by every other station; transmissions
+// that overlap in time collide and destroy each other.  Stations can sense
+// carrier and are told when their own transmission ended in a collision
+// (CSMA/CD-style feedback).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/time.hpp"
+#include "sim/simulator.hpp"
+
+namespace sublayer::sim {
+
+struct MediumStats {
+  std::uint64_t transmissions = 0;
+  std::uint64_t collisions = 0;  // transmissions destroyed by overlap
+  std::uint64_t deliveries = 0;  // frame copies handed to stations
+};
+
+class BroadcastMedium {
+ public:
+  /// Called on every station other than the sender when a frame survives.
+  using FrameHandler = std::function<void(Bytes)>;
+  /// Called on the *sender* when its transmission ends; `collided` reports
+  /// whether the frame was destroyed.
+  using TxDoneHandler = std::function<void(bool collided)>;
+
+  explicit BroadcastMedium(Simulator& sim, double bandwidth_bps = 1e6)
+      : sim_(sim), bandwidth_bps_(bandwidth_bps) {}
+
+  /// Attaches a station; returns its station id.
+  int attach(FrameHandler on_frame, TxDoneHandler on_tx_done);
+
+  /// True while any transmission is in flight (carrier sense).
+  bool carrier_busy() const { return !ongoing_.empty(); }
+
+  /// Begins transmitting `frame` from `station`.  The transmission occupies
+  /// the channel for frame_size*8/bandwidth; overlap with any other
+  /// transmission collides both.
+  void transmit(int station, Bytes frame);
+
+  const MediumStats& stats() const { return stats_; }
+
+ private:
+  struct Station {
+    FrameHandler on_frame;
+    TxDoneHandler on_tx_done;
+  };
+  struct Ongoing {
+    std::uint64_t tx_id;
+    int station;
+    bool collided;
+  };
+
+  void finish(std::uint64_t tx_id, Bytes frame);
+
+  Simulator& sim_;
+  double bandwidth_bps_;
+  std::vector<Station> stations_;
+  std::vector<Ongoing> ongoing_;
+  std::uint64_t next_tx_id_ = 1;
+  MediumStats stats_;
+};
+
+}  // namespace sublayer::sim

@@ -1,0 +1,90 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sublayer::sim {
+
+EventId Simulator::schedule(Duration delay, std::function<void()> fn) {
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::schedule_at(TimePoint when, std::function<void()> fn) {
+  if (when < now_) {
+    throw std::logic_error("Simulator: scheduling into the past");
+  }
+  const std::uint64_t id = next_seq_++;
+  queue_.push(Entry{when, id, id, std::move(fn)});
+  return EventId{id};
+}
+
+void Simulator::cancel(EventId id) {
+  if (id.value == 0) return;
+  cancelled_ids_.push_back(id.value);
+  ++cancelled_;
+}
+
+bool Simulator::pop_runnable(Entry& out) {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    const auto it =
+        std::find(cancelled_ids_.begin(), cancelled_ids_.end(), e.id);
+    if (it != cancelled_ids_.end()) {
+      cancelled_ids_.erase(it);
+      --cancelled_;
+      continue;
+    }
+    out = std::move(e);
+    return true;
+  }
+  return false;
+}
+
+bool Simulator::step() {
+  Entry e;
+  if (!pop_runnable(e)) return false;
+  now_ = e.when;
+  ++processed_;
+  e.fn();
+  return true;
+}
+
+void Simulator::run_until(TimePoint deadline) {
+  Entry e;
+  while (pop_runnable(e)) {
+    if (e.when > deadline) {
+      // Put it back: it belongs to the future beyond the horizon.
+      queue_.push(std::move(e));
+      break;
+    }
+    now_ = e.when;
+    ++processed_;
+    e.fn();
+  }
+  now_ = std::max(now_, deadline);
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+void Timer::restart(Duration delay) {
+  stop();
+  armed_ = true;
+  pending_ = sim_.schedule(delay, [this] {
+    armed_ = false;
+    on_fire_();
+  });
+}
+
+void Timer::stop() {
+  if (armed_) {
+    sim_.cancel(pending_);
+    armed_ = false;
+  }
+}
+
+}  // namespace sublayer::sim

@@ -1,0 +1,102 @@
+// Discrete-event simulator core.
+//
+// Single-threaded virtual-time event loop.  Everything in the repository
+// that "waits" — retransmission timers, link propagation, MAC backoff —
+// schedules a closure here.  Determinism: ties on the timestamp are broken
+// by insertion order, so a given seed always replays identically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace sublayer::sim {
+
+/// Handle for cancelling a scheduled event.
+struct EventId {
+  std::uint64_t value = 0;
+  friend bool operator==(EventId, EventId) = default;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimePoint now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` after the current time.
+  EventId schedule(Duration delay, std::function<void()> fn);
+
+  /// Schedules `fn` at an absolute time (must not be in the past).
+  EventId schedule_at(TimePoint when, std::function<void()> fn);
+
+  /// Cancels a pending event; cancelling an already-fired or unknown event
+  /// is a harmless no-op (protocol timers race with their own firing).
+  void cancel(EventId id);
+
+  /// Runs the next pending event.  Returns false if the queue is empty.
+  bool step();
+
+  /// Runs events until the queue drains or `deadline` is passed; the clock
+  /// finishes at min(deadline, drain time).
+  void run_until(TimePoint deadline);
+
+  /// Runs until the queue drains or `max_events` have fired.
+  /// Returns the number of events processed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  std::size_t pending_events() const { return queue_.size() - cancelled_; }
+  std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Entry {
+    TimePoint when;
+    std::uint64_t seq;  // tie-break: FIFO among same-time events
+    std::uint64_t id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_runnable(Entry& out);
+
+  TimePoint now_;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::vector<std::uint64_t> cancelled_ids_;
+  std::size_t cancelled_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t processed_ = 0;
+};
+
+/// A restartable one-shot timer bound to a simulator — the shape protocol
+/// code wants for retransmission and keepalive timers.
+class Timer {
+ public:
+  Timer(Simulator& sim, std::function<void()> on_fire)
+      : sim_(sim), on_fire_(std::move(on_fire)) {}
+  ~Timer() { stop(); }
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  /// (Re)arms the timer `delay` from now, replacing any pending firing.
+  void restart(Duration delay);
+  void stop();
+  bool armed() const { return armed_; }
+
+ private:
+  Simulator& sim_;
+  std::function<void()> on_fire_;
+  EventId pending_{};
+  bool armed_ = false;
+};
+
+}  // namespace sublayer::sim

@@ -1,0 +1,41 @@
+#include "sim/trace.hpp"
+
+#include <cstdio>
+
+namespace sublayer::sim {
+
+std::size_t Trace::count(std::string_view category) const {
+  std::size_t n = 0;
+  for (const auto& e : events_) {
+    if (e.category == category) ++n;
+  }
+  return n;
+}
+
+std::size_t Trace::total_bytes(std::string_view category) const {
+  std::size_t n = 0;
+  for (const auto& e : events_) {
+    if (e.category == category) n += e.size_bytes;
+  }
+  return n;
+}
+
+std::string Trace::to_string(std::size_t max_events) const {
+  std::string out;
+  std::size_t shown = 0;
+  for (const auto& e : events_) {
+    if (shown++ >= max_events) {
+      out += "  ... (" + std::to_string(events_.size() - max_events) +
+             " more)\n";
+      break;
+    }
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "  %10.6fs  %-18s %s (%zu B)\n",
+                  e.when.to_seconds(), e.category.c_str(), e.detail.c_str(),
+                  e.size_bytes);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace sublayer::sim

@@ -1,0 +1,40 @@
+// Packet trace recorder: a lightweight tcpdump for the simulator.
+//
+// Protocol modules append events; tests and benchmarks assert on counts,
+// and examples print human-readable timelines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace sublayer::sim {
+
+struct TraceEvent {
+  TimePoint when;
+  std::string category;  // e.g. "tcp.tx", "arq.retransmit"
+  std::string detail;
+  std::size_t size_bytes = 0;
+};
+
+class Trace {
+ public:
+  void record(TimePoint when, std::string category, std::string detail,
+              std::size_t size_bytes = 0) {
+    events_.push_back(
+        TraceEvent{when, std::move(category), std::move(detail), size_bytes});
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t count(std::string_view category) const;
+  std::size_t total_bytes(std::string_view category) const;
+  std::string to_string(std::size_t max_events = 100) const;
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace sublayer::sim

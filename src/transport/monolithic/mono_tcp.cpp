@@ -1,0 +1,582 @@
+#include "transport/monolithic/mono_tcp.hpp"
+
+#include <algorithm>
+
+namespace sublayer::transport {
+
+const char* to_string(MonoState s) {
+  switch (s) {
+    case MonoState::kClosed: return "CLOSED";
+    case MonoState::kSynSent: return "SYN_SENT";
+    case MonoState::kSynRcvd: return "SYN_RCVD";
+    case MonoState::kEstablished: return "ESTABLISHED";
+    case MonoState::kFinWait1: return "FIN_WAIT_1";
+    case MonoState::kFinWait2: return "FIN_WAIT_2";
+    case MonoState::kCloseWait: return "CLOSE_WAIT";
+    case MonoState::kClosing: return "CLOSING";
+    case MonoState::kLastAck: return "LAST_ACK";
+    case MonoState::kTimeWait: return "TIME_WAIT";
+    case MonoState::kAborted: return "ABORTED";
+  }
+  return "?";
+}
+
+MonoConnection::MonoConnection(sim::Simulator& sim, const FourTuple& tuple,
+                               const MonoConfig& config,
+                               std::function<void(Bytes)> send_segment)
+    : sim_(sim),
+      tuple_(tuple),
+      config_(config),
+      send_segment_(std::move(send_segment)),
+      cwnd_(4ull * config.mss),
+      rto_(config.initial_rto),
+      rttvar_(Duration::nanos(0)),
+      retx_timer_(sim, [this] { on_rto(); }),
+      time_wait_timer_(sim, [this] { become_closed(); }) {}
+
+void MonoConnection::open_active(std::uint32_t isn) {
+  iss_ = isn;
+  snd_una_ = iss_;
+  snd_nxt_ = iss_ + 1;  // SYN consumes one sequence number
+  buffer_front_seq_ = iss_ + 1;
+  state_ = MonoState::kSynSent;
+  send_empty(/*ack=*/false, /*rst=*/false, /*syn=*/true);
+  arm_retx_timer();
+}
+
+void MonoConnection::open_passive(const TcpHeader& syn, std::uint32_t isn) {
+  irs_ = syn.seq;
+  rcv_nxt_ = syn.seq + 1;
+  iss_ = isn;
+  snd_una_ = iss_;
+  snd_nxt_ = iss_ + 1;
+  buffer_front_seq_ = iss_ + 1;
+  state_ = MonoState::kSynRcvd;
+  send_empty(/*ack=*/true, /*rst=*/false, /*syn=*/true);
+  arm_retx_timer();
+}
+
+std::uint16_t MonoConnection::advertised_window() const {
+  const std::uint64_t used = ooo_bytes_;
+  const std::uint64_t free =
+      config_.recv_buffer > used ? config_.recv_buffer - used : 0;
+  return static_cast<std::uint16_t>(std::min<std::uint64_t>(free, 65535));
+}
+
+std::uint32_t MonoConnection::send_window_limit() const {
+  // Usable window: min(congestion window, peer's advertised window).
+  return static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(cwnd_, snd_wnd_));
+}
+
+void MonoConnection::transmit(std::uint32_t seq, std::size_t len, bool fin,
+                              bool syn) {
+  TcpHeader h;
+  h.src_port = tuple_.local_port;
+  h.dst_port = tuple_.remote_port;
+  h.seq = seq;
+  h.flag_syn = syn;
+  h.flag_fin = fin;
+  h.flag_ack = state_ != MonoState::kSynSent || !syn;
+  if (h.flag_ack) h.ack = rcv_nxt_;
+  h.window = advertised_window();
+  if (syn) h.mss = static_cast<std::uint16_t>(config_.mss);
+
+  Bytes payload;
+  if (len > 0) {
+    const auto from =
+        static_cast<std::size_t>(seq - buffer_front_seq_);
+    payload.assign(buffer_.begin() + static_cast<std::ptrdiff_t>(from),
+                   buffer_.begin() + static_cast<std::ptrdiff_t>(from + len));
+  }
+  ++stats_.segments_sent;
+  stats_.bytes_sent += payload.size();
+  if (send_segment_) send_segment_(h.encode(payload));
+}
+
+void MonoConnection::send_empty(bool ack, bool rst, bool syn) {
+  TcpHeader h;
+  h.src_port = tuple_.local_port;
+  h.dst_port = tuple_.remote_port;
+  h.seq = syn ? iss_ : snd_nxt_;
+  h.flag_syn = syn;
+  h.flag_ack = ack;
+  h.flag_rst = rst;
+  if (ack) h.ack = rcv_nxt_;
+  h.window = advertised_window();
+  if (syn) h.mss = static_cast<std::uint16_t>(config_.mss);
+  ++stats_.segments_sent;
+  if (send_segment_) send_segment_(h.encode({}));
+}
+
+void MonoConnection::send(Bytes data) {
+  if (fin_pending_ || fin_sent_) return;  // write after close
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+  if (state_ == MonoState::kEstablished || state_ == MonoState::kCloseWait) {
+    output();
+  }
+}
+
+void MonoConnection::close() {
+  if (fin_pending_ || fin_sent_) return;
+  fin_pending_ = true;
+  if (state_ == MonoState::kEstablished || state_ == MonoState::kCloseWait) {
+    output();
+  }
+}
+
+void MonoConnection::abort() {
+  if (state_ == MonoState::kClosed || state_ == MonoState::kAborted) return;
+  send_empty(/*ack=*/false, /*rst=*/true);
+  retx_timer_.stop();
+  state_ = MonoState::kAborted;
+  if (app_.on_reset) app_.on_reset("local abort");
+  if (reaper_) reaper_();
+}
+
+void MonoConnection::output() {
+  const std::uint32_t buffered_end =
+      buffer_front_seq_ + static_cast<std::uint32_t>(buffer_.size());
+  const std::uint32_t window_end = snd_una_ + send_window_limit();
+
+  while (seq_lt(snd_nxt_, buffered_end) && seq_lt(snd_nxt_, window_end)) {
+    const std::uint32_t space = window_end - snd_nxt_;
+    const std::uint32_t avail = buffered_end - snd_nxt_;
+    const std::uint32_t len =
+        std::min({config_.mss, space, avail});
+    if (len == 0) break;
+    // RTT timing (one sample at a time, lwIP-style).
+    if (!rtt_timing_) {
+      rtt_timing_ = true;
+      rtt_seq_ = snd_nxt_;
+      rtt_start_ = sim_.now();
+    }
+    transmit(snd_nxt_, len, /*fin=*/false, /*syn=*/false);
+    snd_nxt_ += len;
+  }
+
+  if (fin_pending_ && !fin_sent_ && snd_nxt_ == buffered_end &&
+      seq_le(snd_nxt_ + 1, snd_una_ + std::max<std::uint32_t>(
+                                          send_window_limit(), 1))) {
+    fin_seq_ = snd_nxt_;
+    fin_sent_ = true;
+    transmit(snd_nxt_, 0, /*fin=*/true, /*syn=*/false);
+    ++snd_nxt_;  // FIN consumes a sequence number
+    if (state_ == MonoState::kEstablished) {
+      state_ = MonoState::kFinWait1;
+    } else if (state_ == MonoState::kCloseWait) {
+      state_ = MonoState::kLastAck;
+    }
+  }
+  arm_retx_timer();
+}
+
+void MonoConnection::arm_retx_timer() {
+  if (snd_una_ == snd_nxt_) {
+    retx_timer_.stop();
+    retries_ = 0;
+  } else if (!retx_timer_.armed()) {
+    retx_timer_.restart(rto_);
+  }
+}
+
+void MonoConnection::on_rto() {
+  if (snd_una_ == snd_nxt_) return;
+  if (++retries_ > config_.max_retries) {
+    retx_timer_.stop();
+    state_ = MonoState::kAborted;
+    if (app_.on_reset) app_.on_reset("retransmission limit reached");
+    if (reaper_) reaper_();
+    return;
+  }
+  ++stats_.retransmissions;
+  ++stats_.timeout_retransmits;
+  rtt_timing_ = false;  // Karn: retransmitted segments are not timed
+
+  // Congestion response to a timeout (inline Reno).
+  ssthresh_ = std::max<std::uint64_t>((snd_nxt_ - snd_una_) / 2,
+                                      2ull * config_.mss);
+  cwnd_ = config_.mss;
+  dupacks_ = 0;
+  // Enter loss recovery: partial acks below this point retransmit the
+  // next hole immediately instead of waiting out a backed-off RTO each.
+  in_recovery_ = true;
+  recover_until_ = snd_nxt_;
+
+  // Retransmit one segment from snd_una_.
+  if (state_ == MonoState::kSynSent) {
+    send_empty(false, false, /*syn=*/true);
+  } else if (state_ == MonoState::kSynRcvd) {
+    send_empty(true, false, /*syn=*/true);
+  } else if (fin_sent_ && snd_una_ == fin_seq_) {
+    transmit(fin_seq_, 0, /*fin=*/true, /*syn=*/false);
+  } else {
+    const std::uint32_t buffered_end =
+        buffer_front_seq_ + static_cast<std::uint32_t>(buffer_.size());
+    const std::uint32_t avail = buffered_end - snd_una_;
+    const std::uint32_t len = std::min(config_.mss, avail);
+    if (len > 0) transmit(snd_una_, len, false, false);
+  }
+  rto_ = std::min(rto_ * 2.0, config_.max_rto);
+  retx_timer_.restart(rto_);
+}
+
+void MonoConnection::note_rtt(Duration sample) {
+  if (!srtt_) {
+    srtt_ = sample;
+    rttvar_ = Duration::nanos(sample.ns() / 2);
+  } else {
+    const std::int64_t err = sample.ns() - srtt_->ns();
+    const std::int64_t abs_err = err < 0 ? -err : err;
+    rttvar_ = Duration::nanos((3 * rttvar_.ns() + abs_err) / 4);
+    srtt_ = Duration::nanos((7 * srtt_->ns() + sample.ns()) / 8);
+  }
+  rto_ = std::clamp(Duration::nanos(srtt_->ns() + 4 * rttvar_.ns()),
+                    config_.min_rto, config_.max_rto);
+}
+
+// The deliberately entangled input path: state machine, ack clocking,
+// congestion control, flow control, reassembly, and teardown all share
+// the PCB fields and interleave below.
+void MonoConnection::tcp_input(const TcpHeader& h, Bytes payload) {
+  // --- RST: validate against the receive window, then kill everything.
+  if (h.flag_rst) {
+    if (state_ == MonoState::kSynSent
+            ? h.ack == snd_nxt_
+            : (h.seq == rcv_nxt_ || state_ == MonoState::kSynRcvd)) {
+      retx_timer_.stop();
+      state_ = MonoState::kAborted;
+      if (app_.on_reset) app_.on_reset("peer reset");
+      if (reaper_) reaper_();
+    }
+    return;
+  }
+
+  // --- Handshake states first (lwIP orders these checks the same way).
+  if (state_ == MonoState::kSynSent) {
+    if (h.flag_syn && h.flag_ack && h.ack == snd_nxt_) {
+      irs_ = h.seq;
+      rcv_nxt_ = h.seq + 1;
+      snd_una_ = h.ack;
+      snd_wnd_ = h.window;
+      retx_timer_.stop();
+      retries_ = 0;
+      state_ = MonoState::kEstablished;
+      send_empty(/*ack=*/true, /*rst=*/false);
+      if (app_.on_established) app_.on_established();
+      output();
+    }
+    return;
+  }
+
+  if (state_ == MonoState::kSynRcvd) {
+    if (h.flag_syn && !h.flag_ack && h.seq == irs_) {
+      send_empty(true, false, /*syn=*/true);  // duplicate SYN: re-SYNACK
+      return;
+    }
+    if (h.flag_ack && h.ack == snd_nxt_) {
+      snd_una_ = h.ack;
+      snd_wnd_ = h.window;
+      retx_timer_.stop();
+      retries_ = 0;
+      state_ = MonoState::kEstablished;
+      if (app_.on_established) app_.on_established();
+      // Fall through: this segment may carry data.
+    } else if (!h.flag_ack) {
+      return;
+    }
+  }
+
+  if (state_ == MonoState::kClosed || state_ == MonoState::kAborted) return;
+
+  // --- ACK processing, window update, congestion control (entangled).
+  if (h.flag_ack) {
+    snd_wnd_ = h.window;  // flow-control update rides on every ack
+    if (seq_gt(h.ack, snd_una_) && seq_le(h.ack, snd_nxt_)) {
+      // New data acked.
+      const std::uint32_t fin_adj =
+          (fin_sent_ && seq_gt(h.ack, fin_seq_)) ? 1 : 0;
+      const std::uint32_t data_acked_end = h.ack - fin_adj;
+      if (seq_gt(data_acked_end, buffer_front_seq_)) {
+        const std::uint32_t drop = data_acked_end - buffer_front_seq_;
+        buffer_.erase(buffer_.begin(),
+                      buffer_.begin() + static_cast<std::ptrdiff_t>(
+                                            std::min<std::size_t>(
+                                                drop, buffer_.size())));
+        buffer_front_seq_ = data_acked_end;
+      }
+      const std::uint64_t newly = h.ack - snd_una_;
+      snd_una_ = h.ack;
+      dupacks_ = 0;
+      retries_ = 0;
+
+      // RTT sample (Karn honoured via rtt_timing_ reset on retransmit).
+      if (rtt_timing_ && seq_gt(h.ack, rtt_seq_)) {
+        rtt_timing_ = false;
+        note_rtt(sim_.now() - rtt_start_);
+      } else if (srtt_) {
+        // Progress without a sample: drop the exponential backoff.
+        rto_ = std::clamp(Duration::nanos(srtt_->ns() + 4 * rttvar_.ns()),
+                          config_.min_rto, config_.max_rto);
+      } else {
+        rto_ = config_.initial_rto;
+      }
+
+      // NewReno-style recovery: a partial ack means the next segment is
+      // lost too — retransmit it now.
+      if (in_recovery_) {
+        if (seq_ge(h.ack, recover_until_)) {
+          in_recovery_ = false;
+        } else if (!(fin_sent_ && snd_una_ == fin_seq_)) {
+          const std::uint32_t buffered_end =
+              buffer_front_seq_ + static_cast<std::uint32_t>(buffer_.size());
+          const std::uint32_t len =
+              std::min(config_.mss, buffered_end - snd_una_);
+          if (len > 0) {
+            ++stats_.retransmissions;
+            transmit(snd_una_, len, false, false);
+          }
+        } else {
+          ++stats_.retransmissions;
+          transmit(fin_seq_, 0, true, false);
+        }
+      }
+
+      // Reno growth, inline.
+      if (cwnd_ < ssthresh_) {
+        cwnd_ += std::min<std::uint64_t>(newly, config_.mss);
+      } else {
+        cwnd_ += std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(config_.mss) * config_.mss / cwnd_);
+      }
+
+      retx_timer_.stop();
+      arm_retx_timer();
+
+      // FIN acked?
+      if (fin_sent_ && seq_gt(h.ack, fin_seq_)) {
+        if (state_ == MonoState::kFinWait1) {
+          state_ = MonoState::kFinWait2;
+        } else if (state_ == MonoState::kClosing) {
+          enter_time_wait();
+        } else if (state_ == MonoState::kLastAck) {
+          become_closed();
+          return;
+        }
+      }
+      output();
+    } else if (h.ack == snd_una_ && snd_una_ != snd_nxt_ &&
+               payload.empty() && !h.flag_fin) {
+      // Duplicate ack: count towards fast retransmit (inline Reno).
+      ++stats_.duplicate_acks_seen;
+      if (++dupacks_ == 3 && !in_recovery_) {
+        dupacks_ = 0;
+        ++stats_.retransmissions;
+        ++stats_.fast_retransmits;
+        rtt_timing_ = false;
+        in_recovery_ = true;
+        recover_until_ = snd_nxt_;
+        ssthresh_ = std::max<std::uint64_t>((snd_nxt_ - snd_una_) / 2,
+                                            2ull * config_.mss);
+        cwnd_ = ssthresh_;
+        if (fin_sent_ && snd_una_ == fin_seq_) {
+          transmit(fin_seq_, 0, true, false);
+        } else {
+          const std::uint32_t buffered_end =
+              buffer_front_seq_ + static_cast<std::uint32_t>(buffer_.size());
+          const std::uint32_t len =
+              std::min(config_.mss, buffered_end - snd_una_);
+          if (len > 0) transmit(snd_una_, len, false, false);
+        }
+      }
+    }
+  }
+
+  // --- Data and FIN processing (reassembly entangled with teardown).
+  if (h.flag_fin) {
+    peer_fin_seq_ = h.seq + static_cast<std::uint32_t>(payload.size());
+  }
+  if (!payload.empty()) {
+    process_data(h, std::move(payload));
+  } else if (h.flag_fin) {
+    process_data(h, {});
+  }
+}
+
+void MonoConnection::process_data(const TcpHeader& h, Bytes payload) {
+  const std::uint32_t seg_seq = h.seq;
+  const std::uint32_t seg_end =
+      seg_seq + static_cast<std::uint32_t>(payload.size());
+
+  if (!payload.empty()) {
+    if (seg_seq == rcv_nxt_) {
+      rcv_nxt_ = seg_end;
+      deliver(std::move(payload));
+      // Drain any out-of-order segments that are now contiguous.
+      auto it = ooo_.begin();
+      while (it != ooo_.end() && seq_le(it->first, rcv_nxt_)) {
+        const std::uint32_t q_seq = it->first;
+        Bytes q_data = std::move(it->second);
+        ooo_bytes_ -= q_data.size();
+        it = ooo_.erase(it);
+        const std::uint32_t q_end =
+            q_seq + static_cast<std::uint32_t>(q_data.size());
+        if (seq_le(q_end, rcv_nxt_)) continue;  // fully duplicate
+        const auto skip = static_cast<std::size_t>(rcv_nxt_ - q_seq);
+        q_data.erase(q_data.begin(),
+                     q_data.begin() + static_cast<std::ptrdiff_t>(skip));
+        rcv_nxt_ = q_end;
+        deliver(std::move(q_data));
+        it = ooo_.begin();
+      }
+    } else if (seq_gt(seg_seq, rcv_nxt_)) {
+      // Out of order: queue (bounded by the receive buffer) and dup-ack.
+      if (ooo_bytes_ + payload.size() <= config_.recv_buffer &&
+          !ooo_.contains(seg_seq)) {
+        ooo_bytes_ += payload.size();
+        ++stats_.ooo_segments_queued;
+        ooo_.emplace(seg_seq, std::move(payload));
+      }
+    } else if (seq_gt(seg_end, rcv_nxt_)) {
+      // Partial overlap: deliver the new tail.
+      const auto skip = static_cast<std::size_t>(rcv_nxt_ - seg_seq);
+      payload.erase(payload.begin(),
+                    payload.begin() + static_cast<std::ptrdiff_t>(skip));
+      rcv_nxt_ = seg_end;
+      deliver(std::move(payload));
+    }
+    // else: fully duplicate, just re-ack below.
+  }
+
+  // FIN consumption once the stream is complete.
+  if (peer_fin_seq_ && rcv_nxt_ == *peer_fin_seq_) {
+    ++rcv_nxt_;  // the FIN itself
+    peer_fin_seq_.reset();
+    handle_peer_fin();
+  }
+
+  // Ack everything we have (delayed acks are not modelled).
+  send_empty(/*ack=*/true, /*rst=*/false);
+}
+
+void MonoConnection::deliver(Bytes data) {
+  stats_.bytes_to_app += data.size();
+  if (app_.on_data) app_.on_data(std::move(data));
+}
+
+void MonoConnection::handle_peer_fin() {
+  if (app_.on_stream_end) app_.on_stream_end();
+  switch (state_) {
+    case MonoState::kEstablished:
+      state_ = MonoState::kCloseWait;
+      break;
+    case MonoState::kFinWait1:
+      // Our FIN not yet acked: simultaneous close.
+      state_ = MonoState::kClosing;
+      break;
+    case MonoState::kFinWait2:
+      enter_time_wait();
+      break;
+    default:
+      break;
+  }
+}
+
+void MonoConnection::enter_time_wait() {
+  retx_timer_.stop();
+  state_ = MonoState::kTimeWait;
+  time_wait_timer_.restart(config_.time_wait);
+}
+
+void MonoConnection::become_closed() {
+  retx_timer_.stop();
+  state_ = MonoState::kClosed;
+  if (app_.on_closed) app_.on_closed();
+  if (reaper_) reaper_();
+}
+
+MonoHost::MonoHost(sim::Simulator& sim, netlayer::Router& router,
+                   std::uint8_t host_octet, MonoConfig config)
+    : sim_(sim),
+      router_(router),
+      addr_(netlayer::host_addr(router.id(), host_octet)),
+      config_(config),
+      isn_(make_rfc793_isn(sim)) {
+  router_.set_protocol_handler(
+      netlayer::IpProto::kTcp,
+      [this](const netlayer::IpHeader& header, Bytes payload) {
+        if (header.dst != addr_) return;
+        on_datagram(header, std::move(payload));
+      });
+}
+
+std::uint16_t MonoHost::allocate_port() { return next_ephemeral_++; }
+
+MonoConnection& MonoHost::make_connection(const FourTuple& tuple) {
+  auto conn = std::make_unique<MonoConnection>(
+      sim_, tuple, config_, [this, tuple](Bytes segment) {
+        netlayer::IpHeader header;
+        header.protocol = netlayer::IpProto::kTcp;
+        header.src = addr_;
+        header.dst = tuple.remote_addr;
+        router_.send_datagram(header, segment);
+      });
+  MonoConnection& ref = *conn;
+  ref.set_owner_reaper([this, tuple] {
+    sim_.schedule(Duration::nanos(0),
+                  [this, tuple] { connections_.erase(tuple); });
+  });
+  connections_.emplace(tuple, std::move(conn));
+  return ref;
+}
+
+MonoConnection& MonoHost::connect(netlayer::IpAddr remote,
+                                  std::uint16_t remote_port) {
+  const FourTuple tuple{addr_, allocate_port(), remote, remote_port};
+  MonoConnection& conn = make_connection(tuple);
+  conn.open_active(isn_->isn(tuple));
+  return conn;
+}
+
+void MonoHost::listen(std::uint16_t port, AcceptHandler on_accept) {
+  acceptors_[port] = std::move(on_accept);
+}
+
+void MonoHost::on_datagram(const netlayer::IpHeader& header, Bytes payload) {
+  const auto parsed = decode_tcp_segment(payload);
+  if (!parsed) return;
+  const TcpHeader& h = parsed->header;
+  const FourTuple tuple{addr_, h.dst_port, header.src, h.src_port};
+
+  if (const auto it = connections_.find(tuple); it != connections_.end()) {
+    it->second->tcp_input(h, std::move(parsed->payload));
+    return;
+  }
+  if (h.flag_syn && !h.flag_ack) {
+    const auto acceptor = acceptors_.find(h.dst_port);
+    if (acceptor != acceptors_.end()) {
+      MonoConnection& conn = make_connection(tuple);
+      if (acceptor->second) acceptor->second(conn);
+      conn.open_passive(h, isn_->isn(tuple));
+      return;
+    }
+  }
+  if (!h.flag_rst) {
+    // RST for anything we cannot demultiplex.
+    TcpHeader rst;
+    rst.src_port = h.dst_port;
+    rst.dst_port = h.src_port;
+    rst.flag_rst = true;
+    rst.flag_ack = true;
+    rst.seq = h.ack;
+    rst.ack = h.seq + static_cast<std::uint32_t>(parsed->payload.size()) +
+              (h.flag_syn ? 1 : 0) + (h.flag_fin ? 1 : 0);
+    netlayer::IpHeader out;
+    out.protocol = netlayer::IpProto::kTcp;
+    out.src = addr_;
+    out.dst = header.src;
+    router_.send_datagram(out, rst.encode({}));
+  }
+}
+
+}  // namespace sublayer::transport

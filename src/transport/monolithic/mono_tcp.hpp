@@ -1,0 +1,209 @@
+// Monolithic baseline TCP, in the style of lwIP/BSD (§4.2 of the paper).
+//
+// This is the *control* for every sublayered-vs-monolithic comparison in
+// the repository, so it is deliberately structured the way classical
+// stacks are: one Protocol Control Block holding ALL connection state
+// (sequence numbers, windows, congestion state, timers, buffers), and one
+// large tcp_input() that interleaves demultiplexing checks, connection-
+// state transitions, ack processing, congestion control, flow control,
+// data reassembly, and FIN handling — the entangled shared-state shape
+// the paper argues makes reasoning hard.  Wire format: RFC 793 (no SACK).
+//
+// Functionally it implements: 3-way handshake, retransmission with
+// Jacobson/Karels RTO and Karn's rule, duplicate-ack fast retransmit,
+// Reno congestion control (inline, not pluggable), receiver out-of-order
+// queueing, flow control, the full close state machine with TIME-WAIT,
+// and RST handling.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "netlayer/router.hpp"
+#include "sim/simulator.hpp"
+#include "transport/sublayered/isn.hpp"
+#include "transport/wire/tcp_header.hpp"
+#include "transport/wire/tuple.hpp"
+
+namespace sublayer::transport {
+
+enum class MonoState {
+  kClosed,
+  kSynSent,
+  kSynRcvd,
+  kEstablished,
+  kFinWait1,
+  kFinWait2,
+  kCloseWait,
+  kClosing,
+  kLastAck,
+  kTimeWait,
+  kAborted,
+};
+
+const char* to_string(MonoState s);
+
+struct MonoConfig {
+  std::uint32_t mss = 1200;
+  Duration initial_rto = Duration::millis(200);
+  Duration min_rto = Duration::millis(20);
+  Duration max_rto = Duration::seconds(10.0);
+  Duration time_wait = Duration::millis(500);
+  int max_retries = 12;
+  std::uint32_t recv_buffer = 65535;
+};
+
+struct MonoStats {
+  std::uint64_t segments_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t fast_retransmits = 0;
+  std::uint64_t timeout_retransmits = 0;
+  std::uint64_t duplicate_acks_seen = 0;
+  std::uint64_t bytes_to_app = 0;
+  std::uint64_t ooo_segments_queued = 0;
+};
+
+class MonoConnection {
+ public:
+  struct AppCallbacks {
+    std::function<void()> on_established;
+    std::function<void(Bytes)> on_data;
+    std::function<void()> on_stream_end;
+    std::function<void()> on_closed;
+    std::function<void(std::string reason)> on_reset;
+  };
+
+  /// `send_segment` transmits encoded RFC 793 bytes towards the peer.
+  MonoConnection(sim::Simulator& sim, const FourTuple& tuple,
+                 const MonoConfig& config,
+                 std::function<void(Bytes)> send_segment);
+
+  void set_app_callbacks(AppCallbacks callbacks) { app_ = std::move(callbacks); }
+  void set_owner_reaper(std::function<void()> reaper) {
+    reaper_ = std::move(reaper);
+  }
+
+  void open_active(std::uint32_t isn);
+  void open_passive(const TcpHeader& syn, std::uint32_t isn);
+
+  void send(Bytes data);
+  void close();
+  void abort();
+
+  /// THE entangled input routine (cf. lwIP tcp_input / TCPv2 p.948).
+  void tcp_input(const TcpHeader& header, Bytes payload);
+
+  MonoState state() const { return state_; }
+  const FourTuple& tuple() const { return tuple_; }
+  std::uint64_t cwnd() const { return cwnd_; }
+  const MonoStats& stats() const { return stats_; }
+
+ private:
+  // --- the PCB: everything lives here, shared by every code path ---
+  void output();
+  void transmit(std::uint32_t seq, std::size_t len, bool fin, bool syn);
+  void send_empty(bool ack, bool rst, bool syn = false);
+  void on_rto();
+  void arm_retx_timer();
+  void note_rtt(Duration sample);
+  void process_ack(const TcpHeader& h);
+  void process_data(const TcpHeader& h, Bytes payload);
+  void deliver(Bytes data);
+  void handle_peer_fin();
+  void enter_time_wait();
+  void become_closed();
+  std::uint16_t advertised_window() const;
+  std::uint32_t send_window_limit() const;
+
+  sim::Simulator& sim_;
+  FourTuple tuple_;
+  MonoConfig config_;
+  std::function<void(Bytes)> send_segment_;
+  AppCallbacks app_;
+  std::function<void()> reaper_;
+  MonoStats stats_;
+
+  MonoState state_ = MonoState::kClosed;
+  std::uint32_t iss_ = 0;
+  std::uint32_t irs_ = 0;
+  std::uint32_t snd_una_ = 0;
+  std::uint32_t snd_nxt_ = 0;
+  std::uint32_t snd_wnd_ = 65535;
+  std::uint32_t rcv_nxt_ = 0;
+
+  // Send buffer: bytes [buffer_front_seq_, buffer_front_seq_ + size).
+  std::deque<std::uint8_t> buffer_;
+  std::uint32_t buffer_front_seq_ = 0;
+  bool fin_pending_ = false;
+  bool fin_sent_ = false;
+  std::uint32_t fin_seq_ = 0;
+
+  // Congestion control, inline Reno.
+  std::uint64_t cwnd_ = 0;
+  std::uint64_t ssthresh_ = ~0ull;
+  int dupacks_ = 0;
+
+  // RTO machinery.
+  Duration rto_;
+  std::optional<Duration> srtt_;
+  Duration rttvar_;
+  bool rtt_timing_ = false;
+  std::uint32_t rtt_seq_ = 0;
+  TimePoint rtt_start_;
+  int retries_ = 0;
+  /// Loss-recovery point: while snd_una_ < recover_until_, every new ack
+  /// immediately retransmits the next segment from snd_una_ (NewReno-style
+  /// partial-ack handling, also applied after a timeout).
+  std::uint32_t recover_until_ = 0;
+  bool in_recovery_ = false;
+  sim::Timer retx_timer_;
+  sim::Timer time_wait_timer_;
+
+  // Receiver out-of-order queue (keyed by sequence, wrap-aware).
+  struct SeqLess {
+    bool operator()(std::uint32_t a, std::uint32_t b) const {
+      return seq_lt(a, b);
+    }
+  };
+  std::map<std::uint32_t, Bytes, SeqLess> ooo_;
+  std::uint64_t ooo_bytes_ = 0;
+  std::optional<std::uint32_t> peer_fin_seq_;
+};
+
+/// Host container for monolithic connections: demux, ISNs, lifecycle.
+class MonoHost {
+ public:
+  using AcceptHandler = std::function<void(MonoConnection&)>;
+
+  MonoHost(sim::Simulator& sim, netlayer::Router& router,
+           std::uint8_t host_octet, MonoConfig config = {});
+
+  netlayer::IpAddr addr() const { return addr_; }
+
+  MonoConnection& connect(netlayer::IpAddr remote, std::uint16_t remote_port);
+  void listen(std::uint16_t port, AcceptHandler on_accept);
+
+  std::size_t live_connections() const { return connections_.size(); }
+
+ private:
+  void on_datagram(const netlayer::IpHeader& header, Bytes payload);
+  MonoConnection& make_connection(const FourTuple& tuple);
+  std::uint16_t allocate_port();
+
+  sim::Simulator& sim_;
+  netlayer::Router& router_;
+  netlayer::IpAddr addr_;
+  MonoConfig config_;
+  std::unique_ptr<IsnProvider> isn_;
+  std::map<FourTuple, std::unique_ptr<MonoConnection>> connections_;
+  std::map<std::uint16_t, AcceptHandler> acceptors_;
+  std::uint16_t next_ephemeral_ = 40000;
+};
+
+}  // namespace sublayer::transport

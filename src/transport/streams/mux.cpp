@@ -1,0 +1,113 @@
+#include "transport/streams/mux.hpp"
+
+namespace sublayer::transport {
+
+void Stream::send(Bytes data) {
+  if (local_end_) return;  // write after finish
+  std::size_t at = 0;
+  while (at < data.size()) {
+    const std::size_t chunk =
+        std::min<std::size_t>(StreamMux::kMaxRecordPayload, data.size() - at);
+    mux_.emit(id_, /*end=*/false, ByteView(data).subspan(at, chunk));
+    at += chunk;
+  }
+  if (data.empty()) mux_.emit(id_, /*end=*/false, {});
+}
+
+void Stream::finish() {
+  if (local_end_) return;
+  local_end_ = true;
+  mux_.emit(id_, /*end=*/true, {});
+}
+
+StreamMux::StreamMux(Connection& connection, bool initiator)
+    : connection_(connection),
+      initiator_(initiator),
+      next_id_(initiator ? 1 : 2) {
+  Connection::AppCallbacks cb;
+  cb.on_established = [this] {
+    if (on_established_) on_established_();
+  };
+  cb.on_data = [this](Bytes data) { on_bytes(std::move(data)); };
+  cb.on_closed = [this] {
+    if (on_closed_) on_closed_();
+  };
+  connection_.set_app_callbacks(std::move(cb));
+}
+
+Stream& StreamMux::open() {
+  const std::uint32_t id = next_id_;
+  next_id_ += 2;
+  ++stats_.streams_opened_local;
+  auto stream = std::unique_ptr<Stream>(new Stream(*this, id));
+  Stream& ref = *stream;
+  streams_.emplace(id, std::move(stream));
+  return ref;
+}
+
+void StreamMux::emit(std::uint32_t id, bool end, ByteView payload) {
+  Bytes record;
+  record.reserve(kHeaderSize + payload.size());
+  ByteWriter w(record);
+  w.u32(id);
+  w.u8(end ? 1 : 0);
+  w.u16(static_cast<std::uint16_t>(payload.size()));
+  w.bytes(payload);
+  ++stats_.records_sent;
+  stats_.bytes_sent += payload.size();
+  connection_.send(std::move(record));
+}
+
+void StreamMux::on_bytes(Bytes data) {
+  rx_buffer_.insert(rx_buffer_.end(), data.begin(), data.end());
+  // Drain complete records; the byte stream is in order (OSR's guarantee),
+  // so a simple cursor suffices.
+  std::size_t at = 0;
+  while (rx_buffer_.size() - at >= kHeaderSize) {
+    ByteReader r(ByteView(rx_buffer_).subspan(at));
+    const std::uint32_t id = r.u32();
+    const std::uint8_t flags = r.u8();
+    const std::uint16_t len = r.u16();
+    if (rx_buffer_.size() - at - kHeaderSize <
+        static_cast<std::size_t>(len)) {
+      break;  // record still arriving
+    }
+    Bytes payload = r.bytes(len);
+    at += kHeaderSize + len;
+    if (flags > 1) {
+      ++stats_.malformed_records;
+      continue;
+    }
+    ++stats_.records_received;
+    stats_.bytes_received += payload.size();
+    dispatch(id, (flags & 1) != 0, std::move(payload));
+  }
+  rx_buffer_.erase(rx_buffer_.begin(),
+                   rx_buffer_.begin() + static_cast<std::ptrdiff_t>(at));
+}
+
+Stream& StreamMux::stream_for(std::uint32_t id, bool remote_initiated) {
+  const auto it = streams_.find(id);
+  if (it != streams_.end()) return *it->second;
+  auto stream = std::unique_ptr<Stream>(new Stream(*this, id));
+  Stream& ref = *stream;
+  streams_.emplace(id, std::move(stream));
+  if (remote_initiated) {
+    ++stats_.streams_opened_remote;
+    if (on_stream_) on_stream_(ref);
+  }
+  return ref;
+}
+
+void StreamMux::dispatch(std::uint32_t id, bool end, Bytes payload) {
+  // Parity determines who initiated: the initiator owns odd ids.
+  const bool remote_initiated = initiator_ ? id % 2 == 0 : id % 2 == 1;
+  Stream& stream = stream_for(id, remote_initiated);
+  if (!payload.empty() && stream.on_data_) stream.on_data_(std::move(payload));
+  if (end && !stream.remote_end_) {
+    stream.remote_end_ = true;
+    if (stream.on_end_) stream.on_end_();
+  }
+}
+
+}  // namespace sublayer::transport

@@ -1,0 +1,132 @@
+// Stream multiplexing — a further sublayer stacked ABOVE the transport.
+//
+// The paper's closing agenda (§5) points at QUIC: "The transport layer
+// can likely be further sublayered into a stream layer and a connection
+// layer."  This module is that stream sublayer, built recursively on the
+// sublayered TCP's byte stream exactly the way each TCP sublayer is built
+// on the one below it:
+//
+//   T1: it adds a distinct service (independent message streams) by
+//       talking to its peer mux through its own record header;
+//   T2: its downward interface is just the connection's byte-stream API;
+//   T3: its header bytes (stream id, flags, length) are invisible to OSR
+//       and below, and no lower sublayer's state is touched.
+//
+// This is the SST/Minion use case the related-work section describes —
+// application-level framing and per-stream delivery — implemented as one
+// more sublayer rather than a protocol fork.  (Within a single TCP
+// connection, transport-level head-of-line blocking still exists; the mux
+// removes *application-level* interleaving constraints.)
+//
+// Wire format of one record inside the byte stream:
+//   stream_id:32  flags:8 (bit0 = END of stream)  length:16  payload...
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "transport/sublayered/connection.hpp"
+
+namespace sublayer::transport {
+
+class StreamMux;
+
+/// One logical stream inside a connection.
+class Stream {
+ public:
+  using DataHandler = std::function<void(Bytes)>;
+  using EndHandler = std::function<void()>;
+
+  std::uint32_t id() const { return id_; }
+
+  /// Appends bytes to this stream (interleaves with other streams on the
+  /// wire at record granularity).
+  void send(Bytes data);
+
+  /// Half-closes this stream; the peer's on_end fires after the last byte.
+  void finish();
+
+  void set_on_data(DataHandler h) { on_data_ = std::move(h); }
+  void set_on_end(EndHandler h) { on_end_ = std::move(h); }
+
+  bool local_finished() const { return local_end_; }
+  bool remote_finished() const { return remote_end_; }
+
+ private:
+  friend class StreamMux;
+  Stream(StreamMux& mux, std::uint32_t id) : mux_(mux), id_(id) {}
+
+  StreamMux& mux_;
+  std::uint32_t id_;
+  bool local_end_ = false;
+  bool remote_end_ = false;
+  DataHandler on_data_;
+  EndHandler on_end_;
+};
+
+struct StreamMuxStats {
+  std::uint64_t records_sent = 0;
+  std::uint64_t records_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t streams_opened_local = 0;
+  std::uint64_t streams_opened_remote = 0;
+  std::uint64_t malformed_records = 0;
+};
+
+class StreamMux {
+ public:
+  using AcceptHandler = std::function<void(Stream&)>;
+
+  /// Attaches to `connection` as its application.  `initiator` disam-
+  /// biguates the id spaces (initiator opens odd ids, acceptor even),
+  /// mirroring QUIC's convention.  The mux installs the connection's app
+  /// callbacks; connection-level events can still be observed through the
+  /// optional handlers below.
+  StreamMux(Connection& connection, bool initiator);
+
+  /// Opens a new locally-initiated stream.
+  Stream& open();
+
+  /// Handler for streams the peer opens.
+  void set_on_stream(AcceptHandler h) { on_stream_ = std::move(h); }
+
+  /// Pass-through connection events.
+  void set_on_established(std::function<void()> h) {
+    on_established_ = std::move(h);
+  }
+  void set_on_connection_closed(std::function<void()> h) {
+    on_closed_ = std::move(h);
+  }
+
+  /// Closes the whole connection once every local stream is finished.
+  void close_connection() { connection_.close(); }
+
+  std::size_t live_streams() const { return streams_.size(); }
+  const StreamMuxStats& stats() const { return stats_; }
+
+  static constexpr std::size_t kHeaderSize = 4 + 1 + 2;
+  static constexpr std::size_t kMaxRecordPayload = 65535;
+
+ private:
+  friend class Stream;
+
+  void emit(std::uint32_t id, bool end, ByteView payload);
+  void on_bytes(Bytes data);
+  void dispatch(std::uint32_t id, bool end, Bytes payload);
+  Stream& stream_for(std::uint32_t id, bool remote_initiated);
+
+  Connection& connection_;
+  bool initiator_;
+  std::uint32_t next_id_;
+  AcceptHandler on_stream_;
+  std::function<void()> on_established_;
+  std::function<void()> on_closed_;
+  std::map<std::uint32_t, std::unique_ptr<Stream>> streams_;
+  Bytes rx_buffer_;  // partially received record
+  StreamMuxStats stats_;
+};
+
+}  // namespace sublayer::transport

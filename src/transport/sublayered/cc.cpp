@@ -1,0 +1,243 @@
+// Congestion-control algorithm implementations.
+#include "transport/sublayered/cc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sublayer::transport {
+namespace {
+
+constexpr std::uint64_t kMinCwndSegments = 2;
+
+class Reno : public CcAlgorithm {
+ public:
+  explicit Reno(const CcConfig& config)
+      : mss_(config.mss),
+        cwnd_(config.initial_cwnd_segments * config.mss),
+        ssthresh_(~0ull) {}
+
+  std::string name() const override { return "reno"; }
+
+  void on_ack(const AckEvent& event) override {
+    if (ecn_holdoff_ > 0) {
+      ecn_holdoff_ -= std::min(ecn_holdoff_, event.bytes_newly_acked);
+    }
+    if (event.ecn_echo) {
+      // ECN: react like a loss, at most once per window of acked data.
+      if (ecn_holdoff_ == 0) {
+        react_to_congestion();
+        ecn_holdoff_ = cwnd_;
+      }
+      return;
+    }
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += event.bytes_newly_acked;  // slow start
+    } else if (cwnd_ > 0) {
+      // Congestion avoidance: +MSS per cwnd of acked data.
+      cwnd_ += std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(mss_) * mss_ / cwnd_ *
+                 std::max<std::uint64_t>(1, event.bytes_newly_acked / mss_));
+    }
+  }
+
+  void on_loss(const LossEvent& event) override {
+    if (event.kind == LossKind::kTimeout) {
+      ssthresh_ = std::max<std::uint64_t>(cwnd_ / 2, kMinCwndSegments * mss_);
+      cwnd_ = mss_;  // restart from one segment
+    } else {
+      react_to_congestion();
+    }
+  }
+
+  std::uint64_t cwnd_bytes() const override { return cwnd_; }
+  std::uint64_t ssthresh_bytes() const override { return ssthresh_; }
+
+ protected:
+  void react_to_congestion() {
+    ssthresh_ = std::max<std::uint64_t>(cwnd_ / 2, kMinCwndSegments * mss_);
+    cwnd_ = ssthresh_;  // fast recovery's post-recovery window
+  }
+
+  std::uint32_t mss_;
+  std::uint64_t cwnd_;
+  std::uint64_t ssthresh_;
+  std::uint64_t ecn_holdoff_ = 0;
+};
+
+class Cubic : public CcAlgorithm {
+ public:
+  explicit Cubic(const CcConfig& config)
+      : mss_(config.mss),
+        cwnd_(config.initial_cwnd_segments * config.mss),
+        ssthresh_(~0ull) {}
+
+  std::string name() const override { return "cubic"; }
+
+  void on_ack(const AckEvent& event) override {
+    if (ecn_holdoff_ > 0) {
+      ecn_holdoff_ -= std::min(ecn_holdoff_, event.bytes_newly_acked);
+    }
+    if (event.ecn_echo) {
+      if (ecn_holdoff_ == 0) {
+        on_loss(LossEvent{event.now, LossKind::kFastRetransmit,
+                          event.bytes_in_flight});
+        ecn_holdoff_ = cwnd_;
+      }
+      return;
+    }
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += event.bytes_newly_acked;
+      return;
+    }
+    if (!epoch_started_) {
+      epoch_started_ = true;
+      epoch_start_ = event.now;
+      // K = cbrt(w_max * (1-beta) / C), with window in segments.
+      const double wmax_seg = static_cast<double>(w_max_) / mss_;
+      k_ = std::cbrt(wmax_seg * (1.0 - kBeta) / kC);
+    }
+    const double t = (event.now - epoch_start_).to_seconds();
+    const double wmax_seg = static_cast<double>(w_max_) / mss_;
+    const double target_seg = kC * std::pow(t - k_, 3.0) + wmax_seg;
+    const auto target =
+        static_cast<std::uint64_t>(std::max(target_seg, 1.0) * mss_);
+    if (target > cwnd_) {
+      // Approach the cubic target over the next RTT.
+      cwnd_ += std::max<std::uint64_t>(
+          1, (target - cwnd_) * std::max<std::uint64_t>(
+                                    1, event.bytes_newly_acked) /
+                 std::max<std::uint64_t>(cwnd_, 1));
+    } else {
+      // TCP-friendly floor: grow at least like AIMD.
+      cwnd_ += std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(mss_) * mss_ / std::max<std::uint64_t>(cwnd_, 1));
+    }
+  }
+
+  void on_loss(const LossEvent& event) override {
+    w_max_ = cwnd_;
+    epoch_started_ = false;
+    ssthresh_ = std::max<std::uint64_t>(
+        static_cast<std::uint64_t>(static_cast<double>(cwnd_) * kBeta),
+        kMinCwndSegments * mss_);
+    cwnd_ = event.kind == LossKind::kTimeout ? mss_ : ssthresh_;
+  }
+
+  std::uint64_t cwnd_bytes() const override { return cwnd_; }
+  std::uint64_t ssthresh_bytes() const override { return ssthresh_; }
+
+ private:
+  static constexpr double kC = 0.4;
+  static constexpr double kBeta = 0.7;
+
+  std::uint32_t mss_;
+  std::uint64_t cwnd_;
+  std::uint64_t ssthresh_;
+  std::uint64_t w_max_ = 0;
+  bool epoch_started_ = false;
+  TimePoint epoch_start_;
+  double k_ = 0;
+  std::uint64_t ecn_holdoff_ = 0;
+};
+
+class Aimd : public CcAlgorithm {
+ public:
+  explicit Aimd(const CcConfig& config)
+      : mss_(config.mss),
+        alpha_bytes_(static_cast<std::uint64_t>(config.aimd_increase_segments *
+                                                config.mss)),
+        beta_(config.aimd_beta),
+        cwnd_(config.initial_cwnd_segments * config.mss) {}
+
+  std::string name() const override { return "aimd"; }
+
+  void on_ack(const AckEvent& event) override {
+    if (event.ecn_echo) {
+      decrease();
+      return;
+    }
+    // Additive increase: alpha per cwnd's worth of acks (no slow start —
+    // deliberately simpler dynamics than Reno).
+    cwnd_ += alpha_bytes_ * std::max<std::uint64_t>(1, event.bytes_newly_acked) /
+             std::max<std::uint64_t>(cwnd_, 1);
+  }
+
+  void on_loss(const LossEvent&) override { decrease(); }
+
+  std::uint64_t cwnd_bytes() const override { return cwnd_; }
+
+ private:
+  void decrease() {
+    cwnd_ = std::max<std::uint64_t>(
+        static_cast<std::uint64_t>(static_cast<double>(cwnd_) * beta_),
+        kMinCwndSegments * mss_);
+  }
+
+  std::uint32_t mss_;
+  std::uint64_t alpha_bytes_;
+  double beta_;
+  std::uint64_t cwnd_;
+};
+
+class RateBased : public CcAlgorithm {
+ public:
+  explicit RateBased(const CcConfig& config)
+      : mss_(config.mss), rate_bps_(config.fixed_rate_bps) {}
+
+  std::string name() const override { return "rate"; }
+
+  void on_ack(const AckEvent& event) override {
+    if (event.ecn_echo) {
+      rate_bps_ *= 0.85;
+      return;
+    }
+    rate_bps_ += kProbeBps * std::max<std::uint64_t>(
+                                 1, event.bytes_newly_acked / mss_);
+    rate_bps_ = std::min(rate_bps_, kMaxBps);
+  }
+
+  void on_loss(const LossEvent& event) override {
+    rate_bps_ *= event.kind == LossKind::kTimeout ? 0.5 : 0.8;
+    rate_bps_ = std::max(rate_bps_, kMinBps);
+  }
+
+  std::uint64_t cwnd_bytes() const override {
+    // A generous cap so the pacing rate, not the window, governs release.
+    return 1ull << 24;
+  }
+  std::optional<double> pacing_bps() const override { return rate_bps_; }
+
+ private:
+  static constexpr double kProbeBps = 20e3;
+  static constexpr double kMinBps = 100e3;
+  static constexpr double kMaxBps = 10e9;
+
+  std::uint32_t mss_;
+  double rate_bps_;
+};
+
+}  // namespace
+
+std::unique_ptr<CcAlgorithm> make_reno(const CcConfig& config) {
+  return std::make_unique<Reno>(config);
+}
+std::unique_ptr<CcAlgorithm> make_cubic(const CcConfig& config) {
+  return std::make_unique<Cubic>(config);
+}
+std::unique_ptr<CcAlgorithm> make_aimd(const CcConfig& config) {
+  return std::make_unique<Aimd>(config);
+}
+std::unique_ptr<CcAlgorithm> make_rate_based(const CcConfig& config) {
+  return std::make_unique<RateBased>(config);
+}
+
+std::unique_ptr<CcAlgorithm> make_cc(const std::string& name,
+                                     const CcConfig& config) {
+  if (name == "reno") return make_reno(config);
+  if (name == "cubic") return make_cubic(config);
+  if (name == "aimd") return make_aimd(config);
+  if (name == "rate") return make_rate_based(config);
+  throw std::invalid_argument("unknown congestion control: " + name);
+}
+
+}  // namespace sublayer::transport

@@ -1,0 +1,78 @@
+// Congestion-control plug-in interface for the OSR sublayer.
+//
+// Following the paper's T3 requirement and Narayan et al. [26], all
+// congestion signals reach the algorithm through this narrow interface:
+// ack events (with RTT samples) and loss events (summarized by RD), plus
+// explicit ECN marks carried in the OSR subheader.  The algorithm answers
+// with a congestion window and, optionally, a pacing rate.  Swapping the
+// algorithm touches nothing outside this interface (Challenge 5).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/time.hpp"
+
+namespace sublayer::transport {
+
+struct AckEvent {
+  TimePoint now;
+  std::uint64_t bytes_newly_acked = 0;
+  std::optional<Duration> rtt;  // absent for acks of retransmitted data
+  std::uint64_t bytes_in_flight = 0;
+  bool ecn_echo = false;
+};
+
+enum class LossKind {
+  kFastRetransmit,  // triple duplicate ack / SACK-inferred hole
+  kTimeout,         // retransmission timer expiry
+};
+
+struct LossEvent {
+  TimePoint now;
+  LossKind kind = LossKind::kFastRetransmit;
+  std::uint64_t bytes_in_flight = 0;
+};
+
+class CcAlgorithm {
+ public:
+  virtual ~CcAlgorithm() = default;
+
+  virtual std::string name() const = 0;
+
+  virtual void on_ack(const AckEvent& event) = 0;
+  virtual void on_loss(const LossEvent& event) = 0;
+
+  /// Current congestion window in bytes.
+  virtual std::uint64_t cwnd_bytes() const = 0;
+
+  /// Pacing rate in bits/s for rate-based algorithms; nullopt means pure
+  /// window-based release.
+  virtual std::optional<double> pacing_bps() const { return std::nullopt; }
+
+  /// Slow-start threshold, for diagnostics/benchmarks.
+  virtual std::uint64_t ssthresh_bytes() const { return 0; }
+};
+
+struct CcConfig {
+  std::uint32_t mss = 1200;
+  std::uint64_t initial_cwnd_segments = 4;
+  double aimd_increase_segments = 1.0;  // AIMD: additive increase per RTT
+  double aimd_beta = 0.5;               // AIMD: multiplicative decrease
+  double fixed_rate_bps = 8e6;          // rate-based: constant pacing rate
+};
+
+std::unique_ptr<CcAlgorithm> make_reno(const CcConfig& config = {});
+std::unique_ptr<CcAlgorithm> make_cubic(const CcConfig& config = {});
+std::unique_ptr<CcAlgorithm> make_aimd(const CcConfig& config = {});
+/// A rate-based controller with AIMD-adjusted pacing (no cwnd dynamics):
+/// demonstrates replacing window-based congestion control wholesale.
+std::unique_ptr<CcAlgorithm> make_rate_based(const CcConfig& config = {});
+
+/// Factory by name: "reno", "cubic", "aimd", "rate".
+std::unique_ptr<CcAlgorithm> make_cc(const std::string& name,
+                                     const CcConfig& config = {});
+
+}  // namespace sublayer::transport

@@ -1,0 +1,247 @@
+#include "transport/sublayered/cm.hpp"
+
+namespace sublayer::transport {
+
+const char* to_string(CmState s) {
+  switch (s) {
+    case CmState::kClosed: return "CLOSED";
+    case CmState::kSynSent: return "SYN_SENT";
+    case CmState::kSynRcvd: return "SYN_RCVD";
+    case CmState::kEstablished: return "ESTABLISHED";
+    case CmState::kTimeWait: return "TIME_WAIT";
+    case CmState::kAborted: return "ABORTED";
+  }
+  return "?";
+}
+
+ConnectionManager::ConnectionManager(sim::Simulator& sim,
+                                     IsnProvider& isn_provider,
+                                     CmConfig config, Callbacks callbacks)
+    : sim_(sim),
+      isn_provider_(isn_provider),
+      config_(config),
+      cb_(std::move(callbacks)),
+      handshake_timer_(sim, [this] { on_handshake_timer(); }),
+      time_wait_timer_(sim, [this] {
+        state_ = CmState::kClosed;
+        if (cb_.on_closed) cb_.on_closed();
+      }) {}
+
+void ConnectionManager::open_active(const FourTuple& tuple) {
+  tuple_ = tuple;
+  isn_local_ = isn_provider_.isn(tuple);
+  state_ = CmState::kSynSent;
+  retries_ = 0;
+  send_syn();
+}
+
+void ConnectionManager::open_passive(const FourTuple& tuple,
+                                     const SublayeredSegment& first) {
+  const SublayeredSegment& syn = first;
+  tuple_ = tuple;
+  isn_peer_ = syn.cm.isn_local;
+  isn_local_ = isn_provider_.isn(tuple);
+  state_ = CmState::kSynRcvd;
+  retries_ = 0;
+  send_synack();
+}
+
+void ConnectionManager::send_syn() {
+  SublayeredSegment s;
+  s.cm.kind = CmKind::kSyn;
+  s.cm.isn_local = isn_local_;
+  s.cm.isn_peer = 0;
+  ++stats_.syn_sent;
+  handshake_timer_.restart(config_.handshake_rto * (1 << retries_));
+  if (cb_.send) cb_.send(std::move(s));
+}
+
+void ConnectionManager::send_synack() {
+  SublayeredSegment s;
+  s.cm.kind = CmKind::kSynAck;
+  s.cm.isn_local = isn_local_;
+  s.cm.isn_peer = isn_peer_;
+  handshake_timer_.restart(config_.handshake_rto * (1 << retries_));
+  if (cb_.send) cb_.send(std::move(s));
+}
+
+void ConnectionManager::send_fin() {
+  SublayeredSegment s;
+  s.cm.kind = CmKind::kFin;
+  s.cm.isn_local = isn_local_;
+  s.cm.isn_peer = isn_peer_;
+  s.cm.fin_offset = static_cast<std::uint32_t>(local_stream_length_);
+  ++stats_.fin_sent;
+  handshake_timer_.restart(config_.handshake_rto * (1 << retries_));
+  if (cb_.send) cb_.send(std::move(s));
+}
+
+void ConnectionManager::send_finack() {
+  SublayeredSegment s;
+  s.cm.kind = CmKind::kFinAck;
+  s.cm.isn_local = isn_local_;
+  s.cm.isn_peer = isn_peer_;
+  if (cb_.send) cb_.send(std::move(s));
+}
+
+void ConnectionManager::send_rst() {
+  SublayeredSegment s;
+  s.cm.kind = CmKind::kRst;
+  s.cm.isn_local = isn_local_;
+  s.cm.isn_peer = isn_peer_;
+  ++stats_.rst_sent;
+  if (cb_.send) cb_.send(std::move(s));
+}
+
+void ConnectionManager::on_handshake_timer() {
+  if (++retries_ > config_.max_handshake_retries) {
+    abort("handshake/teardown retries exhausted");
+    return;
+  }
+  switch (state_) {
+    case CmState::kSynSent:
+      ++stats_.syn_retransmits;
+      send_syn();
+      break;
+    case CmState::kSynRcvd:
+      send_synack();
+      break;
+    case CmState::kEstablished:
+      if (local_fin_sent_ && !local_fin_acked_) {
+        ++stats_.fin_retransmits;
+        send_fin();
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+bool ConnectionManager::incarnation_ok(const SublayeredSegment& s) const {
+  return s.cm.isn_local == isn_peer_ && s.cm.isn_peer == isn_local_;
+}
+
+void ConnectionManager::close(std::uint64_t stream_length) {
+  if (local_fin_sent_ || state_ != CmState::kEstablished) return;
+  local_stream_length_ = stream_length;
+  local_fin_sent_ = true;
+  retries_ = 0;
+  send_fin();
+}
+
+void ConnectionManager::abort(const std::string& reason) {
+  if (state_ == CmState::kAborted || state_ == CmState::kClosed) return;
+  send_rst();
+  handshake_timer_.stop();
+  state_ = CmState::kAborted;
+  if (cb_.on_reset) cb_.on_reset(reason);
+}
+
+void ConnectionManager::maybe_time_wait() {
+  if (state_ == CmState::kEstablished && local_fin_acked_ && peer_fin_seen_) {
+    enter_time_wait();
+  }
+}
+
+void ConnectionManager::enter_time_wait() {
+  handshake_timer_.stop();
+  state_ = CmState::kTimeWait;
+  time_wait_timer_.restart(config_.time_wait);
+}
+
+void ConnectionManager::on_segment(SublayeredSegment segment) {
+  switch (segment.cm.kind) {
+    case CmKind::kSyn:
+      // Duplicate SYN from our peer while we wait for the final ack.
+      if (state_ == CmState::kSynRcvd && segment.cm.isn_local == isn_peer_) {
+        send_synack();
+      }
+      return;
+
+    case CmKind::kSynAck:
+      if (state_ == CmState::kSynSent && segment.cm.isn_peer == isn_local_) {
+        isn_peer_ = segment.cm.isn_local;
+        handshake_timer_.stop();
+        state_ = CmState::kEstablished;
+        if (cb_.on_established) cb_.on_established(isn_local_, isn_peer_);
+      } else if (state_ == CmState::kEstablished && incarnation_ok(segment)) {
+        // Our handshake-completing ack was lost; re-ack.
+        if (cb_.request_ack) cb_.request_ack();
+      }
+      return;
+
+    case CmKind::kData:
+      if (!incarnation_ok(segment)) {
+        ++stats_.bad_incarnation;
+        // A delayed duplicate from another incarnation: CM's guarantee to
+        // RD is that such segments never reach it.
+        return;
+      }
+      if (state_ == CmState::kSynRcvd) {
+        // First valid segment of the new incarnation completes the
+        // handshake on the passive side.
+        handshake_timer_.stop();
+        state_ = CmState::kEstablished;
+        if (cb_.on_established) cb_.on_established(isn_local_, isn_peer_);
+      }
+      if (state_ == CmState::kEstablished || state_ == CmState::kTimeWait) {
+        if (cb_.deliver_data) cb_.deliver_data(std::move(segment));
+      }
+      return;
+
+    case CmKind::kFin:
+      if (!incarnation_ok(segment)) {
+        ++stats_.bad_incarnation;
+        return;
+      }
+      if (state_ == CmState::kSynRcvd) {
+        handshake_timer_.stop();
+        state_ = CmState::kEstablished;
+        if (cb_.on_established) cb_.on_established(isn_local_, isn_peer_);
+      }
+      if (state_ == CmState::kEstablished || state_ == CmState::kTimeWait) {
+        send_finack();  // re-ack duplicates too
+        if (!peer_fin_seen_) {
+          peer_fin_seen_ = true;
+          if (cb_.on_peer_fin) cb_.on_peer_fin(segment.cm.fin_offset);
+          maybe_time_wait();
+        }
+      }
+      return;
+
+    case CmKind::kFinAck:
+      if (!incarnation_ok(segment)) {
+        ++stats_.bad_incarnation;
+        return;
+      }
+      if (local_fin_sent_ && !local_fin_acked_) {
+        local_fin_acked_ = true;
+        handshake_timer_.stop();
+        if (cb_.on_local_fin_acked) cb_.on_local_fin_acked();
+        maybe_time_wait();
+      }
+      return;
+
+    case CmKind::kRst:
+      // Validate loosely: a RST must at least quote one of our ISNs so a
+      // blind attacker cannot tear the connection down.
+      if (segment.cm.isn_peer == isn_local_ ||
+          segment.cm.isn_local == isn_peer_) {
+        handshake_timer_.stop();
+        state_ = CmState::kAborted;
+        if (cb_.on_reset) cb_.on_reset("peer reset");
+      } else {
+        ++stats_.bad_incarnation;
+      }
+      return;
+  }
+}
+
+void ConnectionManager::stamp_data(SublayeredSegment& segment) const {
+  segment.cm.kind = CmKind::kData;
+  segment.cm.isn_local = isn_local_;
+  segment.cm.isn_peer = isn_peer_;
+  segment.cm.fin_offset = 0;
+}
+
+}  // namespace sublayer::transport

@@ -1,0 +1,192 @@
+// CM — the connection-management sublayer (Fig. 5).
+//
+// Encapsulates everything about connection setup and teardown: the
+// SYN/SYNACK handshake, FIN/FINACK teardown, RST aborts, TIME-WAIT, and —
+// its main service — establishing a pair of Initial Sequence Numbers that
+// are "unique in time and hard to predict" (§3), through a pluggable
+// IsnProvider.  CM owns its own bootstrap reliability (SYN/FIN timers with
+// exponential backoff, no windows) — the paper notes this seeming
+// duplication with RD is already implicit in classical TCP.
+//
+// Narrow interfaces (T2):
+//   up (to RD):  on_established(isn_local, isn_peer);  validated DATA
+//                segments are passed through; peer-FIN reports the exact
+//                stream length so OSR knows where the byte stream ends.
+//   down (to DM): fully-formed control segments; stamping of the CM
+//                header (kind + ISN pair) onto outgoing DATA segments.
+//
+// CM also *validates* every inbound segment's ISN pair, rejecting (and
+// RST-ing) segments from other connection incarnations — the formal
+// guarantee it owes RD ("a range of sequence numbers not present in the
+// network", Smith [29]).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sim/simulator.hpp"
+#include "transport/sublayered/isn.hpp"
+#include "transport/wire/sublayered_header.hpp"
+#include "transport/wire/tuple.hpp"
+
+namespace sublayer::transport {
+
+enum class CmState {
+  kClosed,
+  kSynSent,
+  kSynRcvd,
+  kEstablished,
+  kTimeWait,
+  kAborted,
+};
+
+const char* to_string(CmState s);
+
+/// Which connection-management mechanism runs behind the CM interface —
+/// the paper's Challenge 5 names exactly this swap: "replace ... connection
+/// management (by a timer-based scheme [31])".
+enum class CmScheme {
+  /// Classical SYN/SYNACK handshake with TIME-WAIT (the §3 design).
+  kHandshake,
+  /// Watson Delta-t style: no connection-opening handshake — the first
+  /// data segment carries the (clock-monotonic) ISN and state is bounded
+  /// by timers rather than an exchange.  Buys a full RTT on open; safety
+  /// rests on ISN monotonicity plus quiet-time, not on the three-way
+  /// agreement.
+  kTimerBased,
+};
+
+struct CmConfig {
+  CmScheme scheme = CmScheme::kHandshake;
+  Duration handshake_rto = Duration::millis(200);
+  int max_handshake_retries = 8;
+  Duration time_wait = Duration::millis(500);  // stands in for 2*MSL
+};
+
+struct CmStats {
+  std::uint64_t syn_sent = 0;
+  std::uint64_t syn_retransmits = 0;
+  std::uint64_t fin_sent = 0;
+  std::uint64_t fin_retransmits = 0;
+  std::uint64_t rst_sent = 0;
+  std::uint64_t bad_incarnation = 0;  // segments rejected by ISN validation
+};
+
+/// The CM sublayer interface — what the rest of the connection sees.
+/// Two mechanisms implement it (handshake and timer-based); swapping them
+/// touches nothing else in the stack.
+class CmInterface {
+ public:
+  struct Callbacks {
+    /// Connection is up; RD may start using the agreed sequence basis.
+    std::function<void(std::uint32_t isn_local, std::uint32_t isn_peer)>
+        on_established;
+    /// Peer closed its direction; the peer's byte stream ends at
+    /// `stream_length` (OSR uses this to signal EOF after reassembly).
+    std::function<void(std::uint64_t stream_length)> on_peer_fin;
+    /// Our FIN was acknowledged.
+    std::function<void()> on_local_fin_acked;
+    /// Fully closed (after TIME-WAIT); the endpoint can be unbound.
+    std::function<void()> on_closed;
+    /// Connection aborted (RST or handshake failure).
+    std::function<void(std::string reason)> on_reset;
+    /// Transmission of a CM control segment (DM fills the ports).
+    std::function<void(SublayeredSegment)> send;
+    /// A validated DATA segment for the RD sublayer.
+    std::function<void(SublayeredSegment)> deliver_data;
+    /// Ask RD to emit a pure acknowledgement (used when a retransmitted
+    /// SYNACK shows our handshake-completing ack was lost).
+    std::function<void()> request_ack;
+  };
+
+  virtual ~CmInterface() = default;
+
+  /// Active open (client side).
+  virtual void open_active(const FourTuple& tuple) = 0;
+  /// Passive open: consume the connection-creating segment the listener
+  /// handed us (a SYN for the handshake scheme; the first data segment
+  /// for the timer-based scheme).
+  virtual void open_passive(const FourTuple& tuple,
+                            const SublayeredSegment& first) = 0;
+
+  /// Local close: our byte stream ends at `stream_length` bytes.
+  virtual void close(std::uint64_t stream_length) = 0;
+  /// Hard abort: send RST and tear down.
+  virtual void abort(const std::string& reason) = 0;
+
+  /// Entry point for every inbound segment on this connection.  CM
+  /// consumes control segments and validates DATA segments' incarnation
+  /// before passing them up via deliver_data.
+  virtual void on_segment(SublayeredSegment segment) = 0;
+
+  /// Stamps the CM header fields onto an outgoing DATA segment.
+  virtual void stamp_data(SublayeredSegment& segment) const = 0;
+
+  virtual CmState state() const = 0;
+  virtual std::uint32_t isn_local() const = 0;
+  virtual std::uint32_t isn_peer() const = 0;
+  virtual bool peer_fin_seen() const = 0;
+  virtual bool local_fin_acked() const = 0;
+  virtual const CmStats& stats() const = 0;
+};
+
+/// Factory dispatching on config.scheme.
+std::unique_ptr<CmInterface> make_cm(sim::Simulator& sim,
+                                     IsnProvider& isn_provider,
+                                     CmConfig config,
+                                     CmInterface::Callbacks callbacks);
+
+/// The classical handshake mechanism (§3 of the paper).
+class ConnectionManager final : public CmInterface {
+ public:
+  ConnectionManager(sim::Simulator& sim, IsnProvider& isn_provider,
+                    CmConfig config, Callbacks callbacks);
+
+  void open_active(const FourTuple& tuple) override;
+  void open_passive(const FourTuple& tuple,
+                    const SublayeredSegment& first) override;
+  void close(std::uint64_t stream_length) override;
+  void abort(const std::string& reason) override;
+  void on_segment(SublayeredSegment segment) override;
+  void stamp_data(SublayeredSegment& segment) const override;
+
+  CmState state() const override { return state_; }
+  std::uint32_t isn_local() const override { return isn_local_; }
+  std::uint32_t isn_peer() const override { return isn_peer_; }
+  bool peer_fin_seen() const override { return peer_fin_seen_; }
+  bool local_fin_acked() const override { return local_fin_acked_; }
+  const CmStats& stats() const override { return stats_; }
+
+ private:
+  void send_syn();
+  void send_synack();
+  void send_fin();
+  void send_finack();
+  void send_rst();
+  void on_handshake_timer();
+  bool incarnation_ok(const SublayeredSegment& s) const;
+  void maybe_time_wait();
+  void enter_time_wait();
+
+  sim::Simulator& sim_;
+  IsnProvider& isn_provider_;
+  CmConfig config_;
+  Callbacks cb_;
+
+  FourTuple tuple_;
+  CmState state_ = CmState::kClosed;
+  std::uint32_t isn_local_ = 0;
+  std::uint32_t isn_peer_ = 0;
+  int retries_ = 0;
+  bool local_fin_sent_ = false;
+  bool local_fin_acked_ = false;
+  bool peer_fin_seen_ = false;
+  std::uint64_t local_stream_length_ = 0;
+  CmStats stats_;
+  sim::Timer handshake_timer_;
+  sim::Timer time_wait_timer_;
+};
+
+}  // namespace sublayer::transport

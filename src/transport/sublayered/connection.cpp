@@ -1,0 +1,130 @@
+#include "transport/sublayered/connection.hpp"
+
+namespace sublayer::transport {
+
+Connection::Connection(sim::Simulator& sim, Demux& demux, IsnProvider& isn,
+                       const FourTuple& tuple, const ConnectionConfig& config)
+    : tuple_(tuple),
+      demux_(demux),
+      cm_(make_cm(
+          sim, isn, config.cm,
+          CmInterface::Callbacks{
+              /*on_established=*/
+              [this](std::uint32_t, std::uint32_t) {
+                osr_.set_established();
+                rd_.send_pure_ack();  // completes the peer's handshake
+                if (close_requested_) maybe_issue_fin();
+                if (app_.on_established) app_.on_established();
+              },
+              /*on_peer_fin=*/
+              [this](std::uint64_t length) {
+                osr_.set_peer_stream_length(length);
+              },
+              /*on_local_fin_acked=*/[] {},
+              /*on_closed=*/
+              [this] {
+                closed_ = true;
+                if (bound_) {
+                  demux_.unbind(tuple_);
+                  bound_ = false;
+                }
+                if (app_.on_closed) app_.on_closed();
+                if (reaper_) reaper_();
+              },
+              /*on_reset=*/
+              [this](std::string reason) {
+                closed_ = true;
+                if (bound_) {
+                  demux_.unbind(tuple_);
+                  bound_ = false;
+                }
+                if (app_.on_reset) app_.on_reset(std::move(reason));
+                if (reaper_) reaper_();
+              },
+              /*send=*/
+              [this](SublayeredSegment s) { demux_.send(tuple_, std::move(s)); },
+              /*deliver_data=*/
+              [this](SublayeredSegment s) {
+                // ECN marks ride on the IP datagram; OSR owns the echo.
+                if (s.ip_ecn_marked && !s.payload.empty()) {
+                  osr_.note_ecn_mark();
+                }
+                rd_.on_data_segment(s);
+              },
+              /*request_ack=*/[this] { rd_.send_pure_ack(); },
+          })),
+      rd_(sim, config.rd,
+          ReliableDelivery::Callbacks{
+              /*send=*/
+              [this](SublayeredSegment s) {
+                cm_->stamp_data(s);
+                demux_.send(tuple_, std::move(s));
+              },
+              /*deliver=*/
+              [this](std::uint64_t offset, Bytes data) {
+                osr_.on_rd_deliver(offset, std::move(data));
+              },
+              /*on_ack_feedback=*/
+              [this](const AckFeedback& fb) {
+                osr_.on_ack_feedback(fb);
+                if (close_requested_) maybe_issue_fin();
+              },
+              /*on_loss=*/[this](LossKind kind) { osr_.on_loss(kind); },
+              /*osr_header=*/[this] { return osr_.current_header(); },
+              /*on_peer_dead=*/
+              [this] { cm_->abort("retransmission limit reached"); },
+          }),
+      osr_(sim, config.osr,
+           Osr::Callbacks{
+               /*rd_send=*/
+               [this](std::uint64_t offset, Bytes data) {
+                 rd_.send_segment(offset, std::move(data));
+               },
+               /*on_data=*/
+               [this](Bytes data) {
+                 if (app_.on_data) app_.on_data(std::move(data));
+               },
+               /*on_stream_end=*/
+               [this] {
+                 if (app_.on_stream_end) app_.on_stream_end();
+               },
+               /*window_update=*/[this] { rd_.send_pure_ack(); },
+           }) {}
+
+Connection::~Connection() {
+  if (bound_) demux_.unbind(tuple_);
+}
+
+void Connection::open_active() {
+  bound_ = demux_.bind(tuple_, [this](SublayeredSegment s) {
+    cm_->on_segment(std::move(s));
+  });
+  cm_->open_active(tuple_);
+}
+
+void Connection::open_passive(const SublayeredSegment& syn) {
+  bound_ = demux_.bind(tuple_, [this](SublayeredSegment s) {
+    cm_->on_segment(std::move(s));
+  });
+  cm_->open_passive(tuple_, syn);
+}
+
+void Connection::send(Bytes data) { osr_.send(std::move(data)); }
+
+void Connection::close() {
+  close_requested_ = true;
+  maybe_issue_fin();
+}
+
+void Connection::maybe_issue_fin() {
+  if (fin_issued_ || cm_->state() != CmState::kEstablished) return;
+  if (!osr_.all_sent_and_acked()) return;
+  fin_issued_ = true;
+  cm_->close(osr_.stream_written());
+}
+
+void Connection::abort() { cm_->abort("local abort"); }
+
+void Connection::consume(std::uint64_t n) { osr_.consume(n); }
+
+}  // namespace sublayer::transport

@@ -1,0 +1,100 @@
+// One sublayered transport connection: the composition of Fig. 5.
+//
+//   application byte stream
+//        │  send()/on_data
+//   ┌────▼─────┐   "segment ready" / ack+loss summaries
+//   │   OSR    │◄──────────────────────────────┐
+//   └────┬─────┘                               │
+//   ┌────▼─────┐   validated DATA segments     │
+//   │    RD    │◄──────────────┐               │
+//   └────┬─────┘               │               │
+//   ┌────▼─────┐  CM stamps ISNs on data; owns │ SYN/FIN/RST
+//   │    CM    ├───────────────┴───────────────┘
+//   └────┬─────┘
+//   ┌────▼─────┐  ports only
+//   │    DM    │
+//   └──────────┘
+//
+// This class contains NO protocol logic of its own — it is pure wiring of
+// the four sublayers' narrow interfaces, which is the structural point of
+// the paper: each mechanism lives in exactly one sublayer.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "transport/sublayered/cm.hpp"
+#include "transport/sublayered/dm.hpp"
+#include "transport/sublayered/osr.hpp"
+#include "transport/sublayered/rd.hpp"
+
+namespace sublayer::transport {
+
+struct ConnectionConfig {
+  CmConfig cm;
+  RdConfig rd;
+  OsrConfig osr;
+};
+
+class Connection {
+ public:
+  struct AppCallbacks {
+    std::function<void()> on_established;
+    std::function<void(Bytes)> on_data;
+    /// The peer's byte stream ended (its FIN offset was reached).
+    std::function<void()> on_stream_end;
+    /// Connection fully closed; the object may be reclaimed.
+    std::function<void()> on_closed;
+    std::function<void(std::string reason)> on_reset;
+  };
+
+  Connection(sim::Simulator& sim, Demux& demux, IsnProvider& isn,
+             const FourTuple& tuple, const ConnectionConfig& config);
+  ~Connection();
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  void set_app_callbacks(AppCallbacks callbacks) { app_ = std::move(callbacks); }
+
+  /// Owner (host) hook, fired on close or reset in addition to the app
+  /// callbacks — used to reclaim the connection object.
+  void set_owner_reaper(std::function<void()> reaper) {
+    reaper_ = std::move(reaper);
+  }
+
+  void open_active();
+  void open_passive(const SublayeredSegment& syn);
+
+  // ---- application API ----
+  void send(Bytes data);
+  /// Graceful close: the FIN goes out once everything written is acked.
+  void close();
+  void abort();
+  /// Manual-consume mode: application read `n` bytes.
+  void consume(std::uint64_t n);
+
+  const FourTuple& tuple() const { return tuple_; }
+  CmState state() const { return cm_->state(); }
+  bool fully_closed() const { return closed_; }
+
+  const CmInterface& cm() const { return *cm_; }
+  const ReliableDelivery& rd() const { return rd_; }
+  const Osr& osr() const { return osr_; }
+
+ private:
+  void maybe_issue_fin();
+
+  FourTuple tuple_;
+  Demux& demux_;
+  AppCallbacks app_;
+  std::function<void()> reaper_;
+  std::unique_ptr<CmInterface> cm_;
+  ReliableDelivery rd_;
+  Osr osr_;
+  bool close_requested_ = false;
+  bool fin_issued_ = false;
+  bool closed_ = false;
+  bool bound_ = false;
+};
+
+}  // namespace sublayer::transport

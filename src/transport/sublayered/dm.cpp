@@ -1,0 +1,74 @@
+#include "transport/sublayered/dm.hpp"
+
+#include <stdexcept>
+
+namespace sublayer::transport {
+
+Demux::Demux(netlayer::IpAddr local_addr) : local_addr_(local_addr) {}
+
+std::uint16_t Demux::allocate_port() {
+  for (int attempts = 0; attempts < 65536; ++attempts) {
+    const std::uint16_t candidate = next_ephemeral_;
+    next_ephemeral_ =
+        next_ephemeral_ == 65535 ? 49152 : next_ephemeral_ + 1;
+    bool taken = listeners_.contains(candidate);
+    for (const auto& [tuple, handler] : connections_) {
+      if (tuple.local_port == candidate) {
+        taken = true;
+        break;
+      }
+    }
+    if (!taken) return candidate;
+  }
+  throw std::runtime_error("Demux: ephemeral ports exhausted");
+}
+
+bool Demux::bind(const FourTuple& tuple, SegmentHandler handler) {
+  return connections_.emplace(tuple, std::move(handler)).second;
+}
+
+void Demux::unbind(const FourTuple& tuple) { connections_.erase(tuple); }
+
+bool Demux::listen(std::uint16_t port, ListenHandler handler) {
+  return listeners_.emplace(port, std::move(handler)).second;
+}
+
+void Demux::unlisten(std::uint16_t port) { listeners_.erase(port); }
+
+void Demux::send(const FourTuple& tuple, SublayeredSegment segment) {
+  segment.dm.src_port = tuple.local_port;
+  segment.dm.dst_port = tuple.remote_port;
+  ++stats_.segments_out;
+  if (sink_) sink_(tuple.remote_addr, segment);
+}
+
+void Demux::on_datagram(netlayer::IpAddr src, Bytes payload) {
+  auto segment = SublayeredSegment::decode(payload);
+  if (!segment) {
+    ++stats_.segments_in;
+    ++stats_.malformed;
+    return;
+  }
+  route(src, std::move(*segment));
+}
+
+void Demux::route(netlayer::IpAddr src, SublayeredSegment segment) {
+  ++stats_.segments_in;
+  const FourTuple tuple{local_addr_, segment.dm.dst_port, src,
+                        segment.dm.src_port};
+  if (const auto it = connections_.find(tuple); it != connections_.end()) {
+    ++stats_.to_connections;
+    it->second(std::move(segment));
+    return;
+  }
+  if (const auto it = listeners_.find(tuple.local_port);
+      it != listeners_.end()) {
+    ++stats_.to_listeners;
+    it->second(tuple, std::move(segment));
+    return;
+  }
+  ++stats_.unmatched;
+  if (unmatched_) unmatched_(tuple, segment);
+}
+
+}  // namespace sublayer::transport

@@ -1,0 +1,86 @@
+// DM — the demultiplexing sublayer, bottom of the sublayered transport
+// (Fig. 5).  "Essentially UDP": it owns the port namespace and routes
+// segments by the connection 4-tuple, using ONLY the DM header bits
+// (test T3).  A segment that matches no bound connection falls through to
+// the listener on its destination port (connection acceptance is CM's
+// job, one sublayer up), and otherwise to the unmatched handler (the host
+// answers with RST).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "netlayer/ip.hpp"
+#include "transport/wire/sublayered_header.hpp"
+#include "transport/wire/tuple.hpp"
+
+namespace sublayer::transport {
+
+struct DmStats {
+  std::uint64_t segments_out = 0;
+  std::uint64_t segments_in = 0;
+  std::uint64_t to_connections = 0;
+  std::uint64_t to_listeners = 0;
+  std::uint64_t unmatched = 0;
+  std::uint64_t malformed = 0;
+};
+
+class Demux {
+ public:
+  /// Delivery of a segment to a bound connection.
+  using SegmentHandler = std::function<void(SublayeredSegment)>;
+  /// Delivery of a segment for an unbound tuple whose port has a listener.
+  using ListenHandler =
+      std::function<void(const FourTuple&, SublayeredSegment)>;
+  using UnmatchedHandler =
+      std::function<void(const FourTuple&, const SublayeredSegment&)>;
+  /// Transmission of a segment towards a remote address.  The host owns
+  /// the final wire encoding: native sublayered bytes, or RFC 793 bytes
+  /// via the shim sublayer.
+  using DatagramSink =
+      std::function<void(netlayer::IpAddr dst, const SublayeredSegment&)>;
+
+  explicit Demux(netlayer::IpAddr local_addr);
+
+  netlayer::IpAddr local_addr() const { return local_addr_; }
+
+  void set_datagram_sink(DatagramSink sink) { sink_ = std::move(sink); }
+  void set_unmatched_handler(UnmatchedHandler h) { unmatched_ = std::move(h); }
+
+  /// Allocates an unused ephemeral port.
+  std::uint16_t allocate_port();
+
+  /// Binds a connection; returns false if the tuple is taken.
+  bool bind(const FourTuple& tuple, SegmentHandler handler);
+  void unbind(const FourTuple& tuple);
+  bool is_bound(const FourTuple& tuple) const {
+    return connections_.contains(tuple);
+  }
+
+  bool listen(std::uint16_t port, ListenHandler handler);
+  void unlisten(std::uint16_t port);
+
+  /// Sends a segment for `tuple`; DM stamps the port fields.
+  void send(const FourTuple& tuple, SublayeredSegment segment);
+
+  /// Feeds the payload of an incoming IP datagram (native encoding).
+  void on_datagram(netlayer::IpAddr src, Bytes payload);
+
+  /// Routes an already-decoded segment (used by the shim path).
+  void route(netlayer::IpAddr src, SublayeredSegment segment);
+
+  const DmStats& stats() const { return stats_; }
+
+ private:
+  netlayer::IpAddr local_addr_;
+  DatagramSink sink_;
+  UnmatchedHandler unmatched_;
+  std::map<FourTuple, SegmentHandler> connections_;
+  std::map<std::uint16_t, ListenHandler> listeners_;
+  std::uint16_t next_ephemeral_ = 49152;
+  DmStats stats_;
+};
+
+}  // namespace sublayer::transport

@@ -1,0 +1,118 @@
+#include "transport/sublayered/host.hpp"
+
+namespace sublayer::transport {
+
+TcpHost::TcpHost(sim::Simulator& sim, netlayer::Router& router,
+                 std::uint8_t host_octet, HostConfig config)
+    : sim_(sim),
+      router_(router),
+      addr_(netlayer::host_addr(router.id(), host_octet)),
+      config_(config),
+      demux_(addr_),
+      isn_(make_isn(config.isn, sim, config.isn_key_seed)) {
+  const auto proto = config_.wire_rfc793 ? netlayer::IpProto::kTcp
+                                         : netlayer::IpProto::kSublayered;
+
+  demux_.set_datagram_sink(
+      [this, proto](netlayer::IpAddr dst, const SublayeredSegment& segment) {
+        netlayer::IpHeader header;
+        header.protocol = proto;
+        header.src = addr_;
+        header.dst = dst;
+        const Bytes wire = config_.wire_rfc793 ? shim_.outgoing(dst, segment)
+                                               : segment.encode();
+        router_.send_datagram(header, wire);
+      });
+
+  demux_.set_unmatched_handler(
+      [this](const FourTuple& tuple, const SublayeredSegment& segment) {
+        if (segment.cm.kind == CmKind::kRst) return;  // never RST a RST
+        SublayeredSegment rst;
+        rst.cm.kind = CmKind::kRst;
+        rst.cm.isn_local = segment.cm.isn_peer;
+        rst.cm.isn_peer = segment.cm.isn_local;
+        demux_.send(tuple, std::move(rst));
+      });
+
+  router_.set_protocol_handler(
+      proto, [this](const netlayer::IpHeader& header, Bytes payload) {
+        if (header.dst != addr_) return;  // another host on this router
+        if (config_.wire_rfc793) {
+          for (auto& segment : shim_.incoming(header.src, payload)) {
+            segment.ip_ecn_marked = header.ecn_ce;
+            demux_.route(header.src, std::move(segment));
+          }
+        } else {
+          auto segment = SublayeredSegment::decode(payload);
+          if (!segment) {
+            demux_.on_datagram(header.src, std::move(payload));  // count it
+            return;
+          }
+          segment->ip_ecn_marked = header.ecn_ce;
+          demux_.route(header.src, std::move(*segment));
+        }
+      });
+}
+
+Connection& TcpHost::make_connection(const FourTuple& tuple) {
+  auto conn = std::make_unique<Connection>(sim_, demux_, *isn_, tuple,
+                                           config_.connection);
+  Connection& ref = *conn;
+  connections_.emplace(tuple, std::move(conn));
+  return ref;
+}
+
+void TcpHost::reap(const FourTuple& tuple) {
+  if (!config_.reap_closed) return;
+  // Deletion is deferred: reap() is typically called from inside the
+  // connection's own callback stack.
+  sim_.schedule(Duration::nanos(0), [this, tuple] {
+    connections_.erase(tuple);
+  });
+}
+
+Connection& TcpHost::connect(netlayer::IpAddr remote,
+                             std::uint16_t remote_port) {
+  const FourTuple tuple{addr_, demux_.allocate_port(), remote, remote_port};
+  Connection& conn = make_connection(tuple);
+  conn.set_owner_reaper([this, tuple] { reap(tuple); });
+  conn.open_active();
+  return conn;
+}
+
+void TcpHost::listen(std::uint16_t port, AcceptHandler on_accept) {
+  acceptors_[port] = std::move(on_accept);
+  demux_.listen(port, [this](const FourTuple& tuple,
+                             SublayeredSegment segment) {
+    // Which segments may create a connection depends on the CM scheme:
+    // a SYN for the handshake scheme; the first data segment (or a FIN,
+    // for a zero-length stream) for the timer-based scheme.
+    const bool creates_connection =
+        config_.connection.cm.scheme == CmScheme::kHandshake
+            ? segment.cm.kind == CmKind::kSyn
+            : segment.cm.kind == CmKind::kData ||
+                  segment.cm.kind == CmKind::kFin;
+    if (!creates_connection) {
+      // Stray non-SYN for an unbound tuple on a listening port: RST it.
+      if (segment.cm.kind != CmKind::kRst) {
+        SublayeredSegment rst;
+        rst.cm.kind = CmKind::kRst;
+        rst.cm.isn_local = segment.cm.isn_peer;
+        rst.cm.isn_peer = segment.cm.isn_local;
+        demux_.send(tuple, std::move(rst));
+      }
+      return;
+    }
+    Connection& conn = make_connection(tuple);
+    conn.set_owner_reaper([this, tuple] { reap(tuple); });
+    const auto acceptor = acceptors_.find(tuple.local_port);
+    if (acceptor != acceptors_.end() && acceptor->second) {
+      // The application installs its callbacks before the handshake
+      // proceeds, so no events are lost.
+      acceptor->second(conn);
+    }
+    conn.open_passive(segment);
+  });
+}
+
+}  // namespace sublayer::transport

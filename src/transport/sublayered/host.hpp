@@ -1,0 +1,68 @@
+// TcpHost: the host-side container for the sublayered transport.
+//
+// Owns the DM port namespace, the ISN provider shared by all CM
+// instances, live connections, and — when configured for RFC 793 wire
+// format — the shim sublayer.  Attaches to a netlayer::Router as one of
+// its local hosts.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "netlayer/router.hpp"
+#include "transport/sublayered/connection.hpp"
+#include "transport/sublayered/shim.hpp"
+
+namespace sublayer::transport {
+
+struct HostConfig {
+  ConnectionConfig connection;
+  IsnKind isn = IsnKind::kRfc1948;
+  std::uint64_t isn_key_seed = 0x1948;
+  /// When true, segments travel as RFC 793 bytes through the shim
+  /// (IpProto::kTcp); when false, as native sublayered bytes
+  /// (IpProto::kSublayered).
+  bool wire_rfc793 = false;
+  /// When true (default), fully-closed or reset connections are destroyed;
+  /// set false to keep them around for post-mortem stats inspection.
+  bool reap_closed = true;
+};
+
+class TcpHost {
+ public:
+  using AcceptHandler = std::function<void(Connection&)>;
+
+  /// Attaches to `router` as local host number `host_octet`.
+  TcpHost(sim::Simulator& sim, netlayer::Router& router,
+          std::uint8_t host_octet, HostConfig config = {});
+
+  netlayer::IpAddr addr() const { return addr_; }
+
+  /// Active open; the returned connection is owned by the host and lives
+  /// until fully closed or reset.
+  Connection& connect(netlayer::IpAddr remote, std::uint16_t remote_port);
+
+  /// Passive open: accepted connections are announced via `on_accept`.
+  void listen(std::uint16_t port, AcceptHandler on_accept);
+
+  Demux& demux() { return demux_; }
+  const HeaderShim& shim() const { return shim_; }
+  std::size_t live_connections() const { return connections_.size(); }
+
+ private:
+  Connection& make_connection(const FourTuple& tuple);
+  void reap(const FourTuple& tuple);
+
+  sim::Simulator& sim_;
+  netlayer::Router& router_;
+  netlayer::IpAddr addr_;
+  HostConfig config_;
+  Demux demux_;
+  HeaderShim shim_;
+  std::unique_ptr<IsnProvider> isn_;
+  std::map<FourTuple, std::unique_ptr<Connection>> connections_;
+  std::map<std::uint16_t, AcceptHandler> acceptors_;
+};
+
+}  // namespace sublayer::transport

@@ -1,0 +1,93 @@
+#include "transport/sublayered/isn.hpp"
+
+#include <algorithm>
+
+namespace sublayer::transport {
+namespace {
+
+Bytes tuple_bytes(const FourTuple& t) {
+  Bytes b;
+  ByteWriter w(b);
+  w.u32(t.local_addr);
+  w.u16(t.local_port);
+  w.u32(t.remote_addr);
+  w.u16(t.remote_port);
+  return b;
+}
+
+class Rfc793Isn final : public IsnProvider {
+ public:
+  explicit Rfc793Isn(sim::Simulator& sim) : sim_(sim) {}
+  std::string name() const override { return "rfc793-clock"; }
+  std::uint32_t isn(const FourTuple&) override {
+    // One tick per 4 microseconds, as in the RFC's suggested generator.
+    return static_cast<std::uint32_t>(sim_.now().ns() / 4000);
+  }
+
+ private:
+  sim::Simulator& sim_;
+};
+
+class Rfc1948Isn final : public IsnProvider {
+ public:
+  Rfc1948Isn(sim::Simulator& sim, SipHashKey key) : sim_(sim), key_(key) {}
+  std::string name() const override { return "rfc1948-hash"; }
+  std::uint32_t isn(const FourTuple& t) override {
+    const std::uint32_t clock =
+        static_cast<std::uint32_t>(sim_.now().ns() / 4000);
+    return clock +
+           static_cast<std::uint32_t>(siphash24(key_, tuple_bytes(t)));
+  }
+
+ private:
+  sim::Simulator& sim_;
+  SipHashKey key_;
+};
+
+class WatsonIsn final : public IsnProvider {
+ public:
+  explicit WatsonIsn(sim::Simulator& sim) : sim_(sim) {}
+  std::string name() const override { return "watson-timer"; }
+  std::uint32_t isn(const FourTuple&) override {
+    // Strictly monotonic: max(clock, last + stride).  The stride guarantees
+    // distinct ISNs for connections opened within the same tick; the clock
+    // bounds how soon a sequence range can recur.
+    const std::uint32_t clock =
+        static_cast<std::uint32_t>(sim_.now().ns() / 4000);
+    last_ = std::max(clock, last_ + kStride);
+    return last_;
+  }
+
+ private:
+  static constexpr std::uint32_t kStride = 1 << 12;
+  sim::Simulator& sim_;
+  std::uint32_t last_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<IsnProvider> make_rfc793_isn(sim::Simulator& sim) {
+  return std::make_unique<Rfc793Isn>(sim);
+}
+std::unique_ptr<IsnProvider> make_rfc1948_isn(sim::Simulator& sim,
+                                              SipHashKey key) {
+  return std::make_unique<Rfc1948Isn>(sim, key);
+}
+std::unique_ptr<IsnProvider> make_watson_isn(sim::Simulator& sim) {
+  return std::make_unique<WatsonIsn>(sim);
+}
+
+std::unique_ptr<IsnProvider> make_isn(IsnKind kind, sim::Simulator& sim,
+                                      std::uint64_t key_seed) {
+  switch (kind) {
+    case IsnKind::kRfc793:
+      return make_rfc793_isn(sim);
+    case IsnKind::kRfc1948:
+      return make_rfc1948_isn(sim, SipHashKey{key_seed, ~key_seed});
+    case IsnKind::kWatson:
+      return make_watson_isn(sim);
+  }
+  throw std::invalid_argument("unknown ISN kind");
+}
+
+}  // namespace sublayer::transport

@@ -1,0 +1,47 @@
+// Initial-sequence-number providers for the CM sublayer.
+//
+// The paper (§3) makes ISN choice the *encapsulated mechanism* of CM: the
+// sublayer's contract is only "ISNs are unique in time and hard to
+// predict", and the mechanism behind it is swappable (Challenge 5):
+//
+//  - RFC 793 (1981): low-order bits of a clock, unique in time but
+//    trivially predictable.
+//  - RFC 1948: keyed hash of the 4-tuple plus the clock — unpredictable
+//    off-path.
+//  - Watson's timer-based scheme [31]: interpreted here as a strictly
+//    monotonic per-host counter advanced by both the clock and a per-
+//    connection stride, bounding reuse by time rather than randomness.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/siphash.hpp"
+#include "sim/simulator.hpp"
+#include "transport/wire/tuple.hpp"
+
+namespace sublayer::transport {
+
+class IsnProvider {
+ public:
+  virtual ~IsnProvider() = default;
+  virtual std::string name() const = 0;
+  virtual std::uint32_t isn(const FourTuple& tuple) = 0;
+};
+
+/// RFC 793: ISN = clock / 4 microseconds (the historical 250 kHz tick).
+std::unique_ptr<IsnProvider> make_rfc793_isn(sim::Simulator& sim);
+
+/// RFC 1948: ISN = clock_component + SipHash(key, 4-tuple).
+std::unique_ptr<IsnProvider> make_rfc1948_isn(sim::Simulator& sim,
+                                              SipHashKey key);
+
+/// Watson-style timer-based: monotonic counter tied to the clock.
+std::unique_ptr<IsnProvider> make_watson_isn(sim::Simulator& sim);
+
+enum class IsnKind { kRfc793, kRfc1948, kWatson };
+std::unique_ptr<IsnProvider> make_isn(IsnKind kind, sim::Simulator& sim,
+                                      std::uint64_t key_seed = 0x1948);
+
+}  // namespace sublayer::transport

@@ -1,0 +1,171 @@
+#include "transport/sublayered/osr.hpp"
+
+#include <algorithm>
+
+namespace sublayer::transport {
+
+Osr::Osr(sim::Simulator& sim, OsrConfig config, Callbacks callbacks)
+    : sim_(sim),
+      config_(config),
+      cb_(std::move(callbacks)),
+      cc_(make_cc(config.cc, config.cc_config)),
+      pacing_timer_(sim, [this] { maybe_send(); }),
+      next_release_time_(sim.now()) {}
+
+void Osr::send(Bytes data) {
+  stats_.bytes_from_app += data.size();
+  stream_.insert(stream_.end(), data.begin(), data.end());
+  stream_end_ += data.size();
+  if (established_) maybe_send();
+}
+
+void Osr::set_established() {
+  established_ = true;
+  maybe_send();
+}
+
+bool Osr::pacing_gate_open() const {
+  return !cc_->pacing_bps() || sim_.now() >= next_release_time_;
+}
+
+void Osr::schedule_pacing() {
+  if (!pacing_timer_.armed() && next_release_time_ > sim_.now()) {
+    pacing_timer_.restart(next_release_time_ - sim_.now());
+  }
+}
+
+void Osr::maybe_send() {
+  while (established_ && next_to_send_ < stream_end_) {
+    const std::uint64_t in_flight = next_to_send_ - acked_;
+    const std::uint64_t seg_len = std::min<std::uint64_t>(
+        config_.mss, stream_end_ - next_to_send_);
+
+    if (in_flight + seg_len > cc_->cwnd_bytes()) {
+      ++stats_.cwnd_stalls;
+      return;  // window closed; an ack will reopen it
+    }
+    if (in_flight + seg_len > peer_window_) {
+      ++stats_.flow_control_stalls;
+      return;  // receiver buffer full; a window update will reopen it
+    }
+    if (!pacing_gate_open()) {
+      schedule_pacing();
+      return;
+    }
+    release_one();
+  }
+}
+
+void Osr::release_one() {
+  const std::uint64_t seg_len =
+      std::min<std::uint64_t>(config_.mss, stream_end_ - next_to_send_);
+  const auto from = static_cast<std::size_t>(next_to_send_ - stream_base_);
+  Bytes data(stream_.begin() + static_cast<std::ptrdiff_t>(from),
+             stream_.begin() + static_cast<std::ptrdiff_t>(from + seg_len));
+  const std::uint64_t offset = next_to_send_;
+  next_to_send_ += seg_len;
+  ++stats_.segments_released;
+
+  if (const auto bps = cc_->pacing_bps()) {
+    const double seconds = static_cast<double>(seg_len) * 8.0 / *bps;
+    next_release_time_ = sim_.now() + Duration::seconds(seconds);
+  }
+  if (cb_.rd_send) cb_.rd_send(offset, std::move(data));
+}
+
+void Osr::on_ack_feedback(const AckFeedback& feedback) {
+  peer_window_ = feedback.peer_recv_window;
+  if (feedback.acked_through > acked_) {
+    acked_ = feedback.acked_through;
+    // Drop acked bytes from the stream buffer.
+    const auto drop = static_cast<std::size_t>(acked_ - stream_base_);
+    stream_.erase(stream_.begin(),
+                  stream_.begin() + static_cast<std::ptrdiff_t>(drop));
+    stream_base_ = acked_;
+  }
+  AckEvent event;
+  event.now = feedback.now;
+  event.bytes_newly_acked = feedback.bytes_newly_acked;
+  event.rtt = feedback.rtt;
+  event.bytes_in_flight = in_flight();
+  event.ecn_echo = feedback.ecn_echo;
+  cc_->on_ack(event);
+  maybe_send();
+}
+
+void Osr::on_loss(LossKind kind) {
+  LossEvent event;
+  event.now = sim_.now();
+  event.kind = kind;
+  event.bytes_in_flight = in_flight();
+  cc_->on_loss(event);
+  maybe_send();
+}
+
+void Osr::on_rd_deliver(std::uint64_t offset, Bytes data) {
+  if (offset + data.size() <= delivered_) return;  // stale (shouldn't happen)
+  if (offset <= delivered_) {
+    // Contiguous (possibly overlapping the frontier): trim and deliver.
+    const auto skip = static_cast<std::size_t>(delivered_ - offset);
+    data.erase(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(skip));
+    delivered_ += data.size();
+    stats_.bytes_to_app += data.size();
+    if (config_.manual_consume) unconsumed_ += data.size();
+    if (cb_.on_data) cb_.on_data(std::move(data));
+    drain_in_order();
+  } else {
+    reassembly_bytes_ += data.size();
+    stats_.reassembly_buffered =
+        std::max(stats_.reassembly_buffered, reassembly_bytes_);
+    reassembly_.emplace(offset, std::move(data));
+  }
+  if (peer_stream_length_ && delivered_ >= *peer_stream_length_ &&
+      !stream_end_signalled_) {
+    stream_end_signalled_ = true;
+    if (cb_.on_stream_end) cb_.on_stream_end();
+  }
+}
+
+void Osr::drain_in_order() {
+  auto it = reassembly_.begin();
+  while (it != reassembly_.end() && it->first <= delivered_) {
+    Bytes piece = std::move(it->second);
+    const std::uint64_t offset = it->first;
+    reassembly_bytes_ -= piece.size();
+    it = reassembly_.erase(it);
+    if (offset + piece.size() <= delivered_) continue;  // fully stale
+    const auto skip = static_cast<std::size_t>(delivered_ - offset);
+    piece.erase(piece.begin(), piece.begin() + static_cast<std::ptrdiff_t>(skip));
+    delivered_ += piece.size();
+    stats_.bytes_to_app += piece.size();
+    if (config_.manual_consume) unconsumed_ += piece.size();
+    if (cb_.on_data) cb_.on_data(std::move(piece));
+    it = reassembly_.begin();  // frontier moved; rescan from the front
+  }
+}
+
+void Osr::set_peer_stream_length(std::uint64_t length) {
+  peer_stream_length_ = length;
+  if (delivered_ >= length && !stream_end_signalled_) {
+    stream_end_signalled_ = true;
+    if (cb_.on_stream_end) cb_.on_stream_end();
+  }
+}
+
+void Osr::consume(std::uint64_t n) {
+  const std::uint64_t eaten = std::min(unconsumed_, n);
+  unconsumed_ -= eaten;
+  if (eaten > 0 && cb_.window_update) cb_.window_update();
+}
+
+OsrHeader Osr::current_header() {
+  OsrHeader h;
+  const std::uint64_t charged = reassembly_bytes_ + unconsumed_;
+  h.recv_window = static_cast<std::uint32_t>(
+      config_.recv_buffer > charged ? config_.recv_buffer - charged : 0);
+  h.ecn_echo = ecn_pending_;
+  ecn_pending_ = false;
+  return h;
+}
+
+}  // namespace sublayer::transport

@@ -1,0 +1,145 @@
+// OSR — the ordering / segmenting / rate-control sublayer, top of the
+// sublayered transport (Fig. 5).
+//
+// Sender side: takes the application byte stream, cuts it into <= MSS
+// segments, and decides *when* each segment is "ready" for RD — the
+// paper's framing of rate control as OSR's interface to RD.  Readiness is
+// governed by the pluggable congestion-control algorithm (window- or
+// pacing-based) and by the peer's advertised flow-control window.
+//
+// Receiver side: RD delivers byte ranges exactly once but possibly out of
+// order; OSR pastes them back together and hands the application a
+// contiguous stream — this is where TCP's headline property ("bytes out
+// equal bytes in, in order") is discharged, using only RD's exactly-once
+// guarantee.  The receive window advertised to the peer reflects the
+// reassembly/consume buffer.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "sim/simulator.hpp"
+#include "transport/sublayered/cc.hpp"
+#include "transport/sublayered/rd.hpp"
+
+namespace sublayer::transport {
+
+struct OsrConfig {
+  std::uint32_t mss = 1200;
+  /// Receive buffer capacity: bytes buffered out-of-order plus delivered-
+  /// but-unconsumed bytes are charged against it.
+  std::uint64_t recv_buffer = 1 << 20;
+  /// Congestion-control algorithm name ("reno", "cubic", "aimd", "rate").
+  std::string cc = "reno";
+  CcConfig cc_config;
+  /// When false (default), delivered data is considered consumed
+  /// immediately; when true, the application must call consume() and the
+  /// advertised window closes accordingly (exercises flow control).
+  bool manual_consume = false;
+};
+
+struct OsrStats {
+  std::uint64_t bytes_from_app = 0;
+  std::uint64_t segments_released = 0;  // handed to RD as "ready"
+  std::uint64_t bytes_to_app = 0;
+  std::uint64_t reassembly_buffered = 0;  // ooo bytes held at peak
+  std::uint64_t flow_control_stalls = 0;
+  std::uint64_t cwnd_stalls = 0;
+};
+
+class Osr {
+ public:
+  struct Callbacks {
+    /// Release a ready segment to RD.
+    std::function<void(std::uint64_t offset, Bytes data)> rd_send;
+    /// Contiguous stream data for the application.
+    std::function<void(Bytes)> on_data;
+    /// The peer's whole stream (per CM's FIN length) has been delivered.
+    std::function<void()> on_stream_end;
+    /// The receive window reopened (application consumed data): ask RD to
+    /// emit a window-update ack so a flow-control-stalled sender resumes.
+    std::function<void()> window_update;
+  };
+
+  Osr(sim::Simulator& sim, OsrConfig config, Callbacks callbacks);
+
+  // ---- sender path ----
+  /// Application write: appends to the outgoing byte stream.
+  void send(Bytes data);
+  /// Marks the connection live; sending may begin.
+  void set_established();
+  /// RD's ack summary: advances the stream, credits the CC algorithm, and
+  /// releases any segments that just became ready.
+  void on_ack_feedback(const AckFeedback& feedback);
+  /// RD's loss summary.
+  void on_loss(LossKind kind);
+
+  /// All bytes written so far (the local stream length, for CM's FIN).
+  std::uint64_t stream_written() const { return stream_end_; }
+  /// True when every written byte has been cumulatively acked.
+  bool all_sent_and_acked() const {
+    return next_to_send_ == stream_end_ && acked_ == stream_end_;
+  }
+
+  // ---- receiver path ----
+  /// RD delivers a byte range (exactly once, possibly out of order).
+  void on_rd_deliver(std::uint64_t offset, Bytes data);
+  /// CM reports the peer's stream length (from FIN).
+  void set_peer_stream_length(std::uint64_t length);
+  /// Application consumed n delivered bytes (manual_consume mode).
+  void consume(std::uint64_t n);
+
+  /// A received segment's IP datagram carried the congestion-experienced
+  /// mark; the next acknowledgement echoes it (one-shot, like ECE).
+  void note_ecn_mark() { ecn_pending_ = true; }
+
+  /// The OSR header bits for outgoing segments (window + ECN echo).  The
+  /// pending ECN echo is consumed by the call.
+  OsrHeader current_header();
+
+  // ---- introspection ----
+  std::uint64_t cwnd() const { return cc_->cwnd_bytes(); }
+  std::uint64_t in_flight() const { return next_to_send_ - acked_; }
+  std::uint32_t peer_window() const { return peer_window_; }
+  const CcAlgorithm& cc() const { return *cc_; }
+  const OsrStats& stats() const { return stats_; }
+
+ private:
+  void maybe_send();
+  void release_one();
+  bool pacing_gate_open() const;
+  void schedule_pacing();
+  void drain_in_order();
+
+  sim::Simulator& sim_;
+  OsrConfig config_;
+  Callbacks cb_;
+  std::unique_ptr<CcAlgorithm> cc_;
+  OsrStats stats_;
+
+  // Sender: the unacked/unsent suffix of the stream, as a deque anchored
+  // at `stream_base_`.
+  std::deque<std::uint8_t> stream_;
+  std::uint64_t stream_base_ = 0;  // offset of stream_.front()
+  std::uint64_t stream_end_ = 0;   // total bytes written by the app
+  std::uint64_t next_to_send_ = 0;
+  std::uint64_t acked_ = 0;
+  std::uint32_t peer_window_ = 1 << 20;
+  bool established_ = false;
+  sim::Timer pacing_timer_;
+  TimePoint next_release_time_;
+
+  // Receiver: out-of-order pieces keyed by offset.
+  std::map<std::uint64_t, Bytes> reassembly_;
+  std::uint64_t reassembly_bytes_ = 0;
+  std::uint64_t delivered_ = 0;    // contiguous bytes handed to the app
+  std::uint64_t unconsumed_ = 0;   // manual_consume backlog
+  std::optional<std::uint64_t> peer_stream_length_;
+  bool stream_end_signalled_ = false;
+  bool ecn_pending_ = false;
+};
+
+}  // namespace sublayer::transport

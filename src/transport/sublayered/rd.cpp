@@ -1,0 +1,338 @@
+#include "transport/sublayered/rd.hpp"
+
+#include <algorithm>
+
+namespace sublayer::transport {
+
+ReliableDelivery::ReliableDelivery(sim::Simulator& sim, RdConfig config,
+                                   Callbacks callbacks)
+    : sim_(sim),
+      config_(config),
+      cb_(std::move(callbacks)),
+      rto_(config.initial_rto),
+      rttvar_(Duration::nanos(0)),
+      retx_timer_(sim, [this] { on_retx_timer(); }) {}
+
+void ReliableDelivery::send_segment(std::uint64_t offset, Bytes data) {
+  Outstanding seg{std::move(data), sim_.now(), 1, false};
+  snd_nxt_ = std::max(snd_nxt_, offset + seg.data.size());
+  transmit(offset, seg);
+  outstanding_.emplace(offset, std::move(seg));
+  arm_timer();
+}
+
+void ReliableDelivery::transmit(std::uint64_t offset, const Outstanding& seg) {
+  SublayeredSegment s;
+  s.rd.seq_offset = static_cast<std::uint32_t>(offset);
+  s.rd.ack_offset = static_cast<std::uint32_t>(rcv_next_);
+  s.rd.sack = build_sack();
+  s.osr = cb_.osr_header ? cb_.osr_header() : OsrHeader{};
+  s.payload = seg.data;
+  ++stats_.segments_sent;
+  stats_.bytes_sent += seg.data.size();
+  if (cb_.send) cb_.send(std::move(s));
+}
+
+void ReliableDelivery::send_pure_ack() { emit_ack(); }
+
+void ReliableDelivery::emit_ack() {
+  SublayeredSegment s;
+  s.rd.seq_offset = static_cast<std::uint32_t>(snd_nxt_);
+  s.rd.ack_offset = static_cast<std::uint32_t>(rcv_next_);
+  s.rd.sack = build_sack();
+  s.osr = cb_.osr_header ? cb_.osr_header() : OsrHeader{};
+  ++stats_.acks_sent;
+  if (cb_.send) cb_.send(std::move(s));
+}
+
+std::vector<SackBlock> ReliableDelivery::build_sack() const {
+  // Report out-of-order ranges beyond rcv_next_, most recent coverage
+  // first is not tracked; low-to-high is fine for our sender.
+  std::vector<SackBlock> blocks;
+  if (!config_.enable_sack) return blocks;
+  for (const auto& [start, end] : received_) {
+    if (start <= rcv_next_) continue;
+    blocks.push_back(SackBlock{static_cast<std::uint32_t>(start),
+                               static_cast<std::uint32_t>(end)});
+    if (blocks.size() == TcpHeader::kMaxSackBlocks) break;
+  }
+  return blocks;
+}
+
+void ReliableDelivery::arm_timer() {
+  if (outstanding_.empty()) {
+    retx_timer_.stop();
+    probe_pending_ = false;
+    return;
+  }
+  if (retx_timer_.armed()) return;
+  probe_pending_ = false;
+  Duration delay = rto_;
+  if (config_.enable_tail_probe && srtt_) {
+    const Duration probe_delay = *srtt_ * 1.5;
+    if (probe_delay < rto_) {
+      delay = probe_delay;
+      probe_pending_ = true;
+    }
+  }
+  retx_timer_.restart(delay);
+}
+
+void ReliableDelivery::on_retx_timer() {
+  if (probe_pending_) {
+    probe_pending_ = false;
+    send_tail_probe();
+    retx_timer_.restart(rto_);  // the real RTO backstop still stands
+    return;
+  }
+  on_rto();
+}
+
+void ReliableDelivery::send_tail_probe() {
+  // One copy of the head hole, with no congestion verdict attached: if it
+  // was a tail loss, the returning ack (or its SACK blocks) moves recovery
+  // onto the fast path instead of waiting out the RTO.
+  auto it = std::find_if(outstanding_.begin(), outstanding_.end(),
+                         [](const auto& kv) { return !kv.second.sacked; });
+  if (it == outstanding_.end()) return;
+  ++it->second.transmissions;
+  it->second.sent_at = sim_.now();
+  ++stats_.tail_probes;
+  transmit(it->first, it->second);
+}
+
+void ReliableDelivery::on_rto() {
+  if (outstanding_.empty()) return;
+  // Retransmit the lowest un-SACKed outstanding segment; back off the RTO.
+  auto it = std::find_if(outstanding_.begin(), outstanding_.end(),
+                         [](const auto& kv) { return !kv.second.sacked; });
+  if (it == outstanding_.end()) it = outstanding_.begin();
+  if (it->second.timeout_retx >= config_.max_retransmits) {
+    retx_timer_.stop();
+    if (cb_.on_peer_dead) cb_.on_peer_dead();
+    return;
+  }
+  ++it->second.timeout_retx;
+  ++it->second.transmissions;
+  it->second.sent_at = sim_.now();
+  ++stats_.timeout_retransmits;
+  // Enter (or extend) loss recovery: every cumulative-ack advance below
+  // the recovery point immediately retransmits the next hole, so a burst
+  // of losses repairs at one hole per RTT instead of one per backed-off
+  // timeout.
+  in_fast_recovery_ = true;
+  recovery_end_ = std::max(recovery_end_, snd_nxt_);
+  transmit(it->first, it->second);
+  rto_ = std::min(rto_ * 2.0, config_.max_rto);
+  retx_timer_.restart(rto_);
+  if (cb_.on_loss) cb_.on_loss(LossKind::kTimeout);
+}
+
+void ReliableDelivery::note_rtt(Duration sample) {
+  // Jacobson/Karels.
+  if (!srtt_) {
+    srtt_ = sample;
+    rttvar_ = Duration::nanos(sample.ns() / 2);
+  } else {
+    const std::int64_t err = sample.ns() - srtt_->ns();
+    const std::int64_t abs_err = err < 0 ? -err : err;
+    rttvar_ = Duration::nanos((3 * rttvar_.ns() + abs_err) / 4);
+    srtt_ = Duration::nanos((7 * srtt_->ns() + sample.ns()) / 8);
+  }
+  rto_ = std::clamp(Duration::nanos(srtt_->ns() + 4 * rttvar_.ns()),
+                    config_.min_rto, config_.max_rto);
+}
+
+void ReliableDelivery::on_data_segment(const SublayeredSegment& segment) {
+  process_ack(segment);
+  if (!segment.payload.empty()) {
+    process_payload(segment);
+    // Every data-bearing segment is acknowledged immediately; pure acks
+    // are not (that would loop forever).
+    emit_ack();
+  }
+}
+
+void ReliableDelivery::process_ack(const SublayeredSegment& segment) {
+  ++stats_.acks_received;
+  const std::uint64_t ack = segment.rd.ack_offset;
+  std::uint64_t newly_acked = 0;
+  std::optional<Duration> rtt;
+
+  // Cumulative ack: drop everything fully below `ack`.
+  while (!outstanding_.empty()) {
+    auto it = outstanding_.begin();
+    const std::uint64_t seg_end = it->first + it->second.data.size();
+    if (seg_end > ack) break;
+    // SACKed segments were already credited to the CC when the SACK came in.
+    if (!it->second.sacked) newly_acked += it->second.data.size();
+    if (it->second.transmissions == 1) {  // Karn's rule
+      rtt = sim_.now() - it->second.sent_at;
+    }
+    outstanding_.erase(it);
+  }
+  // SACK-based loss repair: during recovery, retransmit the un-SACKed
+  // holes below the recovery point, at most once per ~RTT per segment
+  // and a bounded number per ack (so repair is ack-clocked, not a burst).
+  const auto retransmit_holes = [&](int limit, bool force_first = false) {
+    // Without SACK there is no evidence about which later segments are
+    // missing: behave like classic NewReno and repair one segment per ack.
+    if (!config_.enable_sack) limit = 1;
+    // Retry pacing.  The head hole blocks all cumulative progress, so it
+    // is retried fastest — but still beyond the RTT variance, or queueing
+    // jitter turns every deep queue into a burst of duplicates.  Later
+    // holes wait a full (unbacked) RTO for their retransmission's ack.
+    const Duration pace_head =
+        srtt_ ? Duration::nanos(srtt_->ns() + 2 * rttvar_.ns()) : rto_ / 2;
+    const Duration pace_rest =
+        srtt_ ? std::clamp(Duration::nanos(srtt_->ns() + 4 * rttvar_.ns()),
+                           config_.min_rto, config_.max_rto)
+              : rto_ / 2;
+    int sent = 0;
+    bool first_hole = true;
+    for (auto& [offset, seg] : outstanding_) {
+      if (offset >= recovery_end_ || sent >= limit) break;
+      if (seg.sacked) continue;
+      // The first hole at episode entry is known-lost (three duplicates
+      // vouch for it); afterwards pacing governs.
+      const bool forced = force_first && first_hole;
+      const Duration pace = first_hole ? pace_head : pace_rest;
+      first_hole = false;
+      if (!forced && sim_.now() - seg.sent_at < pace) continue;
+      ++seg.transmissions;
+      seg.sent_at = sim_.now();
+      ++stats_.fast_retransmits;
+      transmit(offset, seg);
+      ++sent;
+    }
+  };
+
+  if (ack > snd_una_) {
+    snd_una_ = ack;
+    dupacks_ = 0;
+    if (rtt) {
+      note_rtt(*rtt);
+    } else if (srtt_) {
+      // Progress without a sample (acked data had been retransmitted):
+      // drop any exponential backoff back to the estimator's value.
+      rto_ = std::clamp(Duration::nanos(srtt_->ns() + 4 * rttvar_.ns()),
+                        config_.min_rto, config_.max_rto);
+    } else {
+      rto_ = config_.initial_rto;
+    }
+    if (in_fast_recovery_) {
+      if (snd_una_ >= recovery_end_) {
+        in_fast_recovery_ = false;  // the whole window made it across
+      } else {
+        // Partial ack (NewReno + SACK): more holes remain; repair them
+        // without waiting for three more duplicates per hole.
+        retransmit_holes(8);
+      }
+    }
+    // Fresh progress re-arms the timer for the next oldest segment.
+    retx_timer_.stop();
+    arm_timer();
+  } else if (ack == last_ack_seen_ && !outstanding_.empty() &&
+             segment.payload.empty()) {
+    ++stats_.duplicate_acks;
+    ++dupacks_;
+    if (dupacks_ == config_.dupack_threshold && !in_fast_recovery_) {
+      // Fast retransmit: one episode per window of data (it ends when the
+      // cumulative ack passes everything in flight at the time of loss).
+      in_fast_recovery_ = true;
+      recovery_end_ = snd_nxt_;
+      retransmit_holes(8, /*force_first=*/true);
+      if (cb_.on_loss) cb_.on_loss(LossKind::kFastRetransmit);
+    } else if (in_fast_recovery_) {
+      // Dup acks inside recovery keep the repair ack-clocked.
+      retransmit_holes(2);
+    }
+  }
+  last_ack_seen_ = ack;
+
+  // SACK processing: mark covered segments so timeouts skip them.
+  const std::vector<SackBlock> no_sack;
+  for (const auto& block :
+       config_.enable_sack ? segment.rd.sack : no_sack) {
+    for (auto& [offset, seg] : outstanding_) {
+      if (!seg.sacked && offset >= block.start &&
+          offset + seg.data.size() <= block.end) {
+        seg.sacked = true;
+        newly_acked += seg.data.size();
+        ++stats_.sacked_segments_spared;
+      }
+    }
+  }
+
+  if (cb_.on_ack_feedback) {
+    AckFeedback fb;
+    fb.now = sim_.now();
+    fb.acked_through = snd_una_;
+    fb.bytes_newly_acked = newly_acked;
+    fb.rtt = rtt;
+    fb.peer_recv_window = segment.osr.recv_window;
+    fb.ecn_echo = segment.osr.ecn_echo;
+    cb_.on_ack_feedback(fb);
+  }
+}
+
+void ReliableDelivery::process_payload(const SublayeredSegment& segment) {
+  const std::uint64_t start = segment.rd.seq_offset;
+  const std::uint64_t end = start + segment.payload.size();
+  if (start == end) return;
+
+  // Walk [start, end): deliver every uncovered gap exactly once, skipping
+  // (and counting) already-received spans.
+  std::uint64_t cursor = start;
+  while (cursor < end) {
+    // Is `cursor` inside an already-received range [s, e)?
+    auto after = received_.upper_bound(cursor);  // first range with s > cursor
+    if (after != received_.begin()) {
+      const auto prev = std::prev(after);
+      if (prev->second > cursor) {  // covered
+        const std::uint64_t skip_to = std::min(prev->second, end);
+        stats_.duplicate_bytes_dropped += skip_to - cursor;
+        cursor = skip_to;
+        continue;
+      }
+    }
+    // In a gap: it extends to the next range start (or segment end).
+    std::uint64_t gap_end = end;
+    if (after != received_.end()) gap_end = std::min(gap_end, after->first);
+    const auto from = static_cast<std::ptrdiff_t>(cursor - start);
+    const auto len = static_cast<std::ptrdiff_t>(gap_end - cursor);
+    Bytes piece(segment.payload.begin() + from,
+                segment.payload.begin() + from + len);
+    stats_.bytes_delivered_up += piece.size();
+    if (cb_.deliver) cb_.deliver(cursor, std::move(piece));
+    cursor = gap_end;
+  }
+
+  // Merge [start, end) into the received-range set.
+  std::uint64_t new_start = start;
+  std::uint64_t new_end = end;
+  auto lo = received_.upper_bound(new_start);
+  if (lo != received_.begin()) {
+    const auto prev = std::prev(lo);
+    if (prev->second >= new_start) {
+      lo = prev;
+      new_start = prev->first;
+      new_end = std::max(new_end, prev->second);
+    }
+  }
+  auto hi = lo;
+  while (hi != received_.end() && hi->first <= new_end) {
+    new_end = std::max(new_end, hi->second);
+    ++hi;
+  }
+  received_.erase(lo, hi);
+  received_[new_start] = new_end;
+
+  // Advance the in-order frontier (cumulative-ack point).
+  const auto span = received_.find(new_start);
+  if (span != received_.end() && span->first <= rcv_next_) {
+    rcv_next_ = std::max(rcv_next_, span->second);
+  }
+}
+
+}  // namespace sublayer::transport

@@ -1,0 +1,160 @@
+// RD — the reliable-delivery sublayer (Fig. 5).
+//
+// Service: exactly-once delivery of byte segments identified by their
+// stream offset.  OSR hands RD a segment when rate control deems it
+// "ready"; RD retransmits until acknowledged.  At the receiver, RD
+// delivers each byte range exactly once but possibly OUT OF ORDER —
+// reassembly is OSR's job (§3).
+//
+// Mechanisms encapsulated here (invisible above or below, T3):
+//   - retransmission queue and RTO (Jacobson/Karels estimator, Karn's
+//     rule, exponential backoff),
+//   - duplicate-ack counting and fast retransmit,
+//   - SACK generation (receiver) and SACK-aware retransmission (sender),
+//   - received-range tracking for exactly-once semantics.
+//
+// Congestion signals are *summarized* upward to OSR through the ack/loss
+// feedback callbacks (the CCP-style split of Narayan et al. [26]); RD
+// itself makes no rate decisions.  The OSR header bits that ride on RD's
+// acks (receive window, ECN echo) are obtained opaquely through the
+// osr_header callback — RD never interprets them (T3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "sim/simulator.hpp"
+#include "transport/sublayered/cc.hpp"
+#include "transport/wire/sublayered_header.hpp"
+
+namespace sublayer::transport {
+
+struct RdConfig {
+  Duration initial_rto = Duration::millis(200);
+  Duration min_rto = Duration::millis(20);
+  Duration max_rto = Duration::seconds(10.0);
+  int dupack_threshold = 3;
+  int max_retransmits = 12;  // per segment, before declaring the peer dead
+  /// Ablation switch: with SACK off, acks carry no blocks and the sender
+  /// ignores any it receives (pure cumulative-ack operation).
+  bool enable_sack = true;
+  /// Tail-loss probe (RACK/TLP-style): when outstanding data has drawn no
+  /// acks for ~1.5 smoothed RTTs, retransmit the head hole once WITHOUT
+  /// declaring a timeout — if the probe's ack shows losses, recovery runs
+  /// at fast-retransmit cost instead of an RTO's window collapse.
+  bool enable_tail_probe = true;
+};
+
+struct RdStats {
+  std::uint64_t segments_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t fast_retransmits = 0;
+  std::uint64_t timeout_retransmits = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t acks_received = 0;
+  std::uint64_t duplicate_acks = 0;
+  std::uint64_t bytes_delivered_up = 0;
+  std::uint64_t duplicate_bytes_dropped = 0;
+  std::uint64_t sacked_segments_spared = 0;  // retransmissions avoided by SACK
+  std::uint64_t tail_probes = 0;
+};
+
+/// Feedback summarized to OSR on every ack (T2 interface).
+struct AckFeedback {
+  TimePoint now;
+  std::uint64_t acked_through = 0;      // cumulative: all bytes < this acked
+  std::uint64_t bytes_newly_acked = 0;  // includes newly SACKed bytes
+  std::optional<Duration> rtt;
+  std::uint32_t peer_recv_window = 0;
+  bool ecn_echo = false;
+};
+
+class ReliableDelivery {
+ public:
+  struct Callbacks {
+    /// Transmission of a DATA segment (CM stamps its header, DM the ports).
+    std::function<void(SublayeredSegment)> send;
+    /// Exactly-once delivery of a byte range to OSR (maybe out of order).
+    std::function<void(std::uint64_t offset, Bytes data)> deliver;
+    /// Ack summary for OSR's rate control.
+    std::function<void(const AckFeedback&)> on_ack_feedback;
+    /// Loss summary for OSR's rate control.
+    std::function<void(LossKind)> on_loss;
+    /// OSR's header bits for outgoing segments (opaque to RD).
+    std::function<OsrHeader()> osr_header;
+    /// The peer stopped acknowledging entirely (retransmit budget spent).
+    std::function<void()> on_peer_dead;
+  };
+
+  ReliableDelivery(sim::Simulator& sim, RdConfig config, Callbacks callbacks);
+
+  /// OSR says this segment is ready: transmit and guarantee delivery.
+  void send_segment(std::uint64_t offset, Bytes data);
+
+  /// A pure acknowledgement (also used to complete the CM handshake).
+  void send_pure_ack();
+
+  /// Inbound validated DATA segment from CM.
+  void on_data_segment(const SublayeredSegment& segment);
+
+  /// Sender-side progress.
+  std::uint64_t acked() const { return snd_una_; }
+  std::uint64_t highest_sent() const { return snd_nxt_; }
+  bool all_acked() const { return outstanding_.empty(); }
+
+  /// Receiver-side progress: next byte offset expected in order.
+  std::uint64_t rcv_next() const { return rcv_next_; }
+
+  Duration current_rto() const { return rto_; }
+  const RdStats& stats() const { return stats_; }
+
+ private:
+  struct Outstanding {
+    Bytes data;
+    TimePoint sent_at;
+    int transmissions = 1;
+    int timeout_retx = 0;  // only RTO attempts count against the budget
+    bool sacked = false;
+  };
+
+  void transmit(std::uint64_t offset, const Outstanding& seg);
+  void on_retx_timer();
+  void on_rto();
+  void send_tail_probe();
+  void arm_timer();
+  void process_ack(const SublayeredSegment& segment);
+  void process_payload(const SublayeredSegment& segment);
+  void emit_ack();
+  void note_rtt(Duration sample);
+  std::vector<SackBlock> build_sack() const;
+
+  sim::Simulator& sim_;
+  RdConfig config_;
+  Callbacks cb_;
+  RdStats stats_;
+
+  // Sender state.
+  std::map<std::uint64_t, Outstanding> outstanding_;  // keyed by offset
+  std::uint64_t snd_una_ = 0;  // lowest unacked byte
+  std::uint64_t snd_nxt_ = 0;  // next byte offset never sent
+  std::uint64_t last_ack_seen_ = 0;
+  int dupacks_ = 0;
+  // Fast-recovery episode (NewReno-style): at most one fast retransmit per
+  // window of data; partial acks inside the episode retransmit the next
+  // hole without waiting for three more duplicates.
+  bool in_fast_recovery_ = false;
+  std::uint64_t recovery_end_ = 0;
+  Duration rto_;
+  std::optional<Duration> srtt_;
+  Duration rttvar_;
+  sim::Timer retx_timer_;
+  bool probe_pending_ = false;  // next timer expiry is a tail probe, not RTO
+
+  // Receiver state: coalesced received ranges [start, end).
+  std::map<std::uint64_t, std::uint64_t> received_;
+  std::uint64_t rcv_next_ = 0;
+};
+
+}  // namespace sublayer::transport

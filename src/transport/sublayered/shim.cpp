@@ -1,0 +1,182 @@
+#include "transport/sublayered/shim.hpp"
+
+#include <algorithm>
+
+namespace sublayer::transport {
+
+Bytes HeaderShim::outgoing(netlayer::IpAddr remote,
+                           const SublayeredSegment& s) {
+  ConnState& st = state_for(remote, s.dm.src_port, s.dm.dst_port);
+  TcpHeader h;
+  h.src_port = s.dm.src_port;
+  h.dst_port = s.dm.dst_port;
+  ++stats_.translated_out;
+
+  switch (s.cm.kind) {
+    case CmKind::kSyn:
+      st.isn_local = s.cm.isn_local;
+      st.have_local = true;
+      h.flag_syn = true;
+      h.seq = st.isn_local;
+      h.mss = 1200;
+      return h.encode({});
+
+    case CmKind::kSynAck:
+      st.isn_local = s.cm.isn_local;
+      st.isn_peer = s.cm.isn_peer;
+      st.have_local = st.have_peer = true;
+      h.flag_syn = h.flag_ack = true;
+      h.seq = st.isn_local;
+      h.ack = st.isn_peer + 1;
+      h.mss = 1200;
+      return h.encode({});
+
+    case CmKind::kData: {
+      // The CM header carries the ISNs on every data segment, so this
+      // direction needs no handshake memory.
+      st.isn_local = s.cm.isn_local;
+      st.isn_peer = s.cm.isn_peer;
+      st.have_local = st.have_peer = true;
+      h.flag_ack = true;
+      h.seq = st.isn_local + 1 + s.rd.seq_offset;
+      h.ack = st.isn_peer + 1 + s.rd.ack_offset;
+      h.window = static_cast<std::uint16_t>(
+          std::min<std::uint32_t>(s.osr.recv_window, 65535));
+      h.flag_ece = s.osr.ecn_echo;
+      for (const auto& block : s.rd.sack) {
+        h.sack.push_back(SackBlock{st.isn_peer + 1 + block.start,
+                                   st.isn_peer + 1 + block.end});
+      }
+      st.last_out_seq_offset =
+          s.rd.seq_offset + static_cast<std::uint32_t>(s.payload.size());
+      st.last_out_ack_offset = s.rd.ack_offset;
+      return h.encode(s.payload);
+    }
+
+    case CmKind::kFin:
+      st.local_fin_offset = s.cm.fin_offset;
+      h.flag_fin = h.flag_ack = true;
+      h.seq = s.cm.isn_local + 1 + s.cm.fin_offset;
+      h.ack = s.cm.isn_peer + 1 + st.last_out_ack_offset;
+      return h.encode({});
+
+    case CmKind::kFinAck: {
+      // Acknowledge the peer's FIN: its sequence number is one past the
+      // peer's final byte.
+      h.flag_ack = true;
+      h.seq = s.cm.isn_local + 1 + st.last_out_seq_offset;
+      const std::uint32_t peer_fin =
+          st.peer_fin_offset ? *st.peer_fin_offset : st.last_out_ack_offset;
+      h.ack = s.cm.isn_peer + 1 + peer_fin + 1;
+      return h.encode({});
+    }
+
+    case CmKind::kRst:
+      h.flag_rst = true;
+      h.seq = st.have_local ? st.isn_local + 1 + st.last_out_seq_offset : 0;
+      h.ack = st.have_peer ? st.isn_peer + 1 + st.last_out_ack_offset : 0;
+      h.flag_ack = st.have_peer;
+      return h.encode({});
+  }
+  return h.encode({});
+}
+
+std::vector<SublayeredSegment> HeaderShim::incoming(netlayer::IpAddr remote,
+                                                    ByteView raw) {
+  std::vector<SublayeredSegment> out;
+  const auto parsed = decode_tcp_segment(raw);
+  if (!parsed) {
+    ++stats_.untranslatable;
+    return out;
+  }
+  const TcpHeader& h = parsed->header;
+  ConnState& st = state_for(remote, h.dst_port, h.src_port);
+
+  const auto base = [&](CmKind kind) {
+    SublayeredSegment s;
+    s.dm.src_port = h.src_port;
+    s.dm.dst_port = h.dst_port;
+    s.cm.kind = kind;
+    s.cm.isn_local = st.isn_peer;  // sender of this segment is the peer
+    s.cm.isn_peer = st.isn_local;
+    return s;
+  };
+
+  if (h.flag_rst) {
+    ++stats_.translated_in;
+    out.push_back(base(CmKind::kRst));
+    return out;
+  }
+
+  if (h.flag_syn && !h.flag_ack) {
+    st.isn_peer = h.seq;
+    st.have_peer = true;
+    ++stats_.translated_in;
+    SublayeredSegment s = base(CmKind::kSyn);
+    s.cm.isn_local = h.seq;
+    s.cm.isn_peer = 0;
+    return {s};
+  }
+
+  if (h.flag_syn && h.flag_ack) {
+    st.isn_peer = h.seq;
+    st.have_peer = true;
+    st.isn_local = h.ack - 1;
+    st.have_local = true;
+    ++stats_.translated_in;
+    SublayeredSegment s = base(CmKind::kSynAck);
+    s.cm.isn_local = st.isn_peer;
+    s.cm.isn_peer = st.isn_local;
+    return {s};
+  }
+
+  if (!st.have_local || !st.have_peer) {
+    ++stats_.untranslatable;  // data before any observed handshake
+    return out;
+  }
+
+  // 1. Does this ack cover our FIN?  (FIN occupies one sequence number.)
+  if (st.local_fin_offset && h.flag_ack &&
+      seq_ge(h.ack, st.isn_local + 1 + *st.local_fin_offset + 1)) {
+    ++stats_.synthesized_finacks;
+    out.push_back(base(CmKind::kFinAck));
+  }
+
+  // 2. The data/ack content.
+  {
+    SublayeredSegment s = base(CmKind::kData);
+    s.rd.seq_offset = h.seq - (st.isn_peer + 1);
+    std::uint32_t ack_offset = h.ack - (st.isn_local + 1);
+    if (st.local_fin_offset && seq_gt(h.ack, st.isn_local + 1 +
+                                                 *st.local_fin_offset)) {
+      ack_offset = *st.local_fin_offset;  // clamp: the +1 was for our FIN
+    }
+    s.rd.ack_offset = ack_offset;
+    // SACK blocks live in the same sequence space as the ack field: they
+    // acknowledge data WE sent, so they are anchored at our ISN.
+    for (const auto& block : h.sack) {
+      s.rd.sack.push_back(SackBlock{block.start - (st.isn_local + 1),
+                                    block.end - (st.isn_local + 1)});
+    }
+    s.osr.recv_window = h.window;
+    s.osr.ecn_echo = h.flag_ece;
+    s.payload = parsed->payload;
+    ++stats_.translated_in;
+    out.push_back(std::move(s));
+  }
+
+  // 3. A FIN, possibly piggybacked on data.
+  if (h.flag_fin) {
+    const std::uint32_t fin_offset =
+        h.seq + static_cast<std::uint32_t>(parsed->payload.size()) -
+        (st.isn_peer + 1);
+    st.peer_fin_offset = fin_offset;
+    SublayeredSegment s = base(CmKind::kFin);
+    s.cm.fin_offset = fin_offset;
+    ++stats_.translated_in;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace sublayer::transport

@@ -1,0 +1,82 @@
+// The shim sublayer (§3.1, Challenge 2): bidirectional translation between
+// the sublayered header of Fig. 6 and the standard RFC 793 header, which
+// is what lets a sublayered endpoint interoperate with an unmodified
+// monolithic TCP.
+//
+// The isomorphism, per connection with ISN pair (L = our ISN, P = peer's):
+//
+//   sublayered                    RFC 793
+//   ---------------------------   -----------------------------------
+//   SYN                           SYN,            seq = L
+//   SYNACK                        SYN|ACK,        seq = L, ack = P+1
+//   DATA seq_offset o, ack a      ACK, seq = L+1+o, ack = P+1+a
+//   SACK [s, e) (offsets)         SACK [P+1+s, P+1+e) (absolute)
+//   recv_window w                 window = min(w, 65535)
+//   ecn_echo                      ECE flag
+//   FIN at fin_offset f           FIN|ACK, seq = L+1+f
+//   FINACK                        ACK with ack = L+1+f+1  (FIN occupies
+//                                 one sequence number, as in RFC 793)
+//   RST                           RST
+//
+// Sublayered -> standard needs no per-connection memory beyond what the
+// segment itself carries (the ISNs ride in the CM header — "redundant but
+// static", §3.1); standard -> sublayered is stateful because RFC 793 only
+// reveals ISNs during the handshake, so the shim records them per tuple,
+// exactly as a middlebox would.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+#include "netlayer/ip.hpp"
+#include "transport/wire/sublayered_header.hpp"
+#include "transport/wire/tcp_header.hpp"
+
+namespace sublayer::transport {
+
+struct ShimStats {
+  std::uint64_t translated_out = 0;
+  std::uint64_t translated_in = 0;
+  std::uint64_t synthesized_finacks = 0;
+  std::uint64_t untranslatable = 0;  // e.g. data before handshake seen
+};
+
+class HeaderShim {
+ public:
+  /// Native segment departing towards `remote`: returns RFC 793 bytes.
+  Bytes outgoing(netlayer::IpAddr remote, const SublayeredSegment& segment);
+
+  /// RFC 793 bytes arriving from `remote`: returns the equivalent native
+  /// segments (a single 793 segment can mean several sublayered ones,
+  /// e.g. a FIN piggybacked on a data ack).
+  std::vector<SublayeredSegment> incoming(netlayer::IpAddr remote,
+                                          ByteView raw);
+
+  const ShimStats& stats() const { return stats_; }
+
+ private:
+  struct ConnState {
+    std::uint32_t isn_local = 0;  // our side's ISN
+    std::uint32_t isn_peer = 0;
+    bool have_local = false;
+    bool have_peer = false;
+    std::optional<std::uint32_t> local_fin_offset;
+    std::optional<std::uint32_t> peer_fin_offset;
+    std::uint32_t last_out_seq_offset = 0;  // for pure control segments
+    std::uint32_t last_out_ack_offset = 0;
+  };
+  using Key = std::tuple<netlayer::IpAddr, std::uint16_t, std::uint16_t>;
+
+  ConnState& state_for(netlayer::IpAddr remote, std::uint16_t local_port,
+                       std::uint16_t remote_port) {
+    return state_[Key{remote, local_port, remote_port}];
+  }
+
+  std::map<Key, ConnState> state_;
+  ShimStats stats_;
+};
+
+}  // namespace sublayer::transport

@@ -1,0 +1,239 @@
+// Timer-based connection management (Watson's Delta-t, simplified) — the
+// alternative CM mechanism the paper's Challenge 5 names explicitly.
+//
+// No connection-opening handshake: the active side picks a clock-monotonic
+// ISN and is immediately established; its first data segment both opens
+// the peer's connection state and anchors the sequence space.  The peer's
+// ISN is learned from the first segment heard in the other direction.
+// Where the handshake scheme buys old-duplicate safety from the three-way
+// exchange, this scheme buys it from ISN monotonicity plus bounded segment
+// lifetimes and quiet times — the timers.
+//
+// What is deliberately kept from the sibling implementation: reliable FIN
+// delivery (the stream length must reach OSR), RST aborts, and the exact
+// same CmInterface — nothing outside the sublayer can tell which mechanism
+// is running, except that connections open one RTT faster.
+#include "transport/sublayered/cm.hpp"
+
+namespace sublayer::transport {
+namespace {
+
+class TimerCm final : public CmInterface {
+ public:
+  TimerCm(sim::Simulator& sim, IsnProvider& isn_provider, CmConfig config,
+          Callbacks callbacks)
+      : isn_provider_(isn_provider),
+        config_(config),
+        cb_(std::move(callbacks)),
+        fin_timer_(sim, [this] { on_fin_timer(); }),
+        quiet_timer_(sim, [this] {
+          state_ = CmState::kClosed;
+          if (cb_.on_closed) cb_.on_closed();
+        }) {}
+
+  void open_active(const FourTuple& tuple) override {
+    tuple_ = tuple;
+    isn_local_ = isn_provider_.isn(tuple);
+    // Established immediately: the first data segment carries the ISN.
+    state_ = CmState::kEstablished;
+    if (cb_.on_established) cb_.on_established(isn_local_, 0);
+  }
+
+  void open_passive(const FourTuple& tuple,
+                    const SublayeredSegment& first) override {
+    tuple_ = tuple;
+    isn_local_ = isn_provider_.isn(tuple);
+    isn_peer_ = first.cm.isn_local;
+    peer_known_ = true;
+    state_ = CmState::kEstablished;
+    if (cb_.on_established) cb_.on_established(isn_local_, isn_peer_);
+    // The connection-creating segment itself carries the first payload.
+    on_segment(first);
+  }
+
+  void close(std::uint64_t stream_length) override {
+    if (local_fin_sent_ || state_ != CmState::kEstablished) return;
+    local_stream_length_ = stream_length;
+    local_fin_sent_ = true;
+    retries_ = 0;
+    send_fin();
+  }
+
+  void abort(const std::string& reason) override {
+    if (state_ == CmState::kAborted || state_ == CmState::kClosed) return;
+    SublayeredSegment rst;
+    rst.cm.kind = CmKind::kRst;
+    rst.cm.isn_local = isn_local_;
+    rst.cm.isn_peer = isn_peer_;
+    ++stats_.rst_sent;
+    if (cb_.send) cb_.send(std::move(rst));
+    fin_timer_.stop();
+    state_ = CmState::kAborted;
+    if (cb_.on_reset) cb_.on_reset(reason);
+  }
+
+  void on_segment(SublayeredSegment segment) override {
+    switch (segment.cm.kind) {
+      case CmKind::kData:
+        if (!validate_and_learn(segment)) return;
+        if (state_ == CmState::kEstablished ||
+            state_ == CmState::kTimeWait) {
+          if (cb_.deliver_data) cb_.deliver_data(std::move(segment));
+        }
+        return;
+
+      case CmKind::kFin:
+        if (!validate_and_learn(segment)) return;
+        if (state_ != CmState::kEstablished &&
+            state_ != CmState::kTimeWait) {
+          return;
+        }
+        send_finack();
+        if (!peer_fin_seen_) {
+          peer_fin_seen_ = true;
+          if (cb_.on_peer_fin) cb_.on_peer_fin(segment.cm.fin_offset);
+          maybe_quiet();
+        }
+        return;
+
+      case CmKind::kFinAck:
+        if (!validate_and_learn(segment)) return;
+        if (local_fin_sent_ && !local_fin_acked_) {
+          local_fin_acked_ = true;
+          fin_timer_.stop();
+          if (cb_.on_local_fin_acked) cb_.on_local_fin_acked();
+          maybe_quiet();
+        }
+        return;
+
+      case CmKind::kRst:
+        if (segment.cm.isn_peer == isn_local_ ||
+            (peer_known_ && segment.cm.isn_local == isn_peer_)) {
+          fin_timer_.stop();
+          state_ = CmState::kAborted;
+          if (cb_.on_reset) cb_.on_reset("peer reset");
+        } else {
+          ++stats_.bad_incarnation;
+        }
+        return;
+
+      case CmKind::kSyn:
+      case CmKind::kSynAck:
+        // A handshake peer talking to a timer-based endpoint: mechanisms
+        // must match within a deployment; reject loudly.
+        abort("handshake segment on a timer-based connection");
+        return;
+    }
+  }
+
+  void stamp_data(SublayeredSegment& segment) const override {
+    segment.cm.kind = CmKind::kData;
+    segment.cm.isn_local = isn_local_;
+    segment.cm.isn_peer = peer_known_ ? isn_peer_ : 0;
+    segment.cm.fin_offset = 0;
+  }
+
+  CmState state() const override { return state_; }
+  std::uint32_t isn_local() const override { return isn_local_; }
+  std::uint32_t isn_peer() const override { return isn_peer_; }
+  bool peer_fin_seen() const override { return peer_fin_seen_; }
+  bool local_fin_acked() const override { return local_fin_acked_; }
+  const CmStats& stats() const override { return stats_; }
+
+ private:
+  /// Timer-based incarnation filtering: the peer's ISN is learned from the
+  /// first segment and pinned thereafter; our own ISN must be echoed (or
+  /// still unknown to the peer).  Staleness protection comes from the
+  /// provider's monotonic clock, not an exchange.
+  bool validate_and_learn(const SublayeredSegment& s) {
+    if (!peer_known_) {
+      isn_peer_ = s.cm.isn_local;
+      peer_known_ = true;
+    } else if (s.cm.isn_local != isn_peer_) {
+      ++stats_.bad_incarnation;
+      return false;
+    }
+    if (s.cm.isn_peer != 0 && s.cm.isn_peer != isn_local_) {
+      ++stats_.bad_incarnation;
+      return false;
+    }
+    return true;
+  }
+
+  void send_fin() {
+    SublayeredSegment fin;
+    fin.cm.kind = CmKind::kFin;
+    fin.cm.isn_local = isn_local_;
+    fin.cm.isn_peer = peer_known_ ? isn_peer_ : 0;
+    fin.cm.fin_offset = static_cast<std::uint32_t>(local_stream_length_);
+    ++stats_.fin_sent;
+    fin_timer_.restart(config_.handshake_rto * (1 << retries_));
+    if (cb_.send) cb_.send(std::move(fin));
+  }
+
+  void send_finack() {
+    SublayeredSegment ack;
+    ack.cm.kind = CmKind::kFinAck;
+    ack.cm.isn_local = isn_local_;
+    ack.cm.isn_peer = isn_peer_;
+    if (cb_.send) cb_.send(std::move(ack));
+  }
+
+  void on_fin_timer() {
+    if (!local_fin_sent_ || local_fin_acked_) return;
+    if (++retries_ > config_.max_handshake_retries) {
+      // Timer-based teardown: give up on the ack and let quiet time
+      // finish the job (the peer's own timers reclaim its state).
+      maybe_quiet(/*force=*/true);
+      return;
+    }
+    ++stats_.fin_retransmits;
+    send_fin();
+  }
+
+  void maybe_quiet(bool force = false) {
+    const bool done = local_fin_acked_ && peer_fin_seen_;
+    if ((done || force) && state_ == CmState::kEstablished) {
+      fin_timer_.stop();
+      state_ = CmState::kTimeWait;  // quiet time before reclaiming state
+      quiet_timer_.restart(config_.time_wait);
+    }
+  }
+
+  IsnProvider& isn_provider_;
+  CmConfig config_;
+  Callbacks cb_;
+
+  FourTuple tuple_;
+  CmState state_ = CmState::kClosed;
+  std::uint32_t isn_local_ = 0;
+  std::uint32_t isn_peer_ = 0;
+  bool peer_known_ = false;
+  bool local_fin_sent_ = false;
+  bool local_fin_acked_ = false;
+  bool peer_fin_seen_ = false;
+  std::uint64_t local_stream_length_ = 0;
+  int retries_ = 0;
+  CmStats stats_;
+  sim::Timer fin_timer_;
+  sim::Timer quiet_timer_;
+};
+
+}  // namespace
+
+std::unique_ptr<CmInterface> make_cm(sim::Simulator& sim,
+                                     IsnProvider& isn_provider,
+                                     CmConfig config,
+                                     CmInterface::Callbacks callbacks) {
+  switch (config.scheme) {
+    case CmScheme::kHandshake:
+      return std::make_unique<ConnectionManager>(sim, isn_provider, config,
+                                                 std::move(callbacks));
+    case CmScheme::kTimerBased:
+      return std::make_unique<TimerCm>(sim, isn_provider, config,
+                                       std::move(callbacks));
+  }
+  throw std::invalid_argument("unknown CM scheme");
+}
+
+}  // namespace sublayer::transport

@@ -1,0 +1,85 @@
+#include "transport/wire/sublayered_header.hpp"
+#include <stdexcept>
+
+#include <cstdio>
+
+namespace sublayer::transport {
+
+Bytes SublayeredSegment::encode() const {
+  Bytes out;
+  ByteWriter w(out);
+  // DM sublayer bits.
+  w.u16(dm.src_port);
+  w.u16(dm.dst_port);
+  // CM sublayer bits.
+  w.u8(static_cast<std::uint8_t>(cm.kind));
+  w.u32(cm.isn_local);
+  w.u32(cm.isn_peer);
+  w.u32(cm.fin_offset);
+  if (cm.kind == CmKind::kData) {
+    // RD sublayer bits.
+    w.u32(rd.seq_offset);
+    w.u32(rd.ack_offset);
+    const auto blocks =
+        std::min<std::size_t>(rd.sack.size(), TcpHeader::kMaxSackBlocks);
+    w.u8(static_cast<std::uint8_t>(blocks));
+    for (std::size_t i = 0; i < blocks; ++i) {
+      w.u32(rd.sack[i].start);
+      w.u32(rd.sack[i].end);
+    }
+    // OSR sublayer bits.
+    w.u32(osr.recv_window);
+    w.u8(osr.ecn_echo ? 1 : 0);
+    w.bytes(payload);
+  }
+  return out;
+}
+
+std::optional<SublayeredSegment> SublayeredSegment::decode(ByteView raw) {
+  try {
+    ByteReader r(raw);
+    SublayeredSegment s;
+    s.dm.src_port = r.u16();
+    s.dm.dst_port = r.u16();
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(CmKind::kRst)) return std::nullopt;
+    s.cm.kind = static_cast<CmKind>(kind);
+    s.cm.isn_local = r.u32();
+    s.cm.isn_peer = r.u32();
+    s.cm.fin_offset = r.u32();
+    if (s.cm.kind == CmKind::kData) {
+      s.rd.seq_offset = r.u32();
+      s.rd.ack_offset = r.u32();
+      const std::uint8_t blocks = r.u8();
+      if (blocks > TcpHeader::kMaxSackBlocks) return std::nullopt;
+      for (int i = 0; i < blocks; ++i) {
+        SackBlock b;
+        b.start = r.u32();
+        b.end = r.u32();
+        s.rd.sack.push_back(b);
+      }
+      s.osr.recv_window = r.u32();
+      s.osr.ecn_echo = r.u8() != 0;
+      s.payload = r.rest();
+    } else if (r.remaining() != 0) {
+      return std::nullopt;  // control segments carry no payload
+    }
+    return s;
+  } catch (const std::out_of_range&) {
+    return std::nullopt;
+  }
+}
+
+std::string SublayeredSegment::to_string() const {
+  static constexpr const char* kKinds[] = {"DATA", "SYN",    "SYNACK",
+                                           "FIN",  "FINACK", "RST"};
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "%s %u->%u seq=%u ack=%u len=%zu win=%u sack=%zu",
+                kKinds[static_cast<int>(cm.kind)], dm.src_port, dm.dst_port,
+                rd.seq_offset, rd.ack_offset, payload.size(), osr.recv_window,
+                rd.sack.size());
+  return buf;
+}
+
+}  // namespace sublayer::transport

@@ -1,0 +1,85 @@
+// The re-architected, sublayered transport header of Fig. 6.
+//
+// Each sublayer owns its own bits (T3): DM sees only ports; CM sees only
+// the connection-control kind, the ISN pair, and the FIN offset; RD sees
+// only relative sequence/ack offsets and SACK blocks; OSR sees only the
+// receive window and ECN.  The header deliberately does NOT look like
+// RFC 793 — but it is isomorphic to it, and the shim sublayer
+// (transport/sublayered/shim) performs the bidirectional translation.
+//
+// Layout on the wire (big-endian):
+//
+//   DM   src_port:16  dst_port:16
+//   CM   kind:8  isn_local:32  isn_peer:32  fin_offset:32
+//   -- the following only when kind == kData --
+//   RD   seq_offset:32  ack_offset:32  sack_count:8  (start:32 end:32)*
+//   OSR  recv_window:32  ecn:8
+//   payload...
+//
+// Offsets are relative to the stream start (first payload byte is offset
+// 0); the ISNs that anchor them to absolute TCP sequence space travel in
+// the CM header, which is static after the handshake — this redundancy is
+// what lets the shim translate statelessly in the sublayered->standard
+// direction (§3.1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "transport/wire/tcp_header.hpp"
+
+namespace sublayer::transport {
+
+enum class CmKind : std::uint8_t {
+  kData = 0,
+  kSyn = 1,
+  kSynAck = 2,
+  kFin = 3,
+  kFinAck = 4,
+  kRst = 5,
+};
+
+struct DmHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+};
+
+struct CmHeader {
+  CmKind kind = CmKind::kData;
+  std::uint32_t isn_local = 0;  // sender's ISN
+  std::uint32_t isn_peer = 0;   // sender's view of the peer's ISN (0 on SYN)
+  std::uint32_t fin_offset = 0; // stream length; meaningful on FIN
+};
+
+struct RdHeader {
+  std::uint32_t seq_offset = 0;  // first payload byte, relative to stream
+  std::uint32_t ack_offset = 0;  // next expected byte from the peer
+  std::vector<SackBlock> sack;   // relative offsets, at most 4 blocks
+};
+
+struct OsrHeader {
+  std::uint32_t recv_window = 1 << 20;
+  bool ecn_echo = false;
+};
+
+struct SublayeredSegment {
+  DmHeader dm;
+  CmHeader cm;
+  RdHeader rd;    // valid iff cm.kind == kData
+  OsrHeader osr;  // valid iff cm.kind == kData
+  Bytes payload;  // non-empty only for kData
+
+  /// Transient, NOT on the wire: set by the host when the enclosing IP
+  /// datagram arrived with the congestion-experienced mark.  OSR turns it
+  /// into an ECN echo on the next acknowledgement.
+  bool ip_ecn_marked = false;
+
+  Bytes encode() const;
+  static std::optional<SublayeredSegment> decode(ByteView raw);
+  std::string to_string() const;
+};
+
+}  // namespace sublayer::transport

@@ -1,0 +1,137 @@
+#include "transport/wire/tcp_header.hpp"
+
+namespace sublayer::transport {
+namespace {
+
+constexpr std::uint8_t kOptEnd = 0;
+constexpr std::uint8_t kOptNop = 1;
+constexpr std::uint8_t kOptMss = 2;
+constexpr std::uint8_t kOptSack = 5;
+
+}  // namespace
+
+Bytes TcpHeader::encode(ByteView payload) const {
+  Bytes options;
+  {
+    ByteWriter w(options);
+    if (mss) {
+      w.u8(kOptMss);
+      w.u8(4);
+      w.u16(*mss);
+    }
+    if (!sack.empty()) {
+      const auto blocks =
+          std::min<std::size_t>(sack.size(), kMaxSackBlocks);
+      w.u8(kOptSack);
+      w.u8(static_cast<std::uint8_t>(2 + blocks * 8));
+      for (std::size_t i = 0; i < blocks; ++i) {
+        w.u32(sack[i].start);
+        w.u32(sack[i].end);
+      }
+    }
+    while (options.size() % 4 != 0) w.u8(kOptNop);
+  }
+
+  const std::size_t header_len = kBaseSize + options.size();
+  Bytes out;
+  out.reserve(header_len + payload.size());
+  ByteWriter w(out);
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u32(seq);
+  w.u32(ack);
+  const auto data_offset = static_cast<std::uint8_t>(header_len / 4);
+  std::uint8_t flags2 = 0;
+  if (flag_cwr) flags2 |= 0x80;
+  if (flag_ece) flags2 |= 0x40;
+  if (flag_urg) flags2 |= 0x20;
+  if (flag_ack) flags2 |= 0x10;
+  if (flag_psh) flags2 |= 0x08;
+  if (flag_rst) flags2 |= 0x04;
+  if (flag_syn) flags2 |= 0x02;
+  if (flag_fin) flags2 |= 0x01;
+  w.u8(static_cast<std::uint8_t>(data_offset << 4));
+  w.u8(flags2);
+  w.u16(window);
+  w.u16(0);  // checksum: the simulated IP layer is delivery-checked already
+  w.u16(urgent);
+  w.bytes(options);
+  w.bytes(payload);
+  return out;
+}
+
+std::optional<ParsedTcpSegment> decode_tcp_segment(ByteView segment) {
+  if (segment.size() < TcpHeader::kBaseSize) return std::nullopt;
+  ByteReader r(segment);
+  ParsedTcpSegment p;
+  TcpHeader& h = p.header;
+  h.src_port = r.u16();
+  h.dst_port = r.u16();
+  h.seq = r.u32();
+  h.ack = r.u32();
+  const std::uint8_t off = r.u8();
+  const std::uint8_t flags2 = r.u8();
+  h.flag_cwr = (flags2 & 0x80) != 0;
+  h.flag_ece = (flags2 & 0x40) != 0;
+  h.flag_urg = (flags2 & 0x20) != 0;
+  h.flag_ack = (flags2 & 0x10) != 0;
+  h.flag_psh = (flags2 & 0x08) != 0;
+  h.flag_rst = (flags2 & 0x04) != 0;
+  h.flag_syn = (flags2 & 0x02) != 0;
+  h.flag_fin = (flags2 & 0x01) != 0;
+  h.window = r.u16();
+  r.u16();  // checksum
+  h.urgent = r.u16();
+
+  const std::size_t header_len = static_cast<std::size_t>(off >> 4) * 4;
+  if (header_len < TcpHeader::kBaseSize || header_len > segment.size()) {
+    return std::nullopt;
+  }
+  std::size_t opt_remaining = header_len - TcpHeader::kBaseSize;
+  while (opt_remaining > 0) {
+    const std::uint8_t kind = r.u8();
+    --opt_remaining;
+    if (kind == kOptEnd) {
+      // Skip remaining padding.
+      r.bytes(opt_remaining);
+      opt_remaining = 0;
+      break;
+    }
+    if (kind == kOptNop) continue;
+    if (opt_remaining < 1) return std::nullopt;
+    const std::uint8_t len = r.u8();
+    --opt_remaining;
+    if (len < 2 || static_cast<std::size_t>(len - 2) > opt_remaining) {
+      return std::nullopt;
+    }
+    const std::size_t body = static_cast<std::size_t>(len) - 2;
+    if (kind == kOptMss && body == 2) {
+      h.mss = r.u16();
+    } else if (kind == kOptSack && body % 8 == 0) {
+      for (std::size_t i = 0; i < body / 8; ++i) {
+        SackBlock b;
+        b.start = r.u32();
+        b.end = r.u32();
+        h.sack.push_back(b);
+      }
+    } else {
+      r.bytes(body);  // unknown option: skip
+    }
+    opt_remaining -= body;
+  }
+  p.payload = r.rest();
+  return p;
+}
+
+std::string TcpHeader::flags_string() const {
+  std::string s;
+  if (flag_syn) s += 'S';
+  if (flag_fin) s += 'F';
+  if (flag_rst) s += 'R';
+  if (flag_ack) s += 'A';
+  if (flag_psh) s += 'P';
+  if (flag_ece) s += 'E';
+  return s.empty() ? "." : s;
+}
+
+}  // namespace sublayer::transport

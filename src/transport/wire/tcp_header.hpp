@@ -1,0 +1,65 @@
+// RFC 793 TCP segment header (plus the MSS and SACK options), used by the
+// monolithic baseline transport and by the shim sublayer when a sublayered
+// endpoint interoperates with a standard one.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace sublayer::transport {
+
+struct SackBlock {
+  std::uint32_t start = 0;  // absolute sequence numbers [start, end)
+  std::uint32_t end = 0;
+  friend bool operator==(const SackBlock&, const SackBlock&) = default;
+};
+
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  bool flag_fin = false;
+  bool flag_syn = false;
+  bool flag_rst = false;
+  bool flag_psh = false;
+  bool flag_ack = false;
+  bool flag_urg = false;
+  bool flag_ece = false;  // ECN echo (congestion signal for the peer's OSR)
+  bool flag_cwr = false;
+  std::uint16_t window = 65535;
+  std::uint16_t urgent = 0;
+  /// Options actually modelled: MSS (SYN only) and SACK blocks.
+  std::optional<std::uint16_t> mss;
+  std::vector<SackBlock> sack;  // at most 4 blocks fit
+
+  static constexpr std::size_t kBaseSize = 20;
+  static constexpr std::size_t kMaxSackBlocks = 4;
+
+  /// header (with options, padded to a 4-byte boundary) · payload.
+  Bytes encode(ByteView payload) const;
+
+  std::string flags_string() const;
+};
+
+struct ParsedTcpSegment {
+  TcpHeader header;
+  Bytes payload;
+};
+std::optional<ParsedTcpSegment> decode_tcp_segment(ByteView segment);
+
+/// Modular 32-bit sequence comparison: a < b in sequence space.
+constexpr bool seq_lt(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+constexpr bool seq_le(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) <= 0;
+}
+constexpr bool seq_gt(std::uint32_t a, std::uint32_t b) { return seq_lt(b, a); }
+constexpr bool seq_ge(std::uint32_t a, std::uint32_t b) { return seq_le(b, a); }
+
+}  // namespace sublayer::transport

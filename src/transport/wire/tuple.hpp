@@ -1,0 +1,35 @@
+// Connection identification: the classic 4-tuple (local/remote address and
+// port).  DM is the only sublayer that reads it (T3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+
+#include "netlayer/ip.hpp"
+
+namespace sublayer::transport {
+
+struct FourTuple {
+  netlayer::IpAddr local_addr = 0;
+  std::uint16_t local_port = 0;
+  netlayer::IpAddr remote_addr = 0;
+  std::uint16_t remote_port = 0;
+
+  FourTuple reversed() const {
+    return FourTuple{remote_addr, remote_port, local_addr, local_port};
+  }
+  friend bool operator==(const FourTuple&, const FourTuple&) = default;
+  friend auto operator<=>(const FourTuple& a, const FourTuple& b) {
+    return std::tie(a.local_addr, a.local_port, a.remote_addr, a.remote_port) <=>
+           std::tie(b.local_addr, b.local_port, b.remote_addr, b.remote_port);
+  }
+  std::string to_string() const {
+    return netlayer::addr_to_string(local_addr) + ":" +
+           std::to_string(local_port) + "<->" +
+           netlayer::addr_to_string(remote_addr) + ":" +
+           std::to_string(remote_port);
+  }
+};
+
+}  // namespace sublayer::transport

@@ -1,0 +1,70 @@
+#include "verify/checker.hpp"
+
+#include <deque>
+#include <unordered_set>
+
+namespace sublayer::verify {
+
+std::string CheckResult::summary() const {
+  std::string s = ok ? "OK" : ("VIOLATION: " + violation.value_or("?"));
+  s += " states=" + std::to_string(states_explored) +
+       " transitions=" + std::to_string(transitions) +
+       " peak_frontier=" + std::to_string(peak_frontier) +
+       (complete ? " (complete)" : " (TRUNCATED)") +
+       (goal_reached ? " goal" : "");
+  return s;
+}
+
+CheckResult check(const Model& model, const CheckOptions& options) {
+  CheckResult result;
+
+  std::unordered_set<std::string> visited;
+  struct Item {
+    Bytes state;
+    std::uint64_t depth;
+  };
+  std::deque<Item> frontier;
+
+  const auto key_of = [](const Bytes& b) {
+    return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+  };
+
+  const Bytes init = model.initial_state();
+  visited.insert(key_of(init));
+  frontier.push_back(Item{init, 0});
+
+  while (!frontier.empty()) {
+    result.peak_frontier = std::max(result.peak_frontier, frontier.size());
+    const Item item = std::move(frontier.front());
+    frontier.pop_front();
+    ++result.states_explored;
+
+    if (const auto bad = model.violation(item.state)) {
+      result.ok = false;
+      result.violation = bad;
+      result.violation_depth = item.depth;
+      return result;
+    }
+    if (model.is_goal(item.state)) result.goal_reached = true;
+
+    if (result.states_explored >= options.max_states) {
+      result.ok = true;  // nothing bad *found*; not a proof
+      result.complete = false;
+      return result;
+    }
+
+    for (Bytes& next : model.successors(item.state)) {
+      ++result.transitions;
+      auto [it, inserted] = visited.insert(key_of(next));
+      if (inserted) {
+        frontier.push_back(Item{std::move(next), item.depth + 1});
+      }
+    }
+  }
+
+  result.ok = true;
+  result.complete = true;
+  return result;
+}
+
+}  // namespace sublayer::verify

@@ -1,0 +1,518 @@
+#include "verify/models.hpp"
+
+#include <stdexcept>
+
+namespace sublayer::verify {
+namespace {
+
+// Small helpers for packed states.
+void put_u32(Bytes& b, std::uint32_t v) {
+  b.push_back(static_cast<std::uint8_t>(v >> 24));
+  b.push_back(static_cast<std::uint8_t>(v >> 16));
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+  b.push_back(static_cast<std::uint8_t>(v));
+}
+std::uint32_t get_u32(const Bytes& b, std::size_t at) {
+  return static_cast<std::uint32_t>(b[at]) << 24 |
+         static_cast<std::uint32_t>(b[at + 1]) << 16 |
+         static_cast<std::uint32_t>(b[at + 2]) << 8 | b[at + 3];
+}
+
+// ============================================================================
+// Monolithic TCP model
+// ============================================================================
+
+class MonoModel final : public Model {
+ public:
+  explicit MonoModel(const MonoModelConfig& c) : c_(c) {
+    if (c_.segments < 1 || c_.segments > 10) {
+      throw std::invalid_argument("MonoModel: 1..10 segments");
+    }
+  }
+
+  std::string name() const override { return "monolithic-tcp"; }
+
+  // State layout: s_phase, r_phase, s_acked, r_next, r_delivered, mask:u32.
+  struct S {
+    std::uint8_t s_phase, r_phase, s_acked, r_next, r_delivered;
+    std::uint32_t mask;
+  };
+
+  // Message bit indices.
+  int kSyn() const { return 0; }
+  int kSynAck() const { return 1; }
+  int kHack() const { return 2; }
+  int kData(int i) const { return 3 + i; }
+  int kAck(int j) const { return 3 + c_.segments + j; }  // j in 0..N
+  int kFin() const { return 3 + 2 * c_.segments + 1; }
+  int kFinAck() const { return 3 + 2 * c_.segments + 2; }
+  int universe() const { return 3 + 2 * c_.segments + 3; }
+
+  static Bytes pack(const S& s) {
+    Bytes b{s.s_phase, s.r_phase, s.s_acked, s.r_next, s.r_delivered};
+    put_u32(b, s.mask);
+    return b;
+  }
+  static S unpack(const Bytes& b) {
+    return S{b[0], b[1], b[2], b[3], b[4], get_u32(b, 5)};
+  }
+
+  Bytes initial_state() const override {
+    return pack(S{0, 0, 0, 0, 0, 0});
+  }
+
+  std::vector<Bytes> successors(const Bytes& state) const override {
+    const S s = unpack(state);
+    std::vector<Bytes> out;
+    const auto emit = [&](S next) { out.push_back(pack(next)); };
+    const auto has = [&](int bit) { return (s.mask >> bit & 1) != 0; };
+    const int n = c_.segments;
+
+    // --- sender spontaneous actions ---
+    if (s.s_phase <= 1) {  // (re)send SYN
+      S t = s;
+      t.s_phase = 1;
+      t.mask |= 1u << kSyn();
+      emit(t);
+    }
+    if (s.s_phase == 2) {
+      for (int i = s.s_acked; i < std::min(s.s_acked + c_.window, n); ++i) {
+        S t = s;
+        t.mask |= 1u << kData(i);
+        emit(t);
+      }
+      if (s.s_acked == n) {  // all data acked: send FIN
+        S t = s;
+        t.s_phase = 3;
+        t.mask |= 1u << kFin();
+        emit(t);
+      }
+    }
+    if (s.s_phase == 3) {  // retransmit FIN
+      S t = s;
+      t.mask |= 1u << kFin();
+      emit(t);
+    }
+
+    // --- deliveries (message stays in the set: duplication for free) ---
+    if (has(kSyn()) && s.r_phase <= 1) {
+      S t = s;
+      t.r_phase = 1;
+      t.mask |= 1u << kSynAck();
+      emit(t);
+    }
+    if (has(kSynAck()) && s.s_phase == 1) {
+      S t = s;
+      t.s_phase = 2;
+      t.mask |= 1u << kHack();
+      emit(t);
+    }
+    if (has(kHack()) && s.r_phase == 1) {
+      S t = s;
+      t.r_phase = 2;
+      emit(t);
+    }
+    for (int i = 0; i < n; ++i) {
+      if (!has(kData(i))) continue;
+      if (s.r_phase != 1 && s.r_phase != 2) continue;
+      S t = s;
+      t.r_phase = 2;  // data completes the handshake (entanglement)
+      if (i == t.r_next) {
+        ++t.r_next;
+        ++t.r_delivered;
+      } else if (c_.bug == MonoBug::kAcceptOutOfOrder && i > t.r_next) {
+        t.r_next = static_cast<std::uint8_t>(i + 1);
+        ++t.r_delivered;
+      }
+      const int ack = c_.bug == MonoBug::kAckBeyondReceived
+                          ? std::min<int>(t.r_next + 1, n)
+                          : t.r_next;
+      t.mask |= 1u << kAck(ack);
+      emit(t);
+    }
+    for (int j = 0; j <= n; ++j) {
+      if (!has(kAck(j))) continue;
+      if (s.s_phase >= 2 && j > s.s_acked) {
+        S t = s;
+        t.s_acked = static_cast<std::uint8_t>(j);
+        emit(t);
+      }
+    }
+    if (has(kFin()) && s.r_phase == 2 && s.r_next == n) {
+      S t = s;
+      t.r_phase = 3;
+      t.mask |= 1u << kFinAck();
+      emit(t);
+    }
+    if (has(kFinAck()) && s.s_phase == 3) {
+      S t = s;
+      t.s_phase = 4;
+      emit(t);
+    }
+
+    // --- drops ---
+    for (int bit = 0; bit < universe(); ++bit) {
+      if (has(bit)) {
+        S t = s;
+        t.mask &= ~(1u << bit);
+        emit(t);
+      }
+    }
+    return out;
+  }
+
+  std::optional<std::string> violation(const Bytes& state) const override {
+    const S s = unpack(state);
+    if (s.r_delivered != s.r_next) {
+      return "application stream has a gap or duplicate (delivered=" +
+             std::to_string(s.r_delivered) +
+             " frontier=" + std::to_string(s.r_next) + ")";
+    }
+    if (s.r_next > c_.segments) return "receive frontier past stream end";
+    if (s.s_acked > s.r_next) {
+      return "sender believes unreceived data was acked (acked=" +
+             std::to_string(s.s_acked) +
+             " received=" + std::to_string(s.r_next) + ")";
+    }
+    if (s.s_phase == 4 && s.r_next != c_.segments) {
+      return "connection closed before the stream was delivered";
+    }
+    return std::nullopt;
+  }
+
+  bool is_goal(const Bytes& state) const override {
+    const S s = unpack(state);
+    return s.s_phase == 4 && s.r_phase == 3 && s.r_next == c_.segments;
+  }
+
+ private:
+  MonoModelConfig c_;
+};
+
+// ============================================================================
+// CM model (compositional)
+// ============================================================================
+
+class CmModel final : public Model {
+ public:
+  explicit CmModel(const CmModelConfig& c) : c_(c) {}
+  std::string name() const override { return "cm-sublayer"; }
+
+  // Messages: SYN(i), SYNACK(i), HACK(i) for incarnation i in {0,1}.
+  static int kSyn(int i) { return i; }
+  static int kSynAck(int i) { return 2 + i; }
+  static int kHack(int i) { return 4 + i; }
+  static constexpr int kUniverse = 6;
+  static constexpr std::uint8_t kNone = 0xff;
+
+  struct S {
+    std::uint8_t c_phase, c_cur, c_agreed, s_phase, s_learned;
+    std::uint8_t mask;
+  };
+  static Bytes pack(const S& s) {
+    return Bytes{s.c_phase, s.c_cur, s.c_agreed, s.s_phase, s.s_learned,
+                 s.mask};
+  }
+  static S unpack(const Bytes& b) {
+    return S{b[0], b[1], b[2], b[3], b[4], b[5]};
+  }
+
+  Bytes initial_state() const override {
+    return pack(S{0, 0, kNone, 0, kNone, 0});
+  }
+
+  std::vector<Bytes> successors(const Bytes& state) const override {
+    const S s = unpack(state);
+    std::vector<Bytes> out;
+    const auto emit = [&](S t) { out.push_back(pack(t)); };
+    const auto has = [&](int bit) { return (s.mask >> bit & 1) != 0; };
+
+    // Client (re)sends its SYN.
+    if (s.c_phase <= 1) {
+      S t = s;
+      t.c_phase = 1;
+      t.mask |= static_cast<std::uint8_t>(1u << kSyn(s.c_cur));
+      emit(t);
+    }
+    // Client aborts the first incarnation's handshake and reopens: the old
+    // SYN may still be in the network.
+    if (s.c_cur == 0 && s.c_phase == 1) {
+      S t = s;
+      t.c_cur = 1;
+      t.c_phase = 0;
+      emit(t);
+    }
+    // Server hears a SYN.
+    for (int i = 0; i < 2; ++i) {
+      if (!has(kSyn(i))) continue;
+      if (s.s_phase == 0) {
+        S t = s;
+        t.s_phase = 1;
+        t.s_learned = static_cast<std::uint8_t>(i);
+        t.mask |= static_cast<std::uint8_t>(1u << kSynAck(i));
+        emit(t);
+      } else if (s.s_phase == 1 && s.s_learned == i) {
+        S t = s;  // duplicate SYN: re-offer the SYNACK
+        t.mask |= static_cast<std::uint8_t>(1u << kSynAck(i));
+        emit(t);
+      }
+    }
+    // Client hears a SYNACK.
+    for (int i = 0; i < 2; ++i) {
+      if (!has(kSynAck(i))) continue;
+      if (s.c_phase != 1) continue;
+      const bool acceptable =
+          c_.bug == CmBug::kNoIsnValidation || i == s.c_cur;
+      if (acceptable) {
+        S t = s;
+        t.c_phase = 2;
+        t.c_agreed = static_cast<std::uint8_t>(i);
+        t.mask |= static_cast<std::uint8_t>(1u << kHack(i));
+        emit(t);
+      }
+    }
+    // Server hears the handshake ack.
+    for (int i = 0; i < 2; ++i) {
+      if (!has(kHack(i))) continue;
+      if (s.s_phase == 1 && s.s_learned == i) {
+        S t = s;
+        t.s_phase = 2;
+        emit(t);
+      }
+    }
+    // Drops.
+    for (int bit = 0; bit < kUniverse; ++bit) {
+      if (has(bit)) {
+        S t = s;
+        t.mask &= static_cast<std::uint8_t>(~(1u << bit));
+        emit(t);
+      }
+    }
+    return out;
+  }
+
+  std::optional<std::string> violation(const Bytes& state) const override {
+    const S s = unpack(state);
+    if (s.c_phase == 2 && s.s_phase == 2 && s.s_learned != s.c_cur) {
+      return "incarnation confusion: server established with a stale ISN";
+    }
+    if (s.c_phase == 2 && s.c_agreed != kNone && s.c_agreed != s.c_cur &&
+        c_.bug == CmBug::kNone) {
+      return "client agreed to a stale ISN despite validation";
+    }
+    return std::nullopt;
+  }
+
+  bool is_goal(const Bytes& state) const override {
+    const S s = unpack(state);
+    return s.c_phase == 2 && s.s_phase == 2 && s.s_learned == s.c_cur;
+  }
+
+ private:
+  CmModelConfig c_;
+};
+
+// ============================================================================
+// RD model (compositional)
+// ============================================================================
+
+class RdModel final : public Model {
+ public:
+  explicit RdModel(const RdModelConfig& c) : c_(c) {
+    if (c_.segments < 1 || c_.segments > 10) {
+      throw std::invalid_argument("RdModel: 1..10 segments");
+    }
+  }
+  std::string name() const override { return "rd-sublayer"; }
+
+  int kData(int i) const { return i; }
+  int kAck(int j) const { return c_.segments + j; }  // j in 0..N
+  int universe() const { return 2 * c_.segments + 1; }
+
+  struct S {
+    std::uint8_t acked;       // sender's cumulative ack
+    std::uint16_t received;   // receiver's segment bitmap
+    std::uint8_t over;        // a segment was handed to OSR twice
+    std::uint32_t mask;
+  };
+  static Bytes pack(const S& s) {
+    Bytes b{s.acked, static_cast<std::uint8_t>(s.received >> 8),
+            static_cast<std::uint8_t>(s.received), s.over};
+    put_u32(b, s.mask);
+    return b;
+  }
+  static S unpack(const Bytes& b) {
+    return S{b[0], static_cast<std::uint16_t>(b[1] << 8 | b[2]), b[3],
+             get_u32(b, 4)};
+  }
+
+  int lowest_missing(std::uint16_t received) const {
+    for (int i = 0; i < c_.segments; ++i) {
+      if ((received >> i & 1) == 0) return i;
+    }
+    return c_.segments;
+  }
+
+  Bytes initial_state() const override { return pack(S{0, 0, 0, 0}); }
+
+  std::vector<Bytes> successors(const Bytes& state) const override {
+    const S s = unpack(state);
+    std::vector<Bytes> out;
+    const auto emit = [&](S t) { out.push_back(pack(t)); };
+    const auto has = [&](int bit) { return (s.mask >> bit & 1) != 0; };
+    const int n = c_.segments;
+
+    // Sender (re)transmits anything in its window.
+    for (int i = s.acked; i < std::min<int>(s.acked + c_.window, n); ++i) {
+      S t = s;
+      t.mask |= 1u << kData(i);
+      emit(t);
+    }
+    // Receiver hears DATA(i).
+    for (int i = 0; i < n; ++i) {
+      if (!has(kData(i))) continue;
+      S t = s;
+      if ((t.received >> i & 1) == 0) {
+        t.received |= static_cast<std::uint16_t>(1u << i);  // deliver once
+      } else if (c_.bug == RdBug::kDeliverDuplicates) {
+        t.over = 1;  // handed upward a second time
+      }
+      t.mask |= 1u << kAck(lowest_missing(t.received));
+      emit(t);
+    }
+    // Sender hears ACK(j).
+    for (int j = 0; j <= n; ++j) {
+      if (!has(kAck(j))) continue;
+      if (j > s.acked) {
+        S t = s;
+        t.acked = static_cast<std::uint8_t>(j);
+        emit(t);
+      }
+    }
+    // Drops.
+    for (int bit = 0; bit < universe(); ++bit) {
+      if (has(bit)) {
+        S t = s;
+        t.mask &= ~(1u << bit);
+        emit(t);
+      }
+    }
+    return out;
+  }
+
+  std::optional<std::string> violation(const Bytes& state) const override {
+    const S s = unpack(state);
+    if (s.over) return "segment delivered to OSR twice";
+    if (s.acked > lowest_missing(s.received)) {
+      return "cumulative ack beyond the receiver's contiguous prefix";
+    }
+    return std::nullopt;
+  }
+
+  bool is_goal(const Bytes& state) const override {
+    const S s = unpack(state);
+    return s.acked == c_.segments;
+  }
+
+ private:
+  RdModelConfig c_;
+};
+
+// ============================================================================
+// OSR model (compositional)
+// ============================================================================
+
+class OsrModel final : public Model {
+ public:
+  explicit OsrModel(const OsrModelConfig& c) : c_(c) {
+    if (c_.segments < 1 || c_.segments > 12) {
+      throw std::invalid_argument("OsrModel: 1..12 segments");
+    }
+  }
+  std::string name() const override { return "osr-sublayer"; }
+
+  struct S {
+    std::uint8_t app_next;
+    std::uint16_t arrived;
+  };
+  static Bytes pack(const S& s) {
+    return Bytes{s.app_next, static_cast<std::uint8_t>(s.arrived >> 8),
+                 static_cast<std::uint8_t>(s.arrived)};
+  }
+  static S unpack(const Bytes& b) {
+    return S{b[0], static_cast<std::uint16_t>(b[1] << 8 | b[2])};
+  }
+
+  Bytes initial_state() const override { return pack(S{0, 0}); }
+
+  std::vector<Bytes> successors(const Bytes& state) const override {
+    const S s = unpack(state);
+    std::vector<Bytes> out;
+    // RD's contract as the adversary: any not-yet-arrived segment arrives
+    // next (exactly once, any order).
+    for (int i = 0; i < c_.segments; ++i) {
+      if ((s.arrived >> i & 1) != 0) continue;
+      S t = s;
+      t.arrived |= static_cast<std::uint16_t>(1u << i);
+      if (c_.bug == OsrBug::kReleasePastHole) {
+        // Buggy reassembly: release up to and including the newcomer even
+        // across holes.
+        if (i + 1 > t.app_next) t.app_next = static_cast<std::uint8_t>(i + 1);
+      } else {
+        while (t.app_next < c_.segments &&
+               (t.arrived >> t.app_next & 1) != 0) {
+          ++t.app_next;
+        }
+      }
+      out.push_back(pack(t));
+    }
+    return out;
+  }
+
+  std::optional<std::string> violation(const Bytes& state) const override {
+    const S s = unpack(state);
+    for (int j = 0; j < s.app_next; ++j) {
+      if ((s.arrived >> j & 1) == 0) {
+        return "application stream released across a hole";
+      }
+    }
+    return std::nullopt;
+  }
+
+  bool is_goal(const Bytes& state) const override {
+    const S s = unpack(state);
+    return s.app_next == c_.segments;
+  }
+
+ private:
+  OsrModelConfig c_;
+};
+
+}  // namespace
+
+std::unique_ptr<Model> make_monolithic_tcp_model(const MonoModelConfig& c) {
+  return std::make_unique<MonoModel>(c);
+}
+std::unique_ptr<Model> make_cm_model(const CmModelConfig& c) {
+  return std::make_unique<CmModel>(c);
+}
+std::unique_ptr<Model> make_rd_model(const RdModelConfig& c) {
+  return std::make_unique<RdModel>(c);
+}
+std::unique_ptr<Model> make_osr_model(const OsrModelConfig& c) {
+  return std::make_unique<OsrModel>(c);
+}
+
+EffortComparison compare_verification_effort(int segments, int window,
+                                             const CheckOptions& opts) {
+  EffortComparison out;
+  out.monolithic =
+      check(*make_monolithic_tcp_model({segments, window, MonoBug::kNone}),
+            opts);
+  out.cm = check(*make_cm_model({}), opts);
+  out.rd = check(*make_rd_model({segments, window, RdBug::kNone}), opts);
+  out.osr = check(*make_osr_model({segments, OsrBug::kNone}), opts);
+  return out;
+}
+
+}  // namespace sublayer::verify

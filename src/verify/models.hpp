@@ -1,0 +1,119 @@
+// Protocol models for the explicit-state checker (experiment E4).
+//
+// All models use the standard message-set network semantics: the network
+// is a SET of messages, initially empty (matching §4.2's "assuming the
+// network is initially empty").  Delivering a message does NOT remove it
+// (so every message can arrive duplicated and arbitrarily reordered), and
+// an explicit drop action removes it (loss).  This gives the full
+// loss/duplication/reordering adversary with a finite state space.
+//
+// Each model can be instantiated with an injected bug so tests can confirm
+// the checker actually finds violations (the paper's §4.1 point that
+// verification catches the subtle failure modes).
+#pragma once
+
+#include <memory>
+
+#include "verify/checker.hpp"
+
+namespace sublayer::verify {
+
+// ---- Monolithic TCP model ---------------------------------------------------
+//
+// One flat transition system containing handshake, sliding-window
+// reliability, in-order delivery, and teardown together — the entangled
+// shape of §4.2.  The checker pays for the PRODUCT of the features.
+
+enum class MonoBug {
+  kNone,
+  /// Receiver accepts out-of-order data as if in order (breaks the byte
+  /// stream): the entangled-reassembly bug class.
+  kAcceptOutOfOrder,
+  /// Receiver acknowledges one past what it received (breaks the meaning
+  /// of cumulative acks): the entangled-window bug class.
+  kAckBeyondReceived,
+};
+
+struct MonoModelConfig {
+  int segments = 4;   // N
+  int window = 2;     // W
+  MonoBug bug = MonoBug::kNone;
+};
+
+std::unique_ptr<Model> make_monolithic_tcp_model(const MonoModelConfig& c);
+
+// ---- Compositional (sublayered) models --------------------------------------
+//
+// Each sublayer checked against its own contract, with the layer below
+// abstracted by that contract.  The checker pays for the SUM of three
+// small spaces.
+
+enum class CmBug {
+  kNone,
+  /// Client accepts a SYNACK for a stale incarnation's ISN: the classic
+  /// delayed-duplicate confusion that ISN freshness exists to prevent.
+  kNoIsnValidation,
+};
+
+struct CmModelConfig {
+  CmBug bug = CmBug::kNone;
+};
+
+/// CM sublayer: handshake with two client incarnations and stale messages
+/// afloat.  Property: when both sides are established, they agree on the
+/// CURRENT incarnation's ISN.
+std::unique_ptr<Model> make_cm_model(const CmModelConfig& c);
+
+enum class RdBug {
+  kNone,
+  /// Receiver delivers duplicate segments upward again (no exactly-once
+  /// dedup).
+  kDeliverDuplicates,
+};
+
+struct RdModelConfig {
+  int segments = 4;
+  int window = 2;
+  RdBug bug = RdBug::kNone;
+};
+
+/// RD sublayer: sliding-window exactly-once segment delivery, ASSUMING
+/// CM's contract (fresh sequence basis, initially-empty network).
+/// Property: no segment is handed to OSR twice.
+std::unique_ptr<Model> make_rd_model(const RdModelConfig& c);
+
+enum class OsrBug {
+  kNone,
+  /// Reassembly releases whatever buffered segment is smallest, even past
+  /// a hole (breaks stream order).
+  kReleasePastHole,
+};
+
+struct OsrModelConfig {
+  int segments = 4;
+  OsrBug bug = OsrBug::kNone;
+};
+
+/// OSR sublayer: reassembly ASSUMING RD's contract (each segment arrives
+/// exactly once, in arbitrary order).  Property: the application sees the
+/// segments strictly in order 0,1,2,...
+std::unique_ptr<Model> make_osr_model(const OsrModelConfig& c);
+
+// ---- The effort comparison (E4) ---------------------------------------------
+
+struct EffortComparison {
+  CheckResult monolithic;
+  CheckResult cm;
+  CheckResult rd;
+  CheckResult osr;
+  std::uint64_t compositional_states() const {
+    return cm.states_explored + rd.states_explored + osr.states_explored;
+  }
+};
+
+/// Runs the monolithic model and the three sublayer models at matched
+/// parameters and returns all four results.
+EffortComparison compare_verification_effort(int segments, int window,
+                                             const CheckOptions& opts = {});
+
+}  // namespace sublayer::verify

@@ -1,0 +1,118 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sublayer {
+namespace {
+
+TEST(ByteWriterReader, RoundTripsAllWidths) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefull);
+  w.bytes(Bytes{1, 2, 3});
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.bytes(3), (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteWriterReader, BigEndianOnTheWire) {
+  Bytes buf;
+  ByteWriter(buf).u16(0x0102);
+  ASSERT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[1], 0x02);
+}
+
+TEST(ByteReader, ThrowsOnUnderrun) {
+  const Bytes buf{1, 2};
+  ByteReader r(buf);
+  EXPECT_THROW(r.u32(), std::out_of_range);
+}
+
+TEST(ByteReader, RestConsumesEverything) {
+  const Bytes buf{9, 8, 7};
+  ByteReader r(buf);
+  r.u8();
+  EXPECT_EQ(r.rest(), (Bytes{8, 7}));
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(BytesStrings, RoundTrip) {
+  const std::string s = "hello sublayer";
+  EXPECT_EQ(string_from_bytes(bytes_from_string(s)), s);
+}
+
+TEST(BitString, ParseAndToString) {
+  const BitString b = BitString::parse("0111 1110");
+  EXPECT_EQ(b.size(), 8u);
+  EXPECT_EQ(b.to_string(), "01111110");
+  EXPECT_THROW(BitString::parse("01x"), std::invalid_argument);
+}
+
+TEST(BitString, FromBytesMsbFirst) {
+  const BitString b = BitString::from_bytes(Bytes{0x80, 0x01});
+  EXPECT_EQ(b.to_string(), "1000000000000001");
+}
+
+TEST(BitString, FromUintWidth) {
+  EXPECT_EQ(BitString::from_uint(0b101, 3).to_string(), "101");
+  EXPECT_EQ(BitString::from_uint(1, 4).to_string(), "0001");
+  EXPECT_EQ(BitString::from_uint(0, 0).size(), 0u);
+}
+
+TEST(BitString, ToBytesInverseOfFromBytes) {
+  const Bytes original{0xde, 0xad, 0xbe, 0xef};
+  EXPECT_EQ(BitString::from_bytes(original).to_bytes(), original);
+}
+
+TEST(BitString, ToBytesRejectsUnaligned) {
+  BitString b = BitString::parse("1010101");
+  EXPECT_THROW(b.to_bytes(), std::logic_error);
+}
+
+TEST(BitString, SliceAndAppend) {
+  BitString b = BitString::parse("110010");
+  EXPECT_EQ(b.slice(1, 3).to_string(), "100");
+  BitString c = BitString::parse("01");
+  b.append(c);
+  EXPECT_EQ(b.to_string(), "11001001");
+  EXPECT_THROW(b.slice(5, 9), std::out_of_range);
+}
+
+TEST(BitString, FindAndCount) {
+  const BitString hay = BitString::parse("0110110");
+  const BitString needle = BitString::parse("11");
+  EXPECT_EQ(hay.find(needle), 1u);
+  EXPECT_EQ(hay.find(needle, 2), 4u);
+  EXPECT_EQ(hay.find(BitString::parse("111")), BitString::npos);
+  EXPECT_EQ(hay.count_overlapping(needle), 2u);
+  EXPECT_EQ(BitString::parse("1111").count_overlapping(needle), 3u);
+}
+
+TEST(BitString, ToUint) {
+  EXPECT_EQ(BitString::parse("101").to_uint(), 0b101u);
+  EXPECT_EQ(BitString::parse("").to_uint(), 0u);
+}
+
+TEST(BitString, MatchesAtBoundary) {
+  const BitString hay = BitString::parse("1010");
+  EXPECT_TRUE(hay.matches_at(2, BitString::parse("10")));
+  EXPECT_FALSE(hay.matches_at(3, BitString::parse("10")));
+}
+
+TEST(HexDump, FormatsBytes) {
+  EXPECT_EQ(hex_dump(Bytes{0x00, 0xff}), "00 ff");
+}
+
+}  // namespace
+}  // namespace sublayer

@@ -1,0 +1,100 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sublayer {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(9);
+  bool seen[5] = {};
+  for (int i = 0; i < 1000; ++i) seen[rng.next_below(5)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceRespectsProbability) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits / 100000.0, 0.25, 0.01);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, BitsAndBytesLengths) {
+  Rng rng(19);
+  EXPECT_EQ(rng.next_bits(13).size(), 13u);
+  EXPECT_EQ(rng.next_bytes(7).size(), 7u);
+}
+
+TEST(Rng, RandomBitsAreRoughlyBalanced) {
+  Rng rng(23);
+  const BitString bits = rng.next_bits(100000);
+  std::size_t ones = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) ones += bits[i] ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(ones) / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, ForkIsIndependentOfParentContinuation) {
+  Rng a(31);
+  Rng fork = a.fork();
+  // Forked stream differs from the parent's continued stream.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == fork.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+}  // namespace
+}  // namespace sublayer

@@ -1,0 +1,60 @@
+#include "common/siphash.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sublayer {
+namespace {
+
+// Reference vector from the SipHash paper (Aumasson & Bernstein):
+// key = 00 01 ... 0f, input = 00 01 ... 0e (15 bytes),
+// output = a129ca6149be45e5.
+TEST(SipHash, MatchesReferenceVector) {
+  SipHashKey key{};
+  // Key bytes 00..0f little-endian packed into two u64s.
+  key[0] = 0x0706050403020100ull;
+  key[1] = 0x0f0e0d0c0b0a0908ull;
+  Bytes input;
+  for (std::uint8_t i = 0; i < 15; ++i) input.push_back(i);
+  EXPECT_EQ(siphash24(key, input), 0xa129ca6149be45e5ull);
+}
+
+TEST(SipHash, EmptyInputReferenceVector) {
+  SipHashKey key{0x0706050403020100ull, 0x0f0e0d0c0b0a0908ull};
+  // From the reference test vectors: output for empty input.
+  EXPECT_EQ(siphash24(key, Bytes{}), 0x726fdb47dd0e0e31ull);
+}
+
+TEST(SipHash, KeySensitivity) {
+  const Bytes msg = bytes_from_string("connection four-tuple");
+  const std::uint64_t h1 = siphash24({1, 2}, msg);
+  const std::uint64_t h2 = siphash24({1, 3}, msg);
+  EXPECT_NE(h1, h2);
+}
+
+TEST(SipHash, MessageSensitivity) {
+  const SipHashKey key{11, 22};
+  EXPECT_NE(siphash24(key, bytes_from_string("10.0.0.1:80")),
+            siphash24(key, bytes_from_string("10.0.0.1:81")));
+}
+
+TEST(SipHash, DeterministicAcrossCalls) {
+  const SipHashKey key{5, 6};
+  const Bytes msg = bytes_from_string("deterministic");
+  EXPECT_EQ(siphash24(key, msg), siphash24(key, msg));
+}
+
+TEST(SipHash, AllBlockBoundaryLengths) {
+  // Exercise the partial-block tail path for every length mod 8.
+  const SipHashKey key{99, 100};
+  Bytes msg;
+  std::uint64_t prev = siphash24(key, msg);
+  for (int len = 1; len <= 24; ++len) {
+    msg.push_back(static_cast<std::uint8_t>(len));
+    const std::uint64_t h = siphash24(key, msg);
+    EXPECT_NE(h, prev);
+    prev = h;
+  }
+}
+
+}  // namespace
+}  // namespace sublayer

@@ -1,0 +1,46 @@
+#include "common/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sublayer {
+namespace {
+
+TEST(Duration, Constructors) {
+  EXPECT_EQ(Duration::nanos(5).ns(), 5);
+  EXPECT_EQ(Duration::micros(2).ns(), 2000);
+  EXPECT_EQ(Duration::millis(3).ns(), 3000000);
+  EXPECT_EQ(Duration::seconds(1.5).ns(), 1500000000);
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a = Duration::millis(10);
+  const Duration b = Duration::millis(4);
+  EXPECT_EQ((a + b).ns(), Duration::millis(14).ns());
+  EXPECT_EQ((a - b).ns(), Duration::millis(6).ns());
+  EXPECT_EQ((a * 3).ns(), Duration::millis(30).ns());
+  EXPECT_EQ((a * 0.5).ns(), Duration::millis(5).ns());
+  EXPECT_EQ((a / 2).ns(), Duration::millis(5).ns());
+}
+
+TEST(Duration, Comparison) {
+  EXPECT_LT(Duration::millis(1), Duration::millis(2));
+  EXPECT_EQ(Duration::micros(1000), Duration::millis(1));
+  EXPECT_TRUE(Duration().is_zero());
+}
+
+TEST(TimePoint, ArithmeticWithDuration) {
+  const TimePoint t0 = TimePoint::from_ns(100);
+  const TimePoint t1 = t0 + Duration::nanos(50);
+  EXPECT_EQ(t1.ns(), 150);
+  EXPECT_EQ((t1 - t0).ns(), 50);
+  EXPECT_GT(t1, t0);
+}
+
+TEST(TimeToString, HumanReadable) {
+  EXPECT_EQ(to_string(Duration::millis(1500)), "1.500s");
+  EXPECT_EQ(to_string(Duration::millis(2)), "2.000ms");
+  EXPECT_EQ(to_string(Duration::nanos(10)), "10ns");
+}
+
+}  // namespace
+}  // namespace sublayer

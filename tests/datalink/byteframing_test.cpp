@@ -1,0 +1,115 @@
+#include "datalink/framing/byteframing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace sublayer::datalink {
+namespace {
+
+struct FramerCase {
+  const char* name;
+  std::unique_ptr<ByteFramer> (*make)();
+};
+
+class ByteFramerContract : public ::testing::TestWithParam<FramerCase> {};
+
+TEST_P(ByteFramerContract, RoundTripsRandomPayloads) {
+  const auto framer = GetParam().make();
+  Rng rng(100);
+  for (int t = 0; t < 100; ++t) {
+    const Bytes payload = rng.next_bytes(rng.next_below(600));
+    const Bytes framed = framer->frame(payload);
+    EXPECT_LE(framed.size(), framer->max_framed_size(payload.size()));
+    const auto back = framer->deframe(framed);
+    ASSERT_TRUE(back.has_value()) << framer->name() << " trial " << t;
+    EXPECT_EQ(*back, payload);
+  }
+}
+
+TEST_P(ByteFramerContract, RoundTripsAllSingleBytes) {
+  const auto framer = GetParam().make();
+  for (int b = 0; b < 256; ++b) {
+    const Bytes payload{static_cast<std::uint8_t>(b)};
+    const auto back = framer->deframe(framer->frame(payload));
+    ASSERT_TRUE(back.has_value()) << b;
+    EXPECT_EQ(*back, payload);
+  }
+}
+
+TEST_P(ByteFramerContract, EmptyPayload) {
+  const auto framer = GetParam().make();
+  const auto back = framer->deframe(framer->frame(Bytes{}));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST_P(ByteFramerContract, RejectsEmptyInput) {
+  const auto framer = GetParam().make();
+  EXPECT_FALSE(framer->deframe(Bytes{}).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFramers, ByteFramerContract,
+                         ::testing::Values(FramerCase{"ppp", make_ppp_framer},
+                                           FramerCase{"cobs",
+                                                      make_cobs_framer}),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(PppFramer, DelimiterNeverInBody) {
+  const auto framer = make_ppp_framer();
+  Bytes payload;
+  for (int i = 0; i < 64; ++i) payload.push_back(0x7e);
+  const Bytes framed = framer->frame(payload);
+  for (std::size_t i = 1; i + 1 < framed.size(); ++i) {
+    EXPECT_NE(framed[i], 0x7e);
+  }
+}
+
+TEST(PppFramer, EscapesWorstCasePayloadAtTwoX) {
+  const auto framer = make_ppp_framer();
+  const Bytes payload(100, 0x7d);
+  EXPECT_EQ(framer->frame(payload).size(), 202u);
+}
+
+TEST(PppFramer, RejectsDanglingEscape) {
+  const auto framer = make_ppp_framer();
+  EXPECT_FALSE(framer->deframe(Bytes{0x7e, 0x7d, 0x7e}).has_value());
+}
+
+TEST(CobsFramer, ZeroNeverInBody) {
+  const auto framer = make_cobs_framer();
+  Rng rng(3);
+  Bytes payload = rng.next_bytes(1000);
+  for (std::size_t i = 0; i < payload.size(); i += 3) payload[i] = 0;
+  const Bytes framed = framer->frame(payload);
+  for (std::size_t i = 0; i + 1 < framed.size(); ++i) {
+    EXPECT_NE(framed[i], 0);
+  }
+  EXPECT_EQ(framed.back(), 0);
+}
+
+TEST(CobsFramer, BoundedOverheadOnLongRuns) {
+  const auto framer = make_cobs_framer();
+  const Bytes payload(254 * 4, 0x11);  // no zeros: worst case for COBS
+  const Bytes framed = framer->frame(payload);
+  EXPECT_LE(framed.size(), payload.size() + payload.size() / 254 + 2);
+}
+
+TEST(CobsFramer, ExactBlockBoundaries) {
+  const auto framer = make_cobs_framer();
+  for (std::size_t n : {253u, 254u, 255u, 508u, 509u}) {
+    const Bytes payload(n, 0x42);
+    const auto back = framer->deframe(framer->frame(payload));
+    ASSERT_TRUE(back.has_value()) << n;
+    EXPECT_EQ(*back, payload) << n;
+  }
+}
+
+TEST(CobsFramer, RejectsTruncatedBlock) {
+  const auto framer = make_cobs_framer();
+  // Code byte promises 4 data bytes but only 2 follow before the delimiter.
+  EXPECT_FALSE(framer->deframe(Bytes{5, 1, 2, 0}).has_value());
+}
+
+}  // namespace
+}  // namespace sublayer::datalink

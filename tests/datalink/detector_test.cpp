@@ -1,0 +1,144 @@
+#include "datalink/errordetect/detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace sublayer::datalink {
+namespace {
+
+const Bytes kCheckInput = bytes_from_string("123456789");
+
+// Published check values for the standard test string "123456789".
+TEST(Crc, Crc8CheckValue) {
+  CrcDetector crc(CrcSpec::crc8());
+  EXPECT_EQ(crc.value(kCheckInput), 0xf4u);
+}
+
+TEST(Crc, Crc16CcittCheckValue) {
+  CrcDetector crc(CrcSpec::crc16_ccitt());
+  EXPECT_EQ(crc.value(kCheckInput), 0x29b1u);
+}
+
+TEST(Crc, Crc32CheckValue) {
+  CrcDetector crc(CrcSpec::crc32());
+  EXPECT_EQ(crc.value(kCheckInput), 0xcbf43926u);
+}
+
+TEST(Crc, Crc64XzCheckValue) {
+  CrcDetector crc(CrcSpec::crc64());
+  EXPECT_EQ(crc.value(kCheckInput), 0x995dc9bbdf1939faull);
+}
+
+TEST(Crc, RejectsBadWidth) {
+  CrcSpec spec = CrcSpec::crc32();
+  spec.width = 12;
+  EXPECT_THROW(CrcDetector{spec}, std::invalid_argument);
+}
+
+struct DetectorCase {
+  const char* name;
+  std::unique_ptr<ErrorDetector> (*make)();
+};
+
+class DetectorContract : public ::testing::TestWithParam<DetectorCase> {};
+
+TEST_P(DetectorContract, ProtectCheckStripRoundTrip) {
+  const auto det = GetParam().make();
+  Rng rng(1);
+  for (int t = 0; t < 50; ++t) {
+    const Bytes data = rng.next_bytes(rng.next_below(300));
+    const Bytes framed = det->protect(data);
+    EXPECT_EQ(framed.size(), data.size() + det->tag_bytes());
+    const auto back = det->check_strip(framed);
+    ASSERT_TRUE(back.has_value()) << det->name();
+    EXPECT_EQ(*back, data);
+  }
+}
+
+TEST_P(DetectorContract, DetectsEverySingleBitFlip) {
+  const auto det = GetParam().make();
+  Rng rng(2);
+  const Bytes data = rng.next_bytes(32);
+  const Bytes framed = det->protect(data);
+  for (std::size_t bit = 0; bit < framed.size() * 8; ++bit) {
+    Bytes corrupted = framed;
+    corrupted[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_FALSE(det->check_strip(corrupted).has_value())
+        << det->name() << " missed flip at bit " << bit;
+  }
+}
+
+TEST_P(DetectorContract, RejectsTruncation) {
+  const auto det = GetParam().make();
+  const Bytes framed = det->protect(bytes_from_string("hello"));
+  const ByteView view(framed);
+  EXPECT_FALSE(det->check_strip(view.first(framed.size() - 1)).has_value());
+  EXPECT_FALSE(det->check_strip(view.first(det->tag_bytes() - 1)).has_value());
+}
+
+TEST_P(DetectorContract, EmptyPayloadSupported) {
+  const auto det = GetParam().make();
+  const auto back = det->check_strip(det->protect(Bytes{}));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDetectors, DetectorContract,
+    ::testing::Values(DetectorCase{"crc8", make_crc8},
+                      DetectorCase{"crc16", make_crc16},
+                      DetectorCase{"crc32", make_crc32},
+                      DetectorCase{"crc64", make_crc64},
+                      DetectorCase{"inet16", make_internet_checksum},
+                      DetectorCase{"fletcher16", make_fletcher16},
+                      DetectorCase{"adler32", make_adler32}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(Crc, BurstErrorsWithinWidthAlwaysDetected) {
+  // A CRC of width w detects all burst errors of length <= w.
+  CrcDetector crc(CrcSpec::crc16_ccitt());
+  Rng rng(3);
+  const Bytes data = rng.next_bytes(64);
+  const Bytes framed = crc.protect(data);
+  for (int trial = 0; trial < 500; ++trial) {
+    Bytes corrupted = framed;
+    const std::size_t total_bits = corrupted.size() * 8;
+    const std::size_t burst_len = 2 + rng.next_below(15);  // <= 16 bits
+    const std::size_t start = rng.next_below(total_bits - burst_len);
+    // A burst flips the first and last bit and a random interior pattern.
+    corrupted[start / 8] ^= static_cast<std::uint8_t>(1u << (start % 8));
+    const std::size_t end = start + burst_len - 1;
+    corrupted[end / 8] ^= static_cast<std::uint8_t>(1u << (end % 8));
+    for (std::size_t b = start + 1; b < end; ++b) {
+      if (rng.chance(0.5)) {
+        corrupted[b / 8] ^= static_cast<std::uint8_t>(1u << (b % 8));
+      }
+    }
+    EXPECT_FALSE(crc.check_strip(corrupted).has_value()) << trial;
+  }
+}
+
+TEST(InternetChecksum, KnownWeakness_ReorderedWordsPass) {
+  // Documents why CRC replaced simple sums: the Internet checksum is
+  // commutative, so swapping 16-bit words is undetectable.
+  const auto det = make_internet_checksum();
+  const Bytes a{0x12, 0x34, 0x56, 0x78};
+  const Bytes b{0x56, 0x78, 0x12, 0x34};
+  EXPECT_EQ(det->compute(a), det->compute(b));
+}
+
+TEST(Detectors, SwappingDetectorIsTransparentToCaller) {
+  // The sublayer-replaceability claim (§2.1): CRC-32 -> CRC-64 without any
+  // protocol change, only tag width differs.
+  const Bytes data = bytes_from_string("substrate payload");
+  for (const auto& make : {make_crc32, make_crc64}) {
+    const auto det = make();
+    const auto back = det->check_strip(det->protect(data));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, data);
+  }
+}
+
+}  // namespace
+}  // namespace sublayer::datalink

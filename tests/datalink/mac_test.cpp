@@ -1,0 +1,138 @@
+#include "datalink/mac/mac.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sublayer::datalink {
+namespace {
+
+struct MacHarness {
+  explicit MacHarness(int n_stations, MacConfig config, std::uint64_t seed = 1)
+      : medium(sim, 1e6) {
+    Rng rng(seed);
+    received.resize(static_cast<std::size_t>(n_stations));
+    for (int i = 0; i < n_stations; ++i) {
+      stations.push_back(std::make_unique<MacStation>(
+          sim, medium, rng.fork(), config, "st" + std::to_string(i)));
+      auto& sink = received[static_cast<std::size_t>(i)];
+      stations.back()->set_deliver([&sink](Bytes f) { sink.push_back(f); });
+    }
+  }
+
+  sim::Simulator sim;
+  sim::BroadcastMedium medium;
+  std::vector<std::unique_ptr<MacStation>> stations;
+  std::vector<std::vector<Bytes>> received;
+};
+
+class MacEngines : public ::testing::TestWithParam<MacEngine> {};
+
+TEST_P(MacEngines, SingleStationAlwaysSucceeds) {
+  MacConfig cfg;
+  cfg.engine = GetParam();
+  MacHarness h(2, cfg);
+  for (int i = 0; i < 20; ++i) {
+    h.stations[0]->send(Bytes{static_cast<std::uint8_t>(i)});
+  }
+  h.sim.run();
+  EXPECT_EQ(h.received[1].size(), 20u);
+  EXPECT_EQ(h.stations[0]->stats().collisions, 0u);
+  EXPECT_TRUE(h.stations[0]->idle());
+}
+
+TEST_P(MacEngines, ContendingStationsAllEventuallyDeliver) {
+  MacConfig cfg;
+  cfg.engine = GetParam();
+  const int kStations = 5;
+  const int kFramesEach = 20;
+  MacHarness h(kStations, cfg, 77);
+  for (int s = 0; s < kStations; ++s) {
+    for (int i = 0; i < kFramesEach; ++i) {
+      h.stations[static_cast<std::size_t>(s)]->send(
+          Bytes{static_cast<std::uint8_t>(s), static_cast<std::uint8_t>(i)});
+    }
+  }
+  h.sim.run(4000000);
+  for (int s = 0; s < kStations; ++s) {
+    // Everyone hears every other station's frames (no drops configured).
+    std::uint64_t dropped_total = 0;
+    for (int o = 0; o < kStations; ++o) {
+      dropped_total += h.stations[static_cast<std::size_t>(o)]->stats().dropped;
+    }
+    const std::size_t expect_frames =
+        static_cast<std::size_t>((kStations - 1) * kFramesEach);
+    EXPECT_GE(h.received[static_cast<std::size_t>(s)].size() + dropped_total,
+              expect_frames);
+  }
+}
+
+TEST_P(MacEngines, FramesFromOneStationArriveInOrder) {
+  MacConfig cfg;
+  cfg.engine = GetParam();
+  MacHarness h(3, cfg, 5);
+  for (int i = 0; i < 30; ++i) {
+    h.stations[0]->send(Bytes{static_cast<std::uint8_t>(i)});
+  }
+  h.sim.run(1000000);
+  const auto& got = h.received[1];
+  for (std::size_t i = 1; i < got.size(); ++i) {
+    EXPECT_LT(got[i - 1][0], got[i][0]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, MacEngines,
+                         ::testing::Values(MacEngine::kSlottedAloha,
+                                           MacEngine::kCsma),
+                         [](const auto& info) {
+                           return info.param == MacEngine::kSlottedAloha
+                                      ? "aloha"
+                                      : "csma";
+                         });
+
+TEST(Mac, CsmaDefersWhileCarrierBusy) {
+  MacConfig cfg;
+  cfg.engine = MacEngine::kCsma;
+  MacHarness h(3, cfg, 9);
+  // Station 0 sends a long frame; station 1 tries mid-transmission.
+  h.stations[0]->send(Bytes(2000, 0xaa));  // 16 ms at 1 Mbps
+  h.sim.run_until(TimePoint::from_ns(Duration::millis(1).ns()));
+  h.stations[1]->send(Bytes{1});
+  h.sim.run();
+  EXPECT_GT(h.stations[1]->stats().deferrals, 0u);
+  // Deferral avoided the collision entirely.
+  EXPECT_EQ(h.stations[1]->stats().collisions, 0u);
+  EXPECT_EQ(h.received[2].size(), 2u);
+}
+
+TEST(Mac, CollisionsTriggerBackoffAndEventualSuccess) {
+  MacConfig cfg;
+  cfg.engine = MacEngine::kSlottedAloha;
+  MacHarness h(4, cfg, 13);
+  // All stations transmit in the same slot: guaranteed initial collisions.
+  for (auto& st : h.stations) st->send(Bytes{0x55});
+  h.sim.run(1000000);
+  std::uint64_t collisions = 0;
+  std::uint64_t delivered = 0;
+  for (auto& st : h.stations) {
+    collisions += st->stats().collisions;
+    delivered += st->stats().delivered_tx;
+  }
+  EXPECT_GT(collisions, 0u);
+  EXPECT_EQ(delivered, 4u);
+}
+
+TEST(Mac, GivesUpAfterMaxAttempts) {
+  MacConfig cfg;
+  cfg.engine = MacEngine::kSlottedAloha;
+  cfg.max_attempts = 2;
+  cfg.max_backoff_exponent = 0;  // backoff always 0 slots: keep colliding
+  MacHarness h(2, cfg, 21);
+  h.stations[0]->send(Bytes{1});
+  h.stations[1]->send(Bytes{2});
+  h.sim.run(100000);
+  const std::uint64_t dropped =
+      h.stations[0]->stats().dropped + h.stations[1]->stats().dropped;
+  EXPECT_GT(dropped, 0u);
+}
+
+}  // namespace
+}  // namespace sublayer::datalink

@@ -1,0 +1,201 @@
+#include "datalink/framing/stuffing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace sublayer::datalink {
+namespace {
+
+TEST(StuffingRule, HdlcDefinition) {
+  const StuffingRule r = StuffingRule::hdlc();
+  EXPECT_EQ(r.flag.to_string(), "01111110");
+  EXPECT_EQ(r.trigger.to_string(), "11111");
+  EXPECT_FALSE(r.stuff_bit);
+}
+
+TEST(Stuff, HdlcInsertsZeroAfterFiveOnes) {
+  const StuffingRule r = StuffingRule::hdlc();
+  EXPECT_EQ(stuff(r, BitString::parse("11111")).to_string(), "111110");
+  // Stuffing happens after five ones even when a 0 follows anyway.
+  EXPECT_EQ(stuff(r, BitString::parse("0111110")).to_string(), "01111100");
+  // The stuffed 0 resets the run: 8 ones need only one stuff.
+  EXPECT_EQ(stuff(r, BitString::parse("11111111")).to_string(), "111110111");
+}
+
+TEST(Stuff, HdlcCounterResetsAfterStuff) {
+  // Ten ones: stuff after first five, the stuffed 0 resets the run, then
+  // stuff again after the next five.
+  const StuffingRule r = StuffingRule::hdlc();
+  EXPECT_EQ(stuff(r, BitString::parse("1111111111")).to_string(),
+            "111110111110");
+}
+
+TEST(Stuff, NoTriggerMeansIdentity) {
+  const StuffingRule r = StuffingRule::hdlc();
+  const BitString d = BitString::parse("0101010101000");
+  EXPECT_EQ(stuff(r, d), d);
+}
+
+TEST(Unstuff, InverseOfStuffExhaustiveSmall) {
+  const StuffingRule r = StuffingRule::hdlc();
+  for (int len = 0; len <= 12; ++len) {
+    for (std::uint64_t v = 0; v < (1ull << len); ++v) {
+      const BitString d = BitString::from_uint(v, len);
+      const auto back = unstuff(r, stuff(r, d));
+      ASSERT_TRUE(back.has_value()) << d.to_string();
+      ASSERT_EQ(*back, d) << d.to_string();
+    }
+  }
+}
+
+TEST(Unstuff, RejectsTriggerFollowedByWrongBit) {
+  const StuffingRule r = StuffingRule::hdlc();
+  // 111111 = five ones followed by a 1 (not the stuffed 0): malformed.
+  EXPECT_FALSE(unstuff(r, BitString::parse("111111")).has_value());
+}
+
+TEST(Unstuff, TrailingTriggerWithNothingAfterIsAccepted) {
+  // A corrupted stream may end right after a trigger; unstuff treats the
+  // missing stuffed bit as stream end (error detection catches the damage).
+  const StuffingRule r = StuffingRule::hdlc();
+  const auto out = unstuff(r, BitString::parse("11111"));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->to_string(), "11111");
+}
+
+TEST(Flags, AddRemoveRoundTrip) {
+  const BitString flag = BitString::parse("01111110");
+  const BitString body = BitString::parse("0011010");
+  const BitString framed = add_flags(flag, body);
+  EXPECT_EQ(framed.size(), body.size() + 16);
+  const auto back = remove_flags(flag, framed);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, body);
+}
+
+TEST(Flags, RemoveRejectsMissingFlags) {
+  const BitString flag = BitString::parse("01111110");
+  EXPECT_FALSE(remove_flags(flag, BitString::parse("0000000000000000")));
+  EXPECT_FALSE(remove_flags(flag, BitString::parse("0111111")));  // too short
+  BitString only_start = flag;
+  only_start.append(BitString::parse("10101010"));
+  EXPECT_FALSE(remove_flags(flag, only_start).has_value());
+}
+
+TEST(Flags, EmptyBodyFramesToTwoFlags) {
+  const BitString flag = BitString::parse("01111110");
+  const auto back = remove_flags(flag, add_flags(flag, BitString{}));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->empty());
+}
+
+// The paper's main specification: Unstuff(RemoveFlags(AddFlags(Stuff(D)))) = D.
+TEST(Framing, PaperSpecificationExhaustive) {
+  const StuffingRule r = StuffingRule::hdlc();
+  for (int len = 0; len <= 12; ++len) {
+    for (std::uint64_t v = 0; v < (1ull << len); ++v) {
+      const BitString d = BitString::from_uint(v, len);
+      const auto back = deframe(r, frame(r, d));
+      ASSERT_TRUE(back.has_value()) << d.to_string();
+      ASSERT_EQ(*back, d) << d.to_string();
+    }
+  }
+}
+
+TEST(Framing, PaperSpecificationLowOverheadRule) {
+  const StuffingRule r = StuffingRule::low_overhead();
+  for (int len = 0; len <= 12; ++len) {
+    for (std::uint64_t v = 0; v < (1ull << len); ++v) {
+      const BitString d = BitString::from_uint(v, len);
+      const auto back = deframe(r, frame(r, d));
+      ASSERT_TRUE(back.has_value()) << d.to_string();
+      ASSERT_EQ(*back, d) << d.to_string();
+    }
+  }
+}
+
+TEST(Framing, FlagNeverAppearsInsideFramedBody) {
+  const StuffingRule r = StuffingRule::hdlc();
+  Rng rng(5);
+  for (int t = 0; t < 200; ++t) {
+    const BitString d = rng.next_bits(rng.next_below(200));
+    const BitString framed = frame(r, d);
+    EXPECT_EQ(framed.find(r.flag), 0u);
+    EXPECT_EQ(framed.find(r.flag, 1), framed.size() - r.flag.size());
+  }
+}
+
+TEST(Framing, RandomLongRoundTrip) {
+  Rng rng(6);
+  for (const auto& r : {StuffingRule::hdlc(), StuffingRule::low_overhead()}) {
+    for (int t = 0; t < 50; ++t) {
+      const BitString d = rng.next_bits(1000 + rng.next_below(1000));
+      const auto back = deframe(r, frame(r, d));
+      ASSERT_TRUE(back.has_value());
+      ASSERT_EQ(*back, d);
+    }
+  }
+}
+
+TEST(Stuff, RunawayRuleThrows) {
+  // Trigger 000 with stuff bit 0: stuffing retriggers itself forever.
+  const StuffingRule bad{BitString::parse("00000000"), BitString::parse("000"),
+                         false};
+  EXPECT_THROW(stuff(bad, BitString::parse("000")), std::invalid_argument);
+}
+
+TEST(StreamDeframer, RecoversSingleFrame) {
+  const StuffingRule r = StuffingRule::hdlc();
+  StreamDeframer d(r);
+  const BitString data = BitString::parse("1111101010");
+  const auto frames = d.push_all(frame(r, data));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0], data);
+}
+
+TEST(StreamDeframer, RecoversBackToBackFramesSharedFlags) {
+  const StuffingRule r = StuffingRule::hdlc();
+  StreamDeframer d(r);
+  Rng rng(8);
+  std::vector<BitString> sent;
+  BitString wire;
+  // Leading noise that is not a flag.
+  wire.append(BitString::parse("0000"));
+  for (int i = 0; i < 10; ++i) {
+    const BitString data = rng.next_bits(1 + rng.next_below(64));
+    sent.push_back(data);
+    wire.append(frame(r, data));
+  }
+  const auto frames = d.push_all(wire);
+  EXPECT_EQ(frames, sent);
+}
+
+TEST(StreamDeframer, IdleFlagsBetweenFramesIgnored) {
+  const StuffingRule r = StuffingRule::hdlc();
+  StreamDeframer d(r);
+  const BitString data = BitString::parse("110011");
+  BitString wire = frame(r, data);
+  wire.append(r.flag);  // idle fill
+  wire.append(r.flag);
+  wire.append(frame(r, data));
+  const auto frames = d.push_all(wire);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0], data);
+  EXPECT_EQ(frames[1], data);
+}
+
+TEST(StreamDeframer, CountsMalformedBodies) {
+  const StuffingRule r = StuffingRule::hdlc();
+  StreamDeframer d(r);
+  // Body "111111 01" (trigger followed by 1, not the stuffed 0): malformed.
+  BitString wire = r.flag;
+  wire.append(BitString::parse("11111101"));
+  wire.append(r.flag);
+  const auto frames = d.push_all(wire);
+  EXPECT_TRUE(frames.empty());
+  EXPECT_EQ(d.malformed_frames(), 1u);
+}
+
+}  // namespace
+}  // namespace sublayer::datalink

@@ -1,0 +1,177 @@
+#include "netlayer/fib.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace sublayer::netlayer {
+namespace {
+
+IpAddr ip(int a, int b, int c, int d) {
+  return static_cast<IpAddr>(a) << 24 | static_cast<IpAddr>(b) << 16 |
+         static_cast<IpAddr>(c) << 8 | static_cast<IpAddr>(d);
+}
+
+TEST(Prefix, Contains) {
+  const Prefix p{ip(10, 1, 2, 0), 24};
+  EXPECT_TRUE(p.contains(ip(10, 1, 2, 0)));
+  EXPECT_TRUE(p.contains(ip(10, 1, 2, 255)));
+  EXPECT_FALSE(p.contains(ip(10, 1, 3, 0)));
+  EXPECT_TRUE((Prefix{0, 0}).contains(ip(1, 2, 3, 4)));
+  const Prefix host{ip(10, 1, 2, 3), 32};
+  EXPECT_TRUE(host.contains(ip(10, 1, 2, 3)));
+  EXPECT_FALSE(host.contains(ip(10, 1, 2, 4)));
+}
+
+TEST(Prefix, RouterLanConvention) {
+  const Prefix p = Prefix::router_lan(7);
+  EXPECT_TRUE(p.contains(host_addr(7, 0)));
+  EXPECT_TRUE(p.contains(host_addr(7, 255)));
+  EXPECT_FALSE(p.contains(host_addr(8, 0)));
+  EXPECT_EQ(router_of(host_addr(7, 3)), 7u);
+}
+
+TEST(Fib, EmptyLookupMisses) {
+  Fib fib;
+  EXPECT_FALSE(fib.lookup(ip(1, 2, 3, 4)).has_value());
+  EXPECT_EQ(fib.size(), 0u);
+}
+
+TEST(Fib, ExactInsertLookupRemove) {
+  Fib fib;
+  fib.insert(Prefix{ip(10, 0, 0, 0), 8}, RouteEntry{1, 2, 3});
+  EXPECT_EQ(fib.size(), 1u);
+  const auto hit = fib.lookup(ip(10, 9, 9, 9));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->interface, 1);
+  EXPECT_FALSE(fib.lookup(ip(11, 0, 0, 1)).has_value());
+  EXPECT_TRUE(fib.remove(Prefix{ip(10, 0, 0, 0), 8}));
+  EXPECT_FALSE(fib.remove(Prefix{ip(10, 0, 0, 0), 8}));
+  EXPECT_EQ(fib.size(), 0u);
+}
+
+TEST(Fib, LongestPrefixWins) {
+  Fib fib;
+  fib.insert(Prefix{0, 0}, RouteEntry{0, 0, 0});                    // default
+  fib.insert(Prefix{ip(10, 0, 0, 0), 8}, RouteEntry{1, 0, 0});
+  fib.insert(Prefix{ip(10, 1, 0, 0), 16}, RouteEntry{2, 0, 0});
+  fib.insert(Prefix{ip(10, 1, 2, 0), 24}, RouteEntry{3, 0, 0});
+  fib.insert(Prefix{ip(10, 1, 2, 3), 32}, RouteEntry{4, 0, 0});
+
+  EXPECT_EQ(fib.lookup(ip(9, 9, 9, 9))->interface, 0);
+  EXPECT_EQ(fib.lookup(ip(10, 9, 9, 9))->interface, 1);
+  EXPECT_EQ(fib.lookup(ip(10, 1, 9, 9))->interface, 2);
+  EXPECT_EQ(fib.lookup(ip(10, 1, 2, 9))->interface, 3);
+  EXPECT_EQ(fib.lookup(ip(10, 1, 2, 3))->interface, 4);
+}
+
+TEST(Fib, RemovingSpecificFallsBackToCovering) {
+  Fib fib;
+  fib.insert(Prefix{ip(10, 0, 0, 0), 8}, RouteEntry{1, 0, 0});
+  fib.insert(Prefix{ip(10, 1, 0, 0), 16}, RouteEntry{2, 0, 0});
+  EXPECT_EQ(fib.lookup(ip(10, 1, 5, 5))->interface, 2);
+  fib.remove(Prefix{ip(10, 1, 0, 0), 16});
+  EXPECT_EQ(fib.lookup(ip(10, 1, 5, 5))->interface, 1);
+}
+
+TEST(Fib, InsertOverwritesSamePrefix) {
+  Fib fib;
+  fib.insert(Prefix{ip(10, 0, 0, 0), 8}, RouteEntry{1, 0, 0});
+  fib.insert(Prefix{ip(10, 0, 0, 0), 8}, RouteEntry{7, 0, 0});
+  EXPECT_EQ(fib.size(), 1u);
+  EXPECT_EQ(fib.lookup(ip(10, 0, 0, 1))->interface, 7);
+}
+
+TEST(Fib, ClearEmptiesEverything) {
+  Fib fib;
+  for (int i = 0; i < 50; ++i) {
+    fib.insert(Prefix::router_lan(static_cast<RouterId>(i)),
+               RouteEntry{i, 0, 0});
+  }
+  EXPECT_EQ(fib.size(), 50u);
+  fib.clear();
+  EXPECT_EQ(fib.size(), 0u);
+  EXPECT_FALSE(fib.lookup(host_addr(3, 1)).has_value());
+}
+
+TEST(Fib, EntriesEnumeratesAll) {
+  Fib fib;
+  fib.insert(Prefix{ip(10, 0, 0, 0), 8}, RouteEntry{1, 0, 0});
+  fib.insert(Prefix{ip(192, 168, 0, 0), 16}, RouteEntry{2, 0, 0});
+  const auto all = fib.entries();
+  EXPECT_EQ(all.size(), 2u);
+}
+
+TEST(Fib, RandomizedAgainstLinearScan) {
+  // Property: trie LPM == brute-force longest matching prefix.
+  Rng rng(99);
+  Fib fib;
+  std::vector<std::pair<Prefix, RouteEntry>> table;
+  for (int i = 0; i < 300; ++i) {
+    const int len = static_cast<int>(rng.next_below(33));
+    const IpAddr addr =
+        len == 0 ? 0
+                 : static_cast<IpAddr>(rng.next_u64()) &
+                       (len == 32 ? ~0u : ~((1u << (32 - len)) - 1));
+    const Prefix p{addr, len};
+    const RouteEntry e{i, 0, 0};
+    fib.insert(p, e);
+    std::erase_if(table, [&](const auto& kv) { return kv.first == p; });
+    table.emplace_back(p, e);
+  }
+  for (int t = 0; t < 2000; ++t) {
+    const IpAddr probe = static_cast<IpAddr>(rng.next_u64());
+    const auto got = fib.lookup(probe);
+    const std::pair<Prefix, RouteEntry>* best = nullptr;
+    for (const auto& kv : table) {
+      if (kv.first.contains(probe) &&
+          (best == nullptr || kv.first.len > best->first.len)) {
+        best = &kv;
+      }
+    }
+    if (best == nullptr) {
+      EXPECT_FALSE(got.has_value());
+    } else {
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(got->interface, best->second.interface);
+    }
+  }
+}
+
+TEST(IpHeader, EncodeDecodeRoundTrip) {
+  IpHeader h;
+  h.ttl = 17;
+  h.protocol = IpProto::kTcp;
+  h.src = ip(10, 0, 0, 1);
+  h.dst = ip(10, 0, 1, 1);
+  h.ecn_ce = true;
+  const Bytes payload = bytes_from_string("datagram");
+  const auto parsed = decode_datagram(h.encode(payload));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->header.ttl, 17);
+  EXPECT_EQ(parsed->header.protocol, IpProto::kTcp);
+  EXPECT_EQ(parsed->header.src, h.src);
+  EXPECT_EQ(parsed->header.dst, h.dst);
+  EXPECT_TRUE(parsed->header.ecn_ce);
+  EXPECT_FALSE(decode_datagram(IpHeader{}.encode({}))->header.ecn_ce);
+  EXPECT_EQ(string_from_bytes(parsed->payload), "datagram");
+}
+
+TEST(IpHeader, RejectsMalformed) {
+  EXPECT_FALSE(decode_datagram(Bytes{}).has_value());
+  IpHeader h;
+  Bytes raw = h.encode(bytes_from_string("abc"));
+  raw[0] = 9;  // wrong version
+  EXPECT_FALSE(decode_datagram(raw).has_value());
+  Bytes truncated = h.encode(bytes_from_string("abc"));
+  truncated.pop_back();  // length field now lies
+  EXPECT_FALSE(decode_datagram(truncated).has_value());
+}
+
+TEST(AddrToString, DottedQuad) {
+  EXPECT_EQ(addr_to_string(ip(10, 1, 2, 3)), "10.1.2.3");
+  EXPECT_EQ((Prefix{ip(10, 1, 2, 0), 24}).to_string(), "10.1.2.0/24");
+}
+
+}  // namespace
+}  // namespace sublayer::netlayer

@@ -1,0 +1,129 @@
+#include "netlayer/neighbor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sublayer::netlayer {
+namespace {
+
+struct TwoNeighbors {
+  TwoNeighbors() : a(sim, 1, config()), b(sim, 2, config()) {
+    a.add_interface(0, 1.0);
+    b.add_interface(0, 1.0);
+    // Cross-wire the hello sinks, with an on/off switch per direction.
+    a.set_hello_sink([this](int, Bytes hello) {
+      if (a_to_b_up) b.on_hello(0, hello);
+    });
+    b.set_hello_sink([this](int, Bytes hello) {
+      if (b_to_a_up) a.on_hello(0, hello);
+    });
+    a.set_change_callback([this] { ++a_changes; });
+    b.set_change_callback([this] { ++b_changes; });
+  }
+
+  static NeighborConfig config() {
+    NeighborConfig c;
+    c.hello_interval = Duration::millis(10);
+    c.dead_interval = Duration::millis(35);
+    return c;
+  }
+
+  void run_for(Duration d) {
+    sim.run_until(TimePoint::from_ns(sim.now().ns() + d.ns()));
+  }
+
+  sim::Simulator sim;
+  NeighborTable a;
+  NeighborTable b;
+  bool a_to_b_up = true;
+  bool b_to_a_up = true;
+  int a_changes = 0;
+  int b_changes = 0;
+};
+
+TEST(NeighborTable, DiscoversPeerAfterFirstHello) {
+  TwoNeighbors t;
+  t.a.start();
+  t.b.start();
+  t.run_for(Duration::millis(15));
+  ASSERT_EQ(t.a.neighbors().size(), 1u);
+  EXPECT_EQ(t.a.neighbors()[0].id, 2u);
+  EXPECT_EQ(t.a.neighbors()[0].interface, 0);
+  EXPECT_EQ(t.a.neighbors()[0].cost, 1.0);
+  ASSERT_EQ(t.b.neighbors().size(), 1u);
+  EXPECT_EQ(t.b.neighbors()[0].id, 1u);
+  EXPECT_GE(t.a_changes, 1);
+}
+
+TEST(NeighborTable, NoNeighborsBeforeStart) {
+  TwoNeighbors t;
+  t.run_for(Duration::millis(50));
+  EXPECT_TRUE(t.a.neighbors().empty());
+}
+
+TEST(NeighborTable, DeclaresDeathAfterSilence) {
+  TwoNeighbors t;
+  t.a.start();
+  t.b.start();
+  t.run_for(Duration::millis(20));
+  ASSERT_EQ(t.a.neighbors().size(), 1u);
+  const int changes_before = t.a_changes;
+  t.b_to_a_up = false;  // b's hellos stop reaching a
+  t.run_for(Duration::millis(100));
+  EXPECT_TRUE(t.a.neighbors().empty());
+  EXPECT_GT(t.a_changes, changes_before);
+  // b still hears a, so b keeps its neighbor.
+  EXPECT_EQ(t.b.neighbors().size(), 1u);
+}
+
+TEST(NeighborTable, RecoversAfterLinkHeals) {
+  TwoNeighbors t;
+  t.a.start();
+  t.b.start();
+  t.run_for(Duration::millis(20));
+  t.b_to_a_up = false;
+  t.run_for(Duration::millis(100));
+  ASSERT_TRUE(t.a.neighbors().empty());
+  t.b_to_a_up = true;
+  t.run_for(Duration::millis(30));
+  ASSERT_EQ(t.a.neighbors().size(), 1u);
+  EXPECT_EQ(t.a.neighbors()[0].id, 2u);
+}
+
+TEST(NeighborTable, MalformedHelloIgnored) {
+  TwoNeighbors t;
+  t.a.start();
+  t.a.on_hello(0, Bytes{1, 2});      // too short
+  t.a.on_hello(0, Bytes(12, 0xff));  // too long
+  EXPECT_TRUE(t.a.neighbors().empty());
+}
+
+TEST(NeighborTable, HelloOnUnknownInterfaceIgnored) {
+  TwoNeighbors t;
+  t.a.start();
+  Bytes hello;
+  ByteWriter(hello).u32(9);
+  t.a.on_hello(5, hello);  // no such interface
+  EXPECT_TRUE(t.a.neighbors().empty());
+}
+
+TEST(NeighborTable, StatsCountHellos) {
+  TwoNeighbors t;
+  t.a.start();
+  t.b.start();
+  t.run_for(Duration::millis(100));
+  EXPECT_GE(t.a.stats().hellos_sent, 9u);
+  EXPECT_GE(t.a.stats().hellos_received, 9u);
+  EXPECT_EQ(t.a.stats().neighbors_up, 1u);
+}
+
+TEST(NeighborTable, NeighborOnQueriesByInterface) {
+  TwoNeighbors t;
+  t.a.start();
+  t.b.start();
+  t.run_for(Duration::millis(15));
+  EXPECT_TRUE(t.a.neighbor_on(0).has_value());
+  EXPECT_FALSE(t.a.neighbor_on(1).has_value());
+}
+
+}  // namespace
+}  // namespace sublayer::netlayer

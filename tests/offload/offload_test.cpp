@@ -1,0 +1,92 @@
+#include "offload/offload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sublayer::offload {
+namespace {
+
+Workload typical_workload() {
+  Workload w;
+  w.data_segments = 1000;
+  w.ack_segments = 1000;
+  w.payload_bytes = 1200 * 1000;
+  return w;
+}
+
+TEST(Crossings, AllHostHasExactlyTheWireCrossing) {
+  EXPECT_EQ(crossings_per_segment(Placement::all_host()), 1);
+}
+
+TEST(Crossings, SimpleDecompositionHasOneCrossing) {
+  // NIC {DM, CM, RD}: the only boundary is RD -> OSR.
+  EXPECT_EQ(crossings_per_segment(Placement::nic_dm_cm_rd()), 1);
+}
+
+TEST(Crossings, RdOnlyNeedsThreeCrossings) {
+  // wire(N) -> DM(H) -> CM(H) -> RD(N) -> OSR(H): the paper's "more
+  // finagling" case.
+  EXPECT_EQ(crossings_per_segment(Placement::nic_rd_only()), 3);
+}
+
+TEST(Crossings, AllNicHasOnlyTheAppHandoff) {
+  EXPECT_EQ(crossings_per_segment(Placement::all_nic()), 1);
+}
+
+TEST(Evaluate, OffloadingReducesHostCpu) {
+  const auto w = typical_workload();
+  const auto base = evaluate(Placement::all_host(), w);
+  const auto off = evaluate(Placement::nic_dm_cm_rd(), w);
+  EXPECT_LT(off.host_cpu_seconds, base.host_cpu_seconds);
+  EXPECT_LT(off.host_cpu_fraction_of_all_host, 1.0);
+  EXPECT_GT(off.host_bound_bps, base.host_bound_bps);
+}
+
+TEST(Evaluate, RdOnlyPaysCrossingTax) {
+  // RD-only removes the most expensive stage but pays 3 crossings; with a
+  // high crossing tax it can be WORSE than all-host — the quantitative
+  // version of the paper's "modest duplication of state / finagling".
+  const auto w = typical_workload();
+  CostModel expensive;
+  expensive.crossing_ns = 2000;
+  const auto base = evaluate(Placement::all_host(), w, expensive);
+  const auto rd_only = evaluate(Placement::nic_rd_only(), w, expensive);
+  EXPECT_GT(rd_only.host_ns_per_segment, base.host_ns_per_segment);
+
+  CostModel cheap;
+  cheap.crossing_ns = 50;
+  const auto base2 = evaluate(Placement::all_host(), w, cheap);
+  const auto rd_only2 = evaluate(Placement::nic_rd_only(), w, cheap);
+  EXPECT_LT(rd_only2.host_ns_per_segment, base2.host_ns_per_segment);
+}
+
+TEST(Evaluate, PlacementOrderingUnderDefaultCosts) {
+  const auto w = typical_workload();
+  const auto all_host = evaluate(Placement::all_host(), w);
+  const auto deep = evaluate(Placement::nic_dm_cm_rd(), w);
+  const auto rd_only = evaluate(Placement::nic_rd_only(), w);
+  // Under the default 600 ns crossing tax: deep offload clearly wins, and
+  // RD-only actually LOSES to all-host (its three crossings outweigh the
+  // saved RD cycles) — the quantitative form of the paper's "with more
+  // finagling ... only RD can be placed in hardware".
+  EXPECT_LT(deep.host_ns_per_segment, all_host.host_ns_per_segment);
+  EXPECT_GT(rd_only.host_ns_per_segment, all_host.host_ns_per_segment);
+}
+
+TEST(Evaluate, NicTimeAccountsOffloadedStages) {
+  const auto w = typical_workload();
+  const auto deep = evaluate(Placement::nic_dm_cm_rd(), w);
+  CostModel costs;
+  EXPECT_DOUBLE_EQ(deep.nic_ns_per_segment,
+                   costs.nic_ns[0] + costs.nic_ns[1] + costs.nic_ns[2]);
+  const auto none = evaluate(Placement::all_host(), w);
+  EXPECT_DOUBLE_EQ(none.nic_ns_per_segment, 0.0);
+}
+
+TEST(Evaluate, EmptyWorkloadIsWellDefined) {
+  const auto r = evaluate(Placement::all_host(), Workload{});
+  EXPECT_DOUBLE_EQ(r.host_cpu_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(r.host_bound_bps, 0.0);
+}
+
+}  // namespace
+}  // namespace sublayer::offload

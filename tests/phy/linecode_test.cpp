@@ -1,0 +1,114 @@
+#include "phy/linecode.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace sublayer::phy {
+namespace {
+
+// ---- Parameterized sublayer-contract sweep: decode ∘ encode = id ----------
+
+struct CodecCase {
+  const char* name;
+  std::unique_ptr<LineCode> (*make)();
+};
+
+class LineCodeRoundTrip : public ::testing::TestWithParam<CodecCase> {};
+
+TEST_P(LineCodeRoundTrip, RoundTripsAlignedRandomData) {
+  const auto code = GetParam().make();
+  Rng rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t align = code->input_alignment_bits();
+    const std::size_t len = align * (1 + rng.next_below(64));
+    const BitString data = rng.next_bits(len);
+    const BitString symbols = code->encode(data);
+    EXPECT_NEAR(static_cast<double>(symbols.size()),
+                static_cast<double>(len) * code->symbols_per_bit(), 1e-9);
+    const auto back = code->decode(symbols);
+    ASSERT_TRUE(back.has_value()) << code->name() << " trial " << trial;
+    EXPECT_EQ(*back, data);
+  }
+}
+
+TEST_P(LineCodeRoundTrip, EmptyInputEncodesEmpty) {
+  const auto code = GetParam().make();
+  const BitString empty;
+  EXPECT_EQ(code->encode(empty).size(), 0u);
+  const auto back = code->decode(empty);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodes, LineCodeRoundTrip,
+    ::testing::Values(CodecCase{"nrz", make_nrz}, CodecCase{"nrzi", make_nrzi},
+                      CodecCase{"manchester", make_manchester},
+                      CodecCase{"fourbfiveb", make_4b5b}),
+    [](const auto& info) { return info.param.name; });
+
+// ---- Code-specific behaviour ------------------------------------------------
+
+TEST(Nrzi, TransitionEncodesOne) {
+  const auto code = make_nrzi();
+  // 1 1 0 1: toggles at bits 0,1,3 from initial level 0 -> 1,0,0,1
+  EXPECT_EQ(code->encode(BitString::parse("1101")).to_string(), "1001");
+}
+
+TEST(Manchester, KnownWaveform) {
+  const auto code = make_manchester();
+  EXPECT_EQ(code->encode(BitString::parse("10")).to_string(), "1001");
+}
+
+TEST(Manchester, RejectsInvalidMidBit) {
+  const auto code = make_manchester();
+  EXPECT_FALSE(code->decode(BitString::parse("11")).has_value());
+  EXPECT_FALSE(code->decode(BitString::parse("100")).has_value());
+}
+
+TEST(FourBFiveB, RejectsNonDataSymbol) {
+  const auto code = make_4b5b();
+  // 00000 is not a 4B/5B data symbol.
+  EXPECT_FALSE(code->decode(BitString::parse("00000")).has_value());
+}
+
+TEST(FourBFiveB, RejectsUnalignedInput) {
+  const auto code = make_4b5b();
+  EXPECT_THROW(code->encode(BitString::parse("101")), std::invalid_argument);
+  EXPECT_FALSE(code->decode(BitString::parse("1010")).has_value());
+}
+
+TEST(FourBFiveB, NoLongZeroRuns) {
+  // The whole point of 4B/5B: bounded run length for clock recovery.
+  const auto code = make_4b5b();
+  Rng rng(7);
+  const BitString data = rng.next_bits(4 * 256);
+  const BitString symbols = code->encode(data);
+  int zero_run = 0;
+  int max_run = 0;
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    zero_run = symbols[i] ? 0 : zero_run + 1;
+    max_run = std::max(max_run, zero_run);
+  }
+  EXPECT_LE(max_run, 3);
+}
+
+TEST(Manchester, SingleBitFlipIsDetectedOrRoundTrips) {
+  // Manchester decode either fails (invalid mid-bit) or yields wrong data;
+  // a flip never crashes. Detectability of the flip itself is the error-
+  // detection sublayer's job.
+  const auto code = make_manchester();
+  Rng rng(11);
+  const BitString data = rng.next_bits(64);
+  BitString symbols = code->encode(data);
+  BitString corrupted;
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    corrupted.push_back(i == 10 ? !symbols[i] : symbols[i]);
+  }
+  const auto back = code->decode(corrupted);
+  if (back) EXPECT_NE(*back, data);
+}
+
+}  // namespace
+}  // namespace sublayer::phy

@@ -1,0 +1,185 @@
+#include "sim/link.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sublayer::sim {
+namespace {
+
+Bytes make_frame(std::size_t n, std::uint8_t fill = 0xaa) {
+  return Bytes(n, fill);
+}
+
+TEST(Link, DeliversAfterPropagationDelay) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.propagation_delay = Duration::millis(5);
+  Link link(sim, cfg, Rng(1));
+  TimePoint delivered_at;
+  link.set_receiver([&](Bytes) { delivered_at = sim.now(); });
+  link.send(make_frame(10));
+  sim.run();
+  EXPECT_EQ(delivered_at.ns(), Duration::millis(5).ns());
+  EXPECT_EQ(link.stats().frames_delivered, 1u);
+}
+
+TEST(Link, SerializationDelayFromBandwidth) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8000;  // 1 byte per ms
+  cfg.propagation_delay = Duration::nanos(0);
+  Link link(sim, cfg, Rng(1));
+  TimePoint delivered_at;
+  link.set_receiver([&](Bytes) { delivered_at = sim.now(); });
+  link.send(make_frame(100));
+  sim.run();
+  EXPECT_EQ(delivered_at.ns(), Duration::millis(100).ns());
+}
+
+TEST(Link, BackToBackFramesQueueBehindEachOther) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8000;
+  cfg.propagation_delay = Duration::nanos(0);
+  Link link(sim, cfg, Rng(1));
+  std::vector<TimePoint> deliveries;
+  link.set_receiver([&](Bytes) { deliveries.push_back(sim.now()); });
+  link.send(make_frame(10));  // 10 ms
+  link.send(make_frame(10));  // finishes at 20 ms
+  sim.run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0].ns(), Duration::millis(10).ns());
+  EXPECT_EQ(deliveries[1].ns(), Duration::millis(20).ns());
+}
+
+TEST(Link, LossRateDropsRoughlyThatFraction) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.loss_rate = 0.3;
+  Link link(sim, cfg, Rng(99));
+  int received = 0;
+  link.set_receiver([&](Bytes) { ++received; });
+  const int kFrames = 10000;
+  for (int i = 0; i < kFrames; ++i) link.send(make_frame(4));
+  sim.run();
+  EXPECT_NEAR(received / static_cast<double>(kFrames), 0.7, 0.02);
+  EXPECT_EQ(link.stats().frames_lost + link.stats().frames_delivered,
+            static_cast<std::uint64_t>(kFrames));
+}
+
+TEST(Link, ZeroLossDeliversEverything) {
+  Simulator sim;
+  Link link(sim, LinkConfig{}, Rng(5));
+  int received = 0;
+  link.set_receiver([&](Bytes) { ++received; });
+  for (int i = 0; i < 100; ++i) link.send(make_frame(4));
+  sim.run();
+  EXPECT_EQ(received, 100);
+}
+
+TEST(Link, CorruptionFlipsBits) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.corrupt_rate = 1.0;
+  cfg.corrupt_bit_flips = 1;
+  Link link(sim, cfg, Rng(3));
+  Bytes got;
+  link.set_receiver([&](Bytes f) { got = std::move(f); });
+  const Bytes sent = make_frame(16, 0x00);
+  link.send(sent);
+  sim.run();
+  ASSERT_EQ(got.size(), sent.size());
+  int flipped_bits = 0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    flipped_bits += __builtin_popcount(got[i] ^ sent[i]);
+  }
+  EXPECT_EQ(flipped_bits, 1);
+  EXPECT_EQ(link.stats().frames_corrupted, 1u);
+}
+
+TEST(Link, DuplicationDeliversTwice) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.duplicate_rate = 1.0;
+  Link link(sim, cfg, Rng(3));
+  int received = 0;
+  link.set_receiver([&](Bytes) { ++received; });
+  link.send(make_frame(4));
+  sim.run();
+  EXPECT_EQ(received, 2);
+  EXPECT_EQ(link.stats().frames_duplicated, 1u);
+}
+
+TEST(Link, JitterCanReorder) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.propagation_delay = Duration::micros(1);
+  cfg.jitter = Duration::millis(10);
+  Link link(sim, cfg, Rng(17));
+  std::vector<std::uint8_t> order;
+  link.set_receiver([&](Bytes f) { order.push_back(f[0]); });
+  for (std::uint8_t i = 0; i < 50; ++i) link.send(Bytes{i});
+  sim.run();
+  ASSERT_EQ(order.size(), 50u);
+  bool reordered = false;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    if (order[i] < order[i - 1]) reordered = true;
+  }
+  EXPECT_TRUE(reordered);
+}
+
+TEST(Link, QueueLimitTailDrops) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.queue_limit = 5;
+  cfg.propagation_delay = Duration::millis(1);
+  Link link(sim, cfg, Rng(1));
+  int received = 0;
+  link.set_receiver([&](Bytes) { ++received; });
+  for (int i = 0; i < 20; ++i) link.send(make_frame(4));
+  sim.run();
+  EXPECT_EQ(received, 5);
+  EXPECT_EQ(link.stats().frames_queue_dropped, 15u);
+}
+
+TEST(Link, DownLinkDropsEverything) {
+  Simulator sim;
+  Link link(sim, LinkConfig{}, Rng(1));
+  int received = 0;
+  link.set_receiver([&](Bytes) { ++received; });
+  link.set_down(true);
+  link.send(make_frame(4));
+  sim.run();
+  EXPECT_EQ(received, 0);
+  link.set_down(false);
+  link.send(make_frame(4));
+  sim.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(DuplexLink, BothDirectionsIndependent) {
+  Simulator sim;
+  Rng rng(42);
+  DuplexLink duplex(sim, LinkConfig{}, rng);
+  Bytes at_a;
+  Bytes at_b;
+  duplex.a_to_b().set_receiver([&](Bytes f) { at_b = std::move(f); });
+  duplex.b_to_a().set_receiver([&](Bytes f) { at_a = std::move(f); });
+  duplex.a_to_b().send(Bytes{1});
+  duplex.b_to_a().send(Bytes{2});
+  sim.run();
+  EXPECT_EQ(at_b, Bytes{1});
+  EXPECT_EQ(at_a, Bytes{2});
+}
+
+TEST(Link, StatsCountBytes) {
+  Simulator sim;
+  Link link(sim, LinkConfig{}, Rng(1));
+  link.set_receiver([](Bytes) {});
+  link.send(make_frame(100));
+  link.send(make_frame(23));
+  sim.run();
+  EXPECT_EQ(link.stats().bytes_delivered, 123u);
+}
+
+}  // namespace
+}  // namespace sublayer::sim

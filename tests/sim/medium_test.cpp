@@ -1,0 +1,90 @@
+#include "sim/medium.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sublayer::sim {
+namespace {
+
+TEST(BroadcastMedium, SoleTransmissionReachesAllOtherStations) {
+  Simulator sim;
+  BroadcastMedium medium(sim, 1e6);
+  int rx1 = 0;
+  int rx2 = 0;
+  bool tx_collided = true;
+  const int s0 = medium.attach(nullptr, [&](bool c) { tx_collided = c; });
+  medium.attach([&](Bytes) { ++rx1; }, nullptr);
+  medium.attach([&](Bytes) { ++rx2; }, nullptr);
+
+  medium.transmit(s0, Bytes(125, 0xff));  // 1000 bits = 1 ms at 1 Mbps
+  EXPECT_TRUE(medium.carrier_busy());
+  sim.run();
+  EXPECT_FALSE(medium.carrier_busy());
+  EXPECT_EQ(rx1, 1);
+  EXPECT_EQ(rx2, 1);
+  EXPECT_FALSE(tx_collided);
+  EXPECT_EQ(medium.stats().collisions, 0u);
+}
+
+TEST(BroadcastMedium, OverlappingTransmissionsCollide) {
+  Simulator sim;
+  BroadcastMedium medium(sim, 1e6);
+  int delivered = 0;
+  bool c0 = false;
+  bool c1 = false;
+  const int s0 = medium.attach([&](Bytes) { ++delivered; },
+                               [&](bool c) { c0 = c; });
+  const int s1 = medium.attach([&](Bytes) { ++delivered; },
+                               [&](bool c) { c1 = c; });
+
+  medium.transmit(s0, Bytes(125, 1));
+  medium.transmit(s1, Bytes(125, 2));  // overlaps in time
+  sim.run();
+  EXPECT_TRUE(c0);
+  EXPECT_TRUE(c1);
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(medium.stats().collisions, 2u);
+}
+
+TEST(BroadcastMedium, SequentialTransmissionsDoNotCollide) {
+  Simulator sim;
+  BroadcastMedium medium(sim, 1e6);
+  int delivered = 0;
+  const int s0 = medium.attach([&](Bytes) { ++delivered; }, nullptr);
+  const int s1 = medium.attach([&](Bytes) { ++delivered; }, nullptr);
+
+  medium.transmit(s0, Bytes(125, 1));
+  sim.run();  // first finishes
+  medium.transmit(s1, Bytes(125, 2));
+  sim.run();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(medium.stats().collisions, 0u);
+}
+
+TEST(BroadcastMedium, SenderDoesNotHearItself) {
+  Simulator sim;
+  BroadcastMedium medium(sim, 1e6);
+  int self_rx = 0;
+  const int s0 = medium.attach([&](Bytes) { ++self_rx; }, nullptr);
+  medium.attach([](Bytes) {}, nullptr);
+  medium.transmit(s0, Bytes(10, 1));
+  sim.run();
+  EXPECT_EQ(self_rx, 0);
+}
+
+TEST(BroadcastMedium, LatecomerCollidesBothEvenIfFirstNearlyDone) {
+  Simulator sim;
+  BroadcastMedium medium(sim, 1e6);
+  int delivered = 0;
+  const int s0 = medium.attach([&](Bytes) { ++delivered; }, nullptr);
+  const int s1 = medium.attach([&](Bytes) { ++delivered; }, nullptr);
+
+  medium.transmit(s0, Bytes(125, 1));  // 1 ms
+  sim.run_until(TimePoint::from_ns(Duration::micros(900).ns()));
+  medium.transmit(s1, Bytes(125, 2));  // overlaps the tail
+  sim.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(medium.stats().collisions, 2u);
+}
+
+}  // namespace
+}  // namespace sublayer::sim

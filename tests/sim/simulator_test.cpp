@@ -1,0 +1,166 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace sublayer::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now().ns(), 0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(Duration::millis(3), [&] { order.push_back(3); });
+  sim.schedule(Duration::millis(1), [&] { order.push_back(1); });
+  sim.schedule(Duration::millis(2), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), TimePoint::from_ns(Duration::millis(3).ns()));
+}
+
+TEST(Simulator, SameTimeEventsRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule(Duration::millis(1), [&, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator sim;
+  TimePoint seen;
+  sim.schedule(Duration::micros(250), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen.ns(), 250000);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    if (++fired < 10) sim.schedule(Duration::millis(1), chain);
+  };
+  sim.schedule(Duration::millis(1), chain);
+  sim.run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_EQ(sim.now().ns(), Duration::millis(10).ns());
+}
+
+TEST(Simulator, CancelPreventsFiring) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule(Duration::millis(1), [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelUnknownIsNoOp) {
+  Simulator sim;
+  sim.cancel(EventId{9999});
+  sim.cancel(EventId{});
+  EXPECT_EQ(sim.run(), 0u);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(Duration::millis(1), [&] { ++fired; });
+  sim.schedule(Duration::millis(5), [&] { ++fired; });
+  sim.run_until(TimePoint::from_ns(Duration::millis(2).ns()));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now().ns(), Duration::millis(2).ns());
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWithNoEvents) {
+  Simulator sim;
+  sim.run_until(TimePoint::from_ns(123456));
+  EXPECT_EQ(sim.now().ns(), 123456);
+}
+
+TEST(Simulator, SchedulingInPastThrows) {
+  Simulator sim;
+  sim.schedule(Duration::millis(5), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(TimePoint::from_ns(0), [] {}),
+               std::logic_error);
+}
+
+TEST(Simulator, MaxEventsBudget) {
+  Simulator sim;
+  for (int i = 0; i < 10; ++i) sim.schedule(Duration::millis(i + 1), [] {});
+  EXPECT_EQ(sim.run(4), 4u);
+  EXPECT_EQ(sim.pending_events(), 6u);
+}
+
+TEST(Timer, FiresAfterDelay) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  t.restart(Duration::millis(2));
+  EXPECT_TRUE(t.armed());
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(t.armed());
+}
+
+TEST(Timer, RestartReplacesPendingFiring) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  t.restart(Duration::millis(2));
+  t.restart(Duration::millis(10));
+  sim.run_until(TimePoint::from_ns(Duration::millis(5).ns()));
+  EXPECT_EQ(fired, 0);
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Timer, StopPreventsFiring) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  t.restart(Duration::millis(1));
+  t.stop();
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Timer, CanRearmFromItsOwnCallback) {
+  Simulator sim;
+  int fired = 0;
+  Timer* tp = nullptr;
+  Timer t(sim, [&] {
+    if (++fired < 3) tp->restart(Duration::millis(1));
+  });
+  tp = &t;
+  t.restart(Duration::millis(1));
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Timer, DestructorCancelsCleanly) {
+  Simulator sim;
+  int fired = 0;
+  {
+    Timer t(sim, [&] { ++fired; });
+    t.restart(Duration::millis(1));
+  }
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+}  // namespace
+}  // namespace sublayer::sim

@@ -1,0 +1,212 @@
+#include "stuffverify/verifier.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sublayer::stuffverify {
+namespace {
+
+using datalink::StuffingRule;
+
+VerifyConfig fast_config() {
+  VerifyConfig cfg;
+  cfg.exhaustive_max_bits = 11;  // keep unit tests quick; bench goes deeper
+  cfg.random_trials = 16;
+  cfg.random_bits = 256;
+  return cfg;
+}
+
+TEST(VerifyRule, HdlcIsValid) {
+  const auto result = verify_rule(StuffingRule::hdlc(), fast_config());
+  EXPECT_TRUE(result.valid) << result.summary();
+  EXPECT_GT(result.automaton_states, 0u);
+  EXPECT_GT(result.cases_checked, 1000u);
+}
+
+TEST(VerifyRule, PaperLowOverheadRuleIsValid) {
+  const auto result = verify_rule(StuffingRule::low_overhead(), fast_config());
+  EXPECT_TRUE(result.valid) << result.summary();
+}
+
+TEST(VerifyRule, LemmaLedgerHasPerSublayerStructure) {
+  const auto result = verify_rule(StuffingRule::hdlc(), fast_config());
+  int stuffing = 0;
+  int flags = 0;
+  int composed = 0;
+  for (const auto& l : result.lemmas) {
+    EXPECT_TRUE(l.passed) << l.name << ": " << l.detail;
+    if (l.sublayer == "stuffing") ++stuffing;
+    if (l.sublayer == "flags") ++flags;
+    if (l.sublayer == "composed") ++composed;
+  }
+  EXPECT_GE(stuffing, 2);
+  EXPECT_GE(flags, 2);
+  EXPECT_GE(composed, 2);
+}
+
+TEST(VerifyRule, RejectsRuleWhoseStuffBitCompletesTheFlag) {
+  // Flag 01111110 with trigger 111111 (six ones) and stuff bit 0: the data
+  // 0111111 becomes 01111110 after stuffing -- the stuffed 0 completes a
+  // false flag ("the stuffed bit forms a flag with subsequent data bits",
+  // one of the paper's failure subtleties).
+  const StuffingRule bad{BitString::parse("01111110"),
+                         BitString::parse("111111"), false};
+  const auto result = verify_rule(bad, fast_config());
+  EXPECT_FALSE(result.valid);
+  ASSERT_NE(result.first_failure(), nullptr);
+  EXPECT_EQ(result.first_failure()->name, "F2.no_false_flag_any_length");
+}
+
+TEST(VerifyRule, RejectsRuleThatDoesNotPreventTheFlag) {
+  // Trigger 000 never fires on flag-shaped data 01111110, so the flag can
+  // appear verbatim inside the body.
+  const StuffingRule bad{BitString::parse("01111110"), BitString::parse("000"),
+                         true};
+  const auto result = verify_rule(bad, fast_config());
+  EXPECT_FALSE(result.valid);
+}
+
+TEST(VerifyRule, RejectsDegenerateSelfTriggeringRule) {
+  const StuffingRule bad{BitString::parse("11111111"), BitString::parse("111"),
+                         true};
+  const auto result = verify_rule(bad, fast_config());
+  EXPECT_FALSE(result.valid);
+  ASSERT_NE(result.first_failure(), nullptr);
+}
+
+TEST(VerifyRule, RejectsMalformedRules) {
+  EXPECT_FALSE(verify_rule(StuffingRule{BitString{}, BitString::parse("1"),
+                                        false},
+                           fast_config())
+                   .valid);
+  EXPECT_FALSE(
+      verify_rule(StuffingRule{BitString::parse("01"),
+                               BitString::parse("0101"), false},
+                  fast_config())
+          .valid);
+}
+
+TEST(QuickCheck, AgreesWithFullVerifierOnKnownRules) {
+  EXPECT_TRUE(quick_check(StuffingRule::hdlc()));
+  EXPECT_TRUE(quick_check(StuffingRule::low_overhead()));
+  EXPECT_FALSE(quick_check(StuffingRule{BitString::parse("01111110"),
+                                        BitString::parse("111111"), false}));
+  EXPECT_FALSE(quick_check(StuffingRule{BitString::parse("11111111"),
+                                        BitString::parse("111"), true}));
+}
+
+TEST(QuickCheck, ReportsAutomatonStates) {
+  std::uint64_t states = 0;
+  EXPECT_TRUE(quick_check(StuffingRule::hdlc(), &states));
+  EXPECT_GT(states, 1u);
+  EXPECT_LE(states, 256u * 6u);
+}
+
+// ---- Overhead (paper §4.1, lesson 2) ---------------------------------------
+
+TEST(Overhead, HdlcNaiveMeasureIsOneInThirtyTwo) {
+  // The paper's "1 in 32" is the window probability 2^-5.
+  const auto est = estimate_overhead(StuffingRule::hdlc(), 1 << 18);
+  EXPECT_DOUBLE_EQ(est.naive, 1.0 / 32.0);
+}
+
+TEST(Overhead, HdlcTrueInsertionRateIsOneInSixtyTwo) {
+  // HDLC's trigger 11111 is fully self-overlapping, so a stuffed 0 resets
+  // the run: the true insertion rate is 1/(2+4+8+16+32) = 1/62.
+  const auto est = estimate_overhead(StuffingRule::hdlc(), 1 << 18);
+  EXPECT_NEAR(est.analytic, 1.0 / 62.0, 0.0005);
+  EXPECT_NEAR(est.empirical, 1.0 / 62.0, 0.001);
+}
+
+TEST(Overhead, PaperRuleIsOneInOneTwentyEight) {
+  // 0000001 is non-self-overlapping: naive and true rates coincide.
+  const auto est = estimate_overhead(StuffingRule::low_overhead(), 1 << 18);
+  EXPECT_DOUBLE_EQ(est.naive, 1.0 / 128.0);
+  EXPECT_NEAR(est.analytic, 1.0 / 128.0, 0.0005);
+  EXPECT_NEAR(est.empirical, 1.0 / 128.0, 0.002);
+}
+
+TEST(Overhead, PaperRuleCheaperThanHdlcOnBothMeasures) {
+  const auto hdlc = estimate_overhead(StuffingRule::hdlc(), 0);
+  const auto alt = estimate_overhead(StuffingRule::low_overhead(), 0);
+  EXPECT_LT(alt.naive, hdlc.naive);
+  EXPECT_LT(alt.analytic, hdlc.analytic);
+}
+
+TEST(Overhead, AnalyticMatchesEmpiricalAcrossRules) {
+  for (const auto& rule : {StuffingRule::hdlc(), StuffingRule::low_overhead()}) {
+    const auto est = estimate_overhead(rule, 1 << 18);
+    EXPECT_NEAR(est.analytic, est.empirical, 0.01) << rule.name();
+  }
+}
+
+TEST(Overhead, OneInNInversion) {
+  const auto est = estimate_overhead(StuffingRule::hdlc(), 0);
+  EXPECT_NEAR(est.one_in_n(), 62.0, 1.0);
+}
+
+// ---- Rule search (paper §4.1: "66 alternate stuffing rules") ----------------
+
+TEST(Search, FindsManyValidAlternateRules) {
+  SearchConfig cfg;
+  const auto outcome = search_rules(cfg);
+  EXPECT_GT(outcome.candidates, 1000u);
+  // The paper's library found 66 alternates; our space is defined slightly
+  // differently, but there must be *many* valid rules, and some cheaper
+  // than HDLC.
+  EXPECT_GE(outcome.valid_rules.size(), 20u);
+  EXPECT_GT(outcome.cheaper_than_hdlc, 0u);
+}
+
+TEST(Search, HdlcAndPaperRuleAreInTheValidSet) {
+  const auto outcome = search_rules(SearchConfig{});
+  bool found_hdlc = false;
+  bool found_paper = false;
+  for (const auto& s : outcome.valid_rules) {
+    if (s.rule == StuffingRule::hdlc()) found_hdlc = true;
+    if (s.rule == StuffingRule::low_overhead()) found_paper = true;
+  }
+  EXPECT_TRUE(found_hdlc);
+  EXPECT_TRUE(found_paper);
+}
+
+TEST(Search, ResultsSortedByOverhead) {
+  const auto outcome = search_rules(SearchConfig{});
+  for (std::size_t i = 1; i < outcome.valid_rules.size(); ++i) {
+    EXPECT_LE(outcome.valid_rules[i - 1].overhead.analytic,
+              outcome.valid_rules[i].overhead.analytic);
+  }
+}
+
+TEST(Search, EverySurvivorPassesTheFullVerifier) {
+  const auto outcome = search_rules(SearchConfig{});
+  VerifyConfig cfg;
+  cfg.exhaustive_max_bits = 9;
+  cfg.random_trials = 8;
+  // Spot-check a spread of survivors (full sweep is the bench's job).
+  for (std::size_t i = 0; i < outcome.valid_rules.size();
+       i += std::max<std::size_t>(1, outcome.valid_rules.size() / 16)) {
+    const auto result = verify_rule(outcome.valid_rules[i].rule, cfg);
+    EXPECT_TRUE(result.valid)
+        << outcome.valid_rules[i].rule.name() << ": " << result.summary();
+  }
+}
+
+TEST(Search, PrefixOnlySpaceIsSmaller) {
+  SearchConfig all;
+  SearchConfig prefix;
+  prefix.prefix_triggers_only = true;
+  const auto a = search_rules(all);
+  const auto p = search_rules(prefix);
+  EXPECT_LT(p.candidates, a.candidates);
+  EXPECT_LE(p.valid_rules.size(), a.valid_rules.size());
+}
+
+TEST(Search, RejectionReasonsAccounted) {
+  const auto outcome = search_rules(SearchConfig{});
+  EXPECT_EQ(outcome.candidates,
+            outcome.valid_rules.size() + outcome.rejected_degenerate +
+                outcome.rejected_false_flag);
+}
+
+}  // namespace
+}  // namespace sublayer::stuffverify

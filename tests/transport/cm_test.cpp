@@ -1,0 +1,268 @@
+// Unit tests for the CM sublayer in isolation: scripted segments instead
+// of a live network, so every state transition and validation rule is
+// pinned down.
+#include <gtest/gtest.h>
+
+#include "transport/sublayered/cm.hpp"
+
+namespace sublayer::transport {
+namespace {
+
+struct CmHarness {
+  explicit CmHarness(CmConfig config = fast_config())
+      : isn(make_rfc793_isn(sim)),
+        cm(sim, *isn, config,
+           ConnectionManager::Callbacks{
+               [this](std::uint32_t l, std::uint32_t p) {
+                 established = true;
+                 isn_local = l;
+                 isn_peer = p;
+               },
+               [this](std::uint64_t len) { peer_fin_length = len; },
+               [this] { local_fin_acked = true; },
+               [this] { closed = true; },
+               [this](std::string r) { reset_reason = std::move(r); },
+               [this](SublayeredSegment s) { sent.push_back(std::move(s)); },
+               [this](SublayeredSegment s) { data.push_back(std::move(s)); },
+               [this] { ++ack_requests; },
+           }) {}
+
+  static CmConfig fast_config() {
+    CmConfig c;
+    c.handshake_rto = Duration::millis(10);
+    c.max_handshake_retries = 3;
+    c.time_wait = Duration::millis(20);
+    return c;
+  }
+
+  void run_for(Duration d) {
+    sim.run_until(TimePoint::from_ns(sim.now().ns() + d.ns()));
+  }
+
+  SublayeredSegment make(CmKind kind, std::uint32_t isn_l, std::uint32_t isn_p,
+                         std::uint32_t fin_offset = 0) {
+    SublayeredSegment s;
+    s.cm.kind = kind;
+    s.cm.isn_local = isn_l;
+    s.cm.isn_peer = isn_p;
+    s.cm.fin_offset = fin_offset;
+    return s;
+  }
+
+  /// Drives the handshake to ESTABLISHED from the active side.
+  std::uint32_t establish_active(std::uint32_t peer_isn = 999) {
+    cm.open_active(FourTuple{1, 1000, 2, 80});
+    const std::uint32_t our_isn = sent.back().cm.isn_local;
+    cm.on_segment(make(CmKind::kSynAck, peer_isn, our_isn));
+    return our_isn;
+  }
+
+  sim::Simulator sim;
+  std::unique_ptr<IsnProvider> isn;
+  ConnectionManager cm;
+  std::vector<SublayeredSegment> sent;
+  std::vector<SublayeredSegment> data;
+  bool established = false;
+  bool local_fin_acked = false;
+  bool closed = false;
+  std::uint32_t isn_local = 0;
+  std::uint32_t isn_peer = 0;
+  std::uint64_t peer_fin_length = 0;
+  std::string reset_reason;
+  int ack_requests = 0;
+};
+
+TEST(Cm, ActiveOpenSendsSynAndEstablishesOnSynAck) {
+  CmHarness h;
+  h.cm.open_active(FourTuple{1, 1000, 2, 80});
+  EXPECT_EQ(h.cm.state(), CmState::kSynSent);
+  ASSERT_EQ(h.sent.size(), 1u);
+  EXPECT_EQ(h.sent[0].cm.kind, CmKind::kSyn);
+  EXPECT_EQ(h.sent[0].cm.isn_peer, 0u);
+
+  const std::uint32_t our_isn = h.sent[0].cm.isn_local;
+  h.cm.on_segment(h.make(CmKind::kSynAck, 5555, our_isn));
+  EXPECT_EQ(h.cm.state(), CmState::kEstablished);
+  EXPECT_TRUE(h.established);
+  EXPECT_EQ(h.isn_peer, 5555u);
+  EXPECT_EQ(h.cm.isn_peer(), 5555u);
+}
+
+TEST(Cm, SynAckForWrongIsnIgnored) {
+  CmHarness h;
+  h.cm.open_active(FourTuple{1, 1000, 2, 80});
+  const std::uint32_t our_isn = h.sent[0].cm.isn_local;
+  h.cm.on_segment(h.make(CmKind::kSynAck, 5555, our_isn + 1));
+  EXPECT_EQ(h.cm.state(), CmState::kSynSent);
+  EXPECT_FALSE(h.established);
+}
+
+TEST(Cm, SynRetransmittedWithBackoffThenAborts) {
+  CmHarness h;
+  h.cm.open_active(FourTuple{1, 1000, 2, 80});
+  h.run_for(Duration::millis(500));
+  // 1 original + 3 retries, then abort (RST emitted).
+  int syns = 0;
+  int rsts = 0;
+  for (const auto& s : h.sent) {
+    if (s.cm.kind == CmKind::kSyn) ++syns;
+    if (s.cm.kind == CmKind::kRst) ++rsts;
+  }
+  EXPECT_EQ(syns, 4);
+  EXPECT_EQ(rsts, 1);
+  EXPECT_EQ(h.cm.state(), CmState::kAborted);
+  EXPECT_FALSE(h.reset_reason.empty());
+  EXPECT_EQ(h.cm.stats().syn_retransmits, 3u);
+}
+
+TEST(Cm, PassiveOpenAnswersSynAckAndEstablishesOnData) {
+  CmHarness h;
+  SublayeredSegment syn = h.make(CmKind::kSyn, 7777, 0);
+  h.cm.open_passive(FourTuple{2, 80, 1, 1000}, syn);
+  EXPECT_EQ(h.cm.state(), CmState::kSynRcvd);
+  ASSERT_EQ(h.sent.size(), 1u);
+  EXPECT_EQ(h.sent[0].cm.kind, CmKind::kSynAck);
+  EXPECT_EQ(h.sent[0].cm.isn_peer, 7777u);
+
+  // Handshake-completing pure ack (a DATA segment from the right pair).
+  SublayeredSegment ack = h.make(CmKind::kData, 7777, h.cm.isn_local());
+  h.cm.on_segment(ack);
+  EXPECT_EQ(h.cm.state(), CmState::kEstablished);
+  EXPECT_EQ(h.data.size(), 1u);  // and the segment reached RD
+}
+
+TEST(Cm, DuplicateSynTriggersSynAckRetransmit) {
+  CmHarness h;
+  SublayeredSegment syn = h.make(CmKind::kSyn, 7777, 0);
+  h.cm.open_passive(FourTuple{2, 80, 1, 1000}, syn);
+  const auto sent_before = h.sent.size();
+  h.cm.on_segment(syn);  // duplicate SYN
+  EXPECT_EQ(h.sent.size(), sent_before + 1);
+  EXPECT_EQ(h.sent.back().cm.kind, CmKind::kSynAck);
+}
+
+TEST(Cm, DataFromWrongIncarnationRejected) {
+  CmHarness h;
+  h.establish_active(999);
+  // Delayed duplicate from an older incarnation: wrong ISNs.
+  h.cm.on_segment(h.make(CmKind::kData, 111, 222));
+  EXPECT_TRUE(h.data.empty());
+  EXPECT_EQ(h.cm.stats().bad_incarnation, 1u);
+}
+
+TEST(Cm, ValidDataFlowsToRd) {
+  CmHarness h;
+  const std::uint32_t our_isn = h.establish_active(999);
+  h.cm.on_segment(h.make(CmKind::kData, 999, our_isn));
+  ASSERT_EQ(h.data.size(), 1u);
+}
+
+TEST(Cm, DuplicateSynAckAfterEstablishRequestsAck) {
+  CmHarness h;
+  const std::uint32_t our_isn = h.establish_active(999);
+  h.cm.on_segment(h.make(CmKind::kSynAck, 999, our_isn));
+  EXPECT_EQ(h.ack_requests, 1);
+}
+
+TEST(Cm, StampDataFillsIsnPair) {
+  CmHarness h;
+  h.establish_active(999);
+  SublayeredSegment s;
+  h.cm.stamp_data(s);
+  EXPECT_EQ(s.cm.kind, CmKind::kData);
+  EXPECT_EQ(s.cm.isn_local, h.cm.isn_local());
+  EXPECT_EQ(s.cm.isn_peer, 999u);
+}
+
+TEST(Cm, PeerFinReportsStreamLengthAndIsAcked) {
+  CmHarness h;
+  const std::uint32_t our_isn = h.establish_active(999);
+  h.cm.on_segment(h.make(CmKind::kFin, 999, our_isn, 123456));
+  EXPECT_EQ(h.peer_fin_length, 123456u);
+  EXPECT_EQ(h.sent.back().cm.kind, CmKind::kFinAck);
+  EXPECT_TRUE(h.cm.peer_fin_seen());
+  // Duplicate FIN re-acks but does not re-notify.
+  h.peer_fin_length = 0;
+  h.cm.on_segment(h.make(CmKind::kFin, 999, our_isn, 123456));
+  EXPECT_EQ(h.peer_fin_length, 0u);
+  EXPECT_EQ(h.sent.back().cm.kind, CmKind::kFinAck);
+}
+
+TEST(Cm, CloseRetransmitsFinUntilAcked) {
+  CmHarness h;
+  const std::uint32_t our_isn = h.establish_active(999);
+  h.cm.close(5000);
+  h.run_for(Duration::millis(25));
+  int fins = 0;
+  for (const auto& s : h.sent) {
+    if (s.cm.kind == CmKind::kFin) ++fins;
+  }
+  EXPECT_GE(fins, 2);  // original + at least one retransmit
+  h.cm.on_segment(h.make(CmKind::kFinAck, 999, our_isn));
+  EXPECT_TRUE(h.local_fin_acked);
+  const int fins_now = fins;
+  h.run_for(Duration::millis(100));
+  fins = 0;
+  for (const auto& s : h.sent) {
+    if (s.cm.kind == CmKind::kFin) ++fins;
+  }
+  EXPECT_EQ(fins, fins_now);  // retransmission stopped
+}
+
+TEST(Cm, FullCloseEntersTimeWaitThenCloses) {
+  CmHarness h;
+  const std::uint32_t our_isn = h.establish_active(999);
+  h.cm.close(100);
+  h.cm.on_segment(h.make(CmKind::kFinAck, 999, our_isn));
+  h.cm.on_segment(h.make(CmKind::kFin, 999, our_isn, 200));
+  EXPECT_EQ(h.cm.state(), CmState::kTimeWait);
+  EXPECT_FALSE(h.closed);
+  h.run_for(Duration::millis(50));
+  EXPECT_TRUE(h.closed);
+  EXPECT_EQ(h.cm.state(), CmState::kClosed);
+}
+
+TEST(Cm, DataStillAcceptedInTimeWait) {
+  // The peer may retransmit its last segments while we linger.
+  CmHarness h;
+  const std::uint32_t our_isn = h.establish_active(999);
+  h.cm.close(100);
+  h.cm.on_segment(h.make(CmKind::kFinAck, 999, our_isn));
+  h.cm.on_segment(h.make(CmKind::kFin, 999, our_isn, 200));
+  ASSERT_EQ(h.cm.state(), CmState::kTimeWait);
+  h.cm.on_segment(h.make(CmKind::kData, 999, our_isn));
+  EXPECT_EQ(h.data.size(), 1u);
+}
+
+TEST(Cm, RstWithMatchingIsnAborts) {
+  CmHarness h;
+  const std::uint32_t our_isn = h.establish_active(999);
+  h.cm.on_segment(h.make(CmKind::kRst, 999, our_isn));
+  EXPECT_EQ(h.cm.state(), CmState::kAborted);
+  EXPECT_EQ(h.reset_reason, "peer reset");
+}
+
+TEST(Cm, BlindRstRejected) {
+  CmHarness h;
+  h.establish_active(999);
+  h.cm.on_segment(h.make(CmKind::kRst, 1, 2));  // attacker guesses wrong
+  EXPECT_EQ(h.cm.state(), CmState::kEstablished);
+  EXPECT_EQ(h.cm.stats().bad_incarnation, 1u);
+}
+
+TEST(Cm, CloseBeforeEstablishIsIgnored) {
+  CmHarness h;
+  h.cm.open_active(FourTuple{1, 1000, 2, 80});
+  h.cm.close(0);
+  for (const auto& s : h.sent) {
+    EXPECT_NE(s.cm.kind, CmKind::kFin);
+  }
+}
+
+TEST(Cm, StateNamesAreHuman) {
+  EXPECT_STREQ(to_string(CmState::kEstablished), "ESTABLISHED");
+  EXPECT_STREQ(to_string(CmState::kTimeWait), "TIME_WAIT");
+}
+
+}  // namespace
+}  // namespace sublayer::transport

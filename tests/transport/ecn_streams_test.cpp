@@ -1,0 +1,339 @@
+// Tests for the two stack extensions: end-to-end ECN (Fig. 6's OSR
+// subheader field, driven by router AQM marking) and the stream-mux
+// sublayer (the paper's §5 QUIC-style stream layer).
+#include <gtest/gtest.h>
+
+#include "tests/transport/harness.hpp"
+#include "transport/streams/mux.hpp"
+
+namespace sublayer::transport {
+namespace {
+
+using testing::pattern_bytes;
+using testing::StreamLog;
+using testing::TwoNodeNet;
+
+// ---- ECN --------------------------------------------------------------------
+
+struct EcnNet {
+  explicit EcnNet(bool ecn_enabled) : net(sim, config(ecn_enabled)) {
+    r0 = net.add_router();
+    r1 = net.add_router();
+    sim::LinkConfig link;
+    link.bandwidth_bps = 5e6;  // slow: queues build fast
+    link.propagation_delay = Duration::millis(5);
+    // Small enough that an ECN-blind sender overflows it (tail drops);
+    // with marking at 10 ms of backlog the sender backs off well before.
+    link.queue_limit = 60;
+    net.connect(r0, r1, link);
+    net.start();
+    sim.run_until(TimePoint::from_ns(Duration::millis(500).ns()));
+  }
+
+  static netlayer::RouterConfig config(bool ecn_enabled) {
+    auto c = TwoNodeNet::router_config();
+    if (ecn_enabled) c.ecn_backlog_threshold = Duration::millis(10);
+    return c;
+  }
+
+  sim::Simulator sim;
+  netlayer::Network net;
+  netlayer::RouterId r0 = 0;
+  netlayer::RouterId r1 = 0;
+};
+
+TEST(Ecn, RouterMarksWhenBacklogDeep) {
+  EcnNet net(true);
+  bool saw_mark = false;
+  net.net.router(net.r1).set_protocol_handler(
+      netlayer::IpProto::kPing,
+      [&](const netlayer::IpHeader& h, Bytes) { saw_mark |= h.ecn_ce; });
+  // Blast enough back-to-back datagrams to build a serialization backlog.
+  netlayer::IpHeader ping;
+  ping.protocol = netlayer::IpProto::kPing;
+  ping.src = netlayer::host_addr(net.r0, 1);
+  ping.dst = netlayer::host_addr(net.r1, 1);
+  for (int i = 0; i < 100; ++i) {
+    net.net.router(net.r0).send_datagram(ping, Bytes(1000, 0xaa));
+  }
+  net.sim.run(100000);
+  EXPECT_TRUE(saw_mark);
+  EXPECT_GT(net.net.router(net.r0).stats().ecn_marked, 0u);
+}
+
+TEST(Ecn, NoMarkingWhenDisabled) {
+  EcnNet net(false);
+  bool saw_mark = false;
+  net.net.router(net.r1).set_protocol_handler(
+      netlayer::IpProto::kPing,
+      [&](const netlayer::IpHeader& h, Bytes) { saw_mark |= h.ecn_ce; });
+  netlayer::IpHeader ping;
+  ping.protocol = netlayer::IpProto::kPing;
+  ping.src = netlayer::host_addr(net.r0, 1);
+  ping.dst = netlayer::host_addr(net.r1, 1);
+  for (int i = 0; i < 100; ++i) {
+    net.net.router(net.r0).send_datagram(ping, Bytes(1000, 0xaa));
+  }
+  net.sim.run(100000);
+  EXPECT_FALSE(saw_mark);
+}
+
+TEST(Ecn, SenderCongestionControlReactsToEcho) {
+  // With ECN on, the congestion controller backs off from marks instead of
+  // waiting for queue drops: fewer retransmissions for the same transfer.
+  const auto run_one = [](bool ecn) {
+    EcnNet net(ecn);
+    TcpHost client(net.sim, net.net.router(net.r0), 1);
+    TcpHost server(net.sim, net.net.router(net.r1), 1);
+    StreamLog log;
+    server.listen(80, [&](Connection& c) {
+      c.set_app_callbacks(log.callbacks());
+    });
+    auto& conn = client.connect(server.addr(), 80);
+    const Bytes payload = pattern_bytes(400000);
+    conn.send(payload);
+    net.sim.run(20'000'000);
+    EXPECT_EQ(log.received.size(), payload.size()) << "ecn=" << ecn;
+    return conn.rd().stats().fast_retransmits +
+           conn.rd().stats().timeout_retransmits;
+  };
+  const auto retx_with_ecn = run_one(true);
+  const auto retx_without = run_one(false);
+  EXPECT_LT(retx_with_ecn, retx_without);
+}
+
+TEST(Ecn, EchoIsOneShotInOsrHeader) {
+  sim::Simulator sim;
+  OsrConfig config;
+  Osr osr(sim, config, Osr::Callbacks{});
+  EXPECT_FALSE(osr.current_header().ecn_echo);
+  osr.note_ecn_mark();
+  EXPECT_TRUE(osr.current_header().ecn_echo);
+  EXPECT_FALSE(osr.current_header().ecn_echo);  // consumed
+}
+
+TEST(Ecn, CcHoldoffLimitsReactionToOncePerWindow) {
+  CcConfig config;
+  config.mss = 1000;
+  const auto cc = make_reno(config);
+  for (int i = 0; i < 10; ++i) {
+    AckEvent e;
+    e.bytes_newly_acked = 4000;
+    cc->on_ack(e);
+  }
+  const auto before = cc->cwnd_bytes();
+  AckEvent marked;
+  marked.ecn_echo = true;
+  marked.bytes_newly_acked = 1000;
+  cc->on_ack(marked);
+  const auto after_first = cc->cwnd_bytes();
+  EXPECT_LT(after_first, before);
+  // A burst of further echoes within the same window must not collapse it.
+  for (int i = 0; i < 5; ++i) cc->on_ack(marked);
+  EXPECT_EQ(cc->cwnd_bytes(), after_first);
+}
+
+// ---- SACK ablation switch ----------------------------------------------------
+
+TEST(SackAblation, DisablingSackRemovesBlocksFromAcks) {
+  TwoNodeNet net;
+  HostConfig hc;
+  hc.connection.rd.enable_sack = false;
+  TcpHost a(net.sim, net.net.router(net.r0), 1, hc);
+  TcpHost b(net.sim, net.net.router(net.r1), 1, hc);
+  StreamLog log;
+  b.listen(80, [&](Connection& c) { c.set_app_callbacks(log.callbacks()); });
+  auto& conn = a.connect(b.addr(), 80);
+  const Bytes payload = pattern_bytes(100000);
+  conn.send(payload);
+  net.sim.run(2'000'000);
+  EXPECT_EQ(log.received, payload);
+  EXPECT_EQ(conn.rd().stats().sacked_segments_spared, 0u);
+}
+
+TEST(SackAblation, LossyTransferStillCompletesWithoutSack) {
+  sim::LinkConfig link;
+  link.loss_rate = 0.05;
+  link.propagation_delay = Duration::millis(3);
+  TwoNodeNet net(link);
+  HostConfig hc;
+  hc.connection.rd.enable_sack = false;
+  TcpHost a(net.sim, net.net.router(net.r0), 1, hc);
+  TcpHost b(net.sim, net.net.router(net.r1), 1, hc);
+  StreamLog log;
+  b.listen(80, [&](Connection& c) { c.set_app_callbacks(log.callbacks()); });
+  auto& conn = a.connect(b.addr(), 80);
+  const Bytes payload = pattern_bytes(150000);
+  conn.send(payload);
+  net.sim.run(8'000'000);
+  EXPECT_EQ(log.received, payload);
+}
+
+// ---- Stream mux ---------------------------------------------------------------
+
+struct MuxPair {
+  MuxPair() {
+    server_host = std::make_unique<TcpHost>(net.sim, net.net.router(net.r1), 1);
+    client_host = std::make_unique<TcpHost>(net.sim, net.net.router(net.r0), 1);
+    server_host->listen(80, [&](Connection& c) {
+      server = std::make_unique<StreamMux>(c, /*initiator=*/false);
+      server->set_on_stream([&](Stream& s) { accepted.push_back(&s); });
+    });
+    Connection& conn = client_host->connect(server_host->addr(), 80);
+    client = std::make_unique<StreamMux>(conn, /*initiator=*/true);
+    net.sim.run(200000);  // establish
+  }
+
+  TwoNodeNet net;
+  std::unique_ptr<TcpHost> client_host;
+  std::unique_ptr<TcpHost> server_host;
+  std::unique_ptr<StreamMux> client;
+  std::unique_ptr<StreamMux> server;
+  std::vector<Stream*> accepted;
+};
+
+TEST(StreamMux, SingleStreamRoundTrip) {
+  MuxPair m;
+  ASSERT_NE(m.server, nullptr);
+  Stream& s = m.client->open();
+  EXPECT_EQ(s.id(), 1u);  // initiator opens odd ids
+  s.send(bytes_from_string("stream hello"));
+  m.net.sim.run(500000);
+  ASSERT_EQ(m.accepted.size(), 1u);
+  // Late-bound handler misses already-delivered data, so resend pattern:
+  Bytes got;
+  m.accepted[0]->set_on_data([&](Bytes b) {
+    got.insert(got.end(), b.begin(), b.end());
+  });
+  s.send(bytes_from_string(" again"));
+  m.net.sim.run(500000);
+  EXPECT_EQ(string_from_bytes(got), " again");
+}
+
+TEST(StreamMux, ManyStreamsInterleaveIndependently) {
+  MuxPair m;
+  constexpr int kStreams = 5;
+  constexpr std::size_t kBytes = 40000;
+  std::vector<Stream*> locals;
+  std::vector<Bytes> sent(kStreams);
+  for (int i = 0; i < kStreams; ++i) {
+    locals.push_back(&m.client->open());
+    sent[static_cast<std::size_t>(i)] =
+        pattern_bytes(kBytes, static_cast<std::uint64_t>(i) + 1);
+  }
+  std::map<std::uint32_t, Bytes> received;
+  std::map<std::uint32_t, bool> ended;
+  m.server->set_on_stream([&](Stream& s) {
+    s.set_on_data([&received, &s](Bytes b) {
+      auto& buf = received[s.id()];
+      buf.insert(buf.end(), b.begin(), b.end());
+    });
+    s.set_on_end([&ended, &s] { ended[s.id()] = true; });
+  });
+  // Interleave sends across streams in small pieces.
+  for (std::size_t at = 0; at < kBytes; at += 1000) {
+    for (int i = 0; i < kStreams; ++i) {
+      const auto& data = sent[static_cast<std::size_t>(i)];
+      locals[static_cast<std::size_t>(i)]->send(
+          Bytes(data.begin() + static_cast<std::ptrdiff_t>(at),
+                data.begin() + static_cast<std::ptrdiff_t>(at + 1000)));
+    }
+  }
+  for (auto* s : locals) s->finish();
+  m.net.sim.run(6'000'000);
+
+  for (int i = 0; i < kStreams; ++i) {
+    const std::uint32_t id = locals[static_cast<std::size_t>(i)]->id();
+    EXPECT_EQ(received[id], sent[static_cast<std::size_t>(i)]) << id;
+    EXPECT_TRUE(ended[id]) << id;
+  }
+  EXPECT_EQ(m.server->stats().streams_opened_remote,
+            static_cast<std::uint64_t>(kStreams));
+}
+
+TEST(StreamMux, BidirectionalStreams) {
+  MuxPair m;
+  // Client stream ->, server stream <-.
+  Stream& c2s = m.client->open();
+  Bytes server_got;
+  m.server->set_on_stream([&](Stream& s) {
+    s.set_on_data([&server_got](Bytes b) {
+      server_got.insert(server_got.end(), b.begin(), b.end());
+    });
+  });
+  Bytes client_got;
+  m.client->set_on_stream([&](Stream& s) {
+    s.set_on_data([&client_got](Bytes b) {
+      client_got.insert(client_got.end(), b.begin(), b.end());
+    });
+  });
+  c2s.send(bytes_from_string("to server"));
+  Stream& s2c = m.server->open();
+  EXPECT_EQ(s2c.id(), 2u);  // acceptor opens even ids
+  s2c.send(bytes_from_string("to client"));
+  m.net.sim.run(500000);
+  EXPECT_EQ(string_from_bytes(server_got), "to server");
+  EXPECT_EQ(string_from_bytes(client_got), "to client");
+}
+
+TEST(StreamMux, LargeRecordSplitAtChunkBoundary) {
+  MuxPair m;
+  Stream& s = m.client->open();
+  Bytes got;
+  bool end = false;
+  m.server->set_on_stream([&](Stream& in) {
+    in.set_on_data([&got](Bytes b) {
+      got.insert(got.end(), b.begin(), b.end());
+    });
+    in.set_on_end([&end] { end = true; });
+  });
+  const Bytes big = pattern_bytes(200000);  // > 3 max-size records
+  s.send(big);
+  s.finish();
+  m.net.sim.run(6'000'000);
+  EXPECT_EQ(got, big);
+  EXPECT_TRUE(end);
+  EXPECT_GE(m.client->stats().records_sent, 4u);
+}
+
+TEST(StreamMux, FinishIsPerStreamNotPerConnection) {
+  MuxPair m;
+  Stream& s1 = m.client->open();
+  Stream& s2 = m.client->open();
+  std::map<std::uint32_t, bool> ended;
+  Bytes late;
+  m.server->set_on_stream([&](Stream& s) {
+    s.set_on_end([&ended, &s] { ended[s.id()] = true; });
+    s.set_on_data([&late](Bytes b) {
+      late.insert(late.end(), b.begin(), b.end());
+    });
+  });
+  s1.send(bytes_from_string("x"));
+  s1.finish();
+  m.net.sim.run(300000);
+  EXPECT_TRUE(ended[s1.id()]);
+  EXPECT_FALSE(ended[s2.id()]);
+  // The sibling stream keeps working after s1 ended.
+  s2.send(bytes_from_string("still alive"));
+  m.net.sim.run(300000);
+  EXPECT_NE(string_from_bytes(late).find("still alive"), std::string::npos);
+  // Writes after finish are dropped locally.
+  s1.send(bytes_from_string("ignored"));
+  m.net.sim.run(300000);
+  EXPECT_EQ(string_from_bytes(late).find("ignored"), std::string::npos);
+}
+
+TEST(StreamMux, LowerSublayersUntouchedByMuxTraffic) {
+  // T3 for the recursive sublayer: RD/OSR see only opaque bytes; the mux
+  // adds its own header and nothing below changes behaviour.
+  MuxPair m;
+  Stream& s = m.client->open();
+  const Bytes payload = pattern_bytes(50000);
+  s.send(payload);
+  m.net.sim.run(2'000'000);
+  EXPECT_EQ(m.client->stats().bytes_sent, payload.size());
+  EXPECT_GT(m.client->stats().records_sent, 0u);
+}
+
+}  // namespace
+}  // namespace sublayer::transport

@@ -1,0 +1,81 @@
+// Shared harness for transport tests: two routers joined by a configurable
+// link, with link-state routing pre-converged so TCP traffic has a stable
+// data plane.  Neighbor death detection is effectively disabled so that
+// heavy data-plane loss cannot flap the control plane mid-test.
+#pragma once
+
+#include "netlayer/router.hpp"
+#include "transport/monolithic/mono_tcp.hpp"
+#include "transport/sublayered/host.hpp"
+
+namespace sublayer::transport::testing {
+
+struct TwoNodeNet {
+  explicit TwoNodeNet(const sim::LinkConfig& link_config = {},
+                      std::uint64_t seed = 1)
+      : net(sim, router_config(), seed) {
+    r0 = net.add_router();
+    r1 = net.add_router();
+    link_index = net.connect(r0, r1, link_config);
+    net.start();
+    // Let routing converge on a clean control plane before impairments
+    // matter (hellos + LSP flood complete well within this horizon).
+    sim.run_until(TimePoint::from_ns(Duration::millis(500).ns()));
+  }
+
+  static netlayer::RouterConfig router_config() {
+    netlayer::RouterConfig config;
+    config.routing = netlayer::RoutingKind::kLinkState;
+    config.neighbor.dead_interval = Duration::seconds(3600.0);
+    return config;
+  }
+
+  netlayer::Router& router0() { return net.router(r0); }
+  netlayer::Router& router1() { return net.router(r1); }
+
+  sim::Simulator sim;
+  netlayer::Network net;
+  netlayer::RouterId r0 = 0;
+  netlayer::RouterId r1 = 0;
+  std::size_t link_index = 0;
+};
+
+/// Collects the classic transfer-test bookkeeping for one endpoint.
+struct StreamLog {
+  Bytes received;
+  bool established = false;
+  bool stream_ended = false;
+  bool closed = false;
+  std::string reset_reason;
+
+  Connection::AppCallbacks callbacks() {
+    Connection::AppCallbacks cb;
+    cb.on_established = [this] { established = true; };
+    cb.on_data = [this](Bytes b) {
+      received.insert(received.end(), b.begin(), b.end());
+    };
+    cb.on_stream_end = [this] { stream_ended = true; };
+    cb.on_closed = [this] { closed = true; };
+    cb.on_reset = [this](std::string r) { reset_reason = std::move(r); };
+    return cb;
+  }
+
+  MonoConnection::AppCallbacks mono_callbacks() {
+    MonoConnection::AppCallbacks cb;
+    cb.on_established = [this] { established = true; };
+    cb.on_data = [this](Bytes b) {
+      received.insert(received.end(), b.begin(), b.end());
+    };
+    cb.on_stream_end = [this] { stream_ended = true; };
+    cb.on_closed = [this] { closed = true; };
+    cb.on_reset = [this](std::string r) { reset_reason = std::move(r); };
+    return cb;
+  }
+};
+
+inline Bytes pattern_bytes(std::size_t n, std::uint64_t seed = 5) {
+  Rng rng(seed);
+  return rng.next_bytes(n);
+}
+
+}  // namespace sublayer::transport::testing

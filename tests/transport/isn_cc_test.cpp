@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "transport/sublayered/cc.hpp"
+#include "transport/sublayered/isn.hpp"
+
+namespace sublayer::transport {
+namespace {
+
+FourTuple tuple_a() { return FourTuple{0x0a000001, 1000, 0x0a000002, 80}; }
+FourTuple tuple_b() { return FourTuple{0x0a000001, 1001, 0x0a000002, 80}; }
+
+TEST(Isn, Rfc793TracksClock) {
+  sim::Simulator sim;
+  const auto isn = make_rfc793_isn(sim);
+  const std::uint32_t a = isn->isn(tuple_a());
+  sim.schedule(Duration::millis(4), [] {});
+  sim.run();
+  const std::uint32_t b = isn->isn(tuple_a());
+  // 4 ms at one tick per 4 us = 1000 ticks.
+  EXPECT_EQ(b - a, 1000u);
+}
+
+TEST(Isn, Rfc793IsPredictable_ThatIsThePoint) {
+  // Two providers (two hosts) at the same clock produce the same ISN —
+  // the predictability weakness RFC 1948 fixes.
+  sim::Simulator sim;
+  const auto p1 = make_rfc793_isn(sim);
+  const auto p2 = make_rfc793_isn(sim);
+  EXPECT_EQ(p1->isn(tuple_a()), p2->isn(tuple_b()));
+}
+
+TEST(Isn, Rfc1948DependsOnTuple) {
+  sim::Simulator sim;
+  const auto isn = make_rfc1948_isn(sim, SipHashKey{1, 2});
+  EXPECT_NE(isn->isn(tuple_a()), isn->isn(tuple_b()));
+}
+
+TEST(Isn, Rfc1948DependsOnKey) {
+  sim::Simulator sim;
+  const auto k1 = make_rfc1948_isn(sim, SipHashKey{1, 2});
+  const auto k2 = make_rfc1948_isn(sim, SipHashKey{1, 3});
+  EXPECT_NE(k1->isn(tuple_a()), k2->isn(tuple_a()));
+}
+
+TEST(Isn, Rfc1948SameTupleStableAtSameClock) {
+  sim::Simulator sim;
+  const auto isn = make_rfc1948_isn(sim, SipHashKey{7, 8});
+  EXPECT_EQ(isn->isn(tuple_a()), isn->isn(tuple_a()));
+}
+
+TEST(Isn, WatsonStrictlyMonotonic) {
+  sim::Simulator sim;
+  const auto isn = make_watson_isn(sim);
+  std::uint32_t prev = isn->isn(tuple_a());
+  for (int i = 0; i < 100; ++i) {
+    const std::uint32_t next = isn->isn(tuple_a());
+    EXPECT_GT(next, prev);
+    prev = next;
+  }
+}
+
+TEST(Isn, AllProvidersDistinctAcrossRapidConnections) {
+  sim::Simulator sim;
+  for (const IsnKind kind :
+       {IsnKind::kRfc1948, IsnKind::kWatson}) {
+    const auto isn = make_isn(kind, sim);
+    std::set<std::uint32_t> seen;
+    for (std::uint16_t port = 1; port <= 200; ++port) {
+      FourTuple t = tuple_a();
+      t.local_port = port;
+      EXPECT_TRUE(seen.insert(isn->isn(t)).second) << isn->name();
+    }
+  }
+}
+
+// ---- Congestion-control algorithms -----------------------------------------
+
+CcConfig cc_config() {
+  CcConfig c;
+  c.mss = 1000;
+  c.initial_cwnd_segments = 4;
+  return c;
+}
+
+AckEvent ack(std::uint64_t bytes, std::int64_t ms = 0) {
+  AckEvent e;
+  e.now = TimePoint::from_ns(ms * 1000000);
+  e.bytes_newly_acked = bytes;
+  e.rtt = Duration::millis(10);
+  return e;
+}
+
+LossEvent loss(LossKind kind, std::int64_t ms = 0) {
+  LossEvent e;
+  e.now = TimePoint::from_ns(ms * 1000000);
+  e.kind = kind;
+  return e;
+}
+
+TEST(Reno, SlowStartDoublesPerRtt) {
+  const auto cc = make_reno(cc_config());
+  const std::uint64_t start = cc->cwnd_bytes();
+  // Ack a full window: slow start grows cwnd by the acked amount.
+  cc->on_ack(ack(start));
+  EXPECT_EQ(cc->cwnd_bytes(), 2 * start);
+}
+
+TEST(Reno, FastRetransmitHalves) {
+  const auto cc = make_reno(cc_config());
+  for (int i = 0; i < 10; ++i) cc->on_ack(ack(4000));
+  const std::uint64_t before = cc->cwnd_bytes();
+  cc->on_loss(loss(LossKind::kFastRetransmit));
+  EXPECT_EQ(cc->cwnd_bytes(), before / 2);
+  EXPECT_EQ(cc->ssthresh_bytes(), before / 2);
+}
+
+TEST(Reno, TimeoutCollapsesToOneMss) {
+  const auto cc = make_reno(cc_config());
+  for (int i = 0; i < 10; ++i) cc->on_ack(ack(4000));
+  cc->on_loss(loss(LossKind::kTimeout));
+  EXPECT_EQ(cc->cwnd_bytes(), 1000u);
+}
+
+TEST(Reno, CongestionAvoidanceIsLinear) {
+  const auto cc = make_reno(cc_config());
+  cc->on_loss(loss(LossKind::kFastRetransmit));  // set a finite ssthresh
+  const std::uint64_t base = cc->cwnd_bytes();
+  // One window's worth of acks in CA adds about one MSS.
+  std::uint64_t acked = 0;
+  while (acked < base) {
+    cc->on_ack(ack(1000));
+    acked += 1000;
+  }
+  EXPECT_NEAR(static_cast<double>(cc->cwnd_bytes() - base), 1000.0, 1000.0);
+  EXPECT_LT(cc->cwnd_bytes(), 2 * base);  // definitely not slow start
+}
+
+TEST(Reno, EcnEchoActsLikeLoss) {
+  const auto cc = make_reno(cc_config());
+  for (int i = 0; i < 10; ++i) cc->on_ack(ack(4000));
+  const std::uint64_t before = cc->cwnd_bytes();
+  AckEvent marked = ack(1000);
+  marked.ecn_echo = true;
+  cc->on_ack(marked);
+  EXPECT_LT(cc->cwnd_bytes(), before);
+}
+
+TEST(Cubic, RecoversTowardWmax) {
+  const auto cc = make_cubic(cc_config());
+  for (int i = 0; i < 20; ++i) cc->on_ack(ack(4000, i));
+  const std::uint64_t wmax = cc->cwnd_bytes();
+  cc->on_loss(loss(LossKind::kFastRetransmit, 20));
+  const std::uint64_t floor = cc->cwnd_bytes();
+  EXPECT_LT(floor, wmax);
+  // Ack steadily for "seconds": the cubic function approaches w_max.
+  std::uint64_t w = floor;
+  for (int ms = 21; ms < 2000; ms += 10) {
+    cc->on_ack(ack(4000, ms));
+    w = cc->cwnd_bytes();
+  }
+  EXPECT_GT(w, floor);
+  EXPECT_GT(w, wmax * 8 / 10);
+}
+
+TEST(Aimd, AdditiveIncreaseMultiplicativeDecrease) {
+  CcConfig config = cc_config();
+  config.aimd_beta = 0.5;
+  const auto cc = make_aimd(config);
+  const std::uint64_t base = cc->cwnd_bytes();
+  std::uint64_t acked = 0;
+  while (acked < base) {
+    cc->on_ack(ack(1000));
+    acked += 1000;
+  }
+  EXPECT_GT(cc->cwnd_bytes(), base);
+  const std::uint64_t grown = cc->cwnd_bytes();
+  cc->on_loss(loss(LossKind::kFastRetransmit));
+  EXPECT_EQ(cc->cwnd_bytes(), grown / 2);
+}
+
+TEST(RateBased, PacingRateRespondsToLoss) {
+  const auto cc = make_rate_based(cc_config());
+  ASSERT_TRUE(cc->pacing_bps().has_value());
+  const double before = *cc->pacing_bps();
+  cc->on_loss(loss(LossKind::kTimeout));
+  EXPECT_LT(*cc->pacing_bps(), before);
+  const double floored = *cc->pacing_bps();
+  for (int i = 0; i < 50; ++i) cc->on_ack(ack(1000));
+  EXPECT_GT(*cc->pacing_bps(), floored);
+}
+
+TEST(CcFactory, AllNamesResolve) {
+  for (const char* name : {"reno", "cubic", "aimd", "rate"}) {
+    const auto cc = make_cc(name, cc_config());
+    EXPECT_EQ(cc->name(), name);
+    EXPECT_GT(cc->cwnd_bytes(), 0u);
+  }
+  EXPECT_THROW(make_cc("bbr9000", cc_config()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sublayer::transport

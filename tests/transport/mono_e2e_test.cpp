@@ -1,0 +1,154 @@
+// End-to-end tests of the monolithic baseline TCP — it must meet the same
+// byte-stream contract as the sublayered stack, since it is the control
+// in every comparison benchmark.
+#include <gtest/gtest.h>
+
+#include "tests/transport/harness.hpp"
+
+namespace sublayer::transport {
+namespace {
+
+using testing::pattern_bytes;
+using testing::StreamLog;
+using testing::TwoNodeNet;
+
+struct MonoParam {
+  std::string label;
+  double loss = 0;
+  double duplicate = 0;
+  Duration jitter = Duration::nanos(0);
+  std::size_t bytes = 200000;
+};
+
+class MonoE2e : public ::testing::TestWithParam<MonoParam> {};
+
+TEST_P(MonoE2e, ByteStreamIntegrityAndCleanClose) {
+  const auto& p = GetParam();
+  sim::LinkConfig link;
+  link.loss_rate = p.loss;
+  link.duplicate_rate = p.duplicate;
+  link.jitter = p.jitter;
+  link.propagation_delay = Duration::millis(2);
+  link.bandwidth_bps = 50e6;
+  TwoNodeNet net(link);
+
+  MonoHost client(net.sim, net.router0(), 1);
+  MonoHost server(net.sim, net.router1(), 1);
+
+  StreamLog client_log;
+  StreamLog server_log;
+  MonoConnection* server_conn = nullptr;
+  server.listen(80, [&](MonoConnection& c) {
+    server_conn = &c;
+    c.set_app_callbacks(server_log.mono_callbacks());
+  });
+
+  MonoConnection& conn = client.connect(server.addr(), 80);
+  conn.set_app_callbacks(client_log.mono_callbacks());
+  const Bytes payload = pattern_bytes(p.bytes);
+  conn.send(payload);
+  conn.close();
+
+  net.sim.run(6000000);
+  ASSERT_TRUE(client_log.established) << p.label;
+  ASSERT_TRUE(server_log.established) << p.label;
+  ASSERT_NE(server_conn, nullptr);
+  EXPECT_TRUE(server_log.stream_ended) << p.label;
+  ASSERT_EQ(server_log.received.size(), payload.size()) << p.label;
+  EXPECT_EQ(server_log.received, payload) << p.label;
+
+  server_conn->send(bytes_from_string("ok"));
+  server_conn->close();
+  net.sim.run(6000000);
+  EXPECT_EQ(string_from_bytes(client_log.received), "ok") << p.label;
+  EXPECT_TRUE(client_log.stream_ended) << p.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, MonoE2e,
+    ::testing::Values(MonoParam{"clean"}, MonoParam{"lossy_1pct", 0.01},
+                      MonoParam{"lossy_5pct", 0.05},
+                      MonoParam{"dup_10pct", 0.0, 0.1},
+                      MonoParam{"reorder", 0.0, 0.0, Duration::millis(3)},
+                      MonoParam{"mixed", 0.02, 0.05, Duration::millis(2),
+                                100000}),
+    [](const auto& info) { return info.param.label; });
+
+TEST(MonoTcp, StateMachineWalksTheClassicPath) {
+  TwoNodeNet net;
+  MonoHost client(net.sim, net.router0(), 1);
+  MonoHost server(net.sim, net.router1(), 1);
+  MonoConnection* server_conn = nullptr;
+  server.listen(80, [&](MonoConnection& c) { server_conn = &c; });
+
+  MonoConnection& conn = client.connect(server.addr(), 80);
+  EXPECT_EQ(conn.state(), MonoState::kSynSent);
+  net.sim.run(100000);
+  EXPECT_EQ(conn.state(), MonoState::kEstablished);
+  ASSERT_NE(server_conn, nullptr);
+  EXPECT_EQ(server_conn->state(), MonoState::kEstablished);
+
+  const auto run_for = [&](Duration d) {
+    net.sim.run_until(TimePoint::from_ns(net.sim.now().ns() + d.ns()));
+  };
+  conn.close();
+  run_for(Duration::millis(50));
+  // Our FIN is out; the server acked and sits in CLOSE_WAIT.
+  EXPECT_EQ(server_conn->state(), MonoState::kCloseWait);
+  EXPECT_EQ(conn.state(), MonoState::kFinWait2);
+
+  server_conn->close();
+  run_for(Duration::millis(50));
+  // Both FINs exchanged: the active closer lingers in TIME_WAIT.
+  EXPECT_EQ(conn.state(), MonoState::kTimeWait);
+}
+
+TEST(MonoTcp, ConnectionToClosedPortIsReset) {
+  TwoNodeNet net;
+  MonoHost client(net.sim, net.router0(), 1);
+  MonoHost server(net.sim, net.router1(), 1);  // no listener
+
+  StreamLog log;
+  MonoConnection& conn = client.connect(server.addr(), 4444);
+  conn.set_app_callbacks(log.mono_callbacks());
+  net.sim.run(500000);
+  EXPECT_FALSE(log.established);
+  EXPECT_FALSE(log.reset_reason.empty());
+}
+
+TEST(MonoTcp, RetransmissionLimitAborts) {
+  TwoNodeNet net;
+  MonoHost client(net.sim, net.router0(), 1);
+  MonoHost server(net.sim, net.router1(), 1);
+  server.listen(80, [](MonoConnection&) {});
+  StreamLog log;
+  net.net.fail_link(net.link_index);
+  MonoConnection& conn = client.connect(server.addr(), 80);
+  conn.set_app_callbacks(log.mono_callbacks());
+  net.sim.run(20000000);
+  EXPECT_FALSE(log.established);
+  EXPECT_FALSE(log.reset_reason.empty());
+}
+
+TEST(MonoTcp, CongestionWindowGrowsThenReactsToLoss) {
+  sim::LinkConfig link;
+  link.loss_rate = 0.02;
+  link.propagation_delay = Duration::millis(3);
+  TwoNodeNet net(link);
+  MonoHost client(net.sim, net.router0(), 1);
+  MonoHost server(net.sim, net.router1(), 1);
+  StreamLog log;
+  server.listen(80, [&](MonoConnection& c) {
+    c.set_app_callbacks(log.mono_callbacks());
+  });
+  MonoConnection& conn = client.connect(server.addr(), 80);
+  const Bytes payload = pattern_bytes(400000);
+  conn.send(payload);
+  net.sim.run(8000000);
+  EXPECT_EQ(log.received, payload);
+  EXPECT_GT(conn.stats().retransmissions, 0u);
+  EXPECT_GT(conn.stats().duplicate_acks_seen, 0u);
+}
+
+}  // namespace
+}  // namespace sublayer::transport

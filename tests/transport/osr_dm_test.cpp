@@ -1,0 +1,292 @@
+// Unit tests for the OSR and DM sublayers in isolation.
+#include <gtest/gtest.h>
+
+#include "transport/sublayered/dm.hpp"
+#include "transport/sublayered/osr.hpp"
+
+namespace sublayer::transport {
+namespace {
+
+// ---- OSR --------------------------------------------------------------------
+
+struct OsrHarness {
+  explicit OsrHarness(OsrConfig config = default_config())
+      : osr(sim, config,
+            Osr::Callbacks{
+                [this](std::uint64_t offset, Bytes data) {
+                  released.emplace_back(offset, std::move(data));
+                },
+                [this](Bytes data) {
+                  app.insert(app.end(), data.begin(), data.end());
+                },
+                [this] { stream_ended = true; },
+                [this] { ++window_updates; },
+            }) {}
+
+  static OsrConfig default_config() {
+    OsrConfig c;
+    c.mss = 100;
+    c.cc_config.mss = 100;
+    c.cc_config.initial_cwnd_segments = 2;
+    return c;
+  }
+
+  void ack_through(std::uint64_t offset, std::uint32_t window = 1 << 20) {
+    AckFeedback fb;
+    fb.now = sim.now();
+    fb.acked_through = offset;
+    fb.bytes_newly_acked = offset - last_acked;
+    fb.peer_recv_window = window;
+    last_acked = offset;
+    osr.on_ack_feedback(fb);
+  }
+
+  sim::Simulator sim;
+  Osr osr;
+  std::vector<std::pair<std::uint64_t, Bytes>> released;
+  Bytes app;
+  bool stream_ended = false;
+  int window_updates = 0;
+  std::uint64_t last_acked = 0;
+};
+
+TEST(Osr, NothingSentBeforeEstablished) {
+  OsrHarness h;
+  h.osr.send(Bytes(500, 1));
+  EXPECT_TRUE(h.released.empty());
+  h.osr.set_established();
+  EXPECT_FALSE(h.released.empty());
+}
+
+TEST(Osr, SegmentsAtMssBoundaries) {
+  OsrHarness h;
+  h.osr.set_established();
+  h.osr.send(Bytes(250, 1));  // cwnd = 2 segments -> releases 2 of 3
+  ASSERT_EQ(h.released.size(), 2u);
+  EXPECT_EQ(h.released[0].second.size(), 100u);
+  EXPECT_EQ(h.released[1].second.size(), 100u);
+  EXPECT_EQ(h.released[0].first, 0u);
+  EXPECT_EQ(h.released[1].first, 100u);
+  // Ack opens the window; the 50-byte tail goes out.
+  h.ack_through(200);
+  ASSERT_EQ(h.released.size(), 3u);
+  EXPECT_EQ(h.released[2].second.size(), 50u);
+}
+
+TEST(Osr, CwndGatesRelease) {
+  OsrHarness h;
+  h.osr.set_established();
+  h.osr.send(Bytes(1000, 1));
+  EXPECT_EQ(h.released.size(), 2u);  // initial cwnd = 2 segments
+  EXPECT_EQ(h.osr.in_flight(), 200u);
+  EXPECT_GT(h.osr.stats().cwnd_stalls, 0u);
+}
+
+TEST(Osr, PeerWindowGatesRelease) {
+  OsrHarness h;
+  h.osr.set_established();
+  h.osr.send(Bytes(1000, 1));
+  h.ack_through(200, /*window=*/100);  // peer buffer nearly full
+  // in_flight now 0; only one more segment fits the peer window.
+  EXPECT_EQ(h.released.size(), 3u);
+  EXPECT_GT(h.osr.stats().flow_control_stalls, 0u);
+}
+
+TEST(Osr, LossEventShrinksWindow) {
+  OsrHarness h;
+  h.osr.set_established();
+  h.osr.send(Bytes(2000, 1));
+  for (int i = 1; i <= 8; ++i) h.ack_through(static_cast<std::uint64_t>(i) * 100);
+  const auto cwnd_before = h.osr.cwnd();
+  h.osr.on_loss(LossKind::kFastRetransmit);
+  EXPECT_LT(h.osr.cwnd(), cwnd_before);
+}
+
+TEST(Osr, ReassemblyReordersForApp) {
+  OsrHarness h;
+  h.osr.on_rd_deliver(100, Bytes(100, 2));
+  EXPECT_TRUE(h.app.empty());  // hole at 0
+  h.osr.on_rd_deliver(0, Bytes(100, 1));
+  ASSERT_EQ(h.app.size(), 200u);
+  EXPECT_EQ(h.app[0], 1);
+  EXPECT_EQ(h.app[150], 2);
+}
+
+TEST(Osr, DeepReorderingDrainsInOrder) {
+  OsrHarness h;
+  for (int i = 9; i >= 1; --i) {
+    h.osr.on_rd_deliver(static_cast<std::uint64_t>(i) * 10,
+                        Bytes(10, static_cast<std::uint8_t>(i)));
+  }
+  EXPECT_TRUE(h.app.empty());
+  h.osr.on_rd_deliver(0, Bytes(10, 0));
+  ASSERT_EQ(h.app.size(), 100u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(h.app[static_cast<std::size_t>(i) * 10],
+              static_cast<std::uint8_t>(i));
+  }
+}
+
+TEST(Osr, StreamEndSignalledWhenFinLengthReached) {
+  OsrHarness h;
+  h.osr.on_rd_deliver(0, Bytes(100, 1));
+  h.osr.set_peer_stream_length(200);
+  EXPECT_FALSE(h.stream_ended);
+  h.osr.on_rd_deliver(100, Bytes(100, 2));
+  EXPECT_TRUE(h.stream_ended);
+}
+
+TEST(Osr, StreamEndWorksIfFinArrivesAfterAllData) {
+  OsrHarness h;
+  h.osr.on_rd_deliver(0, Bytes(50, 1));
+  h.osr.set_peer_stream_length(50);
+  EXPECT_TRUE(h.stream_ended);
+}
+
+TEST(Osr, ManualConsumeShrinksAdvertisedWindow) {
+  OsrConfig config = OsrHarness::default_config();
+  config.manual_consume = true;
+  config.recv_buffer = 1000;
+  OsrHarness h(config);
+  EXPECT_EQ(h.osr.current_header().recv_window, 1000u);
+  h.osr.on_rd_deliver(0, Bytes(400, 1));
+  EXPECT_EQ(h.osr.current_header().recv_window, 600u);
+  h.osr.consume(150);
+  EXPECT_EQ(h.osr.current_header().recv_window, 750u);
+  EXPECT_EQ(h.window_updates, 1);
+}
+
+TEST(Osr, ReassemblyBufferChargesWindow) {
+  OsrConfig config = OsrHarness::default_config();
+  config.recv_buffer = 1000;
+  OsrHarness h(config);
+  h.osr.on_rd_deliver(500, Bytes(300, 1));  // out of order: buffered
+  EXPECT_EQ(h.osr.current_header().recv_window, 700u);
+  h.osr.on_rd_deliver(0, Bytes(500, 1));  // drains the buffer
+  EXPECT_EQ(h.osr.current_header().recv_window, 1000u);
+}
+
+TEST(Osr, PacingReleasesOverTime) {
+  OsrConfig config = OsrHarness::default_config();
+  config.cc = "rate";
+  config.cc_config.fixed_rate_bps = 80e3;  // 100 B per 10 ms
+  OsrHarness h(config);
+  h.osr.set_established();
+  h.osr.send(Bytes(500, 1));
+  EXPECT_EQ(h.released.size(), 1u);  // first goes immediately
+  h.sim.run_until(TimePoint::from_ns(Duration::millis(25).ns()));
+  EXPECT_EQ(h.released.size(), 3u);  // two pacing intervals later
+  h.sim.run_until(TimePoint::from_ns(Duration::millis(45).ns()));
+  EXPECT_EQ(h.released.size(), 5u);
+}
+
+TEST(Osr, AllSentAndAckedTracksCompletion) {
+  OsrHarness h;
+  h.osr.set_established();
+  EXPECT_TRUE(h.osr.all_sent_and_acked());
+  h.osr.send(Bytes(150, 1));
+  EXPECT_FALSE(h.osr.all_sent_and_acked());
+  h.ack_through(150);
+  EXPECT_TRUE(h.osr.all_sent_and_acked());
+  EXPECT_EQ(h.osr.stream_written(), 150u);
+}
+
+// ---- DM ---------------------------------------------------------------------
+
+TEST(Dm, RoutesByFourTuple) {
+  Demux dm(0x0a000001);
+  std::vector<SublayeredSegment> for_a;
+  std::vector<SublayeredSegment> for_b;
+  const FourTuple ta{0x0a000001, 80, 0x0a000002, 1000};
+  const FourTuple tb{0x0a000001, 80, 0x0a000003, 1000};  // different remote
+  ASSERT_TRUE(dm.bind(ta, [&](SublayeredSegment s) { for_a.push_back(s); }));
+  ASSERT_TRUE(dm.bind(tb, [&](SublayeredSegment s) { for_b.push_back(s); }));
+
+  SublayeredSegment s;
+  s.cm.kind = CmKind::kData;
+  s.dm = {1000, 80};
+  dm.route(0x0a000002, s);
+  dm.route(0x0a000003, s);
+  dm.route(0x0a000003, s);
+  EXPECT_EQ(for_a.size(), 1u);
+  EXPECT_EQ(for_b.size(), 2u);
+  EXPECT_EQ(dm.stats().to_connections, 3u);
+}
+
+TEST(Dm, DoubleBindRejected) {
+  Demux dm(1);
+  const FourTuple t{1, 80, 2, 1000};
+  EXPECT_TRUE(dm.bind(t, [](SublayeredSegment) {}));
+  EXPECT_FALSE(dm.bind(t, [](SublayeredSegment) {}));
+  dm.unbind(t);
+  EXPECT_TRUE(dm.bind(t, [](SublayeredSegment) {}));
+}
+
+TEST(Dm, ListenerCatchesUnboundTuples) {
+  Demux dm(1);
+  int listener_hits = 0;
+  dm.listen(80, [&](const FourTuple&, SublayeredSegment) { ++listener_hits; });
+  SublayeredSegment s;
+  s.dm = {1000, 80};
+  dm.route(2, s);
+  EXPECT_EQ(listener_hits, 1);
+  // A bound connection takes precedence over the listener.
+  const FourTuple t{1, 80, 2, 1000};
+  int conn_hits = 0;
+  dm.bind(t, [&](SublayeredSegment) { ++conn_hits; });
+  dm.route(2, s);
+  EXPECT_EQ(conn_hits, 1);
+  EXPECT_EQ(listener_hits, 1);
+}
+
+TEST(Dm, UnmatchedHandlerFires) {
+  Demux dm(1);
+  int unmatched = 0;
+  dm.set_unmatched_handler(
+      [&](const FourTuple&, const SublayeredSegment&) { ++unmatched; });
+  SublayeredSegment s;
+  s.dm = {1000, 4444};
+  dm.route(2, s);
+  EXPECT_EQ(unmatched, 1);
+  EXPECT_EQ(dm.stats().unmatched, 1u);
+}
+
+TEST(Dm, SendStampsPortsOnly) {
+  Demux dm(1);
+  SublayeredSegment captured;
+  netlayer::IpAddr dst = 0;
+  dm.set_datagram_sink(
+      [&](netlayer::IpAddr d, const SublayeredSegment& s) {
+        dst = d;
+        captured = s;
+      });
+  const FourTuple t{1, 80, 9, 1000};
+  SublayeredSegment s;
+  s.cm.kind = CmKind::kSyn;
+  s.cm.isn_local = 42;  // DM must not touch other sublayers' fields (T3)
+  dm.send(t, s);
+  EXPECT_EQ(dst, 9u);
+  EXPECT_EQ(captured.dm.src_port, 80);
+  EXPECT_EQ(captured.dm.dst_port, 1000);
+  EXPECT_EQ(captured.cm.isn_local, 42u);
+}
+
+TEST(Dm, EphemeralPortsAvoidCollisions) {
+  Demux dm(1);
+  dm.listen(49152, [](const FourTuple&, SublayeredSegment) {});
+  const std::uint16_t p1 = dm.allocate_port();
+  EXPECT_NE(p1, 49152);
+  const FourTuple t{1, p1, 2, 80};
+  dm.bind(t, [](SublayeredSegment) {});
+  const std::uint16_t p2 = dm.allocate_port();
+  EXPECT_NE(p2, p1);
+}
+
+TEST(Dm, MalformedDatagramCounted) {
+  Demux dm(1);
+  dm.on_datagram(2, Bytes{1, 2, 3});
+  EXPECT_EQ(dm.stats().malformed, 1u);
+}
+
+}  // namespace
+}  // namespace sublayer::transport

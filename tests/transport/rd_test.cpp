@@ -1,0 +1,309 @@
+// Unit tests for the RD sublayer in isolation: a scripted "peer" feeds
+// acks and data so retransmission, RTO estimation, SACK, and exactly-once
+// receive semantics are pinned down without a network in the loop.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "transport/sublayered/rd.hpp"
+
+namespace sublayer::transport {
+namespace {
+
+struct RdHarness {
+  explicit RdHarness(RdConfig config = fast_config())
+      : rd(sim, config,
+           ReliableDelivery::Callbacks{
+               [this](SublayeredSegment s) { wire.push_back(std::move(s)); },
+               [this](std::uint64_t offset, Bytes data) {
+                 delivered[offset] = std::move(data);
+                 ++deliveries;
+               },
+               [this](const AckFeedback& fb) { feedback.push_back(fb); },
+               [this](LossKind kind) { losses.push_back(kind); },
+               [] { return OsrHeader{}; },
+               [this] { peer_dead = true; },
+           }) {}
+
+  static RdConfig fast_config() {
+    RdConfig c;
+    c.initial_rto = Duration::millis(10);
+    c.min_rto = Duration::millis(5);
+    c.max_rto = Duration::millis(500);
+    c.max_retransmits = 4;
+    return c;
+  }
+
+  void run_for(Duration d) {
+    sim.run_until(TimePoint::from_ns(sim.now().ns() + d.ns()));
+  }
+
+  /// Builds a pure ack from the peer.
+  SublayeredSegment ack(std::uint32_t ack_offset,
+                        std::vector<SackBlock> sack = {}) {
+    SublayeredSegment s;
+    s.cm.kind = CmKind::kData;
+    s.rd.ack_offset = ack_offset;
+    s.rd.sack = std::move(sack);
+    s.osr.recv_window = 1 << 20;
+    return s;
+  }
+
+  /// Builds a data segment from the peer.
+  SublayeredSegment data(std::uint32_t seq_offset, Bytes payload) {
+    SublayeredSegment s = ack(0);
+    s.rd.seq_offset = seq_offset;
+    s.payload = std::move(payload);
+    return s;
+  }
+
+  sim::Simulator sim;
+  ReliableDelivery rd;
+  std::vector<SublayeredSegment> wire;
+  std::map<std::uint64_t, Bytes> delivered;
+  int deliveries = 0;
+  std::vector<AckFeedback> feedback;
+  std::vector<LossKind> losses;
+  bool peer_dead = false;
+};
+
+Bytes seg_bytes(std::size_t n, std::uint8_t fill) { return Bytes(n, fill); }
+
+// ---- sender side -------------------------------------------------------------
+
+TEST(Rd, SendTransmitsWithOffsets) {
+  RdHarness h;
+  h.rd.send_segment(0, seg_bytes(100, 1));
+  h.rd.send_segment(100, seg_bytes(100, 2));
+  ASSERT_EQ(h.wire.size(), 2u);
+  EXPECT_EQ(h.wire[0].rd.seq_offset, 0u);
+  EXPECT_EQ(h.wire[1].rd.seq_offset, 100u);
+  EXPECT_EQ(h.rd.highest_sent(), 200u);
+  EXPECT_FALSE(h.rd.all_acked());
+}
+
+TEST(Rd, CumulativeAckAdvancesAndFeedsBack) {
+  RdHarness h;
+  h.rd.send_segment(0, seg_bytes(100, 1));
+  h.rd.send_segment(100, seg_bytes(100, 2));
+  h.rd.on_data_segment(h.ack(200));
+  EXPECT_EQ(h.rd.acked(), 200u);
+  EXPECT_TRUE(h.rd.all_acked());
+  ASSERT_EQ(h.feedback.size(), 1u);
+  EXPECT_EQ(h.feedback[0].acked_through, 200u);
+  EXPECT_EQ(h.feedback[0].bytes_newly_acked, 200u);
+  ASSERT_TRUE(h.feedback[0].rtt.has_value());
+}
+
+TEST(Rd, TimeoutRetransmitsFirstOutstanding) {
+  RdHarness h;
+  h.rd.send_segment(0, seg_bytes(100, 1));
+  h.rd.send_segment(100, seg_bytes(100, 2));
+  h.run_for(Duration::millis(15));
+  ASSERT_GE(h.wire.size(), 3u);
+  EXPECT_EQ(h.wire[2].rd.seq_offset, 0u);  // the oldest one
+  ASSERT_GE(h.losses.size(), 1u);
+  EXPECT_EQ(h.losses[0], LossKind::kTimeout);
+  EXPECT_EQ(h.rd.stats().timeout_retransmits, 1u);
+}
+
+TEST(Rd, RtoBacksOffExponentiallyThenPeerDead) {
+  RdHarness h;
+  h.rd.send_segment(0, seg_bytes(10, 1));
+  h.run_for(Duration::seconds(5.0));
+  EXPECT_TRUE(h.peer_dead);
+  // 1 original + max_retransmits timeout attempts.
+  EXPECT_EQ(h.rd.stats().timeout_retransmits, 4u);
+}
+
+TEST(Rd, ProgressResetsRtoBackoff) {
+  RdHarness h;
+  h.rd.send_segment(0, seg_bytes(10, 1));
+  // Let the RTO back off a couple of times.
+  h.run_for(Duration::millis(40));
+  const Duration backed_off = h.rd.current_rto();
+  EXPECT_GT(backed_off, Duration::millis(15));
+  h.rd.on_data_segment(h.ack(10));
+  EXPECT_LE(h.rd.current_rto(), RdHarness::fast_config().initial_rto);
+  EXPECT_FALSE(h.peer_dead);
+}
+
+TEST(Rd, KarnRuleSkipsRetransmittedRttSamples) {
+  RdHarness h;
+  h.rd.send_segment(0, seg_bytes(10, 1));
+  h.run_for(Duration::millis(15));  // forces a retransmission
+  h.rd.on_data_segment(h.ack(10));
+  ASSERT_EQ(h.feedback.size(), 1u);
+  EXPECT_FALSE(h.feedback[0].rtt.has_value());
+}
+
+TEST(Rd, TripleDupAckTriggersFastRetransmitOnce) {
+  RdHarness h;
+  for (int i = 0; i < 5; ++i) {
+    h.rd.send_segment(static_cast<std::uint64_t>(i) * 100,
+                      seg_bytes(100, static_cast<std::uint8_t>(i)));
+  }
+  const auto wire_before = h.wire.size();
+  for (int d = 0; d < 3; ++d) h.rd.on_data_segment(h.ack(0));
+  EXPECT_EQ(h.rd.stats().fast_retransmits, 1u);
+  ASSERT_EQ(h.wire.size(), wire_before + 1);
+  EXPECT_EQ(h.wire.back().rd.seq_offset, 0u);
+  ASSERT_EQ(h.losses.size(), 1u);
+  EXPECT_EQ(h.losses[0], LossKind::kFastRetransmit);
+  // More duplicates inside the same episode must not refire immediately
+  // (hole pacing is per-RTT).
+  for (int d = 0; d < 6; ++d) h.rd.on_data_segment(h.ack(0));
+  EXPECT_EQ(h.losses.size(), 1u);
+}
+
+TEST(Rd, SackMarksSegmentsAndSparesThemFromTimeout) {
+  RdHarness h;
+  for (int i = 0; i < 3; ++i) {
+    h.rd.send_segment(static_cast<std::uint64_t>(i) * 100,
+                      seg_bytes(100, static_cast<std::uint8_t>(i)));
+  }
+  // Peer got segments 1 and 2, missing 0.
+  h.rd.on_data_segment(h.ack(0, {{100, 300}}));
+  EXPECT_EQ(h.rd.stats().sacked_segments_spared, 2u);
+  const auto wire_before = h.wire.size();
+  h.run_for(Duration::millis(15));  // RTO fires
+  ASSERT_EQ(h.wire.size(), wire_before + 1);
+  EXPECT_EQ(h.wire.back().rd.seq_offset, 0u);  // only the hole, not 100/200
+}
+
+TEST(Rd, SackBytesCountedOnceInFeedback) {
+  RdHarness h;
+  h.rd.send_segment(0, seg_bytes(100, 1));
+  h.rd.send_segment(100, seg_bytes(100, 2));
+  h.rd.on_data_segment(h.ack(0, {{100, 200}}));  // SACK the second
+  ASSERT_EQ(h.feedback.size(), 1u);
+  EXPECT_EQ(h.feedback[0].bytes_newly_acked, 100u);
+  h.rd.on_data_segment(h.ack(200));  // now cumulative
+  ASSERT_EQ(h.feedback.size(), 2u);
+  // Only the first segment is new; the SACKed one was already credited.
+  EXPECT_EQ(h.feedback[1].bytes_newly_acked, 100u);
+}
+
+TEST(Rd, PeerWindowAndEcnPropagate) {
+  RdHarness h;
+  h.rd.send_segment(0, seg_bytes(10, 1));
+  SublayeredSegment a = h.ack(10);
+  a.osr.recv_window = 4321;
+  a.osr.ecn_echo = true;
+  h.rd.on_data_segment(a);
+  ASSERT_EQ(h.feedback.size(), 1u);
+  EXPECT_EQ(h.feedback[0].peer_recv_window, 4321u);
+  EXPECT_TRUE(h.feedback[0].ecn_echo);
+}
+
+TEST(Rd, TailProbeFiresBeforeRtoWithoutCongestionVerdict) {
+  RdHarness h;
+  // Establish an RTT estimate first (10 ms round trip).
+  h.rd.send_segment(0, seg_bytes(10, 1));
+  h.run_for(Duration::millis(2));
+  h.rd.on_data_segment(h.ack(10));
+  // Now a tail segment whose ack never comes.
+  h.rd.send_segment(10, seg_bytes(10, 2));
+  const auto wire_before = h.wire.size();
+  h.run_for(Duration::millis(5));  // ~1.5 * srtt < rto
+  EXPECT_EQ(h.rd.stats().tail_probes, 1u);
+  EXPECT_EQ(h.rd.stats().timeout_retransmits, 0u);
+  EXPECT_TRUE(h.losses.empty());  // a probe is not a congestion signal
+  EXPECT_EQ(h.wire.size(), wire_before + 1);
+  // The RTO backstop still fires if the probe goes unanswered too.
+  h.run_for(Duration::millis(60));
+  EXPECT_GE(h.rd.stats().timeout_retransmits, 1u);
+}
+
+TEST(Rd, TailProbeCanBeDisabled) {
+  RdConfig config = RdHarness::fast_config();
+  config.enable_tail_probe = false;
+  RdHarness h(config);
+  h.rd.send_segment(0, seg_bytes(10, 1));
+  h.run_for(Duration::millis(2));
+  h.rd.on_data_segment(h.ack(10));
+  h.rd.send_segment(10, seg_bytes(10, 2));
+  h.run_for(Duration::millis(8));
+  EXPECT_EQ(h.rd.stats().tail_probes, 0u);
+}
+
+// ---- receiver side -----------------------------------------------------------
+
+TEST(Rd, DeliversNewBytesExactlyOnce) {
+  RdHarness h;
+  h.rd.on_data_segment(h.data(0, seg_bytes(100, 7)));
+  EXPECT_EQ(h.deliveries, 1);
+  EXPECT_EQ(h.rd.rcv_next(), 100u);
+  // Exact duplicate: nothing delivered, but re-acked.
+  const auto acks_before = h.rd.stats().acks_sent;
+  h.rd.on_data_segment(h.data(0, seg_bytes(100, 7)));
+  EXPECT_EQ(h.deliveries, 1);
+  EXPECT_EQ(h.rd.stats().acks_sent, acks_before + 1);
+  EXPECT_EQ(h.rd.stats().duplicate_bytes_dropped, 100u);
+}
+
+TEST(Rd, OutOfOrderDeliveredImmediatelyButFrontierWaits) {
+  // The paper's point: RD may deliver out of order; OSR reorders.
+  RdHarness h;
+  h.rd.on_data_segment(h.data(100, seg_bytes(100, 2)));
+  EXPECT_EQ(h.deliveries, 1);
+  EXPECT_TRUE(h.delivered.contains(100));
+  EXPECT_EQ(h.rd.rcv_next(), 0u);  // cumulative frontier still at 0
+  h.rd.on_data_segment(h.data(0, seg_bytes(100, 1)));
+  EXPECT_EQ(h.deliveries, 2);
+  EXPECT_EQ(h.rd.rcv_next(), 200u);
+}
+
+TEST(Rd, OverlappingSegmentDeliversOnlyTheGap) {
+  RdHarness h;
+  h.rd.on_data_segment(h.data(0, seg_bytes(150, 1)));
+  // Overlaps [100,150), new range [150,250).
+  h.rd.on_data_segment(h.data(100, seg_bytes(150, 2)));
+  EXPECT_EQ(h.rd.rcv_next(), 250u);
+  ASSERT_TRUE(h.delivered.contains(150));
+  EXPECT_EQ(h.delivered[150].size(), 100u);
+  EXPECT_EQ(h.rd.stats().duplicate_bytes_dropped, 50u);
+}
+
+TEST(Rd, SegmentBridgingTwoRangesDeliversMiddle) {
+  RdHarness h;
+  h.rd.on_data_segment(h.data(0, seg_bytes(100, 1)));
+  h.rd.on_data_segment(h.data(200, seg_bytes(100, 3)));
+  // Bridge covers [50, 250): only [100, 200) is new.
+  h.rd.on_data_segment(h.data(50, seg_bytes(200, 2)));
+  EXPECT_EQ(h.rd.rcv_next(), 300u);
+  ASSERT_TRUE(h.delivered.contains(100));
+  EXPECT_EQ(h.delivered[100].size(), 100u);
+}
+
+TEST(Rd, AcksCarrySackForHoles) {
+  RdHarness h;
+  h.rd.on_data_segment(h.data(100, seg_bytes(100, 2)));
+  h.rd.on_data_segment(h.data(300, seg_bytes(100, 4)));
+  // The acks emitted must describe both islands.
+  ASSERT_FALSE(h.wire.empty());
+  const auto& last_ack = h.wire.back();
+  EXPECT_EQ(last_ack.rd.ack_offset, 0u);
+  ASSERT_EQ(last_ack.rd.sack.size(), 2u);
+  EXPECT_EQ(last_ack.rd.sack[0], (SackBlock{100, 200}));
+  EXPECT_EQ(last_ack.rd.sack[1], (SackBlock{300, 400}));
+}
+
+TEST(Rd, PureAcksAreNotAckedBack) {
+  RdHarness h;
+  const auto before = h.rd.stats().acks_sent;
+  h.rd.on_data_segment(h.ack(0));
+  EXPECT_EQ(h.rd.stats().acks_sent, before);  // no ack war
+}
+
+TEST(Rd, EmptySegmentListStatsCoherent) {
+  RdHarness h;
+  h.rd.send_segment(0, seg_bytes(500, 1));
+  EXPECT_EQ(h.rd.stats().segments_sent, 1u);
+  EXPECT_EQ(h.rd.stats().bytes_sent, 500u);
+  h.rd.on_data_segment(h.ack(500));
+  EXPECT_EQ(h.rd.stats().acks_received, 1u);
+}
+
+}  // namespace
+}  // namespace sublayer::transport

@@ -1,0 +1,181 @@
+// Failure injection and adversarial-input robustness: hosts fed garbage,
+// truncated segments, blind RSTs, and handshake-time chaos must neither
+// crash nor corrupt established connections.
+#include <gtest/gtest.h>
+
+#include "tests/transport/harness.hpp"
+
+namespace sublayer::transport {
+namespace {
+
+using testing::pattern_bytes;
+using testing::StreamLog;
+using testing::TwoNodeNet;
+
+/// Sends raw bytes as an IP datagram from router r0's "attacker host".
+void inject_raw(TwoNodeNet& net, netlayer::IpAddr target,
+                netlayer::IpProto proto, Bytes payload) {
+  netlayer::IpHeader h;
+  h.protocol = proto;
+  h.src = netlayer::host_addr(net.r0, 99);  // spoofed-ish source
+  h.dst = target;
+  net.router0().send_datagram(h, payload);
+}
+
+TEST(Robustness, GarbageDatagramsDontCrashSublayeredHost) {
+  TwoNodeNet net;
+  TcpHost server(net.sim, net.router1(), 1);
+  server.listen(80, [](Connection&) {});
+  Rng rng(123);
+  for (int i = 0; i < 500; ++i) {
+    inject_raw(net, server.addr(), netlayer::IpProto::kSublayered,
+               rng.next_bytes(rng.next_below(80)));
+  }
+  net.sim.run(500000);
+  EXPECT_EQ(server.live_connections(), 0u);
+}
+
+TEST(Robustness, GarbageDatagramsDontCrashMonoHost) {
+  TwoNodeNet net;
+  MonoHost server(net.sim, net.router1(), 1);
+  server.listen(80, [](MonoConnection&) {});
+  Rng rng(321);
+  for (int i = 0; i < 500; ++i) {
+    inject_raw(net, server.addr(), netlayer::IpProto::kTcp,
+               rng.next_bytes(rng.next_below(80)));
+  }
+  net.sim.run(500000);
+  EXPECT_EQ(server.live_connections(), 0u);
+}
+
+TEST(Robustness, GarbageDoesNotDisturbEstablishedTransfer) {
+  TwoNodeNet net;
+  TcpHost client(net.sim, net.router0(), 1);
+  TcpHost server(net.sim, net.router1(), 1);
+  StreamLog log;
+  server.listen(80, [&](Connection& c) { c.set_app_callbacks(log.callbacks()); });
+  auto& conn = client.connect(server.addr(), 80);
+  const Bytes payload = pattern_bytes(80000);
+  conn.send(payload);
+
+  // Interleave junk while the transfer runs.
+  Rng rng(55);
+  for (int burst = 0; burst < 20; ++burst) {
+    net.sim.run(20000);
+    for (int i = 0; i < 20; ++i) {
+      inject_raw(net, server.addr(), netlayer::IpProto::kSublayered,
+                 rng.next_bytes(rng.next_below(60)));
+    }
+  }
+  net.sim.run(2'000'000);
+  EXPECT_EQ(log.received, payload);
+}
+
+TEST(Robustness, BlindRstWithWrongIsnsDoesNotKillConnection) {
+  TwoNodeNet net;
+  TcpHost client(net.sim, net.router0(), 1);
+  TcpHost server(net.sim, net.router1(), 1);
+  StreamLog log;
+  Connection* server_conn = nullptr;
+  server.listen(80, [&](Connection& c) {
+    server_conn = &c;
+    c.set_app_callbacks(log.callbacks());
+  });
+  auto& conn = client.connect(server.addr(), 80);
+  net.sim.run(100000);
+  ASSERT_NE(server_conn, nullptr);
+  ASSERT_EQ(conn.state(), CmState::kEstablished);
+
+  // Forge RSTs at the server's tuple with guessed (wrong) ISNs.
+  for (std::uint32_t guess = 0; guess < 32; ++guess) {
+    SublayeredSegment rst;
+    rst.cm.kind = CmKind::kRst;
+    rst.cm.isn_local = guess * 1000003u;
+    rst.cm.isn_peer = guess * 7919u;
+    rst.dm.src_port = conn.tuple().local_port;
+    rst.dm.dst_port = 80;
+    inject_raw(net, server.addr(), netlayer::IpProto::kSublayered,
+               rst.encode());
+  }
+  net.sim.run(200000);
+  // CM's incarnation validation (the RFC 1948 motivation) holds.
+  EXPECT_EQ(server_conn->state(), CmState::kEstablished);
+  conn.send(bytes_from_string("still here"));
+  net.sim.run(200000);
+  EXPECT_EQ(string_from_bytes(log.received), "still here");
+}
+
+TEST(Robustness, SynFloodLeavesServerFunctional) {
+  TwoNodeNet net;
+  TcpHost client(net.sim, net.router0(), 1);
+  TcpHost server(net.sim, net.router1(), 1);
+  StreamLog log;
+  server.listen(80, [&](Connection& c) { c.set_app_callbacks(log.callbacks()); });
+
+  const auto run_for = [&](Duration d) {
+    net.sim.run_until(TimePoint::from_ns(net.sim.now().ns() + d.ns()));
+  };
+
+  // A burst of SYNs from distinct fake ports; none completes a handshake.
+  for (std::uint16_t port = 2000; port < 2100; ++port) {
+    SublayeredSegment syn;
+    syn.cm.kind = CmKind::kSyn;
+    syn.cm.isn_local = port;
+    syn.dm.src_port = port;
+    syn.dm.dst_port = 80;
+    inject_raw(net, server.addr(), netlayer::IpProto::kSublayered,
+               syn.encode());
+  }
+  run_for(Duration::millis(50));
+  EXPECT_GE(server.live_connections(), 90u);  // half-open, pending timeout
+
+  // A real client still gets through.
+  auto& conn = client.connect(server.addr(), 80);
+  conn.send(bytes_from_string("legit"));
+  run_for(Duration::millis(300));
+  EXPECT_EQ(string_from_bytes(log.received), "legit");
+
+  // The half-open connections eventually exhaust their handshake retries
+  // (8 doublings of the 200 ms RTO ~ 102 s) and are reaped.
+  run_for(Duration::seconds(180.0));
+  EXPECT_LE(server.live_connections(), 1u);
+}
+
+TEST(Robustness, TruncatedShimSegmentsCounted) {
+  TwoNodeNet net;
+  HostConfig hc;
+  hc.wire_rfc793 = true;
+  TcpHost server(net.sim, net.router1(), 1, hc);
+  server.listen(80, [](Connection&) {});
+  Rng rng(77);
+  for (int i = 0; i < 200; ++i) {
+    inject_raw(net, server.addr(), netlayer::IpProto::kTcp,
+               rng.next_bytes(rng.next_below(19)));  // all < min header
+  }
+  net.sim.run(200000);
+  EXPECT_EQ(server.shim().stats().untranslatable, 200u);
+}
+
+TEST(Robustness, HalfOpenPeerVanishesMidTransfer) {
+  TwoNodeNet net;
+  TcpHost client(net.sim, net.router0(), 1);
+  TcpHost server(net.sim, net.router1(), 1);
+  StreamLog client_log;
+  server.listen(80, [](Connection&) {});
+  auto& conn = client.connect(server.addr(), 80);
+  conn.set_app_callbacks(client_log.callbacks());
+  net.sim.run(100000);
+  ASSERT_EQ(conn.state(), CmState::kEstablished);
+
+  net.net.fail_link(net.link_index);
+  conn.send(pattern_bytes(50000));
+  net.sim.run_until(TimePoint::from_ns(net.sim.now().ns() +
+                                       Duration::seconds(120.0).ns()));
+  // RD's retransmission budget expires and CM aborts the connection.
+  EXPECT_FALSE(client_log.reset_reason.empty());
+  net.sim.run(1000);
+  EXPECT_EQ(client.live_connections(), 0u);
+}
+
+}  // namespace
+}  // namespace sublayer::transport

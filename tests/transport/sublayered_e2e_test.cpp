@@ -1,0 +1,274 @@
+// End-to-end tests of the sublayered TCP between two hosts across the
+// simulated network: the paper's headline property ("the byte stream
+// received is the same as the sent byte stream") under a matrix of
+// impairments, congestion controllers, and ISN providers.
+#include <gtest/gtest.h>
+
+#include "tests/transport/harness.hpp"
+
+namespace sublayer::transport {
+namespace {
+
+using testing::pattern_bytes;
+using testing::StreamLog;
+using testing::TwoNodeNet;
+
+struct E2eParam {
+  std::string label;
+  double loss = 0;
+  double duplicate = 0;
+  Duration jitter = Duration::nanos(0);
+  std::string cc = "reno";
+  IsnKind isn = IsnKind::kRfc1948;
+  std::size_t bytes = 200000;
+};
+
+class SublayeredE2e : public ::testing::TestWithParam<E2eParam> {};
+
+TEST_P(SublayeredE2e, ByteStreamIntegrityAndCleanClose) {
+  const auto& p = GetParam();
+  sim::LinkConfig link;
+  link.loss_rate = p.loss;
+  link.duplicate_rate = p.duplicate;
+  link.jitter = p.jitter;
+  link.propagation_delay = Duration::millis(2);
+  link.bandwidth_bps = 50e6;
+  TwoNodeNet net(link);
+
+  HostConfig config;
+  config.connection.osr.cc = p.cc;
+  config.isn = p.isn;
+  TcpHost client(net.sim, net.router0(), 1, config);
+  TcpHost server(net.sim, net.router1(), 1, config);
+
+  StreamLog client_log;
+  StreamLog server_log;
+  Connection* server_conn = nullptr;
+  server.listen(80, [&](Connection& c) {
+    server_conn = &c;
+    c.set_app_callbacks(server_log.callbacks());
+  });
+
+  Connection& conn = client.connect(server.addr(), 80);
+  conn.set_app_callbacks(client_log.callbacks());
+
+  const Bytes payload = pattern_bytes(p.bytes);
+  conn.send(payload);
+  conn.close();
+
+  // Server echoes a short response then closes once it has everything.
+  net.sim.run(4000000);
+  ASSERT_TRUE(client_log.established) << p.label;
+  ASSERT_TRUE(server_log.established) << p.label;
+  ASSERT_NE(server_conn, nullptr);
+  EXPECT_TRUE(server_log.stream_ended) << p.label;
+  ASSERT_EQ(server_log.received.size(), payload.size()) << p.label;
+  EXPECT_EQ(server_log.received, payload) << p.label;
+
+  server_conn->send(bytes_from_string("ok"));
+  server_conn->close();
+  net.sim.run(4000000);
+  EXPECT_EQ(string_from_bytes(client_log.received), "ok") << p.label;
+  EXPECT_TRUE(client_log.stream_ended) << p.label;
+  EXPECT_TRUE(client_log.closed) << p.label;
+  EXPECT_TRUE(server_log.closed) << p.label;
+
+  // Hosts reap closed connections.
+  net.sim.run(1000);
+  EXPECT_EQ(client.live_connections(), 0u) << p.label;
+  EXPECT_EQ(server.live_connections(), 0u) << p.label;
+}
+
+std::vector<E2eParam> e2e_matrix() {
+  std::vector<E2eParam> out;
+  out.push_back({"clean"});
+  out.push_back({"lossy_1pct", 0.01});
+  out.push_back({"lossy_5pct", 0.05});
+  out.push_back({"dup_10pct", 0.0, 0.1});
+  out.push_back({"reorder", 0.0, 0.0, Duration::millis(3)});
+  out.push_back({"loss_dup_reorder", 0.02, 0.05, Duration::millis(2)});
+  for (const char* cc : {"cubic", "aimd", "rate"}) {
+    E2eParam p;
+    p.label = std::string("cc_") + cc;
+    p.loss = 0.02;
+    p.cc = cc;
+    out.push_back(p);
+  }
+  for (const auto& [kind, name] :
+       {std::pair{IsnKind::kRfc793, "isn793"},
+        std::pair{IsnKind::kWatson, "isnwatson"}}) {
+    E2eParam p;
+    p.label = name;
+    p.isn = kind;
+    p.bytes = 50000;
+    out.push_back(p);
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, SublayeredE2e,
+                         ::testing::ValuesIn(e2e_matrix()),
+                         [](const auto& info) { return info.param.label; });
+
+TEST(SublayeredTcp, BidirectionalSimultaneousTransfer) {
+  TwoNodeNet net;
+  TcpHost a(net.sim, net.router0(), 1);
+  TcpHost b(net.sim, net.router1(), 1);
+
+  StreamLog log_a;
+  StreamLog log_b;
+  const Bytes data_ab = pattern_bytes(80000, 1);
+  const Bytes data_ba = pattern_bytes(120000, 2);
+
+  b.listen(9000, [&](Connection& c) {
+    c.set_app_callbacks(log_b.callbacks());
+    c.send(data_ba);
+    c.close();
+  });
+  Connection& conn = a.connect(b.addr(), 9000);
+  conn.set_app_callbacks(log_a.callbacks());
+  conn.send(data_ab);
+  conn.close();
+
+  net.sim.run(4000000);
+  EXPECT_EQ(log_b.received, data_ab);
+  EXPECT_EQ(log_a.received, data_ba);
+  EXPECT_TRUE(log_a.closed);
+  EXPECT_TRUE(log_b.closed);
+}
+
+TEST(SublayeredTcp, ConnectionToClosedPortIsReset) {
+  TwoNodeNet net;
+  TcpHost a(net.sim, net.router0(), 1);
+  TcpHost b(net.sim, net.router1(), 1);  // not listening
+
+  StreamLog log;
+  Connection& conn = a.connect(b.addr(), 4444);
+  conn.set_app_callbacks(log.callbacks());
+  net.sim.run(1000000);
+  EXPECT_FALSE(log.established);
+  EXPECT_FALSE(log.reset_reason.empty());
+  EXPECT_EQ(a.live_connections(), 0u);
+}
+
+TEST(SublayeredTcp, HandshakeSurvivesSynLoss) {
+  sim::LinkConfig link;
+  TwoNodeNet net(link);
+  // Force the first SYN (and its retry) to be lost, then heal the path.
+  HostConfig config;
+  TcpHost a(net.sim, net.router0(), 1, config);
+  TcpHost b(net.sim, net.router1(), 1, config);
+
+  StreamLog log;
+  b.listen(80, [](Connection&) {});
+
+  net.net.fail_link(net.link_index);
+  Connection& conn = a.connect(b.addr(), 80);
+  conn.set_app_callbacks(log.callbacks());
+  net.sim.run_until(TimePoint::from_ns(net.sim.now().ns() +
+                                       Duration::millis(300).ns()));
+  EXPECT_FALSE(log.established);
+  net.net.restore_link(net.link_index);
+  net.sim.run(1000000);
+  EXPECT_TRUE(log.established);
+}
+
+TEST(SublayeredTcp, HandshakeGivesUpOnDeadPeer) {
+  TwoNodeNet net;
+  TcpHost a(net.sim, net.router0(), 1);
+  TcpHost b(net.sim, net.router1(), 1);
+  b.listen(80, [](Connection&) {});
+
+  net.net.fail_link(net.link_index);
+  StreamLog log;
+  Connection& conn = a.connect(b.addr(), 80);
+  conn.set_app_callbacks(log.callbacks());
+  net.sim.run(2000000);
+  EXPECT_FALSE(log.established);
+  EXPECT_FALSE(log.reset_reason.empty());
+}
+
+TEST(SublayeredTcp, FlowControlStallsAndResumes) {
+  TwoNodeNet net;
+  HostConfig server_config;
+  server_config.connection.osr.manual_consume = true;
+  server_config.connection.osr.recv_buffer = 16000;
+  TcpHost client(net.sim, net.router0(), 1);
+  TcpHost server(net.sim, net.router1(), 1, server_config);
+
+  StreamLog server_log;
+  Connection* server_conn = nullptr;
+  server.listen(80, [&](Connection& c) {
+    server_conn = &c;
+    c.set_app_callbacks(server_log.callbacks());
+  });
+  Connection& conn = client.connect(server.addr(), 80);
+  StreamLog client_log;
+  conn.set_app_callbacks(client_log.callbacks());
+
+  const Bytes payload = pattern_bytes(100000);
+  conn.send(payload);
+  net.sim.run(4000000);
+
+  // Receiver never consumed: the transfer must stall well short of done,
+  // bounded by the advertised buffer.
+  EXPECT_LT(server_log.received.size(), payload.size());
+  EXPECT_LE(server_log.received.size(), 16000u + 2400u);
+  EXPECT_GT(conn.osr().stats().flow_control_stalls, 0u);
+
+  // Consume everything as it arrives from now on: transfer completes.
+  ASSERT_NE(server_conn, nullptr);
+  std::uint64_t consumed = server_log.received.size();
+  server_conn->consume(consumed);
+  for (int rounds = 0; rounds < 200; ++rounds) {
+    net.sim.run(200000);
+    if (server_log.received.size() > consumed) {
+      server_conn->consume(server_log.received.size() - consumed);
+      consumed = server_log.received.size();
+    }
+    if (server_log.received.size() == payload.size()) break;
+  }
+  EXPECT_EQ(server_log.received, payload);
+}
+
+TEST(SublayeredTcp, SackAvoidsSpuriousRetransmissions) {
+  sim::LinkConfig link;
+  link.loss_rate = 0.03;
+  link.propagation_delay = Duration::millis(5);
+  TwoNodeNet net(link);
+  TcpHost a(net.sim, net.router0(), 1);
+  TcpHost b(net.sim, net.router1(), 1);
+
+  StreamLog log;
+  b.listen(80, [&](Connection& c) { c.set_app_callbacks(log.callbacks()); });
+  Connection& conn = a.connect(b.addr(), 80);
+  StreamLog client_log;
+  conn.set_app_callbacks(client_log.callbacks());
+  const Bytes payload = pattern_bytes(300000);
+  conn.send(payload);
+  net.sim.run(6000000);
+  EXPECT_EQ(log.received, payload);
+  // SACK must have spared at least some segments from retransmission.
+  EXPECT_GT(conn.rd().stats().sacked_segments_spared, 0u);
+}
+
+TEST(SublayeredTcp, StatsAreCoherent) {
+  TwoNodeNet net;
+  TcpHost a(net.sim, net.router0(), 1);
+  TcpHost b(net.sim, net.router1(), 1);
+  StreamLog log;
+  b.listen(80, [&](Connection& c) { c.set_app_callbacks(log.callbacks()); });
+  Connection& conn = a.connect(b.addr(), 80);
+  const Bytes payload = pattern_bytes(60000);
+  conn.send(payload);
+  net.sim.run(2000000);
+  const auto& rd = conn.rd().stats();
+  const auto& osr = conn.osr().stats();
+  EXPECT_EQ(osr.bytes_from_app, payload.size());
+  EXPECT_EQ(rd.bytes_sent, payload.size());  // no loss -> no retransmits
+  EXPECT_EQ(rd.fast_retransmits + rd.timeout_retransmits, 0u);
+  EXPECT_EQ(conn.cm().stats().syn_retransmits, 0u);
+}
+
+}  // namespace
+}  // namespace sublayer::transport

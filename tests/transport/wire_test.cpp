@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "transport/wire/sublayered_header.hpp"
+#include "transport/wire/tcp_header.hpp"
+
+namespace sublayer::transport {
+namespace {
+
+TEST(SeqArithmetic, ModularComparisons) {
+  EXPECT_TRUE(seq_lt(1, 2));
+  EXPECT_TRUE(seq_lt(0xfffffff0u, 0x10u));  // across the wrap
+  EXPECT_FALSE(seq_lt(0x10u, 0xfffffff0u));
+  EXPECT_TRUE(seq_le(5, 5));
+  EXPECT_TRUE(seq_gt(0x10u, 0xfffffff0u));
+  EXPECT_TRUE(seq_ge(5, 5));
+}
+
+TEST(TcpHeader, BaseRoundTrip) {
+  TcpHeader h;
+  h.src_port = 1234;
+  h.dst_port = 80;
+  h.seq = 0xdeadbeef;
+  h.ack = 0x01020304;
+  h.flag_ack = true;
+  h.flag_psh = true;
+  h.window = 4321;
+  const Bytes payload = bytes_from_string("hello tcp");
+  const auto parsed = decode_tcp_segment(h.encode(payload));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->header.src_port, 1234);
+  EXPECT_EQ(parsed->header.dst_port, 80);
+  EXPECT_EQ(parsed->header.seq, 0xdeadbeefu);
+  EXPECT_EQ(parsed->header.ack, 0x01020304u);
+  EXPECT_TRUE(parsed->header.flag_ack);
+  EXPECT_TRUE(parsed->header.flag_psh);
+  EXPECT_FALSE(parsed->header.flag_syn);
+  EXPECT_EQ(parsed->header.window, 4321);
+  EXPECT_EQ(string_from_bytes(parsed->payload), "hello tcp");
+}
+
+TEST(TcpHeader, AllFlagsRoundTrip) {
+  TcpHeader h;
+  h.flag_fin = h.flag_syn = h.flag_rst = h.flag_psh = h.flag_ack =
+      h.flag_urg = h.flag_ece = h.flag_cwr = true;
+  const auto parsed = decode_tcp_segment(h.encode({}));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->header.flag_fin);
+  EXPECT_TRUE(parsed->header.flag_syn);
+  EXPECT_TRUE(parsed->header.flag_rst);
+  EXPECT_TRUE(parsed->header.flag_psh);
+  EXPECT_TRUE(parsed->header.flag_ack);
+  EXPECT_TRUE(parsed->header.flag_urg);
+  EXPECT_TRUE(parsed->header.flag_ece);
+  EXPECT_TRUE(parsed->header.flag_cwr);
+}
+
+TEST(TcpHeader, MssOptionRoundTrip) {
+  TcpHeader h;
+  h.flag_syn = true;
+  h.mss = 1460;
+  const auto parsed = decode_tcp_segment(h.encode({}));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->header.mss.has_value());
+  EXPECT_EQ(*parsed->header.mss, 1460);
+}
+
+TEST(TcpHeader, SackOptionRoundTrip) {
+  TcpHeader h;
+  h.flag_ack = true;
+  h.sack = {{100, 200}, {300, 400}, {500, 600}};
+  const auto parsed = decode_tcp_segment(h.encode(bytes_from_string("x")));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->header.sack.size(), 3u);
+  EXPECT_EQ(parsed->header.sack[1], (SackBlock{300, 400}));
+  EXPECT_EQ(string_from_bytes(parsed->payload), "x");
+}
+
+TEST(TcpHeader, HeaderLenIsFourByteAligned) {
+  TcpHeader h;
+  h.sack = {{1, 2}};
+  const Bytes raw = h.encode({});
+  EXPECT_EQ(raw.size() % 4, 0u);
+  EXPECT_GT(raw.size(), TcpHeader::kBaseSize);
+}
+
+TEST(TcpHeader, RejectsTruncated) {
+  TcpHeader h;
+  Bytes raw = h.encode({});
+  raw.resize(10);
+  EXPECT_FALSE(decode_tcp_segment(raw).has_value());
+  EXPECT_FALSE(decode_tcp_segment(Bytes{}).has_value());
+}
+
+TEST(TcpHeader, RejectsBogusDataOffset) {
+  TcpHeader h;
+  Bytes raw = h.encode({});
+  raw[12] = 0xf0;  // data offset 15 words = 60 bytes > segment size
+  EXPECT_FALSE(decode_tcp_segment(raw).has_value());
+}
+
+TEST(TcpHeader, UnknownOptionSkipped) {
+  // Hand-craft a header with a 4-byte unknown option (kind 99).
+  TcpHeader h;
+  Bytes raw = h.encode({});
+  Bytes with_opt(raw.begin(), raw.begin() + 20);
+  with_opt.push_back(99);
+  with_opt.push_back(4);
+  with_opt.push_back(0xab);
+  with_opt.push_back(0xcd);
+  with_opt[12] = static_cast<std::uint8_t>((24 / 4) << 4);
+  const auto parsed = decode_tcp_segment(with_opt);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->payload.empty());
+}
+
+TEST(SublayeredSegment, DataRoundTrip) {
+  SublayeredSegment s;
+  s.dm = {1111, 2222};
+  s.cm.kind = CmKind::kData;
+  s.cm.isn_local = 0xaaaa0000;
+  s.cm.isn_peer = 0xbbbb0000;
+  s.rd.seq_offset = 4800;
+  s.rd.ack_offset = 2400;
+  s.rd.sack = {{6000, 7200}};
+  s.osr.recv_window = 123456;
+  s.osr.ecn_echo = true;
+  s.payload = bytes_from_string("sublayered payload");
+
+  const auto back = SublayeredSegment::decode(s.encode());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->dm.src_port, 1111);
+  EXPECT_EQ(back->dm.dst_port, 2222);
+  EXPECT_EQ(back->cm.kind, CmKind::kData);
+  EXPECT_EQ(back->cm.isn_local, 0xaaaa0000u);
+  EXPECT_EQ(back->cm.isn_peer, 0xbbbb0000u);
+  EXPECT_EQ(back->rd.seq_offset, 4800u);
+  EXPECT_EQ(back->rd.ack_offset, 2400u);
+  ASSERT_EQ(back->rd.sack.size(), 1u);
+  EXPECT_EQ(back->rd.sack[0], (SackBlock{6000, 7200}));
+  EXPECT_EQ(back->osr.recv_window, 123456u);
+  EXPECT_TRUE(back->osr.ecn_echo);
+  EXPECT_EQ(string_from_bytes(back->payload), "sublayered payload");
+}
+
+TEST(SublayeredSegment, ControlKindsRoundTrip) {
+  for (const CmKind kind : {CmKind::kSyn, CmKind::kSynAck, CmKind::kFin,
+                            CmKind::kFinAck, CmKind::kRst}) {
+    SublayeredSegment s;
+    s.dm = {10, 20};
+    s.cm.kind = kind;
+    s.cm.isn_local = 42;
+    s.cm.isn_peer = 43;
+    s.cm.fin_offset = kind == CmKind::kFin ? 9999 : 0;
+    const auto back = SublayeredSegment::decode(s.encode());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->cm.kind, kind);
+    EXPECT_EQ(back->cm.isn_local, 42u);
+    if (kind == CmKind::kFin) EXPECT_EQ(back->cm.fin_offset, 9999u);
+  }
+}
+
+TEST(SublayeredSegment, ControlSegmentsCarryNoPayload) {
+  SublayeredSegment s;
+  s.cm.kind = CmKind::kSyn;
+  Bytes raw = s.encode();
+  raw.push_back(0x55);  // junk after a control segment
+  EXPECT_FALSE(SublayeredSegment::decode(raw).has_value());
+}
+
+TEST(SublayeredSegment, RejectsMalformed) {
+  EXPECT_FALSE(SublayeredSegment::decode(Bytes{}).has_value());
+  EXPECT_FALSE(SublayeredSegment::decode(Bytes{1, 2, 3}).has_value());
+  SublayeredSegment s;
+  s.cm.kind = CmKind::kData;
+  Bytes raw = s.encode();
+  raw[4] = 99;  // invalid kind
+  EXPECT_FALSE(SublayeredSegment::decode(raw).has_value());
+}
+
+TEST(SublayeredSegment, HeaderBitsArePartitionedBySublayer) {
+  // T3 structural check: flipping DM's bits never changes what CM/RD/OSR
+  // decode, and vice versa — each sublayer's fields occupy disjoint bytes.
+  SublayeredSegment s;
+  s.cm.kind = CmKind::kData;
+  s.dm = {1, 2};
+  s.rd.seq_offset = 77;
+  s.osr.recv_window = 88;
+  Bytes raw = s.encode();
+  Bytes tweaked = raw;
+  tweaked[0] ^= 0xff;  // DM src_port byte
+  const auto a = SublayeredSegment::decode(raw);
+  const auto b = SublayeredSegment::decode(tweaked);
+  ASSERT_TRUE(a && b);
+  EXPECT_NE(a->dm.src_port, b->dm.src_port);
+  EXPECT_EQ(a->cm.isn_local, b->cm.isn_local);
+  EXPECT_EQ(a->rd.seq_offset, b->rd.seq_offset);
+  EXPECT_EQ(a->osr.recv_window, b->osr.recv_window);
+}
+
+TEST(SublayeredSegment, FuzzDecodeNeverCrashes) {
+  Rng rng(2025);
+  for (int t = 0; t < 2000; ++t) {
+    const Bytes junk = rng.next_bytes(rng.next_below(64));
+    (void)SublayeredSegment::decode(junk);  // must not throw or crash
+    (void)decode_tcp_segment(junk);
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace sublayer::transport

@@ -1,0 +1,173 @@
+#include "verify/checker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "verify/models.hpp"
+
+namespace sublayer::verify {
+namespace {
+
+/// A trivial counter model for checker mechanics: states 0..9, bad at 7
+/// (optional), goal at 9.
+class CounterModel final : public Model {
+ public:
+  explicit CounterModel(bool with_bad) : with_bad_(with_bad) {}
+  std::string name() const override { return "counter"; }
+  Bytes initial_state() const override { return Bytes{0}; }
+  std::vector<Bytes> successors(const Bytes& s) const override {
+    if (s[0] >= 9) return {};
+    return {Bytes{static_cast<std::uint8_t>(s[0] + 1)}};
+  }
+  std::optional<std::string> violation(const Bytes& s) const override {
+    if (with_bad_ && s[0] == 7) return "reached seven";
+    return std::nullopt;
+  }
+  bool is_goal(const Bytes& s) const override { return s[0] == 9; }
+
+ private:
+  bool with_bad_;
+};
+
+TEST(Checker, ExploresToCompletion) {
+  const auto result = check(CounterModel(false));
+  EXPECT_TRUE(result.ok);
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(result.goal_reached);
+  EXPECT_EQ(result.states_explored, 10u);
+  EXPECT_EQ(result.transitions, 9u);
+}
+
+TEST(Checker, FindsViolationAtCorrectDepth) {
+  const auto result = check(CounterModel(true));
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.violation_depth, 7u);
+  EXPECT_EQ(*result.violation, "reached seven");
+}
+
+TEST(Checker, RespectsStateBudget) {
+  CheckOptions opts;
+  opts.max_states = 3;
+  const auto result = check(CounterModel(false), opts);
+  EXPECT_TRUE(result.ok);
+  EXPECT_FALSE(result.complete);
+  EXPECT_EQ(result.states_explored, 3u);
+}
+
+// ---- Monolithic TCP model ---------------------------------------------------
+
+TEST(MonoModel, CorrectVersionIsSafeAndReachesGoal) {
+  const auto result = check(*make_monolithic_tcp_model({3, 2, MonoBug::kNone}));
+  EXPECT_TRUE(result.ok) << result.summary();
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(result.goal_reached);
+  EXPECT_GT(result.states_explored, 1000u);
+}
+
+TEST(MonoModel, OutOfOrderBugIsCaught) {
+  const auto result =
+      check(*make_monolithic_tcp_model({3, 2, MonoBug::kAcceptOutOfOrder}));
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.violation->find("gap"), std::string::npos);
+}
+
+TEST(MonoModel, AckBeyondBugIsCaught) {
+  const auto result =
+      check(*make_monolithic_tcp_model({3, 2, MonoBug::kAckBeyondReceived}));
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.violation->find("unreceived"), std::string::npos);
+}
+
+TEST(MonoModel, StateSpaceGrowsWithSegments) {
+  const auto small = check(*make_monolithic_tcp_model({3, 2, MonoBug::kNone}));
+  const auto large = check(*make_monolithic_tcp_model({5, 2, MonoBug::kNone}));
+  EXPECT_GT(large.states_explored, 4 * small.states_explored);
+}
+
+TEST(MonoModel, RejectsAbsurdParameters) {
+  EXPECT_THROW(make_monolithic_tcp_model({0, 2, MonoBug::kNone}),
+               std::invalid_argument);
+  EXPECT_THROW(make_monolithic_tcp_model({99, 2, MonoBug::kNone}),
+               std::invalid_argument);
+}
+
+// ---- Compositional models ---------------------------------------------------
+
+TEST(CmModel, ValidationPreventsIncarnationConfusion) {
+  const auto result = check(*make_cm_model({CmBug::kNone}));
+  EXPECT_TRUE(result.ok) << result.summary();
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(result.goal_reached);
+}
+
+TEST(CmModel, MissingValidationIsCaught) {
+  const auto result = check(*make_cm_model({CmBug::kNoIsnValidation}));
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.violation->find("incarnation"), std::string::npos);
+}
+
+TEST(RdModel, ExactlyOnceHolds) {
+  const auto result = check(*make_rd_model({4, 2, RdBug::kNone}));
+  EXPECT_TRUE(result.ok) << result.summary();
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(result.goal_reached);
+}
+
+TEST(RdModel, DuplicateDeliveryBugIsCaught) {
+  const auto result = check(*make_rd_model({4, 2, RdBug::kDeliverDuplicates}));
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.violation->find("twice"), std::string::npos);
+}
+
+TEST(OsrModel, ReassemblyIsOrdered) {
+  const auto result = check(*make_osr_model({6, OsrBug::kNone}));
+  EXPECT_TRUE(result.ok) << result.summary();
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(result.goal_reached);
+  // The OSR space is exactly the lattice of arrival subsets.
+  EXPECT_EQ(result.states_explored, 64u);
+}
+
+TEST(OsrModel, HoleReleaseBugIsCaught) {
+  const auto result = check(*make_osr_model({4, OsrBug::kReleasePastHole}));
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.violation->find("hole"), std::string::npos);
+}
+
+// ---- The paper's effort claim (E4) ------------------------------------------
+
+class EffortAtSize : public ::testing::TestWithParam<int> {};
+
+TEST_P(EffortAtSize, CompositionalCheckingIsMuchCheaper) {
+  const int n = GetParam();
+  const auto cmp = compare_verification_effort(n, 2);
+  ASSERT_TRUE(cmp.monolithic.ok && cmp.monolithic.complete);
+  ASSERT_TRUE(cmp.cm.ok && cmp.rd.ok && cmp.osr.ok);
+  EXPECT_TRUE(cmp.monolithic.goal_reached);
+  EXPECT_TRUE(cmp.rd.goal_reached);
+  // The monolithic product dwarfs the compositional sum.
+  EXPECT_GT(cmp.monolithic.states_explored, 10 * cmp.compositional_states())
+      << "mono=" << cmp.monolithic.states_explored
+      << " sum=" << cmp.compositional_states();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EffortAtSize, ::testing::Values(3, 4, 5),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+TEST(Effort, GapWidensWithStreamLength) {
+  const auto small = compare_verification_effort(3, 2);
+  const auto large = compare_verification_effort(5, 2);
+  const double ratio_small =
+      static_cast<double>(small.monolithic.states_explored) /
+      static_cast<double>(small.compositional_states());
+  const double ratio_large =
+      static_cast<double>(large.monolithic.states_explored) /
+      static_cast<double>(large.compositional_states());
+  EXPECT_GE(ratio_large, ratio_small * 0.9);
+  EXPECT_GT(large.monolithic.states_explored,
+            10 * small.monolithic.states_explored);
+}
+
+}  // namespace
+}  // namespace sublayer::verify
