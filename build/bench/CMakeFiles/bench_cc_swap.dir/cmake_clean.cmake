@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cc_swap.dir/bench_cc_swap.cpp.o"
+  "CMakeFiles/bench_cc_swap.dir/bench_cc_swap.cpp.o.d"
+  "bench_cc_swap"
+  "bench_cc_swap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cc_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

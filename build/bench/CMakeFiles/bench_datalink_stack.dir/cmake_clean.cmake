@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_datalink_stack.dir/bench_datalink_stack.cpp.o"
+  "CMakeFiles/bench_datalink_stack.dir/bench_datalink_stack.cpp.o.d"
+  "bench_datalink_stack"
+  "bench_datalink_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_datalink_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

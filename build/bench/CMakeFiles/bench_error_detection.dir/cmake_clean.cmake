@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_error_detection.dir/bench_error_detection.cpp.o"
+  "CMakeFiles/bench_error_detection.dir/bench_error_detection.cpp.o.d"
+  "bench_error_detection"
+  "bench_error_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_error_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

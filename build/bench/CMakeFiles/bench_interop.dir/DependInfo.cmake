@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_interop.cpp" "bench/CMakeFiles/bench_interop.dir/bench_interop.cpp.o" "gcc" "bench/CMakeFiles/bench_interop.dir/bench_interop.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sublayer_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sublayer_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/sublayer_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalink/CMakeFiles/sublayer_datalink.dir/DependInfo.cmake"
+  "/root/repo/build/src/stuffverify/CMakeFiles/sublayer_stuffverify.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlayer/CMakeFiles/sublayer_netlayer.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/sublayer_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/sublayer_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/offload/CMakeFiles/sublayer_offload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_offload.dir/bench_offload.cpp.o"
+  "CMakeFiles/bench_offload.dir/bench_offload.cpp.o.d"
+  "bench_offload"
+  "bench_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stuffing_overhead.dir/bench_stuffing_overhead.cpp.o"
+  "CMakeFiles/bench_stuffing_overhead.dir/bench_stuffing_overhead.cpp.o.d"
+  "bench_stuffing_overhead"
+  "bench_stuffing_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stuffing_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stuffing_search.dir/bench_stuffing_search.cpp.o"
+  "CMakeFiles/bench_stuffing_search.dir/bench_stuffing_search.cpp.o.d"
+  "bench_stuffing_search"
+  "bench_stuffing_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stuffing_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stuffing_verify.dir/bench_stuffing_verify.cpp.o"
+  "CMakeFiles/bench_stuffing_verify.dir/bench_stuffing_verify.cpp.o.d"
+  "bench_stuffing_verify"
+  "bench_stuffing_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stuffing_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

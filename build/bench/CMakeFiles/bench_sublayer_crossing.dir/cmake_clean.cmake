@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sublayer_crossing.dir/bench_sublayer_crossing.cpp.o"
+  "CMakeFiles/bench_sublayer_crossing.dir/bench_sublayer_crossing.cpp.o.d"
+  "bench_sublayer_crossing"
+  "bench_sublayer_crossing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sublayer_crossing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sublayer_crossing.
+# This may be replaced when dependencies are built.

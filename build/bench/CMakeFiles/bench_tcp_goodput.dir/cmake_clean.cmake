@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tcp_goodput.dir/bench_tcp_goodput.cpp.o"
+  "CMakeFiles/bench_tcp_goodput.dir/bench_tcp_goodput.cpp.o.d"
+  "bench_tcp_goodput"
+  "bench_tcp_goodput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tcp_goodput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

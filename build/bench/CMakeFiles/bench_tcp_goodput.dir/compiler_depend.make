@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_tcp_goodput.
+# This may be replaced when dependencies are built.

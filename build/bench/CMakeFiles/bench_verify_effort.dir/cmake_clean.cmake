@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_verify_effort.dir/bench_verify_effort.cpp.o"
+  "CMakeFiles/bench_verify_effort.dir/bench_verify_effort.cpp.o.d"
+  "bench_verify_effort"
+  "bench_verify_effort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_verify_effort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalink_demo.dir/datalink_demo.cpp.o"
+  "CMakeFiles/datalink_demo.dir/datalink_demo.cpp.o.d"
+  "datalink_demo"
+  "datalink_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalink_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interop_demo.dir/interop_demo.cpp.o"
+  "CMakeFiles/interop_demo.dir/interop_demo.cpp.o.d"
+  "interop_demo"
+  "interop_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interop_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

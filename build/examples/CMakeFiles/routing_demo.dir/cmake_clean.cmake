@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_demo.dir/routing_demo.cpp.o"
+  "CMakeFiles/routing_demo.dir/routing_demo.cpp.o.d"
+  "routing_demo"
+  "routing_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

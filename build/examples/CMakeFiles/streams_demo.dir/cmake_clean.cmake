@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streams_demo.dir/streams_demo.cpp.o"
+  "CMakeFiles/streams_demo.dir/streams_demo.cpp.o.d"
+  "streams_demo"
+  "streams_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streams_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sublayer_swap.dir/sublayer_swap.cpp.o"
+  "CMakeFiles/sublayer_swap.dir/sublayer_swap.cpp.o.d"
+  "sublayer_swap"
+  "sublayer_swap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sublayer_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bytes.cpp" "src/common/CMakeFiles/sublayer_common.dir/bytes.cpp.o" "gcc" "src/common/CMakeFiles/sublayer_common.dir/bytes.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/common/CMakeFiles/sublayer_common.dir/logging.cpp.o" "gcc" "src/common/CMakeFiles/sublayer_common.dir/logging.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/common/CMakeFiles/sublayer_common.dir/rng.cpp.o" "gcc" "src/common/CMakeFiles/sublayer_common.dir/rng.cpp.o.d"
+  "/root/repo/src/common/siphash.cpp" "src/common/CMakeFiles/sublayer_common.dir/siphash.cpp.o" "gcc" "src/common/CMakeFiles/sublayer_common.dir/siphash.cpp.o.d"
+  "/root/repo/src/common/time.cpp" "src/common/CMakeFiles/sublayer_common.dir/time.cpp.o" "gcc" "src/common/CMakeFiles/sublayer_common.dir/time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sublayer_common.dir/bytes.cpp.o"
+  "CMakeFiles/sublayer_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/sublayer_common.dir/logging.cpp.o"
+  "CMakeFiles/sublayer_common.dir/logging.cpp.o.d"
+  "CMakeFiles/sublayer_common.dir/rng.cpp.o"
+  "CMakeFiles/sublayer_common.dir/rng.cpp.o.d"
+  "CMakeFiles/sublayer_common.dir/siphash.cpp.o"
+  "CMakeFiles/sublayer_common.dir/siphash.cpp.o.d"
+  "CMakeFiles/sublayer_common.dir/time.cpp.o"
+  "CMakeFiles/sublayer_common.dir/time.cpp.o.d"
+  "libsublayer_common.a"
+  "libsublayer_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sublayer_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

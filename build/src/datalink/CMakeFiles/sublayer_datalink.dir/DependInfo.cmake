@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datalink/arq/go_back_n.cpp" "src/datalink/CMakeFiles/sublayer_datalink.dir/arq/go_back_n.cpp.o" "gcc" "src/datalink/CMakeFiles/sublayer_datalink.dir/arq/go_back_n.cpp.o.d"
+  "/root/repo/src/datalink/arq/selective_repeat.cpp" "src/datalink/CMakeFiles/sublayer_datalink.dir/arq/selective_repeat.cpp.o" "gcc" "src/datalink/CMakeFiles/sublayer_datalink.dir/arq/selective_repeat.cpp.o.d"
+  "/root/repo/src/datalink/arq/stop_and_wait.cpp" "src/datalink/CMakeFiles/sublayer_datalink.dir/arq/stop_and_wait.cpp.o" "gcc" "src/datalink/CMakeFiles/sublayer_datalink.dir/arq/stop_and_wait.cpp.o.d"
+  "/root/repo/src/datalink/errordetect/detector.cpp" "src/datalink/CMakeFiles/sublayer_datalink.dir/errordetect/detector.cpp.o" "gcc" "src/datalink/CMakeFiles/sublayer_datalink.dir/errordetect/detector.cpp.o.d"
+  "/root/repo/src/datalink/framing/byteframing.cpp" "src/datalink/CMakeFiles/sublayer_datalink.dir/framing/byteframing.cpp.o" "gcc" "src/datalink/CMakeFiles/sublayer_datalink.dir/framing/byteframing.cpp.o.d"
+  "/root/repo/src/datalink/framing/stuffing.cpp" "src/datalink/CMakeFiles/sublayer_datalink.dir/framing/stuffing.cpp.o" "gcc" "src/datalink/CMakeFiles/sublayer_datalink.dir/framing/stuffing.cpp.o.d"
+  "/root/repo/src/datalink/mac/mac.cpp" "src/datalink/CMakeFiles/sublayer_datalink.dir/mac/mac.cpp.o" "gcc" "src/datalink/CMakeFiles/sublayer_datalink.dir/mac/mac.cpp.o.d"
+  "/root/repo/src/datalink/stack.cpp" "src/datalink/CMakeFiles/sublayer_datalink.dir/stack.cpp.o" "gcc" "src/datalink/CMakeFiles/sublayer_datalink.dir/stack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sublayer_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sublayer_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/sublayer_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

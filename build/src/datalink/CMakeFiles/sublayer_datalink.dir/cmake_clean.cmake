@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sublayer_datalink.dir/arq/go_back_n.cpp.o"
+  "CMakeFiles/sublayer_datalink.dir/arq/go_back_n.cpp.o.d"
+  "CMakeFiles/sublayer_datalink.dir/arq/selective_repeat.cpp.o"
+  "CMakeFiles/sublayer_datalink.dir/arq/selective_repeat.cpp.o.d"
+  "CMakeFiles/sublayer_datalink.dir/arq/stop_and_wait.cpp.o"
+  "CMakeFiles/sublayer_datalink.dir/arq/stop_and_wait.cpp.o.d"
+  "CMakeFiles/sublayer_datalink.dir/errordetect/detector.cpp.o"
+  "CMakeFiles/sublayer_datalink.dir/errordetect/detector.cpp.o.d"
+  "CMakeFiles/sublayer_datalink.dir/framing/byteframing.cpp.o"
+  "CMakeFiles/sublayer_datalink.dir/framing/byteframing.cpp.o.d"
+  "CMakeFiles/sublayer_datalink.dir/framing/stuffing.cpp.o"
+  "CMakeFiles/sublayer_datalink.dir/framing/stuffing.cpp.o.d"
+  "CMakeFiles/sublayer_datalink.dir/mac/mac.cpp.o"
+  "CMakeFiles/sublayer_datalink.dir/mac/mac.cpp.o.d"
+  "CMakeFiles/sublayer_datalink.dir/stack.cpp.o"
+  "CMakeFiles/sublayer_datalink.dir/stack.cpp.o.d"
+  "libsublayer_datalink.a"
+  "libsublayer_datalink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sublayer_datalink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

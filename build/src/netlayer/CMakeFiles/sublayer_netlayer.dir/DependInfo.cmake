@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlayer/distance_vector.cpp" "src/netlayer/CMakeFiles/sublayer_netlayer.dir/distance_vector.cpp.o" "gcc" "src/netlayer/CMakeFiles/sublayer_netlayer.dir/distance_vector.cpp.o.d"
+  "/root/repo/src/netlayer/fib.cpp" "src/netlayer/CMakeFiles/sublayer_netlayer.dir/fib.cpp.o" "gcc" "src/netlayer/CMakeFiles/sublayer_netlayer.dir/fib.cpp.o.d"
+  "/root/repo/src/netlayer/ip.cpp" "src/netlayer/CMakeFiles/sublayer_netlayer.dir/ip.cpp.o" "gcc" "src/netlayer/CMakeFiles/sublayer_netlayer.dir/ip.cpp.o.d"
+  "/root/repo/src/netlayer/link_state.cpp" "src/netlayer/CMakeFiles/sublayer_netlayer.dir/link_state.cpp.o" "gcc" "src/netlayer/CMakeFiles/sublayer_netlayer.dir/link_state.cpp.o.d"
+  "/root/repo/src/netlayer/neighbor.cpp" "src/netlayer/CMakeFiles/sublayer_netlayer.dir/neighbor.cpp.o" "gcc" "src/netlayer/CMakeFiles/sublayer_netlayer.dir/neighbor.cpp.o.d"
+  "/root/repo/src/netlayer/router.cpp" "src/netlayer/CMakeFiles/sublayer_netlayer.dir/router.cpp.o" "gcc" "src/netlayer/CMakeFiles/sublayer_netlayer.dir/router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sublayer_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sublayer_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

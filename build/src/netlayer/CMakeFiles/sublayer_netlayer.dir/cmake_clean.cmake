@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sublayer_netlayer.dir/distance_vector.cpp.o"
+  "CMakeFiles/sublayer_netlayer.dir/distance_vector.cpp.o.d"
+  "CMakeFiles/sublayer_netlayer.dir/fib.cpp.o"
+  "CMakeFiles/sublayer_netlayer.dir/fib.cpp.o.d"
+  "CMakeFiles/sublayer_netlayer.dir/ip.cpp.o"
+  "CMakeFiles/sublayer_netlayer.dir/ip.cpp.o.d"
+  "CMakeFiles/sublayer_netlayer.dir/link_state.cpp.o"
+  "CMakeFiles/sublayer_netlayer.dir/link_state.cpp.o.d"
+  "CMakeFiles/sublayer_netlayer.dir/neighbor.cpp.o"
+  "CMakeFiles/sublayer_netlayer.dir/neighbor.cpp.o.d"
+  "CMakeFiles/sublayer_netlayer.dir/router.cpp.o"
+  "CMakeFiles/sublayer_netlayer.dir/router.cpp.o.d"
+  "libsublayer_netlayer.a"
+  "libsublayer_netlayer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sublayer_netlayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

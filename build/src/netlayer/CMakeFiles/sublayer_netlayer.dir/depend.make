@@ -1,0 +1,2 @@
+# Empty dependencies file for sublayer_netlayer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sublayer_offload.dir/offload.cpp.o"
+  "CMakeFiles/sublayer_offload.dir/offload.cpp.o.d"
+  "libsublayer_offload.a"
+  "libsublayer_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sublayer_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

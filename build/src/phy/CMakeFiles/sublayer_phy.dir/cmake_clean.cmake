@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sublayer_phy.dir/linecode.cpp.o"
+  "CMakeFiles/sublayer_phy.dir/linecode.cpp.o.d"
+  "libsublayer_phy.a"
+  "libsublayer_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sublayer_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sublayer_sim.dir/link.cpp.o"
+  "CMakeFiles/sublayer_sim.dir/link.cpp.o.d"
+  "CMakeFiles/sublayer_sim.dir/medium.cpp.o"
+  "CMakeFiles/sublayer_sim.dir/medium.cpp.o.d"
+  "CMakeFiles/sublayer_sim.dir/simulator.cpp.o"
+  "CMakeFiles/sublayer_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/sublayer_sim.dir/trace.cpp.o"
+  "CMakeFiles/sublayer_sim.dir/trace.cpp.o.d"
+  "libsublayer_sim.a"
+  "libsublayer_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sublayer_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

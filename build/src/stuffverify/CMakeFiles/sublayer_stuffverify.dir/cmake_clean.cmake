@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sublayer_stuffverify.dir/verifier.cpp.o"
+  "CMakeFiles/sublayer_stuffverify.dir/verifier.cpp.o.d"
+  "libsublayer_stuffverify.a"
+  "libsublayer_stuffverify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sublayer_stuffverify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsublayer_stuffverify.a"
+)

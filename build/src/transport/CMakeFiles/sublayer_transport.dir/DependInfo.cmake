@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/monolithic/mono_tcp.cpp" "src/transport/CMakeFiles/sublayer_transport.dir/monolithic/mono_tcp.cpp.o" "gcc" "src/transport/CMakeFiles/sublayer_transport.dir/monolithic/mono_tcp.cpp.o.d"
+  "/root/repo/src/transport/streams/mux.cpp" "src/transport/CMakeFiles/sublayer_transport.dir/streams/mux.cpp.o" "gcc" "src/transport/CMakeFiles/sublayer_transport.dir/streams/mux.cpp.o.d"
+  "/root/repo/src/transport/sublayered/cc.cpp" "src/transport/CMakeFiles/sublayer_transport.dir/sublayered/cc.cpp.o" "gcc" "src/transport/CMakeFiles/sublayer_transport.dir/sublayered/cc.cpp.o.d"
+  "/root/repo/src/transport/sublayered/cm.cpp" "src/transport/CMakeFiles/sublayer_transport.dir/sublayered/cm.cpp.o" "gcc" "src/transport/CMakeFiles/sublayer_transport.dir/sublayered/cm.cpp.o.d"
+  "/root/repo/src/transport/sublayered/connection.cpp" "src/transport/CMakeFiles/sublayer_transport.dir/sublayered/connection.cpp.o" "gcc" "src/transport/CMakeFiles/sublayer_transport.dir/sublayered/connection.cpp.o.d"
+  "/root/repo/src/transport/sublayered/dm.cpp" "src/transport/CMakeFiles/sublayer_transport.dir/sublayered/dm.cpp.o" "gcc" "src/transport/CMakeFiles/sublayer_transport.dir/sublayered/dm.cpp.o.d"
+  "/root/repo/src/transport/sublayered/host.cpp" "src/transport/CMakeFiles/sublayer_transport.dir/sublayered/host.cpp.o" "gcc" "src/transport/CMakeFiles/sublayer_transport.dir/sublayered/host.cpp.o.d"
+  "/root/repo/src/transport/sublayered/isn.cpp" "src/transport/CMakeFiles/sublayer_transport.dir/sublayered/isn.cpp.o" "gcc" "src/transport/CMakeFiles/sublayer_transport.dir/sublayered/isn.cpp.o.d"
+  "/root/repo/src/transport/sublayered/osr.cpp" "src/transport/CMakeFiles/sublayer_transport.dir/sublayered/osr.cpp.o" "gcc" "src/transport/CMakeFiles/sublayer_transport.dir/sublayered/osr.cpp.o.d"
+  "/root/repo/src/transport/sublayered/rd.cpp" "src/transport/CMakeFiles/sublayer_transport.dir/sublayered/rd.cpp.o" "gcc" "src/transport/CMakeFiles/sublayer_transport.dir/sublayered/rd.cpp.o.d"
+  "/root/repo/src/transport/sublayered/shim.cpp" "src/transport/CMakeFiles/sublayer_transport.dir/sublayered/shim.cpp.o" "gcc" "src/transport/CMakeFiles/sublayer_transport.dir/sublayered/shim.cpp.o.d"
+  "/root/repo/src/transport/sublayered/timer_cm.cpp" "src/transport/CMakeFiles/sublayer_transport.dir/sublayered/timer_cm.cpp.o" "gcc" "src/transport/CMakeFiles/sublayer_transport.dir/sublayered/timer_cm.cpp.o.d"
+  "/root/repo/src/transport/wire/sublayered_header.cpp" "src/transport/CMakeFiles/sublayer_transport.dir/wire/sublayered_header.cpp.o" "gcc" "src/transport/CMakeFiles/sublayer_transport.dir/wire/sublayered_header.cpp.o.d"
+  "/root/repo/src/transport/wire/tcp_header.cpp" "src/transport/CMakeFiles/sublayer_transport.dir/wire/tcp_header.cpp.o" "gcc" "src/transport/CMakeFiles/sublayer_transport.dir/wire/tcp_header.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sublayer_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sublayer_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlayer/CMakeFiles/sublayer_netlayer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sublayer_transport.dir/monolithic/mono_tcp.cpp.o"
+  "CMakeFiles/sublayer_transport.dir/monolithic/mono_tcp.cpp.o.d"
+  "CMakeFiles/sublayer_transport.dir/streams/mux.cpp.o"
+  "CMakeFiles/sublayer_transport.dir/streams/mux.cpp.o.d"
+  "CMakeFiles/sublayer_transport.dir/sublayered/cc.cpp.o"
+  "CMakeFiles/sublayer_transport.dir/sublayered/cc.cpp.o.d"
+  "CMakeFiles/sublayer_transport.dir/sublayered/cm.cpp.o"
+  "CMakeFiles/sublayer_transport.dir/sublayered/cm.cpp.o.d"
+  "CMakeFiles/sublayer_transport.dir/sublayered/connection.cpp.o"
+  "CMakeFiles/sublayer_transport.dir/sublayered/connection.cpp.o.d"
+  "CMakeFiles/sublayer_transport.dir/sublayered/dm.cpp.o"
+  "CMakeFiles/sublayer_transport.dir/sublayered/dm.cpp.o.d"
+  "CMakeFiles/sublayer_transport.dir/sublayered/host.cpp.o"
+  "CMakeFiles/sublayer_transport.dir/sublayered/host.cpp.o.d"
+  "CMakeFiles/sublayer_transport.dir/sublayered/isn.cpp.o"
+  "CMakeFiles/sublayer_transport.dir/sublayered/isn.cpp.o.d"
+  "CMakeFiles/sublayer_transport.dir/sublayered/osr.cpp.o"
+  "CMakeFiles/sublayer_transport.dir/sublayered/osr.cpp.o.d"
+  "CMakeFiles/sublayer_transport.dir/sublayered/rd.cpp.o"
+  "CMakeFiles/sublayer_transport.dir/sublayered/rd.cpp.o.d"
+  "CMakeFiles/sublayer_transport.dir/sublayered/shim.cpp.o"
+  "CMakeFiles/sublayer_transport.dir/sublayered/shim.cpp.o.d"
+  "CMakeFiles/sublayer_transport.dir/sublayered/timer_cm.cpp.o"
+  "CMakeFiles/sublayer_transport.dir/sublayered/timer_cm.cpp.o.d"
+  "CMakeFiles/sublayer_transport.dir/wire/sublayered_header.cpp.o"
+  "CMakeFiles/sublayer_transport.dir/wire/sublayered_header.cpp.o.d"
+  "CMakeFiles/sublayer_transport.dir/wire/tcp_header.cpp.o"
+  "CMakeFiles/sublayer_transport.dir/wire/tcp_header.cpp.o.d"
+  "libsublayer_transport.a"
+  "libsublayer_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sublayer_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sublayer_verify.dir/checker.cpp.o"
+  "CMakeFiles/sublayer_verify.dir/checker.cpp.o.d"
+  "CMakeFiles/sublayer_verify.dir/models.cpp.o"
+  "CMakeFiles/sublayer_verify.dir/models.cpp.o.d"
+  "libsublayer_verify.a"
+  "libsublayer_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sublayer_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

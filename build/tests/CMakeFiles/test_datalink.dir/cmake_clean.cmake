@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datalink.dir/datalink/arq_test.cpp.o"
+  "CMakeFiles/test_datalink.dir/datalink/arq_test.cpp.o.d"
+  "CMakeFiles/test_datalink.dir/datalink/byteframing_test.cpp.o"
+  "CMakeFiles/test_datalink.dir/datalink/byteframing_test.cpp.o.d"
+  "CMakeFiles/test_datalink.dir/datalink/detector_test.cpp.o"
+  "CMakeFiles/test_datalink.dir/datalink/detector_test.cpp.o.d"
+  "CMakeFiles/test_datalink.dir/datalink/mac_test.cpp.o"
+  "CMakeFiles/test_datalink.dir/datalink/mac_test.cpp.o.d"
+  "CMakeFiles/test_datalink.dir/datalink/stack_test.cpp.o"
+  "CMakeFiles/test_datalink.dir/datalink/stack_test.cpp.o.d"
+  "CMakeFiles/test_datalink.dir/datalink/stuffing_test.cpp.o"
+  "CMakeFiles/test_datalink.dir/datalink/stuffing_test.cpp.o.d"
+  "test_datalink"
+  "test_datalink.pdb"
+  "test_datalink[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datalink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

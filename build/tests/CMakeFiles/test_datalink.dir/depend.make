@@ -1,0 +1,2 @@
+# Empty dependencies file for test_datalink.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netlayer.dir/netlayer/fib_test.cpp.o"
+  "CMakeFiles/test_netlayer.dir/netlayer/fib_test.cpp.o.d"
+  "CMakeFiles/test_netlayer.dir/netlayer/neighbor_test.cpp.o"
+  "CMakeFiles/test_netlayer.dir/netlayer/neighbor_test.cpp.o.d"
+  "CMakeFiles/test_netlayer.dir/netlayer/routing_test.cpp.o"
+  "CMakeFiles/test_netlayer.dir/netlayer/routing_test.cpp.o.d"
+  "test_netlayer"
+  "test_netlayer.pdb"
+  "test_netlayer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netlayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

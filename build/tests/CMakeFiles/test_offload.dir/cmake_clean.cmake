@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_offload.dir/offload/offload_test.cpp.o"
+  "CMakeFiles/test_offload.dir/offload/offload_test.cpp.o.d"
+  "test_offload"
+  "test_offload.pdb"
+  "test_offload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stuffverify.dir/stuffverify/verifier_test.cpp.o"
+  "CMakeFiles/test_stuffverify.dir/stuffverify/verifier_test.cpp.o.d"
+  "test_stuffverify"
+  "test_stuffverify.pdb"
+  "test_stuffverify[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stuffverify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/transport/cm_test.cpp" "tests/CMakeFiles/test_transport.dir/transport/cm_test.cpp.o" "gcc" "tests/CMakeFiles/test_transport.dir/transport/cm_test.cpp.o.d"
+  "/root/repo/tests/transport/concurrent_test.cpp" "tests/CMakeFiles/test_transport.dir/transport/concurrent_test.cpp.o" "gcc" "tests/CMakeFiles/test_transport.dir/transport/concurrent_test.cpp.o.d"
+  "/root/repo/tests/transport/ecn_streams_test.cpp" "tests/CMakeFiles/test_transport.dir/transport/ecn_streams_test.cpp.o" "gcc" "tests/CMakeFiles/test_transport.dir/transport/ecn_streams_test.cpp.o.d"
+  "/root/repo/tests/transport/interop_test.cpp" "tests/CMakeFiles/test_transport.dir/transport/interop_test.cpp.o" "gcc" "tests/CMakeFiles/test_transport.dir/transport/interop_test.cpp.o.d"
+  "/root/repo/tests/transport/isn_cc_test.cpp" "tests/CMakeFiles/test_transport.dir/transport/isn_cc_test.cpp.o" "gcc" "tests/CMakeFiles/test_transport.dir/transport/isn_cc_test.cpp.o.d"
+  "/root/repo/tests/transport/mono_e2e_test.cpp" "tests/CMakeFiles/test_transport.dir/transport/mono_e2e_test.cpp.o" "gcc" "tests/CMakeFiles/test_transport.dir/transport/mono_e2e_test.cpp.o.d"
+  "/root/repo/tests/transport/osr_dm_test.cpp" "tests/CMakeFiles/test_transport.dir/transport/osr_dm_test.cpp.o" "gcc" "tests/CMakeFiles/test_transport.dir/transport/osr_dm_test.cpp.o.d"
+  "/root/repo/tests/transport/rd_test.cpp" "tests/CMakeFiles/test_transport.dir/transport/rd_test.cpp.o" "gcc" "tests/CMakeFiles/test_transport.dir/transport/rd_test.cpp.o.d"
+  "/root/repo/tests/transport/robustness_test.cpp" "tests/CMakeFiles/test_transport.dir/transport/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/test_transport.dir/transport/robustness_test.cpp.o.d"
+  "/root/repo/tests/transport/sublayered_e2e_test.cpp" "tests/CMakeFiles/test_transport.dir/transport/sublayered_e2e_test.cpp.o" "gcc" "tests/CMakeFiles/test_transport.dir/transport/sublayered_e2e_test.cpp.o.d"
+  "/root/repo/tests/transport/timer_cm_test.cpp" "tests/CMakeFiles/test_transport.dir/transport/timer_cm_test.cpp.o" "gcc" "tests/CMakeFiles/test_transport.dir/transport/timer_cm_test.cpp.o.d"
+  "/root/repo/tests/transport/wire_test.cpp" "tests/CMakeFiles/test_transport.dir/transport/wire_test.cpp.o" "gcc" "tests/CMakeFiles/test_transport.dir/transport/wire_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sublayer_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sublayer_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/sublayer_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalink/CMakeFiles/sublayer_datalink.dir/DependInfo.cmake"
+  "/root/repo/build/src/stuffverify/CMakeFiles/sublayer_stuffverify.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlayer/CMakeFiles/sublayer_netlayer.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/sublayer_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/sublayer_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/offload/CMakeFiles/sublayer_offload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

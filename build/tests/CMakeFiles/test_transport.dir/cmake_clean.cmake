@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transport.dir/transport/cm_test.cpp.o"
+  "CMakeFiles/test_transport.dir/transport/cm_test.cpp.o.d"
+  "CMakeFiles/test_transport.dir/transport/concurrent_test.cpp.o"
+  "CMakeFiles/test_transport.dir/transport/concurrent_test.cpp.o.d"
+  "CMakeFiles/test_transport.dir/transport/ecn_streams_test.cpp.o"
+  "CMakeFiles/test_transport.dir/transport/ecn_streams_test.cpp.o.d"
+  "CMakeFiles/test_transport.dir/transport/interop_test.cpp.o"
+  "CMakeFiles/test_transport.dir/transport/interop_test.cpp.o.d"
+  "CMakeFiles/test_transport.dir/transport/isn_cc_test.cpp.o"
+  "CMakeFiles/test_transport.dir/transport/isn_cc_test.cpp.o.d"
+  "CMakeFiles/test_transport.dir/transport/mono_e2e_test.cpp.o"
+  "CMakeFiles/test_transport.dir/transport/mono_e2e_test.cpp.o.d"
+  "CMakeFiles/test_transport.dir/transport/osr_dm_test.cpp.o"
+  "CMakeFiles/test_transport.dir/transport/osr_dm_test.cpp.o.d"
+  "CMakeFiles/test_transport.dir/transport/rd_test.cpp.o"
+  "CMakeFiles/test_transport.dir/transport/rd_test.cpp.o.d"
+  "CMakeFiles/test_transport.dir/transport/robustness_test.cpp.o"
+  "CMakeFiles/test_transport.dir/transport/robustness_test.cpp.o.d"
+  "CMakeFiles/test_transport.dir/transport/sublayered_e2e_test.cpp.o"
+  "CMakeFiles/test_transport.dir/transport/sublayered_e2e_test.cpp.o.d"
+  "CMakeFiles/test_transport.dir/transport/timer_cm_test.cpp.o"
+  "CMakeFiles/test_transport.dir/transport/timer_cm_test.cpp.o.d"
+  "CMakeFiles/test_transport.dir/transport/wire_test.cpp.o"
+  "CMakeFiles/test_transport.dir/transport/wire_test.cpp.o.d"
+  "test_transport"
+  "test_transport.pdb"
+  "test_transport[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
