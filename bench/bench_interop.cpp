@@ -164,6 +164,7 @@ int main() {
                      1 << 20);
     const auto s_client = run_interop(true, loss);
     const auto s_server = run_interop(false, loss);
+    if (loss == 0.0) print_metrics_json("interop_sub_sub_lossless", sub_sub);
     std::printf("%-34s %7.1f%% | %12s %9.2f Mbps\n",
                 "sublayered <-> sublayered", loss * 100,
                 sub_sub.complete ? "yes" : "NO", sub_sub.goodput_mbps);

@@ -69,6 +69,13 @@ int main() {
                 (unsigned long long)mono.segments_sent);
   }
 
+  std::puts("\nE7.4: per-sublayer telemetry for one lossless transfer");
+  {
+    const auto link = make_link(0.0, Duration::millis(2));
+    const auto sub = run_transfer(Variant::kSublayered, link, bytes);
+    print_metrics_json("sublayered_lossless_2MB", sub);
+  }
+
   std::puts(
       "\nshape vs paper: the sublayered implementation tracks (and at high "
       "loss\nbeats, thanks to SACK living cleanly inside RD) the monolithic "

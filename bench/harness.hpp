@@ -8,6 +8,8 @@
 #include <string>
 
 #include "netlayer/router.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 #include "transport/monolithic/mono_tcp.hpp"
 #include "transport/sublayered/host.hpp"
 
@@ -21,6 +23,10 @@ struct TransferOutcome {
   std::uint64_t retransmissions = 0;
   std::uint64_t segments_sent = 0;
   std::uint64_t events = 0;
+  /// Registry snapshot taken when the transfer finished: every sublayer's
+  /// counters/gauges/histograms for THIS run (the registry is reset at the
+  /// start of each run_transfer).
+  telemetry::MetricsSnapshot metrics;
 };
 
 struct NetSetup {
@@ -65,6 +71,10 @@ inline TransferOutcome run_transfer(Variant variant,
                                     const std::string& cc = "reno",
                                     std::uint64_t seed = 1,
                                     std::size_t event_budget = 30'000'000) {
+  // Delimit this run in the process-wide telemetry: the outcome's snapshot
+  // then covers exactly one transfer (NetSetup's warmup included).
+  telemetry::MetricsRegistry::instance().reset();
+  telemetry::SpanTracer::instance().reset();
   NetSetup net(link, seed);
   TransferOutcome out;
 
@@ -137,11 +147,20 @@ inline TransferOutcome run_transfer(Variant variant,
     out.goodput_mbps =
         static_cast<double>(bytes) * 8.0 / out.virtual_seconds / 1e6;
   }
+  out.metrics = telemetry::MetricsRegistry::instance().snapshot();
   return out;
 }
 
 inline void print_header(const char* title) {
   std::printf("\n=== %s ===\n", title);
+}
+
+/// Emits one machine-readable line: the run label plus the full registry
+/// snapshot captured at the end of the transfer.
+inline void print_metrics_json(const std::string& label,
+                               const TransferOutcome& out) {
+  std::printf("METRICS {\"label\":\"%s\",\"goodput_mbps\":%.3f,\"metrics\":%s}\n",
+              label.c_str(), out.goodput_mbps, out.metrics.to_json().c_str());
 }
 
 }  // namespace sublayer::bench

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure + build (warnings are errors) + full test
+# suite. Exits nonzero on the first failure.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${BUILD_DIR:-${repo_root}/build}"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE="${BUILD_TYPE:-Release}" \
+  -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror"
+cmake --build "${build_dir}" -j "${jobs}"
+ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"

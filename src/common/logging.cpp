@@ -1,5 +1,7 @@
 #include "common/logging.hpp"
 
+#include "common/time.hpp"
+
 namespace sublayer {
 namespace {
 LogLevel g_level = LogLevel::kOff;
@@ -22,8 +24,15 @@ void set_log_level(LogLevel level) { g_level = level; }
 
 namespace detail {
 void log_line(LogLevel level, const char* component, const std::string& msg) {
-  std::fprintf(stderr, "[%s] %-10s %s\n", level_name(level), component,
-               msg.c_str());
+  // When a simulator is running, every line carries its virtual time, so a
+  // log interleaves cleanly with traces and telemetry spans.
+  if (simclock::active()) {
+    std::fprintf(stderr, "[%s] [%12.6fs] %-10s %s\n", level_name(level),
+                 simclock::now().to_seconds(), component, msg.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] %-10s %s\n", level_name(level), component,
+                 msg.c_str());
+  }
 }
 }  // namespace detail
 

@@ -1,6 +1,7 @@
 #include "common/time.hpp"
 
 #include <cstdio>
+#include <vector>
 
 namespace sublayer {
 
@@ -22,5 +23,25 @@ std::string to_string(TimePoint t) {
   std::snprintf(buf, sizeof buf, "t=%.6fs", t.to_seconds());
   return buf;
 }
+
+namespace simclock {
+namespace {
+// A stack, not a single slot: tests nest simulator lifetimes (build one,
+// build another, destroy the inner), and the surviving simulator must get
+// its clock back.
+std::vector<const TimePoint*> g_clocks;
+}
+
+void attach(const TimePoint* now) { g_clocks.push_back(now); }
+
+void detach(const TimePoint* now) {
+  std::erase(g_clocks, now);
+}
+
+bool active() { return !g_clocks.empty(); }
+
+TimePoint now() { return g_clocks.empty() ? TimePoint{} : *g_clocks.back(); }
+
+}  // namespace simclock
 
 }  // namespace sublayer

@@ -76,4 +76,25 @@ class TimePoint {
 std::string to_string(Duration d);
 std::string to_string(TimePoint t);
 
+/// Process-wide view of the *currently running* simulator's clock.
+///
+/// A Simulator attaches the address of its clock on construction and
+/// detaches on destruction; telemetry (span tracer, metrics) and logging
+/// read it without holding a reference to any particular simulator.  With
+/// several simulators alive (some tests build them back to back), the most
+/// recently constructed one wins — matching "the sim currently driving
+/// events" in every existing usage.
+namespace simclock {
+
+/// Registers `now` as the active simulated clock.
+void attach(const TimePoint* now);
+/// Unregisters; a no-op unless `now` is still the active clock.
+void detach(const TimePoint* now);
+/// True when a simulator is alive and its clock is readable.
+bool active();
+/// The active simulator's current time; TimePoint{} when none is active.
+TimePoint now();
+
+}  // namespace simclock
+
 }  // namespace sublayer

@@ -22,6 +22,7 @@
 #include "common/bytes.hpp"
 #include "common/time.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace sublayer::datalink {
 
@@ -34,16 +35,30 @@ struct ArqConfig {
   std::size_t max_send_queue = 4096;
 };
 
+/// Registry-backed (`datalink.arq.*`); reads stay per-instance.
 struct ArqStats {
-  std::uint64_t payloads_accepted = 0;
-  std::uint64_t data_frames_sent = 0;
-  std::uint64_t retransmissions = 0;
-  std::uint64_t acks_sent = 0;
-  std::uint64_t delivered = 0;
-  std::uint64_t duplicates_dropped = 0;
-  std::uint64_t out_of_order_buffered = 0;
-  std::uint64_t send_queue_rejects = 0;
+  telemetry::Counter payloads_accepted;
+  telemetry::Counter data_frames_sent;
+  telemetry::Counter retransmissions;
+  telemetry::Counter acks_sent;
+  telemetry::Counter delivered;
+  telemetry::Counter duplicates_dropped;
+  telemetry::Counter out_of_order_buffered;
+  telemetry::Counter send_queue_rejects;
 };
+
+/// Shared by all three ARQ engines: binds the stats struct to the
+/// registry (called once per engine instance, at construction).
+inline void bind_arq_stats(ArqStats& stats) {
+  stats.payloads_accepted.bind("datalink.arq.payloads_accepted");
+  stats.data_frames_sent.bind("datalink.arq.data_frames_sent");
+  stats.retransmissions.bind("datalink.arq.retransmissions");
+  stats.acks_sent.bind("datalink.arq.acks_sent");
+  stats.delivered.bind("datalink.arq.delivered");
+  stats.duplicates_dropped.bind("datalink.arq.duplicates_dropped");
+  stats.out_of_order_buffered.bind("datalink.arq.out_of_order_buffered");
+  stats.send_queue_rejects.bind("datalink.arq.send_queue_rejects");
+}
 
 /// One end of a bidirectional reliable link.  Wire both ends' frame_sink to
 /// the opposite end's on_frame through any unreliable channel.

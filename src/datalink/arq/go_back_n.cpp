@@ -14,7 +14,9 @@ using detail::ArqKind;
 class GoBackN final : public ArqEndpoint {
  public:
   GoBackN(sim::Simulator& sim, ArqConfig config)
-      : config_(config), timer_(sim, [this] { on_timeout(); }) {}
+      : config_(config), timer_(sim, [this] { on_timeout(); }) {
+    bind_arq_stats(stats_);
+  }
 
   std::string name() const override { return "go-back-n"; }
   void set_frame_sink(FrameSink sink) override { sink_ = std::move(sink); }

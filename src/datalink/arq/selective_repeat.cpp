@@ -15,7 +15,9 @@ using detail::ArqKind;
 class SelectiveRepeat final : public ArqEndpoint {
  public:
   SelectiveRepeat(sim::Simulator& sim, ArqConfig config)
-      : sim_(sim), config_(config), timer_(sim, [this] { on_timeout(); }) {}
+      : sim_(sim), config_(config), timer_(sim, [this] { on_timeout(); }) {
+    bind_arq_stats(stats_);
+  }
 
   std::string name() const override { return "selective-repeat"; }
   void set_frame_sink(FrameSink sink) override { sink_ = std::move(sink); }

@@ -13,7 +13,9 @@ using detail::ArqKind;
 class StopAndWait final : public ArqEndpoint {
  public:
   StopAndWait(sim::Simulator& sim, ArqConfig config)
-      : config_(config), timer_(sim, [this] { on_timeout(); }) {}
+      : config_(config), timer_(sim, [this] { on_timeout(); }) {
+    bind_arq_stats(stats_);
+  }
 
   std::string name() const override { return "stop-and-wait"; }
   void set_frame_sink(FrameSink sink) override { sink_ = std::move(sink); }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/span.hpp"
+
 namespace sublayer::datalink {
 
 MacStation::MacStation(sim::Simulator& sim, sim::BroadcastMedium& medium,
@@ -13,12 +15,24 @@ MacStation::MacStation(sim::Simulator& sim, sim::BroadcastMedium& medium,
       name_(std::move(name)),
       station_id_(medium.attach(
           [this](Bytes f) {
+            telemetry::SpanTracer::instance().crossing(
+                span_, telemetry::Dir::kUp, f.size());
             if (deliver_) deliver_(std::move(f));
           },
-          [this](bool collided) { on_tx_done(collided); })) {}
+          [this](bool collided) { on_tx_done(collided); })) {
+  stats_.frames_queued.bind("datalink.mac.frames_queued");
+  stats_.attempts.bind("datalink.mac.attempts");
+  stats_.collisions.bind("datalink.mac.collisions");
+  stats_.delivered_tx.bind("datalink.mac.delivered_tx");
+  stats_.dropped.bind("datalink.mac.dropped");
+  stats_.deferrals.bind("datalink.mac.deferrals");
+  span_ = telemetry::SpanTracer::instance().intern("datalink.mac");
+}
 
 void MacStation::send(Bytes frame) {
   ++stats_.frames_queued;
+  telemetry::SpanTracer::instance().crossing(span_, telemetry::Dir::kDown,
+                                             frame.size());
   queue_.push_back(std::move(frame));
   if (!transmitting_ && !attempt_scheduled_) {
     attempts_ = 0;

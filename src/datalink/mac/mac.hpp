@@ -18,6 +18,7 @@
 #include "common/rng.hpp"
 #include "sim/medium.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace sublayer::datalink {
 
@@ -30,13 +31,14 @@ struct MacConfig {
   int max_attempts = 16;          // frame dropped after this many collisions
 };
 
+/// Registry-backed (`datalink.mac.*`); reads stay per-instance.
 struct MacStats {
-  std::uint64_t frames_queued = 0;
-  std::uint64_t attempts = 0;
-  std::uint64_t collisions = 0;
-  std::uint64_t delivered_tx = 0;  // own frames that made it onto the wire
-  std::uint64_t dropped = 0;       // gave up after max_attempts
-  std::uint64_t deferrals = 0;     // CSMA carrier-busy waits
+  telemetry::Counter frames_queued;
+  telemetry::Counter attempts;
+  telemetry::Counter collisions;
+  telemetry::Counter delivered_tx;  // own frames that made it onto the wire
+  telemetry::Counter dropped;       // gave up after max_attempts
+  telemetry::Counter deferrals;     // CSMA carrier-busy waits
 };
 
 class MacStation {
@@ -68,6 +70,7 @@ class MacStation {
   Deliver deliver_;
   MacStats stats_;
 
+  std::uint32_t span_ = 0;
   int station_id_;
   std::deque<Bytes> queue_;
   int attempts_ = 0;

@@ -1,5 +1,7 @@
 #include "datalink/stack.hpp"
 
+#include "telemetry/span.hpp"
+
 namespace sublayer::datalink {
 
 Bytes pack_bits(const BitString& bits) {
@@ -31,7 +33,26 @@ DatalinkEndpoint::DatalinkEndpoint(sim::Simulator& sim,
       detector_(std::move(detector)),
       stuffing_(config.stuffing),
       arq_(arq_factory(config.arq_engine)(sim, config.arq)) {
+  stats_.phy_decode_failures.bind("datalink.phy.decode_failures");
+  stats_.deframe_failures.bind("datalink.framing.deframe_failures");
+  stats_.checksum_failures.bind("datalink.errordetect.checksum_failures");
+  stats_.frames_up.bind("datalink.stack.frames_up");
+  stats_.frames_encoded.bind("datalink.phy.frames_encoded");
+  stats_.frames_decoded.bind("datalink.phy.frames_decoded");
+  stats_.frames_framed.bind("datalink.framing.frames_framed");
+  stats_.frames_deframed.bind("datalink.framing.frames_deframed");
+  stats_.frames_tagged.bind("datalink.errordetect.frames_tagged");
+  stats_.frames_checked.bind("datalink.errordetect.frames_checked");
+  auto& tracer = telemetry::SpanTracer::instance();
+  link_span_ = tracer.intern("datalink.link");
+  arq_span_ = tracer.intern("datalink.arq");
+  errdet_span_ = tracer.intern("datalink.errordetect");
+  framing_span_ = tracer.intern("datalink.framing");
+  phy_span_ = tracer.intern("datalink.phy");
   arq_->set_frame_sink([this](Bytes f) {
+    // ARQ pushes a frame (data or ack) into the lower sublayers.
+    telemetry::SpanTracer::instance().crossing(
+        arq_span_, telemetry::Dir::kDown, f.size());
     if (wire_sink_) wire_sink_(down(f));
   });
 }
@@ -41,25 +62,45 @@ void DatalinkEndpoint::set_wire_sink(std::function<void(Bytes)> sink) {
 }
 
 void DatalinkEndpoint::set_deliver(Deliver d) {
-  arq_->set_deliver(std::move(d));
+  arq_->set_deliver([this, d = std::move(d)](Bytes payload) {
+    telemetry::SpanTracer::instance().crossing(
+        link_span_, telemetry::Dir::kUp, payload.size());
+    if (d) d(std::move(payload));
+  });
 }
 
 bool DatalinkEndpoint::send(Bytes payload) {
-  return arq_->send(std::move(payload));
+  const std::size_t size = payload.size();
+  const bool accepted = arq_->send(std::move(payload));
+  // Only accepted payloads cross the service boundary (a full ARQ queue
+  // bounces the send back to the caller).
+  if (accepted) {
+    telemetry::SpanTracer::instance().crossing(link_span_,
+                                               telemetry::Dir::kDown, size);
+  }
+  return accepted;
 }
 
-Bytes DatalinkEndpoint::down(ByteView arq_frame) const {
+Bytes DatalinkEndpoint::down(ByteView arq_frame) {
+  auto& tracer = telemetry::SpanTracer::instance();
   // Error-detection sublayer: append tag.
+  tracer.crossing(errdet_span_, telemetry::Dir::kDown, arq_frame.size());
   const Bytes tagged = detector_->protect(arq_frame);
+  ++stats_.frames_tagged;
   // Framing sublayer: stuff and add flags (bit-granular).
+  tracer.crossing(framing_span_, telemetry::Dir::kDown, tagged.size());
   const BitString framed = frame(stuffing_, BitString::from_bytes(tagged));
+  ++stats_.frames_framed;
   // Encoding sublayer: line-code the packed channel bits.
   const Bytes packed = pack_bits(framed);
+  tracer.crossing(phy_span_, telemetry::Dir::kDown, packed.size());
   const BitString symbols = code_->encode(BitString::from_bytes(packed));
+  ++stats_.frames_encoded;
   return pack_bits(symbols);
 }
 
 std::optional<Bytes> DatalinkEndpoint::up(ByteView raw) {
+  auto& tracer = telemetry::SpanTracer::instance();
   // Encoding sublayer: recover channel bits.
   const auto symbols = unpack_bits(raw);
   if (!symbols) {
@@ -76,18 +117,25 @@ std::optional<Bytes> DatalinkEndpoint::up(ByteView raw) {
     ++stats_.phy_decode_failures;
     return std::nullopt;
   }
+  tracer.crossing(phy_span_, telemetry::Dir::kUp,
+                  channel_bits->to_bytes().size());
+  ++stats_.frames_decoded;
   // Framing sublayer: strip flags, unstuff.
   const auto body = deframe(stuffing_, *framed);
   if (!body || body->size() % 8 != 0) {
     ++stats_.deframe_failures;
     return std::nullopt;
   }
+  tracer.crossing(framing_span_, telemetry::Dir::kUp, body->size() / 8);
+  ++stats_.frames_deframed;
   // Error-detection sublayer: verify and strip the tag.
   auto checked = detector_->check_strip(body->to_bytes());
   if (!checked) {
     ++stats_.checksum_failures;
     return std::nullopt;
   }
+  tracer.crossing(errdet_span_, telemetry::Dir::kUp, checked->size());
+  ++stats_.frames_checked;
   return checked;
 }
 
@@ -95,6 +143,8 @@ void DatalinkEndpoint::on_wire_frame(Bytes raw) {
   auto arq_frame = up(raw);
   if (!arq_frame) return;
   ++stats_.frames_up;
+  telemetry::SpanTracer::instance().crossing(
+      arq_span_, telemetry::Dir::kUp, arq_frame->size());
   arq_->on_frame(std::move(*arq_frame));
 }
 

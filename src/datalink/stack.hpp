@@ -24,6 +24,7 @@
 #include "datalink/framing/stuffing.hpp"
 #include "phy/linecode.hpp"
 #include "sim/link.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace sublayer::datalink {
 
@@ -39,11 +40,19 @@ struct StackConfig {
   std::string arq_engine = "selective-repeat";
 };
 
+/// Registry-backed (`datalink.<sublayer>.*`); reads stay per-instance.
 struct StackStats {
-  std::uint64_t phy_decode_failures = 0;
-  std::uint64_t deframe_failures = 0;
-  std::uint64_t checksum_failures = 0;
-  std::uint64_t frames_up = 0;  // frames that survived to the ARQ sublayer
+  telemetry::Counter phy_decode_failures;
+  telemetry::Counter deframe_failures;
+  telemetry::Counter checksum_failures;
+  telemetry::Counter frames_up;  // frames that survived to the ARQ sublayer
+  // Per-sublayer activity, so lossless runs still show work done.
+  telemetry::Counter frames_encoded;   // phy: line-coded for the wire
+  telemetry::Counter frames_decoded;   // phy: channel bits recovered
+  telemetry::Counter frames_framed;    // framing: stuffed + flagged
+  telemetry::Counter frames_deframed;  // framing: flags stripped, unstuffed
+  telemetry::Counter frames_tagged;    // errordetect: tag appended
+  telemetry::Counter frames_checked;   // errordetect: tag verified + stripped
 };
 
 /// One endpoint of a data-link connection over a raw sim::Link pair.
@@ -69,7 +78,7 @@ class DatalinkEndpoint {
   const ArqStats& arq_stats() const { return arq_->stats(); }
 
  private:
-  Bytes down(ByteView arq_frame) const;       // detect → frame → encode
+  Bytes down(ByteView arq_frame);             // detect → frame → encode
   std::optional<Bytes> up(ByteView raw);      // decode → deframe → check
 
   std::unique_ptr<phy::LineCode> code_;
@@ -78,6 +87,12 @@ class DatalinkEndpoint {
   std::unique_ptr<ArqEndpoint> arq_;
   std::function<void(Bytes)> wire_sink_;
   StackStats stats_;
+  // Interned boundary ids for the span tracer, one per sublayer seam.
+  std::uint32_t link_span_ = 0;     // service boundary (send/deliver)
+  std::uint32_t arq_span_ = 0;      // ARQ <-> error detection
+  std::uint32_t errdet_span_ = 0;   // error detection <-> framing
+  std::uint32_t framing_span_ = 0;  // framing <-> encoding
+  std::uint32_t phy_span_ = 0;      // encoding <-> wire
 };
 
 /// Convenience: two endpoints wired across a DuplexLink.

@@ -23,7 +23,9 @@ class DistanceVector final : public RouteComputation {
         self_(self),
         neighbors_(neighbors),
         config_(config),
-        advert_timer_(sim, [this] { periodic(); }) {}
+        advert_timer_(sim, [this] { periodic(); }) {
+    span_ = bind_routing_stats(stats_);
+  }
 
   std::string name() const override { return "distance-vector"; }
   void set_message_sink(MessageSink sink) override { sink_ = std::move(sink); }
@@ -35,6 +37,8 @@ class DistanceVector final : public RouteComputation {
 
   void on_message(int interface, ByteView message) override {
     ++stats_.messages_received;
+    telemetry::SpanTracer::instance().crossing(span_, telemetry::Dir::kUp,
+                                               message.size());
     const auto from = neighbors_.neighbor_on(interface);
     if (!from) return;  // advertisement from a not-yet-discovered peer
 
@@ -182,6 +186,8 @@ class DistanceVector final : public RouteComputation {
       }
       ++stats_.messages_sent;
       stats_.bytes_sent += msg.size();
+      telemetry::SpanTracer::instance().crossing(span_, telemetry::Dir::kDown,
+                                                 msg.size());
       sink_(n.interface, std::move(msg));
     }
   }
@@ -193,6 +199,7 @@ class DistanceVector final : public RouteComputation {
   MessageSink sink_;
   TableCallback on_table_;
   RoutingStats stats_;
+  std::uint32_t span_ = 0;
   sim::Timer advert_timer_;
 
   std::map<RouterId, Held> held_;

@@ -8,7 +8,11 @@ struct Fib::Node {
   std::optional<Prefix> prefix;  // set iff entry is set
 };
 
-Fib::Fib() : root_(std::make_unique<Node>()) {}
+Fib::Fib() : root_(std::make_unique<Node>()) {
+  stats_.lookups.bind("netlayer.fib.lookups");
+  stats_.hits.bind("netlayer.fib.hits");
+  stats_.misses.bind("netlayer.fib.misses");
+}
 Fib::~Fib() = default;
 
 namespace {
@@ -47,6 +51,7 @@ void Fib::clear() {
 }
 
 std::optional<RouteEntry> Fib::lookup(IpAddr addr) const {
+  ++stats_.lookups;
   const Node* n = root_.get();
   std::optional<RouteEntry> best = n->entry;
   for (int depth = 0; depth < 32; ++depth) {
@@ -54,6 +59,11 @@ std::optional<RouteEntry> Fib::lookup(IpAddr addr) const {
     if (!n->child[b]) break;
     n = n->child[b].get();
     if (n->entry) best = n->entry;
+  }
+  if (best) {
+    ++stats_.hits;
+  } else {
+    ++stats_.misses;
   }
   return best;
 }

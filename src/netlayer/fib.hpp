@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "netlayer/ip.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace sublayer::netlayer {
 
@@ -21,6 +22,13 @@ struct RouteEntry {
   RouterId next_hop = 0;    // neighbour router (diagnostic)
   double metric = 0;        // path cost (diagnostic)
   friend bool operator==(const RouteEntry&, const RouteEntry&) = default;
+};
+
+/// Registry-backed (`netlayer.fib.*`); reads stay per-instance.
+struct FibStats {
+  telemetry::Counter lookups;
+  telemetry::Counter hits;
+  telemetry::Counter misses;
 };
 
 class Fib {
@@ -44,10 +52,14 @@ class Fib {
   std::vector<std::pair<Prefix, RouteEntry>> entries() const;
   std::string to_string() const;
 
+  const FibStats& stats() const { return stats_; }
+
  private:
   struct Node;
   std::unique_ptr<Node> root_;
   std::size_t size_ = 0;
+  // Mutable: lookup() is logically const but observably counted.
+  mutable FibStats stats_;
 };
 
 }  // namespace sublayer::netlayer

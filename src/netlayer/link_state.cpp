@@ -56,7 +56,9 @@ class LinkState final : public RouteComputation {
       : self_(self),
         neighbors_(neighbors),
         config_(config),
-        refresh_timer_(sim, [this] { refresh(); }) {}
+        refresh_timer_(sim, [this] { refresh(); }) {
+    span_ = bind_routing_stats(stats_);
+  }
 
   std::string name() const override { return "link-state"; }
   void set_message_sink(MessageSink sink) override { sink_ = std::move(sink); }
@@ -68,6 +70,8 @@ class LinkState final : public RouteComputation {
 
   void on_message(int interface, ByteView message) override {
     ++stats_.messages_received;
+    telemetry::SpanTracer::instance().crossing(span_, telemetry::Dir::kUp,
+                                               message.size());
     const auto lsp = Lsp::decode(message);
     if (!lsp) return;
     auto it = lsdb_.find(lsp->origin);
@@ -107,6 +111,8 @@ class LinkState final : public RouteComputation {
       if (n.interface == except_interface) continue;
       ++stats_.messages_sent;
       stats_.bytes_sent += encoded.size();
+      telemetry::SpanTracer::instance().crossing(span_, telemetry::Dir::kDown,
+                                                 encoded.size());
       sink_(n.interface, encoded);
     }
   }
@@ -178,6 +184,7 @@ class LinkState final : public RouteComputation {
   MessageSink sink_;
   TableCallback on_table_;
   RoutingStats stats_;
+  std::uint32_t span_ = 0;
   sim::Timer refresh_timer_;
 
   std::map<RouterId, Lsp> lsdb_;

@@ -1,5 +1,7 @@
 #include "netlayer/neighbor.hpp"
 
+#include "telemetry/span.hpp"
+
 namespace sublayer::netlayer {
 
 NeighborTable::NeighborTable(sim::Simulator& sim, RouterId self,
@@ -8,7 +10,13 @@ NeighborTable::NeighborTable(sim::Simulator& sim, RouterId self,
       self_(self),
       config_(config),
       hello_timer_(sim, [this] { send_hellos(); }),
-      liveness_timer_(sim, [this] { check_liveness(); }) {}
+      liveness_timer_(sim, [this] { check_liveness(); }) {
+  stats_.hellos_sent.bind("netlayer.neighbor.hellos_sent");
+  stats_.hellos_received.bind("netlayer.neighbor.hellos_received");
+  stats_.neighbors_up.bind("netlayer.neighbor.neighbors_up");
+  stats_.neighbors_down.bind("netlayer.neighbor.neighbors_down");
+  span_ = telemetry::SpanTracer::instance().intern("netlayer.neighbor");
+}
 
 void NeighborTable::add_interface(int index, double cost) {
   ifaces_.push_back(Iface{index, cost, std::nullopt, TimePoint{}});
@@ -24,6 +32,8 @@ void NeighborTable::send_hellos() {
     Bytes hello;
     ByteWriter(hello).u32(self_);
     ++stats_.hellos_sent;
+    telemetry::SpanTracer::instance().crossing(span_, telemetry::Dir::kDown,
+                                               hello.size());
     if (sink_) sink_(iface.index, std::move(hello));
   }
   hello_timer_.restart(config_.hello_interval);
@@ -44,6 +54,8 @@ void NeighborTable::check_liveness() {
 }
 
 void NeighborTable::on_hello(int interface, ByteView payload) {
+  telemetry::SpanTracer::instance().crossing(span_, telemetry::Dir::kUp,
+                                             payload.size());
   if (payload.size() != 4) return;  // malformed
   ByteReader r(payload);
   const RouterId peer = r.u32();

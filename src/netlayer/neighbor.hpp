@@ -15,6 +15,7 @@
 #include "common/bytes.hpp"
 #include "netlayer/ip.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace sublayer::netlayer {
 
@@ -31,11 +32,12 @@ struct NeighborConfig {
   Duration dead_interval = Duration::millis(350);
 };
 
+/// Registry-backed (`netlayer.neighbor.*`); reads stay per-instance.
 struct NeighborStats {
-  std::uint64_t hellos_sent = 0;
-  std::uint64_t hellos_received = 0;
-  std::uint64_t neighbors_up = 0;
-  std::uint64_t neighbors_down = 0;
+  telemetry::Counter hellos_sent;
+  telemetry::Counter hellos_received;
+  telemetry::Counter neighbors_up;
+  telemetry::Counter neighbors_down;
 };
 
 class NeighborTable {
@@ -84,6 +86,7 @@ class NeighborTable {
   ChangeCallback on_change_;
   std::vector<Iface> ifaces_;
   NeighborStats stats_;
+  std::uint32_t span_ = 0;
   sim::Timer hello_timer_;
   sim::Timer liveness_timer_;
 };

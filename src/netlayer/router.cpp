@@ -3,6 +3,7 @@
 #include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "sim/link.hpp"
+#include "telemetry/span.hpp"
 
 namespace sublayer::netlayer {
 namespace {
@@ -25,6 +26,13 @@ Router::Router(sim::Simulator& sim, RouterId id, const RouterConfig& config)
   });
   routing_->set_table_callback(
       [this](const RouteTable& table) { install_table(table); });
+  stats_.datagrams_forwarded.bind("netlayer.fwd.datagrams_forwarded");
+  stats_.delivered_local.bind("netlayer.fwd.delivered_local");
+  stats_.ttl_expired.bind("netlayer.fwd.ttl_expired");
+  stats_.no_route.bind("netlayer.fwd.no_route");
+  stats_.malformed.bind("netlayer.fwd.malformed");
+  stats_.ecn_marked.bind("netlayer.fwd.ecn_marked");
+  span_ = telemetry::SpanTracer::instance().intern("netlayer.fwd");
 }
 
 int Router::add_interface(LinkSink sink, double cost) {
@@ -85,6 +93,10 @@ void Router::install_table(const RouteTable& table) {
 }
 
 void Router::send_datagram(IpHeader header, ByteView payload) {
+  // The transport pushes a datagram into the network layer here; the
+  // matching up-crossing is local delivery at the destination router.
+  telemetry::SpanTracer::instance().crossing(span_, telemetry::Dir::kDown,
+                                             payload.size());
   forward(header.encode(payload));
 }
 
@@ -102,6 +114,8 @@ void Router::forward(Bytes datagram) {
 
   if (router_of(header.dst) == id_) {
     ++stats_.delivered_local;
+    telemetry::SpanTracer::instance().crossing(
+        span_, telemetry::Dir::kUp, parsed->payload.size());
     const auto it = handlers_.find(header.protocol);
     if (it != handlers_.end()) {
       it->second(header, std::move(parsed->payload));
@@ -144,9 +158,14 @@ RouterId Network::add_router() {
 
 std::size_t Network::connect(RouterId a, RouterId b,
                              const sim::LinkConfig& link_config, double cost) {
-  links_.push_back(std::make_unique<sim::DuplexLink>(
-      sim_, link_config, rng_,
-      "r" + std::to_string(a) + "-r" + std::to_string(b)));
+  // Built with += (not operator+ on a literal): GCC 12's -Wrestrict
+  // false-positives on `const char* + std::string&&` (PR 105329).
+  std::string label = "r";
+  label += std::to_string(a);
+  label += "-r";
+  label += std::to_string(b);
+  links_.push_back(
+      std::make_unique<sim::DuplexLink>(sim_, link_config, rng_, label));
   sim::DuplexLink& link = *links_.back();
   Router& ra = *routers_.at(a);
   Router& rb = *routers_.at(b);

@@ -34,13 +34,14 @@ struct RouterConfig {
   Duration ecn_backlog_threshold = Duration::nanos(0);
 };
 
+/// Registry-backed (`netlayer.fwd.*`); reads stay per-instance.
 struct RouterStats {
-  std::uint64_t datagrams_forwarded = 0;
-  std::uint64_t delivered_local = 0;
-  std::uint64_t ttl_expired = 0;
-  std::uint64_t no_route = 0;
-  std::uint64_t malformed = 0;
-  std::uint64_t ecn_marked = 0;
+  telemetry::Counter datagrams_forwarded;
+  telemetry::Counter delivered_local;
+  telemetry::Counter ttl_expired;
+  telemetry::Counter no_route;
+  telemetry::Counter malformed;
+  telemetry::Counter ecn_marked;
 };
 
 class Router {
@@ -98,6 +99,7 @@ class Router {
   std::unique_ptr<RouteComputation> routing_;
   Fib fib_;
   RouterStats stats_;
+  std::uint32_t span_ = 0;
   std::map<IpProto, ProtocolHandler> handlers_;
 };
 

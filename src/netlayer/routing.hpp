@@ -18,6 +18,8 @@
 #include "common/bytes.hpp"
 #include "netlayer/neighbor.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 
 namespace sublayer::netlayer {
 
@@ -42,12 +44,24 @@ struct RoutingConfig {
   Duration lsp_refresh = Duration::millis(500);
 };
 
+/// Registry-backed (`netlayer.routing.*`); reads stay per-instance.
 struct RoutingStats {
-  std::uint64_t messages_sent = 0;
-  std::uint64_t messages_received = 0;
-  std::uint64_t bytes_sent = 0;
-  std::uint64_t recomputations = 0;
+  telemetry::Counter messages_sent;
+  telemetry::Counter messages_received;
+  telemetry::Counter bytes_sent;
+  telemetry::Counter recomputations;
 };
+
+/// Shared by both routing engines: binds the stats struct to the registry
+/// and interns the routing boundary for the span tracer.  Returns the
+/// interned boundary id.
+inline std::uint32_t bind_routing_stats(RoutingStats& stats) {
+  stats.messages_sent.bind("netlayer.routing.messages_sent");
+  stats.messages_received.bind("netlayer.routing.messages_received");
+  stats.bytes_sent.bind("netlayer.routing.bytes_sent");
+  stats.recomputations.bind("netlayer.routing.recomputations");
+  return telemetry::SpanTracer::instance().intern("netlayer.routing");
+}
 
 class RouteComputation {
  public:

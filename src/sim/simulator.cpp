@@ -5,6 +5,10 @@
 
 namespace sublayer::sim {
 
+Simulator::Simulator() { simclock::attach(&now_); }
+
+Simulator::~Simulator() { simclock::detach(&now_); }
+
 EventId Simulator::schedule(Duration delay, std::function<void()> fn) {
   return schedule_at(now_ + delay, std::move(fn));
 }

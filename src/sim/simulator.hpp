@@ -23,7 +23,10 @@ struct EventId {
 
 class Simulator {
  public:
-  Simulator() = default;
+  /// Construction publishes this simulator's clock through simclock so
+  /// telemetry and logging can timestamp without a simulator reference.
+  Simulator();
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 

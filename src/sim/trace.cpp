@@ -4,20 +4,43 @@
 
 namespace sublayer::sim {
 
-std::size_t Trace::count(std::string_view category) const {
-  std::size_t n = 0;
-  for (const auto& e : events_) {
-    if (e.category == category) ++n;
+std::uint32_t Trace::intern(std::string_view category) {
+  for (std::uint32_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == category) return i;
   }
-  return n;
+  names_.emplace_back(category);
+  totals_.emplace_back();
+  return static_cast<std::uint32_t>(names_.size() - 1);
+}
+
+void Trace::record(TimePoint when, std::string_view category,
+                   std::string detail, std::size_t size_bytes) {
+  const std::uint32_t id = intern(category);
+  ++totals_[id].count;
+  totals_[id].bytes += size_bytes;
+  ++total_events_;
+  if (max_events_ == 0) return;
+  if (events_.size() == max_events_) events_.pop_front();
+  events_.push_back(TraceEvent{when, id, std::move(detail), size_bytes});
+}
+
+std::size_t Trace::count(std::string_view category) const {
+  for (std::uint32_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == category) return totals_[i].count;
+  }
+  return 0;
 }
 
 std::size_t Trace::total_bytes(std::string_view category) const {
-  std::size_t n = 0;
-  for (const auto& e : events_) {
-    if (e.category == category) n += e.size_bytes;
+  for (std::uint32_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == category) return totals_[i].bytes;
   }
-  return n;
+  return 0;
+}
+
+void Trace::set_max_events(std::size_t max_events) {
+  max_events_ = max_events;
+  while (events_.size() > max_events_) events_.pop_front();
 }
 
 std::string Trace::to_string(std::size_t max_events) const {
@@ -31,11 +54,18 @@ std::string Trace::to_string(std::size_t max_events) const {
     }
     char buf[160];
     std::snprintf(buf, sizeof buf, "  %10.6fs  %-18s %s (%zu B)\n",
-                  e.when.to_seconds(), e.category.c_str(), e.detail.c_str(),
-                  e.size_bytes);
+                  e.when.to_seconds(), names_[e.category_id].c_str(),
+                  e.detail.c_str(), e.size_bytes);
     out += buf;
   }
   return out;
+}
+
+void Trace::clear() {
+  events_.clear();
+  names_.clear();
+  totals_.clear();
+  total_events_ = 0;
 }
 
 }  // namespace sublayer::sim

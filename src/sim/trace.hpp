@@ -2,10 +2,19 @@
 //
 // Protocol modules append events; tests and benchmarks assert on counts,
 // and examples print human-readable timelines.
+//
+// Categories are interned to small ids on first use, and per-category
+// counts/byte totals are maintained incrementally — count()/total_bytes()
+// are O(#categories) lookups (O(1) per category), not scans of the event
+// log.  The event buffer itself is bounded (default 64k events, oldest
+// evicted first) so long simulations cannot grow it without bound; the
+// per-category totals keep counting exactly even after eviction.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/time.hpp"
@@ -14,27 +23,56 @@ namespace sublayer::sim {
 
 struct TraceEvent {
   TimePoint when;
-  std::string category;  // e.g. "tcp.tx", "arq.retransmit"
+  std::uint32_t category_id = 0;
   std::string detail;
   std::size_t size_bytes = 0;
 };
 
 class Trace {
  public:
-  void record(TimePoint when, std::string category, std::string detail,
-              std::size_t size_bytes = 0) {
-    events_.push_back(
-        TraceEvent{when, std::move(category), std::move(detail), size_bytes});
+  static constexpr std::size_t kDefaultMaxEvents = 65536;
+
+  explicit Trace(std::size_t max_events = kDefaultMaxEvents)
+      : max_events_(max_events) {}
+
+  void record(TimePoint when, std::string_view category, std::string detail,
+              std::size_t size_bytes = 0);
+
+  const std::deque<TraceEvent>& events() const { return events_; }
+  /// The interned name for an event's category_id.
+  const std::string& category_name(std::uint32_t id) const {
+    return names_[id];
   }
 
-  const std::vector<TraceEvent>& events() const { return events_; }
+  /// O(1) per category: reads the running total, which covers ALL recorded
+  /// events including ones already evicted from the bounded buffer.
   std::size_t count(std::string_view category) const;
   std::size_t total_bytes(std::string_view category) const;
+
+  /// Events recorded over the trace's lifetime (>= events().size() once
+  /// the cap has evicted).
+  std::size_t total_events() const { return total_events_; }
+
+  /// Caps the event buffer; shrinking evicts oldest events immediately.
+  void set_max_events(std::size_t max_events);
+  std::size_t max_events() const { return max_events_; }
+
   std::string to_string(std::size_t max_events = 100) const;
-  void clear() { events_.clear(); }
+  void clear();
 
  private:
-  std::vector<TraceEvent> events_;
+  std::uint32_t intern(std::string_view category);
+
+  struct CategoryTotals {
+    std::size_t count = 0;
+    std::size_t bytes = 0;
+  };
+
+  std::deque<TraceEvent> events_;
+  std::vector<std::string> names_;
+  std::vector<CategoryTotals> totals_;
+  std::size_t max_events_;
+  std::size_t total_events_ = 0;
 };
 
 }  // namespace sublayer::sim

@@ -1,0 +1,208 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace sublayer::telemetry {
+
+namespace detail {
+
+std::uint64_t* unbound_counter_slot() {
+  static std::uint64_t sink = 0;
+  return &sink;
+}
+
+std::int64_t* unbound_gauge_slot() {
+  static std::int64_t sink = 0;
+  return &sink;
+}
+
+HistogramData* unbound_histogram_slot() {
+  static HistogramData sink;
+  return &sink;
+}
+
+std::size_t histogram_bucket(std::uint64_t value) {
+  const auto width = static_cast<std::size_t>(std::bit_width(value));
+  return std::min(width, kHistogramBuckets - 1);
+}
+
+namespace {
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+}  // namespace detail
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+std::int64_t MetricsSnapshot::gauge(std::string_view name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const HistogramData* MetricsSnapshot::histogram(std::string_view name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h.data;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ',';
+    first = false;
+    detail::append_json_string(out, name);
+    out += ':';
+    out += std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    detail::append_json_string(out, name);
+    out += ':';
+    out += std::to_string(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& h : histograms) {
+    if (!first) out += ',';
+    first = false;
+    detail::append_json_string(out, h.name);
+    out += ":{\"count\":" + std::to_string(h.data.count) +
+           ",\"sum\":" + std::to_string(h.data.sum) +
+           ",\"min\":" + std::to_string(h.data.min) +
+           ",\"max\":" + std::to_string(h.data.max) + ",\"buckets\":[";
+    // Trailing zero buckets are elided; the layout is fixed so readers can
+    // reconstruct positions from the index alone.
+    std::size_t last = 0;
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+      if (h.data.buckets[i] != 0) last = i + 1;
+    }
+    for (std::size_t i = 0; i < last; ++i) {
+      if (i) out += ',';
+      out += std::to_string(h.data.buckets[i]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+MetricsRegistry::MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+std::uint32_t MetricsRegistry::intern(std::vector<std::string>& names,
+                                      std::string_view name) {
+  for (std::uint32_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return i;
+  }
+  names.emplace_back(name);
+  return static_cast<std::uint32_t>(names.size() - 1);
+}
+
+MetricId MetricsRegistry::intern_counter(std::string_view name) {
+  const std::uint32_t id = intern(counter_names_, name);
+  while (counters_.size <= id) counters_.add();
+  return MetricId{id};
+}
+
+MetricId MetricsRegistry::intern_gauge(std::string_view name) {
+  const std::uint32_t id = intern(gauge_names_, name);
+  while (gauges_.size <= id) gauges_.add();
+  return MetricId{id};
+}
+
+MetricId MetricsRegistry::intern_histogram(std::string_view name) {
+  const std::uint32_t id = intern(histogram_names_, name);
+  while (histograms_.size <= id) histograms_.add();
+  return MetricId{id};
+}
+
+std::uint64_t* MetricsRegistry::counter_slot(MetricId id) {
+  return counters_.at(id.value);
+}
+
+std::int64_t* MetricsRegistry::gauge_slot(MetricId id) {
+  return gauges_.at(id.value);
+}
+
+HistogramData* MetricsRegistry::histogram_slot(MetricId id) {
+  return histograms_.at(id.value);
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  for (std::uint32_t i = 0; i < counter_names_.size(); ++i) {
+    if (counter_names_[i] == name) return *counters_.at(i);
+  }
+  return 0;
+}
+
+std::int64_t MetricsRegistry::gauge_value(std::string_view name) const {
+  for (std::uint32_t i = 0; i < gauge_names_.size(); ++i) {
+    if (gauge_names_[i] == name) return *gauges_.at(i);
+  }
+  return 0;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.counters.reserve(counter_names_.size());
+  for (std::uint32_t i = 0; i < counter_names_.size(); ++i) {
+    snap.counters.emplace_back(counter_names_[i], *counters_.at(i));
+  }
+  snap.gauges.reserve(gauge_names_.size());
+  for (std::uint32_t i = 0; i < gauge_names_.size(); ++i) {
+    snap.gauges.emplace_back(gauge_names_[i], *gauges_.at(i));
+  }
+  snap.histograms.reserve(histogram_names_.size());
+  for (std::uint32_t i = 0; i < histogram_names_.size(); ++i) {
+    snap.histograms.push_back(
+        HistogramSnapshot{histogram_names_[i], *histograms_.at(i)});
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  for (std::uint32_t i = 0; i < counters_.size; ++i) *counters_.at(i) = 0;
+  for (std::uint32_t i = 0; i < gauges_.size; ++i) *gauges_.at(i) = 0;
+  for (std::uint32_t i = 0; i < histograms_.size; ++i) {
+    *histograms_.at(i) = HistogramData{};
+  }
+}
+
+}  // namespace sublayer::telemetry

@@ -1,0 +1,257 @@
+// Unified metrics registry — the observability substrate shared by every
+// sublayer in the tower.
+//
+// Design goals, in priority order:
+//   1. Hot-path cost: a bound Counter/Gauge increment is two uint64 adds
+//      (one to the instance-local value, one to the process-wide slot).
+//      Name interning happens ONCE, at module construction; after that no
+//      strings, maps, or hashes are touched.
+//   2. Per-instance stats structs keep working: the fields of DmStats,
+//      RdStats, ArqStats, ... are Counters that implicitly convert to
+//      uint64_t, so every existing `stats().field` read compiles and sees
+//      the instance-local value, while the registry aggregates the same
+//      increments across all instances under one canonical name
+//      (`<layer>.<sublayer>.<event>`).
+//   3. Deterministic snapshots: snapshot() orders metrics by name, so a
+//      given run always serializes identically (the repo's determinism
+//      tests extend to telemetry).
+//
+// Single-threaded by design, like the simulator it observes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sublayer::telemetry {
+
+/// Interned handle for a registered metric name.
+struct MetricId {
+  std::uint32_t value = 0;
+  friend bool operator==(MetricId, MetricId) = default;
+};
+
+/// Fixed power-of-two bucket layout shared by all histograms: bucket i
+/// counts observations v with bit_width(v) == i, i.e. [2^(i-1), 2^i).
+inline constexpr std::size_t kHistogramBuckets = 40;
+
+struct HistogramData {
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  HistogramData data;
+};
+
+/// Deterministic point-in-time copy of the registry, sorted by name.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Value of a counter by exact name; 0 if absent.
+  std::uint64_t counter(std::string_view name) const;
+  std::int64_t gauge(std::string_view name) const;
+  const HistogramData* histogram(std::string_view name) const;
+
+  std::string to_json() const;
+};
+
+/// Process-wide registry of named counters, gauges, and histograms.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  // ---- interning (module-construction time) ----
+  MetricId intern_counter(std::string_view name);
+  MetricId intern_gauge(std::string_view name);
+  MetricId intern_histogram(std::string_view name);
+
+  // ---- slot access (stable addresses for the process lifetime) ----
+  std::uint64_t* counter_slot(MetricId id);
+  std::int64_t* gauge_slot(MetricId id);
+  HistogramData* histogram_slot(MetricId id);
+
+  // ---- introspection ----
+  /// Aggregate counter value by name; 0 if never interned.
+  std::uint64_t counter_value(std::string_view name) const;
+  std::int64_t gauge_value(std::string_view name) const;
+  std::size_t counter_count() const { return counter_names_.size(); }
+
+  MetricsSnapshot snapshot() const;
+  std::string to_json() const { return snapshot().to_json(); }
+
+  /// Zeroes every value but keeps all interned names and slot addresses —
+  /// bound handles in live modules stay valid.  (Instance-local values in
+  /// stats structs are unaffected; reset scopes the *global* view, which
+  /// is what benches and tests delimit runs with.)
+  void reset();
+
+ private:
+  MetricsRegistry();
+
+  // Slots live in deques-of-chunks so interning never moves an address a
+  // bound handle already holds.
+  template <typename T>
+  struct SlotArena {
+    static constexpr std::size_t kChunk = 256;
+    std::vector<std::unique_ptr<std::array<T, kChunk>>> chunks;
+    T* at(std::uint32_t i) {
+      return &(*chunks[i / kChunk])[i % kChunk];
+    }
+    const T* at(std::uint32_t i) const {
+      return &(*chunks[i / kChunk])[i % kChunk];
+    }
+    std::uint32_t add() {
+      const auto index = static_cast<std::uint32_t>(size);
+      if (index % kChunk == 0) {
+        chunks.push_back(std::make_unique<std::array<T, kChunk>>());
+      }
+      ++size;
+      return index;
+    }
+    std::size_t size = 0;
+  };
+
+  std::uint32_t intern(std::vector<std::string>& names, std::string_view name);
+
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<std::string> histogram_names_;
+  SlotArena<std::uint64_t> counters_;
+  SlotArena<std::int64_t> gauges_;
+  SlotArena<HistogramData> histograms_;
+};
+
+namespace detail {
+/// Shared sink for unbound handles: increments land here and are never
+/// read, keeping the hot path branch-free whether or not bind() ran.
+std::uint64_t* unbound_counter_slot();
+std::int64_t* unbound_gauge_slot();
+HistogramData* unbound_histogram_slot();
+std::size_t histogram_bucket(std::uint64_t value);
+}  // namespace detail
+
+/// A monotonically increasing metric.  Default-constructed it counts
+/// locally only; after bind("layer.sublayer.event") every increment also
+/// lands in the process-wide registry slot of that name.
+class Counter {
+ public:
+  Counter() : slot_(detail::unbound_counter_slot()) {}
+
+  void bind(std::string_view name) {
+    auto& reg = MetricsRegistry::instance();
+    slot_ = reg.counter_slot(reg.intern_counter(name));
+  }
+
+  void add(std::uint64_t n) {
+    local_ += n;
+    *slot_ += n;
+  }
+  Counter& operator++() {
+    add(1);
+    return *this;
+  }
+  void operator++(int) { add(1); }
+  Counter& operator+=(std::uint64_t n) {
+    add(n);
+    return *this;
+  }
+
+  std::uint64_t value() const { return local_; }
+  operator std::uint64_t() const { return local_; }
+
+  friend bool operator==(const Counter& a, const Counter& b) {
+    return a.local_ == b.local_;
+  }
+  friend auto operator<=>(const Counter& a, const Counter& b) {
+    return a.local_ <=> b.local_;
+  }
+  friend std::ostream& operator<<(std::ostream& os, const Counter& c) {
+    return os << c.local_;
+  }
+
+ private:
+  std::uint64_t local_ = 0;
+  std::uint64_t* slot_;
+};
+
+/// A point-in-time quantity that can move both ways.  The registry slot
+/// aggregates the *sum of instance values*: set() forwards the delta, so
+/// concurrent instances (e.g. per-connection buffer occupancy) add up.
+class Gauge {
+ public:
+  Gauge() : slot_(detail::unbound_gauge_slot()) {}
+
+  void bind(std::string_view name) {
+    auto& reg = MetricsRegistry::instance();
+    slot_ = reg.gauge_slot(reg.intern_gauge(name));
+  }
+
+  void set(std::int64_t v) {
+    *slot_ += v - local_;
+    local_ = v;
+  }
+  void add(std::int64_t d) {
+    local_ += d;
+    *slot_ += d;
+  }
+  /// Ratchet: keeps the high-water mark (peak buffer depth and the like).
+  void set_max(std::int64_t v) {
+    if (v > local_) set(v);
+  }
+
+  std::int64_t value() const { return local_; }
+  operator std::uint64_t() const { return static_cast<std::uint64_t>(local_); }
+
+  friend bool operator==(const Gauge& a, const Gauge& b) {
+    return a.local_ == b.local_;
+  }
+  friend auto operator<=>(const Gauge& a, const Gauge& b) {
+    return a.local_ <=> b.local_;
+  }
+  friend std::ostream& operator<<(std::ostream& os, const Gauge& g) {
+    return os << g.local_;
+  }
+
+ private:
+  std::int64_t local_ = 0;
+  std::int64_t* slot_;
+};
+
+/// Fixed-bucket (power-of-two) histogram for latencies and sizes.
+/// Registry-global only: observations from all instances merge into the
+/// one named distribution.
+class Histogram {
+ public:
+  Histogram() : slot_(detail::unbound_histogram_slot()) {}
+
+  void bind(std::string_view name) {
+    auto& reg = MetricsRegistry::instance();
+    slot_ = reg.histogram_slot(reg.intern_histogram(name));
+  }
+
+  void observe(std::uint64_t value) {
+    HistogramData& h = *slot_;
+    ++h.buckets[detail::histogram_bucket(value)];
+    if (h.count == 0 || value < h.min) h.min = value;
+    if (value > h.max) h.max = value;
+    ++h.count;
+    h.sum += value;
+  }
+
+ private:
+  HistogramData* slot_;
+};
+
+}  // namespace sublayer::telemetry

@@ -1,0 +1,115 @@
+#include "telemetry/span.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sublayer::telemetry {
+
+SpanTracer& SpanTracer::instance() {
+  static SpanTracer tracer;
+  return tracer;
+}
+
+std::uint32_t SpanTracer::intern(std::string_view layer) {
+  for (std::uint32_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == layer) return i;
+  }
+  names_.emplace_back(layer);
+  totals_.emplace_back();
+  return static_cast<std::uint32_t>(names_.size() - 1);
+}
+
+void SpanTracer::crossing(std::uint32_t layer, Dir dir,
+                          std::size_t payload_bytes) {
+  const TimePoint now = simclock::now();
+  crossing(layer, dir, now, now, payload_bytes);
+}
+
+void SpanTracer::crossing(std::uint32_t layer, Dir dir, TimePoint enter,
+                          TimePoint exit, std::size_t payload_bytes) {
+  PerLayer& t = totals_[layer];
+  const auto d = static_cast<std::size_t>(dir);
+  ++t.count[d];
+  t.bytes[d] += payload_bytes;
+  push(Span{layer, dir, enter, exit,
+            static_cast<std::uint32_t>(payload_bytes)});
+}
+
+void SpanTracer::push(const Span& s) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(s);
+    return;
+  }
+  if (capacity_ == 0) {
+    ++dropped_;
+    return;
+  }
+  ring_[head_] = s;
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::uint64_t SpanTracer::crossings(std::string_view layer, Dir dir) const {
+  for (std::uint32_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == layer) {
+      return totals_[i].count[static_cast<std::size_t>(dir)];
+    }
+  }
+  return 0;
+}
+
+std::uint64_t SpanTracer::crossing_bytes(std::string_view layer,
+                                         Dir dir) const {
+  for (std::uint32_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == layer) {
+      return totals_[i].bytes[static_cast<std::size_t>(dir)];
+    }
+  }
+  return 0;
+}
+
+void SpanTracer::set_capacity(std::size_t spans) {
+  if (ring_.size() > spans) {
+    // Keep the newest `spans` entries, oldest first.
+    std::vector<Span> kept;
+    kept.reserve(spans);
+    const std::size_t n = ring_.size();
+    for (std::size_t i = n - spans; i < n; ++i) {
+      kept.push_back(ring_[(head_ + i) % n]);
+    }
+    dropped_ += n - spans;
+    ring_ = std::move(kept);
+    head_ = 0;
+  }
+  capacity_ = spans;
+}
+
+std::string SpanTracer::to_json(std::size_t max_spans) const {
+  std::string out = "[";
+  const std::size_t n = ring_.size();
+  const std::size_t take = std::min(max_spans, n);
+  for (std::size_t i = 0; i < take; ++i) {
+    // Oldest-first within the window of the `take` most recent spans.
+    const Span& s = ring_[(head_ + (n - take) + i) % n];
+    if (i) out += ',';
+    char buf[192];
+    std::snprintf(buf, sizeof buf,
+                  "{\"layer\":\"%s\",\"dir\":\"%s\",\"enter_ns\":%lld,"
+                  "\"exit_ns\":%lld,\"bytes\":%u}",
+                  names_[s.layer].c_str(), to_string(s.dir),
+                  static_cast<long long>(s.enter.ns()),
+                  static_cast<long long>(s.exit.ns()), s.payload_bytes);
+    out += buf;
+  }
+  out += ']';
+  return out;
+}
+
+void SpanTracer::reset() {
+  for (auto& t : totals_) t = PerLayer{};
+  ring_.clear();
+  head_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace sublayer::telemetry

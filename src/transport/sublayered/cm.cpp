@@ -14,6 +14,16 @@ const char* to_string(CmState s) {
   return "?";
 }
 
+std::uint32_t bind_cm_telemetry(CmStats& stats) {
+  stats.syn_sent.bind("transport.cm.syn_sent");
+  stats.syn_retransmits.bind("transport.cm.syn_retransmits");
+  stats.fin_sent.bind("transport.cm.fin_sent");
+  stats.fin_retransmits.bind("transport.cm.fin_retransmits");
+  stats.rst_sent.bind("transport.cm.rst_sent");
+  stats.bad_incarnation.bind("transport.cm.bad_incarnation");
+  return telemetry::SpanTracer::instance().intern("transport.cm");
+}
+
 ConnectionManager::ConnectionManager(sim::Simulator& sim,
                                      IsnProvider& isn_provider,
                                      CmConfig config, Callbacks callbacks)
@@ -21,11 +31,22 @@ ConnectionManager::ConnectionManager(sim::Simulator& sim,
       isn_provider_(isn_provider),
       config_(config),
       cb_(std::move(callbacks)),
+      span_(bind_cm_telemetry(stats_)),
       handshake_timer_(sim, [this] { on_handshake_timer(); }),
       time_wait_timer_(sim, [this] {
         state_ = CmState::kClosed;
         if (cb_.on_closed) cb_.on_closed();
-      }) {}
+      }) {
+  // Every control segment CM emits is a down-crossing of the CM/DM
+  // boundary; data segments cross in stamp_data().
+  if (cb_.send) {
+    cb_.send = [this, send = std::move(cb_.send)](SublayeredSegment s) {
+      telemetry::SpanTracer::instance().crossing(span_, telemetry::Dir::kDown,
+                                                 s.payload.size());
+      send(std::move(s));
+    };
+  }
+}
 
 void ConnectionManager::open_active(const FourTuple& tuple) {
   tuple_ = tuple;
@@ -38,6 +59,10 @@ void ConnectionManager::open_active(const FourTuple& tuple) {
 void ConnectionManager::open_passive(const FourTuple& tuple,
                                      const SublayeredSegment& first) {
   const SublayeredSegment& syn = first;
+  // The connection-creating SYN reached CM via the listener, not
+  // on_segment; it is an up-crossing all the same.
+  telemetry::SpanTracer::instance().crossing(span_, telemetry::Dir::kUp,
+                                             first.payload.size());
   tuple_ = tuple;
   isn_peer_ = syn.cm.isn_local;
   isn_local_ = isn_provider_.isn(tuple);
@@ -150,6 +175,8 @@ void ConnectionManager::enter_time_wait() {
 }
 
 void ConnectionManager::on_segment(SublayeredSegment segment) {
+  telemetry::SpanTracer::instance().crossing(span_, telemetry::Dir::kUp,
+                                             segment.payload.size());
   switch (segment.cm.kind) {
     case CmKind::kSyn:
       // Duplicate SYN from our peer while we wait for the final ack.
@@ -242,6 +269,9 @@ void ConnectionManager::stamp_data(SublayeredSegment& segment) const {
   segment.cm.isn_local = isn_local_;
   segment.cm.isn_peer = isn_peer_;
   segment.cm.fin_offset = 0;
+  // Data (and ack) segments pass down through CM here on their way to DM.
+  telemetry::SpanTracer::instance().crossing(span_, telemetry::Dir::kDown,
+                                             segment.payload.size());
 }
 
 }  // namespace sublayer::transport

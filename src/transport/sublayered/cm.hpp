@@ -27,6 +27,8 @@
 #include <string>
 
 #include "sim/simulator.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 #include "transport/sublayered/isn.hpp"
 #include "transport/wire/sublayered_header.hpp"
 #include "transport/wire/tuple.hpp"
@@ -65,14 +67,20 @@ struct CmConfig {
   Duration time_wait = Duration::millis(500);  // stands in for 2*MSL
 };
 
+/// Registry-backed (`transport.cm.*`); reads stay per-instance.
 struct CmStats {
-  std::uint64_t syn_sent = 0;
-  std::uint64_t syn_retransmits = 0;
-  std::uint64_t fin_sent = 0;
-  std::uint64_t fin_retransmits = 0;
-  std::uint64_t rst_sent = 0;
-  std::uint64_t bad_incarnation = 0;  // segments rejected by ISN validation
+  telemetry::Counter syn_sent;
+  telemetry::Counter syn_retransmits;
+  telemetry::Counter fin_sent;
+  telemetry::Counter fin_retransmits;
+  telemetry::Counter rst_sent;
+  telemetry::Counter bad_incarnation;  // segments rejected by ISN validation
 };
+
+/// Shared by both CM mechanisms (handshake and timer-based): binds the
+/// stats struct to the registry and interns the CM boundary for the span
+/// tracer.  Returns the interned boundary id.
+std::uint32_t bind_cm_telemetry(CmStats& stats);
 
 /// The CM sublayer interface — what the rest of the connection sees.
 /// Two mechanisms implement it (handshake and timer-based); swapping them
@@ -185,6 +193,7 @@ class ConnectionManager final : public CmInterface {
   bool peer_fin_seen_ = false;
   std::uint64_t local_stream_length_ = 0;
   CmStats stats_;
+  std::uint32_t span_ = 0;
   sim::Timer handshake_timer_;
   sim::Timer time_wait_timer_;
 };

@@ -2,9 +2,20 @@
 
 #include <stdexcept>
 
+#include "telemetry/span.hpp"
+
 namespace sublayer::transport {
 
-Demux::Demux(netlayer::IpAddr local_addr) : local_addr_(local_addr) {}
+Demux::Demux(netlayer::IpAddr local_addr) : local_addr_(local_addr) {
+  stats_.segments_out.bind("transport.dm.segments_out");
+  stats_.segments_in.bind("transport.dm.segments_in");
+  stats_.to_connections.bind("transport.dm.to_connections");
+  stats_.to_listeners.bind("transport.dm.to_listeners");
+  stats_.unmatched.bind("transport.dm.unmatched");
+  stats_.malformed.bind("transport.dm.malformed");
+  segment_bytes_.bind("transport.dm.segment_bytes");
+  span_ = telemetry::SpanTracer::instance().intern("transport.dm");
+}
 
 std::uint16_t Demux::allocate_port() {
   for (int attempts = 0; attempts < 65536; ++attempts) {
@@ -39,6 +50,9 @@ void Demux::send(const FourTuple& tuple, SublayeredSegment segment) {
   segment.dm.src_port = tuple.local_port;
   segment.dm.dst_port = tuple.remote_port;
   ++stats_.segments_out;
+  segment_bytes_.observe(segment.payload.size());
+  telemetry::SpanTracer::instance().crossing(span_, telemetry::Dir::kDown,
+                                             segment.payload.size());
   if (sink_) sink_(tuple.remote_addr, segment);
 }
 
@@ -54,6 +68,8 @@ void Demux::on_datagram(netlayer::IpAddr src, Bytes payload) {
 
 void Demux::route(netlayer::IpAddr src, SublayeredSegment segment) {
   ++stats_.segments_in;
+  telemetry::SpanTracer::instance().crossing(span_, telemetry::Dir::kUp,
+                                             segment.payload.size());
   const FourTuple tuple{local_addr_, segment.dm.dst_port, src,
                         segment.dm.src_port};
   if (const auto it = connections_.find(tuple); it != connections_.end()) {

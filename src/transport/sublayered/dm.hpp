@@ -13,18 +13,20 @@
 #include <optional>
 
 #include "netlayer/ip.hpp"
+#include "telemetry/metrics.hpp"
 #include "transport/wire/sublayered_header.hpp"
 #include "transport/wire/tuple.hpp"
 
 namespace sublayer::transport {
 
+/// Registry-backed (`transport.dm.*`); reads stay per-instance.
 struct DmStats {
-  std::uint64_t segments_out = 0;
-  std::uint64_t segments_in = 0;
-  std::uint64_t to_connections = 0;
-  std::uint64_t to_listeners = 0;
-  std::uint64_t unmatched = 0;
-  std::uint64_t malformed = 0;
+  telemetry::Counter segments_out;
+  telemetry::Counter segments_in;
+  telemetry::Counter to_connections;
+  telemetry::Counter to_listeners;
+  telemetry::Counter unmatched;
+  telemetry::Counter malformed;
 };
 
 class Demux {
@@ -81,6 +83,8 @@ class Demux {
   std::map<std::uint16_t, ListenHandler> listeners_;
   std::uint16_t next_ephemeral_ = 49152;
   DmStats stats_;
+  telemetry::Histogram segment_bytes_;
+  std::uint32_t span_ = 0;
 };
 
 }  // namespace sublayer::transport

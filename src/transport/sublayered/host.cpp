@@ -1,6 +1,19 @@
 #include "transport/sublayered/host.hpp"
 
+#include "telemetry/span.hpp"
+
 namespace sublayer::transport {
+namespace {
+
+/// Host-synthesized RSTs never pass through a CM instance, but they are
+/// CM-level traffic all the same; record the down-crossing manually so
+/// the CM boundary stays balanced under unmatched-segment storms.
+void note_synthesized_rst() {
+  auto& tracer = telemetry::SpanTracer::instance();
+  tracer.crossing(tracer.intern("transport.cm"), telemetry::Dir::kDown, 0);
+}
+
+}  // namespace
 
 TcpHost::TcpHost(sim::Simulator& sim, netlayer::Router& router,
                  std::uint8_t host_octet, HostConfig config)
@@ -31,6 +44,7 @@ TcpHost::TcpHost(sim::Simulator& sim, netlayer::Router& router,
         rst.cm.kind = CmKind::kRst;
         rst.cm.isn_local = segment.cm.isn_peer;
         rst.cm.isn_peer = segment.cm.isn_local;
+        note_synthesized_rst();
         demux_.send(tuple, std::move(rst));
       });
 
@@ -99,6 +113,7 @@ void TcpHost::listen(std::uint16_t port, AcceptHandler on_accept) {
         rst.cm.kind = CmKind::kRst;
         rst.cm.isn_local = segment.cm.isn_peer;
         rst.cm.isn_peer = segment.cm.isn_local;
+        note_synthesized_rst();
         demux_.send(tuple, std::move(rst));
       }
       return;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/span.hpp"
+
 namespace sublayer::transport {
 
 Osr::Osr(sim::Simulator& sim, OsrConfig config, Callbacks callbacks)
@@ -10,7 +12,15 @@ Osr::Osr(sim::Simulator& sim, OsrConfig config, Callbacks callbacks)
       cb_(std::move(callbacks)),
       cc_(make_cc(config.cc, config.cc_config)),
       pacing_timer_(sim, [this] { maybe_send(); }),
-      next_release_time_(sim.now()) {}
+      next_release_time_(sim.now()) {
+  stats_.bytes_from_app.bind("transport.osr.bytes_from_app");
+  stats_.segments_released.bind("transport.osr.segments_released");
+  stats_.bytes_to_app.bind("transport.osr.bytes_to_app");
+  stats_.reassembly_buffered.bind("transport.osr.reassembly_buffered");
+  stats_.flow_control_stalls.bind("transport.osr.flow_control_stalls");
+  stats_.cwnd_stalls.bind("transport.osr.cwnd_stalls");
+  span_ = telemetry::SpanTracer::instance().intern("transport.osr");
+}
 
 void Osr::send(Bytes data) {
   stats_.bytes_from_app += data.size();
@@ -65,6 +75,8 @@ void Osr::release_one() {
   const std::uint64_t offset = next_to_send_;
   next_to_send_ += seg_len;
   ++stats_.segments_released;
+  telemetry::SpanTracer::instance().crossing(span_, telemetry::Dir::kDown,
+                                             seg_len);
 
   if (const auto bps = cc_->pacing_bps()) {
     const double seconds = static_cast<double>(seg_len) * 8.0 / *bps;
@@ -103,6 +115,8 @@ void Osr::on_loss(LossKind kind) {
 }
 
 void Osr::on_rd_deliver(std::uint64_t offset, Bytes data) {
+  telemetry::SpanTracer::instance().crossing(span_, telemetry::Dir::kUp,
+                                             data.size());
   if (offset + data.size() <= delivered_) return;  // stale (shouldn't happen)
   if (offset <= delivered_) {
     // Contiguous (possibly overlapping the frontier): trim and deliver.
@@ -115,8 +129,8 @@ void Osr::on_rd_deliver(std::uint64_t offset, Bytes data) {
     drain_in_order();
   } else {
     reassembly_bytes_ += data.size();
-    stats_.reassembly_buffered =
-        std::max(stats_.reassembly_buffered, reassembly_bytes_);
+    stats_.reassembly_buffered.set_max(
+        static_cast<std::int64_t>(reassembly_bytes_));
     reassembly_.emplace(offset, std::move(data));
   }
   if (peer_stream_length_ && delivered_ >= *peer_stream_length_ &&

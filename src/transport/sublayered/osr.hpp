@@ -22,6 +22,7 @@
 #include <optional>
 
 #include "sim/simulator.hpp"
+#include "telemetry/metrics.hpp"
 #include "transport/sublayered/cc.hpp"
 #include "transport/sublayered/rd.hpp"
 
@@ -41,13 +42,14 @@ struct OsrConfig {
   bool manual_consume = false;
 };
 
+/// Registry-backed (`transport.osr.*`); reads stay per-instance.
 struct OsrStats {
-  std::uint64_t bytes_from_app = 0;
-  std::uint64_t segments_released = 0;  // handed to RD as "ready"
-  std::uint64_t bytes_to_app = 0;
-  std::uint64_t reassembly_buffered = 0;  // ooo bytes held at peak
-  std::uint64_t flow_control_stalls = 0;
-  std::uint64_t cwnd_stalls = 0;
+  telemetry::Counter bytes_from_app;
+  telemetry::Counter segments_released;  // handed to RD as "ready"
+  telemetry::Counter bytes_to_app;
+  telemetry::Gauge reassembly_buffered;  // ooo bytes held at peak
+  telemetry::Counter flow_control_stalls;
+  telemetry::Counter cwnd_stalls;
 };
 
 class Osr {
@@ -119,6 +121,7 @@ class Osr {
   Callbacks cb_;
   std::unique_ptr<CcAlgorithm> cc_;
   OsrStats stats_;
+  std::uint32_t span_ = 0;
 
   // Sender: the unacked/unsent suffix of the stream, as a deque anchored
   // at `stream_base_`.

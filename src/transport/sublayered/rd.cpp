@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/span.hpp"
+
 namespace sublayer::transport {
 
 ReliableDelivery::ReliableDelivery(sim::Simulator& sim, RdConfig config,
@@ -11,7 +13,21 @@ ReliableDelivery::ReliableDelivery(sim::Simulator& sim, RdConfig config,
       cb_(std::move(callbacks)),
       rto_(config.initial_rto),
       rttvar_(Duration::nanos(0)),
-      retx_timer_(sim, [this] { on_retx_timer(); }) {}
+      retx_timer_(sim, [this] { on_retx_timer(); }) {
+  stats_.segments_sent.bind("transport.rd.segments_sent");
+  stats_.bytes_sent.bind("transport.rd.bytes_sent");
+  stats_.fast_retransmits.bind("transport.rd.fast_retransmits");
+  stats_.timeout_retransmits.bind("transport.rd.timeout_retransmits");
+  stats_.acks_sent.bind("transport.rd.acks_sent");
+  stats_.acks_received.bind("transport.rd.acks_received");
+  stats_.duplicate_acks.bind("transport.rd.duplicate_acks");
+  stats_.bytes_delivered_up.bind("transport.rd.bytes_delivered_up");
+  stats_.duplicate_bytes_dropped.bind("transport.rd.duplicate_bytes_dropped");
+  stats_.sacked_segments_spared.bind("transport.rd.sacked_segments_spared");
+  stats_.tail_probes.bind("transport.rd.tail_probes");
+  rtt_us_.bind("transport.rd.rtt_us");
+  span_ = telemetry::SpanTracer::instance().intern("transport.rd");
+}
 
 void ReliableDelivery::send_segment(std::uint64_t offset, Bytes data) {
   Outstanding seg{std::move(data), sim_.now(), 1, false};
@@ -30,6 +46,8 @@ void ReliableDelivery::transmit(std::uint64_t offset, const Outstanding& seg) {
   s.payload = seg.data;
   ++stats_.segments_sent;
   stats_.bytes_sent += seg.data.size();
+  telemetry::SpanTracer::instance().crossing(span_, telemetry::Dir::kDown,
+                                             s.payload.size());
   if (cb_.send) cb_.send(std::move(s));
 }
 
@@ -42,6 +60,7 @@ void ReliableDelivery::emit_ack() {
   s.rd.sack = build_sack();
   s.osr = cb_.osr_header ? cb_.osr_header() : OsrHeader{};
   ++stats_.acks_sent;
+  telemetry::SpanTracer::instance().crossing(span_, telemetry::Dir::kDown, 0);
   if (cb_.send) cb_.send(std::move(s));
 }
 
@@ -129,6 +148,7 @@ void ReliableDelivery::on_rto() {
 }
 
 void ReliableDelivery::note_rtt(Duration sample) {
+  rtt_us_.observe(static_cast<std::uint64_t>(sample.ns() / 1000));
   // Jacobson/Karels.
   if (!srtt_) {
     srtt_ = sample;
@@ -144,6 +164,8 @@ void ReliableDelivery::note_rtt(Duration sample) {
 }
 
 void ReliableDelivery::on_data_segment(const SublayeredSegment& segment) {
+  telemetry::SpanTracer::instance().crossing(span_, telemetry::Dir::kUp,
+                                             segment.payload.size());
   process_ack(segment);
   if (!segment.payload.empty()) {
     process_payload(segment);

@@ -26,6 +26,7 @@
 #include <optional>
 
 #include "sim/simulator.hpp"
+#include "telemetry/metrics.hpp"
 #include "transport/sublayered/cc.hpp"
 #include "transport/wire/sublayered_header.hpp"
 
@@ -47,18 +48,19 @@ struct RdConfig {
   bool enable_tail_probe = true;
 };
 
+/// Registry-backed (`transport.rd.*`); reads stay per-instance.
 struct RdStats {
-  std::uint64_t segments_sent = 0;
-  std::uint64_t bytes_sent = 0;
-  std::uint64_t fast_retransmits = 0;
-  std::uint64_t timeout_retransmits = 0;
-  std::uint64_t acks_sent = 0;
-  std::uint64_t acks_received = 0;
-  std::uint64_t duplicate_acks = 0;
-  std::uint64_t bytes_delivered_up = 0;
-  std::uint64_t duplicate_bytes_dropped = 0;
-  std::uint64_t sacked_segments_spared = 0;  // retransmissions avoided by SACK
-  std::uint64_t tail_probes = 0;
+  telemetry::Counter segments_sent;
+  telemetry::Counter bytes_sent;
+  telemetry::Counter fast_retransmits;
+  telemetry::Counter timeout_retransmits;
+  telemetry::Counter acks_sent;
+  telemetry::Counter acks_received;
+  telemetry::Counter duplicate_acks;
+  telemetry::Counter bytes_delivered_up;
+  telemetry::Counter duplicate_bytes_dropped;
+  telemetry::Counter sacked_segments_spared;  // retransmissions avoided by SACK
+  telemetry::Counter tail_probes;
 };
 
 /// Feedback summarized to OSR on every ack (T2 interface).
@@ -134,6 +136,8 @@ class ReliableDelivery {
   RdConfig config_;
   Callbacks cb_;
   RdStats stats_;
+  telemetry::Histogram rtt_us_;
+  std::uint32_t span_ = 0;
 
   // Sender state.
   std::map<std::uint64_t, Outstanding> outstanding_;  // keyed by offset

@@ -2,7 +2,17 @@
 
 #include <algorithm>
 
+#include "telemetry/span.hpp"
+
 namespace sublayer::transport {
+
+HeaderShim::HeaderShim() {
+  stats_.translated_out.bind("transport.shim.translated_out");
+  stats_.translated_in.bind("transport.shim.translated_in");
+  stats_.synthesized_finacks.bind("transport.shim.synthesized_finacks");
+  stats_.untranslatable.bind("transport.shim.untranslatable");
+  span_ = telemetry::SpanTracer::instance().intern("transport.shim");
+}
 
 Bytes HeaderShim::outgoing(netlayer::IpAddr remote,
                            const SublayeredSegment& s) {
@@ -11,6 +21,8 @@ Bytes HeaderShim::outgoing(netlayer::IpAddr remote,
   h.src_port = s.dm.src_port;
   h.dst_port = s.dm.dst_port;
   ++stats_.translated_out;
+  telemetry::SpanTracer::instance().crossing(span_, telemetry::Dir::kDown,
+                                             s.payload.size());
 
   switch (s.cm.kind) {
     case CmKind::kSyn:
@@ -84,6 +96,14 @@ Bytes HeaderShim::outgoing(netlayer::IpAddr remote,
 std::vector<SublayeredSegment> HeaderShim::incoming(netlayer::IpAddr remote,
                                                     ByteView raw) {
   std::vector<SublayeredSegment> out;
+  // One up-crossing per native segment the translation yields.
+  const auto emit = [this](std::vector<SublayeredSegment> v) {
+    for (const auto& s : v) {
+      telemetry::SpanTracer::instance().crossing(span_, telemetry::Dir::kUp,
+                                                 s.payload.size());
+    }
+    return v;
+  };
   const auto parsed = decode_tcp_segment(raw);
   if (!parsed) {
     ++stats_.untranslatable;
@@ -105,7 +125,7 @@ std::vector<SublayeredSegment> HeaderShim::incoming(netlayer::IpAddr remote,
   if (h.flag_rst) {
     ++stats_.translated_in;
     out.push_back(base(CmKind::kRst));
-    return out;
+    return emit(std::move(out));
   }
 
   if (h.flag_syn && !h.flag_ack) {
@@ -115,7 +135,7 @@ std::vector<SublayeredSegment> HeaderShim::incoming(netlayer::IpAddr remote,
     SublayeredSegment s = base(CmKind::kSyn);
     s.cm.isn_local = h.seq;
     s.cm.isn_peer = 0;
-    return {s};
+    return emit({s});
   }
 
   if (h.flag_syn && h.flag_ack) {
@@ -127,7 +147,7 @@ std::vector<SublayeredSegment> HeaderShim::incoming(netlayer::IpAddr remote,
     SublayeredSegment s = base(CmKind::kSynAck);
     s.cm.isn_local = st.isn_peer;
     s.cm.isn_peer = st.isn_local;
-    return {s};
+    return emit({s});
   }
 
   if (!st.have_local || !st.have_peer) {
@@ -176,7 +196,7 @@ std::vector<SublayeredSegment> HeaderShim::incoming(netlayer::IpAddr remote,
     ++stats_.translated_in;
     out.push_back(std::move(s));
   }
-  return out;
+  return emit(std::move(out));
 }
 
 }  // namespace sublayer::transport

@@ -32,20 +32,24 @@
 #include <vector>
 
 #include "netlayer/ip.hpp"
+#include "telemetry/metrics.hpp"
 #include "transport/wire/sublayered_header.hpp"
 #include "transport/wire/tcp_header.hpp"
 
 namespace sublayer::transport {
 
+/// Registry-backed (`transport.shim.*`); reads stay per-instance.
 struct ShimStats {
-  std::uint64_t translated_out = 0;
-  std::uint64_t translated_in = 0;
-  std::uint64_t synthesized_finacks = 0;
-  std::uint64_t untranslatable = 0;  // e.g. data before handshake seen
+  telemetry::Counter translated_out;
+  telemetry::Counter translated_in;
+  telemetry::Counter synthesized_finacks;
+  telemetry::Counter untranslatable;  // e.g. data before handshake seen
 };
 
 class HeaderShim {
  public:
+  HeaderShim();
+
   /// Native segment departing towards `remote`: returns RFC 793 bytes.
   Bytes outgoing(netlayer::IpAddr remote, const SublayeredSegment& segment);
 
@@ -77,6 +81,7 @@ class HeaderShim {
 
   std::map<Key, ConnState> state_;
   ShimStats stats_;
+  std::uint32_t span_ = 0;
 };
 
 }  // namespace sublayer::transport

@@ -25,11 +25,22 @@ class TimerCm final : public CmInterface {
       : isn_provider_(isn_provider),
         config_(config),
         cb_(std::move(callbacks)),
+        span_(bind_cm_telemetry(stats_)),
         fin_timer_(sim, [this] { on_fin_timer(); }),
         quiet_timer_(sim, [this] {
           state_ = CmState::kClosed;
           if (cb_.on_closed) cb_.on_closed();
-        }) {}
+        }) {
+    // Same boundary accounting as the handshake CM: control segments cross
+    // down through the wrapped send callback, data in stamp_data().
+    if (cb_.send) {
+      cb_.send = [this, send = std::move(cb_.send)](SublayeredSegment s) {
+        telemetry::SpanTracer::instance().crossing(
+            span_, telemetry::Dir::kDown, s.payload.size());
+        send(std::move(s));
+      };
+    }
+  }
 
   void open_active(const FourTuple& tuple) override {
     tuple_ = tuple;
@@ -73,6 +84,10 @@ class TimerCm final : public CmInterface {
   }
 
   void on_segment(SublayeredSegment segment) override {
+    // Covers the connection-creating segment too: open_passive re-enters
+    // here, so every inbound segment is one up-crossing.
+    telemetry::SpanTracer::instance().crossing(span_, telemetry::Dir::kUp,
+                                               segment.payload.size());
     switch (segment.cm.kind) {
       case CmKind::kData:
         if (!validate_and_learn(segment)) return;
@@ -131,6 +146,8 @@ class TimerCm final : public CmInterface {
     segment.cm.isn_local = isn_local_;
     segment.cm.isn_peer = peer_known_ ? isn_peer_ : 0;
     segment.cm.fin_offset = 0;
+    telemetry::SpanTracer::instance().crossing(span_, telemetry::Dir::kDown,
+                                               segment.payload.size());
   }
 
   CmState state() const override { return state_; }
@@ -215,6 +232,7 @@ class TimerCm final : public CmInterface {
   std::uint64_t local_stream_length_ = 0;
   int retries_ = 0;
   CmStats stats_;
+  std::uint32_t span_ = 0;
   sim::Timer fin_timer_;
   sim::Timer quiet_timer_;
 };

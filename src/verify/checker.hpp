@@ -47,7 +47,7 @@ class Model {
 
   /// Optional reachability target ("the whole stream was delivered"),
   /// reported so benches can confirm the model makes progress.
-  virtual bool is_goal(const Bytes& state) const { return false; }
+  virtual bool is_goal(const Bytes& /*state*/) const { return false; }
 };
 
 struct CheckOptions {

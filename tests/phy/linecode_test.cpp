@@ -107,7 +107,9 @@ TEST(Manchester, SingleBitFlipIsDetectedOrRoundTrips) {
     corrupted.push_back(i == 10 ? !symbols[i] : symbols[i]);
   }
   const auto back = code->decode(corrupted);
-  if (back) EXPECT_NE(*back, data);
+  if (back) {
+    EXPECT_NE(*back, data);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,205 @@
+// Unit tests for the telemetry substrate: counter/gauge/histogram
+// semantics, name interning, snapshot determinism, and the span tracer's
+// exact totals across ring wrap.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+
+namespace sublayer::telemetry {
+namespace {
+
+TEST(Counter, UnboundCountsLocally) {
+  Counter c;
+  ++c;
+  c++;
+  c += 3;
+  c.add(5);
+  EXPECT_EQ(c.value(), 10u);
+  // Implicit conversion keeps legacy stats reads compiling.
+  const std::uint64_t v = c;
+  EXPECT_EQ(v, 10u);
+}
+
+TEST(Counter, BoundAggregatesAcrossInstances) {
+  auto& reg = MetricsRegistry::instance();
+  reg.reset();
+  Counter a;
+  Counter b;
+  a.bind("test.counter.shared");
+  b.bind("test.counter.shared");
+  a += 2;
+  b += 3;
+  // Each instance sees only its own increments...
+  EXPECT_EQ(a.value(), 2u);
+  EXPECT_EQ(b.value(), 3u);
+  // ...while the registry sees the sum under the one interned name.
+  EXPECT_EQ(reg.counter_value("test.counter.shared"), 5u);
+}
+
+TEST(Counter, ComparisonsAreValueBased) {
+  Counter a;
+  Counter b;
+  a += 4;
+  b += 4;
+  EXPECT_EQ(a, b);
+  ++b;
+  EXPECT_LT(a, b);
+  EXPECT_GT(b.value(), 4u);
+  std::ostringstream os;
+  os << b;
+  EXPECT_EQ(os.str(), "5");
+}
+
+TEST(Gauge, SetForwardsDeltaSoGlobalIsSumOfInstances) {
+  auto& reg = MetricsRegistry::instance();
+  reg.reset();
+  Gauge a;
+  Gauge b;
+  a.bind("test.gauge.depth");
+  b.bind("test.gauge.depth");
+  a.set(10);
+  b.set(7);
+  EXPECT_EQ(reg.gauge_value("test.gauge.depth"), 17);
+  a.set(4);  // shrink: global must follow the delta, not the raw value
+  EXPECT_EQ(reg.gauge_value("test.gauge.depth"), 11);
+  b.add(-7);
+  EXPECT_EQ(reg.gauge_value("test.gauge.depth"), 4);
+  EXPECT_EQ(a.value(), 4);
+  EXPECT_EQ(b.value(), 0);
+}
+
+TEST(Gauge, SetMaxIsARatchet) {
+  auto& reg = MetricsRegistry::instance();
+  reg.reset();
+  Gauge g;
+  g.bind("test.gauge.peak");
+  g.set_max(5);
+  g.set_max(3);  // below the high-water mark: no effect
+  EXPECT_EQ(g.value(), 5);
+  g.set_max(9);
+  EXPECT_EQ(g.value(), 9);
+  EXPECT_EQ(reg.gauge_value("test.gauge.peak"), 9);
+}
+
+TEST(Histogram, PowerOfTwoBucketsAndMoments) {
+  auto& reg = MetricsRegistry::instance();
+  reg.reset();
+  Histogram h;
+  h.bind("test.hist.sizes");
+  h.observe(0);     // bit_width(0) == 0  -> bucket 0
+  h.observe(1);     // bit_width(1) == 1  -> bucket 1
+  h.observe(2);     // [2,4)              -> bucket 2
+  h.observe(3);
+  h.observe(1024);  // [1024,2048)        -> bucket 11
+  const auto snap = reg.snapshot();
+  const HistogramData* data = snap.histogram("test.hist.sizes");
+  ASSERT_NE(data, nullptr);
+  EXPECT_EQ(data->count, 5u);
+  EXPECT_EQ(data->sum, 1030u);
+  EXPECT_EQ(data->min, 0u);
+  EXPECT_EQ(data->max, 1024u);
+  EXPECT_EQ(data->buckets[0], 1u);
+  EXPECT_EQ(data->buckets[1], 1u);
+  EXPECT_EQ(data->buckets[2], 2u);
+  EXPECT_EQ(data->buckets[11], 1u);
+}
+
+TEST(Registry, InterningIsIdempotent) {
+  auto& reg = MetricsRegistry::instance();
+  const MetricId a = reg.intern_counter("test.intern.once");
+  const MetricId b = reg.intern_counter("test.intern.once");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(reg.counter_slot(a), reg.counter_slot(b));
+}
+
+TEST(Registry, ResetZeroesValuesButKeepsBoundSlots) {
+  auto& reg = MetricsRegistry::instance();
+  reg.reset();
+  Counter c;
+  c.bind("test.reset.survivor");
+  c += 7;
+  EXPECT_EQ(reg.counter_value("test.reset.survivor"), 7u);
+  reg.reset();
+  EXPECT_EQ(reg.counter_value("test.reset.survivor"), 0u);
+  // The handle bound before the reset still reaches the (zeroed) slot.
+  c += 2;
+  EXPECT_EQ(reg.counter_value("test.reset.survivor"), 2u);
+  // Instance-local value is untouched by registry reset.
+  EXPECT_EQ(c.value(), 9u);
+}
+
+TEST(Registry, SnapshotIsSortedAndDeterministic) {
+  auto& reg = MetricsRegistry::instance();
+  reg.reset();
+  Counter z;
+  Counter a;
+  z.bind("test.zzz.last");
+  a.bind("test.aaa.first");
+  ++z;
+  ++a;
+  const auto s1 = reg.snapshot();
+  const auto s2 = reg.snapshot();
+  ASSERT_GE(s1.counters.size(), 2u);
+  for (std::size_t i = 1; i < s1.counters.size(); ++i) {
+    EXPECT_LT(s1.counters[i - 1].first, s1.counters[i].first);
+  }
+  EXPECT_EQ(s1.counters, s2.counters);
+  EXPECT_EQ(s1.to_json(), s2.to_json());
+  EXPECT_EQ(s1.counter("test.aaa.first"), 1u);
+  EXPECT_EQ(s1.counter("test.never.interned"), 0u);
+}
+
+TEST(Registry, JsonContainsInstrumentedNames) {
+  auto& reg = MetricsRegistry::instance();
+  reg.reset();
+  Counter c;
+  c.bind("test.json.visible");
+  c += 42;
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"test.json.visible\":42"), std::string::npos);
+}
+
+TEST(SpanTracer, InternIsIdempotentAndTotalsAreExact) {
+  auto& tracer = SpanTracer::instance();
+  tracer.reset();
+  const std::uint32_t id = tracer.intern("test.boundary");
+  EXPECT_EQ(tracer.intern("test.boundary"), id);
+  tracer.crossing(id, Dir::kDown, 100);
+  tracer.crossing(id, Dir::kDown, 50);
+  tracer.crossing(id, Dir::kUp, 100);
+  EXPECT_EQ(tracer.crossings("test.boundary", Dir::kDown), 2u);
+  EXPECT_EQ(tracer.crossings("test.boundary", Dir::kUp), 1u);
+  EXPECT_EQ(tracer.crossing_bytes("test.boundary", Dir::kDown), 150u);
+  EXPECT_EQ(tracer.crossing_bytes("test.boundary", Dir::kUp), 100u);
+  EXPECT_EQ(tracer.crossings("test.no.such.boundary", Dir::kUp), 0u);
+}
+
+TEST(SpanTracer, TotalsSurviveRingWrap) {
+  auto& tracer = SpanTracer::instance();
+  tracer.reset();
+  tracer.set_capacity(16);
+  const std::uint32_t id = tracer.intern("test.wrap");
+  for (int i = 0; i < 100; ++i) tracer.crossing(id, Dir::kDown, 1);
+  EXPECT_EQ(tracer.size(), 16u);
+  EXPECT_EQ(tracer.dropped(), 84u);
+  // The ring forgot the early spans; the totals did not.
+  EXPECT_EQ(tracer.crossings("test.wrap", Dir::kDown), 100u);
+  EXPECT_EQ(tracer.crossing_bytes("test.wrap", Dir::kDown), 100u);
+  tracer.set_capacity(SpanTracer::kDefaultCapacity);
+}
+
+TEST(SpanTracer, JsonListsRecentSpans) {
+  auto& tracer = SpanTracer::instance();
+  tracer.reset();
+  const std::uint32_t id = tracer.intern("test.json.span");
+  tracer.crossing(id, Dir::kUp, 64);
+  const std::string json = tracer.to_json();
+  EXPECT_NE(json.find("test.json.span"), std::string::npos);
+  EXPECT_NE(json.find("\"up\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sublayer::telemetry

@@ -156,7 +156,9 @@ TEST(SublayeredSegment, ControlKindsRoundTrip) {
     ASSERT_TRUE(back.has_value());
     EXPECT_EQ(back->cm.kind, kind);
     EXPECT_EQ(back->cm.isn_local, 42u);
-    if (kind == CmKind::kFin) EXPECT_EQ(back->cm.fin_offset, 9999u);
+    if (kind == CmKind::kFin) {
+      EXPECT_EQ(back->cm.fin_offset, 9999u);
+    }
   }
 }
 
