@@ -4,8 +4,30 @@
 // swapping any one sublayer changes only that sublayer's numbers.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
 
 #include "datalink/stack.hpp"
+
+// Allocation tracking for the data-plane CPU microbench below: every
+// operator new in the process is counted, so "allocation churn per frame"
+// covers the full pipeline, temporaries included.
+namespace {
+std::size_t g_alloc_bytes = 0;
+std::size_t g_alloc_count = 0;
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_alloc_bytes += n;
+  ++g_alloc_count;
+  void* p = std::malloc(n);
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 
 using namespace sublayer;
 using namespace sublayer::datalink;
@@ -66,9 +88,78 @@ StackOutcome run_stack(CodeFactory code, DetFactory det,
   return out;
 }
 
+// ---- Data-plane CPU microbench ---------------------------------------------
+//
+// Drives DataPlane::down/up back-to-back (no ARQ, no simulator, no wire
+// impairment) to measure the CPU cost of the phy-coded path itself: wall
+// clock MB/s of round-tripped goodput plus allocation churn per frame.
+// This is the number the word-packed BitString refactor moves; the E10
+// matrix above runs in virtual time and is invariant to representation.
+
+struct PlaneResult {
+  double mbps = 0;
+  double alloc_bytes_per_frame = 0;
+  double allocs_per_frame = 0;
+  std::size_t goodput_bytes = 0;
+};
+
+// Pre-refactor baseline, measured with the identical loop (same Rng seed,
+// frame count and sizes) on the byte-per-bit BitString data plane.
+struct PlaneBaseline {
+  const char* label;
+  double mbps;
+  double alloc_bytes_per_frame;
+  double allocs_per_frame;
+  std::size_t goodput_bytes;
+};
+constexpr PlaneBaseline kSeedBaseline[] = {
+    {"nrz", 3.96, 53938, 63.9, 522000},
+    {"nrzi", 2.88, 65909, 87.9, 522000},
+    {"manchester", 2.52, 81545, 88.9, 522000},
+    {"4b5b", 2.69, 75490, 1191.3, 522000},
+};
+
+PlaneResult run_dataplane(CodeFactory code, int frames,
+                          std::size_t frame_bytes) {
+  DataPlane plane(code(), make_crc32(), StuffingRule::hdlc());
+  Rng rng(5);
+  std::vector<Bytes> payloads;
+  payloads.reserve(static_cast<std::size_t>(frames));
+  for (int i = 0; i < frames; ++i) {
+    payloads.push_back(rng.next_bytes(frame_bytes));
+  }
+
+  PlaneResult out;
+  const std::size_t a0_bytes = g_alloc_bytes;
+  const std::size_t a0_count = g_alloc_count;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& p : payloads) {
+    Bytes wire = plane.down(Bytes(p));
+    const auto checked = plane.up(wire);
+    if (!checked || *checked != p) {
+      std::fputs("dataplane round-trip MISMATCH\n", stderr);
+      std::exit(1);
+    }
+    out.goodput_bytes += checked->size();
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  out.mbps = static_cast<double>(out.goodput_bytes) / secs / 1e6;
+  out.alloc_bytes_per_frame =
+      static_cast<double>(g_alloc_bytes - a0_bytes) / frames;
+  out.allocs_per_frame =
+      static_cast<double>(g_alloc_count - a0_count) / frames;
+  return out;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --smoke: one tiny pass of everything, for check.sh's bench-smoke step.
+  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  const int plane_frames = smoke ? 20 : 2000;
+
   std::puts(
       "E10: data-link sublayer matrix over an impaired wire "
       "(2% loss, 5% corrupt, 200 x 256 B frames)");
@@ -93,6 +184,12 @@ int main() {
   const char* arqs[] = {"stop-and-wait", "go-back-n", "selective-repeat"};
 
   // Full sweep of one axis at a time around a baseline, then a diagonal.
+  struct MatrixRow {
+    std::string label;
+    bool all_delivered;
+    double goodput_kbps;
+  };
+  std::vector<MatrixRow> matrix;
   const auto print_row = [&](const char* c, const char* d, const char* a,
                              const StackOutcome& out) {
     std::printf("%-12s %-8s %-18s | %9s %8.0f kbps %6llu %9llu %6llu\n", c, d,
@@ -100,26 +197,31 @@ int main() {
                 (unsigned long long)out.retransmissions,
                 (unsigned long long)out.detector_catches,
                 (unsigned long long)out.phy_catches);
+    matrix.push_back({std::string(c) + "/" + d + "/" + a, out.all_delivered,
+                      out.goodput_kbps});
   };
 
   for (const auto& code : codes) {
+    if (smoke && code.make != phy::make_nrz) continue;
     const auto out = run_stack(code.make, make_crc32, "selective-repeat", 0.05);
     print_row(code.name, "crc32", "selective-repeat", out);
   }
-  for (const auto& det : dets) {
-    const auto out = run_stack(phy::make_nrz, det.make, "selective-repeat",
-                               0.05);
-    print_row("nrz", det.name, "selective-repeat", out);
-  }
-  for (const char* arq : arqs) {
-    const auto out = run_stack(phy::make_nrz, make_crc32, arq, 0.05);
-    print_row("nrz", "crc32", arq, out);
-  }
+  if (!smoke) {
+    for (const auto& det : dets) {
+      const auto out = run_stack(phy::make_nrz, det.make, "selective-repeat",
+                                 0.05);
+      print_row("nrz", det.name, "selective-repeat", out);
+    }
+    for (const char* arq : arqs) {
+      const auto out = run_stack(phy::make_nrz, make_crc32, arq, 0.05);
+      print_row("nrz", "crc32", arq, out);
+    }
 
-  std::puts("\nARQ engine efficiency under loss (same wire, no corruption):");
-  for (const char* arq : arqs) {
-    const auto out = run_stack(phy::make_nrz, make_crc32, arq, 0.0);
-    print_row("nrz", "crc32", arq, out);
+    std::puts("\nARQ engine efficiency under loss (same wire, no corruption):");
+    for (const char* arq : arqs) {
+      const auto out = run_stack(phy::make_nrz, make_crc32, arq, 0.0);
+      print_row("nrz", "crc32", arq, out);
+    }
   }
 
   std::puts(
@@ -128,5 +230,59 @@ int main() {
       "being swapped\n(Manchester halves the wire efficiency, stop-and-wait "
       "serializes, CRC\nwidth is invisible except in tag bytes) — each "
       "sublayer's mechanism is\nencapsulated exactly as Fig. 2 claims.");
+
+  // ---- Data-plane CPU throughput (word-packed BitString hot path) ----
+  std::printf(
+      "\nDataPlane CPU microbench (%d x 261 B frames, crc32 + HDLC, "
+      "down+up round trip):\n",
+      plane_frames);
+  std::printf("%-12s %10s %14s %14s | %8s %9s\n", "line code", "MB/s",
+              "alloc B/frame", "allocs/frame", "vs seed", "alloc vs");
+  std::string plane_json;
+  for (const auto& base : kSeedBaseline) {
+    CodeFactory make = phy::make_nrz;
+    for (const auto& code : codes) {
+      if (std::string(code.name) == base.label) make = code.make;
+    }
+    const auto r = run_dataplane(make, plane_frames, 261);
+    const double speedup = r.mbps / base.mbps;
+    const double alloc_ratio =
+        base.alloc_bytes_per_frame / r.alloc_bytes_per_frame;
+    std::printf("%-12s %10.2f %14.0f %14.1f | %7.1fx %8.1fx\n", base.label,
+                r.mbps, r.alloc_bytes_per_frame, r.allocs_per_frame, speedup,
+                alloc_ratio);
+    if (!smoke && r.goodput_bytes != base.goodput_bytes) {
+      std::fprintf(stderr, "goodput bytes changed: %zu != seed %zu\n",
+                   r.goodput_bytes, base.goodput_bytes);
+      return 1;
+    }
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "%s{\"label\":\"%s\",\"mbps\":%.2f,\"alloc_bytes_per_frame\":%.0f,"
+        "\"allocs_per_frame\":%.1f,\"goodput_bytes\":%zu,"
+        "\"seed\":{\"mbps\":%.2f,\"alloc_bytes_per_frame\":%.0f,"
+        "\"allocs_per_frame\":%.1f,\"goodput_bytes\":%zu},"
+        "\"speedup\":%.2f,\"alloc_reduction\":%.2f}",
+        plane_json.empty() ? "" : ",", base.label, r.mbps,
+        r.alloc_bytes_per_frame, r.allocs_per_frame, r.goodput_bytes,
+        base.mbps, base.alloc_bytes_per_frame, base.allocs_per_frame,
+        base.goodput_bytes, speedup, alloc_ratio);
+    plane_json += buf;
+  }
+
+  std::string matrix_json;
+  for (const auto& row : matrix) {
+    char buf[192];
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"label\":\"%s\",\"delivered\":%s,\"goodput_kbps\":%.0f}",
+                  matrix_json.empty() ? "" : ",", row.label.c_str(),
+                  row.all_delivered ? "true" : "false", row.goodput_kbps);
+    matrix_json += buf;
+  }
+  std::printf(
+      "BENCH_JSON {\"bench\":\"datalink\",\"frames\":%d,"
+      "\"frame_bytes\":261,\"dataplane\":[%s],\"e10_matrix\":[%s]}\n",
+      plane_frames, plane_json.c_str(), matrix_json.c_str());
   return 0;
 }

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Runs the performance benchmarks with fixed seeds and writes the
+# machine-readable results to BENCH_datalink.json / BENCH_tcp.json at the
+# repo root.  Each bench binary prints its results on a single line
+# prefixed with "BENCH_JSON "; this script extracts it.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${BUILD_DIR:-${repo_root}/build}"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE="${BUILD_TYPE:-Release}" >/dev/null
+cmake --build "${build_dir}" -j "${jobs}" \
+  --target bench_datalink_stack bench_tcp_goodput >/dev/null
+
+extract_json() {
+  # Prints the payload of the (last) BENCH_JSON line of the given output.
+  grep '^BENCH_JSON ' <<<"$1" | tail -n 1 | sed 's/^BENCH_JSON //'
+}
+
+echo "== bench_datalink_stack =="
+datalink_out="$("${build_dir}/bench/bench_datalink_stack")"
+echo "${datalink_out}"
+extract_json "${datalink_out}" >"${repo_root}/BENCH_datalink.json"
+echo "wrote ${repo_root}/BENCH_datalink.json"
+
+echo "== bench_tcp_goodput =="
+tcp_out="$("${build_dir}/bench/bench_tcp_goodput")"
+echo "${tcp_out}"
+extract_json "${tcp_out}" >"${repo_root}/BENCH_tcp.json"
+echo "wrote ${repo_root}/BENCH_tcp.json"

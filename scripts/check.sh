@@ -12,3 +12,10 @@ cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror"
 cmake --build "${build_dir}" -j "${jobs}"
 ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+
+# Bench smoke: one tiny run of each perf bench binary (output discarded) so
+# a broken benchmark fails tier-1 instead of being discovered at bench time.
+echo "bench smoke..."
+"${build_dir}/bench/bench_datalink_stack" --smoke >/dev/null
+"${build_dir}/bench/bench_tcp_goodput" >/dev/null
+echo "bench smoke OK"

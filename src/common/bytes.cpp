@@ -46,6 +46,18 @@ Bytes ByteReader::bytes(std::size_t n) {
 
 Bytes ByteReader::rest() { return bytes(remaining()); }
 
+ByteView ByteReader::view(std::size_t n) {
+  require(n);
+  const ByteView v = in_.subspan(pos_, n);
+  pos_ += n;
+  return v;
+}
+
+void ByteReader::skip(std::size_t n) {
+  require(n);
+  pos_ += n;
+}
+
 Bytes bytes_from_string(std::string_view s) {
   return Bytes(s.begin(), s.end());
 }
@@ -67,15 +79,16 @@ std::string hex_dump(ByteView b) {
 }
 
 BitString::BitString(std::initializer_list<int> bits) {
-  bits_.reserve(bits.size());
+  reserve(bits.size());
   for (int b : bits) {
     if (b != 0 && b != 1) throw std::invalid_argument("BitString: bit must be 0/1");
-    bits_.push_back(static_cast<std::uint8_t>(b));
+    push_back(b != 0);
   }
 }
 
 BitString BitString::parse(std::string_view s) {
   BitString out;
+  out.reserve(s.size());
   for (char c : s) {
     if (c == ' ' || c == '_') continue;
     if (c == '0') {
@@ -91,11 +104,13 @@ BitString BitString::parse(std::string_view s) {
 
 BitString BitString::from_bytes(ByteView b) {
   BitString out;
-  out.bits_.reserve(b.size() * 8);
-  for (std::uint8_t byte : b) {
-    for (int i = 7; i >= 0; --i) {
-      out.push_back((byte >> i & 1) != 0);
-    }
+  out.words_.resize((b.size() + 7) / 8, 0);
+  out.size_ = b.size() * 8;
+  // Big-endian word assembly: byte j lands at bits [8j, 8j+8), which is
+  // exactly byte position 7-(j%8) of word j/8.
+  for (std::size_t j = 0; j < b.size(); ++j) {
+    out.words_[j >> 3] |= static_cast<std::uint64_t>(b[j])
+                          << (56 - 8 * (j & 7));
   }
   return out;
 }
@@ -103,71 +118,114 @@ BitString BitString::from_bytes(ByteView b) {
 BitString BitString::from_uint(std::uint64_t value, int width) {
   if (width < 0 || width > 64) throw std::invalid_argument("BitString width");
   BitString out;
-  for (int i = width - 1; i >= 0; --i) {
-    out.push_back((value >> i & 1) != 0);
+  out.append_word(value, width);
+  return out;
+}
+
+void BitString::append_top(std::uint64_t top, std::size_t nbits) {
+  if (nbits == 0) return;
+  if (nbits < 64) top &= ~0ull << (64 - nbits);
+  const std::size_t r = size_ & 63;
+  if (r == 0) {
+    words_.push_back(top);
+  } else {
+    words_.back() |= top >> r;
+    if (nbits > 64 - r) words_.push_back(top << (64 - r));
+  }
+  size_ += nbits;
+}
+
+void BitString::append_word(std::uint64_t value, int width) {
+  if (width < 0 || width > 64) throw std::invalid_argument("BitString width");
+  if (width == 0) return;
+  append_top(value << (64 - width), static_cast<std::size_t>(width));
+}
+
+void BitString::append(const BitString& other) {
+  reserve(size_ + other.size_);
+  for (std::size_t k = 0; k < other.words_.size(); ++k) {
+    append_top(other.words_[k], std::min<std::size_t>(64, other.size_ - 64 * k));
+  }
+}
+
+BitString BitString::slice(std::size_t pos, std::size_t len) const {
+  if (pos + len > size_) throw std::out_of_range("BitString::slice");
+  BitString out;
+  out.reserve(len);
+  for (std::size_t off = 0; off < len; off += 64) {
+    out.append_top(top_at(pos + off), std::min<std::size_t>(64, len - off));
   }
   return out;
 }
 
-void BitString::append(const BitString& other) {
-  bits_.insert(bits_.end(), other.bits_.begin(), other.bits_.end());
-}
-
-BitString BitString::slice(std::size_t pos, std::size_t len) const {
-  if (pos + len > bits_.size()) throw std::out_of_range("BitString::slice");
-  BitString out;
-  out.bits_.assign(bits_.begin() + static_cast<std::ptrdiff_t>(pos),
-                   bits_.begin() + static_cast<std::ptrdiff_t>(pos + len));
-  return out;
+void BitString::truncate(std::size_t n) {
+  if (n > size_) throw std::out_of_range("BitString::truncate");
+  size_ = n;
+  words_.resize((n + 63) >> 6);
+  const std::size_t r = n & 63;
+  if (r != 0) words_.back() &= ~0ull << (64 - r);
 }
 
 bool BitString::matches_at(std::size_t pos, const BitString& pattern) const {
-  if (pos + pattern.size() > bits_.size()) return false;
-  for (std::size_t i = 0; i < pattern.size(); ++i) {
-    if (bits_[pos + i] != pattern.bits_[i]) return false;
+  if (pos + pattern.size_ > size_) return false;
+  // Shift-and-compare, 64 bits per step.
+  for (std::size_t off = 0; off < pattern.size_; off += 64) {
+    const std::size_t n = std::min<std::size_t>(64, pattern.size_ - off);
+    if (bits_at(pos + off, n) != pattern.bits_at(off, n)) return false;
   }
   return true;
 }
 
 std::size_t BitString::find(const BitString& pattern, std::size_t from) const {
-  if (pattern.empty() || pattern.size() > bits_.size()) return npos;
-  for (std::size_t i = from; i + pattern.size() <= bits_.size(); ++i) {
-    if (matches_at(i, pattern)) return i;
+  if (pattern.empty() || pattern.size_ > size_) return npos;
+  const std::size_t head = std::min<std::size_t>(64, pattern.size_);
+  const std::uint64_t want = pattern.bits_at(0, head);
+  for (std::size_t i = from; i + pattern.size_ <= size_; ++i) {
+    if (bits_at(i, head) != want) continue;
+    if (pattern.size_ <= 64 || matches_at(i, pattern)) return i;
   }
   return npos;
 }
 
 std::size_t BitString::count_overlapping(const BitString& pattern) const {
-  if (pattern.empty()) return 0;
+  if (pattern.empty() || pattern.size_ > size_) return 0;
+  const std::size_t head = std::min<std::size_t>(64, pattern.size_);
+  const std::uint64_t want = pattern.bits_at(0, head);
   std::size_t n = 0;
-  for (std::size_t i = 0; i + pattern.size() <= bits_.size(); ++i) {
-    if (matches_at(i, pattern)) ++n;
+  for (std::size_t i = 0; i + pattern.size_ <= size_; ++i) {
+    if (bits_at(i, head) != want) continue;
+    if (pattern.size_ <= 64 || matches_at(i, pattern)) ++n;
   }
   return n;
 }
 
 Bytes BitString::to_bytes() const {
-  if (bits_.size() % 8 != 0) {
+  if (size_ % 8 != 0) {
     throw std::logic_error("BitString::to_bytes: size not a multiple of 8");
   }
-  Bytes out(bits_.size() / 8, 0);
-  for (std::size_t i = 0; i < bits_.size(); ++i) {
-    if (bits_[i]) out[i / 8] |= static_cast<std::uint8_t>(1u << (7 - i % 8));
-  }
+  Bytes out;
+  copy_bytes_into(out);
   return out;
 }
 
+void BitString::copy_bytes_into(Bytes& out) const {
+  const std::size_t nbytes = (size_ + 7) / 8;
+  out.reserve(out.size() + nbytes);
+  for (std::size_t j = 0; j < nbytes; ++j) {
+    out.push_back(
+        static_cast<std::uint8_t>(words_[j >> 3] >> (56 - 8 * (j & 7))));
+  }
+}
+
 std::uint64_t BitString::to_uint() const {
-  if (bits_.size() > 64) throw std::logic_error("BitString::to_uint: too long");
-  std::uint64_t v = 0;
-  for (std::uint8_t b : bits_) v = v << 1 | b;
-  return v;
+  if (size_ > 64) throw std::logic_error("BitString::to_uint: too long");
+  return size_ == 0 ? 0 : words_[0] >> (64 - size_);
 }
 
 std::string BitString::to_string() const {
   std::string s;
-  s.reserve(bits_.size());
-  for (std::uint8_t b : bits_) s.push_back(b ? '1' : '0');
+  s.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) s.push_back((*this)[i] ? '1' : '0');
   return s;
 }
 

@@ -4,6 +4,13 @@
 // helpers (big-endian, as on the wire).  BitString is a growable sequence
 // of bits used by the physical-coding and framing sublayers, where frames
 // are genuinely bit-granular (HDLC stuffing operates on bits, not bytes).
+//
+// BitString packs 64 bits per uint64_t word, MSB-first within each word:
+// stream bit i lives in word i/64 at bit position 63-(i%64).  That makes
+// from_bytes/to_bytes straight big-endian word assembly (O(n/64)) and lets
+// find/matches_at compare 64 bits per step (shift-and-compare), while the
+// public API and the bit-0-transmitted-first iteration order are unchanged
+// from the one-byte-per-bit representation it replaces.
 #pragma once
 
 #include <cstdint>
@@ -55,6 +62,12 @@ class ByteReader {
   Bytes bytes(std::size_t n);
   /// All bytes not yet consumed.
   Bytes rest();
+  /// Non-owning views for callers that only parse: valid as long as the
+  /// underlying buffer the reader was constructed over.
+  ByteView view(std::size_t n);
+  ByteView rest_view() { return view(remaining()); }
+  /// Discards n bytes (underrun throws, like every other accessor).
+  void skip(std::size_t n);
   std::size_t remaining() const { return in_.size() - pos_; }
   std::size_t position() const { return pos_; }
 
@@ -82,16 +95,38 @@ class BitString {
   /// length-n string whose bits are the binary digits of `value`, MSB first.
   static BitString from_uint(std::uint64_t value, int width);
 
-  void push_back(bool bit) { bits_.push_back(bit ? 1 : 0); }
+  void push_back(bool bit) {
+    if ((size_ & 63) == 0) words_.push_back(0);
+    if (bit) words_[size_ >> 6] |= 1ull << (63 - (size_ & 63));
+    ++size_;
+  }
   void append(const BitString& other);
+  /// Appends the low `width` bits of `value`, MSB first — the bulk form of
+  /// from_uint+append, O(1) instead of O(width).
+  void append_word(std::uint64_t value, int width);
+  /// Reserves capacity for `nbits` total bits.
+  void reserve(std::size_t nbits) { words_.reserve((nbits + 63) >> 6); }
 
-  bool operator[](std::size_t i) const { return bits_[i] != 0; }
-  std::size_t size() const { return bits_.size(); }
-  bool empty() const { return bits_.empty(); }
-  void clear() { bits_.clear(); }
+  bool operator[](std::size_t i) const {
+    return (words_[i >> 6] >> (63 - (i & 63))) & 1;
+  }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  void clear() {
+    words_.clear();
+    size_ = 0;
+  }
+
+  /// The value of the n bits starting at pos, MSB first (n <= 64;
+  /// pos+n must be <= size()).  O(1): at most two word reads.
+  std::uint64_t bits_at(std::size_t pos, std::size_t n) const {
+    return n == 0 ? 0 : top_at(pos) >> (64 - n);
+  }
 
   /// Substring [pos, pos+len).
   BitString slice(std::size_t pos, std::size_t len) const;
+  /// Drops all bits past the first n (n <= size()).  O(1) amortized.
+  void truncate(std::size_t n);
   /// True if `pattern` occurs starting at position `pos`.
   bool matches_at(std::size_t pos, const BitString& pattern) const;
   /// First index >= from where `pattern` occurs, or npos.
@@ -101,6 +136,9 @@ class BitString {
 
   /// Packs bits into bytes MSB-first; size() must be a multiple of 8.
   Bytes to_bytes() const;
+  /// Appends ceil(size()/8) bytes to `out`, zero-padding a partial final
+  /// byte — the alloc-free form of to_bytes for already-owned buffers.
+  void copy_bytes_into(Bytes& out) const;
   std::uint64_t to_uint() const;
   std::string to_string() const;
 
@@ -109,7 +147,24 @@ class BitString {
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
  private:
-  std::vector<std::uint8_t> bits_;  // one bit per element; 0 or 1
+  /// Up to 64 bits starting at pos, left-aligned (bit pos at position 63),
+  /// zero-padded past the end of the string.
+  std::uint64_t top_at(std::size_t pos) const {
+    const std::size_t w = pos >> 6;
+    const std::size_t r = pos & 63;
+    std::uint64_t x = words_[w] << r;
+    if (r != 0 && w + 1 < words_.size()) x |= words_[w + 1] >> (64 - r);
+    return x;
+  }
+  /// Appends `nbits` bits given left-aligned in `top` (bit 0 of the run at
+  /// position 63).  Bits of `top` past `nbits` are masked off, preserving
+  /// the invariant that bits beyond size_ in the last word are zero.
+  void append_top(std::uint64_t top, std::size_t nbits);
+
+  // Invariant: words_.size() == ceil(size_/64) and every bit past size_ in
+  // the final word is zero (so defaulted operator== is exact).
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
 };
 
 }  // namespace sublayer

@@ -22,6 +22,7 @@ struct ArqFrame {
 
   Bytes encode() const {
     Bytes out;
+    out.reserve(kHeaderSize + payload.size());
     ByteWriter w(out);
     w.u8(static_cast<std::uint8_t>(kind));
     w.u32(seq);
@@ -30,7 +31,7 @@ struct ArqFrame {
   }
 
   static std::optional<ArqFrame> decode(ByteView raw) {
-    if (raw.size() < 5) return std::nullopt;
+    if (raw.size() < kHeaderSize) return std::nullopt;
     ByteReader r(raw);
     ArqFrame f;
     const std::uint8_t k = r.u8();
@@ -43,6 +44,26 @@ struct ArqFrame {
     f.payload = r.rest();
     return f;
   }
+
+  /// Move-decode: reuses `raw`'s buffer for the payload (the header prefix
+  /// is erased in place) instead of copying the remainder.
+  static std::optional<ArqFrame> decode(Bytes&& raw) {
+    if (raw.size() < kHeaderSize) return std::nullopt;
+    ByteReader r(raw);
+    ArqFrame f;
+    const std::uint8_t k = r.u8();
+    if (k != static_cast<std::uint8_t>(ArqKind::kData) &&
+        k != static_cast<std::uint8_t>(ArqKind::kAck)) {
+      return std::nullopt;
+    }
+    f.kind = static_cast<ArqKind>(k);
+    f.seq = r.u32();
+    raw.erase(raw.begin(), raw.begin() + kHeaderSize);
+    f.payload = std::move(raw);
+    return f;
+  }
+
+  static constexpr std::size_t kHeaderSize = 5;  // kind(1) + seq(4)
 };
 
 }  // namespace sublayer::datalink::detail

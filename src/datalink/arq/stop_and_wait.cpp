@@ -33,7 +33,7 @@ class StopAndWait final : public ArqEndpoint {
   }
 
   void on_frame(Bytes raw) override {
-    const auto frame = ArqFrame::decode(raw);
+    const auto frame = ArqFrame::decode(std::move(raw));
     if (!frame) return;
     if (frame->kind == ArqKind::kData) {
       handle_data(*frame);

@@ -1,9 +1,21 @@
 #include "datalink/errordetect/detector.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace sublayer::datalink {
 namespace {
+
+/// Recomputes the detector's tag over `body` and compares it to `tag`.
+/// The scratch buffer is reused across calls, so the steady-state receive
+/// path performs no allocation here.
+bool tag_matches(const ErrorDetector& det, ByteView body, ByteView tag) {
+  static thread_local Bytes scratch;
+  scratch.clear();
+  det.tag_into(body, scratch);
+  return scratch.size() == tag.size() &&
+         std::equal(scratch.begin(), scratch.end(), tag.begin());
+}
 
 std::uint8_t reflect8(std::uint8_t b) {
   b = static_cast<std::uint8_t>((b & 0xf0) >> 4 | (b & 0x0f) << 4);
@@ -28,22 +40,37 @@ std::uint64_t width_mask(int width) {
 }  // namespace
 
 Bytes ErrorDetector::protect(ByteView data) const {
-  Bytes out(data.begin(), data.end());
-  const Bytes tag = compute(data);
-  out.insert(out.end(), tag.begin(), tag.end());
+  Bytes out;
+  out.reserve(data.size() + tag_bytes());
+  out.assign(data.begin(), data.end());
+  tag_into(out, out);  // safe: reserve above rules out reallocation
   return out;
+}
+
+void ErrorDetector::protect_in_place(Bytes& frame) const {
+  frame.reserve(frame.size() + tag_bytes());
+  tag_into(ByteView(frame.data(), frame.size()), frame);
 }
 
 std::optional<Bytes> ErrorDetector::check_strip(ByteView protected_frame) const {
   const std::size_t t = tag_bytes();
   if (protected_frame.size() < t) return std::nullopt;
-  const ByteView body = protected_frame.first(protected_frame.size() - t);
-  const ByteView tag = protected_frame.last(t);
-  const Bytes expect = compute(body);
-  for (std::size_t i = 0; i < t; ++i) {
-    if (expect[i] != tag[i]) return std::nullopt;
+  Bytes body(protected_frame.begin(),
+             protected_frame.end() - static_cast<std::ptrdiff_t>(t));
+  if (!tag_matches(*this, body, protected_frame.last(t))) return std::nullopt;
+  return body;
+}
+
+bool ErrorDetector::check_strip_in_place(Bytes& frame) const {
+  const std::size_t t = tag_bytes();
+  if (frame.size() < t) return false;
+  const std::size_t n = frame.size() - t;
+  if (!tag_matches(*this, ByteView(frame.data(), n),
+                   ByteView(frame.data() + n, t))) {
+    return false;
   }
-  return Bytes(body.begin(), body.end());
+  frame.resize(n);
+  return true;
 }
 
 CrcSpec CrcSpec::crc8() {
@@ -95,14 +122,12 @@ std::uint64_t CrcDetector::value(ByteView data) const {
   return (crc ^ spec_.xor_out) & mask;
 }
 
-Bytes CrcDetector::compute(ByteView data) const {
+void CrcDetector::tag_into(ByteView data, Bytes& out) const {
   const std::uint64_t v = value(data);
-  Bytes out;
   ByteWriter w(out);
   for (int shift = spec_.width - 8; shift >= 0; shift -= 8) {
     w.u8(static_cast<std::uint8_t>(v >> shift));
   }
-  return out;
 }
 
 namespace {
@@ -112,7 +137,7 @@ class InternetChecksum final : public ErrorDetector {
   std::string name() const override { return "inet-16"; }
   std::size_t tag_bytes() const override { return 2; }
 
-  Bytes compute(ByteView data) const override {
+  void tag_into(ByteView data, Bytes& out) const override {
     std::uint32_t sum = 0;
     for (std::size_t i = 0; i + 1 < data.size(); i += 2) {
       sum += static_cast<std::uint32_t>(data[i]) << 8 | data[i + 1];
@@ -121,10 +146,7 @@ class InternetChecksum final : public ErrorDetector {
       sum += static_cast<std::uint32_t>(data.back()) << 8;
     }
     while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
-    const auto tag = static_cast<std::uint16_t>(~sum);
-    Bytes out;
-    ByteWriter(out).u16(tag);
-    return out;
+    ByteWriter(out).u16(static_cast<std::uint16_t>(~sum));
   }
 };
 
@@ -133,16 +155,14 @@ class Fletcher16 final : public ErrorDetector {
   std::string name() const override { return "fletcher-16"; }
   std::size_t tag_bytes() const override { return 2; }
 
-  Bytes compute(ByteView data) const override {
+  void tag_into(ByteView data, Bytes& out) const override {
     std::uint32_t a = 0;
     std::uint32_t b = 0;
     for (std::uint8_t byte : data) {
       a = (a + byte) % 255;
       b = (b + a) % 255;
     }
-    Bytes out;
     ByteWriter(out).u16(static_cast<std::uint16_t>(b << 8 | a));
-    return out;
   }
 };
 
@@ -151,7 +171,7 @@ class Adler32 final : public ErrorDetector {
   std::string name() const override { return "adler-32"; }
   std::size_t tag_bytes() const override { return 4; }
 
-  Bytes compute(ByteView data) const override {
+  void tag_into(ByteView data, Bytes& out) const override {
     constexpr std::uint32_t kMod = 65521;
     std::uint32_t a = 1;
     std::uint32_t b = 0;
@@ -159,9 +179,7 @@ class Adler32 final : public ErrorDetector {
       a = (a + byte) % kMod;
       b = (b + a) % kMod;
     }
-    Bytes out;
     ByteWriter(out).u32(b << 16 | a);
-    return out;
   }
 };
 

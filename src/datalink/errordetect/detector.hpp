@@ -23,14 +23,32 @@ class ErrorDetector {
   virtual std::string name() const = 0;
   virtual std::size_t tag_bytes() const = 0;
 
+  /// Appends the tag over `data` (big-endian, tag_bytes() long) to `out`.
+  /// Implementations must fully read `data` before appending, so callers
+  /// may pass a view into `out` itself (after reserving).
+  virtual void tag_into(ByteView data, Bytes& out) const = 0;
+
   /// Computes the tag over `data` (big-endian, tag_bytes() long).
-  virtual Bytes compute(ByteView data) const = 0;
+  Bytes compute(ByteView data) const {
+    Bytes tag;
+    tag.reserve(tag_bytes());
+    tag_into(data, tag);
+    return tag;
+  }
 
   /// data · tag.
   Bytes protect(ByteView data) const;
 
+  /// Appends the tag to `frame` itself — the zero-copy form of protect()
+  /// for a buffer the caller already owns.
+  void protect_in_place(Bytes& frame) const;
+
   /// Verifies and strips the trailing tag; nullopt on mismatch/underflow.
   std::optional<Bytes> check_strip(ByteView protected_frame) const;
+
+  /// Verifies and truncates the trailing tag off `frame` itself; returns
+  /// false (leaving `frame` untouched) on mismatch/underflow.
+  bool check_strip_in_place(Bytes& frame) const;
 };
 
 /// Generic table-driven CRC, parameterized in the Rocksoft model.
@@ -57,7 +75,7 @@ class CrcDetector final : public ErrorDetector {
   std::size_t tag_bytes() const override {
     return static_cast<std::size_t>(spec_.width) / 8;
   }
-  Bytes compute(ByteView data) const override;
+  void tag_into(ByteView data, Bytes& out) const override;
 
   /// Raw CRC value (useful for tests against published check values).
   std::uint64_t value(ByteView data) const;

@@ -1,11 +1,17 @@
 #include "datalink/framing/stuffing.hpp"
 
+#include <bit>
 #include <stdexcept>
 
 namespace sublayer::datalink {
 namespace {
 
-/// Shift register that answers "do the last |pattern| bits equal pattern?".
+/// The stuffing pattern automaton ("do the last |pattern| bits equal the
+/// pattern?"), with a bit-parallel chunk scanner layered on the classic
+/// per-bit shift register.  match_mask() answers, for all 64 positions of a
+/// chunk at once and in O(|pattern|) word ops, where the automaton would
+/// report a match — so the stream processors below only fall back to
+/// bit-at-a-time stepping at the (rare) positions where a match fires.
 class PatternWindow {
  public:
   explicit PatternWindow(const BitString& pattern)
@@ -19,8 +25,47 @@ class PatternWindow {
   /// Feeds one bit; returns true if the window now matches the pattern.
   bool push(bool bit) {
     reg_ = (reg_ << 1 | (bit ? 1u : 0u)) & mask_;
-    ++seen_;
+    seen_ = std::min(seen_ + 1, len_);
     return seen_ >= len_ && reg_ == pattern_;
+  }
+
+  /// For the first `n` (MSB-first) bits of `chunk` fed in sequence from the
+  /// current state: bit 63-j of the result is set iff push(chunk bit j)
+  /// would return true.  Does not change the state.
+  std::uint64_t match_mask(std::uint64_t chunk, std::size_t n) const {
+    // Lay the stream out MSB-first in a 128-bit window `hi:lo`: the last
+    // len-1 bits already seen, then the chunk.  A match ending at chunk
+    // bit j is a pattern occurrence starting at stream offset j.
+    std::uint64_t hi, lo;
+    if (len_ == 1) {
+      hi = chunk;
+      lo = 0;
+    } else {
+      const std::uint64_t prefix = reg_ & ((1ull << (len_ - 1)) - 1);
+      hi = (prefix << (65 - len_)) | (chunk >> (len_ - 1));
+      lo = chunk << (65 - len_);
+    }
+    // Bit-parallel match: one 64-wide compare per pattern bit.
+    std::uint64_t acc = ~0ull;
+    for (std::size_t k = 0; k < len_; ++k) {
+      const std::uint64_t w = k == 0 ? hi : (hi << k) | (lo >> (64 - k));
+      acc &= ((pattern_ >> (len_ - 1 - k)) & 1) != 0 ? w : ~w;
+    }
+    if (n < 64) acc &= ~0ull << (64 - n);
+    if (seen_ + 1 < len_) {
+      // Fewer than len-1 bits streamed so far: the phantom zeros in the
+      // prefix must not produce matches that the automaton cannot see yet.
+      acc &= ~0ull >> (len_ - 1 - seen_);
+    }
+    return acc;
+  }
+
+  /// Feeds the first `n` MSB-first bits of `chunk` in one step.
+  void advance(std::uint64_t chunk, std::size_t n) {
+    if (n == 0) return;
+    const std::uint64_t v = n == 64 ? chunk : chunk >> (64 - n);
+    reg_ = (n >= len_ ? v : (reg_ << n) | v) & mask_;
+    seen_ = std::min(seen_ + n, len_);
   }
 
  private:
@@ -51,11 +96,30 @@ std::string StuffingRule::name() const {
 BitString stuff(const StuffingRule& rule, const BitString& data) {
   PatternWindow window(rule.trigger);
   BitString out;
-  int consecutive_stuffs = 0;
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    bool matched = window.push(data[i]);
-    out.push_back(data[i]);
-    consecutive_stuffs = 0;
+  // Worst case doubles the stream; the common case adds a few percent.
+  out.reserve(data.size() + data.size() / 16 + 64);
+  const std::size_t total = data.size();
+  std::size_t off = 0;
+  while (off < total) {
+    const std::size_t n = std::min<std::size_t>(64, total - off);
+    const std::uint64_t chunk = data.bits_at(off, n) << (64 - n);
+    const std::uint64_t matches = window.match_mask(chunk, n);
+    if (matches == 0) {
+      // No trigger completes in this chunk: emit it whole.
+      out.append_word(n == 64 ? chunk : chunk >> (64 - n), static_cast<int>(n));
+      window.advance(chunk, n);
+      off += n;
+      continue;
+    }
+    // Emit up to and including the first matching bit, then the stuff
+    // bit(s).  A stuffed bit feeds back into the automaton, so everything
+    // after it rescans from the updated state.
+    const auto j = static_cast<std::size_t>(std::countl_zero(matches));
+    out.append_word(chunk >> (63 - j), static_cast<int>(j + 1));
+    window.advance(chunk, j + 1);
+    off += j + 1;
+    int consecutive_stuffs = 0;
+    bool matched = true;
     while (matched) {
       if (++consecutive_stuffs > 64) {
         // e.g. trigger = bbb...b with stuff bit b: stuffing retriggers itself
@@ -71,25 +135,52 @@ BitString stuff(const StuffingRule& rule, const BitString& data) {
 
 std::optional<BitString> unstuff(const StuffingRule& rule,
                                  const BitString& stuffed) {
+  // The receive-side automaton runs over the *received* stream, stuffed
+  // bits included, so (unlike stuff) the scan has no feedback: every chunk
+  // is matched bit-parallel in one pass, and each match just marks the
+  // following bit for validation + deletion.
   PatternWindow window(rule.trigger);
   BitString out;
-  std::size_t i = 0;
-  while (i < stuffed.size()) {
-    bool matched = window.push(stuffed[i]);
-    out.push_back(stuffed[i]);
-    ++i;
-    while (matched && i < stuffed.size()) {
-      // The bit after a trigger must be the stuffed bit; drop it.
-      if (stuffed[i] != rule.stuff_bit) return std::nullopt;
-      matched = window.push(rule.stuff_bit);
-      ++i;
+  out.reserve(stuffed.size());
+  const std::size_t total = stuffed.size();
+  bool pending_delete = false;  // a match ended on the previous chunk's last bit
+  for (std::size_t off = 0; off < total; off += 64) {
+    const std::size_t n = std::min<std::size_t>(64, total - off);
+    const std::uint64_t chunk = stuffed.bits_at(off, n) << (64 - n);
+    const std::uint64_t matches = window.match_mask(chunk, n);
+    window.advance(chunk, n);
+    std::uint64_t del = matches >> 1;
+    if (pending_delete) del |= 1ull << 63;
+    pending_delete = (matches & (1ull << (64 - n))) != 0;
+    if (n < 64) del &= ~0ull << (64 - n);
+    // Copy the runs between deleted bits; verify each deleted bit is the
+    // stuff bit (anything else means corruption or an invalid rule).
+    std::size_t pos = 0;
+    while (del != 0) {
+      const auto d = static_cast<std::size_t>(std::countl_zero(del));
+      if (d > pos) {  // run of kept bits [pos, d)
+        out.append_word((chunk >> (64 - d)) & ((1ull << (d - pos)) - 1),
+                        static_cast<int>(d - pos));
+      }
+      if (((chunk >> (63 - d)) & 1) != (rule.stuff_bit ? 1u : 0u)) {
+        return std::nullopt;
+      }
+      del &= ~(1ull << (63 - d));
+      pos = d + 1;
+    }
+    if (pos < n) {  // tail run of kept bits [pos, n)
+      const std::uint64_t v = n == 64 ? chunk : chunk >> (64 - n);
+      out.append_word(pos == 0 ? v : v & ((1ull << (n - pos)) - 1),
+                      static_cast<int>(n - pos));
     }
   }
   return out;
 }
 
 BitString add_flags(const BitString& flag, const BitString& body) {
-  BitString out = flag;
+  BitString out;
+  out.reserve(body.size() + 2 * flag.size());
+  out.append(flag);
   out.append(body);
   out.append(flag);
   return out;
@@ -114,16 +205,21 @@ std::optional<BitString> deframe(const StuffingRule& rule,
   return unstuff(rule, *body);
 }
 
-StreamDeframer::StreamDeframer(StuffingRule rule) : rule_(std::move(rule)) {}
+StreamDeframer::StreamDeframer(StuffingRule rule) : rule_(std::move(rule)) {
+  const std::size_t len = rule_.flag.size();
+  if (len == 0 || len > 63) {
+    throw std::invalid_argument("flag length must be 1..63");
+  }
+  flag_len_ = len;
+  flag_value_ = rule_.flag.to_uint();
+  flag_mask_ = (1ull << len) - 1;
+}
 
 std::optional<BitString> StreamDeframer::push(bool bit) {
-  // Maintain the last |flag| bits for delimiter detection.
-  window_.push_back(bit);
-  if (window_.size() > rule_.flag.size()) {
-    window_ = window_.slice(1, window_.size() - 1);
-  }
-  const bool at_flag =
-      window_.size() == rule_.flag.size() && window_ == rule_.flag;
+  // Shift register over the last |flag| bits for delimiter detection.
+  window_ = (window_ << 1 | (bit ? 1u : 0u)) & flag_mask_;
+  window_seen_ = std::min(window_seen_ + 1, flag_len_);
+  const bool at_flag = window_seen_ >= flag_len_ && window_ == flag_value_;
 
   if (!in_frame_) {
     if (at_flag) {
@@ -134,9 +230,9 @@ std::optional<BitString> StreamDeframer::push(bool bit) {
   }
 
   body_.push_back(bit);
-  if (at_flag && body_.size() >= rule_.flag.size()) {
-    const BitString stuffed =
-        body_.slice(0, body_.size() - rule_.flag.size());
+  if (at_flag && body_.size() >= flag_len_) {
+    BitString stuffed = std::move(body_);
+    stuffed.truncate(stuffed.size() - flag_len_);
     // Shared-flag convention: the closing flag opens the next frame.
     body_.clear();
     if (stuffed.empty()) return std::nullopt;  // inter-frame idle flags

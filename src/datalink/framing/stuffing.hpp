@@ -88,7 +88,13 @@ class StreamDeframer {
 
  private:
   StuffingRule rule_;
-  BitString window_;   // last |flag| bits seen, for flag detection
+  // Flag detection runs in a 64-bit shift register (flags are <= 63 bits),
+  // not a sliced BitString window: one shift+compare per received bit.
+  std::size_t flag_len_ = 0;
+  std::uint64_t flag_value_ = 0;
+  std::uint64_t flag_mask_ = 0;
+  std::uint64_t window_ = 0;
+  std::size_t window_seen_ = 0;
   BitString body_;     // accumulated candidate body bits (still stuffed)
   bool in_frame_ = false;
   std::uint64_t malformed_ = 0;

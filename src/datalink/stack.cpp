@@ -5,12 +5,11 @@
 namespace sublayer::datalink {
 
 Bytes pack_bits(const BitString& bits) {
-  BitString padded = bits;
-  while (padded.size() % 8 != 0) padded.push_back(false);
   Bytes out;
+  out.reserve(4 + (bits.size() + 7) / 8);
   ByteWriter w(out);
   w.u32(static_cast<std::uint32_t>(bits.size()));
-  w.bytes(padded.to_bytes());
+  bits.copy_bytes_into(out);  // pad bits are zero by the packing invariant
   return out;
 }
 
@@ -20,19 +19,18 @@ std::optional<BitString> unpack_bits(ByteView raw) {
   const std::uint32_t nbits = r.u32();
   const std::size_t need = (nbits + 7) / 8;
   if (r.remaining() != need) return std::nullopt;
-  const BitString all = BitString::from_bytes(r.rest());
+  BitString all = BitString::from_bytes(r.rest_view());
   if (nbits > all.size()) return std::nullopt;
-  return all.slice(0, nbits);
+  all.truncate(nbits);
+  return all;
 }
 
-DatalinkEndpoint::DatalinkEndpoint(sim::Simulator& sim,
-                                   std::unique_ptr<phy::LineCode> code,
-                                   std::unique_ptr<ErrorDetector> detector,
-                                   const StackConfig& config)
+DataPlane::DataPlane(std::unique_ptr<phy::LineCode> code,
+                     std::unique_ptr<ErrorDetector> detector,
+                     StuffingRule stuffing)
     : code_(std::move(code)),
       detector_(std::move(detector)),
-      stuffing_(config.stuffing),
-      arq_(arq_factory(config.arq_engine)(sim, config.arq)) {
+      stuffing_(std::move(stuffing)) {
   stats_.phy_decode_failures.bind("datalink.phy.decode_failures");
   stats_.deframe_failures.bind("datalink.framing.deframe_failures");
   stats_.checksum_failures.bind("datalink.errordetect.checksum_failures");
@@ -44,16 +42,95 @@ DatalinkEndpoint::DatalinkEndpoint(sim::Simulator& sim,
   stats_.frames_tagged.bind("datalink.errordetect.frames_tagged");
   stats_.frames_checked.bind("datalink.errordetect.frames_checked");
   auto& tracer = telemetry::SpanTracer::instance();
-  link_span_ = tracer.intern("datalink.link");
-  arq_span_ = tracer.intern("datalink.arq");
   errdet_span_ = tracer.intern("datalink.errordetect");
   framing_span_ = tracer.intern("datalink.framing");
   phy_span_ = tracer.intern("datalink.phy");
+}
+
+Bytes DataPlane::down(Bytes arq_frame) {
+  auto& tracer = telemetry::SpanTracer::instance();
+  // Error-detection sublayer: append tag in place on the moved-in frame.
+  tracer.crossing(errdet_span_, telemetry::Dir::kDown, arq_frame.size());
+  detector_->protect_in_place(arq_frame);
+  ++stats_.frames_tagged;
+  // Framing sublayer: stuff and add flags (bit-granular).
+  tracer.crossing(framing_span_, telemetry::Dir::kDown, arq_frame.size());
+  const BitString framed = frame(stuffing_, BitString::from_bytes(arq_frame));
+  ++stats_.frames_framed;
+  // Encoding sublayer: line-code the length-prefixed channel bits.  The
+  // channel bit stream is built directly (32-bit count, body, zero pad to a
+  // byte boundary) — bit-for-bit what pack_bits-then-from_bytes produced,
+  // without materializing the intermediate byte buffer.
+  BitString channel;
+  channel.reserve(32 + framed.size() + 7);
+  channel.append_word(static_cast<std::uint32_t>(framed.size()), 32);
+  channel.append(framed);
+  while (channel.size() % 8 != 0) channel.push_back(false);
+  tracer.crossing(phy_span_, telemetry::Dir::kDown, channel.size() / 8);
+  const BitString symbols = code_->encode(channel);
+  ++stats_.frames_encoded;
+  return pack_bits(symbols);
+}
+
+std::optional<Bytes> DataPlane::up(ByteView raw) {
+  auto& tracer = telemetry::SpanTracer::instance();
+  // Encoding sublayer: recover channel bits.
+  const auto symbols = unpack_bits(raw);
+  if (!symbols) {
+    ++stats_.phy_decode_failures;
+    return std::nullopt;
+  }
+  auto channel_bits = code_->decode(*symbols);
+  if (!channel_bits || channel_bits->size() % 8 != 0 ||
+      channel_bits->size() < 32) {
+    ++stats_.phy_decode_failures;
+    return std::nullopt;
+  }
+  // Parse the 32-bit length prefix straight off the bit stream (the moral
+  // equivalent of unpack_bits(channel_bits->to_bytes()), minus the byte
+  // detour): the remainder must be exactly the padded body.
+  const auto nbits =
+      static_cast<std::size_t>(channel_bits->bits_at(0, 32));
+  if (channel_bits->size() - 32 != 8 * ((nbits + 7) / 8)) {
+    ++stats_.phy_decode_failures;
+    return std::nullopt;
+  }
+  tracer.crossing(phy_span_, telemetry::Dir::kUp, channel_bits->size() / 8);
+  ++stats_.frames_decoded;
+  // Framing sublayer: strip flags, unstuff.
+  const auto body = deframe(stuffing_, channel_bits->slice(32, nbits));
+  if (!body || body->size() % 8 != 0) {
+    ++stats_.deframe_failures;
+    return std::nullopt;
+  }
+  tracer.crossing(framing_span_, telemetry::Dir::kUp, body->size() / 8);
+  ++stats_.frames_deframed;
+  // Error-detection sublayer: verify and strip the tag in place.
+  Bytes checked = body->to_bytes();
+  if (!detector_->check_strip_in_place(checked)) {
+    ++stats_.checksum_failures;
+    return std::nullopt;
+  }
+  tracer.crossing(errdet_span_, telemetry::Dir::kUp, checked.size());
+  ++stats_.frames_checked;
+  ++stats_.frames_up;  // survived all three sublayers
+  return checked;
+}
+
+DatalinkEndpoint::DatalinkEndpoint(sim::Simulator& sim,
+                                   std::unique_ptr<phy::LineCode> code,
+                                   std::unique_ptr<ErrorDetector> detector,
+                                   const StackConfig& config)
+    : plane_(std::move(code), std::move(detector), config.stuffing),
+      arq_(arq_factory(config.arq_engine)(sim, config.arq)) {
+  auto& tracer = telemetry::SpanTracer::instance();
+  link_span_ = tracer.intern("datalink.link");
+  arq_span_ = tracer.intern("datalink.arq");
   arq_->set_frame_sink([this](Bytes f) {
     // ARQ pushes a frame (data or ack) into the lower sublayers.
     telemetry::SpanTracer::instance().crossing(
         arq_span_, telemetry::Dir::kDown, f.size());
-    if (wire_sink_) wire_sink_(down(f));
+    if (wire_sink_) wire_sink_(plane_.down(std::move(f)));
   });
 }
 
@@ -81,68 +158,9 @@ bool DatalinkEndpoint::send(Bytes payload) {
   return accepted;
 }
 
-Bytes DatalinkEndpoint::down(ByteView arq_frame) {
-  auto& tracer = telemetry::SpanTracer::instance();
-  // Error-detection sublayer: append tag.
-  tracer.crossing(errdet_span_, telemetry::Dir::kDown, arq_frame.size());
-  const Bytes tagged = detector_->protect(arq_frame);
-  ++stats_.frames_tagged;
-  // Framing sublayer: stuff and add flags (bit-granular).
-  tracer.crossing(framing_span_, telemetry::Dir::kDown, tagged.size());
-  const BitString framed = frame(stuffing_, BitString::from_bytes(tagged));
-  ++stats_.frames_framed;
-  // Encoding sublayer: line-code the packed channel bits.
-  const Bytes packed = pack_bits(framed);
-  tracer.crossing(phy_span_, telemetry::Dir::kDown, packed.size());
-  const BitString symbols = code_->encode(BitString::from_bytes(packed));
-  ++stats_.frames_encoded;
-  return pack_bits(symbols);
-}
-
-std::optional<Bytes> DatalinkEndpoint::up(ByteView raw) {
-  auto& tracer = telemetry::SpanTracer::instance();
-  // Encoding sublayer: recover channel bits.
-  const auto symbols = unpack_bits(raw);
-  if (!symbols) {
-    ++stats_.phy_decode_failures;
-    return std::nullopt;
-  }
-  const auto channel_bits = code_->decode(*symbols);
-  if (!channel_bits || channel_bits->size() % 8 != 0) {
-    ++stats_.phy_decode_failures;
-    return std::nullopt;
-  }
-  const auto framed = unpack_bits(channel_bits->to_bytes());
-  if (!framed) {
-    ++stats_.phy_decode_failures;
-    return std::nullopt;
-  }
-  tracer.crossing(phy_span_, telemetry::Dir::kUp,
-                  channel_bits->to_bytes().size());
-  ++stats_.frames_decoded;
-  // Framing sublayer: strip flags, unstuff.
-  const auto body = deframe(stuffing_, *framed);
-  if (!body || body->size() % 8 != 0) {
-    ++stats_.deframe_failures;
-    return std::nullopt;
-  }
-  tracer.crossing(framing_span_, telemetry::Dir::kUp, body->size() / 8);
-  ++stats_.frames_deframed;
-  // Error-detection sublayer: verify and strip the tag.
-  auto checked = detector_->check_strip(body->to_bytes());
-  if (!checked) {
-    ++stats_.checksum_failures;
-    return std::nullopt;
-  }
-  tracer.crossing(errdet_span_, telemetry::Dir::kUp, checked->size());
-  ++stats_.frames_checked;
-  return checked;
-}
-
 void DatalinkEndpoint::on_wire_frame(Bytes raw) {
-  auto arq_frame = up(raw);
+  auto arq_frame = plane_.up(raw);
   if (!arq_frame) return;
-  ++stats_.frames_up;
   telemetry::SpanTracer::instance().crossing(
       arq_span_, telemetry::Dir::kUp, arq_frame->size());
   arq_->on_frame(std::move(*arq_frame));

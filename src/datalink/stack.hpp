@@ -55,6 +55,39 @@ struct StackStats {
   telemetry::Counter frames_checked;   // errordetect: tag verified + stripped
 };
 
+/// The sub-ARQ data plane: error detection over framing over line coding.
+/// Owns the per-sublayer stats and span instrumentation for those three
+/// seams, and threads ONE buffer through the byte-granular boundaries —
+/// down() appends the tag in place on the moved frame, up() verifies and
+/// truncates it in place — so crossing a sublayer boundary costs a tracer
+/// tick, not an allocation.  Factored out of the endpoint so benchmarks
+/// can drive the pipeline directly, without ARQ or a simulator.
+class DataPlane {
+ public:
+  DataPlane(std::unique_ptr<phy::LineCode> code,
+            std::unique_ptr<ErrorDetector> detector, StuffingRule stuffing);
+
+  /// detect → frame → encode: an ARQ frame becomes a wire frame.
+  Bytes down(Bytes arq_frame);
+  /// decode → deframe → check: a wire frame becomes a clean ARQ frame,
+  /// or nullopt (with the failing sublayer's counter bumped).
+  std::optional<Bytes> up(ByteView raw);
+
+  const StackStats& stats() const { return stats_; }
+  const phy::LineCode& code() const { return *code_; }
+  const ErrorDetector& detector() const { return *detector_; }
+
+ private:
+  std::unique_ptr<phy::LineCode> code_;
+  std::unique_ptr<ErrorDetector> detector_;
+  StuffingRule stuffing_;
+  StackStats stats_;
+  // Interned boundary ids for the span tracer, one per sublayer seam.
+  std::uint32_t errdet_span_ = 0;   // error detection <-> framing
+  std::uint32_t framing_span_ = 0;  // framing <-> encoding
+  std::uint32_t phy_span_ = 0;      // encoding <-> wire
+};
+
 /// One endpoint of a data-link connection over a raw sim::Link pair.
 class DatalinkEndpoint {
  public:
@@ -74,25 +107,16 @@ class DatalinkEndpoint {
   bool send(Bytes payload);
   bool idle() const { return arq_->idle(); }
 
-  const StackStats& stats() const { return stats_; }
+  const StackStats& stats() const { return plane_.stats(); }
   const ArqStats& arq_stats() const { return arq_->stats(); }
 
  private:
-  Bytes down(ByteView arq_frame);             // detect → frame → encode
-  std::optional<Bytes> up(ByteView raw);      // decode → deframe → check
-
-  std::unique_ptr<phy::LineCode> code_;
-  std::unique_ptr<ErrorDetector> detector_;
-  StuffingRule stuffing_;
+  DataPlane plane_;
   std::unique_ptr<ArqEndpoint> arq_;
   std::function<void(Bytes)> wire_sink_;
-  StackStats stats_;
-  // Interned boundary ids for the span tracer, one per sublayer seam.
-  std::uint32_t link_span_ = 0;     // service boundary (send/deliver)
-  std::uint32_t arq_span_ = 0;      // ARQ <-> error detection
-  std::uint32_t errdet_span_ = 0;   // error detection <-> framing
-  std::uint32_t framing_span_ = 0;  // framing <-> encoding
-  std::uint32_t phy_span_ = 0;      // encoding <-> wire
+  // Interned boundary ids for the seams the endpoint itself owns.
+  std::uint32_t link_span_ = 0;  // service boundary (send/deliver)
+  std::uint32_t arq_span_ = 0;   // ARQ <-> error detection
 };
 
 /// Convenience: two endpoints wired across a DuplexLink.

@@ -34,11 +34,11 @@ Bytes IpHeader::encode(ByteView payload) const {
   return out;
 }
 
-std::optional<ParsedDatagram> decode_datagram(ByteView datagram) {
+std::optional<DatagramView> decode_datagram_view(ByteView datagram) {
   if (datagram.size() < IpHeader::kSize) return std::nullopt;
   ByteReader r(datagram);
   if (r.u8() != kVersion) return std::nullopt;
-  ParsedDatagram p;
+  DatagramView p;
   p.header.ecn_ce = (r.u8() & 1) != 0;
   p.header.ttl = r.u8();
   p.header.protocol = static_cast<IpProto>(r.u8());
@@ -46,8 +46,14 @@ std::optional<ParsedDatagram> decode_datagram(ByteView datagram) {
   p.header.dst = r.u32();
   const std::uint16_t len = r.u16();
   if (r.remaining() != len) return std::nullopt;
-  p.payload = r.rest();
+  p.payload = r.rest_view();
   return p;
+}
+
+std::optional<ParsedDatagram> decode_datagram(ByteView datagram) {
+  const auto v = decode_datagram_view(datagram);
+  if (!v) return std::nullopt;
+  return ParsedDatagram{v->header, Bytes(v->payload.begin(), v->payload.end())};
 }
 
 }  // namespace sublayer::netlayer

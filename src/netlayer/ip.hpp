@@ -60,6 +60,11 @@ struct IpHeader {
   static constexpr std::size_t kSize =
       1 + 1 + 1 + 1 + 4 + 4 + 2;  // +version +flags +len
 
+  // Byte offsets of the mutable-in-transit fields, for in-place patching
+  // by the forwarding sublayer (everything else is immutable end to end).
+  static constexpr std::size_t kFlagsOffset = 1;  // bit 0 = ecn_ce
+  static constexpr std::size_t kTtlOffset = 2;
+
   /// header · payload.
   Bytes encode(ByteView payload) const;
 };
@@ -69,5 +74,14 @@ struct ParsedDatagram {
   Bytes payload;
 };
 std::optional<ParsedDatagram> decode_datagram(ByteView datagram);
+
+/// Zero-copy decode: the payload is a view into the caller's buffer, valid
+/// only while that buffer is.  Forwarding uses this so that transit and
+/// local delivery never copy the payload out of the datagram.
+struct DatagramView {
+  IpHeader header;
+  ByteView payload;
+};
+std::optional<DatagramView> decode_datagram_view(ByteView datagram);
 
 }  // namespace sublayer::netlayer

@@ -76,7 +76,8 @@ void Router::on_link_frame(int index, Bytes frame) {
       routing_->on_message(index, payload);
       break;
     case FrameType::kData:
-      forward(Bytes(payload.begin(), payload.end()));
+      frame.erase(frame.begin());  // drop the type byte, keep the buffer
+      forward(std::move(frame));
       break;
     default:
       ++stats_.malformed;
@@ -105,12 +106,12 @@ void Router::set_protocol_handler(IpProto proto, ProtocolHandler handler) {
 }
 
 void Router::forward(Bytes datagram) {
-  auto parsed = decode_datagram(datagram);
+  const auto parsed = decode_datagram_view(datagram);
   if (!parsed) {
     ++stats_.malformed;
     return;
   }
-  IpHeader& header = parsed->header;
+  const IpHeader& header = parsed->header;
 
   if (router_of(header.dst) == id_) {
     ++stats_.delivered_local;
@@ -118,7 +119,9 @@ void Router::forward(Bytes datagram) {
         span_, telemetry::Dir::kUp, parsed->payload.size());
     const auto it = handlers_.find(header.protocol);
     if (it != handlers_.end()) {
-      it->second(header, std::move(parsed->payload));
+      // Hand the datagram's own buffer up, minus the header prefix.
+      datagram.erase(datagram.begin(), datagram.begin() + IpHeader::kSize);
+      it->second(header, std::move(datagram));
     }
     return;
   }
@@ -132,19 +135,21 @@ void Router::forward(Bytes datagram) {
     ++stats_.ttl_expired;
     return;
   }
-  --header.ttl;
+  // Transit: only TTL and the ECN flag change, so patch them in the
+  // encoded header rather than re-encoding the whole datagram.
+  --datagram[IpHeader::kTtlOffset];
 
   // AQM: mark congestion-experienced if the outgoing link's queue is deep.
   if (!config_.ecn_backlog_threshold.is_zero()) {
     const auto& probe = probes_.at(static_cast<std::size_t>(route->interface));
     if (probe && probe() > config_.ecn_backlog_threshold) {
-      header.ecn_ce = true;
+      datagram[IpHeader::kFlagsOffset] |= 1;
       ++stats_.ecn_marked;
     }
   }
 
   ++stats_.datagrams_forwarded;
-  emit(route->interface, FrameType::kData, header.encode(parsed->payload));
+  emit(route->interface, FrameType::kData, datagram);
 }
 
 Network::Network(sim::Simulator& sim, RouterConfig config, std::uint64_t seed)

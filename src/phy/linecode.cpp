@@ -5,6 +5,17 @@
 namespace sublayer::phy {
 namespace {
 
+/// Iterates a BitString 64 bits at a time (final chunk may be short),
+/// handing each chunk to `fn(std::uint64_t value_in_low_bits, std::size_t n)`.
+template <typename Fn>
+void for_each_chunk(const BitString& bits, Fn&& fn) {
+  const std::size_t total = bits.size();
+  for (std::size_t off = 0; off < total; off += 64) {
+    const std::size_t n = std::min<std::size_t>(64, total - off);
+    fn(bits.bits_at(off, n), n);
+  }
+}
+
 class Nrz final : public LineCode {
  public:
   std::string name() const override { return "NRZ"; }
@@ -21,25 +32,72 @@ class Nrzi final : public LineCode {
   double symbols_per_bit() const override { return 1.0; }
 
   BitString encode(const BitString& data) const override {
+    // level[i] = initial_level XOR parity(data[0..i]): a word-parallel
+    // prefix-XOR from the MSB side, with the running level carried between
+    // chunks, replaces the per-bit toggle loop.
     BitString out;
+    out.reserve(data.size());
     bool level = false;
-    for (std::size_t i = 0; i < data.size(); ++i) {
-      if (data[i]) level = !level;
-      out.push_back(level);
-    }
+    for_each_chunk(data, [&](std::uint64_t v, std::size_t n) {
+      std::uint64_t w = v << (64 - n);
+      w ^= w >> 1;
+      w ^= w >> 2;
+      w ^= w >> 4;
+      w ^= w >> 8;
+      w ^= w >> 16;
+      w ^= w >> 32;
+      if (level) w = ~w;
+      out.append_word(w >> (64 - n), static_cast<int>(n));
+      level = (w >> (64 - n)) & 1;
+    });
     return out;
   }
 
   std::optional<BitString> decode(const BitString& symbols) const override {
+    // data[i] = symbols[i] XOR symbols[i-1], with the previous chunk's last
+    // level carried into the top bit.
     BitString out;
+    out.reserve(symbols.size());
     bool prev = false;
-    for (std::size_t i = 0; i < symbols.size(); ++i) {
-      out.push_back(symbols[i] != prev);
-      prev = symbols[i];
-    }
+    for_each_chunk(symbols, [&](std::uint64_t v, std::size_t n) {
+      const std::uint64_t w = v << (64 - n);
+      std::uint64_t shifted = w >> 1;
+      if (prev) shifted |= 1ull << 63;
+      out.append_word((w ^ shifted) >> (64 - n), static_cast<int>(n));
+      prev = v & 1;
+    });
     return out;
   }
 };
+
+/// 8 data bits -> 16 Manchester symbol bits (IEEE 802.3: 0 -> 01, 1 -> 10).
+constexpr std::array<std::uint16_t, 256> manchester_table() {
+  std::array<std::uint16_t, 256> t{};
+  for (int b = 0; b < 256; ++b) {
+    std::uint16_t sym = 0;
+    for (int i = 7; i >= 0; --i) {
+      sym = static_cast<std::uint16_t>(sym << 2 | ((b >> i & 1) != 0 ? 0b10 : 0b01));
+    }
+    t[static_cast<std::size_t>(b)] = sym;
+  }
+  return t;
+}
+
+/// Inverse: 8 symbol bits -> 4 data bits, or -1 if any pair is 00/11.
+constexpr std::array<std::int8_t, 256> manchester_inverse() {
+  std::array<std::int8_t, 256> t{};
+  for (int s = 0; s < 256; ++s) {
+    int nibble = 0;
+    bool valid = true;
+    for (int p = 3; p >= 0; --p) {
+      const int pair = s >> (2 * p) & 0b11;
+      if (pair != 0b01 && pair != 0b10) valid = false;
+      nibble = nibble << 1 | (pair == 0b10 ? 1 : 0);
+    }
+    t[static_cast<std::size_t>(s)] = static_cast<std::int8_t>(valid ? nibble : -1);
+  }
+  return t;
+}
 
 class Manchester final : public LineCode {
  public:
@@ -47,27 +105,34 @@ class Manchester final : public LineCode {
   double symbols_per_bit() const override { return 2.0; }
 
   BitString encode(const BitString& data) const override {
+    static constexpr auto kExpand = manchester_table();
     BitString out;
-    for (std::size_t i = 0; i < data.size(); ++i) {
-      if (data[i]) {
-        out.push_back(true);
-        out.push_back(false);
-      } else {
-        out.push_back(false);
-        out.push_back(true);
-      }
+    out.reserve(data.size() * 2);
+    std::size_t i = 0;
+    for (; i + 8 <= data.size(); i += 8) {
+      out.append_word(kExpand[data.bits_at(i, 8)], 16);
+    }
+    for (; i < data.size(); ++i) {
+      out.append_word(data[i] ? 0b10 : 0b01, 2);
     }
     return out;
   }
 
   std::optional<BitString> decode(const BitString& symbols) const override {
     if (symbols.size() % 2 != 0) return std::nullopt;
+    static constexpr auto kCompress = manchester_inverse();
     BitString out;
-    for (std::size_t i = 0; i < symbols.size(); i += 2) {
-      const bool a = symbols[i];
-      const bool b = symbols[i + 1];
-      if (a == b) return std::nullopt;  // 00/11 are invalid mid-bit patterns
-      out.push_back(a);
+    out.reserve(symbols.size() / 2);
+    std::size_t i = 0;
+    for (; i + 8 <= symbols.size(); i += 8) {
+      const std::int8_t nibble = kCompress[symbols.bits_at(i, 8)];
+      if (nibble < 0) return std::nullopt;  // 00/11 are invalid mid-bit patterns
+      out.append_word(static_cast<std::uint64_t>(nibble), 4);
+    }
+    for (; i < symbols.size(); i += 2) {
+      const std::uint64_t pair = symbols.bits_at(i, 2);
+      if (pair != 0b01 && pair != 0b10) return std::nullopt;
+      out.push_back(pair == 0b10);
     }
     return out;
   }
@@ -97,10 +162,9 @@ class FourBFiveB final : public LineCode {
       throw std::invalid_argument("4B5B: input must be 4-bit aligned");
     }
     BitString out;
+    out.reserve(data.size() / 4 * 5);
     for (std::size_t i = 0; i < data.size(); i += 4) {
-      const auto nibble = static_cast<std::size_t>(data.slice(i, 4).to_uint());
-      const std::uint8_t sym = k4b5b[nibble];
-      for (int b = 4; b >= 0; --b) out.push_back((sym >> b & 1) != 0);
+      out.append_word(k4b5b[data.bits_at(i, 4)], 5);
     }
     return out;
   }
@@ -108,11 +172,11 @@ class FourBFiveB final : public LineCode {
   std::optional<BitString> decode(const BitString& symbols) const override {
     if (symbols.size() % 5 != 0) return std::nullopt;
     BitString out;
+    out.reserve(symbols.size() / 5 * 4);
     for (std::size_t i = 0; i < symbols.size(); i += 5) {
-      const auto sym = static_cast<std::size_t>(symbols.slice(i, 5).to_uint());
-      const int nibble = reverse_[sym];
+      const int nibble = reverse_[symbols.bits_at(i, 5)];
       if (nibble < 0) return std::nullopt;  // not a data symbol
-      for (int b = 3; b >= 0; --b) out.push_back((nibble >> b & 1) != 0);
+      out.append_word(static_cast<std::uint64_t>(nibble), 4);
     }
     return out;
   }

@@ -57,7 +57,7 @@ void Demux::send(const FourTuple& tuple, SublayeredSegment segment) {
 }
 
 void Demux::on_datagram(netlayer::IpAddr src, Bytes payload) {
-  auto segment = SublayeredSegment::decode(payload);
+  auto segment = SublayeredSegment::decode(std::move(payload));
   if (!segment) {
     ++stats_.segments_in;
     ++stats_.malformed;

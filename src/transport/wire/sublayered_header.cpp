@@ -7,6 +7,11 @@ namespace sublayer::transport {
 
 Bytes SublayeredSegment::encode() const {
   Bytes out;
+  // DM(4) + CM(13), plus RD/OSR fixed fields (14) + SACK blocks + payload
+  // for data segments: reserve once, write once.
+  out.reserve(17 + (cm.kind == CmKind::kData
+                        ? 14 + 8 * rd.sack.size() + payload.size()
+                        : 0));
   ByteWriter w(out);
   // DM sublayer bits.
   w.u16(dm.src_port);
@@ -35,14 +40,17 @@ Bytes SublayeredSegment::encode() const {
   return out;
 }
 
-std::optional<SublayeredSegment> SublayeredSegment::decode(ByteView raw) {
+namespace {
+
+/// Parses everything up to (not including) the payload into `s`.  On
+/// success the reader is positioned at the first payload byte; a data
+/// segment's payload is whatever remains.
+bool decode_headers(ByteReader& r, SublayeredSegment& s) {
   try {
-    ByteReader r(raw);
-    SublayeredSegment s;
     s.dm.src_port = r.u16();
     s.dm.dst_port = r.u16();
     const std::uint8_t kind = r.u8();
-    if (kind > static_cast<std::uint8_t>(CmKind::kRst)) return std::nullopt;
+    if (kind > static_cast<std::uint8_t>(CmKind::kRst)) return false;
     s.cm.kind = static_cast<CmKind>(kind);
     s.cm.isn_local = r.u32();
     s.cm.isn_peer = r.u32();
@@ -51,7 +59,7 @@ std::optional<SublayeredSegment> SublayeredSegment::decode(ByteView raw) {
       s.rd.seq_offset = r.u32();
       s.rd.ack_offset = r.u32();
       const std::uint8_t blocks = r.u8();
-      if (blocks > TcpHeader::kMaxSackBlocks) return std::nullopt;
+      if (blocks > TcpHeader::kMaxSackBlocks) return false;
       for (int i = 0; i < blocks; ++i) {
         SackBlock b;
         b.start = r.u32();
@@ -60,14 +68,35 @@ std::optional<SublayeredSegment> SublayeredSegment::decode(ByteView raw) {
       }
       s.osr.recv_window = r.u32();
       s.osr.ecn_echo = r.u8() != 0;
-      s.payload = r.rest();
     } else if (r.remaining() != 0) {
-      return std::nullopt;  // control segments carry no payload
+      return false;  // control segments carry no payload
     }
-    return s;
+    return true;
   } catch (const std::out_of_range&) {
-    return std::nullopt;
+    return false;
   }
+}
+
+}  // namespace
+
+std::optional<SublayeredSegment> SublayeredSegment::decode(ByteView raw) {
+  ByteReader r(raw);
+  SublayeredSegment s;
+  if (!decode_headers(r, s)) return std::nullopt;
+  if (s.cm.kind == CmKind::kData) s.payload = r.rest();
+  return s;
+}
+
+std::optional<SublayeredSegment> SublayeredSegment::decode(Bytes&& raw) {
+  ByteReader r(raw);
+  SublayeredSegment s;
+  if (!decode_headers(r, s)) return std::nullopt;
+  if (s.cm.kind == CmKind::kData) {
+    const std::size_t header_size = raw.size() - r.remaining();
+    raw.erase(raw.begin(), raw.begin() + static_cast<std::ptrdiff_t>(header_size));
+    s.payload = std::move(raw);
+  }
+  return s;
 }
 
 std::string SublayeredSegment::to_string() const {

@@ -79,6 +79,10 @@ struct SublayeredSegment {
 
   Bytes encode() const;
   static std::optional<SublayeredSegment> decode(ByteView raw);
+  /// Move-decode: reuses `raw`'s buffer for the payload (the header prefix
+  /// is erased in place), so demultiplexing a data segment does not copy
+  /// the payload bytes a second time.
+  static std::optional<SublayeredSegment> decode(Bytes&& raw);
   std::string to_string() const;
 };
 

@@ -93,7 +93,7 @@ std::optional<ParsedTcpSegment> decode_tcp_segment(ByteView segment) {
     --opt_remaining;
     if (kind == kOptEnd) {
       // Skip remaining padding.
-      r.bytes(opt_remaining);
+      r.skip(opt_remaining);
       opt_remaining = 0;
       break;
     }
@@ -115,7 +115,7 @@ std::optional<ParsedTcpSegment> decode_tcp_segment(ByteView segment) {
         h.sack.push_back(b);
       }
     } else {
-      r.bytes(body);  // unknown option: skip
+      r.skip(body);  // unknown option: skip
     }
     opt_remaining -= body;
   }

@@ -1,0 +1,130 @@
+// Pins the word-wise BitString bulk operations (shift-and-compare find /
+// count_overlapping, packed to_bytes/from_bytes/from_uint) against naive
+// per-bit reference implementations on randomized inputs, with patterns
+// deliberately straddling 64-bit word boundaries.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+
+namespace sublayer {
+namespace {
+
+BitString random_bits(Rng& rng, std::size_t n) {
+  BitString out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(rng.next_below(2) != 0);
+  return out;
+}
+
+bool naive_matches_at(const BitString& hay, std::size_t pos,
+                      const BitString& pat) {
+  if (pos + pat.size() > hay.size()) return false;
+  for (std::size_t i = 0; i < pat.size(); ++i) {
+    if (hay[pos + i] != pat[i]) return false;
+  }
+  return true;
+}
+
+std::size_t naive_find(const BitString& hay, const BitString& pat,
+                       std::size_t from) {
+  if (pat.size() > hay.size()) return BitString::npos;
+  for (std::size_t pos = from; pos + pat.size() <= hay.size(); ++pos) {
+    if (naive_matches_at(hay, pos, pat)) return pos;
+  }
+  return BitString::npos;
+}
+
+std::size_t naive_count(const BitString& hay, const BitString& pat) {
+  std::size_t count = 0;
+  for (std::size_t pos = 0; pos + pat.size() <= hay.size(); ++pos) {
+    if (naive_matches_at(hay, pos, pat)) ++count;
+  }
+  return count;
+}
+
+TEST(BitStringWordOps, FindAndCountMatchNaiveOnRandomInputs) {
+  Rng rng(2024);
+  for (int round = 0; round < 200; ++round) {
+    // Haystack sizes around word boundaries; pattern lengths 1..63.
+    const std::size_t hay_len = 1 + rng.next_below(300);
+    const std::size_t pat_len =
+        1 + rng.next_below(std::min<std::size_t>(63, hay_len));
+    const BitString hay = random_bits(rng, hay_len);
+    // Half the time take the pattern out of the haystack itself, so
+    // occurrences (including word-straddling ones) are guaranteed.
+    const BitString pat =
+        round % 2 == 0
+            ? random_bits(rng, pat_len)
+            : hay.slice(rng.next_below(hay_len - pat_len + 1), pat_len);
+
+    EXPECT_EQ(hay.find(pat), naive_find(hay, pat, 0));
+    const std::size_t from = rng.next_below(hay_len);
+    EXPECT_EQ(hay.find(pat, from), naive_find(hay, pat, from));
+    EXPECT_EQ(hay.count_overlapping(pat), naive_count(hay, pat));
+    for (int probe = 0; probe < 8; ++probe) {
+      const std::size_t pos = rng.next_below(hay_len);
+      EXPECT_EQ(hay.matches_at(pos, pat), naive_matches_at(hay, pos, pat));
+    }
+  }
+}
+
+TEST(BitStringWordOps, WordStraddlingPatternsAllLengths) {
+  // One deterministic haystack; for every pattern length 1..63, slice a
+  // pattern that straddles the word 0 / word 1 boundary and check the
+  // word-wise scan finds that exact occurrence.
+  Rng rng(7);
+  const BitString hay = random_bits(rng, 256);
+  for (std::size_t len = 1; len <= 63; ++len) {
+    const std::size_t pos = 64 - len / 2 - 1;  // straddles bit 64
+    const BitString pat = hay.slice(pos, len);
+    EXPECT_TRUE(hay.matches_at(pos, pat)) << "len=" << len;
+    EXPECT_EQ(hay.find(pat), naive_find(hay, pat, 0)) << "len=" << len;
+    EXPECT_EQ(hay.count_overlapping(pat), naive_count(hay, pat))
+        << "len=" << len;
+  }
+}
+
+TEST(BitStringWordOps, PackedBytesAgreeWithPerBitPacking) {
+  Rng rng(99);
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t nbytes = 1 + rng.next_below(40);
+    const Bytes raw = rng.next_bytes(nbytes);
+    const BitString bits = BitString::from_bytes(raw);
+    ASSERT_EQ(bits.size(), 8 * nbytes);
+    // Per-bit reference: MSB-first within each byte.
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      EXPECT_EQ(bits[i], ((raw[i / 8] >> (7 - i % 8)) & 1) != 0);
+    }
+    EXPECT_EQ(bits.to_bytes(), raw);
+    Bytes copied;
+    bits.copy_bytes_into(copied);
+    EXPECT_EQ(copied, raw);
+  }
+}
+
+TEST(BitStringWordOps, FromUintAgreesWithPushBack) {
+  Rng rng(123);
+  for (int width = 0; width <= 64; ++width) {
+    const std::uint64_t v =
+        width == 64 ? rng.next_u64() : rng.next_u64() & ((1ull << width) - 1);
+    const BitString bulk = BitString::from_uint(v, width);
+    BitString perbit;
+    for (int i = width - 1; i >= 0; --i) perbit.push_back((v >> i) & 1);
+    EXPECT_EQ(bulk, perbit) << "width=" << width;
+    if (width > 0) {
+      EXPECT_EQ(bulk.to_uint(), v) << "width=" << width;
+    }
+    // append_word must behave identically at unaligned starting offsets.
+    BitString offset_bulk;
+    offset_bulk.push_back(true);
+    offset_bulk.append_word(v, width);
+    BitString offset_perbit;
+    offset_perbit.push_back(true);
+    offset_perbit.append(perbit);
+    EXPECT_EQ(offset_bulk, offset_perbit) << "width=" << width;
+  }
+}
+
+}  // namespace
+}  // namespace sublayer

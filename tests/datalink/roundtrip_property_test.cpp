@@ -1,0 +1,113 @@
+// Property tests for the data-plane sublayer round trips after the
+// zero-copy refactor: unstuff(stuff(x)) == x and check_strip(protect(x))
+// == x over randomized payloads, and the in-place variants must agree
+// bit-for-bit with the copying ones.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "datalink/errordetect/detector.hpp"
+#include "datalink/framing/stuffing.hpp"
+
+namespace sublayer::datalink {
+namespace {
+
+BitString random_bits(Rng& rng, std::size_t n) {
+  BitString out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(rng.next_below(2) != 0);
+  return out;
+}
+
+TEST(RoundTripProperty, StuffUnstuffIsIdentity) {
+  const StuffingRule rules[] = {StuffingRule::hdlc(),
+                                StuffingRule::low_overhead()};
+  Rng rng(42);
+  for (const auto& rule : rules) {
+    for (int round = 0; round < 300; ++round) {
+      const std::size_t n = rng.next_below(600);  // bit-granular, incl. empty
+      const BitString data = random_bits(rng, n);
+      const BitString stuffed = stuff(rule, data);
+      const auto back = unstuff(rule, stuffed);
+      ASSERT_TRUE(back.has_value()) << rule.name() << " round " << round;
+      EXPECT_EQ(*back, data) << rule.name() << " round " << round;
+
+      const auto framed_back = deframe(rule, frame(rule, data));
+      ASSERT_TRUE(framed_back.has_value()) << rule.name();
+      EXPECT_EQ(*framed_back, data) << rule.name();
+    }
+  }
+}
+
+TEST(RoundTripProperty, StuffHandlesTriggerSaturatedPayloads) {
+  // All-ones (HDLC) / the low-overhead trigger repeated: maximum stuffing
+  // density, where the word-wise fast path degenerates to per-position.
+  const StuffingRule rules[] = {StuffingRule::hdlc(),
+                                StuffingRule::low_overhead()};
+  for (const auto& rule : rules) {
+    for (const std::size_t n : {1u, 63u, 64u, 65u, 128u, 400u}) {
+      BitString ones, zeros, triggers;
+      for (std::size_t i = 0; i < n; ++i) {
+        ones.push_back(true);
+        zeros.push_back(false);
+        triggers.push_back(rule.trigger[i % rule.trigger.size()]);
+      }
+      for (const BitString* data : {&ones, &zeros, &triggers}) {
+        const auto back = unstuff(rule, stuff(rule, *data));
+        ASSERT_TRUE(back.has_value()) << rule.name() << " n=" << n;
+        EXPECT_EQ(*back, *data) << rule.name() << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(RoundTripProperty, ProtectCheckStripIsIdentity) {
+  const auto detectors = {make_crc8(),  make_crc16(),     make_crc32(),
+                          make_crc64(), make_fletcher16(), make_adler32(),
+                          make_internet_checksum()};
+  Rng rng(7);
+  for (const auto& det : detectors) {
+    for (int round = 0; round < 100; ++round) {
+      const Bytes payload = rng.next_bytes(rng.next_below(500));
+      const Bytes protected_frame = det->protect(payload);
+      ASSERT_EQ(protected_frame.size(), payload.size() + det->tag_bytes());
+      const auto back = det->check_strip(protected_frame);
+      ASSERT_TRUE(back.has_value()) << det->name();
+      EXPECT_EQ(*back, payload) << det->name();
+    }
+  }
+}
+
+TEST(RoundTripProperty, InPlaceVariantsAgreeWithCopying) {
+  const auto detectors = {make_crc32(), make_adler32()};
+  Rng rng(19);
+  for (const auto& det : detectors) {
+    for (int round = 0; round < 100; ++round) {
+      const Bytes payload = rng.next_bytes(rng.next_below(300));
+
+      // protect_in_place(x) must produce exactly protect(x).
+      Bytes in_place = payload;
+      det->protect_in_place(in_place);
+      EXPECT_EQ(in_place, det->protect(payload)) << det->name();
+
+      // check_strip_in_place must accept it and restore the payload...
+      Bytes stripped = in_place;
+      ASSERT_TRUE(det->check_strip_in_place(stripped)) << det->name();
+      EXPECT_EQ(stripped, payload) << det->name();
+
+      // ...and reject a corrupted frame, leaving it untouched.
+      Bytes corrupted = in_place;
+      corrupted[rng.next_below(corrupted.size())] ^=
+          static_cast<std::uint8_t>(1 + rng.next_below(255));
+      const Bytes corrupted_before = corrupted;
+      EXPECT_EQ(det->check_strip_in_place(corrupted),
+                det->check_strip(corrupted_before).has_value())
+          << det->name();
+      if (corrupted == corrupted_before) {
+        EXPECT_FALSE(det->check_strip(corrupted_before).has_value());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sublayer::datalink
