@@ -1,0 +1,129 @@
+// Experiment E13: reconvergence after scripted chaos.
+//
+// Runs every fault script over many seeds on the soak topology (4-router
+// ring + chord) and reports the distribution of the two liveness metrics
+// the InvariantMonitor records once the last fault heals: time until every
+// link's neighbors are re-detected, and time until routing is fully
+// reconverged.  Safety violations (which should never occur) are counted
+// alongside.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "chaos/controller.hpp"
+#include "chaos/fault_plan.hpp"
+#include "chaos/invariant_monitor.hpp"
+#include "netlayer/router.hpp"
+
+using namespace sublayer;
+using namespace sublayer::chaos;
+
+namespace {
+
+constexpr int kSeeds = 30;
+
+struct Sample {
+  double redetect_ms = -1;
+  double reconverge_ms = -1;
+  std::size_t violations = 0;
+};
+
+Sample run_one(const std::string& script, std::uint64_t seed) {
+  sim::Simulator sim;
+  netlayer::RouterConfig rc;
+  rc.routing = netlayer::RoutingKind::kLinkState;
+  rc.link_fcs = true;
+  netlayer::Network net(sim, rc, seed);
+  for (int i = 0; i < 4; ++i) net.add_router();
+  sim::LinkConfig link;
+  link.bandwidth_bps = 20e6;
+  link.propagation_delay = Duration::micros(100);
+  net.connect(0, 1, link);
+  net.connect(1, 2, link);
+  net.connect(2, 3, link);
+  net.connect(3, 0, link);
+  net.connect(1, 3, link);
+  net.start();
+
+  MonitorConfig mc;
+  mc.reconvergence_bound = Duration::seconds(5.0);
+  InvariantMonitor monitor(sim, net, mc);
+  ChaosController controller(sim, net);
+
+  sim.run_until(TimePoint::from_ns(Duration::seconds(1.0).ns()));
+  monitor.start();
+
+  ScriptParams params;
+  params.link_count = net.link_count();
+  params.router_count = net.router_count();
+  params.start = TimePoint::from_ns(sim.now().ns() + Duration::millis(200).ns());
+  const auto plan = make_plan(script, seed, params);
+  controller.arm(plan);
+  sim.run_until(TimePoint::from_ns(plan.all_healed_by().ns() +
+                                   Duration::millis(1).ns()));
+  monitor.await_reconvergence(controller.healed_at());
+  sim.run_until(TimePoint::from_ns(sim.now().ns() + Duration::seconds(6.0).ns()));
+
+  Sample s;
+  if (const auto t = monitor.neighbor_redetect_time()) {
+    s.redetect_ms = t->to_seconds() * 1e3;
+  }
+  if (const auto t = monitor.reconvergence_time()) {
+    s.reconverge_ms = t->to_seconds() * 1e3;
+  }
+  s.violations = monitor.violations().size();
+  return s;
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return -1;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(p * (v.size() - 1) + 0.5);
+  return v[idx];
+}
+
+}  // namespace
+
+int main() {
+  std::puts(
+      "E13: reconvergence-time distribution after scripted chaos\n"
+      "(4-router ring+chord, link-state routing, 100 ms hellos / 350 ms "
+      "dead\ninterval, 30 seeds per script; times measured from last heal)");
+  std::printf("%-17s | %26s | %26s | %s\n", "script",
+              "neighbor redetect (ms)", "reconvergence (ms)", "viol");
+  std::printf("%-17s | %8s %8s %8s | %8s %8s %8s |\n", "", "p50", "p90",
+              "max", "p50", "p90", "max");
+  for (const auto& script : all_scripts()) {
+    std::vector<double> redetect;
+    std::vector<double> reconverge;
+    std::size_t violations = 0;
+    int unconverged = 0;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      const Sample s = run_one(script, seed);
+      if (s.reconverge_ms < 0) {
+        ++unconverged;
+        continue;
+      }
+      redetect.push_back(s.redetect_ms);
+      reconverge.push_back(s.reconverge_ms);
+      violations += s.violations;
+    }
+    std::printf("%-17s | %8.0f %8.0f %8.0f | %8.0f %8.0f %8.0f | %4zu",
+                script.c_str(), percentile(redetect, 0.5),
+                percentile(redetect, 0.9), percentile(redetect, 1.0),
+                percentile(reconverge, 0.5), percentile(reconverge, 0.9),
+                percentile(reconverge, 1.0), violations);
+    if (unconverged > 0) std::printf("  (%d DID NOT RECONVERGE)", unconverged);
+    std::printf("\n");
+  }
+  std::puts(
+      "\nshape: redetection is bounded by one hello interval once links are\n"
+      "back up.  The two clocks are independent — routing happily converges\n"
+      "*around* an adjacency that is still dark, so reconvergence can land\n"
+      "below redetection on link scripts.  Router-crash scripts sit at the\n"
+      "high end of both: the restarted router rebuilds its neighbor table\n"
+      "from nothing and re-originates its LSP through the sequence-recovery\n"
+      "handshake, yet stays well inside the liveness bound.  Violations\n"
+      "must read 0 everywhere: chaos may slow the system, never corrupt it.");
+  return 0;
+}

@@ -19,3 +19,28 @@ echo "bench smoke..."
 "${build_dir}/bench/bench_datalink_stack" --smoke >/dev/null
 "${build_dir}/bench/bench_tcp_goodput" >/dev/null
 echo "bench smoke OK"
+
+# Sanitizer pass: ASan+UBSan over the paths that chew on adversarial input —
+# chaos (fault injection, crash/restart teardown ordering) and transport
+# robustness (garbage/forgery injection). Skippable for quick local loops
+# with SKIP_SANITIZERS=1.
+if [[ "${SKIP_SANITIZERS:-0}" != "1" ]]; then
+  echo "ASan+UBSan pass (chaos + robustness)..."
+  san_dir="${build_dir}-asan"
+  san_flags="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+  cmake -B "${san_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror ${san_flags}" \
+    -DCMAKE_EXE_LINKER_FLAGS="${san_flags}" >/dev/null
+  cmake --build "${san_dir}" -j "${jobs}" \
+    --target test_chaos test_transport test_datalink >/dev/null
+  # Chaos smoke: the unit tests plus one soak seed per script (the full
+  # 140-case sweep runs in the regular suite above; under sanitizers one
+  # representative seed each keeps the pass quick).
+  "${san_dir}/tests/test_chaos" --gtest_filter='-*ChaosSoak*' >/dev/null
+  "${san_dir}/tests/test_chaos" --gtest_filter='*ChaosSoak*_seed1' >/dev/null
+  "${san_dir}/tests/test_transport" \
+    --gtest_filter='Robustness.*:Keepalive.*' >/dev/null
+  "${san_dir}/tests/test_datalink" --gtest_filter='*Resync*' >/dev/null
+  echo "ASan+UBSan OK"
+fi

@@ -1,0 +1,94 @@
+#include "chaos/controller.hpp"
+
+#include "common/logging.hpp"
+
+namespace sublayer::chaos {
+namespace {
+const Logger kLog("chaos");
+}
+
+ChaosController::ChaosController(sim::Simulator& sim, netlayer::Network& net)
+    : sim_(sim), net_(net) {}
+
+void ChaosController::arm(const FaultPlan& plan) {
+  if (armed_) throw std::logic_error("ChaosController armed twice");
+  armed_ = true;
+  baselines_.clear();
+  for (std::size_t i = 0; i < net_.link_count(); ++i) {
+    // Network::connect configures both directions identically, so one
+    // direction's config is the whole link's baseline.
+    baselines_.push_back(net_.link(i).a_to_b().config());
+  }
+  link_refs_.assign(net_.link_count(), 0);
+  crash_refs_.assign(net_.router_count(), 0);
+  total_ = static_cast<int>(plan.events.size());
+  for (const FaultEvent& e : plan.events) {
+    sim_.schedule_at(e.at, [this, e] { apply(e); });
+    sim_.schedule_at(TimePoint::from_ns(e.at.ns() + e.duration.ns()),
+                     [this, e] { heal(e); });
+  }
+}
+
+void ChaosController::apply(const FaultEvent& e) {
+  ++active_;
+  ++stats_.faults_applied;
+  kLog.info("apply %s link=%zu r=%u mag=%g", to_string(e.kind), e.link,
+            e.router, e.magnitude);
+  switch (e.kind) {
+    case FaultKind::kLinkDown:
+      ++link_refs_.at(e.link);
+      net_.link(e.link).set_down(true);
+      break;
+    case FaultKind::kCorruptionBurst:
+      ++link_refs_.at(e.link);
+      net_.link(e.link).a_to_b().set_corrupt_rate(e.magnitude);
+      net_.link(e.link).b_to_a().set_corrupt_rate(e.magnitude);
+      break;
+    case FaultKind::kJitterStorm: {
+      ++link_refs_.at(e.link);
+      const auto jitter = Duration::nanos(
+          static_cast<std::int64_t>(e.magnitude * 1e9));
+      net_.link(e.link).a_to_b().set_jitter(jitter);
+      net_.link(e.link).b_to_a().set_jitter(jitter);
+      break;
+    }
+    case FaultKind::kQueueSqueeze: {
+      ++link_refs_.at(e.link);
+      const auto limit = static_cast<std::size_t>(e.magnitude);
+      net_.link(e.link).a_to_b().set_queue_limit(limit);
+      net_.link(e.link).b_to_a().set_queue_limit(limit);
+      break;
+    }
+    case FaultKind::kRouterCrash:
+      if (crash_refs_.at(e.router)++ == 0) net_.router(e.router).crash();
+      break;
+  }
+  if (on_apply) on_apply(e);
+}
+
+void ChaosController::heal(const FaultEvent& e) {
+  --active_;
+  ++healed_;
+  ++stats_.faults_healed;
+  kLog.info("heal %s link=%zu r=%u", to_string(e.kind), e.link, e.router);
+  switch (e.kind) {
+    case FaultKind::kLinkDown:
+    case FaultKind::kCorruptionBurst:
+    case FaultKind::kJitterStorm:
+    case FaultKind::kQueueSqueeze:
+      // Overlapping windows on one link heal together: the baseline (and
+      // the up state) comes back only when the last window closes.
+      if (--link_refs_.at(e.link) == 0) {
+        net_.link(e.link).set_config(baselines_.at(e.link));
+        net_.link(e.link).set_down(false);
+      }
+      break;
+    case FaultKind::kRouterCrash:
+      if (--crash_refs_.at(e.router) == 0) net_.router(e.router).restart();
+      break;
+  }
+  if (active_ == 0 && healed_ == total_) healed_at_ = sim_.now();
+  if (on_heal) on_heal(e);
+}
+
+}  // namespace sublayer::chaos

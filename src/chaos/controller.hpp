@@ -1,0 +1,69 @@
+// ChaosController: executes a FaultPlan against a live netlayer::Network.
+//
+// At each event's start time the controller applies the fault (link down,
+// impairment override, or router crash); at start + duration it heals it
+// (restores the link's baseline LinkConfig snapshot, or restarts the
+// router).  Overlapping faults on the same link compose by reference
+// count: the baseline is restored only when the last window touching that
+// link closes, so one fault's heal cannot erase another's impairment.
+//
+// The controller is the only chaos component that mutates the system;
+// InvariantMonitor only observes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "chaos/fault_plan.hpp"
+#include "netlayer/router.hpp"
+#include "sim/simulator.hpp"
+
+namespace sublayer::chaos {
+
+struct ChaosStats {
+  std::uint64_t faults_applied = 0;
+  std::uint64_t faults_healed = 0;
+};
+
+class ChaosController {
+ public:
+  ChaosController(sim::Simulator& sim, netlayer::Network& net);
+
+  /// Snapshots every link's baseline config and schedules the plan's
+  /// apply/heal pairs.  May be called once per controller.
+  void arm(const FaultPlan& plan);
+
+  /// Number of fault windows currently open.
+  int active_faults() const { return active_; }
+  /// True once every scheduled fault window has closed.
+  bool all_healed() const { return armed_ && active_ == 0 && healed_ == total_; }
+  /// Sim time the last fault window closed (valid once all_healed()).
+  TimePoint healed_at() const { return healed_at_; }
+
+  const ChaosStats& stats() const { return stats_; }
+
+  /// Observation hooks (for the monitor and for test logging).
+  std::function<void(const FaultEvent&)> on_apply;
+  std::function<void(const FaultEvent&)> on_heal;
+
+ private:
+  void apply(const FaultEvent& e);
+  void heal(const FaultEvent& e);
+
+  sim::Simulator& sim_;
+  netlayer::Network& net_;
+  std::vector<sim::LinkConfig> baselines_;
+  /// Open fault windows per link; a link's baseline config (and its down
+  /// flag) is restored only when this drops to zero.
+  std::vector<int> link_refs_;
+  std::vector<int> crash_refs_;  // per router, for overlapping crash windows
+  bool armed_ = false;
+  int active_ = 0;
+  int total_ = 0;
+  int healed_ = 0;
+  TimePoint healed_at_;
+  ChaosStats stats_;
+};
+
+}  // namespace sublayer::chaos

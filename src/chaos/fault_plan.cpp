@@ -1,0 +1,184 @@
+#include "chaos/fault_plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sublayer::chaos {
+namespace {
+
+Duration random_window(Rng& rng, const ScriptParams& p) {
+  const std::int64_t lo = p.min_fault.ns();
+  const std::int64_t hi = p.max_fault.ns();
+  return Duration::nanos(rng.next_in(lo, hi));
+}
+
+TimePoint random_start(Rng& rng, const ScriptParams& p, Duration window) {
+  // Keep the whole window inside the active period, so all_healed_by()
+  // leaves the post-chaos phase genuinely fault-free.
+  const std::int64_t span = p.active_window.ns() - window.ns();
+  const std::int64_t offset = span > 0 ? rng.next_in(0, span) : 0;
+  return TimePoint::from_ns(p.start.ns() + offset);
+}
+
+FaultEvent link_event(Rng& rng, const ScriptParams& p, FaultKind kind,
+                      double magnitude) {
+  FaultEvent e;
+  e.duration = random_window(rng, p);
+  e.at = random_start(rng, p, e.duration);
+  e.kind = kind;
+  e.link = rng.next_below(p.link_count);
+  e.magnitude = magnitude;
+  return e;
+}
+
+void gen_link_flap(Rng& rng, const ScriptParams& p,
+                   std::vector<FaultEvent>& out) {
+  const int flaps = static_cast<int>(rng.next_in(3, 5));
+  for (int i = 0; i < flaps; ++i) {
+    out.push_back(link_event(rng, p, FaultKind::kLinkDown, 0));
+  }
+}
+
+void gen_partition(Rng& rng, const ScriptParams& p,
+                   std::vector<FaultEvent>& out) {
+  // One shared window over a random cut of ~half the links: with several
+  // links down at once some destination is usually unreachable, not just
+  // rerouted — the strongest test of post-heal reconvergence.
+  const Duration window = random_window(rng, p);
+  const TimePoint at = random_start(rng, p, window);
+  std::vector<std::size_t> links(p.link_count);
+  for (std::size_t i = 0; i < links.size(); ++i) links[i] = i;
+  std::shuffle(links.begin(), links.end(), rng);
+  const std::size_t cut = std::max<std::size_t>(1, p.link_count / 2);
+  for (std::size_t i = 0; i < cut; ++i) {
+    FaultEvent e;
+    e.at = at;
+    e.duration = window;
+    e.kind = FaultKind::kLinkDown;
+    e.link = links[i];
+    out.push_back(e);
+  }
+}
+
+void gen_corruption(Rng& rng, const ScriptParams& p,
+                    std::vector<FaultEvent>& out) {
+  const int bursts = static_cast<int>(rng.next_in(2, 4));
+  for (int i = 0; i < bursts; ++i) {
+    out.push_back(link_event(rng, p, FaultKind::kCorruptionBurst,
+                             0.05 + 0.20 * rng.next_double()));
+  }
+}
+
+void gen_jitter(Rng& rng, const ScriptParams& p,
+                std::vector<FaultEvent>& out) {
+  const int storms = static_cast<int>(rng.next_in(2, 4));
+  for (int i = 0; i < storms; ++i) {
+    // 5-40 ms of jitter: enough to reorder far beyond an RTT.
+    out.push_back(link_event(rng, p, FaultKind::kJitterStorm,
+                             0.005 + 0.035 * rng.next_double()));
+  }
+}
+
+void gen_squeeze(Rng& rng, const ScriptParams& p,
+                 std::vector<FaultEvent>& out) {
+  const int squeezes = static_cast<int>(rng.next_in(2, 4));
+  for (int i = 0; i < squeezes; ++i) {
+    out.push_back(link_event(rng, p, FaultKind::kQueueSqueeze,
+                             static_cast<double>(rng.next_in(1, 4))));
+  }
+}
+
+void gen_crash(Rng& rng, const ScriptParams& p,
+               std::vector<FaultEvent>& out) {
+  const int crashes = static_cast<int>(rng.next_in(1, 2));
+  for (int i = 0; i < crashes; ++i) {
+    FaultEvent e;
+    e.duration = random_window(rng, p);
+    e.at = random_start(rng, p, e.duration);
+    e.kind = FaultKind::kRouterCrash;
+    // Spare router 0: the soak harness anchors its traffic sources there,
+    // and a crashed source would conflate "transport survived the
+    // network's faults" with "the application itself was killed".
+    e.router = static_cast<netlayer::RouterId>(
+        rng.next_in(1, static_cast<std::int64_t>(p.router_count) - 1));
+    out.push_back(e);
+  }
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkDown:
+      return "link-down";
+    case FaultKind::kCorruptionBurst:
+      return "corruption-burst";
+    case FaultKind::kJitterStorm:
+      return "jitter-storm";
+    case FaultKind::kQueueSqueeze:
+      return "queue-squeeze";
+    case FaultKind::kRouterCrash:
+      return "router-crash";
+  }
+  return "?";
+}
+
+TimePoint FaultPlan::all_healed_by() const {
+  std::int64_t worst = 0;
+  for (const auto& e : events) {
+    worst = std::max(worst, e.at.ns() + e.duration.ns());
+  }
+  return TimePoint::from_ns(worst);
+}
+
+FaultPlan make_plan(const std::string& script, std::uint64_t seed,
+                    const ScriptParams& params) {
+  if (params.link_count == 0 || params.router_count < 2) {
+    throw std::invalid_argument("chaos scripts need links and >=2 routers");
+  }
+  // Mix the script name into the seed so "link-flap"/7 and "partition"/7
+  // draw different randomness.
+  std::uint64_t mixed = seed;
+  for (const char c : script) mixed = mixed * 1099511628211ull + c;
+  Rng rng(mixed);
+
+  FaultPlan plan;
+  plan.script = script;
+  plan.seed = seed;
+  if (script == "link-flap") {
+    gen_link_flap(rng, params, plan.events);
+  } else if (script == "partition") {
+    gen_partition(rng, params, plan.events);
+  } else if (script == "corruption-burst") {
+    gen_corruption(rng, params, plan.events);
+  } else if (script == "jitter-storm") {
+    gen_jitter(rng, params, plan.events);
+  } else if (script == "queue-squeeze") {
+    gen_squeeze(rng, params, plan.events);
+  } else if (script == "router-crash") {
+    gen_crash(rng, params, plan.events);
+  } else if (script == "mixed-mayhem") {
+    gen_link_flap(rng, params, plan.events);
+    gen_corruption(rng, params, plan.events);
+    gen_jitter(rng, params, plan.events);
+    gen_squeeze(rng, params, plan.events);
+    gen_crash(rng, params, plan.events);
+  } else {
+    throw std::invalid_argument("unknown chaos script: " + script);
+  }
+  std::sort(plan.events.begin(), plan.events.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              return a.at.ns() < b.at.ns();
+            });
+  return plan;
+}
+
+const std::vector<std::string>& all_scripts() {
+  static const std::vector<std::string> kScripts = {
+      "link-flap",     "partition",    "corruption-burst", "jitter-storm",
+      "queue-squeeze", "router-crash", "mixed-mayhem",
+  };
+  return kScripts;
+}
+
+}  // namespace sublayer::chaos

@@ -1,0 +1,84 @@
+// Fault plans: deterministic, seeded scripts of fault events against a
+// netlayer::Network.
+//
+// A FaultPlan is pure data — a time-sorted list of (when, how long, what,
+// where) — produced by a named script generator from a seed.  The same
+// (script, seed, topology) triple always yields the same plan, so a chaos
+// failure reproduces from two integers.  ChaosController executes plans;
+// InvariantMonitor judges the system's behaviour while they run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "netlayer/ip.hpp"
+
+namespace sublayer::chaos {
+
+enum class FaultKind : std::uint8_t {
+  /// Link hard-down for the window (both directions), then restored.
+  kLinkDown = 0,
+  /// corrupt_rate raised to `magnitude` for the window.
+  kCorruptionBurst = 1,
+  /// jitter raised to `magnitude` seconds for the window (reorders frames).
+  kJitterStorm = 2,
+  /// queue_limit squeezed to `magnitude` frames for the window (tail drop).
+  kQueueSqueeze = 3,
+  /// Router crashes with full control-plane state loss, restarts at the
+  /// window's end.
+  kRouterCrash = 4,
+};
+
+const char* to_string(FaultKind kind);
+
+struct FaultEvent {
+  TimePoint at;
+  Duration duration = Duration::millis(500);
+  FaultKind kind = FaultKind::kLinkDown;
+  /// Target link index (link faults) — ignored for kRouterCrash.
+  std::size_t link = 0;
+  /// Target router (kRouterCrash only).
+  netlayer::RouterId router = 0;
+  /// Kind-specific intensity (rate, seconds, or frame count — see kinds).
+  double magnitude = 0;
+};
+
+struct FaultPlan {
+  std::string script;
+  std::uint64_t seed = 0;
+  std::vector<FaultEvent> events;  // sorted by `at`
+
+  /// Instant after which every fault window has closed.
+  TimePoint all_healed_by() const;
+};
+
+/// Topology facts and timing bounds a script generator needs.
+struct ScriptParams {
+  std::size_t link_count = 0;
+  std::size_t router_count = 0;
+  /// Faults are scheduled in [start, start + active_window].
+  TimePoint start;
+  Duration active_window = Duration::seconds(6.0);
+  /// Shortest / longest single fault window.
+  Duration min_fault = Duration::millis(300);
+  Duration max_fault = Duration::millis(1200);
+};
+
+/// Script generators, keyed by name:
+///   "link-flap"        repeated short kLinkDown windows on random links
+///   "partition"        simultaneous kLinkDown on several links (cut set)
+///   "corruption-burst" kCorruptionBurst windows on random links
+///   "jitter-storm"     kJitterStorm windows on random links
+///   "queue-squeeze"    kQueueSqueeze windows on random links
+///   "router-crash"     kRouterCrash windows on random non-zero routers
+///   "mixed-mayhem"     an interleaving drawn from all of the above
+FaultPlan make_plan(const std::string& script, std::uint64_t seed,
+                    const ScriptParams& params);
+
+/// Every script name make_plan accepts, in a stable order.
+const std::vector<std::string>& all_scripts();
+
+}  // namespace sublayer::chaos

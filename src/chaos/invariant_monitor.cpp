@@ -1,0 +1,162 @@
+#include "chaos/invariant_monitor.hpp"
+
+#include <algorithm>
+
+#include "telemetry/span.hpp"
+
+namespace sublayer::chaos {
+
+InvariantMonitor::InvariantMonitor(sim::Simulator& sim, netlayer::Network& net,
+                                   MonitorConfig config)
+    : sim_(sim), net_(net), config_(config), timer_(sim, [this] { sweep(); }) {}
+
+void InvariantMonitor::start() {
+  // The span tracer is a process singleton: baseline its totals so this
+  // run's balance check is not polluted by earlier tests in the binary.
+  const auto& tracer = telemetry::SpanTracer::instance();
+  osr_down_base_ = tracer.crossing_bytes("transport.osr", telemetry::Dir::kDown);
+  osr_up_base_ = tracer.crossing_bytes("transport.osr", telemetry::Dir::kUp);
+  timer_.restart(config_.check_interval);
+}
+
+int InvariantMonitor::register_transfer(std::string label) {
+  transfers_.push_back(Transfer{std::move(label), {}, 0, false, false});
+  return static_cast<int>(transfers_.size()) - 1;
+}
+
+void InvariantMonitor::record_sent(int transfer, ByteView data) {
+  auto& t = transfers_.at(static_cast<std::size_t>(transfer));
+  if (t.dead) {
+    violate("resurrection: transfer '" + t.label + "' sent data after death");
+    return;
+  }
+  t.sent.insert(t.sent.end(), data.begin(), data.end());
+}
+
+void InvariantMonitor::record_delivered(int transfer, ByteView data) {
+  auto& t = transfers_.at(static_cast<std::size_t>(transfer));
+  if (t.dead) {
+    violate("resurrection: transfer '" + t.label +
+            "' delivered data after death");
+    return;
+  }
+  if (t.corrupted) return;
+  if (t.delivered + data.size() > t.sent.size()) {
+    t.corrupted = true;
+    violate("prefix: transfer '" + t.label + "' delivered beyond sent (" +
+            std::to_string(t.delivered + data.size()) + " > " +
+            std::to_string(t.sent.size()) + ")");
+    return;
+  }
+  if (!std::equal(data.begin(), data.end(),
+                  t.sent.begin() + static_cast<std::ptrdiff_t>(t.delivered))) {
+    t.corrupted = true;
+    violate("prefix: transfer '" + t.label + "' delivered bytes diverge from "
+            "sent stream at offset " + std::to_string(t.delivered));
+    return;
+  }
+  t.delivered += data.size();
+}
+
+void InvariantMonitor::record_dead(int transfer) {
+  transfers_.at(static_cast<std::size_t>(transfer)).dead = true;
+}
+
+std::size_t InvariantMonitor::delivered_bytes(int transfer) const {
+  return transfers_.at(static_cast<std::size_t>(transfer)).delivered;
+}
+
+void InvariantMonitor::await_reconvergence(TimePoint healed_at) {
+  healed_at_ = healed_at;
+  neighbors_back_at_.reset();
+  reconverged_at_.reset();
+  bound_violated_ = false;
+}
+
+std::optional<Duration> InvariantMonitor::neighbor_redetect_time() const {
+  if (!healed_at_ || !neighbors_back_at_) return std::nullopt;
+  return Duration::nanos(neighbors_back_at_->ns() - healed_at_->ns());
+}
+
+std::optional<Duration> InvariantMonitor::reconvergence_time() const {
+  if (!healed_at_ || !reconverged_at_) return std::nullopt;
+  return Duration::nanos(reconverged_at_->ns() - healed_at_->ns());
+}
+
+void InvariantMonitor::sweep() {
+  ++checks_run_;
+  check_fib_liveness();
+  check_osr_balance();
+  check_liveness_progress();
+  timer_.restart(config_.check_interval);
+}
+
+void InvariantMonitor::check_fib_liveness() {
+  for (std::size_t id = 0; id < net_.router_count(); ++id) {
+    const auto& router = net_.router(static_cast<netlayer::RouterId>(id));
+    if (!router.is_up()) {
+      if (!router.fib().entries().empty()) {
+        violate("state-loss: crashed r" + std::to_string(id) +
+                " still holds FIB entries");
+      }
+      continue;
+    }
+    for (const auto& [prefix, route] : router.fib().entries()) {
+      if (!router.neighbors().neighbor_on(route.interface)) {
+        violate("fib-liveness: r" + std::to_string(id) +
+                " routes via interface " + std::to_string(route.interface) +
+                " with no live neighbor");
+      }
+    }
+  }
+}
+
+void InvariantMonitor::check_osr_balance() {
+  const auto& tracer = telemetry::SpanTracer::instance();
+  const auto down =
+      tracer.crossing_bytes("transport.osr", telemetry::Dir::kDown) -
+      osr_down_base_;
+  const auto up = tracer.crossing_bytes("transport.osr", telemetry::Dir::kUp) -
+                  osr_up_base_;
+  if (up > down) {
+    violate("osr-balance: " + std::to_string(up) +
+            " bytes crossed up the ordered-stream boundary vs " +
+            std::to_string(down) + " down");
+  }
+}
+
+void InvariantMonitor::check_liveness_progress() {
+  if (!healed_at_) return;
+
+  if (!neighbors_back_at_) {
+    bool all_back = true;
+    for (std::size_t i = 0; i < net_.link_count() && all_back; ++i) {
+      if (net_.link(i).is_down()) continue;  // deliberately failed for good
+      const auto& ends = net_.link_ends(i);
+      const auto& ra = net_.router(ends.a);
+      const auto& rb = net_.router(ends.b);
+      if (!ra.is_up() || !rb.is_up()) continue;
+      const auto na = ra.neighbors().neighbor_on(ends.iface_a);
+      const auto nb = rb.neighbors().neighbor_on(ends.iface_b);
+      all_back = na && na->id == ends.b && nb && nb->id == ends.a;
+    }
+    if (all_back) neighbors_back_at_ = sim_.now();
+  }
+
+  if (!reconverged_at_ && net_.fully_converged()) {
+    reconverged_at_ = sim_.now();
+  }
+
+  if (!reconverged_at_ && !bound_violated_ &&
+      sim_.now().ns() - healed_at_->ns() > config_.reconvergence_bound.ns()) {
+    bound_violated_ = true;
+    violate("liveness: not reconverged within bound after heal");
+  }
+}
+
+void InvariantMonitor::violate(std::string message) {
+  if (!seen_violations_.insert(message).second) return;
+  violations_.push_back(std::move(message));
+}
+
+}  // namespace sublayer::chaos

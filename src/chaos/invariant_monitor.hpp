@@ -1,0 +1,112 @@
+// InvariantMonitor: the judge of a chaos run.
+//
+// While a ChaosController injects faults, the monitor periodically asserts
+// the cross-layer *safety* invariants that must hold at every instant, no
+// matter what the fault script does:
+//
+//   1. Stream-prefix integrity: the bytes an application has received on a
+//      tracked transfer are an exact prefix of the bytes its peer sent.
+//      Loss, duplication, corruption, reordering, crashes — none may
+//      reorder, damage, or invent stream bytes; faults may only truncate.
+//   2. No resurrection: once a tracked transfer reports closed or reset,
+//      no further data or establishment may arrive on it.
+//   3. FIB liveness: no up router's FIB entry points out an interface
+//      whose neighbor the neighbor-determination sublayer has declared
+//      dead — forwarding never outlives neighbor state.  A crashed
+//      router's FIB is empty (state loss is total).
+//   4. OSR crossing balance: summed over all endpoints, bytes crossing up
+//      through the ordered-stream boundary never exceed bytes crossing
+//      down — the stream sublayer cannot deliver more than was submitted,
+//      only (under faults) less.
+//
+// and measures the *liveness* half — how quickly the system heals once the
+// controller stops hurting it: time until every link's neighbors are
+// re-detected, and time until routing is fully reconverged, checked
+// against a configured bound.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "netlayer/router.hpp"
+#include "sim/simulator.hpp"
+
+namespace sublayer::chaos {
+
+struct MonitorConfig {
+  /// Cadence of the periodic safety sweep.
+  Duration check_interval = Duration::millis(50);
+  /// Liveness bound: after the last fault heals, neighbors must be
+  /// re-detected and routing fully reconverged within this long.
+  Duration reconvergence_bound = Duration::seconds(2.0);
+};
+
+class InvariantMonitor {
+ public:
+  InvariantMonitor(sim::Simulator& sim, netlayer::Network& net,
+                   MonitorConfig config = {});
+
+  /// Snapshots telemetry baselines and begins the periodic safety sweep.
+  void start();
+
+  // ---- transfer tracking (invariants 1 and 2) ----
+  /// Registers a unidirectional application transfer; returns its id.
+  int register_transfer(std::string label);
+  void record_sent(int transfer, ByteView data);
+  void record_delivered(int transfer, ByteView data);
+  /// The transfer's connection closed or reset; traffic after this is a
+  /// resurrection violation.
+  void record_dead(int transfer);
+  /// Bytes delivered so far on a transfer (all verified prefix-correct).
+  std::size_t delivered_bytes(int transfer) const;
+
+  // ---- liveness (measured once faults are done) ----
+  /// Arms the heal clock: liveness is measured from `healed_at`.
+  void await_reconvergence(TimePoint healed_at);
+  bool reconverged() const { return reconverged_at_.has_value(); }
+  std::optional<Duration> neighbor_redetect_time() const;
+  std::optional<Duration> reconvergence_time() const;
+
+  /// Empty iff every safety check has held so far (deduplicated).
+  const std::vector<std::string>& violations() const { return violations_; }
+  std::uint64_t checks_run() const { return checks_run_; }
+
+ private:
+  struct Transfer {
+    std::string label;
+    Bytes sent;
+    std::size_t delivered = 0;
+    bool dead = false;
+    bool corrupted = false;  // prefix already violated; don't re-report
+  };
+
+  void sweep();
+  void check_fib_liveness();
+  void check_osr_balance();
+  void check_liveness_progress();
+  void violate(std::string message);
+
+  sim::Simulator& sim_;
+  netlayer::Network& net_;
+  MonitorConfig config_;
+  sim::Timer timer_;
+
+  std::vector<Transfer> transfers_;
+  std::vector<std::string> violations_;
+  std::set<std::string> seen_violations_;
+  std::uint64_t checks_run_ = 0;
+
+  std::uint64_t osr_down_base_ = 0;
+  std::uint64_t osr_up_base_ = 0;
+
+  std::optional<TimePoint> healed_at_;
+  std::optional<TimePoint> neighbors_back_at_;
+  std::optional<TimePoint> reconverged_at_;
+  bool bound_violated_ = false;
+};
+
+}  // namespace sublayer::chaos

@@ -45,6 +45,8 @@ struct ArqStats {
   telemetry::Counter duplicates_dropped;
   telemetry::Counter out_of_order_buffered;
   telemetry::Counter send_queue_rejects;
+  telemetry::Counter resyncs;              // re-baseline rounds initiated
+  telemetry::Counter stale_epoch_dropped;  // frames from a pre-resync epoch
 };
 
 /// Shared by all three ARQ engines: binds the stats struct to the
@@ -58,6 +60,8 @@ inline void bind_arq_stats(ArqStats& stats) {
   stats.duplicates_dropped.bind("datalink.arq.duplicates_dropped");
   stats.out_of_order_buffered.bind("datalink.arq.out_of_order_buffered");
   stats.send_queue_rejects.bind("datalink.arq.send_queue_rejects");
+  stats.resyncs.bind("datalink.arq.resyncs");
+  stats.stale_epoch_dropped.bind("datalink.arq.stale_epoch_dropped");
 }
 
 /// One end of a bidirectional reliable link.  Wire both ends' frame_sink to
@@ -80,6 +84,19 @@ class ArqEndpoint {
 
   /// Feeds a frame received from the channel.
   virtual void on_frame(Bytes frame) = 0;
+
+  /// Re-baselines both directions of the connection to sequence 0 under a
+  /// fresh epoch, via a RESYNC/RESYNC-ACK exchange with the peer.  The
+  /// recovery tool for sequence-state divergence that timers alone cannot
+  /// heal — an endpoint restarted with full state loss would otherwise
+  /// deadlock against a peer partway through sequence space.  Payloads
+  /// accepted but unacknowledged at resync time are requeued and resent
+  /// under the new epoch: across a resync the service degrades from
+  /// exactly-once to at-least-once (a payload whose ack was lost may be
+  /// delivered twice), which upper layers must tolerate — transport's RD
+  /// sublayer does.  Data transmission pauses until the peer acknowledges
+  /// the re-baseline; the request retries on the RTO schedule.
+  virtual void resync() = 0;
 
   /// True when all accepted payloads have been acknowledged.
   virtual bool idle() const = 0;

@@ -4,6 +4,16 @@
 // frame rates this gives 4 billion frames per connection, and it keeps the
 // ARQ engines focused on the recovery logic.  (The transport layer's RD
 // sublayer implements full modular sequence arithmetic, where it matters.)
+//
+// The epoch byte partitions sequence space into resynchronization rounds:
+// every frame carries its sender's current epoch, and receivers discard
+// data/ack frames from any other epoch.  A RESYNC exchange (see
+// ArqEndpoint::resync) re-baselines both directions to sequence 0 under a
+// fresh epoch, so stragglers from before the resync — duplicates delayed
+// by jitter, retransmissions released by a healing link — can never be
+// mistaken for frames of the new sequence space.  The epoch wraps at 256;
+// that is safe because a stale frame would need to survive exactly 256
+// intervening resyncs to alias, far beyond any frame lifetime here.
 #pragma once
 
 #include <cstdint>
@@ -13,10 +23,19 @@
 
 namespace sublayer::datalink::detail {
 
-enum class ArqKind : std::uint8_t { kData = 1, kAck = 2 };
+enum class ArqKind : std::uint8_t {
+  kData = 1,
+  kAck = 2,
+  /// Re-baseline request: epoch carries the proposed new epoch, seq a
+  /// nonce echoed by the matching kResyncAck.  Sent by resync() until
+  /// acknowledged; the peer resets both directions on first sight.
+  kResync = 3,
+  kResyncAck = 4,
+};
 
 struct ArqFrame {
   ArqKind kind = ArqKind::kData;
+  std::uint8_t epoch = 0;
   std::uint32_t seq = 0;  // DATA: frame seq; ACK: engine-defined ack number
   Bytes payload;
 
@@ -25,9 +44,15 @@ struct ArqFrame {
     out.reserve(kHeaderSize + payload.size());
     ByteWriter w(out);
     w.u8(static_cast<std::uint8_t>(kind));
+    w.u8(epoch);
     w.u32(seq);
     w.bytes(payload);
     return out;
+  }
+
+  static bool valid_kind(std::uint8_t k) {
+    return k >= static_cast<std::uint8_t>(ArqKind::kData) &&
+           k <= static_cast<std::uint8_t>(ArqKind::kResyncAck);
   }
 
   static std::optional<ArqFrame> decode(ByteView raw) {
@@ -35,11 +60,9 @@ struct ArqFrame {
     ByteReader r(raw);
     ArqFrame f;
     const std::uint8_t k = r.u8();
-    if (k != static_cast<std::uint8_t>(ArqKind::kData) &&
-        k != static_cast<std::uint8_t>(ArqKind::kAck)) {
-      return std::nullopt;
-    }
+    if (!valid_kind(k)) return std::nullopt;
     f.kind = static_cast<ArqKind>(k);
+    f.epoch = r.u8();
     f.seq = r.u32();
     f.payload = r.rest();
     return f;
@@ -52,18 +75,16 @@ struct ArqFrame {
     ByteReader r(raw);
     ArqFrame f;
     const std::uint8_t k = r.u8();
-    if (k != static_cast<std::uint8_t>(ArqKind::kData) &&
-        k != static_cast<std::uint8_t>(ArqKind::kAck)) {
-      return std::nullopt;
-    }
+    if (!valid_kind(k)) return std::nullopt;
     f.kind = static_cast<ArqKind>(k);
+    f.epoch = r.u8();
     f.seq = r.u32();
     raw.erase(raw.begin(), raw.begin() + kHeaderSize);
     f.payload = std::move(raw);
     return f;
   }
 
-  static constexpr std::size_t kHeaderSize = 5;  // kind(1) + seq(4)
+  static constexpr std::size_t kHeaderSize = 6;  // kind(1) + epoch(1) + seq(4)
 };
 
 }  // namespace sublayer::datalink::detail

@@ -4,17 +4,26 @@
 
 #include "datalink/arq/arq.hpp"
 #include "datalink/arq/frame.hpp"
+#include "datalink/arq/resync.hpp"
 
 namespace sublayer::datalink {
 namespace {
 
 using detail::ArqFrame;
 using detail::ArqKind;
+using detail::ResyncSession;
 
 class GoBackN final : public ArqEndpoint {
  public:
   GoBackN(sim::Simulator& sim, ArqConfig config)
-      : config_(config), timer_(sim, [this] { on_timeout(); }) {
+      : config_(config),
+        timer_(sim, [this] { on_timeout(); }),
+        resync_(sim, config.rto, stats_,
+                {[this] { reset_sequence_state(); },
+                 [this](const ArqFrame& f) {
+                   if (sink_) sink_(f.encode());
+                 },
+                 [this] { pump(); }}) {
     bind_arq_stats(stats_);
   }
 
@@ -36,6 +45,7 @@ class GoBackN final : public ArqEndpoint {
   void on_frame(Bytes raw) override {
     const auto frame = ArqFrame::decode(std::move(raw));
     if (!frame) return;
+    if (resync_.on_frame(*frame)) return;
     if (frame->kind == ArqKind::kData) {
       handle_data(*frame);
     } else {
@@ -43,11 +53,14 @@ class GoBackN final : public ArqEndpoint {
     }
   }
 
+  void resync() override { resync_.initiate(); }
+
   bool idle() const override { return outstanding_.empty() && queue_.empty(); }
   const ArqStats& stats() const override { return stats_; }
 
  private:
   void pump() {
+    if (resync_.pending()) return;
     while (outstanding_.size() < config_.window && !queue_.empty()) {
       outstanding_.push_back(std::move(queue_.front()));
       queue_.pop_front();
@@ -60,7 +73,9 @@ class GoBackN final : public ArqEndpoint {
     ++stats_.data_frames_sent;
     if (retransmission) ++stats_.retransmissions;
     if (!timer_.armed() || !retransmission) timer_.restart(config_.rto);
-    if (sink_) sink_(ArqFrame{ArqKind::kData, seq, payload}.encode());
+    if (sink_) {
+      sink_(ArqFrame{ArqKind::kData, resync_.epoch(), seq, payload}.encode());
+    }
   }
 
   void on_timeout() {
@@ -98,7 +113,23 @@ class GoBackN final : public ArqEndpoint {
     }
     // Cumulative ack (also repairs lost acks on duplicates).
     ++stats_.acks_sent;
-    if (sink_) sink_(ArqFrame{ArqKind::kAck, recv_expected_, {}}.encode());
+    if (sink_) {
+      sink_(
+          ArqFrame{ArqKind::kAck, resync_.epoch(), recv_expected_, {}}.encode());
+    }
+  }
+
+  // Unacknowledged window payloads go back to the front of the queue, in
+  // order, to be resent from sequence 0 under the new epoch.
+  void reset_sequence_state() {
+    timer_.stop();
+    while (!outstanding_.empty()) {
+      queue_.push_front(std::move(outstanding_.back()));
+      outstanding_.pop_back();
+    }
+    base_ = 0;
+    next_seq_ = 0;
+    recv_expected_ = 0;
   }
 
   ArqConfig config_;
@@ -106,6 +137,7 @@ class GoBackN final : public ArqEndpoint {
   Deliver deliver_;
   ArqStats stats_;
   sim::Timer timer_;
+  ResyncSession resync_;
 
   std::deque<Bytes> queue_;        // accepted, not yet in window
   std::deque<Bytes> outstanding_;  // [base_, next_seq_)

@@ -1,0 +1,124 @@
+// The resynchronization half-protocol shared by all three ARQ engines.
+//
+// resync() re-baselines both directions of an ARQ connection to sequence 0
+// under a fresh epoch (see frame.hpp for the epoch's role on the wire).
+// The exchange is a one-round handshake:
+//
+//   initiator                                 peer
+//   ---------                                 ----
+//   epoch' = epoch+1; reset state
+//   RESYNC{epoch', nonce}  ------------------>  first sight of nonce:
+//                                               adopt epoch'; reset state
+//   data paused            <-----------------  RESYNC-ACK{epoch', nonce}
+//   resume under epoch'
+//
+// The nonce (a per-endpoint monotonic counter) makes the request
+// idempotent: a duplicate RESYNC — retransmitted by the initiator's timer
+// or released late by a healing link — is re-acknowledged without
+// resetting the peer a second time.  Concurrent resyncs from both ends
+// converge because each side treats the other's first-seen nonce as a new
+// round, and the kind byte keeps the two handshakes' frames apart.
+//
+// The engines own their sequence state; this class owns only the protocol
+// (epoch, nonce, retry timer) and calls back into the engine to reset and
+// to resume.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "datalink/arq/arq.hpp"
+#include "datalink/arq/frame.hpp"
+#include "sim/simulator.hpp"
+
+namespace sublayer::datalink::detail {
+
+class ResyncSession {
+ public:
+  struct Hooks {
+    /// Zero the engine's sequence state in both directions and requeue
+    /// unacknowledged payloads at the front of the send queue, in order.
+    std::function<void()> reset_state;
+    /// Emit a control frame towards the channel.
+    std::function<void(const ArqFrame&)> emit;
+    /// Our re-baseline was acknowledged; data transmission may resume.
+    std::function<void()> resumed;
+  };
+
+  ResyncSession(sim::Simulator& sim, Duration rto, ArqStats& stats,
+                Hooks hooks)
+      : rto_(rto),
+        stats_(stats),
+        hooks_(std::move(hooks)),
+        timer_(sim, [this] { on_timer(); }) {}
+
+  /// The epoch to stamp on every outgoing data/ack frame.
+  std::uint8_t epoch() const { return epoch_; }
+  /// True while our own re-baseline awaits the peer's acknowledgement;
+  /// engines hold back data transmission while this is set.
+  bool pending() const { return pending_; }
+
+  void initiate() {
+    ++stats_.resyncs;
+    epoch_ = static_cast<std::uint8_t>(epoch_ + 1u);
+    nonce_ = ++nonce_counter_;
+    pending_ = true;
+    hooks_.reset_state();
+    send_request();
+  }
+
+  /// Filters every decoded inbound frame.  Returns true when the frame was
+  /// consumed here — resync control traffic, or a data/ack frame from a
+  /// stale epoch that must not touch the engine's sequence state.
+  bool on_frame(const ArqFrame& f) {
+    if (f.kind == ArqKind::kResync) {
+      if (!peer_seen_ || f.seq != last_peer_nonce_) {
+        peer_seen_ = true;
+        last_peer_nonce_ = f.seq;
+        epoch_ = f.epoch;
+        hooks_.reset_state();
+      }
+      // Ack duplicates too: our previous ack may have been lost.
+      hooks_.emit(ArqFrame{ArqKind::kResyncAck, f.epoch, f.seq, {}});
+      return true;
+    }
+    if (f.kind == ArqKind::kResyncAck) {
+      if (pending_ && f.seq == nonce_) {
+        pending_ = false;
+        timer_.stop();
+        if (hooks_.resumed) hooks_.resumed();
+      }
+      return true;
+    }
+    if (f.epoch != epoch_) {
+      ++stats_.stale_epoch_dropped;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  void send_request() {
+    // Retry until acknowledged: the link may still be down.
+    timer_.restart(rto_);
+    hooks_.emit(ArqFrame{ArqKind::kResync, epoch_, nonce_, {}});
+  }
+
+  void on_timer() {
+    if (pending_) send_request();
+  }
+
+  Duration rto_;
+  ArqStats& stats_;
+  Hooks hooks_;
+  sim::Timer timer_;
+
+  std::uint8_t epoch_ = 0;
+  std::uint32_t nonce_ = 0;
+  std::uint32_t nonce_counter_ = 0;
+  bool pending_ = false;
+  bool peer_seen_ = false;
+  std::uint32_t last_peer_nonce_ = 0;
+};
+
+}  // namespace sublayer::datalink::detail

@@ -5,17 +5,27 @@
 
 #include "datalink/arq/arq.hpp"
 #include "datalink/arq/frame.hpp"
+#include "datalink/arq/resync.hpp"
 
 namespace sublayer::datalink {
 namespace {
 
 using detail::ArqFrame;
 using detail::ArqKind;
+using detail::ResyncSession;
 
 class SelectiveRepeat final : public ArqEndpoint {
  public:
   SelectiveRepeat(sim::Simulator& sim, ArqConfig config)
-      : sim_(sim), config_(config), timer_(sim, [this] { on_timeout(); }) {
+      : sim_(sim),
+        config_(config),
+        timer_(sim, [this] { on_timeout(); }),
+        resync_(sim, config.rto, stats_,
+                {[this] { reset_sequence_state(); },
+                 [this](const ArqFrame& f) {
+                   if (sink_) sink_(f.encode());
+                 },
+                 [this] { pump(); }}) {
     bind_arq_stats(stats_);
   }
 
@@ -37,12 +47,15 @@ class SelectiveRepeat final : public ArqEndpoint {
   void on_frame(Bytes raw) override {
     const auto frame = ArqFrame::decode(std::move(raw));
     if (!frame) return;
+    if (resync_.on_frame(*frame)) return;
     if (frame->kind == ArqKind::kData) {
       handle_data(*frame);
     } else {
       handle_ack(*frame);
     }
   }
+
+  void resync() override { resync_.initiate(); }
 
   bool idle() const override { return outstanding_.empty() && queue_.empty(); }
   const ArqStats& stats() const override { return stats_; }
@@ -54,6 +67,10 @@ class SelectiveRepeat final : public ArqEndpoint {
   };
 
   void pump() {
+    if (resync_.pending()) {
+      rearm();
+      return;
+    }
     while (outstanding_.size() < config_.window && !queue_.empty()) {
       const std::uint32_t seq = next_seq_++;
       outstanding_.emplace(
@@ -67,7 +84,9 @@ class SelectiveRepeat final : public ArqEndpoint {
   void transmit(std::uint32_t seq, const Bytes& payload, bool retransmission) {
     ++stats_.data_frames_sent;
     if (retransmission) ++stats_.retransmissions;
-    if (sink_) sink_(ArqFrame{ArqKind::kData, seq, payload}.encode());
+    if (sink_) {
+      sink_(ArqFrame{ArqKind::kData, resync_.epoch(), seq, payload}.encode());
+    }
   }
 
   void rearm() {
@@ -109,7 +128,9 @@ class SelectiveRepeat final : public ArqEndpoint {
     // Individual ack for everything we hold — including already-delivered
     // duplicates, whose original ack may have been lost.
     ++stats_.acks_sent;
-    if (sink_) sink_(ArqFrame{ArqKind::kAck, f.seq, {}}.encode());
+    if (sink_) {
+      sink_(ArqFrame{ArqKind::kAck, resync_.epoch(), f.seq, {}}.encode());
+    }
 
     if (f.seq < recv_expected_) {
       ++stats_.duplicates_dropped;
@@ -138,12 +159,27 @@ class SelectiveRepeat final : public ArqEndpoint {
     if (deliver_) deliver_(payload);
   }
 
+  // Unacknowledged window payloads go back to the front of the queue in
+  // sequence order (the map iterates ascending), to be resent from
+  // sequence 0 under the new epoch.
+  void reset_sequence_state() {
+    timer_.stop();
+    for (auto it = outstanding_.rbegin(); it != outstanding_.rend(); ++it) {
+      queue_.push_front(std::move(it->second.payload));
+    }
+    outstanding_.clear();
+    next_seq_ = 0;
+    recv_expected_ = 0;
+    recv_buffer_.clear();
+  }
+
   sim::Simulator& sim_;
   ArqConfig config_;
   FrameSink sink_;
   Deliver deliver_;
   ArqStats stats_;
   sim::Timer timer_;
+  ResyncSession resync_;
 
   std::deque<Bytes> queue_;
   std::map<std::uint32_t, Pending> outstanding_;

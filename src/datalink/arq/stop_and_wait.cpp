@@ -3,17 +3,26 @@
 
 #include "datalink/arq/arq.hpp"
 #include "datalink/arq/frame.hpp"
+#include "datalink/arq/resync.hpp"
 
 namespace sublayer::datalink {
 namespace {
 
 using detail::ArqFrame;
 using detail::ArqKind;
+using detail::ResyncSession;
 
 class StopAndWait final : public ArqEndpoint {
  public:
   StopAndWait(sim::Simulator& sim, ArqConfig config)
-      : config_(config), timer_(sim, [this] { on_timeout(); }) {
+      : config_(config),
+        timer_(sim, [this] { on_timeout(); }),
+        resync_(sim, config.rto, stats_,
+                {[this] { reset_sequence_state(); },
+                 [this](const ArqFrame& f) {
+                   if (sink_) sink_(f.encode());
+                 },
+                 [this] { pump(); }}) {
     bind_arq_stats(stats_);
   }
 
@@ -35,6 +44,7 @@ class StopAndWait final : public ArqEndpoint {
   void on_frame(Bytes raw) override {
     const auto frame = ArqFrame::decode(std::move(raw));
     if (!frame) return;
+    if (resync_.on_frame(*frame)) return;
     if (frame->kind == ArqKind::kData) {
       handle_data(*frame);
     } else {
@@ -42,18 +52,21 @@ class StopAndWait final : public ArqEndpoint {
     }
   }
 
+  void resync() override { resync_.initiate(); }
+
   bool idle() const override { return !outstanding_ && queue_.empty(); }
   const ArqStats& stats() const override { return stats_; }
 
  private:
   void pump() {
+    if (resync_.pending()) return;
     if (outstanding_ || queue_.empty()) return;
     outstanding_ = true;
     transmit_current(/*retransmission=*/false);
   }
 
   void transmit_current(bool retransmission) {
-    ArqFrame f{ArqKind::kData, send_seq_, queue_.front()};
+    ArqFrame f{ArqKind::kData, resync_.epoch(), send_seq_, queue_.front()};
     ++stats_.data_frames_sent;
     if (retransmission) ++stats_.retransmissions;
     timer_.restart(config_.rto);
@@ -76,7 +89,9 @@ class StopAndWait final : public ArqEndpoint {
   void handle_data(const ArqFrame& f) {
     // Always (re)ack so a lost ack gets repaired by the duplicate data.
     ++stats_.acks_sent;
-    if (sink_) sink_(ArqFrame{ArqKind::kAck, f.seq, {}}.encode());
+    if (sink_) {
+      sink_(ArqFrame{ArqKind::kAck, resync_.epoch(), f.seq, {}}.encode());
+    }
     if (f.seq == recv_expected_) {
       ++recv_expected_;
       ++stats_.delivered;
@@ -86,11 +101,21 @@ class StopAndWait final : public ArqEndpoint {
     }
   }
 
+  // The unacknowledged payload (if any) is still queue_.front(), so
+  // re-baselining only needs the flags and counters zeroed.
+  void reset_sequence_state() {
+    outstanding_ = false;
+    timer_.stop();
+    send_seq_ = 0;
+    recv_expected_ = 0;
+  }
+
   ArqConfig config_;
   FrameSink sink_;
   Deliver deliver_;
   ArqStats stats_;
   sim::Timer timer_;
+  ResyncSession resync_;
 
   std::deque<Bytes> queue_;
   bool outstanding_ = false;

@@ -105,6 +105,10 @@ class DatalinkEndpoint {
   void set_deliver(Deliver d);
   /// Sends a payload with the full reliable-delivery service.
   bool send(Bytes payload);
+  /// Re-baselines the ARQ sublayer after sequence-state divergence (see
+  /// ArqEndpoint::resync); the sublayers below carry no connection state
+  /// and need no part in it.
+  void resync() { arq_->resync(); }
   bool idle() const { return arq_->idle(); }
 
   const StackStats& stats() const { return plane_.stats(); }

@@ -74,8 +74,32 @@ class LinkState final : public RouteComputation {
                                                message.size());
     const auto lsp = Lsp::decode(message);
     if (!lsp) return;
+    if (lsp->origin == self_) {
+      // Our own LSP echoed back.  If its sequence number is at or beyond
+      // ours, this instance restarted with state loss and the network
+      // still circulates LSPs from the previous incarnation: jump past
+      // them and re-originate, or every fresh LSP would be discarded as
+      // stale until own_seq_ catches up one refresh at a time (the IS-IS
+      // sequence-number recovery rule, ISO 10589 §7.3.16.1).  Never store
+      // or re-flood a networked copy of our own LSP — we are the
+      // authority on it.
+      if (lsp->seq >= own_seq_) {
+        own_seq_ = lsp->seq;
+        originate();
+      }
+      return;
+    }
     auto it = lsdb_.find(lsp->origin);
-    if (it != lsdb_.end() && lsp->seq <= it->second.seq) return;  // stale
+    if (it != lsdb_.end() && lsp->seq <= it->second.seq) {
+      // Stale or duplicate.  A *strictly* older LSP means the sender's
+      // database is behind ours — typically a restarted router flooding
+      // from sequence 1 — so send our newer copy back on that interface
+      // and let flooding repair the gap.  Equal sequence numbers are the
+      // normal flooding echo and must stay silent, or two routers would
+      // ping-pong the same LSP forever.
+      if (lsp->seq < it->second.seq) send_to(interface, it->second);
+      return;
+    }
     lsdb_[lsp->origin] = *lsp;
     flood(*lsp, interface);
     recompute();
@@ -102,6 +126,17 @@ class LinkState final : public RouteComputation {
     lsdb_[self_] = lsp;
     flood(lsp, /*except_interface=*/-1);
     recompute();
+  }
+
+  /// Unicasts one stored LSP to a single interface (stale-LSP repair).
+  void send_to(int interface, const Lsp& lsp) {
+    if (!sink_) return;
+    Bytes encoded = lsp.encode();
+    ++stats_.messages_sent;
+    stats_.bytes_sent += encoded.size();
+    telemetry::SpanTracer::instance().crossing(span_, telemetry::Dir::kDown,
+                                               encoded.size());
+    sink_(interface, std::move(encoded));
   }
 
   void flood(const Lsp& lsp, int except_interface) {

@@ -2,6 +2,7 @@
 
 #include "common/logging.hpp"
 #include "common/rng.hpp"
+#include "common/siphash.hpp"
 #include "sim/link.hpp"
 #include "telemetry/span.hpp"
 
@@ -11,35 +12,74 @@ const Logger kLog("netlayer");
 }
 
 Router::Router(sim::Simulator& sim, RouterId id, const RouterConfig& config)
-    : sim_(sim),
-      id_(id),
-      config_(config),
-      neighbors_(sim, id, config.neighbor),
-      routing_(make_routing(config.routing, sim, id, neighbors_,
-                            config.routing_config)) {
-  neighbors_.set_hello_sink([this](int iface, Bytes hello) {
-    emit(iface, FrameType::kHello, hello);
-  });
-  neighbors_.set_change_callback([this] { routing_->on_neighbors_changed(); });
-  routing_->set_message_sink([this](int iface, Bytes msg) {
-    emit(iface, FrameType::kRouting, msg);
-  });
-  routing_->set_table_callback(
-      [this](const RouteTable& table) { install_table(table); });
+    : sim_(sim), id_(id), config_(config) {
+  build_control_plane();
   stats_.datagrams_forwarded.bind("netlayer.fwd.datagrams_forwarded");
   stats_.delivered_local.bind("netlayer.fwd.delivered_local");
   stats_.ttl_expired.bind("netlayer.fwd.ttl_expired");
   stats_.no_route.bind("netlayer.fwd.no_route");
   stats_.malformed.bind("netlayer.fwd.malformed");
   stats_.ecn_marked.bind("netlayer.fwd.ecn_marked");
+  stats_.dropped_while_down.bind("netlayer.fwd.dropped_while_down");
+  stats_.routes_flushed.bind("netlayer.fwd.routes_flushed");
   span_ = telemetry::SpanTracer::instance().intern("netlayer.fwd");
+}
+
+void Router::build_control_plane() {
+  // The routing engine holds a reference to the neighbor table, so the old
+  // engine must go before the old table does.
+  routing_.reset();
+  neighbors_ =
+      std::make_unique<NeighborTable>(sim_, id_, config_.neighbor);
+  routing_ = make_routing(config_.routing, sim_, id_, *neighbors_,
+                          config_.routing_config);
+  neighbors_->set_hello_sink([this](int iface, Bytes hello) {
+    emit(iface, FrameType::kHello, hello);
+  });
+  neighbors_->set_change_callback([this] {
+    // Withdraw routes through the dead interface *before* asking the
+    // routing engine to recompute: forwarding must not keep using a next
+    // hop that neighbor determination has already declared unreachable.
+    flush_routes_via_dead_interfaces();
+    routing_->on_neighbors_changed();
+  });
+  routing_->set_message_sink([this](int iface, Bytes msg) {
+    emit(iface, FrameType::kRouting, msg);
+  });
+  routing_->set_table_callback(
+      [this](const RouteTable& table) { install_table(table); });
+  // Interfaces are cabling, not protocol state: a rebuilt control plane
+  // sees the same ports a rebooted router's line cards would present.
+  for (std::size_t i = 0; i < iface_costs_.size(); ++i) {
+    neighbors_->add_interface(static_cast<int>(i), iface_costs_[i]);
+  }
+}
+
+void Router::crash() {
+  if (!up_) return;
+  up_ = false;
+  kLog.info("r%u crashed (control-plane state lost)", id_);
+  // Full state loss: a fresh, unstarted control plane replaces the old one
+  // (neighbor table, LSDB / learned routes, sequence numbers all gone),
+  // and the FIB empties.  Accessors stay valid while down; timers stay
+  // quiet until restart().
+  build_control_plane();
+  fib_.clear();
+}
+
+void Router::restart() {
+  if (up_) return;
+  up_ = true;
+  kLog.info("r%u restarting", id_);
+  if (started_) start();
 }
 
 int Router::add_interface(LinkSink sink, double cost) {
   const int index = static_cast<int>(interfaces_.size());
   interfaces_.push_back(std::move(sink));
   probes_.emplace_back();
-  neighbors_.add_interface(index, cost);
+  iface_costs_.push_back(cost);
+  neighbors_->add_interface(index, cost);
   return index;
 }
 
@@ -48,7 +88,8 @@ void Router::set_congestion_probe(int interface, CongestionProbe probe) {
 }
 
 void Router::start() {
-  neighbors_.start();
+  started_ = true;
+  neighbors_->start();
   routing_->start();
 }
 
@@ -62,6 +103,10 @@ void Router::emit(int interface, FrameType type, ByteView payload) {
 }
 
 void Router::on_link_frame(int index, Bytes frame) {
+  if (!up_) {
+    ++stats_.dropped_while_down;
+    return;
+  }
   if (frame.empty()) {
     ++stats_.malformed;
     return;
@@ -70,7 +115,7 @@ void Router::on_link_frame(int index, Bytes frame) {
   const ByteView payload = ByteView(frame).subspan(1);
   switch (type) {
     case FrameType::kHello:
-      neighbors_.on_hello(index, payload);
+      neighbors_->on_hello(index, payload);
       break;
     case FrameType::kRouting:
       routing_->on_message(index, payload);
@@ -88,12 +133,35 @@ void Router::install_table(const RouteTable& table) {
   // The forwarding sublayer's view: one LAN prefix per reachable router.
   fib_.clear();
   for (const auto& [dest, route] : table) {
+    // Cross-sublayer sanity: never install a route through an interface
+    // whose neighbor is gone, even if the routing engine's view lags the
+    // neighbor table's (e.g. a route-timeout scan not yet due).
+    if (!iface_has_live_neighbor(route.interface)) continue;
     fib_.insert(Prefix::router_lan(dest),
                 RouteEntry{route.interface, route.next_hop, route.metric});
   }
 }
 
+bool Router::iface_has_live_neighbor(int interface) const {
+  return neighbors_->neighbor_on(interface).has_value();
+}
+
+void Router::flush_routes_via_dead_interfaces() {
+  std::vector<Prefix> dead;
+  for (const auto& [prefix, route] : fib_.entries()) {
+    if (!iface_has_live_neighbor(route.interface)) dead.push_back(prefix);
+  }
+  for (const auto& prefix : dead) {
+    fib_.remove(prefix);
+    ++stats_.routes_flushed;
+  }
+}
+
 void Router::send_datagram(IpHeader header, ByteView payload) {
+  if (!up_) {
+    ++stats_.dropped_while_down;
+    return;
+  }
   // The transport pushes a datagram into the network layer here; the
   // matching up-crossing is local delivery at the destination router.
   telemetry::SpanTracer::instance().crossing(span_, telemetry::Dir::kDown,
@@ -161,6 +229,32 @@ RouterId Network::add_router() {
   return id;
 }
 
+namespace {
+// Harness FCS (RouterConfig::link_fcs): a fixed-key 32-bit SipHash tag.
+// The key is arbitrary but shared by both ends of every harness link —
+// this is an error-detecting code standing in for a real L2 CRC, not an
+// authenticator.
+constexpr SipHashKey kFcsKey = {0x736c6179722d4c32ull, 0x4643532d68617368ull};
+
+void append_fcs(Bytes& frame) {
+  const auto tag =
+      static_cast<std::uint32_t>(siphash24(kFcsKey, ByteView(frame)));
+  ByteWriter w(frame);
+  w.u32(tag);
+}
+
+bool strip_fcs(Bytes& frame) {
+  if (frame.size() < 4) return false;
+  const ByteView body = ByteView(frame).subspan(0, frame.size() - 4);
+  ByteReader r(ByteView(frame).subspan(frame.size() - 4));
+  const std::uint32_t want = r.u32();
+  const auto got = static_cast<std::uint32_t>(siphash24(kFcsKey, body));
+  if (got != want) return false;
+  frame.resize(frame.size() - 4);
+  return true;
+}
+}  // namespace
+
 std::size_t Network::connect(RouterId a, RouterId b,
                              const sim::LinkConfig& link_config, double cost) {
   // Built with += (not operator+ on a literal): GCC 12's -Wrestrict
@@ -174,16 +268,36 @@ std::size_t Network::connect(RouterId a, RouterId b,
   sim::DuplexLink& link = *links_.back();
   Router& ra = *routers_.at(a);
   Router& rb = *routers_.at(b);
+  const bool fcs = config_.link_fcs;
   const int ia = ra.add_interface(
-      [&link](Bytes f) { link.a_to_b().send(std::move(f)); }, cost);
+      [&link, fcs](Bytes f) {
+        if (fcs) append_fcs(f);
+        link.a_to_b().send(std::move(f));
+      },
+      cost);
   const int ib = rb.add_interface(
-      [&link](Bytes f) { link.b_to_a().send(std::move(f)); }, cost);
+      [&link, fcs](Bytes f) {
+        if (fcs) append_fcs(f);
+        link.b_to_a().send(std::move(f));
+      },
+      cost);
   ra.set_congestion_probe(ia, [&link] { return link.a_to_b().backlog(); });
   rb.set_congestion_probe(ib, [&link] { return link.b_to_a().backlog(); });
-  link.a_to_b().set_receiver(
-      [&rb, ib](Bytes f) { rb.on_link_frame(ib, std::move(f)); });
-  link.b_to_a().set_receiver(
-      [&ra, ia](Bytes f) { ra.on_link_frame(ia, std::move(f)); });
+  link.a_to_b().set_receiver([this, &rb, ib, fcs](Bytes f) {
+    if (fcs && !strip_fcs(f)) {
+      ++fcs_dropped_frames_;
+      return;
+    }
+    rb.on_link_frame(ib, std::move(f));
+  });
+  link.b_to_a().set_receiver([this, &ra, ia, fcs](Bytes f) {
+    if (fcs && !strip_fcs(f)) {
+      ++fcs_dropped_frames_;
+      return;
+    }
+    ra.on_link_frame(ia, std::move(f));
+  });
+  ends_.push_back(LinkEnds{a, ia, b, ib});
   return links_.size() - 1;
 }
 

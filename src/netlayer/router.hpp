@@ -32,6 +32,13 @@ struct RouterConfig {
   /// AQM/ECN: datagrams forwarded onto a link whose serialization backlog
   /// exceeds this get the congestion-experienced mark.  Zero disables.
   Duration ecn_backlog_threshold = Duration::nanos(0);
+  /// Network-harness links only: append a 32-bit SipHash-based frame check
+  /// sequence to every link frame and drop mismatches at the receiver.
+  /// Models the L2 FCS real deployments rely on — neither the native
+  /// transport wire format nor the simulated IP header carries a checksum
+  /// (corruption is a link-layer problem), so corruption faults on bare
+  /// links would otherwise deliver flipped bits straight to applications.
+  bool link_fcs = false;
 };
 
 /// Registry-backed (`netlayer.fwd.*`); reads stay per-instance.
@@ -42,6 +49,8 @@ struct RouterStats {
   telemetry::Counter no_route;
   telemetry::Counter malformed;
   telemetry::Counter ecn_marked;
+  telemetry::Counter dropped_while_down;  // frames arriving during a crash
+  telemetry::Counter routes_flushed;  // FIB withdrawals at neighbor death
 };
 
 class Router {
@@ -68,6 +77,17 @@ class Router {
   /// Starts hello and routing protocol timers.
   void start();
 
+  /// Chaos support: crash with full control-plane state loss.  The router
+  /// keeps its identity, interfaces, and protocol handlers (cabling and
+  /// applications outlive a reboot) but loses its neighbor table, all
+  /// routing state (LSDB / learned routes / sequence numbers), and the
+  /// FIB, and drops every frame until restart().
+  void crash();
+  /// Boots the crashed router: protocol timers restart and the control
+  /// plane rebuilds itself from HELLOs up, exactly like a cold start.
+  void restart();
+  bool is_up() const { return up_; }
+
   /// Feeds a raw frame that arrived on interface `index`.
   void on_link_frame(int index, Bytes frame);
 
@@ -80,7 +100,8 @@ class Router {
   const Fib& fib() const { return fib_; }
   const RouterStats& stats() const { return stats_; }
   const RoutingStats& routing_stats() const { return routing_->stats(); }
-  const NeighborStats& neighbor_stats() const { return neighbors_.stats(); }
+  const NeighborStats& neighbor_stats() const { return neighbors_->stats(); }
+  const NeighborTable& neighbors() const { return *neighbors_; }
   const std::string routing_name() const { return routing_->name(); }
 
  private:
@@ -89,16 +110,28 @@ class Router {
   void emit(int interface, FrameType type, ByteView payload);
   void install_table(const RouteTable& table);
   void forward(Bytes datagram);
+  /// (Re)creates the neighbor table and routing engine and wires the
+  /// sublayer callbacks; shared by the constructor and crash().
+  void build_control_plane();
+  /// Withdraws FIB entries whose outgoing interface has no live neighbor.
+  void flush_routes_via_dead_interfaces();
+  bool iface_has_live_neighbor(int interface) const;
 
   sim::Simulator& sim_;
   RouterId id_;
   RouterConfig config_;
   std::vector<LinkSink> interfaces_;
   std::vector<CongestionProbe> probes_;
-  NeighborTable neighbors_;
+  std::vector<double> iface_costs_;
+  // unique_ptr so crash() can destroy and rebuild the control plane; the
+  // routing engine references the neighbor table, so neighbors_ must be
+  // reset only after routing_.
+  std::unique_ptr<NeighborTable> neighbors_;
   std::unique_ptr<RouteComputation> routing_;
   Fib fib_;
   RouterStats stats_;
+  bool up_ = true;
+  bool started_ = false;
   std::uint32_t span_ = 0;
   std::map<IpProto, ProtocolHandler> handlers_;
 };
@@ -122,6 +155,24 @@ class Network {
   void fail_link(std::size_t link_index);
   void restore_link(std::size_t link_index);
 
+  /// Chaos access: the underlying duplex link (live reconfiguration of
+  /// impairments) and which router/interface sits at each end.
+  struct LinkEnds {
+    RouterId a = 0;
+    int iface_a = -1;
+    RouterId b = 0;
+    int iface_b = -1;
+  };
+  std::size_t link_count() const { return links_.size(); }
+  sim::DuplexLink& link(std::size_t link_index) {
+    return *links_.at(link_index);
+  }
+  const LinkEnds& link_ends(std::size_t link_index) const {
+    return ends_.at(link_index);
+  }
+  /// Frames dropped by the harness FCS check (config.link_fcs).
+  std::uint64_t fcs_dropped_frames() const { return fcs_dropped_frames_; }
+
   /// Sum of routing-protocol messages across all routers.
   std::uint64_t total_routing_messages() const;
   std::uint64_t total_routing_bytes() const;
@@ -137,6 +188,8 @@ class Network {
   Rng rng_;
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<std::unique_ptr<sim::DuplexLink>> links_;
+  std::vector<LinkEnds> ends_;
+  std::uint64_t fcs_dropped_frames_ = 0;
 };
 
 }  // namespace sublayer::netlayer

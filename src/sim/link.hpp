@@ -65,7 +65,16 @@ class Link {
   const std::string& name() const { return name_; }
 
   /// Live-reconfiguration (e.g. a failure injection flips loss_rate to 1).
+  /// Frames already in flight keep the impairments drawn at send time; only
+  /// frames offered after the change see the new configuration.
   void set_loss_rate(double p) { config_.loss_rate = p; }
+  void set_corrupt_rate(double p) { config_.corrupt_rate = p; }
+  void set_duplicate_rate(double p) { config_.duplicate_rate = p; }
+  void set_jitter(Duration j) { config_.jitter = j; }
+  void set_queue_limit(std::size_t limit) { config_.queue_limit = limit; }
+  /// Replaces the whole impairment model at once (chaos scripts restore a
+  /// snapshot this way after a fault window ends).
+  void set_config(const LinkConfig& config) { config_ = config; }
   void set_down(bool down) { down_ = down; }
   bool is_down() const { return down_; }
 
@@ -107,6 +116,13 @@ class DuplexLink {
   void set_down(bool down) {
     a_to_b_.set_down(down);
     b_to_a_.set_down(down);
+  }
+
+  bool is_down() const { return a_to_b_.is_down() && b_to_a_.is_down(); }
+
+  void set_config(const LinkConfig& config) {
+    a_to_b_.set_config(config);
+    b_to_a_.set_config(config);
   }
 
  private:

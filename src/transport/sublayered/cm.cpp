@@ -21,6 +21,9 @@ std::uint32_t bind_cm_telemetry(CmStats& stats) {
   stats.fin_retransmits.bind("transport.cm.fin_retransmits");
   stats.rst_sent.bind("transport.cm.rst_sent");
   stats.bad_incarnation.bind("transport.cm.bad_incarnation");
+  stats.keepalive_probes_sent.bind("transport.cm.keepalive_probes_sent");
+  stats.keepalive_replies_sent.bind("transport.cm.keepalive_replies_sent");
+  stats.keepalive_aborts.bind("transport.cm.keepalive_aborts");
   return telemetry::SpanTracer::instance().intern("transport.cm");
 }
 
@@ -36,7 +39,8 @@ ConnectionManager::ConnectionManager(sim::Simulator& sim,
       time_wait_timer_(sim, [this] {
         state_ = CmState::kClosed;
         if (cb_.on_closed) cb_.on_closed();
-      }) {
+      }),
+      keepalive_timer_(sim, [this] { on_keepalive_timer(); }) {
   // Every control segment CM emits is a down-crossing of the CM/DM
   // boundary; data segments cross in stamp_data().
   if (cb_.send) {
@@ -77,7 +81,7 @@ void ConnectionManager::send_syn() {
   s.cm.isn_local = isn_local_;
   s.cm.isn_peer = 0;
   ++stats_.syn_sent;
-  handshake_timer_.restart(config_.handshake_rto * (1 << retries_));
+  handshake_timer_.restart(cm_backoff(config_, retries_));
   if (cb_.send) cb_.send(std::move(s));
 }
 
@@ -86,7 +90,7 @@ void ConnectionManager::send_synack() {
   s.cm.kind = CmKind::kSynAck;
   s.cm.isn_local = isn_local_;
   s.cm.isn_peer = isn_peer_;
-  handshake_timer_.restart(config_.handshake_rto * (1 << retries_));
+  handshake_timer_.restart(cm_backoff(config_, retries_));
   if (cb_.send) cb_.send(std::move(s));
 }
 
@@ -97,7 +101,7 @@ void ConnectionManager::send_fin() {
   s.cm.isn_peer = isn_peer_;
   s.cm.fin_offset = static_cast<std::uint32_t>(local_stream_length_);
   ++stats_.fin_sent;
-  handshake_timer_.restart(config_.handshake_rto * (1 << retries_));
+  handshake_timer_.restart(cm_backoff(config_, retries_));
   if (cb_.send) cb_.send(std::move(s));
 }
 
@@ -116,6 +120,47 @@ void ConnectionManager::send_rst() {
   s.cm.isn_peer = isn_peer_;
   ++stats_.rst_sent;
   if (cb_.send) cb_.send(std::move(s));
+}
+
+void ConnectionManager::send_probe() {
+  SublayeredSegment s;
+  s.cm.kind = CmKind::kProbe;
+  s.cm.isn_local = isn_local_;
+  s.cm.isn_peer = isn_peer_;
+  ++stats_.keepalive_probes_sent;
+  if (cb_.send) cb_.send(std::move(s));
+}
+
+void ConnectionManager::send_probe_ack() {
+  SublayeredSegment s;
+  s.cm.kind = CmKind::kProbeAck;
+  s.cm.isn_local = isn_local_;
+  s.cm.isn_peer = isn_peer_;
+  ++stats_.keepalive_replies_sent;
+  if (cb_.send) cb_.send(std::move(s));
+}
+
+void ConnectionManager::note_inbound_activity() {
+  probes_outstanding_ = 0;
+  if (config_.keepalive_interval.is_zero()) return;
+  if (state_ == CmState::kEstablished) {
+    keepalive_timer_.restart(config_.keepalive_interval);
+  }
+}
+
+void ConnectionManager::on_keepalive_timer() {
+  if (state_ != CmState::kEstablished) return;
+  if (probes_outstanding_ >= config_.max_keepalive_probes) {
+    ++stats_.keepalive_aborts;
+    abort("keepalive timeout: peer is dead");
+    return;
+  }
+  send_probe();
+  // Probes retry on the handshake backoff schedule, so a dead peer is
+  // declared in roughly keepalive_interval + rto * (2^probes - 1) rather
+  // than probes * keepalive_interval.
+  keepalive_timer_.restart(cm_backoff(config_, probes_outstanding_));
+  ++probes_outstanding_;
 }
 
 void ConnectionManager::on_handshake_timer() {
@@ -158,6 +203,7 @@ void ConnectionManager::abort(const std::string& reason) {
   if (state_ == CmState::kAborted || state_ == CmState::kClosed) return;
   send_rst();
   handshake_timer_.stop();
+  keepalive_timer_.stop();
   state_ = CmState::kAborted;
   if (cb_.on_reset) cb_.on_reset(reason);
 }
@@ -170,6 +216,7 @@ void ConnectionManager::maybe_time_wait() {
 
 void ConnectionManager::enter_time_wait() {
   handshake_timer_.stop();
+  keepalive_timer_.stop();
   state_ = CmState::kTimeWait;
   time_wait_timer_.restart(config_.time_wait);
 }
@@ -190,6 +237,7 @@ void ConnectionManager::on_segment(SublayeredSegment segment) {
         isn_peer_ = segment.cm.isn_local;
         handshake_timer_.stop();
         state_ = CmState::kEstablished;
+        note_inbound_activity();  // arm the keepalive clock
         if (cb_.on_established) cb_.on_established(isn_local_, isn_peer_);
       } else if (state_ == CmState::kEstablished && incarnation_ok(segment)) {
         // Our handshake-completing ack was lost; re-ack.
@@ -204,11 +252,15 @@ void ConnectionManager::on_segment(SublayeredSegment segment) {
         // RD is that such segments never reach it.
         return;
       }
+      // A validated segment proves the peer is alive; forged or stale
+      // segments deliberately do NOT reset the dead-peer probe budget.
+      note_inbound_activity();
       if (state_ == CmState::kSynRcvd) {
         // First valid segment of the new incarnation completes the
         // handshake on the passive side.
         handshake_timer_.stop();
         state_ = CmState::kEstablished;
+        note_inbound_activity();
         if (cb_.on_established) cb_.on_established(isn_local_, isn_peer_);
       }
       if (state_ == CmState::kEstablished || state_ == CmState::kTimeWait) {
@@ -221,9 +273,11 @@ void ConnectionManager::on_segment(SublayeredSegment segment) {
         ++stats_.bad_incarnation;
         return;
       }
+      note_inbound_activity();
       if (state_ == CmState::kSynRcvd) {
         handshake_timer_.stop();
         state_ = CmState::kEstablished;
+        note_inbound_activity();
         if (cb_.on_established) cb_.on_established(isn_local_, isn_peer_);
       }
       if (state_ == CmState::kEstablished || state_ == CmState::kTimeWait) {
@@ -241,6 +295,7 @@ void ConnectionManager::on_segment(SublayeredSegment segment) {
         ++stats_.bad_incarnation;
         return;
       }
+      note_inbound_activity();
       if (local_fin_sent_ && !local_fin_acked_) {
         local_fin_acked_ = true;
         handshake_timer_.stop();
@@ -255,11 +310,33 @@ void ConnectionManager::on_segment(SublayeredSegment segment) {
       if (segment.cm.isn_peer == isn_local_ ||
           segment.cm.isn_local == isn_peer_) {
         handshake_timer_.stop();
+        keepalive_timer_.stop();
         state_ = CmState::kAborted;
         if (cb_.on_reset) cb_.on_reset("peer reset");
       } else {
         ++stats_.bad_incarnation;
       }
+      return;
+
+    case CmKind::kProbe:
+      if (!incarnation_ok(segment)) {
+        ++stats_.bad_incarnation;
+        return;
+      }
+      note_inbound_activity();
+      if (state_ == CmState::kEstablished || state_ == CmState::kTimeWait) {
+        send_probe_ack();
+      }
+      return;
+
+    case CmKind::kProbeAck:
+      // Validated reply: the peer is alive, clear the dead-peer budget.  A
+      // blind forged reply must not keep a stale incarnation alive.
+      if (!incarnation_ok(segment)) {
+        ++stats_.bad_incarnation;
+        return;
+      }
+      note_inbound_activity();
       return;
   }
 }

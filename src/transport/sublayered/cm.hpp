@@ -65,7 +65,28 @@ struct CmConfig {
   Duration handshake_rto = Duration::millis(200);
   int max_handshake_retries = 8;
   Duration time_wait = Duration::millis(500);  // stands in for 2*MSL
+  /// Idle keepalive: after this long with no inbound segment, CM sends a
+  /// kProbe; an unanswered probe schedule aborts the connection as
+  /// dead-peer.  Zero disables keepalives (the default — probes only pay
+  /// for themselves on long-lived idle connections, and the RFC 793 shim
+  /// cannot translate a reply).
+  Duration keepalive_interval = Duration::nanos(0);
+  /// Unanswered probes tolerated before declaring the peer dead.
+  int max_keepalive_probes = 3;
 };
+
+/// Exponential backoff for CM control-segment retransmission, shared by
+/// every retry site in both CM mechanisms.  The shift is clamped: without
+/// it `1 << retries` is undefined behaviour once retries reaches the bit
+/// width, and a misconfigured retry budget would turn the backoff into a
+/// negative or zero delay instead of a long one.
+inline Duration cm_backoff(const CmConfig& config, int retries) {
+  constexpr int kMaxShift = 16;  // caps the multiplier at 65536x
+  const int shift = retries < 0 ? 0 : (retries > kMaxShift ? kMaxShift
+                                                           : retries);
+  return config.handshake_rto *
+         static_cast<double>(std::int64_t{1} << shift);
+}
 
 /// Registry-backed (`transport.cm.*`); reads stay per-instance.
 struct CmStats {
@@ -75,6 +96,9 @@ struct CmStats {
   telemetry::Counter fin_retransmits;
   telemetry::Counter rst_sent;
   telemetry::Counter bad_incarnation;  // segments rejected by ISN validation
+  telemetry::Counter keepalive_probes_sent;
+  telemetry::Counter keepalive_replies_sent;
+  telemetry::Counter keepalive_aborts;  // dead-peer declarations
 };
 
 /// Shared by both CM mechanisms (handshake and timer-based): binds the
@@ -173,7 +197,13 @@ class ConnectionManager final : public CmInterface {
   void send_fin();
   void send_finack();
   void send_rst();
+  void send_probe();
+  void send_probe_ack();
   void on_handshake_timer();
+  void on_keepalive_timer();
+  /// Inbound traffic observed: reset the dead-peer probe budget and (in
+  /// the established state) push the keepalive deadline out.
+  void note_inbound_activity();
   bool incarnation_ok(const SublayeredSegment& s) const;
   void maybe_time_wait();
   void enter_time_wait();
@@ -192,10 +222,12 @@ class ConnectionManager final : public CmInterface {
   bool local_fin_acked_ = false;
   bool peer_fin_seen_ = false;
   std::uint64_t local_stream_length_ = 0;
+  int probes_outstanding_ = 0;
   CmStats stats_;
   std::uint32_t span_ = 0;
   sim::Timer handshake_timer_;
   sim::Timer time_wait_timer_;
+  sim::Timer keepalive_timer_;
 };
 
 }  // namespace sublayer::transport

@@ -89,6 +89,17 @@ Bytes HeaderShim::outgoing(netlayer::IpAddr remote,
       h.ack = st.have_peer ? st.isn_peer + 1 + st.last_out_ack_offset : 0;
       h.flag_ack = st.have_peer;
       return h.encode({});
+
+    case CmKind::kProbe:
+    case CmKind::kProbeAck:
+      // RFC 793 has no distinct keepalive segment; the closest rendering is
+      // a duplicate pure ACK.  A standard peer will not answer it, so
+      // keepalives are only effective on native-wire deployments — the
+      // shim keeps the bits flowing but cannot conjure a reply protocol.
+      h.flag_ack = true;
+      h.seq = s.cm.isn_local + 1 + st.last_out_seq_offset;
+      h.ack = s.cm.isn_peer + 1 + st.last_out_ack_offset;
+      return h.encode({});
   }
   return h.encode({});
 }

@@ -30,7 +30,8 @@ class TimerCm final : public CmInterface {
         quiet_timer_(sim, [this] {
           state_ = CmState::kClosed;
           if (cb_.on_closed) cb_.on_closed();
-        }) {
+        }),
+        keepalive_timer_(sim, [this] { on_keepalive_timer(); }) {
     // Same boundary accounting as the handshake CM: control segments cross
     // down through the wrapped send callback, data in stamp_data().
     if (cb_.send) {
@@ -47,6 +48,7 @@ class TimerCm final : public CmInterface {
     isn_local_ = isn_provider_.isn(tuple);
     // Established immediately: the first data segment carries the ISN.
     state_ = CmState::kEstablished;
+    note_inbound_activity();
     if (cb_.on_established) cb_.on_established(isn_local_, 0);
   }
 
@@ -57,6 +59,7 @@ class TimerCm final : public CmInterface {
     isn_peer_ = first.cm.isn_local;
     peer_known_ = true;
     state_ = CmState::kEstablished;
+    note_inbound_activity();
     if (cb_.on_established) cb_.on_established(isn_local_, isn_peer_);
     // The connection-creating segment itself carries the first payload.
     on_segment(first);
@@ -79,6 +82,7 @@ class TimerCm final : public CmInterface {
     ++stats_.rst_sent;
     if (cb_.send) cb_.send(std::move(rst));
     fin_timer_.stop();
+    keepalive_timer_.stop();
     state_ = CmState::kAborted;
     if (cb_.on_reset) cb_.on_reset(reason);
   }
@@ -91,6 +95,7 @@ class TimerCm final : public CmInterface {
     switch (segment.cm.kind) {
       case CmKind::kData:
         if (!validate_and_learn(segment)) return;
+        note_inbound_activity();
         if (state_ == CmState::kEstablished ||
             state_ == CmState::kTimeWait) {
           if (cb_.deliver_data) cb_.deliver_data(std::move(segment));
@@ -99,6 +104,7 @@ class TimerCm final : public CmInterface {
 
       case CmKind::kFin:
         if (!validate_and_learn(segment)) return;
+        note_inbound_activity();
         if (state_ != CmState::kEstablished &&
             state_ != CmState::kTimeWait) {
           return;
@@ -113,6 +119,7 @@ class TimerCm final : public CmInterface {
 
       case CmKind::kFinAck:
         if (!validate_and_learn(segment)) return;
+        note_inbound_activity();
         if (local_fin_sent_ && !local_fin_acked_) {
           local_fin_acked_ = true;
           fin_timer_.stop();
@@ -125,11 +132,26 @@ class TimerCm final : public CmInterface {
         if (segment.cm.isn_peer == isn_local_ ||
             (peer_known_ && segment.cm.isn_local == isn_peer_)) {
           fin_timer_.stop();
+          keepalive_timer_.stop();
           state_ = CmState::kAborted;
           if (cb_.on_reset) cb_.on_reset("peer reset");
         } else {
           ++stats_.bad_incarnation;
         }
+        return;
+
+      case CmKind::kProbe:
+        if (!validate_and_learn(segment)) return;
+        note_inbound_activity();
+        if (state_ == CmState::kEstablished ||
+            state_ == CmState::kTimeWait) {
+          send_probe_ack();
+        }
+        return;
+
+      case CmKind::kProbeAck:
+        if (!validate_and_learn(segment)) return;
+        note_inbound_activity();
         return;
 
       case CmKind::kSyn:
@@ -184,7 +206,7 @@ class TimerCm final : public CmInterface {
     fin.cm.isn_peer = peer_known_ ? isn_peer_ : 0;
     fin.cm.fin_offset = static_cast<std::uint32_t>(local_stream_length_);
     ++stats_.fin_sent;
-    fin_timer_.restart(config_.handshake_rto * (1 << retries_));
+    fin_timer_.restart(cm_backoff(config_, retries_));
     if (cb_.send) cb_.send(std::move(fin));
   }
 
@@ -194,6 +216,44 @@ class TimerCm final : public CmInterface {
     ack.cm.isn_local = isn_local_;
     ack.cm.isn_peer = isn_peer_;
     if (cb_.send) cb_.send(std::move(ack));
+  }
+
+  void send_probe() {
+    SublayeredSegment s;
+    s.cm.kind = CmKind::kProbe;
+    s.cm.isn_local = isn_local_;
+    s.cm.isn_peer = peer_known_ ? isn_peer_ : 0;
+    ++stats_.keepalive_probes_sent;
+    if (cb_.send) cb_.send(std::move(s));
+  }
+
+  void send_probe_ack() {
+    SublayeredSegment s;
+    s.cm.kind = CmKind::kProbeAck;
+    s.cm.isn_local = isn_local_;
+    s.cm.isn_peer = isn_peer_;
+    ++stats_.keepalive_replies_sent;
+    if (cb_.send) cb_.send(std::move(s));
+  }
+
+  void note_inbound_activity() {
+    probes_outstanding_ = 0;
+    if (config_.keepalive_interval.is_zero()) return;
+    if (state_ == CmState::kEstablished) {
+      keepalive_timer_.restart(config_.keepalive_interval);
+    }
+  }
+
+  void on_keepalive_timer() {
+    if (state_ != CmState::kEstablished) return;
+    if (probes_outstanding_ >= config_.max_keepalive_probes) {
+      ++stats_.keepalive_aborts;
+      abort("keepalive timeout: peer is dead");
+      return;
+    }
+    send_probe();
+    keepalive_timer_.restart(cm_backoff(config_, probes_outstanding_));
+    ++probes_outstanding_;
   }
 
   void on_fin_timer() {
@@ -212,6 +272,7 @@ class TimerCm final : public CmInterface {
     const bool done = local_fin_acked_ && peer_fin_seen_;
     if ((done || force) && state_ == CmState::kEstablished) {
       fin_timer_.stop();
+      keepalive_timer_.stop();
       state_ = CmState::kTimeWait;  // quiet time before reclaiming state
       quiet_timer_.restart(config_.time_wait);
     }
@@ -231,10 +292,12 @@ class TimerCm final : public CmInterface {
   bool peer_fin_seen_ = false;
   std::uint64_t local_stream_length_ = 0;
   int retries_ = 0;
+  int probes_outstanding_ = 0;
   CmStats stats_;
   std::uint32_t span_ = 0;
   sim::Timer fin_timer_;
   sim::Timer quiet_timer_;
+  sim::Timer keepalive_timer_;
 };
 
 }  // namespace

@@ -50,7 +50,7 @@ bool decode_headers(ByteReader& r, SublayeredSegment& s) {
     s.dm.src_port = r.u16();
     s.dm.dst_port = r.u16();
     const std::uint8_t kind = r.u8();
-    if (kind > static_cast<std::uint8_t>(CmKind::kRst)) return false;
+    if (kind > static_cast<std::uint8_t>(CmKind::kProbeAck)) return false;
     s.cm.kind = static_cast<CmKind>(kind);
     s.cm.isn_local = r.u32();
     s.cm.isn_peer = r.u32();
@@ -100,8 +100,9 @@ std::optional<SublayeredSegment> SublayeredSegment::decode(Bytes&& raw) {
 }
 
 std::string SublayeredSegment::to_string() const {
-  static constexpr const char* kKinds[] = {"DATA", "SYN",    "SYNACK",
-                                           "FIN",  "FINACK", "RST"};
+  static constexpr const char* kKinds[] = {"DATA",   "SYN",   "SYNACK",
+                                           "FIN",    "FINACK", "RST",
+                                           "PROBE",  "PROBEACK"};
   char buf[160];
   std::snprintf(buf, sizeof buf,
                 "%s %u->%u seq=%u ack=%u len=%zu win=%u sack=%zu",

@@ -40,6 +40,12 @@ enum class CmKind : std::uint8_t {
   kFin = 3,
   kFinAck = 4,
   kRst = 5,
+  /// Idle keepalive probe/reply (payload-free, like all control kinds).
+  /// A peer that stays silent through the probe schedule is declared dead
+  /// and the connection aborts — the self-healing answer to half-open
+  /// connections left behind by crashes and partitions.
+  kProbe = 6,
+  kProbeAck = 7,
 };
 
 struct DmHeader {

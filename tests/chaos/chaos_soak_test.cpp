@@ -1,0 +1,231 @@
+// The chaos soak: every fault script x 20 seeds against a 4-router ring
+// (plus a chord) carrying live sublayered-TCP transfers, judged by the
+// InvariantMonitor.
+//
+// Per run: converge, start transfers, unleash the script, let it heal,
+// demand reconvergence within the bound, then open fresh post-heal
+// transfers that MUST complete — while the monitor asserts the safety
+// invariants (stream-prefix integrity, no resurrection, FIB liveness,
+// OSR crossing balance) at every sweep throughout.
+#include <gtest/gtest.h>
+
+#include "chaos/controller.hpp"
+#include "chaos/fault_plan.hpp"
+#include "chaos/invariant_monitor.hpp"
+#include "common/rng.hpp"
+#include "netlayer/router.hpp"
+#include "transport/sublayered/host.hpp"
+
+namespace sublayer::chaos {
+namespace {
+
+void run_for(sim::Simulator& sim, Duration d) {
+  sim.run_until(TimePoint::from_ns(sim.now().ns() + d.ns()));
+}
+
+struct SoakParam {
+  std::string script;
+  std::uint64_t seed;
+};
+
+/// 4 routers: a ring r0-r1-r2-r3-r0 plus the r1-r3 chord, so every single
+/// link (and every single router among r1..r3) has an alternative path.
+class ChaosSoak : public ::testing::TestWithParam<SoakParam> {
+ protected:
+  static netlayer::RouterConfig router_config() {
+    netlayer::RouterConfig config;
+    config.routing = netlayer::RoutingKind::kLinkState;
+    // Defaults otherwise: 100 ms hellos, 350 ms dead interval — chaos
+    // runs with *real* failure detection, unlike the transport tests.
+    config.link_fcs = true;  // corruption bursts become loss, not garbage
+    return config;
+  }
+
+  static sim::LinkConfig link_config() {
+    sim::LinkConfig link;
+    link.bandwidth_bps = 20e6;  // finite, so queue squeezes have a queue
+    link.propagation_delay = Duration::micros(100);
+    return link;
+  }
+
+  static transport::HostConfig host_config() {
+    transport::HostConfig hc;
+    // Keepalives on: connections orphaned by a crash+partition must
+    // self-destruct instead of lingering half-open forever.
+    hc.connection.cm.keepalive_interval = Duration::seconds(1.0);
+    hc.connection.cm.max_keepalive_probes = 5;
+    return hc;
+  }
+};
+
+struct SoakHarness {
+  explicit SoakHarness(std::uint64_t seed,
+                       const netlayer::RouterConfig& router_config,
+                       const sim::LinkConfig& link,
+                       const transport::HostConfig& host_config)
+      : net(sim, router_config, seed),
+        monitor(sim, net, monitor_config()),
+        controller(sim, net) {
+    for (int i = 0; i < 4; ++i) routers.push_back(net.add_router());
+    net.connect(routers[0], routers[1], link);
+    net.connect(routers[1], routers[2], link);
+    net.connect(routers[2], routers[3], link);
+    net.connect(routers[3], routers[0], link);
+    net.connect(routers[1], routers[3], link);
+    // Transfer endpoints on r0 (never crashed) and r2 (crashable): every
+    // r0<->r2 path crosses at least one crashable router.
+    client = std::make_unique<transport::TcpHost>(sim, net.router(routers[0]),
+                                                  1, host_config);
+    server = std::make_unique<transport::TcpHost>(sim, net.router(routers[2]),
+                                                  1, host_config);
+    net.start();
+  }
+
+  static MonitorConfig monitor_config() {
+    MonitorConfig mc;
+    mc.check_interval = Duration::millis(50);
+    // Post-heal liveness bound: one dead interval to notice whatever died
+    // right before the heal, a hello round to re-detect, an LSP exchange
+    // to reconverge, and slack.
+    mc.reconvergence_bound = Duration::seconds(2.0);
+    return mc;
+  }
+
+  struct Transfer {
+    int monitor_id = -1;
+    bool ended = false;
+    bool reset = false;         // server-side death (counts for the monitor)
+    bool client_reset = false;  // client-side death (handshake may never
+                                // have reached the server at all)
+    std::size_t size = 0;
+  };
+
+  /// Starts a client->server transfer of `size` bytes on its own port.
+  int start_transfer(const std::string& label, std::size_t size,
+                     std::uint64_t payload_seed) {
+    const int tid = static_cast<int>(transfers.size());
+    const auto port = static_cast<std::uint16_t>(5000 + tid);
+    Transfer t;
+    t.monitor_id = monitor.register_transfer(label);
+    t.size = size;
+    transfers.push_back(t);
+    server->listen(port, [this, tid](transport::Connection& c) {
+      transport::Connection::AppCallbacks cb;
+      cb.on_data = [this, tid](Bytes d) {
+        monitor.record_delivered(transfers[tid].monitor_id, d);
+      };
+      cb.on_stream_end = [this, tid] { transfers[tid].ended = true; };
+      cb.on_reset = [this, tid](std::string) {
+        transfers[tid].reset = true;
+        monitor.record_dead(transfers[tid].monitor_id);
+      };
+      c.set_app_callbacks(cb);
+    });
+    Rng rng(payload_seed);
+    const Bytes payload = rng.next_bytes(size);
+    monitor.record_sent(transfers[tid].monitor_id, payload);
+    auto& conn = client->connect(server->addr(), port);
+    // Client-side death is tracked separately from record_dead: the two
+    // ends abort at different times, and data still draining into the
+    // server after a *client* keepalive abort is not a resurrection.
+    transport::Connection::AppCallbacks ccb;
+    ccb.on_reset = [this, tid](std::string) {
+      transfers[static_cast<std::size_t>(tid)].client_reset = true;
+    };
+    conn.set_app_callbacks(ccb);
+    conn.send(payload);
+    conn.close();
+    return tid;
+  }
+
+  sim::Simulator sim;
+  netlayer::Network net;
+  InvariantMonitor monitor;
+  ChaosController controller;
+  std::vector<netlayer::RouterId> routers;
+  std::unique_ptr<transport::TcpHost> client;
+  std::unique_ptr<transport::TcpHost> server;
+  std::vector<Transfer> transfers;
+};
+
+TEST_P(ChaosSoak, InvariantsHoldAndSystemHeals) {
+  const auto& [script, seed] = GetParam();
+  SoakHarness h(seed, router_config(), link_config(), host_config());
+
+  // Phase 1: converge clean, then arm the monitor.
+  run_for(h.sim, Duration::seconds(1.0));
+  ASSERT_TRUE(h.net.fully_converged()) << "pre-chaos convergence failed";
+  h.monitor.start();
+
+  // Phase 2: chaos, with live transfers riding through it.
+  ScriptParams params;
+  params.link_count = h.net.link_count();
+  params.router_count = h.net.router_count();
+  params.start = TimePoint::from_ns(h.sim.now().ns() +
+                                    Duration::millis(200).ns());
+  const auto plan = make_plan(script, seed, params);
+  h.controller.arm(plan);
+  h.start_transfer("in-chaos-early", 24000, seed * 7 + 1);
+  h.sim.schedule(Duration::seconds(2.0), [&h, seed] {
+    h.start_transfer("in-chaos-late", 16000, seed * 7 + 2);
+  });
+
+  run_for(h.sim, Duration::nanos(plan.all_healed_by().ns() - h.sim.now().ns() +
+                                 Duration::millis(1).ns()));
+  ASSERT_TRUE(h.controller.all_healed());
+  ASSERT_EQ(h.controller.stats().faults_applied, plan.events.size());
+
+  // Phase 3: liveness — the control plane must reconverge within the
+  // bound (the monitor records a violation if it misses it).
+  h.monitor.await_reconvergence(h.controller.healed_at());
+  run_for(h.sim, SoakHarness::monitor_config().reconvergence_bound +
+                     Duration::millis(100));
+  ASSERT_TRUE(h.monitor.reconverged())
+      << "no reconvergence after " << script << "/" << seed;
+
+  // Phase 4: post-heal service — fresh transfers across the healed
+  // network MUST complete, and the in-chaos transfers must by now have
+  // either completed or died cleanly (keepalive/RST), never hung.
+  const int post1 = h.start_transfer("post-heal-1", 20000, seed * 7 + 3);
+  const int post2 = h.start_transfer("post-heal-2", 12000, seed * 7 + 4);
+  run_for(h.sim, Duration::seconds(8.0));
+
+  for (const int tid : {post1, post2}) {
+    const auto& t = h.transfers[static_cast<std::size_t>(tid)];
+    EXPECT_TRUE(t.ended) << "post-heal transfer " << tid << " did not finish";
+    EXPECT_FALSE(t.reset);
+    EXPECT_EQ(h.monitor.delivered_bytes(t.monitor_id), t.size);
+  }
+  for (const auto& t : h.transfers) {
+    EXPECT_TRUE(t.ended || t.reset || t.client_reset)
+        << "a transfer hung past full heal";
+  }
+
+  // The verdict: every safety sweep, the whole run long, stayed clean.
+  EXPECT_GT(h.monitor.checks_run(), 100u);
+  EXPECT_TRUE(h.monitor.violations().empty())
+      << "first violation: " << h.monitor.violations().front();
+}
+
+std::vector<SoakParam> soak_matrix() {
+  std::vector<SoakParam> out;
+  for (const auto& script : all_scripts()) {
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+      out.push_back(SoakParam{script, seed});
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Scripts, ChaosSoak, ::testing::ValuesIn(soak_matrix()),
+                         [](const auto& info) {
+                           std::string name = info.param.script;
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name + "_seed" +
+                                  std::to_string(info.param.seed);
+                         });
+
+}  // namespace
+}  // namespace sublayer::chaos

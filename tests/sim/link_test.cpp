@@ -141,6 +141,93 @@ TEST(Link, QueueLimitTailDrops) {
   EXPECT_EQ(link.stats().frames_queue_dropped, 15u);
 }
 
+TEST(Link, DuplicateRateProducesRoughlyThatFractionOfExtras) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.duplicate_rate = 0.25;
+  Link link(sim, cfg, Rng(7));
+  int received = 0;
+  link.set_receiver([&](Bytes) { ++received; });
+  const int kFrames = 10000;
+  for (int i = 0; i < kFrames; ++i) link.send(make_frame(4));
+  sim.run();
+  EXPECT_NEAR(link.stats().frames_duplicated / static_cast<double>(kFrames),
+              0.25, 0.02);
+  // Every duplicate is one extra delivery, and nothing else is lost.
+  EXPECT_EQ(static_cast<std::uint64_t>(received),
+            kFrames + link.stats().frames_duplicated);
+  EXPECT_EQ(link.stats().frames_delivered,
+            kFrames + link.stats().frames_duplicated);
+}
+
+TEST(Link, QueueDrainsAndAdmitsLaterTraffic) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.queue_limit = 3;
+  cfg.propagation_delay = Duration::millis(1);
+  Link link(sim, cfg, Rng(1));
+  int received = 0;
+  link.set_receiver([&](Bytes) { ++received; });
+  for (int i = 0; i < 10; ++i) link.send(make_frame(4));
+  sim.run();
+  EXPECT_EQ(received, 3);
+  EXPECT_EQ(link.stats().frames_queue_dropped, 7u);
+  // Tail drop is about instantaneous occupancy, not a death sentence: once
+  // the queue drains, later traffic is admitted again.
+  for (int i = 0; i < 2; ++i) link.send(make_frame(4));
+  sim.run();
+  EXPECT_EQ(received, 5);
+  EXPECT_EQ(link.stats().frames_queue_dropped, 7u);
+}
+
+TEST(Link, LiveImpairmentSettersApplyToSubsequentFramesOnly) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.propagation_delay = Duration::millis(1);
+  Link link(sim, cfg, Rng(11));
+  std::vector<Bytes> got;
+  link.set_receiver([&](Bytes f) { got.push_back(std::move(f)); });
+
+  link.send(make_frame(8, 0x00));  // drawn clean, still in flight
+  link.set_corrupt_rate(1.0);
+  link.set_duplicate_rate(1.0);
+  link.set_jitter(Duration::micros(50));
+  link.set_queue_limit(64);
+  link.send(make_frame(8, 0x00));  // drawn under the new impairments
+  sim.run();
+
+  // Impairments are drawn at send time: the in-flight frame stays clean and
+  // single, the later one is corrupted and delivered twice.
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], make_frame(8, 0x00));
+  EXPECT_NE(got[1], make_frame(8, 0x00));
+  EXPECT_EQ(got[1], got[2]);
+  EXPECT_EQ(link.stats().frames_corrupted, 1u);
+  EXPECT_EQ(link.stats().frames_duplicated, 1u);
+  EXPECT_EQ(link.config().jitter.ns(), Duration::micros(50).ns());
+  EXPECT_EQ(link.config().queue_limit, 64u);
+}
+
+TEST(Link, SetConfigRestoresTheBaselineSnapshot) {
+  Simulator sim;
+  Link link(sim, LinkConfig{}, Rng(2));
+  int received = 0;
+  link.set_receiver([&](Bytes) { ++received; });
+
+  const LinkConfig baseline = link.config();  // the chaos-heal idiom
+  link.set_loss_rate(1.0);
+  link.send(make_frame(4));
+  sim.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(link.stats().frames_lost, 1u);
+
+  link.set_config(baseline);
+  link.send(make_frame(4));
+  sim.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(link.stats().frames_lost, 1u);
+}
+
 TEST(Link, DownLinkDropsEverything) {
   Simulator sim;
   Link link(sim, LinkConfig{}, Rng(1));

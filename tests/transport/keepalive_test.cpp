@@ -1,0 +1,156 @@
+// Transport idle keepalives: PROBE/PROBE-ACK on an idle established
+// connection, dead-peer abort after the probe budget, for both CM schemes.
+#include <gtest/gtest.h>
+
+#include "tests/transport/harness.hpp"
+
+namespace sublayer::transport {
+namespace {
+
+using testing::pattern_bytes;
+using testing::StreamLog;
+using testing::TwoNodeNet;
+
+/// Advances sim time by `d` (the harness's periodic hello timers keep the
+/// event queue alive forever, so an event-count run() never returns).
+void run_for(sim::Simulator& sim, Duration d) {
+  sim.run_until(TimePoint::from_ns(sim.now().ns() + d.ns()));
+}
+
+HostConfig keepalive_config(CmScheme scheme = CmScheme::kHandshake) {
+  HostConfig hc;
+  hc.connection.cm.scheme = scheme;
+  hc.connection.cm.keepalive_interval = Duration::millis(100);
+  hc.connection.cm.max_keepalive_probes = 3;
+  hc.reap_closed = false;  // keep aborted connections for stats inspection
+  return hc;
+}
+
+TEST(Keepalive, DisabledByDefaultStaysSilent) {
+  TwoNodeNet net;
+  TcpHost client(net.sim, net.router0(), 1);
+  TcpHost server(net.sim, net.router1(), 1);
+  server.listen(80, [](Connection&) {});
+  auto& conn = client.connect(server.addr(), 80);
+  run_for(net.sim, Duration::seconds(10.0));
+  EXPECT_EQ(conn.state(), CmState::kEstablished);
+  EXPECT_EQ(conn.cm().stats().keepalive_probes_sent, 0u);
+}
+
+TEST(Keepalive, IdleConnectionStaysAliveOverHealthyPath) {
+  TwoNodeNet net;
+  TcpHost client(net.sim, net.router0(), 1, keepalive_config());
+  TcpHost server(net.sim, net.router1(), 1, keepalive_config());
+  Connection* server_conn = nullptr;
+  server.listen(80, [&](Connection& c) { server_conn = &c; });
+  auto& conn = client.connect(server.addr(), 80);
+  run_for(net.sim, Duration::seconds(5.0));
+
+  // Dozens of probe rounds later, both ends are still established: each
+  // probe drew a reply that reset the dead-peer budget.
+  ASSERT_NE(server_conn, nullptr);
+  EXPECT_EQ(conn.state(), CmState::kEstablished);
+  EXPECT_EQ(server_conn->state(), CmState::kEstablished);
+  EXPECT_GT(conn.cm().stats().keepalive_probes_sent, 10u);
+  EXPECT_GT(server_conn->cm().stats().keepalive_replies_sent, 10u);
+  EXPECT_EQ(conn.cm().stats().keepalive_aborts, 0u);
+}
+
+TEST(Keepalive, DeadPeerAbortsAfterProbeBudget) {
+  TwoNodeNet net;
+  TcpHost client(net.sim, net.router0(), 1, keepalive_config());
+  TcpHost server(net.sim, net.router1(), 1, keepalive_config());
+  StreamLog client_log;
+  server.listen(80, [](Connection&) {});
+  auto& conn = client.connect(server.addr(), 80);
+  conn.set_app_callbacks(client_log.callbacks());
+  run_for(net.sim, Duration::millis(300));
+  ASSERT_EQ(conn.state(), CmState::kEstablished);
+
+  // Sever the path for good: a crashed peer and a permanent partition
+  // look identical from here, and nothing else would ever clean up the
+  // half-open connection.
+  net.net.fail_link(net.link_index);
+  run_for(net.sim, Duration::seconds(10.0));
+
+  EXPECT_EQ(conn.state(), CmState::kAborted);
+  EXPECT_EQ(client_log.reset_reason, "keepalive timeout: peer is dead");
+  EXPECT_EQ(conn.cm().stats().keepalive_aborts, 1u);
+  EXPECT_GE(conn.cm().stats().keepalive_probes_sent, 3u);
+}
+
+TEST(Keepalive, TimerCmDeadPeerAborts) {
+  TwoNodeNet net;
+  const auto hc = keepalive_config(CmScheme::kTimerBased);
+  TcpHost client(net.sim, net.router0(), 1, hc);
+  TcpHost server(net.sim, net.router1(), 1, hc);
+  StreamLog client_log;
+  server.listen(80, [](Connection&) {});
+  auto& conn = client.connect(server.addr(), 80);
+  conn.set_app_callbacks(client_log.callbacks());
+  conn.send(pattern_bytes(2000));  // open the peer's state before the cut
+  run_for(net.sim, Duration::millis(300));
+  ASSERT_EQ(conn.state(), CmState::kEstablished);
+
+  net.net.fail_link(net.link_index);
+  run_for(net.sim, Duration::seconds(10.0));
+  EXPECT_EQ(conn.state(), CmState::kAborted);
+  EXPECT_EQ(client_log.reset_reason, "keepalive timeout: peer is dead");
+}
+
+TEST(Keepalive, ForgedSegmentsDoNotFeedTheDeadPeerBudget) {
+  TwoNodeNet net;
+  TcpHost client(net.sim, net.router0(), 1, keepalive_config());
+  TcpHost server(net.sim, net.router1(), 1, keepalive_config());
+  server.listen(80, [](Connection&) {});
+  auto& conn = client.connect(server.addr(), 80);
+  run_for(net.sim, Duration::millis(300));
+  ASSERT_EQ(conn.state(), CmState::kEstablished);
+
+  net.net.fail_link(net.link_index);
+  // A blind attacker floods the client with well-formed probe replies for
+  // the right four-tuple but the wrong incarnation.  Only *validated*
+  // inbound traffic may reset the budget, so the abort must still fire.
+  for (int i = 0; i < 200; ++i) {
+    SublayeredSegment forged;
+    forged.dm.src_port = conn.tuple().remote_port;
+    forged.dm.dst_port = conn.tuple().local_port;
+    forged.cm.kind = CmKind::kProbeAck;
+    forged.cm.isn_local = conn.cm().isn_peer() + 12345;  // wrong incarnation
+    forged.cm.isn_peer = conn.cm().isn_local() + 999;
+    netlayer::IpHeader h;
+    h.protocol = netlayer::IpProto::kSublayered;
+    h.src = conn.tuple().remote_addr;
+    h.dst = conn.tuple().local_addr;
+    net.sim.schedule(Duration::millis(i * 40), [&net, h, forged] {
+      net.router0().send_datagram(h, forged.encode());
+    });
+  }
+  run_for(net.sim, Duration::seconds(10.0));
+
+  EXPECT_EQ(conn.state(), CmState::kAborted);
+  EXPECT_GT(conn.cm().stats().bad_incarnation, 0u);
+}
+
+TEST(Keepalive, ResumesAfterTransientOutageShorterThanBudget) {
+  TwoNodeNet net;
+  TcpHost client(net.sim, net.router0(), 1, keepalive_config());
+  TcpHost server(net.sim, net.router1(), 1, keepalive_config());
+  server.listen(80, [](Connection&) {});
+  auto& conn = client.connect(server.addr(), 80);
+  run_for(net.sim, Duration::millis(300));
+  ASSERT_EQ(conn.state(), CmState::kEstablished);
+
+  // Outage shorter than the probe schedule: the first reply after heal
+  // zeroes the budget and the connection survives.
+  net.net.fail_link(net.link_index);
+  run_for(net.sim, Duration::millis(250));
+  net.net.restore_link(net.link_index);
+  run_for(net.sim, Duration::seconds(5.0));
+
+  EXPECT_EQ(conn.state(), CmState::kEstablished);
+  EXPECT_EQ(conn.cm().stats().keepalive_aborts, 0u);
+}
+
+}  // namespace
+}  // namespace sublayer::transport
