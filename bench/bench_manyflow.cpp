@@ -1,0 +1,343 @@
+// Experiment E14: control-plane scale — N concurrent sublayered TCP flows
+// through a router line, timer wheel vs the legacy binary-heap scheduler.
+//
+// The data plane got its speedup in PR 2; this bench measures the *other*
+// axis a production stack must scale on: how the event engine and the
+// demux behave as the number of live connections (and therefore armed,
+// cancelled, and expiring timers) grows.  Two parts:
+//
+//   1. A scheduler microbench: pop cost as a function of how many
+//      cancelled-but-unexpired events are outstanding.  The legacy heap
+//      scans its cancellation list on every pop (O(cancelled)); the wheel
+//      must stay flat.
+//   2. The many-flow run: N ∈ {64, 256, 1024, 4096} flows, each engine,
+//      reporting events/sec, wall-clock per simulated second, timer
+//      arm/cancel/expire rates, and resident bytes per flow.
+#include <malloc.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+#include "transport/sublayered/host.hpp"
+
+// Live-byte tracking for the bytes-per-flow figure: every operator new in
+// the process is measured (via malloc_usable_size, so the figure is real
+// heap residency, padding included), every delete subtracts.
+namespace {
+std::size_t g_live_bytes = 0;
+std::size_t g_alloc_count = 0;
+}  // namespace
+
+// noinline: once inlined into a new-expression, GCC pairs the visible
+// malloc with the sized delete and raises a bogus -Wmismatched-new-delete.
+__attribute__((noinline)) void* operator new(std::size_t n) {
+  void* p = std::malloc(n);
+  if (!p) throw std::bad_alloc();
+  g_live_bytes += malloc_usable_size(p);
+  ++g_alloc_count;
+  return p;
+}
+__attribute__((noinline)) void operator delete(void* p) noexcept {
+  if (p) g_live_bytes -= malloc_usable_size(p);
+  std::free(p);
+}
+__attribute__((noinline)) void operator delete(void* p,
+                                               std::size_t) noexcept {
+  if (p) g_live_bytes -= malloc_usable_size(p);
+  std::free(p);
+}
+
+using namespace sublayer;
+
+namespace {
+
+const char* engine_name(sim::EngineKind kind) {
+  return kind == sim::EngineKind::kTimerWheel ? "wheel" : "legacy_heap";
+}
+
+double wall_seconds_since(
+    const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// ---- Part 1: cancel-cost microbench -----------------------------------------
+
+struct CancelRow {
+  sim::EngineKind kind;
+  std::size_t outstanding_cancelled = 0;
+  double ns_per_pop = 0;
+};
+
+/// Pops `live` due events while `cancelled` far-future events sit in the
+/// engine as cancelled-but-unexpired husks.  The heap's lazy-cancel list
+/// makes every pop scan those husks; the wheel never touches them.
+CancelRow measure_cancel_cost(sim::EngineKind kind, std::size_t live,
+                              std::size_t cancelled) {
+  auto engine = sim::make_engine(kind);
+  for (std::size_t i = 0; i < live; ++i) {
+    engine->schedule(TimePoint::from_ns(static_cast<std::int64_t>(i + 1)),
+                     [] {});
+  }
+  std::vector<sim::EventId> victims;
+  victims.reserve(cancelled);
+  for (std::size_t i = 0; i < cancelled; ++i) {
+    victims.push_back(engine->schedule(
+        TimePoint::from_ns(1'000'000'000'000 +
+                           static_cast<std::int64_t>(i)),
+        [] {}));
+  }
+  for (const auto id : victims) engine->cancel(id);
+
+  constexpr TimePoint kForever =
+      TimePoint::from_ns(std::numeric_limits<std::int64_t>::max());
+  const auto start = std::chrono::steady_clock::now();
+  TimePoint when;
+  sim::EventEngine::Fn fn;
+  std::size_t popped = 0;
+  while (popped < live && engine->pop_if(kForever, when, fn)) ++popped;
+  const double wall = wall_seconds_since(start);
+  return CancelRow{kind, cancelled, wall * 1e9 / static_cast<double>(live)};
+}
+
+/// Warm (page-in, branch-train) then measure; the min of three runs
+/// strips scheduler noise from a microsecond-scale measurement.
+CancelRow measure_cancel_cost_stable(sim::EngineKind kind, std::size_t live,
+                                     std::size_t cancelled) {
+  CancelRow best = measure_cancel_cost(kind, live, cancelled);
+  for (int i = 0; i < 2; ++i) {
+    const CancelRow again = measure_cancel_cost(kind, live, cancelled);
+    if (again.ns_per_pop < best.ns_per_pop) best = again;
+  }
+  return best;
+}
+
+// ---- Part 2: many-flow run --------------------------------------------------
+
+struct FlowRunResult {
+  sim::EngineKind kind;
+  std::size_t flows = 0;
+  std::size_t completed = 0;
+  std::uint64_t events = 0;
+  double wall_s = 0;
+  double virt_s = 0;
+  double events_per_sec = 0;
+  double wall_per_virt_s = 0;
+  sim::SchedStats sched;
+  double arm_rate = 0;     // schedule() per wall second
+  double cancel_rate = 0;  // live cancels per wall second
+  double fire_rate = 0;    // expiries per wall second
+  double bytes_per_flow = 0;
+};
+
+/// N flows client(r0) -> server(r3) across a 4-router line, each moving
+/// `per_flow` bytes; runs until every flow completes (or the event budget
+/// trips).  Fully seeded: both engines must replay it identically.
+FlowRunResult run_flows(sim::EngineKind kind, std::size_t flows,
+                        std::size_t per_flow) {
+  telemetry::MetricsRegistry::instance().reset();
+  telemetry::SpanTracer::instance().reset();
+
+  sim::Simulator sim(kind);
+  netlayer::RouterConfig rc;
+  rc.routing = netlayer::RoutingKind::kLinkState;
+  rc.neighbor.dead_interval = Duration::seconds(3600.0);  // no control flaps
+  netlayer::Network net(sim, rc, /*seed=*/1);
+  std::vector<netlayer::RouterId> routers;
+  for (int i = 0; i < 4; ++i) routers.push_back(net.add_router());
+  sim::LinkConfig link;
+  link.bandwidth_bps = 10e9;  // the flows, not the wire, must be the limit
+  link.propagation_delay = Duration::micros(100);
+  link.queue_limit = 4096;
+  for (int i = 0; i < 3; ++i) net.connect(routers[i], routers[i + 1], link);
+  net.start();
+  sim.run_until(TimePoint::from_ns(Duration::millis(500).ns()));
+
+  const std::size_t live_before = g_live_bytes;
+  // Keepalives on, as a production deployment (and the chaos suite) runs
+  // them: every received segment restarts a multi-second timer, which is
+  // precisely the arm/cancel-heavy pattern a flow-scale scheduler must
+  // absorb — the legacy heap's lazily-scanned cancel list degrades on it.
+  transport::HostConfig hc;
+  hc.connection.cm.keepalive_interval = Duration::seconds(2.0);
+  transport::TcpHost client(sim, net.router(routers[0]), 1, hc);
+  transport::TcpHost server(sim, net.router(routers[3]), 1, hc);
+
+  std::size_t completed = 0;
+  server.listen(80, [&](transport::Connection& conn) {
+    transport::Connection::AppCallbacks cb;
+    auto received = std::make_shared<std::size_t>(0);
+    cb.on_data = [&completed, received, per_flow](Bytes data) {
+      *received += data.size();
+      if (*received == per_flow) ++completed;
+    };
+    conn.set_app_callbacks(cb);
+  });
+
+  // Connect storm, staggered 10 us apart: a mega-batch of simultaneous
+  // SYNs would measure the queue, not the scheduler.
+  Rng rng(7);
+  const Bytes payload = rng.next_bytes(per_flow);
+  for (std::size_t i = 0; i < flows; ++i) {
+    sim.schedule(Duration::micros(static_cast<std::int64_t>(10 * i)),
+                 [&client, &server, payload] {
+                   client.connect(server.addr(), 80).send(payload);
+                 });
+  }
+
+  const std::uint64_t events_before = sim.events_processed();
+  const TimePoint virt_start = sim.now();
+  const auto wall_start = std::chrono::steady_clock::now();
+  constexpr std::uint64_t kEventBudget = 200'000'000;
+  // Stepped, not batched: the measurement must stop AT the last flow's
+  // completion, not overshoot into idle periodic-timer churn.
+  while (completed < flows &&
+         sim.events_processed() - events_before < kEventBudget &&
+         sim.step()) {
+  }
+  const double wall = wall_seconds_since(wall_start);
+  const std::size_t live_after = g_live_bytes;
+
+  FlowRunResult r;
+  r.kind = kind;
+  r.flows = flows;
+  r.completed = completed;
+  r.events = sim.events_processed() - events_before;
+  r.wall_s = wall;
+  r.virt_s = (sim.now() - virt_start).to_seconds();
+  r.events_per_sec = wall > 0 ? static_cast<double>(r.events) / wall : 0;
+  r.wall_per_virt_s = r.virt_s > 0 ? wall / r.virt_s : 0;
+  r.sched = sim.sched_stats();
+  r.arm_rate = wall > 0 ? static_cast<double>(r.sched.armed) / wall : 0;
+  r.cancel_rate = wall > 0 ? static_cast<double>(r.sched.cancelled) / wall : 0;
+  r.fire_rate = wall > 0 ? static_cast<double>(r.sched.fired) / wall : 0;
+  r.bytes_per_flow =
+      static_cast<double>(live_after - live_before) / static_cast<double>(flows);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --smoke: the smallest N on both engines, for check.sh's bench-smoke
+  // step; still asserts completion and cross-engine determinism.
+  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  // Big enough that all N connections stay simultaneously live (the bench
+  // is about CONCURRENT flows, not a connect storm of short ones), small
+  // enough that the heap baseline at N=4096 still finishes in seconds.
+  const std::size_t per_flow = 16384;
+  std::vector<std::size_t> sizes = smoke
+                                       ? std::vector<std::size_t>{64}
+                                       : std::vector<std::size_t>{64, 256,
+                                                                  1024, 4096};
+
+  std::puts("E14.1: scheduler pop cost vs outstanding cancelled events");
+  std::printf("%12s | %12s | %10s\n", "engine", "cancelled", "ns/pop");
+  std::string cancel_json;
+  const std::size_t pops = smoke ? 2'000 : 20'000;
+  std::vector<std::size_t> husks =
+      smoke ? std::vector<std::size_t>{0, 1'000}
+            : std::vector<std::size_t>{0, 1'000, 4'000, 16'000};
+  double wheel_flat[2] = {0, 0};  // ns/pop at min and max husk count
+  for (const auto kind :
+       {sim::EngineKind::kTimerWheel, sim::EngineKind::kLegacyHeap}) {
+    for (std::size_t i = 0; i < husks.size(); ++i) {
+      const CancelRow row = measure_cancel_cost_stable(kind, pops, husks[i]);
+      if (kind == sim::EngineKind::kTimerWheel) {
+        if (i == 0) wheel_flat[0] = row.ns_per_pop;
+        if (i == husks.size() - 1) wheel_flat[1] = row.ns_per_pop;
+      }
+      std::printf("%12s | %12zu | %10.1f\n", engine_name(kind),
+                  row.outstanding_cancelled, row.ns_per_pop);
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "%s{\"engine\":\"%s\",\"outstanding_cancelled\":%zu,"
+                    "\"ns_per_pop\":%.1f}",
+                    cancel_json.empty() ? "" : ",", engine_name(kind),
+                    row.outstanding_cancelled, row.ns_per_pop);
+      cancel_json += buf;
+    }
+  }
+
+  std::printf("\nE14.2: %zu-byte transfers, client(r0) -> server(r3), "
+              "4-router line\n",
+              per_flow);
+  std::printf("%12s %6s | %10s %9s %12s %9s | %9s %9s %9s | %9s\n", "engine",
+              "flows", "events", "wall s", "events/s", "s/virt-s", "arm/s",
+              "cancel/s", "fire/s", "B/flow");
+  std::string rows_json;
+  bool ok = true;
+  double evps[2][8] = {{0}};  // [engine][size index], for the speedup row
+  std::uint64_t events_seen[2][8] = {{0}};
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    for (const auto kind :
+         {sim::EngineKind::kTimerWheel, sim::EngineKind::kLegacyHeap}) {
+      const FlowRunResult r = run_flows(kind, sizes[si], per_flow);
+      const int ei = kind == sim::EngineKind::kTimerWheel ? 0 : 1;
+      evps[ei][si] = r.events_per_sec;
+      events_seen[ei][si] = r.events;
+      if (r.completed != r.flows) ok = false;
+      std::printf(
+          "%12s %6zu | %10llu %8.2fs %12.0f %8.3fs | %9.0f %9.0f %9.0f | "
+          "%8.0fB %s\n",
+          engine_name(r.kind), r.flows,
+          static_cast<unsigned long long>(r.events), r.wall_s,
+          r.events_per_sec, r.wall_per_virt_s, r.arm_rate, r.cancel_rate,
+          r.fire_rate, r.bytes_per_flow,
+          r.completed == r.flows ? "" : "(INCOMPLETE)");
+      char buf[512];
+      std::snprintf(
+          buf, sizeof buf,
+          "%s{\"engine\":\"%s\",\"flows\":%zu,\"completed\":%zu,"
+          "\"events\":%llu,\"wall_s\":%.3f,\"virt_s\":%.3f,"
+          "\"events_per_sec\":%.0f,\"wall_per_virt_s\":%.3f,"
+          "\"armed\":%llu,\"cancelled\":%llu,\"stale_cancels\":%llu,"
+          "\"fired\":%llu,\"cascades\":%llu,\"overflow_arms\":%llu,"
+          "\"bytes_per_flow\":%.0f}",
+          rows_json.empty() ? "" : ",", engine_name(r.kind), r.flows,
+          r.completed, static_cast<unsigned long long>(r.events), r.wall_s,
+          r.virt_s, r.events_per_sec, r.wall_per_virt_s,
+          static_cast<unsigned long long>(r.sched.armed),
+          static_cast<unsigned long long>(r.sched.cancelled),
+          static_cast<unsigned long long>(r.sched.stale_cancels),
+          static_cast<unsigned long long>(r.sched.fired),
+          static_cast<unsigned long long>(r.sched.cascades),
+          static_cast<unsigned long long>(r.sched.overflow_arms),
+          r.bytes_per_flow);
+      rows_json += buf;
+    }
+    // Determinism: the engines must process the exact same schedule.
+    if (events_seen[0][si] != events_seen[1][si]) {
+      std::printf("DETERMINISM MISMATCH at %zu flows: wheel=%llu heap=%llu\n",
+                  sizes[si],
+                  static_cast<unsigned long long>(events_seen[0][si]),
+                  static_cast<unsigned long long>(events_seen[1][si]));
+      ok = false;
+    }
+  }
+
+  const std::size_t last = sizes.size() - 1;
+  const double speedup =
+      evps[1][last] > 0 ? evps[0][last] / evps[1][last] : 0;
+  const double flatness =
+      wheel_flat[0] > 0 ? wheel_flat[1] / wheel_flat[0] : 0;
+  std::printf("\nwheel speedup at %zu flows: %.2fx events/sec; wheel pop "
+              "cost at max vs zero cancelled husks: %.2fx\n",
+              sizes[last], speedup, flatness);
+
+  std::printf(
+      "BENCH_JSON {\"bench\":\"manyflow\",\"per_flow_bytes\":%zu,"
+      "\"rows\":[%s],\"cancel_microbench\":[%s],"
+      "\"speedup_at_%zu_flows\":%.2f,\"wheel_cancel_flatness\":%.2f}\n",
+      per_flow, rows_json.c_str(), cancel_json.c_str(), sizes[last],
+      speedup, flatness);
+  return ok ? 0 : 1;
+}

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Runs the performance benchmarks with fixed seeds and writes the
-# machine-readable results to BENCH_datalink.json / BENCH_tcp.json at the
-# repo root.  Each bench binary prints its results on a single line
-# prefixed with "BENCH_JSON "; this script extracts it.
+# machine-readable results to BENCH_datalink.json / BENCH_tcp.json /
+# BENCH_manyflow.json at the repo root.  Each bench binary prints its
+# results on a single line prefixed with "BENCH_JSON "; this script
+# extracts it.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -12,7 +13,7 @@ jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE="${BUILD_TYPE:-Release}" >/dev/null
 cmake --build "${build_dir}" -j "${jobs}" \
-  --target bench_datalink_stack bench_tcp_goodput >/dev/null
+  --target bench_datalink_stack bench_tcp_goodput bench_manyflow >/dev/null
 
 extract_json() {
   # Prints the payload of the (last) BENCH_JSON line of the given output.
@@ -30,3 +31,9 @@ tcp_out="$("${build_dir}/bench/bench_tcp_goodput")"
 echo "${tcp_out}"
 extract_json "${tcp_out}" >"${repo_root}/BENCH_tcp.json"
 echo "wrote ${repo_root}/BENCH_tcp.json"
+
+echo "== bench_manyflow =="
+manyflow_out="$("${build_dir}/bench/bench_manyflow")"
+echo "${manyflow_out}"
+extract_json "${manyflow_out}" >"${repo_root}/BENCH_manyflow.json"
+echo "wrote ${repo_root}/BENCH_manyflow.json"

@@ -18,14 +18,16 @@ ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
 echo "bench smoke..."
 "${build_dir}/bench/bench_datalink_stack" --smoke >/dev/null
 "${build_dir}/bench/bench_tcp_goodput" >/dev/null
+"${build_dir}/bench/bench_manyflow" --smoke >/dev/null
 echo "bench smoke OK"
 
 # Sanitizer pass: ASan+UBSan over the paths that chew on adversarial input —
-# chaos (fault injection, crash/restart teardown ordering) and transport
-# robustness (garbage/forgery injection). Skippable for quick local loops
-# with SKIP_SANITIZERS=1.
+# chaos (fault injection, crash/restart teardown ordering), transport
+# robustness (garbage/forgery injection), and the event engine (pooled
+# slot recycling, stale-id cancels, hash-table rehash under re-entrant
+# handlers). Skippable for quick local loops with SKIP_SANITIZERS=1.
 if [[ "${SKIP_SANITIZERS:-0}" != "1" ]]; then
-  echo "ASan+UBSan pass (chaos + robustness)..."
+  echo "ASan+UBSan pass (chaos + robustness + scheduler)..."
   san_dir="${build_dir}-asan"
   san_flags="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
   cmake -B "${san_dir}" -S "${repo_root}" \
@@ -33,7 +35,8 @@ if [[ "${SKIP_SANITIZERS:-0}" != "1" ]]; then
     -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror ${san_flags}" \
     -DCMAKE_EXE_LINKER_FLAGS="${san_flags}" >/dev/null
   cmake --build "${san_dir}" -j "${jobs}" \
-    --target test_chaos test_transport test_datalink >/dev/null
+    --target test_chaos test_transport test_datalink test_sim test_common \
+    >/dev/null
   # Chaos smoke: the unit tests plus one soak seed per script (the full
   # 140-case sweep runs in the regular suite above; under sanitizers one
   # representative seed each keeps the pass quick).
@@ -42,5 +45,12 @@ if [[ "${SKIP_SANITIZERS:-0}" != "1" ]]; then
   "${san_dir}/tests/test_transport" \
     --gtest_filter='Robustness.*:Keepalive.*' >/dev/null
   "${san_dir}/tests/test_datalink" --gtest_filter='*Resync*' >/dev/null
+  # Scheduler determinism + flat-hash churn: the timer wheel recycles
+  # pooled slots and the demux tables rehash mid-dispatch; both are
+  # use-after-free factories if ever wrong, so run them under ASan.
+  "${san_dir}/tests/test_sim" \
+    --gtest_filter='*SchedulerDeterminism*:*SchedulerCrossEngine*:Simulator.*:Timer.*' \
+    >/dev/null
+  "${san_dir}/tests/test_common" --gtest_filter='FlatHash*' >/dev/null
   echo "ASan+UBSan OK"
 fi

@@ -1,0 +1,155 @@
+// Open-addressing hash map for the flow-scale hot paths (DM's connection
+// and listener tables, the host's connection registry).
+//
+// Power-of-two capacity, linear probing, tombstone deletion with automatic
+// rehash once full+tombstone load crosses 3/4.  Keys and values must be
+// default-constructible and movable; erase() resets the value slot to a
+// default-constructed T, so RAII values (unique_ptr, std::function)
+// release immediately.  Pointers returned by find()/try_emplace() are
+// stable until the next insertion (a rehash moves slots), matching how
+// std::map iterators were used at the call sites this replaces.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace sublayer {
+
+/// Mixer for small integer keys (ports, ids): the map masks low bits, so
+/// fold the multiply's high bits back down (splitmix64 finalizer).
+struct IntHash {
+  std::size_t operator()(std::uint64_t x) const {
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};
+
+template <typename Key, typename T, typename Hash>
+class FlatHashMap {
+ public:
+  FlatHashMap() = default;
+  FlatHashMap(const FlatHashMap&) = delete;
+  FlatHashMap& operator=(const FlatHashMap&) = delete;
+  FlatHashMap(FlatHashMap&&) = default;
+  FlatHashMap& operator=(FlatHashMap&&) = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T* find(const Key& key) {
+    const std::size_t i = find_slot(key);
+    return i == kNpos ? nullptr : &slots_[i].value;
+  }
+  const T* find(const Key& key) const {
+    const std::size_t i = find_slot(key);
+    return i == kNpos ? nullptr : &slots_[i].value;
+  }
+  bool contains(const Key& key) const { return find_slot(key) != kNpos; }
+
+  /// Inserts key -> T(args...) if absent.  Returns {value slot, inserted};
+  /// like std::map::try_emplace, args are untouched when the key exists.
+  template <typename... Args>
+  std::pair<T*, bool> try_emplace(const Key& key, Args&&... args) {
+    reserve_for_insert();
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = Hash{}(key) & mask;
+    std::size_t target = kNpos;  // first tombstone on the probe path
+    for (;; i = (i + 1) & mask) {
+      if (state_[i] == kEmpty) break;
+      if (state_[i] == kTomb) {
+        if (target == kNpos) target = i;
+        continue;
+      }
+      if (slots_[i].key == key) return {&slots_[i].value, false};
+    }
+    if (target == kNpos) {
+      target = i;
+    } else {
+      --tombs_;
+    }
+    state_[target] = kFull;
+    slots_[target].key = key;
+    slots_[target].value = T(std::forward<Args>(args)...);
+    ++size_;
+    return {&slots_[target].value, true};
+  }
+
+  bool erase(const Key& key) {
+    const std::size_t i = find_slot(key);
+    if (i == kNpos) return false;
+    state_[i] = kTomb;
+    slots_[i].key = Key{};
+    slots_[i].value = T{};
+    --size_;
+    ++tombs_;
+    return true;
+  }
+
+  void clear() {
+    slots_.clear();
+    state_.clear();
+    size_ = tombs_ = 0;
+  }
+
+  /// Visits every live entry as f(const Key&, T&); insertion/erase during
+  /// the walk is not supported.
+  template <typename F>
+  void for_each(F&& f) {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (state_[i] == kFull) f(slots_[i].key, slots_[i].value);
+    }
+  }
+
+ private:
+  enum : std::uint8_t { kEmpty = 0, kFull = 1, kTomb = 2 };
+  struct Slot {
+    Key key{};
+    T value{};
+  };
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+  static constexpr std::size_t kMinCapacity = 16;
+
+  std::size_t find_slot(const Key& key) const {
+    if (slots_.empty()) return kNpos;
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = Hash{}(key) & mask;; i = (i + 1) & mask) {
+      if (state_[i] == kEmpty) return kNpos;
+      if (state_[i] == kFull && slots_[i].key == key) return i;
+    }
+  }
+
+  void reserve_for_insert() {
+    if (slots_.empty()) {
+      slots_.resize(kMinCapacity);
+      state_.assign(kMinCapacity, kEmpty);
+      return;
+    }
+    if ((size_ + tombs_ + 1) * 4 < slots_.size() * 3) return;
+    // Grow on real load; a tombstone-heavy table rehashes at equal size.
+    std::size_t capacity = slots_.size();
+    while ((size_ + 1) * 4 >= capacity * 3) capacity *= 2;
+    std::vector<Slot> old_slots = std::move(slots_);
+    std::vector<std::uint8_t> old_state = std::move(state_);
+    slots_ = std::vector<Slot>(capacity);  // resize, move-only-T friendly
+    state_.assign(capacity, kEmpty);
+    const std::size_t mask = capacity - 1;
+    for (std::size_t i = 0; i < old_slots.size(); ++i) {
+      if (old_state[i] != kFull) continue;
+      std::size_t j = Hash{}(old_slots[i].key) & mask;
+      while (state_[j] != kEmpty) j = (j + 1) & mask;
+      state_[j] = kFull;
+      slots_[j] = std::move(old_slots[i]);
+    }
+    tombs_ = 0;
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint8_t> state_;
+  std::size_t size_ = 0;
+  std::size_t tombs_ = 0;
+};
+
+}  // namespace sublayer

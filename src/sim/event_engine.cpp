@@ -1,0 +1,270 @@
+#include "sim/event_engine.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace sublayer::sim {
+
+// ---- WheelEngine -----------------------------------------------------------
+
+WheelEngine::WheelEngine() {
+  for (auto& level : heads_) {
+    for (auto& head : level) head = kNil;
+  }
+}
+
+std::uint32_t WheelEngine::alloc_node(std::uint64_t when, Fn fn) {
+  std::uint32_t idx;
+  if (free_head_ != kNil) {
+    idx = free_head_;
+    free_head_ = pool_[idx].next;
+  } else {
+    idx = static_cast<std::uint32_t>(pool_.size());
+    pool_.emplace_back();
+  }
+  Node& n = pool_[idx];
+  n.when = when;
+  n.seq = next_seq_++;
+  n.next = kNil;
+  n.cancelled = false;
+  n.fn = std::move(fn);
+  return idx;
+}
+
+void WheelEngine::free_node(std::uint32_t idx) {
+  Node& n = pool_[idx];
+  if (++n.gen == 0) n.gen = 1;  // keep EventId{0} reserved for "null"
+  n.fn = nullptr;
+  n.cancelled = false;
+  n.next = free_head_;
+  free_head_ = idx;
+}
+
+void WheelEngine::push_slot(int level, int slot, std::uint32_t idx) {
+  pool_[idx].next = heads_[level][slot];
+  heads_[level][slot] = idx;
+  occupied_[level][slot >> 6] |= 1ull << (slot & 63);
+}
+
+void WheelEngine::place(std::uint32_t idx) {
+  const Node& n = pool_[idx];
+  const std::uint64_t diff = n.when ^ current_;
+  if (diff == 0) {
+    // Fires at the tick currently being drained; seq keeps it FIFO.
+    due_.push_back(idx);
+    return;
+  }
+  const int level = (63 - std::countl_zero(diff)) >> 3;
+  if (level >= kLevels) {
+    ++stats_.overflow_arms;
+    overflow_.push(OverflowRef{n.when, n.seq, idx});
+    return;
+  }
+  push_slot(level, static_cast<int>((n.when >> (8 * level)) & 0xFF), idx);
+}
+
+EventId WheelEngine::schedule(TimePoint when, Fn fn) {
+  const auto ticks = static_cast<std::uint64_t>(when.ns());
+  const std::uint32_t idx = alloc_node(ticks, std::move(fn));
+  ++stats_.armed;
+  ++live_;
+  place(idx);
+  return EventId{(static_cast<std::uint64_t>(pool_[idx].gen) << 32) | idx};
+}
+
+void WheelEngine::cancel(EventId id) {
+  if (id.value == 0) return;
+  const auto idx = static_cast<std::uint32_t>(id.value & 0xFFFFFFFFu);
+  const auto gen = static_cast<std::uint32_t>(id.value >> 32);
+  if (idx >= pool_.size() || pool_[idx].gen != gen || pool_[idx].cancelled) {
+    ++stats_.stale_cancels;  // fired, freed, repeated, or never ours: no-op
+    return;
+  }
+  Node& n = pool_[idx];
+  n.cancelled = true;
+  n.fn = nullptr;  // release the closure now; the husk unlinks lazily
+  --live_;
+  ++stats_.cancelled;
+}
+
+int WheelEngine::next_occupied(int level, int from) const {
+  int word = from >> 6;
+  std::uint64_t bits = occupied_[level][word] & (~0ull << (from & 63));
+  for (;;) {
+    if (bits != 0) return (word << 6) + std::countr_zero(bits);
+    if (++word == kWords) return -1;
+    bits = occupied_[level][word];
+  }
+}
+
+bool WheelEngine::fill_due(std::uint64_t deadline) {
+  for (;;) {
+    if (!due_.empty()) {
+      // A tick's batch is nearly always one node; sorting restores FIFO
+      // among same-time events regardless of which path filed them.
+      std::sort(due_.begin(), due_.end(),
+                [this](std::uint32_t a, std::uint32_t b) {
+                  return pool_[a].seq < pool_[b].seq;
+                });
+      return true;
+    }
+    // Level 0: a slot is one exact tick inside the cursor's 256 ns window.
+    if (const int slot = next_occupied(0, static_cast<int>(current_ & 0xFF));
+        slot >= 0) {
+      const std::uint64_t tick =
+          (current_ & ~0xFFull) | static_cast<unsigned>(slot);
+      if (tick > deadline) {
+        // Beyond the horizon: park the cursor at the deadline (never
+        // rewinding) and leave the slot for a later call.
+        current_ = std::max(current_, deadline);
+        return false;
+      }
+      current_ = tick;
+      std::uint32_t idx = heads_[0][slot];
+      heads_[0][slot] = kNil;
+      occupied_[0][slot >> 6] &= ~(1ull << (slot & 63));
+      while (idx != kNil) {
+        const std::uint32_t next = pool_[idx].next;
+        if (pool_[idx].cancelled) {
+          free_node(idx);
+        } else {
+          due_.push_back(idx);
+        }
+        idx = next;
+      }
+      continue;  // may be empty if every node was a cancelled husk
+    }
+    // Higher levels: cascade the first occupied slot at/after the cursor
+    // down one level and rescan.  Slots behind the cursor cannot hold live
+    // nodes (their window lies entirely in the past).
+    bool cascaded = false;
+    for (int level = 1; level < kLevels; ++level) {
+      const int cursor =
+          static_cast<int>((current_ >> (8 * level)) & 0xFF);
+      const int slot = next_occupied(level, cursor);
+      if (slot < 0) continue;
+      if (slot > cursor) {
+        // Jump the cursor to the slot's window start; nothing earlier is
+        // occupied at any lower level.
+        const std::uint64_t below = (1ull << (8 * (level + 1))) - 1;
+        const std::uint64_t window_start =
+            (current_ & ~below) |
+            (static_cast<std::uint64_t>(slot) << (8 * level));
+        if (window_start > deadline) {
+          current_ = std::max(current_, deadline);
+          return false;  // the whole window lies beyond the horizon
+        }
+        current_ = window_start;
+      }
+      std::uint32_t idx = heads_[level][slot];
+      heads_[level][slot] = kNil;
+      occupied_[level][slot >> 6] &= ~(1ull << (slot & 63));
+      while (idx != kNil) {
+        const std::uint32_t next = pool_[idx].next;
+        if (pool_[idx].cancelled) {
+          free_node(idx);
+        } else {
+          ++stats_.cascades;
+          place(idx);
+        }
+        idx = next;
+      }
+      cascaded = true;
+      break;
+    }
+    if (cascaded) continue;
+    // Wheel drained: pull the overflow's next 2^32 ns block in.  The heap
+    // pops in (when, seq) order, so the block's entries arrive sorted.
+    if (overflow_.empty()) return false;
+    if (overflow_.top().when > deadline) {
+      current_ = std::max(current_, deadline);
+      return false;
+    }
+    current_ = overflow_.top().when;
+    while (!overflow_.empty() &&
+           ((overflow_.top().when ^ current_) >> 32) == 0) {
+      const std::uint32_t idx = overflow_.top().node;
+      overflow_.pop();
+      if (pool_[idx].cancelled) {
+        free_node(idx);
+      } else {
+        place(idx);
+      }
+    }
+  }
+}
+
+bool WheelEngine::pop_if(TimePoint deadline, TimePoint& when, Fn& fn) {
+  for (;;) {
+    while (due_pos_ < due_.size()) {
+      const std::uint32_t idx = due_[due_pos_];
+      Node& n = pool_[idx];
+      if (n.cancelled) {  // cancelled after the batch was built
+        ++due_pos_;
+        free_node(idx);
+        continue;
+      }
+      const auto at = TimePoint::from_ns(static_cast<std::int64_t>(n.when));
+      if (at > deadline) return false;  // batch stays for a later horizon
+      ++due_pos_;
+      when = at;
+      fn = std::move(n.fn);
+      free_node(idx);
+      ++stats_.fired;
+      --live_;
+      return true;
+    }
+    due_.clear();
+    due_pos_ = 0;
+    if (!fill_due(static_cast<std::uint64_t>(deadline.ns()))) return false;
+  }
+}
+
+// ---- LegacyHeapEngine ------------------------------------------------------
+
+EventId LegacyHeapEngine::schedule(TimePoint when, Fn fn) {
+  const std::uint64_t id = next_seq_++;
+  queue_.push(Entry{when, id, id, std::move(fn)});
+  ++stats_.armed;
+  return EventId{id};
+}
+
+void LegacyHeapEngine::cancel(EventId id) {
+  if (id.value == 0) return;
+  cancelled_ids_.push_back(id.value);
+  ++cancelled_;
+  ++stats_.cancelled;
+}
+
+bool LegacyHeapEngine::pop_if(TimePoint deadline, TimePoint& when, Fn& fn) {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    const auto it =
+        std::find(cancelled_ids_.begin(), cancelled_ids_.end(), e.id);
+    if (it != cancelled_ids_.end()) {
+      cancelled_ids_.erase(it);
+      --cancelled_;
+      continue;
+    }
+    if (e.when > deadline) {
+      // Put it back: it belongs to the future beyond the horizon.
+      queue_.push(std::move(e));
+      return false;
+    }
+    when = e.when;
+    fn = std::move(e.fn);
+    ++stats_.fired;
+    return true;
+  }
+  return false;
+}
+
+std::unique_ptr<EventEngine> make_engine(EngineKind kind) {
+  if (kind == EngineKind::kLegacyHeap) {
+    return std::make_unique<LegacyHeapEngine>();
+  }
+  return std::make_unique<WheelEngine>();
+}
+
+}  // namespace sublayer::sim

@@ -1,0 +1,171 @@
+// Event-engine internals behind sim::Simulator.
+//
+// Two interchangeable engines share one interface and one determinism
+// contract (events fire in (time, insertion-seq) order):
+//
+//  - WheelEngine: a hierarchical timing wheel (Varghese & Lauck, SOSP '87)
+//    — 4 levels x 256 slots of 1 ns ticks (~4.29 s horizon) plus an
+//    overflow heap for the long tail.  schedule() and cancel() are O(1);
+//    cancellation is generation-tagged, so cancelling an already-fired
+//    event is a true no-op and the pending count stays exact.  This is
+//    the production engine.
+//
+//  - LegacyHeapEngine: the pre-wheel binary heap with a lazily-scanned
+//    cancellation list, preserved verbatim (including its O(cancelled)
+//    scan on every pop and its stale-cancel pending-count skew) as the
+//    measured baseline for bench_manyflow.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace sublayer::sim {
+
+/// Handle for cancelling a scheduled event.
+struct EventId {
+  std::uint64_t value = 0;
+  friend bool operator==(EventId, EventId) = default;
+};
+
+enum class EngineKind { kTimerWheel, kLegacyHeap };
+
+/// Scheduler-op counters, exposed as Simulator::sched_stats() for the
+/// many-flow benchmark's arm/cancel/expire rates.
+struct SchedStats {
+  std::uint64_t armed = 0;          // schedule() calls
+  std::uint64_t cancelled = 0;      // cancels that removed a live event
+  std::uint64_t stale_cancels = 0;  // no-op cancels (fired/unknown/repeat)
+  std::uint64_t fired = 0;          // events handed to the run loop
+  std::uint64_t cascades = 0;       // wheel: node re-files while advancing
+  std::uint64_t overflow_arms = 0;  // wheel: armed beyond the horizon
+};
+
+class EventEngine {
+ public:
+  using Fn = std::function<void()>;
+
+  virtual ~EventEngine() = default;
+
+  /// Registers `fn` to fire at `when` (>= every previously popped time).
+  virtual EventId schedule(TimePoint when, Fn fn) = 0;
+  virtual void cancel(EventId id) = 0;
+  /// Extracts the earliest runnable event if its time is <= `deadline`;
+  /// returns false (and extracts nothing) otherwise.
+  virtual bool pop_if(TimePoint deadline, TimePoint& when, Fn& fn) = 0;
+  virtual std::size_t pending() const = 0;
+
+  const SchedStats& stats() const { return stats_; }
+
+ protected:
+  SchedStats stats_;
+};
+
+/// Hierarchical timing wheel over virtual nanoseconds.
+///
+/// Level L slots cover 2^(8L) ns; an event lives at the lowest level whose
+/// slot still distinguishes it from the cursor, cascading down as the
+/// cursor approaches (<= 3 re-files per event, O(1) amortised).  Per-level
+/// 256-bit occupancy maps make "advance to the next event" a handful of
+/// ctz scans regardless of how far away it is.  FIFO among same-time
+/// events is restored at fire time by a per-tick sort on the insertion
+/// sequence number (a tick's batch is almost always size 1).
+class WheelEngine final : public EventEngine {
+ public:
+  WheelEngine();
+
+  EventId schedule(TimePoint when, Fn fn) override;
+  void cancel(EventId id) override;
+  bool pop_if(TimePoint deadline, TimePoint& when, Fn& fn) override;
+  std::size_t pending() const override { return live_; }
+
+ private:
+  static constexpr int kLevels = 4;
+  static constexpr int kSlots = 256;      // per level
+  static constexpr int kWords = kSlots / 64;
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  struct Node {
+    std::uint64_t when = 0;  // absolute virtual time, ns
+    std::uint64_t seq = 0;   // FIFO tie-break among same-time events
+    std::uint32_t gen = 1;   // bumped on free; stale EventIds mismatch
+    std::uint32_t next = kNil;  // intrusive slot-chain / freelist link
+    bool cancelled = false;
+    Fn fn;
+  };
+  struct OverflowRef {
+    std::uint64_t when = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t node = kNil;
+  };
+  struct OverflowLater {
+    bool operator()(const OverflowRef& a, const OverflowRef& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::uint32_t alloc_node(std::uint64_t when, Fn fn);
+  void free_node(std::uint32_t idx);
+  /// Files a node into the wheel / overflow heap / current-tick batch.
+  void place(std::uint32_t idx);
+  void push_slot(int level, int slot, std::uint32_t idx);
+  /// Advances the cursor to the next occupied tick and builds its batch —
+  /// but never past `deadline`: if the next event lies beyond it, the
+  /// cursor stops at the deadline and nothing is extracted, so later
+  /// schedules between now and that event can still be filed correctly.
+  bool fill_due(std::uint64_t deadline);
+  /// First occupied slot index >= `from` at `level`, or -1.
+  int next_occupied(int level, int from) const;
+
+  std::vector<Node> pool_;
+  std::uint32_t free_head_ = kNil;
+  std::uint32_t heads_[kLevels][kSlots];
+  std::uint64_t occupied_[kLevels][kWords] = {};
+  std::priority_queue<OverflowRef, std::vector<OverflowRef>, OverflowLater>
+      overflow_;
+  std::uint64_t current_ = 0;       // cursor: tick of the due_ batch
+  std::vector<std::uint32_t> due_;  // current tick's batch, seq-sorted
+  std::size_t due_pos_ = 0;
+  std::size_t live_ = 0;
+  std::uint64_t next_seq_ = 1;
+};
+
+/// The pre-wheel engine, verbatim: binary heap plus a cancellation list
+/// scanned linearly on every pop.  Kept only as the bench baseline; its
+/// known stale-cancel leak (cancelling a fired event skews pending()
+/// forever) is deliberately not fixed here.
+class LegacyHeapEngine final : public EventEngine {
+ public:
+  EventId schedule(TimePoint when, Fn fn) override;
+  void cancel(EventId id) override;
+  bool pop_if(TimePoint deadline, TimePoint& when, Fn& fn) override;
+  std::size_t pending() const override { return queue_.size() - cancelled_; }
+
+ private:
+  struct Entry {
+    TimePoint when;
+    std::uint64_t seq = 0;  // tie-break: FIFO among same-time events
+    std::uint64_t id = 0;
+    Fn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::vector<std::uint64_t> cancelled_ids_;
+  std::size_t cancelled_ = 0;
+  std::uint64_t next_seq_ = 1;
+};
+
+std::unique_ptr<EventEngine> make_engine(EngineKind kind);
+
+}  // namespace sublayer::sim

@@ -1,11 +1,20 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace sublayer::sim {
 
-Simulator::Simulator() { simclock::attach(&now_); }
+namespace {
+constexpr TimePoint kNoDeadline =
+    TimePoint::from_ns(std::numeric_limits<std::int64_t>::max());
+}  // namespace
+
+Simulator::Simulator(EngineKind engine)
+    : kind_(engine), engine_(make_engine(engine)) {
+  simclock::attach(&now_);
+}
 
 Simulator::~Simulator() { simclock::detach(&now_); }
 
@@ -17,54 +26,28 @@ EventId Simulator::schedule_at(TimePoint when, std::function<void()> fn) {
   if (when < now_) {
     throw std::logic_error("Simulator: scheduling into the past");
   }
-  const std::uint64_t id = next_seq_++;
-  queue_.push(Entry{when, id, id, std::move(fn)});
-  return EventId{id};
+  return engine_->schedule(when, std::move(fn));
 }
 
-void Simulator::cancel(EventId id) {
-  if (id.value == 0) return;
-  cancelled_ids_.push_back(id.value);
-  ++cancelled_;
-}
-
-bool Simulator::pop_runnable(Entry& out) {
-  while (!queue_.empty()) {
-    Entry e = queue_.top();
-    queue_.pop();
-    const auto it =
-        std::find(cancelled_ids_.begin(), cancelled_ids_.end(), e.id);
-    if (it != cancelled_ids_.end()) {
-      cancelled_ids_.erase(it);
-      --cancelled_;
-      continue;
-    }
-    out = std::move(e);
-    return true;
-  }
-  return false;
-}
+void Simulator::cancel(EventId id) { engine_->cancel(id); }
 
 bool Simulator::step() {
-  Entry e;
-  if (!pop_runnable(e)) return false;
-  now_ = e.when;
+  TimePoint when;
+  EventEngine::Fn fn;
+  if (!engine_->pop_if(kNoDeadline, when, fn)) return false;
+  now_ = when;
   ++processed_;
-  e.fn();
+  fn();
   return true;
 }
 
 void Simulator::run_until(TimePoint deadline) {
-  Entry e;
-  while (pop_runnable(e)) {
-    if (e.when > deadline) {
-      // Put it back: it belongs to the future beyond the horizon.
-      queue_.push(std::move(e));
-      break;
-    }
-    now_ = e.when;
+  TimePoint when;
+  EventEngine::Fn fn;
+  while (engine_->pop_if(deadline, when, fn)) {
+    now_ = when;
     ++processed_;
-    e.fn();
+    fn();
   }
   now_ = std::max(now_, deadline);
 }

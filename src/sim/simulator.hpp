@@ -4,33 +4,32 @@
 // that "waits" — retransmission timers, link propagation, MAC backoff —
 // schedules a closure here.  Determinism: ties on the timestamp are broken
 // by insertion order, so a given seed always replays identically.
+//
+// Internally the queue is a hierarchical timer wheel (see event_engine.hpp)
+// with O(1) arm/cancel; the pre-wheel binary heap survives behind
+// EngineKind::kLegacyHeap as the benchmark baseline.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <vector>
+#include <memory>
 
 #include "common/time.hpp"
+#include "sim/event_engine.hpp"
 
 namespace sublayer::sim {
-
-/// Handle for cancelling a scheduled event.
-struct EventId {
-  std::uint64_t value = 0;
-  friend bool operator==(EventId, EventId) = default;
-};
 
 class Simulator {
  public:
   /// Construction publishes this simulator's clock through simclock so
   /// telemetry and logging can timestamp without a simulator reference.
-  Simulator();
+  explicit Simulator(EngineKind engine = EngineKind::kTimerWheel);
   ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   TimePoint now() const { return now_; }
+  EngineKind engine_kind() const { return kind_; }
 
   /// Schedules `fn` to run `delay` after the current time.
   EventId schedule(Duration delay, std::function<void()> fn);
@@ -53,30 +52,15 @@ class Simulator {
   /// Returns the number of events processed.
   std::size_t run(std::size_t max_events = SIZE_MAX);
 
-  std::size_t pending_events() const { return queue_.size() - cancelled_; }
+  std::size_t pending_events() const { return engine_->pending(); }
   std::uint64_t events_processed() const { return processed_; }
+  /// Arm/cancel/fire counters for the active engine.
+  const SchedStats& sched_stats() const { return engine_->stats(); }
 
  private:
-  struct Entry {
-    TimePoint when;
-    std::uint64_t seq;  // tie-break: FIFO among same-time events
-    std::uint64_t id;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
-
-  bool pop_runnable(Entry& out);
-
   TimePoint now_;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  std::vector<std::uint64_t> cancelled_ids_;
-  std::size_t cancelled_ = 0;
-  std::uint64_t next_seq_ = 1;
+  EngineKind kind_;
+  std::unique_ptr<EventEngine> engine_;
   std::uint64_t processed_ = 0;
 };
 

@@ -17,31 +17,49 @@ Demux::Demux(netlayer::IpAddr local_addr) : local_addr_(local_addr) {
   span_ = telemetry::SpanTracer::instance().intern("transport.dm");
 }
 
-std::uint16_t Demux::allocate_port() {
-  for (int attempts = 0; attempts < 65536; ++attempts) {
+std::optional<std::uint16_t> Demux::try_allocate_port() {
+  constexpr std::uint32_t kLo = 49152;
+  constexpr std::uint32_t kHi = 65535;
+  for (std::uint32_t probed = 0; probed <= kHi - kLo; ++probed) {
     const std::uint16_t candidate = next_ephemeral_;
-    next_ephemeral_ =
-        next_ephemeral_ == 65535 ? 49152 : next_ephemeral_ + 1;
-    bool taken = listeners_.contains(candidate);
-    for (const auto& [tuple, handler] : connections_) {
-      if (tuple.local_port == candidate) {
-        taken = true;
-        break;
-      }
+    // Wrap strictly inside [kLo, kHi]; the uint16 can never overflow past
+    // 65535 into the reserved/registered ranges.
+    next_ephemeral_ = candidate >= kHi ? static_cast<std::uint16_t>(kLo)
+                                       : static_cast<std::uint16_t>(candidate + 1);
+    if (!listeners_.contains(candidate) && !port_use_.contains(candidate)) {
+      return candidate;
     }
-    if (!taken) return candidate;
   }
-  throw std::runtime_error("Demux: ephemeral ports exhausted");
+  return std::nullopt;  // all 16384 ephemeral ports bound or listening
+}
+
+std::uint16_t Demux::allocate_port() {
+  if (const auto port = try_allocate_port()) return *port;
+  throw std::runtime_error(
+      "Demux: ephemeral port range 49152-65535 exhausted");
 }
 
 bool Demux::bind(const FourTuple& tuple, SegmentHandler handler) {
-  return connections_.emplace(tuple, std::move(handler)).second;
+  const auto [slot, inserted] = connections_.try_emplace(tuple);
+  if (!inserted) return false;
+  *slot = std::move(handler);
+  ++*port_use_.try_emplace(tuple.local_port, 0u).first;
+  return true;
 }
 
-void Demux::unbind(const FourTuple& tuple) { connections_.erase(tuple); }
+void Demux::unbind(const FourTuple& tuple) {
+  if (!connections_.erase(tuple)) return;
+  if (auto* uses = port_use_.find(tuple.local_port);
+      uses != nullptr && --*uses == 0) {
+    port_use_.erase(tuple.local_port);
+  }
+}
 
 bool Demux::listen(std::uint16_t port, ListenHandler handler) {
-  return listeners_.emplace(port, std::move(handler)).second;
+  const auto [slot, inserted] = listeners_.try_emplace(port);
+  if (!inserted) return false;
+  *slot = std::move(handler);
+  return true;
 }
 
 void Demux::unlisten(std::uint16_t port) { listeners_.erase(port); }
@@ -72,15 +90,30 @@ void Demux::route(netlayer::IpAddr src, SublayeredSegment segment) {
                                              segment.payload.size());
   const FourTuple tuple{local_addr_, segment.dm.dst_port, src,
                         segment.dm.src_port};
-  if (const auto it = connections_.find(tuple); it != connections_.end()) {
+  // Handlers are moved out for the call: a handler may unbind itself
+  // (connection teardown) or bind new tuples (rehashing the table), so no
+  // pointer into a table may be live across the invocation.
+  if (SegmentHandler* slot = connections_.find(tuple)) {
     ++stats_.to_connections;
-    it->second(std::move(segment));
+    SegmentHandler handler = std::move(*slot);
+    handler(std::move(segment));
+    // Restore unless the handler unbound itself (slot gone) or the tuple
+    // was unbound and rebound during the call (slot holds a fresh handler;
+    // the moved-from husk is empty).
+    if (SegmentHandler* back = connections_.find(tuple);
+        back != nullptr && !*back) {
+      *back = std::move(handler);
+    }
     return;
   }
-  if (const auto it = listeners_.find(tuple.local_port);
-      it != listeners_.end()) {
+  if (ListenHandler* slot = listeners_.find(tuple.local_port)) {
     ++stats_.to_listeners;
-    it->second(tuple, std::move(segment));
+    ListenHandler handler = std::move(*slot);
+    handler(tuple, std::move(segment));
+    if (ListenHandler* back = listeners_.find(tuple.local_port);
+        back != nullptr && !*back) {
+      *back = std::move(handler);
+    }
     return;
   }
   ++stats_.unmatched;

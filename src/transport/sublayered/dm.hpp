@@ -9,9 +9,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <optional>
 
+#include "common/flat_hash.hpp"
 #include "netlayer/ip.hpp"
 #include "telemetry/metrics.hpp"
 #include "transport/wire/sublayered_header.hpp"
@@ -51,7 +51,13 @@ class Demux {
   void set_datagram_sink(DatagramSink sink) { sink_ = std::move(sink); }
   void set_unmatched_handler(UnmatchedHandler h) { unmatched_ = std::move(h); }
 
-  /// Allocates an unused ephemeral port.
+  /// Allocates an unused ephemeral port (49152-65535), skipping bound and
+  /// listening ports; nullopt once the whole range is in use.  Each port
+  /// is O(1) to test, and each is tested at most once per call.
+  std::optional<std::uint16_t> try_allocate_port();
+
+  /// try_allocate_port() that throws std::runtime_error on exhaustion —
+  /// the shape connect() wants.
   std::uint16_t allocate_port();
 
   /// Binds a connection; returns false if the tuple is taken.
@@ -79,8 +85,14 @@ class Demux {
   netlayer::IpAddr local_addr_;
   DatagramSink sink_;
   UnmatchedHandler unmatched_;
-  std::map<FourTuple, SegmentHandler> connections_;
-  std::map<std::uint16_t, ListenHandler> listeners_;
+  // Open-addressing tables: O(1) per-segment demux at any connection
+  // count.  The 4-tuple key goes through SipHash so hostile tuples cannot
+  // cluster a bucket chain (tested by T3's fall-through cases).
+  FlatHashMap<FourTuple, SegmentHandler, FourTupleHash> connections_;
+  FlatHashMap<std::uint16_t, ListenHandler, IntHash> listeners_;
+  /// Bound-connection count per local port: makes allocate_port() O(1)
+  /// per candidate instead of a scan over every connection.
+  FlatHashMap<std::uint16_t, std::uint32_t, IntHash> port_use_;
   std::uint16_t next_ephemeral_ = 49152;
   DmStats stats_;
   telemetry::Histogram segment_bytes_;

@@ -72,7 +72,7 @@ Connection& TcpHost::make_connection(const FourTuple& tuple) {
   auto conn = std::make_unique<Connection>(sim_, demux_, *isn_, tuple,
                                            config_.connection);
   Connection& ref = *conn;
-  connections_.emplace(tuple, std::move(conn));
+  connections_.try_emplace(tuple, std::move(conn));
   return ref;
 }
 
@@ -95,7 +95,7 @@ Connection& TcpHost::connect(netlayer::IpAddr remote,
 }
 
 void TcpHost::listen(std::uint16_t port, AcceptHandler on_accept) {
-  acceptors_[port] = std::move(on_accept);
+  *acceptors_.try_emplace(port).first = std::move(on_accept);
   demux_.listen(port, [this](const FourTuple& tuple,
                              SublayeredSegment segment) {
     // Which segments may create a connection depends on the CM scheme:
@@ -120,11 +120,13 @@ void TcpHost::listen(std::uint16_t port, AcceptHandler on_accept) {
     }
     Connection& conn = make_connection(tuple);
     conn.set_owner_reaper([this, tuple] { reap(tuple); });
-    const auto acceptor = acceptors_.find(tuple.local_port);
-    if (acceptor != acceptors_.end() && acceptor->second) {
+    if (const AcceptHandler* acceptor = acceptors_.find(tuple.local_port);
+        acceptor != nullptr && *acceptor) {
       // The application installs its callbacks before the handshake
-      // proceeds, so no events are lost.
-      acceptor->second(conn);
+      // proceeds, so no events are lost.  Copied, not referenced: the
+      // callback may listen() on another port and rehash the table.
+      const AcceptHandler on_accept = *acceptor;
+      on_accept(conn);
     }
     conn.open_passive(segment);
   });

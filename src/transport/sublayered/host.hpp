@@ -7,8 +7,9 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
+
+#include "common/flat_hash.hpp"
 
 #include "netlayer/router.hpp"
 #include "transport/sublayered/connection.hpp"
@@ -61,8 +62,12 @@ class TcpHost {
   Demux demux_;
   HeaderShim shim_;
   std::unique_ptr<IsnProvider> isn_;
-  std::map<FourTuple, std::unique_ptr<Connection>> connections_;
-  std::map<std::uint16_t, AcceptHandler> acceptors_;
+  // Hashed like DM's tables: connection count must not show up in any
+  // per-segment or per-accept cost.  Connection objects are uniquely
+  // owned, so their addresses survive table rehashes.
+  FlatHashMap<FourTuple, std::unique_ptr<Connection>, FourTupleHash>
+      connections_;
+  FlatHashMap<std::uint16_t, AcceptHandler, IntHash> acceptors_;
 };
 
 }  // namespace sublayer::transport

@@ -2,10 +2,12 @@
 // port).  DM is the only sublayer that reads it (T3).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <tuple>
 
+#include "common/siphash.hpp"
 #include "netlayer/ip.hpp"
 
 namespace sublayer::transport {
@@ -29,6 +31,32 @@ struct FourTuple {
            std::to_string(local_port) + "<->" +
            netlayer::addr_to_string(remote_addr) + ":" +
            std::to_string(remote_port);
+  }
+};
+
+/// SipHash-2-4 of the packed tuple fields for the open-addressing demux
+/// tables.  The key is fixed so a given seed replays identically; the PRF
+/// still spreads adversarially-chosen tuples across buckets far better
+/// than any shift-and-xor of the raw fields would.
+struct FourTupleHash {
+  std::size_t operator()(const FourTuple& t) const {
+    static constexpr SipHashKey kKey{0x736c6179'64656d75ull,
+                                     0x782d7461'626c6573ull};
+    std::array<std::uint8_t, 12> packed;
+    const auto put32 = [&](int at, std::uint32_t v) {
+      packed[at] = static_cast<std::uint8_t>(v);
+      packed[at + 1] = static_cast<std::uint8_t>(v >> 8);
+      packed[at + 2] = static_cast<std::uint8_t>(v >> 16);
+      packed[at + 3] = static_cast<std::uint8_t>(v >> 24);
+    };
+    put32(0, t.local_addr);
+    put32(4, t.remote_addr);
+    packed[8] = static_cast<std::uint8_t>(t.local_port);
+    packed[9] = static_cast<std::uint8_t>(t.local_port >> 8);
+    packed[10] = static_cast<std::uint8_t>(t.remote_port);
+    packed[11] = static_cast<std::uint8_t>(t.remote_port >> 8);
+    return static_cast<std::size_t>(
+        siphash24(kKey, ByteView(packed.data(), packed.size())));
   }
 };
 

@@ -1,0 +1,273 @@
+// Determinism regression suite for the event-engine swap (PR 4).
+//
+// The simulator's contract — same seed ⇒ identical replay, FIFO among
+// same-time events, run_until horizon semantics — must hold for BOTH
+// engines, and the two engines must replay byte-identical schedules:
+// the wheel is only a faster data structure, never a different order.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/controller.hpp"
+#include "chaos/fault_plan.hpp"
+#include "common/rng.hpp"
+#include "netlayer/router.hpp"
+#include "sim/simulator.hpp"
+#include "transport/sublayered/host.hpp"
+
+namespace sublayer::sim {
+namespace {
+
+class SchedulerDeterminism : public ::testing::TestWithParam<EngineKind> {};
+
+INSTANTIATE_TEST_SUITE_P(Engines, SchedulerDeterminism,
+                         ::testing::Values(EngineKind::kTimerWheel,
+                                           EngineKind::kLegacyHeap),
+                         [](const auto& info) {
+                           return info.param == EngineKind::kTimerWheel
+                                      ? "wheel"
+                                      : "legacy_heap";
+                         });
+
+TEST_P(SchedulerDeterminism, SameTimeEventsFireInInsertionOrder) {
+  Simulator sim(GetParam());
+  std::vector<int> order;
+  // A large same-time batch, inserted out of any convenient order.
+  for (int i = 0; i < 64; ++i) {
+    sim.schedule(Duration::millis(5), [&, i] { order.push_back(i); });
+  }
+  sim.schedule(Duration::millis(1), [&] { order.push_back(-1); });
+  sim.run();
+  ASSERT_EQ(order.size(), 65u);
+  EXPECT_EQ(order.front(), -1);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(order[i + 1], i) << i;
+}
+
+TEST_P(SchedulerDeterminism, ZeroDelayFromCallbackRunsAfterQueuedPeers) {
+  // An event that schedules a 0-delay follow-up: the follow-up fires at
+  // the same timestamp but AFTER everything already queued there (higher
+  // insertion seq), in both engines.
+  Simulator sim(GetParam());
+  std::vector<std::string> order;
+  sim.schedule(Duration::millis(1), [&] {
+    order.push_back("first");
+    sim.schedule(Duration::nanos(0), [&] { order.push_back("follow-up"); });
+  });
+  sim.schedule(Duration::millis(1), [&] { order.push_back("second"); });
+  sim.run();
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"first", "second", "follow-up"}));
+}
+
+TEST_P(SchedulerDeterminism, RunUntilParksInsideAnOccupiedWindow) {
+  // The deadline falls between now and the earliest event (inside the
+  // same wheel window): nothing fires, the clock parks exactly at the
+  // deadline, and events scheduled after parking still fire in time
+  // order ahead of the original one.
+  Simulator sim(GetParam());
+  std::vector<int> order;
+  sim.schedule_at(TimePoint::from_ns(300), [&] { order.push_back(300); });
+  sim.run_until(TimePoint::from_ns(260));
+  EXPECT_EQ(sim.now().ns(), 260);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_TRUE(order.empty());
+  sim.schedule_at(TimePoint::from_ns(270), [&] { order.push_back(270); });
+  sim.schedule_at(TimePoint::from_ns(280), [&] { order.push_back(280); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{270, 280, 300}));
+}
+
+TEST_P(SchedulerDeterminism, RunUntilFiresEventsExactlyAtDeadline) {
+  Simulator sim(GetParam());
+  int fired = 0;
+  sim.schedule(Duration::millis(2), [&] { ++fired; });
+  sim.schedule(Duration::millis(2), [&] { ++fired; });
+  sim.schedule_at(TimePoint::from_ns(Duration::millis(2).ns() + 1),
+                  [&] { ++fired; });
+  sim.run_until(TimePoint::from_ns(Duration::millis(2).ns()));
+  EXPECT_EQ(fired, 2);  // at-deadline fires, beyond-deadline waits
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST_P(SchedulerDeterminism, LongDelaysInterleaveWithShortOnes) {
+  // Delays beyond the wheel's 2^32 ns (~4.29 s) horizon take the overflow
+  // path; ordering across the horizon boundary must be seamless, and a
+  // same-time tie that straddles the arm-order must stay FIFO.
+  Simulator sim(GetParam());
+  std::vector<int> order;
+  const auto at = [&](double seconds, int label) {
+    sim.schedule(Duration::seconds(seconds), [&, label] {
+      order.push_back(label);
+    });
+  };
+  at(9.0, 90);
+  at(0.001, 1);
+  at(5.0, 50);
+  at(4.0, 40);   // inside the horizon
+  at(5.0, 51);   // ties with 50: FIFO
+  at(10.0, 100);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 40, 50, 51, 90, 100}));
+}
+
+TEST_P(SchedulerDeterminism, CancelBeyondHorizonIsHonoured) {
+  Simulator sim(GetParam());
+  bool fired = false;
+  const EventId id =
+      sim.schedule(Duration::seconds(100.0), [&] { fired = true; });
+  sim.schedule(Duration::seconds(200.0), [] {});
+  sim.cancel(id);
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.now().ns(), Duration::seconds(200.0).ns());
+}
+
+TEST_P(SchedulerDeterminism, TimerRestartChurnKeepsOneEventPending) {
+  Simulator sim(GetParam());
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  for (int i = 0; i < 1000; ++i) t.restart(Duration::millis(10));
+  // The heap engine counts cancelled husks out of pending(); the wheel
+  // unlinks them outright.  Both must report exactly one pending firing.
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+// ---- Cross-engine replay ----------------------------------------------------
+
+/// One (time, label) pair per fired event: the observable schedule.
+using Trace = std::vector<std::pair<std::int64_t, std::uint32_t>>;
+
+/// Drives a randomized schedule/cancel/restart workload and records the
+/// firing order.  Everything is derived from `seed`, so two engines fed
+/// the same seed must produce identical traces.
+Trace run_workload(EngineKind kind, std::uint64_t seed) {
+  Simulator sim(kind);
+  Rng rng(seed);
+  Trace trace;
+  std::vector<EventId> cancellable;
+  std::uint32_t next_label = 0;
+
+  const auto arm = [&](auto&& self) -> void {
+    const std::uint32_t label = next_label++;
+    // Mix of sub-tick, in-wheel, and overflow delays, with heavy ties.
+    const std::uint64_t pick = rng.next_below(100);
+    Duration delay = Duration::nanos(0);
+    if (pick < 30) {
+      delay = Duration::nanos(static_cast<std::int64_t>(rng.next_below(4)));
+    } else if (pick < 85) {
+      delay = Duration::micros(static_cast<std::int64_t>(rng.next_below(500)));
+    } else if (pick < 95) {
+      delay = Duration::millis(static_cast<std::int64_t>(rng.next_below(200)));
+    } else {
+      delay = Duration::seconds(4.0 + rng.next_double() * 4.0);
+    }
+    const EventId id = sim.schedule(delay, [&, label, self] {
+      trace.emplace_back(sim.now().ns(), label);
+      // Fired events re-arm a few successors and cancel a random victim,
+      // so cancellation interleaves with firing throughout the run.
+      if (next_label < 4000) {
+        const std::uint64_t n = rng.next_below(3);
+        for (std::uint64_t i = 0; i < n; ++i) self(self);
+        if (!cancellable.empty() && rng.next_below(2) == 0) {
+          const std::size_t victim = rng.next_below(cancellable.size());
+          sim.cancel(cancellable[victim]);
+          cancellable.erase(cancellable.begin() +
+                            static_cast<std::ptrdiff_t>(victim));
+        }
+      }
+    });
+    if (rng.next_below(3) == 0) cancellable.push_back(id);
+  };
+
+  for (int i = 0; i < 200; ++i) arm(arm);
+  sim.run();
+  return trace;
+}
+
+TEST(SchedulerCrossEngine, RandomizedWorkloadsReplayIdentically) {
+  for (const std::uint64_t seed : {1ull, 7ull, 42ull, 1234567ull}) {
+    const Trace wheel = run_workload(EngineKind::kTimerWheel, seed);
+    const Trace heap = run_workload(EngineKind::kLegacyHeap, seed);
+    ASSERT_FALSE(wheel.empty());
+    ASSERT_EQ(wheel, heap) << "seed " << seed;
+  }
+}
+
+// ---- Full-stack chaos soak replay -------------------------------------------
+
+struct SoakOutcome {
+  std::uint64_t events_processed = 0;
+  std::size_t bytes_received = 0;
+  std::int64_t finished_ns = 0;
+  std::uint64_t faults_applied = 0;
+};
+
+/// A seeded chaos transfer — 3-router line, lossy middle links, a
+/// link-flap fault script — run to a fixed virtual horizon.  The whole
+/// run is a function of (engine, seed); swapping the engine must not
+/// change a single observable.
+SoakOutcome run_chaos_soak(EngineKind kind, std::uint64_t seed) {
+  Simulator sim(kind);
+  netlayer::RouterConfig rc;
+  rc.routing = netlayer::RoutingKind::kLinkState;
+  netlayer::Network net(sim, rc, seed);
+  const auto r0 = net.add_router();
+  const auto r1 = net.add_router();
+  const auto r2 = net.add_router();
+  LinkConfig link;
+  link.bandwidth_bps = 10e6;
+  link.propagation_delay = Duration::micros(200);
+  link.loss_rate = 0.005;
+  net.connect(r0, r1, link);
+  net.connect(r1, r2, link);
+  transport::TcpHost client(sim, net.router(r0), 1);
+  transport::TcpHost server(sim, net.router(r2), 1);
+  net.start();
+  sim.run_until(TimePoint::from_ns(Duration::millis(500).ns()));
+
+  SoakOutcome out;
+  server.listen(80, [&](transport::Connection& conn) {
+    transport::Connection::AppCallbacks cb;
+    cb.on_data = [&](Bytes data) {
+      out.bytes_received += data.size();
+      out.finished_ns = sim.now().ns();
+    };
+    conn.set_app_callbacks(cb);
+  });
+  Rng payload_rng(seed + 99);
+  auto& conn = client.connect(server.addr(), 80);
+  conn.send(payload_rng.next_bytes(96 * 1024));
+
+  chaos::ScriptParams params;
+  params.link_count = net.link_count();
+  params.router_count = net.router_count();
+  params.start = sim.now() + Duration::millis(100);
+  params.active_window = Duration::seconds(2.0);
+  chaos::ChaosController controller(sim, net);
+  controller.arm(chaos::make_plan("link-flap", seed, params));
+
+  sim.run_until(TimePoint::from_ns(Duration::seconds(12.0).ns()));
+  out.events_processed = sim.events_processed();
+  out.faults_applied = controller.stats().faults_applied;
+  return out;
+}
+
+TEST(SchedulerCrossEngine, ChaosSoakReplaysIdentically) {
+  for (const std::uint64_t seed : {3ull, 11ull}) {
+    const SoakOutcome wheel = run_chaos_soak(EngineKind::kTimerWheel, seed);
+    const SoakOutcome heap = run_chaos_soak(EngineKind::kLegacyHeap, seed);
+    EXPECT_EQ(wheel.bytes_received, 96u * 1024) << "seed " << seed;
+    EXPECT_EQ(wheel.bytes_received, heap.bytes_received) << "seed " << seed;
+    EXPECT_EQ(wheel.finished_ns, heap.finished_ns) << "seed " << seed;
+    EXPECT_EQ(wheel.faults_applied, heap.faults_applied) << "seed " << seed;
+    EXPECT_EQ(wheel.events_processed, heap.events_processed)
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace sublayer::sim

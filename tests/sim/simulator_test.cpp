@@ -105,6 +105,70 @@ TEST(Simulator, MaxEventsBudget) {
   EXPECT_EQ(sim.pending_events(), 6u);
 }
 
+// Regression (PR 4): cancelling an already-fired event used to leak the
+// id into the heap engine's cancellation list forever, permanently
+// skewing pending_events().  The wheel engine must make it a true no-op.
+TEST(Simulator, StaleCancelAfterFireKeepsPendingExact) {
+  Simulator sim;
+  const EventId id = sim.schedule(Duration::millis(1), [] {});
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.cancel(id);  // stale: the event already fired
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.schedule(Duration::millis(1), [] {});
+  sim.schedule(Duration::millis(2), [] {});
+  sim.schedule(Duration::millis(3), [] {});
+  EXPECT_EQ(sim.pending_events(), 3u);
+  sim.cancel(id);  // still a no-op, no matter how often
+  EXPECT_EQ(sim.pending_events(), 3u);
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.sched_stats().stale_cancels, 2u);
+}
+
+TEST(Simulator, RepeatedCancelRemovesOnlyOnce) {
+  Simulator sim;
+  const EventId id = sim.schedule(Duration::millis(1), [] {});
+  sim.schedule(Duration::millis(2), [] {});
+  sim.cancel(id);
+  sim.cancel(id);
+  sim.cancel(id);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_EQ(sim.sched_stats().cancelled, 1u);
+  EXPECT_EQ(sim.sched_stats().stale_cancels, 2u);
+}
+
+// The wheel recycles event slots; a stale EventId whose slot now hosts a
+// different event must not cancel the new occupant (generation tag).
+TEST(Simulator, StaleIdCannotCancelRecycledSlot) {
+  Simulator sim;
+  const EventId old_id = sim.schedule(Duration::millis(1), [] {});
+  EXPECT_EQ(sim.run(), 1u);  // fires; its slot returns to the freelist
+  bool fired = false;
+  sim.schedule(Duration::millis(1), [&] { fired = true; });
+  sim.cancel(old_id);  // must not hit the recycled slot
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, SchedStatsBalance) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(sim.schedule(Duration::millis(i + 1), [] {}));
+  }
+  for (int i = 0; i < 100; i += 3) sim.cancel(ids[i]);
+  sim.run();
+  const SchedStats& s = sim.sched_stats();
+  EXPECT_EQ(s.armed, 100u);
+  EXPECT_EQ(s.cancelled, 34u);
+  EXPECT_EQ(s.fired, 66u);
+  EXPECT_EQ(s.armed, s.cancelled + s.fired);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
 TEST(Timer, FiresAfterDelay) {
   Simulator sim;
   int fired = 0;

@@ -1,6 +1,8 @@
 // Unit tests for the OSR and DM sublayers in isolation.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "transport/sublayered/dm.hpp"
 #include "transport/sublayered/osr.hpp"
 
@@ -280,6 +282,47 @@ TEST(Dm, EphemeralPortsAvoidCollisions) {
   dm.bind(t, [](SublayeredSegment) {});
   const std::uint16_t p2 = dm.allocate_port();
   EXPECT_NE(p2, p1);
+}
+
+TEST(Dm, AllocatePortSurvivesWraparound) {
+  Demux dm(1);
+  // Walk the allocator to the top of the range; the next allocations must
+  // wrap back to 49152, never past 65535 into the registered ports.
+  for (int i = 0; i < 16383; ++i) dm.allocate_port();
+  EXPECT_EQ(dm.allocate_port(), 65535);
+  const std::uint16_t wrapped = dm.allocate_port();
+  EXPECT_EQ(wrapped, 49152);
+}
+
+TEST(Dm, AllocatePortExhaustionIsAClearFailure) {
+  Demux dm(1);
+  // Occupy the whole ephemeral range: even ports as listeners, odd ports
+  // as bound connections, so both collision kinds are exercised.
+  for (std::uint32_t port = 49152; port <= 65535; ++port) {
+    if (port % 2 == 0) {
+      ASSERT_TRUE(dm.listen(static_cast<std::uint16_t>(port),
+                            [](const FourTuple&, SublayeredSegment) {}));
+    } else {
+      const FourTuple t{1, static_cast<std::uint16_t>(port), 2, 80};
+      ASSERT_TRUE(dm.bind(t, [](SublayeredSegment) {}));
+    }
+  }
+  EXPECT_FALSE(dm.try_allocate_port().has_value());
+  EXPECT_THROW(dm.allocate_port(), std::runtime_error);
+  // Freeing a single port (either kind) makes allocation succeed again —
+  // and hands back exactly the freed port.
+  dm.unbind(FourTuple{1, 50001, 2, 80});
+  const auto freed = dm.try_allocate_port();
+  ASSERT_TRUE(freed.has_value());
+  EXPECT_EQ(*freed, 50001);
+  // Two connections can share a local port (distinct remote endpoints);
+  // the port stays unavailable until BOTH are unbound.
+  ASSERT_TRUE(dm.bind(FourTuple{1, 50001, 2, 80}, [](SublayeredSegment) {}));
+  ASSERT_TRUE(dm.bind(FourTuple{1, 50001, 3, 80}, [](SublayeredSegment) {}));
+  dm.unbind(FourTuple{1, 50001, 2, 80});
+  EXPECT_FALSE(dm.try_allocate_port().has_value());
+  dm.unbind(FourTuple{1, 50001, 3, 80});
+  EXPECT_TRUE(dm.try_allocate_port().has_value());
 }
 
 TEST(Dm, MalformedDatagramCounted) {
