@@ -53,17 +53,18 @@ class FlatHashMap {
   /// like std::map::try_emplace, args are untouched when the key exists.
   template <typename... Args>
   std::pair<T*, bool> try_emplace(const Key& key, Args&&... args) {
+    // Probe for the key before reserving: a try_emplace that finds it
+    // inserts nothing, so it must not rehash (pointers stay stable until
+    // a real insertion).
+    if (const std::size_t found = find_slot(key); found != kNpos) {
+      return {&slots_[found].value, false};
+    }
     reserve_for_insert();
     const std::size_t mask = slots_.size() - 1;
     std::size_t i = Hash{}(key) & mask;
     std::size_t target = kNpos;  // first tombstone on the probe path
-    for (;; i = (i + 1) & mask) {
-      if (state_[i] == kEmpty) break;
-      if (state_[i] == kTomb) {
-        if (target == kNpos) target = i;
-        continue;
-      }
-      if (slots_[i].key == key) return {&slots_[i].value, false};
+    for (; state_[i] != kEmpty; i = (i + 1) & mask) {
+      if (state_[i] == kTomb && target == kNpos) target = i;
     }
     if (target == kNpos) {
       target = i;

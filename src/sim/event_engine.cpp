@@ -99,6 +99,22 @@ int WheelEngine::next_occupied(int level, int from) const {
 
 bool WheelEngine::fill_due(std::uint64_t deadline) {
   for (;;) {
+    // Overflow entries whose 2^32 ns block the cursor has entered —
+    // whether by draining the wheel or by parking at a run_until deadline
+    // inside the block — must be filed into the wheel before any level
+    // scan.  A later schedule into the same block lands in the wheel
+    // directly, and scanning the wheel first would fire it ahead of the
+    // earlier overflow entry (rewinding time).
+    while (!overflow_.empty() &&
+           ((overflow_.top().when ^ current_) >> 32) == 0) {
+      const std::uint32_t idx = overflow_.top().node;
+      overflow_.pop();
+      if (pool_[idx].cancelled) {
+        free_node(idx);
+      } else {
+        place(idx);
+      }
+    }
     if (!due_.empty()) {
       // A tick's batch is nearly always one node; sorting restores FIFO
       // among same-time events regardless of which path filed them.
@@ -173,24 +189,15 @@ bool WheelEngine::fill_due(std::uint64_t deadline) {
       break;
     }
     if (cascaded) continue;
-    // Wheel drained: pull the overflow's next 2^32 ns block in.  The heap
-    // pops in (when, seq) order, so the block's entries arrive sorted.
+    // Wheel drained: jump to the overflow's next occupied 2^32 ns block;
+    // the block-entry migration at the top of the loop files its entries
+    // into the wheel in (when, seq) heap order.
     if (overflow_.empty()) return false;
     if (overflow_.top().when > deadline) {
       current_ = std::max(current_, deadline);
       return false;
     }
     current_ = overflow_.top().when;
-    while (!overflow_.empty() &&
-           ((overflow_.top().when ^ current_) >> 32) == 0) {
-      const std::uint32_t idx = overflow_.top().node;
-      overflow_.pop();
-      if (pool_[idx].cancelled) {
-        free_node(idx);
-      } else {
-        place(idx);
-      }
-    }
   }
 }
 

@@ -90,30 +90,24 @@ void Demux::route(netlayer::IpAddr src, SublayeredSegment segment) {
                                              segment.payload.size());
   const FourTuple tuple{local_addr_, segment.dm.dst_port, src,
                         segment.dm.src_port};
-  // Handlers are moved out for the call: a handler may unbind itself
-  // (connection teardown) or bind new tuples (rehashing the table), so no
-  // pointer into a table may be live across the invocation.
+  // Handlers are invoked through a copy, never through the table slot: a
+  // handler may unbind itself (connection teardown) or bind new tuples
+  // (rehashing the table), so no pointer into a table may be live across
+  // the invocation.  The slot itself stays populated, so a handler whose
+  // send re-enters route() for its own tuple (a self-connection with
+  // mirrored ports — Router::forward delivers locally in-line) finds a
+  // live handler and recurses, as the std::map code did.  The copy is
+  // cheap: every handler captures a single object pointer (SBO).
   if (SegmentHandler* slot = connections_.find(tuple)) {
     ++stats_.to_connections;
-    SegmentHandler handler = std::move(*slot);
+    SegmentHandler handler = *slot;
     handler(std::move(segment));
-    // Restore unless the handler unbound itself (slot gone) or the tuple
-    // was unbound and rebound during the call (slot holds a fresh handler;
-    // the moved-from husk is empty).
-    if (SegmentHandler* back = connections_.find(tuple);
-        back != nullptr && !*back) {
-      *back = std::move(handler);
-    }
     return;
   }
   if (ListenHandler* slot = listeners_.find(tuple.local_port)) {
     ++stats_.to_listeners;
-    ListenHandler handler = std::move(*slot);
+    ListenHandler handler = *slot;
     handler(tuple, std::move(segment));
-    if (ListenHandler* back = listeners_.find(tuple.local_port);
-        back != nullptr && !*back) {
-      *back = std::move(handler);
-    }
     return;
   }
   ++stats_.unmatched;

@@ -104,6 +104,25 @@ TEST(FlatHash, ClearResets) {
   EXPECT_EQ(*m.find(1), "back");
 }
 
+TEST(FlatHash, TryEmplaceOnExistingKeyKeepsPointersStable) {
+  // Fill to one insertion below the growth threshold (capacity 16 grows
+  // once full+tombstone load reaches 3/4): a try_emplace that FINDS its
+  // key inserts nothing, so it must not rehash and previously returned
+  // pointers must stay valid.
+  Map m;
+  for (std::uint64_t k = 0; k < 11; ++k) m.try_emplace(k, "v");
+  std::string* const p = m.find(5);
+  ASSERT_NE(p, nullptr);
+  const auto [same, inserted] = m.try_emplace(5, "ignored");
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(same, p);
+  EXPECT_EQ(m.find(5), p);
+  EXPECT_EQ(*p, "v");
+  // The 12th distinct key is a real insertion and may rehash freely.
+  m.try_emplace(99, "new");
+  EXPECT_EQ(*m.find(5), "v");
+}
+
 // Adversarial probe-chain shape: keys that all hash into one cluster
 // (IntHash is fixed, so craft collisions by brute force) must still
 // resolve through linear probing, including across an erase in the middle

@@ -112,6 +112,27 @@ TEST_P(SchedulerDeterminism, LongDelaysInterleaveWithShortOnes) {
   EXPECT_EQ(order, (std::vector<int>{1, 40, 50, 51, 90, 100}));
 }
 
+TEST_P(SchedulerDeterminism, ParkInsideOverflowBlockKeepsTimeOrder) {
+  // Regression: run_until parks the cursor at a deadline that lies INSIDE
+  // an overflow event's 2^32 ns block (both 4.5 s and 5 s have bit 32
+  // set).  An event then armed in the same block files straight into the
+  // wheel; it must NOT fire ahead of the earlier still-parked overflow
+  // event, and the clock must never rewind.
+  Simulator sim(GetParam());
+  std::vector<std::int64_t> fired_at;
+  const auto record = [&] { fired_at.push_back(sim.now().ns()); };
+  sim.schedule(Duration::seconds(5.0), record);  // beyond the wheel horizon
+  sim.run_until(TimePoint::from_ns(Duration::seconds(4.5).ns()));
+  EXPECT_TRUE(fired_at.empty());
+  EXPECT_EQ(sim.now().ns(), Duration::seconds(4.5).ns());
+  sim.schedule(Duration::seconds(1.0), record);  // 5.5 s, same 2^32 block
+  sim.run_until(TimePoint::from_ns(Duration::seconds(10.0).ns()));
+  EXPECT_EQ(fired_at, (std::vector<std::int64_t>{
+                          Duration::seconds(5.0).ns(),
+                          Duration::seconds(5.5).ns()}));
+  EXPECT_EQ(sim.now().ns(), Duration::seconds(10.0).ns());
+}
+
 TEST_P(SchedulerDeterminism, CancelBeyondHorizonIsHonoured) {
   Simulator sim(GetParam());
   bool fired = false;

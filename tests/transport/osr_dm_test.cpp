@@ -325,6 +325,44 @@ TEST(Dm, AllocatePortExhaustionIsAClearFailure) {
   EXPECT_TRUE(dm.try_allocate_port().has_value());
 }
 
+TEST(Dm, SelfConnectionReentrantDeliveryRecurses) {
+  // A self-connection with mirrored equal ports: the handler's send loops
+  // straight back into route() for the SAME tuple while the handler is
+  // still on the stack (Router::forward delivers local-destination
+  // datagrams synchronously).  The re-entrant lookup must find a live
+  // handler — not a moved-from husk — and recurse.
+  Demux dm(1);
+  dm.set_datagram_sink([&](netlayer::IpAddr, const SublayeredSegment& s) {
+    dm.route(1, s);  // loopback: destination is the local address
+  });
+  const FourTuple self{1, 7777, 1, 7777};
+  int delivered = 0;
+  ASSERT_TRUE(dm.bind(self, [&](SublayeredSegment s) {
+    if (++delivered == 1) dm.send(self, std::move(s));
+  }));
+  SublayeredSegment s;
+  s.dm = {7777, 7777};
+  dm.route(1, s);
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(dm.stats().to_connections, 2u);
+  EXPECT_EQ(dm.stats().unmatched, 0u);
+}
+
+TEST(Dm, ListenerReentrantDeliveryRecurses) {
+  // Same re-entrancy shape one table over: a listener whose handler
+  // routes another segment to its own port before returning.
+  Demux dm(1);
+  int hits = 0;
+  dm.listen(80, [&](const FourTuple&, SublayeredSegment seg) {
+    if (++hits == 1) dm.route(2, std::move(seg));
+  });
+  SublayeredSegment s;
+  s.dm = {1000, 80};
+  dm.route(2, s);
+  EXPECT_EQ(hits, 2);
+  EXPECT_EQ(dm.stats().to_listeners, 2u);
+}
+
 TEST(Dm, MalformedDatagramCounted) {
   Demux dm(1);
   dm.on_datagram(2, Bytes{1, 2, 3});
