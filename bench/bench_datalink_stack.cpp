@@ -9,25 +9,12 @@
 #include <string>
 #include <vector>
 
-#include "datalink/stack.hpp"
-
 // Allocation tracking for the data-plane CPU microbench below: every
 // operator new in the process is counted, so "allocation churn per frame"
 // covers the full pipeline, temporaries included.
-namespace {
-std::size_t g_alloc_bytes = 0;
-std::size_t g_alloc_count = 0;
-}  // namespace
-
-void* operator new(std::size_t n) {
-  g_alloc_bytes += n;
-  ++g_alloc_count;
-  void* p = std::malloc(n);
-  if (!p) throw std::bad_alloc();
-  return p;
-}
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+#define SUBLAYER_BENCH_TRACK_ALLOCS
+#include "bench/harness.hpp"
+#include "datalink/stack.hpp"
 
 using namespace sublayer;
 using namespace sublayer::datalink;
@@ -130,8 +117,8 @@ PlaneResult run_dataplane(CodeFactory code, int frames,
   }
 
   PlaneResult out;
-  const std::size_t a0_bytes = g_alloc_bytes;
-  const std::size_t a0_count = g_alloc_count;
+  const std::size_t a0_bytes = bench::total_alloc_bytes();
+  const std::size_t a0_count = bench::alloc_count();
   const auto t0 = std::chrono::steady_clock::now();
   for (const auto& p : payloads) {
     Bytes wire = plane.down(Bytes(p));
@@ -147,9 +134,9 @@ PlaneResult run_dataplane(CodeFactory code, int frames,
           .count();
   out.mbps = static_cast<double>(out.goodput_bytes) / secs / 1e6;
   out.alloc_bytes_per_frame =
-      static_cast<double>(g_alloc_bytes - a0_bytes) / frames;
+      static_cast<double>(bench::total_alloc_bytes() - a0_bytes) / frames;
   out.allocs_per_frame =
-      static_cast<double>(g_alloc_count - a0_count) / frames;
+      static_cast<double>(bench::alloc_count() - a0_count) / frames;
   return out;
 }
 

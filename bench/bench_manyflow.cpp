@@ -13,46 +13,33 @@
 //   2. The many-flow run: N ∈ {64, 256, 1024, 4096} flows, each engine,
 //      reporting events/sec, wall-clock per simulated second, timer
 //      arm/cancel/expire rates, and resident bytes per flow.
-#include <malloc.h>
-
+//   3. The parallel sweep: the same flow population on an 8-router ring
+//      sharded one-router-per-shard across a ParallelSimulator, at worker
+//      thread counts {1, 2, 4, 8} plus the monolithic Simulator baseline.
+//      Reports events/sec and speedup over monolithic, and asserts the
+//      conservative engine's determinism contract: identical event counts
+//      and cross-shard frame counts at every thread count.
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <memory>
 #include <new>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
+// Live-byte tracking for the bytes-per-flow figure (via the shared harness
+// hook: malloc_usable_size residency, atomics — Part 3's worker threads
+// allocate concurrently).
+#define SUBLAYER_BENCH_TRACK_ALLOCS
+#include "bench/harness.hpp"
+#include "sim/parallel.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/span.hpp"
 #include "transport/sublayered/host.hpp"
-
-// Live-byte tracking for the bytes-per-flow figure: every operator new in
-// the process is measured (via malloc_usable_size, so the figure is real
-// heap residency, padding included), every delete subtracts.
-namespace {
-std::size_t g_live_bytes = 0;
-std::size_t g_alloc_count = 0;
-}  // namespace
-
-// noinline: once inlined into a new-expression, GCC pairs the visible
-// malloc with the sized delete and raises a bogus -Wmismatched-new-delete.
-__attribute__((noinline)) void* operator new(std::size_t n) {
-  void* p = std::malloc(n);
-  if (!p) throw std::bad_alloc();
-  g_live_bytes += malloc_usable_size(p);
-  ++g_alloc_count;
-  return p;
-}
-__attribute__((noinline)) void operator delete(void* p) noexcept {
-  if (p) g_live_bytes -= malloc_usable_size(p);
-  std::free(p);
-}
-__attribute__((noinline)) void operator delete(void* p,
-                                               std::size_t) noexcept {
-  if (p) g_live_bytes -= malloc_usable_size(p);
-  std::free(p);
-}
 
 using namespace sublayer;
 
@@ -161,7 +148,7 @@ FlowRunResult run_flows(sim::EngineKind kind, std::size_t flows,
   net.start();
   sim.run_until(TimePoint::from_ns(Duration::millis(500).ns()));
 
-  const std::size_t live_before = g_live_bytes;
+  const std::size_t live_before = bench::live_alloc_bytes();
   // Keepalives on, as a production deployment (and the chaos suite) runs
   // them: every received segment restarts a multi-second timer, which is
   // precisely the arm/cancel-heavy pattern a flow-scale scheduler must
@@ -204,7 +191,7 @@ FlowRunResult run_flows(sim::EngineKind kind, std::size_t flows,
          sim.step()) {
   }
   const double wall = wall_seconds_since(wall_start);
-  const std::size_t live_after = g_live_bytes;
+  const std::size_t live_after = bench::live_alloc_bytes();
 
   FlowRunResult r;
   r.kind = kind;
@@ -221,6 +208,144 @@ FlowRunResult run_flows(sim::EngineKind kind, std::size_t flows,
   r.fire_rate = wall > 0 ? static_cast<double>(r.sched.fired) / wall : 0;
   r.bytes_per_flow =
       static_cast<double>(live_after - live_before) / static_cast<double>(flows);
+  return r;
+}
+
+// ---- Part 3: parallel shard sweep -------------------------------------------
+
+constexpr std::size_t kRing = 8;
+
+struct ParallelRow {
+  std::size_t threads = 0;  // 0 = monolithic Simulator baseline
+  std::size_t flows = 0;
+  std::size_t completed = 0;
+  std::uint64_t events = 0;
+  std::uint64_t cross_frames = 0;
+  std::uint64_t epochs = 0;
+  double wall_s = 0;
+  double events_per_sec = 0;
+};
+
+netlayer::RouterConfig ring_router_config() {
+  netlayer::RouterConfig rc;
+  rc.routing = netlayer::RoutingKind::kLinkState;
+  rc.neighbor.dead_interval = Duration::seconds(3600.0);
+  return rc;
+}
+
+sim::LinkConfig ring_link_config() {
+  sim::LinkConfig link;
+  link.bandwidth_bps = 10e9;
+  link.propagation_delay = Duration::micros(100);
+  link.queue_limit = 4096;
+  return link;
+}
+
+/// N flows around an 8-router ring, host on router f%8 -> host on router
+/// (f%8+3)%8 (three cross-shard hops), same seeds everywhere.  `threads`
+/// 0 runs the monolithic Simulator; otherwise a ParallelSimulator with one
+/// router per shard and that many workers.
+ParallelRow run_ring(std::size_t threads, std::size_t flows,
+                     std::size_t per_flow) {
+  telemetry::MetricsRegistry::instance().reset();
+  telemetry::SpanTracer::instance().reset();
+  const bool parallel = threads > 0;
+
+  std::unique_ptr<sim::Simulator> mono;
+  std::unique_ptr<sim::ParallelSimulator> psim;
+  std::unique_ptr<netlayer::Network> net;
+  if (parallel) {
+    sim::ParallelConfig pc;
+    pc.shards = kRing;
+    pc.threads = threads;
+    psim = std::make_unique<sim::ParallelSimulator>(pc);
+    sim::ShardMap map(kRing);
+    for (std::size_t i = 0; i < kRing; ++i) map.assign(i, i);
+    net = std::make_unique<netlayer::Network>(*psim, ring_router_config(),
+                                              /*seed=*/1, map);
+  } else {
+    mono = std::make_unique<sim::Simulator>(sim::EngineKind::kTimerWheel);
+    net = std::make_unique<netlayer::Network>(*mono, ring_router_config(),
+                                              /*seed=*/1);
+  }
+  std::vector<netlayer::RouterId> routers;
+  for (std::size_t i = 0; i < kRing; ++i) routers.push_back(net->add_router());
+  for (std::size_t i = 0; i < kRing; ++i) {
+    net->connect(routers[i], routers[(i + 1) % kRing], ring_link_config());
+  }
+  net->start();
+  const auto warmup = TimePoint::from_ns(Duration::millis(500).ns());
+  if (parallel) {
+    psim->run_until(warmup);
+  } else {
+    mono->run_until(warmup);
+  }
+
+  transport::HostConfig hc;
+  hc.connection.cm.keepalive_interval = Duration::seconds(2.0);
+  std::vector<std::unique_ptr<transport::TcpHost>> hosts;
+  std::atomic<std::size_t> completed{0};  // servers live on several shards
+  for (std::size_t i = 0; i < kRing; ++i) {
+    std::optional<sim::ParallelSimulator::ShardScope> scope;
+    if (parallel) scope.emplace(*psim, net->shard_of(routers[i]));
+    hosts.push_back(std::make_unique<transport::TcpHost>(
+        net->router(routers[i]), 1, hc));
+    hosts.back()->listen(80, [&completed, per_flow](transport::Connection& c) {
+      transport::Connection::AppCallbacks cb;
+      auto received = std::make_shared<std::size_t>(0);
+      cb.on_data = [&completed, received, per_flow](Bytes data) {
+        *received += data.size();
+        if (*received == per_flow) {
+          completed.fetch_add(1, std::memory_order_relaxed);
+        }
+      };
+      c.set_app_callbacks(cb);
+    });
+  }
+
+  Rng rng(7);
+  const Bytes payload = rng.next_bytes(per_flow);
+  for (std::size_t f = 0; f < flows; ++f) {
+    transport::TcpHost* client = hosts[f % kRing].get();
+    transport::TcpHost* server = hosts[(f % kRing + 3) % kRing].get();
+    const auto at =
+        warmup + Duration::micros(static_cast<std::int64_t>(10 * (f + 1)));
+    const auto go = [client, server, payload] {
+      client->connect(server->addr(), 80).send(payload);
+    };
+    if (parallel) {
+      psim->shard(net->shard_of(static_cast<netlayer::RouterId>(f % kRing)))
+          .schedule_at(at, go);
+    } else {
+      mono->schedule_at(at, go);
+    }
+  }
+
+  ParallelRow r;
+  r.threads = threads;
+  r.flows = flows;
+  const auto deadline = TimePoint::from_ns(Duration::seconds(30.0).ns());
+  const auto wall_start = std::chrono::steady_clock::now();
+  if (parallel) {
+    const std::uint64_t before = psim->events_processed();
+    psim->run_until(deadline, [&completed, flows] {
+      return completed.load(std::memory_order_relaxed) >= flows;
+    });
+    r.events = psim->events_processed() - before;
+    r.cross_frames = psim->cross_shard_frames();
+    r.epochs = psim->epochs();
+  } else {
+    const std::uint64_t before = mono->events_processed();
+    constexpr std::uint64_t kEventBudget = 400'000'000;
+    while (completed.load(std::memory_order_relaxed) < flows &&
+           mono->events_processed() - before < kEventBudget && mono->step()) {
+    }
+    r.events = mono->events_processed() - before;
+  }
+  r.wall_s = wall_seconds_since(wall_start);
+  r.completed = completed.load(std::memory_order_relaxed);
+  r.events_per_sec =
+      r.wall_s > 0 ? static_cast<double>(r.events) / r.wall_s : 0;
   return r;
 }
 
@@ -333,11 +458,86 @@ int main(int argc, char** argv) {
               "cost at max vs zero cancelled husks: %.2fx\n",
               sizes[last], speedup, flatness);
 
+  // ---- Part 3: parallel shard sweep ----
+  const std::size_t ring_flows = smoke ? 32 : 4096;
+  const std::vector<std::size_t> thread_counts =
+      smoke ? std::vector<std::size_t>{1, 2}
+            : std::vector<std::size_t>{1, 2, 4, 8};
+  std::printf("\nE14.3: %zu flows on an 8-router ring, one router per "
+              "shard (%u hardware threads)\n",
+              ring_flows, std::thread::hardware_concurrency());
+  std::printf("%12s | %10s %9s %12s %9s | %11s %8s\n", "engine", "events",
+              "wall s", "events/s", "speedup", "cross-shard", "epochs");
+  std::string par_json;
+  const ParallelRow base = run_ring(0, ring_flows, per_flow);
+  if (base.completed != base.flows) ok = false;
+  std::printf("%12s | %10llu %8.2fs %12.0f %8.2fx | %11s %8s %s\n",
+              "monolithic", static_cast<unsigned long long>(base.events),
+              base.wall_s, base.events_per_sec, 1.0, "-", "-",
+              base.completed == base.flows ? "" : "(INCOMPLETE)");
+  {
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "{\"threads\":0,\"flows\":%zu,\"completed\":%zu,"
+                  "\"events\":%llu,\"wall_s\":%.3f,\"events_per_sec\":%.0f,"
+                  "\"parallel_speedup\":1.0}",
+                  base.flows, base.completed,
+                  static_cast<unsigned long long>(base.events), base.wall_s,
+                  base.events_per_sec);
+    par_json += buf;
+  }
+  std::uint64_t par_events = 0;
+  std::uint64_t par_frames = 0;
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+    const ParallelRow r = run_ring(thread_counts[i], ring_flows, per_flow);
+    if (r.completed != r.flows) ok = false;
+    if (i == 0) {
+      par_events = r.events;
+      par_frames = r.cross_frames;
+    } else if (r.events != par_events || r.cross_frames != par_frames) {
+      // The determinism contract: the shard map, not the worker count,
+      // fixes the trace.
+      std::printf("PARALLEL DETERMINISM MISMATCH at %zu threads: "
+                  "events %llu vs %llu, frames %llu vs %llu\n",
+                  thread_counts[i],
+                  static_cast<unsigned long long>(r.events),
+                  static_cast<unsigned long long>(par_events),
+                  static_cast<unsigned long long>(r.cross_frames),
+                  static_cast<unsigned long long>(par_frames));
+      ok = false;
+    }
+    const double sp =
+        base.events_per_sec > 0 ? r.events_per_sec / base.events_per_sec : 0;
+    char label[32];
+    std::snprintf(label, sizeof label, "%zu thread%s", r.threads,
+                  r.threads == 1 ? "" : "s");
+    std::printf("%12s | %10llu %8.2fs %12.0f %8.2fx | %11llu %8llu %s\n",
+                label, static_cast<unsigned long long>(r.events), r.wall_s,
+                r.events_per_sec, sp,
+                static_cast<unsigned long long>(r.cross_frames),
+                static_cast<unsigned long long>(r.epochs),
+                r.completed == r.flows ? "" : "(INCOMPLETE)");
+    char buf[320];
+    std::snprintf(buf, sizeof buf,
+                  ",{\"threads\":%zu,\"flows\":%zu,\"completed\":%zu,"
+                  "\"events\":%llu,\"wall_s\":%.3f,\"events_per_sec\":%.0f,"
+                  "\"cross_shard_frames\":%llu,\"epochs\":%llu,"
+                  "\"parallel_speedup\":%.2f}",
+                  r.threads, r.flows, r.completed,
+                  static_cast<unsigned long long>(r.events), r.wall_s,
+                  r.events_per_sec,
+                  static_cast<unsigned long long>(r.cross_frames),
+                  static_cast<unsigned long long>(r.epochs), sp);
+    par_json += buf;
+  }
+
   std::printf(
       "BENCH_JSON {\"bench\":\"manyflow\",\"per_flow_bytes\":%zu,"
       "\"rows\":[%s],\"cancel_microbench\":[%s],"
-      "\"speedup_at_%zu_flows\":%.2f,\"wheel_cancel_flatness\":%.2f}\n",
+      "\"speedup_at_%zu_flows\":%.2f,\"wheel_cancel_flatness\":%.2f,"
+      "\"hardware_threads\":%u,\"parallel_ring\":[%s]}\n",
       per_flow, rows_json.c_str(), cancel_json.c_str(), sizes[last],
-      speedup, flatness);
+      speedup, flatness, std::thread::hardware_concurrency(),
+      par_json.c_str());
   return ok ? 0 : 1;
 }

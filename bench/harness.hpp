@@ -13,7 +13,69 @@
 #include "transport/monolithic/mono_tcp.hpp"
 #include "transport/sublayered/host.hpp"
 
+// ---- optional global allocation tracking -----------------------------------
+// Define SUBLAYER_BENCH_TRACK_ALLOCS before including this header (in the
+// benchmark's one translation unit) to replace global operator new/delete
+// with counting versions.  The counters are atomics: the parallel engine's
+// worker threads allocate concurrently (frame buffers, mailboxes, wheel
+// nodes), so plain counters would race and tear.  Relaxed ordering — the
+// benches read them only between runs, on one thread.
+#ifdef SUBLAYER_BENCH_TRACK_ALLOCS
+
+#include <malloc.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace sublayer::bench::alloc_track {
+inline std::atomic<std::size_t> live_bytes{0};   // via malloc_usable_size
+inline std::atomic<std::size_t> total_bytes{0};  // requested, cumulative
+inline std::atomic<std::size_t> count{0};
+}  // namespace sublayer::bench::alloc_track
+
+// noinline: once inlined into a new-expression, GCC pairs the visible
+// malloc with the sized delete and raises a bogus -Wmismatched-new-delete.
+__attribute__((noinline)) inline void* operator new(std::size_t n) {
+  void* p = std::malloc(n);
+  if (!p) throw std::bad_alloc();
+  namespace at = sublayer::bench::alloc_track;
+  at::live_bytes.fetch_add(malloc_usable_size(p), std::memory_order_relaxed);
+  at::total_bytes.fetch_add(n, std::memory_order_relaxed);
+  at::count.fetch_add(1, std::memory_order_relaxed);
+  return p;
+}
+__attribute__((noinline)) inline void operator delete(void* p) noexcept {
+  if (p) {
+    sublayer::bench::alloc_track::live_bytes.fetch_sub(
+        malloc_usable_size(p), std::memory_order_relaxed);
+  }
+  std::free(p);
+}
+__attribute__((noinline)) inline void operator delete(void* p,
+                                                      std::size_t) noexcept {
+  if (p) {
+    sublayer::bench::alloc_track::live_bytes.fetch_sub(
+        malloc_usable_size(p), std::memory_order_relaxed);
+  }
+  std::free(p);
+}
+
+#endif  // SUBLAYER_BENCH_TRACK_ALLOCS
+
 namespace sublayer::bench {
+
+#ifdef SUBLAYER_BENCH_TRACK_ALLOCS
+inline std::size_t live_alloc_bytes() {
+  return alloc_track::live_bytes.load(std::memory_order_relaxed);
+}
+inline std::size_t total_alloc_bytes() {
+  return alloc_track::total_bytes.load(std::memory_order_relaxed);
+}
+inline std::size_t alloc_count() {
+  return alloc_track::count.load(std::memory_order_relaxed);
+}
+#endif
 
 struct TransferOutcome {
   bool complete = false;

@@ -53,4 +53,23 @@ if [[ "${SKIP_SANITIZERS:-0}" != "1" ]]; then
     >/dev/null
   "${san_dir}/tests/test_common" --gtest_filter='FlatHash*' >/dev/null
   echo "ASan+UBSan OK"
+
+  # TSan pass: the parallel sharded engine is the one genuinely
+  # multi-threaded subsystem — worker threads, barrier handoffs, SPSC
+  # mailboxes, thread-local registry/clock switching. Run the parallel
+  # unit tests and the full replay suite (which spins up 1/2/4-worker
+  # runs of the real stack) under ThreadSanitizer so any missed
+  # happens-before edge fails tier-1, not a soak run.
+  echo "TSan pass (parallel engine + replay suite)..."
+  tsan_dir="${build_dir}-tsan"
+  tsan_flags="-fsanitize=thread -fno-omit-frame-pointer"
+  cmake -B "${tsan_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror ${tsan_flags}" \
+    -DCMAKE_EXE_LINKER_FLAGS="${tsan_flags}" >/dev/null
+  cmake --build "${tsan_dir}" -j "${jobs}" --target test_sim >/dev/null
+  "${tsan_dir}/tests/test_sim" \
+    --gtest_filter='ShardMap*:ParallelSim*:ParallelReplay*:*TimerRace*' \
+    >/dev/null
+  echo "TSan OK"
 fi

@@ -8,7 +8,15 @@ const Logger kLog("chaos");
 }
 
 ChaosController::ChaosController(sim::Simulator& sim, netlayer::Network& net)
-    : sim_(sim), net_(net) {}
+    : sim_(&sim), net_(net) {}
+
+ChaosController::ChaosController(sim::ParallelSimulator& psim,
+                                 netlayer::Network& net)
+    : psim_(&psim), net_(net) {}
+
+TimePoint ChaosController::now() const {
+  return sim_ != nullptr ? sim_->now() : psim_->now();
+}
 
 void ChaosController::arm(const FaultPlan& plan) {
   if (armed_) throw std::logic_error("ChaosController armed twice");
@@ -23,9 +31,20 @@ void ChaosController::arm(const FaultPlan& plan) {
   crash_refs_.assign(net_.router_count(), 0);
   total_ = static_cast<int>(plan.events.size());
   for (const FaultEvent& e : plan.events) {
-    sim_.schedule_at(e.at, [this, e] { apply(e); });
-    sim_.schedule_at(TimePoint::from_ns(e.at.ns() + e.duration.ns()),
-                     [this, e] { heal(e); });
+    const auto heal_at = TimePoint::from_ns(e.at.ns() + e.duration.ns());
+    if (psim_ != nullptr) {
+      // Barrier tasks: single-threaded, clocks aligned, workers parked.
+      // Crash/restart rebuild telemetry-bound state, so those run under
+      // the victim router's shard scope.
+      const std::size_t scope = e.kind == FaultKind::kRouterCrash
+                                    ? net_.shard_of(e.router)
+                                    : sim::ParallelSimulator::kNoShard;
+      psim_->schedule_task(e.at, [this, e] { apply(e); }, scope);
+      psim_->schedule_task(heal_at, [this, e] { heal(e); }, scope);
+    } else {
+      sim_->schedule_at(e.at, [this, e] { apply(e); });
+      sim_->schedule_at(heal_at, [this, e] { heal(e); });
+    }
   }
 }
 
@@ -87,7 +106,7 @@ void ChaosController::heal(const FaultEvent& e) {
       if (--crash_refs_.at(e.router) == 0) net_.router(e.router).restart();
       break;
   }
-  if (active_ == 0 && healed_ == total_) healed_at_ = sim_.now();
+  if (active_ == 0 && healed_ == total_) healed_at_ = now();
   if (on_heal) on_heal(e);
 }
 

@@ -30,6 +30,13 @@ class ChaosController {
  public:
   ChaosController(sim::Simulator& sim, netlayer::Network& net);
 
+  /// Sharded mode: apply/heal run as barrier tasks — single-threaded, at
+  /// the exact fault time, with every worker parked — so mutating links
+  /// and routers on any shard is race-free.  Router crashes additionally
+  /// run under the owning shard's scope (the rebuilt control plane binds
+  /// into that shard's registries).
+  ChaosController(sim::ParallelSimulator& psim, netlayer::Network& net);
+
   /// Snapshots every link's baseline config and schedules the plan's
   /// apply/heal pairs.  May be called once per controller.
   void arm(const FaultPlan& plan);
@@ -50,8 +57,10 @@ class ChaosController {
  private:
   void apply(const FaultEvent& e);
   void heal(const FaultEvent& e);
+  TimePoint now() const;
 
-  sim::Simulator& sim_;
+  sim::Simulator* sim_ = nullptr;           // monolithic mode
+  sim::ParallelSimulator* psim_ = nullptr;  // sharded mode
   netlayer::Network& net_;
   std::vector<sim::LinkConfig> baselines_;
   /// Open fault windows per link; a link's baseline config (and its down

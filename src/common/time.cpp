@@ -29,7 +29,11 @@ namespace {
 // A stack, not a single slot: tests nest simulator lifetimes (build one,
 // build another, destroy the inner), and the surviving simulator must get
 // its clock back.
-std::vector<const TimePoint*> g_clocks;
+//
+// thread_local: each ParallelSimulator worker publishes the clock of the
+// shard it is currently running, so concurrent shards timestamp telemetry
+// from their own virtual clocks without ever observing another shard's.
+thread_local std::vector<const TimePoint*> g_clocks;
 }
 
 void attach(const TimePoint* now) { g_clocks.push_back(now); }

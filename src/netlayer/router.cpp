@@ -1,5 +1,8 @@
 #include "netlayer/router.hpp"
 
+#include <optional>
+#include <stdexcept>
+
 #include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "common/siphash.hpp"
@@ -221,11 +224,38 @@ void Router::forward(Bytes datagram) {
 }
 
 Network::Network(sim::Simulator& sim, RouterConfig config, std::uint64_t seed)
-    : sim_(sim), config_(config), rng_(seed) {}
+    : sim_(&sim), config_(config), rng_(seed) {}
+
+Network::Network(sim::ParallelSimulator& psim, RouterConfig config,
+                 std::uint64_t seed, sim::ShardMap shard_map)
+    : psim_(&psim),
+      shard_map_(std::move(shard_map)),
+      config_(config),
+      rng_(seed) {
+  if (shard_map_->shards() != psim.shard_count()) {
+    throw std::invalid_argument("Network: shard map / shard count mismatch");
+  }
+}
+
+Network::Network(sim::ParallelSimulator& psim, RouterConfig config,
+                 std::uint64_t seed)
+    : Network(psim, config, seed, sim::ShardMap(psim.shard_count())) {}
+
+std::size_t Network::shard_of(RouterId id) const {
+  return psim_ != nullptr ? shard_map_->of(id) : 0;
+}
+
+sim::Simulator& Network::sim_of(RouterId id) {
+  return psim_ != nullptr ? psim_->shard(shard_map_->of(id)) : *sim_;
+}
 
 RouterId Network::add_router() {
   const auto id = static_cast<RouterId>(routers_.size());
-  routers_.push_back(std::make_unique<Router>(sim_, id, config_));
+  // Under the parallel engine, construct inside the owning shard's scope so
+  // the router's counters and spans bind into that shard's registries.
+  std::optional<sim::ParallelSimulator::ShardScope> scope;
+  if (psim_ != nullptr) scope.emplace(*psim_, shard_of(id));
+  routers_.push_back(std::make_unique<Router>(sim_of(id), id, config_));
   return id;
 }
 
@@ -263,46 +293,102 @@ std::size_t Network::connect(RouterId a, RouterId b,
   label += std::to_string(a);
   label += "-r";
   label += std::to_string(b);
-  links_.push_back(
-      std::make_unique<sim::DuplexLink>(sim_, link_config, rng_, label));
+  const std::size_t sa = shard_of(a);
+  const std::size_t sb = shard_of(b);
+  const bool remote = psim_ != nullptr && sa != sb;
+  if (remote) {
+    // Split form: each direction's sender-side link state lives on the
+    // shard that transmits on it.
+    links_.push_back(std::make_unique<sim::DuplexLink>(
+        psim_->shard(sa), psim_->shard(sb), link_config, rng_, label));
+  } else {
+    links_.push_back(
+        std::make_unique<sim::DuplexLink>(sim_of(a), link_config, rng_, label));
+  }
   sim::DuplexLink& link = *links_.back();
   Router& ra = *routers_.at(a);
   Router& rb = *routers_.at(b);
   const bool fcs = config_.link_fcs;
-  const int ia = ra.add_interface(
-      [&link, fcs](Bytes f) {
-        if (fcs) append_fcs(f);
-        link.a_to_b().send(std::move(f));
-      },
-      cost);
-  const int ib = rb.add_interface(
-      [&link, fcs](Bytes f) {
-        if (fcs) append_fcs(f);
-        link.b_to_a().send(std::move(f));
-      },
-      cost);
-  ra.set_congestion_probe(ia, [&link] { return link.a_to_b().backlog(); });
-  rb.set_congestion_probe(ib, [&link] { return link.b_to_a().backlog(); });
-  link.a_to_b().set_receiver([this, &rb, ib, fcs](Bytes f) {
-    if (fcs && !strip_fcs(f)) {
-      ++fcs_dropped_frames_;
-      return;
-    }
-    rb.on_link_frame(ib, std::move(f));
-  });
-  link.b_to_a().set_receiver([this, &ra, ia, fcs](Bytes f) {
-    if (fcs && !strip_fcs(f)) {
-      ++fcs_dropped_frames_;
-      return;
-    }
-    ra.on_link_frame(ia, std::move(f));
-  });
+  int ia = -1;
+  int ib = -1;
+  {
+    std::optional<sim::ParallelSimulator::ShardScope> scope;
+    if (psim_ != nullptr) scope.emplace(*psim_, sa);
+    ia = ra.add_interface(
+        [&link, fcs](Bytes f) {
+          if (fcs) append_fcs(f);
+          link.a_to_b().send(std::move(f));
+        },
+        cost);
+    ra.set_congestion_probe(ia, [&link] { return link.a_to_b().backlog(); });
+  }
+  {
+    std::optional<sim::ParallelSimulator::ShardScope> scope;
+    if (psim_ != nullptr) scope.emplace(*psim_, sb);
+    ib = rb.add_interface(
+        [&link, fcs](Bytes f) {
+          if (fcs) append_fcs(f);
+          link.b_to_a().send(std::move(f));
+        },
+        cost);
+    rb.set_congestion_probe(ib, [&link] { return link.b_to_a().backlog(); });
+  }
+  if (remote) {
+    // Cross-shard: the sender-side Link hands (delivery time, frame) to a
+    // channel; the channel's deliver callback runs on the receiving shard
+    // and feeds the router exactly as a local receiver would.  The link's
+    // propagation delay is the channel's guaranteed minimum latency (every
+    // delivery adds serialization and jitter on top).
+    const std::uint32_t ch_ab = psim_->add_channel(
+        sa, sb, link_config.propagation_delay, label + ".a2b",
+        [this, &rb, ib, fcs](Bytes f) {
+          if (fcs && !strip_fcs(f)) {
+            fcs_dropped_frames_.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+          rb.on_link_frame(ib, std::move(f));
+        });
+    link.a_to_b().set_remote_sink([this, ch_ab](TimePoint at, Bytes f) {
+      psim_->post(ch_ab, at, std::move(f));
+    });
+    const std::uint32_t ch_ba = psim_->add_channel(
+        sb, sa, link_config.propagation_delay, label + ".b2a",
+        [this, &ra, ia, fcs](Bytes f) {
+          if (fcs && !strip_fcs(f)) {
+            fcs_dropped_frames_.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+          ra.on_link_frame(ia, std::move(f));
+        });
+    link.b_to_a().set_remote_sink([this, ch_ba](TimePoint at, Bytes f) {
+      psim_->post(ch_ba, at, std::move(f));
+    });
+  } else {
+    link.a_to_b().set_receiver([this, &rb, ib, fcs](Bytes f) {
+      if (fcs && !strip_fcs(f)) {
+        fcs_dropped_frames_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      rb.on_link_frame(ib, std::move(f));
+    });
+    link.b_to_a().set_receiver([this, &ra, ia, fcs](Bytes f) {
+      if (fcs && !strip_fcs(f)) {
+        fcs_dropped_frames_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      ra.on_link_frame(ia, std::move(f));
+    });
+  }
   ends_.push_back(LinkEnds{a, ia, b, ib});
   return links_.size() - 1;
 }
 
 void Network::start() {
-  for (auto& r : routers_) r->start();
+  for (auto& r : routers_) {
+    std::optional<sim::ParallelSimulator::ShardScope> scope;
+    if (psim_ != nullptr) scope.emplace(*psim_, shard_of(r->id()));
+    r->start();
+  }
 }
 
 void Network::fail_link(std::size_t link_index) {

@@ -11,16 +11,19 @@
 // them by a one-byte frame type.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 
 #include "common/rng.hpp"
 #include "netlayer/fib.hpp"
 #include "netlayer/ip.hpp"
 #include "netlayer/routing.hpp"
 #include "sim/link.hpp"
+#include "sim/parallel.hpp"
 #include "sim/simulator.hpp"
 
 namespace sublayer::netlayer {
@@ -63,6 +66,11 @@ class Router {
   Router(sim::Simulator& sim, RouterId id, const RouterConfig& config);
 
   RouterId id() const { return id_; }
+
+  /// The simulator this router schedules on — its owning shard's under the
+  /// parallel engine.  Hosts attach through this so their timers land on
+  /// the same wheel as the router's.
+  sim::Simulator& sim() { return sim_; }
 
   /// Registers a new interface; frames for it are emitted through `sink`.
   /// Returns the interface index.  Wire the peer's frames to
@@ -137,9 +145,24 @@ class Router {
 };
 
 /// Topology harness: routers plus duplex links, with failure injection.
+///
+/// Two modes share all topology and chaos APIs:
+///  - monolithic: every router schedules on the one Simulator passed in;
+///  - sharded: routers are placed on a ParallelSimulator's shards by a
+///    ShardMap (hash of the RouterId by default).  Same-shard links wire
+///    exactly as in monolithic mode; cross-shard links use the split
+///    DuplexLink form (each direction's sender state on the transmitting
+///    shard) with deliveries crossing through registered channels.
 class Network {
  public:
   Network(sim::Simulator& sim, RouterConfig config, std::uint64_t seed = 1);
+
+  /// Sharded mode.  `shard_map.shards()` must equal `psim.shard_count()`;
+  /// the overload without a map uses the default hash placement.
+  Network(sim::ParallelSimulator& psim, RouterConfig config,
+          std::uint64_t seed, sim::ShardMap shard_map);
+  Network(sim::ParallelSimulator& psim, RouterConfig config,
+          std::uint64_t seed = 1);
 
   RouterId add_router();
   /// Connects two routers with a fresh duplex link; returns the link index.
@@ -151,6 +174,10 @@ class Network {
 
   Router& router(RouterId id) { return *routers_.at(id); }
   std::size_t router_count() const { return routers_.size(); }
+
+  /// The shard a router lives on (0 in monolithic mode) and its simulator.
+  std::size_t shard_of(RouterId id) const;
+  sim::Simulator& sim_of(RouterId id);
 
   void fail_link(std::size_t link_index);
   void restore_link(std::size_t link_index);
@@ -170,8 +197,12 @@ class Network {
   const LinkEnds& link_ends(std::size_t link_index) const {
     return ends_.at(link_index);
   }
-  /// Frames dropped by the harness FCS check (config.link_fcs).
-  std::uint64_t fcs_dropped_frames() const { return fcs_dropped_frames_; }
+  /// Frames dropped by the harness FCS check (config.link_fcs).  Atomic:
+  /// under the parallel engine the check runs on the receiving shard's
+  /// worker, and drops on different shards would otherwise race.
+  std::uint64_t fcs_dropped_frames() const {
+    return fcs_dropped_frames_.load(std::memory_order_relaxed);
+  }
 
   /// Sum of routing-protocol messages across all routers.
   std::uint64_t total_routing_messages() const;
@@ -183,13 +214,15 @@ class Network {
   bool converged_excluding(RouterId excluded) const;
 
  private:
-  sim::Simulator& sim_;
+  sim::Simulator* sim_ = nullptr;          // monolithic mode
+  sim::ParallelSimulator* psim_ = nullptr;  // sharded mode
+  std::optional<sim::ShardMap> shard_map_;
   RouterConfig config_;
   Rng rng_;
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<std::unique_ptr<sim::DuplexLink>> links_;
   std::vector<LinkEnds> ends_;
-  std::uint64_t fcs_dropped_frames_ = 0;
+  std::atomic<std::uint64_t> fcs_dropped_frames_ = 0;
 };
 
 }  // namespace sublayer::netlayer

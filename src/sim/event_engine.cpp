@@ -201,6 +201,42 @@ bool WheelEngine::fill_due(std::uint64_t deadline) {
   }
 }
 
+bool WheelEngine::next_due_bound(TimePoint& when) const {
+  if (live_ == 0) return false;  // only husks (or nothing) remain
+  // An unconsumed batch fires at the cursor's tick.
+  if (due_pos_ < due_.size()) {
+    when = TimePoint::from_ns(static_cast<std::int64_t>(current_));
+    return true;
+  }
+  std::uint64_t best = ~0ull;
+  // Level 0: slots are exact ticks inside the cursor's 256 ns window.
+  if (const int slot = next_occupied(0, static_cast<int>(current_ & 0xFF));
+      slot >= 0) {
+    best = (current_ & ~0xFFull) | static_cast<unsigned>(slot);
+  } else {
+    // Higher levels: the first occupied slot's window start is a lower
+    // bound on everything filed in it.  A slot at the cursor's own
+    // position can hold nodes anywhere in the current window, so the
+    // cursor itself is the only safe bound there.
+    for (int level = 1; level < kLevels && best == ~0ull; ++level) {
+      const int cursor = static_cast<int>((current_ >> (8 * level)) & 0xFF);
+      const int slot = next_occupied(level, cursor);
+      if (slot < 0) continue;
+      if (slot == cursor) {
+        best = current_;
+      } else {
+        const std::uint64_t below = (1ull << (8 * (level + 1))) - 1;
+        best = (current_ & ~below) |
+               (static_cast<std::uint64_t>(slot) << (8 * level));
+      }
+    }
+  }
+  if (!overflow_.empty()) best = std::min(best, overflow_.top().when);
+  if (best == ~0ull) return false;  // unreachable while live_ > 0
+  when = TimePoint::from_ns(static_cast<std::int64_t>(best));
+  return true;
+}
+
 bool WheelEngine::pop_if(TimePoint deadline, TimePoint& when, Fn& fn) {
   for (;;) {
     while (due_pos_ < due_.size()) {
@@ -241,6 +277,14 @@ void LegacyHeapEngine::cancel(EventId id) {
   cancelled_ids_.push_back(id.value);
   ++cancelled_;
   ++stats_.cancelled;
+}
+
+bool LegacyHeapEngine::next_due_bound(TimePoint& when) const {
+  if (pending() == 0) return false;
+  // The top may be a cancelled husk, which can only make the bound
+  // earlier — still a valid lower bound.
+  when = queue_.top().when;
+  return true;
 }
 
 bool LegacyHeapEngine::pop_if(TimePoint deadline, TimePoint& when, Fn& fn) {

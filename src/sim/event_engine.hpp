@@ -58,6 +58,12 @@ class EventEngine {
   /// returns false (and extracts nothing) otherwise.
   virtual bool pop_if(TimePoint deadline, TimePoint& when, Fn& fn) = 0;
   virtual std::size_t pending() const = 0;
+  /// Non-destructive peek: a LOWER bound on the next live event's time —
+  /// never later than the true next event, possibly earlier (a slot's
+  /// window start, or a cancelled husk's time, both count as bounds).
+  /// False when no live event is pending.  Must not move the cursor or
+  /// otherwise mutate the engine.
+  virtual bool next_due_bound(TimePoint& when) const = 0;
 
   const SchedStats& stats() const { return stats_; }
 
@@ -82,6 +88,7 @@ class WheelEngine final : public EventEngine {
   void cancel(EventId id) override;
   bool pop_if(TimePoint deadline, TimePoint& when, Fn& fn) override;
   std::size_t pending() const override { return live_; }
+  bool next_due_bound(TimePoint& when) const override;
 
  private:
   static constexpr int kLevels = 4;
@@ -145,6 +152,7 @@ class LegacyHeapEngine final : public EventEngine {
   void cancel(EventId id) override;
   bool pop_if(TimePoint deadline, TimePoint& when, Fn& fn) override;
   std::size_t pending() const override { return queue_.size() - cancelled_; }
+  bool next_due_bound(TimePoint& when) const override;
 
  private:
   struct Entry {

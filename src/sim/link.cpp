@@ -29,6 +29,12 @@ void Link::send(Bytes frame) {
     ++stats_.frames_lost;
     return;
   }
+  // Remote mode: no local delivery event decrements queued_, so expire
+  // recorded delivery times against the sender clock here instead.
+  while (!inflight_.empty() && inflight_.top() <= sim_.now().ns()) {
+    inflight_.pop();
+    --queued_;
+  }
   if (queued_ >= config_.queue_limit) {
     ++stats_.frames_queue_dropped;
     return;
@@ -70,6 +76,16 @@ void Link::deliver(Bytes frame, Duration extra_delay) {
   }
   const Duration total = extra_delay + config_.propagation_delay + jitter;
   ++queued_;
+  if (remote_sink_) {
+    // Cross-shard: account the delivery now (it is certain to happen at
+    // `at`, just on another shard) and hand (time, frame) to the sink.
+    const TimePoint at = sim_.now() + total;
+    inflight_.push(at.ns());
+    ++stats_.frames_delivered;
+    stats_.bytes_delivered += frame.size();
+    remote_sink_(at, std::move(frame));
+    return;
+  }
   sim_.schedule(total, [this, f = std::move(frame)]() mutable {
     --queued_;
     ++stats_.frames_delivered;

@@ -10,7 +10,9 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <queue>
 #include <string>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
@@ -56,6 +58,19 @@ class Link {
 
   void set_receiver(Receiver r) { receiver_ = std::move(r); }
 
+  /// Remote mode, for links whose receiver lives on another shard: instead
+  /// of scheduling the delivery on this link's (sender-side) simulator, the
+  /// sink is handed the computed delivery time and the surviving frame, and
+  /// forwards both to the destination shard (ParallelSimulator::post).  All
+  /// impairment draws, serialization, and delay math stay sender-side, so
+  /// the delivery time and frame bytes are identical to local mode.
+  /// Delivery accounting (frames/bytes_delivered, queue occupancy) is kept
+  /// sender-side too: stats are bumped at send time, and queued_ is drained
+  /// by expiring recorded delivery times against the sender clock on the
+  /// next send() — equivalent in virtual time to the local decrement.
+  using RemoteSink = std::function<void(TimePoint, Bytes)>;
+  void set_remote_sink(RemoteSink sink) { remote_sink_ = std::move(sink); }
+
   /// Offers a frame to the link; impairments and delays are applied and the
   /// receiver callback fires at the delivery time (if the frame survives).
   void send(Bytes frame);
@@ -95,10 +110,16 @@ class Link {
   Rng rng_;
   std::string name_;
   Receiver receiver_;
+  RemoteSink remote_sink_;
   LinkStats stats_;
   /// Time the transmitter becomes free (bandwidth modelling).
   TimePoint tx_free_at_;
   std::size_t queued_ = 0;
+  /// Remote mode: pending delivery times (min-heap), popped against the
+  /// sender clock to drain queued_ since no local delivery event runs.
+  std::priority_queue<std::int64_t, std::vector<std::int64_t>,
+                      std::greater<std::int64_t>>
+      inflight_;
   bool down_ = false;
 };
 
@@ -109,6 +130,15 @@ class DuplexLink {
              std::string name = "duplex")
       : a_to_b_(sim, config, parent_rng.fork(), name + ".a2b"),
         b_to_a_(sim, config, parent_rng.fork(), name + ".b2a") {}
+
+  /// Split form for cross-shard links: each direction's sender-side state
+  /// lives on the shard that transmits on it.  Fork order matches the
+  /// single-simulator constructor, so the same parent Rng yields the same
+  /// per-direction streams whether or not the link spans shards.
+  DuplexLink(Simulator& sim_a, Simulator& sim_b, const LinkConfig& config,
+             Rng& parent_rng, std::string name = "duplex")
+      : a_to_b_(sim_a, config, parent_rng.fork(), name + ".a2b"),
+        b_to_a_(sim_b, config, parent_rng.fork(), name + ".b2a") {}
 
   Link& a_to_b() { return a_to_b_; }
   Link& b_to_a() { return b_to_a_; }

@@ -35,6 +35,12 @@ class BroadcastMedium {
   explicit BroadcastMedium(Simulator& sim, double bandwidth_bps = 1e6)
       : sim_(sim), bandwidth_bps_(bandwidth_bps) {}
 
+  /// The simulator this medium schedules on.  A broadcast segment is
+  /// shard-confined under the parallel engine: every attached station must
+  /// live on this simulator's shard (collision arbitration cannot span a
+  /// lookahead boundary).
+  Simulator& sim() { return sim_; }
+
   /// Attaches a station; returns its station id.
   int attach(FrameHandler on_frame, TxDoneHandler on_tx_done);
 

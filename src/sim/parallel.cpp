@@ -1,0 +1,498 @@
+#include "sim/parallel.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+
+namespace sublayer::sim {
+
+namespace {
+
+constexpr std::int64_t kFar = std::numeric_limits<std::int64_t>::max();
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+// ---- ShardMap --------------------------------------------------------------
+
+ShardMap::ShardMap(std::size_t shards) : shards_(shards) {
+  if (shards == 0) throw std::invalid_argument("ShardMap: zero shards");
+}
+
+std::size_t ShardMap::of(std::uint64_t id) const {
+  for (const auto& [k, s] : overrides_) {
+    if (k == id) return s;
+  }
+  return static_cast<std::size_t>(splitmix64(id) % shards_);
+}
+
+void ShardMap::assign(std::uint64_t id, std::size_t shard) {
+  if (shard >= shards_) throw std::out_of_range("ShardMap::assign");
+  for (auto& [k, s] : overrides_) {
+    if (k == id) {
+      s = shard;
+      return;
+    }
+  }
+  overrides_.emplace_back(id, shard);
+}
+
+// ---- ShardScope ------------------------------------------------------------
+
+ParallelSimulator::ShardScope::ShardScope(ParallelSimulator& psim,
+                                          std::size_t s)
+    : prev_metrics_(
+          telemetry::MetricsRegistry::set_current(&psim.shard_metrics(s))),
+      prev_spans_(telemetry::SpanTracer::set_current(&psim.shard_spans(s))),
+      clock_(psim.shard(s).clock()) {
+  simclock::attach(clock_);
+}
+
+ParallelSimulator::ShardScope::~ShardScope() {
+  simclock::detach(clock_);
+  telemetry::SpanTracer::set_current(prev_spans_);
+  telemetry::MetricsRegistry::set_current(prev_metrics_);
+}
+
+// ---- ParallelSimulator -----------------------------------------------------
+
+ParallelSimulator::ParallelSimulator(ParallelConfig config) {
+  if (config.shards == 0) {
+    throw std::invalid_argument("ParallelSimulator: zero shards");
+  }
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  threads_ = config.threads == 0 ? std::min(config.shards, hw)
+                                 : std::min(config.threads, config.shards);
+  shards_.reserve(config.shards);
+  for (std::size_t s = 0; s < config.shards; ++s) {
+    shards_.push_back(std::make_unique<Simulator>(config.engine));
+    metrics_.push_back(std::make_unique<telemetry::MetricsRegistry>());
+    spans_.push_back(std::make_unique<telemetry::SpanTracer>());
+    traces_.push_back(std::make_unique<Trace>());
+  }
+  channels_by_dst_.resize(config.shards);
+  post_seq_.assign(config.shards, 0);
+}
+
+ParallelSimulator::~ParallelSimulator() = default;
+
+std::uint32_t ParallelSimulator::add_channel(std::size_t src_shard,
+                                             std::size_t dst_shard,
+                                             Duration min_latency,
+                                             std::string label,
+                                             ChannelDeliver deliver) {
+  if (running_) {
+    throw std::logic_error("ParallelSimulator: add_channel while running");
+  }
+  if (src_shard >= shards_.size() || dst_shard >= shards_.size()) {
+    throw std::out_of_range("ParallelSimulator: bad channel shard");
+  }
+  if (min_latency.ns() < 1) {
+    throw std::logic_error(
+        "ParallelSimulator: cross-shard channels need latency >= 1 ns "
+        "(the lookahead) — give the link a nonzero propagation delay");
+  }
+  const auto id = static_cast<std::uint32_t>(channels_.size());
+  channels_.push_back(Channel{src_shard, dst_shard, min_latency,
+                              std::move(label), std::move(deliver), {}});
+  channels_by_dst_[dst_shard].push_back(id);
+  lookahead_ns_ = lookahead_ns_ == 0
+                      ? min_latency.ns()
+                      : std::min(lookahead_ns_, min_latency.ns());
+  return id;
+}
+
+void ParallelSimulator::post(std::uint32_t channel, TimePoint when,
+                             Bytes frame) {
+  Channel& ch = channels_.at(channel);
+  if (when.ns() <= epoch_end_ns_) {
+    // A message due inside the epoch that produced it would have to be
+    // delivered to a shard that may already be past it: the producing
+    // link's latency undercuts the channel's declared minimum.
+    throw std::logic_error("ParallelSimulator: post violates lookahead");
+  }
+  ch.inbox.push_back(Mail{when, post_seq_[ch.src]++, std::move(frame)});
+}
+
+void ParallelSimulator::schedule_task(TimePoint when, std::function<void()> fn,
+                                      std::size_t shard_scope) {
+  if (running_) {
+    throw std::logic_error("ParallelSimulator: schedule_task while running");
+  }
+  if (when.ns() <= cur_ns_) {
+    throw std::logic_error("ParallelSimulator: task scheduled into the past");
+  }
+  if (shard_scope != kNoShard && shard_scope >= shards_.size()) {
+    throw std::out_of_range("ParallelSimulator: bad task shard");
+  }
+  tasks_.push_back(Task{when.ns(), shard_scope, std::move(fn)});
+}
+
+TimePoint ParallelSimulator::now() const {
+  return TimePoint::from_ns(std::max<std::int64_t>(0, cur_ns_));
+}
+
+std::uint64_t ParallelSimulator::events_processed() const {
+  std::uint64_t n = tasks_run_;
+  for (const auto& sh : shards_) n += sh->events_processed();
+  return n;
+}
+
+std::uint64_t ParallelSimulator::cross_shard_frames() const {
+  std::uint64_t n = 0;
+  for (const auto s : post_seq_) n += s;
+  return n;
+}
+
+void ParallelSimulator::drain_shard(std::size_t dst) {
+  struct Ref {
+    std::int64_t when;
+    std::size_t src;
+    std::uint64_t seq;
+    std::uint32_t ch;
+    std::uint32_t idx;
+  };
+  std::vector<Ref> merged;
+  for (const std::uint32_t c : channels_by_dst_[dst]) {
+    const Channel& ch = channels_[c];
+    for (std::uint32_t i = 0; i < ch.inbox.size(); ++i) {
+      merged.push_back(Ref{ch.inbox[i].when.ns(), ch.src, ch.inbox[i].seq, c,
+                           i});
+    }
+  }
+  if (merged.empty()) return;
+  // The determinism contract: deliveries enter the destination wheel in
+  // (time, source shard, per-source sequence) order no matter how many
+  // workers produced them or in which interleaving.
+  std::sort(merged.begin(), merged.end(), [](const Ref& a, const Ref& b) {
+    if (a.when != b.when) return a.when < b.when;
+    if (a.src != b.src) return a.src < b.src;
+    return a.seq < b.seq;
+  });
+  Simulator& sim = *shards_[dst];
+  Trace& trace = *traces_[dst];
+  for (const Ref& r : merged) {
+    Channel& ch = channels_[r.ch];
+    Mail& m = ch.inbox[r.idx];
+    trace.record(m.when, ch.label, {}, m.frame.size());
+    Channel* chp = &ch;
+    sim.schedule_at(m.when, [chp, f = std::move(m.frame)]() mutable {
+      chp->deliver(std::move(f));
+    });
+  }
+  for (const std::uint32_t c : channels_by_dst_[dst]) {
+    channels_[c].inbox.clear();
+  }
+}
+
+void ParallelSimulator::run_shard(std::size_t s) {
+  ShardScope scope(*this, s);
+  shards_[s]->run_until(TimePoint::from_ns(epoch_end_ns_));
+}
+
+void ParallelSimulator::drain_shard_guarded(std::size_t dst) {
+  try {
+    drain_shard(dst);
+  } catch (...) {
+    record_error(std::current_exception());
+  }
+}
+
+void ParallelSimulator::run_shard_guarded(std::size_t s) {
+  try {
+    run_shard(s);
+  } catch (...) {
+    record_error(std::current_exception());
+  }
+}
+
+void ParallelSimulator::record_error(std::exception_ptr e) {
+  const std::lock_guard<std::mutex> lock(err_mutex_);
+  if (!failed_) {
+    failed_ = true;
+    error_ = std::move(e);
+  }
+}
+
+void ParallelSimulator::run_due_tasks() {
+  while (tasks_pos_ < tasks_.size() &&
+         tasks_[tasks_pos_].when_ns == cur_ns_ + 1) {
+    const auto t = TimePoint::from_ns(tasks_[tasks_pos_].when_ns);
+    // Align every clock to the task's instant first: the epoch ended one
+    // tick short of it, and faults must observe (and stamp) time t, not
+    // t - 1ns, on whichever shard they touch.
+    for (auto& sh : shards_) sh->advance_to(t);
+    cur_ns_ = t.ns();
+    while (tasks_pos_ < tasks_.size() &&
+           tasks_[tasks_pos_].when_ns == cur_ns_) {
+      Task& task = tasks_[tasks_pos_];
+      ++tasks_pos_;
+      ++tasks_run_;
+      try {
+        if (task.shard_scope != kNoShard) {
+          ShardScope scope(*this, task.shard_scope);
+          task.fn();
+        } else {
+          task.fn();
+        }
+      } catch (...) {
+        record_error(std::current_exception());
+      }
+      task.fn = nullptr;
+    }
+  }
+}
+
+void ParallelSimulator::compute_next_epoch() {
+  const std::int64_t next_task =
+      tasks_pos_ < tasks_.size() ? tasks_[tasks_pos_].when_ns : kFar;
+  // The horizon never crosses a task time: run to the tick before it, so
+  // run_due_tasks can align clocks exactly on it.
+  const std::int64_t bound =
+      std::min(deadline_ns_, next_task == kFar ? kFar : next_task - 1);
+  // Idle fast-forward: nothing anywhere can happen before `nb` (a safe
+  // lower bound over every shard's wheel and every undelivered mailbox
+  // message), so start the lookahead window just below it instead of
+  // crawling through empty epochs one L at a time.
+  std::int64_t nb = kFar;
+  for (const auto& sh : shards_) {
+    TimePoint w;
+    if (sh->next_event_bound(w)) nb = std::min(nb, w.ns());
+  }
+  for (const auto& ch : channels_) {
+    for (const auto& m : ch.inbox) nb = std::min(nb, m.when.ns());
+  }
+  if (nb == kFar || lookahead_ns_ == 0) {
+    // Globally idle (nothing will ever fire before the bound) or no
+    // cross-shard edges (infinite lookahead): one epoch to the bound.
+    epoch_end_ns_ = bound;
+    return;
+  }
+  const std::int64_t jump = std::max(cur_ns_, nb - 1);
+  epoch_end_ns_ =
+      jump >= bound ? bound
+                    : (lookahead_ns_ > bound - jump ? bound
+                                                    : jump + lookahead_ns_);
+}
+
+void ParallelSimulator::advance_epoch_state() {
+  run_due_tasks();
+  if (failed_) {
+    done_ = true;
+    return;
+  }
+  try {
+    if (stop_ && stop_()) {
+      done_ = true;
+      return;
+    }
+  } catch (...) {
+    record_error(std::current_exception());
+    done_ = true;
+    return;
+  }
+  if (cur_ns_ >= deadline_ns_) {
+    done_ = true;
+    return;
+  }
+  compute_next_epoch();
+}
+
+void ParallelSimulator::run_until(TimePoint deadline, StopPredicate stop) {
+  if (running_) {
+    throw std::logic_error("ParallelSimulator: run_until re-entered");
+  }
+  if (deadline.ns() <= cur_ns_) return;
+  running_ = true;
+  deadline_ns_ = deadline.ns();
+  stop_ = std::move(stop);
+  done_ = false;
+  // Tasks registered since the last run join the queue in (time, insertion
+  // order); stable_sort keeps same-instant tasks in registration order.
+  std::stable_sort(tasks_.begin() + static_cast<std::ptrdiff_t>(tasks_pos_),
+                   tasks_.end(), [](const Task& a, const Task& b) {
+                     return a.when_ns < b.when_ns;
+                   });
+  // Bootstrap: run tasks already due, then compute the first horizon.
+  advance_epoch_state();
+
+  if (threads_ == 1) {
+    // Sequential mode: the exact epoch sequence the workers execute, on
+    // the calling thread — the N=1 case of the determinism contract.
+    while (!done_) {
+      for (std::size_t d = 0; d < shards_.size(); ++d) drain_shard_guarded(d);
+      for (std::size_t s = 0; s < shards_.size(); ++s) run_shard_guarded(s);
+      cur_ns_ = epoch_end_ns_;
+      ++epochs_;
+      advance_epoch_state();
+    }
+  } else if (!done_) {
+    // Two barrier phases per epoch sharing one std::barrier: after the
+    // drain handoff (no bookkeeping) and after the run phase (tasks, stop
+    // check, next horizon) — the completion step runs exactly once per
+    // phase with every worker parked.
+    drain_barrier_next_ = true;
+    auto completion = [this]() noexcept {
+      if (drain_barrier_next_) {
+        drain_barrier_next_ = false;
+        return;
+      }
+      drain_barrier_next_ = true;
+      cur_ns_ = epoch_end_ns_;
+      ++epochs_;
+      advance_epoch_state();
+    };
+    std::barrier sync(static_cast<std::ptrdiff_t>(threads_), completion);
+    auto worker = [this, &sync](std::size_t w) {
+      while (!done_) {
+        for (std::size_t d = w; d < shards_.size(); d += threads_) {
+          drain_shard_guarded(d);
+        }
+        sync.arrive_and_wait();
+        for (std::size_t s = w; s < shards_.size(); s += threads_) {
+          run_shard_guarded(s);
+        }
+        sync.arrive_and_wait();
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(threads_);
+    for (std::size_t w = 0; w < threads_; ++w) pool.emplace_back(worker, w);
+    for (auto& t : pool) t.join();
+  }
+
+  stop_ = nullptr;
+  running_ = false;
+  if (failed_) {
+    const std::exception_ptr e = error_;
+    error_ = nullptr;
+    failed_ = false;
+    std::rethrow_exception(e);
+  }
+}
+
+// ---- merged views ----------------------------------------------------------
+
+telemetry::MetricsSnapshot ParallelSimulator::merged_metrics() const {
+  // Merge by name across shard snapshots; each snapshot is already sorted,
+  // so accumulate into sorted vectors via lower_bound insertion.
+  telemetry::MetricsSnapshot merged;
+  const auto counter_at = [&merged](const std::string& name) {
+    auto it = std::lower_bound(
+        merged.counters.begin(), merged.counters.end(), name,
+        [](const auto& p, const std::string& n) { return p.first < n; });
+    if (it == merged.counters.end() || it->first != name) {
+      it = merged.counters.insert(it, {name, 0});
+    }
+    return it;
+  };
+  const auto gauge_at = [&merged](const std::string& name) {
+    auto it = std::lower_bound(
+        merged.gauges.begin(), merged.gauges.end(), name,
+        [](const auto& p, const std::string& n) { return p.first < n; });
+    if (it == merged.gauges.end() || it->first != name) {
+      it = merged.gauges.insert(it, {name, 0});
+    }
+    return it;
+  };
+  for (const auto& reg : metrics_) {
+    const telemetry::MetricsSnapshot snap = reg->snapshot();
+    for (const auto& [name, value] : snap.counters) {
+      counter_at(name)->second += value;
+    }
+    for (const auto& [name, value] : snap.gauges) {
+      gauge_at(name)->second += value;
+    }
+    for (const auto& h : snap.histograms) {
+      auto it = std::lower_bound(
+          merged.histograms.begin(), merged.histograms.end(), h.name,
+          [](const auto& a, const std::string& n) { return a.name < n; });
+      if (it == merged.histograms.end() || it->name != h.name) {
+        merged.histograms.insert(it, h);
+        continue;
+      }
+      telemetry::HistogramData& d = it->data;
+      for (std::size_t b = 0; b < telemetry::kHistogramBuckets; ++b) {
+        d.buckets[b] += h.data.buckets[b];
+      }
+      if (h.data.count > 0) {
+        d.min = d.count == 0 ? h.data.min : std::min(d.min, h.data.min);
+        d.max = std::max(d.max, h.data.max);
+      }
+      d.count += h.data.count;
+      d.sum += h.data.sum;
+    }
+  }
+  return merged;
+}
+
+std::vector<std::string> ParallelSimulator::merged_span_layers() const {
+  std::vector<std::string> layers;
+  for (const auto& t : spans_) {
+    for (const auto& name : t->layers()) layers.push_back(name);
+  }
+  std::sort(layers.begin(), layers.end());
+  layers.erase(std::unique(layers.begin(), layers.end()), layers.end());
+  return layers;
+}
+
+std::uint64_t ParallelSimulator::merged_crossings(std::string_view layer,
+                                                  telemetry::Dir dir) const {
+  std::uint64_t n = 0;
+  for (const auto& t : spans_) n += t->crossings(layer, dir);
+  return n;
+}
+
+std::uint64_t ParallelSimulator::merged_crossing_bytes(
+    std::string_view layer, telemetry::Dir dir) const {
+  std::uint64_t n = 0;
+  for (const auto& t : spans_) n += t->crossing_bytes(layer, dir);
+  return n;
+}
+
+std::string ParallelSimulator::cross_shard_trace_log() const {
+  struct Line {
+    std::int64_t when;
+    std::size_t shard;
+    std::size_t idx;  // drain order within the shard's trace
+  };
+  std::vector<Line> lines;
+  for (std::size_t s = 0; s < traces_.size(); ++s) {
+    const auto& events = traces_[s]->events();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      lines.push_back(Line{events[i].when.ns(), s, i});
+    }
+  }
+  // Per-shard drain order is chronological only per drain batch (a jittery
+  // frame can be posted late for an early time); a global (time, shard)
+  // sort makes the log comparable across runs regardless of batching.
+  std::sort(lines.begin(), lines.end(), [](const Line& a, const Line& b) {
+    if (a.when != b.when) return a.when < b.when;
+    if (a.shard != b.shard) return a.shard < b.shard;
+    return a.idx < b.idx;
+  });
+  std::string out;
+  out.reserve(lines.size() * 48);
+  for (const Line& l : lines) {
+    const TraceEvent& e = traces_[l.shard]->events()[l.idx];
+    out += std::to_string(l.when);
+    out += ' ';
+    out += 's' + std::to_string(l.shard);
+    out += ' ';
+    out += traces_[l.shard]->category_name(e.category_id);
+    out += ' ';
+    out += std::to_string(e.size_bytes);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sublayer::sim

@@ -1,0 +1,269 @@
+// ParallelSimulator: conservative barrier-synchronous parallel simulation
+// over sharded topologies.
+//
+// The topology is split into S shards, each owning a private Simulator
+// (its own timer wheel, its own virtual clock) plus the hosts, routers,
+// and links assigned to it.  Shards only interact through *channels* —
+// registered cross-shard edges with a declared minimum latency.  The
+// minimum over all channels is the lookahead L, and execution proceeds in
+// epochs: every shard runs its own wheel up to the epoch horizon, a
+// barrier is taken, cross-shard deliveries posted during the epoch are
+// drained from per-channel SPSC mailboxes into the destination shards,
+// and the next horizon is computed.
+//
+// Why this is safe (the conservative-lookahead argument): let `cur` be the
+// globally completed time and E <= cur + L the epoch horizon.  Any message
+// a shard produces during the epoch is produced by an event at some
+// t > cur and is due no earlier than t + L > cur + L >= E — strictly
+// beyond the epoch.  So no shard can receive, within an epoch, a message
+// sent within the same epoch, and running the shards concurrently is
+// indistinguishable from running them in any sequential order.
+//
+// Why it is deterministic at every worker-thread count: a shard's epoch
+// run depends only on that shard's own state (its wheel already orders
+// events by (time, insertion-seq)), and mailbox drains merge messages in
+// (delivery time, source shard, per-source post sequence) order before
+// scheduling them — an order independent of which worker ran what when.
+// The same seed and shard map therefore produce bit-identical event
+// traces with 1, 2, or N worker threads; the replay suite in tests/sim/
+// asserts exactly this.
+//
+// Telemetry: each shard owns a private MetricsRegistry, SpanTracer, and
+// cross-shard Trace.  ShardScope installs a shard's registries and clock
+// as the calling thread's current ones (see telemetry/metrics.hpp and
+// simclock in common/time.hpp); the worker does this around every shard
+// run phase, and topology construction does it so modules bind into their
+// owning shard.  merged_metrics() / merged_crossings() produce the
+// deterministic cross-shard aggregate at any parked instant.
+//
+// Barrier tasks (schedule_task) run single-threaded at exact virtual
+// times with every shard's clock aligned to the task time: epochs never
+// cross a task time, so chaos fault injection can mutate any shard's
+// links and routers race-free.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/time.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+
+namespace sublayer::sim {
+
+/// Maps topology entity ids (router ids, host ids) to shards.  Default is
+/// a splitmix64 hash of the id modulo the shard count; assign() overrides
+/// the placement of individual ids (e.g. to keep a chatty pair co-located).
+class ShardMap {
+ public:
+  explicit ShardMap(std::size_t shards);
+
+  std::size_t shards() const { return shards_; }
+  std::size_t of(std::uint64_t id) const;
+  /// Pins `id` to `shard`, overriding the hash.
+  void assign(std::uint64_t id, std::size_t shard);
+
+ private:
+  std::size_t shards_;
+  std::vector<std::pair<std::uint64_t, std::size_t>> overrides_;
+};
+
+struct ParallelConfig {
+  /// Number of shards (private Simulators).  Fixed per run; the shard map
+  /// — not the worker count — is what determines the event trace.
+  std::size_t shards = 1;
+  /// Worker threads; 0 means min(shards, hardware_concurrency).  Results
+  /// are identical at every value.
+  std::size_t threads = 0;
+  EngineKind engine = EngineKind::kTimerWheel;
+};
+
+class ParallelSimulator {
+ public:
+  static constexpr std::size_t kNoShard = static_cast<std::size_t>(-1);
+
+  explicit ParallelSimulator(ParallelConfig config);
+  ~ParallelSimulator();
+  ParallelSimulator(const ParallelSimulator&) = delete;
+  ParallelSimulator& operator=(const ParallelSimulator&) = delete;
+
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t thread_count() const { return threads_; }
+
+  Simulator& shard(std::size_t s) { return *shards_.at(s); }
+  telemetry::MetricsRegistry& shard_metrics(std::size_t s) {
+    return *metrics_.at(s);
+  }
+  telemetry::SpanTracer& shard_spans(std::size_t s) { return *spans_.at(s); }
+  /// Cross-shard deliveries INTO shard `s`, recorded at drain time in
+  /// merged order — the replay suite's bit-identical artifact.
+  const Trace& shard_trace(std::size_t s) const { return *traces_.at(s); }
+
+  /// RAII: installs shard `s`'s metrics registry, span tracer, and clock
+  /// as the calling thread's current ones, restoring the previous set on
+  /// destruction.  Wrap topology construction in one so modules bind into
+  /// their owning shard; the engine itself wraps every run phase.
+  class ShardScope {
+   public:
+    ShardScope(ParallelSimulator& psim, std::size_t s);
+    ~ShardScope();
+    ShardScope(const ShardScope&) = delete;
+    ShardScope& operator=(const ShardScope&) = delete;
+
+   private:
+    telemetry::MetricsRegistry* prev_metrics_;
+    telemetry::SpanTracer* prev_spans_;
+    const TimePoint* clock_;
+  };
+  ShardScope bind(std::size_t s) { return ShardScope(*this, s); }
+
+  // ---- registration (topology construction, before run_until) ----
+
+  /// Delivery callback on the destination shard.
+  using ChannelDeliver = std::function<void(Bytes)>;
+
+  /// Registers a cross-shard edge with a guaranteed minimum latency
+  /// (>= 1 ns; the global lookahead is the minimum over all channels).
+  /// Returns the channel id for post().
+  std::uint32_t add_channel(std::size_t src_shard, std::size_t dst_shard,
+                            Duration min_latency, std::string label,
+                            ChannelDeliver deliver);
+
+  /// Epoch lookahead: min over channel latencies (infinite when there are
+  /// no channels — single-shard or fully disconnected topologies).
+  Duration lookahead() const { return Duration::nanos(lookahead_ns_); }
+
+  /// Posts a frame onto `channel` for delivery at `when`.  Called from the
+  /// source shard's run phase only (single producer); `when` must lie
+  /// beyond the current epoch horizon, which the channel's declared
+  /// minimum latency guarantees for any send inside the epoch.
+  void post(std::uint32_t channel, TimePoint when, Bytes frame);
+
+  /// Schedules `fn` to run single-threaded at exactly `when` (strictly in
+  /// the future), with every shard's clock advanced to `when` and all
+  /// workers parked — epochs never span a task time.  `shard_scope`
+  /// (optional) wraps the task in that shard's ShardScope, for tasks that
+  /// rebuild telemetry-bound state (e.g. a chaos router crash).  Counted
+  /// in events_processed() like the equivalent single-simulator event.
+  void schedule_task(TimePoint when, std::function<void()> fn,
+                     std::size_t shard_scope = kNoShard);
+
+  // ---- execution ----
+
+  /// Checked at every epoch boundary (all workers parked, so it may read
+  /// any shard's state); returning true ends the run at that boundary.
+  using StopPredicate = std::function<bool()>;
+
+  /// Runs every shard to `deadline` (or to the first epoch boundary where
+  /// `stop` returns true).  May be called repeatedly with increasing
+  /// deadlines; topology registration must be complete before the first
+  /// call.
+  void run_until(TimePoint deadline, StopPredicate stop = nullptr);
+
+  /// Globally completed virtual time (every shard has run through it).
+  TimePoint now() const;
+
+  /// Events fired across all shards plus barrier tasks run — comparable
+  /// with Simulator::events_processed() for an equivalent monolithic run.
+  std::uint64_t events_processed() const;
+  std::uint64_t tasks_run() const { return tasks_run_; }
+  std::uint64_t epochs() const { return epochs_; }
+  /// Frames that crossed shard boundaries (sum over source shards).
+  std::uint64_t cross_shard_frames() const;
+
+  // ---- deterministic merged views (call only while parked) ----
+
+  /// Shard registries summed name-by-name (histograms merge bucketwise).
+  /// Activity recorded outside any shard scope lands in the process-wide
+  /// registry and is NOT included; reset and read that one separately.
+  telemetry::MetricsSnapshot merged_metrics() const;
+
+  /// Sorted union of layer names over all shard tracers.
+  std::vector<std::string> merged_span_layers() const;
+  std::uint64_t merged_crossings(std::string_view layer,
+                                 telemetry::Dir dir) const;
+  std::uint64_t merged_crossing_bytes(std::string_view layer,
+                                      telemetry::Dir dir) const;
+
+  /// Every cross-shard delivery, one line per frame, merged over shards in
+  /// (time, destination shard, drain order) order — equal strings mean
+  /// bit-identical cross-shard traffic.
+  std::string cross_shard_trace_log() const;
+
+ private:
+  struct Mail {
+    TimePoint when;
+    std::uint64_t seq = 0;  // per-source-shard post sequence
+    Bytes frame;
+  };
+  struct Channel {
+    std::size_t src = 0;
+    std::size_t dst = 0;
+    Duration min_latency;
+    std::string label;
+    ChannelDeliver deliver;
+    /// SPSC: written by src's worker during run phases, drained by dst's
+    /// worker between barriers; the barrier orders the handoff.
+    std::vector<Mail> inbox;
+  };
+  struct Task {
+    std::int64_t when_ns = 0;
+    std::size_t shard_scope = kNoShard;
+    std::function<void()> fn;
+  };
+
+  void drain_shard(std::size_t dst);
+  void run_shard(std::size_t s);
+  void drain_shard_guarded(std::size_t dst);
+  void run_shard_guarded(std::size_t s);
+  /// Runs due barrier tasks, evaluates stop/deadline, computes the next
+  /// horizon or sets done_.  Runs single-threaded (barrier completion or
+  /// the sequential loop).
+  void advance_epoch_state();
+  void run_due_tasks();
+  void compute_next_epoch();
+  void record_error(std::exception_ptr e);
+
+  std::size_t threads_ = 1;
+  std::vector<std::unique_ptr<Simulator>> shards_;
+  std::vector<std::unique_ptr<telemetry::MetricsRegistry>> metrics_;
+  std::vector<std::unique_ptr<telemetry::SpanTracer>> spans_;
+  std::vector<std::unique_ptr<Trace>> traces_;
+
+  std::deque<Channel> channels_;  // stable addresses for deliver closures
+  std::vector<std::vector<std::uint32_t>> channels_by_dst_;
+  std::vector<std::uint64_t> post_seq_;  // per source shard
+  std::int64_t lookahead_ns_ = 0;        // 0 = no channels yet (infinite)
+
+  std::vector<Task> tasks_;
+  std::size_t tasks_pos_ = 0;
+
+  // Epoch state: written only single-threaded (bootstrap or barrier
+  // completion); workers read it strictly after the barrier that wrote it.
+  std::int64_t cur_ns_ = -1;  // completed through cur_ns_, inclusive
+  std::int64_t epoch_end_ns_ = -1;
+  std::int64_t deadline_ns_ = -1;
+  bool done_ = true;
+  bool drain_barrier_next_ = true;
+  bool running_ = false;
+  StopPredicate stop_;
+  std::uint64_t epochs_ = 0;
+  std::uint64_t tasks_run_ = 0;
+
+  // First error raised by any worker/task; the run winds down at the next
+  // epoch boundary and run_until rethrows it.
+  std::mutex err_mutex_;
+  std::exception_ptr error_;
+  bool failed_ = false;
+};
+
+}  // namespace sublayer::sim

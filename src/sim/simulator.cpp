@@ -52,6 +52,8 @@ void Simulator::run_until(TimePoint deadline) {
   now_ = std::max(now_, deadline);
 }
 
+void Simulator::advance_to(TimePoint when) { now_ = std::max(now_, when); }
+
 std::size_t Simulator::run(std::size_t max_events) {
   std::size_t n = 0;
   while (n < max_events && step()) ++n;
@@ -62,16 +64,19 @@ void Timer::restart(Duration delay) {
   stop();
   armed_ = true;
   pending_ = sim_.schedule(delay, [this] {
+    // Forget the event id BEFORE the callback runs: a stop()/restart()
+    // issued by the callback itself — or by anything else at this tick —
+    // must not cancel by this (already fired, soon recycled) id.
+    pending_ = EventId{};
     armed_ = false;
     on_fire_();
   });
 }
 
 void Timer::stop() {
-  if (armed_) {
-    sim_.cancel(pending_);
-    armed_ = false;
-  }
+  if (pending_ != EventId{}) sim_.cancel(pending_);
+  pending_ = EventId{};
+  armed_ = false;
 }
 
 }  // namespace sublayer::sim

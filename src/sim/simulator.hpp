@@ -31,6 +31,11 @@ class Simulator {
   TimePoint now() const { return now_; }
   EngineKind engine_kind() const { return kind_; }
 
+  /// Address of this simulator's clock, stable for its lifetime.  The
+  /// parallel engine publishes it through simclock on whichever worker
+  /// thread is currently running this shard.
+  const TimePoint* clock() const { return &now_; }
+
   /// Schedules `fn` to run `delay` after the current time.
   EventId schedule(Duration delay, std::function<void()> fn);
 
@@ -47,6 +52,22 @@ class Simulator {
   /// Runs events until the queue drains or `deadline` is passed; the clock
   /// finishes at min(deadline, drain time).
   void run_until(TimePoint deadline);
+
+  /// Advances the clock to `when` without running anything; a no-op if the
+  /// clock is already past it.  Caller's contract: no pending event may be
+  /// due at or before `when` (the parallel engine uses this to align every
+  /// shard's clock to a barrier task's time after running the shards
+  /// through `when - 1ns`).
+  void advance_to(TimePoint when);
+
+  /// A safe lower bound on when the next live event fires: never later
+  /// than the true next event, possibly earlier (cancelled husks count).
+  /// False when nothing is pending.  Lets the parallel engine fast-forward
+  /// epochs across globally idle stretches without running empty epochs
+  /// one lookahead at a time.
+  bool next_event_bound(TimePoint& when) const {
+    return engine_->next_due_bound(when);
+  }
 
   /// Runs until the queue drains or `max_events` have fired.
   /// Returns the number of events processed.
@@ -66,6 +87,14 @@ class Simulator {
 
 /// A restartable one-shot timer bound to a simulator — the shape protocol
 /// code wants for retransmission and keepalive timers.
+///
+/// Restart/firing race hardening: the scheduled closure clears `pending_`
+/// as its very first action, before invoking the callback.  A stop() or
+/// restart() issued from inside the firing (or from any event at the same
+/// tick after the firing, including one on the far side of a parallel-epoch
+/// barrier) therefore targets EventId{} — a guaranteed no-op — and can
+/// neither cancel an unrelated recycled event nor leave `pending_`/`armed_`
+/// pointing at a fired event so that a later restart() double-arms.
 class Timer {
  public:
   Timer(Simulator& sim, std::function<void()> on_fire)

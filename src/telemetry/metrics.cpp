@@ -9,17 +9,17 @@ namespace sublayer::telemetry {
 namespace detail {
 
 std::uint64_t* unbound_counter_slot() {
-  static std::uint64_t sink = 0;
+  static thread_local std::uint64_t sink = 0;
   return &sink;
 }
 
 std::int64_t* unbound_gauge_slot() {
-  static std::int64_t sink = 0;
+  static thread_local std::int64_t sink = 0;
   return &sink;
 }
 
 HistogramData* unbound_histogram_slot() {
-  static HistogramData sink;
+  static thread_local HistogramData sink;
   return &sink;
 }
 
@@ -114,9 +114,22 @@ std::string MetricsSnapshot::to_json() const {
 
 MetricsRegistry::MetricsRegistry() = default;
 
+namespace {
+// The thread's current-registry override; nullptr means "the process-wide
+// default".  Shard scopes swap it around construction and run phases.
+thread_local MetricsRegistry* tls_current_registry = nullptr;
+}  // namespace
+
 MetricsRegistry& MetricsRegistry::instance() {
+  if (tls_current_registry != nullptr) return *tls_current_registry;
   static MetricsRegistry registry;
   return registry;
+}
+
+MetricsRegistry* MetricsRegistry::set_current(MetricsRegistry* reg) {
+  MetricsRegistry* prev = tls_current_registry;
+  tls_current_registry = reg;
+  return prev;
 }
 
 std::uint32_t MetricsRegistry::intern(std::vector<std::string>& names,

@@ -16,7 +16,12 @@
 //      given run always serializes identically (the repo's determinism
 //      tests extend to telemetry).
 //
-// Single-threaded by design, like the simulator it observes.
+// Threading: the registry itself is single-threaded, like the simulator it
+// observes.  Under the parallel sharded engine each shard owns a private
+// registry; instance() resolves through a thread-local "current registry"
+// pointer (defaulting to the process-wide one), so modules constructed and
+// run under a shard scope bind and increment shard-private slots with zero
+// hot-path cost and no cross-thread sharing.  See sim/parallel.hpp.
 #pragma once
 
 #include <array>
@@ -67,10 +72,22 @@ struct MetricsSnapshot {
   std::string to_json() const;
 };
 
-/// Process-wide registry of named counters, gauges, and histograms.
+/// Registry of named counters, gauges, and histograms.  instance() is the
+/// calling thread's *current* registry: the process-wide default, unless a
+/// shard registry has been installed with set_current (sim::ParallelSimulator
+/// does this around every shard construction and run phase).
 class MetricsRegistry {
  public:
   static MetricsRegistry& instance();
+
+  /// Creates a private (e.g. per-shard) registry, independent of the
+  /// process-wide one.
+  MetricsRegistry();
+
+  /// Installs `reg` as this thread's current registry (nullptr restores
+  /// the process-wide default).  Returns the previous override (nullptr if
+  /// the default was current) so scopes can nest.
+  static MetricsRegistry* set_current(MetricsRegistry* reg);
 
   // ---- interning (module-construction time) ----
   MetricId intern_counter(std::string_view name);
@@ -98,8 +115,6 @@ class MetricsRegistry {
   void reset();
 
  private:
-  MetricsRegistry();
-
   // Slots live in deques-of-chunks so interning never moves an address a
   // bound handle already holds.
   template <typename T>
@@ -134,8 +149,10 @@ class MetricsRegistry {
 };
 
 namespace detail {
-/// Shared sink for unbound handles: increments land here and are never
+/// Per-thread sink for unbound handles: increments land here and are never
 /// read, keeping the hot path branch-free whether or not bind() ran.
+/// (thread_local so unbound handles on concurrent shards never share a
+/// cache line, let alone race.)
 std::uint64_t* unbound_counter_slot();
 std::int64_t* unbound_gauge_slot();
 HistogramData* unbound_histogram_slot();

@@ -5,9 +5,20 @@
 
 namespace sublayer::telemetry {
 
+namespace {
+thread_local SpanTracer* tls_current_tracer = nullptr;
+}  // namespace
+
 SpanTracer& SpanTracer::instance() {
+  if (tls_current_tracer != nullptr) return *tls_current_tracer;
   static SpanTracer tracer;
   return tracer;
+}
+
+SpanTracer* SpanTracer::set_current(SpanTracer* tracer) {
+  SpanTracer* prev = tls_current_tracer;
+  tls_current_tracer = tracer;
+  return prev;
 }
 
 std::uint32_t SpanTracer::intern(std::string_view layer) {

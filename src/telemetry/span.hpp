@@ -42,7 +42,17 @@ struct Span {
 
 class SpanTracer {
  public:
+  /// The calling thread's current tracer: the process-wide default, unless
+  /// a shard tracer has been installed with set_current (the parallel
+  /// engine gives each shard a private tracer; see sim/parallel.hpp).
   static SpanTracer& instance();
+
+  /// Creates a private (e.g. per-shard) tracer.
+  SpanTracer() = default;
+
+  /// Installs `tracer` as this thread's current tracer (nullptr restores
+  /// the process-wide default); returns the previous override.
+  static SpanTracer* set_current(SpanTracer* tracer);
 
   /// Interns a boundary name ("transport.rd", "datalink.phy", ...);
   /// idempotent, O(#layers), called at module construction only.
@@ -82,8 +92,6 @@ class SpanTracer {
   static constexpr std::size_t kDefaultCapacity = 65536;
 
  private:
-  SpanTracer() = default;
-
   struct PerLayer {
     std::uint64_t count[2] = {0, 0};
     std::uint64_t bytes[2] = {0, 0};

@@ -1,5 +1,7 @@
 #include "transport/sublayered/host.hpp"
 
+#include <stdexcept>
+
 #include "telemetry/span.hpp"
 
 namespace sublayer::transport {
@@ -23,6 +25,12 @@ TcpHost::TcpHost(sim::Simulator& sim, netlayer::Router& router,
       config_(config),
       demux_(addr_),
       isn_(make_isn(config.isn, sim, config.isn_key_seed)) {
+  if (&sim != &router.sim()) {
+    // A host scheduling on a different simulator than its router would put
+    // its timers on another shard's wheel — undefined under the parallel
+    // engine and always a topology-construction bug.
+    throw std::logic_error("TcpHost: sim is not the router's simulator");
+  }
   const auto proto = config_.wire_rfc793 ? netlayer::IpProto::kTcp
                                          : netlayer::IpProto::kSublayered;
 

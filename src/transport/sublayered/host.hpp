@@ -34,9 +34,18 @@ class TcpHost {
  public:
   using AcceptHandler = std::function<void(Connection&)>;
 
-  /// Attaches to `router` as local host number `host_octet`.
+  /// Attaches to `router` as local host number `host_octet`.  `sim` must
+  /// be the router's own simulator (under the parallel engine, the owning
+  /// shard's — a host's timers must share its router's wheel).
   TcpHost(sim::Simulator& sim, netlayer::Router& router,
           std::uint8_t host_octet, HostConfig config = {});
+
+  /// Same, scheduling on the router's simulator — the form that is always
+  /// shard-correct.  Construct under the owning shard's scope when the
+  /// network is sharded (Network::shard_of names it).
+  TcpHost(netlayer::Router& router, std::uint8_t host_octet,
+          HostConfig config = {})
+      : TcpHost(router.sim(), router, host_octet, config) {}
 
   netlayer::IpAddr addr() const { return addr_; }
 

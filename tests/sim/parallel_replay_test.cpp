@@ -1,0 +1,313 @@
+// Cross-thread-count replay suite: the same seeded workload, run on the
+// single-threaded Simulator and on the ParallelSimulator at 1, 2, and 4
+// worker threads, must produce identical results — events processed,
+// per-flow final byte counts, merged telemetry, span-crossing totals, and
+// the cross-shard delivery trace.  This is the determinism contract of
+// sim/parallel.hpp, asserted end to end through the real stack (routers,
+// links with FCS, sublayered TCP hosts), including a chaos mixed-mayhem
+// run where faults land as barrier tasks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "chaos/controller.hpp"
+#include "chaos/fault_plan.hpp"
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "netlayer/router.hpp"
+#include "sim/parallel.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+#include "transport/sublayered/host.hpp"
+
+namespace sublayer {
+namespace {
+
+constexpr std::size_t kRing = 4;     // routers, one per shard
+constexpr std::size_t kFlows = 8;    // client on f%4 -> server on (f%4+2)%4
+constexpr std::size_t kPerFlow = 4096;
+
+struct RunResult {
+  std::uint64_t events = 0;
+  std::uint64_t cross_frames = 0;  // 0 for the monolithic run
+  std::size_t completed = 0;
+  /// Bytes received per accepted connection, per server host, in accept
+  /// order — the "final per-flow byte counts" artifact.
+  std::vector<std::vector<std::size_t>> per_host_bytes;
+  telemetry::MetricsSnapshot metrics;
+  std::string metrics_json;
+  /// (layer, down-crossings, up-crossings, down-bytes) over all shards.
+  std::vector<std::tuple<std::string, std::uint64_t, std::uint64_t,
+                         std::uint64_t>>
+      crossings;
+  std::string trace_log;  // parallel only: merged cross-shard deliveries
+  std::uint64_t faults_applied = 0;
+  std::uint64_t faults_healed = 0;
+};
+
+netlayer::RouterConfig ring_router_config() {
+  netlayer::RouterConfig rc;
+  rc.routing = netlayer::RoutingKind::kLinkState;
+  rc.neighbor.dead_interval = Duration::seconds(3600.0);
+  return rc;
+}
+
+sim::LinkConfig ring_link_config() {
+  sim::LinkConfig link;
+  link.bandwidth_bps = 10e9;
+  link.propagation_delay = Duration::micros(100);
+  link.queue_limit = 4096;
+  return link;
+}
+
+chaos::FaultPlan mayhem_plan(std::size_t link_count) {
+  chaos::ScriptParams params;
+  params.link_count = link_count;
+  params.router_count = kRing;
+  params.start = TimePoint::from_ns(Duration::millis(600).ns());
+  params.active_window = Duration::seconds(1.5);
+  return chaos::make_plan("mixed-mayhem", 3, params);
+}
+
+/// Runs the ring workload to a FIXED deadline (so every variant covers the
+/// identical virtual window).  `threads` 0 = monolithic Simulator.
+RunResult run_workload(std::size_t threads, bool with_chaos) {
+  telemetry::MetricsRegistry::instance().reset();
+  telemetry::SpanTracer::instance().reset();
+  const bool parallel = threads > 0;
+
+  std::unique_ptr<sim::Simulator> mono;
+  std::unique_ptr<sim::ParallelSimulator> psim;
+  std::unique_ptr<netlayer::Network> net;
+  if (parallel) {
+    sim::ParallelConfig pc;
+    pc.shards = kRing;
+    pc.threads = threads;
+    psim = std::make_unique<sim::ParallelSimulator>(pc);
+    sim::ShardMap map(kRing);
+    for (std::size_t i = 0; i < kRing; ++i) map.assign(i, i);
+    net = std::make_unique<netlayer::Network>(*psim, ring_router_config(),
+                                              /*seed=*/1, map);
+  } else {
+    mono = std::make_unique<sim::Simulator>(sim::EngineKind::kTimerWheel);
+    net = std::make_unique<netlayer::Network>(*mono, ring_router_config(),
+                                              /*seed=*/1);
+  }
+
+  std::vector<netlayer::RouterId> routers;
+  for (std::size_t i = 0; i < kRing; ++i) routers.push_back(net->add_router());
+  for (std::size_t i = 0; i < kRing; ++i) {
+    net->connect(routers[i], routers[(i + 1) % kRing], ring_link_config());
+  }
+  net->start();
+  const auto warmup = TimePoint::from_ns(Duration::millis(500).ns());
+  if (parallel) {
+    psim->run_until(warmup);
+  } else {
+    mono->run_until(warmup);
+  }
+
+  transport::HostConfig hc;
+  hc.connection.cm.keepalive_interval = Duration::seconds(2.0);
+  std::vector<std::unique_ptr<transport::TcpHost>> hosts;
+  // One byte-counter per accepted connection, per host, in accept order.
+  // Each vector is only ever touched by its host's owning shard.
+  std::vector<std::vector<std::shared_ptr<std::size_t>>> received(kRing);
+  std::atomic<std::size_t> completed{0};
+  for (std::size_t i = 0; i < kRing; ++i) {
+    std::optional<sim::ParallelSimulator::ShardScope> scope;
+    if (parallel) scope.emplace(*psim, net->shard_of(routers[i]));
+    hosts.push_back(std::make_unique<transport::TcpHost>(
+        net->router(routers[i]), 1, hc));
+    auto* bucket = &received[i];
+    hosts.back()->listen(80, [bucket, &completed](transport::Connection& c) {
+      auto count = std::make_shared<std::size_t>(0);
+      bucket->push_back(count);
+      transport::Connection::AppCallbacks cb;
+      cb.on_data = [count, &completed](Bytes data) {
+        *count += data.size();
+        if (*count == kPerFlow) {
+          completed.fetch_add(1, std::memory_order_relaxed);
+        }
+      };
+      c.set_app_callbacks(cb);
+    });
+  }
+
+  std::optional<chaos::ChaosController> chaos_ctl;
+  if (with_chaos) {
+    if (parallel) {
+      chaos_ctl.emplace(*psim, *net);
+    } else {
+      chaos_ctl.emplace(*mono, *net);
+    }
+    chaos_ctl->arm(mayhem_plan(net->link_count()));
+  }
+
+  Rng rng(7);
+  const Bytes payload = rng.next_bytes(kPerFlow);
+  for (std::size_t f = 0; f < kFlows; ++f) {
+    transport::TcpHost* client = hosts[f % kRing].get();
+    transport::TcpHost* server = hosts[(f % kRing + 2) % kRing].get();
+    const auto at =
+        warmup + Duration::micros(static_cast<std::int64_t>(10 * (f + 1)));
+    const auto go = [client, server, payload] {
+      client->connect(server->addr(), 80).send(payload);
+    };
+    if (parallel) {
+      psim->shard(net->shard_of(routers[f % kRing])).schedule_at(at, go);
+    } else {
+      mono->schedule_at(at, go);
+    }
+  }
+
+  // Chaos windows all close by ~3.3 s; keepalives tick at 2 s.  A fixed
+  // deadline makes the covered virtual window identical across variants.
+  const auto deadline = TimePoint::from_ns(
+      Duration::seconds(with_chaos ? 5.0 : 3.0).ns());
+  RunResult out;
+  if (parallel) {
+    psim->run_until(deadline);
+    out.events = psim->events_processed();
+    out.cross_frames = psim->cross_shard_frames();
+    out.metrics = psim->merged_metrics();
+    out.trace_log = psim->cross_shard_trace_log();
+    for (const auto& layer : psim->merged_span_layers()) {
+      out.crossings.emplace_back(
+          layer, psim->merged_crossings(layer, telemetry::Dir::kDown),
+          psim->merged_crossings(layer, telemetry::Dir::kUp),
+          psim->merged_crossing_bytes(layer, telemetry::Dir::kDown));
+    }
+  } else {
+    mono->run_until(deadline);
+    out.events = mono->events_processed();
+    out.metrics = telemetry::MetricsRegistry::instance().snapshot();
+    auto& tracer = telemetry::SpanTracer::instance();
+    for (const auto& layer : tracer.layers()) {
+      out.crossings.emplace_back(
+          layer, tracer.crossings(layer, telemetry::Dir::kDown),
+          tracer.crossings(layer, telemetry::Dir::kUp),
+          tracer.crossing_bytes(layer, telemetry::Dir::kDown));
+    }
+  }
+  // merged_span_layers() is sorted; the monolithic tracer lists layers in
+  // registration order.  Normalize so the two are comparable.
+  std::sort(out.crossings.begin(), out.crossings.end());
+  out.metrics_json = out.metrics.to_json();
+  out.completed = completed.load(std::memory_order_relaxed);
+  for (const auto& bucket : received) {
+    std::vector<std::size_t> totals;
+    for (const auto& c : bucket) totals.push_back(*c);
+    out.per_host_bytes.push_back(std::move(totals));
+  }
+  if (chaos_ctl) {
+    out.faults_applied = chaos_ctl->stats().faults_applied;
+    out.faults_healed = chaos_ctl->stats().faults_healed;
+  }
+  return out;
+}
+
+/// Metric equality robust to stale zero-valued names interned into the
+/// process-wide registry by earlier runs in the same process: every metric
+/// present in `a` must read identically in `b` and vice versa, ignoring
+/// zero-valued counters/gauges absent from the other side.
+void expect_metrics_equal(const telemetry::MetricsSnapshot& a,
+                          const telemetry::MetricsSnapshot& b,
+                          const std::string& label) {
+  for (const auto& [name, value] : a.counters) {
+    if (value != 0) {
+      EXPECT_EQ(b.counter(name), value) << label << " counter " << name;
+    }
+  }
+  for (const auto& [name, value] : b.counters) {
+    if (value != 0) {
+      EXPECT_EQ(a.counter(name), value) << label << " counter " << name;
+    }
+  }
+  for (const auto& [name, value] : a.gauges) {
+    if (value != 0) {
+      EXPECT_EQ(b.gauge(name), value) << label << " gauge " << name;
+    }
+  }
+  for (const auto& h : a.histograms) {
+    if (h.data.count == 0) continue;
+    const auto* other = b.histogram(h.name);
+    ASSERT_NE(other, nullptr) << label << " histogram " << h.name;
+    EXPECT_EQ(other->count, h.data.count) << label << " " << h.name;
+    EXPECT_EQ(other->sum, h.data.sum) << label << " " << h.name;
+    EXPECT_EQ(other->min, h.data.min) << label << " " << h.name;
+    EXPECT_EQ(other->max, h.data.max) << label << " " << h.name;
+    EXPECT_EQ(other->buckets, h.data.buckets) << label << " " << h.name;
+  }
+}
+
+void expect_runs_equal(const RunResult& a, const RunResult& b,
+                       const std::string& label, bool compare_trace) {
+  EXPECT_EQ(a.events, b.events) << label;
+  EXPECT_EQ(a.completed, b.completed) << label;
+  EXPECT_EQ(a.per_host_bytes, b.per_host_bytes) << label;
+  EXPECT_EQ(a.crossings, b.crossings) << label;
+  EXPECT_EQ(a.faults_applied, b.faults_applied) << label;
+  EXPECT_EQ(a.faults_healed, b.faults_healed) << label;
+  expect_metrics_equal(a.metrics, b.metrics, label);
+  if (compare_trace) {
+    EXPECT_EQ(a.cross_frames, b.cross_frames) << label;
+    EXPECT_EQ(a.trace_log, b.trace_log) << label;
+  }
+}
+
+TEST(ParallelReplayTest, CleanWorkloadIdenticalAtEveryThreadCount) {
+  const RunResult mono = run_workload(0, /*with_chaos=*/false);
+  const RunResult t1 = run_workload(1, false);
+  const RunResult t2 = run_workload(2, false);
+  const RunResult t4 = run_workload(4, false);
+
+  // The workload actually ran: all flows complete, telemetry is non-empty,
+  // and traffic genuinely crossed shards.
+  EXPECT_EQ(mono.completed, kFlows);
+  EXPECT_GT(t1.cross_frames, 0u);
+  EXPECT_FALSE(t1.trace_log.empty());
+  EXPECT_GT(t1.metrics.counters.size(), 0u);
+
+  // Worker count is invisible: bit-identical everything, trace included.
+  expect_runs_equal(t1, t2, "t1-vs-t2", /*compare_trace=*/true);
+  expect_runs_equal(t1, t4, "t1-vs-t4", true);
+  // Parallel JSON snapshots come from fresh per-shard registries: the
+  // serialized form must match byte for byte.
+  EXPECT_EQ(t1.metrics_json, t2.metrics_json);
+  EXPECT_EQ(t1.metrics_json, t4.metrics_json);
+
+  // And the sharded engine reproduces the single-threaded Simulator.
+  expect_runs_equal(mono, t1, "mono-vs-t1", /*compare_trace=*/false);
+}
+
+TEST(ParallelReplayTest, ChaosMixedMayhemIdenticalAtEveryThreadCount) {
+  const RunResult mono = run_workload(0, /*with_chaos=*/true);
+  const RunResult t1 = run_workload(1, true);
+  const RunResult t2 = run_workload(2, true);
+  const RunResult t4 = run_workload(4, true);
+
+  // The plan actually injected faults and every window closed.
+  EXPECT_GT(t1.faults_applied, 0u);
+  EXPECT_EQ(t1.faults_applied, t1.faults_healed);
+
+  expect_runs_equal(t1, t2, "chaos-t1-vs-t2", /*compare_trace=*/true);
+  expect_runs_equal(t1, t4, "chaos-t1-vs-t4", true);
+  EXPECT_EQ(t1.metrics_json, t2.metrics_json);
+  EXPECT_EQ(t1.metrics_json, t4.metrics_json);
+
+  expect_runs_equal(mono, t1, "chaos-mono-vs-t1", /*compare_trace=*/false);
+}
+
+}  // namespace
+}  // namespace sublayer

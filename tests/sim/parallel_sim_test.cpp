@@ -1,0 +1,434 @@
+// Unit tests for the conservative barrier-synchronous parallel engine:
+// mailbox merge order, barrier tasks, lookahead safety, idle fast-forward,
+// shard-local telemetry/clock publication, and error propagation — plus
+// the Timer restart-racing-its-own-firing regression the parallel epoch
+// barrier makes easy to hit (an event on the far side of the barrier runs
+// at the same tick as the firing).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "sim/parallel.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace sublayer::sim {
+namespace {
+
+TimePoint at_ms(double ms) {
+  return TimePoint::from_ns(Duration::millis(ms).ns());
+}
+TimePoint at_us(std::int64_t us) {
+  return TimePoint::from_ns(Duration::micros(us).ns());
+}
+
+TEST(ShardMapTest, HashIsDeterministicAndInRange) {
+  ShardMap a(7);
+  ShardMap b(7);
+  for (std::uint64_t id = 0; id < 200; ++id) {
+    EXPECT_LT(a.of(id), 7u);
+    EXPECT_EQ(a.of(id), b.of(id));
+  }
+  // The hash actually spreads ids (not everything on one shard).
+  std::vector<int> hits(7, 0);
+  for (std::uint64_t id = 0; id < 200; ++id) ++hits[a.of(id)];
+  for (int h : hits) EXPECT_GT(h, 0);
+}
+
+TEST(ShardMapTest, AssignOverridesHash) {
+  ShardMap map(4);
+  const std::size_t hashed = map.of(42);
+  const std::size_t other = (hashed + 1) % 4;
+  map.assign(42, other);
+  EXPECT_EQ(map.of(42), other);
+  EXPECT_THROW(map.assign(1, 4), std::out_of_range);
+  EXPECT_THROW(ShardMap(0), std::invalid_argument);
+}
+
+TEST(ParallelSimTest, RegistrationValidation) {
+  ParallelConfig pc;
+  pc.shards = 2;
+  ParallelSimulator psim(pc);
+  EXPECT_THROW(
+      psim.add_channel(0, 2, Duration::millis(1), "bad", [](Bytes) {}),
+      std::out_of_range);
+  EXPECT_THROW(
+      psim.add_channel(0, 1, Duration::nanos(0), "zero", [](Bytes) {}),
+      std::logic_error);
+  EXPECT_THROW(psim.schedule_task(at_ms(1), [] {}, 2), std::out_of_range);
+  // A task at or before the completed time is "into the past".
+  psim.run_until(at_ms(5));
+  EXPECT_THROW(psim.schedule_task(at_ms(5), [] {}), std::logic_error);
+}
+
+// Cross-shard mail posted out of order and from two sources is delivered
+// in (delivery time, source shard, per-source sequence) order — the merge
+// rule the determinism contract rests on.
+TEST(ParallelSimTest, MailboxMergeOrder) {
+  ParallelConfig pc;
+  pc.shards = 3;
+  pc.threads = 1;
+  ParallelSimulator psim(pc);
+  std::vector<int> order;
+  const auto tag = [&order](Bytes frame) {
+    order.push_back(static_cast<int>(frame.at(0)));
+  };
+  const auto c10 =
+      psim.add_channel(1, 0, Duration::millis(1), "c10", tag);
+  const auto c20 =
+      psim.add_channel(2, 0, Duration::millis(1), "c20", tag);
+
+  // Source shard 1 posts for 5 ms twice, THEN for 4 ms: the 4 ms mail must
+  // still deliver first, and the 5 ms pair must keep post order.
+  psim.shard(1).schedule_at(at_ms(1), [&psim, c10] {
+    psim.post(c10, at_ms(5), Bytes{1});
+    psim.post(c10, at_ms(5), Bytes{2});
+    psim.post(c10, at_ms(4), Bytes{0});
+  });
+  // Source shard 2 ties shard 1's 5 ms mails: higher shard id drains last.
+  psim.shard(2).schedule_at(at_ms(1), [&psim, c20] {
+    psim.post(c20, at_ms(5), Bytes{3});
+  });
+  psim.run_until(at_ms(10));
+
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(psim.cross_shard_frames(), 4u);
+  EXPECT_EQ(psim.shard_trace(0).events().size(), 4u);
+  // The merged log is one line per frame, in the same order.
+  const std::string log = psim.cross_shard_trace_log();
+  EXPECT_NE(log.find("c10"), std::string::npos);
+  EXPECT_NE(log.find("c20"), std::string::npos);
+  EXPECT_EQ(std::count(log.begin(), log.end(), '\n'), 4);
+}
+
+// The shard map — not the worker count — fixes the delivery order.
+TEST(ParallelSimTest, MergeOrderIdenticalAcrossThreadCounts) {
+  const auto run = [](std::size_t threads) {
+    ParallelConfig pc;
+    pc.shards = 4;
+    pc.threads = threads;
+    ParallelSimulator psim(pc);
+    auto order = std::make_shared<std::vector<int>>();
+    std::vector<std::uint32_t> to0;
+    for (std::size_t src = 1; src < 4; ++src) {
+      to0.push_back(psim.add_channel(
+          src, 0, Duration::millis(1), std::string("c") + std::to_string(src),
+          [order](Bytes f) { order->push_back(static_cast<int>(f.at(0))); }));
+    }
+    for (std::size_t src = 1; src < 4; ++src) {
+      const auto ch = to0[src - 1];
+      psim.shard(src).schedule_at(at_ms(1), [&psim, ch, src] {
+        for (int k = 0; k < 3; ++k) {
+          psim.post(ch, at_ms(3 + k),
+                    Bytes{static_cast<std::uint8_t>(src * 10 + k)});
+        }
+      });
+    }
+    psim.run_until(at_ms(10));
+    return std::make_pair(*order, psim.cross_shard_trace_log());
+  };
+  const auto one = run(1);
+  const auto two = run(2);
+  const auto four = run(4);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, four);
+  EXPECT_EQ(one.first.size(), 9u);
+}
+
+// Barrier tasks run single-threaded at their exact virtual time with every
+// shard's clock advanced to it, and are counted like events.
+TEST(ParallelSimTest, BarrierTasksRunAtExactTimeInOrder) {
+  ParallelConfig pc;
+  pc.shards = 2;
+  pc.threads = 2;
+  ParallelSimulator psim(pc);
+  std::vector<std::string> seq;
+  std::vector<std::pair<std::int64_t, std::int64_t>> clocks;
+  psim.schedule_task(at_ms(2), [&] {
+    seq.push_back("task2");
+    clocks.emplace_back(psim.shard(0).now().ns(), psim.shard(1).now().ns());
+  });
+  psim.schedule_task(at_ms(5), [&] {
+    seq.push_back("task5");
+    clocks.emplace_back(psim.shard(0).now().ns(), psim.shard(1).now().ns());
+  });
+  psim.shard(0).schedule_at(at_ms(3), [&seq] { seq.push_back("ev3"); });
+  psim.run_until(at_ms(10));
+
+  EXPECT_EQ(seq, (std::vector<std::string>{"task2", "ev3", "task5"}));
+  ASSERT_EQ(clocks.size(), 2u);
+  EXPECT_EQ(clocks[0].first, at_ms(2).ns());
+  EXPECT_EQ(clocks[0].second, at_ms(2).ns());
+  EXPECT_EQ(clocks[1].first, at_ms(5).ns());
+  EXPECT_EQ(clocks[1].second, at_ms(5).ns());
+  EXPECT_EQ(psim.tasks_run(), 2u);
+  EXPECT_EQ(psim.events_processed(), 3u);  // 1 event + 2 tasks
+  EXPECT_EQ(psim.now().ns(), at_ms(10).ns());
+}
+
+// A post whose delivery time does not clear the epoch horizon is a
+// lookahead violation and must fail loudly, not silently misorder.
+TEST(ParallelSimTest, PostInsideEpochHorizonThrows) {
+  ParallelConfig pc;
+  pc.shards = 2;
+  pc.threads = 1;
+  ParallelSimulator psim(pc);
+  const auto ch =
+      psim.add_channel(0, 1, Duration::millis(1), "c", [](Bytes) {});
+  psim.shard(0).schedule_at(at_ms(1), [&psim, ch] {
+    psim.post(ch, psim.shard(0).now(), Bytes{1});  // due "now": too early
+  });
+  EXPECT_THROW(psim.run_until(at_ms(10)), std::logic_error);
+}
+
+// Empty stretches are skipped in O(1) epochs, not walked in lookahead
+// steps: one event a full second out must not cost a million 1 us epochs.
+TEST(ParallelSimTest, IdleFastForwardSkipsEmptyTime) {
+  ParallelConfig pc;
+  pc.shards = 2;
+  pc.threads = 1;
+  ParallelSimulator psim(pc);
+  psim.add_channel(0, 1, Duration::micros(1), "c", [](Bytes) {});
+  int fired = 0;
+  psim.shard(1).schedule_at(TimePoint::from_ns(Duration::seconds(1.0).ns()),
+                            [&fired] { ++fired; });
+  psim.run_until(TimePoint::from_ns(Duration::seconds(2.0).ns()));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(psim.now().ns(), Duration::seconds(2.0).ns());
+  EXPECT_LT(psim.epochs(), 50u);
+}
+
+// run_until with a stop predicate parks at an epoch boundary and can be
+// resumed with a later deadline.
+TEST(ParallelSimTest, StopPredicateParksAtBoundaryAndResumes) {
+  ParallelConfig pc;
+  pc.shards = 2;
+  pc.threads = 2;
+  ParallelSimulator psim(pc);
+  psim.add_channel(0, 1, Duration::millis(1), "c", [](Bytes) {});
+  int n = 0;
+  for (int i = 1; i <= 10; ++i) {
+    psim.shard(0).schedule_at(at_ms(i), [&n] { ++n; });
+  }
+  psim.run_until(at_ms(20), [&n] { return n >= 3; });
+  EXPECT_GE(n, 3);
+  EXPECT_LT(n, 10);
+  EXPECT_LT(psim.now().ns(), at_ms(20).ns());
+
+  psim.run_until(at_ms(20));
+  EXPECT_EQ(n, 10);
+  EXPECT_EQ(psim.now().ns(), at_ms(20).ns());
+}
+
+// An exception thrown inside a shard event winds the run down at the next
+// barrier and resurfaces from run_until on the calling thread.
+TEST(ParallelSimTest, WorkerExceptionPropagates) {
+  ParallelConfig pc;
+  pc.shards = 2;
+  pc.threads = 2;
+  ParallelSimulator psim(pc);
+  psim.shard(1).schedule_at(at_ms(1), [] {
+    throw std::runtime_error("boom");
+  });
+  EXPECT_THROW(psim.run_until(at_ms(10)), std::runtime_error);
+}
+
+TEST(ParallelSimTest, TaskExceptionPropagates) {
+  ParallelConfig pc;
+  pc.shards = 2;
+  ParallelSimulator psim(pc);
+  psim.schedule_task(at_ms(1), [] { throw std::runtime_error("task boom"); });
+  EXPECT_THROW(psim.run_until(at_ms(10)), std::runtime_error);
+}
+
+// Satellite regression: the published simclock is shard-local.  Two shards
+// running concurrently each see exactly their own event times through
+// simclock::now() — a process-global published clock would interleave the
+// two shards' timestamps.
+TEST(ParallelSimTest, SimclockIsShardLocalUnderConcurrency) {
+  ParallelConfig pc;
+  pc.shards = 2;
+  pc.threads = 2;  // no channels: one epoch, maximal overlap
+  ParallelSimulator psim(pc);
+  std::vector<std::int64_t> seen[2];
+  for (int k = 0; k < 50; ++k) {
+    psim.shard(0).schedule_at(at_us(10 + 20 * k), [&psim, &seen] {
+      seen[0].push_back(simclock::now().ns());
+      seen[0].push_back(psim.shard(0).now().ns());
+    });
+    psim.shard(1).schedule_at(at_us(20 + 20 * k), [&psim, &seen] {
+      seen[1].push_back(simclock::now().ns());
+      seen[1].push_back(psim.shard(1).now().ns());
+    });
+  }
+  psim.run_until(at_ms(5));
+  ASSERT_EQ(seen[0].size(), 100u);
+  ASSERT_EQ(seen[1].size(), 100u);
+  for (int k = 0; k < 50; ++k) {
+    // Published clock == own shard's clock == the event's own due time,
+    // never the other shard's (whose events sit 10 us out of phase).
+    EXPECT_EQ(seen[0][2 * k], at_us(10 + 20 * k).ns());
+    EXPECT_EQ(seen[0][2 * k + 1], seen[0][2 * k]);
+    EXPECT_EQ(seen[1][2 * k], at_us(20 + 20 * k).ns());
+    EXPECT_EQ(seen[1][2 * k + 1], seen[1][2 * k]);
+  }
+}
+
+// Telemetry recorded during shard runs lands in shard-private registries;
+// merged_metrics() sums counters/gauges by name and merges histograms
+// bucketwise.
+TEST(ParallelSimTest, ShardRegistriesMergeDeterministically) {
+  ParallelConfig pc;
+  pc.shards = 2;
+  pc.threads = 2;
+  ParallelSimulator psim(pc);
+  psim.shard(0).schedule_at(at_ms(1), [] {
+    telemetry::Counter c;
+    c.bind("test.parallel.hits");
+    c.add(2);
+    telemetry::Histogram h;
+    h.bind("test.parallel.sizes");
+    h.observe(100);
+  });
+  psim.shard(1).schedule_at(at_ms(1), [] {
+    telemetry::Counter c;
+    c.bind("test.parallel.hits");
+    c.add(3);
+    telemetry::Histogram h;
+    h.bind("test.parallel.sizes");
+    h.observe(1000);
+  });
+  psim.run_until(at_ms(2));
+
+  // Each shard saw only its own increments...
+  EXPECT_EQ(psim.shard_metrics(0).counter_value("test.parallel.hits"), 2u);
+  EXPECT_EQ(psim.shard_metrics(1).counter_value("test.parallel.hits"), 3u);
+  // ...and the merge is their sum, with histogram extrema combined.
+  const auto merged = psim.merged_metrics();
+  EXPECT_EQ(merged.counter("test.parallel.hits"), 5u);
+  const auto* h = merged.histogram("test.parallel.sizes");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 2u);
+  EXPECT_EQ(h->sum, 1100u);
+  EXPECT_EQ(h->min, 100u);
+  EXPECT_EQ(h->max, 1000u);
+}
+
+// ---- Timer restart/firing race regressions (satellite) ---------------------
+//
+// The dangerous shape: the timer fires at tick T, and other code running at
+// the same tick (after the firing, e.g. an event on the far side of a
+// parallel-epoch barrier) calls restart() or stop().  Before the hardening,
+// Timer still held the fired event's id: stop() could cancel a recycled
+// event, and restart() could leave the timer double-armed.
+
+class TimerRaceTest : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(TimerRaceTest, RestartFromSameTickAfterFiringFiresExactlyOnceMore) {
+  Simulator sim(GetParam());
+  int fires = 0;
+  Timer timer(sim, [&fires] { ++fires; });
+  timer.restart(Duration::millis(1));
+  // Scheduled after the arm at the same due tick => runs after the firing.
+  sim.schedule_at(at_ms(1), [&timer] { timer.restart(Duration::millis(1)); });
+  sim.run_until(at_ms(10));
+  EXPECT_EQ(fires, 2);  // once at 1 ms, once at 2 ms — never three
+  EXPECT_FALSE(timer.armed());
+}
+
+TEST_P(TimerRaceTest, RestartFromInsideOwnFiringRearmsCleanly) {
+  Simulator sim(GetParam());
+  int fires = 0;
+  std::unique_ptr<Timer> timer;
+  timer = std::make_unique<Timer>(sim, [&] {
+    if (++fires < 3) timer->restart(Duration::millis(1));
+  });
+  timer->restart(Duration::millis(1));
+  sim.run_until(at_ms(20));
+  EXPECT_EQ(fires, 3);
+  EXPECT_FALSE(timer->armed());
+}
+
+TEST_P(TimerRaceTest, StopAtFiringTickCannotCancelRecycledEvent) {
+  Simulator sim(GetParam());
+  int fires = 0;
+  int bystander = 0;
+  Timer timer(sim, [&fires] { ++fires; });
+  timer.restart(Duration::millis(1));
+  sim.schedule_at(at_ms(1), [&] {
+    // The timer already fired this tick; its pending id is dead.  stop()
+    // must be a no-op — in particular it must not cancel whatever event
+    // now occupies the recycled slot.
+    timer.stop();
+    sim.schedule_at(at_ms(2), [&bystander] { ++bystander; });
+  });
+  sim.run_until(at_ms(10));
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(bystander, 1);
+  EXPECT_FALSE(timer.armed());
+}
+
+TEST_P(TimerRaceTest, RestartBeforeFiringAtSameTickReplacesIt) {
+  Simulator sim(GetParam());
+  int fires = 0;
+  Timer timer(sim, [&fires] { ++fires; });
+  // Event inserted BEFORE the arm at the same tick runs first: this
+  // restart replaces a still-pending firing, so only the new one runs.
+  sim.schedule_at(at_ms(1), [&timer] { timer.restart(Duration::millis(5)); });
+  timer.restart(Duration::millis(1));
+  sim.run_until(at_ms(20));
+  EXPECT_EQ(fires, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, TimerRaceTest,
+                         ::testing::Values(EngineKind::kTimerWheel,
+                                           EngineKind::kLegacyHeap),
+                         [](const auto& info) {
+                           return info.param == EngineKind::kTimerWheel
+                                      ? std::string("wheel")
+                                      : std::string("legacy_heap");
+                         });
+
+// next_event_bound: a non-destructive lower bound on the next due time —
+// never later than the true next event, and absent only when nothing at
+// all is pending.  (The parallel engine's idle fast-forward relies on the
+// "never later" half.)
+class NextBoundTest : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(NextBoundTest, BoundNeverOverestimates) {
+  Simulator sim(GetParam());
+  TimePoint bound;
+  EXPECT_FALSE(sim.next_event_bound(bound));
+
+  sim.schedule_at(at_us(700), [] {});
+  const EventId early = sim.schedule_at(at_us(300), [] {});
+  ASSERT_TRUE(sim.next_event_bound(bound));
+  EXPECT_LE(bound.ns(), at_us(300).ns());
+
+  // Cancelling the earlier event may leave a husk: the bound may stay
+  // conservative (early) but must never pass the true next event.
+  sim.cancel(early);
+  ASSERT_TRUE(sim.next_event_bound(bound));
+  EXPECT_LE(bound.ns(), at_us(700).ns());
+
+  sim.run_until(at_ms(1));
+  EXPECT_FALSE(sim.next_event_bound(bound));
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, NextBoundTest,
+                         ::testing::Values(EngineKind::kTimerWheel,
+                                           EngineKind::kLegacyHeap),
+                         [](const auto& info) {
+                           return info.param == EngineKind::kTimerWheel
+                                      ? std::string("wheel")
+                                      : std::string("legacy_heap");
+                         });
+
+}  // namespace
+}  // namespace sublayer::sim
