@@ -13,7 +13,8 @@ jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE="${BUILD_TYPE:-Release}" >/dev/null
 cmake --build "${build_dir}" -j "${jobs}" \
-  --target bench_datalink_stack bench_tcp_goodput bench_manyflow >/dev/null
+  --target bench_datalink_stack bench_tcp_goodput bench_manyflow \
+  bench_observe >/dev/null
 
 extract_json() {
   # Prints the payload of the (last) BENCH_JSON line of the given output.
@@ -37,3 +38,18 @@ manyflow_out="$("${build_dir}/bench/bench_manyflow")"
 echo "${manyflow_out}"
 extract_json "${manyflow_out}" >"${repo_root}/BENCH_manyflow.json"
 echo "wrote ${repo_root}/BENCH_manyflow.json"
+
+echo "== bench_observe =="
+observe_out="$("${build_dir}/bench/bench_observe")"
+echo "${observe_out}"
+extract_json "${observe_out}" >"${repo_root}/BENCH_observe.json"
+echo "wrote ${repo_root}/BENCH_observe.json"
+# The observability acceptance bar: taps compiled in but with no hub
+# installed must cost <= 5% on the datalink dataplane loop.
+python3 - "${repo_root}/BENCH_observe.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+pct = doc["tap_disabled_overhead_pct"]
+assert pct <= 5.0, f"disabled-tap overhead {pct:.2f}% exceeds the 5% budget"
+print(f"disabled-tap overhead {pct:.2f}% (budget 5%)")
+PYEOF

@@ -21,6 +21,55 @@ echo "bench smoke..."
 "${build_dir}/bench/bench_manyflow" --smoke >/dev/null
 echo "bench smoke OK"
 
+# Observability export validation: run the observe bench's smoke pass (it
+# writes a pcapng capture and a Chrome-trace JSON next to itself) and check
+# both artifacts structurally — the pcapng block layout a libpcap reader
+# needs, and JSON that chrome://tracing would load.
+echo "observe export check..."
+observe_dir="${build_dir}/observe-smoke"
+rm -rf "${observe_dir}"
+mkdir -p "${observe_dir}"
+(cd "${observe_dir}" && "${build_dir}/bench/bench_observe" --smoke >/dev/null)
+python3 - "${observe_dir}/observe_smoke.pcapng" \
+  "${observe_dir}/observe_smoke.trace.json" <<'PYEOF'
+import json, struct, sys
+
+pcap, trace = sys.argv[1], sys.argv[2]
+data = open(pcap, "rb").read()
+
+# Walk every pcapng block: SHB first with the little-endian byte-order
+# magic, consistent leading/trailing lengths, at least one IDB and one EPB.
+assert len(data) >= 28, "pcapng too short"
+block_types = []
+off = 0
+while off < len(data):
+    assert off + 12 <= len(data), "truncated block header"
+    btype, blen = struct.unpack_from("<II", data, off)
+    assert blen >= 12 and blen % 4 == 0, f"bad block length {blen}"
+    assert off + blen <= len(data), "block overruns file"
+    (trailer,) = struct.unpack_from("<I", data, off + blen - 4)
+    assert trailer == blen, "trailing length mismatch"
+    block_types.append(btype)
+    off += blen
+assert block_types[0] == 0x0A0D0D0A, "first block is not an SHB"
+(bom,) = struct.unpack_from("<I", data, 8)
+assert bom == 0x1A2B3C4D, "byte-order magic mismatch"
+assert 1 in block_types, "no Interface Description Block"
+assert 6 in block_types, "no Enhanced Packet Block"
+
+doc = json.load(open(trace))
+events = doc["traceEvents"]
+assert isinstance(events, list) and events, "empty traceEvents"
+for ev in events:
+    assert {"name", "ph", "pid", "tid", "ts"} <= set(ev), f"bad event {ev}"
+phases = {ev["ph"] for ev in events}
+assert "X" in phases, "no complete spans in trace"
+
+print(f"observe export OK: {len(block_types)} pcapng blocks, "
+      f"{len(events)} trace events")
+PYEOF
+rm -rf "${observe_dir}"
+
 # Sanitizer pass: ASan+UBSan over the paths that chew on adversarial input —
 # chaos (fault injection, crash/restart teardown ordering), transport
 # robustness (garbage/forgery injection), and the event engine (pooled

@@ -1,6 +1,9 @@
 #include "chaos/controller.hpp"
 
 #include "common/logging.hpp"
+#include "sim/parallel.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/span.hpp"
 
 namespace sublayer::chaos {
 namespace {
@@ -30,7 +33,8 @@ void ChaosController::arm(const FaultPlan& plan) {
   link_refs_.assign(net_.link_count(), 0);
   crash_refs_.assign(net_.router_count(), 0);
   total_ = static_cast<int>(plan.events.size());
-  for (const FaultEvent& e : plan.events) {
+  for (FaultEvent e : plan.events) {
+    e.fault_id = ++next_fault_id_;
     const auto heal_at = TimePoint::from_ns(e.at.ns() + e.duration.ns());
     if (psim_ != nullptr) {
       // Barrier tasks: single-threaded, clocks aligned, workers parked.
@@ -48,11 +52,45 @@ void ChaosController::arm(const FaultPlan& plan) {
   }
 }
 
+void ChaosController::record_fault(const FaultEvent& e, bool apply_phase) {
+  // Records target the affected shard's telemetry explicitly — not the
+  // thread-current set — because link faults run as unscoped barrier
+  // tasks.  Pinning the target keeps the merged views identical at every
+  // worker thread count (and matches the monolithic run, where the
+  // process-wide tracer receives the same crossings).
+  const std::size_t shard =
+      psim_ != nullptr && e.kind == FaultKind::kRouterCrash
+          ? net_.shard_of(e.router)
+          : 0;
+  const std::uint64_t target =
+      e.kind == FaultKind::kRouterCrash ? e.router : e.link;
+  const TimePoint t = now();
+  telemetry::FlightRecorder* fr = psim_ != nullptr
+                                      ? &psim_->shard_flight(shard)
+                                      : telemetry::FlightRecorder::current();
+  if (fr != nullptr) {
+    fr->record(apply_phase ? telemetry::FlightType::kChaosApply
+                           : telemetry::FlightType::kChaosHeal,
+               to_string(e.kind), t, e.fault_id,
+               static_cast<std::uint64_t>(e.kind), target);
+  }
+  telemetry::SpanTracer& tracer = psim_ != nullptr
+                                      ? psim_->shard_spans(shard)
+                                      : telemetry::SpanTracer::instance();
+  // A fault window is a down/up crossing pair on the "chaos.fault" layer;
+  // the byte field carries the fault id so spans pair up exactly.
+  tracer.crossing(tracer.intern("chaos.fault"),
+                  apply_phase ? telemetry::Dir::kDown : telemetry::Dir::kUp,
+                  t, t, static_cast<std::size_t>(e.fault_id));
+}
+
 void ChaosController::apply(const FaultEvent& e) {
   ++active_;
   ++stats_.faults_applied;
-  kLog.info("apply %s link=%zu r=%u mag=%g", to_string(e.kind), e.link,
-            e.router, e.magnitude);
+  kLog.info("apply #%llu %s link=%zu r=%u mag=%g",
+            static_cast<unsigned long long>(e.fault_id), to_string(e.kind),
+            e.link, e.router, e.magnitude);
+  record_fault(e, /*apply_phase=*/true);
   switch (e.kind) {
     case FaultKind::kLinkDown:
       ++link_refs_.at(e.link);
@@ -89,7 +127,10 @@ void ChaosController::heal(const FaultEvent& e) {
   --active_;
   ++healed_;
   ++stats_.faults_healed;
-  kLog.info("heal %s link=%zu r=%u", to_string(e.kind), e.link, e.router);
+  kLog.info("heal #%llu %s link=%zu r=%u",
+            static_cast<unsigned long long>(e.fault_id), to_string(e.kind),
+            e.link, e.router);
+  record_fault(e, /*apply_phase=*/false);
   switch (e.kind) {
     case FaultKind::kLinkDown:
     case FaultKind::kCorruptionBurst:

@@ -57,6 +57,7 @@ class ChaosController {
  private:
   void apply(const FaultEvent& e);
   void heal(const FaultEvent& e);
+  void record_fault(const FaultEvent& e, bool apply_phase);
   TimePoint now() const;
 
   sim::Simulator* sim_ = nullptr;           // monolithic mode
@@ -71,6 +72,7 @@ class ChaosController {
   int active_ = 0;
   int total_ = 0;
   int healed_ = 0;
+  std::uint64_t next_fault_id_ = 0;
   TimePoint healed_at_;
   ChaosStats stats_;
 };

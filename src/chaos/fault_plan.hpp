@@ -44,6 +44,11 @@ struct FaultEvent {
   netlayer::RouterId router = 0;
   /// Kind-specific intensity (rate, seconds, or frame count — see kinds).
   double magnitude = 0;
+  /// Monotonic id assigned by ChaosController::arm() in plan order
+  /// (1-based; 0 = not yet armed).  The same id tags the fault's apply and
+  /// heal in the log, the flight recorder, and the span stream, so one
+  /// fault's whole story can be pulled from any of them.
+  std::uint64_t fault_id = 0;
 };
 
 struct FaultPlan {

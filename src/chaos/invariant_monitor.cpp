@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/span.hpp"
 
 namespace sublayer::chaos {
@@ -156,7 +157,16 @@ void InvariantMonitor::check_liveness_progress() {
 
 void InvariantMonitor::violate(std::string message) {
   if (!seen_violations_.insert(message).second) return;
+  if (auto* fr = telemetry::FlightRecorder::current()) {
+    fr->record(telemetry::FlightType::kViolation, message, sim_.now(),
+               violations_.size());
+  }
+  // The black-box moment: the first distinct violation flushes every live
+  // flight recorder to disk (a no-op unless a dump directory is set), so
+  // the events leading up to the failure survive the process.
+  const bool first = violations_.empty();
   violations_.push_back(std::move(message));
+  if (first) telemetry::dump_all_flight_recorders("violation");
 }
 
 }  // namespace sublayer::chaos

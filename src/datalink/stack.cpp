@@ -1,5 +1,6 @@
 #include "datalink/stack.hpp"
 
+#include "telemetry/frame_tap.hpp"
 #include "telemetry/span.hpp"
 
 namespace sublayer::datalink {
@@ -53,10 +54,18 @@ Bytes DataPlane::down(Bytes arq_frame) {
   tracer.crossing(errdet_span_, telemetry::Dir::kDown, arq_frame.size());
   detector_->protect_in_place(arq_frame);
   ++stats_.frames_tagged;
+  SUBLAYER_TAP(telemetry::TapPoint::kFcs, telemetry::Dir::kDown,
+               ByteView(arq_frame));
   // Framing sublayer: stuff and add flags (bit-granular).
   tracer.crossing(framing_span_, telemetry::Dir::kDown, arq_frame.size());
   const BitString framed = frame(stuffing_, BitString::from_bytes(arq_frame));
   ++stats_.frames_framed;
+  if (SUBLAYER_TAP_ACTIVE(telemetry::TapPoint::kFraming)) {
+    // The stuffed bit string only gets a byte image when someone taps it.
+    const Bytes packed = pack_bits(framed);
+    SUBLAYER_TAP(telemetry::TapPoint::kFraming, telemetry::Dir::kDown,
+                 ByteView(packed));
+  }
   // Encoding sublayer: line-code the length-prefixed channel bits.  The
   // channel bit stream is built directly (32-bit count, body, zero pad to a
   // byte boundary) — bit-for-bit what pack_bits-then-from_bytes produced,
@@ -69,11 +78,17 @@ Bytes DataPlane::down(Bytes arq_frame) {
   tracer.crossing(phy_span_, telemetry::Dir::kDown, channel.size() / 8);
   const BitString symbols = code_->encode(channel);
   ++stats_.frames_encoded;
-  return pack_bits(symbols);
+  Bytes wire = pack_bits(symbols);
+  SUBLAYER_TAP(telemetry::TapPoint::kPhyWire, telemetry::Dir::kDown,
+               ByteView(wire));
+  return wire;
 }
 
 std::optional<Bytes> DataPlane::up(ByteView raw) {
   auto& tracer = telemetry::SpanTracer::instance();
+  // Tapped before any decode so frames the stack later rejects (noise,
+  // corruption) still show up in the capture.
+  SUBLAYER_TAP(telemetry::TapPoint::kPhyWire, telemetry::Dir::kUp, raw);
   // Encoding sublayer: recover channel bits.
   const auto symbols = unpack_bits(raw);
   if (!symbols) {
@@ -103,10 +118,19 @@ std::optional<Bytes> DataPlane::up(ByteView raw) {
     ++stats_.deframe_failures;
     return std::nullopt;
   }
+  if (SUBLAYER_TAP_ACTIVE(telemetry::TapPoint::kFraming)) {
+    const Bytes packed = pack_bits(channel_bits->slice(32, nbits));
+    SUBLAYER_TAP(telemetry::TapPoint::kFraming, telemetry::Dir::kUp,
+                 ByteView(packed));
+  }
   tracer.crossing(framing_span_, telemetry::Dir::kUp, body->size() / 8);
   ++stats_.frames_deframed;
   // Error-detection sublayer: verify and strip the tag in place.
   Bytes checked = body->to_bytes();
+  // Tapped in tagged form (symmetric with down, and corrupt frames are
+  // still visible) before the tag check strips it.
+  SUBLAYER_TAP(telemetry::TapPoint::kFcs, telemetry::Dir::kUp,
+               ByteView(checked));
   if (!detector_->check_strip_in_place(checked)) {
     ++stats_.checksum_failures;
     return std::nullopt;
@@ -130,6 +154,8 @@ DatalinkEndpoint::DatalinkEndpoint(sim::Simulator& sim,
     // ARQ pushes a frame (data or ack) into the lower sublayers.
     telemetry::SpanTracer::instance().crossing(
         arq_span_, telemetry::Dir::kDown, f.size());
+    SUBLAYER_TAP(telemetry::TapPoint::kArq, telemetry::Dir::kDown,
+                 ByteView(f));
     if (wire_sink_) wire_sink_(plane_.down(std::move(f)));
   });
 }
@@ -163,6 +189,8 @@ void DatalinkEndpoint::on_wire_frame(Bytes raw) {
   if (!arq_frame) return;
   telemetry::SpanTracer::instance().crossing(
       arq_span_, telemetry::Dir::kUp, arq_frame->size());
+  SUBLAYER_TAP(telemetry::TapPoint::kArq, telemetry::Dir::kUp,
+               ByteView(*arq_frame));
   arq_->on_frame(std::move(*arq_frame));
 }
 

@@ -7,6 +7,7 @@
 #include "common/rng.hpp"
 #include "common/siphash.hpp"
 #include "sim/link.hpp"
+#include "telemetry/frame_tap.hpp"
 #include "telemetry/span.hpp"
 
 namespace sublayer::netlayer {
@@ -102,6 +103,10 @@ void Router::emit(int interface, FrameType type, ByteView payload) {
   ByteWriter w(frame);
   w.u8(static_cast<std::uint8_t>(type));
   w.bytes(payload);
+  // The netlayer/datalink seam: the typed router frame, both directions
+  // (the matching up-tap is in on_link_frame).
+  SUBLAYER_TAP(telemetry::TapPoint::kDatalinkNet, telemetry::Dir::kDown,
+               ByteView(frame));
   interfaces_.at(static_cast<std::size_t>(interface))(std::move(frame));
 }
 
@@ -114,6 +119,8 @@ void Router::on_link_frame(int index, Bytes frame) {
     ++stats_.malformed;
     return;
   }
+  SUBLAYER_TAP(telemetry::TapPoint::kDatalinkNet, telemetry::Dir::kUp,
+               ByteView(frame));
   const auto type = static_cast<FrameType>(frame[0]);
   const ByteView payload = ByteView(frame).subspan(1);
   switch (type) {

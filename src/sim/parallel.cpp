@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <barrier>
+#include <chrono>
+#include <cstdio>
 #include <limits>
 #include <stdexcept>
 #include <thread>
+
+#include "telemetry/chrome_trace.hpp"
 
 namespace sublayer::sim {
 
@@ -52,12 +56,15 @@ ParallelSimulator::ShardScope::ShardScope(ParallelSimulator& psim,
     : prev_metrics_(
           telemetry::MetricsRegistry::set_current(&psim.shard_metrics(s))),
       prev_spans_(telemetry::SpanTracer::set_current(&psim.shard_spans(s))),
+      prev_flight_(
+          telemetry::FlightRecorder::set_current(&psim.shard_flight(s))),
       clock_(psim.shard(s).clock()) {
   simclock::attach(clock_);
 }
 
 ParallelSimulator::ShardScope::~ShardScope() {
   simclock::detach(clock_);
+  telemetry::FlightRecorder::set_current(prev_flight_);
   telemetry::SpanTracer::set_current(prev_spans_);
   telemetry::MetricsRegistry::set_current(prev_metrics_);
 }
@@ -76,7 +83,14 @@ ParallelSimulator::ParallelSimulator(ParallelConfig config) {
     shards_.push_back(std::make_unique<Simulator>(config.engine));
     metrics_.push_back(std::make_unique<telemetry::MetricsRegistry>());
     spans_.push_back(std::make_unique<telemetry::SpanTracer>());
+    flights_.push_back(std::make_unique<telemetry::FlightRecorder>());
+    flights_.back()->set_shard(static_cast<std::uint16_t>(s));
+    // The trace binds its eviction counter at construction: construct it
+    // under the owning shard's registry so "sim.trace.dropped" lands (and
+    // merges) per shard.
+    auto* prev = telemetry::MetricsRegistry::set_current(metrics_.back().get());
     traces_.push_back(std::make_unique<Trace>());
+    telemetry::MetricsRegistry::set_current(prev);
   }
   channels_by_dst_.resize(config.shards);
   post_seq_.assign(config.shards, 0);
@@ -191,11 +205,34 @@ void ParallelSimulator::drain_shard(std::size_t dst) {
   for (const std::uint32_t c : channels_by_dst_[dst]) {
     channels_[c].inbox.clear();
   }
+  if (chrome_ != nullptr) {
+    chrome_->counter(dst, "mailbox_drained", cur_ns_,
+                     static_cast<std::int64_t>(merged.size()));
+  }
 }
 
 void ParallelSimulator::run_shard(std::size_t s) {
   ShardScope scope(*this, s);
+  if (chrome_ == nullptr) {
+    shards_[s]->run_until(TimePoint::from_ns(epoch_end_ns_));
+    return;
+  }
+  const std::int64_t from_ns = cur_ns_;
+  const std::uint64_t before = shards_[s]->events_processed();
+  const auto wall0 = std::chrono::steady_clock::now();
   shards_[s]->run_until(TimePoint::from_ns(epoch_end_ns_));
+  const auto wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - wall0)
+                           .count();
+  const std::uint64_t events = shards_[s]->events_processed() - before;
+  if (events == 0) return;  // idle epochs would drown the trace
+  char args[96];
+  std::snprintf(args, sizeof args, "\"events\":%llu,\"wall_us\":%.3f",
+                static_cast<unsigned long long>(events),
+                static_cast<double>(wall_ns) / 1000.0);
+  // Virtual-time span + event count are deterministic; the wall time rides
+  // along in args, which canonical_json() strips.
+  chrome_->complete(s, "epoch", from_ns, epoch_end_ns_ - from_ns, args);
 }
 
 void ParallelSimulator::drain_shard_guarded(std::size_t dst) {
@@ -247,6 +284,9 @@ void ParallelSimulator::run_due_tasks() {
         record_error(std::current_exception());
       }
       task.fn = nullptr;
+      if (chrome_ != nullptr) {
+        chrome_->instant(shards_.size(), "task", cur_ns_);
+      }
     }
   }
 }
@@ -352,15 +392,33 @@ void ParallelSimulator::run_until(TimePoint deadline, StopPredicate stop) {
     };
     std::barrier sync(static_cast<std::ptrdiff_t>(threads_), completion);
     auto worker = [this, &sync](std::size_t w) {
+      // Wall-clock wait spans land in this worker's private lane, flagged
+      // non-deterministic (the canonical render drops them).
+      const std::size_t wait_lane = shards_.size() + 1 + w;
+      const auto wait = [this, &sync, wait_lane] {
+        if (chrome_ == nullptr) {
+          sync.arrive_and_wait();
+          return;
+        }
+        const std::int64_t at_ns = cur_ns_;
+        const auto wall0 = std::chrono::steady_clock::now();
+        sync.arrive_and_wait();
+        const auto wall_ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - wall0)
+                .count();
+        chrome_->complete(wait_lane, "barrier_wait", at_ns, wall_ns, {},
+                          /*deterministic=*/false);
+      };
       while (!done_) {
         for (std::size_t d = w; d < shards_.size(); d += threads_) {
           drain_shard_guarded(d);
         }
-        sync.arrive_and_wait();
+        wait();
         for (std::size_t s = w; s < shards_.size(); s += threads_) {
           run_shard_guarded(s);
         }
-        sync.arrive_and_wait();
+        wait();
       }
     };
     std::vector<std::thread> pool;
@@ -375,11 +433,37 @@ void ParallelSimulator::run_until(TimePoint deadline, StopPredicate stop) {
     const std::exception_ptr e = error_;
     error_ = nullptr;
     failed_ = false;
+    // Black-box the failure: stamp the abort and write the merged rings
+    // out (a no-op unless a dump directory is configured).
+    flights_[0]->record(telemetry::FlightType::kAbort, "parallel-abort",
+                        now());
+    telemetry::dump_all_flight_recorders("parallel-abort");
     std::rethrow_exception(e);
   }
 }
 
+void ParallelSimulator::attach_chrome_trace(
+    telemetry::ChromeTraceWriter* writer) {
+  if (running_) {
+    throw std::logic_error(
+        "ParallelSimulator: attach_chrome_trace while running");
+  }
+  if (writer != nullptr && writer->lane_count() < chrome_lane_count()) {
+    throw std::invalid_argument(
+        "ParallelSimulator: writer needs >= chrome_lane_count() lanes");
+  }
+  chrome_ = writer;
+}
+
 // ---- merged views ----------------------------------------------------------
+
+std::vector<telemetry::FlightRecord> ParallelSimulator::merged_flight_records()
+    const {
+  std::vector<const telemetry::FlightRecorder*> recorders;
+  recorders.reserve(flights_.size());
+  for (const auto& f : flights_) recorders.push_back(f.get());
+  return telemetry::FlightRecorder::merge(recorders);
+}
 
 telemetry::MetricsSnapshot ParallelSimulator::merged_metrics() const {
   // Merge by name across shard snapshots; each snapshot is already sorted,
@@ -419,16 +503,7 @@ telemetry::MetricsSnapshot ParallelSimulator::merged_metrics() const {
         merged.histograms.insert(it, h);
         continue;
       }
-      telemetry::HistogramData& d = it->data;
-      for (std::size_t b = 0; b < telemetry::kHistogramBuckets; ++b) {
-        d.buckets[b] += h.data.buckets[b];
-      }
-      if (h.data.count > 0) {
-        d.min = d.count == 0 ? h.data.min : std::min(d.min, h.data.min);
-        d.max = std::max(d.max, h.data.max);
-      }
-      d.count += h.data.count;
-      d.sum += h.data.sum;
+      it->data.merge(h.data);
     }
   }
   return merged;

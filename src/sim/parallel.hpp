@@ -55,8 +55,13 @@
 #include "common/time.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/span.hpp"
+
+namespace sublayer::telemetry {
+class ChromeTraceWriter;
+}  // namespace sublayer::telemetry
 
 namespace sublayer::sim {
 
@@ -104,6 +109,9 @@ class ParallelSimulator {
     return *metrics_.at(s);
   }
   telemetry::SpanTracer& shard_spans(std::size_t s) { return *spans_.at(s); }
+  telemetry::FlightRecorder& shard_flight(std::size_t s) {
+    return *flights_.at(s);
+  }
   /// Cross-shard deliveries INTO shard `s`, recorded at drain time in
   /// merged order — the replay suite's bit-identical artifact.
   const Trace& shard_trace(std::size_t s) const { return *traces_.at(s); }
@@ -122,6 +130,7 @@ class ParallelSimulator {
    private:
     telemetry::MetricsRegistry* prev_metrics_;
     telemetry::SpanTracer* prev_spans_;
+    telemetry::FlightRecorder* prev_flight_;
     const TimePoint* clock_;
   };
   ShardScope bind(std::size_t s) { return ShardScope(*this, s); }
@@ -199,6 +208,29 @@ class ParallelSimulator {
   /// bit-identical cross-shard traffic.
   std::string cross_shard_trace_log() const;
 
+  /// Every shard's flight-recorder ring merged in (time, shard, seq) order
+  /// — like the rest of the merged views, deterministic at every worker
+  /// thread count.
+  std::vector<telemetry::FlightRecord> merged_flight_records() const;
+
+  // ---- execution profiling (Chrome trace / Perfetto export) ----
+
+  /// Lanes the engine emits into: one per shard (epoch spans, drain
+  /// counters, flow spans), one engine lane (barrier tasks), one per
+  /// worker thread (wall-clock barrier waits).
+  std::size_t chrome_lane_count() const {
+    return shards_.size() + 1 + threads_;
+  }
+
+  /// Profiles subsequent run_until calls into `writer` (nullptr detaches):
+  /// per-shard epoch spans with event counts and wall time, mailbox drain
+  /// counters, barrier-task instants, and per-worker barrier-wait spans.
+  /// The writer must have at least chrome_lane_count() lanes and must
+  /// outlive the runs.  Virtual-time payloads are flagged deterministic;
+  /// wall-clock ones are not, so writer.canonical_json() stays identical
+  /// across worker thread counts.
+  void attach_chrome_trace(telemetry::ChromeTraceWriter* writer);
+
  private:
   struct Mail {
     TimePoint when;
@@ -237,7 +269,9 @@ class ParallelSimulator {
   std::vector<std::unique_ptr<Simulator>> shards_;
   std::vector<std::unique_ptr<telemetry::MetricsRegistry>> metrics_;
   std::vector<std::unique_ptr<telemetry::SpanTracer>> spans_;
+  std::vector<std::unique_ptr<telemetry::FlightRecorder>> flights_;
   std::vector<std::unique_ptr<Trace>> traces_;
+  telemetry::ChromeTraceWriter* chrome_ = nullptr;
 
   std::deque<Channel> channels_;  // stable addresses for deliver closures
   std::vector<std::vector<std::uint32_t>> channels_by_dst_;

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "telemetry/flight_recorder.hpp"
+
 namespace sublayer::sim {
 
 namespace {
@@ -37,6 +39,9 @@ bool Simulator::step() {
   if (!engine_->pop_if(kNoDeadline, when, fn)) return false;
   now_ = when;
   ++processed_;
+  if (auto* fr = telemetry::FlightRecorder::current()) {
+    fr->record(telemetry::FlightType::kEvent, "sim.event", when, processed_);
+  }
   fn();
   return true;
 }
@@ -44,9 +49,15 @@ bool Simulator::step() {
 void Simulator::run_until(TimePoint deadline) {
   TimePoint when;
   EventEngine::Fn fn;
+  // Hoisted: the thread's recorder cannot change under the loop, and the
+  // common case (no recorder) must stay one load + branch per event.
+  telemetry::FlightRecorder* const fr = telemetry::FlightRecorder::current();
   while (engine_->pop_if(deadline, when, fn)) {
     now_ = when;
     ++processed_;
+    if (fr != nullptr) {
+      fr->record(telemetry::FlightType::kEvent, "sim.event", when, processed_);
+    }
     fn();
   }
   now_ = std::max(now_, deadline);

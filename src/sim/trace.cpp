@@ -19,8 +19,14 @@ void Trace::record(TimePoint when, std::string_view category,
   ++totals_[id].count;
   totals_[id].bytes += size_bytes;
   ++total_events_;
-  if (max_events_ == 0) return;
-  if (events_.size() == max_events_) events_.pop_front();
+  if (max_events_ == 0) {
+    ++dropped_;
+    return;
+  }
+  if (events_.size() == max_events_) {
+    events_.pop_front();
+    ++dropped_;
+  }
   events_.push_back(TraceEvent{when, id, std::move(detail), size_bytes});
 }
 
@@ -40,7 +46,10 @@ std::size_t Trace::total_bytes(std::string_view category) const {
 
 void Trace::set_max_events(std::size_t max_events) {
   max_events_ = max_events;
-  while (events_.size() > max_events_) events_.pop_front();
+  while (events_.size() > max_events_) {
+    events_.pop_front();
+    ++dropped_;
+  }
 }
 
 std::string Trace::to_string(std::size_t max_events) const {

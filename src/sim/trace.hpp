@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/time.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace sublayer::sim {
 
@@ -33,7 +34,12 @@ class Trace {
   static constexpr std::size_t kDefaultMaxEvents = 65536;
 
   explicit Trace(std::size_t max_events = kDefaultMaxEvents)
-      : max_events_(max_events) {}
+      : max_events_(max_events) {
+    // Binds to the registry current at construction — the parallel engine
+    // constructs each shard's trace under that shard's registry, so
+    // eviction counts surface per shard and merge like any counter.
+    dropped_.bind("sim.trace.dropped");
+  }
 
   void record(TimePoint when, std::string_view category, std::string detail,
               std::size_t size_bytes = 0);
@@ -52,6 +58,10 @@ class Trace {
   /// Events recorded over the trace's lifetime (>= events().size() once
   /// the cap has evicted).
   std::size_t total_events() const { return total_events_; }
+
+  /// Events evicted from (or refused by) the bounded buffer; also exported
+  /// through the registry as the "sim.trace.dropped" counter.
+  std::uint64_t dropped() const { return dropped_.value(); }
 
   /// Caps the event buffer; shrinking evicts oldest events immediately.
   void set_max_events(std::size_t max_events);
@@ -73,6 +83,7 @@ class Trace {
   std::vector<CategoryTotals> totals_;
   std::size_t max_events_;
   std::size_t total_events_ = 0;
+  telemetry::Counter dropped_;
 };
 
 }  // namespace sublayer::sim

@@ -1,0 +1,221 @@
+#include "telemetry/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+#include <unordered_map>
+
+namespace sublayer::telemetry {
+
+namespace {
+
+/// Minimal JSON string escaping; names and args come from internal
+/// constants but a stray quote must not corrupt the file.
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Trace Event Format timestamps are microseconds; keep nanosecond
+/// precision as a fixed three-decimal fraction.
+void append_us(std::string& out, std::int64_t ns) {
+  char buf[48];
+  const char* sign = ns < 0 ? "-" : "";
+  const std::uint64_t abs =
+      ns < 0 ? -static_cast<std::uint64_t>(ns) : static_cast<std::uint64_t>(ns);
+  std::snprintf(buf, sizeof buf, "%s%" PRIu64 ".%03u", sign, abs / 1000,
+                static_cast<unsigned>(abs % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+ChromeTraceWriter::ChromeTraceWriter(std::size_t lanes)
+    : lanes_(std::max<std::size_t>(1, lanes)) {}
+
+void ChromeTraceWriter::complete(std::size_t lane, std::string name,
+                                 std::int64_t ts_ns, std::int64_t dur_ns,
+                                 std::string args_json, bool deterministic) {
+  assert(lane < lanes_.size());
+  Ev ev;
+  ev.ph = 'X';
+  ev.det = deterministic;
+  ev.ts_ns = ts_ns;
+  ev.dur_ns = dur_ns;
+  ev.name = std::move(name);
+  ev.args = std::move(args_json);
+  lanes_[lane].push_back(std::move(ev));
+}
+
+void ChromeTraceWriter::instant(std::size_t lane, std::string name,
+                                std::int64_t ts_ns, std::string args_json,
+                                bool deterministic) {
+  assert(lane < lanes_.size());
+  Ev ev;
+  ev.ph = 'i';
+  ev.det = deterministic;
+  ev.ts_ns = ts_ns;
+  ev.name = std::move(name);
+  ev.args = std::move(args_json);
+  lanes_[lane].push_back(std::move(ev));
+}
+
+void ChromeTraceWriter::counter(std::size_t lane, std::string name,
+                                std::int64_t ts_ns, std::int64_t value,
+                                bool deterministic) {
+  assert(lane < lanes_.size());
+  Ev ev;
+  ev.ph = 'C';
+  ev.det = deterministic;
+  ev.ts_ns = ts_ns;
+  ev.value = value;
+  ev.name = std::move(name);
+  lanes_[lane].push_back(std::move(ev));
+}
+
+void ChromeTraceWriter::async_begin(std::size_t lane, std::string name,
+                                    std::int64_t ts_ns, std::uint64_t id,
+                                    bool deterministic) {
+  assert(lane < lanes_.size());
+  Ev ev;
+  ev.ph = 'b';
+  ev.det = deterministic;
+  ev.id = id;
+  ev.ts_ns = ts_ns;
+  ev.name = std::move(name);
+  lanes_[lane].push_back(std::move(ev));
+}
+
+void ChromeTraceWriter::async_end(std::size_t lane, std::string name,
+                                  std::int64_t ts_ns, std::uint64_t id,
+                                  bool deterministic) {
+  assert(lane < lanes_.size());
+  Ev ev;
+  ev.ph = 'e';
+  ev.det = deterministic;
+  ev.id = id;
+  ev.ts_ns = ts_ns;
+  ev.name = std::move(name);
+  lanes_[lane].push_back(std::move(ev));
+}
+
+std::size_t ChromeTraceWriter::event_count() const {
+  std::size_t n = 0;
+  for (const auto& lane : lanes_) n += lane.size();
+  return n;
+}
+
+std::string ChromeTraceWriter::render(bool canonical) const {
+  // A stable global order — (virtual time, lane, per-lane append order) —
+  // so the rendering never depends on which thread filled which lane first.
+  struct Ref {
+    std::int64_t ts_ns;
+    std::size_t lane;
+    std::size_t idx;
+  };
+  std::vector<Ref> refs;
+  refs.reserve(event_count());
+  for (std::size_t lane = 0; lane < lanes_.size(); ++lane) {
+    for (std::size_t i = 0; i < lanes_[lane].size(); ++i) {
+      const Ev& ev = lanes_[lane][i];
+      if (canonical && !ev.det) continue;
+      refs.push_back(Ref{ev.ts_ns, lane, i});
+    }
+  }
+  std::sort(refs.begin(), refs.end(), [](const Ref& x, const Ref& y) {
+    if (x.ts_ns != y.ts_ns) return x.ts_ns < y.ts_ns;
+    if (x.lane != y.lane) return x.lane < y.lane;
+    return x.idx < y.idx;
+  });
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const Ref& ref : refs) {
+    const Ev& ev = lanes_[ref.lane][ref.idx];
+    if (!first) out += ',';
+    first = false;
+    out += "\n{\"name\":\"";
+    append_escaped(out, ev.name);
+    out += "\",\"ph\":\"";
+    out += ev.ph;
+    out += "\",\"pid\":0,\"tid\":";
+    out += std::to_string(ref.lane);
+    out += ",\"ts\":";
+    append_us(out, ev.ts_ns);
+    if (ev.ph == 'X') {
+      out += ",\"dur\":";
+      append_us(out, ev.dur_ns);
+    } else if (ev.ph == 'i') {
+      out += ",\"s\":\"t\"";
+    } else if (ev.ph == 'b' || ev.ph == 'e') {
+      out += ",\"cat\":\"flow\",\"id\":";
+      out += std::to_string(ev.id);
+    }
+    if (ev.ph == 'C') {
+      out += ",\"args\":{\"value\":";
+      out += std::to_string(ev.value);
+      out += '}';
+    } else if (!ev.args.empty() && !canonical) {
+      out += ",\"args\":{";
+      out += ev.args;
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string ChromeTraceWriter::to_json() const { return render(false); }
+
+std::string ChromeTraceWriter::canonical_json() const { return render(true); }
+
+bool ChromeTraceWriter::write_file(const std::string& path) const {
+  const std::string json = to_json();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t wrote = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return wrote == json.size();
+}
+
+void ChromeTraceWriter::clear() {
+  for (auto& lane : lanes_) lane.clear();
+}
+
+void export_flow_spans(const std::vector<FlightRecord>& records,
+                       ChromeTraceWriter& writer) {
+  // A flow's open and close can land on different shards in principle;
+  // pin the span to the opening shard's lane.
+  std::unordered_map<std::uint64_t, std::size_t> open_lane;
+  for (const FlightRecord& r : records) {
+    const auto type = static_cast<FlightType>(r.type);
+    const std::size_t lane =
+        std::min<std::size_t>(r.shard, writer.lane_count() - 1);
+    if (type == FlightType::kFlowOpen) {
+      open_lane.emplace(r.a, lane);
+      writer.async_begin(lane, "flow", r.t_ns, r.a);
+    } else if (type == FlightType::kFlowClose) {
+      const auto it = open_lane.find(r.a);
+      const std::size_t end_lane = it != open_lane.end() ? it->second : lane;
+      writer.async_end(end_lane, "flow", r.t_ns, r.a);
+    }
+  }
+}
+
+}  // namespace sublayer::telemetry

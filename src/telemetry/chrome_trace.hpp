@@ -1,0 +1,91 @@
+// Chrome-trace JSON export of a simulation run.
+//
+// ChromeTraceWriter collects trace events in the Trace Event Format that
+// chrome://tracing and Perfetto load directly: complete ("X") spans,
+// instants ("i"), counters ("C"), and async begin/end ("b"/"e") pairs for
+// flow lifecycles.  sim::ParallelSimulator drives it — per-shard epoch
+// spans, mailbox drain counters, barrier-task instants, and per-worker
+// barrier-wait spans — and transport flow open/close records from the
+// flight recorder become async "flow" spans.
+//
+// Lanes, not threads: each event lands in a fixed lane (rendered as the
+// tid) chosen by the caller.  The engine assigns every shard its own lane
+// and every worker thread its own lane, so concurrent writers never touch
+// the same vector and the writer needs no locks.
+//
+// Determinism: events flagged deterministic carry only virtual-time
+// payloads.  canonical_json() renders just those events, with wall-clock
+// args stripped, and is byte-identical across thread counts for one
+// workload — the parallel replay test asserts exactly that.  to_json()
+// renders everything, wall-clock durations included, for humans.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/flight_recorder.hpp"
+
+namespace sublayer::telemetry {
+
+class ChromeTraceWriter {
+ public:
+  /// `lanes` fixes the lane count up front; events from distinct lanes may
+  /// be appended concurrently.
+  explicit ChromeTraceWriter(std::size_t lanes);
+  ChromeTraceWriter(const ChromeTraceWriter&) = delete;
+  ChromeTraceWriter& operator=(const ChromeTraceWriter&) = delete;
+
+  std::size_t lane_count() const { return lanes_.size(); }
+
+  /// A complete ("X") span.  `args_json` must be a JSON object fragment
+  /// without the braces (e.g. `"events":12`), or empty.
+  void complete(std::size_t lane, std::string name, std::int64_t ts_ns,
+                std::int64_t dur_ns, std::string args_json = {},
+                bool deterministic = true);
+  /// A thread-scoped instant ("i") event.
+  void instant(std::size_t lane, std::string name, std::int64_t ts_ns,
+               std::string args_json = {}, bool deterministic = true);
+  /// A counter ("C") sample; the value survives into canonical_json().
+  void counter(std::size_t lane, std::string name, std::int64_t ts_ns,
+               std::int64_t value, bool deterministic = true);
+  /// An async span pair (cat "flow"), matched by `id`.
+  void async_begin(std::size_t lane, std::string name, std::int64_t ts_ns,
+                   std::uint64_t id, bool deterministic = true);
+  void async_end(std::size_t lane, std::string name, std::int64_t ts_ns,
+                 std::uint64_t id, bool deterministic = true);
+
+  std::size_t event_count() const;
+
+  /// Every event, wall-clock args included — the human-facing export.
+  std::string to_json() const;
+  /// Deterministic events only, args stripped (counter values kept),
+  /// virtual time only — byte-identical across thread counts.
+  std::string canonical_json() const;
+
+  bool write_file(const std::string& path) const;
+  void clear();
+
+ private:
+  struct Ev {
+    char ph = 'X';
+    bool det = true;
+    std::uint64_t id = 0;       // async events only
+    std::int64_t ts_ns = 0;
+    std::int64_t dur_ns = 0;    // complete events only
+    std::int64_t value = 0;     // counter events only
+    std::string name;
+    std::string args;           // object fragment without braces
+  };
+
+  std::string render(bool canonical) const;
+
+  std::vector<std::vector<Ev>> lanes_;
+};
+
+/// Turns kFlowOpen/kFlowClose flight records into async "flow" spans on
+/// the record's shard lane, matched by flow id (record field `a`).
+void export_flow_spans(const std::vector<FlightRecord>& records,
+                       ChromeTraceWriter& writer);
+
+}  // namespace sublayer::telemetry

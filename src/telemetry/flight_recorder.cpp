@@ -1,0 +1,277 @@
+#include "telemetry/flight_recorder.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+namespace sublayer::telemetry {
+
+namespace {
+
+constexpr std::uint32_t kFlightMagic = 0x52464C53u;  // "SLFR", little-endian
+constexpr std::uint32_t kFlightVersion = 1;
+constexpr std::size_t kReasonBytes = 32;
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + kReasonBytes;
+
+thread_local FlightRecorder* tls_current_recorder = nullptr;
+
+/// Registry of live recorders, so a post-mortem can collect every shard's
+/// ring no matter which thread triggers it.  Construction/destruction of
+/// recorders is rare; record() never touches this.
+struct RecorderRegistry {
+  std::mutex mutex;
+  std::vector<FlightRecorder*> live;
+};
+
+RecorderRegistry& recorder_registry() {
+  static RecorderRegistry reg;
+  return reg;
+}
+
+struct DumpConfig {
+  std::mutex mutex;
+  std::string dir;
+  int next_id = 0;
+  DumpConfig() {
+    if (const char* env = std::getenv("SUBLAYER_FLIGHT_DIR")) dir = env;
+  }
+};
+
+DumpConfig& dump_config() {
+  static DumpConfig cfg;
+  return cfg;
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         static_cast<std::uint64_t>(get_u32(p + 4)) << 32;
+}
+
+}  // namespace
+
+const char* to_string(FlightType t) {
+  switch (t) {
+    case FlightType::kEvent: return "event";
+    case FlightType::kCrossing: return "crossing";
+    case FlightType::kChaosApply: return "chaos-apply";
+    case FlightType::kChaosHeal: return "chaos-heal";
+    case FlightType::kCmTransition: return "cm-transition";
+    case FlightType::kFlowOpen: return "flow-open";
+    case FlightType::kFlowClose: return "flow-close";
+    case FlightType::kViolation: return "violation";
+    case FlightType::kAbort: return "abort";
+    case FlightType::kMark: return "mark";
+  }
+  return "unknown";
+}
+
+std::string_view FlightRecord::tag_view() const {
+  std::size_t n = 0;
+  while (n < sizeof tag && tag[n] != '\0') ++n;
+  return std::string_view(tag, n);
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : ring_(std::max<std::size_t>(1, capacity)) {
+  auto& reg = recorder_registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.live.push_back(this);
+}
+
+FlightRecorder::~FlightRecorder() {
+  auto& reg = recorder_registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  std::erase(reg.live, this);
+}
+
+FlightRecorder* FlightRecorder::current() { return tls_current_recorder; }
+
+FlightRecorder* FlightRecorder::set_current(FlightRecorder* r) {
+  FlightRecorder* prev = tls_current_recorder;
+  tls_current_recorder = r;
+  return prev;
+}
+
+void FlightRecorder::record(FlightType type, std::string_view tag,
+                            TimePoint t, std::uint64_t a, std::uint64_t b,
+                            std::uint64_t c) {
+  FlightRecord& r = ring_[static_cast<std::size_t>(total_ % ring_.size())];
+  r.t_ns = t.ns();
+  r.a = a;
+  r.b = b;
+  r.c = c;
+  r.seq = static_cast<std::uint32_t>(total_);
+  r.type = static_cast<std::uint16_t>(type);
+  r.shard = shard_;
+  const std::size_t n = std::min(tag.size(), sizeof r.tag - 1);
+  std::memcpy(r.tag, tag.data(), n);
+  std::memset(r.tag + n, 0, sizeof r.tag - n);
+  ++total_;
+}
+
+void FlightRecorder::record_now(FlightType type, std::string_view tag,
+                                std::uint64_t a, std::uint64_t b,
+                                std::uint64_t c) {
+  record(type, tag, simclock::now(), a, b, c);
+}
+
+std::size_t FlightRecorder::size() const {
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(total_, ring_.size()));
+}
+
+std::vector<FlightRecord> FlightRecorder::recent() const {
+  std::vector<FlightRecord> out;
+  const std::size_t n = size();
+  out.reserve(n);
+  const std::uint64_t start = total_ - n;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[static_cast<std::size_t>((start + i) % ring_.size())]);
+  }
+  return out;
+}
+
+void FlightRecorder::reset() {
+  total_ = 0;
+  std::fill(ring_.begin(), ring_.end(), FlightRecord{});
+}
+
+std::vector<std::uint8_t> FlightRecorder::serialize() const {
+  const std::vector<FlightRecord> records = recent();
+  std::vector<std::uint8_t> out(records.size() * sizeof(FlightRecord));
+  if (!records.empty()) {
+    std::memcpy(out.data(), records.data(), out.size());
+  }
+  return out;
+}
+
+std::vector<FlightRecord> FlightRecorder::merge(
+    const std::vector<const FlightRecorder*>& recorders) {
+  std::vector<FlightRecord> all;
+  for (const FlightRecorder* r : recorders) {
+    if (r == nullptr) continue;
+    const auto recs = r->recent();
+    all.insert(all.end(), recs.begin(), recs.end());
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const FlightRecord& x, const FlightRecord& y) {
+                     if (x.t_ns != y.t_ns) return x.t_ns < y.t_ns;
+                     if (x.shard != y.shard) return x.shard < y.shard;
+                     return x.seq < y.seq;
+                   });
+  return all;
+}
+
+void set_flight_dump_dir(std::string dir) {
+  auto& cfg = dump_config();
+  const std::lock_guard<std::mutex> lock(cfg.mutex);
+  cfg.dir = std::move(dir);
+}
+
+std::string flight_dump_dir() {
+  auto& cfg = dump_config();
+  const std::lock_guard<std::mutex> lock(cfg.mutex);
+  return cfg.dir;
+}
+
+std::vector<std::uint8_t> encode_flight_dump(
+    const std::vector<FlightRecord>& records, std::string_view reason) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + records.size() * sizeof(FlightRecord));
+  put_u32(out, kFlightMagic);
+  put_u32(out, kFlightVersion);
+  put_u64(out, records.size());
+  char padded[kReasonBytes] = {};
+  std::memcpy(padded, reason.data(),
+              std::min(reason.size(), kReasonBytes - 1));
+  out.insert(out.end(), padded, padded + kReasonBytes);
+  const std::size_t body = records.size() * sizeof(FlightRecord);
+  const std::size_t at = out.size();
+  out.resize(at + body);
+  if (body != 0) std::memcpy(out.data() + at, records.data(), body);
+  return out;
+}
+
+std::optional<FlightDump> parse_flight_dump(const std::uint8_t* data,
+                                            std::size_t size) {
+  if (data == nullptr || size < kHeaderBytes) return std::nullopt;
+  if (get_u32(data) != kFlightMagic) return std::nullopt;
+  if (get_u32(data + 4) != kFlightVersion) return std::nullopt;
+  const std::uint64_t count = get_u64(data + 8);
+  if (count > (size - kHeaderBytes) / sizeof(FlightRecord)) {
+    return std::nullopt;
+  }
+  if (size != kHeaderBytes + count * sizeof(FlightRecord)) {
+    return std::nullopt;
+  }
+  FlightDump dump;
+  const char* reason = reinterpret_cast<const char*>(data + 16);
+  std::size_t rn = 0;
+  while (rn < kReasonBytes && reason[rn] != '\0') ++rn;
+  dump.reason.assign(reason, rn);
+  dump.records.resize(static_cast<std::size_t>(count));
+  if (count != 0) {
+    std::memcpy(dump.records.data(), data + kHeaderBytes,
+                dump.records.size() * sizeof(FlightRecord));
+  }
+  return dump;
+}
+
+std::string dump_all_flight_recorders(std::string_view reason) {
+  std::string dir;
+  int id = 0;
+  {
+    auto& cfg = dump_config();
+    const std::lock_guard<std::mutex> lock(cfg.mutex);
+    if (cfg.dir.empty()) return {};
+    dir = cfg.dir;
+    id = cfg.next_id++;
+  }
+  std::vector<const FlightRecorder*> recorders;
+  {
+    auto& reg = recorder_registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    recorders.assign(reg.live.begin(), reg.live.end());
+  }
+  const auto merged = FlightRecorder::merge(recorders);
+  // File names stay shell-safe whatever the reason string holds.
+  std::string slug;
+  for (const char c : reason.substr(0, 24)) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_';
+    slug += ok ? c : '-';
+  }
+  const std::string path =
+      dir + "/flightrec-" + slug + "-" + std::to_string(id) + ".slfr";
+  const auto image = encode_flight_dump(merged, reason);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return {};
+  const std::size_t wrote =
+      image.empty() ? 0 : std::fwrite(image.data(), 1, image.size(), f);
+  std::fclose(f);
+  return wrote == image.size() ? path : std::string{};
+}
+
+}  // namespace sublayer::telemetry

@@ -1,0 +1,145 @@
+// FlightRecorder — the black box of a simulation run.
+//
+// A fixed-size ring of 64-byte binary records holding the most recent
+// happenings on one shard (or, in monolithic runs, one thread): simulator
+// events, sublayer boundary crossings, chaos fault applications and heals,
+// and connection-manager state transitions.  Recording is a ring-slot
+// write; nothing allocates after construction.
+//
+// The recorder follows the telemetry layer's thread-local "current"
+// convention (metrics.hpp, span.hpp) with one difference: the default is
+// *no recorder* — current() returns nullptr until a recorder is installed,
+// so every recording site is a TLS load and a branch when the flight
+// recorder is off.  sim::ParallelSimulator owns one recorder per shard and
+// installs it in ShardScope; monolithic runs install one explicitly.
+//
+// Post-mortems: when chaos::InvariantMonitor sees its first violation, or
+// the parallel engine aborts a run on an error, every live recorder is
+// merged — by (time, shard, seq), the engine's cross-shard ordering
+// convention — and dumped to an SLFR file (binary header + raw records)
+// under the configured dump directory.  Dumping is a no-op until
+// set_flight_dump_dir() (or SUBLAYER_FLIGHT_DIR in the environment) names
+// a directory, so tests that intentionally violate invariants do not
+// litter the build tree.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace sublayer::telemetry {
+
+enum class FlightType : std::uint16_t {
+  kEvent = 1,         // simulator event fired: a = events_processed
+  kCrossing = 2,      // span crossing: a = bytes, b = Dir, tag = layer
+  kChaosApply = 3,    // a = fault id, b = FaultKind, c = link/router
+  kChaosHeal = 4,     // a = fault id, b = FaultKind, c = link/router
+  kCmTransition = 5,  // a = flow id, b = from state, c = to state
+  kFlowOpen = 6,      // a = flow id (CM reached established)
+  kFlowClose = 7,     // a = flow id (CM left established/time-wait)
+  kViolation = 8,     // invariant violation, tag = truncated message
+  kAbort = 9,         // engine abort, tag = truncated reason
+  kMark = 10,         // free-form annotation from tests/benches
+};
+
+const char* to_string(FlightType t);
+
+/// Fixed 64-byte POD — also the on-disk record layout (little-endian
+/// fields, NUL-padded tag).
+struct FlightRecord {
+  std::int64_t t_ns = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+  std::uint32_t seq = 0;  // per-recorder record sequence number
+  std::uint16_t type = 0;
+  std::uint16_t shard = 0;
+  char tag[24] = {};
+
+  std::string_view tag_view() const;
+  friend bool operator==(const FlightRecord&, const FlightRecord&) = default;
+};
+static_assert(sizeof(FlightRecord) == 64);
+static_assert(std::is_trivially_copyable_v<FlightRecord>);
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+  ~FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// The calling thread's current recorder, or nullptr (the default):
+  /// recording disabled.
+  static FlightRecorder* current();
+  /// Installs `r` as this thread's recorder; returns the previous one so
+  /// scopes can nest.
+  static FlightRecorder* set_current(FlightRecorder* r);
+
+  /// Stamped into every record (the merge key's second component).
+  void set_shard(std::uint16_t shard) { shard_ = shard; }
+  std::uint16_t shard() const { return shard_; }
+
+  void record(FlightType type, std::string_view tag, TimePoint t,
+              std::uint64_t a = 0, std::uint64_t b = 0, std::uint64_t c = 0);
+  /// record() stamped with simclock::now().
+  void record_now(FlightType type, std::string_view tag, std::uint64_t a = 0,
+                  std::uint64_t b = 0, std::uint64_t c = 0);
+
+  /// Records written over the recorder's lifetime (>= size() once the ring
+  /// has wrapped).
+  std::uint64_t total_records() const { return total_; }
+  std::size_t size() const;
+  std::size_t capacity() const { return ring_.size(); }
+  /// The ring's contents, oldest first.
+  std::vector<FlightRecord> recent() const;
+  void reset();
+
+  /// The ring's raw bytes, oldest first — one recorder's deterministic
+  /// replay artifact.
+  std::vector<std::uint8_t> serialize() const;
+
+  /// Rings of several recorders merged into one stream in (time, shard,
+  /// seq) order — the parallel engine's cross-shard ordering convention.
+  /// Ties beyond seq (two recorders claiming one shard id) keep the
+  /// recorders' argument order.
+  static std::vector<FlightRecord> merge(
+      const std::vector<const FlightRecorder*>& recorders);
+
+ private:
+  std::vector<FlightRecord> ring_;
+  std::uint64_t total_ = 0;
+  std::uint16_t shard_ = 0;
+};
+
+// ---- post-mortem dump management (process-wide) ----------------------------
+
+/// Directory for automatic dumps; the empty string (the default, unless
+/// the SUBLAYER_FLIGHT_DIR environment variable is set) disables them.
+void set_flight_dump_dir(std::string dir);
+std::string flight_dump_dir();
+
+/// Merges every live recorder in the process and writes
+/// `<dir>/flightrec-<reason>-<n>.slfr`.  Returns the path, or an empty
+/// string when dumping is disabled or the write fails.  Thread-safe.
+std::string dump_all_flight_recorders(std::string_view reason);
+
+struct FlightDump {
+  std::string reason;
+  std::vector<FlightRecord> records;
+};
+
+/// The SLFR container: magic, version, record count, reason, raw records.
+std::vector<std::uint8_t> encode_flight_dump(
+    const std::vector<FlightRecord>& records, std::string_view reason);
+std::optional<FlightDump> parse_flight_dump(const std::uint8_t* data,
+                                            std::size_t size);
+
+}  // namespace sublayer::telemetry

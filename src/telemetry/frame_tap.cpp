@@ -1,0 +1,35 @@
+#include "telemetry/frame_tap.hpp"
+
+namespace sublayer::telemetry {
+
+namespace {
+thread_local TapHub* tls_current_hub = nullptr;
+}  // namespace
+
+const char* to_string(TapPoint p) {
+  switch (p) {
+    case TapPoint::kPhyWire: return "phy.wire";
+    case TapPoint::kFraming: return "datalink.framing";
+    case TapPoint::kFcs: return "datalink.errordetect";
+    case TapPoint::kArq: return "datalink.arq";
+    case TapPoint::kDatalinkNet: return "netlayer.link";
+    case TapPoint::kNetTransport: return "transport.segment";
+  }
+  return "unknown";
+}
+
+std::uint16_t tap_link_type(TapPoint p) {
+  // LINKTYPE_USER0..USER15 are 147..162, reserved for private use — the
+  // right home for sub-datalink frames no standard dissector understands.
+  return static_cast<std::uint16_t>(147 + static_cast<int>(p));
+}
+
+TapHub* TapHub::current() { return tls_current_hub; }
+
+TapHub* TapHub::set_current(TapHub* hub) {
+  TapHub* prev = tls_current_hub;
+  tls_current_hub = hub;
+  return prev;
+}
+
+}  // namespace sublayer::telemetry

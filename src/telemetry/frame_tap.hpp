@@ -1,0 +1,128 @@
+// FrameTap — packet capture at every sublayer boundary.
+//
+// Six tap points cover the tower's seams, from the line-coded wire frame
+// up to the transport segment.  A module reaching a seam calls
+// SUBLAYER_TAP(point, dir, bytes); when no TapHub is installed on the
+// thread (the default) that is a thread-local load and a branch, and the
+// whole mechanism compiles away under -DSUBLAYER_TAPS_ENABLED=0.  When a
+// hub is installed, enabled tap points count the frame and forward it —
+// with its sim-time timestamp — to the hub's sink, typically a
+// PcapngWriter (pcapng.hpp) so the run can be opened in Wireshark.
+//
+// The tapped bytes are exactly the PDU crossing that seam in that
+// direction; sub-datalink taps carry line-coded or bit-stuffed content and
+// use custom pcapng link types (LINKTYPE_USER0..), one per tap point.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "common/bytes.hpp"
+#include "common/time.hpp"
+#include "telemetry/span.hpp"
+
+#ifndef SUBLAYER_TAPS_ENABLED
+#define SUBLAYER_TAPS_ENABLED 1
+#endif
+
+namespace sublayer::telemetry {
+
+enum class TapPoint : std::uint8_t {
+  kPhyWire = 0,      // line-coded symbols, packed for the wire
+  kFraming = 1,      // stuffed + flagged channel bits (packed)
+  kFcs = 2,          // error-detection-tagged ARQ frame
+  kArq = 3,          // ARQ frame at the ARQ <-> data-plane seam
+  kDatalinkNet = 4,  // router frame at the datalink <-> netlayer seam
+  kNetTransport = 5, // segment payload at the netlayer <-> transport seam
+};
+inline constexpr std::size_t kTapPointCount = 6;
+
+const char* to_string(TapPoint p);
+/// pcapng link type for a tap point's interface block: LINKTYPE_USER0 (147)
+/// onwards, one per tap point.
+std::uint16_t tap_link_type(TapPoint p);
+
+class TapHub {
+ public:
+  using Sink = std::function<void(TapPoint, Dir, TimePoint, ByteView)>;
+
+  TapHub() = default;
+  TapHub(const TapHub&) = delete;
+  TapHub& operator=(const TapHub&) = delete;
+
+  /// The calling thread's current hub, or nullptr (the default): taps
+  /// disabled on this thread.
+  static TapHub* current();
+  /// Installs `hub` as this thread's hub; returns the previous one.
+  static TapHub* set_current(TapHub* hub);
+
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+  void enable(TapPoint p, bool on = true) {
+    points_[static_cast<std::size_t>(p)].on = on;
+  }
+  void enable_all(bool on = true) {
+    for (auto& pt : points_) pt.on = on;
+  }
+  bool enabled(TapPoint p) const {
+    return points_[static_cast<std::size_t>(p)].on;
+  }
+
+  /// Hot path for an installed hub: counts the frame at an enabled tap
+  /// point and forwards it to the sink with the sim-time timestamp.
+  void tap(TapPoint p, Dir dir, ByteView frame) {
+    PerPoint& pt = points_[static_cast<std::size_t>(p)];
+    if (!pt.on) return;
+    ++pt.frames;
+    pt.bytes += frame.size();
+    if (sink_) sink_(p, dir, simclock::now(), frame);
+  }
+
+  std::uint64_t frames(TapPoint p) const {
+    return points_[static_cast<std::size_t>(p)].frames;
+  }
+  std::uint64_t bytes(TapPoint p) const {
+    return points_[static_cast<std::size_t>(p)].bytes;
+  }
+  void reset_counters() {
+    for (auto& pt : points_) {
+      pt.frames = 0;
+      pt.bytes = 0;
+    }
+  }
+
+ private:
+  struct PerPoint {
+    bool on = false;
+    std::uint64_t frames = 0;
+    std::uint64_t bytes = 0;
+  };
+  std::array<PerPoint, kTapPointCount> points_{};
+  Sink sink_;
+};
+
+}  // namespace sublayer::telemetry
+
+#if SUBLAYER_TAPS_ENABLED
+/// The boundary-tap hook: free when no hub is installed on the thread, and
+/// compiled out entirely under -DSUBLAYER_TAPS_ENABLED=0.  `view` must be
+/// a ByteView (or convertible); it is only evaluated when a hub exists.
+#define SUBLAYER_TAP(point, dir, view)                                     \
+  do {                                                                     \
+    if (::sublayer::telemetry::TapHub* sublayer_tap_hub_ =                 \
+            ::sublayer::telemetry::TapHub::current();                      \
+        sublayer_tap_hub_ != nullptr) {                                    \
+      sublayer_tap_hub_->tap((point), (dir), (view));                      \
+    }                                                                      \
+  } while (0)
+/// True when a hub is installed AND the point is enabled — guards frame
+/// materialization that only exists for the tap (e.g. packing bit strings).
+#define SUBLAYER_TAP_ACTIVE(point)                                         \
+  (::sublayer::telemetry::TapHub::current() != nullptr &&                  \
+   ::sublayer::telemetry::TapHub::current()->enabled(point))
+#else
+#define SUBLAYER_TAP(point, dir, view) \
+  do {                                 \
+  } while (0)
+#define SUBLAYER_TAP_ACTIVE(point) false
+#endif

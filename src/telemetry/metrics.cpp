@@ -23,11 +23,6 @@ HistogramData* unbound_histogram_slot() {
   return &sink;
 }
 
-std::size_t histogram_bucket(std::uint64_t value) {
-  const auto width = static_cast<std::size_t>(std::bit_width(value));
-  return std::min(width, kHistogramBuckets - 1);
-}
-
 namespace {
 
 void append_json_string(std::string& out, std::string_view s) {
@@ -45,6 +40,37 @@ void append_json_string(std::string& out, std::string_view s) {
 
 }  // namespace
 }  // namespace detail
+
+std::uint64_t HistogramData::quantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank in [1, count]: q = 0 selects the smallest observation, q = 1 the
+  // largest, and the mapping is exact for counts the double can represent.
+  const auto rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(count - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      const std::uint64_t lower = detail::histogram_bucket_lower(i);
+      const std::uint64_t mid = lower + detail::histogram_bucket_width(i) / 2;
+      return std::clamp(mid, min, max);
+    }
+  }
+  return max;  // unreachable when the bucket counts are consistent
+}
+
+void HistogramData::merge(const HistogramData& other) {
+  if (other.count == 0) return;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  min = count == 0 ? other.min : std::min(min, other.min);
+  max = count == 0 ? other.max : std::max(max, other.max);
+  count += other.count;
+  sum += other.sum;
+}
 
 std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
   for (const auto& [n, v] : counters) {
@@ -95,16 +121,22 @@ std::string MetricsSnapshot::to_json() const {
     out += ":{\"count\":" + std::to_string(h.data.count) +
            ",\"sum\":" + std::to_string(h.data.sum) +
            ",\"min\":" + std::to_string(h.data.min) +
-           ",\"max\":" + std::to_string(h.data.max) + ",\"buckets\":[";
-    // Trailing zero buckets are elided; the layout is fixed so readers can
-    // reconstruct positions from the index alone.
-    std::size_t last = 0;
+           ",\"max\":" + std::to_string(h.data.max) +
+           ",\"p50\":" + std::to_string(h.data.quantile(0.50)) +
+           ",\"p90\":" + std::to_string(h.data.quantile(0.90)) +
+           ",\"p99\":" + std::to_string(h.data.quantile(0.99)) +
+           ",\"p999\":" + std::to_string(h.data.quantile(0.999)) +
+           ",\"buckets\":[";
+    // The HDR layout is wide and sparse, so buckets serialize as
+    // [index, count] pairs; the fixed layout lets readers reconstruct the
+    // value range of every index.
+    bool first_bucket = true;
     for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
-      if (h.data.buckets[i] != 0) last = i + 1;
-    }
-    for (std::size_t i = 0; i < last; ++i) {
-      if (i) out += ',';
-      out += std::to_string(h.data.buckets[i]);
+      if (h.data.buckets[i] == 0) continue;
+      if (!first_bucket) out += ',';
+      first_bucket = false;
+      out += '[' + std::to_string(i) + ',' +
+             std::to_string(h.data.buckets[i]) + ']';
     }
     out += "]}";
   }

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <memory>
 #include <ostream>
@@ -41,9 +42,44 @@ struct MetricId {
   friend bool operator==(MetricId, MetricId) = default;
 };
 
-/// Fixed power-of-two bucket layout shared by all histograms: bucket i
-/// counts observations v with bit_width(v) == i, i.e. [2^(i-1), 2^i).
-inline constexpr std::size_t kHistogramBuckets = 40;
+/// Log-linear ("HDR") bucket layout shared by all histograms: values below
+/// kHdrSubBuckets land in exact unit buckets; above that, every power-of-two
+/// octave [2^e, 2^(e+1)) is split into kHdrSubBuckets linear sub-buckets.
+/// Any value is therefore recorded in a bucket whose width is at most
+/// 2^-kHdrSubBucketBits (6.25%) of its lower bound, which bounds the
+/// relative error of every reconstructed quantile; the layout is fixed, so
+/// histograms merge bucketwise across shards.
+inline constexpr std::size_t kHdrSubBucketBits = 4;
+inline constexpr std::size_t kHdrSubBuckets = std::size_t{1}
+                                              << kHdrSubBucketBits;
+/// Indices 0..kHdrSubBuckets-1 are the unit buckets; each following run of
+/// kHdrSubBuckets indices is one octave, up to the 2^63 octave.
+inline constexpr std::size_t kHistogramBuckets =
+    (64 - kHdrSubBucketBits + 1) * kHdrSubBuckets;
+
+namespace detail {
+/// Bucket index for a value (see the layout note on kHistogramBuckets).
+constexpr std::size_t histogram_bucket(std::uint64_t value) {
+  if (value < kHdrSubBuckets) return static_cast<std::size_t>(value);
+  const auto e = static_cast<std::size_t>(std::bit_width(value)) - 1;
+  const auto sub = static_cast<std::size_t>(
+      (value >> (e - kHdrSubBucketBits)) & (kHdrSubBuckets - 1));
+  return ((e - kHdrSubBucketBits + 1) << kHdrSubBucketBits) | sub;
+}
+/// Smallest value mapping to bucket `index`.
+constexpr std::uint64_t histogram_bucket_lower(std::size_t index) {
+  if (index < kHdrSubBuckets) return index;
+  const std::size_t e = (index >> kHdrSubBucketBits) + kHdrSubBucketBits - 1;
+  const std::uint64_t sub = index & (kHdrSubBuckets - 1);
+  return (std::uint64_t{1} << e) + (sub << (e - kHdrSubBucketBits));
+}
+/// Number of distinct values mapping to bucket `index`.
+constexpr std::uint64_t histogram_bucket_width(std::size_t index) {
+  if (index < kHdrSubBuckets) return 1;
+  const std::size_t e = (index >> kHdrSubBucketBits) + kHdrSubBucketBits - 1;
+  return std::uint64_t{1} << (e - kHdrSubBucketBits);
+}
+}  // namespace detail
 
 struct HistogramData {
   std::array<std::uint64_t, kHistogramBuckets> buckets{};
@@ -51,6 +87,13 @@ struct HistogramData {
   std::uint64_t sum = 0;
   std::uint64_t min = 0;
   std::uint64_t max = 0;
+
+  /// Value at quantile q in [0, 1]: the midpoint of the bucket holding the
+  /// rank-q observation, clamped to [min, max].  Relative error is bounded
+  /// by half a bucket width (<= 3.125% at 16 sub-buckets per octave).
+  std::uint64_t quantile(double q) const;
+  /// Bucketwise accumulation of `other` — the cross-shard merge path.
+  void merge(const HistogramData& other);
 };
 
 struct HistogramSnapshot {
@@ -116,10 +159,11 @@ class MetricsRegistry {
 
  private:
   // Slots live in deques-of-chunks so interning never moves an address a
-  // bound handle already holds.
+  // bound handle already holds.  Chunks shrink for large slot types so a
+  // registry with two histograms does not pre-commit 256 of them.
   template <typename T>
   struct SlotArena {
-    static constexpr std::size_t kChunk = 256;
+    static constexpr std::size_t kChunk = sizeof(T) >= 1024 ? 8 : 256;
     std::vector<std::unique_ptr<std::array<T, kChunk>>> chunks;
     T* at(std::uint32_t i) {
       return &(*chunks[i / kChunk])[i % kChunk];
@@ -156,7 +200,6 @@ namespace detail {
 std::uint64_t* unbound_counter_slot();
 std::int64_t* unbound_gauge_slot();
 HistogramData* unbound_histogram_slot();
-std::size_t histogram_bucket(std::uint64_t value);
 }  // namespace detail
 
 /// A monotonically increasing metric.  Default-constructed it counts
@@ -246,9 +289,10 @@ class Gauge {
   std::int64_t* slot_;
 };
 
-/// Fixed-bucket (power-of-two) histogram for latencies and sizes.
-/// Registry-global only: observations from all instances merge into the
-/// one named distribution.
+/// Log-bucketed HDR histogram for latencies and sizes (see the layout note
+/// on kHistogramBuckets; quantiles come out of HistogramData::quantile with
+/// bounded relative error).  Registry-global only: observations from all
+/// instances merge into the one named distribution.
 class Histogram {
  public:
   Histogram() : slot_(detail::unbound_histogram_slot()) {}

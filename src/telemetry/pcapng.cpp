@@ -1,0 +1,230 @@
+#include "telemetry/pcapng.hpp"
+
+#include <cstdio>
+
+#include "telemetry/frame_tap.hpp"
+
+namespace sublayer::telemetry {
+
+namespace {
+
+constexpr std::uint32_t kShbType = 0x0A0D0D0A;
+constexpr std::uint32_t kIdbType = 0x00000001;
+constexpr std::uint32_t kEpbType = 0x00000006;
+constexpr std::uint32_t kByteOrderMagic = 0x1A2B3C4D;
+
+constexpr std::uint16_t kOptEnd = 0;
+constexpr std::uint16_t kOptIfName = 2;
+constexpr std::uint16_t kOptIfTsresol = 9;
+constexpr std::uint16_t kOptEpbFlags = 2;
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v));
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+}
+
+void pad4(std::vector<std::uint8_t>& out) {
+  while (out.size() % 4 != 0) out.push_back(0);
+}
+
+/// Appends one option: code, length, value, zero-padded to 32 bits.
+void put_option(std::vector<std::uint8_t>& out, std::uint16_t code,
+                const void* value, std::size_t len) {
+  put_u16(out, code);
+  put_u16(out, static_cast<std::uint16_t>(len));
+  const auto* bytes = static_cast<const std::uint8_t*>(value);
+  out.insert(out.end(), bytes, bytes + len);
+  pad4(out);
+}
+
+/// Wraps a block body with (type, total length) ... (total length).
+void put_block(std::vector<std::uint8_t>& out, std::uint32_t type,
+               const std::vector<std::uint8_t>& body) {
+  const auto total = static_cast<std::uint32_t>(12 + body.size());
+  put_u32(out, type);
+  put_u32(out, total);
+  out.insert(out.end(), body.begin(), body.end());
+  put_u32(out, total);
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | p[1] << 8);
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+}  // namespace
+
+std::uint32_t PcapngWriter::add_interface(std::string name,
+                                          std::uint16_t link_type) {
+  ifaces_.push_back(Iface{std::move(name), link_type});
+  return static_cast<std::uint32_t>(ifaces_.size() - 1);
+}
+
+void PcapngWriter::packet(std::uint32_t iface, TimePoint ts, ByteView data,
+                          Dir dir) {
+  // epb_flags bits 0-1: 01 = inbound, 10 = outbound.
+  const std::uint32_t flags = dir == Dir::kDown ? 2u : 1u;
+  packets_.push_back(
+      Pkt{iface, ts.ns(), flags, Bytes(data.begin(), data.end())});
+}
+
+std::vector<std::uint8_t> PcapngWriter::encode() const {
+  std::vector<std::uint8_t> out;
+  // Section Header Block: byte-order magic, version 1.0, unspecified
+  // section length.
+  {
+    std::vector<std::uint8_t> body;
+    put_u32(body, kByteOrderMagic);
+    put_u16(body, 1);
+    put_u16(body, 0);
+    put_u32(body, 0xFFFFFFFFu);
+    put_u32(body, 0xFFFFFFFFu);
+    put_block(out, kShbType, body);
+  }
+  // One Interface Description Block per tap interface, nanosecond clock.
+  for (const Iface& iface : ifaces_) {
+    std::vector<std::uint8_t> body;
+    put_u16(body, iface.link_type);
+    put_u16(body, 0);          // reserved
+    put_u32(body, 0);          // snaplen: unlimited
+    put_option(body, kOptIfName, iface.name.data(), iface.name.size());
+    const std::uint8_t tsresol = 9;  // 10^-9: sim time is in nanoseconds
+    put_option(body, kOptIfTsresol, &tsresol, 1);
+    put_u16(body, kOptEnd);
+    put_u16(body, 0);
+    put_block(out, kIdbType, body);
+  }
+  // Enhanced Packet Blocks, capture order.
+  for (const Pkt& p : packets_) {
+    std::vector<std::uint8_t> body;
+    const auto ts = static_cast<std::uint64_t>(p.ts_ns);
+    put_u32(body, p.iface);
+    put_u32(body, static_cast<std::uint32_t>(ts >> 32));
+    put_u32(body, static_cast<std::uint32_t>(ts));
+    put_u32(body, static_cast<std::uint32_t>(p.data.size()));
+    put_u32(body, static_cast<std::uint32_t>(p.data.size()));
+    body.insert(body.end(), p.data.begin(), p.data.end());
+    pad4(body);
+    put_u32(body, kOptEpbFlags | 4u << 16);  // code 2, length 4
+    put_u32(body, p.flags);
+    put_u16(body, kOptEnd);
+    put_u16(body, 0);
+    put_block(out, kEpbType, body);
+  }
+  return out;
+}
+
+bool PcapngWriter::write_file(const std::string& path) const {
+  const auto image = encode();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t wrote =
+      image.empty() ? 0 : std::fwrite(image.data(), 1, image.size(), f);
+  std::fclose(f);
+  return wrote == image.size();
+}
+
+std::optional<PcapngFile> parse_pcapng(const std::uint8_t* data,
+                                       std::size_t size) {
+  if (data == nullptr || size < 28) return std::nullopt;
+  PcapngFile file;
+  std::vector<std::uint64_t> tsresol_mul;  // per interface: units -> ns
+  std::size_t at = 0;
+  bool saw_shb = false;
+  while (at + 12 <= size) {
+    const std::uint32_t type = get_u32(data + at);
+    const std::uint32_t total = get_u32(data + at + 4);
+    if (total < 12 || total % 4 != 0 || at + total > size) {
+      return std::nullopt;
+    }
+    if (get_u32(data + at + total - 4) != total) return std::nullopt;
+    const std::uint8_t* body = data + at + 8;
+    const std::size_t body_len = total - 12;
+    if (type == kShbType) {
+      if (body_len < 16 || get_u32(body) != kByteOrderMagic) {
+        return std::nullopt;  // big-endian sections are not supported
+      }
+      saw_shb = true;
+    } else if (!saw_shb) {
+      return std::nullopt;  // a section must open with an SHB
+    } else if (type == kIdbType) {
+      if (body_len < 8) return std::nullopt;
+      const std::uint16_t link_type = get_u16(body);
+      std::string name;
+      std::uint64_t mul = 1000;  // pcapng default resolution: microseconds
+      // Options: (code, len, value padded to 4) ... until opt_endofopt.
+      std::size_t o = 8;
+      while (o + 4 <= body_len) {
+        const std::uint16_t code = get_u16(body + o);
+        const std::uint16_t len = get_u16(body + o + 2);
+        if (code == kOptEnd) break;
+        if (o + 4 + len > body_len) return std::nullopt;
+        if (code == kOptIfName) {
+          name.assign(reinterpret_cast<const char*>(body + o + 4), len);
+        } else if (code == kOptIfTsresol && len == 1) {
+          const std::uint8_t resol = body[o + 4];
+          if ((resol & 0x80) != 0 || resol > 9) return std::nullopt;
+          mul = 1;
+          for (std::uint8_t i = resol; i < 9; ++i) mul *= 10;
+        }
+        o += 4 + ((static_cast<std::size_t>(len) + 3) & ~std::size_t{3});
+      }
+      file.interfaces.emplace_back(std::move(name), link_type);
+      tsresol_mul.push_back(mul);
+    } else if (type == kEpbType) {
+      if (body_len < 20) return std::nullopt;
+      PcapngPacket pkt;
+      pkt.iface = get_u32(body);
+      if (pkt.iface >= file.interfaces.size()) return std::nullopt;
+      const std::uint64_t ts =
+          static_cast<std::uint64_t>(get_u32(body + 4)) << 32 |
+          get_u32(body + 8);
+      pkt.ts_ns =
+          static_cast<std::int64_t>(ts * tsresol_mul[pkt.iface]);
+      const std::uint32_t cap_len = get_u32(body + 12);
+      const std::size_t padded = (cap_len + 3u) & ~3u;
+      if (20 + padded > body_len) return std::nullopt;
+      pkt.data.assign(body + 20, body + 20 + cap_len);
+      std::size_t o = 20 + padded;
+      while (o + 4 <= body_len) {
+        const std::uint16_t code = get_u16(body + o);
+        const std::uint16_t len = get_u16(body + o + 2);
+        if (code == kOptEnd) break;
+        if (o + 4 + len > body_len) return std::nullopt;
+        if (code == kOptEpbFlags && len == 4) pkt.flags = get_u32(body + o + 4);
+        o += 4 + ((static_cast<std::size_t>(len) + 3) & ~std::size_t{3});
+      }
+      file.packets.push_back(std::move(pkt));
+    }
+    // Unknown block types are skipped, as the format prescribes.
+    at += total;
+  }
+  if (at != size) return std::nullopt;
+  return file;
+}
+
+void attach_pcap_sink(TapHub& hub, PcapngWriter& writer) {
+  std::array<std::uint32_t, kTapPointCount> iface_of{};
+  for (std::size_t i = 0; i < kTapPointCount; ++i) {
+    const auto p = static_cast<TapPoint>(i);
+    iface_of[i] = writer.add_interface(to_string(p), tap_link_type(p));
+    hub.enable(p);
+  }
+  hub.set_sink([&writer, iface_of](TapPoint p, Dir dir, TimePoint ts,
+                                   ByteView frame) {
+    writer.packet(iface_of[static_cast<std::size_t>(p)], ts, frame, dir);
+  });
+}
+
+}  // namespace sublayer::telemetry

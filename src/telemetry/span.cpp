@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "telemetry/flight_recorder.hpp"
+
 namespace sublayer::telemetry {
 
 namespace {
@@ -42,6 +44,10 @@ void SpanTracer::crossing(std::uint32_t layer, Dir dir, TimePoint enter,
   const auto d = static_cast<std::size_t>(dir);
   ++t.count[d];
   t.bytes[d] += payload_bytes;
+  if (auto* fr = FlightRecorder::current()) {
+    fr->record(FlightType::kCrossing, names_[layer], enter, payload_bytes,
+               static_cast<std::uint64_t>(dir));
+  }
   push(Span{layer, dir, enter, exit,
             static_cast<std::uint32_t>(payload_bytes)});
 }

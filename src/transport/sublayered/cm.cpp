@@ -1,5 +1,7 @@
 #include "transport/sublayered/cm.hpp"
 
+#include "telemetry/flight_recorder.hpp"
+
 namespace sublayer::transport {
 
 const char* to_string(CmState s) {
@@ -12,6 +14,28 @@ const char* to_string(CmState s) {
     case CmState::kAborted: return "ABORTED";
   }
   return "?";
+}
+
+void record_cm_transition(const FourTuple& tuple, CmState from, CmState to) {
+  auto* fr = telemetry::FlightRecorder::current();
+  if (fr == nullptr || from == to) return;
+  // A deterministic per-endpoint flow id: each side of a connection mixes
+  // its own (addr, port) with the peer's, so open and close records from
+  // one endpoint always pair, and the two directions stay distinct.
+  const std::uint64_t local =
+      static_cast<std::uint64_t>(tuple.local_addr) << 16 | tuple.local_port;
+  const std::uint64_t remote =
+      static_cast<std::uint64_t>(tuple.remote_addr) << 16 | tuple.remote_port;
+  const std::uint64_t flow = local ^ (remote * 0x9E3779B97F4A7C15ull);
+  fr->record_now(telemetry::FlightType::kCmTransition, to_string(to), flow,
+                 static_cast<std::uint64_t>(from),
+                 static_cast<std::uint64_t>(to));
+  if (to == CmState::kEstablished) {
+    fr->record_now(telemetry::FlightType::kFlowOpen, "cm", flow);
+  } else if ((to == CmState::kClosed || to == CmState::kAborted) &&
+             (from == CmState::kEstablished || from == CmState::kTimeWait)) {
+    fr->record_now(telemetry::FlightType::kFlowClose, "cm", flow);
+  }
 }
 
 std::uint32_t bind_cm_telemetry(CmStats& stats) {
@@ -37,7 +61,7 @@ ConnectionManager::ConnectionManager(sim::Simulator& sim,
       span_(bind_cm_telemetry(stats_)),
       handshake_timer_(sim, [this] { on_handshake_timer(); }),
       time_wait_timer_(sim, [this] {
-        state_ = CmState::kClosed;
+        enter_state(CmState::kClosed);
         if (cb_.on_closed) cb_.on_closed();
       }),
       keepalive_timer_(sim, [this] { on_keepalive_timer(); }) {
@@ -55,7 +79,7 @@ ConnectionManager::ConnectionManager(sim::Simulator& sim,
 void ConnectionManager::open_active(const FourTuple& tuple) {
   tuple_ = tuple;
   isn_local_ = isn_provider_.isn(tuple);
-  state_ = CmState::kSynSent;
+  enter_state(CmState::kSynSent);
   retries_ = 0;
   send_syn();
 }
@@ -70,7 +94,7 @@ void ConnectionManager::open_passive(const FourTuple& tuple,
   tuple_ = tuple;
   isn_peer_ = syn.cm.isn_local;
   isn_local_ = isn_provider_.isn(tuple);
-  state_ = CmState::kSynRcvd;
+  enter_state(CmState::kSynRcvd);
   retries_ = 0;
   send_synack();
 }
@@ -204,8 +228,13 @@ void ConnectionManager::abort(const std::string& reason) {
   send_rst();
   handshake_timer_.stop();
   keepalive_timer_.stop();
-  state_ = CmState::kAborted;
+  enter_state(CmState::kAborted);
   if (cb_.on_reset) cb_.on_reset(reason);
+}
+
+void ConnectionManager::enter_state(CmState next) {
+  record_cm_transition(tuple_, state_, next);
+  state_ = next;
 }
 
 void ConnectionManager::maybe_time_wait() {
@@ -217,7 +246,7 @@ void ConnectionManager::maybe_time_wait() {
 void ConnectionManager::enter_time_wait() {
   handshake_timer_.stop();
   keepalive_timer_.stop();
-  state_ = CmState::kTimeWait;
+  enter_state(CmState::kTimeWait);
   time_wait_timer_.restart(config_.time_wait);
 }
 
@@ -236,7 +265,7 @@ void ConnectionManager::on_segment(SublayeredSegment segment) {
       if (state_ == CmState::kSynSent && segment.cm.isn_peer == isn_local_) {
         isn_peer_ = segment.cm.isn_local;
         handshake_timer_.stop();
-        state_ = CmState::kEstablished;
+        enter_state(CmState::kEstablished);
         note_inbound_activity();  // arm the keepalive clock
         if (cb_.on_established) cb_.on_established(isn_local_, isn_peer_);
       } else if (state_ == CmState::kEstablished && incarnation_ok(segment)) {
@@ -259,7 +288,7 @@ void ConnectionManager::on_segment(SublayeredSegment segment) {
         // First valid segment of the new incarnation completes the
         // handshake on the passive side.
         handshake_timer_.stop();
-        state_ = CmState::kEstablished;
+        enter_state(CmState::kEstablished);
         note_inbound_activity();
         if (cb_.on_established) cb_.on_established(isn_local_, isn_peer_);
       }
@@ -276,7 +305,7 @@ void ConnectionManager::on_segment(SublayeredSegment segment) {
       note_inbound_activity();
       if (state_ == CmState::kSynRcvd) {
         handshake_timer_.stop();
-        state_ = CmState::kEstablished;
+        enter_state(CmState::kEstablished);
         note_inbound_activity();
         if (cb_.on_established) cb_.on_established(isn_local_, isn_peer_);
       }
@@ -311,7 +340,7 @@ void ConnectionManager::on_segment(SublayeredSegment segment) {
           segment.cm.isn_local == isn_peer_) {
         handshake_timer_.stop();
         keepalive_timer_.stop();
-        state_ = CmState::kAborted;
+        enter_state(CmState::kAborted);
         if (cb_.on_reset) cb_.on_reset("peer reset");
       } else {
         ++stats_.bad_incarnation;

@@ -46,6 +46,15 @@ enum class CmState {
 
 const char* to_string(CmState s);
 
+/// Mirrors a CM state transition into the calling thread's flight recorder
+/// (a no-op without one, and for self-transitions): a kCmTransition record
+/// tagged with the new state's name, plus kFlowOpen on reaching
+/// kEstablished and kFlowClose on leaving an open connection for
+/// kClosed/kAborted.  The flow id is a deterministic mix of the four-tuple,
+/// so a connection's records pair up across the dump.  Both CM mechanisms
+/// route every state change through this.
+void record_cm_transition(const FourTuple& tuple, CmState from, CmState to);
+
 /// Which connection-management mechanism runs behind the CM interface —
 /// the paper's Challenge 5 names exactly this swap: "replace ... connection
 /// management (by a timer-based scheme [31])".
@@ -207,6 +216,9 @@ class ConnectionManager final : public CmInterface {
   bool incarnation_ok(const SublayeredSegment& s) const;
   void maybe_time_wait();
   void enter_time_wait();
+  /// The single gateway for state changes — records the transition in the
+  /// flight recorder before switching.
+  void enter_state(CmState next);
 
   sim::Simulator& sim_;
   IsnProvider& isn_provider_;

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "telemetry/frame_tap.hpp"
 #include "telemetry/span.hpp"
 
 namespace sublayer::transport {
@@ -71,6 +72,9 @@ void Demux::send(const FourTuple& tuple, SublayeredSegment segment) {
   segment_bytes_.observe(segment.payload.size());
   telemetry::SpanTracer::instance().crossing(span_, telemetry::Dir::kDown,
                                              segment.payload.size());
+  // The netlayer/transport seam: the segment payload as it leaves DM.
+  SUBLAYER_TAP(telemetry::TapPoint::kNetTransport, telemetry::Dir::kDown,
+               ByteView(segment.payload));
   if (sink_) sink_(tuple.remote_addr, segment);
 }
 
@@ -88,6 +92,8 @@ void Demux::route(netlayer::IpAddr src, SublayeredSegment segment) {
   ++stats_.segments_in;
   telemetry::SpanTracer::instance().crossing(span_, telemetry::Dir::kUp,
                                              segment.payload.size());
+  SUBLAYER_TAP(telemetry::TapPoint::kNetTransport, telemetry::Dir::kUp,
+               ByteView(segment.payload));
   const FourTuple tuple{local_addr_, segment.dm.dst_port, src,
                         segment.dm.src_port};
   // Handlers are invoked through a copy, never through the table slot: a

@@ -28,7 +28,7 @@ class TimerCm final : public CmInterface {
         span_(bind_cm_telemetry(stats_)),
         fin_timer_(sim, [this] { on_fin_timer(); }),
         quiet_timer_(sim, [this] {
-          state_ = CmState::kClosed;
+          enter_state(CmState::kClosed);
           if (cb_.on_closed) cb_.on_closed();
         }),
         keepalive_timer_(sim, [this] { on_keepalive_timer(); }) {
@@ -47,7 +47,7 @@ class TimerCm final : public CmInterface {
     tuple_ = tuple;
     isn_local_ = isn_provider_.isn(tuple);
     // Established immediately: the first data segment carries the ISN.
-    state_ = CmState::kEstablished;
+    enter_state(CmState::kEstablished);
     note_inbound_activity();
     if (cb_.on_established) cb_.on_established(isn_local_, 0);
   }
@@ -58,7 +58,7 @@ class TimerCm final : public CmInterface {
     isn_local_ = isn_provider_.isn(tuple);
     isn_peer_ = first.cm.isn_local;
     peer_known_ = true;
-    state_ = CmState::kEstablished;
+    enter_state(CmState::kEstablished);
     note_inbound_activity();
     if (cb_.on_established) cb_.on_established(isn_local_, isn_peer_);
     // The connection-creating segment itself carries the first payload.
@@ -83,7 +83,7 @@ class TimerCm final : public CmInterface {
     if (cb_.send) cb_.send(std::move(rst));
     fin_timer_.stop();
     keepalive_timer_.stop();
-    state_ = CmState::kAborted;
+    enter_state(CmState::kAborted);
     if (cb_.on_reset) cb_.on_reset(reason);
   }
 
@@ -133,7 +133,7 @@ class TimerCm final : public CmInterface {
             (peer_known_ && segment.cm.isn_local == isn_peer_)) {
           fin_timer_.stop();
           keepalive_timer_.stop();
-          state_ = CmState::kAborted;
+          enter_state(CmState::kAborted);
           if (cb_.on_reset) cb_.on_reset("peer reset");
         } else {
           ++stats_.bad_incarnation;
@@ -236,6 +236,11 @@ class TimerCm final : public CmInterface {
     if (cb_.send) cb_.send(std::move(s));
   }
 
+  void enter_state(CmState next) {
+    record_cm_transition(tuple_, state_, next);
+    state_ = next;
+  }
+
   void note_inbound_activity() {
     probes_outstanding_ = 0;
     if (config_.keepalive_interval.is_zero()) return;
@@ -273,7 +278,7 @@ class TimerCm final : public CmInterface {
     if ((done || force) && state_ == CmState::kEstablished) {
       fin_timer_.stop();
       keepalive_timer_.stop();
-      state_ = CmState::kTimeWait;  // quiet time before reclaiming state
+      enter_state(CmState::kTimeWait);  // quiet time before reclaiming state
       quiet_timer_.restart(config_.time_wait);
     }
   }

@@ -26,6 +26,8 @@
 #include "netlayer/router.hpp"
 #include "sim/parallel.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/span.hpp"
 #include "transport/sublayered/host.hpp"
@@ -51,6 +53,11 @@ struct RunResult {
                          std::uint64_t>>
       crossings;
   std::string trace_log;  // parallel only: merged cross-shard deliveries
+  /// Parallel only: the merged flight-recorder stream as an SLFR image and
+  /// the deterministic slice of the Chrome trace.  Both are replay
+  /// artifacts: byte-identical across thread counts.
+  std::vector<std::uint8_t> flight_dump;
+  std::string chrome_canonical;
   std::uint64_t faults_applied = 0;
   std::uint64_t faults_healed = 0;
 };
@@ -88,12 +95,16 @@ RunResult run_workload(std::size_t threads, bool with_chaos) {
 
   std::unique_ptr<sim::Simulator> mono;
   std::unique_ptr<sim::ParallelSimulator> psim;
+  std::unique_ptr<telemetry::ChromeTraceWriter> chrome;
   std::unique_ptr<netlayer::Network> net;
   if (parallel) {
     sim::ParallelConfig pc;
     pc.shards = kRing;
     pc.threads = threads;
     psim = std::make_unique<sim::ParallelSimulator>(pc);
+    chrome = std::make_unique<telemetry::ChromeTraceWriter>(
+        psim->chrome_lane_count());
+    psim->attach_chrome_trace(chrome.get());
     sim::ShardMap map(kRing);
     for (std::size_t i = 0; i < kRing; ++i) map.assign(i, i);
     net = std::make_unique<netlayer::Network>(*psim, ring_router_config(),
@@ -182,6 +193,10 @@ RunResult run_workload(std::size_t threads, bool with_chaos) {
     out.cross_frames = psim->cross_shard_frames();
     out.metrics = psim->merged_metrics();
     out.trace_log = psim->cross_shard_trace_log();
+    const auto flight = psim->merged_flight_records();
+    out.flight_dump = telemetry::encode_flight_dump(flight, "replay");
+    telemetry::export_flow_spans(flight, *chrome);
+    out.chrome_canonical = chrome->canonical_json();
     for (const auto& layer : psim->merged_span_layers()) {
       out.crossings.emplace_back(
           layer, psim->merged_crossings(layer, telemetry::Dir::kDown),
@@ -263,6 +278,10 @@ void expect_runs_equal(const RunResult& a, const RunResult& b,
   if (compare_trace) {
     EXPECT_EQ(a.cross_frames, b.cross_frames) << label;
     EXPECT_EQ(a.trace_log, b.trace_log) << label;
+    // The observability exports are part of the determinism contract:
+    // merged black-box stream and the deterministic Chrome-trace slice.
+    EXPECT_EQ(a.flight_dump, b.flight_dump) << label;
+    EXPECT_EQ(a.chrome_canonical, b.chrome_canonical) << label;
   }
 }
 
@@ -278,6 +297,11 @@ TEST(ParallelReplayTest, CleanWorkloadIdenticalAtEveryThreadCount) {
   EXPECT_GT(t1.cross_frames, 0u);
   EXPECT_FALSE(t1.trace_log.empty());
   EXPECT_GT(t1.metrics.counters.size(), 0u);
+  // The exports actually observed the run: the black box holds records
+  // beyond its header, and the Chrome trace carries epoch and flow spans.
+  EXPECT_GT(t1.flight_dump.size(), 48u);
+  EXPECT_NE(t1.chrome_canonical.find("\"epoch\""), std::string::npos);
+  EXPECT_NE(t1.chrome_canonical.find("\"cat\":\"flow\""), std::string::npos);
 
   // Worker count is invisible: bit-identical everything, trace included.
   expect_runs_equal(t1, t2, "t1-vs-t2", /*compare_trace=*/true);

@@ -1,0 +1,160 @@
+// ChromeTraceWriter: Trace Event Format structure, lane-as-tid layout,
+// the canonical (deterministic-only) rendering, and flow-span export from
+// flight records.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "telemetry/chrome_trace.hpp"
+
+namespace sublayer::telemetry {
+namespace {
+
+// A structural JSON checker sufficient for the Trace Event Format we emit
+// (no string escapes of braces/brackets inside names — ours are fixed).
+bool balanced_json(const std::string& s) {
+  int depth_obj = 0;
+  int depth_arr = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : s) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': ++depth_obj; break;
+      case '}': --depth_obj; break;
+      case '[': ++depth_arr; break;
+      case ']': --depth_arr; break;
+      default: break;
+    }
+    if (depth_obj < 0 || depth_arr < 0) return false;
+  }
+  return depth_obj == 0 && depth_arr == 0 && !in_string;
+}
+
+TEST(ChromeTrace, EmptyWriterIsAValidDocument) {
+  ChromeTraceWriter w(2);
+  EXPECT_EQ(w.lane_count(), 2u);
+  EXPECT_EQ(w.event_count(), 0u);
+  const std::string json = w.to_json();
+  EXPECT_TRUE(balanced_json(json));
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(ChromeTrace, EventsRenderWithLaneAsTid) {
+  ChromeTraceWriter w(3);
+  w.complete(0, "epoch", 1000, 2000, "\"events\":5");
+  w.instant(1, "task", 1500);
+  w.counter(2, "mailbox_drained", 3000, 7);
+  EXPECT_EQ(w.event_count(), 3u);
+  const std::string json = w.to_json();
+  EXPECT_TRUE(balanced_json(json));
+  // Microsecond timestamps with fixed sub-microsecond decimals.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":2.000"), std::string::npos);
+  EXPECT_NE(json.find("\"events\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":7"), std::string::npos);
+}
+
+TEST(ChromeTrace, AsyncPairsShareCatFlowAndId) {
+  ChromeTraceWriter w(1);
+  w.async_begin(0, "flow", 100, 0xABCD);
+  w.async_end(0, "flow", 900, 0xABCD);
+  const std::string json = w.to_json();
+  EXPECT_TRUE(balanced_json(json));
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"flow\""), std::string::npos);
+  // Both events carry the matching id.
+  const auto first = json.find("\"id\":43981");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(json.find("\"id\":43981", first + 1), std::string::npos);
+}
+
+TEST(ChromeTrace, CanonicalDropsWallClockEventsAndArgs) {
+  ChromeTraceWriter w(2);
+  w.complete(0, "epoch", 1000, 500, "\"events\":3,\"wall_us\":17.250");
+  w.complete(1, "barrier_wait", 1000, 12345, {}, /*deterministic=*/false);
+  w.counter(0, "mailbox_drained", 2000, 4);
+  const std::string full = w.to_json();
+  const std::string canon = w.canonical_json();
+  EXPECT_TRUE(balanced_json(canon));
+  // The wall-clock span exists for humans, not for replay comparison.
+  EXPECT_NE(full.find("barrier_wait"), std::string::npos);
+  EXPECT_EQ(canon.find("barrier_wait"), std::string::npos);
+  // Deterministic events survive, their args stripped...
+  EXPECT_NE(canon.find("\"epoch\""), std::string::npos);
+  EXPECT_EQ(canon.find("wall_us"), std::string::npos);
+  EXPECT_EQ(canon.find("\"events\":3"), std::string::npos);
+  // ...except counter values, which are part of the deterministic payload.
+  EXPECT_NE(canon.find("\"value\":4"), std::string::npos);
+}
+
+TEST(ChromeTrace, RenderOrderIsTimeThenLaneNotInsertionOrder) {
+  ChromeTraceWriter w(2);
+  // Lane 1 written first, but lane 0's event is earlier.
+  w.instant(1, "later", 500);
+  w.instant(0, "earlier", 100);
+  w.instant(0, "tie-lane0", 500);
+  const std::string json = w.canonical_json();
+  const auto a = json.find("earlier");
+  const auto b = json.find("tie-lane0");
+  const auto c = json.find("later");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  ASSERT_NE(c, std::string::npos);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);  // equal ts: lane 0 before lane 1
+}
+
+TEST(ChromeTrace, ClearEmptiesAllLanes) {
+  ChromeTraceWriter w(1);
+  w.instant(0, "x", 1);
+  ASSERT_EQ(w.event_count(), 1u);
+  w.clear();
+  EXPECT_EQ(w.event_count(), 0u);
+  EXPECT_EQ(w.lane_count(), 1u);
+}
+
+TEST(ChromeTrace, FlowSpansComeFromFlightRecords) {
+  std::vector<FlightRecord> recs;
+  FlightRecord open;
+  open.type = static_cast<std::uint16_t>(FlightType::kFlowOpen);
+  open.t_ns = 1000;
+  open.a = 77;
+  open.shard = 1;
+  FlightRecord close = open;
+  close.type = static_cast<std::uint16_t>(FlightType::kFlowClose);
+  close.t_ns = 9000;
+  FlightRecord noise;
+  noise.type = static_cast<std::uint16_t>(FlightType::kEvent);
+  recs.push_back(open);
+  recs.push_back(noise);
+  recs.push_back(close);
+
+  ChromeTraceWriter w(4);
+  export_flow_spans(recs, w);
+  EXPECT_EQ(w.event_count(), 2u);
+  const std::string json = w.canonical_json();
+  EXPECT_TRUE(balanced_json(json));
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":77"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sublayer::telemetry

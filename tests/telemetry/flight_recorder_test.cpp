@@ -1,0 +1,211 @@
+// FlightRecorder: ring wraparound semantics, SLFR dump encode/parse
+// round-trip, cross-shard merge ordering, the thread-local install
+// convention, and the dump-on-violation path the chaos monitor triggers.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "chaos/invariant_monitor.hpp"
+#include "common/time.hpp"
+#include "netlayer/router.hpp"
+#include "telemetry/flight_recorder.hpp"
+
+namespace sublayer::telemetry {
+namespace {
+
+FlightRecord make(std::int64_t t, std::uint16_t shard, std::uint32_t seq) {
+  FlightRecord r;
+  r.t_ns = t;
+  r.shard = shard;
+  r.seq = seq;
+  r.type = static_cast<std::uint16_t>(FlightType::kMark);
+  return r;
+}
+
+TEST(FlightRecorder, DisabledByDefault) {
+  EXPECT_EQ(FlightRecorder::current(), nullptr);
+  FlightRecorder r(8);
+  FlightRecorder* prev = FlightRecorder::set_current(&r);
+  EXPECT_EQ(prev, nullptr);
+  EXPECT_EQ(FlightRecorder::current(), &r);
+  FlightRecorder::set_current(prev);
+  EXPECT_EQ(FlightRecorder::current(), nullptr);
+}
+
+TEST(FlightRecorder, RecordsCarryTagTimeAndPayload) {
+  FlightRecorder r(16);
+  r.set_shard(3);
+  r.record(FlightType::kCrossing, "datalink.arq", TimePoint::from_ns(42),
+           128, 1, 7);
+  ASSERT_EQ(r.size(), 1u);
+  const auto recs = r.recent();
+  EXPECT_EQ(recs[0].t_ns, 42);
+  EXPECT_EQ(recs[0].a, 128u);
+  EXPECT_EQ(recs[0].b, 1u);
+  EXPECT_EQ(recs[0].c, 7u);
+  EXPECT_EQ(recs[0].shard, 3u);
+  EXPECT_EQ(recs[0].seq, 0u);
+  EXPECT_EQ(recs[0].tag_view(), "datalink.arq");
+  EXPECT_EQ(recs[0].type, static_cast<std::uint16_t>(FlightType::kCrossing));
+}
+
+TEST(FlightRecorder, OverlongTagsTruncateWithoutOverflow) {
+  FlightRecorder r(4);
+  r.record(FlightType::kMark,
+           "a-tag-much-longer-than-the-24-byte-field-allows",
+           TimePoint::from_ns(1));
+  const auto recs = r.recent();
+  ASSERT_EQ(recs.size(), 1u);
+  // 23 characters survive; the field always keeps a terminating NUL.
+  EXPECT_EQ(recs[0].tag_view(), "a-tag-much-longer-than-");
+  EXPECT_EQ(recs[0].tag_view().size(), 23u);
+}
+
+TEST(FlightRecorder, RingKeepsTheLastCapacityRecordsOldestFirst) {
+  constexpr std::size_t kCap = 8;
+  FlightRecorder r(kCap);
+  for (int i = 0; i < 20; ++i) {
+    r.record(FlightType::kEvent, "e", TimePoint::from_ns(i),
+             static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(r.total_records(), 20u);
+  EXPECT_EQ(r.size(), kCap);
+  EXPECT_EQ(r.capacity(), kCap);
+  const auto recs = r.recent();
+  ASSERT_EQ(recs.size(), kCap);
+  for (std::size_t i = 0; i < kCap; ++i) {
+    // The ring forgot records 0..11; 12..19 survive in order, and seq
+    // still counts from the recorder's birth.
+    EXPECT_EQ(recs[i].a, 12 + i);
+    EXPECT_EQ(recs[i].seq, 12 + i);
+    EXPECT_EQ(recs[i].t_ns, static_cast<std::int64_t>(12 + i));
+  }
+  r.reset();
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_EQ(r.total_records(), 0u);
+}
+
+TEST(FlightRecorder, MergeOrdersByTimeShardSeq) {
+  FlightRecorder a(8);
+  a.set_shard(1);
+  FlightRecorder b(8);
+  b.set_shard(0);
+  a.record(FlightType::kMark, "a0", TimePoint::from_ns(10));
+  a.record(FlightType::kMark, "a1", TimePoint::from_ns(30));
+  b.record(FlightType::kMark, "b0", TimePoint::from_ns(10));
+  b.record(FlightType::kMark, "b1", TimePoint::from_ns(20));
+  const auto merged = FlightRecorder::merge({&a, &b});
+  ASSERT_EQ(merged.size(), 4u);
+  // t=10 ties break by shard: shard 0's record first.
+  EXPECT_EQ(merged[0].tag_view(), "b0");
+  EXPECT_EQ(merged[1].tag_view(), "a0");
+  EXPECT_EQ(merged[2].tag_view(), "b1");
+  EXPECT_EQ(merged[3].tag_view(), "a1");
+}
+
+TEST(FlightDump, EncodeParseRoundTrip) {
+  std::vector<FlightRecord> recs = {make(5, 0, 0), make(6, 1, 0)};
+  recs[0].type = static_cast<std::uint16_t>(FlightType::kViolation);
+  const auto image = encode_flight_dump(recs, "unit-test");
+  // Header: magic "SLFR", version, count, reason.
+  ASSERT_GE(image.size(), 48u + 2 * sizeof(FlightRecord));
+  EXPECT_EQ(image[0], 'S');
+  EXPECT_EQ(image[1], 'L');
+  EXPECT_EQ(image[2], 'F');
+  EXPECT_EQ(image[3], 'R');
+  const auto parsed = parse_flight_dump(image.data(), image.size());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->reason, "unit-test");
+  ASSERT_EQ(parsed->records.size(), 2u);
+  EXPECT_EQ(parsed->records[0], recs[0]);
+  EXPECT_EQ(parsed->records[1], recs[1]);
+
+  // Structural faults: truncation and bad magic.
+  EXPECT_FALSE(parse_flight_dump(image.data(), 10).has_value());
+  EXPECT_FALSE(
+      parse_flight_dump(image.data(), image.size() - 1).has_value());
+  auto bad = image;
+  bad[0] = 'X';
+  EXPECT_FALSE(parse_flight_dump(bad.data(), bad.size()).has_value());
+}
+
+TEST(FlightDump, SerializeIsTheRawRingImage) {
+  FlightRecorder r(4);
+  r.record(FlightType::kMark, "m", TimePoint::from_ns(1));
+  r.record(FlightType::kMark, "n", TimePoint::from_ns(2));
+  const auto bytes = r.serialize();
+  ASSERT_EQ(bytes.size(), 2 * sizeof(FlightRecord));
+  FlightRecord first;
+  std::memcpy(&first, bytes.data(), sizeof(first));
+  EXPECT_EQ(first.tag_view(), "m");
+}
+
+// A violation observed by the chaos monitor must dump every live recorder
+// to the configured directory — the black-box retrieval path.
+TEST(FlightDump, InvariantViolationDumpsTheBlackBox) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "flight-dump-test")
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  set_flight_dump_dir(dir);
+
+  FlightRecorder rec(64);
+  FlightRecorder* prev = FlightRecorder::set_current(&rec);
+
+  {
+    sim::Simulator sim;
+    netlayer::Network net(sim, {}, 5);
+    chaos::InvariantMonitor monitor(sim, net);
+    const int id = monitor.register_transfer("t");
+    const Bytes sent = {1, 2, 3};
+    monitor.record_sent(id, sent);
+    monitor.record_delivered(id, Bytes{9});  // prefix violation
+    ASSERT_EQ(monitor.violations().size(), 1u);
+  }
+
+  FlightRecorder::set_current(prev);
+  set_flight_dump_dir("");
+
+  // Exactly one dump, named for the reason, parseable, and holding the
+  // violation record that triggered it.
+  std::vector<std::filesystem::path> dumps;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    dumps.push_back(e.path());
+  }
+  ASSERT_EQ(dumps.size(), 1u);
+  EXPECT_NE(dumps[0].filename().string().find("violation"),
+            std::string::npos);
+  EXPECT_EQ(dumps[0].extension(), ".slfr");
+  std::ifstream in(dumps[0], std::ios::binary);
+  std::vector<std::uint8_t> image((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  const auto parsed = parse_flight_dump(image.data(), image.size());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->reason, "violation");
+  bool saw_violation = false;
+  for (const auto& r : parsed->records) {
+    if (r.type == static_cast<std::uint16_t>(FlightType::kViolation)) {
+      saw_violation = true;
+      EXPECT_NE(std::string(r.tag_view()).find("prefix"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_violation);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FlightDump, DumpIsANoOpWithoutADirectory) {
+  set_flight_dump_dir("");
+  FlightRecorder rec(8);
+  FlightRecorder* prev = FlightRecorder::set_current(&rec);
+  rec.record(FlightType::kMark, "m", TimePoint::from_ns(1));
+  EXPECT_EQ(dump_all_flight_recorders("nowhere"), "");
+  FlightRecorder::set_current(prev);
+}
+
+}  // namespace
+}  // namespace sublayer::telemetry

@@ -1,0 +1,191 @@
+// HDR histogram layout and accuracy: bucket index math, the bounded
+// relative error the log-linear layout promises, quantile reconstruction,
+// and the bucketwise cross-shard merge path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace sublayer::telemetry {
+namespace {
+
+using detail::histogram_bucket;
+using detail::histogram_bucket_lower;
+using detail::histogram_bucket_width;
+
+TEST(HdrLayout, UnitBucketsAreExact) {
+  for (std::uint64_t v = 0; v < kHdrSubBuckets; ++v) {
+    EXPECT_EQ(histogram_bucket(v), v);
+    EXPECT_EQ(histogram_bucket_lower(v), v);
+    EXPECT_EQ(histogram_bucket_width(v), 1u);
+  }
+}
+
+TEST(HdrLayout, KnownIndices) {
+  // First value past the unit range opens the first split octave.
+  EXPECT_EQ(histogram_bucket(16), 16u);
+  // 1024 = 2^10, sub-bucket 0 of octave 10: (10-4+1)*16 = 112.
+  EXPECT_EQ(histogram_bucket(1024), 112u);
+  EXPECT_EQ(histogram_bucket_lower(112), 1024u);
+  // Octave 10 sub-buckets are 64 wide: 1024+64-1 stays, 1024+64 moves on.
+  EXPECT_EQ(histogram_bucket_width(112), 64u);
+  EXPECT_EQ(histogram_bucket(1024 + 63), 112u);
+  EXPECT_EQ(histogram_bucket(1024 + 64), 113u);
+  // The top of uint64 still lands inside the table.
+  EXPECT_LT(histogram_bucket(~std::uint64_t{0}), kHistogramBuckets);
+}
+
+TEST(HdrLayout, EveryValueLandsInsideItsBucket) {
+  Rng rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    // Log-uniform coverage: random bit width, then random bits below it.
+    const auto bits = 1 + rng.next_below(64);
+    const std::uint64_t mask =
+        bits == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << bits) - 1;
+    const std::uint64_t v = rng.next_u64() & mask;
+    const std::size_t b = histogram_bucket(v);
+    ASSERT_LT(b, kHistogramBuckets);
+    EXPECT_LE(histogram_bucket_lower(b), v);
+    // Overflow-safe form of v < lower + width: the top sub-bucket of the
+    // 2^63 octave ends exactly at 2^64.
+    EXPECT_LT(v - histogram_bucket_lower(b), histogram_bucket_width(b));
+    // Relative bucket width (the quantile error bound): <= 1/16 of the
+    // bucket's lower bound, exact below the unit range.
+    if (v >= kHdrSubBuckets) {
+      EXPECT_LE(histogram_bucket_width(b) * kHdrSubBuckets,
+                histogram_bucket_lower(b));
+    }
+  }
+}
+
+TEST(HdrLayout, LowerBoundsAreStrictlyMonotone) {
+  for (std::size_t i = 1; i < kHistogramBuckets; ++i) {
+    EXPECT_LT(histogram_bucket_lower(i - 1), histogram_bucket_lower(i)) << i;
+    EXPECT_EQ(histogram_bucket_lower(i),
+              histogram_bucket_lower(i - 1) + histogram_bucket_width(i - 1))
+        << i;
+  }
+}
+
+TEST(HdrQuantile, ExactOnSmallSets) {
+  Histogram h;
+  HistogramData* data = nullptr;
+  {
+    auto& reg = MetricsRegistry::instance();
+    reg.reset();
+    h.bind("test.hdr.small");
+    data = reg.histogram_slot(reg.intern_histogram("test.hdr.small"));
+  }
+  for (std::uint64_t v : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 10u}) {
+    h.observe(v);
+  }
+  // Values <= 15 sit in exact unit buckets, so quantiles are exact.
+  EXPECT_EQ(data->quantile(0.0), 1u);
+  EXPECT_EQ(data->quantile(0.5), 5u);
+  EXPECT_EQ(data->quantile(0.9), 9u);
+  EXPECT_EQ(data->quantile(1.0), 10u);
+}
+
+TEST(HdrQuantile, BoundedRelativeErrorOnWideDistribution) {
+  auto& reg = MetricsRegistry::instance();
+  reg.reset();
+  Histogram h;
+  h.bind("test.hdr.wide");
+  std::vector<std::uint64_t> values;
+  Rng rng(11);
+  for (int i = 0; i < 50000; ++i) {
+    // Latency-shaped: log-uniform between 100ns and ~100ms.
+    const double log = 2.0 + 6.0 * rng.next_double();
+    values.push_back(static_cast<std::uint64_t>(std::pow(10.0, log)));
+    h.observe(values.back());
+  }
+  std::sort(values.begin(), values.end());
+  const HistogramData* data =
+      reg.snapshot().histogram("test.hdr.wide");
+  ASSERT_NE(data, nullptr);
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    const auto exact = values[static_cast<std::size_t>(
+        q * static_cast<double>(values.size() - 1))];
+    const auto approx = data->quantile(q);
+    const double rel =
+        std::abs(static_cast<double>(approx) - static_cast<double>(exact)) /
+        static_cast<double>(exact);
+    EXPECT_LE(rel, 0.0625) << "q=" << q << " exact=" << exact
+                           << " approx=" << approx;
+  }
+}
+
+TEST(HdrMerge, MergedDataEqualsUnifiedObservation) {
+  // Two "shards" observe disjoint streams; bucketwise merge must equal the
+  // histogram that saw everything.
+  MetricsRegistry shard_a;
+  MetricsRegistry shard_b;
+  MetricsRegistry all;
+  const auto observe = [](MetricsRegistry& reg, std::uint64_t v) {
+    ++reg.histogram_slot(reg.intern_histogram("m"))->buckets
+        [detail::histogram_bucket(v)];
+    auto* d = reg.histogram_slot(reg.intern_histogram("m"));
+    if (d->count == 0 || v < d->min) d->min = v;
+    if (v > d->max) d->max = v;
+    ++d->count;
+    d->sum += v;
+  };
+  Rng rng(3);
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint64_t v = rng.next_below(1000000);
+    observe(i % 2 == 0 ? shard_a : shard_b, v);
+    observe(all, v);
+  }
+  HistogramData merged =
+      *shard_a.histogram_slot(shard_a.intern_histogram("m"));
+  merged.merge(*shard_b.histogram_slot(shard_b.intern_histogram("m")));
+  const HistogramData& want = *all.histogram_slot(all.intern_histogram("m"));
+  EXPECT_EQ(merged.count, want.count);
+  EXPECT_EQ(merged.sum, want.sum);
+  EXPECT_EQ(merged.min, want.min);
+  EXPECT_EQ(merged.max, want.max);
+  EXPECT_EQ(merged.buckets, want.buckets);
+  for (double q : {0.5, 0.99}) {
+    EXPECT_EQ(merged.quantile(q), want.quantile(q));
+  }
+}
+
+TEST(HdrMerge, MergeIntoEmptyAdoptsMinMax) {
+  MetricsRegistry reg;
+  auto* src = reg.histogram_slot(reg.intern_histogram("src"));
+  ++src->buckets[detail::histogram_bucket(42)];
+  src->count = 1;
+  src->sum = 42;
+  src->min = 42;
+  src->max = 42;
+  HistogramData dst;
+  dst.merge(*src);
+  EXPECT_EQ(dst.count, 1u);
+  EXPECT_EQ(dst.min, 42u);
+  EXPECT_EQ(dst.max, 42u);
+  EXPECT_EQ(dst.quantile(0.5), 42u);
+}
+
+TEST(HdrJson, SnapshotEmitsQuantilesAndSparseBuckets) {
+  auto& reg = MetricsRegistry::instance();
+  reg.reset();
+  Histogram h;
+  h.bind("test.hdr.json");
+  h.observe(7);
+  h.observe(1024);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("test.hdr.json"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p999\""), std::string::npos);
+  // Sparse [index, count] pairs — two observations, two pairs.
+  EXPECT_NE(json.find("[7,1]"), std::string::npos);
+  EXPECT_NE(json.find("[112,1]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sublayer::telemetry

@@ -84,16 +84,17 @@ TEST(Gauge, SetMaxIsARatchet) {
   EXPECT_EQ(reg.gauge_value("test.gauge.peak"), 9);
 }
 
-TEST(Histogram, PowerOfTwoBucketsAndMoments) {
+TEST(Histogram, HdrBucketsAndMoments) {
   auto& reg = MetricsRegistry::instance();
   reg.reset();
   Histogram h;
   h.bind("test.hist.sizes");
-  h.observe(0);     // bit_width(0) == 0  -> bucket 0
-  h.observe(1);     // bit_width(1) == 1  -> bucket 1
-  h.observe(2);     // [2,4)              -> bucket 2
+  // Values below 2^4 are exact: one bucket per integer.
+  h.observe(0);
+  h.observe(1);
+  h.observe(2);
   h.observe(3);
-  h.observe(1024);  // [1024,2048)        -> bucket 11
+  h.observe(1024);  // exponent 10, sub-bucket 0 -> (10-3)*16 + 0 = 112
   const auto snap = reg.snapshot();
   const HistogramData* data = snap.histogram("test.hist.sizes");
   ASSERT_NE(data, nullptr);
@@ -103,8 +104,9 @@ TEST(Histogram, PowerOfTwoBucketsAndMoments) {
   EXPECT_EQ(data->max, 1024u);
   EXPECT_EQ(data->buckets[0], 1u);
   EXPECT_EQ(data->buckets[1], 1u);
-  EXPECT_EQ(data->buckets[2], 2u);
-  EXPECT_EQ(data->buckets[11], 1u);
+  EXPECT_EQ(data->buckets[2], 1u);
+  EXPECT_EQ(data->buckets[3], 1u);
+  EXPECT_EQ(data->buckets[112], 1u);
 }
 
 TEST(Registry, InterningIsIdempotent) {
