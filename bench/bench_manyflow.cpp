@@ -244,9 +244,12 @@ sim::LinkConfig ring_link_config() {
 /// N flows around an 8-router ring, host on router f%8 -> host on router
 /// (f%8+3)%8 (three cross-shard hops), same seeds everywhere.  `threads`
 /// 0 runs the monolithic Simulator; otherwise a ParallelSimulator with one
-/// router per shard and that many workers.
+/// router per shard and that many workers.  `burst` is the scheduler's
+/// burst-dequeue budget (Simulator::set_burst_budget): it changes how many
+/// same-tick events one engine visit drains, and must never change the
+/// event trace.
 ParallelRow run_ring(std::size_t threads, std::size_t flows,
-                     std::size_t per_flow) {
+                     std::size_t per_flow, std::size_t burst = 1) {
   telemetry::MetricsRegistry::instance().reset();
   telemetry::SpanTracer::instance().reset();
   const bool parallel = threads > 0;
@@ -258,6 +261,7 @@ ParallelRow run_ring(std::size_t threads, std::size_t flows,
     sim::ParallelConfig pc;
     pc.shards = kRing;
     pc.threads = threads;
+    pc.burst_budget = burst;
     psim = std::make_unique<sim::ParallelSimulator>(pc);
     sim::ShardMap map(kRing);
     for (std::size_t i = 0; i < kRing; ++i) map.assign(i, i);
@@ -265,6 +269,7 @@ ParallelRow run_ring(std::size_t threads, std::size_t flows,
                                               /*seed=*/1, map);
   } else {
     mono = std::make_unique<sim::Simulator>(sim::EngineKind::kTimerWheel);
+    mono->set_burst_budget(burst);
     net = std::make_unique<netlayer::Network>(*mono, ring_router_config(),
                                               /*seed=*/1);
   }
@@ -531,13 +536,67 @@ int main(int argc, char** argv) {
     par_json += buf;
   }
 
+  // ---- Part 4: burst-dequeue budget sweep ----
+  // Same ring, fixed thread count, budgets swept: throughput may move,
+  // the event trace must not.  events and cross_shard_frames identical
+  // across budgets is the burst-ordering contract (DESIGN.md §13).
+  const std::size_t burst_flows = smoke ? 32 : 1024;
+  const std::size_t burst_threads = smoke ? 1 : 2;
+  const std::vector<std::size_t> budgets =
+      smoke ? std::vector<std::size_t>{1, 16}
+            : std::vector<std::size_t>{1, 4, 16, 64};
+  std::printf("\nE14.4: burst-dequeue budget sweep, %zu flows, %zu "
+              "thread(s); trace must be budget-invariant\n",
+              burst_flows, burst_threads);
+  std::printf("%12s | %10s %9s %12s | %11s\n", "budget", "events", "wall s",
+              "events/s", "cross-shard");
+  std::string burst_json;
+  std::uint64_t burst_events = 0;
+  std::uint64_t burst_frames = 0;
+  for (std::size_t i = 0; i < budgets.size(); ++i) {
+    const ParallelRow r =
+        run_ring(burst_threads, burst_flows, per_flow, budgets[i]);
+    if (r.completed != r.flows) ok = false;
+    if (i == 0) {
+      burst_events = r.events;
+      burst_frames = r.cross_frames;
+    } else if (r.events != burst_events || r.cross_frames != burst_frames) {
+      std::printf("BURST DETERMINISM MISMATCH at budget %zu: "
+                  "events %llu vs %llu, frames %llu vs %llu\n",
+                  budgets[i], static_cast<unsigned long long>(r.events),
+                  static_cast<unsigned long long>(burst_events),
+                  static_cast<unsigned long long>(r.cross_frames),
+                  static_cast<unsigned long long>(burst_frames));
+      ok = false;
+    }
+    char label[32];
+    std::snprintf(label, sizeof label, "burst %zu", budgets[i]);
+    std::printf("%12s | %10llu %8.2fs %12.0f | %11llu %s\n", label,
+                static_cast<unsigned long long>(r.events), r.wall_s,
+                r.events_per_sec,
+                static_cast<unsigned long long>(r.cross_frames),
+                r.completed == r.flows ? "" : "(INCOMPLETE)");
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"burst_budget\":%zu,\"threads\":%zu,\"flows\":%zu,"
+                  "\"completed\":%zu,\"events\":%llu,\"wall_s\":%.3f,"
+                  "\"events_per_sec\":%.0f,\"cross_shard_frames\":%llu}",
+                  burst_json.empty() ? "" : ",", budgets[i], burst_threads,
+                  r.flows, r.completed,
+                  static_cast<unsigned long long>(r.events), r.wall_s,
+                  r.events_per_sec,
+                  static_cast<unsigned long long>(r.cross_frames));
+    burst_json += buf;
+  }
+
   std::printf(
       "BENCH_JSON {\"bench\":\"manyflow\",\"per_flow_bytes\":%zu,"
       "\"rows\":[%s],\"cancel_microbench\":[%s],"
       "\"speedup_at_%zu_flows\":%.2f,\"wheel_cancel_flatness\":%.2f,"
-      "\"hardware_threads\":%u,\"parallel_ring\":[%s]}\n",
+      "\"hardware_threads\":%u,\"parallel_ring\":[%s],"
+      "\"burst_sweep\":[%s]}\n",
       per_flow, rows_json.c_str(), cancel_json.c_str(), sizes[last],
       speedup, flatness, std::thread::hardware_concurrency(),
-      par_json.c_str());
+      par_json.c_str(), burst_json.c_str());
   return ok ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <string>
 
+#include "common/frame_arena.hpp"
 #include "netlayer/router.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/span.hpp"
@@ -76,6 +77,21 @@ inline std::size_t alloc_count() {
   return alloc_track::count.load(std::memory_order_relaxed);
 }
 #endif
+
+/// Split buffer accounting: operator-new tracking above counts every heap
+/// allocation; FrameArenaCounters separates how many buffer *acquisitions*
+/// the data path made and how many of those were served by recycled pool
+/// buffers (no heap traffic) versus fresh ones.  Read as deltas around a
+/// measured region, like the alloc counters.
+struct ArenaCounterSample {
+  std::uint64_t fresh = 0;     // acquisitions that built a new buffer
+  std::uint64_t recycled = 0;  // acquisitions served from the pool
+};
+
+inline ArenaCounterSample arena_counter_sample() {
+  const auto& c = FrameArenaCounters::instance();
+  return ArenaCounterSample{c.fresh_total(), c.recycled_total()};
+}
 
 struct TransferOutcome {
   bool complete = false;

@@ -26,6 +26,27 @@ datalink_out="$("${build_dir}/bench/bench_datalink_stack")"
 echo "${datalink_out}"
 extract_json "${datalink_out}" >"${repo_root}/BENCH_datalink.json"
 echo "wrote ${repo_root}/BENCH_datalink.json"
+# The batched-data-path acceptance bar: the arena + burst + stage-major
+# pipeline must hold >= 5x the committed unbatched nrz throughput
+# (44.36 MB/s -> 221.8 MB/s) at identical goodput, with steady-state heap
+# traffic under 2 allocations per frame on every batched row.
+python3 - "${repo_root}/BENCH_datalink.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+rows = doc["dataplane_batched"]
+assert rows, "no batched dataplane rows"
+for r in rows:
+    assert r["goodput_bytes"] == 522000, \
+        f"batched goodput drifted: {r['label']} burst {r['burst']}"
+    assert r["heap_allocs_per_frame"] <= 2.0, \
+        f"heap allocs/frame {r['heap_allocs_per_frame']} > 2 " \
+        f"({r['label']} burst {r['burst']})"
+best_nrz = max(r["mbps"] for r in rows if r["label"] == "nrz")
+assert best_nrz >= 221.8, \
+    f"batched nrz peak {best_nrz:.2f} MB/s below the 221.8 MB/s (5x) bar"
+print(f"batched nrz peak {best_nrz:.2f} MB/s (bar 221.8), "
+      f"allocs/frame <= 2 on all {len(rows)} rows")
+PYEOF
 
 echo "== bench_tcp_goodput =="
 tcp_out="$("${build_dir}/bench/bench_tcp_goodput")"

@@ -93,14 +93,20 @@ if [[ "${SKIP_SANITIZERS:-0}" != "1" ]]; then
   "${san_dir}/tests/test_chaos" --gtest_filter='*ChaosSoak*_seed1' >/dev/null
   "${san_dir}/tests/test_transport" \
     --gtest_filter='Robustness.*:Keepalive.*' >/dev/null
-  "${san_dir}/tests/test_datalink" --gtest_filter='*Resync*' >/dev/null
+  # Batched pipeline under ASan: the arena recycles buffers the stages
+  # hand around, so stale-use bugs in the batch paths are exactly what
+  # address poisoning catches.
+  "${san_dir}/tests/test_datalink" \
+    --gtest_filter='*Resync*:*BatchPipeline*' >/dev/null
   # Scheduler determinism + flat-hash churn: the timer wheel recycles
   # pooled slots and the demux tables rehash mid-dispatch; both are
   # use-after-free factories if ever wrong, so run them under ASan.
+  # BatchReplay rides along: burst dequeue drains engine slots in batches.
   "${san_dir}/tests/test_sim" \
-    --gtest_filter='*SchedulerDeterminism*:*SchedulerCrossEngine*:Simulator.*:Timer.*' \
+    --gtest_filter='*SchedulerDeterminism*:*SchedulerCrossEngine*:Simulator.*:Timer.*:*BatchReplay*' \
     >/dev/null
-  "${san_dir}/tests/test_common" --gtest_filter='FlatHash*' >/dev/null
+  "${san_dir}/tests/test_common" \
+    --gtest_filter='FlatHash*:FrameArena*' >/dev/null
   echo "ASan+UBSan OK"
 
   # TSan pass: the parallel sharded engine is the one genuinely
@@ -118,7 +124,7 @@ if [[ "${SKIP_SANITIZERS:-0}" != "1" ]]; then
     -DCMAKE_EXE_LINKER_FLAGS="${tsan_flags}" >/dev/null
   cmake --build "${tsan_dir}" -j "${jobs}" --target test_sim >/dev/null
   "${tsan_dir}/tests/test_sim" \
-    --gtest_filter='ShardMap*:ParallelSim*:ParallelReplay*:*TimerRace*' \
+    --gtest_filter='ShardMap*:ParallelSim*:ParallelReplay*:*TimerRace*:*BatchReplay*' \
     >/dev/null
   echo "TSan OK"
 fi

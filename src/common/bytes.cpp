@@ -1,6 +1,30 @@
 #include "common/bytes.hpp"
 
+#include <cstring>
 #include <stdexcept>
+
+namespace {
+
+// Loads 8 bytes big-endian (byte 0 most significant) — the word layout
+// BitString uses, so from_bytes/to_bytes are straight memcpy+bswap.
+inline std::uint64_t load_be64(const std::uint8_t* p) {
+  std::uint64_t w;
+  std::memcpy(&w, p, 8);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  return w;
+#else
+  return __builtin_bswap64(w);
+#endif
+}
+
+inline void store_be64(std::uint8_t* p, std::uint64_t w) {
+#if !defined(__BYTE_ORDER__) || __BYTE_ORDER__ != __ORDER_BIG_ENDIAN__
+  w = __builtin_bswap64(w);
+#endif
+  std::memcpy(p, &w, 8);
+}
+
+}  // namespace
 
 namespace sublayer {
 
@@ -104,15 +128,27 @@ BitString BitString::parse(std::string_view s) {
 
 BitString BitString::from_bytes(ByteView b) {
   BitString out;
-  out.words_.resize((b.size() + 7) / 8, 0);
-  out.size_ = b.size() * 8;
-  // Big-endian word assembly: byte j lands at bits [8j, 8j+8), which is
-  // exactly byte position 7-(j%8) of word j/8.
-  for (std::size_t j = 0; j < b.size(); ++j) {
-    out.words_[j >> 3] |= static_cast<std::uint64_t>(b[j])
-                          << (56 - 8 * (j & 7));
-  }
+  out.assign_bytes(b);
   return out;
+}
+
+void BitString::assign_bytes(ByteView b) {
+  words_.resize((b.size() + 7) / 8);
+  size_ = b.size() * 8;
+  // Big-endian word assembly: byte j lands at bits [8j, 8j+8), which is
+  // exactly byte position 7-(j%8) of word j/8 — so full words are a
+  // memcpy+bswap and only the ragged tail is assembled per byte.
+  const std::size_t full = b.size() >> 3;
+  for (std::size_t w = 0; w < full; ++w) {
+    words_[w] = load_be64(b.data() + 8 * w);
+  }
+  if (const std::size_t tail = b.size() & 7; tail != 0) {
+    std::uint64_t w = 0;
+    for (std::size_t j = 0; j < tail; ++j) {
+      w |= static_cast<std::uint64_t>(b[8 * full + j]) << (56 - 8 * j);
+    }
+    words_[full] = w;
+  }
 }
 
 BitString BitString::from_uint(std::uint64_t value, int width) {
@@ -122,23 +158,8 @@ BitString BitString::from_uint(std::uint64_t value, int width) {
   return out;
 }
 
-void BitString::append_top(std::uint64_t top, std::size_t nbits) {
-  if (nbits == 0) return;
-  if (nbits < 64) top &= ~0ull << (64 - nbits);
-  const std::size_t r = size_ & 63;
-  if (r == 0) {
-    words_.push_back(top);
-  } else {
-    words_.back() |= top >> r;
-    if (nbits > 64 - r) words_.push_back(top << (64 - r));
-  }
-  size_ += nbits;
-}
-
-void BitString::append_word(std::uint64_t value, int width) {
-  if (width < 0 || width > 64) throw std::invalid_argument("BitString width");
-  if (width == 0) return;
-  append_top(value << (64 - width), static_cast<std::size_t>(width));
+void BitString::throw_width() {
+  throw std::invalid_argument("BitString width");
 }
 
 void BitString::append(const BitString& other) {
@@ -210,11 +231,47 @@ Bytes BitString::to_bytes() const {
 
 void BitString::copy_bytes_into(Bytes& out) const {
   const std::size_t nbytes = (size_ + 7) / 8;
-  out.reserve(out.size() + nbytes);
-  for (std::size_t j = 0; j < nbytes; ++j) {
-    out.push_back(
-        static_cast<std::uint8_t>(words_[j >> 3] >> (56 - 8 * (j & 7))));
+  const std::size_t base = out.size();
+  out.resize(base + nbytes);
+  std::uint8_t* p = out.data() + base;
+  const std::size_t full = nbytes >> 3;
+  for (std::size_t w = 0; w < full; ++w) {
+    store_be64(p + 8 * w, words_[w]);
   }
+  for (std::size_t j = 8 * full; j < nbytes; ++j) {
+    p[j] = static_cast<std::uint8_t>(words_[j >> 3] >> (56 - 8 * (j & 7)));
+  }
+}
+
+void BitString::overwrite_bits(std::size_t pos, std::uint64_t value,
+                               int width) {
+  if (width < 0 || width > 64) throw std::invalid_argument("BitString width");
+  if (pos + static_cast<std::size_t>(width) > size_) {
+    throw std::out_of_range("BitString::overwrite_bits");
+  }
+  if (width == 0) return;
+  const std::uint64_t top = width < 64 ? value << (64 - width) : value;
+  const std::uint64_t keep =
+      width < 64 ? ~(~0ull << (64 - width)) : 0ull;  // low bits to preserve
+  const std::size_t w = pos >> 6;
+  const std::size_t r = pos & 63;
+  if (r == 0) {
+    words_[w] = (words_[w] & keep) | top;
+  } else {
+    // Straddles up to two words: high part into word w, rest into w+1.
+    const std::uint64_t hi_mask = (~0ull >> r) & ~(keep >> r);
+    words_[w] = (words_[w] & ~hi_mask) | ((top >> r) & hi_mask);
+    if (static_cast<std::size_t>(width) > 64 - r) {
+      const std::uint64_t lo_mask = ~0ull << (128 - r - width);
+      words_[w + 1] = (words_[w + 1] & ~lo_mask) | ((top << (64 - r)) & lo_mask);
+    }
+  }
+}
+
+void BitString::poison_for_reuse() {
+  words_.assign(words_.capacity(), 0xA5A5A5A5A5A5A5A5ull);
+  words_.clear();
+  size_ = 0;
 }
 
 std::uint64_t BitString::to_uint() const {

@@ -91,6 +91,9 @@ class BitString {
   static BitString parse(std::string_view s);
   /// All bits of `b`, MSB-first per byte (the usual HDLC convention here).
   static BitString from_bytes(ByteView b);
+  /// from_bytes into *this, reusing the existing word storage (no alloc when
+  /// capacity suffices) — the arena-friendly form.
+  void assign_bytes(ByteView b);
   /// All 2^n bit strings of length n enumerate as integers; this builds the
   /// length-n string whose bits are the binary digits of `value`, MSB first.
   static BitString from_uint(std::uint64_t value, int width);
@@ -102,8 +105,13 @@ class BitString {
   }
   void append(const BitString& other);
   /// Appends the low `width` bits of `value`, MSB first — the bulk form of
-  /// from_uint+append, O(1) instead of O(width).
-  void append_word(std::uint64_t value, int width);
+  /// from_uint+append, O(1) instead of O(width).  Inline: this is the
+  /// innermost emit primitive of the stuffing/coding hot loops.
+  void append_word(std::uint64_t value, int width) {
+    if (width < 0 || width > 64) throw_width();
+    if (width == 0) return;
+    append_top(value << (64 - width), static_cast<std::size_t>(width));
+  }
   /// Reserves capacity for `nbits` total bits.
   void reserve(std::size_t nbits) { words_.reserve((nbits + 63) >> 6); }
 
@@ -122,6 +130,22 @@ class BitString {
   std::uint64_t bits_at(std::size_t pos, std::size_t n) const {
     return n == 0 ? 0 : top_at(pos) >> (64 - n);
   }
+
+  /// Raw storage word i, MSB-first; every bit past size() reads as zero.
+  /// The word-at-a-time framing passes use this to skip the offset
+  /// arithmetic of bits_at when they walk the string from bit 0.
+  std::uint64_t word(std::size_t i) const { return words_[i]; }
+  std::size_t word_count() const { return words_.size(); }
+
+  /// Replaces the n bits starting at pos (MSB first) with the low `width`
+  /// bits of `value`, leaving size() unchanged — used to patch a reserved
+  /// length prefix after its payload has been appended in place.
+  void overwrite_bits(std::size_t pos, std::uint64_t value, int width);
+
+  /// Fills the backing store with an 0xA5 poison pattern, then clears.
+  /// FrameArena calls this on recycle in hardened builds so stale reads of
+  /// a recycled buffer surface as garbage instead of old frame data.
+  void poison_for_reuse();
 
   /// Substring [pos, pos+len).
   BitString slice(std::size_t pos, std::size_t len) const;
@@ -146,6 +170,63 @@ class BitString {
 
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
+  /// Bulk MSB-first append cursor.  Pre-sizes the backing store for a stated
+  /// upper bound and then writes words through a raw pointer, so the
+  /// innermost loops of stuffing/coding pay no per-call capacity checks.
+  /// The bound is a hard contract: emitting more than `max_append_bits`
+  /// is undefined.  The target BitString must not be touched through any
+  /// other handle while a Writer is live; finish() (idempotent, also run by
+  /// the destructor) truncates to what was actually written and restores
+  /// the tail-bits-are-zero invariant.
+  class Writer {
+   public:
+    Writer(BitString& out, std::size_t max_append_bits) : out_(out) {
+      out.words_.resize((out.size_ + max_append_bits + 63) >> 6, 0);
+      base_ = out.words_.data();
+      nw_ = out.size_ >> 6;
+      fill_ = static_cast<unsigned>(out.size_ & 63);
+      acc_ = fill_ != 0 ? base_[nw_] : 0;
+    }
+    Writer(const Writer&) = delete;
+    Writer& operator=(const Writer&) = delete;
+    ~Writer() { finish(); }
+
+    /// Appends the top `nbits` of `top` (left-aligned: first bit at
+    /// position 63).  Lower bits of `top` are ignored.  nbits <= 64.
+    void emit(std::uint64_t top, std::size_t nbits) {
+      if (nbits == 0) return;
+      if (nbits < 64) top &= ~0ull << (64 - nbits);
+      acc_ |= top >> fill_;
+      fill_ += static_cast<unsigned>(nbits);
+      if (fill_ >= 64) {
+        base_[nw_++] = acc_;
+        fill_ -= 64;
+        acc_ = fill_ != 0 ? top << (nbits - fill_) : 0;
+      }
+    }
+    void push(bool bit) {
+      emit(bit ? 1ull << 63 : 0ull, 1);
+    }
+    /// Total bits in the target once finished (already-present + emitted).
+    std::size_t bits() const { return (nw_ << 6) + fill_; }
+
+    void finish() {
+      if (done_) return;
+      done_ = true;
+      if (fill_ != 0) base_[nw_] = acc_;
+      out_.size_ = (nw_ << 6) + fill_;
+      out_.words_.resize((out_.size_ + 63) >> 6);
+    }
+
+   private:
+    BitString& out_;
+    std::uint64_t* base_;
+    std::uint64_t acc_;
+    std::size_t nw_;
+    unsigned fill_;
+    bool done_ = false;
+  };
+
  private:
   /// Up to 64 bits starting at pos, left-aligned (bit pos at position 63),
   /// zero-padded past the end of the string.
@@ -159,7 +240,20 @@ class BitString {
   /// Appends `nbits` bits given left-aligned in `top` (bit 0 of the run at
   /// position 63).  Bits of `top` past `nbits` are masked off, preserving
   /// the invariant that bits beyond size_ in the last word are zero.
-  void append_top(std::uint64_t top, std::size_t nbits);
+  void append_top(std::uint64_t top, std::size_t nbits) {
+    if (nbits == 0) return;
+    if (nbits < 64) top &= ~0ull << (64 - nbits);
+    const std::size_t r = size_ & 63;
+    if (r == 0) {
+      words_.push_back(top);
+    } else {
+      words_.back() |= top >> r;
+      if (nbits > 64 - r) words_.push_back(top << (64 - r));
+    }
+    size_ += nbits;
+  }
+
+  [[noreturn]] static void throw_width();
 
   // Invariant: words_.size() == ceil(size_/64) and every bit past size_ in
   // the final word is zero (so defaulted operator== is exact).

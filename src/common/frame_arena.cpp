@@ -1,0 +1,10 @@
+#include "common/frame_arena.hpp"
+
+namespace sublayer {
+
+FrameArenaCounters& FrameArenaCounters::instance() {
+  thread_local FrameArenaCounters counters;
+  return counters;
+}
+
+}  // namespace sublayer

@@ -1,0 +1,120 @@
+// FrameArena: recycled frame buffers for the batched data path.
+//
+// The steady-state forwarding loop turns one payload into a handful of
+// short-lived buffers — the ARQ frame, the framed/stuffed bit string, the
+// channel bits, the wire bytes — and the unbatched path pays a malloc and
+// a free for each.  The arena keeps two free-lists (Bytes and BitString)
+// of retired buffers; acquire() pops one with its capacity intact, so a
+// pipeline that recycles what it consumes reaches a fixed point where no
+// call touches the heap at all.
+//
+// Ownership rules (DESIGN.md §13):
+//  - acquire_*() transfers ownership to the caller; the buffer arrives
+//    empty (size 0) but with whatever capacity its last life left it.
+//  - recycle() transfers ownership back.  It is always optional — a
+//    recycled buffer and a destroyed buffer are behaviourally identical;
+//    recycling is purely an allocation-count optimisation, so buffers that
+//    escape into callbacks or containers may simply be dropped.
+//  - A buffer must not be used after recycle() (hardened builds poison the
+//    backing store on recycle so stale reads surface as 0xA5 garbage).
+//  - The arena is single-threaded, like the Simulator shard that owns its
+//    users; each shard's stacks use their own arenas.
+//
+// The fresh/recycled counters are thread-local so the bench harness can
+// split "allocations per frame" into heap misses vs arena hits without
+// threading a handle through every layer — and without an atomic RMW on
+// every acquire in the forwarding loop.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace sublayer {
+
+/// Per-thread arena traffic counters.  Arenas are single-threaded (each
+/// shard owns its own), so a thread's counters cover exactly the arenas it
+/// drives; benches sample them on the thread that ran the measured region.
+/// Plain integers: the batched path bumps one per acquire, and a relaxed
+/// atomic RMW here costs more than the pool hit it is counting.
+struct FrameArenaCounters {
+  std::uint64_t bytes_fresh = 0;     // acquire_bytes heap misses
+  std::uint64_t bytes_recycled = 0;  // acquire_bytes pool hits
+  std::uint64_t bits_fresh = 0;
+  std::uint64_t bits_recycled = 0;
+
+  static FrameArenaCounters& instance();
+  void reset() { *this = FrameArenaCounters{}; }
+  std::uint64_t recycled_total() const {
+    return bytes_recycled + bits_recycled;
+  }
+  std::uint64_t fresh_total() const { return bytes_fresh + bits_fresh; }
+};
+
+class FrameArena {
+ public:
+  /// `pool_cap` bounds each free-list; recycles beyond it destroy the
+  /// buffer instead (a burst of jumbo frames must not pin memory forever).
+  explicit FrameArena(std::size_t pool_cap = 256) : pool_cap_(pool_cap) {}
+
+  FrameArena(const FrameArena&) = delete;
+  FrameArena& operator=(const FrameArena&) = delete;
+
+  /// An empty Bytes, reusing a retired buffer's capacity when one is free.
+  Bytes acquire_bytes() {
+    auto& c = FrameArenaCounters::instance();
+    if (bytes_pool_.empty()) {
+      ++c.bytes_fresh;
+      return Bytes();
+    }
+    ++c.bytes_recycled;
+    Bytes b = std::move(bytes_pool_.back());
+    bytes_pool_.pop_back();
+    b.clear();
+    return b;
+  }
+
+  /// An empty BitString, reusing a retired word store when one is free.
+  BitString acquire_bits() {
+    auto& c = FrameArenaCounters::instance();
+    if (bits_pool_.empty()) {
+      ++c.bits_fresh;
+      return BitString();
+    }
+    ++c.bits_recycled;
+    BitString b = std::move(bits_pool_.back());
+    bits_pool_.pop_back();
+    b.clear();
+    return b;
+  }
+
+  void recycle(Bytes&& b) {
+    if (bytes_pool_.size() >= pool_cap_ || b.capacity() == 0) return;
+#ifndef NDEBUG
+    // Poison, then clear: stale reads through a dangling reference see
+    // 0xA5 garbage instead of plausible old frame data.
+    b.assign(b.capacity(), 0xA5);
+    b.clear();
+#endif
+    bytes_pool_.push_back(std::move(b));
+  }
+
+  void recycle(BitString&& b) {
+    if (bits_pool_.size() >= pool_cap_) return;
+#ifndef NDEBUG
+    b.poison_for_reuse();
+#endif
+    bits_pool_.push_back(std::move(b));
+  }
+
+  std::size_t pooled_bytes_buffers() const { return bytes_pool_.size(); }
+  std::size_t pooled_bit_buffers() const { return bits_pool_.size(); }
+
+ private:
+  std::size_t pool_cap_;
+  std::vector<Bytes> bytes_pool_;
+  std::vector<BitString> bits_pool_;
+};
+
+}  // namespace sublayer

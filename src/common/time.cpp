@@ -36,15 +36,19 @@ namespace {
 thread_local std::vector<const TimePoint*> g_clocks;
 }
 
-void attach(const TimePoint* now) { g_clocks.push_back(now); }
+namespace detail {
+thread_local const TimePoint* g_active = nullptr;
+}  // namespace detail
+
+void attach(const TimePoint* now) {
+  g_clocks.push_back(now);
+  detail::g_active = now;
+}
 
 void detach(const TimePoint* now) {
   std::erase(g_clocks, now);
+  detail::g_active = g_clocks.empty() ? nullptr : g_clocks.back();
 }
-
-bool active() { return !g_clocks.empty(); }
-
-TimePoint now() { return g_clocks.empty() ? TimePoint{} : *g_clocks.back(); }
 
 }  // namespace simclock
 

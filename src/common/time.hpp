@@ -90,10 +90,21 @@ namespace simclock {
 void attach(const TimePoint* now);
 /// Unregisters; a no-op unless `now` is still the active clock.
 void detach(const TimePoint* now);
+
+namespace detail {
+/// Top of the thread's clock stack (nullptr when empty), mirrored out of
+/// the stack by attach/detach so now() inlines to a TLS load + deref —
+/// telemetry stamps one timestamp per crossing on the batched hot path.
+extern thread_local const TimePoint* g_active;
+}  // namespace detail
+
 /// True when a simulator is alive and its clock is readable.
-bool active();
+inline bool active() { return detail::g_active != nullptr; }
 /// The active simulator's current time; TimePoint{} when none is active.
-TimePoint now();
+inline TimePoint now() {
+  const TimePoint* p = detail::g_active;
+  return p != nullptr ? *p : TimePoint{};
+}
 
 }  // namespace simclock
 

@@ -20,6 +20,7 @@
 #include <string>
 
 #include "common/bytes.hpp"
+#include "common/frame_arena.hpp"
 #include "common/time.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/metrics.hpp"
@@ -33,6 +34,10 @@ struct ArqConfig {
   Duration rto = Duration::millis(50);
   /// Cap on payloads queued awaiting a window slot.
   std::size_t max_send_queue = 4096;
+  /// Optional buffer pool for encoded frames (not owned).  The engines draw
+  /// every frame they emit from it; the data plane below recycles the
+  /// buffer once the frame's bits are on the wire.  Null: plain heap Bytes.
+  FrameArena* arena = nullptr;
 };
 
 /// Registry-backed (`datalink.arq.*`); reads stay per-instance.

@@ -20,6 +20,7 @@
 #include <optional>
 
 #include "common/bytes.hpp"
+#include "common/frame_arena.hpp"
 
 namespace sublayer::datalink::detail {
 
@@ -41,12 +42,27 @@ struct ArqFrame {
 
   Bytes encode() const {
     Bytes out;
-    out.reserve(kHeaderSize + payload.size());
+    encode_into(out);
+    return out;
+  }
+
+  /// encode() appended to a caller-owned buffer — the arena form: no
+  /// allocation once `out`'s recycled capacity covers the frame.
+  void encode_into(Bytes& out) const {
+    out.reserve(out.size() + kHeaderSize + payload.size());
     ByteWriter w(out);
     w.u8(static_cast<std::uint8_t>(kind));
     w.u8(epoch);
     w.u32(seq);
     w.bytes(payload);
+  }
+
+  /// Encodes into a buffer drawn from `arena` (or a fresh one without an
+  /// arena) — the one emit path all three ARQ engines share.
+  Bytes encode(FrameArena* arena) const {
+    if (arena == nullptr) return encode();
+    Bytes out = arena->acquire_bytes();
+    encode_into(out);
     return out;
   }
 

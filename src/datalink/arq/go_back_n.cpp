@@ -21,7 +21,7 @@ class GoBackN final : public ArqEndpoint {
         resync_(sim, config.rto, stats_,
                 {[this] { reset_sequence_state(); },
                  [this](const ArqFrame& f) {
-                   if (sink_) sink_(f.encode());
+                   if (sink_) sink_(f.encode(config_.arena));
                  },
                  [this] { pump(); }}) {
     bind_arq_stats(stats_);
@@ -74,7 +74,8 @@ class GoBackN final : public ArqEndpoint {
     if (retransmission) ++stats_.retransmissions;
     if (!timer_.armed() || !retransmission) timer_.restart(config_.rto);
     if (sink_) {
-      sink_(ArqFrame{ArqKind::kData, resync_.epoch(), seq, payload}.encode());
+      sink_(ArqFrame{ArqKind::kData, resync_.epoch(), seq, payload}.encode(
+          config_.arena));
     }
   }
 
@@ -115,7 +116,7 @@ class GoBackN final : public ArqEndpoint {
     ++stats_.acks_sent;
     if (sink_) {
       sink_(
-          ArqFrame{ArqKind::kAck, resync_.epoch(), recv_expected_, {}}.encode());
+          ArqFrame{ArqKind::kAck, resync_.epoch(), recv_expected_, {}}.encode(config_.arena));
     }
   }
 

@@ -23,7 +23,7 @@ class SelectiveRepeat final : public ArqEndpoint {
         resync_(sim, config.rto, stats_,
                 {[this] { reset_sequence_state(); },
                  [this](const ArqFrame& f) {
-                   if (sink_) sink_(f.encode());
+                   if (sink_) sink_(f.encode(config_.arena));
                  },
                  [this] { pump(); }}) {
     bind_arq_stats(stats_);
@@ -85,7 +85,8 @@ class SelectiveRepeat final : public ArqEndpoint {
     ++stats_.data_frames_sent;
     if (retransmission) ++stats_.retransmissions;
     if (sink_) {
-      sink_(ArqFrame{ArqKind::kData, resync_.epoch(), seq, payload}.encode());
+      sink_(ArqFrame{ArqKind::kData, resync_.epoch(), seq, payload}.encode(
+          config_.arena));
     }
   }
 
@@ -129,7 +130,7 @@ class SelectiveRepeat final : public ArqEndpoint {
     // duplicates, whose original ack may have been lost.
     ++stats_.acks_sent;
     if (sink_) {
-      sink_(ArqFrame{ArqKind::kAck, resync_.epoch(), f.seq, {}}.encode());
+      sink_(ArqFrame{ArqKind::kAck, resync_.epoch(), f.seq, {}}.encode(config_.arena));
     }
 
     if (f.seq < recv_expected_) {

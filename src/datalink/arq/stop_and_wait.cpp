@@ -20,7 +20,7 @@ class StopAndWait final : public ArqEndpoint {
         resync_(sim, config.rto, stats_,
                 {[this] { reset_sequence_state(); },
                  [this](const ArqFrame& f) {
-                   if (sink_) sink_(f.encode());
+                   if (sink_) sink_(f.encode(config_.arena));
                  },
                  [this] { pump(); }}) {
     bind_arq_stats(stats_);
@@ -70,7 +70,7 @@ class StopAndWait final : public ArqEndpoint {
     ++stats_.data_frames_sent;
     if (retransmission) ++stats_.retransmissions;
     timer_.restart(config_.rto);
-    if (sink_) sink_(f.encode());
+    if (sink_) sink_(f.encode(config_.arena));
   }
 
   void on_timeout() {
@@ -90,7 +90,7 @@ class StopAndWait final : public ArqEndpoint {
     // Always (re)ack so a lost ack gets repaired by the duplicate data.
     ++stats_.acks_sent;
     if (sink_) {
-      sink_(ArqFrame{ArqKind::kAck, resync_.epoch(), f.seq, {}}.encode());
+      sink_(ArqFrame{ArqKind::kAck, resync_.epoch(), f.seq, {}}.encode(config_.arena));
     }
     if (f.seq == recv_expected_) {
       ++recv_expected_;

@@ -1,7 +1,13 @@
 #include "datalink/errordetect/detector.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#define SUBLAYER_HAS_CLMUL_PATH 1
+#endif
 
 namespace sublayer::datalink {
 namespace {
@@ -36,6 +42,150 @@ std::uint64_t reflect_bits(std::uint64_t v, int width) {
 std::uint64_t width_mask(int width) {
   return width == 64 ? ~0ull : (1ull << width) - 1;
 }
+
+/// Loads 8 bytes little-endian: byte 0 lands in the low lane, which is the
+/// lane a reflected CRC consumes first.
+std::uint64_t load_le64(const std::uint8_t* p) {
+  std::uint64_t w;
+  std::memcpy(&w, p, 8);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  return __builtin_bswap64(w);
+#else
+  return w;
+#endif
+}
+
+#ifdef SUBLAYER_HAS_CLMUL_PATH
+
+/// Folds `data` (n >= 32) down to a 128-bit congruent remainder with one
+/// carry-less multiply pair per 16 bytes, then finishes with the reflected
+/// byte table.  Layout: an LE-loaded 16-byte block has stream bit s at
+/// register bit s, i.e. register bit k holds the coefficient of x^(127-k),
+/// so the low qword (earlier bytes, higher powers) pairs with x^192 and the
+/// high qword with x^128.  The constants carry an extra factor of x (the
+/// `<< 1` at derivation) absorbing the reflected-clmul off-by-one, and each
+/// product (<= 97 bits) is realigned with a 4-byte lane shift.
+__attribute__((target("pclmul,sse2"))) std::uint64_t crc_fold_clmul(
+    const std::uint8_t* p, std::size_t n, std::uint64_t init_reflected,
+    std::uint64_t k192, std::uint64_t k128,
+    const std::uint64_t (*rt)[256]) {
+  __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  // Seeding the init into the first width bits of the stream is equivalent
+  // to starting the LFSR from init (both add init * x^(8n - width)).
+  x = _mm_xor_si128(x, _mm_cvtsi64_si128(static_cast<long long>(init_reflected)));
+  const __m128i k = _mm_set_epi64x(static_cast<long long>(k128),
+                                   static_cast<long long>(k192));
+  p += 16;
+  n -= 16;
+  while (n >= 16) {
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+    const __m128i c = _mm_xor_si128(_mm_clmulepi64_si128(x, k, 0x00),
+                                    _mm_clmulepi64_si128(x, k, 0x11));
+    x = _mm_xor_si128(_mm_slli_si128(c, 4), d);
+    p += 16;
+    n -= 16;
+  }
+  alignas(16) std::uint8_t buf[16];
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(buf), x);
+  std::uint64_t crc = 0;  // init already folded into x above
+  for (int i = 0; i < 16; i += 8) {  // slice-by-8 over the remainder
+    std::uint64_t w;
+    std::memcpy(&w, buf + i, 8);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    w = __builtin_bswap64(w);
+#endif
+    const std::uint64_t v = crc ^ w;
+    crc = rt[7][v & 0xff] ^ rt[6][(v >> 8) & 0xff] ^ rt[5][(v >> 16) & 0xff] ^
+          rt[4][(v >> 24) & 0xff] ^ rt[3][(v >> 32) & 0xff] ^
+          rt[2][(v >> 40) & 0xff] ^ rt[1][(v >> 48) & 0xff] ^ rt[0][v >> 56];
+  }
+  for (; n != 0; ++p, --n) crc = (crc >> 8) ^ rt[0][(crc ^ *p) & 0xff];
+  return crc;
+}
+
+/// One 16-byte fold step: multiply accumulator `x` by the distance
+/// constant pair `k` and realign (lambdas don't inherit the enclosing
+/// function's target attribute, hence the free function).
+__attribute__((target("pclmul,sse2"), always_inline)) inline __m128i
+crc_fold_step(__m128i x, __m128i k) {
+  return _mm_slli_si128(_mm_xor_si128(_mm_clmulepi64_si128(x, k, 0x00),
+                                      _mm_clmulepi64_si128(x, k, 0x11)),
+                        4);
+}
+
+/// Four-accumulator fold for n >= 64.  The 16-byte loop above is a serial
+/// dependency chain — every fold waits out the carry-less multiply latency
+/// of the previous one.  Striding 64 bytes with four independent
+/// accumulators runs the multiplies back to back; the accumulators are
+/// merged with one 48/32/16-byte fold each at the end.  `lk` holds the
+/// (x^(128+64i), x^(192+64i)) constant pairs: lk[0..1] is the 16-byte pair
+/// of the loop above, lk[6..7] the 64-byte stride of this one.
+__attribute__((target("pclmul,sse2"))) std::uint64_t crc_fold_clmul_x4(
+    const std::uint8_t* p, std::size_t n, std::uint64_t init_reflected,
+    const std::uint64_t* lk, const std::uint64_t (*rt)[256]) {
+  const auto fold = crc_fold_step;
+  __m128i x0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  x0 = _mm_xor_si128(x0,
+                     _mm_cvtsi64_si128(static_cast<long long>(init_reflected)));
+  __m128i x1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 16));
+  __m128i x2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 32));
+  __m128i x3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 48));
+  const __m128i k64 = _mm_set_epi64x(static_cast<long long>(lk[6]),
+                                     static_cast<long long>(lk[7]));
+  p += 64;
+  n -= 64;
+  while (n >= 64) {
+    x0 = _mm_xor_si128(
+        fold(x0, k64),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+    x1 = _mm_xor_si128(
+        fold(x1, k64),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 16)));
+    x2 = _mm_xor_si128(
+        fold(x2, k64),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 32)));
+    x3 = _mm_xor_si128(
+        fold(x3, k64),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 48)));
+    p += 64;
+    n -= 64;
+  }
+  // Merge: x0..x2 sit 48/32/16 bytes ahead of x3's stream position.
+  const __m128i k48 = _mm_set_epi64x(static_cast<long long>(lk[4]),
+                                     static_cast<long long>(lk[5]));
+  const __m128i k32 = _mm_set_epi64x(static_cast<long long>(lk[2]),
+                                     static_cast<long long>(lk[3]));
+  const __m128i k16 = _mm_set_epi64x(static_cast<long long>(lk[0]),
+                                     static_cast<long long>(lk[1]));
+  __m128i x = _mm_xor_si128(
+      _mm_xor_si128(x3, fold(x0, k48)),
+      _mm_xor_si128(fold(x1, k32), fold(x2, k16)));
+  while (n >= 16) {
+    x = _mm_xor_si128(
+        fold(x, k16),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+    p += 16;
+    n -= 16;
+  }
+  alignas(16) std::uint8_t buf[16];
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(buf), x);
+  std::uint64_t crc = 0;  // init already folded into x0 above
+  for (int i = 0; i < 16; i += 8) {  // slice-by-8 over the remainder
+    std::uint64_t w;
+    std::memcpy(&w, buf + i, 8);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    w = __builtin_bswap64(w);
+#endif
+    const std::uint64_t v = crc ^ w;
+    crc = rt[7][v & 0xff] ^ rt[6][(v >> 8) & 0xff] ^ rt[5][(v >> 16) & 0xff] ^
+          rt[4][(v >> 24) & 0xff] ^ rt[3][(v >> 32) & 0xff] ^
+          rt[2][(v >> 40) & 0xff] ^ rt[1][(v >> 48) & 0xff] ^ rt[0][v >> 56];
+  }
+  for (; n != 0; ++p, --n) crc = (crc >> 8) ^ rt[0][(crc ^ *p) & 0xff];
+  return crc;
+}
+
+#endif  // SUBLAYER_HAS_CLMUL_PATH
 
 }  // namespace
 
@@ -98,6 +248,7 @@ CrcDetector::CrcDetector(CrcSpec spec) : spec_(std::move(spec)) {
     throw std::invalid_argument("CRC width must be 8..64 and byte-aligned");
   }
   const std::uint64_t mask = width_mask(spec_.width);
+  init_reflected_ = reflect_bits(spec_.init & mask, spec_.width);
   const std::uint64_t top = 1ull << (spec_.width - 1);
   for (int b = 0; b < 256; ++b) {
     std::uint64_t r = static_cast<std::uint64_t>(b)
@@ -107,9 +258,105 @@ CrcDetector::CrcDetector(CrcSpec spec) : spec_(std::move(spec)) {
     }
     table_[b] = r & mask;
   }
+  fast_reflected_ = spec_.reflect_in && spec_.reflect_out;
+  if (fast_reflected_) {
+    // Reflected base table: the classic LSB-first recurrence over the
+    // reflected polynomial.  By construction rtable_[0][reflect8(b)] ==
+    // reflect(table_[b]), so the reflected loop computes exactly the same
+    // function as the generic loop below — published check values prove it.
+    const std::uint64_t rpoly = reflect_bits(spec_.polynomial, spec_.width);
+    for (int b = 0; b < 256; ++b) {
+      std::uint64_t r = static_cast<std::uint64_t>(b);
+      for (int i = 0; i < 8; ++i) {
+        r = (r & 1) != 0 ? (r >> 1) ^ rpoly : r >> 1;
+      }
+      rtable_[0][b] = r;
+    }
+    // rtable_[k][b] = state after byte b followed by k zero bytes; lets an
+    // 8-byte block fold in one pass (slice-by-8).
+    for (int k = 1; k < 8; ++k) {
+      for (int b = 0; b < 256; ++b) {
+        const std::uint64_t prev = rtable_[k - 1][b];
+        rtable_[k][b] = (prev >> 8) ^ rtable_[0][prev & 0xff];
+      }
+    }
+  }
+#ifdef SUBLAYER_HAS_CLMUL_PATH
+  if (fast_reflected_ && spec_.width <= 32 &&
+      __builtin_cpu_supports("pclmul")) {
+    // x^N mod P, reflected: start from x^0 (top bit of the reflected
+    // register) and clock the LFSR N bits via the zero-byte table step.
+    // The << 1 adds the factor of x that cancels the one-bit shortfall of
+    // multiplying two reflected values with a carry-less multiply.
+    std::uint64_t s = 1ull << (spec_.width - 1);
+    for (int i = 0; i < 16; ++i) s = (s >> 8) ^ rtable_[0][s & 0xff];
+    fold_k128_ = s << 1;
+    for (int i = 0; i < 8; ++i) s = (s >> 8) ^ rtable_[0][s & 0xff];
+    fold_k192_ = s << 1;
+    // Keep clocking for the 4-way fold's long strides: fold_long_ holds
+    // x^128, x^192, ..., x^576 (each << 1), i.e. the (x^(8D), x^(8D+64))
+    // pairs for distances D = 16, 32, 48, 64 bytes.
+    fold_long_[0] = fold_k128_;
+    fold_long_[1] = fold_k192_;
+    for (int j = 2; j < 8; ++j) {
+      for (int i = 0; i < 8; ++i) s = (s >> 8) ^ rtable_[0][s & 0xff];
+      fold_long_[j] = s << 1;
+    }
+    // Trust the folded path only if it reproduces the table CRC on probe
+    // lengths covering the >=2-block loop, the 4-way stride loop, the
+    // merge at every residue mod 64, and ragged tails.
+    Bytes probe(301);
+    for (std::size_t i = 0; i < probe.size(); ++i) {
+      probe[i] = static_cast<std::uint8_t>(i * 37 + 11);
+    }
+    clmul_ok_ = true;
+    for (std::size_t len : {32u, 48u, 63u, 64u, 80u, 101u, 128u, 192u, 193u,
+                            255u, 265u, 301u}) {
+      const ByteView v(probe.data(), len);
+      if (value_clmul(v) != value_reflected(v)) {
+        clmul_ok_ = false;
+        break;
+      }
+    }
+  }
+#endif
+}
+
+std::uint64_t CrcDetector::value_clmul(ByteView data) const {
+#ifdef SUBLAYER_HAS_CLMUL_PATH
+  const std::uint64_t crc =
+      data.size() >= 64
+          ? crc_fold_clmul_x4(data.data(), data.size(), init_reflected_,
+                              fold_long_, rtable_)
+          : crc_fold_clmul(data.data(), data.size(), init_reflected_,
+                           fold_k192_, fold_k128_, rtable_);
+  return (crc ^ spec_.xor_out) & width_mask(spec_.width);
+#else
+  return value_reflected(data);
+#endif
+}
+
+std::uint64_t CrcDetector::value_reflected(ByteView data) const {
+  std::uint64_t crc = init_reflected_;
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  for (; n >= 8; p += 8, n -= 8) {
+    const std::uint64_t x = crc ^ load_le64(p);
+    crc = rtable_[7][x & 0xff] ^ rtable_[6][(x >> 8) & 0xff] ^
+          rtable_[5][(x >> 16) & 0xff] ^ rtable_[4][(x >> 24) & 0xff] ^
+          rtable_[3][(x >> 32) & 0xff] ^ rtable_[2][(x >> 40) & 0xff] ^
+          rtable_[1][(x >> 48) & 0xff] ^ rtable_[0][x >> 56];
+  }
+  for (; n != 0; ++p, --n) {
+    crc = (crc >> 8) ^ rtable_[0][(crc ^ *p) & 0xff];
+  }
+  // State is already reflected, so reflect_out is a no-op here.
+  return (crc ^ spec_.xor_out) & width_mask(spec_.width);
 }
 
 std::uint64_t CrcDetector::value(ByteView data) const {
+  if (clmul_ok_ && data.size() >= 32) return value_clmul(data);
+  if (fast_reflected_) return value_reflected(data);
   const std::uint64_t mask = width_mask(spec_.width);
   std::uint64_t crc = spec_.init & mask;
   for (std::uint8_t byte : data) {

@@ -81,8 +81,32 @@ class CrcDetector final : public ErrorDetector {
   std::uint64_t value(ByteView data) const;
 
  private:
+  std::uint64_t value_reflected(ByteView data) const;
+  std::uint64_t value_clmul(ByteView data) const;
+
   CrcSpec spec_;
   std::uint64_t table_[256];
+  // Fully-reflected specs (reflect_in && reflect_out, i.e. CRC-32/CRC-64)
+  // additionally get reflected slice-by-8 tables: the state is kept in
+  // reflected form so each byte is one table lookup instead of a reflect8
+  // call, and 8-byte blocks fold through all eight tables at once.
+  bool fast_reflected_ = false;
+  std::uint64_t rtable_[8][256];
+  // Carry-less-multiply folding (x86 PCLMULQDQ) for fully-reflected specs
+  // of width <= 32: constants are derived from the spec at construction
+  // (x^128 and x^192 mod P, via the reflected LFSR) and the path is only
+  // enabled after a construction-time self-test against the table CRC, so
+  // a wrong constant degrades to the portable path instead of corrupting.
+  bool clmul_ok_ = false;
+  std::uint64_t fold_k128_ = 0;
+  std::uint64_t fold_k192_ = 0;
+  // Long-stride constants (x^256 .. x^576 mod P) for the 4-way interleaved
+  // fold: four independent accumulators hide the carry-less multiply
+  // latency that serializes the 16-byte loop.  fold_long_[2*i], [2*i+1] =
+  // the (x^(128 + 64*i), x^(192 + 64*i)) pair for stride/combine step i.
+  std::uint64_t fold_long_[8] = {};
+  // spec_.init reflected once at construction; both CRC paths start here.
+  std::uint64_t init_reflected_ = 0;
 };
 
 /// The ones-complement 16-bit Internet checksum (RFC 1071).

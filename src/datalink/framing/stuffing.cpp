@@ -1,7 +1,13 @@
 #include "datalink/framing/stuffing.hpp"
 
 #include <bit>
+#include <cstring>
 #include <stdexcept>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#define SUBLAYER_HAS_BMI2_PATH 1
+#endif
 
 namespace sublayer::datalink {
 namespace {
@@ -20,6 +26,27 @@ class PatternWindow {
     if (len_ == 0 || len_ > 63) {
       throw std::invalid_argument("trigger length must be 1..63");
     }
+    // Classify the pattern shape for the fold-based fast paths below.
+    // kRun: all bits equal (HDLC's 11111).  kRunPlusOne: a uniform run with
+    // one opposite final bit (the paper's low-overhead 0000001).  These two
+    // shapes cover the practical rules; anything else takes the generic
+    // one-compare-per-pattern-bit loop.
+    const bool first = pattern[0];
+    bool uniform = true;
+    for (std::size_t i = 1; i < len_; ++i) {
+      if (pattern[i] != first) {
+        uniform = i == len_ - 1;
+        break;
+      }
+    }
+    if (uniform && len_ >= 2 && pattern[len_ - 1] != first) {
+      shape_ = Shape::kRunPlusOne;
+    } else if (uniform) {
+      shape_ = Shape::kRun;
+    } else {
+      shape_ = Shape::kGeneric;
+    }
+    run_value_ = first;
   }
 
   /// Feeds one bit; returns true if the window now matches the pattern.
@@ -45,11 +72,30 @@ class PatternWindow {
       hi = (prefix << (65 - len_)) | (chunk >> (len_ - 1));
       lo = chunk << (65 - len_);
     }
-    // Bit-parallel match: one 64-wide compare per pattern bit.
-    std::uint64_t acc = ~0ull;
-    for (std::size_t k = 0; k < len_; ++k) {
-      const std::uint64_t w = k == 0 ? hi : (hi << k) | (lo >> (64 - k));
-      acc &= ((pattern_ >> (len_ - 1 - k)) & 1) != 0 ? w : ~w;
+    std::uint64_t acc;
+    if (shape_ == Shape::kGeneric) {
+      // Bit-parallel match: one 64-wide compare per pattern bit.
+      acc = ~0ull;
+      for (std::size_t k = 0; k < len_; ++k) {
+        const std::uint64_t w = k == 0 ? hi : (hi << k) | (lo >> (64 - k));
+        acc &= ((pattern_ >> (len_ - 1 - k)) & 1) != 0 ? w : ~w;
+      }
+    } else {
+      // Fold-based run detection: AND of r consecutive shifts of the
+      // window in O(log r) 128-bit steps instead of one step per bit.
+      __extension__ typedef unsigned __int128 u128;
+      u128 w = (static_cast<u128>(hi) << 64) | lo;
+      u128 x = run_value_ ? w : ~w;
+      const std::size_t r =
+          shape_ == Shape::kRun ? len_ : len_ - 1;  // run length
+      u128 m = x;
+      for (std::size_t done = 1; done < r;) {
+        const std::size_t d = std::min(done, r - done);
+        m &= m << d;
+        done += d;
+      }
+      if (shape_ == Shape::kRunPlusOne) m &= ~x << (len_ - 1);
+      acc = static_cast<std::uint64_t>(m >> 64);
     }
     if (n < 64) acc &= ~0ull << (64 - n);
     if (seen_ + 1 < len_) {
@@ -68,13 +114,143 @@ class PatternWindow {
     seen_ = std::min(seen_ + n, len_);
   }
 
+  std::size_t len() const { return len_; }
+
+  /// True when a stuffed bit can never participate in a later match, so the
+  /// sender may take the raw-mask fast path in stuff_append (no automaton
+  /// stepping after an insertion).  Holds for both practical shapes when
+  /// the stuff bit differs from the run value:
+  ///  - kRun (v^r, stuff s!=v): any window containing s is not all-v, so no
+  ///    match can fire until the stuff bit has left the window, and the
+  ///    next emitted match is exactly the next raw match >= r bits later
+  ///    (greedy thinning).
+  ///  - kRunPlusOne (v^r u, stuff s==u!=v): a window ending on the stuff
+  ///    bit needs the preceding r bits all v, but the bit before s is the
+  ///    match-completing u; a window with s inside its run part needs s==v.
+  ///    Either way no match involves s, and raw matches closer than len
+  ///    are impossible (the run region would contain the previous final u),
+  ///    so the raw mask IS the emitted match set — no thinning either.
+  bool resync_free(bool stuff_bit) const {
+    return shape_ != Shape::kGeneric && stuff_bit != run_value_;
+  }
+
+  /// Under resync_free: whether accepted matches must be >= len apart.
+  bool needs_thinning() const { return shape_ == Shape::kRun; }
+
+  /// True for the run-shaped patterns the fold path handles (see ctor).
+  bool fold_shape() const { return shape_ != Shape::kGeneric; }
+  bool run_value() const { return run_value_; }
+  bool plus_one() const { return shape_ == Shape::kRunPlusOne; }
+
  private:
+  enum class Shape { kRun, kRunPlusOne, kGeneric };
+
   std::size_t len_;
   std::uint64_t pattern_;
   std::uint64_t mask_;
   std::uint64_t reg_ = 0;
   std::size_t seen_ = 0;
+  Shape shape_ = Shape::kGeneric;
+  bool run_value_ = false;
 };
+
+__extension__ typedef unsigned __int128 u128;
+
+/// AND of R consecutive right-shifts of x (bit b set iff x has a run of R
+/// ones ending, in MSB-first stream order, at bit b) with all shift counts
+/// known at compile time, so no variable 128-bit shifts reach the hot loop.
+template <int R>
+inline u128 run_fold(u128 x) {
+  if constexpr (R == 1) {
+    return x;
+  } else {
+    constexpr int kHalf = R / 2;
+    const u128 h = run_fold<kHalf>(x);
+    const u128 m = h & (h >> kHalf);
+    if constexpr (2 * kHalf == R) {
+      return m;
+    } else {
+      return m & (x >> (R - 1));
+    }
+  }
+}
+
+/// Streaming raw-match masker for the run-shaped patterns, equivalent to
+/// PatternWindow::match_mask+advance over a fresh stream but with the whole
+/// previous chunk as carried state instead of the automaton register.  That
+/// breaks the serializing dependency through reg_: successive chunks only
+/// depend on each other through `prev = chunk`, so the u128 folds pipeline
+/// across iterations.  Only valid when fed the stream from its start in
+/// 64-bit chunks (short final chunk allowed) — exactly the scan pattern of
+/// stuff_append_resync_free and unstuff_append.  R is the compile-time run
+/// length (R == 0: runtime-length fallback for unusual triggers).
+template <int R>
+class RunMasker {
+ public:
+  explicit RunMasker(const PatternWindow& w)
+      : len_(w.len()), r_(w.plus_one() ? w.len() - 1 : w.len()),
+        run_value_(w.run_value()), plus_one_(w.plus_one()) {}
+
+  /// Mask for the first n (MSB-first) bits of `chunk` (left-aligned), then
+  /// advances.  Bit 63-j set iff the pattern ends at stream position off+j.
+  std::uint64_t mask(std::uint64_t chunk, std::size_t n) {
+    const u128 w = (static_cast<u128>(prev_) << 64) | chunk;
+    const u128 x = run_value_ ? w : ~w;
+    // In this layout a HIGHER bit is an EARLIER stream position, so runs
+    // fold with right shifts: after the fold, bit b is set iff x has a run
+    // of r_ ending (in stream order) at bit b.  Matches that ended inside
+    // prev_ sit in the high word and are discarded by the low-word extract.
+    u128 m;
+    if constexpr (R > 0) {
+      m = run_fold<R>(x);
+    } else {
+      m = x;
+      for (std::size_t done = 1; done < r_;) {
+        const std::size_t d = std::min(done, r_ - done);
+        m &= m >> d;
+        done += d;
+      }
+    }
+    // kRunPlusOne: the run must end one position before the opposite final
+    // bit, and that final bit is where the match ends.
+    if (plus_one_) m = (m >> 1) & ~x;
+    auto acc = static_cast<std::uint64_t>(m);
+    if (n < 64) acc &= ~0ull << (64 - n);
+    if (seen_ + 1 < len_) {
+      // The phantom prefix before the stream start must not match (the
+      // all-zero prev_ looks like a run when the run value is 0).
+      acc &= ~0ull >> (len_ - 1 - seen_);
+    }
+    seen_ = std::min(seen_ + n, len_);
+    prev_ = chunk;
+    return acc;
+  }
+
+ private:
+  std::size_t len_;
+  std::size_t r_;
+  bool run_value_;
+  bool plus_one_;
+  std::uint64_t prev_ = 0;
+  std::size_t seen_ = 0;
+};
+
+/// Invokes fn with the RunMasker instantiation for the window's run length
+/// (compile-time fold for the practical lengths, runtime loop otherwise).
+template <typename Fn>
+decltype(auto) dispatch_run_masker(const PatternWindow& w, Fn&& fn) {
+  switch (w.plus_one() ? w.len() - 1 : w.len()) {
+    case 1: return fn(RunMasker<1>(w));
+    case 2: return fn(RunMasker<2>(w));
+    case 3: return fn(RunMasker<3>(w));
+    case 4: return fn(RunMasker<4>(w));
+    case 5: return fn(RunMasker<5>(w));
+    case 6: return fn(RunMasker<6>(w));
+    case 7: return fn(RunMasker<7>(w));
+    case 8: return fn(RunMasker<8>(w));
+    default: return fn(RunMasker<0>(w));
+  }
+}
 
 }  // namespace
 
@@ -93,86 +269,480 @@ std::string StuffingRule::name() const {
          " stuff=" + (stuff_bit ? "1" : "0");
 }
 
-BitString stuff(const StuffingRule& rule, const BitString& data) {
+namespace {
+
+/// Emits the stuff bit(s) after a completed trigger, feeding each back into
+/// the automaton (a stuffed bit can itself complete the next trigger).
+void emit_stuff_cascade(const StuffingRule& rule, PatternWindow& window,
+                        BitString& out) {
+  int consecutive_stuffs = 0;
+  bool matched = true;
+  while (matched) {
+    if (++consecutive_stuffs > 64) {
+      // e.g. trigger = bbb...b with stuff bit b: stuffing retriggers itself
+      // forever.  Such rules are degenerate and rejected by the verifier.
+      throw std::invalid_argument("stuff: runaway self-triggering rule");
+    }
+    matched = window.push(rule.stuff_bit);
+    out.push_back(rule.stuff_bit);
+  }
+}
+
+}  // namespace
+
+namespace {
+
+/// Raw-mask fast path (see PatternWindow::resync_free): the automaton only
+/// ever sees original data bits, so each chunk costs one mask + segment
+/// emits through a BitString::Writer, and each match one extra emit — no
+/// per-bit stepping and no per-call append bookkeeping.
+template <typename Masker>
+void stuff_append_resync_free(const StuffingRule& rule, const BitString& data,
+                              const PatternWindow& window, Masker masker,
+                              BitString& out) {
+  const std::size_t len = window.len();
+  const bool thin = window.needs_thinning();
+  const std::size_t total = data.size();
+  // Under resync_free accepted matches are >= len apart (kRun: by greedy
+  // thinning; kRunPlusOne: two raw matches closer than len would need the
+  // first match's final opposite bit inside the second's uniform run), so
+  // at most one stuff bit per len data bits is a hard output bound.
+  BitString::Writer wr(out, total + total / len + 1);
+  std::size_t accept_horizon = 0;  // earliest position the next match may use
+  for (std::size_t off = 0; off < total; off += 64) {
+    const std::size_t n = std::min<std::size_t>(64, total - off);
+    const std::uint64_t chunk = data.bits_at(off, n) << (64 - n);
+    std::uint64_t m = masker.mask(chunk, n);
+    std::size_t pos = 0;  // next chunk bit to emit
+    while (m != 0) {
+      const auto j = static_cast<std::size_t>(std::countl_zero(m));
+      m &= ~(1ull << (63 - j));
+      if (thin && off + j < accept_horizon) continue;  // inside prior run
+      wr.emit(chunk << pos, j - pos + 1);
+      wr.push(rule.stuff_bit);
+      accept_horizon = off + j + len;
+      pos = j + 1;
+    }
+    if (pos < n) wr.emit(chunk << pos, n - pos);
+  }
+  wr.finish();
+}
+
+#ifdef SUBLAYER_HAS_BMI2_PATH
+/// Compacts the bits of `chunk` selected by `keep` (preserving stream
+/// order) and returns them left-aligned.  `total` = popcount(keep) >= 1.
+__attribute__((target("bmi2"))) std::uint64_t compact_left_bmi2(
+    std::uint64_t chunk, std::uint64_t keep, unsigned total) {
+  // PEXT packs ascending source bit positions to ascending result
+  // positions, so MSB-first stream order is preserved; the top bit of the
+  // extracted value is the earliest kept stream bit.
+  return _pext_u64(chunk, keep) << (64 - total);
+}
+
+const bool kHasBmi2 = __builtin_cpu_supports("bmi2") != 0;
+
+/// Low word of ((prev:cur) >> k), k in [1, 63] — the 64-bit carried form of
+/// the 128-bit window shifts in RunMasker.
+inline std::uint64_t carry_shr(std::uint64_t cur, std::uint64_t prev,
+                               int k) {
+  return (cur >> k) | (prev << (64 - k));
+}
+
+/// Word-at-a-time run_fold: step(x, xprev) returns the low word of
+/// run_fold<R>(xprev:x), with every fold level's previous output carried so
+/// successive words chain exactly like RunMasker's 128-bit window — but in
+/// plain 64-bit registers, where the same folds cost about a third of the
+/// u128 shift sequences GCC emits.
+template <int R>
+struct CarryFold {
+  static constexpr int kHalf = R / 2;
+  CarryFold<kHalf> sub;
+  std::uint64_t hprev = 0;
+  std::uint64_t step(std::uint64_t x, std::uint64_t xprev) {
+    const std::uint64_t h = sub.step(x, xprev);
+    std::uint64_t m = h & carry_shr(h, hprev, kHalf);
+    hprev = h;
+    if constexpr (2 * kHalf != R) m &= carry_shr(x, xprev, R - 1);
+    return m;
+  }
+};
+template <>
+struct CarryFold<1> {
+  std::uint64_t step(std::uint64_t x, std::uint64_t) { return x; }
+};
+
+/// Top-aligned 64-bit window at absolute bit position `pos`; bits past the
+/// stored words read as zero.  Unlike bits_at this never needs pos + 64 to
+/// be in range, so the gather loops can always read full windows.
+inline std::uint64_t window_at(const BitString& s, std::size_t pos) {
+  const std::size_t w = pos >> 6;
+  const auto r = static_cast<unsigned>(pos & 63);
+  const std::uint64_t hi = w < s.word_count() ? s.word(w) : 0;
+  if (r == 0) return hi;
+  const std::uint64_t lo = w + 1 < s.word_count() ? s.word(w + 1) : 0;
+  return (hi << r) | (lo >> (64 - r));
+}
+
+/// Scalar-64 streaming equivalent of RunMasker<R>: same masks, same
+/// feed-from-stream-start contract, no 128-bit arithmetic.
+template <int R>
+class WordMasker {
+ public:
+  explicit WordMasker(const PatternWindow& w)
+      : len_(w.len()), run_value_(w.run_value()), plus_one_(w.plus_one()) {}
+
+  std::uint64_t step(std::uint64_t chunk, std::size_t n) {
+    const std::uint64_t x = run_value_ ? chunk : ~chunk;
+    std::uint64_t m = fold_.step(x, xprev_);
+    if (plus_one_) {
+      const std::uint64_t t = carry_shr(m, mprev_, 1) & ~x;
+      mprev_ = m;
+      m = t;
+    }
+    xprev_ = x;
+    if (first_) {
+      // Phantom prefix before the stream start must not match (the zero
+      // seed looks like a run when the run value is 0) — see RunMasker.
+      m &= ~0ull >> (len_ - 1);
+      first_ = false;
+    }
+    if (n < 64) m &= ~0ull << (64 - n);
+    return m;
+  }
+
+ private:
+  std::size_t len_;
+  bool run_value_;
+  bool plus_one_;
+  CarryFold<R> fold_;
+  std::uint64_t xprev_ = 0;
+  std::uint64_t mprev_ = 0;
+  bool first_ = true;
+};
+
+/// Batched resync-free stuffing: produces exactly the stream of
+/// stuff_append_resync_free, but instead of one Writer round-trip per match
+/// (a serial accumulator fed through data-dependent branches) it runs
+/// fixed-count word passes over stack-sized blocks:
+///   1. raw match masks and chain starts.  Chains (maximal runs of
+///      consecutive raw matches) are always separated by more than R bits:
+///      a second chain starting within R of the first would need its
+///      delimiting non-run bit inside the first chain's uniform run.
+///      Greedy thinning (horizon = match + R) therefore never crosses a
+///      chain boundary, and every chain start is accepted.
+///   2. a walk over chain starts accepts every R-th raw bit per chain and
+///      sets the stuff slot for the i-th accepted match at position p in
+///      OUTPUT space: slot = p + i + 1.  kRunPlusOne rules have isolated
+///      raw matches, so the walk degenerates to one slot per raw bit and
+///      matches the unthinned emission of the generic path.
+///   3. one PDEP per 64-bit output word deposits the kept input bits
+///      through the slot bitmap's complement — fixed iteration count, no
+///      data-dependent branches, so random match positions cost no
+///      mispredictions.
+template <int R>
+__attribute__((target("bmi2"))) void stuff_append_runs_bmi2(
+    const StuffingRule& rule, const BitString& data,
+    const PatternWindow& window, BitString& out) {
+  constexpr std::size_t kBlockWords = 64;
+  constexpr std::size_t kBlockBits = kBlockWords * 64;
+  const std::size_t total = data.size();
+  // Greedy accepts are >= R apart, so ceil(total/R) bounds the stuff bits.
+  BitString::Writer wr(out, total + total / static_cast<std::size_t>(R) + 1);
+  WordMasker<R> masker(window);
+  std::uint64_t raws[kBlockWords];
+  std::uint64_t starts[kBlockWords];
+  // Slot bitmap for one block's output window; worst case (R == 1, all
+  // bits matching) doubles the block.
+  std::uint64_t sbm[2 * kBlockWords + 2];
+  std::uint64_t rprev = 0;
+  std::size_t resume = BitString::npos;  // chain continuing across blocks
+  for (std::size_t base = 0; base < total; base += kBlockBits) {
+    const std::size_t bits = std::min(kBlockBits, total - base);
+    const std::size_t nwords = (bits + 63) >> 6;
+    for (std::size_t i = 0; i < nwords; ++i) {
+      const std::size_t n = std::min<std::size_t>(64, bits - i * 64);
+      // Bits past size() are zero by invariant, so the raw word IS the
+      // top-aligned chunk.
+      const std::uint64_t chunk = data.word((base >> 6) + i);
+      const std::uint64_t m = masker.step(chunk, n);
+      raws[i] = m;
+      starts[i] = m & ~carry_shr(m, rprev, 1);
+      rprev = m;
+    }
+    std::size_t kblk = 0;  // accepted matches so far in this block
+    std::memset(sbm, 0, (((bits + bits / R) >> 6) + 2) * sizeof(sbm[0]));
+    const auto raw_at = [&](std::size_t p) {
+      return ((raws[p >> 6] >> (63 - (p & 63))) & 1) != 0;
+    };
+    // Accepts the chain bit at block-local position p, then every R-th
+    // while the chain continues; parks the horizon in `resume` when the
+    // chain may continue into the next block.
+    const auto walk = [&](std::size_t p) {
+      for (;;) {
+        const std::size_t q = p + kblk + 1;
+        sbm[q >> 6] |= 1ull << (63 - (q & 63));
+        ++kblk;
+        p += static_cast<std::size_t>(R);
+        if (p >= bits) {
+          if (base + bits < total) resume = base + p;
+          return;
+        }
+        if (!raw_at(p)) return;
+      }
+    };
+    if (resume != BitString::npos) {
+      const std::size_t p = resume - base;
+      resume = BitString::npos;
+      if (p < bits && raw_at(p)) walk(p);
+    }
+    for (std::size_t i = 0; i < nwords; ++i) {
+      std::uint64_t st = starts[i];
+      while (st != 0) {
+        const auto j = static_cast<std::size_t>(std::countl_zero(st));
+        st &= ~(1ull << (63 - j));
+        walk(i * 64 + j);
+      }
+    }
+    // pass 3: gather kept input bits into each output word of the window.
+    const std::size_t owin = bits + kblk;
+    const std::size_t ofull = owin >> 6;
+    std::size_t in_pos = base;
+    for (std::size_t ow = 0; ow < ofull; ++ow) {
+      const std::uint64_t slots = sbm[ow];
+      const std::uint64_t keep = ~slots;
+      const auto n = static_cast<unsigned>(std::popcount(keep));
+      // Stuff slots are never adjacent (gaps >= R + 1), so n >= 32 here.
+      const std::uint64_t val = window_at(data, in_pos) >> (64 - n);
+      std::uint64_t word = _pdep_u64(val, keep);
+      if (rule.stuff_bit) word |= slots;
+      wr.emit(word, 64);
+      in_pos += n;
+    }
+    if (const std::size_t rem = owin & 63; rem != 0) {
+      const std::uint64_t wmask = ~0ull << (64 - rem);
+      const std::uint64_t slots = sbm[ofull] & wmask;
+      const std::uint64_t keep = ~slots & wmask;
+      const auto n = static_cast<unsigned>(std::popcount(keep));
+      const std::uint64_t val =
+          n != 0 ? window_at(data, in_pos) >> (64 - n) : 0;
+      std::uint64_t word = _pdep_u64(val, keep);
+      if (rule.stuff_bit) word |= slots;
+      wr.emit(word, rem);
+    }
+  }
+  wr.finish();
+}
+
+/// Batched fold-shape unstuffing: one mask, one PEXT compaction, and one
+/// Writer emit per 64-bit chunk, with the stuff-bit validation accumulated
+/// word-parallel and checked once at the end.
+template <int R>
+__attribute__((target("bmi2"))) bool unstuff_runs_bmi2(
+    const StuffingRule& rule, const BitString& stuffed, std::size_t start,
+    std::size_t nbits, const PatternWindow& window, BitString& out) {
+  BitString::Writer wr(out, nbits);
+  WordMasker<R> masker(window);
+  const std::uint64_t want = rule.stuff_bit ? ~0ull : 0;
+  std::uint64_t err = 0;
+  std::uint64_t pend = 0;  // a match ended on the previous chunk's last bit
+  for (std::size_t off = 0; off < nbits; off += 64) {
+    const std::size_t n = std::min<std::size_t>(64, nbits - off);
+    std::uint64_t chunk = window_at(stuffed, start + off);
+    if (n < 64) chunk &= ~0ull << (64 - n);
+    const std::uint64_t m = masker.step(chunk, n);
+    std::uint64_t del = (m >> 1) | pend;
+    pend = (m & (1ull << (64 - n))) != 0 ? 1ull << 63 : 0;
+    if (n < 64) del &= ~0ull << (64 - n);
+    // Every deleted position must carry the stuff bit.
+    err |= (chunk ^ want) & del;
+    const std::uint64_t keep =
+        n < 64 ? ~del & (~0ull << (64 - n)) : ~del;
+    const auto nk = static_cast<unsigned>(std::popcount(keep));
+    const std::uint64_t val = _pext_u64(chunk, keep);
+    wr.emit(nk != 0 ? val << (64 - nk) : 0, nk);
+  }
+  wr.finish();
+  return err == 0;
+}
+#endif
+
+}  // namespace
+
+void stuff_append(const StuffingRule& rule, const BitString& data,
+                  BitString& out) {
   PatternWindow window(rule.trigger);
-  BitString out;
+  const std::size_t len = rule.trigger.size();
+  if (window.resync_free(rule.stuff_bit)) {
+#ifdef SUBLAYER_HAS_BMI2_PATH
+    if (kHasBmi2) {
+      switch (window.plus_one() ? window.len() - 1 : window.len()) {
+        case 1: stuff_append_runs_bmi2<1>(rule, data, window, out); return;
+        case 2: stuff_append_runs_bmi2<2>(rule, data, window, out); return;
+        case 3: stuff_append_runs_bmi2<3>(rule, data, window, out); return;
+        case 4: stuff_append_runs_bmi2<4>(rule, data, window, out); return;
+        case 5: stuff_append_runs_bmi2<5>(rule, data, window, out); return;
+        case 6: stuff_append_runs_bmi2<6>(rule, data, window, out); return;
+        case 7: stuff_append_runs_bmi2<7>(rule, data, window, out); return;
+        case 8: stuff_append_runs_bmi2<8>(rule, data, window, out); return;
+        default: break;  // longer runs: fall through to the masker path
+      }
+    }
+#endif
+    dispatch_run_masker(window, [&](auto masker) {
+      stuff_append_resync_free(rule, data, window, masker, out);
+    });
+    return;
+  }
   // Worst case doubles the stream; the common case adds a few percent.
-  out.reserve(data.size() + data.size() / 16 + 64);
+  out.reserve(out.size() + data.size() + data.size() / 16 + 64);
   const std::size_t total = data.size();
   std::size_t off = 0;
   while (off < total) {
     const std::size_t n = std::min<std::size_t>(64, total - off);
     const std::uint64_t chunk = data.bits_at(off, n) << (64 - n);
     const std::uint64_t matches = window.match_mask(chunk, n);
-    if (matches == 0) {
-      // No trigger completes in this chunk: emit it whole.
-      out.append_word(n == 64 ? chunk : chunk >> (64 - n), static_cast<int>(n));
-      window.advance(chunk, n);
-      off += n;
-      continue;
-    }
-    // Emit up to and including the first matching bit, then the stuff
-    // bit(s).  A stuffed bit feeds back into the automaton, so everything
-    // after it rescans from the updated state.
-    const auto j = static_cast<std::size_t>(std::countl_zero(matches));
-    out.append_word(chunk >> (63 - j), static_cast<int>(j + 1));
-    window.advance(chunk, j + 1);
-    off += j + 1;
-    int consecutive_stuffs = 0;
-    bool matched = true;
-    while (matched) {
-      if (++consecutive_stuffs > 64) {
-        // e.g. trigger = bbb...b with stuff bit b: stuffing retriggers itself
-        // forever.  Such rules are degenerate and rejected by the verifier.
-        throw std::invalid_argument("stuff: runaway self-triggering rule");
+    // One mask per chunk.  An inserted stuff bit only perturbs the automaton
+    // for the next len-1 *data* bits (after those, the window again holds
+    // nothing but original stream bits), so after each cascade we step
+    // bit-at-a-time until len-1 clean bits have passed and then resume
+    // trusting the original mask — no rescan.
+    std::size_t pos = 0;  // next chunk bit to emit
+    while (pos < n) {
+      const std::uint64_t rest = pos == 0 ? matches : matches << pos >> pos;
+      if (rest == 0) {
+        out.append_word((chunk << pos) >> (64 - (n - pos)),
+                        static_cast<int>(n - pos));
+        window.advance(chunk << pos, n - pos);
+        pos = n;
+        break;
       }
-      matched = window.push(rule.stuff_bit);
-      out.push_back(rule.stuff_bit);
+      const auto j = static_cast<std::size_t>(std::countl_zero(rest));
+      // Emit up to and including the matching bit, then the stuff bit(s).
+      out.append_word((chunk << pos) >> (63 - (j - pos)),
+                      static_cast<int>(j - pos + 1));
+      window.advance(chunk << pos, j - pos + 1);
+      pos = j + 1;
+      emit_stuff_cascade(rule, window, out);
+      std::size_t clean = 0;
+      while (clean + 1 < len && pos < n) {
+        const bool bit = ((chunk >> (63 - pos)) & 1) != 0;
+        const bool matched = window.push(bit);
+        out.push_back(bit);
+        ++pos;
+        ++clean;
+        if (matched) {
+          emit_stuff_cascade(rule, window, out);
+          clean = 0;
+        }
+      }
+      // If the resync window crossed the chunk boundary, the next chunk's
+      // match_mask is computed from the live automaton state and needs no
+      // special casing.
     }
+    off += n;
   }
+}
+
+BitString stuff(const StuffingRule& rule, const BitString& data) {
+  BitString out;
+  stuff_append(rule, data, out);
   return out;
 }
 
-std::optional<BitString> unstuff(const StuffingRule& rule,
-                                 const BitString& stuffed) {
-  // The receive-side automaton runs over the *received* stream, stuffed
-  // bits included, so (unlike stuff) the scan has no feedback: every chunk
-  // is matched bit-parallel in one pass, and each match just marks the
-  // following bit for validation + deletion.
-  PatternWindow window(rule.trigger);
-  BitString out;
-  out.reserve(stuffed.size());
-  const std::size_t total = stuffed.size();
+namespace {
+
+/// The receive-side scan over the *received* stream, stuffed bits included
+/// — no feedback, so every chunk is matched bit-parallel in one pass and
+/// each match just marks the following bit for validation + deletion.
+/// `next_mask(chunk, n)` yields the match mask for the chunk and advances.
+template <typename MaskFn>
+bool unstuff_scan(const StuffingRule& rule, const BitString& stuffed,
+                  std::size_t start, std::size_t len, BitString& out,
+                  MaskFn&& next_mask) {
+  BitString::Writer wr(out, len);
+  const std::size_t total = len;
   bool pending_delete = false;  // a match ended on the previous chunk's last bit
   for (std::size_t off = 0; off < total; off += 64) {
     const std::size_t n = std::min<std::size_t>(64, total - off);
-    const std::uint64_t chunk = stuffed.bits_at(off, n) << (64 - n);
-    const std::uint64_t matches = window.match_mask(chunk, n);
-    window.advance(chunk, n);
+    const std::uint64_t chunk = stuffed.bits_at(start + off, n) << (64 - n);
+    const std::uint64_t matches = next_mask(chunk, n);
     std::uint64_t del = matches >> 1;
     if (pending_delete) del |= 1ull << 63;
     pending_delete = (matches & (1ull << (64 - n))) != 0;
     if (n < 64) del &= ~0ull << (64 - n);
-    // Copy the runs between deleted bits; verify each deleted bit is the
-    // stuff bit (anything else means corruption or an invalid rule).
+    // Every deleted position must carry the stuff bit (anything else means
+    // corruption or an invalid rule) — checked word-parallel.
+    if ((chunk & del) != (rule.stuff_bit ? del : 0)) return false;
+    if (del == 0) {
+      wr.emit(chunk, n);
+      continue;
+    }
+#ifdef SUBLAYER_HAS_BMI2_PATH
+    if (kHasBmi2) {
+      // One PEXT compacts all kept bits of the chunk at once.  ~del also
+      // selects the zero positions past bit n; they extract as low-order
+      // zeros below the kept bits and are masked off by the emit width.
+      const auto dropped = static_cast<unsigned>(std::popcount(del));
+      wr.emit(compact_left_bmi2(chunk, ~del, 64 - dropped),
+              n - dropped);
+      continue;
+    }
+#endif
+    // Portable fallback: copy the runs between deleted bits.
     std::size_t pos = 0;
     while (del != 0) {
       const auto d = static_cast<std::size_t>(std::countl_zero(del));
-      if (d > pos) {  // run of kept bits [pos, d)
-        out.append_word((chunk >> (64 - d)) & ((1ull << (d - pos)) - 1),
-                        static_cast<int>(d - pos));
-      }
-      if (((chunk >> (63 - d)) & 1) != (rule.stuff_bit ? 1u : 0u)) {
-        return std::nullopt;
-      }
+      wr.emit(chunk << pos, d - pos);
       del &= ~(1ull << (63 - d));
       pos = d + 1;
     }
-    if (pos < n) {  // tail run of kept bits [pos, n)
-      const std::uint64_t v = n == 64 ? chunk : chunk >> (64 - n);
-      out.append_word(pos == 0 ? v : v & ((1ull << (n - pos)) - 1),
-                      static_cast<int>(n - pos));
+    if (pos < n) wr.emit(chunk << pos, n - pos);
+  }
+  wr.finish();
+  return true;
+}
+
+}  // namespace
+
+bool unstuff_append(const StuffingRule& rule, const BitString& stuffed,
+                    std::size_t start, std::size_t len, BitString& out) {
+  PatternWindow window(rule.trigger);
+  if (window.fold_shape()) {
+#ifdef SUBLAYER_HAS_BMI2_PATH
+    if (kHasBmi2) {
+      switch (window.plus_one() ? window.len() - 1 : window.len()) {
+        case 1: return unstuff_runs_bmi2<1>(rule, stuffed, start, len, window, out);
+        case 2: return unstuff_runs_bmi2<2>(rule, stuffed, start, len, window, out);
+        case 3: return unstuff_runs_bmi2<3>(rule, stuffed, start, len, window, out);
+        case 4: return unstuff_runs_bmi2<4>(rule, stuffed, start, len, window, out);
+        case 5: return unstuff_runs_bmi2<5>(rule, stuffed, start, len, window, out);
+        case 6: return unstuff_runs_bmi2<6>(rule, stuffed, start, len, window, out);
+        case 7: return unstuff_runs_bmi2<7>(rule, stuffed, start, len, window, out);
+        case 8: return unstuff_runs_bmi2<8>(rule, stuffed, start, len, window, out);
+        default: break;
+      }
     }
+#endif
+    return dispatch_run_masker(window, [&](auto masker) {
+      return unstuff_scan(rule, stuffed, start, len, out,
+                          [&](std::uint64_t c, std::size_t n) {
+                            return masker.mask(c, n);
+                          });
+    });
+  }
+  return unstuff_scan(rule, stuffed, start, len, out,
+                      [&](std::uint64_t c, std::size_t n) {
+                        const std::uint64_t m = window.match_mask(c, n);
+                        window.advance(c, n);
+                        return m;
+                      });
+}
+
+std::optional<BitString> unstuff(const StuffingRule& rule,
+                                 const BitString& stuffed) {
+  BitString out;
+  if (!unstuff_append(rule, stuffed, 0, stuffed.size(), out)) {
+    return std::nullopt;
   }
   return out;
 }
@@ -194,15 +764,38 @@ std::optional<BitString> remove_flags(const BitString& flag,
   return framed.slice(flag.size(), framed.size() - 2 * flag.size());
 }
 
+void frame_append(const StuffingRule& rule, const BitString& data,
+                  BitString& out) {
+  out.append(rule.flag);
+  stuff_append(rule, data, out);
+  out.append(rule.flag);
+}
+
+bool deframe_append(const StuffingRule& rule, const BitString& framed,
+                    BitString& out) {
+  return deframe_append(rule, framed, 0, framed.size(), out);
+}
+
+bool deframe_append(const StuffingRule& rule, const BitString& framed,
+                    std::size_t start, std::size_t len, BitString& out) {
+  const std::size_t fl = rule.flag.size();
+  if (len < 2 * fl || start + len > framed.size()) return false;
+  if (!framed.matches_at(start, rule.flag)) return false;
+  if (!framed.matches_at(start + len - fl, rule.flag)) return false;
+  return unstuff_append(rule, framed, start + fl, len - 2 * fl, out);
+}
+
 BitString frame(const StuffingRule& rule, const BitString& data) {
-  return add_flags(rule.flag, stuff(rule, data));
+  BitString out;
+  frame_append(rule, data, out);
+  return out;
 }
 
 std::optional<BitString> deframe(const StuffingRule& rule,
                                  const BitString& framed) {
-  const auto body = remove_flags(rule.flag, framed);
-  if (!body) return std::nullopt;
-  return unstuff(rule, *body);
+  BitString out;
+  if (!deframe_append(rule, framed, out)) return std::nullopt;
+  return out;
 }
 
 StreamDeframer::StreamDeframer(StuffingRule rule) : rule_(std::move(rule)) {

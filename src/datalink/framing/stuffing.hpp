@@ -46,11 +46,23 @@ struct StuffingRule {
 /// emitted stream (stuffed bits included in the pattern scan).
 BitString stuff(const StuffingRule& rule, const BitString& data);
 
+/// Appends Stuff(data) to `out` — the allocation-free form of stuff() for a
+/// buffer the caller (typically a FrameArena) already owns.
+void stuff_append(const StuffingRule& rule, const BitString& data,
+                  BitString& out);
+
 /// Inverse of stuff().  Returns nullopt if the stream is inconsistent with
 /// the rule (a trigger followed by the wrong bit), which indicates either
 /// corruption or an invalid rule.
 std::optional<BitString> unstuff(const StuffingRule& rule,
                                  const BitString& stuffed);
+
+/// Appends Unstuff(stuffed[start, start+len)) to `out`; false (with `out`
+/// holding a partial prefix the caller must discard) on an inconsistent
+/// stream.  Range form so deframing never materializes the flag-stripped
+/// slice.
+bool unstuff_append(const StuffingRule& rule, const BitString& stuffed,
+                    std::size_t start, std::size_t len, BitString& out);
 
 // ---- Flag sublayer ---------------------------------------------------------
 
@@ -68,6 +80,19 @@ std::optional<BitString> remove_flags(const BitString& flag,
 BitString frame(const StuffingRule& rule, const BitString& data);
 std::optional<BitString> deframe(const StuffingRule& rule,
                                  const BitString& framed);
+
+/// Appends frame(rule, data) to `out` without intermediate buffers.
+void frame_append(const StuffingRule& rule, const BitString& data,
+                  BitString& out);
+/// Appends deframe(rule, framed) to `out`; false on bad flags or an
+/// inconsistent stuffed stream (out may then hold a partial prefix).
+bool deframe_append(const StuffingRule& rule, const BitString& framed,
+                    BitString& out);
+/// Range form: deframes framed[start, start+len) without materializing the
+/// slice — the batched data plane deframes in place after its length-prefix
+/// parse.
+bool deframe_append(const StuffingRule& rule, const BitString& framed,
+                    std::size_t start, std::size_t len, BitString& out);
 
 /// Incremental deframer for a continuous bit stream carrying back-to-back
 /// frames (idle fill between frames is permitted only as repeated flags).

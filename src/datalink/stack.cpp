@@ -141,12 +141,184 @@ std::optional<Bytes> DataPlane::up(ByteView raw) {
   return checked;
 }
 
+void DataPlane::down_batch(std::vector<Bytes>& arq_frames,
+                           std::vector<Bytes>& wire_out) {
+  auto& tracer = telemetry::SpanTracer::instance();
+  // Stage 1: error detection — append the tag in place on every frame.
+  for (Bytes& f : arq_frames) {
+    tracer.crossing(errdet_span_, telemetry::Dir::kDown, f.size());
+    detector_->protect_in_place(f);
+    ++stats_.frames_tagged;
+    SUBLAYER_TAP(telemetry::TapPoint::kFcs, telemetry::Dir::kDown,
+                 ByteView(f));
+  }
+  // Stage 2: framing — build each frame's channel bit stream directly in
+  // an arena buffer: 32-bit length placeholder, stuffed+flagged body,
+  // prefix patched, zero pad to a byte boundary.  Bit-for-bit what down()
+  // produces, without the framed→channel copy.
+  batch_chan_.clear();
+  BitString data = arena_.acquire_bits();
+  for (Bytes& f : arq_frames) {
+    tracer.crossing(framing_span_, telemetry::Dir::kDown, f.size());
+    data.assign_bytes(ByteView(f));
+    BitString ch = arena_.acquire_bits();
+    ch.reserve(32 + 2 * stuffing_.flag.size() + data.size() +
+               data.size() / 8 + 64);
+    ch.append_word(0, 32);
+    frame_append(stuffing_, data, ch);
+    const std::size_t nbits = ch.size() - 32;
+    ch.overwrite_bits(0, static_cast<std::uint64_t>(nbits), 32);
+    while (ch.size() % 8 != 0) ch.push_back(false);
+    ++stats_.frames_framed;
+    if (SUBLAYER_TAP_ACTIVE(telemetry::TapPoint::kFraming)) {
+      const Bytes packed = pack_bits(ch.slice(32, nbits));
+      SUBLAYER_TAP(telemetry::TapPoint::kFraming, telemetry::Dir::kDown,
+                   ByteView(packed));
+    }
+    arena_.recycle(std::move(f));  // tagged ARQ buffer fully consumed
+    batch_chan_.push_back(std::move(ch));
+  }
+  arena_.recycle(std::move(data));
+  arq_frames.clear();
+  // Stage 3: encoding — line-code and pack each channel stream.  For an
+  // identity code (NRZ) the channel bits ARE the symbols: skip the copy.
+  const bool identity = code_->is_identity();
+  for (BitString& ch : batch_chan_) {
+    tracer.crossing(phy_span_, telemetry::Dir::kDown, ch.size() / 8);
+    BitString symbols;
+    if (!identity) {
+      symbols = arena_.acquire_bits();
+      symbols.reserve(
+          static_cast<std::size_t>(static_cast<double>(ch.size()) *
+                                   code_->symbols_per_bit()) +
+          64);
+      code_->encode_append(ch, symbols);
+    }
+    const BitString& sym = identity ? ch : symbols;
+    ++stats_.frames_encoded;
+    Bytes wire = arena_.acquire_bytes();
+    wire.reserve(4 + (sym.size() + 7) / 8);
+    ByteWriter w(wire);
+    w.u32(static_cast<std::uint32_t>(sym.size()));
+    sym.copy_bytes_into(wire);
+    SUBLAYER_TAP(telemetry::TapPoint::kPhyWire, telemetry::Dir::kDown,
+                 ByteView(wire));
+    if (!identity) arena_.recycle(std::move(symbols));
+    arena_.recycle(std::move(ch));
+    wire_out.push_back(std::move(wire));
+  }
+  batch_chan_.clear();
+}
+
+void DataPlane::up_batch(std::vector<Bytes>& raws, std::vector<Bytes>& out) {
+  auto& tracer = telemetry::SpanTracer::instance();
+  const bool identity = code_->is_identity();
+  // Stage 1: encoding — unpack the symbol count, recover channel bits,
+  // check the length prefix.  Parsed straight off the raw bytes into
+  // arena buffers (the moral equivalent of unpack_bits + decode, minus
+  // both allocations).
+  batch_chan_.clear();
+  batch_len_.clear();
+  for (Bytes& raw : raws) {
+    SUBLAYER_TAP(telemetry::TapPoint::kPhyWire, telemetry::Dir::kUp,
+                 ByteView(raw));
+    BitString ch = arena_.acquire_bits();
+    bool ok = false;
+    do {
+      if (raw.size() < 4) break;
+      ByteReader r(raw);
+      const std::uint32_t nsym = r.u32();
+      if (r.remaining() != (static_cast<std::size_t>(nsym) + 7) / 8) break;
+      if (identity) {
+        ch.assign_bytes(r.rest_view());
+        if (nsym > ch.size()) break;
+        ch.truncate(nsym);
+      } else {
+        BitString sym = arena_.acquire_bits();
+        sym.assign_bytes(r.rest_view());
+        if (nsym > sym.size()) {
+          arena_.recycle(std::move(sym));
+          break;
+        }
+        sym.truncate(nsym);
+        const bool decoded = code_->decode_append(sym, ch);
+        arena_.recycle(std::move(sym));
+        if (!decoded) break;
+      }
+      if (ch.size() % 8 != 0 || ch.size() < 32) break;
+      const auto nbits = static_cast<std::size_t>(ch.bits_at(0, 32));
+      if (ch.size() - 32 != 8 * ((nbits + 7) / 8)) break;
+      tracer.crossing(phy_span_, telemetry::Dir::kUp, ch.size() / 8);
+      ++stats_.frames_decoded;
+      batch_len_.push_back(nbits);
+      batch_chan_.push_back(std::move(ch));
+      ok = true;
+    } while (false);
+    if (!ok) {
+      ++stats_.phy_decode_failures;
+      arena_.recycle(std::move(ch));  // may hold a partial decode: discard
+    }
+    arena_.recycle(std::move(raw));
+  }
+  raws.clear();
+  // Stage 2: framing — deframe each channel stream in place (range form:
+  // no flag-stripped slice is materialized).
+  batch_body_.clear();
+  for (std::size_t i = 0; i < batch_chan_.size(); ++i) {
+    BitString& ch = batch_chan_[i];
+    const std::size_t nbits = batch_len_[i];
+    BitString body = arena_.acquire_bits();
+    body.reserve(nbits);
+    const bool ok = deframe_append(stuffing_, ch, 32, nbits, body) &&
+                    body.size() % 8 == 0;
+    if (!ok) {
+      ++stats_.deframe_failures;
+      arena_.recycle(std::move(body));
+      arena_.recycle(std::move(ch));
+      continue;
+    }
+    if (SUBLAYER_TAP_ACTIVE(telemetry::TapPoint::kFraming)) {
+      const Bytes packed = pack_bits(ch.slice(32, nbits));
+      SUBLAYER_TAP(telemetry::TapPoint::kFraming, telemetry::Dir::kUp,
+                   ByteView(packed));
+    }
+    tracer.crossing(framing_span_, telemetry::Dir::kUp, body.size() / 8);
+    ++stats_.frames_deframed;
+    arena_.recycle(std::move(ch));
+    batch_body_.push_back(std::move(body));
+  }
+  batch_chan_.clear();
+  batch_len_.clear();
+  // Stage 3: error detection — byte image, then verify and strip in place.
+  for (BitString& body : batch_body_) {
+    Bytes checked = arena_.acquire_bytes();
+    body.copy_bytes_into(checked);  // size % 8 == 0: no pad bits
+    arena_.recycle(std::move(body));
+    SUBLAYER_TAP(telemetry::TapPoint::kFcs, telemetry::Dir::kUp,
+                 ByteView(checked));
+    if (!detector_->check_strip_in_place(checked)) {
+      ++stats_.checksum_failures;
+      arena_.recycle(std::move(checked));
+      continue;
+    }
+    tracer.crossing(errdet_span_, telemetry::Dir::kUp, checked.size());
+    ++stats_.frames_checked;
+    ++stats_.frames_up;  // survived all three sublayers
+    out.push_back(std::move(checked));
+  }
+  batch_body_.clear();
+}
+
 DatalinkEndpoint::DatalinkEndpoint(sim::Simulator& sim,
                                    std::unique_ptr<phy::LineCode> code,
                                    std::unique_ptr<ErrorDetector> detector,
                                    const StackConfig& config)
-    : plane_(std::move(code), std::move(detector), config.stuffing),
-      arq_(arq_factory(config.arq_engine)(sim, config.arq)) {
+    : plane_(std::move(code), std::move(detector), config.stuffing) {
+  // The ARQ engine draws its emitted frames from the plane's arena, so
+  // the batched down path can recycle them once their bits are packed.
+  ArqConfig ac = config.arq;
+  ac.arena = &plane_.arena();
+  arq_ = arq_factory(config.arq_engine)(sim, ac);
   auto& tracer = telemetry::SpanTracer::instance();
   link_span_ = tracer.intern("datalink.link");
   arq_span_ = tracer.intern("datalink.arq");
@@ -156,12 +328,32 @@ DatalinkEndpoint::DatalinkEndpoint(sim::Simulator& sim,
         arq_span_, telemetry::Dir::kDown, f.size());
     SUBLAYER_TAP(telemetry::TapPoint::kArq, telemetry::Dir::kDown,
                  ByteView(f));
+    if (collecting_tx_) {
+      // Mid-burst: collect; on_wire_batch sends everything down at once.
+      pending_tx_.push_back(std::move(f));
+      return;
+    }
+    if (wire_batch_sink_) {
+      // Batched wiring, but an isolated emission (an upper-layer send, a
+      // retransmission timer): a batch of one keeps the single code path.
+      pending_tx_.push_back(std::move(f));
+      tx_scratch_.clear();
+      plane_.down_batch(pending_tx_, tx_scratch_);
+      wire_batch_sink_(tx_scratch_);
+      tx_scratch_.clear();
+      return;
+    }
     if (wire_sink_) wire_sink_(plane_.down(std::move(f)));
   });
 }
 
 void DatalinkEndpoint::set_wire_sink(std::function<void(Bytes)> sink) {
   wire_sink_ = std::move(sink);
+}
+
+void DatalinkEndpoint::set_wire_batch_sink(
+    std::function<void(sim::FrameBatch&)> sink) {
+  wire_batch_sink_ = std::move(sink);
 }
 
 void DatalinkEndpoint::set_deliver(Deliver d) {
@@ -194,6 +386,33 @@ void DatalinkEndpoint::on_wire_frame(Bytes raw) {
   arq_->on_frame(std::move(*arq_frame));
 }
 
+void DatalinkEndpoint::on_wire_batch(sim::FrameBatch& raws) {
+  auto& tracer = telemetry::SpanTracer::instance();
+  up_scratch_.clear();
+  plane_.up_batch(raws, up_scratch_);
+  // Feed the survivors to ARQ in delivery order, collecting everything it
+  // emits in response — acks, window releases, retransmissions — so the
+  // burst's whole answer goes back down the sublayers as one batch.
+  collecting_tx_ = true;
+  for (Bytes& f : up_scratch_) {
+    tracer.crossing(arq_span_, telemetry::Dir::kUp, f.size());
+    SUBLAYER_TAP(telemetry::TapPoint::kArq, telemetry::Dir::kUp,
+                 ByteView(f));
+    arq_->on_frame(std::move(f));
+  }
+  collecting_tx_ = false;
+  up_scratch_.clear();
+  if (pending_tx_.empty()) return;
+  tx_scratch_.clear();
+  plane_.down_batch(pending_tx_, tx_scratch_);
+  if (wire_batch_sink_) {
+    wire_batch_sink_(tx_scratch_);
+  } else if (wire_sink_) {
+    for (Bytes& w : tx_scratch_) wire_sink_(std::move(w));
+  }
+  tx_scratch_.clear();
+}
+
 DatalinkPair::DatalinkPair(sim::Simulator& sim,
                            const sim::LinkConfig& link_config, Rng& rng,
                            const StackConfig& config,
@@ -204,6 +423,17 @@ DatalinkPair::DatalinkPair(sim::Simulator& sim,
     : link_(sim, link_config, rng, "datalink"),
       a_(sim, std::move(code_a), std::move(det_a), config),
       b_(sim, std::move(code_b), std::move(det_b), config) {
+  if (config.batched_wire) {
+    a_.set_wire_batch_sink(
+        [this](sim::FrameBatch& b) { link_.a_to_b().send_batch(std::move(b)); });
+    b_.set_wire_batch_sink(
+        [this](sim::FrameBatch& b) { link_.b_to_a().send_batch(std::move(b)); });
+    link_.a_to_b().set_batch_receiver(
+        [this](sim::FrameBatch& b) { b_.on_wire_batch(b); });
+    link_.b_to_a().set_batch_receiver(
+        [this](sim::FrameBatch& b) { a_.on_wire_batch(b); });
+    return;
+  }
   a_.set_wire_sink([this](Bytes f) { link_.a_to_b().send(std::move(f)); });
   b_.set_wire_sink([this](Bytes f) { link_.b_to_a().send(std::move(f)); });
   link_.a_to_b().set_receiver([this](Bytes f) { b_.on_wire_frame(std::move(f)); });

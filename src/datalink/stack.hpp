@@ -38,6 +38,11 @@ struct StackConfig {
   ArqConfig arq;
   /// Engine names: "stop-and-wait", "go-back-n", "selective-repeat".
   std::string arq_engine = "selective-repeat";
+  /// Wire the endpoints to the link through the batched paths (burst
+  /// receive via Link::set_batch_receiver, transmit via send_batch), so a
+  /// burst of deliveries crosses the sublayers stage-by-stage in one
+  /// visit.  Off: classic per-frame wiring — the replay baseline.
+  bool batched_wire = false;
 };
 
 /// Registry-backed (`datalink.<sublayer>.*`); reads stay per-instance.
@@ -73,6 +78,25 @@ class DataPlane {
   /// or nullopt (with the failing sublayer's counter bumped).
   std::optional<Bytes> up(ByteView raw);
 
+  /// Vectorized down(): pushes the whole batch through each sublayer in
+  /// turn (tag xN, then frame xN, then encode xN), appending one wire
+  /// frame per input to `wire_out`.  Byte-identical output, taps, span
+  /// crossings, and counters to N down() calls — taps merely group by
+  /// stage instead of by frame (same virtual timestamp either way).
+  /// Consumed input buffers are recycled into the arena; steady state
+  /// runs allocation-free once the pools are warm.
+  void down_batch(std::vector<Bytes>& arq_frames, std::vector<Bytes>& wire_out);
+
+  /// Vectorized up(): survivors (frames that clear all three sublayers)
+  /// append to `out` in input order; failures bump the failing sublayer's
+  /// counter exactly as up() does.  Consumed raw buffers are recycled.
+  void up_batch(std::vector<Bytes>& raws, std::vector<Bytes>& out);
+
+  /// Buffer pool the batched paths recycle through; the ARQ engine above
+  /// shares it (ArqConfig::arena), closing the loop: frames it emits come
+  /// back here once their bits are on the wire.
+  FrameArena& arena() { return arena_; }
+
   const StackStats& stats() const { return stats_; }
   const phy::LineCode& code() const { return *code_; }
   const ErrorDetector& detector() const { return *detector_; }
@@ -82,6 +106,11 @@ class DataPlane {
   std::unique_ptr<ErrorDetector> detector_;
   StuffingRule stuffing_;
   StackStats stats_;
+  FrameArena arena_;
+  // Stage hand-off scratch for the batched paths, reused across bursts.
+  std::vector<BitString> batch_chan_;  // channel bits per in-flight frame
+  std::vector<std::size_t> batch_len_;  // up: parsed body bit-length
+  std::vector<BitString> batch_body_;  // up: deframed (still tagged) bits
   // Interned boundary ids for the span tracer, one per sublayer seam.
   std::uint32_t errdet_span_ = 0;   // error detection <-> framing
   std::uint32_t framing_span_ = 0;  // framing <-> encoding
@@ -99,8 +128,18 @@ class DatalinkEndpoint {
 
   /// Wires the raw transmit path (towards the peer's on_wire_frame).
   void set_wire_sink(std::function<void(Bytes)> sink);
+  /// Wires the batched transmit path: a whole burst of wire frames at
+  /// once (e.g. Link::send_batch).  The sink may move the frames out; the
+  /// batch vector itself stays owned by the endpoint and is reused.
+  /// Takes precedence over set_wire_sink.
+  void set_wire_batch_sink(std::function<void(sim::FrameBatch&)> sink);
   /// Feeds a raw frame received from the wire (attach as Link receiver).
   void on_wire_frame(Bytes raw);
+  /// Feeds a burst of raw frames (attach as Link batch receiver): the
+  /// burst crosses the data plane stage-major, every survivor feeds ARQ,
+  /// and everything ARQ emits in response — acks, data releases,
+  /// retransmissions — goes back down as one batch.
+  void on_wire_batch(sim::FrameBatch& raws);
 
   void set_deliver(Deliver d);
   /// Sends a payload with the full reliable-delivery service.
@@ -118,6 +157,14 @@ class DatalinkEndpoint {
   DataPlane plane_;
   std::unique_ptr<ArqEndpoint> arq_;
   std::function<void(Bytes)> wire_sink_;
+  std::function<void(sim::FrameBatch&)> wire_batch_sink_;
+  /// True while a burst is being fed to ARQ: the frame sink then collects
+  /// emitted frames into pending_tx_ instead of sending them one by one,
+  /// so the burst's responses go down the sublayers as one batch.
+  bool collecting_tx_ = false;
+  std::vector<Bytes> pending_tx_;
+  std::vector<Bytes> up_scratch_;
+  sim::FrameBatch tx_scratch_;
   // Interned boundary ids for the seams the endpoint itself owns.
   std::uint32_t link_span_ = 0;  // service boundary (send/deliver)
   std::uint32_t arq_span_ = 0;   // ARQ <-> error detection

@@ -370,6 +370,31 @@ std::size_t Network::connect(RouterId a, RouterId b,
     link.b_to_a().set_remote_sink([this, ch_ba](TimePoint at, Bytes f) {
       psim_->post(ch_ba, at, std::move(f));
     });
+  } else if (config_.batched_links) {
+    // Burst receive: deliveries are batchable events and the router takes
+    // the burst frame by frame (forwarding stays per-frame; only the
+    // scheduler visits amortize).  Remote links keep per-frame channel
+    // posts — cross-shard ordering is the channel's contract, not ours.
+    link.a_to_b().set_batch_receiver([this, &rb, ib,
+                                      fcs](sim::FrameBatch& batch) {
+      for (Bytes& f : batch) {
+        if (fcs && !strip_fcs(f)) {
+          fcs_dropped_frames_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        rb.on_link_frame(ib, std::move(f));
+      }
+    });
+    link.b_to_a().set_batch_receiver([this, &ra, ia,
+                                      fcs](sim::FrameBatch& batch) {
+      for (Bytes& f : batch) {
+        if (fcs && !strip_fcs(f)) {
+          fcs_dropped_frames_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        ra.on_link_frame(ia, std::move(f));
+      }
+    });
   } else {
     link.a_to_b().set_receiver([this, &rb, ib, fcs](Bytes f) {
       if (fcs && !strip_fcs(f)) {

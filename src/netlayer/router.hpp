@@ -42,6 +42,11 @@ struct RouterConfig {
   /// (corruption is a link-layer problem), so corruption faults on bare
   /// links would otherwise deliver flipped bits straight to applications.
   bool link_fcs = false;
+  /// Network-harness links only: attach batch receivers so burst dequeue
+  /// (Simulator::set_burst_budget) can drain same-tick deliveries in one
+  /// scheduler visit.  Frames still reach the router one at a time, in
+  /// delivery order; traces are identical at every burst budget.
+  bool batched_links = false;
 };
 
 /// Registry-backed (`netlayer.fwd.*`); reads stay per-instance.

@@ -3,6 +3,18 @@
 #include <array>
 
 namespace sublayer::phy {
+
+void LineCode::encode_append(const BitString& data, BitString& out) const {
+  out.append(encode(data));
+}
+
+bool LineCode::decode_append(const BitString& symbols, BitString& out) const {
+  auto decoded = decode(symbols);
+  if (!decoded) return false;
+  out.append(*decoded);
+  return true;
+}
+
 namespace {
 
 /// Iterates a BitString 64 bits at a time (final chunk may be short),
@@ -20,9 +32,17 @@ class Nrz final : public LineCode {
  public:
   std::string name() const override { return "NRZ"; }
   double symbols_per_bit() const override { return 1.0; }
+  bool is_identity() const override { return true; }
   BitString encode(const BitString& data) const override { return data; }
   std::optional<BitString> decode(const BitString& symbols) const override {
     return symbols;
+  }
+  void encode_append(const BitString& data, BitString& out) const override {
+    out.append(data);
+  }
+  bool decode_append(const BitString& symbols, BitString& out) const override {
+    out.append(symbols);
+    return true;
   }
 };
 
@@ -31,12 +51,11 @@ class Nrzi final : public LineCode {
   std::string name() const override { return "NRZI"; }
   double symbols_per_bit() const override { return 1.0; }
 
-  BitString encode(const BitString& data) const override {
+  void encode_append(const BitString& data, BitString& out) const override {
     // level[i] = initial_level XOR parity(data[0..i]): a word-parallel
     // prefix-XOR from the MSB side, with the running level carried between
     // chunks, replaces the per-bit toggle loop.
-    BitString out;
-    out.reserve(data.size());
+    out.reserve(out.size() + data.size());
     bool level = false;
     for_each_chunk(data, [&](std::uint64_t v, std::size_t n) {
       std::uint64_t w = v << (64 - n);
@@ -50,14 +69,12 @@ class Nrzi final : public LineCode {
       out.append_word(w >> (64 - n), static_cast<int>(n));
       level = (w >> (64 - n)) & 1;
     });
-    return out;
   }
 
-  std::optional<BitString> decode(const BitString& symbols) const override {
+  bool decode_append(const BitString& symbols, BitString& out) const override {
     // data[i] = symbols[i] XOR symbols[i-1], with the previous chunk's last
     // level carried into the top bit.
-    BitString out;
-    out.reserve(symbols.size());
+    out.reserve(out.size() + symbols.size());
     bool prev = false;
     for_each_chunk(symbols, [&](std::uint64_t v, std::size_t n) {
       const std::uint64_t w = v << (64 - n);
@@ -66,6 +83,18 @@ class Nrzi final : public LineCode {
       out.append_word((w ^ shifted) >> (64 - n), static_cast<int>(n));
       prev = v & 1;
     });
+    return true;
+  }
+
+  BitString encode(const BitString& data) const override {
+    BitString out;
+    encode_append(data, out);
+    return out;
+  }
+
+  std::optional<BitString> decode(const BitString& symbols) const override {
+    BitString out;
+    decode_append(symbols, out);
     return out;
   }
 };
@@ -104,36 +133,69 @@ class Manchester final : public LineCode {
   std::string name() const override { return "Manchester"; }
   double symbols_per_bit() const override { return 2.0; }
 
-  BitString encode(const BitString& data) const override {
+  void encode_append(const BitString& data, BitString& out) const override {
     static constexpr auto kExpand = manchester_table();
-    BitString out;
-    out.reserve(data.size() * 2);
+    out.reserve(out.size() + data.size() * 2);
     std::size_t i = 0;
+    // 32 data bits -> one 64-bit symbol word: 4 table lookups per append.
+    for (; i + 32 <= data.size(); i += 32) {
+      const std::uint64_t d = data.bits_at(i, 32);
+      const std::uint64_t w =
+          static_cast<std::uint64_t>(kExpand[d >> 24]) << 48 |
+          static_cast<std::uint64_t>(kExpand[(d >> 16) & 0xff]) << 32 |
+          static_cast<std::uint64_t>(kExpand[(d >> 8) & 0xff]) << 16 |
+          static_cast<std::uint64_t>(kExpand[d & 0xff]);
+      out.append_word(w, 64);
+    }
     for (; i + 8 <= data.size(); i += 8) {
       out.append_word(kExpand[data.bits_at(i, 8)], 16);
     }
     for (; i < data.size(); ++i) {
       out.append_word(data[i] ? 0b10 : 0b01, 2);
     }
-    return out;
   }
 
-  std::optional<BitString> decode(const BitString& symbols) const override {
-    if (symbols.size() % 2 != 0) return std::nullopt;
+  bool decode_append(const BitString& symbols, BitString& out) const override {
+    if (symbols.size() % 2 != 0) return false;
     static constexpr auto kCompress = manchester_inverse();
-    BitString out;
-    out.reserve(symbols.size() / 2);
+    out.reserve(out.size() + symbols.size() / 2);
     std::size_t i = 0;
+    // 64 symbol bits -> 32 data bits: 8 lookups per append, and the
+    // validity test ORs the signs so one branch covers the whole word.
+    for (; i + 64 <= symbols.size(); i += 64) {
+      const std::uint64_t s = symbols.bits_at(i, 64);
+      std::uint64_t w = 0;
+      int invalid = 0;
+      for (int b = 7; b >= 0; --b) {
+        const std::int8_t nibble = kCompress[(s >> (8 * b)) & 0xff];
+        invalid |= nibble;
+        w = w << 4 | static_cast<std::uint64_t>(nibble & 0xf);
+      }
+      if (invalid < 0) return false;  // 00/11 are invalid mid-bit patterns
+      out.append_word(w, 32);
+    }
     for (; i + 8 <= symbols.size(); i += 8) {
       const std::int8_t nibble = kCompress[symbols.bits_at(i, 8)];
-      if (nibble < 0) return std::nullopt;  // 00/11 are invalid mid-bit patterns
+      if (nibble < 0) return false;
       out.append_word(static_cast<std::uint64_t>(nibble), 4);
     }
     for (; i < symbols.size(); i += 2) {
       const std::uint64_t pair = symbols.bits_at(i, 2);
-      if (pair != 0b01 && pair != 0b10) return std::nullopt;
+      if (pair != 0b01 && pair != 0b10) return false;
       out.push_back(pair == 0b10);
     }
+    return true;
+  }
+
+  BitString encode(const BitString& data) const override {
+    BitString out;
+    encode_append(data, out);
+    return out;
+  }
+
+  std::optional<BitString> decode(const BitString& symbols) const override {
+    BitString out;
+    if (!decode_append(symbols, out)) return std::nullopt;
     return out;
   }
 };
@@ -157,27 +219,60 @@ class FourBFiveB final : public LineCode {
   double symbols_per_bit() const override { return 1.25; }
   std::size_t input_alignment_bits() const override { return 4; }
 
-  BitString encode(const BitString& data) const override {
+  void encode_append(const BitString& data, BitString& out) const override {
     if (data.size() % 4 != 0) {
       throw std::invalid_argument("4B5B: input must be 4-bit aligned");
     }
-    BitString out;
-    out.reserve(data.size() / 4 * 5);
-    for (std::size_t i = 0; i < data.size(); i += 4) {
+    out.reserve(out.size() + data.size() / 4 * 5);
+    std::size_t i = 0;
+    // 32 data bits (8 nibbles) -> 40 symbol bits per append.
+    for (; i + 32 <= data.size(); i += 32) {
+      const std::uint64_t d = data.bits_at(i, 32);
+      std::uint64_t w = 0;
+      for (int nb = 7; nb >= 0; --nb) {
+        w = w << 5 | k4b5b[(d >> (4 * nb)) & 0xf];
+      }
+      out.append_word(w, 40);
+    }
+    for (; i < data.size(); i += 4) {
       out.append_word(k4b5b[data.bits_at(i, 4)], 5);
     }
+  }
+
+  bool decode_append(const BitString& symbols, BitString& out) const override {
+    if (symbols.size() % 5 != 0) return false;
+    out.reserve(out.size() + symbols.size() / 5 * 4);
+    std::size_t i = 0;
+    // 40 symbol bits -> 32 data bits per append.
+    for (; i + 40 <= symbols.size(); i += 40) {
+      const std::uint64_t s = symbols.bits_at(i, 40);
+      std::uint64_t w = 0;
+      int invalid = 0;
+      for (int sym = 7; sym >= 0; --sym) {
+        const int nibble = reverse_[(s >> (5 * sym)) & 0x1f];
+        invalid |= nibble;
+        w = w << 4 | static_cast<std::uint64_t>(nibble & 0xf);
+      }
+      if (invalid < 0) return false;  // not a data symbol
+      out.append_word(w, 32);
+    }
+    for (; i < symbols.size(); i += 5) {
+      const int nibble = reverse_[symbols.bits_at(i, 5)];
+      if (nibble < 0) return false;
+      out.append_word(static_cast<std::uint64_t>(nibble), 4);
+    }
+    return true;
+  }
+
+  BitString encode(const BitString& data) const override {
+    BitString out;
+    encode_append(data, out);
     return out;
   }
 
   std::optional<BitString> decode(const BitString& symbols) const override {
-    if (symbols.size() % 5 != 0) return std::nullopt;
     BitString out;
-    out.reserve(symbols.size() / 5 * 4);
-    for (std::size_t i = 0; i < symbols.size(); i += 5) {
-      const int nibble = reverse_[symbols.bits_at(i, 5)];
-      if (nibble < 0) return std::nullopt;  // not a data symbol
-      out.append_word(static_cast<std::uint64_t>(nibble), 4);
-    }
+    if (!decode_append(symbols, out)) return std::nullopt;
     return out;
   }
 

@@ -32,6 +32,19 @@ class LineCode {
   /// (possible after channel corruption; the error-detection sublayer above
   /// still catches corruptions that decode to *some* valid word).
   virtual std::optional<BitString> decode(const BitString& symbols) const = 0;
+
+  /// True when encode/decode are the identity map (NRZ): the batched data
+  /// plane then skips the copy through a separate symbol buffer entirely.
+  virtual bool is_identity() const { return false; }
+
+  /// Appends encode(data) to `out` — the allocation-free form for callers
+  /// that own (arena) buffers.  Same contract as encode().
+  virtual void encode_append(const BitString& data, BitString& out) const;
+
+  /// Appends decode(symbols) to `out`; false on an invalid codeword
+  /// sequence, in which case `out` may hold a partial prefix the caller
+  /// must discard.
+  virtual bool decode_append(const BitString& symbols, BitString& out) const;
 };
 
 /// Non-return-to-zero: symbols are the bits themselves.

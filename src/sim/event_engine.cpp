@@ -13,7 +13,8 @@ WheelEngine::WheelEngine() {
   }
 }
 
-std::uint32_t WheelEngine::alloc_node(std::uint64_t when, Fn fn) {
+std::uint32_t WheelEngine::alloc_node(std::uint64_t when, Fn fn,
+                                      bool batchable) {
   std::uint32_t idx;
   if (free_head_ != kNil) {
     idx = free_head_;
@@ -27,6 +28,7 @@ std::uint32_t WheelEngine::alloc_node(std::uint64_t when, Fn fn) {
   n.seq = next_seq_++;
   n.next = kNil;
   n.cancelled = false;
+  n.batchable = batchable;
   n.fn = std::move(fn);
   return idx;
 }
@@ -63,9 +65,9 @@ void WheelEngine::place(std::uint32_t idx) {
   push_slot(level, static_cast<int>((n.when >> (8 * level)) & 0xFF), idx);
 }
 
-EventId WheelEngine::schedule(TimePoint when, Fn fn) {
+EventId WheelEngine::schedule(TimePoint when, Fn fn, bool batchable) {
   const auto ticks = static_cast<std::uint64_t>(when.ns());
-  const std::uint32_t idx = alloc_node(ticks, std::move(fn));
+  const std::uint32_t idx = alloc_node(ticks, std::move(fn), batchable);
   ++stats_.armed;
   ++live_;
   place(idx);
@@ -263,11 +265,62 @@ bool WheelEngine::pop_if(TimePoint deadline, TimePoint& when, Fn& fn) {
   }
 }
 
+std::size_t WheelEngine::pop_ready_batch(TimePoint deadline, TimePoint& when,
+                                         std::vector<Fn>& out,
+                                         std::size_t budget) {
+  out.clear();
+  for (;;) {
+    while (due_pos_ < due_.size()) {
+      const std::uint32_t idx = due_[due_pos_];
+      Node& n = pool_[idx];
+      if (n.cancelled) {  // cancelled after the batch was built
+        ++due_pos_;
+        free_node(idx);
+        continue;
+      }
+      const auto at = TimePoint::from_ns(static_cast<std::int64_t>(n.when));
+      if (at > deadline) return 0;  // batch stays for a later horizon
+      when = at;
+      const bool head_batchable = n.batchable;
+      ++due_pos_;
+      out.push_back(std::move(n.fn));
+      free_node(idx);
+      ++stats_.fired;
+      --live_;
+      if (!head_batchable) return 1;
+      // Extend through consecutive batchable nodes of this tick.  Every
+      // entry left in due_ shares the cursor's tick (fill_due migrated the
+      // whole tick), so only the batchable flag and the budget gate here;
+      // the first non-batchable node ends the burst so its side effects
+      // keep their sequenced slot relative to later events.
+      while (out.size() < budget && due_pos_ < due_.size()) {
+        const std::uint32_t bidx = due_[due_pos_];
+        Node& bn = pool_[bidx];
+        if (bn.cancelled) {
+          ++due_pos_;
+          free_node(bidx);
+          continue;
+        }
+        if (!bn.batchable) break;
+        ++due_pos_;
+        out.push_back(std::move(bn.fn));
+        free_node(bidx);
+        ++stats_.fired;
+        --live_;
+      }
+      return out.size();
+    }
+    due_.clear();
+    due_pos_ = 0;
+    if (!fill_due(static_cast<std::uint64_t>(deadline.ns()))) return 0;
+  }
+}
+
 // ---- LegacyHeapEngine ------------------------------------------------------
 
-EventId LegacyHeapEngine::schedule(TimePoint when, Fn fn) {
+EventId LegacyHeapEngine::schedule(TimePoint when, Fn fn, bool batchable) {
   const std::uint64_t id = next_seq_++;
-  queue_.push(Entry{when, id, id, std::move(fn)});
+  queue_.push(Entry{when, id, id, batchable, std::move(fn)});
   ++stats_.armed;
   return EventId{id};
 }
@@ -309,6 +362,55 @@ bool LegacyHeapEngine::pop_if(TimePoint deadline, TimePoint& when, Fn& fn) {
     return true;
   }
   return false;
+}
+
+std::size_t LegacyHeapEngine::pop_ready_batch(TimePoint deadline,
+                                              TimePoint& when,
+                                              std::vector<Fn>& out,
+                                              std::size_t budget) {
+  out.clear();
+  bool head_batchable = false;
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    const auto it =
+        std::find(cancelled_ids_.begin(), cancelled_ids_.end(), e.id);
+    if (it != cancelled_ids_.end()) {
+      cancelled_ids_.erase(it);
+      --cancelled_;
+      continue;
+    }
+    if (e.when > deadline) {
+      queue_.push(std::move(e));
+      return 0;
+    }
+    when = e.when;
+    head_batchable = e.batchable;
+    out.push_back(std::move(e.fn));
+    ++stats_.fired;
+    break;
+  }
+  if (out.empty()) return 0;
+  if (!head_batchable) return 1;
+  // Extend through consecutive same-tick batchable entries; the heap's
+  // (when, seq) order makes them contiguous at the top.  The first
+  // non-batchable same-tick entry ends the burst — it fires on the next
+  // pop, after this burst's deferred flushes.
+  while (out.size() < budget && !queue_.empty()) {
+    if (queue_.top().when != when || !queue_.top().batchable) break;
+    Entry e = queue_.top();
+    queue_.pop();
+    const auto it =
+        std::find(cancelled_ids_.begin(), cancelled_ids_.end(), e.id);
+    if (it != cancelled_ids_.end()) {
+      cancelled_ids_.erase(it);
+      --cancelled_;
+      continue;
+    }
+    out.push_back(std::move(e.fn));
+    ++stats_.fired;
+  }
+  return out.size();
 }
 
 std::unique_ptr<EventEngine> make_engine(EngineKind kind) {

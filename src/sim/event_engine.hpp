@@ -52,11 +52,30 @@ class EventEngine {
   virtual ~EventEngine() = default;
 
   /// Registers `fn` to fire at `when` (>= every previously popped time).
-  virtual EventId schedule(TimePoint when, Fn fn) = 0;
+  /// `batchable` marks events that burst dequeue may drain together with
+  /// same-tick batchable neighbours (see pop_ready_batch); it never
+  /// changes firing order, only how many events one pop may hand back.
+  virtual EventId schedule(TimePoint when, Fn fn, bool batchable) = 0;
+  EventId schedule(TimePoint when, Fn fn) {
+    return schedule(when, std::move(fn), false);
+  }
   virtual void cancel(EventId id) = 0;
   /// Extracts the earliest runnable event if its time is <= `deadline`;
   /// returns false (and extracts nothing) otherwise.
   virtual bool pop_if(TimePoint deadline, TimePoint& when, Fn& fn) = 0;
+  /// Burst form of pop_if.  Extracts the earliest runnable event plus — if
+  /// that event is batchable — up to `budget - 1` further events that (a)
+  /// share its exact tick, (b) are themselves batchable, and (c) are
+  /// consecutive in insertion-seq order with no non-batchable event
+  /// interleaved.  Stopping at the first non-batchable same-tick event is
+  /// what keeps burst traces bit-identical to budget=1 runs: every event
+  /// still fires in (time, seq) order, a burst merely defers per-event
+  /// flush work (Simulator::defer_flush) to the end of the run it belongs
+  /// to.  Returns the number of extracted events (0: nothing runnable by
+  /// `deadline`).  A non-batchable head is returned alone.
+  virtual std::size_t pop_ready_batch(TimePoint deadline, TimePoint& when,
+                                      std::vector<Fn>& out,
+                                      std::size_t budget) = 0;
   virtual std::size_t pending() const = 0;
   /// Non-destructive peek: a LOWER bound on the next live event's time —
   /// never later than the true next event, possibly earlier (a slot's
@@ -84,9 +103,13 @@ class WheelEngine final : public EventEngine {
  public:
   WheelEngine();
 
-  EventId schedule(TimePoint when, Fn fn) override;
+  using EventEngine::schedule;
+  EventId schedule(TimePoint when, Fn fn, bool batchable) override;
   void cancel(EventId id) override;
   bool pop_if(TimePoint deadline, TimePoint& when, Fn& fn) override;
+  std::size_t pop_ready_batch(TimePoint deadline, TimePoint& when,
+                              std::vector<Fn>& out,
+                              std::size_t budget) override;
   std::size_t pending() const override { return live_; }
   bool next_due_bound(TimePoint& when) const override;
 
@@ -102,6 +125,7 @@ class WheelEngine final : public EventEngine {
     std::uint32_t gen = 1;   // bumped on free; stale EventIds mismatch
     std::uint32_t next = kNil;  // intrusive slot-chain / freelist link
     bool cancelled = false;
+    bool batchable = false;  // may join a same-tick burst (pop_ready_batch)
     Fn fn;
   };
   struct OverflowRef {
@@ -116,7 +140,7 @@ class WheelEngine final : public EventEngine {
     }
   };
 
-  std::uint32_t alloc_node(std::uint64_t when, Fn fn);
+  std::uint32_t alloc_node(std::uint64_t when, Fn fn, bool batchable);
   void free_node(std::uint32_t idx);
   /// Files a node into the wheel / overflow heap / current-tick batch.
   void place(std::uint32_t idx);
@@ -148,9 +172,13 @@ class WheelEngine final : public EventEngine {
 /// forever) is deliberately not fixed here.
 class LegacyHeapEngine final : public EventEngine {
  public:
-  EventId schedule(TimePoint when, Fn fn) override;
+  using EventEngine::schedule;
+  EventId schedule(TimePoint when, Fn fn, bool batchable) override;
   void cancel(EventId id) override;
   bool pop_if(TimePoint deadline, TimePoint& when, Fn& fn) override;
+  std::size_t pop_ready_batch(TimePoint deadline, TimePoint& when,
+                              std::vector<Fn>& out,
+                              std::size_t budget) override;
   std::size_t pending() const override { return queue_.size() - cancelled_; }
   bool next_due_bound(TimePoint& when) const override;
 
@@ -159,6 +187,7 @@ class LegacyHeapEngine final : public EventEngine {
     TimePoint when;
     std::uint64_t seq = 0;  // tie-break: FIFO among same-time events
     std::uint64_t id = 0;
+    bool batchable = false;
     Fn fn;
   };
   struct Later {

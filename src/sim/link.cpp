@@ -86,6 +86,21 @@ void Link::deliver(Bytes frame, Duration extra_delay) {
     remote_sink_(at, std::move(frame));
     return;
   }
+  if (batch_receiver_) {
+    // Batchable delivery: per-frame accounting stays in the event (one
+    // gauge/counter update per frame, exactly as unbatched); only the
+    // receiver hand-off is deferred, once per burst, to the flush.
+    sim_.schedule_batchable(total, [this, f = std::move(frame)]() mutable {
+      --queued_;
+      ++stats_.frames_delivered;
+      stats_.bytes_delivered += f.size();
+      if (rx_pending_.empty()) {
+        sim_.defer_flush([this] { flush_rx(); });
+      }
+      rx_pending_.push_back(std::move(f));
+    });
+    return;
+  }
   sim_.schedule(total, [this, f = std::move(frame)]() mutable {
     --queued_;
     ++stats_.frames_delivered;
@@ -96,6 +111,16 @@ void Link::deliver(Bytes frame, Duration extra_delay) {
       kLog.warn("%s: frame delivered with no receiver attached", name_.c_str());
     }
   });
+}
+
+void Link::flush_rx() {
+  if (rx_pending_.empty()) return;
+  // Swap to a local: the receiver may trigger sends whose deliveries (in a
+  // nested drain) start a fresh accumulation with its own flush.
+  FrameBatch batch;
+  batch.swap(rx_pending_);
+  batch_receiver_(batch);
+  batch.clear();
 }
 
 }  // namespace sublayer::sim

@@ -50,13 +50,37 @@ struct LinkStats {
   std::uint64_t bytes_delivered = 0;
 };
 
+/// A burst of frames handed to a batched receiver in delivery order.
+using FrameBatch = std::vector<Bytes>;
+
 class Link {
  public:
   using Receiver = std::function<void(Bytes)>;
+  /// Receives the frames a burst delivered on this link, in delivery
+  /// order.  The batch is the link's internal accumulator: consume or
+  /// move from it freely, it is cleared after the call returns.
+  using BatchReceiver = std::function<void(FrameBatch&)>;
 
   Link(Simulator& sim, LinkConfig config, Rng rng, std::string name = "link");
 
   void set_receiver(Receiver r) { receiver_ = std::move(r); }
+
+  /// Batched mode: deliveries are scheduled *batchable* (the simulator's
+  /// burst dequeue may drain several same-tick deliveries in one scheduler
+  /// visit) and the receiver gets the whole burst at flush time.  Stats
+  /// stay per frame: each delivery event still decrements the queue gauge
+  /// and bumps frames/bytes_delivered individually, so LinkStats are
+  /// identical to unbatched mode at every flush boundary.  Takes
+  /// precedence over set_receiver when both are set.
+  void set_batch_receiver(BatchReceiver r) { batch_receiver_ = std::move(r); }
+
+  /// Offers each frame in turn — exactly N send() calls' worth of
+  /// impairment draws, serialization accounting, and tail-drop checks, so
+  /// per-frame stats and replay traces match frame-at-a-time sending.
+  void send_batch(FrameBatch&& frames) {
+    for (Bytes& f : frames) send(std::move(f));
+    frames.clear();
+  }
 
   /// Remote mode, for links whose receiver lives on another shard: instead
   /// of scheduling the delivery on this link's (sender-side) simulator, the
@@ -104,12 +128,16 @@ class Link {
  private:
   Duration serialization_delay(std::size_t bytes) const;
   void deliver(Bytes frame, Duration extra_delay);
+  /// Hands the accumulated burst to the batch receiver (deferred flush).
+  void flush_rx();
 
   Simulator& sim_;
   LinkConfig config_;
   Rng rng_;
   std::string name_;
   Receiver receiver_;
+  BatchReceiver batch_receiver_;
+  FrameBatch rx_pending_;
   RemoteSink remote_sink_;
   LinkStats stats_;
   /// Time the transmitter becomes free (bandwidth modelling).

@@ -81,6 +81,7 @@ ParallelSimulator::ParallelSimulator(ParallelConfig config) {
   shards_.reserve(config.shards);
   for (std::size_t s = 0; s < config.shards; ++s) {
     shards_.push_back(std::make_unique<Simulator>(config.engine));
+    shards_.back()->set_burst_budget(config.burst_budget);
     metrics_.push_back(std::make_unique<telemetry::MetricsRegistry>());
     spans_.push_back(std::make_unique<telemetry::SpanTracer>());
     flights_.push_back(std::make_unique<telemetry::FlightRecorder>());

@@ -90,6 +90,10 @@ struct ParallelConfig {
   /// are identical at every value.
   std::size_t threads = 0;
   EngineKind engine = EngineKind::kTimerWheel;
+  /// Per-shard burst dequeue budget (Simulator::set_burst_budget): how
+  /// many consecutive same-tick batchable events one scheduler visit may
+  /// drain.  Results are identical at every value; 1 is classic stepping.
+  std::size_t burst_budget = 1;
 };
 
 class ParallelSimulator {

@@ -31,7 +31,25 @@ EventId Simulator::schedule_at(TimePoint when, std::function<void()> fn) {
   return engine_->schedule(when, std::move(fn));
 }
 
+EventId Simulator::schedule_batchable(Duration delay,
+                                      std::function<void()> fn) {
+  return engine_->schedule(now_ + delay, std::move(fn), true);
+}
+
+void Simulator::defer_flush(std::function<void()> fn) {
+  flushes_.push_back(std::move(fn));
+}
+
 void Simulator::cancel(EventId id) { engine_->cancel(id); }
+
+void Simulator::run_flushes() {
+  // Index loop: a flush may register further flushes, growing the vector.
+  for (std::size_t i = 0; i < flushes_.size(); ++i) {
+    auto fn = std::move(flushes_[i]);
+    fn();
+  }
+  flushes_.clear();
+}
 
 bool Simulator::step() {
   TimePoint when;
@@ -43,22 +61,45 @@ bool Simulator::step() {
     fr->record(telemetry::FlightType::kEvent, "sim.event", when, processed_);
   }
   fn();
+  if (!flushes_.empty()) run_flushes();
   return true;
 }
 
 void Simulator::run_until(TimePoint deadline) {
   TimePoint when;
-  EventEngine::Fn fn;
   // Hoisted: the thread's recorder cannot change under the loop, and the
   // common case (no recorder) must stay one load + branch per event.
   telemetry::FlightRecorder* const fr = telemetry::FlightRecorder::current();
-  while (engine_->pop_if(deadline, when, fn)) {
-    now_ = when;
-    ++processed_;
-    if (fr != nullptr) {
-      fr->record(telemetry::FlightType::kEvent, "sim.event", when, processed_);
+  if (burst_budget_ <= 1) {
+    EventEngine::Fn fn;
+    while (engine_->pop_if(deadline, when, fn)) {
+      now_ = when;
+      ++processed_;
+      if (fr != nullptr) {
+        fr->record(telemetry::FlightType::kEvent, "sim.event", when,
+                   processed_);
+      }
+      fn();
+      if (!flushes_.empty()) run_flushes();
     }
-    fn();
+  } else {
+    // Burst dequeue: each scheduler visit drains up to burst_budget_
+    // consecutive same-tick batchable events; flushes registered by the
+    // burst (e.g. a link's batched receiver hand-off) run once at its end.
+    // Per-event local: fn() may reenter run_until through a nested drain.
+    std::vector<EventEngine::Fn> fns;
+    while (engine_->pop_ready_batch(deadline, when, fns, burst_budget_) > 0) {
+      now_ = when;
+      for (auto& fn : fns) {
+        ++processed_;
+        if (fr != nullptr) {
+          fr->record(telemetry::FlightType::kEvent, "sim.event", when,
+                     processed_);
+        }
+        fn();
+      }
+      if (!flushes_.empty()) run_flushes();
+    }
   }
   now_ = std::max(now_, deadline);
 }
@@ -67,7 +108,28 @@ void Simulator::advance_to(TimePoint when) { now_ = std::max(now_, when); }
 
 std::size_t Simulator::run(std::size_t max_events) {
   std::size_t n = 0;
-  while (n < max_events && step()) ++n;
+  if (burst_budget_ <= 1) {
+    while (n < max_events && step()) ++n;
+    return n;
+  }
+  TimePoint when;
+  telemetry::FlightRecorder* const fr = telemetry::FlightRecorder::current();
+  std::vector<EventEngine::Fn> fns;
+  while (n < max_events) {
+    const std::size_t budget = std::min(burst_budget_, max_events - n);
+    if (engine_->pop_ready_batch(kNoDeadline, when, fns, budget) == 0) break;
+    now_ = when;
+    for (auto& fn : fns) {
+      ++processed_;
+      ++n;
+      if (fr != nullptr) {
+        fr->record(telemetry::FlightType::kEvent, "sim.event", when,
+                   processed_);
+      }
+      fn();
+    }
+    if (!flushes_.empty()) run_flushes();
+  }
   return n;
 }
 

@@ -42,6 +42,29 @@ class Simulator {
   /// Schedules `fn` at an absolute time (must not be in the past).
   EventId schedule_at(TimePoint when, std::function<void()> fn);
 
+  /// Like schedule(), but marks the event *batchable*: when the burst
+  /// budget is > 1, the run loop may drain it together with consecutive
+  /// same-tick batchable events in one scheduler visit.  Firing order is
+  /// unchanged — only per-event flush work registered via defer_flush()
+  /// moves to the end of the burst.  Links mark frame deliveries
+  /// batchable; protocol timers stay non-batchable.
+  EventId schedule_batchable(Duration delay, std::function<void()> fn);
+
+  /// Registers `fn` to run after the current event burst completes, before
+  /// the next scheduler visit.  Flushes run in registration order and may
+  /// register further flushes (which still run before the next visit).
+  /// Outside an event (or with budget 1) the flush runs at the end of the
+  /// current/next processed event, preserving per-event semantics.
+  void defer_flush(std::function<void()> fn);
+
+  /// Burst dequeue budget: the max number of consecutive same-tick
+  /// batchable events one scheduler visit may drain.  1 (default)
+  /// reproduces classic one-event-at-a-time stepping exactly.
+  void set_burst_budget(std::size_t budget) {
+    burst_budget_ = budget == 0 ? 1 : budget;
+  }
+  std::size_t burst_budget() const { return burst_budget_; }
+
   /// Cancels a pending event; cancelling an already-fired or unknown event
   /// is a harmless no-op (protocol timers race with their own firing).
   void cancel(EventId id);
@@ -79,10 +102,16 @@ class Simulator {
   const SchedStats& sched_stats() const { return engine_->stats(); }
 
  private:
+  /// Runs queued flushes in registration order; a flush may register more
+  /// (they still run before this returns).
+  void run_flushes();
+
   TimePoint now_;
   EngineKind kind_;
   std::unique_ptr<EventEngine> engine_;
   std::uint64_t processed_ = 0;
+  std::size_t burst_budget_ = 1;
+  std::vector<std::function<void()>> flushes_;
 };
 
 /// A restartable one-shot timer bound to a simulator — the shape protocol

@@ -16,8 +16,6 @@ constexpr std::uint32_t kFlightVersion = 1;
 constexpr std::size_t kReasonBytes = 32;
 constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + kReasonBytes;
 
-thread_local FlightRecorder* tls_current_recorder = nullptr;
-
 /// Registry of live recorders, so a post-mortem can collect every shard's
 /// ring no matter which thread triggers it.  Construction/destruction of
 /// recorders is rare; record() never touches this.
@@ -106,11 +104,13 @@ FlightRecorder::~FlightRecorder() {
   std::erase(reg.live, this);
 }
 
-FlightRecorder* FlightRecorder::current() { return tls_current_recorder; }
+namespace detail {
+thread_local FlightRecorder* tls_current_recorder = nullptr;
+}  // namespace detail
 
 FlightRecorder* FlightRecorder::set_current(FlightRecorder* r) {
-  FlightRecorder* prev = tls_current_recorder;
-  tls_current_recorder = r;
+  FlightRecorder* prev = detail::tls_current_recorder;
+  detail::tls_current_recorder = r;
   return prev;
 }
 

@@ -77,7 +77,7 @@ class FlightRecorder {
   FlightRecorder& operator=(const FlightRecorder&) = delete;
 
   /// The calling thread's current recorder, or nullptr (the default):
-  /// recording disabled.
+  /// recording disabled.  Inline: every telemetry crossing checks this.
   static FlightRecorder* current();
   /// Installs `r` as this thread's recorder; returns the previous one so
   /// scopes can nest.
@@ -118,6 +118,16 @@ class FlightRecorder {
   std::uint64_t total_ = 0;
   std::uint16_t shard_ = 0;
 };
+
+namespace detail {
+/// The per-thread recorder slot behind FlightRecorder::current(); exposed
+/// so the null check compiles down to one TLS load on hot paths.
+extern thread_local FlightRecorder* tls_current_recorder;
+}  // namespace detail
+
+inline FlightRecorder* FlightRecorder::current() {
+  return detail::tls_current_recorder;
+}
 
 // ---- post-mortem dump management (process-wide) ----------------------------
 

@@ -32,40 +32,6 @@ std::uint32_t SpanTracer::intern(std::string_view layer) {
   return static_cast<std::uint32_t>(names_.size() - 1);
 }
 
-void SpanTracer::crossing(std::uint32_t layer, Dir dir,
-                          std::size_t payload_bytes) {
-  const TimePoint now = simclock::now();
-  crossing(layer, dir, now, now, payload_bytes);
-}
-
-void SpanTracer::crossing(std::uint32_t layer, Dir dir, TimePoint enter,
-                          TimePoint exit, std::size_t payload_bytes) {
-  PerLayer& t = totals_[layer];
-  const auto d = static_cast<std::size_t>(dir);
-  ++t.count[d];
-  t.bytes[d] += payload_bytes;
-  if (auto* fr = FlightRecorder::current()) {
-    fr->record(FlightType::kCrossing, names_[layer], enter, payload_bytes,
-               static_cast<std::uint64_t>(dir));
-  }
-  push(Span{layer, dir, enter, exit,
-            static_cast<std::uint32_t>(payload_bytes)});
-}
-
-void SpanTracer::push(const Span& s) {
-  if (ring_.size() < capacity_) {
-    ring_.push_back(s);
-    return;
-  }
-  if (capacity_ == 0) {
-    ++dropped_;
-    return;
-  }
-  ring_[head_] = s;
-  head_ = (head_ + 1) % capacity_;
-  ++dropped_;
-}
-
 std::uint64_t SpanTracer::crossings(std::string_view layer, Dir dir) const {
   for (std::uint32_t i = 0; i < names_.size(); ++i) {
     if (names_[i] == layer) {

@@ -1,0 +1,89 @@
+#include "common/frame_arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace sublayer {
+namespace {
+
+TEST(FrameArena, AcquireArrivesEmptyWithRecycledCapacity) {
+  FrameArena arena;
+  Bytes b = arena.acquire_bytes();
+  EXPECT_TRUE(b.empty());
+  b.assign(500, 0x5a);
+  const std::size_t cap = b.capacity();
+  arena.recycle(std::move(b));
+  ASSERT_EQ(arena.pooled_bytes_buffers(), 1u);
+
+  Bytes again = arena.acquire_bytes();
+  EXPECT_TRUE(again.empty());
+  // The whole point of the pool: the retired buffer's capacity survives.
+  EXPECT_GE(again.capacity(), cap);
+  EXPECT_EQ(arena.pooled_bytes_buffers(), 0u);
+}
+
+TEST(FrameArena, BitStringRecycleDoesNotLeakOldBits) {
+  FrameArena arena;
+  Rng rng(3);
+  BitString first = arena.acquire_bits();
+  const BitString pattern = rng.next_bits(777);
+  first.append(pattern);
+  arena.recycle(std::move(first));
+
+  // A recycled word store must behave exactly like a fresh BitString:
+  // the "bits past size are zero" invariant holds, so appends and
+  // comparisons see no trace of the previous life (hardened builds poison
+  // the store on recycle to make violations loud).
+  BitString reused = arena.acquire_bits();
+  EXPECT_EQ(reused.size(), 0u);
+  const BitString fresh_pattern = Rng(4).next_bits(777);
+  reused.append(fresh_pattern);
+  BitString fresh;
+  fresh.append(fresh_pattern);
+  EXPECT_EQ(reused, fresh);
+}
+
+TEST(FrameArena, CountersSplitFreshFromRecycled) {
+  auto& c = FrameArenaCounters::instance();
+  c.reset();
+  FrameArena arena;
+  std::vector<Bytes> held;
+  for (int i = 0; i < 3; ++i) {
+    Bytes b = arena.acquire_bytes();
+    b.assign(64, 0x11);  // capacity > 0, so recycle pools it
+    held.push_back(std::move(b));
+  }
+  EXPECT_EQ(c.bytes_fresh, 3u);
+  EXPECT_EQ(c.bytes_recycled, 0u);
+  for (auto& b : held) arena.recycle(std::move(b));
+  held.clear();
+  for (int i = 0; i < 3; ++i) held.push_back(arena.acquire_bytes());
+  EXPECT_EQ(c.bytes_fresh, 3u);
+  EXPECT_EQ(c.bytes_recycled, 3u);
+  EXPECT_EQ(c.fresh_total(), 3u);
+  EXPECT_EQ(c.recycled_total(), 3u);
+  c.reset();
+  EXPECT_EQ(c.fresh_total() + c.recycled_total(), 0u);
+}
+
+TEST(FrameArena, PoolCapBoundsRetention) {
+  FrameArena arena(/*pool_cap=*/2);
+  for (int i = 0; i < 5; ++i) {
+    Bytes b;
+    b.assign(32, 0x22);
+    arena.recycle(std::move(b));
+  }
+  EXPECT_EQ(arena.pooled_bytes_buffers(), 2u);
+  for (int i = 0; i < 5; ++i) arena.recycle(BitString::parse("1010"));
+  EXPECT_EQ(arena.pooled_bit_buffers(), 2u);
+}
+
+TEST(FrameArena, ZeroCapacityBytesAreNotPooled) {
+  FrameArena arena;
+  arena.recycle(Bytes());  // nothing to reuse; pooling it would be a slot
+  EXPECT_EQ(arena.pooled_bytes_buffers(), 0u);
+}
+
+}  // namespace
+}  // namespace sublayer

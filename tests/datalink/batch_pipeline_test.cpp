@@ -1,0 +1,200 @@
+// The batched data-plane contract (DESIGN.md §13): down_batch/up_batch
+// push a burst through the sublayers stage-major, but every observable —
+// wire bytes, recovered payloads, per-sublayer counters, tap frames —
+// must be identical to N unbatched down()/up() calls.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "datalink/stack.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/frame_tap.hpp"
+#include "telemetry/pcapng.hpp"
+
+namespace sublayer::datalink {
+namespace {
+
+struct PipelineCase {
+  std::string label;
+  std::unique_ptr<phy::LineCode> (*code)();
+  bool low_overhead = false;
+};
+
+StuffingRule rule_of(const PipelineCase& p) {
+  return p.low_overhead ? StuffingRule::low_overhead() : StuffingRule::hdlc();
+}
+
+std::vector<Bytes> varied_payloads(std::size_t n) {
+  Rng rng(17);
+  std::vector<Bytes> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Lengths sweep tiny to multi-block so stuffing crosses word and
+    // 64-word-block boundaries; 0xff runs provoke maximal stuffing.
+    Bytes p = rng.next_bytes(1 + rng.next_below(400));
+    if (i % 5 == 0) p.assign(p.size(), 0xff);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+class BatchPipeline : public ::testing::TestWithParam<PipelineCase> {};
+
+TEST_P(BatchPipeline, BatchedWireBytesAndCountersMatchSingle) {
+  const auto& p = GetParam();
+  const auto payloads = varied_payloads(50);
+
+  DataPlane single(p.code(), make_crc32(), rule_of(p));
+  std::vector<Bytes> wires_single;
+  for (const Bytes& pay : payloads) {
+    wires_single.push_back(single.down(Bytes(pay)));
+  }
+
+  DataPlane batched(p.code(), make_crc32(), rule_of(p));
+  std::vector<Bytes> wires_batched;
+  std::vector<Bytes> burst_in;
+  std::size_t i = 0;
+  while (i < payloads.size()) {
+    const std::size_t n = std::min<std::size_t>(7, payloads.size() - i);
+    burst_in.clear();
+    for (std::size_t j = 0; j < n; ++j) burst_in.push_back(payloads[i + j]);
+    batched.down_batch(burst_in, wires_batched);
+    i += n;
+  }
+  ASSERT_EQ(wires_batched.size(), wires_single.size());
+  for (std::size_t k = 0; k < wires_single.size(); ++k) {
+    EXPECT_EQ(wires_batched[k], wires_single[k]) << p.label << " frame " << k;
+  }
+
+  // Up: the batched receive path recovers the identical payloads.
+  std::vector<Bytes> up_out;
+  i = 0;
+  while (i < wires_batched.size()) {
+    const std::size_t n =
+        std::min<std::size_t>(7, wires_batched.size() - i);
+    burst_in.clear();
+    for (std::size_t j = 0; j < n; ++j) burst_in.push_back(wires_batched[i + j]);
+    batched.up_batch(burst_in, up_out);
+    i += n;
+  }
+  ASSERT_EQ(up_out.size(), payloads.size());
+  for (std::size_t k = 0; k < payloads.size(); ++k) {
+    EXPECT_EQ(up_out[k], payloads[k]) << p.label << " frame " << k;
+  }
+
+  // Per-sublayer activity counters agree exactly with the unbatched plane.
+  std::vector<std::optional<Bytes>> single_up;
+  for (const Bytes& w : wires_single) single_up.push_back(single.up(w));
+  for (const auto& u : single_up) ASSERT_TRUE(u.has_value());
+  const StackStats& s = single.stats();
+  const StackStats& b = batched.stats();
+  EXPECT_EQ(b.frames_tagged.value(), s.frames_tagged.value()) << p.label;
+  EXPECT_EQ(b.frames_framed.value(), s.frames_framed.value()) << p.label;
+  EXPECT_EQ(b.frames_encoded.value(), s.frames_encoded.value()) << p.label;
+  EXPECT_EQ(b.frames_decoded.value(), s.frames_decoded.value()) << p.label;
+  EXPECT_EQ(b.frames_deframed.value(), s.frames_deframed.value()) << p.label;
+  EXPECT_EQ(b.frames_checked.value(), s.frames_checked.value()) << p.label;
+  EXPECT_EQ(b.frames_up.value(), s.frames_up.value()) << p.label;
+}
+
+TEST_P(BatchPipeline, TapsFireOncePerFrameInsideABurst) {
+  const auto& p = GetParam();
+  const auto payloads = varied_payloads(21);
+
+  telemetry::TapHub hub;
+  hub.enable_all();
+  telemetry::TapHub* prev = telemetry::TapHub::set_current(&hub);
+
+  DataPlane plane(p.code(), make_crc32(), rule_of(p));
+  std::vector<Bytes> wires;
+  std::vector<Bytes> burst(payloads);
+  plane.down_batch(burst, wires);
+  EXPECT_EQ(hub.frames(telemetry::TapPoint::kFcs), payloads.size());
+  EXPECT_EQ(hub.frames(telemetry::TapPoint::kFraming), payloads.size());
+  EXPECT_EQ(hub.frames(telemetry::TapPoint::kPhyWire), payloads.size());
+
+  hub.reset_counters();
+  std::vector<Bytes> up_out;
+  plane.up_batch(wires, up_out);
+  EXPECT_EQ(up_out.size(), payloads.size());
+  EXPECT_EQ(hub.frames(telemetry::TapPoint::kPhyWire), payloads.size());
+  EXPECT_EQ(hub.frames(telemetry::TapPoint::kFraming), payloads.size());
+  EXPECT_EQ(hub.frames(telemetry::TapPoint::kFcs), payloads.size());
+
+  telemetry::TapHub::set_current(prev);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodesAndRules, BatchPipeline,
+    ::testing::Values(PipelineCase{"nrz-hdlc", phy::make_nrz, false},
+                      PipelineCase{"nrzi-hdlc", phy::make_nrzi, false},
+                      PipelineCase{"manchester-hdlc", phy::make_manchester,
+                                   false},
+                      PipelineCase{"4b5b-hdlc", phy::make_4b5b, false},
+                      PipelineCase{"nrz-lo", phy::make_nrz, true},
+                      PipelineCase{"nrzi-lo", phy::make_nrzi, true},
+                      PipelineCase{"manchester-lo", phy::make_manchester,
+                                   true},
+                      PipelineCase{"4b5b-lo", phy::make_4b5b, true}),
+    [](const ::testing::TestParamInfo<PipelineCase>& info) {
+      std::string name = info.param.label;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// A pcapng capture attached in the middle of a batched run: per-interface
+// timestamps must still be monotonically non-decreasing — bursts defer
+// receiver flushes, but every tapped frame carries its own sim-time stamp.
+TEST(BatchPipelinePcap, MidBurstAttachKeepsPerInterfaceTimestampsMonotone) {
+  sim::Simulator sim;
+  sim.set_burst_budget(16);
+  Rng rng(5);
+  sim::LinkConfig link;
+  link.propagation_delay = Duration::millis(1);
+  link.bandwidth_bps = 10e6;
+
+  StackConfig cfg;
+  cfg.batched_wire = true;
+  cfg.arq.rto = Duration::millis(25);
+  cfg.arq.window = 8;
+  DatalinkPair pair(sim, link, rng, cfg, phy::make_nrz(), make_crc32(),
+                    phy::make_nrz(), make_crc32());
+  std::size_t delivered = 0;
+  pair.b().set_deliver([&](Bytes) { ++delivered; });
+
+  Rng data(9);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(pair.a().send(data.next_bytes(64 + data.next_below(200))));
+  }
+  sim.run(200);  // part of the burst is already in flight, untapped
+
+  telemetry::TapHub hub;
+  telemetry::PcapngWriter writer;
+  telemetry::attach_pcap_sink(hub, writer);
+  telemetry::TapHub* prev = telemetry::TapHub::set_current(&hub);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(pair.a().send(data.next_bytes(64 + data.next_below(200))));
+  }
+  sim.run(2000000);
+  telemetry::TapHub::set_current(prev);
+
+  EXPECT_EQ(delivered, 20u);
+  EXPECT_GT(writer.packet_count(), 0u);
+  const auto image = writer.encode();
+  const auto parsed = telemetry::parse_pcapng(image.data(), image.size());
+  ASSERT_TRUE(parsed.has_value());
+  std::vector<std::int64_t> last(parsed->interfaces.size(), -1);
+  for (const auto& pkt : parsed->packets) {
+    ASSERT_LT(pkt.iface, last.size());
+    EXPECT_GE(pkt.ts_ns, last[pkt.iface]) << "iface " << pkt.iface;
+    last[pkt.iface] = pkt.ts_ns;
+  }
+}
+
+}  // namespace
+}  // namespace sublayer::datalink

@@ -1,0 +1,239 @@
+// Burst-dequeue replay suite: the scheduler's burst budget and the
+// batched link/stack wiring are pure mechanics — they may change how many
+// events one engine visit drains and how frames cross the sublayers, but
+// they must never change the event trace.  Asserted three ways:
+//
+//   1. batched wire vs classic per-frame wire, same budget — identical
+//      deliveries, retransmissions, link stats, event count, final time;
+//   2. burst budgets {1, 4, 16, 64} on BOTH event engines (timer wheel
+//      and legacy heap), over an impaired link with deterministic fault
+//      windows (down/up flaps, loss spikes) — identical everything;
+//   3. the parallel engine at 1/2/4 shards with per-shard batched stacks
+//      and cross-shard mail — events and cross-shard frames invariant
+//      across budgets.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "datalink/stack.hpp"
+#include "sim/parallel.hpp"
+#include "sim/simulator.hpp"
+
+namespace sublayer::sim {
+namespace {
+
+struct ReplaySignature {
+  std::vector<Bytes> delivered;
+  std::uint64_t events = 0;
+  std::int64_t end_ns = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t acks = 0;
+  std::uint64_t checksum_failures = 0;
+  std::uint64_t deframe_failures = 0;
+  std::uint64_t frames_up = 0;
+  // Per-direction link stats: every impairment draw must land identically.
+  std::tuple<std::uint64_t, std::uint64_t, std::uint64_t, std::uint64_t,
+             std::uint64_t>
+      link_ab;
+
+  friend bool operator==(const ReplaySignature&,
+                         const ReplaySignature&) = default;
+};
+
+std::tuple<std::uint64_t, std::uint64_t, std::uint64_t, std::uint64_t,
+           std::uint64_t>
+stats_tuple(const LinkStats& s) {
+  return {s.frames_offered, s.frames_delivered, s.frames_lost,
+          s.frames_corrupted, s.frames_duplicated};
+}
+
+/// 40 payloads through a lossy, corrupting, duplicating wire, with two
+/// deterministic chaos windows: a loss spike at 40 ms and a hard a->b
+/// down/up flap at 80/95 ms.  Every variant must replay this bit for bit.
+ReplaySignature run_impaired(EngineKind engine, std::size_t burst_budget,
+                             bool batched_wire) {
+  Simulator sim(engine);
+  sim.set_burst_budget(burst_budget);
+  Rng rng(99);
+  LinkConfig link;
+  link.loss_rate = 0.02;
+  link.corrupt_rate = 0.05;
+  link.corrupt_bit_flips = 3;
+  link.duplicate_rate = 0.02;
+  link.jitter = Duration::micros(300);
+  link.propagation_delay = Duration::millis(1);
+  link.bandwidth_bps = 5e6;
+
+  datalink::StackConfig cfg;
+  cfg.batched_wire = batched_wire;
+  cfg.arq.rto = Duration::millis(25);
+  cfg.arq.window = 8;
+  datalink::DatalinkPair pair(sim, link, rng, cfg, phy::make_nrz(),
+                              datalink::make_crc32(), phy::make_nrz(),
+                              datalink::make_crc32());
+
+  ReplaySignature out;
+  pair.b().set_deliver(
+      [&out](Bytes payload) { out.delivered.push_back(std::move(payload)); });
+
+  Rng data_rng(7);
+  for (int i = 0; i < 40; ++i) {
+    Bytes payload = data_rng.next_bytes(1 + data_rng.next_below(200));
+    EXPECT_TRUE(pair.a().send(std::move(payload)));
+  }
+  // Chaos windows, scheduled in virtual time so they replay exactly.
+  sim.schedule_at(TimePoint::from_ns(Duration::millis(40).ns()),
+                  [&pair] { pair.link().a_to_b().set_loss_rate(0.30); });
+  sim.schedule_at(TimePoint::from_ns(Duration::millis(60).ns()),
+                  [&pair] { pair.link().a_to_b().set_loss_rate(0.02); });
+  sim.schedule_at(TimePoint::from_ns(Duration::millis(80).ns()),
+                  [&pair] { pair.link().a_to_b().set_down(true); });
+  sim.schedule_at(TimePoint::from_ns(Duration::millis(95).ns()),
+                  [&pair] { pair.link().a_to_b().set_down(false); });
+
+  sim.run(4000000);
+  out.events = sim.events_processed();
+  out.end_ns = sim.now().ns();
+  out.retransmissions = pair.a().arq_stats().retransmissions.value();
+  out.acks = pair.b().arq_stats().acks_sent.value();
+  out.checksum_failures = pair.b().stats().checksum_failures.value();
+  out.deframe_failures = pair.b().stats().deframe_failures.value();
+  out.frames_up = pair.b().stats().frames_up.value();
+  out.link_ab = stats_tuple(pair.link().a_to_b().stats());
+  return out;
+}
+
+TEST(BatchReplay, BatchedWireMatchesClassicWire) {
+  const ReplaySignature classic =
+      run_impaired(EngineKind::kTimerWheel, 1, /*batched_wire=*/false);
+  const ReplaySignature batched =
+      run_impaired(EngineKind::kTimerWheel, 1, /*batched_wire=*/true);
+  EXPECT_EQ(classic.delivered.size(), 40u);
+  EXPECT_EQ(batched, classic);
+}
+
+class BatchReplayEngines : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(BatchReplayEngines, BurstBudgetNeverChangesTheTrace) {
+  const EngineKind engine = GetParam();
+  const ReplaySignature base =
+      run_impaired(engine, 1, /*batched_wire=*/true);
+  EXPECT_EQ(base.delivered.size(), 40u);
+  // The chaos windows actually bit: the run exercised loss recovery.
+  EXPECT_GT(base.retransmissions, 0u);
+  for (std::size_t budget : {4u, 16u, 64u}) {
+    const ReplaySignature r =
+        run_impaired(engine, budget, /*batched_wire=*/true);
+    EXPECT_EQ(r, base) << "budget " << budget;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothEngines, BatchReplayEngines,
+                         ::testing::Values(EngineKind::kTimerWheel,
+                                           EngineKind::kLegacyHeap),
+                         [](const ::testing::TestParamInfo<EngineKind>& info) {
+                           return info.param == EngineKind::kTimerWheel
+                                      ? "TimerWheel"
+                                      : "LegacyHeap";
+                         });
+
+struct ParallelSignature {
+  std::uint64_t events = 0;
+  std::uint64_t cross_frames = 0;
+  std::vector<std::size_t> delivered_per_shard;
+  std::vector<std::size_t> mail_per_shard;
+
+  friend bool operator==(const ParallelSignature&,
+                         const ParallelSignature&) = default;
+};
+
+/// One batched DatalinkPair per shard (lossy link, chaos-free: shard-local
+/// determinism is covered above) plus a ring of cross-shard channels, so
+/// burst dequeue interleaves shard-local bursts with mailbox drains.
+ParallelSignature run_sharded(std::size_t shards, std::size_t threads,
+                              std::size_t burst_budget) {
+  ParallelConfig pc;
+  pc.shards = shards;
+  pc.threads = threads;
+  pc.burst_budget = burst_budget;
+  ParallelSimulator psim(pc);
+
+  datalink::StackConfig cfg;
+  cfg.batched_wire = true;
+  cfg.arq.rto = Duration::millis(25);
+  cfg.arq.window = 8;
+  LinkConfig link;
+  link.loss_rate = 0.05;
+  link.propagation_delay = Duration::millis(1);
+  link.bandwidth_bps = 10e6;
+
+  std::vector<std::unique_ptr<Rng>> rngs;
+  std::vector<std::unique_ptr<datalink::DatalinkPair>> pairs;
+  std::vector<std::size_t> delivered(shards, 0);
+  std::vector<std::size_t> mail(shards, 0);
+  for (std::size_t s = 0; s < shards; ++s) {
+    ParallelSimulator::ShardScope scope(psim, s);
+    rngs.push_back(std::make_unique<Rng>(100 + s));
+    pairs.push_back(std::make_unique<datalink::DatalinkPair>(
+        psim.shard(s), link, *rngs.back(), cfg, phy::make_nrz(),
+        datalink::make_crc32(), phy::make_nrz(), datalink::make_crc32()));
+    pairs.back()->b().set_deliver(
+        [&delivered, s](Bytes) { ++delivered[s]; });
+  }
+  // Cross-shard mail ring: shard s posts to s+1 every 2 ms.
+  std::vector<std::uint32_t> ring;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t dst = (s + 1) % shards;
+    ring.push_back(psim.add_channel(
+        s, dst, Duration::millis(1), "ring",
+        [&mail, dst](Bytes) { ++mail[dst]; }));
+  }
+  for (std::size_t s = 0; s < shards; ++s) {
+    datalink::DatalinkPair* pair = pairs[s].get();
+    for (int i = 0; i < 20; ++i) {
+      const auto at =
+          TimePoint::from_ns(Duration::millis(1 + 2 * i).ns());
+      psim.shard(s).schedule_at(at, [pair, s, i, &psim, &ring] {
+        Rng payload_rng(1000 + 40 * s + i);
+        pair->a().send(payload_rng.next_bytes(32 + 8 * (i % 5)));
+        psim.post(ring[s], simclock::now() + Duration::millis(2),
+                  Bytes{static_cast<std::uint8_t>(i)});
+      });
+    }
+  }
+  psim.run_until(TimePoint::from_ns(Duration::seconds(2.0).ns()));
+
+  ParallelSignature out;
+  out.events = psim.events_processed();
+  out.cross_frames = psim.cross_shard_frames();
+  out.delivered_per_shard = delivered;
+  out.mail_per_shard = mail;
+  return out;
+}
+
+TEST(BatchReplay, ParallelShardsAreBudgetInvariant) {
+  for (std::size_t shards : {1u, 2u, 4u}) {
+    const ParallelSignature base = run_sharded(shards, 2, 1);
+    for (std::size_t s = 0; s < shards; ++s) {
+      EXPECT_EQ(base.delivered_per_shard[s], 20u)
+          << shards << " shards, shard " << s;
+      EXPECT_EQ(base.mail_per_shard[s], 20u)
+          << shards << " shards, shard " << s;
+    }
+    for (std::size_t budget : {4u, 16u, 64u}) {
+      const ParallelSignature r = run_sharded(shards, 2, budget);
+      EXPECT_EQ(r, base) << shards << " shards, budget " << budget;
+    }
+    // Worker count must not interact with the budget either.
+    EXPECT_EQ(run_sharded(shards, 4, 16), base) << shards << " shards";
+  }
+}
+
+}  // namespace
+}  // namespace sublayer::sim
