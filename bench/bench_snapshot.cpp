@@ -1,0 +1,390 @@
+// Experiment E18: snapshot cost and the chaos matrix.
+//
+// Default mode measures the snapshot container on the ring workload
+// (4 routers, 8 sublayered TCP flows) warmed to 1.2 s: image size, save
+// time, and restore time (into a freshly constructed identical graph),
+// for the monolithic wheel engine and the 4-shard parallel engine, clean
+// and with mixed-mayhem chaos armed.  Emits one BENCH_JSON line.
+//
+// --matrix N forks N alternative fault futures from ONE warmed clean
+// snapshot: each future restores the same image, arms a differently
+// seeded mixed-mayhem plan, and runs to the deadline.  The run verifies
+// the futures genuinely diverge (different event counts), that every
+// future heals all its faults, and that re-running a future reproduces
+// it exactly — the snapshot is a reusable launch pad, not a one-shot.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chaos/controller.hpp"
+#include "chaos/fault_plan.hpp"
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "netlayer/router.hpp"
+#include "sim/parallel.hpp"
+#include "sim/simulator.hpp"
+#include "sim/snapshot.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+#include "transport/sublayered/host.hpp"
+
+using namespace sublayer;
+
+namespace {
+
+constexpr std::size_t kRing = 4;
+constexpr std::size_t kFlows = 8;
+constexpr std::size_t kPerFlow = 4096;
+
+netlayer::RouterConfig ring_router_config() {
+  netlayer::RouterConfig rc;
+  rc.routing = netlayer::RoutingKind::kLinkState;
+  rc.neighbor.dead_interval = Duration::seconds(3600.0);
+  return rc;
+}
+
+sim::LinkConfig ring_link_config() {
+  sim::LinkConfig link;
+  link.bandwidth_bps = 10e9;
+  link.propagation_delay = Duration::micros(100);
+  link.queue_limit = 4096;
+  return link;
+}
+
+chaos::FaultPlan mayhem_plan(std::size_t link_count, std::uint64_t seed,
+                             TimePoint start) {
+  chaos::ScriptParams params;
+  params.link_count = link_count;
+  params.router_count = kRing;
+  params.start = start;
+  params.active_window = Duration::seconds(1.5);
+  return chaos::make_plan("mixed-mayhem", seed, params);
+}
+
+// The same ring-workload graph the snapshot-resume integration suite
+// uses; see tests/integration/snapshot_resume_test.cpp for the contract.
+struct World {
+  World(std::size_t shards, bool with_chaos) : parallel(shards > 0) {
+    if (!parallel) {
+      telemetry::MetricsRegistry::instance().reset();
+      telemetry::SpanTracer::instance().reset();
+    }
+    if (parallel) {
+      sim::ParallelConfig pc;
+      pc.shards = shards;
+      pc.threads = shards;
+      psim = std::make_unique<sim::ParallelSimulator>(pc);
+      sim::ShardMap map(shards);
+      for (std::size_t i = 0; i < kRing; ++i) map.assign(i, i % shards);
+      net = std::make_unique<netlayer::Network>(*psim, ring_router_config(),
+                                                /*seed=*/1, map);
+    } else {
+      mono = std::make_unique<sim::Simulator>(sim::EngineKind::kTimerWheel);
+      net = std::make_unique<netlayer::Network>(*mono, ring_router_config(),
+                                                /*seed=*/1);
+    }
+    for (std::size_t i = 0; i < kRing; ++i) {
+      routers.push_back(net->add_router());
+    }
+    for (std::size_t i = 0; i < kRing; ++i) {
+      net->connect(routers[i], routers[(i + 1) % kRing], ring_link_config());
+    }
+    transport::HostConfig hc;
+    hc.connection.cm.keepalive_interval = Duration::seconds(2.0);
+    for (std::size_t i = 0; i < kRing; ++i) {
+      std::optional<sim::ParallelSimulator::ShardScope> scope;
+      if (parallel) scope.emplace(*psim, net->shard_of(routers[i]));
+      hosts.push_back(std::make_unique<transport::TcpHost>(
+          net->router(routers[i]), 1, hc));
+      auto* bucket = &received[i];
+      hosts.back()->listen(80, [bucket](transport::Connection& c) {
+        auto count = std::make_shared<std::size_t>(0);
+        bucket->push_back(count);
+        transport::Connection::AppCallbacks cb;
+        cb.on_data = [count](Bytes data) { *count += data.size(); };
+        c.set_app_callbacks(cb);
+      });
+    }
+    if (with_chaos) {
+      if (parallel) {
+        chaos_ctl.emplace(*psim, *net);
+      } else {
+        chaos_ctl.emplace(*mono, *net);
+      }
+    }
+  }
+
+  void begin() {
+    net->start();
+    const auto warmup = TimePoint::from_ns(Duration::millis(500).ns());
+    run_until(warmup);
+    if (chaos_ctl) {
+      chaos_ctl->arm(mayhem_plan(net->link_count(), 3,
+                                 TimePoint::from_ns(Duration::millis(600).ns())));
+    }
+    Rng rng(7);
+    const Bytes payload = rng.next_bytes(kPerFlow);
+    for (std::size_t f = 0; f < kFlows; ++f) {
+      transport::TcpHost* client = hosts[f % kRing].get();
+      transport::TcpHost* server = hosts[(f % kRing + 2) % kRing].get();
+      const auto at =
+          warmup + Duration::micros(static_cast<std::int64_t>(10 * (f + 1)));
+      const auto go = [client, server, payload] {
+        client->connect(server->addr(), 80).send(payload);
+      };
+      if (parallel) {
+        psim->shard(net->shard_of(routers[f % kRing])).schedule_at(at, go);
+      } else {
+        mono->schedule_at(at, go);
+      }
+    }
+  }
+
+  void run_until(TimePoint t) {
+    if (parallel) {
+      psim->run_until(t);
+    } else {
+      mono->run_until(t);
+    }
+  }
+
+  std::uint64_t events_processed() const {
+    return parallel ? psim->events_processed() : mono->events_processed();
+  }
+
+  Bytes save_world() const {
+    sim::SnapshotWriter w;
+    if (parallel) {
+      psim->save(w);
+    } else {
+      mono->save(w);
+      sim::save_metrics(w, telemetry::MetricsRegistry::instance());
+      sim::save_spans(w, telemetry::SpanTracer::instance());
+    }
+    net->save(w);
+    for (const auto& h : hosts) h->save(w);
+    if (chaos_ctl) chaos_ctl->save(w);
+    return w.finish();
+  }
+
+  void restore_from(const Bytes& image) {
+    sim::SnapshotReader r(image);
+    if (parallel) {
+      psim->restore(r);
+    } else {
+      mono->restore(r);
+      sim::restore_metrics(r, telemetry::MetricsRegistry::instance());
+      sim::restore_spans(r, telemetry::SpanTracer::instance());
+    }
+    net->restore(r);
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      std::optional<sim::ParallelSimulator::ShardScope> scope;
+      if (parallel) scope.emplace(*psim, net->shard_of(routers[i]));
+      hosts[i]->restore(r);
+    }
+    if (chaos_ctl) chaos_ctl->restore(r);
+    if (parallel) {
+      psim->finish_restore();
+    } else {
+      mono->finish_restore();
+    }
+  }
+
+  std::vector<std::size_t> host_sums() const {
+    std::vector<std::size_t> out;
+    for (const auto& bucket : received) {
+      std::size_t total = 0;
+      for (const auto& c : bucket) total += *c;
+      out.push_back(total);
+    }
+    return out;
+  }
+
+  bool parallel;
+  std::unique_ptr<sim::Simulator> mono;
+  std::unique_ptr<sim::ParallelSimulator> psim;
+  std::unique_ptr<netlayer::Network> net;
+  std::vector<netlayer::RouterId> routers;
+  std::vector<std::unique_ptr<transport::TcpHost>> hosts;
+  std::vector<std::vector<std::shared_ptr<std::size_t>>> received{
+      std::vector<std::vector<std::shared_ptr<std::size_t>>>(kRing)};
+  std::optional<chaos::ChaosController> chaos_ctl;
+};
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+std::uint64_t median(std::vector<std::uint64_t> v) {
+  std::sort(v.begin(), v.end());
+  return v.empty() ? 0 : v[v.size() / 2];
+}
+
+struct Row {
+  std::string label;
+  std::size_t shards = 0;
+  bool chaos = false;
+  std::size_t image_bytes = 0;
+  std::uint64_t save_ns = 0;     // median
+  std::uint64_t restore_ns = 0;  // median
+};
+
+Row measure(const std::string& label, std::size_t shards, bool with_chaos,
+            int reps) {
+  const auto mid = TimePoint::from_ns(Duration::millis(1200).ns());
+  World w(shards, with_chaos);
+  w.begin();
+  w.run_until(mid);
+
+  Row row;
+  row.label = label;
+  row.shards = shards;
+  row.chaos = with_chaos;
+
+  std::vector<std::uint64_t> save_ns;
+  Bytes image;
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    image = w.save_world();
+    save_ns.push_back(elapsed_ns(t0));
+  }
+  row.image_bytes = image.size();
+  row.save_ns = median(save_ns);
+
+  // Each restore sample needs a fresh, never-run graph; construction is
+  // outside the timed region.
+  std::vector<std::uint64_t> restore_ns;
+  for (int i = 0; i < reps; ++i) {
+    World fresh(shards, with_chaos);
+    const auto t0 = std::chrono::steady_clock::now();
+    fresh.restore_from(image);
+    restore_ns.push_back(elapsed_ns(t0));
+  }
+  row.restore_ns = median(restore_ns);
+  return row;
+}
+
+int run_matrix(int futures) {
+  // One warmed clean snapshot; every future starts from it.
+  const auto mid = TimePoint::from_ns(Duration::millis(1200).ns());
+  const auto end = TimePoint::from_ns(Duration::seconds(5.0).ns());
+  World warm(0, /*with_chaos=*/false);
+  warm.begin();
+  warm.run_until(mid);
+  const Bytes image = warm.save_world();
+  std::printf("chaos matrix: %d futures from one %zu-byte snapshot @1.2s\n",
+              futures, image.size());
+
+  struct Future {
+    std::uint64_t events = 0;
+    std::uint64_t applied = 0;
+    std::uint64_t healed = 0;
+    std::vector<std::size_t> sums;
+  };
+  const auto run_future = [&](std::uint64_t seed) {
+    // The restore graph carries no controller (the image has none); the
+    // future's plan is armed on a fresh controller over the restored,
+    // running network — the restart path that re-derives baselines from
+    // the live configs.
+    World w(0, /*with_chaos=*/false);
+    w.restore_from(image);
+    chaos::ChaosController ctl(*w.mono, *w.net);
+    ctl.arm(mayhem_plan(w.net->link_count(), seed,
+                        TimePoint::from_ns(Duration::millis(1300).ns())));
+    w.run_until(end);
+    Future f;
+    f.events = w.events_processed();
+    f.applied = ctl.stats().faults_applied;
+    f.healed = ctl.stats().faults_healed;
+    f.sums = w.host_sums();
+    if (!ctl.all_healed()) {
+      std::fprintf(stderr, "future seed %llu: faults not healed\n",
+                   static_cast<unsigned long long>(seed));
+      std::exit(1);
+    }
+    return f;
+  };
+
+  std::vector<Future> runs;
+  for (int i = 0; i < futures; ++i) {
+    runs.push_back(run_future(static_cast<std::uint64_t>(i + 1)));
+    std::printf(
+        "  seed %2d: events=%llu faults=%llu/%llu\n", i + 1,
+        static_cast<unsigned long long>(runs.back().events),
+        static_cast<unsigned long long>(runs.back().applied),
+        static_cast<unsigned long long>(runs.back().healed));
+  }
+  bool diverged = false;
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    if (runs[i].events != runs[0].events) diverged = true;
+  }
+  if (!diverged && futures > 1) {
+    std::fprintf(stderr, "futures did not diverge\n");
+    return 1;
+  }
+  // Forking is repeatable: the same seed from the same image reproduces
+  // the future exactly.
+  const Future again = run_future(1);
+  if (again.events != runs[0].events || again.sums != runs[0].sums ||
+      again.applied != runs[0].applied) {
+    std::fprintf(stderr, "future seed 1 did not reproduce\n");
+    return 1;
+  }
+  std::puts("CHAOS_MATRIX_OK");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  int matrix = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--matrix") == 0 && i + 1 < argc) {
+      matrix = std::atoi(argv[++i]);
+    }
+  }
+  if (matrix > 0) return run_matrix(matrix);
+
+  const int reps = smoke ? 1 : 7;
+  std::puts(
+      "E18: snapshot cost on the ring workload (4 routers, 8 flows, warmed "
+      "to 1.2s)\nimage size, median save / restore wall time");
+  std::vector<Row> rows;
+  rows.push_back(measure("mono-clean", 0, false, reps));
+  rows.push_back(measure("mono-chaos", 0, true, reps));
+  rows.push_back(measure("par4-clean", 4, false, reps));
+  rows.push_back(measure("par4-chaos", 4, true, reps));
+
+  std::printf("%-12s | %10s | %10s | %10s\n", "workload", "bytes", "save us",
+              "restore us");
+  std::string json = "{\"workloads\":[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::printf("%-12s | %10zu | %10.1f | %10.1f\n", r.label.c_str(),
+                r.image_bytes, r.save_ns / 1e3, r.restore_ns / 1e3);
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"label\":\"%s\",\"shards\":%zu,\"chaos\":%s,"
+                  "\"image_bytes\":%zu,\"save_ns\":%llu,\"restore_ns\":%llu}",
+                  i ? "," : "", r.label.c_str(), r.shards,
+                  r.chaos ? "true" : "false", r.image_bytes,
+                  static_cast<unsigned long long>(r.save_ns),
+                  static_cast<unsigned long long>(r.restore_ns));
+    json += buf;
+  }
+  json += "]}";
+  std::printf("BENCH_JSON %s\n", json.c_str());
+  return 0;
+}

@@ -14,7 +14,7 @@ cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE="${BUILD_TYPE:-Release}" >/dev/null
 cmake --build "${build_dir}" -j "${jobs}" \
   --target bench_datalink_stack bench_tcp_goodput bench_manyflow \
-  bench_observe >/dev/null
+  bench_observe bench_snapshot >/dev/null
 
 extract_json() {
   # Prints the payload of the (last) BENCH_JSON line of the given output.
@@ -73,4 +73,29 @@ doc = json.load(open(sys.argv[1]))
 pct = doc["tap_disabled_overhead_pct"]
 assert pct <= 5.0, f"disabled-tap overhead {pct:.2f}% exceeds the 5% budget"
 print(f"disabled-tap overhead {pct:.2f}% (budget 5%)")
+PYEOF
+
+echo "== bench_snapshot =="
+snapshot_out="$("${build_dir}/bench/bench_snapshot")"
+echo "${snapshot_out}"
+extract_json "${snapshot_out}" >"${repo_root}/BENCH_snapshot.json"
+echo "wrote ${repo_root}/BENCH_snapshot.json"
+# Structural bar: all four workload rows present (mono/parallel x
+# clean/chaos) with nonzero images and timings, and the snapshot stays a
+# checkpoint, not a second copy of the heap — a loose 16 MB ceiling on the
+# ring-workload image catches accidental full-buffer serialization.
+python3 - "${repo_root}/BENCH_snapshot.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+rows = {r["label"]: r for r in doc["workloads"]}
+for label in ("mono-clean", "mono-chaos", "par4-clean", "par4-chaos"):
+    r = rows[label]
+    assert r["image_bytes"] > 0 and r["save_ns"] > 0 and r["restore_ns"] > 0, \
+        f"degenerate measurement for {label}"
+    assert r["image_bytes"] < 16 * 1024 * 1024, \
+        f"{label} image {r['image_bytes']} bytes: snapshot bloat"
+print(", ".join(f"{label} {rows[label]['image_bytes']}B "
+                f"save {rows[label]['save_ns']/1e3:.0f}us "
+                f"restore {rows[label]['restore_ns']/1e3:.0f}us"
+                for label in sorted(rows)))
 PYEOF

@@ -19,7 +19,17 @@ echo "bench smoke..."
 "${build_dir}/bench/bench_datalink_stack" --smoke >/dev/null
 "${build_dir}/bench/bench_tcp_goodput" >/dev/null
 "${build_dir}/bench/bench_manyflow" --smoke >/dev/null
+"${build_dir}/bench/bench_snapshot" --smoke >/dev/null
 echo "bench smoke OK"
+
+# Chaos matrix: fork several alternative fault futures from one warmed
+# snapshot.  The bench exits nonzero unless the futures diverge, every
+# future heals all its faults, and re-running a future reproduces it
+# bit-for-bit — the snapshot must be a reusable launch pad.
+echo "chaos matrix..."
+matrix_out="$("${build_dir}/bench/bench_snapshot" --matrix 4)"
+grep -q '^CHAOS_MATRIX_OK$' <<<"${matrix_out}"
+echo "chaos matrix OK"
 
 # Observability export validation: run the observe bench's smoke pass (it
 # writes a pcapng capture and a Chrome-trace JSON next to itself) and check
@@ -85,7 +95,7 @@ if [[ "${SKIP_SANITIZERS:-0}" != "1" ]]; then
     -DCMAKE_EXE_LINKER_FLAGS="${san_flags}" >/dev/null
   cmake --build "${san_dir}" -j "${jobs}" \
     --target test_chaos test_transport test_datalink test_sim test_common \
-    >/dev/null
+    test_integration >/dev/null
   # Chaos smoke: the unit tests plus one soak seed per script (the full
   # 140-case sweep runs in the regular suite above; under sanitizers one
   # representative seed each keeps the pass quick).
@@ -107,6 +117,16 @@ if [[ "${SKIP_SANITIZERS:-0}" != "1" ]]; then
     >/dev/null
   "${san_dir}/tests/test_common" \
     --gtest_filter='FlatHash*:FrameArena*' >/dev/null
+  # Snapshot replay under ASan: save serializes every live structure and
+  # restore re-arms events into recycled pool slots — both are prime
+  # use-after-free territory.  Container + module round-trips, TimeTravel
+  # re-execution, ARQ mid-retransmit resume, and the full-stack
+  # snapshot-resume suite (both engines, 1/2/4 shards, clean + mayhem).
+  "${san_dir}/tests/test_sim" --gtest_filter='*Snapshot*:*TimeTravel*' \
+    >/dev/null
+  "${san_dir}/tests/test_datalink" --gtest_filter='*ArqSnapshot*' >/dev/null
+  "${san_dir}/tests/test_integration" --gtest_filter='SnapshotResume.*' \
+    >/dev/null
   echo "ASan+UBSan OK"
 
   # TSan pass: the parallel sharded engine is the one genuinely
@@ -122,9 +142,16 @@ if [[ "${SKIP_SANITIZERS:-0}" != "1" ]]; then
     -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror ${tsan_flags}" \
     -DCMAKE_EXE_LINKER_FLAGS="${tsan_flags}" >/dev/null
-  cmake --build "${tsan_dir}" -j "${jobs}" --target test_sim >/dev/null
+  cmake --build "${tsan_dir}" -j "${jobs}" \
+    --target test_sim test_integration >/dev/null
   "${tsan_dir}/tests/test_sim" \
     --gtest_filter='ShardMap*:ParallelSim*:ParallelReplay*:*TimerRace*:*BatchReplay*' \
+    >/dev/null
+  # Snapshot replay under TSan: parallel save/restore happens at barrier
+  # park points and the resumed run re-spins the worker pool — any missed
+  # happens-before edge between restore and the first epoch shows here.
+  "${tsan_dir}/tests/test_integration" \
+    --gtest_filter='SnapshotResume.Parallel*:SnapshotResume.ThreadCount*' \
     >/dev/null
   echo "TSan OK"
 fi

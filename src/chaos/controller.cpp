@@ -2,6 +2,7 @@
 
 #include "common/logging.hpp"
 #include "sim/parallel.hpp"
+#include "sim/snapshot.hpp"
 #include "telemetry/flight_recorder.hpp"
 #include "telemetry/span.hpp"
 
@@ -33,23 +34,50 @@ void ChaosController::arm(const FaultPlan& plan) {
   link_refs_.assign(net_.link_count(), 0);
   crash_refs_.assign(net_.router_count(), 0);
   total_ = static_cast<int>(plan.events.size());
+  plan_events_.reserve(plan.events.size());
   for (FaultEvent e : plan.events) {
     e.fault_id = ++next_fault_id_;
+    plan_events_.push_back(e);
+    apply_done_.push_back(0);
+    heal_done_.push_back(0);
     const auto heal_at = TimePoint::from_ns(e.at.ns() + e.duration.ns());
-    if (psim_ != nullptr) {
-      // Barrier tasks: single-threaded, clocks aligned, workers parked.
-      // Crash/restart rebuild telemetry-bound state, so those run under
-      // the victim router's shard scope.
-      const std::size_t scope = e.kind == FaultKind::kRouterCrash
-                                    ? net_.shard_of(e.router)
-                                    : sim::ParallelSimulator::kNoShard;
-      psim_->schedule_task(e.at, [this, e] { apply(e); }, scope);
-      psim_->schedule_task(heal_at, [this, e] { heal(e); }, scope);
-    } else {
-      sim_->schedule_at(e.at, [this, e] { apply(e); });
-      sim_->schedule_at(heal_at, [this, e] { heal(e); });
-    }
+    schedule_event(e, /*apply_phase=*/true, e.at, 0, /*restored=*/false);
+    schedule_event(e, /*apply_phase=*/false, heal_at, 0, /*restored=*/false);
   }
+}
+
+void ChaosController::schedule_event(const FaultEvent& e, bool apply_phase,
+                                     TimePoint when,
+                                     std::uint64_t restored_seq,
+                                     bool restored) {
+  if (psim_ != nullptr) {
+    // Barrier tasks: single-threaded, clocks aligned, workers parked.
+    // Crash/restart rebuild telemetry-bound state, so those run under
+    // the victim router's shard scope.
+    const std::size_t scope = e.kind == FaultKind::kRouterCrash
+                                  ? net_.shard_of(e.router)
+                                  : sim::ParallelSimulator::kNoShard;
+    if (apply_phase) {
+      psim_->schedule_task(when, [this, e] { apply(e); }, scope);
+    } else {
+      psim_->schedule_task(when, [this, e] { heal(e); }, scope);
+    }
+    return;
+  }
+  sim::EventId id{};
+  if (apply_phase) {
+    id = restored ? sim_->schedule_restored_at(when, restored_seq,
+                                               [this, e] { apply(e); })
+                  : sim_->schedule_at(when, [this, e] { apply(e); });
+  } else {
+    id = restored ? sim_->schedule_restored_at(when, restored_seq,
+                                               [this, e] { heal(e); })
+                  : sim_->schedule_at(when, [this, e] { heal(e); });
+  }
+  auto& ids = apply_phase ? apply_ids_ : heal_ids_;
+  const std::size_t index = static_cast<std::size_t>(e.fault_id - 1);
+  if (ids.size() <= index) ids.resize(index + 1);
+  ids[index] = id;
 }
 
 void ChaosController::record_fault(const FaultEvent& e, bool apply_phase) {
@@ -87,6 +115,7 @@ void ChaosController::record_fault(const FaultEvent& e, bool apply_phase) {
 void ChaosController::apply(const FaultEvent& e) {
   ++active_;
   ++stats_.faults_applied;
+  apply_done_.at(static_cast<std::size_t>(e.fault_id - 1)) = 1;
   kLog.info("apply #%llu %s link=%zu r=%u mag=%g",
             static_cast<unsigned long long>(e.fault_id), to_string(e.kind),
             e.link, e.router, e.magnitude);
@@ -127,6 +156,7 @@ void ChaosController::heal(const FaultEvent& e) {
   --active_;
   ++healed_;
   ++stats_.faults_healed;
+  heal_done_.at(static_cast<std::size_t>(e.fault_id - 1)) = 1;
   kLog.info("heal #%llu %s link=%zu r=%u",
             static_cast<unsigned long long>(e.fault_id), to_string(e.kind),
             e.link, e.router);
@@ -149,6 +179,143 @@ void ChaosController::heal(const FaultEvent& e) {
   }
   if (active_ == 0 && healed_ == total_) healed_at_ = now();
   if (on_heal) on_heal(e);
+}
+
+void ChaosController::save(sim::SnapshotWriter& w) const {
+  w.begin_section("chaos.controller");
+  w.b(armed_);
+  w.u64(next_fault_id_);
+  w.i64(active_);
+  w.i64(total_);
+  w.i64(healed_);
+  w.time(healed_at_);
+  w.u64(stats_.faults_applied);
+  w.u64(stats_.faults_healed);
+  w.u64(link_refs_.size());
+  for (const int refs : link_refs_) w.i64(refs);
+  w.u64(crash_refs_.size());
+  for (const int refs : crash_refs_) w.i64(refs);
+  w.u64(baselines_.size());
+  for (const sim::LinkConfig& c : baselines_) sim::save_link_config(w, c);
+  w.u64(plan_events_.size());
+  for (std::size_t i = 0; i < plan_events_.size(); ++i) {
+    const FaultEvent& e = plan_events_[i];
+    w.time(e.at);
+    w.dur(e.duration);
+    w.u8(static_cast<std::uint8_t>(e.kind));
+    w.u64(e.link);
+    w.u32(e.router);
+    w.f64(e.magnitude);
+    w.u64(e.fault_id);
+    w.b(apply_done_[i] != 0);
+    w.b(heal_done_[i] != 0);
+    // Monolithic mode: pending phases carry the insertion seq the fresh
+    // controller must re-arm under.  Sharded mode writes 0 — barrier
+    // tasks order by (time, submission order), which re-submission in
+    // plan order reproduces.
+    const bool mono = sim_ != nullptr;
+    w.u64(mono && apply_done_[i] == 0 ? sim_->seq_of(apply_ids_[i]) : 0);
+    w.u64(mono && heal_done_[i] == 0 ? sim_->seq_of(heal_ids_[i]) : 0);
+  }
+  w.end_section();
+}
+
+void ChaosController::restore(sim::SnapshotReader& r) {
+  if (armed_) {
+    throw std::logic_error("ChaosController::restore on an armed controller");
+  }
+  r.begin_section("chaos.controller");
+  armed_ = r.b();
+  next_fault_id_ = r.u64();
+  active_ = static_cast<int>(r.i64());
+  total_ = static_cast<int>(r.i64());
+  healed_ = static_cast<int>(r.i64());
+  healed_at_ = r.time();
+  stats_.faults_applied = r.u64();
+  stats_.faults_healed = r.u64();
+  const std::uint64_t nlinks = r.u64();
+  if (nlinks != net_.link_count()) {
+    throw sim::SnapshotError(
+        "chaos restore: saved link count " + std::to_string(nlinks) +
+        " != restored network's " + std::to_string(net_.link_count()));
+  }
+  link_refs_.clear();
+  for (std::uint64_t i = 0; i < nlinks; ++i) {
+    link_refs_.push_back(static_cast<int>(r.i64()));
+  }
+  const std::uint64_t nrouters = r.u64();
+  if (nrouters != net_.router_count()) {
+    throw sim::SnapshotError(
+        "chaos restore: saved router count " + std::to_string(nrouters) +
+        " != restored network's " + std::to_string(net_.router_count()));
+  }
+  crash_refs_.clear();
+  for (std::uint64_t i = 0; i < nrouters; ++i) {
+    crash_refs_.push_back(static_cast<int>(r.i64()));
+  }
+  const std::uint64_t nbase = r.u64();
+  if (nbase != nlinks) {
+    throw sim::SnapshotError("chaos restore: baseline table size mismatch");
+  }
+  baselines_.clear();
+  for (std::uint64_t i = 0; i < nbase; ++i) {
+    const sim::LinkConfig saved = sim::restore_link_config(r);
+    const sim::LinkConfig live = net_.link(i).a_to_b().config();
+    if (link_refs_[i] == 0) {
+      // No open fault window: the restored link's live config IS the
+      // baseline.  Re-derive from the live object rather than trusting
+      // the pre-snapshot table, and guard that both agree — a mismatch
+      // means the restore graph was configured differently from the run
+      // that took the snapshot.
+      if (!(live == saved)) {
+        throw sim::SnapshotError(
+            "chaos restore: link " + std::to_string(i) +
+            " baseline diverges from the restored link's config "
+            "(restore graph mismatch)");
+      }
+      baselines_.push_back(live);
+    } else {
+      // Open window: the live config is the faulted one; only the saved
+      // table knows what heal must put back.
+      baselines_.push_back(saved);
+    }
+  }
+  const std::uint64_t nevents = r.u64();
+  plan_events_.clear();
+  apply_done_.clear();
+  heal_done_.clear();
+  apply_ids_.clear();
+  heal_ids_.clear();
+  for (std::uint64_t i = 0; i < nevents; ++i) {
+    FaultEvent e;
+    e.at = r.time();
+    e.duration = r.dur();
+    e.kind = static_cast<FaultKind>(r.u8());
+    e.link = r.u64();
+    e.router = static_cast<netlayer::RouterId>(r.u32());
+    e.magnitude = r.f64();
+    e.fault_id = r.u64();
+    const bool applied = r.b();
+    const bool healed = r.b();
+    const std::uint64_t apply_seq = r.u64();
+    const std::uint64_t heal_seq = r.u64();
+    plan_events_.push_back(e);
+    apply_done_.push_back(applied ? 1 : 0);
+    heal_done_.push_back(healed ? 1 : 0);
+    // Re-arm the un-fired phases under their original slots; relative
+    // submission order (apply before heal, events in plan order) matches
+    // arm()'s, so the sharded task order is reproduced too.
+    if (!applied) {
+      schedule_event(e, /*apply_phase=*/true, e.at, apply_seq,
+                     /*restored=*/true);
+    }
+    if (!healed) {
+      const auto heal_at = TimePoint::from_ns(e.at.ns() + e.duration.ns());
+      schedule_event(e, /*apply_phase=*/false, heal_at, heal_seq,
+                     /*restored=*/true);
+    }
+  }
+  r.end_section();
 }
 
 }  // namespace sublayer::chaos

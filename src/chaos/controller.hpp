@@ -54,10 +54,26 @@ class ChaosController {
   std::function<void(const FaultEvent&)> on_apply;
   std::function<void(const FaultEvent&)> on_heal;
 
+  /// Checkpoint/restore (sim/snapshot.hpp).  save() captures the plan
+  /// position — every event with its apply/heal fired-or-pending status
+  /// and, in monolithic mode, the pending events' insertion seqs — plus
+  /// refcounts, counters, and the baseline table.  restore() must run on a
+  /// freshly constructed, never-armed controller over the restored
+  /// network; it re-arms the pending apply/heal events and RE-DERIVES the
+  /// baseline of every link with no open fault window from that link's
+  /// live config (guarding that it matches the saved baseline — a mismatch
+  /// means the restore graph was built differently from the saved one).
+  /// Only links inside an open window trust the saved table, since their
+  /// live config is the faulted one.
+  void save(sim::SnapshotWriter& w) const;
+  void restore(sim::SnapshotReader& r);
+
  private:
   void apply(const FaultEvent& e);
   void heal(const FaultEvent& e);
   void record_fault(const FaultEvent& e, bool apply_phase);
+  void schedule_event(const FaultEvent& e, bool apply_phase, TimePoint when,
+                      std::uint64_t restored_seq, bool restored);
   TimePoint now() const;
 
   sim::Simulator* sim_ = nullptr;           // monolithic mode
@@ -75,6 +91,18 @@ class ChaosController {
   std::uint64_t next_fault_id_ = 0;
   TimePoint healed_at_;
   ChaosStats stats_;
+  /// Plan events with assigned fault ids, in plan order — the restore path
+  /// re-derives apply/heal closures from these.
+  std::vector<FaultEvent> plan_events_;
+  /// Which phases have fired, indexed like plan_events_.
+  std::vector<std::uint8_t> apply_done_;
+  std::vector<std::uint8_t> heal_done_;
+  /// Monolithic mode: the scheduled events, so save() can read their
+  /// insertion seqs.  Unused (empty ids) in sharded mode, where barrier
+  /// tasks are ordered by (time, submission order) and re-submission in
+  /// plan order reproduces the original relative order.
+  std::vector<sim::EventId> apply_ids_;
+  std::vector<sim::EventId> heal_ids_;
 };
 
 }  // namespace sublayer::chaos

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/snapshot.hpp"
 #include "telemetry/flight_recorder.hpp"
 #include "telemetry/span.hpp"
 
@@ -167,6 +168,71 @@ void InvariantMonitor::violate(std::string message) {
   const bool first = violations_.empty();
   violations_.push_back(std::move(message));
   if (first) telemetry::dump_all_flight_recorders("violation");
+}
+
+void InvariantMonitor::save(sim::SnapshotWriter& w) const {
+  w.begin_section("chaos.monitor");
+  w.u64(checks_run_);
+  w.u64(osr_down_base_);
+  w.u64(osr_up_base_);
+  w.b(healed_at_.has_value());
+  w.time(healed_at_.value_or(TimePoint{}));
+  w.b(neighbors_back_at_.has_value());
+  w.time(neighbors_back_at_.value_or(TimePoint{}));
+  w.b(reconverged_at_.has_value());
+  w.time(reconverged_at_.value_or(TimePoint{}));
+  w.b(bound_violated_);
+  w.u64(transfers_.size());
+  for (const Transfer& t : transfers_) {
+    w.str(t.label);
+    w.blob(t.sent);
+    w.u64(t.delivered);
+    w.b(t.dead);
+    w.b(t.corrupted);
+  }
+  w.u64(violations_.size());
+  for (const std::string& v : violations_) w.str(v);
+  timer_.save(w);
+  w.end_section();
+}
+
+void InvariantMonitor::restore(sim::SnapshotReader& r) {
+  r.begin_section("chaos.monitor");
+  checks_run_ = r.u64();
+  osr_down_base_ = r.u64();
+  osr_up_base_ = r.u64();
+  const bool has_healed = r.b();
+  const TimePoint healed = r.time();
+  healed_at_ = has_healed ? std::optional<TimePoint>(healed) : std::nullopt;
+  const bool has_neighbors = r.b();
+  const TimePoint neighbors = r.time();
+  neighbors_back_at_ =
+      has_neighbors ? std::optional<TimePoint>(neighbors) : std::nullopt;
+  const bool has_reconverged = r.b();
+  const TimePoint reconverged = r.time();
+  reconverged_at_ =
+      has_reconverged ? std::optional<TimePoint>(reconverged) : std::nullopt;
+  bound_violated_ = r.b();
+  const std::uint64_t ntransfers = r.u64();
+  transfers_.clear();
+  for (std::uint64_t i = 0; i < ntransfers; ++i) {
+    Transfer t;
+    t.label = r.str();
+    t.sent = r.blob();
+    t.delivered = r.u64();
+    t.dead = r.b();
+    t.corrupted = r.b();
+    transfers_.push_back(std::move(t));
+  }
+  const std::uint64_t nviolations = r.u64();
+  violations_.clear();
+  seen_violations_.clear();
+  for (std::uint64_t i = 0; i < nviolations; ++i) {
+    violations_.push_back(r.str());
+    seen_violations_.insert(violations_.back());
+  }
+  timer_.restore(r);
+  r.end_section();
 }
 
 }  // namespace sublayer::chaos

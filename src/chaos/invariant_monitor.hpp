@@ -75,6 +75,14 @@ class InvariantMonitor {
   const std::vector<std::string>& violations() const { return violations_; }
   std::uint64_t checks_run() const { return checks_run_; }
 
+  /// Checkpoint/restore (sim/snapshot.hpp): transfers, violations,
+  /// telemetry baselines, liveness clocks, and the sweep timer's pending
+  /// firing.  restore() must run on a freshly constructed, never-started
+  /// monitor with the same config; do NOT call start() afterwards — the
+  /// restored timer continues the saved cadence.
+  void save(sim::SnapshotWriter& w) const;
+  void restore(sim::SnapshotReader& r);
+
  private:
   struct Transfer {
     std::string label;

@@ -104,6 +104,15 @@ class FlatHashMap {
     }
   }
 
+  /// Const walk: f(const Key&, const T&).  Visit order depends on table
+  /// history — callers needing determinism (snapshots) must sort the keys.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (state_[i] == kFull) f(slots_[i].key, slots_[i].value);
+    }
+  }
+
  private:
   enum : std::uint8_t { kEmpty = 0, kFull = 1, kTomb = 2 };
   struct Slot {

@@ -6,6 +6,7 @@
 // fast, has a 256-bit state, and is well distributed.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
@@ -42,6 +43,16 @@ class Rng {
 
   /// Split off an independent generator (for per-component streams).
   Rng fork();
+
+  /// The raw 256-bit xoshiro state, for checkpoint/restore: a restored
+  /// stream continues bit-identically from where the saved one stood.
+  std::array<std::uint64_t, 4> state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    s_[0] = s[0];
+    s_[1] = s[1];
+    s_[2] = s[2];
+    s_[3] = s[3];
+  }
 
   // UniformRandomBitGenerator interface so <algorithm> shuffles work.
   using result_type = std::uint64_t;

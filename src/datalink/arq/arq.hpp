@@ -107,7 +107,21 @@ class ArqEndpoint {
   virtual bool idle() const = 0;
 
   virtual const ArqStats& stats() const = 0;
+
+  /// Checkpoint/restore (sim/snapshot.hpp): stats, send queue, the
+  /// engine-specific window state (mid-retransmit windows resume exactly,
+  /// with original timer deadlines), and the resync session's epoch/nonce
+  /// state.  Config is not saved — the restore graph must construct the
+  /// same engine with the same ArqConfig.  Inline format; the owner
+  /// brackets.
+  virtual void save(sim::SnapshotWriter& w) const = 0;
+  virtual void restore(sim::SnapshotReader& r) = 0;
 };
+
+/// Shared stats (de)serialization for the three engines — counters in
+/// declaration order.
+void save_arq_stats(sim::SnapshotWriter& w, const ArqStats& stats);
+void restore_arq_stats(sim::SnapshotReader& r, ArqStats& stats);
 
 std::unique_ptr<ArqEndpoint> make_stop_and_wait(sim::Simulator& sim,
                                                 ArqConfig config = {});

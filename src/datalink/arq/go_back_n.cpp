@@ -5,6 +5,7 @@
 #include "datalink/arq/arq.hpp"
 #include "datalink/arq/frame.hpp"
 #include "datalink/arq/resync.hpp"
+#include "sim/snapshot.hpp"
 
 namespace sublayer::datalink {
 namespace {
@@ -57,6 +58,34 @@ class GoBackN final : public ArqEndpoint {
 
   bool idle() const override { return outstanding_.empty() && queue_.empty(); }
   const ArqStats& stats() const override { return stats_; }
+
+  void save(sim::SnapshotWriter& w) const override {
+    save_arq_stats(w, stats_);
+    w.u64(queue_.size());
+    for (const Bytes& payload : queue_) w.blob(payload);
+    w.u64(outstanding_.size());
+    for (const Bytes& payload : outstanding_) w.blob(payload);
+    w.u32(base_);
+    w.u32(next_seq_);
+    w.u32(recv_expected_);
+    timer_.save(w);
+    resync_.save(w);
+  }
+
+  void restore(sim::SnapshotReader& r) override {
+    restore_arq_stats(r, stats_);
+    queue_.clear();
+    const std::uint64_t nq = r.u64();
+    for (std::uint64_t i = 0; i < nq; ++i) queue_.push_back(r.blob());
+    outstanding_.clear();
+    const std::uint64_t no = r.u64();
+    for (std::uint64_t i = 0; i < no; ++i) outstanding_.push_back(r.blob());
+    base_ = r.u32();
+    next_seq_ = r.u32();
+    recv_expected_ = r.u32();
+    timer_.restore(r);
+    resync_.restore(r);
+  }
 
  private:
   void pump() {

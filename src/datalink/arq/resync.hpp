@@ -30,6 +30,7 @@
 #include "datalink/arq/arq.hpp"
 #include "datalink/arq/frame.hpp"
 #include "sim/simulator.hpp"
+#include "sim/snapshot.hpp"
 
 namespace sublayer::datalink::detail {
 
@@ -65,6 +66,29 @@ class ResyncSession {
     pending_ = true;
     hooks_.reset_state();
     send_request();
+  }
+
+  /// Checkpoint/restore (sim/snapshot.hpp): epoch, nonce state, and the
+  /// retry timer (re-armed at its original deadline, so a pending resync
+  /// request keeps its RTO schedule).  Inline format; the engine brackets.
+  void save(sim::SnapshotWriter& w) const {
+    w.u8(epoch_);
+    w.u32(nonce_);
+    w.u32(nonce_counter_);
+    w.b(pending_);
+    w.b(peer_seen_);
+    w.u32(last_peer_nonce_);
+    timer_.save(w);
+  }
+
+  void restore(sim::SnapshotReader& r) {
+    epoch_ = r.u8();
+    nonce_ = r.u32();
+    nonce_counter_ = r.u32();
+    pending_ = r.b();
+    peer_seen_ = r.b();
+    last_peer_nonce_ = r.u32();
+    timer_.restore(r);
   }
 
   /// Filters every decoded inbound frame.  Returns true when the frame was

@@ -6,6 +6,7 @@
 #include "datalink/arq/arq.hpp"
 #include "datalink/arq/frame.hpp"
 #include "datalink/arq/resync.hpp"
+#include "sim/snapshot.hpp"
 
 namespace sublayer::datalink {
 namespace {
@@ -59,6 +60,53 @@ class SelectiveRepeat final : public ArqEndpoint {
 
   bool idle() const override { return outstanding_.empty() && queue_.empty(); }
   const ArqStats& stats() const override { return stats_; }
+
+  void save(sim::SnapshotWriter& w) const override {
+    save_arq_stats(w, stats_);
+    w.u64(queue_.size());
+    for (const Bytes& payload : queue_) w.blob(payload);
+    // std::map iterates in key order — snapshot bytes are deterministic.
+    w.u64(outstanding_.size());
+    for (const auto& [seq, p] : outstanding_) {
+      w.u32(seq);
+      w.blob(p.payload);
+      w.time(p.deadline);
+    }
+    w.u32(next_seq_);
+    w.u32(recv_expected_);
+    w.u64(recv_buffer_.size());
+    for (const auto& [seq, payload] : recv_buffer_) {
+      w.u32(seq);
+      w.blob(payload);
+    }
+    timer_.save(w);
+    resync_.save(w);
+  }
+
+  void restore(sim::SnapshotReader& r) override {
+    restore_arq_stats(r, stats_);
+    queue_.clear();
+    const std::uint64_t nq = r.u64();
+    for (std::uint64_t i = 0; i < nq; ++i) queue_.push_back(r.blob());
+    outstanding_.clear();
+    const std::uint64_t no = r.u64();
+    for (std::uint64_t i = 0; i < no; ++i) {
+      const std::uint32_t seq = r.u32();
+      Bytes payload = r.blob();
+      const TimePoint deadline = r.time();
+      outstanding_.emplace(seq, Pending{std::move(payload), deadline});
+    }
+    next_seq_ = r.u32();
+    recv_expected_ = r.u32();
+    recv_buffer_.clear();
+    const std::uint64_t nb = r.u64();
+    for (std::uint64_t i = 0; i < nb; ++i) {
+      const std::uint32_t seq = r.u32();
+      recv_buffer_.emplace(seq, r.blob());
+    }
+    timer_.restore(r);
+    resync_.restore(r);
+  }
 
  private:
   struct Pending {
@@ -191,6 +239,32 @@ class SelectiveRepeat final : public ArqEndpoint {
 };
 
 }  // namespace
+
+void save_arq_stats(sim::SnapshotWriter& w, const ArqStats& stats) {
+  w.u64(stats.payloads_accepted.value());
+  w.u64(stats.data_frames_sent.value());
+  w.u64(stats.retransmissions.value());
+  w.u64(stats.acks_sent.value());
+  w.u64(stats.delivered.value());
+  w.u64(stats.duplicates_dropped.value());
+  w.u64(stats.out_of_order_buffered.value());
+  w.u64(stats.send_queue_rejects.value());
+  w.u64(stats.resyncs.value());
+  w.u64(stats.stale_epoch_dropped.value());
+}
+
+void restore_arq_stats(sim::SnapshotReader& r, ArqStats& stats) {
+  stats.payloads_accepted.restore_local(r.u64());
+  stats.data_frames_sent.restore_local(r.u64());
+  stats.retransmissions.restore_local(r.u64());
+  stats.acks_sent.restore_local(r.u64());
+  stats.delivered.restore_local(r.u64());
+  stats.duplicates_dropped.restore_local(r.u64());
+  stats.out_of_order_buffered.restore_local(r.u64());
+  stats.send_queue_rejects.restore_local(r.u64());
+  stats.resyncs.restore_local(r.u64());
+  stats.stale_epoch_dropped.restore_local(r.u64());
+}
 
 std::unique_ptr<ArqEndpoint> make_selective_repeat(sim::Simulator& sim,
                                                    ArqConfig config) {

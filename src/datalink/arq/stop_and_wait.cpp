@@ -4,6 +4,7 @@
 #include "datalink/arq/arq.hpp"
 #include "datalink/arq/frame.hpp"
 #include "datalink/arq/resync.hpp"
+#include "sim/snapshot.hpp"
 
 namespace sublayer::datalink {
 namespace {
@@ -56,6 +57,29 @@ class StopAndWait final : public ArqEndpoint {
 
   bool idle() const override { return !outstanding_ && queue_.empty(); }
   const ArqStats& stats() const override { return stats_; }
+
+  void save(sim::SnapshotWriter& w) const override {
+    save_arq_stats(w, stats_);
+    w.u64(queue_.size());
+    for (const Bytes& payload : queue_) w.blob(payload);
+    w.b(outstanding_);
+    w.u32(send_seq_);
+    w.u32(recv_expected_);
+    timer_.save(w);
+    resync_.save(w);
+  }
+
+  void restore(sim::SnapshotReader& r) override {
+    restore_arq_stats(r, stats_);
+    queue_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) queue_.push_back(r.blob());
+    outstanding_ = r.b();
+    send_seq_ = r.u32();
+    recv_expected_ = r.u32();
+    timer_.restore(r);
+    resync_.restore(r);
+  }
 
  private:
   void pump() {

@@ -5,9 +5,24 @@
 #include <stdexcept>
 
 #include "netlayer/routing.hpp"
+#include "sim/snapshot.hpp"
 
 namespace sublayer::netlayer {
 namespace {
+
+void save_route(sim::SnapshotWriter& w, const Route& route) {
+  w.i64(route.interface);
+  w.u32(route.next_hop);
+  w.f64(route.metric);
+}
+
+Route restore_route(sim::SnapshotReader& r) {
+  Route route;
+  route.interface = static_cast<int>(r.i64());
+  route.next_hop = r.u32();
+  route.metric = r.f64();
+  return route;
+}
 
 std::uint16_t encode_metric(double m, double infinity) {
   const double clamped = std::min(m, infinity);
@@ -63,6 +78,50 @@ class DistanceVector final : public RouteComputation {
 
   const RouteTable& table() const override { return table_; }
   const RoutingStats& stats() const override { return stats_; }
+
+  void save(sim::SnapshotWriter& w) const override {
+    w.u64(stats_.messages_sent.value());
+    w.u64(stats_.messages_received.value());
+    w.u64(stats_.bytes_sent.value());
+    w.u64(stats_.recomputations.value());
+    w.u64(held_.size());
+    for (const auto& [dest, held] : held_) {
+      w.u32(dest);
+      save_route(w, held.route);
+      w.time(held.refreshed);
+    }
+    w.u64(table_.size());
+    for (const auto& [dest, route] : table_) {
+      w.u32(dest);
+      save_route(w, route);
+    }
+    advert_timer_.save(w);
+  }
+
+  void restore(sim::SnapshotReader& r) override {
+    stats_.messages_sent.restore_local(r.u64());
+    stats_.messages_received.restore_local(r.u64());
+    stats_.bytes_sent.restore_local(r.u64());
+    stats_.recomputations.restore_local(r.u64());
+    held_.clear();
+    const std::uint64_t nheld = r.u64();
+    for (std::uint64_t i = 0; i < nheld; ++i) {
+      const RouterId dest = r.u32();
+      Held held;
+      held.route = restore_route(r);
+      held.refreshed = r.time();
+      held_[dest] = held;
+    }
+    // Straight into table_, NOT through publish(): callbacks stay quiet
+    // (the Router restores its FIB itself).
+    table_.clear();
+    const std::uint64_t ntable = r.u64();
+    for (std::uint64_t i = 0; i < ntable; ++i) {
+      const RouterId dest = r.u32();
+      table_[dest] = restore_route(r);
+    }
+    advert_timer_.restore(r);
+  }
 
  private:
   struct Held {

@@ -1,5 +1,7 @@
 #include "netlayer/fib.hpp"
 
+#include "sim/snapshot.hpp"
+
 namespace sublayer::netlayer {
 
 struct Fib::Node {
@@ -91,6 +93,39 @@ std::vector<std::pair<Prefix, RouteEntry>> Fib::entries() const {
     }
   }
   return out;
+}
+
+void Fib::save(sim::SnapshotWriter& w) const {
+  w.u64(stats_.lookups.value());
+  w.u64(stats_.hits.value());
+  w.u64(stats_.misses.value());
+  const auto all = entries();
+  w.u64(all.size());
+  for (const auto& [prefix, entry] : all) {
+    w.u32(prefix.addr);
+    w.u8(static_cast<std::uint8_t>(prefix.len));
+    w.i64(entry.interface);
+    w.u32(entry.next_hop);
+    w.f64(entry.metric);
+  }
+}
+
+void Fib::restore(sim::SnapshotReader& r) {
+  stats_.lookups.restore_local(r.u64());
+  stats_.hits.restore_local(r.u64());
+  stats_.misses.restore_local(r.u64());
+  clear();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Prefix prefix;
+    prefix.addr = r.u32();
+    prefix.len = static_cast<int>(r.u8());
+    RouteEntry entry;
+    entry.interface = static_cast<int>(r.i64());
+    entry.next_hop = r.u32();
+    entry.metric = r.f64();
+    insert(prefix, entry);
+  }
 }
 
 std::string Fib::to_string() const {

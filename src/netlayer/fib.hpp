@@ -15,6 +15,11 @@
 #include "netlayer/ip.hpp"
 #include "telemetry/metrics.hpp"
 
+namespace sublayer::sim {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace sublayer::sim
+
 namespace sublayer::netlayer {
 
 struct RouteEntry {
@@ -53,6 +58,11 @@ class Fib {
   std::string to_string() const;
 
   const FibStats& stats() const { return stats_; }
+
+  /// Checkpoint/restore (sim/snapshot.hpp): all entries plus lookup stats.
+  /// Inline format; the owning Router brackets the section.
+  void save(sim::SnapshotWriter& w) const;
+  void restore(sim::SnapshotReader& r);
 
  private:
   struct Node;

@@ -7,9 +7,34 @@
 #include <stdexcept>
 
 #include "netlayer/routing.hpp"
+#include "sim/snapshot.hpp"
 
 namespace sublayer::netlayer {
 namespace {
+
+void save_route_table(sim::SnapshotWriter& w, const RouteTable& table) {
+  w.u64(table.size());
+  for (const auto& [dest, route] : table) {
+    w.u32(dest);
+    w.i64(route.interface);
+    w.u32(route.next_hop);
+    w.f64(route.metric);
+  }
+}
+
+RouteTable restore_route_table(sim::SnapshotReader& r) {
+  RouteTable table;
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const RouterId dest = r.u32();
+    Route route;
+    route.interface = static_cast<int>(r.i64());
+    route.next_hop = r.u32();
+    route.metric = r.f64();
+    table[dest] = route;
+  }
+  return table;
+}
 
 struct Lsp {
   RouterId origin = 0;
@@ -109,6 +134,52 @@ class LinkState final : public RouteComputation {
 
   const RouteTable& table() const override { return table_; }
   const RoutingStats& stats() const override { return stats_; }
+
+  void save(sim::SnapshotWriter& w) const override {
+    w.u64(stats_.messages_sent.value());
+    w.u64(stats_.messages_received.value());
+    w.u64(stats_.bytes_sent.value());
+    w.u64(stats_.recomputations.value());
+    w.u32(own_seq_);
+    w.u64(lsdb_.size());
+    for (const auto& [origin, lsp] : lsdb_) {
+      w.u32(origin);
+      w.u32(lsp.seq);
+      w.u64(lsp.links.size());
+      for (const auto& [peer, cost] : lsp.links) {
+        w.u32(peer);
+        w.f64(cost);
+      }
+    }
+    save_route_table(w, table_);
+    refresh_timer_.save(w);
+  }
+
+  void restore(sim::SnapshotReader& r) override {
+    stats_.messages_sent.restore_local(r.u64());
+    stats_.messages_received.restore_local(r.u64());
+    stats_.bytes_sent.restore_local(r.u64());
+    stats_.recomputations.restore_local(r.u64());
+    own_seq_ = r.u32();
+    lsdb_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Lsp lsp;
+      lsp.origin = r.u32();
+      lsp.seq = r.u32();
+      const std::uint64_t nlinks = r.u64();
+      for (std::uint64_t j = 0; j < nlinks; ++j) {
+        const RouterId peer = r.u32();
+        const double cost = r.f64();
+        lsp.links.emplace_back(peer, cost);
+      }
+      lsdb_[lsp.origin] = std::move(lsp);
+    }
+    // Straight into table_, NOT through recompute(): the table callback
+    // must stay quiet (the Router restores its FIB itself).
+    table_ = restore_route_table(r);
+    refresh_timer_.restore(r);
+  }
 
  private:
   void refresh() {

@@ -1,5 +1,6 @@
 #include "netlayer/neighbor.hpp"
 
+#include "sim/snapshot.hpp"
 #include "telemetry/span.hpp"
 
 namespace sublayer::netlayer {
@@ -87,6 +88,41 @@ std::optional<Neighbor> NeighborTable::neighbor_on(int interface) const {
     }
   }
   return std::nullopt;
+}
+
+void NeighborTable::save(sim::SnapshotWriter& w) const {
+  w.u64(stats_.hellos_sent.value());
+  w.u64(stats_.hellos_received.value());
+  w.u64(stats_.neighbors_up.value());
+  w.u64(stats_.neighbors_down.value());
+  w.u64(ifaces_.size());
+  for (const Iface& iface : ifaces_) {
+    w.b(iface.peer.has_value());
+    w.u32(iface.peer.value_or(0));
+    w.time(iface.last_hello);
+  }
+  hello_timer_.save(w);
+  liveness_timer_.save(w);
+}
+
+void NeighborTable::restore(sim::SnapshotReader& r) {
+  stats_.hellos_sent.restore_local(r.u64());
+  stats_.hellos_received.restore_local(r.u64());
+  stats_.neighbors_up.restore_local(r.u64());
+  stats_.neighbors_down.restore_local(r.u64());
+  const std::uint64_t n = r.u64();
+  if (n != ifaces_.size()) {
+    throw sim::SnapshotError(
+        "neighbor restore: interface count mismatch (restore graph differs)");
+  }
+  for (Iface& iface : ifaces_) {
+    const bool has_peer = r.b();
+    const RouterId peer = r.u32();
+    iface.peer = has_peer ? std::optional<RouterId>(peer) : std::nullopt;
+    iface.last_hello = r.time();
+  }
+  hello_timer_.restore(r);
+  liveness_timer_.restore(r);
 }
 
 }  // namespace sublayer::netlayer

@@ -65,6 +65,12 @@ class NeighborTable {
 
   const NeighborStats& stats() const { return stats_; }
 
+  /// Checkpoint/restore (sim/snapshot.hpp): per-interface peer and
+  /// last-hello, stats, and both protocol timers.  Inline format; the
+  /// owning Router brackets the section.
+  void save(sim::SnapshotWriter& w) const;
+  void restore(sim::SnapshotReader& r);
+
  private:
   struct Iface {
     int index;

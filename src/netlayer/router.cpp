@@ -7,6 +7,7 @@
 #include "common/rng.hpp"
 #include "common/siphash.hpp"
 #include "sim/link.hpp"
+#include "sim/snapshot.hpp"
 #include "telemetry/frame_tap.hpp"
 #include "telemetry/span.hpp"
 
@@ -230,6 +231,38 @@ void Router::forward(Bytes datagram) {
   emit(route->interface, FrameType::kData, datagram);
 }
 
+void Router::save(sim::SnapshotWriter& w) const {
+  w.b(up_);
+  w.b(started_);
+  w.u64(stats_.datagrams_forwarded.value());
+  w.u64(stats_.delivered_local.value());
+  w.u64(stats_.ttl_expired.value());
+  w.u64(stats_.no_route.value());
+  w.u64(stats_.malformed.value());
+  w.u64(stats_.ecn_marked.value());
+  w.u64(stats_.dropped_while_down.value());
+  w.u64(stats_.routes_flushed.value());
+  fib_.save(w);
+  neighbors_->save(w);
+  routing_->save(w);
+}
+
+void Router::restore(sim::SnapshotReader& r) {
+  up_ = r.b();
+  started_ = r.b();
+  stats_.datagrams_forwarded.restore_local(r.u64());
+  stats_.delivered_local.restore_local(r.u64());
+  stats_.ttl_expired.restore_local(r.u64());
+  stats_.no_route.restore_local(r.u64());
+  stats_.malformed.restore_local(r.u64());
+  stats_.ecn_marked.restore_local(r.u64());
+  stats_.dropped_while_down.restore_local(r.u64());
+  stats_.routes_flushed.restore_local(r.u64());
+  fib_.restore(r);
+  neighbors_->restore(r);
+  routing_->restore(r);
+}
+
 Network::Network(sim::Simulator& sim, RouterConfig config, std::uint64_t seed)
     : sim_(&sim), config_(config), rng_(seed) {}
 
@@ -451,6 +484,44 @@ bool Network::fully_converged() const {
     }
   }
   return true;
+}
+
+void Network::save(sim::SnapshotWriter& w) const {
+  w.begin_section("netlayer.network");
+  for (const std::uint64_t word : rng_.state()) w.u64(word);
+  w.u64(routers_.size());
+  for (const auto& router : routers_) router->save(w);
+  w.u64(links_.size());
+  for (const auto& link : links_) link->save(w);
+  w.u64(fcs_dropped_frames_.load(std::memory_order_relaxed));
+  w.end_section();
+}
+
+void Network::restore(sim::SnapshotReader& r) {
+  r.begin_section("netlayer.network");
+  std::array<std::uint64_t, 4> rng_state;
+  for (std::uint64_t& word : rng_state) word = r.u64();
+  rng_.set_state(rng_state);
+  const std::uint64_t nrouters = r.u64();
+  if (nrouters != routers_.size()) {
+    throw sim::SnapshotError(
+        "network restore: router count mismatch (restore graph differs)");
+  }
+  for (auto& router : routers_) {
+    // Restore inside the owning shard's scope so any telemetry the
+    // restore path touches lands in that shard's registries.
+    std::optional<sim::ParallelSimulator::ShardScope> scope;
+    if (psim_ != nullptr) scope.emplace(*psim_, shard_of(router->id()));
+    router->restore(r);
+  }
+  const std::uint64_t nlinks = r.u64();
+  if (nlinks != links_.size()) {
+    throw sim::SnapshotError(
+        "network restore: link count mismatch (restore graph differs)");
+  }
+  for (auto& link : links_) link->restore(r);
+  fcs_dropped_frames_.store(r.u64(), std::memory_order_relaxed);
+  r.end_section();
 }
 
 bool Network::converged_excluding(RouterId excluded) const {

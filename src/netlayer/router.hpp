@@ -117,6 +117,14 @@ class Router {
   const NeighborTable& neighbors() const { return *neighbors_; }
   const std::string routing_name() const { return routing_->name(); }
 
+  /// Checkpoint/restore (sim/snapshot.hpp): up/started flags, forwarding
+  /// stats, FIB, and both control-plane sublayers.  restore() runs on a
+  /// freshly constructed router with identical interfaces; protocol
+  /// handlers are NOT saved — applications re-register theirs on the
+  /// restore graph.  Inline format; the owning Network brackets.
+  void save(sim::SnapshotWriter& w) const;
+  void restore(sim::SnapshotReader& r);
+
  private:
   enum class FrameType : std::uint8_t { kHello = 1, kRouting = 2, kData = 3 };
 
@@ -217,6 +225,15 @@ class Network {
   bool fully_converged() const;
   /// True when every router except `excluded` can reach all others.
   bool converged_excluding(RouterId excluded) const;
+
+  /// Checkpoint/restore (sim/snapshot.hpp): the topology Rng, every
+  /// router, every link (with deliveries in flight), and the FCS drop
+  /// count.  restore() runs on a freshly built identical topology —
+  /// same add_router/connect sequence, same seed — before start(); the
+  /// saved state then overwrites the fresh modules and re-arms their
+  /// pending events.
+  void save(sim::SnapshotWriter& w) const;
+  void restore(sim::SnapshotReader& r);
 
  private:
   sim::Simulator* sim_ = nullptr;          // monolithic mode

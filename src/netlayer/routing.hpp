@@ -86,6 +86,14 @@ class RouteComputation {
 
   virtual const RouteTable& table() const = 0;
   virtual const RoutingStats& stats() const = 0;
+
+  /// Checkpoint/restore (sim/snapshot.hpp): the engine's full mutable
+  /// state — learned routes / LSP database, sequence numbers, the public
+  /// table, stats, and protocol timers.  restore() must not fire the
+  /// table callback (the FIB is restored separately by the owning
+  /// Router).  Inline format; the owner brackets the section.
+  virtual void save(sim::SnapshotWriter& w) const = 0;
+  virtual void restore(sim::SnapshotReader& r) = 0;
 };
 
 /// `neighbors` must outlive the engine.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <stdexcept>
 
 namespace sublayer::sim {
 
@@ -316,6 +317,61 @@ std::size_t WheelEngine::pop_ready_batch(TimePoint deadline, TimePoint& when,
   }
 }
 
+EventId WheelEngine::schedule_restored(TimePoint when, std::uint64_t seq,
+                                       Fn fn, bool batchable) {
+  const auto ticks = static_cast<std::uint64_t>(when.ns());
+  if (ticks <= current_) {
+    throw std::logic_error(
+        "WheelEngine: restored event at or before the cursor");
+  }
+  // alloc_node stamps (and bumps) next_seq_; the restored event carries
+  // its original seq instead, and next_seq_ is owned by set_next_seq.
+  const std::uint64_t saved_next = next_seq_;
+  const std::uint32_t idx = alloc_node(ticks, std::move(fn), batchable);
+  pool_[idx].seq = seq;
+  next_seq_ = saved_next;
+  ++live_;
+  // The original arm already counted this event (set_stats restored that),
+  // so a re-arm that lands in the overflow heap must not count it twice.
+  const std::uint64_t saved_overflow = stats_.overflow_arms;
+  place(idx);
+  stats_.overflow_arms = saved_overflow;
+  return EventId{(static_cast<std::uint64_t>(pool_[idx].gen) << 32) | idx};
+}
+
+std::uint64_t WheelEngine::seq_of(EventId id) const {
+  if (id.value == 0) return 0;
+  const auto idx = static_cast<std::uint32_t>(id.value & 0xFFFFFFFFu);
+  const auto gen = static_cast<std::uint32_t>(id.value >> 32);
+  if (idx >= pool_.size() || pool_[idx].gen != gen || pool_[idx].cancelled) {
+    return 0;
+  }
+  return pool_[idx].seq;
+}
+
+std::vector<PendingEvent> WheelEngine::pending_events() const {
+  // Live nodes are exactly those still holding a closure and not
+  // cancelled: fired and freed nodes drop fn, cancelled husks drop fn and
+  // set the flag, freelist nodes have neither.
+  std::vector<PendingEvent> out;
+  out.reserve(live_);
+  for (const Node& n : pool_) {
+    if (n.fn && !n.cancelled) out.push_back({n.when, n.seq, n.batchable});
+  }
+  std::sort(out.begin(), out.end(), [](const PendingEvent& a,
+                                       const PendingEvent& b) {
+    return a.when_ns != b.when_ns ? a.when_ns < b.when_ns : a.seq < b.seq;
+  });
+  return out;
+}
+
+void WheelEngine::restore_cursor(TimePoint now) {
+  if (live_ != 0) {
+    throw std::logic_error("WheelEngine: restore_cursor on non-empty wheel");
+  }
+  current_ = static_cast<std::uint64_t>(now.ns());
+}
+
 // ---- LegacyHeapEngine ------------------------------------------------------
 
 EventId LegacyHeapEngine::schedule(TimePoint when, Fn fn, bool batchable) {
@@ -411,6 +467,35 @@ std::size_t LegacyHeapEngine::pop_ready_batch(TimePoint deadline,
     ++stats_.fired;
   }
   return out.size();
+}
+
+EventId LegacyHeapEngine::schedule_restored(TimePoint when, std::uint64_t seq,
+                                            Fn fn, bool batchable) {
+  // Heap EventIds ARE insertion sequence numbers, so restoring under the
+  // original seq also restores the original cancellation identity.
+  queue_.push(Entry{when, seq, seq, batchable, std::move(fn)});
+  return EventId{seq};
+}
+
+std::uint64_t LegacyHeapEngine::seq_of(EventId id) const { return id.value; }
+
+std::vector<PendingEvent> LegacyHeapEngine::pending_events() const {
+  std::vector<PendingEvent> out;
+  out.reserve(pending());
+  auto queue = queue_;  // Fn is copyable; snapshot-time cost is acceptable
+  auto cancelled = cancelled_ids_;
+  while (!queue.empty()) {
+    const Entry& e = queue.top();
+    const auto it = std::find(cancelled.begin(), cancelled.end(), e.id);
+    if (it != cancelled.end()) {
+      cancelled.erase(it);
+    } else {
+      out.push_back({static_cast<std::uint64_t>(e.when.ns()), e.seq,
+                     e.batchable});
+    }
+    queue.pop();
+  }
+  return out;  // heap pops in (when, seq) order already
 }
 
 std::unique_ptr<EventEngine> make_engine(EngineKind kind) {

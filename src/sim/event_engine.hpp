@@ -45,6 +45,17 @@ struct SchedStats {
   std::uint64_t overflow_arms = 0;  // wheel: armed beyond the horizon
 };
 
+/// One live pending event as the snapshot layer sees it: the engine's
+/// whole replay-visible surface is that events fire in (when, seq) order
+/// with the batchable flag steering burst dequeue.  Closures are not part
+/// of the snapshot — owners re-derive them on restore (see snapshot.hpp).
+struct PendingEvent {
+  std::uint64_t when_ns = 0;
+  std::uint64_t seq = 0;
+  bool batchable = false;
+  friend bool operator==(const PendingEvent&, const PendingEvent&) = default;
+};
+
 class EventEngine {
  public:
   using Fn = std::function<void()>;
@@ -84,7 +95,27 @@ class EventEngine {
   /// otherwise mutate the engine.
   virtual bool next_due_bound(TimePoint& when) const = 0;
 
+  // ---- snapshot support (see sim/snapshot.hpp for the contract) ----
+  /// Re-arms an event under its original insertion sequence number during
+  /// restore.  `when` must lie strictly after the restored cursor (a
+  /// quiescent snapshot holds no events at or before "now"), `seq` must be
+  /// unique among restored events and below the restored next_seq().
+  /// Does not count as an arm in stats() — the original arm already did.
+  virtual EventId schedule_restored(TimePoint when, std::uint64_t seq, Fn fn,
+                                    bool batchable) = 0;
+  /// The insertion sequence number of a live event (0 if fired/unknown):
+  /// how owners learn the (when, seq) identity of the events they hold.
+  virtual std::uint64_t seq_of(EventId id) const = 0;
+  virtual std::uint64_t next_seq() const = 0;
+  virtual void set_next_seq(std::uint64_t next) = 0;
+  /// Every live pending event, sorted by (when, seq).
+  virtual std::vector<PendingEvent> pending_events() const = 0;
+  /// Positions a fresh engine's cursor at the snapshot time before the
+  /// schedule_restored calls (wheel slot arithmetic is cursor-relative).
+  virtual void restore_cursor(TimePoint now) = 0;
+
   const SchedStats& stats() const { return stats_; }
+  void set_stats(const SchedStats& s) { stats_ = s; }
 
  protected:
   SchedStats stats_;
@@ -112,6 +143,13 @@ class WheelEngine final : public EventEngine {
                               std::size_t budget) override;
   std::size_t pending() const override { return live_; }
   bool next_due_bound(TimePoint& when) const override;
+  EventId schedule_restored(TimePoint when, std::uint64_t seq, Fn fn,
+                            bool batchable) override;
+  std::uint64_t seq_of(EventId id) const override;
+  std::uint64_t next_seq() const override { return next_seq_; }
+  void set_next_seq(std::uint64_t next) override { next_seq_ = next; }
+  std::vector<PendingEvent> pending_events() const override;
+  void restore_cursor(TimePoint now) override;
 
  private:
   static constexpr int kLevels = 4;
@@ -181,6 +219,13 @@ class LegacyHeapEngine final : public EventEngine {
                               std::size_t budget) override;
   std::size_t pending() const override { return queue_.size() - cancelled_; }
   bool next_due_bound(TimePoint& when) const override;
+  EventId schedule_restored(TimePoint when, std::uint64_t seq, Fn fn,
+                            bool batchable) override;
+  std::uint64_t seq_of(EventId id) const override;
+  std::uint64_t next_seq() const override { return next_seq_; }
+  void set_next_seq(std::uint64_t next) override { next_seq_ = next; }
+  std::vector<PendingEvent> pending_events() const override;
+  void restore_cursor(TimePoint) override {}  // heap order is cursor-free
 
  private:
   struct Entry {

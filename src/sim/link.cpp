@@ -1,8 +1,11 @@
 #include "sim/link.hpp"
 
+#include <algorithm>
+#include <array>
 #include <utility>
 
 #include "common/logging.hpp"
+#include "sim/snapshot.hpp"
 
 namespace sublayer::sim {
 namespace {
@@ -68,6 +71,25 @@ void Link::send(Bytes frame) {
   if (dup) deliver(delivered, until_wire_done);
 }
 
+std::uint32_t Link::alloc_flight(Bytes frame, std::int64_t at_ns, bool batch) {
+  std::uint32_t slot;
+  if (flight_free_ != kNilSlot) {
+    slot = flight_free_;
+    flight_free_ = flights_[slot].next_free;
+  } else {
+    slot = static_cast<std::uint32_t>(flights_.size());
+    flights_.emplace_back();
+  }
+  FlightSlot& s = flights_[slot];
+  s.frame = std::move(frame);
+  s.at_ns = at_ns;
+  s.ev = EventId{};
+  s.next_free = kNilSlot;
+  s.batch = batch;
+  s.in_use = true;
+  return slot;
+}
+
 void Link::deliver(Bytes frame, Duration extra_delay) {
   Duration jitter = Duration::nanos(0);
   if (!config_.jitter.is_zero()) {
@@ -86,31 +108,117 @@ void Link::deliver(Bytes frame, Duration extra_delay) {
     remote_sink_(at, std::move(frame));
     return;
   }
-  if (batch_receiver_) {
+  // Local delivery: the frame parks in the slot pool (not inside the event
+  // closure) so a snapshot can enumerate and re-arm it; the event only
+  // carries the slot index.
+  const TimePoint at = sim_.now() + total;
+  const bool batch = static_cast<bool>(batch_receiver_);
+  const std::uint32_t slot = alloc_flight(std::move(frame), at.ns(), batch);
+  flights_[slot].ev =
+      batch ? sim_.schedule_batchable(total, [this, slot] { deliver_local(slot); })
+            : sim_.schedule(total, [this, slot] { deliver_local(slot); });
+}
+
+void Link::deliver_local(std::uint32_t slot) {
+  FlightSlot& s = flights_[slot];
+  Bytes f = std::move(s.frame);
+  const bool batch = s.batch;
+  s.in_use = false;
+  s.ev = EventId{};
+  s.next_free = flight_free_;
+  flight_free_ = slot;
+  --queued_;
+  ++stats_.frames_delivered;
+  stats_.bytes_delivered += f.size();
+  if (batch) {
     // Batchable delivery: per-frame accounting stays in the event (one
     // gauge/counter update per frame, exactly as unbatched); only the
     // receiver hand-off is deferred, once per burst, to the flush.
-    sim_.schedule_batchable(total, [this, f = std::move(frame)]() mutable {
-      --queued_;
-      ++stats_.frames_delivered;
-      stats_.bytes_delivered += f.size();
-      if (rx_pending_.empty()) {
-        sim_.defer_flush([this] { flush_rx(); });
-      }
-      rx_pending_.push_back(std::move(f));
-    });
+    if (rx_pending_.empty()) {
+      sim_.defer_flush([this] { flush_rx(); });
+    }
+    rx_pending_.push_back(std::move(f));
     return;
   }
-  sim_.schedule(total, [this, f = std::move(frame)]() mutable {
-    --queued_;
-    ++stats_.frames_delivered;
-    stats_.bytes_delivered += f.size();
-    if (receiver_) {
-      receiver_(std::move(f));
-    } else {
-      kLog.warn("%s: frame delivered with no receiver attached", name_.c_str());
-    }
-  });
+  if (receiver_) {
+    receiver_(std::move(f));
+  } else {
+    kLog.warn("%s: frame delivered with no receiver attached", name_.c_str());
+  }
+}
+
+void Link::save(SnapshotWriter& w) const {
+  const auto rng_state = rng_.state();
+  for (std::uint64_t word : rng_state) w.u64(word);
+  save_link_config(w, config_);
+  w.u64(stats_.frames_offered);
+  w.u64(stats_.frames_delivered);
+  w.u64(stats_.frames_lost);
+  w.u64(stats_.frames_corrupted);
+  w.u64(stats_.frames_duplicated);
+  w.u64(stats_.frames_queue_dropped);
+  w.u64(stats_.bytes_delivered);
+  w.time(tx_free_at_);
+  w.u64(queued_);
+  w.b(down_);
+  // Remote-mode accounting heap, ascending (a heap copy pops sorted).
+  auto heap = inflight_;
+  w.u64(heap.size());
+  while (!heap.empty()) {
+    w.i64(heap.top());
+    heap.pop();
+  }
+  // Local deliveries in flight, in (deadline, seq) order.
+  struct SavedFlight {
+    std::int64_t at_ns;
+    std::uint64_t seq;
+    const FlightSlot* slot;
+  };
+  std::vector<SavedFlight> live;
+  for (const FlightSlot& s : flights_) {
+    if (s.in_use) live.push_back({s.at_ns, sim_.seq_of(s.ev), &s});
+  }
+  std::sort(live.begin(), live.end(),
+            [](const SavedFlight& a, const SavedFlight& b) {
+              return a.at_ns != b.at_ns ? a.at_ns < b.at_ns : a.seq < b.seq;
+            });
+  w.u64(live.size());
+  for (const SavedFlight& f : live) {
+    w.i64(f.at_ns);
+    w.u64(f.seq);
+    w.b(f.slot->batch);
+    w.blob(f.slot->frame);
+  }
+}
+
+void Link::restore(SnapshotReader& r) {
+  std::array<std::uint64_t, 4> rng_state;
+  for (std::uint64_t& word : rng_state) word = r.u64();
+  rng_.set_state(rng_state);
+  config_ = restore_link_config(r);
+  stats_.frames_offered = r.u64();
+  stats_.frames_delivered = r.u64();
+  stats_.frames_lost = r.u64();
+  stats_.frames_corrupted = r.u64();
+  stats_.frames_duplicated = r.u64();
+  stats_.frames_queue_dropped = r.u64();
+  stats_.bytes_delivered = r.u64();
+  tx_free_at_ = r.time();
+  queued_ = r.u64();
+  down_ = r.b();
+  inflight_ = {};
+  const std::uint64_t remote = r.u64();
+  for (std::uint64_t i = 0; i < remote; ++i) inflight_.push(r.i64());
+  const std::uint64_t local = r.u64();
+  for (std::uint64_t i = 0; i < local; ++i) {
+    const std::int64_t at_ns = r.i64();
+    const std::uint64_t seq = r.u64();
+    const bool batch = r.b();
+    const std::uint32_t slot = alloc_flight(r.blob(), at_ns, batch);
+    flights_[slot].ev = sim_.schedule_restored_at(
+        TimePoint::from_ns(at_ns), seq, [this, slot] { deliver_local(slot); },
+        batch);
+  }
 }
 
 void Link::flush_rx() {

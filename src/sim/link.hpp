@@ -21,6 +21,9 @@
 
 namespace sublayer::sim {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 struct LinkConfig {
   /// Bits per second; 0 means infinite (no serialization delay).
   double bandwidth_bps = 0;
@@ -38,6 +41,8 @@ struct LinkConfig {
   Duration jitter = Duration::nanos(0);
   /// Transmit queue capacity in frames; arrivals beyond this are tail-dropped.
   std::size_t queue_limit = std::numeric_limits<std::size_t>::max();
+
+  friend bool operator==(const LinkConfig&, const LinkConfig&) = default;
 };
 
 struct LinkStats {
@@ -125,11 +130,35 @@ class Link {
                                     : Duration::nanos(0);
   }
 
+  /// Checkpoint/restore: rng stream, live config, stats, transmitter
+  /// state, and every delivery in flight — local deliveries live in the
+  /// slot pool (frame bytes + armed (deadline, seq)), so restore re-arms
+  /// each one under its original ordering slot.  Inline-format: the owner
+  /// (Network/DuplexLink or a test) brackets the section.
+  void save(SnapshotWriter& w) const;
+  void restore(SnapshotReader& r);
+
  private:
   Duration serialization_delay(std::size_t bytes) const;
   void deliver(Bytes frame, Duration extra_delay);
+  /// Fires a local delivery: hands the slot's frame to the receiver path.
+  void deliver_local(std::uint32_t slot);
   /// Hands the accumulated burst to the batch receiver (deferred flush).
   void flush_rx();
+  /// Slot pool for local deliveries in flight.  Frames move in at send
+  /// time and out at delivery; the pool exists so a snapshot can walk the
+  /// frames the event queue would otherwise own inside closures.
+  std::uint32_t alloc_flight(Bytes frame, std::int64_t at_ns, bool batch);
+
+  static constexpr std::uint32_t kNilSlot = 0xFFFFFFFFu;
+  struct FlightSlot {
+    Bytes frame;
+    std::int64_t at_ns = 0;
+    EventId ev{};
+    std::uint32_t next_free = kNilSlot;
+    bool batch = false;
+    bool in_use = false;
+  };
 
   Simulator& sim_;
   LinkConfig config_;
@@ -148,6 +177,8 @@ class Link {
   std::priority_queue<std::int64_t, std::vector<std::int64_t>,
                       std::greater<std::int64_t>>
       inflight_;
+  std::vector<FlightSlot> flights_;
+  std::uint32_t flight_free_ = kNilSlot;
   bool down_ = false;
 };
 
@@ -181,6 +212,15 @@ class DuplexLink {
   void set_config(const LinkConfig& config) {
     a_to_b_.set_config(config);
     b_to_a_.set_config(config);
+  }
+
+  void save(SnapshotWriter& w) const {
+    a_to_b_.save(w);
+    b_to_a_.save(w);
+  }
+  void restore(SnapshotReader& r) {
+    a_to_b_.restore(r);
+    b_to_a_.restore(r);
   }
 
  private:

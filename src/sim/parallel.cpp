@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "sim/snapshot.hpp"
 #include "telemetry/chrome_trace.hpp"
 
 namespace sublayer::sim {
@@ -95,6 +96,8 @@ ParallelSimulator::ParallelSimulator(ParallelConfig config) {
   }
   channels_by_dst_.resize(config.shards);
   post_seq_.assign(config.shards, 0);
+  inflight_.resize(config.shards);
+  inflight_next_.assign(config.shards, 0);
 }
 
 ParallelSimulator::~ParallelSimulator() = default;
@@ -198,9 +201,17 @@ void ParallelSimulator::drain_shard(std::size_t dst) {
     Channel& ch = channels_[r.ch];
     Mail& m = ch.inbox[r.idx];
     trace.record(m.when, ch.label, {}, m.frame.size());
-    Channel* chp = &ch;
-    sim.schedule_at(m.when, [chp, f = std::move(m.frame)]() mutable {
-      chp->deliver(std::move(f));
+    // Tracked delivery: the frame lives in inflight_ until it fires, so a
+    // snapshot taken while it sits in the wheel can serialize and re-arm
+    // it (the scheduled closure alone is unrecoverable).
+    const std::uint64_t key = inflight_next_[dst]++;
+    InFlight& entry =
+        inflight_[dst]
+            .emplace(key, InFlight{r.ch, m.when, std::move(m.frame), {}})
+            .first->second;
+    entry.event = sim.schedule_at(m.when, [this, dst, key] {
+      auto node = inflight_[dst].extract(key);
+      channels_[node.mapped().channel].deliver(std::move(node.mapped().frame));
     });
   }
   for (const std::uint32_t c : channels_by_dst_[dst]) {
@@ -454,6 +465,150 @@ void ParallelSimulator::attach_chrome_trace(
         "ParallelSimulator: writer needs >= chrome_lane_count() lanes");
   }
   chrome_ = writer;
+}
+
+// ---- checkpoint / restore --------------------------------------------------
+
+void ParallelSimulator::save(SnapshotWriter& w) const {
+  if (running_) {
+    throw std::logic_error("ParallelSimulator: save while running");
+  }
+  w.begin_section("sim.parallel");
+  w.u64(shards_.size());
+  w.u64(channels_.size());
+  w.i64(cur_ns_);
+  w.u64(epochs_);
+  w.u64(tasks_run_);
+  // Pending barrier tasks hold closures, so only their times are saved —
+  // the restore graph re-submits them and finish_restore verifies.
+  w.u64(tasks_.size() - tasks_pos_);
+  for (std::size_t i = tasks_pos_; i < tasks_.size(); ++i) {
+    w.i64(tasks_[i].when_ns);
+  }
+  for (const std::uint64_t s : post_seq_) w.u64(s);
+  for (const Channel& ch : channels_) {
+    w.u64(ch.inbox.size());
+    for (const Mail& m : ch.inbox) {
+      w.time(m.when);
+      w.u64(m.seq);
+      w.blob(m.frame);
+    }
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    w.u64(inflight_[s].size());
+    for (const auto& [key, entry] : inflight_[s]) {
+      w.u32(entry.channel);
+      w.time(entry.when);
+      w.u64(shards_[s]->seq_of(entry.event));
+      w.blob(entry.frame);
+    }
+  }
+  w.end_section();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->save(w);
+    save_metrics(w, *metrics_[s]);
+    save_spans(w, *spans_[s]);
+    save_flight(w, *flights_[s]);
+    w.begin_section("sim.trace");
+    traces_[s]->save(w);
+    w.end_section();
+  }
+}
+
+void ParallelSimulator::restore(SnapshotReader& r) {
+  if (running_) {
+    throw std::logic_error("ParallelSimulator: restore while running");
+  }
+  r.begin_section("sim.parallel");
+  if (r.u64() != shards_.size()) {
+    throw SnapshotError("ParallelSimulator: shard count mismatch");
+  }
+  if (r.u64() != channels_.size()) {
+    throw SnapshotError("ParallelSimulator: channel count mismatch");
+  }
+  cur_ns_ = r.i64();
+  epochs_ = r.u64();
+  tasks_run_ = r.u64();
+  // Only pending tasks exist on the restore graph (already-run phases are
+  // never re-submitted), so the position resets to the front.  The
+  // re-submitted plan is verified against these times in finish_restore.
+  tasks_pos_ = 0;
+  const std::uint64_t npending = r.u64();
+  restore_task_times_.clear();
+  for (std::uint64_t i = 0; i < npending; ++i) {
+    restore_task_times_.push_back(r.i64());
+  }
+  restore_tasks_check_ = true;
+  for (std::uint64_t& s : post_seq_) s = r.u64();
+  for (Channel& ch : channels_) {
+    ch.inbox.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const TimePoint when = r.time();
+      const std::uint64_t seq = r.u64();
+      ch.inbox.push_back(Mail{when, seq, r.blob()});
+    }
+  }
+  // In-flight deliveries land in the wheel below, once the shard
+  // simulators have restored; stash them until then.
+  std::vector<std::vector<InFlight>> inflight(shards_.size());
+  std::vector<std::vector<std::uint64_t>> inflight_seq(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint32_t channel = r.u32();
+      const TimePoint when = r.time();
+      inflight_seq[s].push_back(r.u64());
+      inflight[s].push_back(InFlight{channel, when, r.blob(), {}});
+    }
+  }
+  r.end_section();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->restore(r);
+    restore_metrics(r, *metrics_[s]);
+    restore_spans(r, *spans_[s]);
+    restore_flight(r, *flights_[s]);
+    r.begin_section("sim.trace");
+    traces_[s]->restore(r);
+    r.end_section();
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    inflight_[s].clear();
+    inflight_next_[s] = 0;
+    for (std::size_t i = 0; i < inflight[s].size(); ++i) {
+      const std::uint64_t key = inflight_next_[s]++;
+      InFlight& entry =
+          inflight_[s].emplace(key, std::move(inflight[s][i])).first->second;
+      entry.event = shards_[s]->schedule_restored_at(
+          entry.when, inflight_seq[s][i], [this, s, key] {
+            auto node = inflight_[s].extract(key);
+            channels_[node.mapped().channel].deliver(
+                std::move(node.mapped().frame));
+          });
+    }
+  }
+}
+
+void ParallelSimulator::finish_restore() {
+  if (restore_tasks_check_) {
+    std::vector<std::int64_t> have;
+    for (std::size_t i = tasks_pos_; i < tasks_.size(); ++i) {
+      have.push_back(tasks_[i].when_ns);
+    }
+    std::sort(have.begin(), have.end());
+    std::vector<std::int64_t> want = restore_task_times_;
+    std::sort(want.begin(), want.end());
+    if (have != want) {
+      throw SnapshotError(
+          "ParallelSimulator: re-submitted barrier tasks diverge from the "
+          "snapshot's pending plan (" +
+          std::to_string(have.size()) + " tasks vs " +
+          std::to_string(want.size()) + " saved)");
+    }
+    restore_tasks_check_ = false;
+    restore_task_times_.clear();
+  }
+  for (auto& sh : shards_) sh->finish_restore();
 }
 
 // ---- merged views ----------------------------------------------------------

@@ -45,6 +45,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -226,6 +227,32 @@ class ParallelSimulator {
     return shards_.size() + 1 + threads_;
   }
 
+  // ---- checkpoint / restore (see sim/snapshot.hpp for the contract) ----
+
+  /// Saves the full parallel-engine state at a parked instant (between
+  /// run_until calls): the epoch clock and counters, per-source post
+  /// sequences, undrained channel mailboxes, drained-but-undelivered
+  /// cross-shard frames (re-armed on restore under their original event
+  /// seqs), and then, per shard, the shard simulator, its telemetry
+  /// registries (metrics/spans/flight), and its cross-shard trace.
+  /// Brackets "sim.parallel" plus the per-shard module sections.
+  void save(SnapshotWriter& w) const;
+
+  /// Restores into a freshly constructed engine with the same config and
+  /// the same channels registered in the same order.  Barrier-task
+  /// closures are not serialized: the restore graph re-submits exactly the
+  /// still-pending tasks (schedule_task accepts them after this call —
+  /// ChaosController::restore does so for un-fired fault phases), and
+  /// finish_restore() verifies their times against the snapshot.  Shard
+  /// topology modules restore after this call and re-arm their events;
+  /// then call finish_restore().
+  void restore(SnapshotReader& r);
+
+  /// Verifies every shard's re-armed pending set and the re-submitted
+  /// barrier-task times against the snapshot; call after all per-shard
+  /// modules have restored.
+  void finish_restore();
+
   /// Profiles subsequent run_until calls into `writer` (nullptr detaches):
   /// per-shard epoch spans with event counts and wall time, mailbox drain
   /// counters, barrier-task instants, and per-worker barrier-wait spans.
@@ -256,6 +283,16 @@ class ParallelSimulator {
     std::size_t shard_scope = kNoShard;
     std::function<void()> fn;
   };
+  /// A cross-shard frame drained into its destination wheel but not yet
+  /// delivered.  Tracked so snapshots can serialize it and restore can
+  /// re-arm the delivery under its original event seq — the scheduled
+  /// closure alone would be unrecoverable.
+  struct InFlight {
+    std::uint32_t channel = 0;
+    TimePoint when;
+    Bytes frame;
+    EventId event{};
+  };
 
   void drain_shard(std::size_t dst);
   void run_shard(std::size_t s);
@@ -281,9 +318,18 @@ class ParallelSimulator {
   std::vector<std::vector<std::uint32_t>> channels_by_dst_;
   std::vector<std::uint64_t> post_seq_;  // per source shard
   std::int64_t lookahead_ns_ = 0;        // 0 = no channels yet (infinite)
+  /// Per destination shard, keyed by a per-shard drain counter (so map
+  /// order is drain order — deterministic).  Touched only by the dst
+  /// shard's drain and run phases, like the wheel it shadows.
+  std::vector<std::map<std::uint64_t, InFlight>> inflight_;
+  std::vector<std::uint64_t> inflight_next_;
 
   std::vector<Task> tasks_;
   std::size_t tasks_pos_ = 0;
+  /// Pending-task times from a restore, pending verification against the
+  /// re-submitted plan in finish_restore().
+  std::vector<std::int64_t> restore_task_times_;
+  bool restore_tasks_check_ = false;
 
   // Epoch state: written only single-threaded (bootstrap or barrier
   // completion); workers read it strictly after the barrier that wrote it.

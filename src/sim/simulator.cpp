@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "sim/snapshot.hpp"
 #include "telemetry/flight_recorder.hpp"
 
 namespace sublayer::sim {
@@ -133,17 +134,124 @@ std::size_t Simulator::run(std::size_t max_events) {
   return n;
 }
 
+void Simulator::save(SnapshotWriter& w) const {
+  w.begin_section("sim.core");
+  w.time(now_);
+  w.u64(processed_);
+  w.u64(engine_->next_seq());
+  const SchedStats& s = engine_->stats();
+  w.u64(s.armed);
+  w.u64(s.cancelled);
+  w.u64(s.stale_cancels);
+  w.u64(s.fired);
+  w.u64(s.cascades);
+  w.u64(s.overflow_arms);
+  const auto pending = engine_->pending_events();
+  w.u64(pending.size());
+  for (const PendingEvent& e : pending) {
+    w.u64(e.when_ns);
+    w.u64(e.seq);
+    w.b(e.batchable);
+  }
+  w.end_section();
+}
+
+void Simulator::restore(SnapshotReader& r) {
+  if (processed_ != 0 || engine_->pending() != 0) {
+    throw SnapshotError("Simulator: restore into a used simulator");
+  }
+  r.begin_section("sim.core");
+  now_ = r.time();
+  processed_ = r.u64();
+  engine_->restore_cursor(now_);
+  engine_->set_next_seq(r.u64());
+  SchedStats s;
+  s.armed = r.u64();
+  s.cancelled = r.u64();
+  s.stale_cancels = r.u64();
+  s.fired = r.u64();
+  s.cascades = r.u64();
+  s.overflow_arms = r.u64();
+  engine_->set_stats(s);
+  restored_pending_.clear();
+  const std::uint64_t n = r.u64();
+  restored_pending_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    PendingEvent e;
+    e.when_ns = r.u64();
+    e.seq = r.u64();
+    e.batchable = r.b();
+    restored_pending_.push_back(e);
+  }
+  r.end_section();
+  restore_open_ = true;
+}
+
+void Simulator::finish_restore() {
+  if (!restore_open_) {
+    throw SnapshotError("Simulator: finish_restore without restore");
+  }
+  restore_open_ = false;
+  const auto rearmed = engine_->pending_events();
+  const std::size_t n = std::min(rearmed.size(), restored_pending_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rearmed[i] != restored_pending_[i]) {
+      throw SnapshotError(
+          "Simulator: restored pending set diverges at entry " +
+          std::to_string(i) + ": saved (t=" +
+          std::to_string(restored_pending_[i].when_ns) +
+          ", seq=" + std::to_string(restored_pending_[i].seq) +
+          "), re-armed (t=" + std::to_string(rearmed[i].when_ns) +
+          ", seq=" + std::to_string(rearmed[i].seq) + ")");
+    }
+  }
+  if (rearmed.size() != restored_pending_.size()) {
+    throw SnapshotError(
+        "Simulator: " + std::to_string(restored_pending_.size()) +
+        " events saved but " + std::to_string(rearmed.size()) +
+        " re-armed — a pending event has no restoring owner (snapshot not "
+        "taken at a quiescent point?)");
+  }
+  restored_pending_.clear();
+  restored_pending_.shrink_to_fit();
+}
+
 void Timer::restart(Duration delay) {
   stop();
+  deadline_ = sim_.now() + delay;
+  arm_at(deadline_, 0);
+}
+
+void Timer::arm_at(TimePoint deadline, std::uint64_t restored_seq) {
   armed_ = true;
-  pending_ = sim_.schedule(delay, [this] {
+  auto fire = [this] {
     // Forget the event id BEFORE the callback runs: a stop()/restart()
     // issued by the callback itself — or by anything else at this tick —
     // must not cancel by this (already fired, soon recycled) id.
     pending_ = EventId{};
     armed_ = false;
     on_fire_();
-  });
+  };
+  pending_ = restored_seq == 0
+                 ? sim_.schedule_at(deadline, std::move(fire))
+                 : sim_.schedule_restored_at(deadline, restored_seq,
+                                             std::move(fire));
+}
+
+void Timer::save(SnapshotWriter& w) const {
+  w.b(armed_);
+  if (armed_) {
+    w.time(deadline_);
+    w.u64(sim_.seq_of(pending_));
+  }
+}
+
+void Timer::restore(SnapshotReader& r) {
+  stop();
+  if (r.b()) {
+    deadline_ = r.time();
+    arm_at(deadline_, r.u64());
+  }
 }
 
 void Timer::stop() {

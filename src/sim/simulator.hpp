@@ -19,6 +19,9 @@
 
 namespace sublayer::sim {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 class Simulator {
  public:
   /// Construction publishes this simulator's clock through simclock so
@@ -101,6 +104,33 @@ class Simulator {
   /// Arm/cancel/fire counters for the active engine.
   const SchedStats& sched_stats() const { return engine_->stats(); }
 
+  // ---- checkpoint / restore (see sim/snapshot.hpp for the contract) ----
+  /// Saves clock, processed count, scheduler counters, and the full
+  /// (when, seq, batchable) pending table.  Valid only at a quiescent
+  /// point — in practice, after run_until() has parked.
+  void save(SnapshotWriter& w) const;
+  /// Restores clock/counters into a freshly constructed simulator (same
+  /// engine kind, nothing scheduled) and retains the saved pending table;
+  /// modules then re-arm their events, and finish_restore() verifies the
+  /// result.
+  void restore(SnapshotReader& r);
+  /// Verifies the re-armed pending set is identical to the saved one;
+  /// throws SnapshotError naming the first divergence otherwise.  Call
+  /// after every owning module has restored.
+  void finish_restore();
+
+  /// Re-arms an event under its original (when, seq) during restore; the
+  /// per-module restore paths use this so post-resume firing order is
+  /// bit-identical to the straight-through run.
+  EventId schedule_restored_at(TimePoint when, std::uint64_t seq,
+                               std::function<void()> fn,
+                               bool batchable = false) {
+    return engine_->schedule_restored(when, seq, std::move(fn), batchable);
+  }
+  /// The insertion seq of a live event id (0 if unknown/fired) — how
+  /// owners identify their pending events at save time.
+  std::uint64_t seq_of(EventId id) const { return engine_->seq_of(id); }
+
  private:
   /// Runs queued flushes in registration order; a flush may register more
   /// (they still run before this returns).
@@ -112,6 +142,8 @@ class Simulator {
   std::uint64_t processed_ = 0;
   std::size_t burst_budget_ = 1;
   std::vector<std::function<void()>> flushes_;
+  std::vector<PendingEvent> restored_pending_;  // finish_restore's oracle
+  bool restore_open_ = false;
 };
 
 /// A restartable one-shot timer bound to a simulator — the shape protocol
@@ -137,10 +169,19 @@ class Timer {
   void stop();
   bool armed() const { return armed_; }
 
+  /// Saves armed state plus the pending firing's (deadline, seq); restore
+  /// re-arms at the original deadline under the original seq, so the
+  /// resumed timer fires in exactly its straight-through slot.
+  void save(SnapshotWriter& w) const;
+  void restore(SnapshotReader& r);
+
  private:
+  void arm_at(TimePoint deadline, std::uint64_t restored_seq);
+
   Simulator& sim_;
   std::function<void()> on_fire_;
   EventId pending_{};
+  TimePoint deadline_;
   bool armed_ = false;
 };
 

@@ -1,0 +1,442 @@
+#include "sim/snapshot.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "common/siphash.hpp"
+#include "sim/link.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+
+namespace sublayer::sim {
+
+namespace {
+
+// "SLSNAP" + version byte slot; little-endian fields throughout (the
+// container is a process artifact, not a wire format — but fixed layout
+// keeps images comparable across runs).
+constexpr std::uint8_t kMagic[6] = {'S', 'L', 'S', 'N', 'A', 'P'};
+
+// Fixed key: the checksum detects corruption, it does not authenticate.
+constexpr SipHashKey kChecksumKey = {0x736e617073686f74ull,
+                                     0x73756272696e6721ull};
+
+void put_u64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+// ---- SnapshotWriter --------------------------------------------------------
+
+void SnapshotWriter::begin_section(std::string_view name) {
+  if (in_section_) {
+    throw SnapshotError("snapshot: begin_section inside open section '" +
+                        sections_.back().name + "'");
+  }
+  in_section_ = true;
+  sections_.push_back(Section{std::string(name), payload_.size(), 0});
+}
+
+void SnapshotWriter::end_section() {
+  if (!in_section_) throw SnapshotError("snapshot: end_section without begin");
+  in_section_ = false;
+  sections_.back().end = payload_.size();
+}
+
+void SnapshotWriter::u16(std::uint16_t v) {
+  u8(static_cast<std::uint8_t>(v));
+  u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void SnapshotWriter::u32(std::uint32_t v) {
+  u16(static_cast<std::uint16_t>(v));
+  u16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void SnapshotWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v));
+  u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void SnapshotWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void SnapshotWriter::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  payload_.insert(payload_.end(), s.begin(), s.end());
+}
+
+void SnapshotWriter::blob(ByteView v) {
+  u64(v.size());
+  payload_.insert(payload_.end(), v.begin(), v.end());
+}
+
+Bytes SnapshotWriter::finish() {
+  if (in_section_) {
+    throw SnapshotError("snapshot: finish with open section '" +
+                        sections_.back().name + "'");
+  }
+  // Append the section table to the payload so one checksum covers both.
+  const std::size_t table_at = payload_.size();
+  {
+    SnapshotWriter& w = *this;  // reuse the primitive encoders
+    w.u32(static_cast<std::uint32_t>(sections_.size()));
+    for (const Section& s : sections_) {
+      w.str(s.name);
+      w.u64(s.begin);
+      w.u64(s.end);
+    }
+  }
+  Bytes header;
+  header.reserve(32);
+  header.insert(header.end(), std::begin(kMagic), std::end(kMagic));
+  header.push_back(static_cast<std::uint8_t>(kSnapshotVersion));
+  header.push_back(0);  // reserved
+  put_u64(header, payload_.size());
+  put_u64(header, table_at);
+  put_u64(header, siphash24(kChecksumKey, payload_));
+  Bytes image(header.size() + payload_.size());
+  std::memcpy(image.data(), header.data(), header.size());
+  if (!payload_.empty()) {
+    std::memcpy(image.data() + header.size(), payload_.data(),
+                payload_.size());
+  }
+  payload_.clear();
+  sections_.clear();
+  return image;
+}
+
+// ---- SnapshotReader --------------------------------------------------------
+
+SnapshotReader::SnapshotReader(ByteView image) {
+  constexpr std::size_t kHeader = 6 + 2 + 8 + 8 + 8;
+  if (image.size() < kHeader ||
+      std::memcmp(image.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw SnapshotError("snapshot: bad magic");
+  }
+  if (image[6] != kSnapshotVersion) {
+    throw SnapshotError("snapshot: unsupported version " +
+                        std::to_string(image[6]));
+  }
+  const std::uint64_t payload_size = get_u64(image.data() + 8);
+  const std::uint64_t table_at = get_u64(image.data() + 16);
+  const std::uint64_t checksum = get_u64(image.data() + 24);
+  if (image.size() != kHeader + payload_size || table_at > payload_size) {
+    throw SnapshotError("snapshot: truncated image");
+  }
+  payload_.assign(image.begin() + kHeader, image.end());
+  if (siphash24(kChecksumKey, payload_) != checksum) {
+    throw SnapshotError("snapshot: checksum mismatch");
+  }
+  // Parse the section table (it sits at table_at, encoded with the same
+  // primitives the body uses).
+  pos_ = table_at;
+  section_end_ = payload_.size();
+  in_section_ = true;  // lets the primitive readers run
+  const std::uint32_t n = u32();
+  sections_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Section s;
+    s.name = str();
+    s.begin = u64();
+    s.end = u64();
+    if (s.begin > s.end || s.end > table_at) {
+      throw SnapshotError("snapshot: bad section bounds for '" + s.name + "'");
+    }
+    sections_.push_back(std::move(s));
+  }
+  in_section_ = false;
+  pos_ = 0;
+}
+
+void SnapshotReader::require(std::size_t n) const {
+  if (!in_section_) {
+    throw SnapshotError("snapshot: read outside any section");
+  }
+  if (pos_ + n > section_end_) {
+    throw SnapshotError("snapshot: section underrun");
+  }
+}
+
+void SnapshotReader::begin_section(std::string_view name) {
+  if (in_section_) {
+    throw SnapshotError("snapshot: begin_section inside open section");
+  }
+  if (next_section_ >= sections_.size()) {
+    throw SnapshotError("snapshot: no section left, wanted '" +
+                        std::string(name) + "'");
+  }
+  const Section& s = sections_[next_section_];
+  if (s.name != name) {
+    throw SnapshotError("snapshot: section order mismatch, wanted '" +
+                        std::string(name) + "', image has '" + s.name + "'");
+  }
+  ++next_section_;
+  pos_ = s.begin;
+  section_end_ = s.end;
+  in_section_ = true;
+}
+
+void SnapshotReader::end_section() {
+  if (!in_section_) throw SnapshotError("snapshot: end_section without begin");
+  if (pos_ != section_end_) {
+    throw SnapshotError(
+        "snapshot: section '" + sections_[next_section_ - 1].name +
+        "' not fully consumed (" + std::to_string(section_end_ - pos_) +
+        " bytes left)");
+  }
+  in_section_ = false;
+}
+
+std::uint8_t SnapshotReader::u8() {
+  require(1);
+  return payload_[pos_++];
+}
+
+std::uint16_t SnapshotReader::u16() {
+  const std::uint16_t lo = u8();
+  return static_cast<std::uint16_t>(lo | (static_cast<std::uint16_t>(u8()) << 8));
+}
+
+std::uint32_t SnapshotReader::u32() {
+  const std::uint32_t lo = u16();
+  return lo | (static_cast<std::uint32_t>(u16()) << 16);
+}
+
+std::uint64_t SnapshotReader::u64() {
+  const std::uint64_t lo = u32();
+  return lo | (static_cast<std::uint64_t>(u32()) << 32);
+}
+
+double SnapshotReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string SnapshotReader::str() {
+  const std::uint32_t n = u32();
+  require(n);
+  std::string s(reinterpret_cast<const char*>(payload_.data()) + pos_, n);
+  pos_ += n;
+  return s;
+}
+
+Bytes SnapshotReader::blob() {
+  const std::uint64_t n = u64();
+  require(n);
+  Bytes b(payload_.begin() + static_cast<std::ptrdiff_t>(pos_),
+          payload_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return b;
+}
+
+std::vector<std::string> SnapshotReader::section_names() const {
+  std::vector<std::string> names;
+  names.reserve(sections_.size());
+  for (const Section& s : sections_) names.push_back(s.name);
+  return names;
+}
+
+// ---- telemetry state -------------------------------------------------------
+
+void save_metrics(SnapshotWriter& w, const telemetry::MetricsRegistry& reg) {
+  const telemetry::MetricsSnapshot snap = reg.snapshot();
+  w.begin_section("telemetry.metrics");
+  w.u64(snap.counters.size());
+  for (const auto& [name, value] : snap.counters) {
+    w.str(name);
+    w.u64(value);
+  }
+  w.u64(snap.gauges.size());
+  for (const auto& [name, value] : snap.gauges) {
+    w.str(name);
+    w.i64(value);
+  }
+  w.u64(snap.histograms.size());
+  for (const auto& h : snap.histograms) {
+    w.str(h.name);
+    w.u64(h.data.count);
+    w.u64(h.data.sum);
+    w.u64(h.data.min);
+    w.u64(h.data.max);
+    std::uint32_t nonzero = 0;
+    for (const std::uint64_t b : h.data.buckets) nonzero += b != 0;
+    w.u32(nonzero);
+    for (std::size_t i = 0; i < h.data.buckets.size(); ++i) {
+      if (h.data.buckets[i] != 0) {
+        w.u32(static_cast<std::uint32_t>(i));
+        w.u64(h.data.buckets[i]);
+      }
+    }
+  }
+  w.end_section();
+}
+
+void restore_metrics(SnapshotReader& r, telemetry::MetricsRegistry& reg) {
+  reg.reset();  // construction-time increments of the fresh graph are
+                // part of the saved aggregates; zero first, then apply
+  r.begin_section("telemetry.metrics");
+  const std::uint64_t ncounters = r.u64();
+  for (std::uint64_t i = 0; i < ncounters; ++i) {
+    const std::string name = r.str();
+    *reg.counter_slot(reg.intern_counter(name)) = r.u64();
+  }
+  const std::uint64_t ngauges = r.u64();
+  for (std::uint64_t i = 0; i < ngauges; ++i) {
+    const std::string name = r.str();
+    *reg.gauge_slot(reg.intern_gauge(name)) = r.i64();
+  }
+  const std::uint64_t nhist = r.u64();
+  for (std::uint64_t i = 0; i < nhist; ++i) {
+    const std::string name = r.str();
+    telemetry::HistogramData& h =
+        *reg.histogram_slot(reg.intern_histogram(name));
+    h = telemetry::HistogramData{};
+    h.count = r.u64();
+    h.sum = r.u64();
+    h.min = r.u64();
+    h.max = r.u64();
+    const std::uint32_t nonzero = r.u32();
+    for (std::uint32_t j = 0; j < nonzero; ++j) {
+      const std::uint32_t idx = r.u32();
+      if (idx >= h.buckets.size()) {
+        throw SnapshotError("snapshot: histogram bucket index out of range");
+      }
+      h.buckets[idx] = r.u64();
+    }
+  }
+  r.end_section();
+}
+
+void save_spans(SnapshotWriter& w, const telemetry::SpanTracer& spans) {
+  w.begin_section("telemetry.spans");
+  const auto& layers = spans.layers();
+  w.u64(layers.size());
+  for (std::uint32_t i = 0; i < layers.size(); ++i) {
+    w.str(layers[i]);
+    for (const std::uint64_t v : spans.totals_of(i)) w.u64(v);
+  }
+  const auto ring = spans.ring_spans();
+  w.u64(spans.dropped());
+  w.u64(ring.size());
+  for (const telemetry::Span& s : ring) {
+    w.u32(s.layer);
+    w.u8(static_cast<std::uint8_t>(s.dir));
+    w.time(s.enter);
+    w.time(s.exit);
+    w.u32(s.payload_bytes);
+  }
+  w.end_section();
+}
+
+void restore_spans(SnapshotReader& r, telemetry::SpanTracer& spans) {
+  r.begin_section("telemetry.spans");
+  const std::uint64_t nlayers = r.u64();
+  for (std::uint64_t i = 0; i < nlayers; ++i) {
+    const std::string name = r.str();
+    // The fresh graph interned the same boundaries in construction order;
+    // intern() is idempotent, so ids line up — verify rather than assume.
+    const std::uint32_t id = spans.intern(name);
+    if (id != i) {
+      throw SnapshotError("snapshot: span layer '" + name +
+                          "' interned out of order (restore graph differs "
+                          "from the saved one)");
+    }
+    std::array<std::uint64_t, 4> t;
+    for (std::uint64_t& v : t) v = r.u64();
+    spans.restore_totals(id, t);
+  }
+  const std::uint64_t dropped = r.u64();
+  const std::uint64_t nring = r.u64();
+  std::vector<telemetry::Span> ring;
+  ring.reserve(nring);
+  for (std::uint64_t i = 0; i < nring; ++i) {
+    telemetry::Span s;
+    s.layer = r.u32();
+    s.dir = static_cast<telemetry::Dir>(r.u8());
+    s.enter = r.time();
+    s.exit = r.time();
+    s.payload_bytes = r.u32();
+    ring.push_back(s);
+  }
+  spans.restore_ring(std::move(ring), dropped);
+  r.end_section();
+}
+
+void save_flight(SnapshotWriter& w, const telemetry::FlightRecorder& fr) {
+  w.begin_section("telemetry.flight");
+  w.u16(fr.shard());
+  w.u64(fr.total_records());
+  const auto records = fr.recent();
+  w.u64(records.size());
+  for (const telemetry::FlightRecord& rec : records) {
+    w.i64(rec.t_ns);
+    w.u64(rec.a);
+    w.u64(rec.b);
+    w.u64(rec.c);
+    w.u32(rec.seq);
+    w.u16(rec.type);
+    w.u16(rec.shard);
+    w.str(std::string_view(rec.tag, sizeof rec.tag));
+  }
+  w.end_section();
+}
+
+void restore_flight(SnapshotReader& r, telemetry::FlightRecorder& fr) {
+  r.begin_section("telemetry.flight");
+  fr.set_shard(r.u16());
+  const std::uint64_t total = r.u64();
+  const std::uint64_t n = r.u64();
+  std::vector<telemetry::FlightRecord> records;
+  records.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    telemetry::FlightRecord rec;
+    rec.t_ns = r.i64();
+    rec.a = r.u64();
+    rec.b = r.u64();
+    rec.c = r.u64();
+    rec.seq = r.u32();
+    rec.type = r.u16();
+    rec.shard = r.u16();
+    const std::string tag = r.str();
+    if (tag.size() != sizeof rec.tag) {
+      throw SnapshotError("snapshot: flight record tag size mismatch");
+    }
+    std::memcpy(rec.tag, tag.data(), sizeof rec.tag);
+    records.push_back(rec);
+  }
+  fr.restore(records, total);
+  r.end_section();
+}
+
+void save_link_config(SnapshotWriter& w, const LinkConfig& c) {
+  w.f64(c.bandwidth_bps);
+  w.dur(c.propagation_delay);
+  w.f64(c.loss_rate);
+  w.f64(c.corrupt_rate);
+  w.u32(static_cast<std::uint32_t>(c.corrupt_bit_flips));
+  w.f64(c.duplicate_rate);
+  w.dur(c.jitter);
+  w.u64(c.queue_limit);
+}
+
+LinkConfig restore_link_config(SnapshotReader& r) {
+  LinkConfig c;
+  c.bandwidth_bps = r.f64();
+  c.propagation_delay = r.dur();
+  c.loss_rate = r.f64();
+  c.corrupt_rate = r.f64();
+  c.corrupt_bit_flips = static_cast<int>(r.u32());
+  c.duplicate_rate = r.f64();
+  c.jitter = r.dur();
+  c.queue_limit = r.u64();
+  return c;
+}
+
+}  // namespace sublayer::sim

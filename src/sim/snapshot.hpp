@@ -1,0 +1,161 @@
+// Versioned, checksummed binary snapshots of simulator state.
+//
+// A snapshot is a flat byte image made of named, length-prefixed sections
+// written in a fixed order (the module save order).  The container carries
+// a magic, a format version, a section table, and a SipHash-2-4 checksum
+// over the whole payload, so a truncated or bit-rotted image is rejected
+// before any module sees it.
+//
+// What a snapshot holds — and what it deliberately does not
+// --------------------------------------------------------
+// Event queues hold closures, which cannot be serialized.  The design
+// therefore splits responsibility:
+//
+//   * The engine saves the *shape* of its pending set: every live
+//     (deadline, insertion-seq, batchable) triple, plus the sequence
+//     counter and cursor.  This is the determinism contract's entire
+//     observable surface — events fire in (time, seq) order.
+//   * Each stateful module saves its own mutable fields and, for every
+//     pending event it owns (a Timer deadline, a link delivery in flight,
+//     a chaos apply/heal), the (deadline, seq) under which that event was
+//     armed.
+//   * Restore runs against a *freshly constructed, identically configured*
+//     object graph (same topology code, same seeds — but nothing started):
+//     each module's restore() overwrites its mutable state and re-arms its
+//     own events with the original (deadline, seq) via schedule_restored_at.
+//     The closures are thereby re-derived from code, not deserialized.
+//
+// Simulator::finish_restore() then verifies the re-armed pending set is
+// *identical* to the saved one.  An event nobody claimed (or a double
+// claim) fails loudly right there — this is the quiescent-point rule:
+// snapshots are only valid at instants where every pending event has a
+// restorable owner.  Park points of run_until() qualify for every module
+// in the tree; one-shot closures scheduled ad hoc by application code do
+// not, so snapshot after they have fired.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/time.hpp"
+
+namespace sublayer::telemetry {
+class MetricsRegistry;
+class SpanTracer;
+class FlightRecorder;
+}  // namespace sublayer::telemetry
+
+namespace sublayer::sim {
+
+/// Raised on container corruption, section-order mismatch, or a restore
+/// whose re-armed pending set diverges from the saved one.
+class SnapshotError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Streams primitives into named sections; finish() seals the container.
+class SnapshotWriter {
+ public:
+  void begin_section(std::string_view name);
+  void end_section();
+
+  void u8(std::uint8_t v) { payload_.push_back(v); }
+  void b(bool v) { u8(v ? 1 : 0); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  void time(TimePoint t) { i64(t.ns()); }
+  void dur(Duration d) { i64(d.ns()); }
+  void str(std::string_view s);
+  void blob(ByteView v);
+
+  /// Seals and returns the container image.  The writer is spent after.
+  Bytes finish();
+
+ private:
+  struct Section {
+    std::string name;
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+  };
+  Bytes payload_;
+  std::vector<Section> sections_;
+  bool in_section_ = false;
+};
+
+/// Reads a sealed container; sections must be consumed in written order
+/// and each must be consumed exactly (end_section verifies).
+class SnapshotReader {
+ public:
+  /// Validates magic, version, checksum, and section table.
+  explicit SnapshotReader(ByteView image);
+
+  void begin_section(std::string_view name);
+  void end_section();
+
+  std::uint8_t u8();
+  bool b() { return u8() != 0; }
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+  TimePoint time() { return TimePoint::from_ns(i64()); }
+  Duration dur() { return Duration::nanos(i64()); }
+  std::string str();
+  Bytes blob();
+
+  /// Section names in stored order (diagnostics).
+  std::vector<std::string> section_names() const;
+
+ private:
+  struct Section {
+    std::string name;
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+  };
+  void require(std::size_t n) const;
+
+  Bytes payload_;  // owned copy: a snapshot outlives the caller's buffer
+  std::vector<Section> sections_;
+  std::size_t pos_ = 0;
+  std::size_t next_section_ = 0;
+  std::uint64_t section_end_ = 0;
+  bool in_section_ = false;
+};
+
+// ---- telemetry state (orchestrated here: telemetry stays sim-agnostic) ----
+
+/// Every interned counter/gauge/histogram value (histogram buckets sparse-
+/// encoded).  restore_metrics resets the registry first, then applies the
+/// saved aggregates by name — instance-local handle values are restored by
+/// their owning modules via Counter/Gauge::restore_local.
+void save_metrics(SnapshotWriter& w, const telemetry::MetricsRegistry& reg);
+void restore_metrics(SnapshotReader& r, telemetry::MetricsRegistry& reg);
+
+/// Per-boundary crossing totals plus the recent-span ring.
+void save_spans(SnapshotWriter& w, const telemetry::SpanTracer& spans);
+void restore_spans(SnapshotReader& r, telemetry::SpanTracer& spans);
+
+/// Ring contents and lifetime count; restoring the count keeps record seq
+/// numbers monotone across the resume (stable merge order).
+void save_flight(SnapshotWriter& w, const telemetry::FlightRecorder& fr);
+void restore_flight(SnapshotReader& r, telemetry::FlightRecorder& fr);
+
+struct LinkConfig;
+
+/// One LinkConfig, field by field — shared by Link::save and the chaos
+/// controller's baseline table so the two never drift apart.
+void save_link_config(SnapshotWriter& w, const LinkConfig& c);
+LinkConfig restore_link_config(SnapshotReader& r);
+
+}  // namespace sublayer::sim

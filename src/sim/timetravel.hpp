@@ -1,0 +1,86 @@
+// TimeTravel — checkpoint-based bisection of invariant violations.
+//
+// A long chaos soak that trips an invariant at event N tells you *that*
+// something broke, not *where*.  TimeTravel turns periodic snapshots into a
+// debugger: keep checkpoints along the straight run; when a violation (or a
+// parallel-engine abort) surfaces, rebuild the world from the latest clean
+// checkpoint and binary-search over the event count — re-executing
+// deterministically each probe — until the first event whose execution
+// flips the violation predicate is isolated.  O(log n) re-executions, each
+// from a fresh object graph restored from the same image, so probes cannot
+// contaminate each other.
+//
+// TimeTravel does not know how to build worlds; the caller supplies a
+// Factory that restores a fresh world from a snapshot image and exposes
+// stepping, the violation predicate, and a flight-recorder dump.  The
+// final isolating run re-executes to exactly the offending event and dumps
+// the focused flight-recorder window around it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/time.hpp"
+
+namespace sublayer::sim {
+
+class TimeTravel {
+ public:
+  /// A rebuilt world under bisection control.  Factory-returned worlds
+  /// start exactly at their image's snapshot instant.
+  class World {
+   public:
+    virtual ~World() = default;
+    /// Steps at most `n` further events (Simulator::run semantics).
+    virtual std::size_t run_events(std::size_t n) = 0;
+    /// The violation predicate (monotone over a run: once true, stays
+    /// true — violations accumulate).
+    virtual bool violated() const = 0;
+    virtual std::uint64_t events_processed() const = 0;
+    virtual TimePoint now() const = 0;
+    /// Dumps the world's flight recorder(s); returns the dump path ("" if
+    /// dumping is disabled).
+    virtual std::string dump_flight(const std::string& reason) = 0;
+  };
+  using Factory = std::function<std::unique_ptr<World>(const Bytes& image)>;
+
+  struct Checkpoint {
+    Bytes image;
+    std::uint64_t events = 0;
+    TimePoint at;
+  };
+
+  struct Result {
+    bool isolated = false;
+    /// events_processed count of the first offending event: running the
+    /// world from `base_events` through this event flips the predicate;
+    /// stopping one earlier does not.
+    std::uint64_t offending_event = 0;
+    TimePoint offending_time;
+    /// The clean checkpoint the bisection ran from.
+    std::uint64_t base_events = 0;
+    std::size_t reexecutions = 0;
+    /// Flight-recorder dump of the final isolating run ("" if disabled).
+    std::string flight_dump;
+  };
+
+  /// Records a checkpoint taken on the straight run.  Checkpoints must be
+  /// added in increasing event order.
+  void add_checkpoint(Bytes image, std::uint64_t events, TimePoint at);
+  const std::vector<Checkpoint>& checkpoints() const { return checkpoints_; }
+
+  /// Isolates the first offending event given that the predicate was
+  /// observed true once the straight run had processed `violated_by`
+  /// events.  Walks back to the latest checkpoint that replays clean,
+  /// then binary-searches the event range up to `violated_by`.
+  Result bisect(const Factory& make_world, std::uint64_t violated_by) const;
+
+ private:
+  std::vector<Checkpoint> checkpoints_;
+};
+
+}  // namespace sublayer::sim

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "sim/snapshot.hpp"
+
 namespace sublayer::sim {
 
 std::uint32_t Trace::intern(std::string_view category) {
@@ -75,6 +77,51 @@ void Trace::clear() {
   names_.clear();
   totals_.clear();
   total_events_ = 0;
+}
+
+void Trace::save(SnapshotWriter& w) const {
+  w.u64(names_.size());
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    w.str(names_[i]);
+    w.u64(totals_[i].count);
+    w.u64(totals_[i].bytes);
+  }
+  w.u64(total_events_);
+  w.u64(dropped_.value());
+  w.u64(events_.size());
+  for (const TraceEvent& e : events_) {
+    w.time(e.when);
+    w.u32(e.category_id);
+    w.str(e.detail);
+    w.u64(e.size_bytes);
+  }
+}
+
+void Trace::restore(SnapshotReader& r) {
+  clear();
+  const std::uint64_t ncat = r.u64();
+  names_.reserve(ncat);
+  totals_.reserve(ncat);
+  for (std::uint64_t i = 0; i < ncat; ++i) {
+    names_.push_back(r.str());
+    CategoryTotals t;
+    t.count = r.u64();
+    t.bytes = r.u64();
+    totals_.push_back(t);
+  }
+  total_events_ = r.u64();
+  // Instance-local only: the registry slot for "sim.trace.dropped" is
+  // restored wholesale with every other metric.
+  dropped_.restore_local(r.u64());
+  const std::uint64_t nev = r.u64();
+  for (std::uint64_t i = 0; i < nev; ++i) {
+    TraceEvent e;
+    e.when = r.time();
+    e.category_id = r.u32();
+    e.detail = r.str();
+    e.size_bytes = r.u64();
+    events_.push_back(std::move(e));
+  }
 }
 
 }  // namespace sublayer::sim

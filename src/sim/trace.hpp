@@ -22,6 +22,9 @@
 
 namespace sublayer::sim {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 struct TraceEvent {
   TimePoint when;
   std::uint32_t category_id = 0;
@@ -69,6 +72,12 @@ class Trace {
 
   std::string to_string(std::size_t max_events = 100) const;
   void clear();
+
+  /// Checkpoint/restore: interned categories, running totals, the bounded
+  /// event buffer, and the drop counter (inline format; the owner brackets
+  /// the section).
+  void save(SnapshotWriter& w) const;
+  void restore(SnapshotReader& r);
 
  private:
   std::uint32_t intern(std::string_view category);

@@ -158,6 +158,20 @@ void FlightRecorder::reset() {
   std::fill(ring_.begin(), ring_.end(), FlightRecord{});
 }
 
+void FlightRecorder::restore(const std::vector<FlightRecord>& records,
+                             std::uint64_t total) {
+  std::fill(ring_.begin(), ring_.end(), FlightRecord{});
+  total_ = total;
+  // Physical positions follow total_ % capacity, so the i-th newest saved
+  // record lands exactly where the straight-through recorder held it.
+  const std::size_t n = std::min(records.size(), ring_.size());
+  const std::uint64_t start = total_ - n;
+  for (std::size_t i = 0; i < n; ++i) {
+    ring_[static_cast<std::size_t>((start + i) % ring_.size())] =
+        records[records.size() - n + i];
+  }
+}
+
 std::vector<std::uint8_t> FlightRecorder::serialize() const {
   const std::vector<FlightRecord> records = recent();
   std::vector<std::uint8_t> out(records.size() * sizeof(FlightRecord));

@@ -102,6 +102,13 @@ class FlightRecorder {
   std::vector<FlightRecord> recent() const;
   void reset();
 
+  /// Checkpoint/restore: replaces the ring with `records` (oldest first,
+  /// recent()'s shape) and the lifetime count.  Record seqs are stamped
+  /// from total_, so restoring it makes post-resume seqs continue the
+  /// straight-through numbering monotonically — merged (time, shard, seq)
+  /// order stays stable across a restore.
+  void restore(const std::vector<FlightRecord>& records, std::uint64_t total);
+
   /// The ring's raw bytes, oldest first — one recorder's deterministic
   /// replay artifact.
   std::vector<std::uint8_t> serialize() const;

@@ -231,6 +231,11 @@ class Counter {
   std::uint64_t value() const { return local_; }
   operator std::uint64_t() const { return local_; }
 
+  /// Checkpoint/restore only: overwrites the instance-local value WITHOUT
+  /// touching the registry slot — slots are restored wholesale by name
+  /// (sim/snapshot.hpp), so going through add() would double-count.
+  void restore_local(std::uint64_t v) { local_ = v; }
+
   friend bool operator==(const Counter& a, const Counter& b) {
     return a.local_ == b.local_;
   }
@@ -273,6 +278,9 @@ class Gauge {
 
   std::int64_t value() const { return local_; }
   operator std::uint64_t() const { return static_cast<std::uint64_t>(local_); }
+
+  /// Checkpoint/restore only: see Counter::restore_local.
+  void restore_local(std::int64_t v) { local_ = v; }
 
   friend bool operator==(const Gauge& a, const Gauge& b) {
     return a.local_ == b.local_;

@@ -95,4 +95,24 @@ void SpanTracer::reset() {
   dropped_ = 0;
 }
 
+std::vector<Span> SpanTracer::ring_spans() const {
+  std::vector<Span> out;
+  const std::size_t n = ring_.size();
+  out.reserve(n);
+  // head_ is the next overwrite position once full; before that the ring
+  // is in insertion order already.
+  const std::size_t start = n < capacity_ ? 0 : head_;
+  for (std::size_t i = 0; i < n; ++i) out.push_back(ring_[(start + i) % n]);
+  return out;
+}
+
+void SpanTracer::restore_ring(std::vector<Span> spans, std::uint64_t dropped) {
+  ring_ = std::move(spans);
+  // Stored oldest-first: once full, the next overwrite target is index 0,
+  // which keeps the logical (oldest-first) sequence identical to the
+  // straight-through tracer's from here on.
+  head_ = 0;
+  dropped_ = dropped;
+}
+
 }  // namespace sublayer::telemetry

@@ -17,6 +17,7 @@
 // is a ring-slot write plus two counter adds.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -105,6 +106,28 @@ class SpanTracer {
   /// Zeroes counters and empties the ring; interned names (and the ids
   /// modules hold) stay valid.
   void reset();
+
+  // ---- checkpoint/restore support (orchestrated by sim/snapshot.hpp) ----
+  std::size_t layer_count() const { return names_.size(); }
+  /// Raw totals of a layer id: {count_down, bytes_down, count_up, bytes_up}.
+  std::array<std::uint64_t, 4> totals_of(std::uint32_t layer) const {
+    const PerLayer& t = totals_[layer];
+    return {t.count[0], t.bytes[0], t.count[1], t.bytes[1]};
+  }
+  void restore_totals(std::uint32_t layer,
+                      const std::array<std::uint64_t, 4>& v) {
+    PerLayer& t = totals_[layer];
+    t.count[0] = v[0];
+    t.bytes[0] = v[1];
+    t.count[1] = v[2];
+    t.bytes[1] = v[3];
+  }
+  /// Ring contents oldest-first (the logical span sequence, independent of
+  /// physical wrap position).
+  std::vector<Span> ring_spans() const;
+  /// Replaces the ring with `spans` (oldest first, size <= capacity) and
+  /// the drop counter, continuing the straight-through ring exactly.
+  void restore_ring(std::vector<Span> spans, std::uint64_t dropped);
 
   /// Default ring size.  The ring is a recent-window (to_json exports at
   /// most ~1k spans and the per-boundary totals are exact forever), so the

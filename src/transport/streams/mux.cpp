@@ -1,5 +1,7 @@
 #include "transport/streams/mux.hpp"
 
+#include "sim/snapshot.hpp"
+
 namespace sublayer::transport {
 
 void Stream::send(Bytes data) {
@@ -107,6 +109,50 @@ void StreamMux::dispatch(std::uint32_t id, bool end, Bytes payload) {
   if (end && !stream.remote_end_) {
     stream.remote_end_ = true;
     if (stream.on_end_) stream.on_end_();
+  }
+}
+
+Stream* StreamMux::find_stream(std::uint32_t id) {
+  const auto it = streams_.find(id);
+  return it != streams_.end() ? it->second.get() : nullptr;
+}
+
+void StreamMux::save(sim::SnapshotWriter& w) const {
+  w.u32(next_id_);
+  w.blob(rx_buffer_);
+  w.u64(stats_.records_sent);
+  w.u64(stats_.records_received);
+  w.u64(stats_.bytes_sent);
+  w.u64(stats_.bytes_received);
+  w.u64(stats_.streams_opened_local);
+  w.u64(stats_.streams_opened_remote);
+  w.u64(stats_.malformed_records);
+  w.u64(streams_.size());
+  for (const auto& [id, stream] : streams_) {
+    w.u32(id);
+    w.b(stream->local_end_);
+    w.b(stream->remote_end_);
+  }
+}
+
+void StreamMux::restore(sim::SnapshotReader& r) {
+  next_id_ = r.u32();
+  rx_buffer_ = r.blob();
+  stats_.records_sent = r.u64();
+  stats_.records_received = r.u64();
+  stats_.bytes_sent = r.u64();
+  stats_.bytes_received = r.u64();
+  stats_.streams_opened_local = r.u64();
+  stats_.streams_opened_remote = r.u64();
+  stats_.malformed_records = r.u64();
+  streams_.clear();
+  const std::uint64_t nstreams = r.u64();
+  for (std::uint64_t i = 0; i < nstreams; ++i) {
+    const std::uint32_t id = r.u32();
+    auto stream = std::unique_ptr<Stream>(new Stream(*this, id));
+    stream->local_end_ = r.b();
+    stream->remote_end_ = r.b();
+    streams_.emplace(id, std::move(stream));
   }
 }
 

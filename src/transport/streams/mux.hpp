@@ -107,6 +107,19 @@ class StreamMux {
   std::size_t live_streams() const { return streams_.size(); }
   const StreamMuxStats& stats() const { return stats_; }
 
+  /// The stream with `id`, or nullptr — snapshot-restore support: after
+  /// restore, the application re-finds its streams and re-attaches their
+  /// data/end handlers.
+  Stream* find_stream(std::uint32_t id);
+
+  /// Checkpoint/restore (sim/snapshot.hpp): the id allocator, the partial
+  /// receive record, stats, and each stream's id and end flags.  Stream
+  /// handlers are closures and are NOT saved — re-attach via find_stream
+  /// (locally opened ids) or set_on_stream before any further delivery.
+  /// Inline format; the owner brackets.
+  void save(sim::SnapshotWriter& w) const;
+  void restore(sim::SnapshotReader& r);
+
   static constexpr std::size_t kHeaderSize = 4 + 1 + 2;
   static constexpr std::size_t kMaxRecordPayload = 65535;
 

@@ -4,6 +4,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/snapshot.hpp"
+
 namespace sublayer::transport {
 namespace {
 
@@ -51,6 +53,17 @@ class Reno : public CcAlgorithm {
 
   std::uint64_t cwnd_bytes() const override { return cwnd_; }
   std::uint64_t ssthresh_bytes() const override { return ssthresh_; }
+
+  void save(sim::SnapshotWriter& w) const override {
+    w.u64(cwnd_);
+    w.u64(ssthresh_);
+    w.u64(ecn_holdoff_);
+  }
+  void restore(sim::SnapshotReader& r) override {
+    cwnd_ = r.u64();
+    ssthresh_ = r.u64();
+    ecn_holdoff_ = r.u64();
+  }
 
  protected:
   void react_to_congestion() {
@@ -126,6 +139,25 @@ class Cubic : public CcAlgorithm {
   std::uint64_t cwnd_bytes() const override { return cwnd_; }
   std::uint64_t ssthresh_bytes() const override { return ssthresh_; }
 
+  void save(sim::SnapshotWriter& w) const override {
+    w.u64(cwnd_);
+    w.u64(ssthresh_);
+    w.u64(w_max_);
+    w.b(epoch_started_);
+    w.time(epoch_start_);
+    w.f64(k_);
+    w.u64(ecn_holdoff_);
+  }
+  void restore(sim::SnapshotReader& r) override {
+    cwnd_ = r.u64();
+    ssthresh_ = r.u64();
+    w_max_ = r.u64();
+    epoch_started_ = r.b();
+    epoch_start_ = r.time();
+    k_ = r.f64();
+    ecn_holdoff_ = r.u64();
+  }
+
  private:
   static constexpr double kC = 0.4;
   static constexpr double kBeta = 0.7;
@@ -165,6 +197,9 @@ class Aimd : public CcAlgorithm {
   void on_loss(const LossEvent&) override { decrease(); }
 
   std::uint64_t cwnd_bytes() const override { return cwnd_; }
+
+  void save(sim::SnapshotWriter& w) const override { w.u64(cwnd_); }
+  void restore(sim::SnapshotReader& r) override { cwnd_ = r.u64(); }
 
  private:
   void decrease() {
@@ -206,6 +241,9 @@ class RateBased : public CcAlgorithm {
     return 1ull << 24;
   }
   std::optional<double> pacing_bps() const override { return rate_bps_; }
+
+  void save(sim::SnapshotWriter& w) const override { w.f64(rate_bps_); }
+  void restore(sim::SnapshotReader& r) override { rate_bps_ = r.f64(); }
 
  private:
   static constexpr double kProbeBps = 20e3;

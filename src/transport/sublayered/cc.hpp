@@ -15,6 +15,11 @@
 
 #include "common/time.hpp"
 
+namespace sublayer::sim {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace sublayer::sim
+
 namespace sublayer::transport {
 
 struct AckEvent {
@@ -54,6 +59,13 @@ class CcAlgorithm {
 
   /// Slow-start threshold, for diagnostics/benchmarks.
   virtual std::uint64_t ssthresh_bytes() const { return 0; }
+
+  /// Checkpoint/restore (sim/snapshot.hpp): the algorithm's hidden state —
+  /// windows, thresholds, cubic epochs, pacing rates.  Config is not
+  /// saved; the restore graph constructs the same algorithm from the same
+  /// config.  Inline format; the owning OSR brackets.
+  virtual void save(sim::SnapshotWriter& w) const = 0;
+  virtual void restore(sim::SnapshotReader& r) = 0;
 };
 
 struct CcConfig {

@@ -1,5 +1,6 @@
 #include "transport/sublayered/cm.hpp"
 
+#include "sim/snapshot.hpp"
 #include "telemetry/flight_recorder.hpp"
 
 namespace sublayer::transport {
@@ -36,6 +37,22 @@ void record_cm_transition(const FourTuple& tuple, CmState from, CmState to) {
              (from == CmState::kEstablished || from == CmState::kTimeWait)) {
     fr->record_now(telemetry::FlightType::kFlowClose, "cm", flow);
   }
+}
+
+void save_tuple(sim::SnapshotWriter& w, const FourTuple& t) {
+  w.u32(t.local_addr);
+  w.u16(t.local_port);
+  w.u32(t.remote_addr);
+  w.u16(t.remote_port);
+}
+
+FourTuple restore_tuple(sim::SnapshotReader& r) {
+  FourTuple t;
+  t.local_addr = r.u32();
+  t.local_port = r.u16();
+  t.remote_addr = r.u32();
+  t.remote_port = r.u16();
+  return t;
 }
 
 std::uint32_t bind_cm_telemetry(CmStats& stats) {
@@ -368,6 +385,66 @@ void ConnectionManager::on_segment(SublayeredSegment segment) {
       note_inbound_activity();
       return;
   }
+}
+
+void save_cm_stats(sim::SnapshotWriter& w, const CmStats& stats) {
+  w.u64(stats.syn_sent.value());
+  w.u64(stats.syn_retransmits.value());
+  w.u64(stats.fin_sent.value());
+  w.u64(stats.fin_retransmits.value());
+  w.u64(stats.rst_sent.value());
+  w.u64(stats.bad_incarnation.value());
+  w.u64(stats.keepalive_probes_sent.value());
+  w.u64(stats.keepalive_replies_sent.value());
+  w.u64(stats.keepalive_aborts.value());
+}
+
+void restore_cm_stats(sim::SnapshotReader& r, CmStats& stats) {
+  stats.syn_sent.restore_local(r.u64());
+  stats.syn_retransmits.restore_local(r.u64());
+  stats.fin_sent.restore_local(r.u64());
+  stats.fin_retransmits.restore_local(r.u64());
+  stats.rst_sent.restore_local(r.u64());
+  stats.bad_incarnation.restore_local(r.u64());
+  stats.keepalive_probes_sent.restore_local(r.u64());
+  stats.keepalive_replies_sent.restore_local(r.u64());
+  stats.keepalive_aborts.restore_local(r.u64());
+}
+
+void ConnectionManager::save(sim::SnapshotWriter& w) const {
+  save_tuple(w, tuple_);
+  w.u8(static_cast<std::uint8_t>(state_));
+  w.u32(isn_local_);
+  w.u32(isn_peer_);
+  w.i64(retries_);
+  w.b(local_fin_sent_);
+  w.b(local_fin_acked_);
+  w.b(peer_fin_seen_);
+  w.u64(local_stream_length_);
+  w.i64(probes_outstanding_);
+  save_cm_stats(w, stats_);
+  handshake_timer_.save(w);
+  time_wait_timer_.save(w);
+  keepalive_timer_.save(w);
+}
+
+void ConnectionManager::restore(sim::SnapshotReader& r) {
+  tuple_ = restore_tuple(r);
+  // Straight into state_, not through enter_state(): a restore is not a
+  // transition, so no flight-recorder record and no callbacks.
+  state_ = static_cast<CmState>(r.u8());
+  isn_local_ = r.u32();
+  isn_peer_ = r.u32();
+  retries_ = static_cast<int>(r.i64());
+  local_fin_sent_ = r.b();
+  local_fin_acked_ = r.b();
+  peer_fin_seen_ = r.b();
+  local_stream_length_ = r.u64();
+  probes_outstanding_ = static_cast<int>(r.i64());
+  restore_cm_stats(r, stats_);
+  handshake_timer_.restore(r);
+  time_wait_timer_.restore(r);
+  keepalive_timer_.restore(r);
 }
 
 void ConnectionManager::stamp_data(SublayeredSegment& segment) const {

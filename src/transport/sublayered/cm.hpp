@@ -115,6 +115,15 @@ struct CmStats {
 /// tracer.  Returns the interned boundary id.
 std::uint32_t bind_cm_telemetry(CmStats& stats);
 
+/// Snapshot helpers for the 4-tuple, shared by both CM mechanisms and the
+/// host's connection table.
+void save_tuple(sim::SnapshotWriter& w, const FourTuple& t);
+FourTuple restore_tuple(sim::SnapshotReader& r);
+
+/// Snapshot helpers for the shared stats block (both CM mechanisms).
+void save_cm_stats(sim::SnapshotWriter& w, const CmStats& stats);
+void restore_cm_stats(sim::SnapshotReader& r, CmStats& stats);
+
 /// The CM sublayer interface — what the rest of the connection sees.
 /// Two mechanisms implement it (handshake and timer-based); swapping them
 /// touches nothing else in the stack.
@@ -171,6 +180,14 @@ class CmInterface {
   virtual bool peer_fin_seen() const = 0;
   virtual bool local_fin_acked() const = 0;
   virtual const CmStats& stats() const = 0;
+
+  /// Checkpoint/restore (sim/snapshot.hpp): the connection's tuple, state
+  /// machine, ISN pair, retry/probe budgets, and control timers.  restore
+  /// sets the state directly — no transition records, no callbacks.  The
+  /// restore graph must run the same CM scheme.  Inline format; the owning
+  /// Connection brackets.
+  virtual void save(sim::SnapshotWriter& w) const = 0;
+  virtual void restore(sim::SnapshotReader& r) = 0;
 };
 
 /// Factory dispatching on config.scheme.
@@ -199,6 +216,9 @@ class ConnectionManager final : public CmInterface {
   bool peer_fin_seen() const override { return peer_fin_seen_; }
   bool local_fin_acked() const override { return local_fin_acked_; }
   const CmStats& stats() const override { return stats_; }
+
+  void save(sim::SnapshotWriter& w) const override;
+  void restore(sim::SnapshotReader& r) override;
 
  private:
   void send_syn();

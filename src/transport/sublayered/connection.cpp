@@ -1,5 +1,7 @@
 #include "transport/sublayered/connection.hpp"
 
+#include "sim/snapshot.hpp"
+
 namespace sublayer::transport {
 
 Connection::Connection(sim::Simulator& sim, Demux& demux, IsnProvider& isn,
@@ -103,6 +105,7 @@ void Connection::open_active() {
 }
 
 void Connection::open_passive(const SublayeredSegment& syn) {
+  passive_ = true;
   bound_ = demux_.bind(tuple_, [this](SublayeredSegment s) {
     cm_->on_segment(std::move(s));
   });
@@ -126,5 +129,36 @@ void Connection::maybe_issue_fin() {
 void Connection::abort() { cm_->abort("local abort"); }
 
 void Connection::consume(std::uint64_t n) { osr_.consume(n); }
+
+void Connection::save(sim::SnapshotWriter& w) const {
+  w.b(close_requested_);
+  w.b(fin_issued_);
+  w.b(closed_);
+  w.b(bound_);
+  w.b(passive_);
+  cm_->save(w);
+  rd_.save(w);
+  osr_.save(w);
+}
+
+void Connection::restore(sim::SnapshotReader& r) {
+  close_requested_ = r.b();
+  fin_issued_ = r.b();
+  closed_ = r.b();
+  const bool was_bound = r.b();
+  passive_ = r.b();
+  cm_->restore(r);
+  rd_.restore(r);
+  osr_.restore(r);
+  if (was_bound && !bound_) {
+    bound_ = demux_.bind(tuple_, [this](SublayeredSegment s) {
+      cm_->on_segment(std::move(s));
+    });
+    if (!bound_) {
+      throw sim::SnapshotError("Connection: tuple " + tuple_.to_string() +
+                               " already bound on the restore graph");
+    }
+  }
+}
 
 }  // namespace sublayer::transport

@@ -76,10 +76,21 @@ class Connection {
   const FourTuple& tuple() const { return tuple_; }
   CmState state() const { return cm_->state(); }
   bool fully_closed() const { return closed_; }
+  /// True for connections created by a listener (passive open) — the host
+  /// uses this on restore to re-announce the connection to its acceptor.
+  bool passive() const { return passive_; }
 
   const CmInterface& cm() const { return *cm_; }
   const ReliableDelivery& rd() const { return rd_; }
   const Osr& osr() const { return osr_; }
+
+  /// Checkpoint/restore (sim/snapshot.hpp): all four sublayers plus the
+  /// wiring flags.  restore() runs on a freshly constructed connection for
+  /// the same tuple and config — it re-binds the DM entry (rebuilding the
+  /// flow table) but fires no callbacks; the application re-attaches its
+  /// handlers via set_app_callbacks afterwards.  The owning host brackets.
+  void save(sim::SnapshotWriter& w) const;
+  void restore(sim::SnapshotReader& r);
 
  private:
   void maybe_issue_fin();
@@ -95,6 +106,7 @@ class Connection {
   bool fin_issued_ = false;
   bool closed_ = false;
   bool bound_ = false;
+  bool passive_ = false;
 };
 
 }  // namespace sublayer::transport

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "sim/snapshot.hpp"
 #include "telemetry/frame_tap.hpp"
 #include "telemetry/span.hpp"
 
@@ -118,6 +119,26 @@ void Demux::route(netlayer::IpAddr src, SublayeredSegment segment) {
   }
   ++stats_.unmatched;
   if (unmatched_) unmatched_(tuple, segment);
+}
+
+void Demux::save(sim::SnapshotWriter& w) const {
+  w.u64(stats_.segments_out.value());
+  w.u64(stats_.segments_in.value());
+  w.u64(stats_.to_connections.value());
+  w.u64(stats_.to_listeners.value());
+  w.u64(stats_.unmatched.value());
+  w.u64(stats_.malformed.value());
+  w.u16(next_ephemeral_);
+}
+
+void Demux::restore(sim::SnapshotReader& r) {
+  stats_.segments_out.restore_local(r.u64());
+  stats_.segments_in.restore_local(r.u64());
+  stats_.to_connections.restore_local(r.u64());
+  stats_.to_listeners.restore_local(r.u64());
+  stats_.unmatched.restore_local(r.u64());
+  stats_.malformed.restore_local(r.u64());
+  next_ephemeral_ = r.u16();
 }
 
 }  // namespace sublayer::transport

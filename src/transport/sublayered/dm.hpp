@@ -17,6 +17,11 @@
 #include "transport/wire/sublayered_header.hpp"
 #include "transport/wire/tuple.hpp"
 
+namespace sublayer::sim {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace sublayer::sim
+
 namespace sublayer::transport {
 
 /// Registry-backed (`transport.dm.*`); reads stay per-instance.
@@ -80,6 +85,15 @@ class Demux {
   void route(netlayer::IpAddr src, SublayeredSegment segment);
 
   const DmStats& stats() const { return stats_; }
+
+  /// Checkpoint/restore (sim/snapshot.hpp): stats and the ephemeral-port
+  /// cursor only.  The flow tables are NOT serialized — handlers are
+  /// closures — and rebuild themselves: restored Connections re-bind()
+  /// their tuples (which also repopulates port_use_), and applications
+  /// re-listen() on the restore graph before the host restore runs.
+  /// Inline format; the owning TcpHost brackets.
+  void save(sim::SnapshotWriter& w) const;
+  void restore(sim::SnapshotReader& r);
 
  private:
   netlayer::IpAddr local_addr_;

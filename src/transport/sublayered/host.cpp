@@ -1,7 +1,10 @@
 #include "transport/sublayered/host.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <vector>
 
+#include "sim/snapshot.hpp"
 #include "telemetry/span.hpp"
 
 namespace sublayer::transport {
@@ -138,6 +141,65 @@ void TcpHost::listen(std::uint16_t port, AcceptHandler on_accept) {
     }
     conn.open_passive(segment);
   });
+}
+
+Connection* TcpHost::find(const FourTuple& tuple) {
+  auto* slot = connections_.find(tuple);
+  return slot ? slot->get() : nullptr;
+}
+
+void TcpHost::save(sim::SnapshotWriter& w) const {
+  w.begin_section("transport.host");
+  isn_->save(w);
+  demux_.save(w);
+  // Deterministic snapshot bytes: the hash table's visit order depends on
+  // its insertion/erase history, so collect and sort the tuples.
+  std::vector<const Connection*> conns;
+  connections_.for_each(
+      [&](const FourTuple&, const std::unique_ptr<Connection>& c) {
+        conns.push_back(c.get());
+      });
+  std::sort(conns.begin(), conns.end(),
+            [](const Connection* a, const Connection* b) {
+              return a->tuple() < b->tuple();
+            });
+  w.u64(conns.size());
+  for (const Connection* conn : conns) {
+    save_tuple(w, conn->tuple());
+    conn->save(w);
+  }
+  w.end_section();
+}
+
+void TcpHost::restore(sim::SnapshotReader& r) {
+  r.begin_section("transport.host");
+  if (!connections_.empty()) {
+    throw sim::SnapshotError(
+        "TcpHost::restore: host already has connections — restore must run "
+        "on a freshly constructed host");
+  }
+  isn_->restore(r);
+  demux_.restore(r);
+  const std::uint64_t nconns = r.u64();
+  for (std::uint64_t i = 0; i < nconns; ++i) {
+    const FourTuple tuple = restore_tuple(r);
+    Connection& conn = make_connection(tuple);
+    conn.set_owner_reaper([this, tuple] { reap(tuple); });
+    conn.restore(r);
+    // A passively opened connection belongs to a server application: fire
+    // its port's acceptor (the application listen()ed before the restore)
+    // so it re-attaches callbacks — the restore-time analogue of the
+    // pre-handshake announcement in listen().
+    if (conn.passive()) {
+      if (const AcceptHandler* acceptor =
+              acceptors_.find(tuple.local_port);
+          acceptor != nullptr && *acceptor) {
+        const AcceptHandler on_accept = *acceptor;
+        on_accept(conn);
+      }
+    }
+  }
+  r.end_section();
 }
 
 }  // namespace sublayer::transport

@@ -60,6 +60,21 @@ class TcpHost {
   const HeaderShim& shim() const { return shim_; }
   std::size_t live_connections() const { return connections_.size(); }
 
+  /// The live connection for `tuple`, or nullptr.  Snapshot-restore
+  /// support: after TcpHost::restore, applications re-find their active
+  /// connections by tuple and re-attach callbacks with set_app_callbacks.
+  Connection* find(const FourTuple& tuple);
+
+  /// Checkpoint/restore (sim/snapshot.hpp): the ISN provider, DM stats and
+  /// port cursor, and every live connection (keyed by tuple, saved in
+  /// sorted order).  restore() runs on a freshly constructed host with no
+  /// connections; applications must have re-listen()ed first.  Each
+  /// restored passive connection is re-announced to its port's acceptor so
+  /// the server application re-attaches its callbacks; active connections
+  /// are re-found via find().  Brackets its own section.
+  void save(sim::SnapshotWriter& w) const;
+  void restore(sim::SnapshotReader& r);
+
  private:
   Connection& make_connection(const FourTuple& tuple);
   void reap(const FourTuple& tuple);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/snapshot.hpp"
+
 namespace sublayer::transport {
 namespace {
 
@@ -57,6 +59,9 @@ class WatsonIsn final : public IsnProvider {
     last_ = std::max(clock, last_ + kStride);
     return last_;
   }
+
+  void save(sim::SnapshotWriter& w) const override { w.u32(last_); }
+  void restore(sim::SnapshotReader& r) override { last_ = r.u32(); }
 
  private:
   static constexpr std::uint32_t kStride = 1 << 12;

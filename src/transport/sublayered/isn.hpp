@@ -28,6 +28,12 @@ class IsnProvider {
   virtual ~IsnProvider() = default;
   virtual std::string name() const = 0;
   virtual std::uint32_t isn(const FourTuple& tuple) = 0;
+
+  /// Checkpoint/restore (sim/snapshot.hpp): providers with hidden state
+  /// (Watson's monotonic counter) persist it; the clock and keyed-hash
+  /// providers are pure functions of time/config and write nothing.
+  virtual void save(sim::SnapshotWriter&) const {}
+  virtual void restore(sim::SnapshotReader&) {}
 };
 
 /// RFC 793: ISN = clock / 4 microseconds (the historical 250 kHz tick).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/snapshot.hpp"
 #include "telemetry/span.hpp"
 
 namespace sublayer::transport {
@@ -170,6 +171,74 @@ void Osr::consume(std::uint64_t n) {
   const std::uint64_t eaten = std::min(unconsumed_, n);
   unconsumed_ -= eaten;
   if (eaten > 0 && cb_.window_update) cb_.window_update();
+}
+
+void Osr::save(sim::SnapshotWriter& w) const {
+  w.u64(stats_.bytes_from_app.value());
+  w.u64(stats_.segments_released.value());
+  w.u64(stats_.bytes_to_app.value());
+  w.i64(stats_.reassembly_buffered.value());
+  w.u64(stats_.flow_control_stalls.value());
+  w.u64(stats_.cwnd_stalls.value());
+  const Bytes stream(stream_.begin(), stream_.end());
+  w.blob(stream);
+  w.u64(stream_base_);
+  w.u64(stream_end_);
+  w.u64(next_to_send_);
+  w.u64(acked_);
+  w.u32(peer_window_);
+  w.b(established_);
+  w.time(next_release_time_);
+  pacing_timer_.save(w);
+  w.u64(reassembly_.size());
+  for (const auto& [offset, piece] : reassembly_) {
+    w.u64(offset);
+    w.blob(piece);
+  }
+  w.u64(delivered_);
+  w.u64(unconsumed_);
+  w.b(peer_stream_length_.has_value());
+  w.u64(peer_stream_length_.value_or(0));
+  w.b(stream_end_signalled_);
+  w.b(ecn_pending_);
+  cc_->save(w);
+}
+
+void Osr::restore(sim::SnapshotReader& r) {
+  stats_.bytes_from_app.restore_local(r.u64());
+  stats_.segments_released.restore_local(r.u64());
+  stats_.bytes_to_app.restore_local(r.u64());
+  stats_.reassembly_buffered.restore_local(r.i64());
+  stats_.flow_control_stalls.restore_local(r.u64());
+  stats_.cwnd_stalls.restore_local(r.u64());
+  const Bytes stream = r.blob();
+  stream_.assign(stream.begin(), stream.end());
+  stream_base_ = r.u64();
+  stream_end_ = r.u64();
+  next_to_send_ = r.u64();
+  acked_ = r.u64();
+  peer_window_ = r.u32();
+  established_ = r.b();
+  next_release_time_ = r.time();
+  pacing_timer_.restore(r);
+  reassembly_.clear();
+  reassembly_bytes_ = 0;
+  const std::uint64_t npieces = r.u64();
+  for (std::uint64_t i = 0; i < npieces; ++i) {
+    const std::uint64_t offset = r.u64();
+    Bytes piece = r.blob();
+    reassembly_bytes_ += piece.size();
+    reassembly_.emplace(offset, std::move(piece));
+  }
+  delivered_ = r.u64();
+  unconsumed_ = r.u64();
+  const bool have_len = r.b();
+  const std::uint64_t len = r.u64();
+  peer_stream_length_ =
+      have_len ? std::optional<std::uint64_t>(len) : std::nullopt;
+  stream_end_signalled_ = r.b();
+  ecn_pending_ = r.b();
+  cc_->restore(r);
 }
 
 OsrHeader Osr::current_header() {

@@ -109,6 +109,14 @@ class Osr {
   const CcAlgorithm& cc() const { return *cc_; }
   const OsrStats& stats() const { return stats_; }
 
+  /// Checkpoint/restore (sim/snapshot.hpp): the unacked stream buffer,
+  /// send/ack cursors, flow-control window, pacing clock and timer, the
+  /// reassembly map with every out-of-order piece, and the congestion
+  /// controller's hidden state.  Inline format; the owning Connection
+  /// brackets.
+  void save(sim::SnapshotWriter& w) const;
+  void restore(sim::SnapshotReader& r);
+
  private:
   void maybe_send();
   void release_one();

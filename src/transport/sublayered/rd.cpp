@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/snapshot.hpp"
 #include "telemetry/span.hpp"
 
 namespace sublayer::transport {
@@ -355,6 +356,93 @@ void ReliableDelivery::process_payload(const SublayeredSegment& segment) {
   if (span != received_.end() && span->first <= rcv_next_) {
     rcv_next_ = std::max(rcv_next_, span->second);
   }
+}
+
+void ReliableDelivery::save(sim::SnapshotWriter& w) const {
+  w.u64(stats_.segments_sent.value());
+  w.u64(stats_.bytes_sent.value());
+  w.u64(stats_.fast_retransmits.value());
+  w.u64(stats_.timeout_retransmits.value());
+  w.u64(stats_.acks_sent.value());
+  w.u64(stats_.acks_received.value());
+  w.u64(stats_.duplicate_acks.value());
+  w.u64(stats_.bytes_delivered_up.value());
+  w.u64(stats_.duplicate_bytes_dropped.value());
+  w.u64(stats_.sacked_segments_spared.value());
+  w.u64(stats_.tail_probes.value());
+  w.u64(outstanding_.size());
+  for (const auto& [offset, seg] : outstanding_) {
+    w.u64(offset);
+    w.blob(ByteView(seg.data));
+    w.time(seg.sent_at);
+    w.i64(seg.transmissions);
+    w.i64(seg.timeout_retx);
+    w.b(seg.sacked);
+  }
+  w.u64(snd_una_);
+  w.u64(snd_nxt_);
+  w.u64(last_ack_seen_);
+  w.i64(dupacks_);
+  w.b(in_fast_recovery_);
+  w.u64(recovery_end_);
+  w.dur(rto_);
+  w.b(srtt_.has_value());
+  w.dur(srtt_.value_or(Duration::nanos(0)));
+  w.dur(rttvar_);
+  w.b(probe_pending_);
+  retx_timer_.save(w);
+  w.u64(received_.size());
+  for (const auto& [start, end] : received_) {
+    w.u64(start);
+    w.u64(end);
+  }
+  w.u64(rcv_next_);
+}
+
+void ReliableDelivery::restore(sim::SnapshotReader& r) {
+  stats_.segments_sent.restore_local(r.u64());
+  stats_.bytes_sent.restore_local(r.u64());
+  stats_.fast_retransmits.restore_local(r.u64());
+  stats_.timeout_retransmits.restore_local(r.u64());
+  stats_.acks_sent.restore_local(r.u64());
+  stats_.acks_received.restore_local(r.u64());
+  stats_.duplicate_acks.restore_local(r.u64());
+  stats_.bytes_delivered_up.restore_local(r.u64());
+  stats_.duplicate_bytes_dropped.restore_local(r.u64());
+  stats_.sacked_segments_spared.restore_local(r.u64());
+  stats_.tail_probes.restore_local(r.u64());
+  outstanding_.clear();
+  const std::uint64_t nout = r.u64();
+  for (std::uint64_t i = 0; i < nout; ++i) {
+    const std::uint64_t offset = r.u64();
+    Outstanding seg;
+    seg.data = r.blob();
+    seg.sent_at = r.time();
+    seg.transmissions = static_cast<int>(r.i64());
+    seg.timeout_retx = static_cast<int>(r.i64());
+    seg.sacked = r.b();
+    outstanding_.emplace(offset, std::move(seg));
+  }
+  snd_una_ = r.u64();
+  snd_nxt_ = r.u64();
+  last_ack_seen_ = r.u64();
+  dupacks_ = static_cast<int>(r.i64());
+  in_fast_recovery_ = r.b();
+  recovery_end_ = r.u64();
+  rto_ = r.dur();
+  const bool have_srtt = r.b();
+  const Duration srtt = r.dur();
+  srtt_ = have_srtt ? std::optional<Duration>(srtt) : std::nullopt;
+  rttvar_ = r.dur();
+  probe_pending_ = r.b();
+  retx_timer_.restore(r);
+  received_.clear();
+  const std::uint64_t nrecv = r.u64();
+  for (std::uint64_t i = 0; i < nrecv; ++i) {
+    const std::uint64_t start = r.u64();
+    received_[start] = r.u64();
+  }
+  rcv_next_ = r.u64();
 }
 
 }  // namespace sublayer::transport

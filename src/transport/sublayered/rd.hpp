@@ -112,6 +112,14 @@ class ReliableDelivery {
   Duration current_rto() const { return rto_; }
   const RdStats& stats() const { return stats_; }
 
+  /// Checkpoint/restore (sim/snapshot.hpp): the retransmission queue with
+  /// every segment's payload and retry bookkeeping, the RTT estimator, the
+  /// fast-recovery episode, received-range tracking, and the retransmit
+  /// timer — a mid-retransmit window resumes exactly where it parked.
+  /// Inline format; the owning Connection brackets.
+  void save(sim::SnapshotWriter& w) const;
+  void restore(sim::SnapshotReader& r);
+
  private:
   struct Outstanding {
     Bytes data;

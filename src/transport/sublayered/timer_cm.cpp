@@ -15,6 +15,8 @@
 // is running, except that connections open one RTT faster.
 #include "transport/sublayered/cm.hpp"
 
+#include "sim/snapshot.hpp"
+
 namespace sublayer::transport {
 namespace {
 
@@ -178,6 +180,42 @@ class TimerCm final : public CmInterface {
   bool peer_fin_seen() const override { return peer_fin_seen_; }
   bool local_fin_acked() const override { return local_fin_acked_; }
   const CmStats& stats() const override { return stats_; }
+
+  void save(sim::SnapshotWriter& w) const override {
+    save_tuple(w, tuple_);
+    w.u8(static_cast<std::uint8_t>(state_));
+    w.u32(isn_local_);
+    w.u32(isn_peer_);
+    w.b(peer_known_);
+    w.b(local_fin_sent_);
+    w.b(local_fin_acked_);
+    w.b(peer_fin_seen_);
+    w.u64(local_stream_length_);
+    w.i64(retries_);
+    w.i64(probes_outstanding_);
+    save_cm_stats(w, stats_);
+    fin_timer_.save(w);
+    quiet_timer_.save(w);
+    keepalive_timer_.save(w);
+  }
+
+  void restore(sim::SnapshotReader& r) override {
+    tuple_ = restore_tuple(r);
+    state_ = static_cast<CmState>(r.u8());  // no transition record
+    isn_local_ = r.u32();
+    isn_peer_ = r.u32();
+    peer_known_ = r.b();
+    local_fin_sent_ = r.b();
+    local_fin_acked_ = r.b();
+    peer_fin_seen_ = r.b();
+    local_stream_length_ = r.u64();
+    retries_ = static_cast<int>(r.i64());
+    probes_outstanding_ = static_cast<int>(r.i64());
+    restore_cm_stats(r, stats_);
+    fin_timer_.restore(r);
+    quiet_timer_.restore(r);
+    keepalive_timer_.restore(r);
+  }
 
  private:
   /// Timer-based incarnation filtering: the peer's ISN is learned from the

@@ -1,0 +1,222 @@
+// Chaos subsystem snapshot round-trips: a controller snapshotted with
+// fault windows open must resume with the faults still active and heal on
+// schedule; a restore graph whose link configs drifted from the saved run
+// is rejected; the invariant monitor's sweeps and violation log survive a
+// restore.
+#include <gtest/gtest.h>
+
+#include "chaos/controller.hpp"
+#include "chaos/fault_plan.hpp"
+#include "chaos/invariant_monitor.hpp"
+#include "netlayer/router.hpp"
+#include "sim/snapshot.hpp"
+
+namespace sublayer::chaos {
+namespace {
+
+TimePoint at_ms(std::int64_t ms) {
+  return TimePoint::from_ns(Duration::millis(ms).ns());
+}
+
+// Triangle topology with a controller; begin() is only called on the
+// straight world — the restore graph stays unstarted and un-armed.
+struct ChaosWorld {
+  ChaosWorld() : net(sim, {}, 9), controller(sim, net) {
+    r0 = net.add_router();
+    r1 = net.add_router();
+    r2 = net.add_router();
+    net.connect(r0, r1, {});
+    net.connect(r1, r2, {});
+    net.connect(r2, r0, {});
+  }
+
+  void begin() { net.start(); }
+
+  Bytes save() const {
+    sim::SnapshotWriter w;
+    sim.save(w);
+    net.save(w);
+    controller.save(w);
+    return w.finish();
+  }
+
+  void restore_from(const Bytes& image) {
+    sim::SnapshotReader r(image);
+    sim.restore(r);
+    net.restore(r);
+    controller.restore(r);
+    sim.finish_restore();
+  }
+
+  sim::Simulator sim;
+  netlayer::Network net;
+  netlayer::RouterId r0 = 0, r1 = 0, r2 = 0;
+  ChaosController controller;
+};
+
+FaultPlan mid_window_plan() {
+  FaultPlan plan;
+  plan.script = "manual";
+  FaultEvent corrupt;
+  corrupt.at = at_ms(1100);
+  corrupt.duration = Duration::millis(400);
+  corrupt.kind = FaultKind::kCorruptionBurst;
+  corrupt.link = 0;
+  corrupt.magnitude = 0.25;
+  FaultEvent down;
+  down.at = at_ms(1200);
+  down.duration = Duration::millis(150);
+  down.kind = FaultKind::kLinkDown;
+  down.link = 1;
+  FaultEvent crash;
+  crash.at = at_ms(1150);
+  crash.duration = Duration::millis(200);
+  crash.kind = FaultKind::kRouterCrash;
+  crash.router = 2;
+  plan.events = {corrupt, down, crash};
+  return plan;
+}
+
+TEST(ChaosSnapshot, MidWindowRestoreKeepsFaultsActiveAndHealsOnSchedule) {
+  // Straight run: converge, arm, stop inside all three fault windows.
+  ChaosWorld wa;
+  wa.begin();
+  wa.sim.run_until(at_ms(1000));
+  wa.controller.arm(mid_window_plan());
+  wa.sim.run_until(at_ms(1250));
+  ASSERT_EQ(wa.controller.active_faults(), 3);
+  ASSERT_EQ(wa.net.link(0).a_to_b().config().corrupt_rate, 0.25);
+  ASSERT_TRUE(wa.net.link(1).is_down());
+  ASSERT_FALSE(wa.net.router(wa.r2).is_up());
+  const Bytes image = wa.save();
+  wa.sim.run_until(at_ms(2500));
+  ASSERT_TRUE(wa.controller.all_healed());
+  const Bytes final_a = wa.save();
+
+  // Resume: faults still active immediately after restore, then the heals
+  // fire at their original times.
+  ChaosWorld wb;
+  wb.restore_from(image);
+  EXPECT_EQ(wb.controller.active_faults(), 3);
+  EXPECT_EQ(wb.net.link(0).a_to_b().config().corrupt_rate, 0.25);
+  EXPECT_TRUE(wb.net.link(1).is_down());
+  EXPECT_FALSE(wb.net.router(wb.r2).is_up());
+  wb.sim.run_until(at_ms(2500));
+  EXPECT_TRUE(wb.controller.all_healed());
+  EXPECT_EQ(wb.controller.healed_at(), wa.controller.healed_at());
+  EXPECT_EQ(wb.controller.stats().faults_applied,
+            wa.controller.stats().faults_applied);
+  EXPECT_EQ(wb.controller.stats().faults_healed,
+            wa.controller.stats().faults_healed);
+  // Heals restored the pre-fault baselines, not the faulted configs.
+  EXPECT_EQ(wb.net.link(0).a_to_b().config().corrupt_rate, 0.0);
+  EXPECT_FALSE(wb.net.link(1).is_down());
+  EXPECT_TRUE(wb.net.router(wb.r2).is_up());
+
+  EXPECT_EQ(wb.save(), final_a);
+}
+
+TEST(ChaosSnapshot, RestoreGraphLinkConfigMismatchIsRejected) {
+  // Snapshot with NO open windows: every baseline is re-derived from the
+  // restored link's live config.  A restore graph whose link drifted from
+  // the saved run must be caught, not silently adopted as the new
+  // baseline.
+  ChaosWorld wa;
+  wa.begin();
+  wa.sim.run_until(at_ms(1000));
+  wa.controller.arm(mid_window_plan());  // windows open at 1100ms
+  wa.sim.run_until(at_ms(1050));
+  ASSERT_EQ(wa.controller.active_faults(), 0);
+  const Bytes image = wa.save();
+
+  ChaosWorld wb;
+  sim::SnapshotReader r(image);
+  wb.sim.restore(r);
+  wb.net.restore(r);
+  // Simulate a drifted restore graph: one link's config differs from the
+  // run that saved the snapshot.
+  sim::LinkConfig drifted = wb.net.link(2).a_to_b().config();
+  drifted.propagation_delay = drifted.propagation_delay + Duration::micros(5);
+  wb.net.link(2).set_config(drifted);
+  EXPECT_THROW(wb.controller.restore(r), sim::SnapshotError);
+}
+
+TEST(ChaosSnapshot, RestoreOnArmedControllerThrows) {
+  ChaosWorld wa;
+  wa.begin();
+  wa.sim.run_until(at_ms(1000));
+  wa.controller.arm(mid_window_plan());
+  const Bytes image = wa.save();
+
+  ChaosWorld wb;
+  wb.begin();
+  wb.sim.run_until(at_ms(1000));
+  wb.controller.arm(mid_window_plan());
+  sim::SnapshotReader r(image);
+  EXPECT_THROW(wb.sim.restore(r), sim::SnapshotError);  // used simulator
+}
+
+// ---- invariant monitor -----------------------------------------------------
+
+struct MonitorWorld {
+  MonitorWorld() : net(sim, {}, 5), monitor(sim, net) {
+    r0 = net.add_router();
+    r1 = net.add_router();
+    net.connect(r0, r1, {});
+  }
+
+  Bytes save() const {
+    sim::SnapshotWriter w;
+    sim.save(w);
+    net.save(w);
+    monitor.save(w);
+    return w.finish();
+  }
+
+  void restore_from(const Bytes& image) {
+    sim::SnapshotReader r(image);
+    sim.restore(r);
+    net.restore(r);
+    monitor.restore(r);  // do NOT start(): the sweep timer is restored
+    sim.finish_restore();
+  }
+
+  sim::Simulator sim;
+  netlayer::Network net;
+  netlayer::RouterId r0 = 0, r1 = 0;
+  InvariantMonitor monitor;
+};
+
+TEST(ChaosSnapshot, MonitorSweepsAndViolationsSurviveRestore) {
+  MonitorWorld wa;
+  wa.net.start();
+  wa.sim.run_until(at_ms(500));
+  wa.monitor.start();
+  const int transfer = wa.monitor.register_transfer("t");
+  wa.monitor.record_sent(transfer, Bytes{1, 2, 3, 4});
+  wa.monitor.record_delivered(transfer, Bytes{1, 2});
+  // Plant one violation pre-snapshot: it must survive the restore.
+  wa.monitor.record_delivered(transfer, Bytes{9});
+  ASSERT_EQ(wa.monitor.violations().size(), 1u);
+  wa.sim.run_until(at_ms(700));
+  ASSERT_GT(wa.monitor.checks_run(), 0u);
+  const Bytes image = wa.save();
+  const std::uint64_t mid_checks = wa.monitor.checks_run();
+  wa.sim.run_until(at_ms(1200));
+  const Bytes final_a = wa.save();
+
+  MonitorWorld wb;
+  wb.restore_from(image);
+  EXPECT_EQ(wb.monitor.checks_run(), mid_checks);
+  EXPECT_EQ(wb.monitor.violations(), wa.monitor.violations());
+  EXPECT_EQ(wb.monitor.delivered_bytes(transfer), 2u);  // diverging byte uncounted
+  wb.sim.run_until(at_ms(1200));
+
+  // The restored sweep timer kept the saved cadence.
+  EXPECT_EQ(wb.monitor.checks_run(), wa.monitor.checks_run());
+  EXPECT_GT(wb.monitor.checks_run(), mid_checks);
+  EXPECT_EQ(wb.save(), final_a);
+}
+
+}  // namespace
+}  // namespace sublayer::chaos

@@ -1,0 +1,409 @@
+// Snapshot-resume through the full stack: the ring workload (routers,
+// links with FCS, sublayered TCP hosts, optional mixed-mayhem chaos) is
+// snapshotted mid-run, restored into a freshly constructed identical
+// graph, and run to the same deadline as the straight-through run.  The
+// resumed world must be indistinguishable: the application sees exactly
+// the straight run's post-snapshot deliveries, the merged telemetry
+// matches, and — the strongest check — re-saving both worlds at the
+// common end instant yields byte-identical images.  Covered: both
+// monolithic engines (plus a wheel-image-to-heap-engine cross restore),
+// the parallel engine at 1/2/4 shards, clean and mixed-mayhem, and
+// worker-thread-count invisibility of the image.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chaos/controller.hpp"
+#include "chaos/fault_plan.hpp"
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "netlayer/router.hpp"
+#include "sim/parallel.hpp"
+#include "sim/simulator.hpp"
+#include "sim/snapshot.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+#include "transport/sublayered/host.hpp"
+
+namespace sublayer {
+namespace {
+
+constexpr std::size_t kRing = 4;   // routers
+constexpr std::size_t kFlows = 8;  // client on f%4 -> server on (f%4+2)%4
+constexpr std::size_t kPerFlow = 4096;
+
+netlayer::RouterConfig ring_router_config() {
+  netlayer::RouterConfig rc;
+  rc.routing = netlayer::RoutingKind::kLinkState;
+  rc.neighbor.dead_interval = Duration::seconds(3600.0);
+  return rc;
+}
+
+sim::LinkConfig ring_link_config() {
+  sim::LinkConfig link;
+  link.bandwidth_bps = 10e9;
+  link.propagation_delay = Duration::micros(100);
+  link.queue_limit = 4096;
+  return link;
+}
+
+chaos::FaultPlan mayhem_plan(std::size_t link_count) {
+  chaos::ScriptParams params;
+  params.link_count = link_count;
+  params.router_count = kRing;
+  params.start = TimePoint::from_ns(Duration::millis(600).ns());
+  params.active_window = Duration::seconds(1.5);
+  return chaos::make_plan("mixed-mayhem", 3, params);
+}
+
+/// The full ring-workload graph, buildable twice: the straight world calls
+/// begin() (start, warmup, arm, schedule connects); the restore graph is
+/// constructed identically but never started — hosts listen() (required
+/// before TcpHost::restore) and then the image overwrites everything.
+/// `shards` 0 = monolithic Simulator on `engine`.
+struct World {
+  World(std::size_t shards, std::size_t threads, sim::EngineKind engine,
+        bool with_chaos)
+      : parallel(shards > 0) {
+    if (!parallel) {
+      // Monolithic runs use the process-wide registries; each world starts
+      // them fresh (restore_metrics resets again before applying).
+      telemetry::MetricsRegistry::instance().reset();
+      telemetry::SpanTracer::instance().reset();
+    }
+    if (parallel) {
+      sim::ParallelConfig pc;
+      pc.shards = shards;
+      pc.threads = threads;
+      psim = std::make_unique<sim::ParallelSimulator>(pc);
+      sim::ShardMap map(shards);
+      for (std::size_t i = 0; i < kRing; ++i) map.assign(i, i % shards);
+      net = std::make_unique<netlayer::Network>(*psim, ring_router_config(),
+                                                /*seed=*/1, map);
+    } else {
+      mono = std::make_unique<sim::Simulator>(engine);
+      net = std::make_unique<netlayer::Network>(*mono, ring_router_config(),
+                                                /*seed=*/1);
+    }
+    for (std::size_t i = 0; i < kRing; ++i) {
+      routers.push_back(net->add_router());
+    }
+    for (std::size_t i = 0; i < kRing; ++i) {
+      net->connect(routers[i], routers[(i + 1) % kRing], ring_link_config());
+    }
+    transport::HostConfig hc;
+    hc.connection.cm.keepalive_interval = Duration::seconds(2.0);
+    for (std::size_t i = 0; i < kRing; ++i) {
+      std::optional<sim::ParallelSimulator::ShardScope> scope;
+      if (parallel) scope.emplace(*psim, net->shard_of(routers[i]));
+      hosts.push_back(std::make_unique<transport::TcpHost>(
+          net->router(routers[i]), 1, hc));
+      auto* bucket = &received[i];
+      hosts.back()->listen(80, [bucket](transport::Connection& c) {
+        auto count = std::make_shared<std::size_t>(0);
+        bucket->push_back(count);
+        transport::Connection::AppCallbacks cb;
+        cb.on_data = [count](Bytes data) { *count += data.size(); };
+        c.set_app_callbacks(cb);
+      });
+    }
+    if (with_chaos) {
+      if (parallel) {
+        chaos_ctl.emplace(*psim, *net);
+      } else {
+        chaos_ctl.emplace(*mono, *net);
+      }
+    }
+  }
+
+  /// Straight-world only: start routing, converge, arm the plan, and
+  /// schedule the flow connects.  The connect closures are ad-hoc
+  /// one-shots; they all fire by warmup+80us, well before any snapshot.
+  void begin() {
+    net->start();
+    const auto warmup = TimePoint::from_ns(Duration::millis(500).ns());
+    run_until(warmup);
+    if (chaos_ctl) chaos_ctl->arm(mayhem_plan(net->link_count()));
+    Rng rng(7);
+    const Bytes payload = rng.next_bytes(kPerFlow);
+    for (std::size_t f = 0; f < kFlows; ++f) {
+      transport::TcpHost* client = hosts[f % kRing].get();
+      transport::TcpHost* server = hosts[(f % kRing + 2) % kRing].get();
+      const auto at =
+          warmup + Duration::micros(static_cast<std::int64_t>(10 * (f + 1)));
+      const auto go = [client, server, payload] {
+        client->connect(server->addr(), 80).send(payload);
+      };
+      if (parallel) {
+        psim->shard(net->shard_of(routers[f % kRing])).schedule_at(at, go);
+      } else {
+        mono->schedule_at(at, go);
+      }
+    }
+  }
+
+  void run_until(TimePoint t) {
+    if (parallel) {
+      psim->run_until(t);
+    } else {
+      mono->run_until(t);
+    }
+  }
+
+  TimePoint now() const { return parallel ? psim->now() : mono->now(); }
+  std::uint64_t events_processed() const {
+    return parallel ? psim->events_processed() : mono->events_processed();
+  }
+  telemetry::MetricsSnapshot metrics() const {
+    return parallel ? psim->merged_metrics()
+                    : telemetry::MetricsRegistry::instance().snapshot();
+  }
+
+  /// World save order — fixed, identical on both graphs.  The parallel
+  /// engine embeds its per-shard telemetry; the monolithic world saves the
+  /// process-wide registries alongside the simulator.
+  Bytes save_world() const {
+    sim::SnapshotWriter w;
+    if (parallel) {
+      psim->save(w);
+    } else {
+      mono->save(w);
+      sim::save_metrics(w, telemetry::MetricsRegistry::instance());
+      sim::save_spans(w, telemetry::SpanTracer::instance());
+    }
+    net->save(w);
+    for (const auto& h : hosts) h->save(w);
+    if (chaos_ctl) chaos_ctl->save(w);
+    return w.finish();
+  }
+
+  void restore_from(const Bytes& image) {
+    sim::SnapshotReader r(image);
+    if (parallel) {
+      psim->restore(r);
+    } else {
+      mono->restore(r);
+      sim::restore_metrics(r, telemetry::MetricsRegistry::instance());
+      sim::restore_spans(r, telemetry::SpanTracer::instance());
+    }
+    net->restore(r);
+    // Host restore re-creates Connection objects, whose telemetry handles
+    // bind to the registry current at construction — under the parallel
+    // engine that must be the owning shard's, exactly as in live accepts.
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      std::optional<sim::ParallelSimulator::ShardScope> scope;
+      if (parallel) scope.emplace(*psim, net->shard_of(routers[i]));
+      hosts[i]->restore(r);
+    }
+    if (chaos_ctl) chaos_ctl->restore(r);  // re-submits pending fault phases
+    if (parallel) {
+      psim->finish_restore();
+    } else {
+      mono->finish_restore();
+    }
+  }
+
+  /// Bytes the application saw, summed per server host.  Accept order can
+  /// differ on a restore graph (re-announcement walks tuples in sorted
+  /// order), so only the per-host totals are comparable.
+  std::vector<std::size_t> host_sums() const {
+    std::vector<std::size_t> out;
+    for (const auto& bucket : received) {
+      std::size_t total = 0;
+      for (const auto& c : bucket) total += *c;
+      out.push_back(total);
+    }
+    return out;
+  }
+
+  bool parallel;
+  std::unique_ptr<sim::Simulator> mono;
+  std::unique_ptr<sim::ParallelSimulator> psim;
+  std::unique_ptr<netlayer::Network> net;
+  std::vector<netlayer::RouterId> routers;
+  std::vector<std::unique_ptr<transport::TcpHost>> hosts;
+  std::vector<std::vector<std::shared_ptr<std::size_t>>> received{
+      std::vector<std::vector<std::shared_ptr<std::size_t>>>(kRing)};
+  std::optional<chaos::ChaosController> chaos_ctl;
+};
+
+/// Same robustness as the replay suite: every metric present in one
+/// snapshot must read identically in the other, ignoring zero-valued
+/// names interned by earlier runs in the same process.
+void expect_metrics_equal(const telemetry::MetricsSnapshot& a,
+                          const telemetry::MetricsSnapshot& b,
+                          const std::string& label) {
+  for (const auto& [name, value] : a.counters) {
+    if (value != 0) {
+      EXPECT_EQ(b.counter(name), value) << label << " counter " << name;
+    }
+  }
+  for (const auto& [name, value] : b.counters) {
+    if (value != 0) {
+      EXPECT_EQ(a.counter(name), value) << label << " counter " << name;
+    }
+  }
+  for (const auto& [name, value] : a.gauges) {
+    if (value != 0) {
+      EXPECT_EQ(b.gauge(name), value) << label << " gauge " << name;
+    }
+  }
+  for (const auto& h : a.histograms) {
+    if (h.data.count == 0) continue;
+    const auto* other = b.histogram(h.name);
+    ASSERT_NE(other, nullptr) << label << " histogram " << h.name;
+    EXPECT_EQ(other->count, h.data.count) << label << " " << h.name;
+    EXPECT_EQ(other->sum, h.data.sum) << label << " " << h.name;
+    EXPECT_EQ(other->buckets, h.data.buckets) << label << " " << h.name;
+  }
+}
+
+/// The full resume contract for one variant: snapshot at `mid`, restore
+/// into a fresh graph, run both to the deadline, compare the application
+/// suffix, telemetry, event counts, chaos bookkeeping, and the re-saved
+/// images byte for byte.
+void run_case(std::size_t shards, std::size_t threads, sim::EngineKind engine,
+              bool with_chaos, const std::string& label) {
+  SCOPED_TRACE(label);
+  const auto mid = TimePoint::from_ns(Duration::millis(1200).ns());
+  const auto end =
+      TimePoint::from_ns(Duration::seconds(with_chaos ? 5.0 : 3.0).ns());
+
+  World wa(shards, threads, engine, with_chaos);
+  wa.begin();
+  wa.run_until(mid);
+  const Bytes image = wa.save_world();
+  const auto mid_sums = wa.host_sums();
+  wa.run_until(end);
+  const Bytes final_a = wa.save_world();
+  const auto end_sums = wa.host_sums();
+  const auto final_metrics = wa.metrics();
+  const std::uint64_t final_events = wa.events_processed();
+
+  // The straight run is a real workload: clean runs complete every flow;
+  // chaos runs apply faults and heal every window.
+  if (with_chaos) {
+    ASSERT_GT(wa.chaos_ctl->stats().faults_applied, 0u);
+    ASSERT_EQ(wa.chaos_ctl->stats().faults_applied,
+              wa.chaos_ctl->stats().faults_healed);
+  } else {
+    std::size_t total = 0;
+    for (const auto s : end_sums) total += s;
+    ASSERT_EQ(total, kFlows * kPerFlow);
+  }
+
+  World wb(shards, threads, engine, with_chaos);
+  wb.restore_from(image);
+  EXPECT_EQ(wb.now(), mid);
+  wb.run_until(end);
+
+  // The application sees exactly the straight run's post-snapshot
+  // deliveries (the resumed graph's counters start at zero).
+  const auto resumed_sums = wb.host_sums();
+  ASSERT_EQ(resumed_sums.size(), end_sums.size());
+  for (std::size_t i = 0; i < resumed_sums.size(); ++i) {
+    EXPECT_EQ(resumed_sums[i], end_sums[i] - mid_sums[i]) << "host " << i;
+  }
+  EXPECT_EQ(wb.events_processed(), final_events);
+  expect_metrics_equal(wb.metrics(), final_metrics, label);
+  if (with_chaos) {
+    EXPECT_EQ(wb.chaos_ctl->stats().faults_applied,
+              wa.chaos_ctl->stats().faults_applied);
+    EXPECT_EQ(wb.chaos_ctl->stats().faults_healed,
+              wa.chaos_ctl->stats().faults_healed);
+    EXPECT_TRUE(wb.chaos_ctl->all_healed());
+  }
+
+  EXPECT_EQ(wb.save_world(), final_a) << label << ": re-saved images differ";
+}
+
+TEST(SnapshotResume, MonoWheelCleanResumesBitIdentically) {
+  run_case(0, 0, sim::EngineKind::kTimerWheel, false, "mono-wheel-clean");
+}
+
+TEST(SnapshotResume, MonoWheelChaosResumesBitIdentically) {
+  run_case(0, 0, sim::EngineKind::kTimerWheel, true, "mono-wheel-chaos");
+}
+
+TEST(SnapshotResume, MonoHeapCleanResumesBitIdentically) {
+  run_case(0, 0, sim::EngineKind::kLegacyHeap, false, "mono-heap-clean");
+}
+
+TEST(SnapshotResume, MonoHeapChaosResumesBitIdentically) {
+  run_case(0, 0, sim::EngineKind::kLegacyHeap, true, "mono-heap-chaos");
+}
+
+TEST(SnapshotResume, ParallelOneShardCleanResumesBitIdentically) {
+  run_case(1, 1, sim::EngineKind::kTimerWheel, false, "par-1shard-clean");
+}
+
+TEST(SnapshotResume, ParallelTwoShardsChaosResumesBitIdentically) {
+  run_case(2, 2, sim::EngineKind::kTimerWheel, true, "par-2shard-chaos");
+}
+
+TEST(SnapshotResume, ParallelFourShardsCleanResumesBitIdentically) {
+  run_case(4, 4, sim::EngineKind::kTimerWheel, false, "par-4shard-clean");
+}
+
+TEST(SnapshotResume, ParallelFourShardsChaosResumesBitIdentically) {
+  run_case(4, 4, sim::EngineKind::kTimerWheel, true, "par-4shard-chaos");
+}
+
+// A wheel-engine image restores into a heap-engine world: the image is
+// engine-agnostic (pending (deadline, seq) triples, not wheel slots).
+// Re-saved images are NOT byte-comparable across engines (engine stats
+// differ), so the contract here is the observable one: same deliveries,
+// same event count, same clock.
+TEST(SnapshotResume, CrossEngineWheelImageResumesOnHeapEngine) {
+  const auto mid = TimePoint::from_ns(Duration::millis(1200).ns());
+  const auto end = TimePoint::from_ns(Duration::seconds(3.0).ns());
+
+  World wa(0, 0, sim::EngineKind::kTimerWheel, false);
+  wa.begin();
+  wa.run_until(mid);
+  const Bytes image = wa.save_world();
+  const auto mid_sums = wa.host_sums();
+  wa.run_until(end);
+  const auto end_sums = wa.host_sums();
+  const std::uint64_t final_events = wa.events_processed();
+
+  World wb(0, 0, sim::EngineKind::kLegacyHeap, false);
+  wb.restore_from(image);
+  EXPECT_EQ(wb.now(), mid);
+  wb.run_until(end);
+
+  const auto resumed_sums = wb.host_sums();
+  for (std::size_t i = 0; i < resumed_sums.size(); ++i) {
+    EXPECT_EQ(resumed_sums[i], end_sums[i] - mid_sums[i]) << "host " << i;
+  }
+  EXPECT_EQ(wb.events_processed(), final_events);
+  EXPECT_EQ(wb.now(), end);
+}
+
+// Worker-thread count is invisible to the snapshot: an image saved from a
+// 1-thread run restores into a 4-thread engine and re-saves byte-identical
+// to the 1-thread straight-through run.
+TEST(SnapshotResume, ThreadCountInvisibleToSnapshotImage) {
+  const auto mid = TimePoint::from_ns(Duration::millis(1200).ns());
+  const auto end = TimePoint::from_ns(Duration::seconds(3.0).ns());
+
+  World wa(4, 1, sim::EngineKind::kTimerWheel, false);
+  wa.begin();
+  wa.run_until(mid);
+  const Bytes image = wa.save_world();
+  wa.run_until(end);
+  const Bytes final_a = wa.save_world();
+
+  World wb(4, 4, sim::EngineKind::kTimerWheel, false);
+  wb.restore_from(image);
+  wb.run_until(end);
+  EXPECT_EQ(wb.save_world(), final_a);
+}
+
+}  // namespace
+}  // namespace sublayer

@@ -1,0 +1,516 @@
+// Snapshot container and per-module round-trip properties: the writer/
+// reader pair rejects corrupt images, and every core-module save/restore
+// resumes bit-identically to the straight-through run (same firing order,
+// same re-saved image bytes).
+#include "sim/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/flat_hash.hpp"
+#include "common/rng.hpp"
+#include "sim/link.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace sublayer::sim {
+namespace {
+
+// ---- container ------------------------------------------------------------
+
+Bytes make_image() {
+  SnapshotWriter w;
+  w.begin_section("alpha");
+  w.u8(7);
+  w.b(true);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.i64(-42);
+  w.f64(3.25);
+  w.time(TimePoint::from_ns(1'000'000));
+  w.dur(Duration::micros(250));
+  w.str("hello snapshot");
+  w.blob(Bytes{1, 2, 3, 4, 5});
+  w.end_section();
+  w.begin_section("beta");
+  w.u32(99);
+  w.end_section();
+  return w.finish();
+}
+
+TEST(SnapshotContainer, RoundTripsPrimitives) {
+  const Bytes image = make_image();
+  SnapshotReader r(image);
+  EXPECT_EQ(r.section_names(),
+            (std::vector<std::string>{"alpha", "beta"}));
+  r.begin_section("alpha");
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_TRUE(r.b());
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.25);
+  EXPECT_EQ(r.time(), TimePoint::from_ns(1'000'000));
+  EXPECT_EQ(r.dur(), Duration::micros(250));
+  EXPECT_EQ(r.str(), "hello snapshot");
+  EXPECT_EQ(r.blob(), (Bytes{1, 2, 3, 4, 5}));
+  r.end_section();
+  r.begin_section("beta");
+  EXPECT_EQ(r.u32(), 99u);
+  r.end_section();
+}
+
+TEST(SnapshotContainer, RejectsBitFlip) {
+  Bytes image = make_image();
+  // Flip one payload bit somewhere in the middle of the image.
+  image[image.size() / 2] ^= 0x10;
+  EXPECT_THROW(SnapshotReader r(image), SnapshotError);
+}
+
+TEST(SnapshotContainer, RejectsTruncation) {
+  Bytes image = make_image();
+  image.resize(image.size() - 3);
+  EXPECT_THROW(SnapshotReader r(image), SnapshotError);
+  Bytes tiny(image.begin(), image.begin() + 4);
+  EXPECT_THROW(SnapshotReader r2(tiny), SnapshotError);
+}
+
+TEST(SnapshotContainer, RejectsBadMagic) {
+  Bytes image = make_image();
+  image[0] ^= 0xFF;
+  EXPECT_THROW(SnapshotReader r(image), SnapshotError);
+}
+
+TEST(SnapshotContainer, RejectsWrongSectionName) {
+  const Bytes image = make_image();
+  SnapshotReader r(image);
+  EXPECT_THROW(r.begin_section("beta"), SnapshotError);  // "alpha" is first
+}
+
+TEST(SnapshotContainer, RejectsUnderConsumedSection) {
+  const Bytes image = make_image();
+  SnapshotReader r(image);
+  r.begin_section("alpha");
+  r.u8();
+  EXPECT_THROW(r.end_section(), SnapshotError);
+}
+
+TEST(SnapshotContainer, RejectsReadPastSectionEnd) {
+  const Bytes image = make_image();
+  SnapshotReader r(image);
+  r.begin_section("alpha");
+  for (;;) {
+    // Drain the section one byte at a time; the read past the end throws.
+    try {
+      r.u8();
+    } catch (const SnapshotError&) {
+      SUCCEED();
+      return;
+    }
+  }
+}
+
+// ---- simulator + timers ---------------------------------------------------
+
+// A module owning three timers: two self-rescheduling tickers and one
+// far-future one-shot that lands in the wheel engine's overflow heap
+// (the 4x8-bit wheel spans ~4.3 virtual seconds).
+struct Ticker {
+  Ticker(Simulator& sim, std::vector<std::pair<std::int64_t, int>>& log)
+      : sim_(sim),
+        log_(log),
+        fast_(sim, [this] { fire(1, Duration::micros(7), &fast_); }),
+        slow_(sim, [this] { fire(2, Duration::micros(50), &slow_); }),
+        far_(sim, [this] { fire(3, Duration::nanos(0), nullptr); }) {}
+
+  void start() {
+    fast_.restart(Duration::micros(7));
+    slow_.restart(Duration::micros(50));
+    far_.restart(Duration::seconds(30));
+  }
+
+  void fire(int id, Duration period, Timer* timer) {
+    log_.push_back({sim_.now().ns(), id});
+    if (timer != nullptr) timer->restart(period);
+  }
+
+  void save(SnapshotWriter& w) const {
+    w.begin_section("test.ticker");
+    fast_.save(w);
+    slow_.save(w);
+    far_.save(w);
+    w.end_section();
+  }
+  void restore(SnapshotReader& r) {
+    r.begin_section("test.ticker");
+    fast_.restore(r);
+    slow_.restore(r);
+    far_.restore(r);
+    r.end_section();
+  }
+
+  Simulator& sim_;
+  std::vector<std::pair<std::int64_t, int>>& log_;
+  Timer fast_;
+  Timer slow_;
+  Timer far_;
+};
+
+Bytes save_world(const Simulator& sim, const Ticker& ticker) {
+  SnapshotWriter w;
+  sim.save(w);
+  ticker.save(w);
+  return w.finish();
+}
+
+class SimSnapshot : public ::testing::TestWithParam<EngineKind> {};
+
+INSTANTIATE_TEST_SUITE_P(Engines, SimSnapshot,
+                         ::testing::Values(EngineKind::kTimerWheel,
+                                           EngineKind::kLegacyHeap),
+                         [](const auto& info) {
+                           return info.param == EngineKind::kTimerWheel
+                                      ? "wheel"
+                                      : "heap";
+                         });
+
+TEST_P(SimSnapshot, ResumesBitIdentically) {
+  const TimePoint mid = TimePoint::from_ns(Duration::micros(200).ns());
+  const TimePoint end = TimePoint::from_ns(Duration::millis(1).ns());
+
+  // Straight-through run, snapshotting at the mid park point.
+  std::vector<std::pair<std::int64_t, int>> log_a;
+  Simulator sim_a(GetParam());
+  Ticker ticker_a(sim_a, log_a);
+  ticker_a.start();
+  sim_a.run_until(mid);
+  const Bytes image = save_world(sim_a, ticker_a);
+  const std::size_t mid_count = log_a.size();
+  const std::uint64_t mid_processed = sim_a.events_processed();
+  sim_a.run_until(end);
+  const Bytes final_a = save_world(sim_a, ticker_a);
+
+  // Resume from the mid image in a fresh, identically configured graph.
+  std::vector<std::pair<std::int64_t, int>> log_b;
+  Simulator sim_b(GetParam());
+  Ticker ticker_b(sim_b, log_b);  // not started: restore re-arms
+  SnapshotReader r(image);
+  sim_b.restore(r);
+  ticker_b.restore(r);
+  sim_b.finish_restore();
+  EXPECT_EQ(sim_b.now(), mid);
+  EXPECT_EQ(sim_b.events_processed(), mid_processed);
+  sim_b.run_until(end);
+
+  // Post-snapshot firings must match the straight-through suffix exactly.
+  const std::vector<std::pair<std::int64_t, int>> suffix(
+      log_a.begin() + static_cast<std::ptrdiff_t>(mid_count), log_a.end());
+  EXPECT_EQ(log_b, suffix);
+
+  // Strongest check: re-saving both worlds at the common end time yields
+  // byte-identical images (clock, counters, sched stats, pending tables).
+  const Bytes final_b = save_world(sim_b, ticker_b);
+  EXPECT_EQ(final_a, final_b);
+}
+
+TEST(SimSnapshot, CrossEngineRestoreMatchesFiringOrder) {
+  const TimePoint mid = TimePoint::from_ns(Duration::micros(200).ns());
+  const TimePoint end = TimePoint::from_ns(Duration::millis(1).ns());
+
+  std::vector<std::pair<std::int64_t, int>> log_a;
+  Simulator sim_a(EngineKind::kTimerWheel);
+  Ticker ticker_a(sim_a, log_a);
+  ticker_a.start();
+  sim_a.run_until(mid);
+  const Bytes image = save_world(sim_a, ticker_a);
+  const std::size_t mid_count = log_a.size();
+  sim_a.run_until(end);
+
+  // The image is engine-agnostic: restore it into the legacy heap engine.
+  std::vector<std::pair<std::int64_t, int>> log_b;
+  Simulator sim_b(EngineKind::kLegacyHeap);
+  Ticker ticker_b(sim_b, log_b);
+  SnapshotReader r(image);
+  sim_b.restore(r);
+  ticker_b.restore(r);
+  sim_b.finish_restore();
+  sim_b.run_until(end);
+
+  const std::vector<std::pair<std::int64_t, int>> suffix(
+      log_a.begin() + static_cast<std::ptrdiff_t>(mid_count), log_a.end());
+  EXPECT_EQ(log_b, suffix);
+  EXPECT_EQ(sim_b.events_processed(), sim_a.events_processed());
+  EXPECT_EQ(sim_b.now(), sim_a.now());
+}
+
+TEST(SimSnapshot, FinishRestoreRejectsUnownedClosure) {
+  // An ad-hoc one-shot closure has no restoring owner: the quiescent-point
+  // rule says snapshots taken while one is pending must fail on restore.
+  Simulator sim_a;
+  sim_a.schedule(Duration::micros(5), [] {});
+  sim_a.run_until(TimePoint::from_ns(Duration::micros(1).ns()));
+  SnapshotWriter w;
+  sim_a.save(w);
+  const Bytes image = w.finish();
+
+  Simulator sim_b;
+  SnapshotReader r(image);
+  sim_b.restore(r);
+  EXPECT_THROW(sim_b.finish_restore(), SnapshotError);
+}
+
+TEST(SimSnapshot, FinishRestoreRejectsDivergentRearm) {
+  Simulator sim_a;
+  std::vector<std::pair<std::int64_t, int>> unused;
+  Ticker ticker_a(sim_a, unused);
+  ticker_a.start();
+  sim_a.run_until(TimePoint::from_ns(Duration::micros(1).ns()));
+  const Bytes image = save_world(sim_a, ticker_a);
+
+  // Re-arm one event under the wrong seq: finish_restore names the
+  // divergence instead of silently changing the firing order.
+  Simulator sim_b;
+  SnapshotReader r(image);
+  sim_b.restore(r);
+  r.begin_section("test.ticker");
+  for (int i = 0; i < 3; ++i) {
+    if (r.b()) {
+      const TimePoint deadline = r.time();
+      const std::uint64_t seq = r.u64();
+      sim_b.schedule_restored_at(deadline, seq + 1000, [] {});
+    }
+  }
+  r.end_section();
+  EXPECT_THROW(sim_b.finish_restore(), SnapshotError);
+}
+
+TEST(SimSnapshot, RestoreIntoUsedSimulatorThrows) {
+  Simulator sim_a;
+  sim_a.run_until(TimePoint::from_ns(100));
+  SnapshotWriter w;
+  sim_a.save(w);
+  const Bytes image = w.finish();
+
+  Simulator sim_b;
+  sim_b.schedule(Duration::nanos(10), [] {});
+  sim_b.run();
+  SnapshotReader r(image);
+  EXPECT_THROW(sim_b.restore(r), SnapshotError);
+}
+
+// ---- link in-flight frames ------------------------------------------------
+
+TEST(LinkSnapshot, InFlightFramesResumeBitIdentically) {
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8e6;
+  cfg.propagation_delay = Duration::micros(200);
+  cfg.jitter = Duration::micros(100);  // reordering pressure
+  cfg.loss_rate = 0.1;
+  cfg.duplicate_rate = 0.05;
+
+  const TimePoint mid = TimePoint::from_ns(Duration::millis(1).ns());
+  const TimePoint end = TimePoint::from_ns(Duration::millis(20).ns());
+  auto frame = [](int i) {
+    return Bytes(static_cast<std::size_t>(100 + i * 7),
+                 static_cast<std::uint8_t>(i));
+  };
+  using DeliveryLog = std::vector<std::pair<std::int64_t, Bytes>>;
+
+  // Straight through.
+  DeliveryLog log_a;
+  Simulator sim_a;
+  Link link_a(sim_a, cfg, Rng(42), "snap");
+  link_a.set_receiver(
+      [&](Bytes f) { log_a.emplace_back(sim_a.now().ns(), std::move(f)); });
+  for (int i = 0; i < 40; ++i) link_a.send(frame(i));
+  sim_a.run_until(mid);
+  ASSERT_GT(link_a.stats().frames_delivered, 0u);
+  ASSERT_LT(link_a.stats().frames_delivered + link_a.stats().frames_lost +
+                link_a.stats().frames_queue_dropped,
+            40u)
+      << "snapshot instant should catch frames in flight";
+  SnapshotWriter wa;
+  sim_a.save(wa);
+  wa.begin_section("test.link");
+  link_a.save(wa);
+  wa.end_section();
+  const Bytes image = wa.finish();
+  const std::size_t mid_count = log_a.size();
+  sim_a.run_until(end);
+  SnapshotWriter wa2;
+  sim_a.save(wa2);
+  wa2.begin_section("test.link");
+  link_a.save(wa2);
+  wa2.end_section();
+  const Bytes final_a = wa2.finish();
+
+  // Resume: a differently seeded Rng proves the stream is restored too.
+  DeliveryLog log_b;
+  Simulator sim_b;
+  Link link_b(sim_b, LinkConfig{}, Rng(999), "snap");
+  link_b.set_receiver(
+      [&](Bytes f) { log_b.emplace_back(sim_b.now().ns(), std::move(f)); });
+  SnapshotReader r(image);
+  sim_b.restore(r);
+  r.begin_section("test.link");
+  link_b.restore(r);
+  r.end_section();
+  sim_b.finish_restore();
+  EXPECT_EQ(link_b.config(), cfg);
+  sim_b.run_until(end);
+
+  const DeliveryLog suffix(
+      log_a.begin() + static_cast<std::ptrdiff_t>(mid_count), log_a.end());
+  EXPECT_EQ(log_b, suffix);
+
+  SnapshotWriter wb;
+  sim_b.save(wb);
+  wb.begin_section("test.link");
+  link_b.save(wb);
+  wb.end_section();
+  EXPECT_EQ(wb.finish(), final_a);
+}
+
+// ---- flight recorder ------------------------------------------------------
+
+TEST(FlightSnapshot, SeqsContinueMonotonicallyAcrossRestore) {
+  telemetry::FlightRecorder fr(8);
+  fr.set_shard(3);
+  for (int i = 0; i < 5; ++i) {
+    fr.record(telemetry::FlightType::kMark, "pre", TimePoint::from_ns(i), i);
+  }
+  SnapshotWriter w;
+  save_flight(w, fr);
+  const Bytes image = w.finish();
+
+  telemetry::FlightRecorder fresh(8);
+  SnapshotReader r(image);
+  restore_flight(r, fresh);
+  EXPECT_EQ(fresh.total_records(), 5u);
+  EXPECT_EQ(fresh.shard(), 3);
+  EXPECT_EQ(fresh.recent(), fr.recent());
+  EXPECT_EQ(fresh.serialize(), fr.serialize());
+
+  // Post-resume records continue the straight-through numbering: the merge
+  // key (time, shard, seq) stays stable across the restore.
+  fresh.record(telemetry::FlightType::kMark, "post", TimePoint::from_ns(100));
+  fresh.record(telemetry::FlightType::kMark, "post", TimePoint::from_ns(101));
+  const auto records = fresh.recent();
+  ASSERT_EQ(records.size(), 7u);
+  EXPECT_EQ(records[5].seq, 5u);
+  EXPECT_EQ(records[6].seq, 6u);
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_LT(records[i - 1].seq, records[i].seq);
+  }
+}
+
+TEST(FlightSnapshot, WrappedRingRoundTrips) {
+  telemetry::FlightRecorder fr(4);
+  for (int i = 0; i < 11; ++i) {
+    fr.record(telemetry::FlightType::kMark, "wrap", TimePoint::from_ns(i), i);
+  }
+  SnapshotWriter w;
+  save_flight(w, fr);
+  SnapshotReader r(w.finish());
+  telemetry::FlightRecorder fresh(4);
+  restore_flight(r, fresh);
+  EXPECT_EQ(fresh.total_records(), 11u);
+  EXPECT_EQ(fresh.recent(), fr.recent());
+  fresh.record(telemetry::FlightType::kMark, "next", TimePoint::from_ns(99));
+  EXPECT_EQ(fresh.recent().back().seq, 11u);
+}
+
+// ---- metrics registry -----------------------------------------------------
+
+TEST(MetricsSnapshot, RegistryRoundTripsByName) {
+  telemetry::MetricsRegistry reg;
+  auto* prev = telemetry::MetricsRegistry::set_current(&reg);
+  telemetry::Counter c;
+  c.bind("snaptest.counter");
+  c.add(7);
+  telemetry::Gauge g;
+  g.bind("snaptest.gauge");
+  g.add(5);
+  g.add(-2);
+  telemetry::Histogram h;
+  h.bind("snaptest.hist");
+  h.observe(3);
+  h.observe(70'000);
+  telemetry::MetricsRegistry::set_current(prev);
+
+  SnapshotWriter w;
+  save_metrics(w, reg);
+  const Bytes image = w.finish();
+
+  telemetry::MetricsRegistry fresh;
+  SnapshotReader r(image);
+  restore_metrics(r, fresh);
+  EXPECT_EQ(fresh.to_json(), reg.to_json());
+  EXPECT_EQ(fresh.counter_value("snaptest.counter"), 7u);
+  EXPECT_EQ(fresh.gauge_value("snaptest.gauge"), 3);
+}
+
+// ---- FlatHashMap tombstones -----------------------------------------------
+
+TEST(FlatHashSnapshot, TombstoneHeavyMapRoundTrips) {
+  // The transport flow tables snapshot via for_each; a map full of
+  // tombstones (reaped connections) must round-trip to the same contents
+  // and keep behaving after more churn.
+  FlatHashMap<std::uint64_t, std::uint64_t, IntHash> m;
+  for (std::uint64_t k = 1; k <= 200; ++k) m.try_emplace(k, k * 3);
+  for (std::uint64_t k = 1; k <= 200; k += 3) m.erase(k);  // tombstones
+
+  SnapshotWriter w;
+  w.begin_section("test.map");
+  w.u64(m.size());
+  m.for_each([&](const std::uint64_t& k, const std::uint64_t& v) {
+    w.u64(k);
+    w.u64(v);
+  });
+  w.end_section();
+  const Bytes image = w.finish();
+
+  FlatHashMap<std::uint64_t, std::uint64_t, IntHash> fresh;
+  SnapshotReader r(image);
+  r.begin_section("test.map");
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t k = r.u64();
+    const std::uint64_t v = r.u64();
+    fresh.try_emplace(k, v);
+  }
+  r.end_section();
+
+  ASSERT_EQ(fresh.size(), m.size());
+  std::map<std::uint64_t, std::uint64_t> want;
+  m.for_each([&](const std::uint64_t& k, const std::uint64_t& v) {
+    want.emplace(k, v);
+  });
+  std::map<std::uint64_t, std::uint64_t> got;
+  fresh.for_each([&](const std::uint64_t& k, const std::uint64_t& v) {
+    got.emplace(k, v);
+  });
+  EXPECT_EQ(got, want);
+  for (std::uint64_t k = 1; k <= 200; k += 3) {
+    EXPECT_EQ(fresh.find(k), nullptr);
+  }
+
+  // Post-restore churn behaves: erased keys are re-insertable, lookups of
+  // survivors stay intact.
+  for (std::uint64_t k = 1; k <= 200; k += 3) fresh.try_emplace(k, k * 5);
+  for (std::uint64_t k = 2; k <= 200; k += 3) {
+    ASSERT_NE(fresh.find(k), nullptr);
+    EXPECT_EQ(*fresh.find(k), k * 3);
+  }
+  EXPECT_EQ(*fresh.find(7), 35u);
+}
+
+}  // namespace
+}  // namespace sublayer::sim

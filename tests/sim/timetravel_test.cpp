@@ -1,0 +1,164 @@
+// TimeTravel bisection: given periodic snapshots of a straight run that
+// eventually trips a violation, bisect() must isolate the exact first
+// offending event — deterministically, and despite poisoned checkpoints
+// taken after the (not yet detected) violation.
+#include "sim/timetravel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "sim/simulator.hpp"
+#include "sim/snapshot.hpp"
+
+namespace sublayer::sim {
+namespace {
+
+constexpr std::uint64_t kPoisonTick = 137;
+
+// A minimal restorable world: one self-rescheduling ticker (one event per
+// tick), with a planted corruption at tick kPoisonTick.  The violation
+// flag is part of the saved state, so a checkpoint taken after the flip
+// restores already-poisoned — exactly how a lagging monitor sees it.
+class TickWorld final : public TimeTravel::World {
+ public:
+  TickWorld() : ticker_(sim_, [this] { tick(); }) {}
+
+  void start() { ticker_.restart(Duration::micros(10)); }
+
+  Bytes save() const {
+    SnapshotWriter w;
+    sim_.save(w);
+    w.begin_section("test.world");
+    w.u64(ticks_);
+    w.b(violated_);
+    ticker_.save(w);
+    w.end_section();
+    return w.finish();
+  }
+
+  void restore_from(const Bytes& image) {
+    SnapshotReader r(image);
+    sim_.restore(r);
+    r.begin_section("test.world");
+    ticks_ = r.u64();
+    violated_ = r.b();
+    ticker_.restore(r);
+    r.end_section();
+    sim_.finish_restore();
+  }
+
+  std::size_t run_events(std::size_t n) override { return sim_.run(n); }
+  bool violated() const override { return violated_; }
+  std::uint64_t events_processed() const override {
+    return sim_.events_processed();
+  }
+  TimePoint now() const override { return sim_.now(); }
+  std::string dump_flight(const std::string&) override { return ""; }
+
+ private:
+  void tick() {
+    ++ticks_;
+    if (ticks_ == kPoisonTick) violated_ = true;
+    ticker_.restart(Duration::micros(10));
+  }
+
+  Simulator sim_;
+  std::uint64_t ticks_ = 0;
+  bool violated_ = false;
+  Timer ticker_;
+};
+
+TimeTravel::Factory tick_world_factory() {
+  return [](const Bytes& image) -> std::unique_ptr<TimeTravel::World> {
+    auto w = std::make_unique<TickWorld>();
+    w->restore_from(image);
+    return w;
+  };
+}
+
+TEST(TimeTravel, IsolatesPlantedViolationEvent) {
+  TimeTravel tt;
+  TickWorld world;
+  world.start();
+  tt.add_checkpoint(world.save(), world.events_processed(), world.now());
+
+  // Straight run, one event at a time, checkpointing every 25 events.
+  // Record the exact event whose execution flipped the predicate.
+  std::uint64_t exact = 0;
+  while (!world.violated()) {
+    world.run_events(1);
+    if (world.violated() && exact == 0) exact = world.events_processed();
+    if (world.events_processed() % 25 == 0) {
+      tt.add_checkpoint(world.save(), world.events_processed(), world.now());
+    }
+  }
+  ASSERT_EQ(exact, kPoisonTick);  // one event per tick
+
+  // Detection lags cause: the monitor "notices" 40 events later, by which
+  // time another (poisoned) checkpoint has been taken.
+  world.run_events(40);
+  tt.add_checkpoint(world.save(), world.events_processed(), world.now());
+  const std::uint64_t violated_by = world.events_processed();
+
+  const auto res = tt.bisect(tick_world_factory(), violated_by);
+  ASSERT_TRUE(res.isolated);
+  EXPECT_EQ(res.offending_event, exact);
+  EXPECT_EQ(res.offending_time,
+            TimePoint::from_ns(Duration::micros(10).ns() *
+                               static_cast<std::int64_t>(kPoisonTick)));
+  EXPECT_EQ(res.base_events, 125u);  // latest clean checkpoint before 137
+  EXPECT_GT(res.reexecutions, 0u);
+
+  // Bisection is a pure function of the checkpoints: re-running it gives
+  // the same isolation.
+  const auto again = tt.bisect(tick_world_factory(), violated_by);
+  EXPECT_EQ(again.offending_event, res.offending_event);
+  EXPECT_EQ(again.base_events, res.base_events);
+  EXPECT_EQ(again.reexecutions, res.reexecutions);
+}
+
+TEST(TimeTravel, WalksBackPastPoisonedCheckpoints) {
+  TimeTravel tt;
+  TickWorld world;
+  world.start();
+  tt.add_checkpoint(world.save(), world.events_processed(), world.now());
+  world.run_events(100);
+  tt.add_checkpoint(world.save(), world.events_processed(), world.now());
+  // These two checkpoints restore already-violated; bisect must skip them
+  // and base from event 100.
+  world.run_events(50);
+  tt.add_checkpoint(world.save(), world.events_processed(), world.now());
+  world.run_events(50);
+  tt.add_checkpoint(world.save(), world.events_processed(), world.now());
+
+  const auto res = tt.bisect(tick_world_factory(), world.events_processed());
+  ASSERT_TRUE(res.isolated);
+  EXPECT_EQ(res.base_events, 100u);
+  EXPECT_EQ(res.offending_event, kPoisonTick);
+}
+
+TEST(TimeTravel, NoCleanCheckpointReportsUnisolated) {
+  TimeTravel tt;
+  TickWorld world;
+  world.start();
+  world.run_events(200);  // violated at 137: every checkpoint is poisoned
+  tt.add_checkpoint(world.save(), world.events_processed(), world.now());
+
+  const auto res = tt.bisect(tick_world_factory(), world.events_processed());
+  EXPECT_FALSE(res.isolated);
+}
+
+TEST(TimeTravel, RejectsOutOfOrderCheckpoints) {
+  TimeTravel tt;
+  TickWorld world;
+  world.start();
+  world.run_events(10);
+  tt.add_checkpoint(world.save(), world.events_processed(), world.now());
+  EXPECT_THROW(tt.add_checkpoint(Bytes{}, 5, TimePoint::from_ns(0)),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace sublayer::sim
