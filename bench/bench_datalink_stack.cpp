@@ -33,7 +33,8 @@ using CodeFactory = std::unique_ptr<phy::LineCode> (*)();
 using DetFactory = std::unique_ptr<ErrorDetector> (*)();
 
 StackOutcome run_stack(CodeFactory code, DetFactory det,
-                       const std::string& arq, double corrupt_rate) {
+                       const std::string& arq, double corrupt_rate,
+                       bool fused = false) {
   sim::Simulator sim;
   Rng rng(99);
   sim::LinkConfig wire;
@@ -47,6 +48,7 @@ StackOutcome run_stack(CodeFactory code, DetFactory det,
   config.arq_engine = arq;
   config.arq.rto = Duration::millis(10);
   config.arq.window = 16;
+  config.fused = fused;
 
   DatalinkPair pair(sim, wire, rng, config, code(), det(), code(), det());
 
@@ -116,9 +118,19 @@ struct CommittedRow {
 constexpr CommittedRow kCommittedUnbatched[] = {
     {"nrz", 44.36}, {"nrzi", 39.28}, {"manchester", 20.90}, {"4b5b", 18.61}};
 
+// Committed per-frame numbers of the DYNAMIC (virtual-dispatch) plane at
+// the time compile-time fusion landed — the anchor for the fused path's
+// 1.3x acceptance gate (DESIGN.md §15, E19).
+constexpr CommittedRow kCommittedDynamicPerFrame[] = {{"nrz", 145.38},
+                                                      {"nrzi", 118.71},
+                                                      {"manchester", 111.75},
+                                                      {"4b5b", 92.91}};
+
 PlaneResult run_dataplane(CodeFactory code, int frames,
-                          std::size_t frame_bytes) {
-  DataPlane plane(code(), make_crc32(), StuffingRule::hdlc());
+                          std::size_t frame_bytes, bool fused = false) {
+  auto plane_ptr =
+      make_data_plane(code(), make_crc32(), StuffingRule::hdlc(), fused);
+  DataPlaneIface& plane = *plane_ptr;
   Rng rng(5);
   std::vector<Bytes> payloads;
   payloads.reserve(static_cast<std::size_t>(frames));
@@ -127,26 +139,42 @@ PlaneResult run_dataplane(CodeFactory code, int frames,
   }
 
   PlaneResult out;
-  const std::size_t a0_bytes = bench::total_alloc_bytes();
-  const std::size_t a0_count = bench::alloc_count();
-  const auto t0 = std::chrono::steady_clock::now();
-  for (const auto& p : payloads) {
-    Bytes wire = plane.down(Bytes(p));
-    const auto checked = plane.up(wire);
-    if (!checked || *checked != p) {
-      std::fputs("dataplane round-trip MISMATCH\n", stderr);
-      std::exit(1);
+  // The round trip is deterministic, so each rep does identical work:
+  // report the fastest rep (scheduler noise only ever slows a run down)
+  // and the first rep's allocation counters — the same methodology as the
+  // batched loop below.  Each rep is only a few ms of work, so a larger
+  // rep count than the batched loop keeps the estimator stable.
+  const int reps = frames >= 100 ? 9 : 1;
+  double best_secs = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const std::size_t a0_bytes = bench::total_alloc_bytes();
+    const std::size_t a0_count = bench::alloc_count();
+    std::size_t goodput = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const auto& p : payloads) {
+      Bytes wire = plane.down(Bytes(p));
+      const auto checked = plane.up(wire);
+      if (!checked || *checked != p) {
+        std::fputs("dataplane round-trip MISMATCH\n", stderr);
+        std::exit(1);
+      }
+      goodput += checked->size();
     }
-    out.goodput_bytes += checked->size();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (rep == 0) {
+      out.goodput_bytes = goodput;
+      best_secs = secs;
+      out.alloc_bytes_per_frame =
+          static_cast<double>(bench::total_alloc_bytes() - a0_bytes) / frames;
+      out.allocs_per_frame =
+          static_cast<double>(bench::alloc_count() - a0_count) / frames;
+    } else if (secs < best_secs) {
+      best_secs = secs;
+    }
   }
-  const double secs =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
-  out.mbps = static_cast<double>(out.goodput_bytes) / secs / 1e6;
-  out.alloc_bytes_per_frame =
-      static_cast<double>(bench::total_alloc_bytes() - a0_bytes) / frames;
-  out.allocs_per_frame =
-      static_cast<double>(bench::alloc_count() - a0_count) / frames;
+  out.mbps = static_cast<double>(out.goodput_bytes) / best_secs / 1e6;
   return out;
 }
 
@@ -169,8 +197,11 @@ struct BatchPlaneResult {
 
 BatchPlaneResult run_dataplane_batched(CodeFactory code, int frames,
                                        std::size_t frame_bytes,
-                                       std::size_t burst) {
-  DataPlane plane(code(), make_crc32(), StuffingRule::hdlc());
+                                       std::size_t burst,
+                                       bool fused = false) {
+  auto plane_ptr =
+      make_data_plane(code(), make_crc32(), StuffingRule::hdlc(), fused);
+  DataPlaneIface& plane = *plane_ptr;
   Rng rng(5);
   std::vector<Bytes> payloads;
   payloads.reserve(static_cast<std::size_t>(frames));
@@ -409,6 +440,110 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- Fused data plane (E19): compile-time composed pipeline ----
+  //
+  // Same per-frame loop, but the plane is fused::Pipeline<Crc32Detector,
+  // StuffingFraming, Code> behind the DataPlaneIface seam: zero virtual
+  // hops between sublayers, arena-backed buffers.  The anchor is the
+  // committed throughput of the dynamic plane the day fusion landed, so
+  // the speedup cannot drift as the dynamic path evolves.
+  std::printf(
+      "\nFused DataPlane (compile-time composition, same per-frame loop):\n");
+  std::printf("%-12s %10s %14s %14s | %11s\n", "line code", "MB/s",
+              "alloc B/frame", "allocs/frame", "vs dynamic");
+  std::string fused_json;
+  for (const auto& committed : kCommittedDynamicPerFrame) {
+    if (smoke && std::string(committed.label) != "nrz") continue;
+    CodeFactory make = phy::make_nrz;
+    for (const auto& code : codes) {
+      if (std::string(code.name) == committed.label) make = code.make;
+    }
+    const auto r = run_dataplane(make, plane_frames, 261, /*fused=*/true);
+    const double speedup = r.mbps / committed.mbps;
+    std::printf("%-12s %10.2f %14.0f %14.1f | %10.2fx\n", committed.label,
+                r.mbps, r.alloc_bytes_per_frame, r.allocs_per_frame, speedup);
+    if (!smoke && r.goodput_bytes != 522000) {
+      std::fprintf(stderr, "fused goodput bytes changed: %zu != 522000\n",
+                   r.goodput_bytes);
+      return 1;
+    }
+    char buf[384];
+    std::snprintf(
+        buf, sizeof buf,
+        "%s{\"label\":\"%s\",\"mbps\":%.2f,\"alloc_bytes_per_frame\":%.0f,"
+        "\"allocs_per_frame\":%.1f,\"goodput_bytes\":%zu,"
+        "\"committed_dynamic_mbps\":%.2f,\"speedup_vs_dynamic\":%.2f}",
+        fused_json.empty() ? "" : ",", committed.label, r.mbps,
+        r.alloc_bytes_per_frame, r.allocs_per_frame, r.goodput_bytes,
+        committed.mbps, speedup);
+    fused_json += buf;
+  }
+
+  // Fused drop-in on the E10 impaired wire: virtual-time goodput must be
+  // IDENTICAL to the dynamic plane's — StackConfig::fused is a CPU
+  // optimization, never a behavior change.
+  const auto e10_dyn =
+      run_stack(phy::make_nrz, make_crc32, "selective-repeat", 0.05);
+  const auto e10_fused =
+      run_stack(phy::make_nrz, make_crc32, "selective-repeat", 0.05,
+                /*fused=*/true);
+  std::printf(
+      "\nE10 parity: fused plane on the impaired wire -> %.0f kbps "
+      "(dynamic %.0f kbps) %s\n",
+      e10_fused.goodput_kbps, e10_dyn.goodput_kbps,
+      e10_fused.goodput_kbps == e10_dyn.goodput_kbps &&
+              e10_fused.retransmissions == e10_dyn.retransmissions &&
+              e10_fused.detector_catches == e10_dyn.detector_catches
+          ? "IDENTICAL"
+          : "MISMATCH");
+  if (e10_fused.goodput_kbps != e10_dyn.goodput_kbps ||
+      e10_fused.retransmissions != e10_dyn.retransmissions ||
+      e10_fused.detector_catches != e10_dyn.detector_catches ||
+      e10_fused.phy_catches != e10_dyn.phy_catches) {
+    std::fputs("fused plane changed the E10 virtual-time trace\n", stderr);
+    return 1;
+  }
+
+  // ---- Fused batched: the same burst loop on the fused plane.  The
+  // batched stages were already devirtualized stage-major, so the win here
+  // is bounded — this row documents that fusion never regresses the
+  // batched path (committed batched-16 anchors).
+  constexpr CommittedRow kCommittedBatched16[] = {{"nrz", 220.41},
+                                                  {"nrzi", 160.26},
+                                                  {"manchester", 147.14},
+                                                  {"4b5b", 133.36}};
+  std::printf("\nFused batched DataPlane (burst 16):\n");
+  std::printf("%-12s %10s %12s | %14s\n", "line code", "MB/s", "heap/frame",
+              "vs dyn batched");
+  std::string fused_batched_json;
+  for (const auto& committed : kCommittedBatched16) {
+    if (smoke && std::string(committed.label) != "nrz") continue;
+    CodeFactory make = phy::make_nrz;
+    for (const auto& code : codes) {
+      if (std::string(code.name) == committed.label) make = code.make;
+    }
+    const auto r =
+        run_dataplane_batched(make, plane_frames, 261, 16, /*fused=*/true);
+    const double ratio = r.mbps / committed.mbps;
+    std::printf("%-12s %10.2f %12.2f | %13.2fx\n", committed.label, r.mbps,
+                r.heap_allocs_per_frame, ratio);
+    if (!smoke && r.goodput_bytes != 522000) {
+      std::fprintf(stderr,
+                   "fused batched goodput bytes changed: %zu != 522000\n",
+                   r.goodput_bytes);
+      return 1;
+    }
+    char buf[320];
+    std::snprintf(
+        buf, sizeof buf,
+        "%s{\"label\":\"%s\",\"burst\":16,\"mbps\":%.2f,"
+        "\"heap_allocs_per_frame\":%.2f,\"goodput_bytes\":%zu,"
+        "\"committed_dynamic_mbps\":%.2f,\"ratio_vs_dynamic\":%.2f}",
+        fused_batched_json.empty() ? "" : ",", committed.label, r.mbps,
+        r.heap_allocs_per_frame, r.goodput_bytes, committed.mbps, ratio);
+    fused_batched_json += buf;
+  }
+
   std::string matrix_json;
   for (const auto& row : matrix) {
     char buf[192];
@@ -420,9 +555,12 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "BENCH_JSON {\"bench\":\"datalink\",\"frames\":%d,"
-      "\"frame_bytes\":261,\"dataplane\":[%s],\"dataplane_batched\":[%s],"
-      "\"e10_matrix\":[%s]}\n",
-      plane_frames, plane_json.c_str(), batched_json.c_str(),
+      "\"frame_bytes\":261,\"dataplane\":[%s],\"dataplane_fused\":[%s],"
+      "\"dataplane_batched\":[%s],\"dataplane_fused_batched\":[%s],"
+      "\"e10_fused_parity\":%s,\"e10_matrix\":[%s]}\n",
+      plane_frames, plane_json.c_str(), fused_json.c_str(),
+      batched_json.c_str(), fused_batched_json.c_str(),
+      e10_fused.goodput_kbps == e10_dyn.goodput_kbps ? "true" : "false",
       matrix_json.c_str());
   return 0;
 }

@@ -16,6 +16,7 @@
 
 #include "bench/harness.hpp"
 #include "transport/sublayered/shim.hpp"
+#include "transport/wire/fused_segment.hpp"
 
 using namespace sublayer;
 using namespace sublayer::bench;
@@ -71,6 +72,53 @@ void bench_sublayered_header(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(bench_sublayered_header);
+
+// The sublayer-crossing cost in isolation: the four header sublayers
+// (DM -> CM -> RD -> OSR) composed at compile time (fold expression, the
+// product path) vs the same four stages behind per-stage function pointers
+// (one indirect call per crossing — the moral equivalent of virtual
+// wiring).  The delta between these two rows IS the cost of a dynamic
+// sublayer crossing; the fused row shows it can be compiled away entirely.
+// No payload copy in the loop, so the numbers are pure header work.
+void bench_fused_header_chain(benchmark::State& state) {
+  const SublayeredSegment s = sample_segment();
+  Bytes out;
+  out.reserve(64);
+  for (auto _ : state) {
+    out.clear();
+    ByteWriter w(out);
+    SublayeredHeaderChain::write(s, w);
+    benchmark::DoNotOptimize(out.data());
+    ByteReader r(out);
+    SublayeredSegment parsed;
+    const bool ok = SublayeredHeaderChain::read(r, parsed);
+    benchmark::DoNotOptimize(ok);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bench_fused_header_chain);
+
+void bench_dynamic_header_chain(benchmark::State& state) {
+  const SublayeredSegment s = sample_segment();
+  const DynamicHeaderChain* chain = &DynamicHeaderChain::instance();
+  benchmark::DoNotOptimize(chain);  // keep the indirect calls indirect
+  Bytes out;
+  out.reserve(64);
+  for (auto _ : state) {
+    out.clear();
+    ByteWriter w(out);
+    chain->write(s, w);
+    benchmark::DoNotOptimize(out.data());
+    ByteReader r(out);
+    SublayeredSegment parsed;
+    const bool ok = chain->read(r, parsed);
+    benchmark::DoNotOptimize(ok);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bench_dynamic_header_chain);
 
 void bench_shim_translation(benchmark::State& state) {
   HeaderShim tx;

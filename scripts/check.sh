@@ -13,6 +13,26 @@ cmake -B "${build_dir}" -S "${repo_root}" \
 cmake --build "${build_dir}" -j "${jobs}"
 ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
 
+# Compile-footprint guard: the fused registry instantiates the full
+# compile-time pipeline 12x (4 line codes x 3 CRCs) in one TU, which is
+# exactly where template bloat would creep in.  Touch the fused headers,
+# rebuild just the datalink library, and fail if the rebuild blows past a
+# generous ceiling — a regression here means an instantiation explosion,
+# not a slow machine (the ceiling is ~10x the current cost).
+echo "fused compile-footprint guard..."
+touch "${repo_root}/src/datalink/fused/pipeline.hpp" \
+  "${repo_root}/src/phy/linecode_static.hpp" \
+  "${repo_root}/src/datalink/errordetect/detector_static.hpp" \
+  "${repo_root}/src/datalink/framing/framing_static.hpp"
+footprint_start="$(date +%s)"
+cmake --build "${build_dir}" --target sublayer_datalink -j "${jobs}" >/dev/null
+footprint_secs="$(( $(date +%s) - footprint_start ))"
+echo "datalink rebuild (12 fused instantiations): ${footprint_secs}s"
+if (( footprint_secs > 120 )); then
+  echo "fused compile footprint regressed: ${footprint_secs}s > 120s" >&2
+  exit 1
+fi
+
 # Bench smoke: one tiny run of each perf bench binary (output discarded) so
 # a broken benchmark fails tier-1 instead of being discovered at bench time.
 echo "bench smoke..."
@@ -105,9 +125,12 @@ if [[ "${SKIP_SANITIZERS:-0}" != "1" ]]; then
     --gtest_filter='Robustness.*:Keepalive.*' >/dev/null
   # Batched pipeline under ASan: the arena recycles buffers the stages
   # hand around, so stale-use bugs in the batch paths are exactly what
-  # address poisoning catches.
+  # address poisoning catches.  The fused equivalence matrix rides along:
+  # the compile-time pipeline reuses those arena buffers per-frame too, and
+  # its corruption legs feed truncated/flipped wires through every stage.
   "${san_dir}/tests/test_datalink" \
-    --gtest_filter='*Resync*:*BatchPipeline*' >/dev/null
+    --gtest_filter='*Resync*:*BatchPipeline*:*FusedEquivalence*:*FusedRegistry*' \
+    >/dev/null
   # Scheduler determinism + flat-hash churn: the timer wheel recycles
   # pooled slots and the demux tables rehash mid-dispatch; both are
   # use-after-free factories if ever wrong, so run them under ASan.
@@ -126,6 +149,13 @@ if [[ "${SKIP_SANITIZERS:-0}" != "1" ]]; then
     >/dev/null
   "${san_dir}/tests/test_datalink" --gtest_filter='*ArqSnapshot*' >/dev/null
   "${san_dir}/tests/test_integration" --gtest_filter='SnapshotResume.*' \
+    >/dev/null
+  # Fused replay + cross-config snapshot resume under ASan: the plane swap
+  # (dynamic image restored into a fused stack and back) re-arms ARQ state
+  # against a different plane implementation, and the replay leg drives the
+  # fused pipeline through the full impaired-wire burst matrix.
+  "${san_dir}/tests/test_sim" --gtest_filter='*FusedPlane*' >/dev/null
+  "${san_dir}/tests/test_integration" --gtest_filter='*FusedSnapshot*' \
     >/dev/null
   echo "ASan+UBSan OK"
 

@@ -1,0 +1,61 @@
+// Static (compile-time) forms of the error-detection sublayer: each stage
+// wraps a concrete (final) CrcDetector and re-states protect/check inline
+// with qualified calls, so the fused pipeline's tag computation resolves
+// straight into the slice-by-8 / PCLMULQDQ kernels with no vtable hop.
+//
+// Stage shape (the fused composer's `Detector` concept):
+//   std::string name() const; std::size_t tag_bytes() const
+//   void protect_in_place(Bytes&) const
+//   bool check_strip_in_place(Bytes&) const
+#pragma once
+
+#include <algorithm>
+
+#include "common/bytes.hpp"
+#include "datalink/errordetect/detector.hpp"
+
+namespace sublayer::datalink {
+
+/// One static stage per CRC spec; the spec is a template argument so two
+/// widths are two distinct pipeline instantiations.
+template <CrcSpec (*Spec)()>
+class CrcStage {
+ public:
+  CrcStage() : crc_(Spec()) {}
+
+  std::string name() const { return crc_.CrcDetector::name(); }
+  std::size_t tag_bytes() const { return crc_.CrcDetector::tag_bytes(); }
+
+  /// Mirrors ErrorDetector::protect_in_place with a devirtualized tag.
+  void protect_in_place(Bytes& frame) const {
+    frame.reserve(frame.size() + crc_.CrcDetector::tag_bytes());
+    crc_.CrcDetector::tag_into(ByteView(frame.data(), frame.size()), frame);
+  }
+
+  /// Mirrors ErrorDetector::check_strip_in_place (same thread-local
+  /// scratch idiom: the steady-state receive path allocates nothing here).
+  bool check_strip_in_place(Bytes& frame) const {
+    const std::size_t t = crc_.CrcDetector::tag_bytes();
+    if (frame.size() < t) return false;
+    const std::size_t n = frame.size() - t;
+    static thread_local Bytes scratch;
+    scratch.clear();
+    crc_.CrcDetector::tag_into(ByteView(frame.data(), n), scratch);
+    if (scratch.size() != t ||
+        !std::equal(scratch.begin(), scratch.end(),
+                    frame.begin() + static_cast<std::ptrdiff_t>(n))) {
+      return false;
+    }
+    frame.resize(n);
+    return true;
+  }
+
+ private:
+  CrcDetector crc_;
+};
+
+using Crc16Detector = CrcStage<&CrcSpec::crc16_ccitt>;
+using Crc32Detector = CrcStage<&CrcSpec::crc32>;
+using Crc64Detector = CrcStage<&CrcSpec::crc64>;
+
+}  // namespace sublayer::datalink

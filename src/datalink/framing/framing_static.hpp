@@ -1,0 +1,41 @@
+// Static form of the framing sublayer for the fused pipeline.  Stuffing is
+// already implemented as free functions over a value-type rule, so the
+// stage is a thin wrapper that fixes the rule at construction and gives
+// the composer a uniform stage shape; the calls below inline completely.
+//
+// Stage shape (the fused composer's `Framing` concept):
+//   explicit Framing(StuffingRule)
+//   const StuffingRule& rule() const
+//   void frame_append(const BitString& data, BitString& out) const
+//   bool deframe_append(const BitString& framed, std::size_t start,
+//                       std::size_t len, BitString& out) const
+#pragma once
+
+#include <utility>
+
+#include "datalink/framing/stuffing.hpp"
+
+namespace sublayer::datalink {
+
+class StuffingFraming {
+ public:
+  explicit StuffingFraming(StuffingRule rule) : rule_(std::move(rule)) {}
+
+  const StuffingRule& rule() const { return rule_; }
+
+  void frame_append(const BitString& data, BitString& out) const {
+    datalink::frame_append(rule_, data, out);
+  }
+
+  /// Range form: deframes framed[start, start+len) without materializing
+  /// the slice (false leaves a partial prefix in `out` to discard).
+  bool deframe_append(const BitString& framed, std::size_t start,
+                      std::size_t len, BitString& out) const {
+    return datalink::deframe_append(rule_, framed, start, len, out);
+  }
+
+ private:
+  StuffingRule rule_;
+};
+
+}  // namespace sublayer::datalink

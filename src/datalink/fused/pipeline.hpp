@@ -1,0 +1,357 @@
+// The compile-time fused data plane (the answer to the paper's §3.1
+// "performance will be poor?" objection): the three sub-ARQ sublayers are
+// composed as template parameters —
+//
+//   Pipeline<Crc32Detector, StuffingFraming, NrzCode>
+//
+// — so every boundary crossing inside the plane inlines into straight-line
+// code.  The only dispatch left is the ONE virtual hop through
+// DataPlaneIface at the top of the plane; below it, the line-code kernels
+// (phy/linecode_static.hpp), the stuffing free functions, and the
+// devirtualized CRC stages (errordetect/detector_static.hpp) fuse into a
+// single instantiation per stack combination.
+//
+// Contract: observably IDENTICAL to the dynamic DataPlane.  Wires are
+// byte-for-byte equal, taps fire at the same points with the same images,
+// span crossings use the same interned ids (same intern order as the
+// DataPlane constructor) and byte sizes, and failure counters bump through
+// the shared count_up_failure helper.  The fused equivalence suite
+// (tests/datalink/fused_equivalence_test.cpp) pins all of this, and the
+// replay + snapshot suites pin that StackConfig::fused is trace-invisible.
+//
+// The per-frame down()/up() run the arena fast path (the single-frame form
+// of the batched stages): same observables as the dynamic per-frame path,
+// but steady-state allocation-free — this is where most of the measured
+// fused speedup comes from, on top of the inlined stage calls (E19).
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "datalink/stack.hpp"
+#include "telemetry/frame_tap.hpp"
+#include "telemetry/span.hpp"
+
+namespace sublayer::datalink::fused {
+
+template <class Detector, class Framing, class Code>
+class Pipeline final : public DataPlaneIface {
+ public:
+  explicit Pipeline(StuffingRule stuffing) : framing_(std::move(stuffing)) {
+    // Identical counter names and span intern ORDER to the DataPlane
+    // constructor: interning assigns ids sequentially, so the order is
+    // part of the trace-equivalence contract.
+    stats_.phy_decode_failures.bind("datalink.phy.decode_failures");
+    stats_.deframe_failures.bind("datalink.framing.deframe_failures");
+    stats_.checksum_failures.bind("datalink.errordetect.checksum_failures");
+    stats_.frames_up.bind("datalink.stack.frames_up");
+    stats_.frames_encoded.bind("datalink.phy.frames_encoded");
+    stats_.frames_decoded.bind("datalink.phy.frames_decoded");
+    stats_.frames_framed.bind("datalink.framing.frames_framed");
+    stats_.frames_deframed.bind("datalink.framing.frames_deframed");
+    stats_.frames_tagged.bind("datalink.errordetect.frames_tagged");
+    stats_.frames_checked.bind("datalink.errordetect.frames_checked");
+    auto& tracer = telemetry::SpanTracer::instance();
+    errdet_span_ = tracer.intern("datalink.errordetect");
+    framing_span_ = tracer.intern("datalink.framing");
+    phy_span_ = tracer.intern("datalink.phy");
+  }
+
+  Bytes down(Bytes arq_frame) override {
+    auto& tracer = telemetry::SpanTracer::instance();
+    // Error-detection sublayer: append tag in place on the moved-in frame.
+    tracer.crossing(errdet_span_, telemetry::Dir::kDown, arq_frame.size());
+    det_.protect_in_place(arq_frame);
+    ++stats_.frames_tagged;
+    SUBLAYER_TAP(telemetry::TapPoint::kFcs, telemetry::Dir::kDown,
+                 ByteView(arq_frame));
+    // Framing sublayer: build the channel bit stream directly in an arena
+    // buffer (32-bit length placeholder, stuffed+flagged body, prefix
+    // patched, zero pad) — bit-for-bit what the dynamic down() produces.
+    tracer.crossing(framing_span_, telemetry::Dir::kDown, arq_frame.size());
+    data_scratch_.assign_bytes(ByteView(arq_frame));
+    BitString ch = arena_.acquire_bits();
+    ch.reserve(32 + 2 * framing_.rule().flag.size() + data_scratch_.size() +
+               data_scratch_.size() / 8 + 64);
+    ch.append_word(0, 32);
+    framing_.frame_append(data_scratch_, ch);
+    const std::size_t nbits = ch.size() - 32;
+    ch.overwrite_bits(0, static_cast<std::uint64_t>(nbits), 32);
+    while (ch.size() % 8 != 0) ch.push_back(false);
+    ++stats_.frames_framed;
+    if (SUBLAYER_TAP_ACTIVE(telemetry::TapPoint::kFraming)) {
+      const Bytes packed = pack_bits(ch.slice(32, nbits));
+      SUBLAYER_TAP(telemetry::TapPoint::kFraming, telemetry::Dir::kDown,
+                   ByteView(packed));
+    }
+    arena_.recycle(std::move(arq_frame));  // tagged ARQ buffer consumed
+    // Encoding sublayer: line-code and pack.  For an identity code the
+    // channel bits ARE the symbols: skip the copy (decided at compile
+    // time here, not via a runtime flag).
+    tracer.crossing(phy_span_, telemetry::Dir::kDown, ch.size() / 8);
+    Bytes wire = arena_.acquire_bytes();
+    if constexpr (Code::kIdentity) {
+      ++stats_.frames_encoded;
+      pack_into(ch, wire);
+    } else {
+      BitString symbols = arena_.acquire_bits();
+      symbols.reserve(
+          static_cast<std::size_t>(static_cast<double>(ch.size()) *
+                                   Code::kSymbolsPerBit) +
+          64);
+      Code::encode_append(ch, symbols);
+      ++stats_.frames_encoded;
+      pack_into(symbols, wire);
+      arena_.recycle(std::move(symbols));
+    }
+    SUBLAYER_TAP(telemetry::TapPoint::kPhyWire, telemetry::Dir::kDown,
+                 ByteView(wire));
+    arena_.recycle(std::move(ch));
+    return wire;
+  }
+
+  std::optional<Bytes> up(ByteView raw) override {
+    auto& tracer = telemetry::SpanTracer::instance();
+    // Tapped before any decode so frames the stack later rejects still
+    // show up in the capture.
+    SUBLAYER_TAP(telemetry::TapPoint::kPhyWire, telemetry::Dir::kUp, raw);
+    // Encoding sublayer: recover channel bits, check the length prefix.
+    BitString ch = arena_.acquire_bits();
+    std::size_t nbits = 0;
+    if (!parse_channel(raw, ch, nbits)) {
+      count_up_failure(stats_, UpFailure::kPhyDecode);
+      arena_.recycle(std::move(ch));  // may hold a partial decode: discard
+      return std::nullopt;
+    }
+    tracer.crossing(phy_span_, telemetry::Dir::kUp, ch.size() / 8);
+    ++stats_.frames_decoded;
+    // Framing sublayer: deframe in place (range form).
+    BitString body = arena_.acquire_bits();
+    body.reserve(nbits);
+    const bool deframed =
+        framing_.deframe_append(ch, 32, nbits, body) && body.size() % 8 == 0;
+    if (!deframed) {
+      count_up_failure(stats_, UpFailure::kDeframe);
+      arena_.recycle(std::move(body));
+      arena_.recycle(std::move(ch));
+      return std::nullopt;
+    }
+    if (SUBLAYER_TAP_ACTIVE(telemetry::TapPoint::kFraming)) {
+      const Bytes packed = pack_bits(ch.slice(32, nbits));
+      SUBLAYER_TAP(telemetry::TapPoint::kFraming, telemetry::Dir::kUp,
+                   ByteView(packed));
+    }
+    tracer.crossing(framing_span_, telemetry::Dir::kUp, body.size() / 8);
+    ++stats_.frames_deframed;
+    arena_.recycle(std::move(ch));
+    // Error-detection sublayer: byte image, verify and strip in place.
+    Bytes checked = arena_.acquire_bytes();
+    body.copy_bytes_into(checked);  // size % 8 == 0: no pad bits
+    arena_.recycle(std::move(body));
+    SUBLAYER_TAP(telemetry::TapPoint::kFcs, telemetry::Dir::kUp,
+                 ByteView(checked));
+    if (!det_.check_strip_in_place(checked)) {
+      count_up_failure(stats_, UpFailure::kChecksum);
+      arena_.recycle(std::move(checked));
+      return std::nullopt;
+    }
+    tracer.crossing(errdet_span_, telemetry::Dir::kUp, checked.size());
+    ++stats_.frames_checked;
+    ++stats_.frames_up;  // survived all three sublayers
+    return checked;
+  }
+
+  void down_batch(std::vector<Bytes>& arq_frames,
+                  std::vector<Bytes>& wire_out) override {
+    auto& tracer = telemetry::SpanTracer::instance();
+    // Stage 1: error detection — append the tag in place on every frame.
+    for (Bytes& f : arq_frames) {
+      tracer.crossing(errdet_span_, telemetry::Dir::kDown, f.size());
+      det_.protect_in_place(f);
+      ++stats_.frames_tagged;
+      SUBLAYER_TAP(telemetry::TapPoint::kFcs, telemetry::Dir::kDown,
+                   ByteView(f));
+    }
+    // Stage 2: framing — channel stream per frame, arena-buffered.
+    batch_chan_.clear();
+    for (Bytes& f : arq_frames) {
+      tracer.crossing(framing_span_, telemetry::Dir::kDown, f.size());
+      data_scratch_.assign_bytes(ByteView(f));
+      BitString ch = arena_.acquire_bits();
+      ch.reserve(32 + 2 * framing_.rule().flag.size() +
+                 data_scratch_.size() + data_scratch_.size() / 8 + 64);
+      ch.append_word(0, 32);
+      framing_.frame_append(data_scratch_, ch);
+      const std::size_t nbits = ch.size() - 32;
+      ch.overwrite_bits(0, static_cast<std::uint64_t>(nbits), 32);
+      while (ch.size() % 8 != 0) ch.push_back(false);
+      ++stats_.frames_framed;
+      if (SUBLAYER_TAP_ACTIVE(telemetry::TapPoint::kFraming)) {
+        const Bytes packed = pack_bits(ch.slice(32, nbits));
+        SUBLAYER_TAP(telemetry::TapPoint::kFraming, telemetry::Dir::kDown,
+                     ByteView(packed));
+      }
+      arena_.recycle(std::move(f));  // tagged ARQ buffer fully consumed
+      batch_chan_.push_back(std::move(ch));
+    }
+    arq_frames.clear();
+    // Stage 3: encoding — line-code and pack each channel stream.
+    for (BitString& ch : batch_chan_) {
+      tracer.crossing(phy_span_, telemetry::Dir::kDown, ch.size() / 8);
+      Bytes wire = arena_.acquire_bytes();
+      if constexpr (Code::kIdentity) {
+        ++stats_.frames_encoded;
+        pack_into(ch, wire);
+      } else {
+        BitString symbols = arena_.acquire_bits();
+        symbols.reserve(
+            static_cast<std::size_t>(static_cast<double>(ch.size()) *
+                                     Code::kSymbolsPerBit) +
+            64);
+        Code::encode_append(ch, symbols);
+        ++stats_.frames_encoded;
+        pack_into(symbols, wire);
+        arena_.recycle(std::move(symbols));
+      }
+      SUBLAYER_TAP(telemetry::TapPoint::kPhyWire, telemetry::Dir::kDown,
+                   ByteView(wire));
+      arena_.recycle(std::move(ch));
+      wire_out.push_back(std::move(wire));
+    }
+    batch_chan_.clear();
+  }
+
+  void up_batch(std::vector<Bytes>& raws, std::vector<Bytes>& out) override {
+    auto& tracer = telemetry::SpanTracer::instance();
+    // Stage 1: encoding — unpack, recover channel bits, length check.
+    batch_chan_.clear();
+    batch_len_.clear();
+    for (Bytes& raw : raws) {
+      SUBLAYER_TAP(telemetry::TapPoint::kPhyWire, telemetry::Dir::kUp,
+                   ByteView(raw));
+      BitString ch = arena_.acquire_bits();
+      std::size_t nbits = 0;
+      if (parse_channel(ByteView(raw), ch, nbits)) {
+        tracer.crossing(phy_span_, telemetry::Dir::kUp, ch.size() / 8);
+        ++stats_.frames_decoded;
+        batch_len_.push_back(nbits);
+        batch_chan_.push_back(std::move(ch));
+      } else {
+        count_up_failure(stats_, UpFailure::kPhyDecode);
+        arena_.recycle(std::move(ch));  // may hold a partial decode
+      }
+      arena_.recycle(std::move(raw));
+    }
+    raws.clear();
+    // Stage 2: framing — deframe each channel stream in place.
+    batch_body_.clear();
+    for (std::size_t i = 0; i < batch_chan_.size(); ++i) {
+      BitString& ch = batch_chan_[i];
+      const std::size_t nbits = batch_len_[i];
+      BitString body = arena_.acquire_bits();
+      body.reserve(nbits);
+      const bool ok = framing_.deframe_append(ch, 32, nbits, body) &&
+                      body.size() % 8 == 0;
+      if (!ok) {
+        count_up_failure(stats_, UpFailure::kDeframe);
+        arena_.recycle(std::move(body));
+        arena_.recycle(std::move(ch));
+        continue;
+      }
+      if (SUBLAYER_TAP_ACTIVE(telemetry::TapPoint::kFraming)) {
+        const Bytes packed = pack_bits(ch.slice(32, nbits));
+        SUBLAYER_TAP(telemetry::TapPoint::kFraming, telemetry::Dir::kUp,
+                     ByteView(packed));
+      }
+      tracer.crossing(framing_span_, telemetry::Dir::kUp, body.size() / 8);
+      ++stats_.frames_deframed;
+      arena_.recycle(std::move(ch));
+      batch_body_.push_back(std::move(body));
+    }
+    batch_chan_.clear();
+    batch_len_.clear();
+    // Stage 3: error detection — byte image, verify and strip in place.
+    for (BitString& body : batch_body_) {
+      Bytes checked = arena_.acquire_bytes();
+      body.copy_bytes_into(checked);  // size % 8 == 0: no pad bits
+      arena_.recycle(std::move(body));
+      SUBLAYER_TAP(telemetry::TapPoint::kFcs, telemetry::Dir::kUp,
+                   ByteView(checked));
+      if (!det_.check_strip_in_place(checked)) {
+        count_up_failure(stats_, UpFailure::kChecksum);
+        arena_.recycle(std::move(checked));
+        continue;
+      }
+      tracer.crossing(errdet_span_, telemetry::Dir::kUp, checked.size());
+      ++stats_.frames_checked;
+      ++stats_.frames_up;  // survived all three sublayers
+      out.push_back(std::move(checked));
+    }
+    batch_body_.clear();
+  }
+
+  FrameArena& arena() override { return arena_; }
+  const StackStats& stats() const override { return stats_; }
+  bool fused() const override { return true; }
+  std::string code_name() const override { return Code::kName; }
+  std::string detector_name() const override { return det_.name(); }
+
+ private:
+  /// Length-prefix + pack: 32-bit symbol count, then the padded bytes.
+  static void pack_into(const BitString& sym, Bytes& wire) {
+    wire.reserve(4 + (sym.size() + 7) / 8);
+    ByteWriter w(wire);
+    w.u32(static_cast<std::uint32_t>(sym.size()));
+    sym.copy_bytes_into(wire);
+  }
+
+  /// Shared phy-up parse for both receive paths: unpack the symbol count,
+  /// decode into `ch`, and validate the channel length prefix into
+  /// `nbits`.  False on any failure (the caller bumps kPhyDecode and
+  /// discards `ch`, which may hold a partial decode).
+  bool parse_channel(ByteView raw, BitString& ch, std::size_t& nbits) {
+    if (raw.size() < 4) return false;
+    ByteReader r(raw);
+    const std::uint32_t nsym = r.u32();
+    if (r.remaining() != (static_cast<std::size_t>(nsym) + 7) / 8) {
+      return false;
+    }
+    if constexpr (Code::kIdentity) {
+      ch.assign_bytes(r.rest_view());
+      if (nsym > ch.size()) return false;
+      ch.truncate(nsym);
+    } else {
+      BitString sym = arena_.acquire_bits();
+      sym.assign_bytes(r.rest_view());
+      if (nsym > sym.size()) {
+        arena_.recycle(std::move(sym));
+        return false;
+      }
+      sym.truncate(nsym);
+      const bool decoded = Code::decode_append(sym, ch);
+      arena_.recycle(std::move(sym));
+      if (!decoded) return false;
+    }
+    if (ch.size() % 8 != 0 || ch.size() < 32) return false;
+    nbits = static_cast<std::size_t>(ch.bits_at(0, 32));
+    return ch.size() - 32 == 8 * ((nbits + 7) / 8);
+  }
+
+  Detector det_;
+  Framing framing_;
+  StackStats stats_;
+  FrameArena arena_;
+  // Scratch reused across frames so the steady state allocates nothing.
+  BitString data_scratch_;
+  std::vector<BitString> batch_chan_;
+  std::vector<std::size_t> batch_len_;
+  std::vector<BitString> batch_body_;
+  // Interned boundary ids for the span tracer, one per sublayer seam.
+  std::uint32_t errdet_span_ = 0;
+  std::uint32_t framing_span_ = 0;
+  std::uint32_t phy_span_ = 0;
+};
+
+}  // namespace sublayer::datalink::fused

@@ -1,0 +1,77 @@
+// The fused-pipeline registry: the one translation unit that pays for the
+// template instantiations.  Every supported line-code x CRC combination is
+// instantiated here (12 pipelines); everything else falls back to the
+// dynamic DataPlane, so an unregistered combination is a performance
+// choice, never an error.  Keeping all instantiations in one TU bounds
+// the compile-time footprint (check.sh guards the datalink build time).
+
+#include <memory>
+#include <string>
+
+#include "datalink/errordetect/detector_static.hpp"
+#include "datalink/framing/framing_static.hpp"
+#include "datalink/fused/pipeline.hpp"
+#include "datalink/stack.hpp"
+#include "phy/linecode_static.hpp"
+
+namespace sublayer::datalink {
+
+namespace {
+
+using Maker = std::unique_ptr<DataPlaneIface> (*)(const StuffingRule&);
+
+template <class Det, class Code>
+std::unique_ptr<DataPlaneIface> make_fused(const StuffingRule& stuffing) {
+  return std::make_unique<fused::Pipeline<Det, StuffingFraming, Code>>(
+      stuffing);
+}
+
+struct Entry {
+  const char* code;
+  const char* detector;
+  Maker make;
+};
+
+// Keyed by the virtual objects' self-reported names, so the factory's
+// fallback decision can never disagree with what the dynamic plane would
+// have run.  The stuffing rule stays a runtime value: HDLC and
+// low-overhead share one instantiation per row.
+constexpr const char* kCrc16 = "CRC-16/CCITT";
+constexpr const char* kCrc32 = "CRC-32";
+constexpr const char* kCrc64 = "CRC-64/XZ";
+
+const Entry kRegistry[] = {
+    {"NRZ", kCrc16, &make_fused<Crc16Detector, phy::NrzCode>},
+    {"NRZ", kCrc32, &make_fused<Crc32Detector, phy::NrzCode>},
+    {"NRZ", kCrc64, &make_fused<Crc64Detector, phy::NrzCode>},
+    {"NRZI", kCrc16, &make_fused<Crc16Detector, phy::NrziCode>},
+    {"NRZI", kCrc32, &make_fused<Crc32Detector, phy::NrziCode>},
+    {"NRZI", kCrc64, &make_fused<Crc64Detector, phy::NrziCode>},
+    {"Manchester", kCrc16, &make_fused<Crc16Detector, phy::ManchesterCode>},
+    {"Manchester", kCrc32, &make_fused<Crc32Detector, phy::ManchesterCode>},
+    {"Manchester", kCrc64, &make_fused<Crc64Detector, phy::ManchesterCode>},
+    {"4B5B", kCrc16, &make_fused<Crc16Detector, phy::FourBFiveBCode>},
+    {"4B5B", kCrc32, &make_fused<Crc32Detector, phy::FourBFiveBCode>},
+    {"4B5B", kCrc64, &make_fused<Crc64Detector, phy::FourBFiveBCode>},
+};
+
+}  // namespace
+
+std::unique_ptr<DataPlaneIface> make_data_plane(
+    std::unique_ptr<phy::LineCode> code,
+    std::unique_ptr<ErrorDetector> detector, const StuffingRule& stuffing,
+    bool fused) {
+  if (fused) {
+    const std::string code_name = code->name();
+    const std::string det_name = detector->name();
+    for (const Entry& e : kRegistry) {
+      if (code_name == e.code && det_name == e.detector) {
+        return e.make(stuffing);
+      }
+    }
+  }
+  return std::make_unique<DataPlane>(std::move(code), std::move(detector),
+                                     stuffing);
+}
+
+}  // namespace sublayer::datalink

@@ -92,13 +92,13 @@ std::optional<Bytes> DataPlane::up(ByteView raw) {
   // Encoding sublayer: recover channel bits.
   const auto symbols = unpack_bits(raw);
   if (!symbols) {
-    ++stats_.phy_decode_failures;
+    count_up_failure(stats_, UpFailure::kPhyDecode);
     return std::nullopt;
   }
   auto channel_bits = code_->decode(*symbols);
   if (!channel_bits || channel_bits->size() % 8 != 0 ||
       channel_bits->size() < 32) {
-    ++stats_.phy_decode_failures;
+    count_up_failure(stats_, UpFailure::kPhyDecode);
     return std::nullopt;
   }
   // Parse the 32-bit length prefix straight off the bit stream (the moral
@@ -107,7 +107,7 @@ std::optional<Bytes> DataPlane::up(ByteView raw) {
   const auto nbits =
       static_cast<std::size_t>(channel_bits->bits_at(0, 32));
   if (channel_bits->size() - 32 != 8 * ((nbits + 7) / 8)) {
-    ++stats_.phy_decode_failures;
+    count_up_failure(stats_, UpFailure::kPhyDecode);
     return std::nullopt;
   }
   tracer.crossing(phy_span_, telemetry::Dir::kUp, channel_bits->size() / 8);
@@ -115,7 +115,7 @@ std::optional<Bytes> DataPlane::up(ByteView raw) {
   // Framing sublayer: strip flags, unstuff.
   const auto body = deframe(stuffing_, channel_bits->slice(32, nbits));
   if (!body || body->size() % 8 != 0) {
-    ++stats_.deframe_failures;
+    count_up_failure(stats_, UpFailure::kDeframe);
     return std::nullopt;
   }
   if (SUBLAYER_TAP_ACTIVE(telemetry::TapPoint::kFraming)) {
@@ -132,7 +132,7 @@ std::optional<Bytes> DataPlane::up(ByteView raw) {
   SUBLAYER_TAP(telemetry::TapPoint::kFcs, telemetry::Dir::kUp,
                ByteView(checked));
   if (!detector_->check_strip_in_place(checked)) {
-    ++stats_.checksum_failures;
+    count_up_failure(stats_, UpFailure::kChecksum);
     return std::nullopt;
   }
   tracer.crossing(errdet_span_, telemetry::Dir::kUp, checked.size());
@@ -255,7 +255,7 @@ void DataPlane::up_batch(std::vector<Bytes>& raws, std::vector<Bytes>& out) {
       ok = true;
     } while (false);
     if (!ok) {
-      ++stats_.phy_decode_failures;
+      count_up_failure(stats_, UpFailure::kPhyDecode);
       arena_.recycle(std::move(ch));  // may hold a partial decode: discard
     }
     arena_.recycle(std::move(raw));
@@ -272,7 +272,7 @@ void DataPlane::up_batch(std::vector<Bytes>& raws, std::vector<Bytes>& out) {
     const bool ok = deframe_append(stuffing_, ch, 32, nbits, body) &&
                     body.size() % 8 == 0;
     if (!ok) {
-      ++stats_.deframe_failures;
+      count_up_failure(stats_, UpFailure::kDeframe);
       arena_.recycle(std::move(body));
       arena_.recycle(std::move(ch));
       continue;
@@ -297,7 +297,7 @@ void DataPlane::up_batch(std::vector<Bytes>& raws, std::vector<Bytes>& out) {
     SUBLAYER_TAP(telemetry::TapPoint::kFcs, telemetry::Dir::kUp,
                  ByteView(checked));
     if (!detector_->check_strip_in_place(checked)) {
-      ++stats_.checksum_failures;
+      count_up_failure(stats_, UpFailure::kChecksum);
       arena_.recycle(std::move(checked));
       continue;
     }
@@ -313,11 +313,12 @@ DatalinkEndpoint::DatalinkEndpoint(sim::Simulator& sim,
                                    std::unique_ptr<phy::LineCode> code,
                                    std::unique_ptr<ErrorDetector> detector,
                                    const StackConfig& config)
-    : plane_(std::move(code), std::move(detector), config.stuffing) {
+    : plane_(make_data_plane(std::move(code), std::move(detector),
+                             config.stuffing, config.fused)) {
   // The ARQ engine draws its emitted frames from the plane's arena, so
   // the batched down path can recycle them once their bits are packed.
   ArqConfig ac = config.arq;
-  ac.arena = &plane_.arena();
+  ac.arena = &plane_->arena();
   arq_ = arq_factory(config.arq_engine)(sim, ac);
   auto& tracer = telemetry::SpanTracer::instance();
   link_span_ = tracer.intern("datalink.link");
@@ -338,12 +339,12 @@ DatalinkEndpoint::DatalinkEndpoint(sim::Simulator& sim,
       // retransmission timer): a batch of one keeps the single code path.
       pending_tx_.push_back(std::move(f));
       tx_scratch_.clear();
-      plane_.down_batch(pending_tx_, tx_scratch_);
+      plane_->down_batch(pending_tx_, tx_scratch_);
       wire_batch_sink_(tx_scratch_);
       tx_scratch_.clear();
       return;
     }
-    if (wire_sink_) wire_sink_(plane_.down(std::move(f)));
+    if (wire_sink_) wire_sink_(plane_->down(std::move(f)));
   });
 }
 
@@ -377,7 +378,7 @@ bool DatalinkEndpoint::send(Bytes payload) {
 }
 
 void DatalinkEndpoint::on_wire_frame(Bytes raw) {
-  auto arq_frame = plane_.up(raw);
+  auto arq_frame = plane_->up(raw);
   if (!arq_frame) return;
   telemetry::SpanTracer::instance().crossing(
       arq_span_, telemetry::Dir::kUp, arq_frame->size());
@@ -389,7 +390,7 @@ void DatalinkEndpoint::on_wire_frame(Bytes raw) {
 void DatalinkEndpoint::on_wire_batch(sim::FrameBatch& raws) {
   auto& tracer = telemetry::SpanTracer::instance();
   up_scratch_.clear();
-  plane_.up_batch(raws, up_scratch_);
+  plane_->up_batch(raws, up_scratch_);
   // Feed the survivors to ARQ in delivery order, collecting everything it
   // emits in response — acks, window releases, retransmissions — so the
   // burst's whole answer goes back down the sublayers as one batch.
@@ -404,7 +405,7 @@ void DatalinkEndpoint::on_wire_batch(sim::FrameBatch& raws) {
   up_scratch_.clear();
   if (pending_tx_.empty()) return;
   tx_scratch_.clear();
-  plane_.down_batch(pending_tx_, tx_scratch_);
+  plane_->down_batch(pending_tx_, tx_scratch_);
   if (wire_batch_sink_) {
     wire_batch_sink_(tx_scratch_);
   } else if (wire_sink_) {
@@ -438,6 +439,18 @@ DatalinkPair::DatalinkPair(sim::Simulator& sim,
   b_.set_wire_sink([this](Bytes f) { link_.b_to_a().send(std::move(f)); });
   link_.a_to_b().set_receiver([this](Bytes f) { b_.on_wire_frame(std::move(f)); });
   link_.b_to_a().set_receiver([this](Bytes f) { a_.on_wire_frame(std::move(f)); });
+}
+
+void DatalinkPair::save(sim::SnapshotWriter& w) const {
+  link_.save(w);
+  a_.save(w);
+  b_.save(w);
+}
+
+void DatalinkPair::restore(sim::SnapshotReader& r) {
+  link_.restore(r);
+  a_.restore(r);
+  b_.restore(r);
 }
 
 }  // namespace sublayer::datalink

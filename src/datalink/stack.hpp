@@ -43,6 +43,15 @@ struct StackConfig {
   /// burst of deliveries crosses the sublayers stage-by-stage in one
   /// visit.  Off: classic per-frame wiring — the replay baseline.
   bool batched_wire = false;
+  /// Run the sub-ARQ data plane as a compile-time fused pipeline (one
+  /// inlined code path per code x detector combination, registered in
+  /// datalink/fused/registry.cpp) instead of per-sublayer virtual
+  /// dispatch.  Trace-invisible by contract: wires, taps, span crossings,
+  /// and counters are byte-for-byte identical to the dynamic plane (the
+  /// fused equivalence suite pins this), so the flag is purely a
+  /// performance choice.  Combinations without a registered fused
+  /// instantiation fall back to the dynamic plane.
+  bool fused = false;
 };
 
 /// Registry-backed (`datalink.<sublayer>.*`); reads stay per-instance.
@@ -60,6 +69,63 @@ struct StackStats {
   telemetry::Counter frames_checked;   // errordetect: tag verified + stripped
 };
 
+/// The three ways a frame can die on the way up, one per sublayer.  All
+/// receive paths — per-frame, batched, and fused — report failures through
+/// count_up_failure so the counter semantics cannot drift between them.
+enum class UpFailure {
+  kPhyDecode,  // symbol stream unparseable / bad length prefix
+  kDeframe,    // bad flags or inconsistent stuffed stream
+  kChecksum,   // tag mismatch
+};
+
+inline void count_up_failure(StackStats& stats, UpFailure which) {
+  switch (which) {
+    case UpFailure::kPhyDecode:
+      ++stats.phy_decode_failures;
+      break;
+    case UpFailure::kDeframe:
+      ++stats.deframe_failures;
+      break;
+    case UpFailure::kChecksum:
+      ++stats.checksum_failures;
+      break;
+  }
+}
+
+/// The type-erasure seam between the endpoint and the data plane: ONE
+/// virtual hop at the top of the plane (instead of one per sublayer
+/// boundary), behind which either the dynamic DataPlane or a fused
+/// compile-time pipeline (datalink/fused/pipeline.hpp) runs.  Everything
+/// observable — wires, taps, spans, counters, arena recycling — is
+/// identical across implementations.
+class DataPlaneIface {
+ public:
+  virtual ~DataPlaneIface() = default;
+
+  virtual Bytes down(Bytes arq_frame) = 0;
+  virtual std::optional<Bytes> up(ByteView raw) = 0;
+  virtual void down_batch(std::vector<Bytes>& arq_frames,
+                          std::vector<Bytes>& wire_out) = 0;
+  virtual void up_batch(std::vector<Bytes>& raws,
+                        std::vector<Bytes>& out) = 0;
+  virtual FrameArena& arena() = 0;
+  virtual const StackStats& stats() const = 0;
+  /// True on compile-time fused implementations (diagnostics only — the
+  /// two paths are observably identical by contract).
+  virtual bool fused() const = 0;
+  virtual std::string code_name() const = 0;
+  virtual std::string detector_name() const = 0;
+};
+
+/// Builds the data plane an endpoint runs on: a fused pipeline when
+/// `fused` is set and the (code, detector) combination has a registered
+/// compile-time instantiation, else the dynamic DataPlane.  Defined in
+/// datalink/fused/registry.cpp.
+std::unique_ptr<DataPlaneIface> make_data_plane(
+    std::unique_ptr<phy::LineCode> code,
+    std::unique_ptr<ErrorDetector> detector, const StuffingRule& stuffing,
+    bool fused);
+
 /// The sub-ARQ data plane: error detection over framing over line coding.
 /// Owns the per-sublayer stats and span instrumentation for those three
 /// seams, and threads ONE buffer through the byte-granular boundaries —
@@ -67,16 +133,16 @@ struct StackStats {
 /// truncates it in place — so crossing a sublayer boundary costs a tracer
 /// tick, not an allocation.  Factored out of the endpoint so benchmarks
 /// can drive the pipeline directly, without ARQ or a simulator.
-class DataPlane {
+class DataPlane final : public DataPlaneIface {
  public:
   DataPlane(std::unique_ptr<phy::LineCode> code,
             std::unique_ptr<ErrorDetector> detector, StuffingRule stuffing);
 
   /// detect → frame → encode: an ARQ frame becomes a wire frame.
-  Bytes down(Bytes arq_frame);
+  Bytes down(Bytes arq_frame) override;
   /// decode → deframe → check: a wire frame becomes a clean ARQ frame,
   /// or nullopt (with the failing sublayer's counter bumped).
-  std::optional<Bytes> up(ByteView raw);
+  std::optional<Bytes> up(ByteView raw) override;
 
   /// Vectorized down(): pushes the whole batch through each sublayer in
   /// turn (tag xN, then frame xN, then encode xN), appending one wire
@@ -85,19 +151,23 @@ class DataPlane {
   /// stage instead of by frame (same virtual timestamp either way).
   /// Consumed input buffers are recycled into the arena; steady state
   /// runs allocation-free once the pools are warm.
-  void down_batch(std::vector<Bytes>& arq_frames, std::vector<Bytes>& wire_out);
+  void down_batch(std::vector<Bytes>& arq_frames,
+                  std::vector<Bytes>& wire_out) override;
 
   /// Vectorized up(): survivors (frames that clear all three sublayers)
   /// append to `out` in input order; failures bump the failing sublayer's
   /// counter exactly as up() does.  Consumed raw buffers are recycled.
-  void up_batch(std::vector<Bytes>& raws, std::vector<Bytes>& out);
+  void up_batch(std::vector<Bytes>& raws, std::vector<Bytes>& out) override;
 
   /// Buffer pool the batched paths recycle through; the ARQ engine above
   /// shares it (ArqConfig::arena), closing the loop: frames it emits come
   /// back here once their bits are on the wire.
-  FrameArena& arena() { return arena_; }
+  FrameArena& arena() override { return arena_; }
 
-  const StackStats& stats() const { return stats_; }
+  const StackStats& stats() const override { return stats_; }
+  bool fused() const override { return false; }
+  std::string code_name() const override { return code_->name(); }
+  std::string detector_name() const override { return detector_->name(); }
   const phy::LineCode& code() const { return *code_; }
   const ErrorDetector& detector() const { return *detector_; }
 
@@ -150,11 +220,21 @@ class DatalinkEndpoint {
   void resync() { arq_->resync(); }
   bool idle() const { return arq_->idle(); }
 
-  const StackStats& stats() const { return plane_.stats(); }
+  /// Checkpoint/restore: the sub-ARQ plane is stateless between events
+  /// (its counters live in the registry, saved with telemetry), so the
+  /// endpoint's state IS its ARQ sublayer's state.  Config is not saved —
+  /// the restore graph constructs with matching topology, but may freely
+  /// flip performance-only knobs (batched_wire, fused): the snapshot
+  /// format is plane-implementation-agnostic by contract.
+  void save(sim::SnapshotWriter& w) const { arq_->save(w); }
+  void restore(sim::SnapshotReader& r) { arq_->restore(r); }
+
+  const StackStats& stats() const { return plane_->stats(); }
   const ArqStats& arq_stats() const { return arq_->stats(); }
+  const DataPlaneIface& plane() const { return *plane_; }
 
  private:
-  DataPlane plane_;
+  std::unique_ptr<DataPlaneIface> plane_;
   std::unique_ptr<ArqEndpoint> arq_;
   std::function<void(Bytes)> wire_sink_;
   std::function<void(sim::FrameBatch&)> wire_batch_sink_;
@@ -183,6 +263,13 @@ class DatalinkPair {
   DatalinkEndpoint& a() { return a_; }
   DatalinkEndpoint& b() { return b_; }
   sim::DuplexLink& link() { return link_; }
+
+  /// Checkpoint/restore: link (in-flight frames, rng stream, stats) then
+  /// both endpoints.  A pair restored with a different StackConfig::fused
+  /// (or batched_wire) resumes bit-identically — those knobs only pick
+  /// the code path, never the bits.
+  void save(sim::SnapshotWriter& w) const;
+  void restore(sim::SnapshotReader& r);
 
  private:
   sim::DuplexLink link_;

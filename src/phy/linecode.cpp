@@ -1,6 +1,11 @@
 #include "phy/linecode.hpp"
 
-#include <array>
+#include "phy/linecode_static.hpp"
+
+// The virtual classes here are thin adapters over the static kernels in
+// linecode_static.hpp: the dynamic (swappable-at-runtime) path and the
+// fused (compile-time composed) path share one implementation, so the
+// round-trip tests pin both.
 
 namespace sublayer::phy {
 
@@ -17,276 +22,59 @@ bool LineCode::decode_append(const BitString& symbols, BitString& out) const {
 
 namespace {
 
-/// Iterates a BitString 64 bits at a time (final chunk may be short),
-/// handing each chunk to `fn(std::uint64_t value_in_low_bits, std::size_t n)`.
-template <typename Fn>
-void for_each_chunk(const BitString& bits, Fn&& fn) {
-  const std::size_t total = bits.size();
-  for (std::size_t off = 0; off < total; off += 64) {
-    const std::size_t n = std::min<std::size_t>(64, total - off);
-    fn(bits.bits_at(off, n), n);
-  }
-}
-
-class Nrz final : public LineCode {
+/// Adapts a static code stage (linecode_static.hpp) to the virtual
+/// LineCode interface.
+template <class Static>
+class VirtualCode final : public LineCode {
  public:
-  std::string name() const override { return "NRZ"; }
-  double symbols_per_bit() const override { return 1.0; }
-  bool is_identity() const override { return true; }
-  BitString encode(const BitString& data) const override { return data; }
-  std::optional<BitString> decode(const BitString& symbols) const override {
-    return symbols;
+  std::string name() const override { return Static::kName; }
+  double symbols_per_bit() const override { return Static::kSymbolsPerBit; }
+  std::size_t input_alignment_bits() const override {
+    return Static::kInputAlignmentBits;
   }
-  void encode_append(const BitString& data, BitString& out) const override {
-    out.append(data);
-  }
-  bool decode_append(const BitString& symbols, BitString& out) const override {
-    out.append(symbols);
-    return true;
-  }
-};
-
-class Nrzi final : public LineCode {
- public:
-  std::string name() const override { return "NRZI"; }
-  double symbols_per_bit() const override { return 1.0; }
+  bool is_identity() const override { return Static::kIdentity; }
 
   void encode_append(const BitString& data, BitString& out) const override {
-    // level[i] = initial_level XOR parity(data[0..i]): a word-parallel
-    // prefix-XOR from the MSB side, with the running level carried between
-    // chunks, replaces the per-bit toggle loop.
-    out.reserve(out.size() + data.size());
-    bool level = false;
-    for_each_chunk(data, [&](std::uint64_t v, std::size_t n) {
-      std::uint64_t w = v << (64 - n);
-      w ^= w >> 1;
-      w ^= w >> 2;
-      w ^= w >> 4;
-      w ^= w >> 8;
-      w ^= w >> 16;
-      w ^= w >> 32;
-      if (level) w = ~w;
-      out.append_word(w >> (64 - n), static_cast<int>(n));
-      level = (w >> (64 - n)) & 1;
-    });
+    Static::encode_append(data, out);
   }
-
   bool decode_append(const BitString& symbols, BitString& out) const override {
-    // data[i] = symbols[i] XOR symbols[i-1], with the previous chunk's last
-    // level carried into the top bit.
-    out.reserve(out.size() + symbols.size());
-    bool prev = false;
-    for_each_chunk(symbols, [&](std::uint64_t v, std::size_t n) {
-      const std::uint64_t w = v << (64 - n);
-      std::uint64_t shifted = w >> 1;
-      if (prev) shifted |= 1ull << 63;
-      out.append_word((w ^ shifted) >> (64 - n), static_cast<int>(n));
-      prev = v & 1;
-    });
-    return true;
+    return Static::decode_append(symbols, out);
   }
 
   BitString encode(const BitString& data) const override {
-    BitString out;
-    encode_append(data, out);
-    return out;
+    if constexpr (Static::kIdentity) {
+      return data;
+    } else {
+      BitString out;
+      Static::encode_append(data, out);
+      return out;
+    }
   }
 
   std::optional<BitString> decode(const BitString& symbols) const override {
-    BitString out;
-    decode_append(symbols, out);
-    return out;
-  }
-};
-
-/// 8 data bits -> 16 Manchester symbol bits (IEEE 802.3: 0 -> 01, 1 -> 10).
-constexpr std::array<std::uint16_t, 256> manchester_table() {
-  std::array<std::uint16_t, 256> t{};
-  for (int b = 0; b < 256; ++b) {
-    std::uint16_t sym = 0;
-    for (int i = 7; i >= 0; --i) {
-      sym = static_cast<std::uint16_t>(sym << 2 | ((b >> i & 1) != 0 ? 0b10 : 0b01));
-    }
-    t[static_cast<std::size_t>(b)] = sym;
-  }
-  return t;
-}
-
-/// Inverse: 8 symbol bits -> 4 data bits, or -1 if any pair is 00/11.
-constexpr std::array<std::int8_t, 256> manchester_inverse() {
-  std::array<std::int8_t, 256> t{};
-  for (int s = 0; s < 256; ++s) {
-    int nibble = 0;
-    bool valid = true;
-    for (int p = 3; p >= 0; --p) {
-      const int pair = s >> (2 * p) & 0b11;
-      if (pair != 0b01 && pair != 0b10) valid = false;
-      nibble = nibble << 1 | (pair == 0b10 ? 1 : 0);
-    }
-    t[static_cast<std::size_t>(s)] = static_cast<std::int8_t>(valid ? nibble : -1);
-  }
-  return t;
-}
-
-class Manchester final : public LineCode {
- public:
-  std::string name() const override { return "Manchester"; }
-  double symbols_per_bit() const override { return 2.0; }
-
-  void encode_append(const BitString& data, BitString& out) const override {
-    static constexpr auto kExpand = manchester_table();
-    out.reserve(out.size() + data.size() * 2);
-    std::size_t i = 0;
-    // 32 data bits -> one 64-bit symbol word: 4 table lookups per append.
-    for (; i + 32 <= data.size(); i += 32) {
-      const std::uint64_t d = data.bits_at(i, 32);
-      const std::uint64_t w =
-          static_cast<std::uint64_t>(kExpand[d >> 24]) << 48 |
-          static_cast<std::uint64_t>(kExpand[(d >> 16) & 0xff]) << 32 |
-          static_cast<std::uint64_t>(kExpand[(d >> 8) & 0xff]) << 16 |
-          static_cast<std::uint64_t>(kExpand[d & 0xff]);
-      out.append_word(w, 64);
-    }
-    for (; i + 8 <= data.size(); i += 8) {
-      out.append_word(kExpand[data.bits_at(i, 8)], 16);
-    }
-    for (; i < data.size(); ++i) {
-      out.append_word(data[i] ? 0b10 : 0b01, 2);
+    if constexpr (Static::kIdentity) {
+      return symbols;
+    } else {
+      BitString out;
+      if (!Static::decode_append(symbols, out)) return std::nullopt;
+      return out;
     }
   }
-
-  bool decode_append(const BitString& symbols, BitString& out) const override {
-    if (symbols.size() % 2 != 0) return false;
-    static constexpr auto kCompress = manchester_inverse();
-    out.reserve(out.size() + symbols.size() / 2);
-    std::size_t i = 0;
-    // 64 symbol bits -> 32 data bits: 8 lookups per append, and the
-    // validity test ORs the signs so one branch covers the whole word.
-    for (; i + 64 <= symbols.size(); i += 64) {
-      const std::uint64_t s = symbols.bits_at(i, 64);
-      std::uint64_t w = 0;
-      int invalid = 0;
-      for (int b = 7; b >= 0; --b) {
-        const std::int8_t nibble = kCompress[(s >> (8 * b)) & 0xff];
-        invalid |= nibble;
-        w = w << 4 | static_cast<std::uint64_t>(nibble & 0xf);
-      }
-      if (invalid < 0) return false;  // 00/11 are invalid mid-bit patterns
-      out.append_word(w, 32);
-    }
-    for (; i + 8 <= symbols.size(); i += 8) {
-      const std::int8_t nibble = kCompress[symbols.bits_at(i, 8)];
-      if (nibble < 0) return false;
-      out.append_word(static_cast<std::uint64_t>(nibble), 4);
-    }
-    for (; i < symbols.size(); i += 2) {
-      const std::uint64_t pair = symbols.bits_at(i, 2);
-      if (pair != 0b01 && pair != 0b10) return false;
-      out.push_back(pair == 0b10);
-    }
-    return true;
-  }
-
-  BitString encode(const BitString& data) const override {
-    BitString out;
-    encode_append(data, out);
-    return out;
-  }
-
-  std::optional<BitString> decode(const BitString& symbols) const override {
-    BitString out;
-    if (!decode_append(symbols, out)) return std::nullopt;
-    return out;
-  }
-};
-
-// FDDI 4B/5B data symbols.
-constexpr std::array<std::uint8_t, 16> k4b5b = {
-    0b11110, 0b01001, 0b10100, 0b10101, 0b01010, 0b01011, 0b01110, 0b01111,
-    0b10010, 0b10011, 0b10110, 0b10111, 0b11010, 0b11011, 0b11100, 0b11101,
-};
-
-class FourBFiveB final : public LineCode {
- public:
-  FourBFiveB() {
-    reverse_.fill(-1);
-    for (std::size_t i = 0; i < k4b5b.size(); ++i) {
-      reverse_[k4b5b[i]] = static_cast<int>(i);
-    }
-  }
-
-  std::string name() const override { return "4B5B"; }
-  double symbols_per_bit() const override { return 1.25; }
-  std::size_t input_alignment_bits() const override { return 4; }
-
-  void encode_append(const BitString& data, BitString& out) const override {
-    if (data.size() % 4 != 0) {
-      throw std::invalid_argument("4B5B: input must be 4-bit aligned");
-    }
-    out.reserve(out.size() + data.size() / 4 * 5);
-    std::size_t i = 0;
-    // 32 data bits (8 nibbles) -> 40 symbol bits per append.
-    for (; i + 32 <= data.size(); i += 32) {
-      const std::uint64_t d = data.bits_at(i, 32);
-      std::uint64_t w = 0;
-      for (int nb = 7; nb >= 0; --nb) {
-        w = w << 5 | k4b5b[(d >> (4 * nb)) & 0xf];
-      }
-      out.append_word(w, 40);
-    }
-    for (; i < data.size(); i += 4) {
-      out.append_word(k4b5b[data.bits_at(i, 4)], 5);
-    }
-  }
-
-  bool decode_append(const BitString& symbols, BitString& out) const override {
-    if (symbols.size() % 5 != 0) return false;
-    out.reserve(out.size() + symbols.size() / 5 * 4);
-    std::size_t i = 0;
-    // 40 symbol bits -> 32 data bits per append.
-    for (; i + 40 <= symbols.size(); i += 40) {
-      const std::uint64_t s = symbols.bits_at(i, 40);
-      std::uint64_t w = 0;
-      int invalid = 0;
-      for (int sym = 7; sym >= 0; --sym) {
-        const int nibble = reverse_[(s >> (5 * sym)) & 0x1f];
-        invalid |= nibble;
-        w = w << 4 | static_cast<std::uint64_t>(nibble & 0xf);
-      }
-      if (invalid < 0) return false;  // not a data symbol
-      out.append_word(w, 32);
-    }
-    for (; i < symbols.size(); i += 5) {
-      const int nibble = reverse_[symbols.bits_at(i, 5)];
-      if (nibble < 0) return false;
-      out.append_word(static_cast<std::uint64_t>(nibble), 4);
-    }
-    return true;
-  }
-
-  BitString encode(const BitString& data) const override {
-    BitString out;
-    encode_append(data, out);
-    return out;
-  }
-
-  std::optional<BitString> decode(const BitString& symbols) const override {
-    BitString out;
-    if (!decode_append(symbols, out)) return std::nullopt;
-    return out;
-  }
-
- private:
-  std::array<int, 32> reverse_{};
 };
 
 }  // namespace
 
-std::unique_ptr<LineCode> make_nrz() { return std::make_unique<Nrz>(); }
-std::unique_ptr<LineCode> make_nrzi() { return std::make_unique<Nrzi>(); }
-std::unique_ptr<LineCode> make_manchester() {
-  return std::make_unique<Manchester>();
+std::unique_ptr<LineCode> make_nrz() {
+  return std::make_unique<VirtualCode<NrzCode>>();
 }
-std::unique_ptr<LineCode> make_4b5b() { return std::make_unique<FourBFiveB>(); }
+std::unique_ptr<LineCode> make_nrzi() {
+  return std::make_unique<VirtualCode<NrziCode>>();
+}
+std::unique_ptr<LineCode> make_manchester() {
+  return std::make_unique<VirtualCode<ManchesterCode>>();
+}
+std::unique_ptr<LineCode> make_4b5b() {
+  return std::make_unique<VirtualCode<FourBFiveBCode>>();
+}
 
 }  // namespace sublayer::phy

@@ -1,0 +1,260 @@
+// Static (compile-time) forms of the line codes: the same word-parallel
+// kernels as the virtual classes in linecode.cpp, exposed as stateless
+// types with static member functions so a template composer
+// (datalink/fused/pipeline.hpp) can inline them into a fused pipeline with
+// zero dispatch.  The virtual classes delegate to these — one kernel, two
+// call conventions — so the existing round-trip tests pin both paths.
+//
+// Stage shape (the fused composer's `Code` concept):
+//   kName / kSymbolsPerBit / kInputAlignmentBits / kIdentity
+//   static void encode_append(const BitString& data, BitString& out)
+//   static bool decode_append(const BitString& symbols, BitString& out)
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+
+#include "common/bytes.hpp"
+
+namespace sublayer::phy {
+
+namespace codedetail {
+
+/// Iterates a BitString 64 bits at a time (final chunk may be short),
+/// handing each chunk to `fn(std::uint64_t value_in_low_bits, std::size_t n)`.
+template <typename Fn>
+inline void for_each_chunk(const BitString& bits, Fn&& fn) {
+  const std::size_t total = bits.size();
+  for (std::size_t off = 0; off < total; off += 64) {
+    const std::size_t n = std::min<std::size_t>(64, total - off);
+    fn(bits.bits_at(off, n), n);
+  }
+}
+
+/// 8 data bits -> 16 Manchester symbol bits (IEEE 802.3: 0 -> 01, 1 -> 10).
+constexpr std::array<std::uint16_t, 256> manchester_table() {
+  std::array<std::uint16_t, 256> t{};
+  for (int b = 0; b < 256; ++b) {
+    std::uint16_t sym = 0;
+    for (int i = 7; i >= 0; --i) {
+      sym = static_cast<std::uint16_t>(sym << 2 |
+                                       ((b >> i & 1) != 0 ? 0b10 : 0b01));
+    }
+    t[static_cast<std::size_t>(b)] = sym;
+  }
+  return t;
+}
+
+/// Inverse: 8 symbol bits -> 4 data bits, or -1 if any pair is 00/11.
+constexpr std::array<std::int8_t, 256> manchester_inverse() {
+  std::array<std::int8_t, 256> t{};
+  for (int s = 0; s < 256; ++s) {
+    int nibble = 0;
+    bool valid = true;
+    for (int p = 3; p >= 0; --p) {
+      const int pair = s >> (2 * p) & 0b11;
+      if (pair != 0b01 && pair != 0b10) valid = false;
+      nibble = nibble << 1 | (pair == 0b10 ? 1 : 0);
+    }
+    t[static_cast<std::size_t>(s)] =
+        static_cast<std::int8_t>(valid ? nibble : -1);
+  }
+  return t;
+}
+
+// FDDI 4B/5B data symbols.
+constexpr std::array<std::uint8_t, 16> k4b5b = {
+    0b11110, 0b01001, 0b10100, 0b10101, 0b01010, 0b01011, 0b01110, 0b01111,
+    0b10010, 0b10011, 0b10110, 0b10111, 0b11010, 0b11011, 0b11100, 0b11101,
+};
+
+constexpr std::array<std::int8_t, 32> k4b5b_inverse() {
+  std::array<std::int8_t, 32> t{};
+  for (auto& e : t) e = -1;
+  for (std::size_t i = 0; i < k4b5b.size(); ++i) {
+    t[k4b5b[i]] = static_cast<std::int8_t>(i);
+  }
+  return t;
+}
+
+}  // namespace codedetail
+
+/// Non-return-to-zero: symbols are the bits themselves.
+struct NrzCode {
+  static constexpr const char* kName = "NRZ";
+  static constexpr double kSymbolsPerBit = 1.0;
+  static constexpr std::size_t kInputAlignmentBits = 1;
+  static constexpr bool kIdentity = true;
+
+  static void encode_append(const BitString& data, BitString& out) {
+    out.append(data);
+  }
+  static bool decode_append(const BitString& symbols, BitString& out) {
+    out.append(symbols);
+    return true;
+  }
+};
+
+/// NRZI: a 1 toggles the line level, a 0 holds it.  Initial level is 0.
+struct NrziCode {
+  static constexpr const char* kName = "NRZI";
+  static constexpr double kSymbolsPerBit = 1.0;
+  static constexpr std::size_t kInputAlignmentBits = 1;
+  static constexpr bool kIdentity = false;
+
+  static void encode_append(const BitString& data, BitString& out) {
+    // level[i] = initial_level XOR parity(data[0..i]): a word-parallel
+    // prefix-XOR from the MSB side, with the running level carried between
+    // chunks, replaces the per-bit toggle loop.
+    out.reserve(out.size() + data.size());
+    bool level = false;
+    codedetail::for_each_chunk(data, [&](std::uint64_t v, std::size_t n) {
+      std::uint64_t w = v << (64 - n);
+      w ^= w >> 1;
+      w ^= w >> 2;
+      w ^= w >> 4;
+      w ^= w >> 8;
+      w ^= w >> 16;
+      w ^= w >> 32;
+      if (level) w = ~w;
+      out.append_word(w >> (64 - n), static_cast<int>(n));
+      level = (w >> (64 - n)) & 1;
+    });
+  }
+
+  static bool decode_append(const BitString& symbols, BitString& out) {
+    // data[i] = symbols[i] XOR symbols[i-1], with the previous chunk's last
+    // level carried into the top bit.
+    out.reserve(out.size() + symbols.size());
+    bool prev = false;
+    codedetail::for_each_chunk(symbols, [&](std::uint64_t v, std::size_t n) {
+      const std::uint64_t w = v << (64 - n);
+      std::uint64_t shifted = w >> 1;
+      if (prev) shifted |= 1ull << 63;
+      out.append_word((w ^ shifted) >> (64 - n), static_cast<int>(n));
+      prev = v & 1;
+    });
+    return true;
+  }
+};
+
+/// Manchester (IEEE 802.3 convention): 0 -> 01, 1 -> 10.
+struct ManchesterCode {
+  static constexpr const char* kName = "Manchester";
+  static constexpr double kSymbolsPerBit = 2.0;
+  static constexpr std::size_t kInputAlignmentBits = 1;
+  static constexpr bool kIdentity = false;
+
+  static void encode_append(const BitString& data, BitString& out) {
+    static constexpr auto kExpand = codedetail::manchester_table();
+    out.reserve(out.size() + data.size() * 2);
+    std::size_t i = 0;
+    // 32 data bits -> one 64-bit symbol word: 4 table lookups per append.
+    for (; i + 32 <= data.size(); i += 32) {
+      const std::uint64_t d = data.bits_at(i, 32);
+      const std::uint64_t w =
+          static_cast<std::uint64_t>(kExpand[d >> 24]) << 48 |
+          static_cast<std::uint64_t>(kExpand[(d >> 16) & 0xff]) << 32 |
+          static_cast<std::uint64_t>(kExpand[(d >> 8) & 0xff]) << 16 |
+          static_cast<std::uint64_t>(kExpand[d & 0xff]);
+      out.append_word(w, 64);
+    }
+    for (; i + 8 <= data.size(); i += 8) {
+      out.append_word(kExpand[data.bits_at(i, 8)], 16);
+    }
+    for (; i < data.size(); ++i) {
+      out.append_word(data[i] ? 0b10 : 0b01, 2);
+    }
+  }
+
+  static bool decode_append(const BitString& symbols, BitString& out) {
+    if (symbols.size() % 2 != 0) return false;
+    static constexpr auto kCompress = codedetail::manchester_inverse();
+    out.reserve(out.size() + symbols.size() / 2);
+    std::size_t i = 0;
+    // 64 symbol bits -> 32 data bits: 8 lookups per append, and the
+    // validity test ORs the signs so one branch covers the whole word.
+    for (; i + 64 <= symbols.size(); i += 64) {
+      const std::uint64_t s = symbols.bits_at(i, 64);
+      std::uint64_t w = 0;
+      int invalid = 0;
+      for (int b = 7; b >= 0; --b) {
+        const std::int8_t nibble = kCompress[(s >> (8 * b)) & 0xff];
+        invalid |= nibble;
+        w = w << 4 | static_cast<std::uint64_t>(nibble & 0xf);
+      }
+      if (invalid < 0) return false;  // 00/11 are invalid mid-bit patterns
+      out.append_word(w, 32);
+    }
+    for (; i + 8 <= symbols.size(); i += 8) {
+      const std::int8_t nibble = kCompress[symbols.bits_at(i, 8)];
+      if (nibble < 0) return false;
+      out.append_word(static_cast<std::uint64_t>(nibble), 4);
+    }
+    for (; i < symbols.size(); i += 2) {
+      const std::uint64_t pair = symbols.bits_at(i, 2);
+      if (pair != 0b01 && pair != 0b10) return false;
+      out.push_back(pair == 0b10);
+    }
+    return true;
+  }
+};
+
+/// 4B/5B block code (FDDI table): each data nibble maps to a 5-bit symbol
+/// with bounded run length.  Requires 4-bit alignment.
+struct FourBFiveBCode {
+  static constexpr const char* kName = "4B5B";
+  static constexpr double kSymbolsPerBit = 1.25;
+  static constexpr std::size_t kInputAlignmentBits = 4;
+  static constexpr bool kIdentity = false;
+
+  static void encode_append(const BitString& data, BitString& out) {
+    static constexpr auto kExpand = codedetail::k4b5b;
+    if (data.size() % 4 != 0) {
+      throw std::invalid_argument("4B5B: input must be 4-bit aligned");
+    }
+    out.reserve(out.size() + data.size() / 4 * 5);
+    std::size_t i = 0;
+    // 32 data bits (8 nibbles) -> 40 symbol bits per append.
+    for (; i + 32 <= data.size(); i += 32) {
+      const std::uint64_t d = data.bits_at(i, 32);
+      std::uint64_t w = 0;
+      for (int nb = 7; nb >= 0; --nb) {
+        w = w << 5 | kExpand[(d >> (4 * nb)) & 0xf];
+      }
+      out.append_word(w, 40);
+    }
+    for (; i < data.size(); i += 4) {
+      out.append_word(kExpand[data.bits_at(i, 4)], 5);
+    }
+  }
+
+  static bool decode_append(const BitString& symbols, BitString& out) {
+    static constexpr auto kCompress = codedetail::k4b5b_inverse();
+    if (symbols.size() % 5 != 0) return false;
+    out.reserve(out.size() + symbols.size() / 5 * 4);
+    std::size_t i = 0;
+    // 40 symbol bits -> 32 data bits per append.
+    for (; i + 40 <= symbols.size(); i += 40) {
+      const std::uint64_t s = symbols.bits_at(i, 40);
+      std::uint64_t w = 0;
+      int invalid = 0;
+      for (int sym = 7; sym >= 0; --sym) {
+        const int nibble = kCompress[(s >> (5 * sym)) & 0x1f];
+        invalid |= nibble;
+        w = w << 4 | static_cast<std::uint64_t>(nibble & 0xf);
+      }
+      if (invalid < 0) return false;  // not a data symbol
+      out.append_word(w, 32);
+    }
+    for (; i < symbols.size(); i += 5) {
+      const int nibble = kCompress[symbols.bits_at(i, 5)];
+      if (nibble < 0) return false;
+      out.append_word(static_cast<std::uint64_t>(nibble), 4);
+    }
+    return true;
+  }
+};
+
+}  // namespace sublayer::phy

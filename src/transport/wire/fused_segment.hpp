@@ -1,0 +1,159 @@
+// Transport-side compile-time fusion of the sublayered header chain
+// DM -> CM -> RD -> OSR (Fig. 6).  Each sublayer's wire bits are a static
+// stage; HeaderChain folds the stages into one straight-line encode and
+// one straight-line decode, so crossing a header sublayer boundary costs
+// nothing at runtime.  SublayeredSegment::encode/decode route through the
+// fused chain (byte-identical to the hand-rolled writer it replaced —
+// pinned by the transport wire tests).
+//
+// DynamicHeaderChain is the same four stages wired through per-stage
+// function pointers: one indirect call per sublayer boundary, the
+// dynamic-dispatch baseline that E5/E7 benchmark the fused chain against.
+#pragma once
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/bytes.hpp"
+#include "transport/wire/sublayered_header.hpp"
+
+namespace sublayer::transport {
+
+// ---- Per-sublayer header stages --------------------------------------------
+//
+// Stage shape: static write(segment, writer) appends the sublayer's bits;
+// static read(reader, segment) parses them, false on a malformed field.
+// RD and OSR own bits only on data segments (their state is meaningless on
+// control segments), so both gate on CM's kind — sublayer coupling is
+// one-directional and explicit, exactly as on the wire.
+
+struct DmStage {
+  static void write(const SublayeredSegment& s, ByteWriter& w) {
+    w.u16(s.dm.src_port);
+    w.u16(s.dm.dst_port);
+  }
+  static bool read(ByteReader& r, SublayeredSegment& s) {
+    s.dm.src_port = r.u16();
+    s.dm.dst_port = r.u16();
+    return true;
+  }
+};
+
+struct CmStage {
+  static void write(const SublayeredSegment& s, ByteWriter& w) {
+    w.u8(static_cast<std::uint8_t>(s.cm.kind));
+    w.u32(s.cm.isn_local);
+    w.u32(s.cm.isn_peer);
+    w.u32(s.cm.fin_offset);
+  }
+  static bool read(ByteReader& r, SublayeredSegment& s) {
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(CmKind::kProbeAck)) return false;
+    s.cm.kind = static_cast<CmKind>(kind);
+    s.cm.isn_local = r.u32();
+    s.cm.isn_peer = r.u32();
+    s.cm.fin_offset = r.u32();
+    return true;
+  }
+};
+
+struct RdStage {
+  static void write(const SublayeredSegment& s, ByteWriter& w) {
+    if (s.cm.kind != CmKind::kData) return;
+    w.u32(s.rd.seq_offset);
+    w.u32(s.rd.ack_offset);
+    const auto blocks =
+        std::min<std::size_t>(s.rd.sack.size(), TcpHeader::kMaxSackBlocks);
+    w.u8(static_cast<std::uint8_t>(blocks));
+    for (std::size_t i = 0; i < blocks; ++i) {
+      w.u32(s.rd.sack[i].start);
+      w.u32(s.rd.sack[i].end);
+    }
+  }
+  static bool read(ByteReader& r, SublayeredSegment& s) {
+    if (s.cm.kind != CmKind::kData) return true;
+    s.rd.seq_offset = r.u32();
+    s.rd.ack_offset = r.u32();
+    const std::uint8_t blocks = r.u8();
+    if (blocks > TcpHeader::kMaxSackBlocks) return false;
+    for (int i = 0; i < blocks; ++i) {
+      SackBlock b;
+      b.start = r.u32();
+      b.end = r.u32();
+      s.rd.sack.push_back(b);
+    }
+    return true;
+  }
+};
+
+struct OsrStage {
+  static void write(const SublayeredSegment& s, ByteWriter& w) {
+    if (s.cm.kind != CmKind::kData) return;
+    w.u32(s.osr.recv_window);
+    w.u8(s.osr.ecn_echo ? 1 : 0);
+  }
+  static bool read(ByteReader& r, SublayeredSegment& s) {
+    if (s.cm.kind != CmKind::kData) return true;
+    s.osr.recv_window = r.u32();
+    s.osr.ecn_echo = r.u8() != 0;
+    return true;
+  }
+};
+
+// ---- Composers -------------------------------------------------------------
+
+/// Compile-time composition: the fold expressions chain the stages into
+/// one inlined write and one short-circuiting read.
+template <class... Stages>
+struct HeaderChain {
+  static void write(const SublayeredSegment& s, ByteWriter& w) {
+    (Stages::write(s, w), ...);
+  }
+  /// False on the first malformed stage; ByteReader underflow propagates
+  /// as std::out_of_range exactly like the unfused parser did.
+  static bool read(ByteReader& r, SublayeredSegment& s) {
+    return (Stages::read(r, s) && ...);
+  }
+};
+
+using SublayeredHeaderChain = HeaderChain<DmStage, CmStage, RdStage, OsrStage>;
+
+/// The same stages behind per-stage function pointers: every sublayer
+/// boundary is an indirect call the optimizer cannot see through (the
+/// moral equivalent of the pre-fusion virtual wiring).  Bench baseline
+/// only — the product path uses SublayeredHeaderChain.
+class DynamicHeaderChain {
+ public:
+  using WriteFn = void (*)(const SublayeredSegment&, ByteWriter&);
+  using ReadFn = bool (*)(ByteReader&, SublayeredSegment&);
+
+  static const DynamicHeaderChain& instance() {
+    static const DynamicHeaderChain chain;
+    return chain;
+  }
+
+  void write(const SublayeredSegment& s, ByteWriter& w) const {
+    for (const auto& st : stages_) st.write(s, w);
+  }
+  bool read(ByteReader& r, SublayeredSegment& s) const {
+    for (const auto& st : stages_) {
+      if (!st.read(r, s)) return false;
+    }
+    return true;
+  }
+
+ private:
+  struct Stage {
+    WriteFn write;
+    ReadFn read;
+  };
+  DynamicHeaderChain()
+      : stages_{{&DmStage::write, &DmStage::read},
+                {&CmStage::write, &CmStage::read},
+                {&RdStage::write, &RdStage::read},
+                {&OsrStage::write, &OsrStage::read}} {}
+
+  Stage stages_[4];
+};
+
+}  // namespace sublayer::transport

@@ -3,6 +3,8 @@
 
 #include <cstdio>
 
+#include "transport/wire/fused_segment.hpp"
+
 namespace sublayer::transport {
 
 Bytes SublayeredSegment::encode() const {
@@ -13,30 +15,10 @@ Bytes SublayeredSegment::encode() const {
                         ? 14 + 8 * rd.sack.size() + payload.size()
                         : 0));
   ByteWriter w(out);
-  // DM sublayer bits.
-  w.u16(dm.src_port);
-  w.u16(dm.dst_port);
-  // CM sublayer bits.
-  w.u8(static_cast<std::uint8_t>(cm.kind));
-  w.u32(cm.isn_local);
-  w.u32(cm.isn_peer);
-  w.u32(cm.fin_offset);
-  if (cm.kind == CmKind::kData) {
-    // RD sublayer bits.
-    w.u32(rd.seq_offset);
-    w.u32(rd.ack_offset);
-    const auto blocks =
-        std::min<std::size_t>(rd.sack.size(), TcpHeader::kMaxSackBlocks);
-    w.u8(static_cast<std::uint8_t>(blocks));
-    for (std::size_t i = 0; i < blocks; ++i) {
-      w.u32(rd.sack[i].start);
-      w.u32(rd.sack[i].end);
-    }
-    // OSR sublayer bits.
-    w.u32(osr.recv_window);
-    w.u8(osr.ecn_echo ? 1 : 0);
-    w.bytes(payload);
-  }
+  // DM -> CM -> RD -> OSR, fused at compile time (fused_segment.hpp): the
+  // four sublayers' writers inline into one straight-line sequence.
+  SublayeredHeaderChain::write(*this, w);
+  if (cm.kind == CmKind::kData) w.bytes(payload);
   return out;
 }
 
@@ -47,28 +29,8 @@ namespace {
 /// segment's payload is whatever remains.
 bool decode_headers(ByteReader& r, SublayeredSegment& s) {
   try {
-    s.dm.src_port = r.u16();
-    s.dm.dst_port = r.u16();
-    const std::uint8_t kind = r.u8();
-    if (kind > static_cast<std::uint8_t>(CmKind::kProbeAck)) return false;
-    s.cm.kind = static_cast<CmKind>(kind);
-    s.cm.isn_local = r.u32();
-    s.cm.isn_peer = r.u32();
-    s.cm.fin_offset = r.u32();
-    if (s.cm.kind == CmKind::kData) {
-      s.rd.seq_offset = r.u32();
-      s.rd.ack_offset = r.u32();
-      const std::uint8_t blocks = r.u8();
-      if (blocks > TcpHeader::kMaxSackBlocks) return false;
-      for (int i = 0; i < blocks; ++i) {
-        SackBlock b;
-        b.start = r.u32();
-        b.end = r.u32();
-        s.rd.sack.push_back(b);
-      }
-      s.osr.recv_window = r.u32();
-      s.osr.ecn_echo = r.u8() != 0;
-    } else if (r.remaining() != 0) {
+    if (!SublayeredHeaderChain::read(r, s)) return false;
+    if (s.cm.kind != CmKind::kData && r.remaining() != 0) {
       return false;  // control segments carry no payload
     }
     return true;

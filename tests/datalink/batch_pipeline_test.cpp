@@ -127,6 +127,69 @@ TEST_P(BatchPipeline, TapsFireOncePerFrameInsideABurst) {
   telemetry::TapHub::set_current(prev);
 }
 
+// The same batched-vs-single contract holds on the compile-time fused
+// plane (DESIGN.md §15): both of its paths must match the dynamic
+// per-frame baseline bit-for-bit.  The cross-path matrix (wires, taps,
+// spans, corrupted traffic) lives in fused_equivalence_test.cpp; this leg
+// pins the batch contract specifically on the fused implementation.
+TEST_P(BatchPipeline, FusedBatchedWireBytesAndCountersMatchSingle) {
+  const auto& p = GetParam();
+  const auto payloads = varied_payloads(50);
+
+  DataPlane single(p.code(), make_crc32(), rule_of(p));
+  std::vector<Bytes> wires_single;
+  for (const Bytes& pay : payloads) {
+    wires_single.push_back(single.down(Bytes(pay)));
+  }
+
+  auto fused = make_data_plane(p.code(), make_crc32(), rule_of(p),
+                               /*fused=*/true);
+  ASSERT_TRUE(fused->fused());
+  std::vector<Bytes> wires_fused;
+  std::vector<Bytes> burst_in;
+  std::size_t i = 0;
+  while (i < payloads.size()) {
+    const std::size_t n = std::min<std::size_t>(7, payloads.size() - i);
+    burst_in.clear();
+    for (std::size_t j = 0; j < n; ++j) burst_in.push_back(payloads[i + j]);
+    fused->down_batch(burst_in, wires_fused);
+    i += n;
+  }
+  ASSERT_EQ(wires_fused.size(), wires_single.size());
+  for (std::size_t k = 0; k < wires_single.size(); ++k) {
+    EXPECT_EQ(wires_fused[k], wires_single[k]) << p.label << " frame " << k;
+  }
+
+  std::vector<Bytes> up_out;
+  i = 0;
+  while (i < wires_fused.size()) {
+    const std::size_t n = std::min<std::size_t>(7, wires_fused.size() - i);
+    burst_in.clear();
+    for (std::size_t j = 0; j < n; ++j) {
+      burst_in.push_back(wires_fused[i + j]);
+    }
+    fused->up_batch(burst_in, up_out);
+    i += n;
+  }
+  ASSERT_EQ(up_out.size(), payloads.size());
+  for (std::size_t k = 0; k < payloads.size(); ++k) {
+    EXPECT_EQ(up_out[k], payloads[k]) << p.label << " frame " << k;
+  }
+
+  std::vector<std::optional<Bytes>> single_up;
+  for (const Bytes& w : wires_single) single_up.push_back(single.up(w));
+  for (const auto& u : single_up) ASSERT_TRUE(u.has_value());
+  const StackStats& s = single.stats();
+  const StackStats& f = fused->stats();
+  EXPECT_EQ(f.frames_tagged.value(), s.frames_tagged.value()) << p.label;
+  EXPECT_EQ(f.frames_framed.value(), s.frames_framed.value()) << p.label;
+  EXPECT_EQ(f.frames_encoded.value(), s.frames_encoded.value()) << p.label;
+  EXPECT_EQ(f.frames_decoded.value(), s.frames_decoded.value()) << p.label;
+  EXPECT_EQ(f.frames_deframed.value(), s.frames_deframed.value()) << p.label;
+  EXPECT_EQ(f.frames_checked.value(), s.frames_checked.value()) << p.label;
+  EXPECT_EQ(f.frames_up.value(), s.frames_up.value()) << p.label;
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllCodesAndRules, BatchPipeline,
     ::testing::Values(PipelineCase{"nrz-hdlc", phy::make_nrz, false},

@@ -1,0 +1,368 @@
+// The fused-pipeline contract (DESIGN.md §15): a compile-time fused plane
+// is observably IDENTICAL to the dynamic DataPlane — wire bytes, recovered
+// payloads, tap sequences (point, direction, image), span-crossing deltas,
+// and per-sublayer counters, on clean and corrupted traffic, per-frame and
+// batched — across every registered line-code x stuffing x CRC
+// combination.  StackConfig::fused must never be distinguishable from the
+// outside.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "datalink/stack.hpp"
+#include "telemetry/frame_tap.hpp"
+#include "telemetry/span.hpp"
+
+namespace sublayer::datalink {
+namespace {
+
+struct FusedCase {
+  std::string label;
+  std::unique_ptr<phy::LineCode> (*code)();
+  std::unique_ptr<ErrorDetector> (*detector)();
+  bool low_overhead = false;
+};
+
+StuffingRule rule_of(const FusedCase& p) {
+  return p.low_overhead ? StuffingRule::low_overhead() : StuffingRule::hdlc();
+}
+
+std::unique_ptr<DataPlaneIface> plane_of(const FusedCase& p, bool fused) {
+  return make_data_plane(p.code(), p.detector(), rule_of(p), fused);
+}
+
+std::vector<FusedCase> all_cases() {
+  struct Code {
+    const char* label;
+    std::unique_ptr<phy::LineCode> (*make)();
+  };
+  struct Det {
+    const char* label;
+    std::unique_ptr<ErrorDetector> (*make)();
+  };
+  static constexpr Code kCodes[] = {{"nrz", phy::make_nrz},
+                                    {"nrzi", phy::make_nrzi},
+                                    {"manchester", phy::make_manchester},
+                                    {"4b5b", phy::make_4b5b}};
+  static constexpr Det kDets[] = {
+      {"crc16", make_crc16}, {"crc32", make_crc32}, {"crc64", make_crc64}};
+  std::vector<FusedCase> cases;
+  for (const auto& c : kCodes) {
+    for (const auto& d : kDets) {
+      for (const bool lo : {false, true}) {
+        cases.push_back({std::string(c.label) + "_" + d.label +
+                             (lo ? "_lo" : "_hdlc"),
+                         c.make, d.make, lo});
+      }
+    }
+  }
+  return cases;
+}
+
+std::vector<Bytes> varied_payloads(std::size_t n, std::uint64_t seed = 17) {
+  Rng rng(seed);
+  std::vector<Bytes> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Bytes p = rng.next_bytes(1 + rng.next_below(400));
+    if (i % 5 == 0) p.assign(p.size(), 0xff);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+/// A corruption burst over already-encoded wires: bit flips, truncations,
+/// and length-prefix damage, deterministic per seed.  Some victims die in
+/// phy decode, some in deframing, some at the checksum — the mix is the
+/// point: every failure counter gets traffic.
+std::vector<Bytes> corrupt_wires(const std::vector<Bytes>& wires,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Bytes> out;
+  out.reserve(wires.size());
+  for (std::size_t i = 0; i < wires.size(); ++i) {
+    Bytes w = wires[i];
+    switch (i % 4) {
+      case 0:  // single bit flip somewhere in the body
+        if (w.size() > 5) {
+          const std::size_t pos = 4 + rng.next_below(w.size() - 4);
+          w[pos] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+        }
+        break;
+      case 1:  // burst of flips
+        for (int k = 0; k < 8 && w.size() > 5; ++k) {
+          const std::size_t pos = 4 + rng.next_below(w.size() - 4);
+          w[pos] ^= static_cast<std::uint8_t>(rng.next_below(256));
+        }
+        break;
+      case 2:  // truncation (may cut into the length-prefixed region)
+        w.resize(rng.next_below(w.size()));
+        break;
+      default:  // length-prefix damage
+        w[3] ^= 0x01;
+        break;
+    }
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+struct TapEvent {
+  telemetry::TapPoint point;
+  telemetry::Dir dir;
+  Bytes image;
+  bool operator==(const TapEvent&) const = default;
+};
+
+/// All six span-total cells the plane can touch (3 sublayer seams x 2
+/// directions), as (crossings, bytes) pairs read off the global tracer.
+std::vector<std::pair<std::uint64_t, std::uint64_t>> span_totals() {
+  auto& tracer = telemetry::SpanTracer::instance();
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  for (const char* layer :
+       {"datalink.errordetect", "datalink.framing", "datalink.phy"}) {
+    for (const auto dir : {telemetry::Dir::kDown, telemetry::Dir::kUp}) {
+      out.emplace_back(tracer.crossings(layer, dir),
+                       tracer.crossing_bytes(layer, dir));
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> span_delta(
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& before) {
+  auto after = span_totals();
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    after[i].first -= before[i].first;
+    after[i].second -= before[i].second;
+  }
+  return after;
+}
+
+std::vector<std::uint64_t> counter_snapshot(const StackStats& s) {
+  return {s.phy_decode_failures.value(), s.deframe_failures.value(),
+          s.checksum_failures.value(),   s.frames_up.value(),
+          s.frames_encoded.value(),      s.frames_decoded.value(),
+          s.frames_framed.value(),       s.frames_deframed.value(),
+          s.frames_tagged.value(),       s.frames_checked.value()};
+}
+
+/// Drives one plane through a full clean round trip plus a corrupted
+/// receive burst — per-frame or batched — recording every observable.
+struct Observed {
+  std::vector<Bytes> wires;
+  std::vector<Bytes> recovered;
+  std::vector<TapEvent> taps;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> spans;
+  std::vector<std::uint64_t> counters;
+};
+
+Observed drive(DataPlaneIface& plane, const std::vector<Bytes>& payloads,
+               bool batched) {
+  Observed obs;
+  telemetry::TapHub hub;
+  hub.enable_all();
+  hub.set_sink([&](telemetry::TapPoint p, telemetry::Dir d,
+                   TimePoint, ByteView frame) {
+    obs.taps.push_back({p, d, Bytes(frame.begin(), frame.end())});
+  });
+  telemetry::TapHub* prev = telemetry::TapHub::set_current(&hub);
+  const auto spans_before = span_totals();
+
+  if (batched) {
+    std::vector<Bytes> burst;
+    std::size_t i = 0;
+    while (i < payloads.size()) {
+      const std::size_t n = std::min<std::size_t>(7, payloads.size() - i);
+      burst.clear();
+      for (std::size_t j = 0; j < n; ++j) burst.push_back(payloads[i + j]);
+      plane.down_batch(burst, obs.wires);
+      i += n;
+    }
+  } else {
+    for (const Bytes& pay : payloads) {
+      obs.wires.push_back(plane.down(Bytes(pay)));
+    }
+  }
+
+  const auto corrupted = corrupt_wires(obs.wires, 23);
+  if (batched) {
+    std::vector<Bytes> burst;
+    const std::vector<Bytes>* sources[] = {&obs.wires, &corrupted};
+    for (const std::vector<Bytes>* source : sources) {
+      std::size_t i = 0;
+      while (i < source->size()) {
+        const std::size_t n = std::min<std::size_t>(7, source->size() - i);
+        burst.clear();
+        for (std::size_t j = 0; j < n; ++j) {
+          burst.push_back((*source)[i + j]);
+        }
+        plane.up_batch(burst, obs.recovered);
+        i += n;
+      }
+    }
+  } else {
+    const std::vector<Bytes>* sources[] = {&obs.wires, &corrupted};
+    for (const std::vector<Bytes>* source : sources) {
+      for (const Bytes& w : *source) {
+        auto up = plane.up(w);
+        if (up) obs.recovered.push_back(std::move(*up));
+      }
+    }
+  }
+
+  obs.spans = span_delta(spans_before);
+  obs.counters = counter_snapshot(plane.stats());
+  telemetry::TapHub::set_current(prev);
+  return obs;
+}
+
+class FusedEquivalence : public ::testing::TestWithParam<FusedCase> {};
+
+TEST_P(FusedEquivalence, RegisteredCombinationFusesAndFallbackStaysDynamic) {
+  const auto& p = GetParam();
+  auto dynamic = plane_of(p, false);
+  auto fused = plane_of(p, true);
+  EXPECT_FALSE(dynamic->fused());
+  ASSERT_TRUE(fused->fused()) << p.label << " has no fused instantiation";
+  EXPECT_EQ(fused->code_name(), dynamic->code_name());
+  EXPECT_EQ(fused->detector_name(), dynamic->detector_name());
+}
+
+TEST_P(FusedEquivalence, PerFrameObservablesIdentical) {
+  const auto& p = GetParam();
+  const auto payloads = varied_payloads(40);
+  auto dynamic = plane_of(p, false);
+  auto fused = plane_of(p, true);
+  const Observed d = drive(*dynamic, payloads, /*batched=*/false);
+  const Observed f = drive(*fused, payloads, /*batched=*/false);
+
+  ASSERT_EQ(f.wires.size(), d.wires.size());
+  for (std::size_t k = 0; k < d.wires.size(); ++k) {
+    ASSERT_EQ(f.wires[k], d.wires[k]) << p.label << " frame " << k;
+  }
+  ASSERT_EQ(f.recovered, d.recovered) << p.label;
+  ASSERT_EQ(f.recovered.size(), payloads.size()) << p.label;
+  for (std::size_t k = 0; k < payloads.size(); ++k) {
+    ASSERT_EQ(f.recovered[k], payloads[k]) << p.label << " frame " << k;
+  }
+  ASSERT_EQ(f.taps.size(), d.taps.size()) << p.label;
+  for (std::size_t k = 0; k < d.taps.size(); ++k) {
+    ASSERT_EQ(f.taps[k], d.taps[k]) << p.label << " tap " << k;
+  }
+  EXPECT_EQ(f.spans, d.spans) << p.label;
+  EXPECT_EQ(f.counters, d.counters) << p.label;
+  // The corruption burst must actually have exercised the failure paths.
+  const std::uint64_t failures =
+      d.counters[0] + d.counters[1] + d.counters[2];
+  EXPECT_GT(failures, 0u) << p.label;
+}
+
+TEST_P(FusedEquivalence, BatchedObservablesIdentical) {
+  const auto& p = GetParam();
+  const auto payloads = varied_payloads(40);
+  auto dynamic = plane_of(p, false);
+  auto fused = plane_of(p, true);
+  const Observed d = drive(*dynamic, payloads, /*batched=*/true);
+  const Observed f = drive(*fused, payloads, /*batched=*/true);
+  ASSERT_EQ(f.wires, d.wires) << p.label;
+  ASSERT_EQ(f.recovered, d.recovered) << p.label;
+  ASSERT_EQ(f.taps.size(), d.taps.size()) << p.label;
+  for (std::size_t k = 0; k < d.taps.size(); ++k) {
+    ASSERT_EQ(f.taps[k], d.taps[k]) << p.label << " tap " << k;
+  }
+  EXPECT_EQ(f.spans, d.spans) << p.label;
+  EXPECT_EQ(f.counters, d.counters) << p.label;
+}
+
+// The satellite-6 regression: all four receive paths (per-frame and
+// batched, dynamic and fused) bump failure counters through the shared
+// count_up_failure helper; under an identical corruption burst every
+// counter must agree across all four, and failures + survivors must
+// account for every frame fed in.
+TEST_P(FusedEquivalence, CorruptionBurstCountersAgreeAcrossAllPaths) {
+  const auto& p = GetParam();
+  const auto payloads = varied_payloads(48, 31);
+  auto reference = plane_of(p, false);
+  std::vector<Bytes> wires;
+  for (const Bytes& pay : payloads) {
+    wires.push_back(reference->down(Bytes(pay)));
+  }
+  const auto corrupted = corrupt_wires(wires, 77);
+
+  std::vector<std::vector<std::uint64_t>> snapshots;
+  std::vector<std::uint64_t> survivors;
+  for (const bool fused : {false, true}) {
+    for (const bool batched : {false, true}) {
+      auto plane = plane_of(p, fused);
+      std::size_t delivered = 0;
+      if (batched) {
+        std::vector<Bytes> burst;
+        std::vector<Bytes> out;
+        const std::vector<Bytes>* sources[] = {&wires, &corrupted};
+        for (const std::vector<Bytes>* source : sources) {
+          std::size_t i = 0;
+          while (i < source->size()) {
+            const std::size_t n =
+                std::min<std::size_t>(5, source->size() - i);
+            burst.clear();
+            for (std::size_t j = 0; j < n; ++j) {
+              burst.push_back((*source)[i + j]);
+            }
+            plane->up_batch(burst, out);
+            i += n;
+          }
+        }
+        delivered = out.size();
+      } else {
+        const std::vector<Bytes>* sources[] = {&wires, &corrupted};
+        for (const std::vector<Bytes>* source : sources) {
+          for (const Bytes& w : *source) {
+            if (plane->up(w)) ++delivered;
+          }
+        }
+      }
+      const auto snap = counter_snapshot(plane->stats());
+      // Conservation: every frame either survived or bumped exactly one
+      // failure counter.
+      EXPECT_EQ(snap[0] + snap[1] + snap[2] + snap[3],
+                wires.size() + corrupted.size())
+          << p.label << " fused=" << fused << " batched=" << batched;
+      EXPECT_EQ(snap[3], delivered)
+          << p.label << " fused=" << fused << " batched=" << batched;
+      snapshots.push_back(snap);
+      survivors.push_back(delivered);
+    }
+  }
+  for (std::size_t i = 1; i < snapshots.size(); ++i) {
+    EXPECT_EQ(snapshots[i], snapshots[0]) << p.label << " path " << i;
+    EXPECT_EQ(survivors[i], survivors[0]) << p.label << " path " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombinations, FusedEquivalence,
+                         ::testing::ValuesIn(all_cases()),
+                         [](const ::testing::TestParamInfo<FusedCase>& info) {
+                           return info.param.label;
+                         });
+
+// Combinations without a registered instantiation (non-CRC detectors)
+// quietly fall back to the dynamic plane — fusion is a performance choice,
+// never a correctness cliff.
+TEST(FusedRegistry, UnregisteredComboFallsBackToDynamic) {
+  auto plane = make_data_plane(phy::make_nrz(), make_internet_checksum(),
+                               StuffingRule::hdlc(), /*fused=*/true);
+  EXPECT_FALSE(plane->fused());
+  const Bytes payload{1, 2, 3, 4, 5};
+  auto up = plane->up(plane->down(Bytes(payload)));
+  ASSERT_TRUE(up.has_value());
+  EXPECT_EQ(*up, payload);
+}
+
+}  // namespace
+}  // namespace sublayer::datalink

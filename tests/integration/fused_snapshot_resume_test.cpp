@@ -1,0 +1,187 @@
+// Cross-configuration snapshot resume for the fused data plane: the
+// snapshot format is plane-implementation-agnostic, so an image saved
+// while running the dynamic DataPlane must restore into a stack running
+// the compile-time fused pipeline (and vice versa) and resume
+// bit-identically — same delivered suffix, same re-saved image, same
+// per-sublayer counters for the resumed traffic.  This is the strongest
+// form of the "StackConfig::fused is trace-invisible" contract: the flag
+// can change across a checkpoint boundary mid-connection.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "datalink/stack.hpp"
+#include "sim/link.hpp"
+#include "sim/simulator.hpp"
+#include "sim/snapshot.hpp"
+
+namespace sublayer::datalink {
+namespace {
+
+constexpr int kPayloads = 40;
+
+sim::LinkConfig impaired_link() {
+  sim::LinkConfig cfg;
+  cfg.propagation_delay = Duration::millis(1);
+  cfg.jitter = Duration::micros(400);
+  cfg.loss_rate = 0.10;
+  cfg.corrupt_rate = 0.05;
+  cfg.corrupt_bit_flips = 3;
+  cfg.duplicate_rate = 0.03;
+  cfg.bandwidth_bps = 5e6;
+  return cfg;
+}
+
+Bytes payload(int i) {
+  Rng rng(5000 + i);
+  return rng.next_bytes(24 + rng.next_below(180));
+}
+
+// A full datalink stack (plane + ARQ) over an impaired duplex link; the
+// plane implementation is picked by cfg.fused.
+struct StackWorld {
+  explicit StackWorld(bool fused, bool batched_wire)
+      : rng(0xF0D5u), pair(sim, impaired_link(), rng,
+                           make_config(fused, batched_wire),
+                           phy::make_nrzi(), make_crc32(), phy::make_nrzi(),
+                           make_crc32()) {
+    pair.b().set_deliver(
+        [this](Bytes p) { delivered.push_back(std::move(p)); });
+  }
+
+  static StackConfig make_config(bool fused, bool batched_wire) {
+    StackConfig cfg;
+    cfg.fused = fused;
+    cfg.batched_wire = batched_wire;
+    cfg.arq.window = 6;
+    cfg.arq.rto = Duration::millis(20);
+    return cfg;
+  }
+
+  Bytes save() const {
+    sim::SnapshotWriter w;
+    sim.save(w);
+    w.begin_section("datalink.stack.pair");
+    pair.save(w);
+    w.end_section();
+    return w.finish();
+  }
+
+  void restore_from(const Bytes& image) {
+    sim::SnapshotReader r(image);
+    sim.restore(r);
+    r.begin_section("datalink.stack.pair");
+    pair.restore(r);
+    r.end_section();
+    sim.finish_restore();
+  }
+
+  std::vector<std::uint64_t> plane_counters() {
+    const StackStats& s = pair.a().stats();
+    const StackStats& t = pair.b().stats();
+    return {s.frames_tagged.value(),   s.frames_up.value(),
+            s.checksum_failures.value(), t.frames_tagged.value(),
+            t.frames_up.value(),       t.checksum_failures.value(),
+            t.deframe_failures.value(), t.phy_decode_failures.value()};
+  }
+
+  sim::Simulator sim;
+  Rng rng;
+  DatalinkPair pair;
+  std::vector<Bytes> delivered;
+};
+
+class FusedSnapshotResume
+    : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Directions, FusedSnapshotResume,
+    ::testing::Values(std::make_tuple(false, true),
+                      std::make_tuple(true, false)),
+    [](const ::testing::TestParamInfo<std::tuple<bool, bool>>& info) {
+      return std::get<0>(info.param) ? std::string("FusedToDynamic")
+                                     : std::string("DynamicToFused");
+    });
+
+TEST_P(FusedSnapshotResume, MidStreamImageRestoresAcrossPlaneSwap) {
+  const auto [save_fused, restore_fused] = GetParam();
+  const TimePoint mid = TimePoint::from_ns(Duration::millis(30).ns());
+  const TimePoint end = TimePoint::from_ns(Duration::seconds(5).ns());
+
+  // Straight-through reference under the save-side configuration.
+  StackWorld wa(save_fused, /*batched_wire=*/false);
+  ASSERT_EQ(wa.pair.a().plane().fused(), save_fused);
+  for (int i = 0; i < kPayloads; ++i) {
+    ASSERT_TRUE(wa.pair.a().send(payload(i)));
+  }
+  wa.sim.run_until(mid);
+  ASSERT_FALSE(wa.pair.a().idle())
+      << "snapshot should catch frames in flight";
+  ASSERT_LT(wa.delivered.size(), static_cast<std::size_t>(kPayloads));
+  const Bytes image = wa.save();
+  const std::size_t mid_delivered = wa.delivered.size();
+  wa.sim.run_until(end);
+  const Bytes final_image = wa.save();
+  ASSERT_EQ(wa.delivered.size(), static_cast<std::size_t>(kPayloads));
+  for (int i = 0; i < kPayloads; ++i) {
+    ASSERT_EQ(wa.delivered[i], payload(i)) << "payload " << i;
+  }
+
+  // Resume the image under the OPPOSITE plane implementation.
+  StackWorld wb(restore_fused, /*batched_wire=*/false);
+  ASSERT_EQ(wb.pair.a().plane().fused(), restore_fused);
+  wb.restore_from(image);
+  EXPECT_EQ(wb.sim.now(), mid);
+  wb.sim.run_until(end);
+
+  // The resumed run's deliveries are exactly the straight-through suffix,
+  // and the re-saved image is bit-identical to the reference's.
+  const std::vector<Bytes> suffix(
+      wa.delivered.begin() + static_cast<std::ptrdiff_t>(mid_delivered),
+      wa.delivered.end());
+  EXPECT_EQ(wb.delivered, suffix);
+  EXPECT_EQ(wb.save(), final_image);
+
+  // A same-config restore processes identical resumed traffic: its plane
+  // counters (which are NOT in the image — they restart at zero in each
+  // fresh world) must agree with the cross-config restore's.
+  StackWorld wc(save_fused, /*batched_wire=*/false);
+  wc.restore_from(image);
+  wc.sim.run_until(end);
+  EXPECT_EQ(wc.delivered, wb.delivered);
+  EXPECT_EQ(wc.save(), final_image);
+  EXPECT_EQ(wb.plane_counters(), wc.plane_counters());
+}
+
+// The batched wire composes with the plane swap: save batched+dynamic,
+// restore batched+fused.
+TEST(FusedSnapshotResumeBatched, BatchedWireSurvivesPlaneSwap) {
+  const TimePoint mid = TimePoint::from_ns(Duration::millis(25).ns());
+  const TimePoint end = TimePoint::from_ns(Duration::seconds(5).ns());
+
+  StackWorld wa(/*fused=*/false, /*batched_wire=*/true);
+  for (int i = 0; i < kPayloads; ++i) {
+    ASSERT_TRUE(wa.pair.a().send(payload(i)));
+  }
+  wa.sim.run_until(mid);
+  const Bytes image = wa.save();
+  const std::size_t mid_delivered = wa.delivered.size();
+  wa.sim.run_until(end);
+  const Bytes final_image = wa.save();
+  ASSERT_EQ(wa.delivered.size(), static_cast<std::size_t>(kPayloads));
+
+  StackWorld wb(/*fused=*/true, /*batched_wire=*/true);
+  ASSERT_TRUE(wb.pair.a().plane().fused());
+  wb.restore_from(image);
+  wb.sim.run_until(end);
+  const std::vector<Bytes> suffix(
+      wa.delivered.begin() + static_cast<std::ptrdiff_t>(mid_delivered),
+      wa.delivered.end());
+  EXPECT_EQ(wb.delivered, suffix);
+  EXPECT_EQ(wb.save(), final_image);
+}
+
+}  // namespace
+}  // namespace sublayer::datalink

@@ -57,7 +57,7 @@ stats_tuple(const LinkStats& s) {
 /// deterministic chaos windows: a loss spike at 40 ms and a hard a->b
 /// down/up flap at 80/95 ms.  Every variant must replay this bit for bit.
 ReplaySignature run_impaired(EngineKind engine, std::size_t burst_budget,
-                             bool batched_wire) {
+                             bool batched_wire, bool fused = false) {
   Simulator sim(engine);
   sim.set_burst_budget(burst_budget);
   Rng rng(99);
@@ -72,6 +72,7 @@ ReplaySignature run_impaired(EngineKind engine, std::size_t burst_budget,
 
   datalink::StackConfig cfg;
   cfg.batched_wire = batched_wire;
+  cfg.fused = fused;
   cfg.arq.rto = Duration::millis(25);
   cfg.arq.window = 8;
   datalink::DatalinkPair pair(sim, link, rng, cfg, phy::make_nrz(),
@@ -118,6 +119,29 @@ TEST(BatchReplay, BatchedWireMatchesClassicWire) {
   EXPECT_EQ(batched, classic);
 }
 
+// StackConfig::fused is trace-invisible by contract: swapping the data
+// plane for the compile-time fused pipeline must not move a single event,
+// impairment draw, retransmission, or failure counter — on either wire
+// style and on both event engines.
+TEST(BatchReplay, FusedPlaneNeverChangesTheTrace) {
+  const ReplaySignature classic =
+      run_impaired(EngineKind::kTimerWheel, 1, /*batched_wire=*/false);
+  EXPECT_EQ(classic.delivered.size(), 40u);
+  EXPECT_EQ(run_impaired(EngineKind::kTimerWheel, 1, /*batched_wire=*/false,
+                         /*fused=*/true),
+            classic);
+  const ReplaySignature batched =
+      run_impaired(EngineKind::kTimerWheel, 16, /*batched_wire=*/true);
+  EXPECT_EQ(run_impaired(EngineKind::kTimerWheel, 16, /*batched_wire=*/true,
+                         /*fused=*/true),
+            batched);
+  const ReplaySignature heap =
+      run_impaired(EngineKind::kLegacyHeap, 4, /*batched_wire=*/true);
+  EXPECT_EQ(run_impaired(EngineKind::kLegacyHeap, 4, /*batched_wire=*/true,
+                         /*fused=*/true),
+            heap);
+}
+
 class BatchReplayEngines : public ::testing::TestWithParam<EngineKind> {};
 
 TEST_P(BatchReplayEngines, BurstBudgetNeverChangesTheTrace) {
@@ -157,7 +181,7 @@ struct ParallelSignature {
 /// determinism is covered above) plus a ring of cross-shard channels, so
 /// burst dequeue interleaves shard-local bursts with mailbox drains.
 ParallelSignature run_sharded(std::size_t shards, std::size_t threads,
-                              std::size_t burst_budget) {
+                              std::size_t burst_budget, bool fused = false) {
   ParallelConfig pc;
   pc.shards = shards;
   pc.threads = threads;
@@ -166,6 +190,7 @@ ParallelSignature run_sharded(std::size_t shards, std::size_t threads,
 
   datalink::StackConfig cfg;
   cfg.batched_wire = true;
+  cfg.fused = fused;
   cfg.arq.rto = Duration::millis(25);
   cfg.arq.window = 8;
   LinkConfig link;
@@ -232,6 +257,10 @@ TEST(BatchReplay, ParallelShardsAreBudgetInvariant) {
     }
     // Worker count must not interact with the budget either.
     EXPECT_EQ(run_sharded(shards, 4, 16), base) << shards << " shards";
+    // Nor must the fused data plane: per-shard stacks swap to the
+    // compile-time pipeline without moving an event or a mailbox frame.
+    EXPECT_EQ(run_sharded(shards, 2, 16, /*fused=*/true), base)
+        << shards << " shards (fused)";
   }
 }
 
