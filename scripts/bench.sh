@@ -44,7 +44,9 @@ for path in sorted(glob.glob(os.path.join(root, "BENCH_*.json"))):
             h["header_crossing_overhead_ns"] = \
                 doc["header_codec"]["crossing_overhead_ns"]
     elif name == "manyflow":
-        for key in ("speedup_at_4096_flows", "wheel_cancel_flatness"):
+        for key in ("speedup_at_4096_flows", "wheel_cancel_flatness",
+                    "parallel_speedup_at_4_threads", "parallel_effective",
+                    "detected_cores", "fat_tree_topo_vs_hash"):
             if key in doc:
                 h[key] = doc[key]
     elif name == "observe":
@@ -130,6 +132,26 @@ manyflow_out="$("${build_dir}/bench/bench_manyflow")"
 echo "${manyflow_out}"
 extract_json "${manyflow_out}" >"${repo_root}/BENCH_manyflow.json"
 echo "wrote ${repo_root}/BENCH_manyflow.json"
+# The parallel acceptance bar (E20): >= 2.0x events/sec over monolithic at
+# 4 worker threads on the ring sweep — but ONLY when the machine can
+# actually run 4 workers (parallel_effective, i.e. detected_cores >= 4).
+# On smaller containers the sub-unity speedup is a property of the host,
+# not the engine, so the gate reports and skips instead of failing.
+python3 - "${repo_root}/BENCH_manyflow.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+cores = doc.get("detected_cores", 0)
+sp = doc.get("parallel_speedup_at_4_threads", 0.0)
+if doc.get("parallel_effective", False):
+    assert sp >= 2.0, \
+        f"parallel speedup {sp:.2f}x at 4 threads below the 2.0x bar " \
+        f"on a {cores}-core host"
+    print(f"parallel speedup {sp:.2f}x at 4 threads (bar 2.0x, "
+          f"{cores} cores)")
+else:
+    print(f"parallel speedup gate SKIPPED: {cores} core(s) < 4 "
+          f"(measured {sp:.2f}x is host-bound, not an engine regression)")
+PYEOF
 
 echo "== bench_observe =="
 observe_out="$("${build_dir}/bench/bench_observe")"

@@ -42,6 +42,15 @@ echo "bench smoke..."
 "${build_dir}/bench/bench_snapshot" --smoke >/dev/null
 echo "bench smoke OK"
 
+# Cross-thread-count replay matrix: the determinism contract, asserted as
+# its own named step.  Each suite runs the same seeded workload at 1, 2,
+# and 4 workers (ring replay, run-ahead line+island, burst dequeue) and
+# diffs events, telemetry, traces, and observability exports bit for bit.
+echo "replay matrix (1/2/4 workers)..."
+"${build_dir}/tests/test_sim" \
+  --gtest_filter='ParallelReplay*:RunAhead*:*BatchReplay*' >/dev/null
+echo "replay matrix OK"
+
 # Chaos matrix: fork several alternative fault futures from one warmed
 # snapshot.  The bench exits nonzero unless the futures diverge, every
 # future heals all its faults, and re-running a future reproduces it
@@ -174,8 +183,12 @@ if [[ "${SKIP_SANITIZERS:-0}" != "1" ]]; then
     -DCMAKE_EXE_LINKER_FLAGS="${tsan_flags}" >/dev/null
   cmake --build "${tsan_dir}" -j "${jobs}" \
     --target test_sim test_integration >/dev/null
+  # RunAhead* covers the shards the per-pair horizon engine leaves
+  # unthrottled (sink-only, disconnected island) — the paths where a
+  # worker runs far past its peers and any barrier-ordering mistake
+  # becomes a data race; Partitioner* rides along for the ShardMap plan.
   "${tsan_dir}/tests/test_sim" \
-    --gtest_filter='ShardMap*:ParallelSim*:ParallelReplay*:*TimerRace*:*BatchReplay*' \
+    --gtest_filter='ShardMap*:ParallelSim*:ParallelReplay*:Partitioner*:RunAhead*:*TimerRace*:*BatchReplay*' \
     >/dev/null
   # Snapshot replay under TSan: parallel save/restore happens at barrier
   # park points and the resumed run re-spins the worker pool — any missed

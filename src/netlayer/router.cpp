@@ -275,6 +275,9 @@ Network::Network(sim::ParallelSimulator& psim, RouterConfig config,
   if (shard_map_->shards() != psim.shard_count()) {
     throw std::invalid_argument("Network: shard map / shard count mismatch");
   }
+  // Stamp the placement decision into the engine so every run's artifacts
+  // (Chrome-trace metadata) say how the topology was split.
+  psim.set_partition_info(shard_map_->describe());
 }
 
 Network::Network(sim::ParallelSimulator& psim, RouterConfig config,

@@ -16,12 +16,17 @@ namespace sublayer::sim {
 namespace {
 
 constexpr std::int64_t kFar = std::numeric_limits<std::int64_t>::max();
+constexpr std::size_t kUnassigned = static_cast<std::size_t>(-1);
 
 std::uint64_t splitmix64(std::uint64_t x) {
   x += 0x9E3779B97F4A7C15ull;
   x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
   x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
   return x ^ (x >> 31);
+}
+
+std::int64_t sat_add(std::int64_t a, std::int64_t b) {
+  return a > kFar - b ? kFar : a + b;
 }
 
 }  // namespace
@@ -36,6 +41,7 @@ std::size_t ShardMap::of(std::uint64_t id) const {
   for (const auto& [k, s] : overrides_) {
     if (k == id) return s;
   }
+  if (id < plan_.size() && plan_[id] != kUnassigned) return plan_[id];
   return static_cast<std::size_t>(splitmix64(id) % shards_);
 }
 
@@ -48,6 +54,160 @@ void ShardMap::assign(std::uint64_t id, std::size_t shard) {
     }
   }
   overrides_.emplace_back(id, shard);
+}
+
+std::size_t ShardMap::edge_cut(const ShardMap& map,
+                               const std::vector<TopoEdge>& edges) {
+  std::size_t cut = 0;
+  for (const TopoEdge& e : edges) {
+    if (e.a != e.b && map.of(e.a) != map.of(e.b)) ++cut;
+  }
+  return cut;
+}
+
+ShardMap ShardMap::topology_aware(std::size_t shards, std::uint64_t node_count,
+                                  const std::vector<TopoEdge>& edges) {
+  ShardMap hash_map(shards);
+  const auto n = static_cast<std::size_t>(node_count);
+  if (shards <= 1 || n == 0) return hash_map;
+  for (const TopoEdge& e : edges) {
+    if (e.a >= node_count || e.b >= node_count) {
+      throw std::out_of_range("ShardMap::topology_aware: edge endpoint id");
+    }
+  }
+
+  // Undirected adjacency with parallel edges merged: weight = edge count
+  // (each parallel edge would count toward the cut), lat = total latency
+  // (lower = tighter coupling; used only to break frontier ties, so the
+  // horizon-critical low-latency links stay internal first).
+  struct Adj {
+    std::size_t node;
+    std::size_t weight;
+    std::int64_t lat;
+  };
+  std::vector<std::vector<Adj>> adj(n);
+  {
+    std::vector<std::map<std::size_t, std::pair<std::size_t, std::int64_t>>>
+        acc(n);
+    for (const TopoEdge& e : edges) {
+      if (e.a == e.b) continue;
+      const auto a = static_cast<std::size_t>(e.a);
+      const auto b = static_cast<std::size_t>(e.b);
+      auto& fwd = acc[a][b];
+      fwd.first += 1;
+      fwd.second = sat_add(fwd.second, std::max<std::int64_t>(1, e.latency_ns));
+      auto& rev = acc[b][a];
+      rev.first += 1;
+      rev.second = sat_add(rev.second, std::max<std::int64_t>(1, e.latency_ns));
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      for (const auto& [peer, wl] : acc[v]) {
+        adj[v].push_back(Adj{peer, wl.first, wl.second});
+      }
+    }
+  }
+
+  // Phase 1 — greedy BFS region growth: seed each shard at the lowest
+  // unassigned id, then repeatedly absorb the unassigned node with the
+  // most edges into the region (ties: lower latency into the region, then
+  // lower id) until the shard reaches its balanced share of what remains.
+  std::vector<std::size_t> plan(n, kUnassigned);
+  std::vector<std::size_t> size(shards, 0);
+  std::size_t assigned = 0;
+  for (std::size_t s = 0; s < shards && assigned < n; ++s) {
+    const std::size_t cap = (n - assigned + (shards - s) - 1) / (shards - s);
+    std::size_t seed = 0;
+    while (plan[seed] != kUnassigned) ++seed;
+    std::vector<std::size_t> conn(n, 0);
+    std::vector<std::int64_t> conn_lat(n, 0);
+    const auto absorb = [&](std::size_t v) {
+      plan[v] = s;
+      ++size[s];
+      ++assigned;
+      for (const Adj& a : adj[v]) {
+        if (plan[a.node] != kUnassigned) continue;
+        conn[a.node] += a.weight;
+        conn_lat[a.node] = sat_add(conn_lat[a.node], a.lat);
+      }
+    };
+    absorb(seed);
+    while (size[s] < cap && assigned < n) {
+      std::size_t best = kUnassigned;
+      for (std::size_t v = 0; v < n; ++v) {
+        if (plan[v] != kUnassigned || conn[v] == 0) continue;
+        if (best == kUnassigned || conn[v] > conn[best] ||
+            (conn[v] == conn[best] && conn_lat[v] < conn_lat[best])) {
+          best = v;
+        }
+      }
+      if (best == kUnassigned) break;  // region's component exhausted
+      absorb(best);
+    }
+  }
+  // Disconnected leftovers (more components than shard seeds): fill the
+  // least-loaded shard, lowest id first.
+  for (std::size_t v = 0; v < n; ++v) {
+    if (plan[v] != kUnassigned) continue;
+    std::size_t tgt = 0;
+    for (std::size_t s = 1; s < shards; ++s) {
+      if (size[s] < size[tgt]) tgt = s;
+    }
+    plan[v] = tgt;
+    ++size[tgt];
+    ++assigned;
+  }
+
+  // Phase 2 — bounded Kernighan–Lin/FM-style refinement: move a node to
+  // the shard it has strictly more edge weight toward, as long as the
+  // destination stays under the balanced ceiling and the source keeps at
+  // least one node.  Deterministic: id order, strict improvement, lowest
+  // destination shard wins ties.
+  const std::size_t cap_hi = (n + shards - 1) / shards;
+  for (int pass = 0; pass < 8; ++pass) {
+    bool moved = false;
+    for (std::size_t v = 0; v < n; ++v) {
+      const std::size_t cur = plan[v];
+      if (size[cur] <= 1) continue;
+      std::vector<std::size_t> w(shards, 0);
+      for (const Adj& a : adj[v]) w[plan[a.node]] += a.weight;
+      std::size_t best = cur;
+      for (std::size_t s = 0; s < shards; ++s) {
+        if (s == cur || size[s] >= cap_hi) continue;
+        if (w[s] > w[best]) best = s;
+      }
+      if (best != cur) {
+        plan[v] = best;
+        --size[cur];
+        ++size[best];
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+
+  // Fallback guarantee: never publish a plan that cuts more edges than
+  // plain hash placement would.
+  ShardMap planned(shards);
+  planned.plan_ = std::move(plan);
+  planned.method_ = "greedy-kl";
+  planned.plan_cut_ = edge_cut(planned, edges);
+  if (planned.plan_cut_ > edge_cut(hash_map, edges)) {
+    hash_map.method_ = "hash-fallback";
+    return hash_map;
+  }
+  return planned;
+}
+
+std::string ShardMap::describe() const {
+  std::string out = method_;
+  out += "(shards=" + std::to_string(shards_);
+  if (!plan_.empty()) {
+    out += ",nodes=" + std::to_string(plan_.size());
+    out += ",edge_cut=" + std::to_string(plan_cut_);
+  }
+  out += ",overrides=" + std::to_string(overrides_.size());
+  out += ")";
+  return out;
 }
 
 // ---- ShardScope ------------------------------------------------------------
@@ -96,8 +256,11 @@ ParallelSimulator::ParallelSimulator(ParallelConfig config) {
   }
   channels_by_dst_.resize(config.shards);
   post_seq_.assign(config.shards, 0);
+  inbound_.resize(config.shards);
   inflight_.resize(config.shards);
   inflight_next_.assign(config.shards, 0);
+  committed_ns_.assign(config.shards, -1);
+  target_ns_.assign(config.shards, -1);
 }
 
 ParallelSimulator::~ParallelSimulator() = default;
@@ -125,15 +288,41 @@ std::uint32_t ParallelSimulator::add_channel(std::size_t src_shard,
   lookahead_ns_ = lookahead_ns_ == 0
                       ? min_latency.ns()
                       : std::min(lookahead_ns_, min_latency.ns());
+  auto& in = inbound_[dst_shard];
+  const auto it = std::find_if(in.begin(), in.end(), [&](const auto& p) {
+    return p.first == src_shard;
+  });
+  if (it == in.end()) {
+    in.emplace_back(src_shard, min_latency.ns());
+    std::sort(in.begin(), in.end());
+  } else {
+    it->second = std::min(it->second, min_latency.ns());
+  }
   return id;
+}
+
+Duration ParallelSimulator::pair_lookahead(std::size_t src,
+                                           std::size_t dst) const {
+  for (const auto& [u, lat] : inbound_.at(dst)) {
+    if (u == src) return Duration::nanos(lat);
+  }
+  return Duration::nanos(0);
+}
+
+void ParallelSimulator::set_partition_info(std::string info) {
+  if (running_) {
+    throw std::logic_error(
+        "ParallelSimulator: set_partition_info while running");
+  }
+  partition_info_ = std::move(info);
 }
 
 void ParallelSimulator::post(std::uint32_t channel, TimePoint when,
                              Bytes frame) {
   Channel& ch = channels_.at(channel);
-  if (when.ns() <= epoch_end_ns_) {
-    // A message due inside the epoch that produced it would have to be
-    // delivered to a shard that may already be past it: the producing
+  if (when.ns() <= target_ns_[ch.dst]) {
+    // A message due inside the destination's current epoch would have to
+    // be delivered to a shard that may already be past it: the producing
     // link's latency undercuts the channel's declared minimum.
     throw std::logic_error("ParallelSimulator: post violates lookahead");
   }
@@ -224,15 +413,17 @@ void ParallelSimulator::drain_shard(std::size_t dst) {
 }
 
 void ParallelSimulator::run_shard(std::size_t s) {
+  const std::int64_t from_ns = committed_ns_[s];
+  const std::int64_t to_ns = target_ns_[s];
+  if (to_ns <= from_ns) return;  // horizon-bound laggard neighbor: no-op
   ShardScope scope(*this, s);
   if (chrome_ == nullptr) {
-    shards_[s]->run_until(TimePoint::from_ns(epoch_end_ns_));
+    shards_[s]->run_until(TimePoint::from_ns(to_ns));
     return;
   }
-  const std::int64_t from_ns = cur_ns_;
   const std::uint64_t before = shards_[s]->events_processed();
   const auto wall0 = std::chrono::steady_clock::now();
-  shards_[s]->run_until(TimePoint::from_ns(epoch_end_ns_));
+  shards_[s]->run_until(TimePoint::from_ns(to_ns));
   const auto wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                            std::chrono::steady_clock::now() - wall0)
                            .count();
@@ -244,7 +435,7 @@ void ParallelSimulator::run_shard(std::size_t s) {
                 static_cast<double>(wall_ns) / 1000.0);
   // Virtual-time span + event count are deterministic; the wall time rides
   // along in args, which canonical_json() strips.
-  chrome_->complete(s, "epoch", from_ns, epoch_end_ns_ - from_ns, args);
+  chrome_->complete(s, "epoch", from_ns, to_ns - from_ns, args);
 }
 
 void ParallelSimulator::drain_shard_guarded(std::size_t dst) {
@@ -275,10 +466,13 @@ void ParallelSimulator::run_due_tasks() {
   while (tasks_pos_ < tasks_.size() &&
          tasks_[tasks_pos_].when_ns == cur_ns_ + 1) {
     const auto t = TimePoint::from_ns(tasks_[tasks_pos_].when_ns);
-    // Align every clock to the task's instant first: the epoch ended one
-    // tick short of it, and faults must observe (and stamp) time t, not
-    // t - 1ns, on whichever shard they touch.
+    // Align every clock to the task's instant first: every target is
+    // capped at the task time minus one tick, so by the time cur_ns_
+    // (the min) reaches it, every shard has parked exactly there; faults
+    // must observe (and stamp) time t, not t - 1ns, on whichever shard
+    // they touch.
     for (auto& sh : shards_) sh->advance_to(t);
+    for (auto& c : committed_ns_) c = t.ns();
     cur_ns_ = t.ns();
     while (tasks_pos_ < tasks_.size() &&
            tasks_[tasks_pos_].when_ns == cur_ns_) {
@@ -303,17 +497,15 @@ void ParallelSimulator::run_due_tasks() {
   }
 }
 
-void ParallelSimulator::compute_next_epoch() {
+void ParallelSimulator::compute_epoch_targets() {
   const std::int64_t next_task =
       tasks_pos_ < tasks_.size() ? tasks_[tasks_pos_].when_ns : kFar;
-  // The horizon never crosses a task time: run to the tick before it, so
+  // No target ever crosses a task time: run to the tick before it, so
   // run_due_tasks can align clocks exactly on it.
   const std::int64_t bound =
       std::min(deadline_ns_, next_task == kFar ? kFar : next_task - 1);
-  // Idle fast-forward: nothing anywhere can happen before `nb` (a safe
-  // lower bound over every shard's wheel and every undelivered mailbox
-  // message), so start the lookahead window just below it instead of
-  // crawling through empty epochs one L at a time.
+  // Global idle bound: nothing anywhere (any shard's wheel, any
+  // undelivered mailbox message) can happen before `nb`.
   std::int64_t nb = kFar;
   for (const auto& sh : shards_) {
     TimePoint w;
@@ -322,17 +514,41 @@ void ParallelSimulator::compute_next_epoch() {
   for (const auto& ch : channels_) {
     for (const auto& m : ch.inbox) nb = std::min(nb, m.when.ns());
   }
-  if (nb == kFar || lookahead_ns_ == 0) {
-    // Globally idle (nothing will ever fire before the bound) or no
-    // cross-shard edges (infinite lookahead): one epoch to the bound.
-    epoch_end_ns_ = bound;
+  if (nb == kFar) {
+    // Globally idle: no shard can fire or send before the bound — one
+    // epoch to the bound for everyone.
+    for (auto& t : target_ns_) t = bound;
     return;
   }
-  const std::int64_t jump = std::max(cur_ns_, nb - 1);
-  epoch_end_ns_ =
-      jump >= bound ? bound
-                    : (lookahead_ns_ > bound - jump ? bound
-                                                    : jump + lookahead_ns_);
+  // Per-pair conservative horizons (CMB null-message bounds): shard u's
+  // next send happens no earlier than max(committed[u] + 1, nb), so its
+  // deliveries into s land strictly after base(u) + L(u, s).  Idle
+  // fast-forward rides on the same base: a source with nothing pending
+  // until nb promises silence until then, widening every horizon it feeds.
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    std::int64_t h = kFar;
+    for (const auto& [u, lat] : inbound_[s]) {
+      const std::int64_t base = std::max(committed_ns_[u], nb - 1);
+      h = std::min(h, sat_add(base, lat));
+    }
+    std::int64_t t = std::min(h, bound);
+    if (t < committed_ns_[s]) t = committed_ns_[s];
+    // Run-ahead accounting: the bound, not an inbound horizon, set this
+    // shard's target (no inbound pairs, or every horizon beyond the
+    // bound) — the shard advanced unthrottled by its neighbors.
+    if (t > committed_ns_[s] && h >= bound) ++runahead_epochs_;
+    target_ns_[s] = t;
+  }
+}
+
+void ParallelSimulator::commit_epoch() {
+  std::int64_t mn = kFar;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    committed_ns_[s] = target_ns_[s];
+    mn = std::min(mn, committed_ns_[s]);
+  }
+  cur_ns_ = mn;
+  ++epochs_;
 }
 
 void ParallelSimulator::advance_epoch_state() {
@@ -355,7 +571,59 @@ void ParallelSimulator::advance_epoch_state() {
     done_ = true;
     return;
   }
-  compute_next_epoch();
+  compute_epoch_targets();
+}
+
+void ParallelSimulator::record_wiring_diagnostics() {
+  wiring_recorded_ = true;
+  // Distinct unordered shard pairs connected by >= 1 cross-shard channel:
+  // the channel graph's edge cut under the chosen placement.
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  for (const auto& ch : channels_) {
+    if (ch.src == ch.dst) continue;
+    pairs.emplace_back(std::min(ch.src, ch.dst), std::max(ch.src, ch.dst));
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  {
+    // Wiring facts are pure config — identical at every worker thread
+    // count — so they may live in merged_metrics as gauges.  They land in
+    // shard 0's registry: gauges merge by sum, so exactly one shard may
+    // carry them.  Slots are written absolutely (not through the
+    // delta-forwarding Gauge instances) so a restore followed by a resume
+    // stays idempotent.
+    ShardScope scope(*this, 0);
+    auto& reg = telemetry::MetricsRegistry::instance();
+    *reg.gauge_slot(reg.intern_gauge("parallel.edge_cut")) =
+        static_cast<std::int64_t>(pairs.size());
+    *reg.gauge_slot(reg.intern_gauge("parallel.min_pair_lookahead")) =
+        lookahead_ns_;
+    *reg.gauge_slot(reg.intern_gauge("parallel.shards")) =
+        static_cast<std::int64_t>(shards_.size());
+  }
+  if (chrome_ == nullptr) return;
+  // Metadata survives into canonical_json(), so only configuration facts
+  // belong here — never the worker thread count.
+  std::string info;
+  for (const char c : partition_info_) {
+    if (c != '"' && c != '\\') info += c;
+  }
+  chrome_->metadata(
+      shards_.size(), "parallel_partition",
+      "\"shards\":" + std::to_string(shards_.size()) +
+          ",\"edge_cut\":" + std::to_string(pairs.size()) +
+          ",\"min_pair_lookahead_ns\":" + std::to_string(lookahead_ns_) +
+          ",\"partition\":\"" + info + "\"");
+  std::string matrix;
+  for (std::size_t dst = 0; dst < inbound_.size(); ++dst) {
+    for (const auto& [src, lat] : inbound_[dst]) {
+      if (!matrix.empty()) matrix += ';';
+      matrix += std::to_string(src) + ">" + std::to_string(dst) + "@" +
+                std::to_string(lat);
+    }
+  }
+  chrome_->metadata(shards_.size(), "parallel_pair_lookahead",
+                    "\"pairs\":\"" + matrix + "\"");
 }
 
 void ParallelSimulator::run_until(TimePoint deadline, StopPredicate stop) {
@@ -367,13 +635,14 @@ void ParallelSimulator::run_until(TimePoint deadline, StopPredicate stop) {
   deadline_ns_ = deadline.ns();
   stop_ = std::move(stop);
   done_ = false;
+  if (!wiring_recorded_) record_wiring_diagnostics();
   // Tasks registered since the last run join the queue in (time, insertion
   // order); stable_sort keeps same-instant tasks in registration order.
   std::stable_sort(tasks_.begin() + static_cast<std::ptrdiff_t>(tasks_pos_),
                    tasks_.end(), [](const Task& a, const Task& b) {
                      return a.when_ns < b.when_ns;
                    });
-  // Bootstrap: run tasks already due, then compute the first horizon.
+  // Bootstrap: run tasks already due, then compute the first targets.
   advance_epoch_state();
 
   if (threads_ == 1) {
@@ -382,14 +651,13 @@ void ParallelSimulator::run_until(TimePoint deadline, StopPredicate stop) {
     while (!done_) {
       for (std::size_t d = 0; d < shards_.size(); ++d) drain_shard_guarded(d);
       for (std::size_t s = 0; s < shards_.size(); ++s) run_shard_guarded(s);
-      cur_ns_ = epoch_end_ns_;
-      ++epochs_;
+      commit_epoch();
       advance_epoch_state();
     }
   } else if (!done_) {
     // Two barrier phases per epoch sharing one std::barrier: after the
     // drain handoff (no bookkeeping) and after the run phase (tasks, stop
-    // check, next horizon) — the completion step runs exactly once per
+    // check, next targets) — the completion step runs exactly once per
     // phase with every worker parked.
     drain_barrier_next_ = true;
     auto completion = [this]() noexcept {
@@ -398,8 +666,7 @@ void ParallelSimulator::run_until(TimePoint deadline, StopPredicate stop) {
         return;
       }
       drain_barrier_next_ = true;
-      cur_ns_ = epoch_end_ns_;
-      ++epochs_;
+      commit_epoch();
       advance_epoch_state();
     };
     std::barrier sync(static_cast<std::ptrdiff_t>(threads_), completion);
@@ -439,6 +706,15 @@ void ParallelSimulator::run_until(TimePoint deadline, StopPredicate stop) {
     for (auto& t : pool) t.join();
   }
 
+  {
+    // Deterministic across thread counts (the target sequence is), so the
+    // gauge may live in merged_metrics next to the wiring facts.  Written
+    // absolutely: repeated run_until calls overwrite, never accumulate.
+    ShardScope scope(*this, 0);
+    auto& reg = telemetry::MetricsRegistry::instance();
+    *reg.gauge_slot(reg.intern_gauge("parallel.runahead_shard_epochs")) =
+        static_cast<std::int64_t>(runahead_epochs_);
+  }
   stop_ = nullptr;
   running_ = false;
   if (failed_) {
@@ -477,6 +753,10 @@ void ParallelSimulator::save(SnapshotWriter& w) const {
   w.u64(shards_.size());
   w.u64(channels_.size());
   w.i64(cur_ns_);
+  // Run-ahead parks shards at unequal committed times; the whole horizon
+  // vector is state (v2 layout).
+  for (const std::int64_t c : committed_ns_) w.i64(c);
+  w.u64(runahead_epochs_);
   w.u64(epochs_);
   w.u64(tasks_run_);
   // Pending barrier tasks hold closures, so only their times are saved —
@@ -527,6 +807,20 @@ void ParallelSimulator::restore(SnapshotReader& r) {
     throw SnapshotError("ParallelSimulator: channel count mismatch");
   }
   cur_ns_ = r.i64();
+  std::int64_t mn = kFar;
+  for (auto& c : committed_ns_) {
+    c = r.i64();
+    mn = std::min(mn, c);
+  }
+  if (mn != cur_ns_) {
+    throw SnapshotError(
+        "ParallelSimulator: committed-horizon vector inconsistent with the "
+        "saved clock");
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    target_ns_[s] = committed_ns_[s];
+  }
+  runahead_epochs_ = r.u64();
   epochs_ = r.u64();
   tasks_run_ = r.u64();
   // Only pending tasks exist on the restore graph (already-run phases are
@@ -607,6 +901,18 @@ void ParallelSimulator::finish_restore() {
     }
     restore_tasks_check_ = false;
     restore_task_times_.clear();
+  }
+  // A shard parks with its clock exactly on its committed horizon (the
+  // run phase finishes with now == target, and task alignment moves both);
+  // a restored clock that disagrees means the image and the rebuild graph
+  // diverged.
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (committed_ns_[s] >= 0 &&
+        shards_[s]->now().ns() != committed_ns_[s]) {
+      throw SnapshotError(
+          "ParallelSimulator: shard " + std::to_string(s) +
+          " clock diverges from its committed horizon");
+    }
   }
   for (auto& sh : shards_) sh->finish_restore();
 }

@@ -1,27 +1,36 @@
-// ParallelSimulator: conservative barrier-synchronous parallel simulation
-// over sharded topologies.
+// ParallelSimulator: conservative parallel simulation over sharded
+// topologies with adaptive per-pair lookahead.
 //
 // The topology is split into S shards, each owning a private Simulator
 // (its own timer wheel, its own virtual clock) plus the hosts, routers,
 // and links assigned to it.  Shards only interact through *channels* —
 // registered cross-shard edges with a declared minimum latency.  The
-// minimum over all channels is the lookahead L, and execution proceeds in
-// epochs: every shard runs its own wheel up to the epoch horizon, a
-// barrier is taken, cross-shard deliveries posted during the epoch are
-// drained from per-channel SPSC mailboxes into the destination shards,
-// and the next horizon is computed.
+// per-pair minima form a latency matrix L(src, dst), built at wiring time,
+// and execution proceeds in epochs: every shard runs its own wheel up to
+// its private epoch target, a barrier is taken, cross-shard deliveries
+// posted during the epoch are drained from per-channel SPSC mailboxes into
+// the destination shards, and the next targets are computed.
 //
-// Why this is safe (the conservative-lookahead argument): let `cur` be the
-// globally completed time and E <= cur + L the epoch horizon.  Any message
-// a shard produces during the epoch is produced by an event at some
-// t > cur and is due no earlier than t + L > cur + L >= E — strictly
-// beyond the epoch.  So no shard can receive, within an epoch, a message
-// sent within the same epoch, and running the shards concurrently is
-// indistinguishable from running them in any sequential order.
+// Why this is safe (the CMB null-message-style argument): each shard s has
+// a committed time C(s) it has fully run through.  Any message shard u can
+// still produce is produced by an event at some t > B(u) — where
+// B(u) = max(C(u), nb - 1) and nb is a global lower bound on the next
+// event anywhere — and is due no earlier than t + L(u, s) > B(u) + L(u, s).
+// So the *horizon* H(s) = min over inbound pairs (u, s) of B(u) + L(u, s)
+// is a time shard s can run to without ever receiving a message it has not
+// yet seen, and running the shards concurrently to their targets
+// T(s) = min(H(s), bound) is indistinguishable from any sequential order.
+// A shard with no inbound cross-shard pairs has H(s) = infinity and
+// *runs ahead*: its target is the bound (deadline or next barrier task)
+// regardless of how far other shards lag.  The global lookahead
+// min L(u, s) only matters for the tightest-coupled pair; loosely coupled
+// or one-directional topologies advance in far fewer, fatter epochs.
 //
 // Why it is deterministic at every worker-thread count: a shard's epoch
 // run depends only on that shard's own state (its wheel already orders
-// events by (time, insertion-seq)), and mailbox drains merge messages in
+// events by (time, insertion-seq)) and on the target sequence, which is a
+// pure function of the committed vector, the latency matrix, and the task
+// plan — never of worker scheduling.  Mailbox drains merge messages in
 // (delivery time, source shard, per-source post sequence) order before
 // scheduling them — an order independent of which worker ran what when.
 // The same seed and shard map therefore produce bit-identical event
@@ -34,12 +43,17 @@
 // simclock in common/time.hpp); the worker does this around every shard
 // run phase, and topology construction does it so modules bind into their
 // owning shard.  merged_metrics() / merged_crossings() produce the
-// deterministic cross-shard aggregate at any parked instant.
+// deterministic cross-shard aggregate at any parked instant.  The engine
+// also publishes its wiring as gauges (parallel.edge_cut,
+// parallel.min_pair_lookahead, ...) and as Chrome-trace metadata, so a
+// run's partitioning and horizon structure are diagnosable from artifacts
+// alone.
 //
 // Barrier tasks (schedule_task) run single-threaded at exact virtual
 // times with every shard's clock aligned to the task time: epochs never
-// cross a task time, so chaos fault injection can mutate any shard's
-// links and routers race-free.
+// cross a task time (even run-ahead shards park at next_task - 1), so
+// chaos fault injection can mutate any shard's links and routers
+// race-free.
 #pragma once
 
 #include <cstdint>
@@ -50,6 +64,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -66,21 +81,62 @@ class ChromeTraceWriter;
 
 namespace sublayer::sim {
 
+/// One undirected edge of the topology graph handed to the partitioner:
+/// two entity ids plus the link's propagation latency.  Lower-latency
+/// edges couple their endpoints more tightly (cutting them would narrow
+/// the conservative horizon), so the partitioner prefers keeping them
+/// internal when breaking frontier ties.
+struct TopoEdge {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::int64_t latency_ns = 1;
+};
+
 /// Maps topology entity ids (router ids, host ids) to shards.  Default is
-/// a splitmix64 hash of the id modulo the shard count; assign() overrides
-/// the placement of individual ids (e.g. to keep a chatty pair co-located).
+/// a splitmix64 hash of the id modulo the shard count; topology_aware()
+/// computes an edge-cut-minimizing placement instead; assign() overrides
+/// the placement of individual ids (e.g. to keep a chatty pair co-located)
+/// and always wins over both.
 class ShardMap {
  public:
   explicit ShardMap(std::size_t shards);
 
+  /// Greedy BFS region growth + bounded Kernighan–Lin-style refinement
+  /// over the edge list, minimizing the number of cut edges under a
+  /// balanced ceiling of ceil(node_count / shards) ids per shard.  Fully
+  /// deterministic for a fixed graph (ties break toward the lowest id /
+  /// lowest shard).  Guaranteed never worse than hash placement: if the
+  /// refined cut exceeds the hash cut the hash map is returned instead
+  /// (method() == "hash-fallback").
+  static ShardMap topology_aware(std::size_t shards, std::uint64_t node_count,
+                                 const std::vector<TopoEdge>& edges);
+
+  /// Number of edges whose endpoints land on different shards under `map`
+  /// (self-loops never count).  Uses of(), so assign() overrides are
+  /// honored.
+  static std::size_t edge_cut(const ShardMap& map,
+                              const std::vector<TopoEdge>& edges);
+
   std::size_t shards() const { return shards_; }
   std::size_t of(std::uint64_t id) const;
-  /// Pins `id` to `shard`, overriding the hash.
+  /// Pins `id` to `shard`, overriding both the hash and any plan.
   void assign(std::uint64_t id, std::size_t shard);
+
+  /// "hash", "greedy-kl", or "hash-fallback" (topology_aware bailed out).
+  const std::string& method() const { return method_; }
+  /// One-line summary of the placement decision, e.g.
+  /// "greedy-kl(shards=4,nodes=16,edge_cut=4,overrides=0)" — recorded by
+  /// the engine in Chrome-trace metadata via set_partition_info().
+  std::string describe() const;
 
  private:
   std::size_t shards_;
   std::vector<std::pair<std::uint64_t, std::size_t>> overrides_;
+  /// Planned placement from topology_aware(), indexed by id; ids at or
+  /// beyond plan_.size() fall back to the hash.
+  std::vector<std::size_t> plan_;
+  std::size_t plan_cut_ = 0;
+  std::string method_ = "hash";
 };
 
 struct ParallelConfig {
@@ -146,20 +202,44 @@ class ParallelSimulator {
   using ChannelDeliver = std::function<void(Bytes)>;
 
   /// Registers a cross-shard edge with a guaranteed minimum latency
-  /// (>= 1 ns; the global lookahead is the minimum over all channels).
-  /// Returns the channel id for post().
+  /// (>= 1 ns).  The per-(src, dst) minimum over registered channels is
+  /// that pair's conservative lookahead.  Returns the channel id for
+  /// post().
   std::uint32_t add_channel(std::size_t src_shard, std::size_t dst_shard,
                             Duration min_latency, std::string label,
                             ChannelDeliver deliver);
 
-  /// Epoch lookahead: min over channel latencies (infinite when there are
-  /// no channels — single-shard or fully disconnected topologies).
+  /// Global lookahead: min over all channel latencies (infinite when there
+  /// are no channels).  The engine itself throttles per pair — this is the
+  /// worst-case pair, kept for diagnostics and tests.
   Duration lookahead() const { return Duration::nanos(lookahead_ns_); }
+
+  /// The conservative lookahead of the (src, dst) pair: the minimum
+  /// latency over its registered channels, or 0 when the pair has none
+  /// (dst is never throttled by src).
+  Duration pair_lookahead(std::size_t src, std::size_t dst) const;
+
+  /// Shard-epochs whose target was set by the bound (deadline / next
+  /// task), not by an inbound horizon — i.e. the shard ran ahead of the
+  /// barrier throttle.  Deterministic across worker thread counts.
+  std::uint64_t runahead_shard_epochs() const { return runahead_epochs_; }
+
+  /// Virtual time shard `s` has fully run through.  Shards park at
+  /// *unequal* committed times whenever horizons differ; now() is the
+  /// minimum.
+  TimePoint shard_committed(std::size_t s) const {
+    return TimePoint::from_ns(std::max<std::int64_t>(0, committed_ns_.at(s)));
+  }
+
+  /// One-line description of how the topology was partitioned (e.g.
+  /// ShardMap::describe()); recorded in Chrome-trace metadata and kept
+  /// with the run's artifacts.  Call before the first run_until.
+  void set_partition_info(std::string info);
 
   /// Posts a frame onto `channel` for delivery at `when`.  Called from the
   /// source shard's run phase only (single producer); `when` must lie
-  /// beyond the current epoch horizon, which the channel's declared
-  /// minimum latency guarantees for any send inside the epoch.
+  /// beyond the destination shard's epoch target, which the channel's
+  /// declared minimum latency guarantees for any send inside the epoch.
   void post(std::uint32_t channel, TimePoint when, Bytes frame);
 
   /// Schedules `fn` to run single-threaded at exactly `when` (strictly in
@@ -221,8 +301,8 @@ class ParallelSimulator {
   // ---- execution profiling (Chrome trace / Perfetto export) ----
 
   /// Lanes the engine emits into: one per shard (epoch spans, drain
-  /// counters, flow spans), one engine lane (barrier tasks), one per
-  /// worker thread (wall-clock barrier waits).
+  /// counters, flow spans), one engine lane (barrier tasks, wiring
+  /// metadata), one per worker thread (wall-clock barrier waits).
   std::size_t chrome_lane_count() const {
     return shards_.size() + 1 + threads_;
   }
@@ -230,7 +310,8 @@ class ParallelSimulator {
   // ---- checkpoint / restore (see sim/snapshot.hpp for the contract) ----
 
   /// Saves the full parallel-engine state at a parked instant (between
-  /// run_until calls): the epoch clock and counters, per-source post
+  /// run_until calls): the per-shard committed horizon vector (shards park
+  /// at unequal times under run-ahead) and counters, per-source post
   /// sequences, undrained channel mailboxes, drained-but-undelivered
   /// cross-shard frames (re-armed on restore under their original event
   /// seqs), and then, per shard, the shard simulator, its telemetry
@@ -248,16 +329,18 @@ class ParallelSimulator {
   /// then call finish_restore().
   void restore(SnapshotReader& r);
 
-  /// Verifies every shard's re-armed pending set and the re-submitted
+  /// Verifies every shard's re-armed pending set, its restored clock
+  /// against the committed-horizon vector, and the re-submitted
   /// barrier-task times against the snapshot; call after all per-shard
   /// modules have restored.
   void finish_restore();
 
   /// Profiles subsequent run_until calls into `writer` (nullptr detaches):
   /// per-shard epoch spans with event counts and wall time, mailbox drain
-  /// counters, barrier-task instants, and per-worker barrier-wait spans.
-  /// The writer must have at least chrome_lane_count() lanes and must
-  /// outlive the runs.  Virtual-time payloads are flagged deterministic;
+  /// counters, barrier-task instants, per-worker barrier-wait spans, and
+  /// wiring metadata (partition decision + pair-lookahead matrix).  The
+  /// writer must have at least chrome_lane_count() lanes and must outlive
+  /// the runs.  Virtual-time payloads are flagged deterministic;
   /// wall-clock ones are not, so writer.canonical_json() stays identical
   /// across worker thread counts.
   void attach_chrome_trace(telemetry::ChromeTraceWriter* writer);
@@ -299,11 +382,17 @@ class ParallelSimulator {
   void drain_shard_guarded(std::size_t dst);
   void run_shard_guarded(std::size_t s);
   /// Runs due barrier tasks, evaluates stop/deadline, computes the next
-  /// horizon or sets done_.  Runs single-threaded (barrier completion or
-  /// the sequential loop).
+  /// per-shard targets or sets done_.  Runs single-threaded (barrier
+  /// completion or the sequential loop).
   void advance_epoch_state();
   void run_due_tasks();
-  void compute_next_epoch();
+  /// Per-shard conservative targets from the committed vector, the pair
+  /// lookahead matrix, and the bound (deadline / next task time).
+  void compute_epoch_targets();
+  /// Folds the finished epoch's targets into the committed vector.
+  void commit_epoch();
+  /// Publishes wiring gauges + Chrome-trace metadata once, at first run.
+  void record_wiring_diagnostics();
   void record_error(std::exception_ptr e);
 
   std::size_t threads_ = 1;
@@ -318,6 +407,11 @@ class ParallelSimulator {
   std::vector<std::vector<std::uint32_t>> channels_by_dst_;
   std::vector<std::uint64_t> post_seq_;  // per source shard
   std::int64_t lookahead_ns_ = 0;        // 0 = no channels yet (infinite)
+  /// Per destination shard: inbound (source shard, min pair latency)
+  /// pairs in source order — the latency matrix the horizon algebra runs
+  /// on.  Self-pairs (src == dst) are included: a shard that posts to
+  /// itself must not outrun its own mailbox.
+  std::vector<std::vector<std::pair<std::size_t, std::int64_t>>> inbound_;
   /// Per destination shard, keyed by a per-shard drain counter (so map
   /// order is drain order — deterministic).  Touched only by the dst
   /// shard's drain and run phases, like the wheel it shadows.
@@ -333,8 +427,9 @@ class ParallelSimulator {
 
   // Epoch state: written only single-threaded (bootstrap or barrier
   // completion); workers read it strictly after the barrier that wrote it.
-  std::int64_t cur_ns_ = -1;  // completed through cur_ns_, inclusive
-  std::int64_t epoch_end_ns_ = -1;
+  std::int64_t cur_ns_ = -1;  // min over committed_ns_ (globally completed)
+  std::vector<std::int64_t> committed_ns_;  // per shard, inclusive
+  std::vector<std::int64_t> target_ns_;     // per shard epoch target
   std::int64_t deadline_ns_ = -1;
   bool done_ = true;
   bool drain_barrier_next_ = true;
@@ -342,6 +437,9 @@ class ParallelSimulator {
   StopPredicate stop_;
   std::uint64_t epochs_ = 0;
   std::uint64_t tasks_run_ = 0;
+  std::uint64_t runahead_epochs_ = 0;
+  std::string partition_info_;
+  bool wiring_recorded_ = false;
 
   // First error raised by any worker/task; the run winds down at the next
   // epoch boundary and run_until rethrows it.

@@ -58,7 +58,10 @@ class SnapshotError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+/// v2: sim.parallel gained the per-shard committed-horizon vector and the
+/// run-ahead counter (adaptive per-pair lookahead parks shards at unequal
+/// times).  v1 images are refused at open.
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 /// Streams primitives into named sections; finish() seals the container.
 class SnapshotWriter {

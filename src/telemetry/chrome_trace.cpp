@@ -88,6 +88,18 @@ void ChromeTraceWriter::counter(std::size_t lane, std::string name,
   lanes_[lane].push_back(std::move(ev));
 }
 
+void ChromeTraceWriter::metadata(std::size_t lane, std::string name,
+                                 std::string args_json) {
+  assert(lane < lanes_.size());
+  Ev ev;
+  ev.ph = 'M';
+  ev.det = true;
+  ev.ts_ns = 0;
+  ev.name = std::move(name);
+  ev.args = std::move(args_json);
+  lanes_[lane].push_back(std::move(ev));
+}
+
 void ChromeTraceWriter::async_begin(std::size_t lane, std::string name,
                                     std::int64_t ts_ns, std::uint64_t id,
                                     bool deterministic) {
@@ -170,7 +182,7 @@ std::string ChromeTraceWriter::render(bool canonical) const {
       out += ",\"args\":{\"value\":";
       out += std::to_string(ev.value);
       out += '}';
-    } else if (!ev.args.empty() && !canonical) {
+    } else if (!ev.args.empty() && (!canonical || ev.ph == 'M')) {
       out += ",\"args\":{";
       out += ev.args;
       out += '}';

@@ -49,6 +49,11 @@ class ChromeTraceWriter {
   /// A counter ("C") sample; the value survives into canonical_json().
   void counter(std::size_t lane, std::string name, std::int64_t ts_ns,
                std::int64_t value, bool deterministic = true);
+  /// A metadata ("M") record at ts 0.  Unlike span args, metadata args
+  /// survive into canonical_json() — they must describe run configuration
+  /// (shard maps, latency matrices), never wall-clock measurements, so the
+  /// canonical render stays byte-identical across worker thread counts.
+  void metadata(std::size_t lane, std::string name, std::string args_json);
   /// An async span pair (cat "flow"), matched by `id`.
   void async_begin(std::size_t lane, std::string name, std::int64_t ts_ns,
                    std::uint64_t id, bool deterministic = true);

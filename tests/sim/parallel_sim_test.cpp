@@ -211,7 +211,11 @@ TEST(ParallelSimTest, StopPredicateParksAtBoundaryAndResumes) {
   pc.shards = 2;
   pc.threads = 2;
   ParallelSimulator psim(pc);
+  // Channels both ways: a sink-only shard 0 would run ahead to the
+  // deadline in one epoch and fire all ten events before the first stop
+  // check — the reverse channel gives it a 1 ms inbound horizon.
   psim.add_channel(0, 1, Duration::millis(1), "c", [](Bytes) {});
+  psim.add_channel(1, 0, Duration::millis(1), "c.rev", [](Bytes) {});
   int n = 0;
   for (int i = 1; i <= 10; ++i) {
     psim.shard(0).schedule_at(at_ms(i), [&n] { ++n; });

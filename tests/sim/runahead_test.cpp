@@ -1,0 +1,522 @@
+// Run-ahead determinism suite: shards that the per-pair horizon algebra
+// leaves unthrottled — a sink-only shard fed through a one-directional
+// channel, and a fully disconnected "island" shard — must run ahead of
+// the barrier (fewer, fatter epochs) while staying bit-identical across
+// worker thread counts, clean and under mixed-mayhem chaos, and across a
+// snapshot taken mid-run-ahead, i.e. at a parked instant where the
+// committed-horizon vector is *unequal*.  Complements the ring replay
+// suite in parallel_replay_test.cpp, whose symmetric topology never
+// exposes unequal horizons.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "chaos/controller.hpp"
+#include "chaos/fault_plan.hpp"
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "netlayer/router.hpp"
+#include "sim/parallel.hpp"
+#include "sim/simulator.hpp"
+#include "sim/snapshot.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+#include "transport/sublayered/host.hpp"
+
+namespace sublayer {
+namespace {
+
+// ---------------------------------------------------------------------
+// Raw-engine fixtures: the horizon algebra observed directly.
+// ---------------------------------------------------------------------
+
+TEST(RunAheadTest, PairLookaheadMatrixTracksMinimumChannelLatency) {
+  sim::ParallelConfig pc;
+  pc.shards = 3;
+  pc.threads = 1;
+  sim::ParallelSimulator psim(pc);
+  const auto sink = [](Bytes) {};
+  psim.add_channel(0, 1, Duration::millis(1), "a.b", sink);
+  psim.add_channel(1, 2, Duration::millis(2), "b.c.slow", sink);
+  psim.add_channel(1, 2, Duration::micros(500), "b.c.fast", sink);
+  psim.add_channel(2, 2, Duration::micros(250), "c.self", sink);
+
+  // The per-pair minimum over registered channels, directional.
+  EXPECT_EQ(psim.pair_lookahead(0, 1).ns(), Duration::millis(1).ns());
+  EXPECT_EQ(psim.pair_lookahead(1, 2).ns(), Duration::micros(500).ns());
+  EXPECT_EQ(psim.pair_lookahead(2, 2).ns(), Duration::micros(250).ns());
+  // Pairs with no channel never throttle their destination.
+  EXPECT_EQ(psim.pair_lookahead(1, 0).ns(), 0);
+  EXPECT_EQ(psim.pair_lookahead(2, 0).ns(), 0);
+  EXPECT_EQ(psim.pair_lookahead(0, 2).ns(), 0);
+  // The legacy global bound is the worst-case pair.
+  EXPECT_EQ(psim.lookahead().ns(), Duration::micros(250).ns());
+}
+
+struct RawRun {
+  std::string deliveries;  // "when_ns:size;" per delivery, in fire order
+  std::uint64_t events = 0;
+  std::uint64_t epochs = 0;
+  std::uint64_t runahead = 0;
+  std::uint64_t cross = 0;
+  std::string trace;
+};
+
+/// One-directional pipeline: shard 0 (no inbound pairs — a pure source)
+/// ticks every 100 us to 50 ms and posts every tenth tick to shard 1 (a
+/// pure sink) over a 1 ms channel.  The source's horizon is infinite, so
+/// the whole tick train runs in a single run-ahead epoch; the sink then
+/// drains the 50 deliveries.  Under the old global-min-lookahead barrier
+/// this workload needed ~60 one-millisecond epochs.
+RawRun run_sink_only(std::size_t threads) {
+  RawRun out;
+  sim::ParallelConfig pc;
+  pc.shards = 2;
+  pc.threads = threads;
+  sim::ParallelSimulator psim(pc);
+  const std::uint32_t ch = psim.add_channel(
+      0, 1, Duration::millis(1), "src.sink", [&](Bytes frame) {
+        out.deliveries += std::to_string(psim.shard(1).now().ns()) + ":" +
+                          std::to_string(frame.size()) + ";";
+      });
+  EXPECT_EQ(psim.pair_lookahead(0, 1).ns(), Duration::millis(1).ns());
+  EXPECT_EQ(psim.pair_lookahead(1, 0).ns(), 0);
+
+  std::uint64_t ticks = 0;
+  const auto stop_at = TimePoint::from_ns(Duration::millis(50).ns());
+  std::function<void()> tick;
+  tick = [&] {
+    auto& src = psim.shard(0);
+    ++ticks;
+    if (ticks % 10 == 0) {
+      psim.post(ch, src.now() + Duration::millis(1), Bytes{0xab, 0xcd});
+    }
+    if (src.now() < stop_at) {
+      src.schedule_at(src.now() + Duration::micros(100), tick);
+    }
+  };
+  psim.shard(0).schedule_at(TimePoint::from_ns(Duration::micros(100).ns()),
+                            tick);
+  psim.run_until(TimePoint::from_ns(Duration::millis(60).ns()));
+
+  EXPECT_EQ(ticks, 500u);
+  out.events = psim.events_processed();
+  out.epochs = psim.epochs();
+  out.runahead = psim.runahead_shard_epochs();
+  out.cross = psim.cross_shard_frames();
+  out.trace = psim.cross_shard_trace_log();
+  return out;
+}
+
+TEST(RunAheadTest, SinkOnlyShardRunsAheadAndStaysDeterministic) {
+  const RawRun t1 = run_sink_only(1);
+  const RawRun t2 = run_sink_only(2);
+
+  // The source genuinely ran ahead: the 50 ms tick train collapses into a
+  // handful of epochs instead of one per millisecond of lookahead.
+  EXPECT_GT(t1.runahead, 0u);
+  EXPECT_LE(t1.epochs, 6u);
+  EXPECT_EQ(t1.cross, 50u);
+  EXPECT_EQ(t1.events, 550u);  // 500 ticks + 50 deliveries
+  EXPECT_FALSE(t1.deliveries.empty());
+
+  // Worker count is invisible, run-ahead accounting included.
+  EXPECT_EQ(t1.deliveries, t2.deliveries);
+  EXPECT_EQ(t1.events, t2.events);
+  EXPECT_EQ(t1.epochs, t2.epochs);
+  EXPECT_EQ(t1.runahead, t2.runahead);
+  EXPECT_EQ(t1.cross, t2.cross);
+  EXPECT_EQ(t1.trace, t2.trace);
+}
+
+// ---------------------------------------------------------------------
+// Full-stack fixture: a three-router line (0-1-2, one router per shard)
+// carrying TCP flows between its end hosts, plus router 3 on shard 3 with
+// no links at all — a disconnected island whose only load is a finite
+// timer train.  The island has no inbound pairs, so every epoch it takes
+// is a run-ahead epoch; the line shards throttle each other through the
+// 100 us link propagation.
+// ---------------------------------------------------------------------
+
+constexpr std::size_t kShards = 4;  // three line shards + the island
+constexpr std::size_t kIslandTicks = 64;
+constexpr std::size_t kFlows = 4;  // alternating host0 -> host2 / back
+constexpr std::size_t kPerFlow = 4096;
+constexpr std::size_t kHostRouter[2] = {0, 2};
+
+netlayer::RouterConfig line_router_config() {
+  netlayer::RouterConfig rc;
+  rc.routing = netlayer::RoutingKind::kLinkState;
+  rc.neighbor.dead_interval = Duration::seconds(3600.0);
+  return rc;
+}
+
+sim::LinkConfig line_link_config() {
+  sim::LinkConfig link;
+  link.bandwidth_bps = 10e9;
+  link.propagation_delay = Duration::micros(100);
+  link.queue_limit = 4096;
+  return link;
+}
+
+chaos::FaultPlan island_plan(std::size_t link_count) {
+  chaos::ScriptParams params;
+  params.link_count = link_count;
+  params.router_count = 3;  // faults land on the line, not the island
+  params.start = TimePoint::from_ns(Duration::millis(600).ns());
+  params.active_window = Duration::seconds(1.5);
+  return chaos::make_plan("mixed-mayhem", 3, params);
+}
+
+TimePoint warmup_instant() {
+  return TimePoint::from_ns(Duration::millis(500).ns());
+}
+
+/// Buildable twice, like the snapshot-resume worlds: the straight world
+/// calls begin() (start, warmup, island train, chaos arm, flow connects);
+/// a restore graph is constructed identically but never started — hosts
+/// listen() and then the image overwrites everything.
+struct IslandWorld {
+  explicit IslandWorld(std::size_t threads, bool with_chaos = false) {
+    sim::ParallelConfig pc;
+    pc.shards = kShards;
+    pc.threads = threads;
+    psim = std::make_unique<sim::ParallelSimulator>(pc);
+    chrome = std::make_unique<telemetry::ChromeTraceWriter>(
+        psim->chrome_lane_count());
+    psim->attach_chrome_trace(chrome.get());
+    sim::ShardMap map(kShards);
+    for (std::size_t i = 0; i < kShards; ++i) map.assign(i, i);
+    net = std::make_unique<netlayer::Network>(*psim, line_router_config(),
+                                              /*seed=*/1, map);
+    for (std::size_t i = 0; i < kShards; ++i) {
+      routers.push_back(net->add_router());
+    }
+    net->connect(routers[0], routers[1], line_link_config());
+    net->connect(routers[1], routers[2], line_link_config());
+    // Router 3 stays unlinked: shard 3 is a disconnected island.
+    transport::HostConfig hc;
+    hc.connection.cm.keepalive_interval = Duration::seconds(2.0);
+    for (std::size_t h = 0; h < 2; ++h) {
+      const std::size_t r = kHostRouter[h];
+      sim::ParallelSimulator::ShardScope scope(*psim,
+                                               net->shard_of(routers[r]));
+      hosts.push_back(std::make_unique<transport::TcpHost>(
+          net->router(routers[r]), 1, hc));
+      auto* bucket = &received[h];
+      auto* done = &completed;
+      hosts.back()->listen(80, [bucket, done](transport::Connection& c) {
+        auto count = std::make_shared<std::size_t>(0);
+        bucket->push_back(count);
+        transport::Connection::AppCallbacks cb;
+        cb.on_data = [count, done](Bytes data) {
+          *count += data.size();
+          if (*count == kPerFlow) {
+            done->fetch_add(1, std::memory_order_relaxed);
+          }
+        };
+        c.set_app_callbacks(cb);
+      });
+    }
+    if (with_chaos) chaos_ctl.emplace(*psim, *net);
+  }
+
+  /// Straight-world only.  The island train is finite and fires entirely
+  /// within ~516 ms — long before any snapshot instant — so a restore
+  /// graph never needs to re-arm island events.
+  void begin() {
+    net->start();
+    psim->run_until(warmup_instant());
+    if (chaos_ctl) chaos_ctl->arm(island_plan(net->link_count()));
+    for (std::size_t k = 0; k < kIslandTicks; ++k) {
+      const auto at = warmup_instant() +
+                      Duration::nanos(10'000 + 250'000 *
+                                                   static_cast<std::int64_t>(k));
+      psim->shard(3).schedule_at(at, [this] {
+        ++island_hits;
+        island_log += std::to_string(psim->shard(3).now().ns()) + ";";
+      });
+    }
+    Rng rng(7);
+    const Bytes payload = rng.next_bytes(kPerFlow);
+    for (std::size_t f = 0; f < kFlows; ++f) {
+      transport::TcpHost* client = hosts[f % 2].get();
+      transport::TcpHost* server = hosts[(f + 1) % 2].get();
+      const auto at = warmup_instant() +
+                      Duration::micros(static_cast<std::int64_t>(10 * (f + 1)));
+      const auto go = [client, server, payload] {
+        client->connect(server->addr(), 80).send(payload);
+      };
+      psim->shard(net->shard_of(routers[kHostRouter[f % 2]]))
+          .schedule_at(at, go);
+    }
+  }
+
+  Bytes save_world() const {
+    sim::SnapshotWriter w;
+    psim->save(w);
+    net->save(w);
+    for (const auto& h : hosts) h->save(w);
+    if (chaos_ctl) chaos_ctl->save(w);
+    return w.finish();
+  }
+
+  void restore_from(const Bytes& image) {
+    sim::SnapshotReader r(image);
+    psim->restore(r);
+    net->restore(r);
+    for (std::size_t h = 0; h < hosts.size(); ++h) {
+      sim::ParallelSimulator::ShardScope scope(
+          *psim, net->shard_of(routers[kHostRouter[h]]));
+      hosts[h]->restore(r);
+    }
+    if (chaos_ctl) chaos_ctl->restore(r);
+    psim->finish_restore();
+  }
+
+  std::vector<std::size_t> host_sums() const {
+    std::vector<std::size_t> out;
+    for (const auto& bucket : received) {
+      std::size_t total = 0;
+      for (const auto& c : bucket) total += *c;
+      out.push_back(total);
+    }
+    return out;
+  }
+
+  std::unique_ptr<sim::ParallelSimulator> psim;
+  std::unique_ptr<telemetry::ChromeTraceWriter> chrome;
+  std::unique_ptr<netlayer::Network> net;
+  std::vector<netlayer::RouterId> routers;
+  std::vector<std::unique_ptr<transport::TcpHost>> hosts;
+  std::vector<std::vector<std::shared_ptr<std::size_t>>> received{
+      std::vector<std::vector<std::shared_ptr<std::size_t>>>(2)};
+  std::atomic<std::size_t> completed{0};
+  std::optional<chaos::ChaosController> chaos_ctl;
+  // Touched only by shard 3's run phase; read after the run parks.
+  std::size_t island_hits = 0;
+  std::string island_log;
+};
+
+struct RunResult {
+  std::uint64_t events = 0;
+  std::uint64_t cross_frames = 0;
+  std::uint64_t epochs = 0;
+  std::uint64_t runahead = 0;
+  std::size_t completed = 0;
+  std::size_t island_hits = 0;
+  std::string island_log;
+  std::vector<std::size_t> host_sums;
+  telemetry::MetricsSnapshot metrics;
+  std::string metrics_json;
+  std::vector<std::tuple<std::string, std::uint64_t, std::uint64_t,
+                         std::uint64_t>>
+      crossings;
+  std::string trace_log;
+  std::vector<std::uint8_t> flight_dump;
+  std::string chrome_canonical;
+  std::uint64_t faults_applied = 0;
+  std::uint64_t faults_healed = 0;
+};
+
+RunResult run_island_workload(std::size_t threads, bool with_chaos) {
+  IslandWorld w(threads, with_chaos);
+
+  // The latency matrix mirrors the wiring: line neighbors couple through
+  // the 100 us propagation; non-adjacent and island pairs are unthrottled.
+  EXPECT_EQ(w.psim->pair_lookahead(0, 1).ns(), Duration::micros(100).ns());
+  EXPECT_EQ(w.psim->pair_lookahead(1, 0).ns(), Duration::micros(100).ns());
+  EXPECT_EQ(w.psim->pair_lookahead(1, 2).ns(), Duration::micros(100).ns());
+  EXPECT_EQ(w.psim->pair_lookahead(2, 1).ns(), Duration::micros(100).ns());
+  EXPECT_EQ(w.psim->pair_lookahead(0, 2).ns(), 0);
+  EXPECT_EQ(w.psim->pair_lookahead(2, 0).ns(), 0);
+  EXPECT_EQ(w.psim->pair_lookahead(0, 3).ns(), 0);
+  EXPECT_EQ(w.psim->pair_lookahead(3, 0).ns(), 0);
+
+  w.begin();
+  const auto deadline =
+      TimePoint::from_ns(Duration::seconds(with_chaos ? 5.0 : 3.0).ns());
+  w.psim->run_until(deadline);
+
+  RunResult out;
+  out.events = w.psim->events_processed();
+  out.cross_frames = w.psim->cross_shard_frames();
+  out.epochs = w.psim->epochs();
+  out.runahead = w.psim->runahead_shard_epochs();
+  out.completed = w.completed.load(std::memory_order_relaxed);
+  out.island_hits = w.island_hits;
+  out.island_log = w.island_log;
+  out.host_sums = w.host_sums();
+  out.metrics = w.psim->merged_metrics();
+  out.metrics_json = out.metrics.to_json();
+  out.trace_log = w.psim->cross_shard_trace_log();
+  const auto flight = w.psim->merged_flight_records();
+  out.flight_dump = telemetry::encode_flight_dump(flight, "runahead");
+  telemetry::export_flow_spans(flight, *w.chrome);
+  out.chrome_canonical = w.chrome->canonical_json();
+  for (const auto& layer : w.psim->merged_span_layers()) {
+    out.crossings.emplace_back(
+        layer, w.psim->merged_crossings(layer, telemetry::Dir::kDown),
+        w.psim->merged_crossings(layer, telemetry::Dir::kUp),
+        w.psim->merged_crossing_bytes(layer, telemetry::Dir::kDown));
+  }
+  std::sort(out.crossings.begin(), out.crossings.end());
+  if (w.chaos_ctl) {
+    out.faults_applied = w.chaos_ctl->stats().faults_applied;
+    out.faults_healed = w.chaos_ctl->stats().faults_healed;
+  }
+  return out;
+}
+
+void expect_metrics_equal(const telemetry::MetricsSnapshot& a,
+                          const telemetry::MetricsSnapshot& b,
+                          const std::string& label) {
+  for (const auto& [name, value] : a.counters) {
+    if (value != 0) {
+      EXPECT_EQ(b.counter(name), value) << label << " counter " << name;
+    }
+  }
+  for (const auto& [name, value] : b.counters) {
+    if (value != 0) {
+      EXPECT_EQ(a.counter(name), value) << label << " counter " << name;
+    }
+  }
+  for (const auto& [name, value] : a.gauges) {
+    if (value != 0) {
+      EXPECT_EQ(b.gauge(name), value) << label << " gauge " << name;
+    }
+  }
+  for (const auto& h : a.histograms) {
+    if (h.data.count == 0) continue;
+    const auto* other = b.histogram(h.name);
+    ASSERT_NE(other, nullptr) << label << " histogram " << h.name;
+    EXPECT_EQ(other->count, h.data.count) << label << " " << h.name;
+    EXPECT_EQ(other->sum, h.data.sum) << label << " " << h.name;
+    EXPECT_EQ(other->buckets, h.data.buckets) << label << " " << h.name;
+  }
+}
+
+void expect_runs_equal(const RunResult& a, const RunResult& b,
+                       const std::string& label) {
+  EXPECT_EQ(a.events, b.events) << label;
+  EXPECT_EQ(a.cross_frames, b.cross_frames) << label;
+  EXPECT_EQ(a.epochs, b.epochs) << label;
+  EXPECT_EQ(a.runahead, b.runahead) << label;
+  EXPECT_EQ(a.completed, b.completed) << label;
+  EXPECT_EQ(a.island_hits, b.island_hits) << label;
+  EXPECT_EQ(a.island_log, b.island_log) << label;
+  EXPECT_EQ(a.host_sums, b.host_sums) << label;
+  EXPECT_EQ(a.crossings, b.crossings) << label;
+  EXPECT_EQ(a.trace_log, b.trace_log) << label;
+  EXPECT_EQ(a.flight_dump, b.flight_dump) << label;
+  EXPECT_EQ(a.chrome_canonical, b.chrome_canonical) << label;
+  EXPECT_EQ(a.metrics_json, b.metrics_json) << label;
+  EXPECT_EQ(a.faults_applied, b.faults_applied) << label;
+  EXPECT_EQ(a.faults_healed, b.faults_healed) << label;
+  expect_metrics_equal(a.metrics, b.metrics, label);
+}
+
+TEST(RunAheadTest, DisconnectedIslandBitIdenticalAcrossThreadCounts) {
+  const RunResult t1 = run_island_workload(1, /*with_chaos=*/false);
+  const RunResult t2 = run_island_workload(2, false);
+  const RunResult t4 = run_island_workload(4, false);
+
+  // The workload genuinely ran and genuinely ran ahead.
+  EXPECT_EQ(t1.completed, kFlows);
+  EXPECT_EQ(t1.island_hits, kIslandTicks);
+  EXPECT_GT(t1.cross_frames, 0u);
+  EXPECT_GT(t1.runahead, 0u);
+
+  // Satellite contract: the wiring diagnostics live in merged_metrics and
+  // in the deterministic Chrome-trace slice.
+  EXPECT_EQ(t1.metrics.gauge("parallel.shards"), 4);
+  EXPECT_EQ(t1.metrics.gauge("parallel.edge_cut"), 2);
+  EXPECT_EQ(t1.metrics.gauge("parallel.min_pair_lookahead"),
+            Duration::micros(100).ns());
+  EXPECT_EQ(t1.metrics.gauge("parallel.runahead_shard_epochs"),
+            static_cast<std::int64_t>(t1.runahead));
+  EXPECT_NE(t1.chrome_canonical.find("parallel_partition"), std::string::npos);
+  EXPECT_NE(t1.chrome_canonical.find("parallel_pair_lookahead"),
+            std::string::npos);
+  EXPECT_NE(t1.chrome_canonical.find("hash(shards=4,overrides=4)"),
+            std::string::npos);
+
+  expect_runs_equal(t1, t2, "island-t1-vs-t2");
+  expect_runs_equal(t1, t4, "island-t1-vs-t4");
+}
+
+TEST(RunAheadTest, DisconnectedIslandChaosBitIdenticalAcrossThreadCounts) {
+  const RunResult t1 = run_island_workload(1, /*with_chaos=*/true);
+  const RunResult t2 = run_island_workload(2, true);
+  const RunResult t4 = run_island_workload(4, true);
+
+  ASSERT_GT(t1.faults_applied, 0u);
+  EXPECT_EQ(t1.faults_applied, t1.faults_healed);
+  EXPECT_EQ(t1.island_hits, kIslandTicks);
+
+  expect_runs_equal(t1, t2, "island-chaos-t1-vs-t2");
+  expect_runs_equal(t1, t4, "island-chaos-t1-vs-t4");
+}
+
+// Snapshot taken mid-run-ahead: the island commits clear to the deadline
+// in its first post-warmup epoch while the line shards are barely past
+// warmup, so the stop predicate parks the engine with an *unequal*
+// committed-horizon vector.  The v2 image carries that vector; a fresh
+// graph (at a different worker thread count) restores it, resumes, and
+// re-saves byte-identical to the straight run.
+TEST(RunAheadTest, SnapshotMidRunAheadRestoresAcrossThreadCounts) {
+  const auto end = TimePoint::from_ns(Duration::seconds(3.0).ns());
+
+  IslandWorld wa(1);
+  wa.begin();
+  wa.psim->run_until(end, [&] {
+    return wa.psim->shard_committed(3).ns() >= end.ns();
+  });
+  ASSERT_EQ(wa.psim->shard_committed(3).ns(), end.ns());
+  ASSERT_LT(wa.psim->now().ns(), end.ns());
+  EXPECT_GT(wa.psim->runahead_shard_epochs(), 0u);
+  EXPECT_EQ(wa.island_hits, kIslandTicks);  // train fully ran pre-snapshot
+
+  const Bytes image = wa.save_world();
+  const auto mid_sums = wa.host_sums();
+  wa.psim->run_until(end);
+  const Bytes final_a = wa.save_world();
+  const auto end_sums = wa.host_sums();
+  std::size_t total = 0;
+  for (const std::size_t s : end_sums) total += s;
+  ASSERT_EQ(total, kFlows * kPerFlow);
+
+  IslandWorld wb(4);
+  wb.restore_from(image);
+  EXPECT_LT(wb.psim->now().ns(), end.ns());
+  EXPECT_EQ(wb.psim->shard_committed(3).ns(), end.ns());
+  wb.psim->run_until(end);
+
+  // The resumed graph sees exactly the straight run's suffix; the island,
+  // already beyond the deadline at snapshot time, contributes nothing.
+  const auto resumed_sums = wb.host_sums();
+  ASSERT_EQ(resumed_sums.size(), end_sums.size());
+  for (std::size_t i = 0; i < resumed_sums.size(); ++i) {
+    EXPECT_EQ(resumed_sums[i], end_sums[i] - mid_sums[i]) << "host " << i;
+  }
+  EXPECT_EQ(wb.island_hits, 0u);
+  EXPECT_EQ(wb.psim->events_processed(), wa.psim->events_processed());
+  EXPECT_EQ(wb.psim->runahead_shard_epochs(),
+            wa.psim->runahead_shard_epochs());
+  EXPECT_EQ(wb.save_world(), final_a) << "re-saved images differ";
+}
+
+}  // namespace
+}  // namespace sublayer
