@@ -24,8 +24,8 @@
 //      partitioned by hash vs ShardMap::topology_aware onto 4 shards.
 //      The topology-aware cut keeps pods intact, so the per-pair horizon
 //      engine throttles on the wide uplinks instead of the narrow pod
-//      links; rows report edge_cut, min_pair_lookahead, and run-ahead
-//      epoch counts alongside throughput.
+//      links; rows report connected_shard_pairs, min_pair_lookahead, and
+//      run-ahead epoch counts alongside throughput.
 //
 // Honesty: speedup over monolithic is only meaningful on multi-core
 // hardware.  The JSON carries `detected_cores` and a `parallel_effective`
@@ -401,7 +401,7 @@ struct FatRow {
   std::uint64_t cross_frames = 0;
   std::uint64_t epochs = 0;
   std::uint64_t runahead = 0;
-  std::int64_t edge_cut = 0;
+  std::int64_t shard_pairs = 0;
   std::int64_t min_pair_ns = 0;
   double wall_s = 0;
   double events_per_sec = 0;
@@ -412,7 +412,8 @@ struct FatRow {
 /// everywhere.  `threads` 0 runs the monolithic Simulator; otherwise the
 /// 14 routers are placed on 4 shards by hash or by the topology-aware
 /// partitioner, and the run reports the wiring diagnostics the engine
-/// publishes (edge cut, tightest pair lookahead, run-ahead epochs).
+/// publishes (connected shard pairs, tightest pair lookahead, run-ahead
+/// epochs).
 FatRow run_fat_tree(std::size_t threads, bool topo_partition,
                     std::size_t flows, std::size_t per_flow) {
   telemetry::MetricsRegistry::instance().reset();
@@ -516,7 +517,7 @@ FatRow run_fat_tree(std::size_t threads, bool topo_partition,
     r.epochs = psim->epochs();
     r.runahead = psim->runahead_shard_epochs();
     const auto m = psim->merged_metrics();
-    r.edge_cut = m.gauge("parallel.edge_cut");
+    r.shard_pairs = m.gauge("parallel.connected_shard_pairs");
     r.min_pair_ns = m.gauge("parallel.min_pair_lookahead");
   } else {
     const std::uint64_t before = mono->events_processed();
@@ -782,7 +783,7 @@ int main(int argc, char** argv) {
               fat_flows);
   std::printf("%12s %8s | %10s %9s %12s %9s | %9s %8s %9s | %5s %9s\n",
               "partition", "threads", "events", "wall s", "events/s",
-              "speedup", "crossing", "epochs", "runahead", "cut",
+              "speedup", "crossing", "epochs", "runahead", "pairs",
               "min-pair");
   std::string fat_json;
   const auto fat_print = [&](const FatRow& r, double sp) {
@@ -794,7 +795,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.cross_frames),
                 static_cast<unsigned long long>(r.epochs),
                 static_cast<unsigned long long>(r.runahead),
-                static_cast<long long>(r.edge_cut),
+                static_cast<long long>(r.shard_pairs),
                 static_cast<long long>(r.min_pair_ns),
                 r.completed == r.flows ? "" : "(INCOMPLETE)");
     char buf[448];
@@ -803,7 +804,8 @@ int main(int argc, char** argv) {
                   "\"completed\":%zu,\"events\":%llu,\"wall_s\":%.3f,"
                   "\"events_per_sec\":%.0f,\"cross_shard_frames\":%llu,"
                   "\"epochs\":%llu,\"runahead_shard_epochs\":%llu,"
-                  "\"edge_cut\":%lld,\"min_pair_lookahead_ns\":%lld,"
+                  "\"connected_shard_pairs\":%lld,"
+                  "\"min_pair_lookahead_ns\":%lld,"
                   "\"parallel_speedup\":%.2f}",
                   fat_json.empty() ? "" : ",", r.partition.c_str(),
                   r.threads, r.flows, r.completed,
@@ -812,7 +814,7 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(r.cross_frames),
                   static_cast<unsigned long long>(r.epochs),
                   static_cast<unsigned long long>(r.runahead),
-                  static_cast<long long>(r.edge_cut),
+                  static_cast<long long>(r.shard_pairs),
                   static_cast<long long>(r.min_pair_ns), sp);
     fat_json += buf;
   };

@@ -4,6 +4,7 @@
 #include <barrier>
 #include <chrono>
 #include <cstdio>
+#include <exception>
 #include <limits>
 #include <stdexcept>
 #include <thread>
@@ -186,12 +187,14 @@ ShardMap ShardMap::topology_aware(std::size_t shards, std::uint64_t node_count,
   }
 
   // Fallback guarantee: never publish a plan that cuts more edges than
-  // plain hash placement would.
+  // plain hash placement would.  (This comparison sees the plan as
+  // computed; later assign() overrides are the caller's explicit choice
+  // and describe() reports their cut live.)
   ShardMap planned(shards);
   planned.plan_ = std::move(plan);
   planned.method_ = "greedy-kl";
-  planned.plan_cut_ = edge_cut(planned, edges);
-  if (planned.plan_cut_ > edge_cut(hash_map, edges)) {
+  planned.edges_ = edges;
+  if (edge_cut(planned, edges) > edge_cut(hash_map, edges)) {
     hash_map.method_ = "hash-fallback";
     return hash_map;
   }
@@ -203,7 +206,11 @@ std::string ShardMap::describe() const {
   out += "(shards=" + std::to_string(shards_);
   if (!plan_.empty()) {
     out += ",nodes=" + std::to_string(plan_.size());
-    out += ",edge_cut=" + std::to_string(plan_cut_);
+    // Recomputed from the retained edge list on every call: edge_cut()
+    // goes through of(), so assign() pins applied after planning are
+    // reflected — the recorded diagnostics describe the placement
+    // actually in force, never a stale plan.
+    out += ",edge_cut=" + std::to_string(edge_cut(*this, edges_));
   }
   out += ",overrides=" + std::to_string(overrides_.size());
   out += ")";
@@ -334,8 +341,17 @@ void ParallelSimulator::schedule_task(TimePoint when, std::function<void()> fn,
   if (running_) {
     throw std::logic_error("ParallelSimulator: schedule_task while running");
   }
-  if (when.ns() <= cur_ns_) {
-    throw std::logic_error("ParallelSimulator: task scheduled into the past");
+  // Validate against the whole committed vector, not just cur_ns_ (the
+  // min): run-ahead parks shards at *unequal* committed times (after a
+  // stop-predicate-terminated run, or a restored v2 snapshot), and a task
+  // inside that window would mutate state "at time t" on a shard that
+  // already simulated past t — a silent causality violation.
+  const std::int64_t frontier =
+      *std::max_element(committed_ns_.begin(), committed_ns_.end());
+  if (when.ns() <= frontier) {
+    throw std::logic_error(
+        "ParallelSimulator: task scheduled at or before the committed "
+        "frontier (a run-ahead shard has already simulated past it)");
   }
   if (shard_scope != kNoShard && shard_scope >= shards_.size()) {
     throw std::out_of_range("ParallelSimulator: bad task shard");
@@ -470,7 +486,21 @@ void ParallelSimulator::run_due_tasks() {
     // capped at the task time minus one tick, so by the time cur_ns_
     // (the min) reaches it, every shard has parked exactly there; faults
     // must observe (and stamp) time t, not t - 1ns, on whichever shard
-    // they touch.
+    // they touch.  Alignment only ever moves clocks forward — a shard
+    // already past t would be silently rewound below time it simulated
+    // through.  schedule_task rejects tasks inside the committed
+    // frontier, so a hole here is an engine invariant violation: fail
+    // loudly (record_error — this runs inside the noexcept barrier
+    // completion) rather than corrupt determinism.
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (shards_[s]->now().ns() > t.ns()) {
+        record_error(std::make_exception_ptr(std::logic_error(
+            "ParallelSimulator: task at " + std::to_string(t.ns()) +
+            " ns is behind shard " + std::to_string(s) +
+            "'s clock — run-ahead task hole")));
+        return;
+      }
+    }
     for (auto& sh : shards_) sh->advance_to(t);
     for (auto& c : committed_ns_) c = t.ns();
     cur_ns_ = t.ns();
@@ -576,8 +606,11 @@ void ParallelSimulator::advance_epoch_state() {
 
 void ParallelSimulator::record_wiring_diagnostics() {
   wiring_recorded_ = true;
-  // Distinct unordered shard pairs connected by >= 1 cross-shard channel:
-  // the channel graph's edge cut under the chosen placement.
+  // Distinct unordered shard pairs connected by >= 1 cross-shard channel —
+  // the number of throttling pair relationships in the horizon algebra.
+  // NOT the topology edge cut (several cut links can collapse onto one
+  // shard pair); that lives in the ShardMap::describe() string stamped
+  // into parallel_partition below, under its own name.
   std::vector<std::pair<std::size_t, std::size_t>> pairs;
   for (const auto& ch : channels_) {
     if (ch.src == ch.dst) continue;
@@ -594,7 +627,7 @@ void ParallelSimulator::record_wiring_diagnostics() {
     // stays idempotent.
     ShardScope scope(*this, 0);
     auto& reg = telemetry::MetricsRegistry::instance();
-    *reg.gauge_slot(reg.intern_gauge("parallel.edge_cut")) =
+    *reg.gauge_slot(reg.intern_gauge("parallel.connected_shard_pairs")) =
         static_cast<std::int64_t>(pairs.size());
     *reg.gauge_slot(reg.intern_gauge("parallel.min_pair_lookahead")) =
         lookahead_ns_;
@@ -611,7 +644,7 @@ void ParallelSimulator::record_wiring_diagnostics() {
   chrome_->metadata(
       shards_.size(), "parallel_partition",
       "\"shards\":" + std::to_string(shards_.size()) +
-          ",\"edge_cut\":" + std::to_string(pairs.size()) +
+          ",\"connected_shard_pairs\":" + std::to_string(pairs.size()) +
           ",\"min_pair_lookahead_ns\":" + std::to_string(lookahead_ns_) +
           ",\"partition\":\"" + info + "\"");
   std::string matrix;

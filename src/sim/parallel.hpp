@@ -44,7 +44,7 @@
 // run phase, and topology construction does it so modules bind into their
 // owning shard.  merged_metrics() / merged_crossings() produce the
 // deterministic cross-shard aggregate at any parked instant.  The engine
-// also publishes its wiring as gauges (parallel.edge_cut,
+// also publishes its wiring as gauges (parallel.connected_shard_pairs,
 // parallel.min_pair_lookahead, ...) and as Chrome-trace metadata, so a
 // run's partitioning and horizon structure are diagnosable from artifacts
 // alone.
@@ -126,7 +126,9 @@ class ShardMap {
   const std::string& method() const { return method_; }
   /// One-line summary of the placement decision, e.g.
   /// "greedy-kl(shards=4,nodes=16,edge_cut=4,overrides=0)" — recorded by
-  /// the engine in Chrome-trace metadata via set_partition_info().
+  /// the engine in Chrome-trace metadata via set_partition_info().  The
+  /// edge_cut is recomputed from the retained edge list at call time, so
+  /// it reflects assign() overrides applied after planning.
   std::string describe() const;
 
  private:
@@ -135,7 +137,10 @@ class ShardMap {
   /// Planned placement from topology_aware(), indexed by id; ids at or
   /// beyond plan_.size() fall back to the hash.
   std::vector<std::size_t> plan_;
-  std::size_t plan_cut_ = 0;
+  /// Edge list the plan was computed from, retained so describe() can
+  /// report the cut of the placement actually in force (overrides
+  /// included) instead of a stale plan-time number.
+  std::vector<TopoEdge> edges_;
   std::string method_ = "hash";
 };
 
@@ -242,9 +247,12 @@ class ParallelSimulator {
   /// declared minimum latency guarantees for any send inside the epoch.
   void post(std::uint32_t channel, TimePoint when, Bytes frame);
 
-  /// Schedules `fn` to run single-threaded at exactly `when` (strictly in
-  /// the future), with every shard's clock advanced to `when` and all
-  /// workers parked — epochs never span a task time.  `shard_scope`
+  /// Schedules `fn` to run single-threaded at exactly `when` — strictly
+  /// after *every* shard's committed horizon, not just now() (the min):
+  /// run-ahead parks shards at unequal times, and a task inside that
+  /// window would mutate state a shard already simulated through, so it
+  /// throws instead.  All shard clocks advance to `when` and all workers
+  /// park — epochs never span a task time.  `shard_scope`
   /// (optional) wraps the task in that shard's ShardScope, for tasks that
   /// rebuild telemetry-bound state (e.g. a chaos router crash).  Counted
   /// in events_processed() like the equivalent single-simulator event.

@@ -4,6 +4,7 @@
 // non-empty-shard guarantees the parallel engine relies on.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "sim/parallel.hpp"
@@ -155,6 +156,21 @@ TEST(PartitionerTest, HashMapDescribesItself) {
   const ShardMap topo = ShardMap::topology_aware(4, 16, ring_edges(16));
   EXPECT_EQ(topo.describe(),
             "greedy-kl(shards=4,nodes=16,edge_cut=4,overrides=0)");
+}
+
+TEST(PartitionerTest, DescribeReportsTheCutInForce) {
+  const auto edges = ring_edges(16);
+  ShardMap topo = ShardMap::topology_aware(4, 16, edges);
+  EXPECT_EQ(topo.describe(),
+            "greedy-kl(shards=4,nodes=16,edge_cut=4,overrides=0)");
+  // Pin a node off its planned block: the describe() string (stamped into
+  // Chrome-trace metadata at Network construction) must report the
+  // override's cut, not the stale plan-time cut.
+  topo.assign(0, (topo.of(0) + 1) % 4);
+  const std::size_t live_cut = ShardMap::edge_cut(topo, edges);
+  EXPECT_GT(live_cut, 4u);
+  EXPECT_EQ(topo.describe(), "greedy-kl(shards=4,nodes=16,edge_cut=" +
+                                 std::to_string(live_cut) + ",overrides=1)");
 }
 
 TEST(PartitionerTest, SingleShardAndEmptyGraphDegenerate) {

@@ -141,6 +141,62 @@ TEST(RunAheadTest, SinkOnlyShardRunsAheadAndStaysDeterministic) {
   EXPECT_EQ(t1.trace, t2.trace);
 }
 
+// A stop predicate parks the engine with an *unequal* committed vector:
+// the source shard (no inbound pairs) runs ahead to the deadline in its
+// first epoch while the sink is still throttled near zero.  A task
+// scheduled inside that window — after now() but at or before the
+// run-ahead shard's committed horizon — would mutate state the source
+// already simulated through, so schedule_task must reject it loudly
+// instead of silently rewinding the committed horizon (the pre-fix
+// behavior).  Tasks beyond the whole frontier stay accepted.
+TEST(RunAheadTest, TaskInsideCommittedFrontierIsRejected) {
+  sim::ParallelConfig pc;
+  pc.shards = 2;
+  pc.threads = 1;
+  sim::ParallelSimulator psim(pc);
+  std::size_t delivered = 0;
+  const std::uint32_t ch = psim.add_channel(
+      0, 1, Duration::millis(1), "src.sink", [&](Bytes) { ++delivered; });
+
+  std::uint64_t ticks = 0;
+  const auto stop_at = TimePoint::from_ns(Duration::millis(50).ns());
+  std::function<void()> tick;
+  tick = [&] {
+    auto& src = psim.shard(0);
+    ++ticks;
+    if (ticks % 10 == 0) {
+      psim.post(ch, src.now() + Duration::millis(1), Bytes{0xab, 0xcd});
+    }
+    if (src.now() < stop_at) {
+      src.schedule_at(src.now() + Duration::micros(100), tick);
+    }
+  };
+  psim.shard(0).schedule_at(TimePoint::from_ns(Duration::micros(100).ns()),
+                            tick);
+
+  const auto end = TimePoint::from_ns(Duration::millis(60).ns());
+  psim.run_until(end, [&] { return psim.shard_committed(0).ns() >= end.ns(); });
+  ASSERT_EQ(psim.shard_committed(0).ns(), end.ns());  // source ran ahead
+  ASSERT_LT(psim.now().ns(), end.ns());               // sink still lags
+
+  // Inside the hole: beyond now() (the old check) but inside the source's
+  // committed horizon.
+  const auto hole = psim.now() + Duration::micros(1);
+  ASSERT_LT(hole.ns(), psim.shard_committed(0).ns());
+  EXPECT_THROW(psim.schedule_task(hole, [] {}), std::logic_error);
+  // At the frontier exactly: still inside simulated time, still rejected.
+  EXPECT_THROW(psim.schedule_task(TimePoint::from_ns(end.ns()), [] {}),
+               std::logic_error);
+
+  // Strictly beyond every committed horizon: accepted, and the resumed
+  // run executes it with all clocks aligned.
+  bool ran = false;
+  psim.schedule_task(end + Duration::millis(1), [&] { ran = true; });
+  psim.run_until(end + Duration::millis(2));
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(delivered, 50u);
+}
+
 // ---------------------------------------------------------------------
 // Full-stack fixture: a three-router line (0-1-2, one router per shard)
 // carrying TCP flows between its end hosts, plus router 3 on shard 3 with
@@ -442,7 +498,7 @@ TEST(RunAheadTest, DisconnectedIslandBitIdenticalAcrossThreadCounts) {
   // Satellite contract: the wiring diagnostics live in merged_metrics and
   // in the deterministic Chrome-trace slice.
   EXPECT_EQ(t1.metrics.gauge("parallel.shards"), 4);
-  EXPECT_EQ(t1.metrics.gauge("parallel.edge_cut"), 2);
+  EXPECT_EQ(t1.metrics.gauge("parallel.connected_shard_pairs"), 2);
   EXPECT_EQ(t1.metrics.gauge("parallel.min_pair_lookahead"),
             Duration::micros(100).ns());
   EXPECT_EQ(t1.metrics.gauge("parallel.runahead_shard_epochs"),
